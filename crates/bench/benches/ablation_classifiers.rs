@@ -1,0 +1,23 @@
+//! **Ablation** — C4.5 vs Naive Bayes vs linear SVM on the prepared
+//! feature space (Section 3.2 of the paper: "Decision Trees
+//! outperformed other algorithms like Naive Bayes and Support Vector
+//! Machines which we also evaluated with our datasets").
+
+use vqd_bench::{controlled_runs, emit_section};
+use vqd_core::ablation::{classifier_comparison, render_ablation};
+use vqd_core::scenario::LabelScheme;
+
+fn main() {
+    let runs = controlled_runs();
+    let mut text = String::new();
+    for (scheme, tag) in [(LabelScheme::Existence, "existence"), (LabelScheme::Exact, "exact")] {
+        let rows = classifier_comparison(&runs, scheme, 1);
+        text.push_str(&render_ablation(
+            &format!("Ablation: classifier comparison ({tag} labels, FC+FS, 10-fold CV)"),
+            &rows,
+        ));
+        text.push('\n');
+    }
+    text.push_str("paper: C4.5 wins; DTs cope with noise and non-linear relations and stay interpretable\n");
+    emit_section("ablation_classifiers", &text);
+}

@@ -1,0 +1,21 @@
+//! **Ablation** — the FC/FS grid and pruning: quantifies what feature
+//! construction, feature selection and error-based pruning each buy
+//! (complements Figure 5 and the paper's interpretability argument).
+
+use vqd_bench::{controlled_runs, emit_section};
+use vqd_core::ablation::{pipeline_ablation, pruning_ablation, render_ablation};
+use vqd_core::scenario::LabelScheme;
+
+fn main() {
+    let runs = controlled_runs();
+    let mut text = render_ablation(
+        "Ablation: FC/FS pipeline grid (exact labels, 10-fold CV; size = #features)",
+        &pipeline_ablation(&runs, LabelScheme::Exact, 1),
+    );
+    text.push('\n');
+    text.push_str(&render_ablation(
+        "Ablation: C4.5 pruning (exact labels; size = tree nodes)",
+        &pruning_ablation(&runs, LabelScheme::Exact, 1),
+    ));
+    emit_section("ablation_pipeline", &text);
+}

@@ -1,0 +1,29 @@
+//! **Figure 5** — detection performance for different feature sets:
+//! RSSI, HW, UTILIZATION, DELAY, TCP, ALL, FS & FC (all three VPs
+//! combined, exact-problem labels).
+//!
+//! Paper shape: RSSI/HW < 0.35, UTILIZATION ≈ 0.55, DELAY ≈ 0.70,
+//! ALL ≈ 0.75, FS & FC > 0.80 (macro precision/recall).
+
+use vqd_bench::{controlled_runs, emit_section};
+use vqd_core::experiments::feature_set_sweep;
+
+fn main() {
+    let runs = controlled_runs();
+    let sweep = feature_set_sweep(&runs, 1);
+    let mut text =
+        String::from("== Figure 5: detection by feature set (combined VPs, exact labels) ==\n");
+    text.push_str("   set           precision  recall  accuracy  #features\n");
+    for e in &sweep {
+        text.push_str(&format!(
+            "   {:<12} {:>9.2}  {:>6.2}  {:>8.1}%  {:>9}\n",
+            e.name,
+            e.precision,
+            e.recall,
+            e.accuracy * 100.0,
+            e.n_features
+        ));
+    }
+    text.push_str("\npaper shape: RSSI/HW < UTILIZATION < DELAY < ALL < FS&FC (>0.80)\n");
+    emit_section("fig5", &text);
+}

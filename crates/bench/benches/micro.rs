@@ -1,0 +1,162 @@
+//! Criterion micro-benchmarks of the substrates: packet-level TCP
+//! throughput, full video-session simulation, tstat observation, C4.5
+//! training, FCBF selection and MOS scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vqd_core::testbed::{run_controlled_session, SessionSpec, WanProfile};
+use vqd_faults::FaultPlan;
+use vqd_ml::dataset::Dataset;
+use vqd_ml::dtree::C45Trainer;
+use vqd_simnet::engine::{App, Ctl, Harness, TcpEvent};
+use vqd_simnet::ids::HostId;
+use vqd_simnet::link::LinkConfig;
+use vqd_simnet::rng::SimRng;
+use vqd_simnet::tcp::Side;
+use vqd_simnet::time::SimTime;
+use vqd_simnet::topology::TopologyBuilder;
+use vqd_video::catalog::Catalog;
+
+/// 1 MiB bulk transfer over the nominal DSL profile.
+fn bench_tcp_transfer(c: &mut Criterion) {
+    struct Fetch {
+        a: HostId,
+        b: HostId,
+    }
+    impl App for Fetch {
+        fn start(&mut self, ctl: &mut Ctl) {
+            let f = ctl.tcp_connect(self.a, self.b, 80);
+            ctl.tcp_send(f, 200);
+        }
+        fn on_tcp(&mut self, ev: TcpEvent, ctl: &mut Ctl) {
+            match ev {
+                TcpEvent::DataAvailable { flow, side, .. } => {
+                    ctl.tcp_read_at(flow, side, u64::MAX);
+                    if side == Side::Server {
+                        ctl.tcp_send_from(flow, Side::Server, 1 << 20);
+                        ctl.tcp_close_from(flow, Side::Server);
+                    }
+                }
+                TcpEvent::PeerFin { flow, side } => {
+                    ctl.tcp_close_from(flow, side);
+                }
+                _ => {}
+            }
+        }
+    }
+    c.bench_function("tcp_1mib_over_dsl", |bench| {
+        bench.iter(|| {
+            let mut tb = TopologyBuilder::new();
+            let a = tb.add_host("client");
+            let b = tb.add_host("server");
+            tb.add_duplex_link(a, b, LinkConfig::dsl_nominal());
+            let mut sim = Harness::new(tb.build(), 7);
+            sim.add_app(Box::new(Fetch { a, b }));
+            sim.run_until(SimTime::from_secs(60));
+            black_box(sim.net.flow_stats(vqd_simnet::ids::FlowId(0)))
+        })
+    });
+}
+
+/// One full controlled video session (topology + faults + probes).
+fn bench_session(c: &mut Criterion) {
+    let catalog = Catalog::top100(42);
+    let spec = SessionSpec {
+        seed: 5,
+        fault: FaultPlan::none(),
+        background: 0.4,
+        wan: WanProfile::Dsl,
+    };
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+    group.bench_function("controlled_video_session", |bench| {
+        bench.iter(|| black_box(run_controlled_session(&spec, &catalog)))
+    });
+    group.finish();
+}
+
+fn synthetic_dataset(n: usize) -> Dataset {
+    let mut rng = SimRng::seed_from_u64(3);
+    let names: Vec<String> = (0..40).map(|i| format!("f{i}")).collect();
+    let mut d = Dataset::new(names, vec!["a".into(), "b".into(), "c".into()]);
+    for _ in 0..n {
+        let cl = rng.index(3);
+        let mut row: Vec<f64> = (0..38).map(|_| rng.normal(0.0, 1.0)).collect();
+        row.push(cl as f64 * 2.0 + rng.normal(0.0, 0.7));
+        row.push(cl as f64 * -1.0 + rng.normal(0.0, 0.9));
+        d.push(row, cl);
+    }
+    d
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let d = synthetic_dataset(1500);
+    let rows: Vec<usize> = (0..d.len()).collect();
+    c.bench_function("c45_train_1500x40", |b| {
+        b.iter(|| black_box(C45Trainer::default().fit(&d, &rows)))
+    });
+    c.bench_function("fcbf_1500x40", |b| {
+        b.iter(|| black_box(vqd_features::fcbf(&d, 0.01)))
+    });
+    let tree = C45Trainer::default().fit(&d, &rows);
+    c.bench_function("c45_predict", |b| {
+        b.iter(|| {
+            for row in d.x.iter().take(100) {
+                black_box(tree.predict(row));
+            }
+        })
+    });
+}
+
+fn bench_tstat(c: &mut Criterion) {
+    use vqd_probes::FlowAnalyzer;
+    use vqd_simnet::ids::FlowId;
+    use vqd_simnet::packet::{TcpFlags, TcpHdr};
+    let hdrs: Vec<TcpHdr> = (0..10_000u64)
+        .map(|i| TcpHdr {
+            flow: FlowId(0),
+            from_initiator: false,
+            dport: 80,
+            sport: 40000,
+            seq: i * 1460,
+            ack: 0,
+            len: 1460,
+            flags: TcpFlags::DATA,
+            wnd: 65535,
+            mss: 1460,
+            tsval: SimTime(i * 1_000_000),
+            tsecr: SimTime::ZERO,
+            is_retx: false,
+        })
+        .collect();
+    c.bench_function("tstat_observe_10k_pkts", |b| {
+        b.iter(|| {
+            let mut a = FlowAnalyzer::default();
+            for (i, h) in hdrs.iter().enumerate() {
+                a.observe(SimTime(i as u64 * 1_000_000), h);
+            }
+            black_box(a.duration_s())
+        })
+    });
+}
+
+fn bench_mos(c: &mut Criterion) {
+    use vqd_simnet::time::{SimDuration, SimTime};
+    use vqd_video::session::SessionQoe;
+    let mut q = SessionQoe {
+        started_at: SimTime::ZERO,
+        playback_at: Some(SimTime::from_secs(2)),
+        ended_at: Some(SimTime::from_secs(60)),
+        media_duration_s: 55.0,
+        bitrate_bps: 2_000_000,
+        played_s: 55.0,
+        completed: true,
+        ..Default::default()
+    };
+    q.stalls.push((SimTime::from_secs(20), SimDuration::from_secs(3)));
+    c.bench_function("mos_score", |b| b.iter(|| black_box(vqd_video::mos_score(&q))));
+}
+
+criterion_group!(benches, bench_tcp_transfer, bench_session, bench_ml, bench_tstat, bench_mos);
+criterion_main!(benches);

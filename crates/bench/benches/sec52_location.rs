@@ -1,0 +1,21 @@
+//! **Section 5.2** — problem *location* detection (mobile / LAN / WAN
+//! × severity) per vantage point, controlled environment.
+//!
+//! Paper highlights: the server VP localises LAN problems almost as
+//! well as the router (shared top features: RTT, first packet arrival
+//! delay, retransmissions); VP pairs add little.
+
+use vqd_bench::{controlled_runs, emit_section};
+use vqd_core::diagnoser::DiagnoserConfig;
+use vqd_core::experiments::{eval_by_vp, render_vp_evals};
+use vqd_core::scenario::LabelScheme;
+
+fn main() {
+    let runs = controlled_runs();
+    let evals = eval_by_vp(&runs, LabelScheme::Location, &DiagnoserConfig::default(), 1);
+    let text = render_vp_evals(
+        "Section 5.2: problem-location detection (controlled, 10-fold CV)",
+        &evals,
+    );
+    emit_section("sec52", &text);
+}

@@ -1,0 +1,27 @@
+//! **Table 4** — the 3 features with the highest predictive power for
+//! each fault, per vantage point (M/R/S/C).
+//!
+//! Paper highlights to compare against: CPU+memory top for mobile load
+//! at the mobile VP (router/server fall back to RTT); RSSI top for
+//! wireless problems at the mobile VP; RTT / first-packet-arrival /
+//! utilisation for congestion and shaping.
+
+use vqd_bench::{controlled_runs, emit_section};
+use vqd_core::experiments::table4;
+
+fn main() {
+    let runs = controlled_runs();
+    let cells = table4(&runs, 3);
+    let mut text = String::from("== Table 4: top features per fault per vantage point ==\n");
+    let mut last_fault = String::new();
+    for c in &cells {
+        if c.fault != last_fault {
+            text.push_str(&format!("\n-- {} --\n", c.fault));
+            last_fault = c.fault.clone();
+        }
+        let tops: Vec<String> =
+            c.top.iter().map(|(n, su)| format!("{n} ({su:.2})")).collect();
+        text.push_str(&format!("   {:<9} {}\n", c.vp, tops.join("  |  ")));
+    }
+    emit_section("table4", &text);
+}

@@ -1,0 +1,377 @@
+//! `repro` — regenerate every table and figure in one run and write
+//! `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p vqd-bench --bin repro            # all experiments
+//! cargo run --release -p vqd-bench --bin repro -- fig3    # one experiment
+//! VQD_FULL=1 cargo run --release -p vqd-bench --bin repro # paper-scale corpora
+//! ```
+
+use std::fmt::Write as _;
+
+use vqd_bench::{controlled_runs, emit_section, induced_runs, wild_runs};
+use vqd_core::dataset::{to_dataset, LabeledRun};
+use vqd_core::diagnoser::{Diagnoser, DiagnoserConfig};
+use vqd_core::ablation::{classifier_comparison, pipeline_ablation, pruning_ablation, render_ablation};
+use vqd_core::experiments::{
+    eval_by_vp, eval_transfer, feature_set_sweep, render_vp_evals, table1, table4, VP_SETS,
+};
+use vqd_core::iterative::IterativeRca;
+use vqd_core::multifault::{evaluate_multifault, generate_multifault};
+use vqd_core::scenario::LabelScheme;
+use vqd_video::QoeClass;
+
+fn fig3(out: &mut String) {
+    let runs = controlled_runs();
+    let evals = eval_by_vp(&runs, LabelScheme::Existence, &DiagnoserConfig::default(), 1);
+    let mut text =
+        render_vp_evals("Figure 3: problem-existence detection (controlled, 10-fold CV)", &evals);
+    text.push_str("paper: mobile 88.1%  router 86.4%  server 85.6%  combined 88.8%\n");
+    emit_section("fig3", &text);
+    out.push_str(&text);
+}
+
+fn fig4(out: &mut String) {
+    let runs = controlled_runs();
+    let evals = eval_by_vp(&runs, LabelScheme::Exact, &DiagnoserConfig::default(), 1);
+    let mut text =
+        render_vp_evals("Figure 4: exact-problem detection (controlled, 10-fold CV)", &evals);
+    text.push_str("paper: mobile 88.18%  router 85.74%  server 84.2%  combined 88.95%\n");
+    emit_section("fig4", &text);
+    out.push_str(&text);
+}
+
+fn sec52(out: &mut String) {
+    let runs = controlled_runs();
+    let evals = eval_by_vp(&runs, LabelScheme::Location, &DiagnoserConfig::default(), 1);
+    let text =
+        render_vp_evals("Section 5.2: problem-location detection (controlled, 10-fold CV)", &evals);
+    emit_section("sec52", &text);
+    out.push_str(&text);
+}
+
+fn fig5(out: &mut String) {
+    let runs = controlled_runs();
+    let sweep = feature_set_sweep(&runs, 1);
+    let mut text =
+        String::from("== Figure 5: detection by feature set (combined VPs, exact labels) ==\n");
+    text.push_str("   set           precision  recall  accuracy  #features\n");
+    for e in &sweep {
+        let _ = writeln!(
+            text,
+            "   {:<12} {:>9.2}  {:>6.2}  {:>8.1}%  {:>9}",
+            e.name,
+            e.precision,
+            e.recall,
+            e.accuracy * 100.0,
+            e.n_features
+        );
+    }
+    text.push_str("paper shape: RSSI/HW < UTILIZATION < DELAY < ALL < FS&FC (>0.80)\n");
+    emit_section("fig5", &text);
+    out.push_str(&text);
+}
+
+fn table1_section(out: &mut String) {
+    let runs = controlled_runs();
+    let raw = to_dataset(&runs, LabelScheme::Exact);
+    let sel = table1(&runs);
+    let mut text = String::from("== Table 1: features after Feature Selection (FCBF) ==\n");
+    let _ = writeln!(
+        text,
+        "raw features: {}   selected: {}   (paper: 354 -> 22)",
+        raw.n_features(),
+        sel.names.len()
+    );
+    for (name, su) in sel.names.iter().zip(&sel.su) {
+        let _ = writeln!(text, "   {name:<48} SU={su:.3}");
+    }
+    emit_section("table1", &text);
+    out.push_str(&text);
+}
+
+fn table4_section(out: &mut String) {
+    let runs = controlled_runs();
+    let cells = table4(&runs, 3);
+    let mut text = String::from("== Table 4: top features per fault per vantage point ==\n");
+    let mut last = String::new();
+    for c in &cells {
+        if c.fault != last {
+            let _ = writeln!(text, "\n-- {} --", c.fault);
+            last = c.fault.clone();
+        }
+        let tops: Vec<String> = c.top.iter().map(|(n, su)| format!("{n} ({su:.2})")).collect();
+        let _ = writeln!(text, "   {:<9} {}", c.vp, tops.join("  |  "));
+    }
+    emit_section("table4", &text);
+    out.push_str(&text);
+}
+
+fn transfer_eval(
+    title: &str,
+    section: &str,
+    scheme: LabelScheme,
+    test: &[LabeledRun],
+    sets: &[(&str, &[&str])],
+    paper: &str,
+    out: &mut String,
+) {
+    let train = controlled_runs();
+    let data = to_dataset(&train, scheme);
+    let model = Diagnoser::train(&data, &DiagnoserConfig::default());
+    let mut text = format!("== {title} ==\n");
+    for (name, vps) in sets {
+        let cm = eval_transfer(&model, test, scheme, Some(vps));
+        let _ = writeln!(
+            text,
+            "-- VP {:<9} accuracy {:.1}%  (n={})",
+            name,
+            cm.accuracy() * 100.0,
+            cm.total()
+        );
+        for c in 0..cm.classes.len() {
+            let support: u64 = (0..cm.classes.len()).map(|p| cm.count(c, p)).sum();
+            if support > 0 {
+                let _ = writeln!(
+                    text,
+                    "   {:<28} precision {:.2}  recall {:.2}  n={}",
+                    cm.classes[c],
+                    cm.precision(c),
+                    cm.recall(c),
+                    support
+                );
+            }
+        }
+    }
+    text.push_str(paper);
+    text.push('\n');
+    emit_section(section, &text);
+    out.push_str(&text);
+}
+
+fn fig6(out: &mut String) {
+    let test: Vec<LabeledRun> = induced_runs().into_iter().map(|r| r.run).collect();
+    transfer_eval(
+        "Figure 6: real-world (induced) existence detection, lab-trained model",
+        "fig6",
+        LabelScheme::Existence,
+        &test,
+        &VP_SETS,
+        "paper: mobile 88%  router 84%  server 81%  combined 88.1%",
+        out,
+    );
+}
+
+fn fig7(out: &mut String) {
+    let test: Vec<LabeledRun> = induced_runs().into_iter().map(|r| r.run).collect();
+    transfer_eval(
+        "Figure 7: real-world (induced) exact root cause, lab-trained model",
+        "fig7",
+        LabelScheme::Exact,
+        &test,
+        &VP_SETS,
+        "paper: combined 82.9%  mobile 81.1%  router 80.5%  server 79.3%",
+        out,
+    );
+}
+
+fn fig8(out: &mut String) {
+    let test: Vec<LabeledRun> = wild_runs().into_iter().map(|r| r.run).collect();
+    let sets: [(&str, &[&str]); 3] = [
+        ("mobile", &["mobile"]),
+        ("server", &["server"]),
+        ("combined", &["mobile", "server"]),
+    ];
+    transfer_eval(
+        "Figure 8: in-the-wild existence detection per VP set, lab-trained model",
+        "fig8",
+        LabelScheme::Existence,
+        &test,
+        &sets,
+        "paper: healthy sessions detected with high accuracy; mobile > server; combined best",
+        out,
+    );
+}
+
+fn quantiles(mut xs: Vec<f64>) -> String {
+    if xs.is_empty() {
+        return "n=0".into();
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |p: f64| xs[((xs.len() - 1) as f64 * p) as usize];
+    format!(
+        "n={:<4} p10={:7.2} p25={:7.2} p50={:7.2} p75={:7.2} p90={:7.2}",
+        xs.len(),
+        q(0.1),
+        q(0.25),
+        q(0.5),
+        q(0.75),
+        q(0.9)
+    )
+}
+
+fn fig9(out: &mut String) {
+    let train = controlled_runs();
+    let wild = wild_runs();
+    // The paper's §6.2.2 asks what the *server vantage point* predicts:
+    // train the exact-problem model on the server's own columns.
+    let data = to_dataset(&train, LabelScheme::Exact)
+        .select_features_by(|n| n.starts_with("server"));
+    let model = Diagnoser::train(&data, &DiagnoserConfig::default());
+    let (mut cf, mut cr, mut rf, mut rr) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for r in &wild {
+        if r.run.truth.qoe == QoeClass::Good {
+            continue;
+        }
+        let server: Vec<(String, f64)> = r
+            .run
+            .metrics
+            .iter()
+            .filter(|(n, _)| n.starts_with("server"))
+            .cloned()
+            .collect();
+        if server.is_empty() {
+            continue;
+        }
+        let d = model.diagnose(&server);
+        if let Some(cpu) = r.cpu_truth() {
+            if d.label.starts_with("mobile_load") { cf.push(cpu) } else { cr.push(cpu) }
+        }
+        if let Some(rssi) = r.rssi_truth() {
+            if d.label.starts_with("low_rssi") { rf.push(rssi) } else { rr.push(rssi) }
+        }
+    }
+    let mut text = String::from(
+        "== Figure 9: server-VP inference of client conditions (wild, problematic) ==\n",
+    );
+    let _ = writeln!(text, "ground-truth mobile CPU utilisation:");
+    let _ = writeln!(text, "   predicted 'mobile load':  {}", quantiles(cf));
+    let _ = writeln!(text, "   not predicted:            {}", quantiles(cr));
+    let _ = writeln!(text, "ground-truth mobile RSSI (dBm, WiFi sessions):");
+    let _ = writeln!(text, "   predicted 'low RSSI':     {}", quantiles(rf));
+    let _ = writeln!(text, "   not predicted:            {}", quantiles(rr));
+    text.push_str("paper shape: flagged sessions show far higher CPU / lower RSSI\n");
+    emit_section("fig9", &text);
+    out.push_str(&text);
+}
+
+fn table5(out: &mut String) {
+    let train = controlled_runs();
+    let wild = wild_runs();
+    let data = to_dataset(&train, LabelScheme::Exact);
+    let model = Diagnoser::train(&data, &DiagnoserConfig::default());
+    let mut counts: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for r in &wild {
+        let d = model.diagnose(&r.run.metrics);
+        *counts.entry(d.label).or_insert(0) += 1;
+    }
+    let mut text =
+        String::from("== Table 5: predicted root causes in the wild (mobile+server VPs) ==\n");
+    let _ = writeln!(text, "sessions: {}", wild.len());
+    for (label, n) in &counts {
+        let _ = writeln!(text, "   {label:<28} {n}");
+    }
+    text.push_str("paper: 'good' dominates; local-network problems are the most common faults\n");
+    emit_section("table5", &text);
+    out.push_str(&text);
+}
+
+fn ablations(out: &mut String) {
+    let runs = controlled_runs();
+    let mut text = String::new();
+    for (scheme, tag) in [(LabelScheme::Existence, "existence"), (LabelScheme::Exact, "exact")] {
+        text.push_str(&render_ablation(
+            &format!("Ablation: classifier comparison ({tag} labels, FC+FS, 10-fold CV)"),
+            &classifier_comparison(&runs, scheme, 1),
+        ));
+    }
+    text.push_str(&render_ablation(
+        "Ablation: FC/FS pipeline grid (exact labels; size = #features)",
+        &pipeline_ablation(&runs, LabelScheme::Exact, 1),
+    ));
+    text.push_str(&render_ablation(
+        "Ablation: C4.5 pruning (exact labels; size = tree nodes)",
+        &pruning_ablation(&runs, LabelScheme::Exact, 1),
+    ));
+    emit_section("ablations", &text);
+    out.push_str(&text);
+}
+
+fn extensions(out: &mut String) {
+    let runs = controlled_runs();
+    // Multi-fault.
+    let data = to_dataset(&runs, LabelScheme::Exact);
+    let model = Diagnoser::train(&data, &DiagnoserConfig::default());
+    let n = (runs.len() / 6).max(30);
+    let mf = generate_multifault(n, 2015_09, &vqd_video::catalog::Catalog::top100(vqd_bench::CATALOG_SEED));
+    let ev = evaluate_multifault(&model, &mf);
+    let mut text = String::from("== Extension: multi-problem sessions (two concurrent faults, §9) ==
+");
+    let _ = writeln!(
+        text,
+        "degraded sessions: {}  blamed-one-of-two: {} ({:.0}%)  missed: {}",
+        ev.total,
+        ev.hit_either,
+        if ev.total > 0 { 100.0 * ev.hit_either as f64 / ev.total as f64 } else { 0.0 },
+        ev.missed
+    );
+    for (fault, k) in &ev.winners {
+        let _ = writeln!(text, "   wins: {fault:<20} {k}");
+    }
+    // Iterative RCA.
+    let cut = runs.len() * 2 / 3;
+    let (train, test) = runs.split_at(cut);
+    let rca = IterativeRca::train(train, &DiagnoserConfig::default());
+    let cm_iter = rca.evaluate(test);
+    let loc = to_dataset(train, LabelScheme::Location);
+    let full = Diagnoser::train(&loc, &DiagnoserConfig::default());
+    let cm_full = eval_transfer(&full, test, LabelScheme::Location, None);
+    let _ = writeln!(text, "
+== Extension: iterative RCA (one-bit collaboration, §7) ==");
+    let _ = writeln!(
+        text,
+        "   pooled combined model: {:.1}%   iterative verdicts-only: {:.1}%  (n={})",
+        cm_full.accuracy() * 100.0,
+        cm_iter.accuracy() * 100.0,
+        cm_iter.total()
+    );
+    emit_section("extensions", &text);
+    out.push_str(&text);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
+    let mut md = String::from(
+        "# EXPERIMENTS — measured reproduction output\n\n\
+         Generated by `cargo run --release -p vqd-bench --bin repro`.\n\
+         Corpus sizes are controlled by `VQD_SESSIONS` / `VQD_FULL=1`.\n\n```text\n",
+    );
+    let sections: [(&str, fn(&mut String)); 13] = [
+        ("table1", table1_section),
+        ("fig3", fig3),
+        ("sec52", sec52),
+        ("fig4", fig4),
+        ("table4", table4_section),
+        ("fig5", fig5),
+        ("fig6", fig6),
+        ("fig7", fig7),
+        ("fig8", fig8),
+        ("fig9", fig9),
+        ("table5", table5),
+        ("ablations", ablations),
+        ("extensions", extensions),
+    ];
+    for (name, f) in sections {
+        if want(name) {
+            eprintln!("[repro] {name}...");
+            f(&mut md);
+            md.push('\n');
+        }
+    }
+    md.push_str("```\n");
+    if args.is_empty() {
+        std::fs::write("EXPERIMENTS.md", &md).ok();
+        eprintln!("[repro] wrote EXPERIMENTS.md");
+    }
+}

@@ -1,0 +1,299 @@
+//! # vqd-bench — experiment harnesses
+//!
+//! One bench target per table/figure of the paper (see `benches/`),
+//! plus Criterion micro-benchmarks of the substrates. This library
+//! holds the shared plumbing: corpus generation with an on-disk cache
+//! (the three corpora are reused by many targets), a tiny text
+//! serialisation for labelled runs, and result-section output used to
+//! assemble `EXPERIMENTS.md`.
+//!
+//! Scale knobs (environment variables):
+//!
+//! * `VQD_SESSIONS` — controlled-corpus size (default 900),
+//! * `VQD_FULL=1` — paper-scale corpora (3919 / 2619 / 3495 sessions),
+//! * `VQD_CACHE_DIR` — cache directory (default `target/vqd-cache`).
+
+use std::fs;
+use std::path::PathBuf;
+
+use vqd_core::dataset::{generate_corpus, CorpusConfig, LabeledRun};
+use vqd_core::realworld::{generate_induced, generate_wild, Access, RealWorldConfig, RwRun, Service};
+use vqd_core::scenario::GroundTruth;
+use vqd_faults::FaultKind;
+use vqd_video::catalog::Catalog;
+use vqd_video::QoeClass;
+
+/// The catalogue seed shared by every experiment.
+pub const CATALOG_SEED: u64 = 42;
+
+/// Paper-scale controlled dataset size (§5).
+pub const PAPER_CONTROLLED: usize = 3919;
+/// §6.1 dataset size.
+pub const PAPER_INDUCED: usize = 2619;
+/// §6.2 dataset size.
+pub const PAPER_WILD: usize = 3495;
+
+fn full_scale() -> bool {
+    std::env::var("VQD_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Controlled-corpus size honouring the env knobs.
+pub fn controlled_sessions() -> usize {
+    if full_scale() {
+        return PAPER_CONTROLLED;
+    }
+    std::env::var("VQD_SESSIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(900)
+}
+
+/// §6.1 corpus size.
+pub fn induced_sessions() -> usize {
+    if full_scale() {
+        PAPER_INDUCED
+    } else {
+        (controlled_sessions() * 2) / 3
+    }
+}
+
+/// §6.2 corpus size.
+pub fn wild_sessions() -> usize {
+    if full_scale() {
+        PAPER_WILD
+    } else {
+        (controlled_sessions() * 3) / 4
+    }
+}
+
+fn cache_dir() -> PathBuf {
+    let p = std::env::var("VQD_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/vqd-cache"));
+    fs::create_dir_all(&p).ok();
+    p
+}
+
+// ---------------------------------------------------------------------
+// Text serialisation of labelled runs (cache format)
+// ---------------------------------------------------------------------
+
+fn fault_from_name(name: &str) -> FaultKind {
+    FaultKind::ALL
+        .iter()
+        .copied()
+        .find(|f| f.name() == name)
+        .unwrap_or(FaultKind::None)
+}
+
+fn qoe_from_name(name: &str) -> QoeClass {
+    match name {
+        "mild" => QoeClass::Mild,
+        "severe" => QoeClass::Severe,
+        _ => QoeClass::Good,
+    }
+}
+
+/// Serialise runs to the cache format (one line per run).
+pub fn runs_to_text(runs: &[LabeledRun]) -> String {
+    let mut s = String::new();
+    for r in runs {
+        s.push_str(r.truth.fault.name());
+        s.push('\t');
+        s.push_str(r.truth.qoe.name());
+        for (n, v) in &r.metrics {
+            s.push('\t');
+            s.push_str(n);
+            s.push('=');
+            s.push_str(&format!("{v:?}"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Parse the cache format back into runs.
+pub fn runs_from_text(text: &str) -> Vec<LabeledRun> {
+    text.lines()
+        .filter(|l| !l.is_empty())
+        .map(|line| {
+            let mut parts = line.split('\t');
+            let fault = fault_from_name(parts.next().unwrap_or("none"));
+            let qoe = qoe_from_name(parts.next().unwrap_or("good"));
+            let metrics = parts
+                .filter_map(|kv| {
+                    let (k, v) = kv.split_once('=')?;
+                    Some((k.to_string(), v.parse::<f64>().ok()?))
+                })
+                .collect();
+            LabeledRun { metrics, truth: GroundTruth { fault, qoe } }
+        })
+        .collect()
+}
+
+fn cached<T>(
+    key: &str,
+    to_text: impl Fn(&T) -> String,
+    from_text: impl Fn(&str) -> T,
+    generate: impl FnOnce() -> T,
+) -> T {
+    let path = cache_dir().join(format!("{key}.tsv"));
+    if let Ok(text) = fs::read_to_string(&path) {
+        if !text.is_empty() {
+            return from_text(&text);
+        }
+    }
+    let value = generate();
+    fs::write(&path, to_text(&value)).ok();
+    value
+}
+
+/// The controlled training corpus (Section 4/5), cached on disk.
+pub fn controlled_runs() -> Vec<LabeledRun> {
+    let sessions = controlled_sessions();
+    cached(
+        &format!("controlled-{sessions}"),
+        |r| runs_to_text(r),
+        runs_from_text,
+        || {
+            eprintln!("[vqd-bench] simulating {sessions} controlled sessions...");
+            let cfg = CorpusConfig {
+                sessions,
+                seed: 2015_12_01,
+                p_fault: 0.5,
+                p_mobile_wan: 0.3,
+                ..Default::default()
+            };
+            generate_corpus(&cfg, &Catalog::top100(CATALOG_SEED))
+        },
+    )
+}
+
+fn rwruns_to_text(runs: &[RwRun]) -> String {
+    let mut s = String::new();
+    for r in runs {
+        let access = match r.access {
+            Access::Wifi => "wifi",
+            Access::Cellular => "cell",
+        };
+        let service = match r.service {
+            Service::Private => "private",
+            Service::Youtube => "youtube",
+        };
+        s.push_str(access);
+        s.push('\t');
+        s.push_str(service);
+        s.push('\t');
+        s.push_str(&runs_to_text(std::slice::from_ref(&r.run)));
+    }
+    s
+}
+
+fn rwruns_from_text(text: &str) -> Vec<RwRun> {
+    text.lines()
+        .filter(|l| !l.is_empty())
+        .map(|line| {
+            let (access, rest) = line.split_once('\t').unwrap_or(("wifi", line));
+            let (service, rest) = rest.split_once('\t').unwrap_or(("private", rest));
+            let run = runs_from_text(rest).pop().unwrap_or(LabeledRun {
+                metrics: Vec::new(),
+                truth: GroundTruth { fault: FaultKind::None, qoe: QoeClass::Good },
+            });
+            RwRun {
+                run,
+                access: if access == "cell" { Access::Cellular } else { Access::Wifi },
+                service: if service == "youtube" { Service::Youtube } else { Service::Private },
+            }
+        })
+        .collect()
+}
+
+/// The §6.1 corporate-WiFi induced-fault corpus, cached.
+pub fn induced_runs() -> Vec<RwRun> {
+    let sessions = induced_sessions();
+    cached(
+        &format!("induced-{sessions}"),
+        |r| rwruns_to_text(r),
+        rwruns_from_text,
+        || {
+            eprintln!("[vqd-bench] simulating {sessions} induced real-world sessions...");
+            let cfg = RealWorldConfig { sessions, seed: 2015_06_01, threads: 0 };
+            generate_induced(&cfg, &Catalog::top100(CATALOG_SEED))
+        },
+    )
+}
+
+/// The §6.2 in-the-wild corpus, cached.
+pub fn wild_runs() -> Vec<RwRun> {
+    let sessions = wild_sessions();
+    cached(
+        &format!("wild-{sessions}"),
+        |r| rwruns_to_text(r),
+        rwruns_from_text,
+        || {
+            eprintln!("[vqd-bench] simulating {sessions} in-the-wild sessions...");
+            let cfg = RealWorldConfig { sessions, seed: 2015_07_01, threads: 0 };
+            generate_wild(&cfg, &Catalog::top100(CATALOG_SEED))
+        },
+    )
+}
+
+/// Write one experiment's text output both to stdout and to
+/// `target/vqd-results/<name>.txt` (collected into `EXPERIMENTS.md` by
+/// the `repro` binary).
+pub fn emit_section(name: &str, text: &str) {
+    println!("{text}");
+    let dir = PathBuf::from(
+        std::env::var("VQD_RESULTS_DIR").unwrap_or_else(|_| "target/vqd-results".into()),
+    );
+    fs::create_dir_all(&dir).ok();
+    fs::write(dir.join(format!("{name}.txt")), text).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_serialisation_round_trips() {
+        let runs = vec![LabeledRun {
+            metrics: vec![
+                ("mobile.hw.cpu_avg".into(), 0.12345678901234567),
+                ("a.b".into(), f64::NAN),
+            ],
+            truth: GroundTruth { fault: FaultKind::LowRssi, qoe: QoeClass::Mild },
+        }];
+        let text = runs_to_text(&runs);
+        let back = runs_from_text(&text);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].truth.fault, FaultKind::LowRssi);
+        assert_eq!(back[0].truth.qoe, QoeClass::Mild);
+        assert_eq!(back[0].metrics[0].0, "mobile.hw.cpu_avg");
+        assert_eq!(back[0].metrics[0].1, 0.12345678901234567);
+        assert!(back[0].metrics[1].1.is_nan());
+    }
+
+    #[test]
+    fn rwrun_serialisation_round_trips() {
+        let runs = vec![RwRun {
+            run: LabeledRun {
+                metrics: vec![("m.x".into(), -1.5)],
+                truth: GroundTruth { fault: FaultKind::None, qoe: QoeClass::Severe },
+            },
+            access: Access::Cellular,
+            service: Service::Youtube,
+        }];
+        let text = rwruns_to_text(&runs);
+        let back = rwruns_from_text(&text);
+        assert_eq!(back[0].access, Access::Cellular);
+        assert_eq!(back[0].service, Service::Youtube);
+        assert_eq!(back[0].run.truth.qoe, QoeClass::Severe);
+        assert_eq!(back[0].run.metrics[0].1, -1.5);
+    }
+
+    #[test]
+    fn scale_knobs_default() {
+        if std::env::var("VQD_FULL").is_err() && std::env::var("VQD_SESSIONS").is_err() {
+            assert_eq!(controlled_sessions(), 900);
+            assert_eq!(induced_sessions(), 600);
+            assert_eq!(wild_sessions(), 675);
+        }
+    }
+}

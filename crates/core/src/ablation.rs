@@ -1,0 +1,177 @@
+//! Ablation studies of the design choices the paper argues for.
+//!
+//! * [`classifier_comparison`] — C4.5 vs Naive Bayes vs linear SVM
+//!   (Section 3.2: "Decision Trees outperformed other algorithms like
+//!   Naive Bayes and Support Vector Machines which we also evaluated").
+//! * [`pipeline_ablation`] — FC / FS on and off in all four
+//!   combinations (complements Figure 5).
+//! * [`pruning_ablation`] — pruned vs unpruned C4.5: accuracy and
+//!   model size (interpretability is one of the paper's reasons to
+//!   pick C4.5).
+
+use vqd_features::FeatureConstructor;
+use vqd_ml::cv::{cross_validate, NbLearner, SvmLearner};
+use vqd_ml::dtree::{C45Config, C45Trainer};
+
+use crate::dataset::{to_dataset, LabeledRun};
+use crate::diagnoser::{Diagnoser, DiagnoserConfig};
+use crate::scenario::LabelScheme;
+
+/// One ablation row.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant name.
+    pub name: String,
+    /// 10-fold CV accuracy.
+    pub accuracy: f64,
+    /// Macro precision.
+    pub precision: f64,
+    /// Macro recall.
+    pub recall: f64,
+    /// Auxiliary size metric (tree nodes, features, …), if meaningful.
+    pub size: Option<usize>,
+}
+
+/// Compare the three classifiers on the FC+FS-prepared feature space.
+pub fn classifier_comparison(runs: &[LabeledRun], scheme: LabelScheme, seed: u64) -> Vec<AblationRow> {
+    let raw = to_dataset(runs, scheme);
+    let constructed = FeatureConstructor::fit(&raw).transform(&raw);
+    let sel = vqd_features::fcbf(&constructed, 0.01);
+    let data = if sel.names.is_empty() {
+        constructed
+    } else {
+        constructed.select_features(&sel.names)
+    };
+
+    let mut out = Vec::new();
+    let c45 = cross_validate(&C45Trainer::default(), &data, 10, seed);
+    out.push(AblationRow {
+        name: "C4.5 (J48)".into(),
+        accuracy: c45.accuracy(),
+        precision: c45.macro_precision(),
+        recall: c45.macro_recall(),
+        size: None,
+    });
+    let nb = cross_validate(&NbLearner, &data, 10, seed);
+    out.push(AblationRow {
+        name: "Naive Bayes".into(),
+        accuracy: nb.accuracy(),
+        precision: nb.macro_precision(),
+        recall: nb.macro_recall(),
+        size: None,
+    });
+    let svm = cross_validate(&SvmLearner::default(), &data, 10, seed);
+    out.push(AblationRow {
+        name: "Linear SVM".into(),
+        accuracy: svm.accuracy(),
+        precision: svm.macro_precision(),
+        recall: svm.macro_recall(),
+        size: None,
+    });
+    out
+}
+
+/// FC/FS pipeline ablation (2×2).
+pub fn pipeline_ablation(runs: &[LabeledRun], scheme: LabelScheme, seed: u64) -> Vec<AblationRow> {
+    let raw = to_dataset(runs, scheme);
+    let mut out = Vec::new();
+    for (use_fc, use_fs) in [(false, false), (true, false), (false, true), (true, true)] {
+        let cfg = DiagnoserConfig { use_fc, use_fs, ..Default::default() };
+        let cm = Diagnoser::cross_validate(&raw, &cfg, 10, seed);
+        let model = Diagnoser::train(&raw, &cfg);
+        out.push(AblationRow {
+            name: format!(
+                "FC={} FS={}",
+                if use_fc { "on " } else { "off" },
+                if use_fs { "on " } else { "off" }
+            ),
+            accuracy: cm.accuracy(),
+            precision: cm.macro_precision(),
+            recall: cm.macro_recall(),
+            size: Some(model.feature_names.len()),
+        });
+    }
+    out
+}
+
+/// Pruned vs unpruned C4.5 on the full pipeline.
+pub fn pruning_ablation(runs: &[LabeledRun], scheme: LabelScheme, seed: u64) -> Vec<AblationRow> {
+    let raw = to_dataset(runs, scheme);
+    let mut out = Vec::new();
+    for (name, unpruned) in [("pruned (CF 0.25)", false), ("unpruned", true)] {
+        let cfg = DiagnoserConfig {
+            tree: C45Config { unpruned, ..Default::default() },
+            ..Default::default()
+        };
+        let cm = Diagnoser::cross_validate(&raw, &cfg, 10, seed);
+        let model = Diagnoser::train(&raw, &cfg);
+        out.push(AblationRow {
+            name: name.into(),
+            accuracy: cm.accuracy(),
+            precision: cm.macro_precision(),
+            recall: cm.macro_recall(),
+            size: Some(model.tree().size()),
+        });
+    }
+    out
+}
+
+/// Render ablation rows.
+pub fn render_ablation(title: &str, rows: &[AblationRow]) -> String {
+    let mut s = format!("== {title} ==\n");
+    s.push_str("   variant            accuracy  precision  recall   size\n");
+    for r in rows {
+        s.push_str(&format!(
+            "   {:<18} {:>7.1}%  {:>9.2}  {:>6.2}  {}\n",
+            r.name,
+            r.accuracy * 100.0,
+            r.precision,
+            r.recall,
+            r.size.map(|n| n.to_string()).unwrap_or_else(|| "-".into())
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_corpus, CorpusConfig};
+    use vqd_video::catalog::Catalog;
+
+    fn corpus() -> Vec<LabeledRun> {
+        let cfg = CorpusConfig { sessions: 80, seed: 424, p_fault: 0.7, ..Default::default() };
+        generate_corpus(&cfg, &Catalog::top100(42))
+    }
+
+    #[test]
+    fn classifier_comparison_runs_all_three() {
+        let runs = corpus();
+        let rows = classifier_comparison(&runs, LabelScheme::Existence, 1);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.accuracy > 0.3, "{}: {}", r.name, r.accuracy);
+        }
+        let text = render_ablation("x", &rows);
+        assert!(text.contains("C4.5"));
+    }
+
+    #[test]
+    fn pipeline_ablation_covers_grid() {
+        let runs = corpus();
+        let rows = pipeline_ablation(&runs, LabelScheme::Existence, 1);
+        assert_eq!(rows.len(), 4);
+        // FS reduces the feature count.
+        let full = rows[1].size.unwrap(); // FC on, FS off
+        let fs = rows[3].size.unwrap(); // FC on, FS on
+        assert!(fs < full, "fs {fs} full {full}");
+    }
+
+    #[test]
+    fn pruning_shrinks_model() {
+        let runs = corpus();
+        let rows = pruning_ablation(&runs, LabelScheme::Existence, 1);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].size.unwrap() <= rows[1].size.unwrap());
+    }
+}

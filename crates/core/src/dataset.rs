@@ -1,0 +1,196 @@
+//! Ground-truth dataset generation (Section 4 of the paper).
+//!
+//! Iterates fault scenarios over the controlled testbed to produce the
+//! labelled corpus: most sessions fault-free or lightly faulted
+//! (yielding the paper's ~80 % *good* share), the rest spread across
+//! the seven fault classes at random intensities. Sessions run in
+//! parallel across OS threads — each simulation is single-threaded and
+//! deterministic, so the corpus is reproducible regardless of thread
+//! count.
+
+use std::sync::Mutex;
+
+use vqd_faults::{FaultKind, FaultPlan};
+use vqd_ml::{Dataset, DatasetBuilder};
+use vqd_simnet::rng::SimRng;
+use vqd_video::catalog::Catalog;
+
+use crate::realworld::{run_realworld_session, Access, RwSpec, Service};
+use crate::scenario::{class_id, class_names, GroundTruth, LabelScheme};
+use crate::testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    /// Number of sessions to simulate.
+    pub sessions: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Probability a session gets an induced fault.
+    pub p_fault: f64,
+    /// Probability the WAN uses the cellular profile (else DSL).
+    pub p_mobile_wan: f64,
+    /// Probability the phone is docked on a *direct* cellular link
+    /// (no WLAN, no router VP) — the testbed's equivalent of the
+    /// paper's tc-simulated mobile access, needed so the lab corpus
+    /// covers the access technology the wild deployment sees.
+    pub p_cellular: f64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            sessions: 400,
+            seed: 20150101,
+            p_fault: 0.5,
+            p_mobile_wan: 0.3,
+            p_cellular: 0.2,
+            threads: 0,
+        }
+    }
+}
+
+/// One labelled training instance.
+#[derive(Debug, Clone)]
+pub struct LabeledRun {
+    /// Raw probe metrics.
+    pub metrics: Vec<(String, f64)>,
+    /// Ground truth.
+    pub truth: GroundTruth,
+}
+
+impl From<SessionOutcome> for LabeledRun {
+    fn from(o: SessionOutcome) -> Self {
+        LabeledRun { metrics: o.metrics, truth: o.truth }
+    }
+}
+
+/// One corpus session: either the WiFi testbed or the cellular dock.
+#[derive(Debug, Clone, Copy)]
+pub enum CorpusSpec {
+    /// Full testbed (Figure 2): phone on the WLAN behind the router.
+    Lab(SessionSpec),
+    /// Phone docked directly on a shaped cellular link (no WLAN).
+    Cellular(RwSpec),
+}
+
+/// Draw the session specs for a corpus (deterministic in the seed).
+pub fn draw_specs(cfg: &CorpusConfig) -> Vec<CorpusSpec> {
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    (0..cfg.sessions)
+        .map(|i| {
+            let fault = if rng.chance(cfg.p_fault) {
+                let kind = FaultKind::ALL[rng.index(FaultKind::ALL.len())];
+                FaultPlan::sample(kind, &mut rng)
+            } else {
+                FaultPlan::none()
+            };
+            let seed = cfg.seed ^ (0x9E37_79B9 * (i as u64 + 1));
+            let background = rng.range_f64(0.1, 0.8);
+            let wan =
+                if rng.chance(cfg.p_mobile_wan) { WanProfile::Mobile } else { WanProfile::Dsl };
+            if rng.chance(cfg.p_cellular) {
+                CorpusSpec::Cellular(RwSpec {
+                    seed,
+                    access: Access::Cellular,
+                    service: Service::Private,
+                    fault,
+                    background,
+                    corporate: false,
+                })
+            } else {
+                CorpusSpec::Lab(SessionSpec { seed, fault, background, wan })
+            }
+        })
+        .collect()
+}
+
+fn run_spec(spec: &CorpusSpec, catalog: &Catalog) -> SessionOutcome {
+    match spec {
+        CorpusSpec::Lab(s) => run_controlled_session(s, catalog),
+        CorpusSpec::Cellular(s) => run_realworld_session(s, catalog),
+    }
+}
+
+/// Simulate the corpus, in parallel.
+pub fn generate_corpus(cfg: &CorpusConfig, catalog: &Catalog) -> Vec<LabeledRun> {
+    let specs = draw_specs(cfg);
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        cfg.threads
+    };
+    let results: Mutex<Vec<Option<LabeledRun>>> = Mutex::new(vec![None; specs.len()]);
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(specs.len().max(1)) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let out = run_spec(&specs[i], catalog);
+                results.lock().unwrap()[i] = Some(out.into());
+            });
+        }
+    });
+    results.into_inner().unwrap().into_iter().map(|r| r.expect("session ran")).collect()
+}
+
+/// Assemble runs into an ML dataset under a label scheme.
+pub fn to_dataset(runs: &[LabeledRun], scheme: LabelScheme) -> Dataset {
+    let mut b = DatasetBuilder::new(class_names(scheme));
+    for r in runs {
+        b.push(&r.metrics, class_id(&r.truth, scheme));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqd_video::QoeClass;
+
+    #[test]
+    fn specs_deterministic_and_mixed() {
+        let cfg = CorpusConfig { sessions: 200, ..Default::default() };
+        let a = draw_specs(&cfg);
+        let b = draw_specs(&cfg);
+        assert_eq!(a.len(), 200);
+        let fault_of = |s: &CorpusSpec| match s {
+            CorpusSpec::Lab(x) => x.fault.kind,
+            CorpusSpec::Cellular(x) => x.fault.kind,
+        };
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(fault_of(x), fault_of(y));
+        }
+        let faulted = a.iter().filter(|s| fault_of(s) != FaultKind::None).count();
+        assert!((60..=140).contains(&faulted), "faulted {faulted}");
+        let docked = a
+            .iter()
+            .filter(|s| matches!(s, CorpusSpec::Cellular(_)))
+            .count();
+        assert!(docked > 15 && docked < 90, "docked {docked}");
+    }
+
+    #[test]
+    fn small_corpus_end_to_end() {
+        let cfg = CorpusConfig { sessions: 12, seed: 5, p_fault: 0.6, ..Default::default() };
+        let catalog = Catalog::top100(7);
+        let runs = generate_corpus(&cfg, &catalog);
+        assert_eq!(runs.len(), 12);
+        // Every run produced metrics (cellular-dock sessions carry
+        // two probes, WiFi testbed sessions three).
+        for r in &runs {
+            assert!(r.metrics.len() > 150, "metrics {}", r.metrics.len());
+        }
+        // At least one good session exists in a small sample.
+        assert!(runs.iter().any(|r| r.truth.qoe == QoeClass::Good));
+        let d = to_dataset(&runs, LabelScheme::Exact);
+        assert_eq!(d.len(), 12);
+        assert!(d.n_features() > 200);
+        assert_eq!(d.classes.len(), 17);
+    }
+}

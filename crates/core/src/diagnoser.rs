@@ -1,0 +1,385 @@
+//! The public diagnosis API: train a root-cause model, diagnose
+//! sessions.
+//!
+//! [`Diagnoser::train`] runs the paper's full pipeline — feature
+//! construction, FCBF feature selection, C4.5 — on a raw labelled
+//! dataset; [`Diagnoser::diagnose`] maps one session's raw probe
+//! metrics (from any subset of vantage points) to a class label.
+//! Missing vantage points simply produce missing features, which the
+//! tree handles natively.
+
+use vqd_features::{fcbf, FeatureConstructor};
+use vqd_ml::dataset::Dataset;
+use vqd_ml::dtree::{C45Config, C45Trainer, DecisionTree};
+use vqd_ml::metrics::ConfusionMatrix;
+use vqd_simnet::rng::SimRng;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DiagnoserConfig {
+    /// Apply feature construction (normalisation).
+    pub use_fc: bool,
+    /// Apply FCBF feature selection.
+    pub use_fs: bool,
+    /// Minimum SU with the class for FCBF relevance.
+    pub fcbf_delta: f64,
+    /// C4.5 settings.
+    pub tree: C45Config,
+}
+
+impl Default for DiagnoserConfig {
+    fn default() -> Self {
+        DiagnoserConfig {
+            use_fc: true,
+            use_fs: true,
+            fcbf_delta: 0.01,
+            tree: C45Config::default(),
+        }
+    }
+}
+
+/// A trained root-cause diagnosis model.
+pub struct Diagnoser {
+    constructor: Option<FeatureConstructor>,
+    /// Post-FC, post-FS feature schema the tree expects.
+    pub feature_names: Vec<String>,
+    /// Class names.
+    pub classes: Vec<String>,
+    tree: DecisionTree,
+}
+
+/// One diagnosis.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// Predicted class name (e.g. `"wifi_interference_severe"`).
+    pub label: String,
+    /// Predicted class index.
+    pub class: usize,
+    /// Class probability distribution.
+    pub dist: Vec<f64>,
+}
+
+impl Diagnoser {
+    /// Prepare a raw dataset through FC + FS, returning the prepared
+    /// dataset and the fitted constructor.
+    fn prepare(
+        raw: &Dataset,
+        cfg: &DiagnoserConfig,
+    ) -> (Dataset, Option<FeatureConstructor>) {
+        let (data, constructor) = if cfg.use_fc {
+            let c = FeatureConstructor::fit(raw);
+            (c.transform(raw), Some(c))
+        } else {
+            (raw.clone(), None)
+        };
+        let data = if cfg.use_fs {
+            // Global FCBF plus a per-vantage-point pass, unioned: the
+            // global pass alone tends to keep one VP's copy of a
+            // correlated metric and discard the others', which would
+            // leave the remaining entities unable to diagnose alone —
+            // contradicting the paper's per-entity independence (its
+            // Table 1 likewise retains per-VP variants such as mobile,
+            // router *and* server RTT).
+            let mut names = fcbf(&data, cfg.fcbf_delta).names;
+            let vps: std::collections::BTreeSet<String> = data
+                .features
+                .iter()
+                .filter_map(|n| n.split('.').next().map(str::to_string))
+                .collect();
+            for vp in vps {
+                let sub = data.select_features_by(|n| n.starts_with(&vp));
+                for n in fcbf(&sub, cfg.fcbf_delta).names {
+                    if !names.contains(&n) {
+                        names.push(n);
+                    }
+                }
+            }
+            if names.is_empty() {
+                data
+            } else {
+                data.select_features(&names)
+            }
+        } else {
+            data
+        };
+        (data, constructor)
+    }
+
+    /// Train on a raw labelled dataset.
+    pub fn train(raw: &Dataset, cfg: &DiagnoserConfig) -> Diagnoser {
+        let (data, constructor) = Self::prepare(raw, cfg);
+        let rows: Vec<usize> = (0..data.len()).collect();
+        let tree = C45Trainer { cfg: cfg.tree }.fit(&data, &rows);
+        Diagnoser {
+            constructor,
+            feature_names: data.features.clone(),
+            classes: data.classes.clone(),
+            tree,
+        }
+    }
+
+    /// The selected features (post-FS schema) — the paper's Table 1.
+    pub fn selected_features(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// The underlying decision tree (interpretable — Section 3.2).
+    pub fn tree(&self) -> &DecisionTree {
+        &self.tree
+    }
+
+    /// Build the tree-space row for raw instance metrics.
+    fn row_for(&self, metrics: &[(String, f64)]) -> Vec<f64> {
+        let transformed;
+        let view: &[(String, f64)] = match &self.constructor {
+            Some(c) => {
+                transformed = c.transform_instance(metrics);
+                &transformed
+            }
+            None => metrics,
+        };
+        self.feature_names
+            .iter()
+            .map(|name| {
+                view.iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(f64::NAN)
+            })
+            .collect()
+    }
+
+    /// Diagnose one session from raw probe metrics (any VP subset).
+    pub fn diagnose(&self, metrics: &[(String, f64)]) -> Diagnosis {
+        let row = self.row_for(metrics);
+        let mut dist = self.tree.predict_dist(&row);
+        let total: f64 = dist.iter().sum();
+        if total > 0.0 {
+            for d in &mut dist {
+                *d /= total;
+            }
+        }
+        let class = dist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        Diagnosis { label: self.classes[class].clone(), class, dist }
+    }
+
+    /// Serialise the whole diagnoser (pipeline flags + tree) to a
+    /// dependency-free text format.
+    pub fn serialize(&self) -> String {
+        let mut s = String::from("vqd-diagnoser v1\n");
+        s.push_str(&format!("fc\t{}\n", self.constructor.is_some()));
+        s.push_str(&self.tree.serialize());
+        s
+    }
+
+    /// Load a diagnoser serialised with [`Diagnoser::serialize`].
+    pub fn deserialize(text: &str) -> Result<Diagnoser, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("vqd-diagnoser v1") => {}
+            other => return Err(format!("bad header: {other:?}")),
+        }
+        let fc = match lines.next() {
+            Some("fc\ttrue") => true,
+            Some("fc\tfalse") => false,
+            other => return Err(format!("bad fc line: {other:?}")),
+        };
+        let rest: String = lines.collect::<Vec<_>>().join("\n");
+        let tree = DecisionTree::deserialize(&rest)?;
+        Ok(Diagnoser {
+            constructor: fc.then(FeatureConstructor::default),
+            feature_names: tree.feature_names.clone(),
+            classes: tree.class_names.clone(),
+            tree,
+        })
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.serialize())
+    }
+
+    /// Load from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Diagnoser, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Self::deserialize(&text)
+    }
+
+    /// Evaluate this trained model on an independent raw dataset
+    /// (classes must match by name; extra/missing feature columns are
+    /// handled by name alignment).
+    pub fn evaluate(&self, raw: &Dataset) -> ConfusionMatrix {
+        let mut cm = ConfusionMatrix::new(self.classes.clone());
+        for i in 0..raw.len() {
+            let metrics: Vec<(String, f64)> = raw
+                .features
+                .iter()
+                .cloned()
+                .zip(raw.x[i].iter().copied())
+                .filter(|(_, v)| !v.is_nan())
+                .collect();
+            let d = self.diagnose(&metrics);
+            // Align class by name.
+            let actual_name = &raw.classes[raw.y[i]];
+            let actual = self
+                .classes
+                .iter()
+                .position(|c| c == actual_name)
+                .unwrap_or(0);
+            cm.add(actual, d.class);
+        }
+        cm
+    }
+
+    /// 10-fold (or k-fold) cross-validation of the full pipeline on a
+    /// raw dataset: FC/FS are fitted once on the full data (as the
+    /// paper does with Weka), the tree is cross-validated.
+    pub fn cross_validate(
+        raw: &Dataset,
+        cfg: &DiagnoserConfig,
+        k: usize,
+        seed: u64,
+    ) -> ConfusionMatrix {
+        let (data, _) = Self::prepare(raw, cfg);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let folds = data.stratified_folds(k, &mut rng);
+        let mut cm = ConfusionMatrix::new(data.classes.clone());
+        for held in 0..k {
+            let train: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != held)
+                .flat_map(|(_, f)| f.iter().copied())
+                .collect();
+            if train.is_empty() {
+                continue;
+            }
+            let tree = C45Trainer { cfg: cfg.tree }.fit(&data, &train);
+            for &r in &folds[held] {
+                cm.add(data.y[r], tree.predict(&data.x[r]));
+            }
+        }
+        cm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic "raw probe metrics" with the naming shape of real
+    /// ones: rssi drives the class, retx is its redundant echo, plus
+    /// count columns that need normalisation.
+    fn synthetic(n: usize, seed: u64) -> Dataset {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut d = Dataset::new(
+            vec![
+                "mobile.phy.rssi_avg".into(),
+                "mobile.tcp.s2c.retx_pkts".into(),
+                "mobile.tcp.total_pkts".into(),
+                "mobile.tcp.total_data_bytes".into(),
+                "mobile.hw.cpu_avg".into(),
+            ],
+            vec!["good".into(), "low_rssi_severe".into()],
+        );
+        for _ in 0..n {
+            let c = rng.index(2);
+            let rssi = if c == 0 { rng.normal(-50.0, 4.0) } else { rng.normal(-85.0, 4.0) };
+            let pkts = rng.range_f64(500.0, 5000.0);
+            let retx_rate = if c == 0 { 0.005 } else { 0.08 };
+            d.push(
+                vec![rssi, pkts * retx_rate, pkts, pkts * 1400.0, rng.range_f64(0.1, 0.5)],
+                c,
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn train_and_diagnose() {
+        let d = synthetic(400, 1);
+        let model = Diagnoser::train(&d, &DiagnoserConfig::default());
+        let good = model.diagnose(&[
+            ("mobile.phy.rssi_avg".into(), -48.0),
+            ("mobile.tcp.s2c.retx_pkts".into(), 4.0),
+            ("mobile.tcp.total_pkts".into(), 1000.0),
+            ("mobile.tcp.total_data_bytes".into(), 1.4e6),
+            ("mobile.hw.cpu_avg".into(), 0.3),
+        ]);
+        assert_eq!(good.label, "good");
+        let bad = model.diagnose(&[
+            ("mobile.phy.rssi_avg".into(), -88.0),
+            ("mobile.tcp.s2c.retx_pkts".into(), 90.0),
+            ("mobile.tcp.total_pkts".into(), 1000.0),
+            ("mobile.tcp.total_data_bytes".into(), 1.4e6),
+            ("mobile.hw.cpu_avg".into(), 0.3),
+        ]);
+        assert_eq!(bad.label, "low_rssi_severe");
+        assert!(bad.dist[bad.class] > 0.5);
+    }
+
+    #[test]
+    fn missing_vantage_point_still_diagnoses() {
+        let d = synthetic(400, 2);
+        let model = Diagnoser::train(&d, &DiagnoserConfig::default());
+        // No RSSI available at all (server-only view).
+        let dx = model.diagnose(&[
+            ("mobile.tcp.s2c.retx_pkts".into(), 90.0),
+            ("mobile.tcp.total_pkts".into(), 1000.0),
+            ("mobile.tcp.total_data_bytes".into(), 1.4e6),
+        ]);
+        assert!(dx.class < 2);
+    }
+
+    #[test]
+    fn cross_validation_accuracy() {
+        let d = synthetic(400, 3);
+        let cm = Diagnoser::cross_validate(&d, &DiagnoserConfig::default(), 10, 1);
+        assert!(cm.accuracy() > 0.9, "acc {}", cm.accuracy());
+        assert_eq!(cm.total(), 400);
+    }
+
+    #[test]
+    fn fs_reduces_schema() {
+        let d = synthetic(500, 4);
+        let with_fs = Diagnoser::train(&d, &DiagnoserConfig::default());
+        let without =
+            Diagnoser::train(&d, &DiagnoserConfig { use_fs: false, ..Default::default() });
+        assert!(with_fs.feature_names.len() <= without.feature_names.len());
+        assert!(with_fs.feature_names.len() <= 3, "{:?}", with_fs.feature_names);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let d = synthetic(300, 8);
+        let model = Diagnoser::train(&d, &DiagnoserConfig::default());
+        let text = model.serialize();
+        let back = Diagnoser::deserialize(&text).unwrap();
+        assert_eq!(back.classes, model.classes);
+        assert_eq!(back.feature_names, model.feature_names);
+        let probe = vec![
+            ("mobile.phy.rssi_avg".to_string(), -85.0),
+            ("mobile.tcp.s2c.retx_pkts".to_string(), 80.0),
+            ("mobile.tcp.total_pkts".to_string(), 1000.0),
+            ("mobile.tcp.total_data_bytes".to_string(), 1.4e6),
+            ("mobile.hw.cpu_avg".to_string(), 0.3),
+        ];
+        assert_eq!(back.diagnose(&probe).label, model.diagnose(&probe).label);
+        assert!(Diagnoser::deserialize("junk").is_err());
+    }
+
+    #[test]
+    fn evaluate_on_fresh_data() {
+        let train = synthetic(400, 5);
+        let test = synthetic(150, 99);
+        let model = Diagnoser::train(&train, &DiagnoserConfig::default());
+        let cm = model.evaluate(&test);
+        assert_eq!(cm.total(), 150);
+        assert!(cm.accuracy() > 0.9, "acc {}", cm.accuracy());
+    }
+}

@@ -1,0 +1,38 @@
+//! # vqd-core — the video QoE root-cause analysis framework
+//!
+//! The paper's primary contribution, assembled from the substrate
+//! crates: a multi-vantage-point diagnosis system that detects video
+//! QoE problems and identifies their location and exact root cause.
+//!
+//! * [`scenario`] — the label taxonomy (existence / location / exact).
+//! * [`testbed`] — the controlled testbed (Figure 2) and session runner.
+//! * [`dataset`] — labelled corpus generation (Section 4).
+//! * [`diagnoser`] — the train/diagnose API (FC → FCBF → C4.5).
+//! * [`experiments`] — the Section 5 evaluation drivers (Figs 3–5,
+//!   Tables 1 & 4).
+//! * [`realworld`] — the Section 6 deployments (induced-fault corporate
+//!   WiFi, in-the-wild 3G/WiFi).
+//! * [`ablation`] — classifier/pipeline/pruning ablations.
+//! * [`iterative`] — the Section 7 privacy-preserving iterative RCA
+//!   protocol (one-bit collaboration).
+//! * [`multifault`] — the Section 9 future-work extension: sessions
+//!   with co-occurring problems.
+pub mod ablation;
+pub mod dataset;
+pub mod diagnoser;
+pub mod experiments;
+pub mod iterative;
+pub mod multifault;
+pub mod realworld;
+pub mod scenario;
+pub mod testbed;
+
+pub use dataset::{generate_corpus, to_dataset, CorpusConfig, LabeledRun};
+pub use diagnoser::{Diagnoser, DiagnoserConfig, Diagnosis};
+pub use scenario::{class_names, GroundTruth, LabelScheme};
+pub use ablation::{classifier_comparison, pipeline_ablation, pruning_ablation};
+pub use experiments::{eval_by_vp, feature_set_sweep, table1, table4, VpEval, VP_SETS};
+pub use iterative::IterativeRca;
+pub use multifault::{evaluate_multifault, generate_multifault};
+pub use realworld::{generate_induced, generate_wild, Access, RealWorldConfig, RwRun, Service};
+pub use testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};

@@ -1,0 +1,155 @@
+//! Multi-problem sessions (the paper's stated next step, Section 9:
+//! "extend the list of problems and train the system for multi-problem
+//! detection ... the co-occurrence of problems that jointly affect
+//! video QoE").
+//!
+//! This module generates sessions with **two concurrent faults** and
+//! evaluates how a single-label model behaves on them: does it at
+//! least attribute the session to one of the two true causes, and
+//! which fault "wins" when two compete?
+
+use std::sync::Mutex;
+
+use vqd_faults::{FaultKind, FaultPlan};
+use vqd_simnet::rng::SimRng;
+use vqd_video::catalog::Catalog;
+use vqd_video::QoeClass;
+
+use crate::dataset::LabeledRun;
+use crate::diagnoser::Diagnoser;
+use crate::scenario::LabelScheme;
+use crate::testbed::{run_controlled_session_with, SessionSpec, WanProfile};
+
+/// A two-fault instance with its full truth.
+#[derive(Debug, Clone)]
+pub struct MultiFaultRun {
+    /// Probe metrics + (primary-fault) ground truth.
+    pub run: LabeledRun,
+    /// The two induced faults.
+    pub faults: [FaultKind; 2],
+}
+
+/// Generate `sessions` sessions, each with two distinct concurrent
+/// faults at moderate-to-high intensity.
+pub fn generate_multifault(sessions: usize, seed: u64, catalog: &Catalog) -> Vec<MultiFaultRun> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let specs: Vec<(SessionSpec, FaultPlan, [FaultKind; 2])> = (0..sessions)
+        .map(|i| {
+            let a = FaultKind::ALL[rng.index(FaultKind::ALL.len())];
+            let b = loop {
+                let k = FaultKind::ALL[rng.index(FaultKind::ALL.len())];
+                if k != a {
+                    break k;
+                }
+            };
+            let fa = FaultPlan { kind: a, intensity: rng.range_f64(0.5, 0.95) };
+            let fb = FaultPlan { kind: b, intensity: rng.range_f64(0.5, 0.95) };
+            let spec = SessionSpec {
+                seed: seed ^ (0xC0FF_EE11u64.wrapping_mul(i as u64 + 1)),
+                fault: fa,
+                background: rng.range_f64(0.1, 0.6),
+                wan: WanProfile::Dsl,
+            };
+            (spec, fb, [a, b])
+        })
+        .collect();
+    let results: Mutex<Vec<Option<MultiFaultRun>>> = Mutex::new(vec![None; specs.len()]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(specs.len().max(1)) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let (spec, fb, faults) = &specs[i];
+                let out = run_controlled_session_with(spec, std::slice::from_ref(fb), catalog);
+                results.lock().unwrap()[i] = Some(MultiFaultRun {
+                    run: LabeledRun { metrics: out.metrics, truth: out.truth },
+                    faults: *faults,
+                });
+            });
+        }
+    });
+    results.into_inner().unwrap().into_iter().map(|r| r.expect("ran")).collect()
+}
+
+/// Evaluation summary for multi-fault sessions.
+#[derive(Debug, Clone, Default)]
+pub struct MultiFaultEval {
+    /// Sessions evaluated (problematic only).
+    pub total: usize,
+    /// Predicted fault family matches one of the two induced faults.
+    pub hit_either: usize,
+    /// Predicted "good" despite two induced faults degrading QoE.
+    pub missed: usize,
+    /// Per winning-fault counts: which fault the model blames when the
+    /// pair co-occurs.
+    pub winners: Vec<(String, usize)>,
+}
+
+/// Evaluate a single-label exact-problem model on multi-fault runs.
+pub fn evaluate_multifault(model: &Diagnoser, runs: &[MultiFaultRun]) -> MultiFaultEval {
+    let mut ev = MultiFaultEval::default();
+    let mut winners: std::collections::BTreeMap<String, usize> = Default::default();
+    for r in runs {
+        if r.run.truth.qoe == QoeClass::Good {
+            continue; // both faults too mild to matter
+        }
+        ev.total += 1;
+        let d = model.diagnose(&r.run.metrics);
+        if d.label == "good" {
+            ev.missed += 1;
+            continue;
+        }
+        let family = d.label.rsplit_once('_').map(|x| x.0).unwrap_or(&d.label);
+        if r.faults.iter().any(|f| f.name() == family) {
+            ev.hit_either += 1;
+            *winners.entry(family.to_string()).or_insert(0) += 1;
+        }
+    }
+    ev.winners = winners.into_iter().collect();
+    ev
+}
+
+/// Convenience: label of the multi-fault run under the exact scheme.
+pub fn truth_label(r: &MultiFaultRun) -> String {
+    r.run.truth.label(LabelScheme::Exact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_corpus, to_dataset, CorpusConfig};
+    use crate::diagnoser::DiagnoserConfig;
+
+    #[test]
+    fn multifault_sessions_generate_and_evaluate() {
+        let catalog = Catalog::top100(42);
+        let runs = generate_multifault(12, 777, &catalog);
+        assert_eq!(runs.len(), 12);
+        for r in &runs {
+            assert_ne!(r.faults[0], r.faults[1]);
+            assert!(!r.run.metrics.is_empty());
+        }
+        // Two concurrent moderate-high faults should usually hurt.
+        let bad = runs.iter().filter(|r| r.run.truth.qoe != QoeClass::Good).count();
+        assert!(bad >= 6, "only {bad}/12 sessions degraded");
+
+        let cfg = CorpusConfig { sessions: 100, seed: 31, p_fault: 0.7, ..Default::default() };
+        let corpus = generate_corpus(&cfg, &catalog);
+        let data = to_dataset(&corpus, LabelScheme::Exact);
+        let model = Diagnoser::train(&data, &DiagnoserConfig::default());
+        let ev = evaluate_multifault(&model, &runs);
+        assert_eq!(ev.total, bad);
+        // The single-label model should blame one of the two true
+        // causes reasonably often.
+        assert!(
+            ev.hit_either * 2 >= ev.total,
+            "hit {} of {}",
+            ev.hit_either,
+            ev.total
+        );
+    }
+}

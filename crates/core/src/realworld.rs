@@ -1,0 +1,478 @@
+//! Real-world deployments (Section 6 of the paper).
+//!
+//! Two environments, both *evaluated with the lab-trained model*:
+//!
+//! * [`generate_induced`] — §6.1: a corporate WiFi network with
+//!   unpredictable topology (extra stations with their own traffic,
+//!   varying distances), videos streamed from the private server and
+//!   from "YouTube" (an uninstrumented CDN server behind extra backbone
+//!   hops) with 1:3 ratio, and five induced fault types.
+//! * [`generate_wild`] — §6.2: one month in the wild, mixed 3G/WiFi
+//!   access, faults occurring *naturally* (ambient processes, not
+//!   induced), router features removed for 3G/WiFi comparability —
+//!   only the mobile and (for private-server sessions) server probes
+//!   remain.
+
+use std::sync::Mutex;
+
+use vqd_faults::{background_apps, FaultKind, FaultPlan, TestbedHandles};
+use vqd_probes::{ProbeSet, SamplerApp, VpData};
+use vqd_simnet::engine::Harness;
+use vqd_simnet::link::LinkConfig;
+use vqd_simnet::rng::SimRng;
+use vqd_simnet::time::SimTime;
+use vqd_simnet::topology::TopologyBuilder;
+use vqd_simnet::traffic::{AppMix, MixKind};
+use vqd_video::catalog::Catalog;
+use vqd_video::mos;
+use vqd_video::player::{Player, PlayerConfig};
+use vqd_video::server::{SessionDirectory, VideoServer, VideoServerConfig};
+use vqd_wireless::{Wlan80211, WlanConfig};
+
+use crate::dataset::LabeledRun;
+use crate::scenario::GroundTruth;
+use crate::testbed::{SessionOutcome, WanProfile};
+
+/// Access technology of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// 802.11 WLAN behind a home/corporate AP.
+    Wifi,
+    /// Cellular (3G-class) — no router vantage point exists.
+    Cellular,
+}
+
+/// Which service the video is streamed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Service {
+    /// Our instrumented server (server VP available).
+    Private,
+    /// A commercial CDN ("YouTube") — uninstrumented.
+    Youtube,
+}
+
+/// Spec of one real-world session.
+#[derive(Debug, Clone, Copy)]
+pub struct RwSpec {
+    /// Root seed.
+    pub seed: u64,
+    /// Access technology.
+    pub access: Access,
+    /// Content service.
+    pub service: Service,
+    /// Fault (induced in §6.1, ambient in §6.2).
+    pub fault: FaultPlan,
+    /// Background level.
+    pub background: f64,
+    /// Corporate flavour: more stations and heavier neighbour traffic.
+    pub corporate: bool,
+}
+
+/// A wild-deployment instance with its VP availability.
+#[derive(Debug, Clone)]
+pub struct RwRun {
+    /// Metrics + ground truth (metrics contain only available VPs).
+    pub run: LabeledRun,
+    /// Access technology used.
+    pub access: Access,
+    /// Service streamed from.
+    pub service: Service,
+}
+
+impl RwRun {
+    /// Ground-truth mobile CPU utilisation (for Figure 9).
+    pub fn cpu_truth(&self) -> Option<f64> {
+        self.run
+            .metrics
+            .iter()
+            .find(|(n, _)| n == "mobile.hw.cpu_avg")
+            .map(|(_, v)| *v)
+    }
+    /// Ground-truth mobile RSSI (for Figure 9; `None` on cellular).
+    pub fn rssi_truth(&self) -> Option<f64> {
+        self.run
+            .metrics
+            .iter()
+            .find(|(n, _)| n == "mobile.phy.rssi_avg")
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Run one real-world session.
+pub fn run_realworld_session(spec: &RwSpec, catalog: &Catalog) -> SessionOutcome {
+    let mut rng = SimRng::seed_from_u64(spec.seed);
+    let mut video = catalog.pick(&mut rng.split(1)).clone();
+    if spec.access == Access::Cellular {
+        video = video.sd_variant();
+    }
+
+    let mut tb = TopologyBuilder::with_seed(rng.split(2).range_u64(0, u64::MAX - 1));
+    let mobile = tb.add_host_with(crate::testbed::mobile_host_profile());
+    let isp = tb.add_host("isp");
+    let private = tb.add_host_with(crate::testbed::server_host_profile());
+    let youtube = tb.add_host_with(crate::testbed::server_host_profile());
+
+    // Content side: ISP ↔ servers over backbone links; the commercial
+    // CDN sits one jittery hop further away.
+    let (_, private_wan) = tb.add_duplex_link(isp, private, LinkConfig::backbone());
+    let mut yt_link = LinkConfig::backbone();
+    yt_link.delay = yt_link.delay + vqd_simnet::time::SimDuration::from_millis(12);
+    yt_link.jitter_sd = vqd_simnet::time::SimDuration::from_millis(3);
+    tb.add_duplex_link(isp, youtube, yt_link);
+
+    let mut router = None;
+    let mut medium = None;
+    let mut wired_client = None;
+    let mut wifi_client = None;
+    let mut neighbours = Vec::new();
+    #[allow(unused_assignments)]
+    let mut mobile_up = None;
+    let mut router_lan = None;
+    let (wan_up, wan_down);
+    match spec.access {
+        Access::Wifi => {
+            let r = tb.add_host("router");
+            router = Some(r);
+            // Access link: home DSL or a faster office line.
+            let mut link_rng = rng.split(3);
+            let mut wl = LinkConfig::dsl(&mut link_rng);
+            if spec.corporate {
+                // An office line: faster than home DSL but the same
+                // order — the lab-trained utilisation scale must stay
+                // meaningful, as it did for the paper's deployment.
+                wl.rate_bps = 12_000_000;
+                wl.delay = vqd_simnet::time::SimDuration::from_millis(35);
+            }
+            let (u, d) = tb.add_duplex_link(r, isp, wl);
+            wan_up = u;
+            wan_down = d;
+            let mut wlan = Wlan80211::new(r, WlanConfig::default());
+            wlan.add_station(mobile, rng.range_f64(2.0, if spec.corporate { 18.0 } else { 9.0 }));
+            let wc = tb.add_host("wifi-client");
+            wlan.add_station(wc, rng.range_f64(2.0, 10.0));
+            wifi_client = Some(wc);
+            let n_extra = if spec.corporate { 3 } else { 1 };
+            for i in 0..n_extra {
+                let s = tb.add_host(&format!("sta{i}"));
+                wlan.add_station(s, rng.range_f64(2.0, 15.0));
+                neighbours.push(s);
+            }
+            let m = tb.add_medium(Box::new(wlan));
+            medium = Some(m);
+            let (up, _) = tb.add_wireless(mobile, r, m, 1460);
+            mobile_up = Some(up);
+            tb.add_wireless(wc, r, m, 1460);
+            for &s in &neighbours {
+                tb.add_wireless(s, r, m, 1460);
+            }
+            let w = tb.add_host("wired-client");
+            wired_client = Some(w);
+            let (_, rl) = tb.add_duplex_link(w, r, LinkConfig::ethernet(100_000_000));
+            router_lan = Some(rl);
+        }
+        Access::Cellular => {
+            let mut link_rng = rng.split(3);
+            let cell = LinkConfig::mobile(&mut link_rng);
+            let (u, d) = tb.add_duplex_link(mobile, isp, cell);
+            mobile_up = Some(u);
+            wan_up = u;
+            wan_down = d;
+        }
+    }
+
+    let mut net = tb.build();
+
+    // Fault injection (only faults the topology supports).
+    let handles = TestbedHandles {
+        mobile,
+        router: router.unwrap_or(isp),
+        server: if spec.service == Service::Private { private } else { youtube },
+        wired_client,
+        wifi_client,
+        wan_up,
+        wan_down,
+        medium,
+    };
+    let mut fault_rng = rng.split(4);
+    let plan = if handles.supports(spec.fault.kind) { spec.fault } else { FaultPlan::none() };
+    let floods = plan.apply(&mut net, &handles, &mut fault_rng);
+
+    // Probes: mobile always; router only on WiFi; the private server is
+    // always instrumented (it simply never sees YouTube flows).
+    let mut vps = vec![VpData::new("mobile", mobile, &[80])];
+    if let Some(up) = mobile_up {
+        VpData::label_nic(&vps[0], up, "net");
+    }
+    if let Some(r) = router {
+        let rvp = VpData::new("router", r, &[80]);
+        VpData::label_nic(&rvp, wan_up, "wan");
+        if let Some(rl) = router_lan {
+            VpData::label_nic(&rvp, rl, "lan");
+        }
+        vps.push(rvp);
+    }
+    let svp = VpData::new("server", private, &[80]);
+    VpData::label_nic(&svp, private_wan, "wan");
+    vps.push(svp);
+    let obs = ProbeSet::new(vps.clone());
+
+    let mut sim = Harness::with_observer(net, obs);
+    let dir = SessionDirectory::new();
+    let origin = if spec.service == Service::Private { private } else { youtube };
+    let (player, handle) =
+        Player::new(mobile, origin, 80, video.clone(), PlayerConfig::default(), dir.clone());
+    sim.add_app(Box::new(player));
+    sim.add_app(Box::new(VideoServer::new(private, VideoServerConfig::default(), dir.clone())));
+    sim.add_app(Box::new(VideoServer::new(youtube, VideoServerConfig::default(), dir)));
+    sim.add_app(Box::new(SamplerApp::new(vps.clone())));
+    for f in floods {
+        sim.add_app(Box::new(f));
+    }
+    // Ambient traffic: between the LAN side and the ISP/backbone, plus
+    // neighbour stations chattering on the WLAN.
+    if let Some(w) = wired_client {
+        for app in background_apps(w, isp, spec.background, rng.split(5).range_u64(0, u64::MAX - 1)) {
+            sim.add_app(app);
+        }
+    }
+    for (i, &s) in neighbours.iter().enumerate() {
+        sim.add_app(Box::new(AppMix::new(
+            s,
+            isp,
+            &[MixKind::Web, MixKind::Voip],
+            spec.background * if spec.corporate { 1.0 } else { 0.4 },
+            rng.split(10 + i as u64).range_u64(0, u64::MAX - 1),
+        )));
+    }
+
+    let cap = video.duration_s * 5.0 + 120.0;
+    let mut t = SimTime::ZERO;
+    while !handle.done() && t < SimTime((cap * 1e9) as u64) {
+        t = SimTime(t.0 + 1_000_000_000);
+        sim.run_until(t);
+    }
+
+    let qoe = handle.qoe();
+    let truth = GroundTruth { fault: plan.kind, qoe: mos::label(&qoe) };
+    let mut metrics = Vec::new();
+    if let Some(flow) = handle.flow() {
+        for vp in &vps {
+            if let Some(m) = vp.borrow().metrics_for(flow) {
+                metrics.extend(m);
+            }
+        }
+    }
+    SessionOutcome { qoe, truth, metrics, video }
+}
+
+/// Config for the real-world corpora.
+#[derive(Debug, Clone, Copy)]
+pub struct RealWorldConfig {
+    /// Number of sessions.
+    pub sessions: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for RealWorldConfig {
+    fn default() -> Self {
+        RealWorldConfig { sessions: 300, seed: 2015_06, threads: 0 }
+    }
+}
+
+fn run_parallel(specs: Vec<RwSpec>, catalog: &Catalog, threads: usize) -> Vec<RwRun> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        threads
+    };
+    let results: Mutex<Vec<Option<RwRun>>> = Mutex::new(vec![None; specs.len()]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(specs.len().max(1)) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let out = run_realworld_session(&specs[i], catalog);
+                let rr = RwRun {
+                    run: LabeledRun { metrics: out.metrics, truth: out.truth },
+                    access: specs[i].access,
+                    service: specs[i].service,
+                };
+                results.lock().unwrap()[i] = Some(rr);
+            });
+        }
+    });
+    results.into_inner().unwrap().into_iter().map(|r| r.expect("session ran")).collect()
+}
+
+/// §6.1 — corporate WiFi with induced faults (five types, no shaping),
+/// YouTube:private 3:1.
+pub fn generate_induced(cfg: &RealWorldConfig, catalog: &Catalog) -> Vec<RwRun> {
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    const INDUCIBLE: [FaultKind; 5] = [
+        FaultKind::LanCongestion,
+        FaultKind::WanCongestion,
+        FaultKind::MobileLoad,
+        FaultKind::LowRssi,
+        FaultKind::WifiInterference,
+    ];
+    let specs: Vec<RwSpec> = (0..cfg.sessions)
+        .map(|i| {
+            let fault = if rng.chance(0.5) {
+                FaultPlan::sample(INDUCIBLE[rng.index(INDUCIBLE.len())], &mut rng)
+            } else {
+                FaultPlan::none()
+            };
+            RwSpec {
+                seed: cfg.seed ^ (0xA5A5_1234u64.wrapping_mul(i as u64 + 1)),
+                access: Access::Wifi,
+                service: if rng.chance(0.25) { Service::Private } else { Service::Youtube },
+                fault,
+                background: rng.range_f64(0.2, 0.9),
+                corporate: true,
+            }
+        })
+        .collect();
+    run_parallel(specs, catalog, cfg.threads)
+}
+
+/// §6.2 — in the wild: mixed 3G/WiFi, natural (ambient) faults,
+/// YouTube:private 3:1.
+pub fn generate_wild(cfg: &RealWorldConfig, catalog: &Catalog) -> Vec<RwRun> {
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    let specs: Vec<RwSpec> = (0..cfg.sessions)
+        .map(|i| {
+            // "The majority of the videos were delivered over 3G."
+            let access = if rng.chance(0.65) { Access::Cellular } else { Access::Wifi };
+            // Natural impairments: mostly nothing, otherwise a random
+            // process at (low-skewed) intensity.
+            let fault = if rng.chance(0.30) {
+                let kind = FaultKind::ALL[rng.index(FaultKind::ALL.len())];
+                let mut p = FaultPlan::sample(kind, &mut rng);
+                p.intensity = p.intensity.powf(1.3); // skew toward mild
+                p
+            } else {
+                FaultPlan::none()
+            };
+            RwSpec {
+                seed: cfg.seed ^ (0xB7C3_9F21u64.wrapping_mul(i as u64 + 1)),
+                access,
+                service: if rng.chance(0.25) { Service::Private } else { Service::Youtube },
+                fault,
+                background: rng.range_f64(0.1, 0.9),
+                corporate: false,
+            }
+        })
+        .collect();
+    let mut runs = run_parallel(specs, catalog, cfg.threads);
+    // §6.2: "we removed any features from the router" so WiFi and 3G
+    // sessions are comparable.
+    for r in &mut runs {
+        r.run.metrics.retain(|(n, _)| !n.starts_with("router"));
+    }
+    runs
+}
+
+/// The WAN profile naming kept for API symmetry with the testbed.
+pub fn access_profile(a: Access) -> WanProfile {
+    match a {
+        Access::Wifi => WanProfile::Dsl,
+        Access::Cellular => WanProfile::Mobile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqd_video::QoeClass;
+
+    fn catalog() -> Catalog {
+        Catalog::top100(42)
+    }
+
+    #[test]
+    fn wifi_private_session_has_three_vps() {
+        let spec = RwSpec {
+            seed: 11,
+            access: Access::Wifi,
+            service: Service::Private,
+            fault: FaultPlan::none(),
+            background: 0.3,
+            corporate: true,
+        };
+        let o = run_realworld_session(&spec, &catalog());
+        let vps: std::collections::HashSet<&str> =
+            o.metrics.iter().map(|(n, _)| n.split('.').next().unwrap()).collect();
+        assert!(vps.contains("mobile") && vps.contains("router") && vps.contains("server"), "{vps:?}");
+    }
+
+    #[test]
+    fn youtube_session_lacks_server_vp() {
+        let spec = RwSpec {
+            seed: 12,
+            access: Access::Wifi,
+            service: Service::Youtube,
+            fault: FaultPlan::none(),
+            background: 0.3,
+            corporate: true,
+        };
+        let o = run_realworld_session(&spec, &catalog());
+        let vps: std::collections::HashSet<&str> =
+            o.metrics.iter().map(|(n, _)| n.split('.').next().unwrap()).collect();
+        assert!(vps.contains("mobile") && vps.contains("router"));
+        assert!(!vps.contains("server"), "uninstrumented CDN must be invisible");
+        assert!(!o.qoe.failed, "{:?}", o.qoe);
+    }
+
+    #[test]
+    fn cellular_session_has_no_router_vp() {
+        let spec = RwSpec {
+            seed: 13,
+            access: Access::Cellular,
+            service: Service::Private,
+            fault: FaultPlan::none(),
+            background: 0.2,
+            corporate: false,
+        };
+        let o = run_realworld_session(&spec, &catalog());
+        let vps: std::collections::HashSet<&str> =
+            o.metrics.iter().map(|(n, _)| n.split('.').next().unwrap()).collect();
+        assert!(vps.contains("mobile") && vps.contains("server"));
+        assert!(!vps.contains("router"));
+        // No WLAN → no RSSI even at the mobile.
+        assert!(!o.metrics.iter().any(|(n, _)| n == "mobile.phy.rssi_avg"));
+    }
+
+    #[test]
+    fn unsupported_fault_degrades_to_none() {
+        // WiFi interference cannot be induced on cellular access.
+        let spec = RwSpec {
+            seed: 14,
+            access: Access::Cellular,
+            service: Service::Youtube,
+            fault: FaultPlan { kind: FaultKind::WifiInterference, intensity: 0.9 },
+            background: 0.2,
+            corporate: false,
+        };
+        let o = run_realworld_session(&spec, &catalog());
+        assert_eq!(o.truth.fault, FaultKind::None);
+    }
+
+    #[test]
+    fn wild_corpus_mixed_and_router_free() {
+        let cfg = RealWorldConfig { sessions: 10, seed: 3, threads: 0 };
+        let runs = generate_wild(&cfg, &catalog());
+        assert_eq!(runs.len(), 10);
+        assert!(runs.iter().any(|r| r.access == Access::Cellular));
+        for r in &runs {
+            assert!(r.run.metrics.iter().all(|(n, _)| !n.starts_with("router")));
+            assert!(r.cpu_truth().is_some());
+        }
+        assert!(runs.iter().any(|r| r.run.truth.qoe == QoeClass::Good));
+    }
+}

@@ -1,0 +1,206 @@
+//! Label taxonomy (Section 4.4 of the paper).
+//!
+//! Every session's ground truth is the pair *(induced fault, MOS
+//! severity)*. Three label granularities are derived from it:
+//!
+//! * **Existence** — good / mild / severe (Figure 3),
+//! * **Location** — good + {mobile, lan, wan} × {mild, severe}
+//!   (Section 5.2),
+//! * **Exact problem** — good + 7 faults × {mild, severe}
+//!   (Figure 4, 15 classes).
+//!
+//! A faulted session whose MOS stayed above 3 is labelled *good*: the
+//! user did not suffer, so there is nothing to diagnose — this matches
+//! the paper's class counts (3919 sessions, 3125 good).
+
+use vqd_faults::FaultKind;
+use vqd_video::QoeClass;
+
+/// Full ground truth of one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// The fault that was induced (or [`FaultKind::None`]).
+    pub fault: FaultKind,
+    /// MOS-derived severity.
+    pub qoe: QoeClass,
+}
+
+/// Label granularity for training/evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelScheme {
+    /// good / mild / severe.
+    Existence,
+    /// good + location × severity.
+    Location,
+    /// good + fault × severity.
+    Exact,
+}
+
+impl GroundTruth {
+    /// The effective fault after MOS gating: a session that stayed good
+    /// has no problem to report.
+    pub fn effective_fault(&self) -> FaultKind {
+        if self.qoe == QoeClass::Good {
+            FaultKind::None
+        } else {
+            self.fault
+        }
+    }
+
+    /// Class name under a scheme.
+    pub fn label(&self, scheme: LabelScheme) -> String {
+        let sev = self.qoe.name();
+        match scheme {
+            LabelScheme::Existence => sev.to_string(),
+            LabelScheme::Location => {
+                if self.qoe == QoeClass::Good || self.fault == FaultKind::None {
+                    // Un-attributable degradation (ambient, no induced
+                    // fault) is treated as its severity only for
+                    // existence; for location we fold it into "good"'s
+                    // complement — the paper's dataset has an induced
+                    // fault behind every problem instance, so this
+                    // branch fires only for ambient noise.
+                    if self.qoe == QoeClass::Good {
+                        "good".to_string()
+                    } else {
+                        format!("wan_{sev}") // ambient faults live beyond the LAN
+                    }
+                } else {
+                    format!("{}_{}", self.fault.location(), sev)
+                }
+            }
+            LabelScheme::Exact => {
+                if self.qoe == QoeClass::Good {
+                    "good".to_string()
+                } else if self.fault == FaultKind::None {
+                    format!("ambient_{sev}")
+                } else {
+                    format!("{}_{}", self.fault.name(), sev)
+                }
+            }
+        }
+    }
+}
+
+/// All class names of a scheme, in canonical order (index = class id).
+pub fn class_names(scheme: LabelScheme) -> Vec<String> {
+    match scheme {
+        LabelScheme::Existence => vec!["good".into(), "mild".into(), "severe".into()],
+        LabelScheme::Location => {
+            let mut v = vec!["good".to_string()];
+            for loc in ["wan", "lan", "mobile"] {
+                for sev in ["mild", "severe"] {
+                    v.push(format!("{loc}_{sev}"));
+                }
+            }
+            v
+        }
+        LabelScheme::Exact => {
+            let mut v = vec!["good".to_string()];
+            for f in FaultKind::ALL {
+                for sev in ["mild", "severe"] {
+                    v.push(format!("{}_{}", f.name(), sev));
+                }
+            }
+            v.push("ambient_mild".into());
+            v.push("ambient_severe".into());
+            v
+        }
+    }
+}
+
+/// Class id of a ground truth under a scheme.
+pub fn class_id(gt: &GroundTruth, scheme: LabelScheme) -> usize {
+    let name = gt.label(scheme);
+    class_names(scheme)
+        .iter()
+        .position(|c| *c == name)
+        .unwrap_or(0)
+}
+
+/// Map an *exact* class name to its *location* class name.
+pub fn exact_to_location(exact: &str) -> String {
+    if exact == "good" {
+        return "good".into();
+    }
+    let Some((fault_part, sev)) = exact.rsplit_once('_') else {
+        return "good".into();
+    };
+    let loc = FaultKind::ALL
+        .iter()
+        .find(|f| f.name() == fault_part)
+        .map(|f| f.location())
+        .unwrap_or("wan");
+    format!("{loc}_{sev}")
+}
+
+/// Map an *exact* class name to its *existence* class name.
+pub fn exact_to_existence(exact: &str) -> String {
+    if exact == "good" {
+        "good".into()
+    } else if exact.ends_with("severe") {
+        "severe".into()
+    } else {
+        "mild".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mos_gating_folds_good() {
+        let gt = GroundTruth { fault: FaultKind::WanShaping, qoe: QoeClass::Good };
+        assert_eq!(gt.label(LabelScheme::Exact), "good");
+        assert_eq!(gt.label(LabelScheme::Existence), "good");
+        assert_eq!(gt.effective_fault(), FaultKind::None);
+    }
+
+    #[test]
+    fn exact_labels() {
+        let gt = GroundTruth { fault: FaultKind::LowRssi, qoe: QoeClass::Severe };
+        assert_eq!(gt.label(LabelScheme::Exact), "low_rssi_severe");
+        assert_eq!(gt.label(LabelScheme::Location), "mobile_severe");
+        assert_eq!(gt.label(LabelScheme::Existence), "severe");
+    }
+
+    #[test]
+    fn class_name_sets() {
+        assert_eq!(class_names(LabelScheme::Existence).len(), 3);
+        assert_eq!(class_names(LabelScheme::Location).len(), 7);
+        // good + 7×2 + 2 ambient = 17.
+        assert_eq!(class_names(LabelScheme::Exact).len(), 17);
+    }
+
+    #[test]
+    fn class_ids_round_trip() {
+        for f in FaultKind::ALL {
+            for qoe in [QoeClass::Mild, QoeClass::Severe] {
+                let gt = GroundTruth { fault: f, qoe };
+                for scheme in [LabelScheme::Existence, LabelScheme::Location, LabelScheme::Exact] {
+                    let id = class_id(&gt, scheme);
+                    assert_eq!(class_names(scheme)[id], gt.label(scheme));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_name_projections() {
+        assert_eq!(exact_to_location("wan_congestion_mild"), "wan_mild");
+        assert_eq!(exact_to_location("lan_shaping_severe"), "lan_severe");
+        assert_eq!(exact_to_location("mobile_load_mild"), "mobile_mild");
+        assert_eq!(exact_to_location("low_rssi_severe"), "mobile_severe");
+        assert_eq!(exact_to_location("good"), "good");
+        assert_eq!(exact_to_existence("wifi_interference_mild"), "mild");
+        assert_eq!(exact_to_existence("good"), "good");
+    }
+
+    #[test]
+    fn ambient_faults_labelled() {
+        let gt = GroundTruth { fault: FaultKind::None, qoe: QoeClass::Mild };
+        assert_eq!(gt.label(LabelScheme::Exact), "ambient_mild");
+        assert_eq!(gt.label(LabelScheme::Location), "wan_mild");
+    }
+}

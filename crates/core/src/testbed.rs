@@ -1,0 +1,308 @@
+//! The controlled testbed (Section 4 of the paper) and the single-
+//! session runner.
+//!
+//! Topology (Figure 2): a content server wired to a router/AP through
+//! the shaped WAN link (`tc`-style DSL or cellular profile, Table 3); a
+//! phone and a second wireless station on the router's WLAN; a wired
+//! LAN client for cross traffic. Every session streams one randomly
+//! picked catalogue video through a real TCP flow while background
+//! variations run, one fault plan is injected, and the three probes
+//! (mobile / router / server) record their views.
+
+use vqd_faults::{background_apps, FaultPlan, TestbedHandles};
+use vqd_probes::{ProbeSet, SamplerApp, VpData};
+use vqd_simnet::engine::Harness;
+use vqd_simnet::host::{CpuModel, Host, MemoryModel};
+use vqd_simnet::link::LinkConfig;
+use vqd_simnet::rng::SimRng;
+use vqd_simnet::time::SimTime;
+use vqd_simnet::topology::TopologyBuilder;
+use vqd_video::catalog::{Catalog, Video};
+use vqd_video::mos;
+use vqd_video::player::{Player, PlayerConfig};
+use vqd_video::server::{SessionDirectory, VideoServer, VideoServerConfig};
+use vqd_video::session::SessionQoe;
+use vqd_wireless::{Wlan80211, WlanConfig};
+
+use crate::scenario::GroundTruth;
+
+/// WAN access profile (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WanProfile {
+    /// 7.8 Mbit/s, 50±20 ms, 0.75±0.5 %.
+    Dsl,
+    /// 5.22 Mbit/s, 100±30 ms, 1.4±1 %.
+    Mobile,
+}
+
+/// Specification of one controlled session.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionSpec {
+    /// Root seed — the session is a pure function of it and the other
+    /// fields.
+    pub seed: u64,
+    /// Fault to inject.
+    pub fault: FaultPlan,
+    /// Background-variation level (0 = silent network, 1 = nominal).
+    pub background: f64,
+    /// WAN profile.
+    pub wan: WanProfile,
+}
+
+/// Result of one session: application QoE, ground-truth label and the
+/// raw metric vector of every probe that saw the flow.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Application-layer QoE (labelling only).
+    pub qoe: SessionQoe,
+    /// Ground truth.
+    pub truth: GroundTruth,
+    /// Concatenated `(name, value)` metrics from all probes.
+    pub metrics: Vec<(String, f64)>,
+    /// The video streamed.
+    pub video: Video,
+}
+
+/// Hardware profile of the phone under test (Galaxy S II-class).
+pub fn mobile_host_profile() -> Host {
+    // Galaxy S II-class: dual core, 1 GiB RAM.
+    Host {
+        name: "mobile".into(),
+        cpu: CpuModel::new(2.0),
+        mem: MemoryModel::new(1024.0, 350.0),
+        io_load: 0.0,
+        fwd: Vec::new(),
+    }
+}
+
+/// Hardware profile of a content server.
+pub fn server_host_profile() -> Host {
+    Host {
+        name: "server".into(),
+        cpu: CpuModel::new(8.0),
+        mem: MemoryModel::new(8192.0, 1024.0),
+        io_load: 0.0,
+        fwd: Vec::new(),
+    }
+}
+
+/// Run one controlled session; deterministic in `spec` and
+/// `catalog_seed`.
+pub fn run_controlled_session(spec: &SessionSpec, catalog: &Catalog) -> SessionOutcome {
+    run_controlled_session_with(spec, &[], catalog)
+}
+
+/// Run a controlled session with additional co-occurring faults on top
+/// of `spec.fault` — the paper's future-work "multi-problem" scenario.
+/// The ground-truth label still carries the primary fault.
+pub fn run_controlled_session_with(
+    spec: &SessionSpec,
+    extra_faults: &[FaultPlan],
+    catalog: &Catalog,
+) -> SessionOutcome {
+    let mut rng = SimRng::seed_from_u64(spec.seed);
+    let mut video = catalog.pick(&mut rng.split(1)).clone();
+    // Cellular access gets the SD encode, as the real service serves.
+    if spec.wan == WanProfile::Mobile {
+        video = video.sd_variant();
+    }
+
+    // --- Topology -----------------------------------------------------
+    let mut tb = TopologyBuilder::with_seed(rng.split(2).range_u64(0, u64::MAX - 1));
+    let mobile = tb.add_host_with(mobile_host_profile());
+    let router = tb.add_host("router");
+    let server = tb.add_host_with(server_host_profile());
+    let wired_client = tb.add_host("wired-client");
+    let wifi_client = tb.add_host("wifi-client");
+
+    // Home Ethernet.
+    let (_, router_lan) =
+        tb.add_duplex_link(wired_client, router, LinkConfig::ethernet(100_000_000));
+    // WAN (shaped per Table 3, per-session parameter draws).
+    let mut link_rng = rng.split(3);
+    let wan_cfg = match spec.wan {
+        WanProfile::Dsl => LinkConfig::dsl(&mut link_rng),
+        WanProfile::Mobile => LinkConfig::mobile(&mut link_rng),
+    };
+    let (wan_up, wan_down) = tb.add_duplex_link(router, server, wan_cfg);
+    // WLAN.
+    let mut wlan = Wlan80211::new(router, WlanConfig::default());
+    wlan.add_station(mobile, rng.range_f64(2.5, 8.0));
+    wlan.add_station(wifi_client, rng.range_f64(2.5, 6.0));
+    let medium = tb.add_medium(Box::new(wlan));
+    let (mobile_up, _) = tb.add_wireless(mobile, router, medium, 1460);
+    tb.add_wireless(wifi_client, router, medium, 1460);
+
+    let mut net = tb.build();
+
+    // --- Fault injection ----------------------------------------------
+    let handles = TestbedHandles {
+        mobile,
+        router,
+        server,
+        wired_client: Some(wired_client),
+        wifi_client: Some(wifi_client),
+        wan_up,
+        wan_down,
+        medium: Some(medium),
+    };
+    let mut fault_rng = rng.split(4);
+    let mut floods = spec.fault.apply(&mut net, &handles, &mut fault_rng);
+    for (i, extra) in extra_faults.iter().enumerate() {
+        let mut r = rng.split(40 + i as u64);
+        floods.extend(extra.apply(&mut net, &handles, &mut r));
+    }
+
+    // --- Probes ---------------------------------------------------------
+    let vps = vec![
+        VpData::new("mobile", mobile, &[80]),
+        VpData::new("router", router, &[80]),
+        VpData::new("server", server, &[80]),
+    ];
+    // Stable NIC role names: feature columns must mean the same
+    // interface on every topology the model ever sees.
+    VpData::label_nic(&vps[0], mobile_up, "net");
+    VpData::label_nic(&vps[1], wan_up, "wan");
+    VpData::label_nic(&vps[1], router_lan, "lan");
+    VpData::label_nic(&vps[2], wan_down, "wan");
+    let obs = ProbeSet::new(vps.clone());
+
+    // --- Applications ----------------------------------------------------
+    let mut sim = Harness::with_observer(net, obs);
+    let dir = SessionDirectory::new();
+    let (player, handle) = Player::new(
+        mobile,
+        server,
+        80,
+        video.clone(),
+        PlayerConfig::default(),
+        dir.clone(),
+    );
+    sim.add_app(Box::new(player));
+    sim.add_app(Box::new(VideoServer::new(server, VideoServerConfig::default(), dir)));
+    sim.add_app(Box::new(SamplerApp::new(vps.clone())));
+    for f in floods {
+        sim.add_app(Box::new(f));
+    }
+    for app in background_apps(
+        wired_client,
+        server,
+        spec.background,
+        rng.split(5).range_u64(0, u64::MAX - 1),
+    ) {
+        sim.add_app(app);
+    }
+
+    // --- Run --------------------------------------------------------------
+    let cap = SimTime::from_secs_f(video.duration_s * 5.0 + 120.0);
+    let mut t = SimTime::ZERO;
+    while !handle.done() && t < cap {
+        t = SimTime(t.0 + 1_000_000_000);
+        sim.run_until(t);
+    }
+
+    // --- Extract ------------------------------------------------------------
+    let qoe = handle.qoe();
+    let truth = GroundTruth { fault: spec.fault.kind, qoe: mos::label(&qoe) };
+    let mut metrics = Vec::new();
+    if let Some(flow) = handle.flow() {
+        for vp in &vps {
+            if let Some(m) = vp.borrow().metrics_for(flow) {
+                metrics.extend(m);
+            }
+        }
+    }
+    SessionOutcome { qoe, truth, metrics, video }
+}
+
+trait FromSecsF {
+    fn from_secs_f(s: f64) -> SimTime;
+}
+impl FromSecsF for SimTime {
+    fn from_secs_f(s: f64) -> SimTime {
+        SimTime((s * 1e9) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqd_faults::FaultKind;
+    use vqd_video::QoeClass;
+
+    fn catalog() -> Catalog {
+        Catalog::top100(77)
+    }
+
+    fn run(kind: FaultKind, intensity: f64, seed: u64) -> SessionOutcome {
+        let spec = SessionSpec {
+            seed,
+            fault: FaultPlan { kind, intensity },
+            background: 0.5,
+            wan: WanProfile::Dsl,
+        };
+        run_controlled_session(&spec, &catalog())
+    }
+
+    #[test]
+    fn healthy_session_is_good_with_full_metrics() {
+        let o = run(FaultKind::None, 0.0, 5);
+        assert!(!o.qoe.failed, "{:?}", o.qoe);
+        assert_eq!(o.truth.qoe, QoeClass::Good, "{:?}", o.qoe);
+        // All three probes contributed.
+        let vps: std::collections::HashSet<&str> = o
+            .metrics
+            .iter()
+            .map(|(n, _)| n.split('.').next().unwrap())
+            .collect();
+        assert!(vps.contains("mobile") && vps.contains("router") && vps.contains("server"));
+        // The mobile probe saw RSSI.
+        assert!(o.metrics.iter().any(|(n, _)| n == "mobile.phy.rssi_avg"));
+        // And the server did not.
+        assert!(!o.metrics.iter().any(|(n, _)| n == "server.phy.rssi_avg"));
+    }
+
+    #[test]
+    fn severe_wan_shaping_degrades_qoe() {
+        let o = run(FaultKind::WanShaping, 0.95, 2);
+        assert_ne!(o.truth.qoe, QoeClass::Good, "{:?}", o.qoe);
+    }
+
+    #[test]
+    fn severe_mobile_load_causes_stutter() {
+        let o = run(FaultKind::MobileLoad, 0.95, 3);
+        assert!(o.qoe.frame_skip_s > 0.5 || o.truth.qoe != QoeClass::Good, "{:?}", o.qoe);
+        // CPU metric at the mobile probe reflects the stress load.
+        let cpu = o
+            .metrics
+            .iter()
+            .find(|(n, _)| n == "mobile.hw.cpu_avg")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(cpu > 0.9, "cpu {cpu}");
+    }
+
+    #[test]
+    fn severe_low_rssi_visible_in_phy_metrics() {
+        let o = run(FaultKind::LowRssi, 0.9, 4);
+        let rssi = o
+            .metrics
+            .iter()
+            .find(|(n, _)| n == "mobile.phy.rssi_avg")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(rssi < -75.0, "rssi {rssi}");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = run(FaultKind::WanCongestion, 0.7, 9);
+        let b = run(FaultKind::WanCongestion, 0.7, 9);
+        assert_eq!(a.truth.qoe, b.truth.qoe);
+        assert_eq!(a.metrics.len(), b.metrics.len());
+        for ((n1, v1), (n2, v2)) in a.metrics.iter().zip(&b.metrics) {
+            assert_eq!(n1, n2);
+            assert!((v1 - v2).abs() < 1e-12 || (v1.is_nan() && v2.is_nan()), "{n1}: {v1} vs {v2}");
+        }
+    }
+}

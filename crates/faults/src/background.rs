@@ -1,0 +1,138 @@
+//! Background variations (Section 4.2 of the paper).
+//!
+//! The testbed never measures on a silent network: D-ITG-style
+//! application mixes run between the wired client and the server
+//! (crossing LAN and WAN), and an ApacheBench-style load process
+//! wobbles the content server's CPU. Training with these variations is
+//! what lets the lab-trained model survive the real world.
+
+use vqd_simnet::engine::{App, Ctl};
+use vqd_simnet::ids::HostId;
+use vqd_simnet::rng::SimRng;
+use vqd_simnet::time::SimDuration;
+use vqd_simnet::traffic::{AppMix, MixKind};
+
+/// ApacheBench-style server load: a bounded random-walk CPU demand.
+pub struct ServerLoad {
+    /// The content server.
+    pub host: HostId,
+    /// Long-run mean demand in cores.
+    pub mean_cores: f64,
+    /// Walk amplitude.
+    pub amplitude: f64,
+    rng: SimRng,
+    token: Option<u64>,
+    current: f64,
+}
+
+impl ServerLoad {
+    /// Load process with the given mean demand (cores).
+    pub fn new(host: HostId, mean_cores: f64, amplitude: f64, seed: u64) -> Self {
+        ServerLoad {
+            host,
+            mean_cores,
+            amplitude,
+            rng: SimRng::seed_from_u64(seed),
+            token: None,
+            current: mean_cores,
+        }
+    }
+}
+
+impl App for ServerLoad {
+    fn start(&mut self, ctl: &mut Ctl) {
+        let host = self.host;
+        let demand = self.current.max(0.0);
+        self.token = Some(ctl.host_mut(host).cpu.register(demand));
+        ctl.timer(SimDuration::from_millis(500), 0);
+    }
+
+    fn on_timer(&mut self, _t: u64, ctl: &mut Ctl) {
+        // Mean-reverting walk, clamped non-negative.
+        let pull = 0.2 * (self.mean_cores - self.current);
+        self.current = (self.current + pull + self.rng.normal(0.0, self.amplitude * 0.3)).max(0.0);
+        if let Some(tok) = self.token {
+            let host = self.host;
+            let demand = self.current;
+            ctl.host_mut(host).cpu.set_demand(tok, demand);
+        }
+        ctl.timer(SimDuration::from_millis(500), 0);
+    }
+}
+
+/// The full background-variation bundle: returns the apps the
+/// orchestrator registers alongside the video session.
+pub fn background_apps(
+    wired_client: HostId,
+    server: HostId,
+    level: f64,
+    seed: u64,
+) -> Vec<Box<dyn App>> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut apps: Vec<Box<dyn App>> = Vec::new();
+    if level > 0.0 {
+        apps.push(Box::new(AppMix::new(
+            wired_client,
+            server,
+            &MixKind::ALL,
+            level,
+            rng.split(1).range_u64(0, u64::MAX - 1),
+        )));
+        apps.push(Box::new(ServerLoad::new(
+            server,
+            0.4 * level,
+            0.5 * level,
+            rng.split(2).range_u64(0, u64::MAX - 1),
+        )));
+    }
+    apps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqd_simnet::engine::Harness;
+    use vqd_simnet::link::LinkConfig;
+    use vqd_simnet::time::SimTime;
+    use vqd_simnet::topology::TopologyBuilder;
+
+    #[test]
+    fn server_load_varies_cpu() {
+        let mut tb = TopologyBuilder::new();
+        let s = tb.add_host("server");
+        let net = tb.build();
+        let mut sim = Harness::new(net, 1);
+        sim.add_app(Box::new(ServerLoad::new(s, 1.5, 1.0, 42)));
+        let mut samples = Vec::new();
+        for t in 1..60 {
+            sim.run_until(SimTime::from_millis(t * 500));
+            samples.push(sim.net.hosts[0].cpu.utilization());
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(mean > 0.1 && mean < 0.9, "mean {mean}");
+        let varies = samples.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-6);
+        assert!(varies, "load must fluctuate");
+    }
+
+    #[test]
+    fn bundle_generates_traffic() {
+        let mut tb = TopologyBuilder::new();
+        let c = tb.add_host("client");
+        let s = tb.add_host("server");
+        tb.add_duplex_link(c, s, LinkConfig::ethernet(20_000_000));
+        let net = tb.build();
+        let mut sim = Harness::new(net, 2);
+        for app in background_apps(c, s, 1.0, 9) {
+            sim.add_app(app);
+        }
+        sim.run_until(SimTime::from_secs(15));
+        let l = sim.net.link_between(c, s).unwrap();
+        assert!(sim.net.links[l.idx()].ctr.delivered_bytes > 5_000);
+        assert!(sim.net.hosts[1].cpu.utilization() >= 0.0);
+    }
+
+    #[test]
+    fn zero_level_is_empty() {
+        assert!(background_apps(HostId(0), HostId(1), 0.0, 1).is_empty());
+    }
+}

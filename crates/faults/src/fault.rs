@@ -1,0 +1,263 @@
+//! The fault taxonomy and injectors (Table 2 of the paper).
+//!
+//! | Simulated problem      | Paper's tool       | Our injector                          |
+//! |------------------------|--------------------|---------------------------------------|
+//! | LAN shaping            | `tc`/`netem`       | WLAN PHY-rate cap 1–70 Mbit/s         |
+//! | WAN shaping            | `tc`/`netem`       | WAN link rate/delay/loss override     |
+//! | LAN congestion         | `iperf` UDP        | UDP flood crossing the WLAN           |
+//! | WAN congestion         | `iperf` UDP        | UDP flood server→router               |
+//! | Mobile load            | `stress`           | CPU/memory/IO demand on the phone     |
+//! | Poor signal reception  | distance + attenuator | station distance + attenuation      |
+//! | WiFi interference      | co-channel WLAN    | interferer airtime + noise rise       |
+//!
+//! Each injector takes a continuous `intensity ∈ [0,1]`; the QoE label
+//! (good/mild/severe) is decided afterwards from the session's MOS,
+//! exactly as in the paper's labelling methodology (§4.4).
+
+use vqd_simnet::engine::Network;
+use vqd_simnet::ids::{HostId, LinkId, MediumId};
+use vqd_simnet::rng::SimRng;
+use vqd_simnet::time::SimDuration;
+use vqd_simnet::traffic::UdpFlood;
+use vqd_wireless::Wlan80211;
+
+/// The fault classes of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// No induced fault.
+    None,
+    /// UDP cross traffic over the WAN segment.
+    WanCongestion,
+    /// Bandwidth/delay/loss restriction on the WAN segment.
+    WanShaping,
+    /// UDP cross traffic over the WLAN.
+    LanCongestion,
+    /// 802.11-rate restriction on the WLAN.
+    LanShaping,
+    /// CPU/memory/IO load on the mobile device.
+    MobileLoad,
+    /// Poor signal reception (distance + attenuation).
+    LowRssi,
+    /// Co-channel WiFi interference.
+    WifiInterference,
+}
+
+impl FaultKind {
+    /// All injectable faults (excludes `None`).
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::WanCongestion,
+        FaultKind::WanShaping,
+        FaultKind::LanCongestion,
+        FaultKind::LanShaping,
+        FaultKind::MobileLoad,
+        FaultKind::LowRssi,
+        FaultKind::WifiInterference,
+    ];
+
+    /// Short snake-case name ("wan_congestion", …).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::None => "none",
+            FaultKind::WanCongestion => "wan_congestion",
+            FaultKind::WanShaping => "wan_shaping",
+            FaultKind::LanCongestion => "lan_congestion",
+            FaultKind::LanShaping => "lan_shaping",
+            FaultKind::MobileLoad => "mobile_load",
+            FaultKind::LowRssi => "low_rssi",
+            FaultKind::WifiInterference => "wifi_interference",
+        }
+    }
+
+    /// The path segment the fault lives on.
+    pub fn location(self) -> &'static str {
+        match self {
+            FaultKind::None => "none",
+            FaultKind::WanCongestion | FaultKind::WanShaping => "wan",
+            FaultKind::LanCongestion | FaultKind::LanShaping => "lan",
+            FaultKind::MobileLoad => "mobile",
+            // Wireless-medium problems manifest on the LAN segment but
+            // the paper treats them as their own "mobile/wireless
+            // proximity" — we follow its 3-way split: mobile-side.
+            FaultKind::LowRssi | FaultKind::WifiInterference => "mobile",
+        }
+    }
+}
+
+/// Everything an injector needs to know about the testbed topology.
+#[derive(Debug, Clone, Copy)]
+pub struct TestbedHandles {
+    /// The phone under test.
+    pub mobile: HostId,
+    /// The router/AP.
+    pub router: HostId,
+    /// The content server.
+    pub server: HostId,
+    /// The wired LAN client (congestion source), if the topology has
+    /// one.
+    pub wired_client: Option<HostId>,
+    /// A second wireless station (LAN-congestion sink on the WLAN).
+    pub wifi_client: Option<HostId>,
+    /// WAN link router→server.
+    pub wan_up: LinkId,
+    /// WAN link server→router.
+    pub wan_down: LinkId,
+    /// The WLAN (absent on cellular access).
+    pub medium: Option<MediumId>,
+}
+
+impl TestbedHandles {
+    /// Whether `kind` can be injected on this topology.
+    pub fn supports(&self, kind: FaultKind) -> bool {
+        match kind {
+            FaultKind::None | FaultKind::WanCongestion | FaultKind::WanShaping
+            | FaultKind::MobileLoad => true,
+            FaultKind::LanCongestion => self.wired_client.is_some() && self.wifi_client.is_some(),
+            FaultKind::LanShaping | FaultKind::LowRssi | FaultKind::WifiInterference => {
+                self.medium.is_some()
+            }
+        }
+    }
+}
+
+/// A sampled fault instance.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Strength in `[0, 1]` (0 = barely noticeable, 1 = crippling).
+    pub intensity: f64,
+}
+
+impl FaultPlan {
+    /// No fault.
+    pub fn none() -> Self {
+        FaultPlan { kind: FaultKind::None, intensity: 0.0 }
+    }
+
+    /// Sample an intensity for `kind`.
+    pub fn sample(kind: FaultKind, rng: &mut SimRng) -> Self {
+        let intensity = if kind == FaultKind::None { 0.0 } else { rng.range_f64(0.05, 1.0) };
+        FaultPlan { kind, intensity }
+    }
+
+    /// Apply the static part of the fault to the network (link/medium/
+    /// host mutations) and return any cross-traffic generators the
+    /// caller must register as apps.
+    pub fn apply(&self, net: &mut Network, h: &TestbedHandles, rng: &mut SimRng) -> Vec<UdpFlood> {
+        let k = self.intensity;
+        match self.kind {
+            FaultKind::None => Vec::new(),
+            FaultKind::WanCongestion => {
+                // Flood the WAN downlink (server→router), like iperf
+                // between server and router. Mild ≈ half the pipe,
+                // severe ≈ 1.6×.
+                let wan_rate = net.links[h.wan_down.idx()].cfg.rate_bps as f64;
+                let rate = wan_rate * (0.35 + 1.35 * k);
+                let mut floods = vec![UdpFlood::new(h.server, h.router, rate as u64)];
+                // Matching (smaller) upstream component.
+                let up = UdpFlood::new(h.router, h.server, (rate * 0.1) as u64);
+                floods.push(up);
+                floods
+            }
+            FaultKind::WanShaping => {
+                // Shrink the WAN pipe and worsen delay/loss with
+                // intensity (a tc profile below the Table 3 nominal).
+                for l in [h.wan_down, h.wan_up] {
+                    let cfg = &mut net.links[l.idx()].cfg;
+                    cfg.rate_bps = ((cfg.rate_bps as f64) * (1.0 - 0.90 * k)).max(200_000.0) as u64;
+                    cfg.delay = cfg.delay + SimDuration::from_secs_f64(0.120 * k);
+                    cfg.loss = (cfg.loss + 0.035 * k).min(0.12);
+                }
+                Vec::new()
+            }
+            FaultKind::LanCongestion => {
+                // Cross traffic that crosses the WLAN: wired client →
+                // second wireless station. The shared airtime and the
+                // AP's single transmit queue are the bottleneck the
+                // video competes on. Geometric ramp: "multiple iperf
+                // instances", severe saturates the WLAN.
+                let (Some(src), Some(dst)) = (h.wired_client, h.wifi_client) else {
+                    return Vec::new();
+                };
+                let rate = 8_000_000.0 * (40.0f64 / 8.0).powf(k);
+                vec![UdpFlood::new(src, dst, rate as u64)]
+            }
+            FaultKind::LanShaping => {
+                // Cap the WLAN at an 802.11a/b/g-style rate: 70 Mbit/s
+                // down to 1 Mbit/s (geometric — the 802.11 rate ladder
+                // is itself geometric).
+                let cap = 70_000_000.0 * (1.0f64 / 70.0).powf(k);
+                let Some(m) = h.medium else { return Vec::new() };
+                let wlan = net
+                    .medium_mut(m)
+                    .as_any_mut()
+                    .downcast_mut::<Wlan80211>()
+                    .expect("testbed medium is a Wlan80211");
+                wlan.set_rate_cap(Some(cap as u64));
+                wlan.refresh(rng);
+                Vec::new()
+            }
+            FaultKind::MobileLoad => {
+                // stress: CPU workers + memory + IO.
+                let host = &mut net.hosts[h.mobile.idx()];
+                let cores = host.cpu.cores;
+                host.cpu.register(cores * (0.5 + 2.5 * k));
+                let total = host.mem.total_mb;
+                host.mem.register(total * 0.90 * k);
+                host.io_load = (0.8 * k).min(0.9);
+                Vec::new()
+            }
+            FaultKind::LowRssi => {
+                // Walk away from the AP and attenuate its antenna.
+                let Some(m) = h.medium else { return Vec::new() };
+                let wlan = net
+                    .medium_mut(m)
+                    .as_any_mut()
+                    .downcast_mut::<Wlan80211>()
+                    .expect("testbed medium is a Wlan80211");
+                wlan.set_distance(h.mobile, 8.0 * (55.0f64 / 8.0).powf(k));
+                wlan.set_attenuation(h.mobile, 22.0 * k);
+                wlan.refresh(rng);
+                Vec::new()
+            }
+            FaultKind::WifiInterference => {
+                let Some(m) = h.medium else { return Vec::new() };
+                let wlan = net
+                    .medium_mut(m)
+                    .as_any_mut()
+                    .downcast_mut::<Wlan80211>()
+                    .expect("testbed medium is a Wlan80211");
+                wlan.set_interference(0.20 + 0.78 * k, 3.0 + 16.0 * k);
+                wlan.refresh(rng);
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_locations() {
+        assert_eq!(FaultKind::WanCongestion.name(), "wan_congestion");
+        assert_eq!(FaultKind::WanCongestion.location(), "wan");
+        assert_eq!(FaultKind::LanShaping.location(), "lan");
+        assert_eq!(FaultKind::MobileLoad.location(), "mobile");
+        assert_eq!(FaultKind::LowRssi.location(), "mobile");
+        assert_eq!(FaultKind::ALL.len(), 7);
+    }
+
+    #[test]
+    fn sample_intensity_in_range() {
+        let mut rng = SimRng::seed_from_u64(1);
+        for kind in FaultKind::ALL {
+            for _ in 0..50 {
+                let p = FaultPlan::sample(kind, &mut rng);
+                assert!((0.05..=1.0).contains(&p.intensity));
+            }
+        }
+        assert_eq!(FaultPlan::sample(FaultKind::None, &mut rng).intensity, 0.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! # vqd-faults — fault injection and background variation
+//!
+//! Reproduces the testbed's problem toolbox (Table 2 of the paper):
+//! the seven induced fault classes with continuous intensity
+//! ([`fault`]) and the always-on background variation processes
+//! (D-ITG-style traffic mixes, ApacheBench-style server load) that make
+//! the training data realistic ([`background`]).
+
+pub mod background;
+pub mod fault;
+
+pub use background::{background_apps, ServerLoad};
+pub use fault::{FaultKind, FaultPlan, TestbedHandles};

@@ -1,0 +1,119 @@
+//! Property-based tests of the fault injectors.
+
+use proptest::prelude::*;
+
+use vqd_faults::{FaultKind, FaultPlan, TestbedHandles};
+use vqd_simnet::host::Host;
+use vqd_simnet::ids::HostId;
+use vqd_simnet::link::LinkConfig;
+use vqd_simnet::rng::SimRng;
+use vqd_simnet::topology::TopologyBuilder;
+use vqd_wireless::{Wlan80211, WlanConfig};
+
+fn testbed() -> (vqd_simnet::engine::Network, TestbedHandles) {
+    let mut tb = TopologyBuilder::with_seed(1);
+    let mobile = tb.add_host_with(Host::new("mobile"));
+    let router = tb.add_host("router");
+    let server = tb.add_host("server");
+    let wired = tb.add_host("wired");
+    let wific = tb.add_host("wific");
+    tb.add_duplex_link(wired, router, LinkConfig::ethernet(100_000_000));
+    let (wan_up, wan_down) = tb.add_duplex_link(router, server, LinkConfig::dsl_nominal());
+    let mut wlan = Wlan80211::new(router, WlanConfig::default());
+    wlan.add_station(mobile, 4.0);
+    wlan.add_station(wific, 4.0);
+    let medium = tb.add_medium(Box::new(wlan));
+    tb.add_wireless(mobile, router, medium, 1460);
+    tb.add_wireless(wific, router, medium, 1460);
+    let net = tb.build();
+    let handles = TestbedHandles {
+        mobile,
+        router,
+        server,
+        wired_client: Some(wired),
+        wifi_client: Some(wific),
+        wan_up,
+        wan_down,
+        medium: Some(medium),
+    };
+    (net, handles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every fault applies cleanly at every intensity and the
+    /// resulting network state is physical (positive rates, bounded
+    /// loss, non-negative loads).
+    #[test]
+    fn faults_apply_cleanly(kind_i in 0usize..7, intensity in 0.0f64..1.0, seed in any::<u64>()) {
+        let kind = FaultKind::ALL[kind_i];
+        let (mut net, handles) = testbed();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let plan = FaultPlan { kind, intensity };
+        let floods = plan.apply(&mut net, &handles, &mut rng);
+        // Links remain physical.
+        for l in &net.links {
+            prop_assert!(l.cfg.rate_bps >= 100_000, "rate {}", l.cfg.rate_bps);
+            prop_assert!((0.0..=0.2).contains(&l.cfg.loss), "loss {}", l.cfg.loss);
+        }
+        // Host models remain bounded.
+        for h in &net.hosts {
+            prop_assert!(h.cpu.utilization() <= 1.0);
+            prop_assert!(h.mem.free_mb() >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&h.io_load));
+        }
+        // Congestion faults produce at least one flood; others none.
+        match kind {
+            FaultKind::WanCongestion | FaultKind::LanCongestion => {
+                prop_assert!(!floods.is_empty())
+            }
+            _ => prop_assert!(floods.is_empty()),
+        }
+        for f in &floods {
+            prop_assert!(f.rate_bps > 0);
+        }
+    }
+
+    /// WAN shaping is monotone: higher intensity never yields a faster
+    /// or cleaner WAN.
+    #[test]
+    fn wan_shaping_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo_k, hi_k) = if a <= b { (a, b) } else { (b, a) };
+        let run = |k: f64| {
+            let (mut net, handles) = testbed();
+            let mut rng = SimRng::seed_from_u64(7);
+            FaultPlan { kind: FaultKind::WanShaping, intensity: k }
+                .apply(&mut net, &handles, &mut rng);
+            let l = &net.links[handles.wan_down.idx()];
+            (l.cfg.rate_bps, l.cfg.loss, l.cfg.delay)
+        };
+        let (r_lo, loss_lo, d_lo) = run(lo_k);
+        let (r_hi, loss_hi, d_hi) = run(hi_k);
+        prop_assert!(r_hi <= r_lo);
+        prop_assert!(loss_hi >= loss_lo - 1e-12);
+        prop_assert!(d_hi >= d_lo);
+    }
+
+    /// Unsupported-fault guard: a cellular-style handle set (no WLAN,
+    /// no LAN clients) degrades wireless/LAN faults to no-ops instead
+    /// of panicking.
+    #[test]
+    fn cellular_handles_never_panic(kind_i in 0usize..7, intensity in 0.0f64..1.0) {
+        let kind = FaultKind::ALL[kind_i];
+        let (mut net, mut handles) = testbed();
+        handles.medium = None;
+        handles.wired_client = None;
+        handles.wifi_client = None;
+        let supported = handles.supports(kind);
+        let mut rng = SimRng::seed_from_u64(3);
+        if supported {
+            let _ = FaultPlan { kind, intensity }.apply(&mut net, &handles, &mut rng);
+        } else {
+            // The caller is expected to gate on supports(); applying an
+            // unsupported fault must still not corrupt anything.
+            let floods = FaultPlan { kind, intensity }.apply(&mut net, &handles, &mut rng);
+            prop_assert!(floods.is_empty());
+        }
+    }
+}

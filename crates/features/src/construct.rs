@@ -1,0 +1,260 @@
+//! Feature Construction (Section 3.2 of the paper).
+//!
+//! Makes the feature space agnostic to video type, delivery mechanism
+//! and network technology:
+//!
+//! * every packet-count metric is normalised by the probe's **total
+//!   packets** for the session, and every byte metric by the **total
+//!   bytes** — a 2-minute HD session and a 30-second SD clip then map
+//!   to the same scale;
+//! * raw NIC transfer rates are dropped in favour of the probes'
+//!   capacity-relative **utilisations**. (The paper divides by the
+//!   maximum rate observed for that NIC across the dataset; that
+//!   denominator does not transfer between deployments with different
+//!   access links — a 20 Mbit/s office line would saturate a scale
+//!   learned on 7.8 Mbit/s DSL — so we use the NIC's own line rate,
+//!   which every probe knows locally and which the paper's recipe
+//!   approximates in the limit.)
+//! * of the RSSI aggregates only the **average** is kept (the paper
+//!   found min/max less predictive);
+//! * scale-free metrics (RTTs, windows, MSS, CPU, memory fractions,
+//!   delays) pass through unchanged.
+
+use vqd_ml::Dataset;
+
+/// Applies feature construction to raw probe datasets.
+///
+/// The construction rules are purely name-driven (scale-free ratios
+/// and drops), so the same transform applies verbatim to evaluation
+/// data from any deployment — the train-in-lab / test-in-the-wild
+/// pipeline is leakage-free by construction.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureConstructor {}
+
+/// Column classification for the construction rules.
+fn is_pkt_count(name: &str) -> bool {
+    name.contains(".tcp.")
+        && (name.ends_with(".pkts")
+            || name.ends_with("retx_pkts")
+            || name.ends_with("ooo_pkts")
+            || name.ends_with("data_pkts")
+            || name.ends_with("pure_acks")
+            || name.ends_with("dup_acks")
+            || name.ends_with("zero_wnd"))
+        && !name.contains("total_")
+}
+
+fn is_byte_count(name: &str) -> bool {
+    name.contains(".tcp.")
+        && (name.ends_with(".bytes") || name.ends_with("data_bytes") || name.ends_with("retx_bytes"))
+        && !name.contains("total_")
+}
+
+fn is_rate(name: &str) -> bool {
+    // Raw rates (bit/s) are deployment-scale-dependent; the
+    // capacity-relative utilisations carry the same signal portably.
+    name.contains("tx_bps") || name.contains("rx_bps") || name.ends_with("throughput_bps")
+}
+
+/// Raw aggregates discarded after construction.
+fn dropped(name: &str) -> bool {
+    // Session totals only served as denominators; absolute totals leak
+    // video size. RSSI min/max/std: the paper keeps the average only.
+    // Raw NIC rates: superseded by capacity-relative utilisations.
+    name.ends_with("tcp.total_pkts")
+        || name.ends_with("tcp.total_data_bytes")
+        || name.ends_with("phy.rssi_min")
+        || name.ends_with("phy.rssi_max")
+        || name.ends_with("phy.rssi_std")
+        || is_rate(name)
+}
+
+impl FeatureConstructor {
+    /// Build a constructor (kept as a fit/transform pair for API
+    /// symmetry; the rules carry no learned state).
+    pub fn fit(_data: &Dataset) -> Self {
+        FeatureConstructor {}
+    }
+
+    fn vp_of(name: &str) -> &str {
+        name.split('.').next().unwrap_or("")
+    }
+
+    /// Transform a dataset with the learned denominators.
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        // Locate each VP's session totals.
+        let total_pkts_col = |vp: &str| {
+            data.feature_index(&format!("{vp}.tcp.total_pkts"))
+        };
+        let total_bytes_col = |vp: &str| {
+            data.feature_index(&format!("{vp}.tcp.total_data_bytes"))
+        };
+
+        let mut features = Vec::new();
+        let mut plan: Vec<Plan> = Vec::new();
+        for (j, name) in data.features.iter().enumerate() {
+            if dropped(name) {
+                continue;
+            }
+            let vp = Self::vp_of(name);
+            if is_pkt_count(name) {
+                if let Some(t) = total_pkts_col(vp) {
+                    features.push(format!("{name}_norm"));
+                    plan.push(Plan::Ratio(j, t));
+                    continue;
+                }
+            }
+            if is_byte_count(name) {
+                if let Some(t) = total_bytes_col(vp) {
+                    features.push(format!("{name}_norm"));
+                    plan.push(Plan::Ratio(j, t));
+                    continue;
+                }
+            }
+            features.push(name.clone());
+            plan.push(Plan::Copy(j));
+        }
+
+        let mut out = Dataset::new(features, data.classes.clone());
+        for (i, row) in data.x.iter().enumerate() {
+            let new_row: Vec<f64> = plan
+                .iter()
+                .map(|p| match *p {
+                    Plan::Copy(j) => row[j],
+                    Plan::Ratio(j, t) => {
+                        let denom = row[t];
+                        if row[j].is_nan() || denom.is_nan() || denom <= 0.0 {
+                            if row[j].is_nan() {
+                                f64::NAN
+                            } else {
+                                0.0
+                            }
+                        } else {
+                            row[j] / denom
+                        }
+                    }
+                })
+                .collect();
+            out.push(new_row, data.y[i]);
+        }
+        out
+    }
+}
+
+impl FeatureConstructor {
+    /// Transform a single instance given as `(name, value)` pairs —
+    /// the online path used when diagnosing one live session.
+    pub fn transform_instance(&self, metrics: &[(String, f64)]) -> Vec<(String, f64)> {
+        let lookup = |name: &str| -> Option<f64> {
+            metrics.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        };
+        let mut out = Vec::with_capacity(metrics.len());
+        for (name, v) in metrics {
+            if dropped(name) {
+                continue;
+            }
+            let vp = Self::vp_of(name);
+            if is_pkt_count(name) {
+                if let Some(t) = lookup(&format!("{vp}.tcp.total_pkts")) {
+                    let r = if v.is_nan() || t <= 0.0 { if v.is_nan() { f64::NAN } else { 0.0 } } else { v / t };
+                    out.push((format!("{name}_norm"), r));
+                    continue;
+                }
+            }
+            if is_byte_count(name) {
+                if let Some(t) = lookup(&format!("{vp}.tcp.total_data_bytes")) {
+                    let r = if v.is_nan() || t <= 0.0 { if v.is_nan() { f64::NAN } else { 0.0 } } else { v / t };
+                    out.push((format!("{name}_norm"), r));
+                    continue;
+                }
+            }
+            out.push((name.clone(), *v));
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Plan {
+    Copy(usize),
+    Ratio(usize, usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw() -> Dataset {
+        let mut d = Dataset::new(
+            vec![
+                "mobile.tcp.s2c.retx_pkts".into(),
+                "mobile.tcp.s2c.data_bytes".into(),
+                "mobile.tcp.total_pkts".into(),
+                "mobile.tcp.total_data_bytes".into(),
+                "mobile.tcp.s2c.rtt_avg".into(),
+                "mobile.nic0.rx_bps_avg".into(),
+                "mobile.phy.rssi_avg".into(),
+                "mobile.phy.rssi_min".into(),
+            ],
+            vec!["good".into(), "bad".into()],
+        );
+        d.push(vec![10.0, 1_000_000.0, 1000.0, 2_000_000.0, 0.05, 4e6, -50.0, -60.0], 0);
+        d.push(vec![50.0, 500_000.0, 500.0, 1_000_000.0, 0.20, 8e6, -80.0, -90.0], 1);
+        d
+    }
+
+    #[test]
+    fn normalises_counts_and_bytes() {
+        let d = raw();
+        let fc = FeatureConstructor::fit(&d);
+        let t = fc.transform(&d);
+        let retx = t.feature_index("mobile.tcp.s2c.retx_pkts_norm").unwrap();
+        assert!((t.x[0][retx] - 0.01).abs() < 1e-12);
+        assert!((t.x[1][retx] - 0.1).abs() < 1e-12);
+        let bytes = t.feature_index("mobile.tcp.s2c.data_bytes_norm").unwrap();
+        assert!((t.x[0][bytes] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_rates_are_dropped() {
+        let d = raw();
+        let fc = FeatureConstructor::fit(&d);
+        let t = fc.transform(&d);
+        assert!(t.feature_index("mobile.nic0.rx_bps_avg").is_none());
+        // But a capacity-relative utilisation column passes through.
+        assert!(t.feature_index("mobile.tcp.s2c.rtt_avg").is_some());
+    }
+
+    #[test]
+    fn drops_totals_and_rssi_extremes_keeps_avg() {
+        let d = raw();
+        let t = FeatureConstructor::fit(&d).transform(&d);
+        assert!(t.feature_index("mobile.tcp.total_pkts").is_none());
+        assert!(t.feature_index("mobile.phy.rssi_min").is_none());
+        assert!(t.feature_index("mobile.phy.rssi_avg").is_some());
+        assert!(t.feature_index("mobile.tcp.s2c.rtt_avg").is_some());
+    }
+
+    #[test]
+    fn transform_is_deployment_independent() {
+        // The transform carries no dataset-derived state: new data
+        // with wildly different scales maps by the same rules.
+        let d = raw();
+        let fc = FeatureConstructor::fit(&d);
+        let mut eval = Dataset::new(d.features.clone(), d.classes.clone());
+        eval.push(vec![5.0, 1.0, 100.0, 10.0, 0.01, 16e6, -40.0, -50.0], 0);
+        let t = fc.transform(&eval);
+        let retx = t.feature_index("mobile.tcp.s2c.retx_pkts_norm").unwrap();
+        assert!((t.x[0][retx] - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_values_propagate() {
+        let d = raw();
+        let fc = FeatureConstructor::fit(&d);
+        let mut eval = Dataset::new(d.features.clone(), d.classes.clone());
+        eval.push(vec![f64::NAN; 8], 0);
+        let t = fc.transform(&eval);
+        assert!(t.x[0].iter().all(|v| v.is_nan()));
+    }
+}

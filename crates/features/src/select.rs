@@ -1,0 +1,179 @@
+//! Feature Selection: Fast Correlation-Based Filter (FCBF).
+//!
+//! The paper reduces 354 raw features to 22 with FCBF (Yu & Liu, ICML
+//! 2003): rank features by symmetrical uncertainty (SU) with the class,
+//! then walk the ranking removing every feature that is more correlated
+//! with an already-selected feature than with the class (a *redundant
+//! peer*). Continuous features are first discretised with
+//! Fayyad–Irani MDL cuts, as Weka does.
+
+use vqd_ml::dataset::Dataset;
+use vqd_ml::discretize::{apply, mdl_cuts};
+use vqd_ml::info::symmetrical_uncertainty;
+
+/// Outcome of feature selection.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// Selected feature names, strongest first.
+    pub names: Vec<String>,
+    /// SU with the class for each selected feature.
+    pub su: Vec<f64>,
+}
+
+/// Run FCBF. `delta` is the minimum SU with the class for a feature to
+/// be considered relevant at all (the paper/Weka default is ≈0).
+pub fn fcbf(data: &Dataset, delta: f64) -> Selection {
+    let n = data.len();
+    if n == 0 {
+        return Selection { names: Vec::new(), su: Vec::new() };
+    }
+    let ny = data.n_classes();
+
+    // Discretise every column once.
+    let mut cols: Vec<(usize, Vec<usize>, usize, f64)> = Vec::new(); // (feat, bins, n_bins, su_class)
+    for j in 0..data.n_features() {
+        let values: Vec<f64> = data.x.iter().map(|r| r[j]).collect();
+        let cuts = mdl_cuts(&values, &data.y, ny);
+        if cuts.cuts.is_empty() {
+            // No class-relevant structure in this feature.
+            continue;
+        }
+        let bins = apply(&cuts, &values);
+        let nb = cuts.n_bins();
+        let su = symmetrical_uncertainty(&bins, &data.y, nb, ny);
+        if su > delta {
+            cols.push((j, bins, nb, su));
+        }
+    }
+    // Descending by SU with the class.
+    cols.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap());
+
+    // Redundancy elimination.
+    let mut selected: Vec<usize> = Vec::new(); // indices into cols
+    let mut removed = vec![false; cols.len()];
+    for i in 0..cols.len() {
+        if removed[i] {
+            continue;
+        }
+        selected.push(i);
+        for k in (i + 1)..cols.len() {
+            if removed[k] {
+                continue;
+            }
+            let su_pq = symmetrical_uncertainty(&cols[i].1, &cols[k].1, cols[i].2, cols[k].2);
+            if su_pq >= cols[k].3 {
+                removed[k] = true;
+            }
+        }
+    }
+
+    Selection {
+        names: selected.iter().map(|&i| data.features[cols[i].0].clone()).collect(),
+        su: selected.iter().map(|&i| cols[i].3).collect(),
+    }
+}
+
+/// Rank all features by SU with the class (no redundancy elimination) —
+/// used for the paper's Table 4 per-fault feature rankings.
+pub fn rank_by_su(data: &Dataset) -> Vec<(String, f64)> {
+    let ny = data.n_classes();
+    let mut out: Vec<(String, f64)> = Vec::new();
+    for j in 0..data.n_features() {
+        let values: Vec<f64> = data.x.iter().map(|r| r[j]).collect();
+        let cuts = mdl_cuts(&values, &data.y, ny);
+        if cuts.cuts.is_empty() {
+            continue;
+        }
+        let bins = apply(&cuts, &values);
+        let su = symmetrical_uncertainty(&bins, &data.y, cuts.n_bins(), ny);
+        out.push((data.features[j].clone(), su));
+    }
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqd_simnet::rng::SimRng;
+
+    /// signal: fully predictive; echo: copy of signal (redundant);
+    /// weak: noisy version; junk: random.
+    fn toy(n: usize, seed: u64) -> Dataset {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut d = Dataset::new(
+            vec!["signal".into(), "echo".into(), "weak".into(), "junk".into()],
+            vec!["a".into(), "b".into()],
+        );
+        for _ in 0..n {
+            let c = rng.index(2);
+            let s = c as f64 * 10.0 + rng.normal(0.0, 0.5);
+            let weak = c as f64 * 2.0 + rng.normal(0.0, 2.0);
+            d.push(vec![s, s + 0.1, weak, rng.normal(0.0, 3.0)], c);
+        }
+        d
+    }
+
+    #[test]
+    fn fcbf_keeps_signal_drops_echo_and_junk() {
+        let d = toy(500, 1);
+        let sel = fcbf(&d, 0.01);
+        assert!(sel.names.contains(&"signal".to_string()) || sel.names.contains(&"echo".to_string()));
+        // The redundant twin must not survive alongside the original.
+        assert!(
+            !(sel.names.contains(&"signal".to_string()) && sel.names.contains(&"echo".to_string())),
+            "{:?}",
+            sel.names
+        );
+        assert!(!sel.names.contains(&"junk".to_string()), "{:?}", sel.names);
+    }
+
+    #[test]
+    fn weak_but_nonredundant_survives() {
+        let d = toy(800, 2);
+        let sel = fcbf(&d, 0.01);
+        // `weak` carries class information not fully captured once
+        // redundancy with signal is accounted — FCBF usually keeps it.
+        assert!(sel.names.len() >= 1 && sel.names.len() <= 3, "{:?}", sel.names);
+        // Ordering is by SU descending.
+        for w in sel.su.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn rank_by_su_ordering() {
+        let d = toy(500, 3);
+        let ranks = rank_by_su(&d);
+        assert!(!ranks.is_empty());
+        assert_eq!(ranks[0].0, "signal");
+        for w in ranks.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_is_safe() {
+        let d = Dataset::new(vec!["a".into()], vec!["x".into(), "y".into()]);
+        let sel = fcbf(&d, 0.0);
+        assert!(sel.names.is_empty());
+    }
+
+    #[test]
+    fn massive_reduction_on_noise() {
+        // 50 junk features + 2 informative → FCBF returns a handful.
+        let mut rng = SimRng::seed_from_u64(5);
+        let names: Vec<String> = (0..52).map(|i| format!("f{i}")).collect();
+        let mut d = Dataset::new(names, vec!["a".into(), "b".into()]);
+        for _ in 0..400 {
+            let c = rng.index(2);
+            let mut row: Vec<f64> = (0..50).map(|_| rng.normal(0.0, 1.0)).collect();
+            row.push(c as f64 * 5.0 + rng.normal(0.0, 0.5));
+            row.push(c as f64 * -3.0 + rng.normal(0.0, 0.8));
+            d.push(row, c);
+        }
+        let sel = fcbf(&d, 0.01);
+        assert!(sel.names.len() <= 6, "kept {:?}", sel.names);
+        assert!(sel.names.contains(&"f50".to_string()));
+    }
+}

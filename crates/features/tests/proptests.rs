@@ -1,0 +1,116 @@
+//! Property-based tests of feature construction and selection.
+
+use proptest::prelude::*;
+
+use vqd_features::{fcbf, FeatureConstructor};
+use vqd_ml::dataset::Dataset;
+use vqd_simnet::rng::SimRng;
+
+fn probe_like_dataset(n: usize, seed: u64, signal_strength: f64) -> Dataset {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut d = Dataset::new(
+        vec![
+            "mobile.tcp.s2c.retx_pkts".into(),
+            "mobile.tcp.s2c.data_bytes".into(),
+            "mobile.tcp.total_pkts".into(),
+            "mobile.tcp.total_data_bytes".into(),
+            "mobile.nic0.rx_bps_avg".into(),
+            "mobile.phy.rssi_avg".into(),
+            "mobile.hw.cpu_avg".into(),
+        ],
+        vec!["good".into(), "bad".into()],
+    );
+    for _ in 0..n {
+        let c = rng.index(2);
+        let pkts = rng.range_f64(100.0, 10_000.0);
+        let retx = pkts * if c == 1 { 0.05 * signal_strength } else { 0.004 };
+        d.push(
+            vec![
+                retx,
+                pkts * 1000.0,
+                pkts,
+                pkts * 1400.0,
+                rng.range_f64(1e5, 8e6),
+                rng.normal(-55.0 - c as f64 * 20.0 * signal_strength, 4.0),
+                rng.range_f64(0.05, 0.9),
+            ],
+            c,
+        );
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Constructed ratios are scale-free: multiplying a session's
+    /// packet counts by any factor leaves normalised columns unchanged.
+    #[test]
+    fn construction_is_scale_invariant(k in 1.0f64..50.0, seed in any::<u64>()) {
+        let d = probe_like_dataset(30, seed, 1.0);
+        let fc = FeatureConstructor::fit(&d);
+        let t1 = fc.transform(&d);
+        // Scale counts and totals together.
+        let mut scaled = d.clone();
+        for row in &mut scaled.x {
+            row[0] *= k; // retx_pkts
+            row[1] *= k; // data_bytes
+            row[2] *= k; // total_pkts
+            row[3] *= k; // total_data_bytes
+        }
+        let t2 = fc.transform(&scaled);
+        let retx = t1.feature_index("mobile.tcp.s2c.retx_pkts_norm").unwrap();
+        let bytes = t1.feature_index("mobile.tcp.s2c.data_bytes_norm").unwrap();
+        for i in 0..t1.len() {
+            prop_assert!((t1.x[i][retx] - t2.x[i][retx]).abs() < 1e-9);
+            prop_assert!((t1.x[i][bytes] - t2.x[i][bytes]).abs() < 1e-9);
+        }
+    }
+
+    /// FCBF output: names are unique, exist in the dataset, and SU
+    /// scores are sorted descending in (0, 1].
+    #[test]
+    fn fcbf_output_invariants(seed in any::<u64>(), strength in 0.5f64..2.0) {
+        let d = probe_like_dataset(150, seed, strength);
+        let fc = FeatureConstructor::fit(&d);
+        let t = fc.transform(&d);
+        let sel = fcbf(&t, 0.01);
+        let mut seen = std::collections::HashSet::new();
+        for name in &sel.names {
+            prop_assert!(t.feature_index(name).is_some(), "unknown {name}");
+            prop_assert!(seen.insert(name.clone()), "duplicate {name}");
+        }
+        for w in sel.su.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        for &su in &sel.su {
+            prop_assert!(su > 0.0 && su <= 1.0);
+        }
+    }
+
+    /// Transform and transform_instance agree column-by-column.
+    #[test]
+    fn batch_and_instance_transforms_agree(seed in any::<u64>()) {
+        let d = probe_like_dataset(20, seed, 1.0);
+        let fc = FeatureConstructor::fit(&d);
+        let t = fc.transform(&d);
+        for i in 0..d.len() {
+            let metrics: Vec<(String, f64)> = d
+                .features
+                .iter()
+                .cloned()
+                .zip(d.x[i].iter().copied())
+                .collect();
+            let inst = fc.transform_instance(&metrics);
+            prop_assert_eq!(inst.len(), t.n_features());
+            for (j, (name, v)) in inst.iter().enumerate() {
+                prop_assert_eq!(name, &t.features[j]);
+                let expect = t.x[i][j];
+                prop_assert!(
+                    (v - expect).abs() < 1e-9 || (v.is_nan() && expect.is_nan()),
+                    "{name}: {v} vs {expect}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Stratified k-fold cross-validation.
+//!
+//! The paper evaluates every model with 10-fold cross-validation; this
+//! module provides that loop for any classifier via the
+//! [`Learner`] abstraction, producing a pooled
+//! [`ConfusionMatrix`](crate::metrics::ConfusionMatrix).
+
+use vqd_simnet::rng::SimRng;
+
+use crate::dataset::Dataset;
+use crate::dtree::{C45Trainer, DecisionTree};
+use crate::metrics::ConfusionMatrix;
+use crate::nb::NaiveBayes;
+use crate::svm::{LinearSvm, SvmConfig};
+
+/// Anything that can be fit on dataset rows and predict instances.
+pub trait Learner {
+    /// The trained model type.
+    type Model;
+    /// Train on the given rows.
+    fn fit(&self, data: &Dataset, rows: &[usize]) -> Self::Model;
+    /// Predict one instance with a trained model.
+    fn predict(model: &Self::Model, x: &[f64]) -> usize;
+}
+
+/// C4.5 learner adapter.
+impl Learner for C45Trainer {
+    type Model = DecisionTree;
+    fn fit(&self, data: &Dataset, rows: &[usize]) -> DecisionTree {
+        C45Trainer::fit(self, data, rows)
+    }
+    fn predict(model: &DecisionTree, x: &[f64]) -> usize {
+        model.predict(x)
+    }
+}
+
+/// Gaussian NB learner adapter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NbLearner;
+impl Learner for NbLearner {
+    type Model = NaiveBayes;
+    fn fit(&self, data: &Dataset, rows: &[usize]) -> NaiveBayes {
+        NaiveBayes::fit(data, rows)
+    }
+    fn predict(model: &NaiveBayes, x: &[f64]) -> usize {
+        model.predict(x)
+    }
+}
+
+/// Linear SVM learner adapter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SvmLearner {
+    /// SVM configuration.
+    pub cfg: SvmConfig,
+}
+
+impl Learner for SvmLearner {
+    type Model = LinearSvm;
+    fn fit(&self, data: &Dataset, rows: &[usize]) -> LinearSvm {
+        LinearSvm::fit(data, rows, self.cfg)
+    }
+    fn predict(model: &LinearSvm, x: &[f64]) -> usize {
+        model.predict(x)
+    }
+}
+
+/// Run stratified k-fold cross-validation; returns the pooled
+/// confusion matrix over all held-out folds.
+pub fn cross_validate<L: Learner>(
+    learner: &L,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+) -> ConfusionMatrix {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let folds = data.stratified_folds(k, &mut rng);
+    let mut cm = ConfusionMatrix::new(data.classes.clone());
+    for held in 0..k {
+        let train: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != held)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        if train.is_empty() || folds[held].is_empty() {
+            continue;
+        }
+        let model = learner.fit(data, &train);
+        for &r in &folds[held] {
+            cm.add(data.y[r], L::predict(&model, &data.x[r]));
+        }
+    }
+    cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable(n: usize) -> Dataset {
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], vec!["x".into(), "y".into()]);
+        for _ in 0..n {
+            let c = rng.index(2);
+            d.push(
+                vec![rng.normal(c as f64 * 6.0, 1.0), rng.normal(0.0, 1.0)],
+                c,
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn cv_c45_high_accuracy() {
+        let d = separable(400);
+        let cm = cross_validate(&C45Trainer::default(), &d, 10, 1);
+        assert_eq!(cm.total(), 400);
+        assert!(cm.accuracy() > 0.95, "acc {}", cm.accuracy());
+    }
+
+    #[test]
+    fn cv_nb_and_svm_work() {
+        let d = separable(300);
+        let nb = cross_validate(&NbLearner, &d, 5, 2);
+        assert!(nb.accuracy() > 0.95, "nb {}", nb.accuracy());
+        let svm = cross_validate(&SvmLearner::default(), &d, 5, 2);
+        assert!(svm.accuracy() > 0.95, "svm {}", svm.accuracy());
+    }
+
+    #[test]
+    fn every_instance_tested_once() {
+        let d = separable(103); // not divisible by k
+        let cm = cross_validate(&C45Trainer::default(), &d, 10, 3);
+        assert_eq!(cm.total(), 103);
+    }
+}

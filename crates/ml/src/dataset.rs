@@ -1,0 +1,264 @@
+//! Dataset representation.
+//!
+//! Rows are instances, columns are named numeric features (`NaN`
+//! encodes a missing value — e.g. RSSI at the server probe), and each
+//! instance carries a class index. This is the Weka-ARFF-shaped input
+//! every learner in this crate consumes.
+
+use vqd_simnet::rng::SimRng;
+
+/// A labelled numeric dataset with optional missing values.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Column names.
+    pub features: Vec<String>,
+    /// Row-major values; `x[i][j]` is feature `j` of instance `i`
+    /// (`NaN` = missing).
+    pub x: Vec<Vec<f64>>,
+    /// Class index per instance.
+    pub y: Vec<usize>,
+    /// Class names (index = class id).
+    pub classes: Vec<String>,
+}
+
+impl Dataset {
+    /// Empty dataset with the given schema.
+    pub fn new(features: Vec<String>, classes: Vec<String>) -> Self {
+        Dataset { features, x: Vec::new(), y: Vec::new(), classes }
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+    /// True when there are no instances.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Append an instance. Panics if the row width or class index is
+    /// inconsistent with the schema.
+    pub fn push(&mut self, row: Vec<f64>, class: usize) {
+        assert_eq!(row.len(), self.features.len(), "row width mismatch");
+        assert!(class < self.classes.len(), "class out of range");
+        self.x.push(row);
+        self.y.push(class);
+    }
+
+    /// Index of a feature by name.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.features.iter().position(|f| f == name)
+    }
+
+    /// Class frequency counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut c = vec![0; self.classes.len()];
+        for &y in &self.y {
+            c[y] += 1;
+        }
+        c
+    }
+
+    /// A new dataset keeping only the named feature columns (order
+    /// preserved from `names`). Unknown names are skipped.
+    pub fn select_features(&self, names: &[String]) -> Dataset {
+        let idx: Vec<usize> =
+            names.iter().filter_map(|n| self.feature_index(n)).collect();
+        let features = idx.iter().map(|&i| self.features[i].clone()).collect();
+        let x = self
+            .x
+            .iter()
+            .map(|row| idx.iter().map(|&i| row[i]).collect())
+            .collect();
+        Dataset { features, x, y: self.y.clone(), classes: self.classes.clone() }
+    }
+
+    /// A new dataset keeping only feature columns whose name matches
+    /// `pred`.
+    pub fn select_features_by(&self, pred: impl Fn(&str) -> bool) -> Dataset {
+        let names: Vec<String> =
+            self.features.iter().filter(|f| pred(f)).cloned().collect();
+        self.select_features(&names)
+    }
+
+    /// A new dataset with classes re-labelled through `map`
+    /// (old class index → new class index) and the given new class
+    /// names.
+    pub fn relabel(&self, classes: Vec<String>, map: impl Fn(usize) -> usize) -> Dataset {
+        let y: Vec<usize> = self.y.iter().map(|&c| map(c)).collect();
+        assert!(y.iter().all(|&c| c < classes.len()));
+        Dataset { features: self.features.clone(), x: self.x.clone(), y, classes }
+    }
+
+    /// Stratified k-fold split: returns `k` disjoint row-index sets
+    /// with near-equal class balance.
+    pub fn stratified_folds(&self, k: usize, rng: &mut SimRng) -> Vec<Vec<usize>> {
+        assert!(k >= 2);
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.classes.len()];
+        for (i, &c) in self.y.iter().enumerate() {
+            by_class[c].push(i);
+        }
+        // Shuffle within class.
+        for rows in &mut by_class {
+            for i in (1..rows.len()).rev() {
+                let j = rng.index(i + 1);
+                rows.swap(i, j);
+            }
+        }
+        let mut folds = vec![Vec::new(); k];
+        let mut next = 0usize;
+        for rows in &by_class {
+            for &r in rows {
+                folds[next % k].push(r);
+                next += 1;
+            }
+        }
+        folds
+    }
+
+    /// Merge another dataset with the *same schema* into this one.
+    pub fn extend(&mut self, other: &Dataset) {
+        assert_eq!(self.features, other.features);
+        assert_eq!(self.classes, other.classes);
+        self.x.extend(other.x.iter().cloned());
+        self.y.extend(other.y.iter().cloned());
+    }
+}
+
+/// Build a dataset from named-metric rows with possibly differing
+/// feature sets: the schema is the union of all names; absent values
+/// become `NaN`.
+pub struct DatasetBuilder {
+    features: Vec<String>,
+    index: std::collections::HashMap<String, usize>,
+    rows: Vec<(Vec<(usize, f64)>, usize)>,
+    classes: Vec<String>,
+}
+
+impl DatasetBuilder {
+    /// Builder with the given class names.
+    pub fn new(classes: Vec<String>) -> Self {
+        DatasetBuilder {
+            features: Vec::new(),
+            index: std::collections::HashMap::new(),
+            rows: Vec::new(),
+            classes,
+        }
+    }
+
+    /// Add one instance given as `(name, value)` pairs.
+    pub fn push(&mut self, metrics: &[(String, f64)], class: usize) {
+        let mut sparse = Vec::with_capacity(metrics.len());
+        for (name, v) in metrics {
+            let id = match self.index.get(name) {
+                Some(&i) => i,
+                None => {
+                    let i = self.features.len();
+                    self.features.push(name.clone());
+                    self.index.insert(name.clone(), i);
+                    i
+                }
+            };
+            sparse.push((id, *v));
+        }
+        self.rows.push((sparse, class));
+    }
+
+    /// Finalize into a dense dataset (absent → NaN).
+    pub fn build(self) -> Dataset {
+        let n = self.features.len();
+        let mut ds = Dataset::new(self.features, self.classes);
+        for (sparse, class) in self.rows {
+            let mut row = vec![f64::NAN; n];
+            for (i, v) in sparse {
+                row[i] = v;
+            }
+            ds.push(row, class);
+        }
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["x".into(), "y".into()],
+        );
+        for i in 0..10 {
+            d.push(vec![i as f64, -(i as f64), 0.5], i % 2);
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_counts() {
+        let d = toy();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.class_counts(), vec![5, 5]);
+        assert_eq!(d.feature_index("b"), Some(1));
+    }
+
+    #[test]
+    fn select_features_reorders() {
+        let d = toy();
+        let s = d.select_features(&["c".into(), "a".into(), "zzz".into()]);
+        assert_eq!(s.features, vec!["c".to_string(), "a".to_string()]);
+        assert_eq!(s.x[3], vec![0.5, 3.0]);
+        assert_eq!(s.y, d.y);
+    }
+
+    #[test]
+    fn relabel_collapses_classes() {
+        let d = toy();
+        let r = d.relabel(vec!["all".into()], |_| 0);
+        assert_eq!(r.class_counts(), vec![10]);
+    }
+
+    #[test]
+    fn stratified_folds_balance() {
+        let d = toy();
+        let mut rng = SimRng::seed_from_u64(4);
+        let folds = d.stratified_folds(5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let total: usize = folds.iter().map(|f| f.len()).sum();
+        assert_eq!(total, 10);
+        for f in &folds {
+            assert_eq!(f.len(), 2);
+            // One of each class.
+            let c0 = f.iter().filter(|&&r| d.y[r] == 0).count();
+            assert_eq!(c0, 1);
+        }
+    }
+
+    #[test]
+    fn builder_handles_union_schema() {
+        let mut b = DatasetBuilder::new(vec!["g".into(), "b".into()]);
+        b.push(&[("m1".into(), 1.0), ("m2".into(), 2.0)], 0);
+        b.push(&[("m2".into(), 5.0), ("m3".into(), 7.0)], 1);
+        let d = b.build();
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.x[0][0], 1.0);
+        assert!(d.x[0][2].is_nan(), "absent metric is NaN");
+        assert!(d.x[1][0].is_nan());
+        assert_eq!(d.x[1][1], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_checks_width() {
+        let mut d = toy();
+        d.push(vec![1.0], 0);
+    }
+}

@@ -1,0 +1,715 @@
+//! C4.5 decision tree (the Weka **J48** equivalent).
+//!
+//! Implements the parts of Quinlan's C4.5 the paper's workload needs:
+//!
+//! * numeric attributes with threshold splits chosen by **gain ratio**
+//!   (with the `log2(m)/|D|` continuous-split penalty),
+//! * **missing values** by fractional instance weighting at train time
+//!   and probability-weighted descent at prediction time — essential
+//!   here, since different vantage-point combinations produce different
+//!   missing columns,
+//! * **error-based pruning** with the standard confidence-factor 0.25
+//!   upper bound (Weka's `addErrs`),
+//! * an interpretable dump ([`DecisionTree::to_text`]) and per-feature
+//!   importance scores used for the paper's Table 4 feature ranking.
+
+use crate::dataset::Dataset;
+use crate::info::entropy_of_counts;
+
+/// Training configuration (defaults match J48's `-C 0.25 -M 2`).
+#[derive(Debug, Clone, Copy)]
+pub struct C45Config {
+    /// Minimum total instance weight per branch.
+    pub min_leaf: f64,
+    /// Pruning confidence factor (lower prunes more).
+    pub cf: f64,
+    /// Depth cap (safety net; C4.5 has none).
+    pub max_depth: usize,
+    /// Disable error-based pruning (unpruned J48 `-U`).
+    pub unpruned: bool,
+}
+
+impl Default for C45Config {
+    fn default() -> Self {
+        C45Config { min_leaf: 2.0, cf: 0.25, max_depth: 60, unpruned: false }
+    }
+}
+
+/// A tree node.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// Terminal node carrying the training class distribution.
+    Leaf {
+        /// Class weights seen at this leaf.
+        dist: Vec<f64>,
+    },
+    /// Binary threshold split on a numeric feature.
+    Split {
+        /// Feature column index.
+        feat: usize,
+        /// Values `< thr` go low.
+        thr: f64,
+        /// Low branch.
+        lo: Box<Node>,
+        /// High branch.
+        hi: Box<Node>,
+        /// Fraction of known-valued training weight that went low
+        /// (routes missing values).
+        lo_frac: f64,
+        /// Training class distribution at this node (for pruning and
+        /// fallback).
+        dist: Vec<f64>,
+        /// Weighted information gain achieved (feature importance).
+        gain_w: f64,
+    },
+}
+
+/// A trained C4.5 model.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    n_classes: usize,
+    /// Feature names (for dumps and importances).
+    pub feature_names: Vec<String>,
+    /// Class names.
+    pub class_names: Vec<String>,
+}
+
+fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for i in 1..v.len() {
+        if v[i] > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+impl DecisionTree {
+    /// Class distribution predicted for an instance (missing values
+    /// descend both branches, weighted).
+    pub fn predict_dist(&self, x: &[f64]) -> Vec<f64> {
+        fn go(node: &Node, x: &[f64], w: f64, out: &mut [f64]) {
+            match node {
+                Node::Leaf { dist } => {
+                    let total: f64 = dist.iter().sum();
+                    if total > 0.0 {
+                        for (o, d) in out.iter_mut().zip(dist) {
+                            *o += w * d / total;
+                        }
+                    }
+                }
+                Node::Split { feat, thr, lo, hi, lo_frac, .. } => {
+                    let v = x[*feat];
+                    if v.is_nan() {
+                        go(lo, x, w * lo_frac, out);
+                        go(hi, x, w * (1.0 - lo_frac), out);
+                    } else if v < *thr {
+                        go(lo, x, w, out);
+                    } else {
+                        go(hi, x, w, out);
+                    }
+                }
+            }
+        }
+        let mut out = vec![0.0; self.n_classes];
+        go(&self.root, x, 1.0, &mut out);
+        out
+    }
+
+    /// Predicted class.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.predict_dist(x))
+    }
+
+    /// Node count.
+    pub fn size(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { lo, hi, .. } => 1 + count(lo) + count(hi),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { lo, hi, .. } => 1 + d(lo).max(d(hi)),
+            }
+        }
+        d(&self.root)
+    }
+
+    /// Total weighted information gain contributed by each feature —
+    /// the ranking used to reproduce the paper's Table 4.
+    pub fn feature_importance(&self) -> Vec<f64> {
+        fn acc(n: &Node, imp: &mut [f64]) {
+            if let Node::Split { feat, gain_w, lo, hi, .. } = n {
+                imp[*feat] += gain_w;
+                acc(lo, imp);
+                acc(hi, imp);
+            }
+        }
+        let mut imp = vec![0.0; self.feature_names.len()];
+        acc(&self.root, &mut imp);
+        imp
+    }
+
+    /// Serialise to a line-oriented text format (dependency-free model
+    /// persistence; see [`DecisionTree::deserialize`]).
+    pub fn serialize(&self) -> String {
+        fn node(n: &Node, s: &mut String) {
+            match n {
+                Node::Leaf { dist } => {
+                    s.push('L');
+                    for d in dist {
+                        s.push(' ');
+                        s.push_str(&format!("{d:?}"));
+                    }
+                    s.push('\n');
+                }
+                Node::Split { feat, thr, lo, hi, lo_frac, dist, gain_w } => {
+                    s.push_str(&format!("S {feat} {thr:?} {lo_frac:?} {gain_w:?}"));
+                    for d in dist {
+                        s.push(' ');
+                        s.push_str(&format!("{d:?}"));
+                    }
+                    s.push('\n');
+                    node(lo, s);
+                    node(hi, s);
+                }
+            }
+        }
+        let mut s = String::from("vqd-tree v1\n");
+        s.push_str(&format!("classes\t{}\n", self.class_names.join("\t")));
+        s.push_str(&format!("features\t{}\n", self.feature_names.join("\t")));
+        node(&self.root, &mut s);
+        s
+    }
+
+    /// Parse a model serialised by [`DecisionTree::serialize`].
+    pub fn deserialize(text: &str) -> Result<DecisionTree, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("vqd-tree v1") => {}
+            other => return Err(format!("bad header: {other:?}")),
+        }
+        let classes: Vec<String> = lines
+            .next()
+            .and_then(|l| l.strip_prefix("classes\t"))
+            .ok_or("missing classes line")?
+            .split('\t')
+            .map(str::to_string)
+            .collect();
+        let features: Vec<String> = lines
+            .next()
+            .and_then(|l| l.strip_prefix("features\t"))
+            .ok_or("missing features line")?
+            .split('\t')
+            .map(str::to_string)
+            .collect();
+        fn parse<'a>(
+            lines: &mut impl Iterator<Item = &'a str>,
+            nf: usize,
+        ) -> Result<Node, String> {
+            let line = lines.next().ok_or("unexpected end of tree")?;
+            let mut tok = line.split(' ');
+            match tok.next() {
+                Some("L") => {
+                    let dist: Vec<f64> = tok
+                        .map(|t| t.parse().map_err(|e| format!("bad leaf value: {e}")))
+                        .collect::<Result<_, _>>()?;
+                    Ok(Node::Leaf { dist })
+                }
+                Some("S") => {
+                    let feat: usize =
+                        tok.next().ok_or("missing feat")?.parse().map_err(|_| "bad feat")?;
+                    if feat >= nf {
+                        return Err(format!("feature index {feat} out of range"));
+                    }
+                    let thr: f64 =
+                        tok.next().ok_or("missing thr")?.parse().map_err(|_| "bad thr")?;
+                    let lo_frac: f64 =
+                        tok.next().ok_or("missing lo_frac")?.parse().map_err(|_| "bad lo_frac")?;
+                    let gain_w: f64 =
+                        tok.next().ok_or("missing gain")?.parse().map_err(|_| "bad gain")?;
+                    let dist: Vec<f64> = tok
+                        .map(|t| t.parse().map_err(|e| format!("bad dist value: {e}")))
+                        .collect::<Result<_, _>>()?;
+                    let lo = Box::new(parse(lines, nf)?);
+                    let hi = Box::new(parse(lines, nf)?);
+                    Ok(Node::Split { feat, thr, lo, hi, lo_frac, dist, gain_w })
+                }
+                other => Err(format!("bad node tag: {other:?}")),
+            }
+        }
+        let root = parse(&mut lines, features.len())?;
+        let n_classes = classes.len();
+        Ok(DecisionTree { root, n_classes, feature_names: features, class_names: classes })
+    }
+
+    /// Human-readable dump (the "not a black box" property the paper
+    /// highlights).
+    pub fn to_text(&self) -> String {
+        fn fmt(n: &Node, names: &[String], classes: &[String], ind: usize, s: &mut String) {
+            let pad = "  ".repeat(ind);
+            match n {
+                Node::Leaf { dist } => {
+                    let total: f64 = dist.iter().sum();
+                    let c = argmax(dist);
+                    s.push_str(&format!(
+                        "{pad}=> {} ({total:.1})\n",
+                        classes.get(c).map(String::as_str).unwrap_or("?")
+                    ));
+                }
+                Node::Split { feat, thr, lo, hi, .. } => {
+                    s.push_str(&format!("{pad}{} < {thr:.4}:\n", names[*feat]));
+                    fmt(lo, names, classes, ind + 1, s);
+                    s.push_str(&format!("{pad}{} >= {thr:.4}:\n", names[*feat]));
+                    fmt(hi, names, classes, ind + 1, s);
+                }
+            }
+        }
+        let mut s = String::new();
+        fmt(&self.root, &self.feature_names, &self.class_names, 0, &mut s);
+        s
+    }
+}
+
+/// Inverse standard-normal CDF (Beasley–Springer–Moro approximation).
+fn norm_quantile(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    let a = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    let b = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    let c = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    let d = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let plow = 0.02425;
+    if p < plow {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5])
+            / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    } else if p <= 1.0 - plow {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q
+            / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    } else {
+        -norm_quantile(1.0 - p)
+    }
+}
+
+/// Weka's `Stats.addErrs`: extra errors charged to a leaf by the
+/// binomial upper confidence bound.
+fn add_errs(n: f64, e: f64, cf: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    if e < 1.0 {
+        let base = n * (1.0 - cf.powf(1.0 / n));
+        if e <= 0.0 {
+            return base;
+        }
+        return base + e * (add_errs(n, 1.0, cf) - base);
+    }
+    if e + 0.5 >= n {
+        return (n - e).max(0.0);
+    }
+    let z = norm_quantile(1.0 - cf);
+    let f = (e + 0.5) / n;
+    let r = (f + z * z / (2.0 * n)
+        + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+        / (1.0 + z * z / n);
+    (r * n - e).max(0.0)
+}
+
+/// C4.5 trainer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct C45Trainer {
+    /// Configuration.
+    pub cfg: C45Config,
+}
+
+impl C45Trainer {
+    /// Train on the rows `rows` of `data` (pass `0..len` for all).
+    pub fn fit(&self, data: &Dataset, rows: &[usize]) -> DecisionTree {
+        let weighted: Vec<(usize, f64)> = rows.iter().map(|&r| (r, 1.0)).collect();
+        let mut root = self.build(data, &weighted, 0);
+        if !self.cfg.unpruned {
+            prune(&mut root, self.cfg.cf);
+        }
+        DecisionTree {
+            root,
+            n_classes: data.n_classes(),
+            feature_names: data.features.clone(),
+            class_names: data.classes.clone(),
+        }
+    }
+
+    fn dist(&self, data: &Dataset, rows: &[(usize, f64)]) -> Vec<f64> {
+        let mut d = vec![0.0; data.n_classes()];
+        for &(r, w) in rows {
+            d[data.y[r]] += w;
+        }
+        d
+    }
+
+    fn build(&self, data: &Dataset, rows: &[(usize, f64)], depth: usize) -> Node {
+        let dist = self.dist(data, rows);
+        let total: f64 = dist.iter().sum();
+        let pure = dist.iter().filter(|&&w| w > 0.0).count() <= 1;
+        if pure || total < 2.0 * self.cfg.min_leaf || depth >= self.cfg.max_depth {
+            return Node::Leaf { dist };
+        }
+        let Some(best) = self.best_split(data, rows, &dist, total) else {
+            return Node::Leaf { dist };
+        };
+        let (feat, thr, gain_w, lo_frac) = best;
+        // Partition.
+        let mut lo_rows = Vec::new();
+        let mut hi_rows = Vec::new();
+        for &(r, w) in rows {
+            let v = data.x[r][feat];
+            if v.is_nan() {
+                if lo_frac > 0.0 {
+                    lo_rows.push((r, w * lo_frac));
+                }
+                if lo_frac < 1.0 {
+                    hi_rows.push((r, w * (1.0 - lo_frac)));
+                }
+            } else if v < thr {
+                lo_rows.push((r, w));
+            } else {
+                hi_rows.push((r, w));
+            }
+        }
+        if lo_rows.is_empty() || hi_rows.is_empty() {
+            return Node::Leaf { dist };
+        }
+        let lo = Box::new(self.build(data, &lo_rows, depth + 1));
+        let hi = Box::new(self.build(data, &hi_rows, depth + 1));
+        Node::Split { feat, thr, lo, hi, lo_frac, dist, gain_w }
+    }
+
+    /// Best (feature, threshold, weighted gain, lo fraction) by gain
+    /// ratio.
+    fn best_split(
+        &self,
+        data: &Dataset,
+        rows: &[(usize, f64)],
+        dist: &[f64],
+        total: f64,
+    ) -> Option<(usize, f64, f64, f64)> {
+        let n_classes = data.n_classes();
+        let mut best: Option<(usize, f64, f64, f64)> = None;
+        let mut best_ratio = 0.0f64;
+        for feat in 0..data.n_features() {
+            let mut known: Vec<(f64, usize, f64)> = rows
+                .iter()
+                .filter_map(|&(r, w)| {
+                    let v = data.x[r][feat];
+                    (!v.is_nan()).then_some((v, data.y[r], w))
+                })
+                .collect();
+            if known.len() < 4 {
+                continue;
+            }
+            known.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let known_w: f64 = known.iter().map(|k| k.2).sum();
+            if known_w < 2.0 * self.cfg.min_leaf {
+                continue;
+            }
+            let miss_w = total - known_w;
+            let frac_known = known_w / total;
+            let mut known_dist = vec![0.0; n_classes];
+            for &(_, c, w) in &known {
+                known_dist[c] += w;
+            }
+            let h = entropy_of_counts(&known_dist);
+            if h == 0.0 {
+                continue;
+            }
+            // Sweep.
+            let mut left = vec![0.0; n_classes];
+            let mut left_w = 0.0;
+            let mut candidates = 0u32;
+            let mut feat_best: Option<(f64, f64, f64)> = None; // (thr, gain, lo_w)
+            for i in 0..known.len() - 1 {
+                left[known[i].1] += known[i].2;
+                left_w += known[i].2;
+                if known[i].0 == known[i + 1].0 {
+                    continue;
+                }
+                candidates += 1;
+                let right_w = known_w - left_w;
+                if left_w < self.cfg.min_leaf || right_w < self.cfg.min_leaf {
+                    continue;
+                }
+                let right: Vec<f64> =
+                    known_dist.iter().zip(&left).map(|(&t, &l)| t - l).collect();
+                let h_split =
+                    (left_w * entropy_of_counts(&left) + right_w * entropy_of_counts(&right))
+                        / known_w;
+                let gain = frac_known * (h - h_split);
+                if feat_best.map(|(_, g, _)| gain > g).unwrap_or(true) {
+                    let thr = (known[i].0 + known[i + 1].0) / 2.0;
+                    feat_best = Some((thr, gain, left_w));
+                }
+            }
+            let Some((thr, mut gain, lo_w)) = feat_best else { continue };
+            if candidates == 0 {
+                continue;
+            }
+            // C4.5 continuous-attribute penalty.
+            gain -= (candidates as f64).log2() / known.len() as f64;
+            if gain <= 1e-9 {
+                continue;
+            }
+            // Split info over {lo, hi, missing} shares of total weight.
+            let hi_w = known_w - lo_w;
+            let si = entropy_of_counts(&[lo_w, hi_w, miss_w]);
+            if si <= 1e-9 {
+                continue;
+            }
+            let ratio = gain / si;
+            if ratio > best_ratio {
+                best_ratio = ratio;
+                best = Some((feat, thr, gain * total, lo_w / known_w));
+            }
+        }
+        let _ = dist;
+        best
+    }
+}
+
+/// Bottom-up error-based pruning. Returns the node's predicted errors.
+fn prune(node: &mut Node, cf: f64) -> f64 {
+    let (leaf_pred, dist) = match node {
+        Node::Leaf { dist } => {
+            let total: f64 = dist.iter().sum();
+            let err = total - dist[argmax(dist)];
+            return err + add_errs(total, err, cf);
+        }
+        Node::Split { dist, .. } => {
+            let total: f64 = dist.iter().sum();
+            let err = total - dist[argmax(dist)];
+            (err + add_errs(total, err, cf), dist.clone())
+        }
+    };
+    let subtree_pred = match node {
+        Node::Split { lo, hi, .. } => prune(lo, cf) + prune(hi, cf),
+        Node::Leaf { .. } => unreachable!(),
+    };
+    if leaf_pred <= subtree_pred + 0.1 {
+        *node = Node::Leaf { dist };
+        leaf_pred
+    } else {
+        subtree_pred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqd_simnet::rng::SimRng;
+
+    fn dataset(features: &[&str], classes: &[&str]) -> Dataset {
+        Dataset::new(
+            features.iter().map(|s| s.to_string()).collect(),
+            classes.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    #[test]
+    fn learns_simple_threshold() {
+        let mut d = dataset(&["x"], &["lo", "hi"]);
+        for i in 0..100 {
+            let v = i as f64 / 10.0;
+            d.push(vec![v], usize::from(v >= 5.0));
+        }
+        let tree = C45Trainer::default().fit(&d, &(0..100).collect::<Vec<_>>());
+        assert_eq!(tree.predict(&[2.0]), 0);
+        assert_eq!(tree.predict(&[8.0]), 1);
+        assert!(tree.size() <= 5, "size {}", tree.size());
+    }
+
+    #[test]
+    fn picks_informative_feature() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut d = dataset(&["noise", "signal"], &["a", "b"]);
+        for _ in 0..300 {
+            let c = rng.index(2);
+            let signal = c as f64 * 10.0 + rng.normal(0.0, 1.0);
+            let noise = rng.normal(0.0, 5.0);
+            d.push(vec![noise, signal], c);
+        }
+        let rows: Vec<usize> = (0..d.len()).collect();
+        let tree = C45Trainer::default().fit(&d, &rows);
+        let imp = tree.feature_importance();
+        assert!(imp[1] > imp[0] * 5.0, "importances {imp:?}");
+        // Accuracy on training data is near perfect.
+        let correct = rows.iter().filter(|&&r| tree.predict(&d.x[r]) == d.y[r]).count();
+        assert!(correct as f64 / rows.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn handles_missing_values() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut d = dataset(&["a", "b"], &["x", "y"]);
+        for i in 0..400 {
+            let c = i % 2;
+            let a = if rng.chance(0.3) { f64::NAN } else { c as f64 * 4.0 + rng.normal(0.0, 0.5) };
+            let b = c as f64 * 4.0 + rng.normal(0.0, 0.5);
+            d.push(vec![a, b], c);
+        }
+        let rows: Vec<usize> = (0..d.len()).collect();
+        let tree = C45Trainer::default().fit(&d, &rows);
+        // Predict with the first feature missing entirely.
+        assert_eq!(tree.predict(&[f64::NAN, 0.1]), 0);
+        assert_eq!(tree.predict(&[f64::NAN, 4.1]), 1);
+    }
+
+    #[test]
+    fn pruning_shrinks_noisy_tree() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut d = dataset(&["x", "n1", "n2"], &["a", "b"]);
+        for _ in 0..500 {
+            let c = rng.index(2);
+            // x is weakly predictive; n1/n2 are pure noise.
+            let x = c as f64 + rng.normal(0.0, 0.8);
+            d.push(vec![x, rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)], c);
+        }
+        let rows: Vec<usize> = (0..d.len()).collect();
+        let unpruned = C45Trainer { cfg: C45Config { unpruned: true, ..Default::default() } }
+            .fit(&d, &rows);
+        let pruned = C45Trainer::default().fit(&d, &rows);
+        assert!(
+            pruned.size() < unpruned.size(),
+            "pruned {} unpruned {}",
+            pruned.size(),
+            unpruned.size()
+        );
+    }
+
+    #[test]
+    fn multiclass_bands() {
+        let mut d = dataset(&["v"], &["low", "mid", "high"]);
+        for i in 0..300 {
+            let v = i as f64 / 10.0;
+            let c = if v < 10.0 { 0 } else if v < 20.0 { 1 } else { 2 };
+            d.push(vec![v], c);
+        }
+        let rows: Vec<usize> = (0..d.len()).collect();
+        let tree = C45Trainer::default().fit(&d, &rows);
+        assert_eq!(tree.predict(&[5.0]), 0);
+        assert_eq!(tree.predict(&[15.0]), 1);
+        assert_eq!(tree.predict(&[25.0]), 2);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn dump_mentions_feature_names() {
+        let mut d = dataset(&["rssi"], &["good", "bad"]);
+        for i in 0..50 {
+            d.push(vec![-(i as f64)], usize::from(i >= 25));
+        }
+        let tree = C45Trainer::default().fit(&d, &(0..50).collect::<Vec<_>>());
+        let txt = tree.to_text();
+        assert!(txt.contains("rssi"), "{txt}");
+        assert!(txt.contains("good") && txt.contains("bad"), "{txt}");
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut rng = SimRng::seed_from_u64(12);
+        let mut d = dataset(&["a", "b", "c"], &["x", "y", "z"]);
+        for _ in 0..300 {
+            let c = rng.index(3);
+            d.push(
+                vec![
+                    c as f64 * 3.0 + rng.normal(0.0, 0.8),
+                    rng.normal(0.0, 1.0),
+                    if rng.chance(0.2) { f64::NAN } else { c as f64 - 1.0 },
+                ],
+                c,
+            );
+        }
+        let rows: Vec<usize> = (0..d.len()).collect();
+        let tree = C45Trainer::default().fit(&d, &rows);
+        let text = tree.serialize();
+        let back = DecisionTree::deserialize(&text).unwrap();
+        assert_eq!(back.size(), tree.size());
+        assert_eq!(back.feature_names, tree.feature_names);
+        assert_eq!(back.class_names, tree.class_names);
+        // Identical predictions, including missing-value paths.
+        for probe in [
+            vec![0.0, 0.0, f64::NAN],
+            vec![3.0, -1.0, 0.0],
+            vec![f64::NAN, f64::NAN, f64::NAN],
+            vec![6.0, 2.0, 1.0],
+        ] {
+            assert_eq!(back.predict(&probe), tree.predict(&probe));
+            let da = tree.predict_dist(&probe);
+            let db = back.predict_dist(&probe);
+            for (x, y) in da.iter().zip(&db) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(DecisionTree::deserialize("nope").is_err());
+        assert!(DecisionTree::deserialize("vqd-tree v1\nclasses\ta\n").is_err());
+        assert!(DecisionTree::deserialize(
+            "vqd-tree v1\nclasses\ta\tb\nfeatures\tf\nS 9 0.5 0.5 1.0 1 2\nL 1\nL 2\n"
+        )
+        .is_err(), "out-of-range feature index must fail");
+    }
+
+    #[test]
+    fn add_errs_monotone() {
+        // More observed errors → more predicted extra errors... the
+        // bound narrows with n.
+        let a = add_errs(100.0, 0.0, 0.25);
+        let b = add_errs(100.0, 10.0, 0.25);
+        assert!(b > 0.0 && a > 0.0);
+        let big_n = add_errs(10000.0, 0.0, 0.25);
+        assert!(big_n / 10000.0 < a / 100.0);
+    }
+
+    #[test]
+    fn norm_quantile_sane() {
+        assert!((norm_quantile(0.75) - 0.6744898).abs() < 1e-4);
+        assert!((norm_quantile(0.5)).abs() < 1e-9);
+        assert!((norm_quantile(0.975) - 1.959964).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,121 @@
+//! Information-theoretic primitives: entropy, information gain,
+//! symmetrical uncertainty.
+//!
+//! These back both the C4.5 split criterion and the FCBF feature
+//! selector. All functions operate on discrete value indices (continuous
+//! features are discretised first — see [`crate::discretize`]).
+
+/// Shannon entropy (bits) of a count vector.
+pub fn entropy_of_counts(counts: &[f64]) -> f64 {
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0.0 {
+            let p = c / total;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Entropy of a discrete label sequence with `n` distinct values.
+pub fn entropy(labels: &[usize], n: usize) -> f64 {
+    let mut counts = vec![0.0; n];
+    for &l in labels {
+        counts[l] += 1.0;
+    }
+    entropy_of_counts(&counts)
+}
+
+/// H(Y), H(Y|X) and mutual information I(X;Y) for two aligned discrete
+/// sequences (`nx`/`ny` distinct values).
+pub fn mutual_information(xs: &[usize], ys: &[usize], nx: usize, ny: usize) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut joint = vec![0.0f64; nx * ny];
+    let mut cx = vec![0.0f64; nx];
+    let mut cy = vec![0.0f64; ny];
+    for (&x, &y) in xs.iter().zip(ys) {
+        joint[x * ny + y] += 1.0;
+        cx[x] += 1.0;
+        cy[y] += 1.0;
+    }
+    let hx = entropy_of_counts(&cx);
+    let hy = entropy_of_counts(&cy);
+    let hxy = entropy_of_counts(&joint);
+    (hx + hy - hxy).max(0.0)
+}
+
+/// Symmetrical uncertainty: `2·I(X;Y) / (H(X)+H(Y))` ∈ [0, 1].
+/// The relevance/redundancy measure of FCBF (Yu & Liu, ICML 2003).
+pub fn symmetrical_uncertainty(xs: &[usize], ys: &[usize], nx: usize, ny: usize) -> f64 {
+    let mut cx = vec![0.0f64; nx];
+    let mut cy = vec![0.0f64; ny];
+    for &x in xs {
+        cx[x] += 1.0;
+    }
+    for &y in ys {
+        cy[y] += 1.0;
+    }
+    let hx = entropy_of_counts(&cx);
+    let hy = entropy_of_counts(&cy);
+    if hx + hy <= 0.0 {
+        return 0.0;
+    }
+    let mi = mutual_information(xs, ys, nx, ny);
+    (2.0 * mi / (hx + hy)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy_of_counts(&[10.0, 0.0]), 0.0);
+        assert!((entropy_of_counts(&[5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((entropy_of_counts(&[1.0, 1.0, 1.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(entropy_of_counts(&[]), 0.0);
+    }
+
+    #[test]
+    fn mi_of_identical_variables_is_entropy() {
+        let xs = vec![0, 1, 0, 1, 0, 1, 1, 0];
+        let mi = mutual_information(&xs, &xs, 2, 2);
+        assert!((mi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_of_independent_is_zero() {
+        // x alternates fast, y alternates slow: independent by design.
+        let xs: Vec<usize> = (0..64).map(|i| i % 2).collect();
+        let ys: Vec<usize> = (0..64).map(|i| (i / 32) % 2).collect();
+        let mi = mutual_information(&xs, &ys, 2, 2);
+        assert!(mi.abs() < 1e-9, "mi {mi}");
+    }
+
+    #[test]
+    fn su_bounds_and_symmetry() {
+        let xs = vec![0, 0, 1, 1, 2, 2, 0, 1];
+        let ys = vec![0, 0, 1, 1, 1, 1, 0, 1];
+        let a = symmetrical_uncertainty(&xs, &ys, 3, 2);
+        let b = symmetrical_uncertainty(&ys, &xs, 2, 3);
+        assert!((a - b).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&a));
+        // Perfectly dependent, same alphabets → SU = 1.
+        let c = symmetrical_uncertainty(&ys, &ys, 2, 2);
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn su_constant_feature_is_zero() {
+        let xs = vec![0; 10];
+        let ys: Vec<usize> = (0..10).map(|i| i % 2).collect();
+        assert_eq!(symmetrical_uncertainty(&xs, &ys, 1, 2), 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # vqd-ml — the machine-learning substrate
+//!
+//! A from-scratch reimplementation of the Weka 3.6 pieces the paper
+//! uses (the "thin ML ecosystem" gap called out in the reproduction
+//! notes):
+//!
+//! * [`dtree`] — **C4.5** (J48): gain-ratio threshold splits, missing
+//!   values by fractional weighting, error-based pruning (CF 0.25).
+//! * [`nb`] / [`svm`] — the Gaussian Naive Bayes and linear SVM
+//!   baselines C4.5 is compared against.
+//! * [`discretize`] — Fayyad–Irani MDL discretisation, the
+//!   pre-processing FCBF needs.
+//! * [`info`] — entropy / mutual information / symmetrical uncertainty.
+//! * [`cv`] — stratified 10-fold cross-validation.
+//! * [`metrics`] — accuracy, per-class precision/recall, confusion
+//!   matrices, exactly as defined in Section 5 of the paper.
+//! * [`dataset`] — the ARFF-shaped numeric dataset with missing values.
+
+pub mod cv;
+pub mod dataset;
+pub mod discretize;
+pub mod dtree;
+pub mod info;
+pub mod metrics;
+pub mod nb;
+pub mod svm;
+
+pub use cv::{cross_validate, Learner, NbLearner, SvmLearner};
+pub use dataset::{Dataset, DatasetBuilder};
+pub use discretize::{mdl_cuts, FeatureCuts};
+pub use dtree::{C45Config, C45Trainer, DecisionTree};
+pub use info::{entropy, mutual_information, symmetrical_uncertainty};
+pub use metrics::ConfusionMatrix;
+pub use nb::NaiveBayes;
+pub use svm::{LinearSvm, SvmConfig};

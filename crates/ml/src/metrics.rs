@@ -1,0 +1,204 @@
+//! Evaluation metrics: confusion matrix, accuracy, precision, recall.
+//!
+//! Matches the paper's definitions (Section 5): overall accuracy is
+//! correctly predicted instances over all instances; per-class
+//! precision is TP/(TP+FP); per-class recall is TP/(TP+total in
+//! class).
+
+/// Confusion matrix over `n` classes; `m[actual][predicted]`.
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    /// Class names.
+    pub classes: Vec<String>,
+    m: Vec<Vec<u64>>,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix over the given classes.
+    pub fn new(classes: Vec<String>) -> Self {
+        let n = classes.len();
+        ConfusionMatrix { classes, m: vec![vec![0; n]; n] }
+    }
+
+    /// Record one prediction.
+    pub fn add(&mut self, actual: usize, predicted: usize) {
+        self.m[actual][predicted] += 1;
+    }
+
+    /// Merge another matrix (same shape).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        for (a, row) in other.m.iter().enumerate() {
+            for (p, &v) in row.iter().enumerate() {
+                self.m[a][p] += v;
+            }
+        }
+    }
+
+    /// Raw cell count.
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        self.m[actual][predicted]
+    }
+
+    /// Total instances recorded.
+    pub fn total(&self) -> u64 {
+        self.m.iter().flatten().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.m.len()).map(|i| self.m[i][i]).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Precision for one class: TP / (TP + FP). 0 when never predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.m[class][class];
+        let predicted: u64 = self.m.iter().map(|row| row[class]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall for one class: TP / class total. 0 for an empty class.
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.m[class][class];
+        let actual: u64 = self.m[class].iter().sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// F1 for one class.
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean precision over classes that occur.
+    pub fn macro_precision(&self) -> f64 {
+        let occupied: Vec<usize> = (0..self.m.len())
+            .filter(|&c| self.m[c].iter().sum::<u64>() > 0)
+            .collect();
+        if occupied.is_empty() {
+            return 0.0;
+        }
+        occupied.iter().map(|&c| self.precision(c)).sum::<f64>() / occupied.len() as f64
+    }
+
+    /// Unweighted mean recall over classes that occur.
+    pub fn macro_recall(&self) -> f64 {
+        let occupied: Vec<usize> = (0..self.m.len())
+            .filter(|&c| self.m[c].iter().sum::<u64>() > 0)
+            .collect();
+        if occupied.is_empty() {
+            return 0.0;
+        }
+        occupied.iter().map(|&c| self.recall(c)).sum::<f64>() / occupied.len() as f64
+    }
+
+    /// Pretty table for reports.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str("actual\\pred");
+        for c in &self.classes {
+            s.push_str(&format!("\t{c}"));
+        }
+        s.push('\n');
+        for (a, row) in self.m.iter().enumerate() {
+            s.push_str(&self.classes[a]);
+            for v in row {
+                s.push_str(&format!("\t{v}"));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        let mut cm = ConfusionMatrix::new(vec!["a".into(), "b".into(), "c".into()]);
+        // class a: 8 right, 2 as b
+        for _ in 0..8 {
+            cm.add(0, 0);
+        }
+        cm.add(0, 1);
+        cm.add(0, 1);
+        // class b: 5 right, 5 as c
+        for _ in 0..5 {
+            cm.add(1, 1);
+        }
+        for _ in 0..5 {
+            cm.add(1, 2);
+        }
+        // class c: all 10 right
+        for _ in 0..10 {
+            cm.add(2, 2);
+        }
+        cm
+    }
+
+    #[test]
+    fn accuracy_and_total() {
+        let cm = sample();
+        assert_eq!(cm.total(), 30);
+        assert!((cm.accuracy() - 23.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall() {
+        let cm = sample();
+        // a predicted 8 times, all correct.
+        assert!((cm.precision(0) - 1.0).abs() < 1e-12);
+        assert!((cm.recall(0) - 0.8).abs() < 1e-12);
+        // b predicted 7 times (5 tp + 2 fp).
+        assert!((cm.precision(1) - 5.0 / 7.0).abs() < 1e-12);
+        assert!((cm.recall(1) - 0.5).abs() < 1e-12);
+        // c predicted 15 times (10 tp + 5 fp).
+        assert!((cm.precision(2) - 10.0 / 15.0).abs() < 1e-12);
+        assert!((cm.recall(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_and_macro() {
+        let cm = sample();
+        let f1a = cm.f1(0);
+        assert!((f1a - 2.0 * 1.0 * 0.8 / 1.8).abs() < 1e-12);
+        assert!(cm.macro_precision() > 0.0 && cm.macro_precision() <= 1.0);
+        assert!((cm.macro_recall() - (0.8 + 0.5 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.total(), 60);
+        assert!((a.accuracy() - 23.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_safe() {
+        let cm = ConfusionMatrix::new(vec!["a".into()]);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.precision(0), 0.0);
+        assert_eq!(cm.recall(0), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Gaussian Naive Bayes — one of the baselines the paper compared
+//! against C4.5 (and found inferior on this workload).
+
+use crate::dataset::Dataset;
+
+/// Trained Gaussian NB model.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    /// log prior per class.
+    log_prior: Vec<f64>,
+    /// Per class, per feature: (mean, variance) or `None` if the class
+    /// never observed the feature.
+    params: Vec<Vec<Option<(f64, f64)>>>,
+}
+
+impl NaiveBayes {
+    /// Fit on the given rows.
+    pub fn fit(data: &Dataset, rows: &[usize]) -> Self {
+        let nc = data.n_classes();
+        let nf = data.n_features();
+        let mut count = vec![0usize; nc];
+        for &r in rows {
+            count[data.y[r]] += 1;
+        }
+        let total: usize = count.iter().sum();
+        let log_prior = count
+            .iter()
+            .map(|&c| (((c + 1) as f64) / ((total + nc) as f64)).ln())
+            .collect();
+        let mut params = vec![vec![None; nf]; nc];
+        for c in 0..nc {
+            for f in 0..nf {
+                let vals: Vec<f64> = rows
+                    .iter()
+                    .filter(|&&r| data.y[r] == c)
+                    .map(|&r| data.x[r][f])
+                    .filter(|v| !v.is_nan())
+                    .collect();
+                if vals.len() >= 2 {
+                    let n = vals.len() as f64;
+                    let mean = vals.iter().sum::<f64>() / n;
+                    let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+                    params[c][f] = Some((mean, var.max(1e-9)));
+                }
+            }
+        }
+        NaiveBayes { log_prior, params }
+    }
+
+    /// Predicted class for an instance (missing features are skipped).
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let mut best = 0;
+        let mut best_ll = f64::NEG_INFINITY;
+        for (c, prior) in self.log_prior.iter().enumerate() {
+            let mut ll = *prior;
+            for (f, &v) in x.iter().enumerate() {
+                if v.is_nan() {
+                    continue;
+                }
+                if let Some((mean, var)) = self.params[c][f] {
+                    ll += -0.5 * ((v - mean).powi(2) / var + var.ln() + (2.0 * std::f64::consts::PI).ln());
+                }
+            }
+            if ll > best_ll {
+                best_ll = ll;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqd_simnet::rng::SimRng;
+
+    #[test]
+    fn separable_gaussians() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], vec!["x".into(), "y".into()]);
+        for _ in 0..400 {
+            let c = rng.index(2);
+            d.push(
+                vec![rng.normal(c as f64 * 5.0, 1.0), rng.normal(-(c as f64) * 3.0, 1.0)],
+                c,
+            );
+        }
+        let rows: Vec<usize> = (0..d.len()).collect();
+        let nb = NaiveBayes::fit(&d, &rows);
+        let acc = rows.iter().filter(|&&r| nb.predict(&d.x[r]) == d.y[r]).count() as f64
+            / rows.len() as f64;
+        assert!(acc > 0.97, "acc {acc}");
+    }
+
+    #[test]
+    fn missing_features_skipped() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], vec!["x".into(), "y".into()]);
+        for i in 0..50 {
+            let c = i % 2;
+            d.push(vec![c as f64 * 10.0, f64::NAN], c);
+        }
+        let rows: Vec<usize> = (0..d.len()).collect();
+        let nb = NaiveBayes::fit(&d, &rows);
+        assert_eq!(nb.predict(&[0.0, f64::NAN]), 0);
+        assert_eq!(nb.predict(&[10.0, f64::NAN]), 1);
+        // Only the missing feature present → falls back to priors, no
+        // panic.
+        let _ = nb.predict(&[f64::NAN, f64::NAN]);
+    }
+
+    #[test]
+    fn prior_drives_empty_instance() {
+        let mut d = Dataset::new(vec!["a".into()], vec!["rare".into(), "common".into()]);
+        for _ in 0..5 {
+            d.push(vec![0.0], 0);
+        }
+        for _ in 0..95 {
+            d.push(vec![0.0], 1);
+        }
+        let rows: Vec<usize> = (0..d.len()).collect();
+        let nb = NaiveBayes::fit(&d, &rows);
+        assert_eq!(nb.predict(&[f64::NAN]), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the ML substrate.
+
+use proptest::prelude::*;
+
+use vqd_ml::dataset::Dataset;
+use vqd_ml::discretize::mdl_cuts;
+use vqd_ml::dtree::C45Trainer;
+use vqd_ml::info::{entropy_of_counts, mutual_information, symmetrical_uncertainty};
+use vqd_ml::metrics::ConfusionMatrix;
+
+proptest! {
+    /// Entropy is within [0, log2(k)] for any non-negative counts.
+    #[test]
+    fn entropy_bounds(counts in proptest::collection::vec(0.0f64..1e4, 1..16)) {
+        let h = entropy_of_counts(&counts);
+        let k = counts.iter().filter(|&&c| c > 0.0).count().max(1);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (k as f64).log2() + 1e-9, "h={h} k={k}");
+    }
+
+    /// MI is symmetric, non-negative and bounded by min(H(X), H(Y)).
+    #[test]
+    fn mutual_information_properties(
+        pairs in proptest::collection::vec((0usize..4, 0usize..3), 4..200)
+    ) {
+        let xs: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        let mi = mutual_information(&xs, &ys, 4, 3);
+        let mi_rev = mutual_information(&ys, &xs, 3, 4);
+        prop_assert!((mi - mi_rev).abs() < 1e-9);
+        prop_assert!(mi >= 0.0);
+        let mut cx = [0.0; 4];
+        let mut cy = [0.0; 3];
+        for &(x, y) in &pairs {
+            cx[x] += 1.0;
+            cy[y] += 1.0;
+        }
+        let bound = entropy_of_counts(&cx).min(entropy_of_counts(&cy));
+        prop_assert!(mi <= bound + 1e-9, "mi={mi} bound={bound}");
+    }
+
+    /// SU is in [0,1] and symmetric.
+    #[test]
+    fn su_properties(pairs in proptest::collection::vec((0usize..3, 0usize..3), 4..150)) {
+        let xs: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        let su = symmetrical_uncertainty(&xs, &ys, 3, 3);
+        prop_assert!((0.0..=1.0).contains(&su));
+        prop_assert!((su - symmetrical_uncertainty(&ys, &xs, 3, 3)).abs() < 1e-9);
+    }
+
+    /// MDL cuts are sorted and all interior to the data range.
+    #[test]
+    fn mdl_cuts_sorted_and_bounded(
+        values in proptest::collection::vec(-100.0f64..100.0, 8..200),
+        threshold in -50.0f64..50.0,
+    ) {
+        let labels: Vec<usize> = values.iter().map(|&v| usize::from(v >= threshold)).collect();
+        let cuts = mdl_cuts(&values, &labels, 2);
+        for w in cuts.cuts.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        if !cuts.cuts.is_empty() {
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(cuts.cuts[0] >= lo && *cuts.cuts.last().unwrap() <= hi);
+        }
+        // Binning is total: every value (and NaN) maps to a valid bin.
+        for &v in &values {
+            prop_assert!(cuts.bin(v) < cuts.n_bins());
+        }
+        prop_assert_eq!(cuts.bin(f64::NAN), cuts.n_bins() - 1);
+    }
+
+    /// The confusion matrix accounting identities hold for arbitrary
+    /// prediction streams.
+    #[test]
+    fn confusion_matrix_identities(
+        preds in proptest::collection::vec((0usize..4, 0usize..4), 1..300)
+    ) {
+        let mut cm = ConfusionMatrix::new(
+            (0..4).map(|i| format!("c{i}")).collect()
+        );
+        for &(a, p) in &preds {
+            cm.add(a, p);
+        }
+        prop_assert_eq!(cm.total(), preds.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        for c in 0..4 {
+            prop_assert!((0.0..=1.0).contains(&cm.precision(c)));
+            prop_assert!((0.0..=1.0).contains(&cm.recall(c)));
+            prop_assert!((0.0..=1.0).contains(&cm.f1(c)));
+        }
+        // Accuracy equals the weighted recall over occupied classes.
+        let weighted: f64 = (0..4)
+            .map(|c| {
+                let support: u64 = (0..4).map(|p| cm.count(c, p)).sum();
+                cm.recall(c) * support as f64
+            })
+            .sum::<f64>() / preds.len() as f64;
+        prop_assert!((cm.accuracy() - weighted).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A trained C4.5 returns a valid class for any input, including
+    /// all-NaN rows, and perfectly fits cleanly separable data.
+    #[test]
+    fn c45_total_function(seed in any::<u64>(), gap in 1.0f64..10.0) {
+        use vqd_simnet::rng::SimRng;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut d = Dataset::new(
+            vec!["x".into(), "y".into()],
+            vec!["a".into(), "b".into()],
+        );
+        for _ in 0..200 {
+            let c = rng.index(2);
+            d.push(
+                vec![c as f64 * gap * 4.0 + rng.normal(0.0, gap * 0.3), rng.normal(0.0, 1.0)],
+                c,
+            );
+        }
+        let rows: Vec<usize> = (0..d.len()).collect();
+        let tree = C45Trainer::default().fit(&d, &rows);
+        // Valid predictions everywhere.
+        for probe in [
+            vec![f64::NAN, f64::NAN],
+            vec![0.0, 0.0],
+            vec![1e12, -1e12],
+            vec![f64::NAN, 3.0],
+        ] {
+            prop_assert!(tree.predict(&probe) < 2);
+        }
+        // Training accuracy is high on well-separated classes.
+        let correct = rows.iter().filter(|&&r| tree.predict(&d.x[r]) == d.y[r]).count();
+        prop_assert!(correct as f64 / rows.len() as f64 > 0.9);
+        // The distribution output is a valid (sub-)probability vector.
+        let dist = tree.predict_dist(&[f64::NAN, f64::NAN]);
+        let total: f64 = dist.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "dist sums to {total}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # vqd-probes — vantage-point instrumentation
+//!
+//! The measurement layer of the framework: everything a probe deployed
+//! at the mobile device, the home router/AP or the content server can
+//! observe, reconstructed passively and aggregated per video session.
+//!
+//! * [`tstat`] — per-flow TCP analysis from packet taps (the `tstat`
+//!   equivalent): counts, retransmissions, out-of-order, RTT via
+//!   timestamp echo, windows, MSS, first-payload delay.
+//! * [`sampler`] — 1 Hz OS/hardware (CPU, memory, I/O) and link/PHY
+//!   (throughput, drops, MAC retries, RSSI, rate, association)
+//!   sampling with avg/min/max/std aggregation.
+//! * [`vantage`] — assembly of one probe's view into named metric
+//!   vectors (`"mobile.tcp.s2c.retx_pkts"`, …) and the
+//!   [`ProbeSet`](vantage::ProbeSet) packet observer that feeds every
+//!   vantage point from the simulator's taps.
+//!
+//! Application-layer QoE (stalls, startup delay) is deliberately *not*
+//! collected here: it lives in `vqd-video` and is used only to label
+//! the ground truth, mirroring the paper's methodology.
+
+pub mod sampler;
+pub mod tstat;
+pub mod vantage;
+
+pub use sampler::{HwAccum, NicAccum, PhyAccum, SamplerApp};
+pub use tstat::{DirStats, FlowAnalyzer};
+pub use vantage::{ProbeSet, VpData, VpHandle};

@@ -1,0 +1,233 @@
+//! Periodic OS/hardware and link/PHY sampling.
+//!
+//! The paper's probes read `/proc`-style hardware state and NIC/radio
+//! counters once per second and aggregate them per video flow
+//! (average/min/max/std). [`SamplerApp`] is the simulated equivalent:
+//! it ticks at 1 Hz and fills the accumulators inside each vantage
+//! point's shared [`VpData`](crate::vantage::VpData).
+
+use vqd_simnet::engine::{App, Ctl};
+use vqd_simnet::ids::{HostId, LinkId};
+use vqd_simnet::stats::Welford;
+use vqd_simnet::time::SimDuration;
+
+use crate::vantage::VpHandle;
+
+/// Accumulated OS/hardware samples.
+#[derive(Debug, Default, Clone)]
+pub struct HwAccum {
+    /// CPU utilisation, `[0, 1]`.
+    pub cpu: Welford,
+    /// Free memory, MiB.
+    pub mem_free: Welford,
+    /// Fraction of memory free.
+    pub mem_free_frac: Welford,
+    /// I/O pressure, `[0, 1]`.
+    pub io: Welford,
+}
+
+/// Accumulated per-NIC samples (one NIC = the link pair to a peer).
+#[derive(Debug, Clone)]
+pub struct NicAccum {
+    /// Stable role label ("wlan", "wan", "lan", or "nic<i>") — feature
+    /// names must mean the same interface role across topologies.
+    pub label: String,
+    /// Egress one-way link (from == this host).
+    pub link_out: LinkId,
+    /// Ingress one-way link (to == this host).
+    pub link_in: Option<LinkId>,
+    /// Peer on the other end.
+    pub peer: HostId,
+    /// True if the NIC is a WLAN attachment.
+    pub wireless: bool,
+    /// Transmit throughput samples, bit/s.
+    pub tx_bps: Welford,
+    /// Receive throughput samples, bit/s.
+    pub rx_bps: Welford,
+    /// Transmit utilisation vs line rate, `[0, 1]`.
+    pub tx_util: Welford,
+    /// Receive utilisation vs line rate, `[0, 1]`.
+    pub rx_util: Welford,
+    /// Queue (congestion) drops on the egress link over the window.
+    pub tail_drops: u64,
+    /// Random/MAC-exhausted losses on the egress link.
+    pub loss_drops: u64,
+    /// MAC retransmissions on the egress link.
+    pub mac_retx: u64,
+    prev_out_bytes: u64,
+    prev_in_bytes: u64,
+    prev_tail: u64,
+    prev_loss: u64,
+    prev_retx: u64,
+}
+
+impl NicAccum {
+    fn new(label: String, link_out: LinkId, link_in: Option<LinkId>, peer: HostId, wireless: bool) -> Self {
+        NicAccum {
+            label,
+            link_out,
+            link_in,
+            peer,
+            wireless,
+            tx_bps: Welford::new(),
+            rx_bps: Welford::new(),
+            tx_util: Welford::new(),
+            rx_util: Welford::new(),
+            tail_drops: 0,
+            loss_drops: 0,
+            mac_retx: 0,
+            prev_out_bytes: 0,
+            prev_in_bytes: 0,
+            prev_tail: 0,
+            prev_loss: 0,
+            prev_retx: 0,
+        }
+    }
+}
+
+/// Accumulated radio samples (WLAN stations / the AP's view of them).
+#[derive(Debug, Default, Clone)]
+pub struct PhyAccum {
+    /// RSSI, dBm (1 Hz samples, as in the paper).
+    pub rssi: Welford,
+    /// SNR, dB.
+    pub snr: Welford,
+    /// Negotiated PHY rate, bit/s.
+    pub phy_rate: Welford,
+    /// Medium busy fraction.
+    pub busy: Welford,
+    /// Total disconnections observed so far.
+    pub disconnections: u64,
+    /// Samples taken while disassociated.
+    pub disconnected_samples: u64,
+}
+
+/// 1 Hz sampler application covering a set of vantage points.
+pub struct SamplerApp {
+    vps: Vec<VpHandle>,
+    /// Sampling period (1 s in the paper).
+    pub interval: SimDuration,
+}
+
+impl SamplerApp {
+    /// Sampler over the given vantage points.
+    pub fn new(vps: Vec<VpHandle>) -> Self {
+        SamplerApp { vps, interval: SimDuration::from_secs(1) }
+    }
+
+    fn discover_nics(vp: &VpHandle, ctl: &Ctl) {
+        let mut vp = vp.borrow_mut();
+        if !vp.nics.is_empty() {
+            return;
+        }
+        let host = vp.host;
+        let net = ctl.net();
+        let mut next_idx = 0usize;
+        for (i, l) in net.links.iter().enumerate() {
+            if l.from == host {
+                let out = LinkId(i as u32);
+                let peer = l.to;
+                let link_in = net.link_between(peer, host);
+                let wireless = l.medium.is_some();
+                let label = vp
+                    .nic_labels
+                    .iter()
+                    .find(|(lid, _)| *lid == out)
+                    .map(|(_, n)| n.clone())
+                    .unwrap_or_else(|| {
+                        if wireless {
+                            "wlan".to_string()
+                        } else {
+                            let n = format!("nic{next_idx}");
+                            n
+                        }
+                    });
+                next_idx += 1;
+                vp.nics.push(NicAccum::new(label, out, link_in, peer, wireless));
+            }
+        }
+    }
+
+    fn sample_vp(vp: &VpHandle, ctl: &Ctl, dt_s: f64) {
+        let mut vp = vp.borrow_mut();
+        let host = vp.host;
+        let net = ctl.net();
+        let h = &net.hosts[host.idx()];
+        vp.hw.cpu.add(h.cpu.utilization());
+        vp.hw.mem_free.add(h.mem.free_mb());
+        vp.hw.mem_free_frac.add(h.mem.free_frac());
+        vp.hw.io.add(h.io_load);
+
+        let mut phy_medium = None;
+        for nic in &mut vp.nics {
+            let out = &net.links[nic.link_out.idx()];
+            let out_bytes = out.ctr.enq_bytes;
+            let tx_bps = (out_bytes - nic.prev_out_bytes) as f64 * 8.0 / dt_s;
+            nic.prev_out_bytes = out_bytes;
+            nic.tx_bps.add(tx_bps);
+            nic.tx_util.add((tx_bps / out.cfg.rate_bps as f64).min(1.0));
+            nic.tail_drops += out.ctr.drop_tail_pkts - nic.prev_tail;
+            nic.prev_tail = out.ctr.drop_tail_pkts;
+            nic.loss_drops += out.ctr.drop_loss_pkts - nic.prev_loss;
+            nic.prev_loss = out.ctr.drop_loss_pkts;
+            nic.mac_retx += out.ctr.mac_retx - nic.prev_retx;
+            nic.prev_retx = out.ctr.mac_retx;
+            if let Some(li) = nic.link_in {
+                let inc = &net.links[li.idx()];
+                let in_bytes = inc.ctr.delivered_bytes;
+                let rx_bps = (in_bytes - nic.prev_in_bytes) as f64 * 8.0 / dt_s;
+                nic.prev_in_bytes = in_bytes;
+                nic.rx_bps.add(rx_bps);
+                nic.rx_util.add((rx_bps / inc.cfg.rate_bps as f64).min(1.0));
+            }
+            if nic.wireless && phy_medium.is_none() {
+                phy_medium = out.medium;
+            }
+        }
+
+        // Radio view: a station samples itself; the AP samples every
+        // associated device (averaging across them).
+        if let Some(m) = phy_medium {
+            let medium = net.medium(m);
+            vp.phy.busy.add(medium.busy_fraction(net.now()));
+            let snaps: Vec<_> = match medium.snapshot(host) {
+                Some(s) => vec![s],
+                None => medium
+                    .stations()
+                    .iter()
+                    .filter_map(|&s| medium.snapshot(s))
+                    .collect(),
+            };
+            let mut disc = 0;
+            for s in &snaps {
+                vp.phy.rssi.add(s.rssi_dbm);
+                vp.phy.snr.add(s.snr_db);
+                vp.phy.phy_rate.add(s.phy_rate_bps as f64);
+                if !s.connected {
+                    vp.phy.disconnected_samples += 1;
+                }
+                disc += s.disconnections;
+            }
+            vp.phy.disconnections = disc;
+        }
+    }
+}
+
+impl App for SamplerApp {
+    fn start(&mut self, ctl: &mut Ctl) {
+        for vp in &self.vps {
+            Self::discover_nics(vp, ctl);
+        }
+        let iv = self.interval;
+        ctl.timer(iv, 0);
+    }
+
+    fn on_timer(&mut self, _token: u64, ctl: &mut Ctl) {
+        let dt = self.interval.as_secs_f64();
+        for vp in &self.vps {
+            Self::sample_vp(vp, ctl, dt);
+        }
+        let iv = self.interval;
+        ctl.timer(iv, 0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Passive per-flow TCP analysis — the `tstat` equivalent.
+//!
+//! A [`FlowAnalyzer`] reconstructs transport metrics for one TCP flow
+//! from the packets passing one tap point, with no access to endpoint
+//! state: retransmissions and hole-fills are inferred from sequence
+//! overlap, RTT from RFC 1323 timestamp echo matching, windows and MSS
+//! read off the headers. Each vantage point therefore sees *its own*
+//! version of the flow — losses upstream of the tap are invisible,
+//! RTTs are measured from the tap outward — which is precisely what
+//! makes multi-VP diagnosis informative.
+
+use std::collections::BTreeMap;
+
+use vqd_simnet::packet::TcpHdr;
+use vqd_simnet::stats::Welford;
+use vqd_simnet::time::SimTime;
+
+/// Merged-interval tracker used to classify re-seen sequence ranges.
+#[derive(Debug, Default, Clone)]
+struct SeqTracker {
+    /// Seen intervals `[start, end)`, merged, keyed by start.
+    seen: BTreeMap<u64, u64>,
+    /// Highest end ever seen.
+    pub high: u64,
+}
+
+/// Classification of a data segment at the tap.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum SegKind {
+    /// Advances the highest sequence: normal in-order transmission.
+    InOrder,
+    /// Entirely previously-seen bytes: a retransmission.
+    Retx,
+    /// Below the highest sequence but (partly) new: fills a hole left
+    /// by an upstream loss — "out-of-order" in tstat terms.
+    HoleFill,
+}
+
+impl SeqTracker {
+    fn classify(&mut self, seq: u64, len: u32) -> SegKind {
+        let end = seq + len as u64;
+        let kind = if seq >= self.high {
+            SegKind::InOrder
+        } else if self.covered(seq, end) {
+            SegKind::Retx
+        } else {
+            SegKind::HoleFill
+        };
+        self.insert(seq, end);
+        self.high = self.high.max(end);
+        kind
+    }
+
+    fn covered(&self, seq: u64, end: u64) -> bool {
+        // The interval starting at or before `seq`.
+        if let Some((_, &e)) = self.seen.range(..=seq).next_back() {
+            return e >= end;
+        }
+        false
+    }
+
+    fn insert(&mut self, seq: u64, end: u64) {
+        let mut start = seq;
+        let mut stop = end;
+        // Merge with predecessor.
+        if let Some((&s, &e)) = self.seen.range(..=start).next_back() {
+            if e >= start {
+                start = s;
+                stop = stop.max(e);
+                self.seen.remove(&s);
+            }
+        }
+        // Merge with successors.
+        let followers: Vec<u64> = self
+            .seen
+            .range(start..=stop)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in followers {
+            let e = self.seen.remove(&s).unwrap();
+            stop = stop.max(e);
+        }
+        self.seen.insert(start, stop);
+    }
+}
+
+/// Per-direction statistics.
+#[derive(Debug, Default, Clone)]
+pub struct DirStats {
+    /// All packets.
+    pub pkts: u64,
+    /// Wire bytes (headers included).
+    pub bytes: u64,
+    /// Payload-carrying packets.
+    pub data_pkts: u64,
+    /// Payload bytes.
+    pub data_bytes: u64,
+    /// Inferred retransmitted packets.
+    pub retx_pkts: u64,
+    /// Inferred retransmitted bytes.
+    pub retx_bytes: u64,
+    /// Hole-filling (out-of-order) packets.
+    pub ooo_pkts: u64,
+    /// Pure ACKs (no payload).
+    pub pure_acks: u64,
+    /// Duplicate ACKs.
+    pub dup_acks: u64,
+    /// Zero-window advertisements.
+    pub zero_wnd: u64,
+    /// Advertised receive window, bytes.
+    pub wnd: Welford,
+    /// MSS advertised on the SYN.
+    pub mss: u32,
+    /// RTT from this tap to the receiver of this direction and back,
+    /// seconds.
+    pub rtt: Welford,
+    /// Packet sizes, bytes.
+    pub pkt_size: Welford,
+    /// Packet inter-arrival times at the tap, seconds.
+    pub interarrival: Welford,
+    /// When the first payload byte of this direction passed the tap.
+    pub first_payload: Option<SimTime>,
+    last_pkt_at: Option<SimTime>,
+    last_ack_seen: u64,
+    tracker: SeqTracker,
+    /// Outstanding tsval → tap time, awaiting echo.
+    pending_ts: BTreeMap<SimTime, SimTime>,
+}
+
+/// Passive analyzer of one flow at one tap point.
+#[derive(Debug, Default, Clone)]
+pub struct FlowAnalyzer {
+    /// Direction 0: client→server, direction 1: server→client.
+    pub dir: [DirStats; 2],
+    /// First packet of the flow seen at the tap.
+    pub first_seen: Option<SimTime>,
+    /// Most recent packet.
+    pub last_seen: SimTime,
+    /// When the first SYN passed.
+    pub syn_at: Option<SimTime>,
+    /// SYN packets seen (>1 ⇒ handshake retries).
+    pub syn_count: u64,
+    /// FINs seen (both directions).
+    pub fin_count: u64,
+    /// Destination port of the flow.
+    pub dst_port: u16,
+}
+
+impl FlowAnalyzer {
+    /// Feed one packet observed at the tap.
+    pub fn observe(&mut self, now: SimTime, hdr: &TcpHdr) {
+        self.first_seen.get_or_insert(now);
+        self.last_seen = now;
+        if hdr.flags.syn {
+            self.syn_at.get_or_insert(now);
+            self.syn_count += 1;
+        }
+        if hdr.flags.fin {
+            self.fin_count += 1;
+        }
+        let d = if hdr.from_initiator { 0 } else { 1 };
+        // RTT matching first: an ACK in direction d echoes tsvals
+        // recorded for the *other* direction.
+        if hdr.flags.ack && hdr.tsecr != SimTime::ZERO {
+            let other = &mut self.dir[1 - d];
+            if let Some(sent) = other.pending_ts.remove(&hdr.tsecr) {
+                other.rtt.add(now.since(sent).as_secs_f64());
+            }
+            // GC stale entries (never echoed, e.g. lost downstream).
+            while other.pending_ts.len() > 512 {
+                let k = *other.pending_ts.keys().next().unwrap();
+                other.pending_ts.remove(&k);
+            }
+        }
+        let ds = &mut self.dir[d];
+        ds.pkts += 1;
+        ds.bytes += hdr.len as u64 + vqd_simnet::packet::TCP_HEADER_BYTES as u64;
+        ds.pkt_size.add(hdr.len as f64 + vqd_simnet::packet::TCP_HEADER_BYTES as f64);
+        if let Some(prev) = ds.last_pkt_at {
+            ds.interarrival.add(now.since(prev).as_secs_f64());
+        }
+        ds.last_pkt_at = Some(now);
+        if hdr.flags.syn && hdr.mss > 0 {
+            ds.mss = hdr.mss;
+        }
+        ds.wnd.add(hdr.wnd as f64);
+        if hdr.wnd == 0 {
+            ds.zero_wnd += 1;
+        }
+        if hdr.len > 0 {
+            ds.data_pkts += 1;
+            ds.data_bytes += hdr.len as u64;
+            ds.first_payload.get_or_insert(now);
+            match ds.tracker.classify(hdr.seq, hdr.len) {
+                SegKind::InOrder => {}
+                SegKind::Retx => {
+                    ds.retx_pkts += 1;
+                    ds.retx_bytes += hdr.len as u64;
+                }
+                SegKind::HoleFill => ds.ooo_pkts += 1,
+            }
+            // Data segments may be RTT-timed via their tsval.
+            ds.pending_ts.insert(hdr.tsval, now);
+        } else if hdr.flags.ack && !hdr.flags.syn {
+            ds.pure_acks += 1;
+            if hdr.ack == ds.last_ack_seen && hdr.ack > 0 {
+                ds.dup_acks += 1;
+            }
+        }
+        if hdr.flags.ack {
+            ds.last_ack_seen = ds.last_ack_seen.max(hdr.ack);
+        }
+    }
+
+    /// Flow duration at the tap, seconds.
+    pub fn duration_s(&self) -> f64 {
+        match self.first_seen {
+            Some(t0) => self.last_seen.since(t0).as_secs_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// Delay from the first SYN to the first server payload byte at
+    /// this tap — the paper's "first packet arrival" feature.
+    pub fn first_payload_delay_s(&self) -> f64 {
+        match (self.syn_at, self.dir[1].first_payload) {
+            (Some(syn), Some(fp)) => fp.since(syn).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqd_simnet::ids::FlowId;
+    use vqd_simnet::packet::TcpFlags;
+
+    fn hdr(from_initiator: bool, seq: u64, len: u32, ack: u64, flags: TcpFlags, ts: u64) -> TcpHdr {
+        TcpHdr {
+            flow: FlowId(0),
+            from_initiator,
+            dport: 80,
+            sport: 40000,
+            seq,
+            ack,
+            len,
+            flags,
+            wnd: 65535,
+            mss: 1460,
+            tsval: SimTime(ts),
+            tsecr: SimTime::ZERO,
+            is_retx: false,
+        }
+    }
+
+    #[test]
+    fn counts_directions_separately() {
+        let mut a = FlowAnalyzer::default();
+        a.observe(SimTime(0), &hdr(true, 0, 0, 0, TcpFlags::SYN, 1));
+        a.observe(SimTime(10), &hdr(false, 0, 0, 1, TcpFlags::SYN_ACK, 2));
+        a.observe(SimTime(20), &hdr(true, 1, 100, 1, TcpFlags::DATA, 3));
+        a.observe(SimTime(30), &hdr(false, 1, 1000, 101, TcpFlags::DATA, 4));
+        assert_eq!(a.dir[0].data_pkts, 1);
+        assert_eq!(a.dir[0].data_bytes, 100);
+        assert_eq!(a.dir[1].data_pkts, 1);
+        assert_eq!(a.dir[1].data_bytes, 1000);
+        assert_eq!(a.syn_count, 2);
+    }
+
+    #[test]
+    fn detects_retransmission_and_holefill() {
+        let mut a = FlowAnalyzer::default();
+        // In-order 0..1000, 1000..2000, then hole 3000..4000 (2000..3000
+        // lost upstream), then the hole fill 2000..3000, then a true
+        // retransmission of 0..1000.
+        a.observe(SimTime(0), &hdr(false, 0, 1000, 0, TcpFlags::DATA, 1));
+        a.observe(SimTime(1), &hdr(false, 1000, 1000, 0, TcpFlags::DATA, 2));
+        a.observe(SimTime(2), &hdr(false, 3000, 1000, 0, TcpFlags::DATA, 3));
+        a.observe(SimTime(3), &hdr(false, 2000, 1000, 0, TcpFlags::DATA, 4));
+        a.observe(SimTime(4), &hdr(false, 0, 1000, 0, TcpFlags::DATA, 5));
+        let d = &a.dir[1];
+        assert_eq!(d.data_pkts, 5);
+        assert_eq!(d.ooo_pkts, 1, "hole fill");
+        assert_eq!(d.retx_pkts, 1, "true retx");
+        assert_eq!(d.retx_bytes, 1000);
+    }
+
+    #[test]
+    fn rtt_from_timestamp_echo() {
+        let mut a = FlowAnalyzer::default();
+        // Server data with tsval=100 at t=1ms; client ACK echoing 100
+        // at t=21ms → 20 ms RTT sample for the s2c direction.
+        a.observe(SimTime(1_000_000), &hdr(false, 0, 1000, 0, TcpFlags::DATA, 100));
+        let mut ack = hdr(true, 1, 0, 1000, TcpFlags::DATA, 200);
+        ack.tsecr = SimTime(100);
+        a.observe(SimTime(21_000_000), &ack);
+        assert_eq!(a.dir[1].rtt.count(), 1);
+        assert!((a.dir[1].rtt.mean() - 0.020).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dup_acks_counted() {
+        let mut a = FlowAnalyzer::default();
+        for i in 0..4 {
+            a.observe(SimTime(i), &hdr(true, 1, 0, 5000, TcpFlags::DATA, i));
+        }
+        // First ACK at 5000 sets the baseline; 3 duplicates follow.
+        assert_eq!(a.dir[0].dup_acks, 3);
+        assert_eq!(a.dir[0].pure_acks, 4);
+    }
+
+    #[test]
+    fn first_payload_delay() {
+        let mut a = FlowAnalyzer::default();
+        a.observe(SimTime::from_millis(5), &hdr(true, 0, 0, 0, TcpFlags::SYN, 1));
+        a.observe(SimTime::from_millis(55), &hdr(false, 0, 0, 1, TcpFlags::SYN_ACK, 2));
+        a.observe(SimTime::from_millis(205), &hdr(false, 1, 1000, 1, TcpFlags::DATA, 3));
+        assert!((a.first_payload_delay_s() - 0.200).abs() < 1e-9);
+        assert!((a.duration_s() - 0.200).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_window_tracked() {
+        let mut a = FlowAnalyzer::default();
+        let mut h = hdr(true, 1, 0, 1000, TcpFlags::DATA, 1);
+        h.wnd = 0;
+        a.observe(SimTime(0), &h);
+        assert_eq!(a.dir[0].zero_wnd, 1);
+        assert_eq!(a.dir[0].wnd.min(), 0.0);
+    }
+
+    #[test]
+    fn seq_tracker_merges_intervals() {
+        let mut t = SeqTracker::default();
+        assert_eq!(t.classify(0, 100), SegKind::InOrder);
+        assert_eq!(t.classify(200, 100), SegKind::InOrder);
+        // 100..200 fills the hole and merges all three.
+        assert_eq!(t.classify(100, 100), SegKind::HoleFill);
+        // Everything covered now.
+        assert_eq!(t.classify(50, 200), SegKind::Retx);
+        assert_eq!(t.seen.len(), 1);
+    }
+}

@@ -1,0 +1,377 @@
+//! Vantage points: assembling a probe's view into a named metric
+//! vector.
+//!
+//! A [`VpData`] holds everything one probe (mobile / router / server)
+//! measured during a run: tstat-style analyzers for each video flow it
+//! saw, hardware samples, NIC samples and radio samples.
+//! [`VpData::metrics_for`] flattens that into `(name, value)` pairs
+//! namespaced `"<vp>.<group>.<metric>"` — the raw feature columns the
+//! detection system consumes. A feature a probe cannot measure (RSSI at
+//! the server) is simply absent, which is how VP subsets and partial
+//! deployments (Section 6.2 of the paper) are expressed.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use vqd_simnet::engine::{PacketObserver, TapDir, TapPoint};
+use vqd_simnet::ids::{FlowId, HostId};
+use vqd_simnet::packet::{Packet, TransportHdr};
+use vqd_simnet::time::SimTime;
+
+use crate::sampler::{HwAccum, NicAccum, PhyAccum};
+use crate::tstat::{DirStats, FlowAnalyzer};
+
+/// All data one vantage point collected during a run.
+#[derive(Debug)]
+pub struct VpData {
+    /// Probe name — becomes the feature-name prefix ("mobile", …).
+    pub name: String,
+    /// Host the probe runs on.
+    pub host: HostId,
+    /// Only flows to these server ports are analyzed (the video flows;
+    /// empty = analyze everything).
+    pub video_ports: Vec<u16>,
+    /// Per-flow tstat analyzers.
+    pub flows: HashMap<FlowId, FlowAnalyzer>,
+    /// Hardware samples.
+    pub hw: HwAccum,
+    /// NIC samples (discovered by the sampler on first tick).
+    pub nics: Vec<NicAccum>,
+    /// Optional role labels for egress links, set before the run by
+    /// whoever knows the topology (testbed/deployment code).
+    pub nic_labels: Vec<(vqd_simnet::ids::LinkId, String)>,
+    /// Radio samples (empty for wired-only hosts).
+    pub phy: PhyAccum,
+}
+
+/// Shared handle to a vantage point's data.
+pub type VpHandle = Rc<RefCell<VpData>>;
+
+impl VpData {
+    /// Create a probe for `host` watching the given server ports.
+    pub fn new(name: &str, host: HostId, video_ports: &[u16]) -> VpHandle {
+        Rc::new(RefCell::new(VpData {
+            name: name.to_string(),
+            host,
+            video_ports: video_ports.to_vec(),
+            flows: HashMap::new(),
+            hw: HwAccum::default(),
+            nics: Vec::new(),
+            nic_labels: Vec::new(),
+            phy: PhyAccum::default(),
+        }))
+    }
+
+    /// Assign a stable role label ("wan", "lan", "wlan") to the NIC
+    /// whose egress link is `link` — keeps feature names comparable
+    /// across different topologies.
+    pub fn label_nic(vp: &VpHandle, link: vqd_simnet::ids::LinkId, label: &str) {
+        vp.borrow_mut().nic_labels.push((link, label.to_string()));
+    }
+
+    fn push(out: &mut Vec<(String, f64)>, vp: &str, name: &str, v: f64) {
+        out.push((format!("{vp}.{name}"), v));
+    }
+
+    fn dir_metrics(out: &mut Vec<(String, f64)>, vp: &str, tag: &str, d: &DirStats, dur_s: f64) {
+        let p = |out: &mut Vec<(String, f64)>, n: &str, v: f64| {
+            Self::push(out, vp, &format!("tcp.{tag}.{n}"), v);
+        };
+        p(out, "pkts", d.pkts as f64);
+        p(out, "bytes", d.bytes as f64);
+        p(out, "data_pkts", d.data_pkts as f64);
+        p(out, "data_bytes", d.data_bytes as f64);
+        p(out, "retx_pkts", d.retx_pkts as f64);
+        p(out, "retx_bytes", d.retx_bytes as f64);
+        p(out, "ooo_pkts", d.ooo_pkts as f64);
+        p(out, "pure_acks", d.pure_acks as f64);
+        p(out, "dup_acks", d.dup_acks as f64);
+        p(out, "zero_wnd", d.zero_wnd as f64);
+        p(out, "wnd_avg", d.wnd.mean());
+        p(out, "wnd_min", d.wnd.min());
+        p(out, "wnd_max", d.wnd.max());
+        p(out, "wnd_std", d.wnd.std());
+        p(out, "mss", d.mss as f64);
+        p(out, "rtt_avg", d.rtt.mean());
+        p(out, "rtt_min", d.rtt.min());
+        p(out, "rtt_max", d.rtt.max());
+        p(out, "rtt_std", d.rtt.std());
+        p(out, "rtt_cnt", d.rtt.count() as f64);
+        p(out, "pkt_size_avg", d.pkt_size.mean());
+        p(out, "pkt_size_std", d.pkt_size.std());
+        p(out, "iat_avg", d.interarrival.mean());
+        p(out, "iat_max", d.interarrival.max());
+        p(out, "iat_std", d.interarrival.std());
+        let tput = if dur_s > 0.0 { d.data_bytes as f64 * 8.0 / dur_s } else { 0.0 };
+        p(out, "throughput_bps", tput);
+    }
+
+    /// Flatten this probe's view of `flow` into named metrics. Returns
+    /// `None` if the probe never saw the flow (e.g. the router probe in
+    /// a cellular session).
+    pub fn metrics_for(&self, flow: FlowId) -> Option<Vec<(String, f64)>> {
+        let a = self.flows.get(&flow)?;
+        let vp = self.name.as_str();
+        let mut out = Vec::with_capacity(96);
+        let dur = a.duration_s();
+
+        // Transport layer (both directions).
+        Self::dir_metrics(&mut out, vp, "c2s", &a.dir[0], dur);
+        Self::dir_metrics(&mut out, vp, "s2c", &a.dir[1], dur);
+        Self::push(&mut out, vp, "tcp.duration_s", dur);
+        Self::push(&mut out, vp, "tcp.first_payload_delay", a.first_payload_delay_s());
+        Self::push(&mut out, vp, "tcp.syn_count", a.syn_count as f64);
+        Self::push(&mut out, vp, "tcp.fin_count", a.fin_count as f64);
+        Self::push(&mut out, vp, "tcp.total_pkts", (a.dir[0].pkts + a.dir[1].pkts) as f64);
+        Self::push(
+            &mut out,
+            vp,
+            "tcp.total_data_bytes",
+            (a.dir[0].data_bytes + a.dir[1].data_bytes) as f64,
+        );
+
+        // OS/hardware layer.
+        let hw = &self.hw;
+        for (n, w) in [
+            ("cpu", &hw.cpu),
+            ("mem_free", &hw.mem_free),
+            ("mem_free_frac", &hw.mem_free_frac),
+            ("io", &hw.io),
+        ] {
+            Self::push(&mut out, vp, &format!("hw.{n}_avg"), w.mean());
+            Self::push(&mut out, vp, &format!("hw.{n}_min"), w.min());
+            Self::push(&mut out, vp, &format!("hw.{n}_max"), w.max());
+            Self::push(&mut out, vp, &format!("hw.{n}_std"), w.std());
+        }
+
+        // Link layer, per NIC (role-labelled).
+        for nic in self.nics.iter() {
+            let g = nic.label.clone();
+            for (n, w) in [
+                ("tx_bps", &nic.tx_bps),
+                ("rx_bps", &nic.rx_bps),
+                ("tx_util", &nic.tx_util),
+                ("rx_util", &nic.rx_util),
+            ] {
+                Self::push(&mut out, vp, &format!("{g}.{n}_avg"), w.mean());
+                Self::push(&mut out, vp, &format!("{g}.{n}_max"), w.max());
+                Self::push(&mut out, vp, &format!("{g}.{n}_std"), w.std());
+            }
+            Self::push(&mut out, vp, &format!("{g}.tail_drops"), nic.tail_drops as f64);
+            Self::push(&mut out, vp, &format!("{g}.loss_drops"), nic.loss_drops as f64);
+            Self::push(&mut out, vp, &format!("{g}.mac_retx"), nic.mac_retx as f64);
+        }
+
+        // PHY/radio layer (only when a WLAN is attached).
+        if self.phy.rssi.count() > 0 {
+            let phy = &self.phy;
+            Self::push(&mut out, vp, "phy.rssi_avg", phy.rssi.mean());
+            Self::push(&mut out, vp, "phy.rssi_min", phy.rssi.min());
+            Self::push(&mut out, vp, "phy.rssi_max", phy.rssi.max());
+            Self::push(&mut out, vp, "phy.rssi_std", phy.rssi.std());
+            Self::push(&mut out, vp, "phy.snr_avg", phy.snr.mean());
+            Self::push(&mut out, vp, "phy.rate_avg", phy.phy_rate.mean());
+            Self::push(&mut out, vp, "phy.rate_min", phy.phy_rate.min());
+            Self::push(&mut out, vp, "phy.busy_avg", phy.busy.mean());
+            Self::push(&mut out, vp, "phy.busy_max", phy.busy.max());
+            Self::push(&mut out, vp, "phy.disconnections", phy.disconnections as f64);
+            Self::push(&mut out, vp, "phy.disconnected_samples", phy.disconnected_samples as f64);
+        }
+        Some(out)
+    }
+}
+
+/// The packet-tap observer feeding every vantage point.
+pub struct ProbeSet {
+    vps: Vec<VpHandle>,
+}
+
+impl ProbeSet {
+    /// Observer over the given vantage points.
+    pub fn new(vps: Vec<VpHandle>) -> Self {
+        ProbeSet { vps }
+    }
+
+    /// Handles (for constructing the matching
+    /// [`SamplerApp`](crate::sampler::SamplerApp) and for extraction).
+    pub fn handles(&self) -> Vec<VpHandle> {
+        self.vps.clone()
+    }
+
+    /// The vantage point named `name`.
+    pub fn vp(&self, name: &str) -> Option<VpHandle> {
+        self.vps.iter().find(|v| v.borrow().name == name).cloned()
+    }
+}
+
+impl PacketObserver for ProbeSet {
+    fn observe(&mut self, now: SimTime, tap: TapPoint, pkt: &Packet) {
+        let TransportHdr::Tcp(hdr) = &pkt.hdr else { return };
+        // A transit host (the router) sees every forwarded packet at
+        // two taps: ingress Rx and egress Tx. Count each packet once -
+        // on Rx, plus Tx for locally originated traffic - the view of
+        // a tstat instance bound to one monitoring interface.
+        if tap.dir == TapDir::Tx && pkt.src != tap.host {
+            return;
+        }
+        for vp in &self.vps {
+            let mut vp = vp.borrow_mut();
+            if vp.host != tap.host {
+                continue;
+            }
+            if !vp.video_ports.is_empty() && !vp.video_ports.contains(&hdr.dport) {
+                continue;
+            }
+            vp.flows.entry(hdr.flow).or_default().observe(now, hdr);
+            if let Some(a) = vp.flows.get_mut(&hdr.flow) {
+                a.dst_port = hdr.dport;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::SamplerApp;
+    use vqd_simnet::engine::{App, Ctl, Harness, TcpEvent};
+    use vqd_simnet::link::LinkConfig;
+    use vqd_simnet::tcp::Side;
+    use vqd_simnet::topology::TopologyBuilder;
+
+    /// Minimal fetcher: client pulls `reply` bytes from a server app.
+    struct Fetch {
+        a: HostId,
+        b: HostId,
+        reply: u64,
+    }
+    impl App for Fetch {
+        fn start(&mut self, ctl: &mut Ctl) {
+            let f = ctl.tcp_connect(self.a, self.b, 80);
+            ctl.tcp_send(f, 300);
+        }
+        fn on_tcp(&mut self, ev: TcpEvent, ctl: &mut Ctl) {
+            match ev {
+                TcpEvent::DataAvailable { flow, side, .. } => {
+                    ctl.tcp_read_at(flow, side, u64::MAX);
+                    if side == Side::Server {
+                        ctl.tcp_send_from(flow, Side::Server, self.reply);
+                        ctl.tcp_close_from(flow, Side::Server);
+                    }
+                }
+                TcpEvent::PeerFin { flow, side } => {
+                    ctl.tcp_read_at(flow, side, u64::MAX);
+                    ctl.tcp_close_from(flow, side);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn run_three_hop() -> (Vec<VpHandle>, FlowId) {
+        let mut tb = TopologyBuilder::new();
+        let m = tb.add_host("mobile");
+        let r = tb.add_host("router");
+        let s = tb.add_host("server");
+        tb.add_duplex_link(m, r, LinkConfig::ethernet(50_000_000));
+        let mut wan = LinkConfig::dsl_nominal();
+        wan.loss = 0.03;
+        wan.loss_burst = 2.0;
+        tb.add_duplex_link(r, s, wan);
+        let net = tb.build();
+        let vps = vec![
+            VpData::new("mobile", m, &[80]),
+            VpData::new("router", r, &[80]),
+            VpData::new("server", s, &[80]),
+        ];
+        let obs = ProbeSet::new(vps.clone());
+        let mut sim = Harness::with_observer(net, obs);
+        sim.add_app(Box::new(Fetch { a: m, b: s, reply: 400_000 }));
+        sim.add_app(Box::new(SamplerApp::new(vps.clone())));
+        sim.run_until(SimTime::from_secs(30));
+        (vps, FlowId(0))
+    }
+
+    #[test]
+    fn all_vps_see_the_flow() {
+        let (vps, flow) = run_three_hop();
+        for vp in &vps {
+            let vp = vp.borrow();
+            let m = vp.metrics_for(flow).unwrap_or_else(|| panic!("{} missing flow", vp.name));
+            assert!(m.len() > 80, "{} has {} metrics", vp.name, m.len());
+            // All names carry the VP prefix.
+            assert!(m.iter().all(|(n, _)| n.starts_with(&vp.name)));
+            // Data flowed server→client.
+            let bytes = m
+                .iter()
+                .find(|(n, _)| n.ends_with("tcp.s2c.data_bytes"))
+                .unwrap()
+                .1;
+            assert!(bytes >= 400_000.0, "{}: {}", vp.name, bytes);
+        }
+    }
+
+    #[test]
+    fn loss_location_differentiates_vps() {
+        // Loss is on the WAN (router↔server): the server tap sees its
+        // own retransmissions; the mobile tap sees hole-fills but every
+        // arriving segment once... while the router, upstream of the
+        // lossy hop for s→c traffic, misses the dropped copies too.
+        let (vps, flow) = run_three_hop();
+        let get = |vp: &VpHandle, name: &str| -> f64 {
+            let vp = vp.borrow();
+            vp.metrics_for(flow)
+                .unwrap()
+                .iter()
+                .find(|(n, _)| n.contains(name))
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        let srv_retx = get(&vps[2], "tcp.s2c.retx_pkts");
+        assert!(srv_retx > 0.0, "server must see retransmissions");
+        // The mobile sees the retransmitted copies as hole fills (it
+        // never saw the originals).
+        let mob_ooo = get(&vps[0], "tcp.s2c.ooo_pkts");
+        assert!(mob_ooo > 0.0, "mobile must see out-of-order fills");
+        // RTT at the server spans the whole path and is ≥ the WAN RTT.
+        let srv_rtt = get(&vps[2], "tcp.s2c.rtt_avg");
+        assert!(srv_rtt > 0.08, "server rtt {srv_rtt}");
+        // RTT at the mobile for c2s data (its ACK loop) is tiny... the
+        // mobile measures s2c RTT as ~0 (data arrives, its own ACK
+        // leaves immediately); its view of the *c2s* direction spans
+        // the path.
+        let mob_rtt_c2s = get(&vps[0], "tcp.c2s.rtt_avg");
+        assert!(mob_rtt_c2s > 0.08, "mobile c2s rtt {mob_rtt_c2s}");
+    }
+
+    #[test]
+    fn hw_and_nic_sampling_filled() {
+        let (vps, flow) = run_three_hop();
+        let vp = vps[1].borrow(); // router
+        assert!(vp.hw.cpu.count() > 10);
+        assert_eq!(vp.nics.len(), 2, "router has two NICs");
+        let m = vp.metrics_for(flow).unwrap();
+        let util = m
+            .iter()
+            .find(|(n, _)| n.contains("nic1.tx_bps_avg") || n.contains("nic0.tx_bps_avg"))
+            .unwrap()
+            .1;
+        assert!(util > 0.0);
+    }
+
+    #[test]
+    fn port_filter_excludes_background() {
+        let (vps, _) = run_three_hop();
+        // Only one flow (port 80) was analyzed per VP.
+        for vp in &vps {
+            assert_eq!(vp.borrow().flows.len(), 1);
+        }
+    }
+
+    #[test]
+    fn missing_flow_returns_none() {
+        let (vps, _) = run_three_hop();
+        assert!(vps[0].borrow().metrics_for(FlowId(99)).is_none());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the passive flow analyzer.
+
+use proptest::prelude::*;
+
+use vqd_probes::FlowAnalyzer;
+use vqd_simnet::ids::FlowId;
+use vqd_simnet::packet::{TcpFlags, TcpHdr};
+use vqd_simnet::time::SimTime;
+
+fn hdr(from_initiator: bool, seq: u64, len: u32, ts: u64) -> TcpHdr {
+    TcpHdr {
+        flow: FlowId(0),
+        from_initiator,
+        dport: 80,
+        sport: 40000,
+        seq,
+        ack: 0,
+        len,
+        flags: TcpFlags::DATA,
+        wnd: 65535,
+        mss: 1460,
+        tsval: SimTime(ts),
+        tsecr: SimTime::ZERO,
+        is_retx: false,
+    }
+}
+
+proptest! {
+    /// Conservation: data_pkts = in-order + retx + holefill, and byte
+    /// counters track payload exactly, for arbitrary segment streams.
+    #[test]
+    fn counter_conservation(
+        segs in proptest::collection::vec((0u64..50, 1u32..1500), 1..300)
+    ) {
+        let mut a = FlowAnalyzer::default();
+        let mut total_bytes = 0u64;
+        for (i, &(block, len)) in segs.iter().enumerate() {
+            let h = hdr(false, block * 1500, len, i as u64 + 1);
+            a.observe(SimTime(i as u64 * 1000), &h);
+            total_bytes += len as u64;
+        }
+        let d = &a.dir[1];
+        prop_assert_eq!(d.data_pkts, segs.len() as u64);
+        prop_assert_eq!(d.data_bytes, total_bytes);
+        prop_assert!(d.retx_pkts + d.ooo_pkts <= d.data_pkts);
+        prop_assert_eq!(d.pkt_size.count(), segs.len() as u64);
+    }
+
+    /// A strictly in-order stream never reports retransmissions or
+    /// out-of-order segments.
+    #[test]
+    fn in_order_stream_is_clean(lens in proptest::collection::vec(1u32..1460, 1..200)) {
+        let mut a = FlowAnalyzer::default();
+        let mut seq = 0u64;
+        for (i, &len) in lens.iter().enumerate() {
+            a.observe(SimTime(i as u64), &hdr(false, seq, len, i as u64 + 1));
+            seq += len as u64;
+        }
+        prop_assert_eq!(a.dir[1].retx_pkts, 0);
+        prop_assert_eq!(a.dir[1].ooo_pkts, 0);
+    }
+
+    /// Replaying any already-seen segment is always classified as a
+    /// retransmission.
+    #[test]
+    fn replay_is_retx(
+        lens in proptest::collection::vec(1u32..1460, 2..50),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let mut a = FlowAnalyzer::default();
+        let mut offsets = Vec::new();
+        let mut seq = 0u64;
+        for (i, &len) in lens.iter().enumerate() {
+            offsets.push((seq, len));
+            a.observe(SimTime(i as u64), &hdr(false, seq, len, i as u64 + 1));
+            seq += len as u64;
+        }
+        let before = a.dir[1].retx_pkts;
+        let (s, l) = offsets[pick.index(offsets.len())];
+        a.observe(SimTime(10_000), &hdr(false, s, l, 9999));
+        prop_assert_eq!(a.dir[1].retx_pkts, before + 1);
+    }
+
+    /// Duration is non-negative and monotone with observation count.
+    #[test]
+    fn duration_monotone(times in proptest::collection::vec(0u64..1_000_000_000, 1..100)) {
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut a = FlowAnalyzer::default();
+        let mut last = 0.0;
+        for (i, &t) in sorted.iter().enumerate() {
+            a.observe(SimTime(t), &hdr(true, i as u64, 1, i as u64 + 1));
+            let d = a.duration_s();
+            prop_assert!(d >= last);
+            last = d;
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Hosts: end systems and routers.
+//!
+//! A host carries a forwarding table (static routes computed by the
+//! [`TopologyBuilder`](crate::topology::TopologyBuilder)) and the
+//! OS/hardware resource models the paper's probes sample: CPU
+//! utilisation, free memory and I/O pressure. Applications and fault
+//! injectors register *demand slots* against these models; the video
+//! player asks the CPU model for decode headroom, and the `stress`-style
+//! fault occupies slots exactly like the real tool occupies cores.
+
+use crate::ids::{HostId, LinkId};
+
+/// Multi-core CPU with named demand slots.
+///
+/// Demand is expressed in *cores* (a demand of `1.0` keeps one core
+/// fully busy). Total utilisation is clamped to the core count; when the
+/// CPU is oversubscribed every consumer gets a proportional share.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    /// Number of cores (fractional values are allowed for throttled
+    /// devices).
+    pub cores: f64,
+    demands: Vec<(u64, f64)>,
+    next_token: u64,
+}
+
+impl CpuModel {
+    /// A CPU with the given core count.
+    pub fn new(cores: f64) -> Self {
+        assert!(cores > 0.0);
+        CpuModel { cores, demands: Vec::new(), next_token: 0 }
+    }
+
+    /// Register a demand slot; returns a token used to update/remove it.
+    pub fn register(&mut self, initial_cores: f64) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        self.demands.push((t, initial_cores.max(0.0)));
+        t
+    }
+
+    /// Update the demand of a slot (no-op for unknown tokens).
+    pub fn set_demand(&mut self, token: u64, cores: f64) {
+        if let Some(e) = self.demands.iter_mut().find(|e| e.0 == token) {
+            e.1 = cores.max(0.0);
+        }
+    }
+
+    /// Remove a slot.
+    pub fn remove(&mut self, token: u64) {
+        self.demands.retain(|e| e.0 != token);
+    }
+
+    /// Sum of all demands, in cores (not clamped).
+    pub fn total_demand(&self) -> f64 {
+        self.demands.iter().map(|e| e.1).sum()
+    }
+
+    /// Utilisation in `[0, 1]` — what `/proc/stat` would report.
+    pub fn utilization(&self) -> f64 {
+        (self.total_demand() / self.cores).min(1.0)
+    }
+
+    /// The share of `want` cores a consumer actually receives, given
+    /// everything else running (proportional fair share under
+    /// oversubscription).
+    pub fn granted(&self, want: f64, own_token: Option<u64>) -> f64 {
+        let others: f64 = self
+            .demands
+            .iter()
+            .filter(|e| Some(e.0) != own_token)
+            .map(|e| e.1)
+            .sum();
+        let total = others + want;
+        if total <= self.cores {
+            want
+        } else {
+            want * self.cores / total
+        }
+    }
+}
+
+/// Memory with named usage slots; the probe samples `free`.
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    /// Installed memory in MiB.
+    pub total_mb: f64,
+    /// Memory used by the OS and pre-existing apps in MiB.
+    pub baseline_mb: f64,
+    used: Vec<(u64, f64)>,
+    next_token: u64,
+}
+
+impl MemoryModel {
+    /// A memory model with the given size and baseline occupancy.
+    pub fn new(total_mb: f64, baseline_mb: f64) -> Self {
+        assert!(total_mb > 0.0 && baseline_mb >= 0.0);
+        MemoryModel { total_mb, baseline_mb, used: Vec::new(), next_token: 0 }
+    }
+
+    /// Register a usage slot; returns its token.
+    pub fn register(&mut self, initial_mb: f64) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        self.used.push((t, initial_mb.max(0.0)));
+        t
+    }
+
+    /// Update a slot's usage.
+    pub fn set_used(&mut self, token: u64, mb: f64) {
+        if let Some(e) = self.used.iter_mut().find(|e| e.0 == token) {
+            e.1 = mb.max(0.0);
+        }
+    }
+
+    /// Remove a slot.
+    pub fn remove(&mut self, token: u64) {
+        self.used.retain(|e| e.0 != token);
+    }
+
+    /// Free memory in MiB (floored at zero).
+    pub fn free_mb(&self) -> f64 {
+        (self.total_mb - self.baseline_mb - self.used.iter().map(|e| e.1).sum::<f64>()).max(0.0)
+    }
+
+    /// Fraction of memory free, in `[0, 1]`.
+    pub fn free_frac(&self) -> f64 {
+        self.free_mb() / self.total_mb
+    }
+}
+
+/// A host in the topology.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// Human-readable name ("mobile-1", "router", "server", …).
+    pub name: String,
+    /// CPU resource model.
+    pub cpu: CpuModel,
+    /// Memory resource model.
+    pub mem: MemoryModel,
+    /// I/O pressure in `[0, 1]` (disk/flash contention; adds decode
+    /// jitter on the mobile).
+    pub io_load: f64,
+    /// Forwarding table: `fwd[dst.idx()]` = outgoing one-way link.
+    pub fwd: Vec<Option<LinkId>>,
+}
+
+impl Host {
+    /// A host with default (generous) hardware: 4 cores, 2 GiB RAM.
+    pub fn new(name: impl Into<String>) -> Self {
+        Host {
+            name: name.into(),
+            cpu: CpuModel::new(4.0),
+            mem: MemoryModel::new(2048.0, 512.0),
+            io_load: 0.0,
+            fwd: Vec::new(),
+        }
+    }
+
+    /// Outgoing link toward `dst`, if reachable.
+    pub fn route_to(&self, dst: HostId) -> Option<LinkId> {
+        self.fwd.get(dst.idx()).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_utilization_clamps() {
+        let mut cpu = CpuModel::new(2.0);
+        let a = cpu.register(1.0);
+        assert!((cpu.utilization() - 0.5).abs() < 1e-12);
+        cpu.set_demand(a, 5.0);
+        assert_eq!(cpu.utilization(), 1.0);
+        cpu.remove(a);
+        assert_eq!(cpu.utilization(), 0.0);
+    }
+
+    #[test]
+    fn cpu_proportional_share() {
+        let mut cpu = CpuModel::new(2.0);
+        let _bg = cpu.register(3.0); // stress-style load
+        // A decoder wanting 1 core gets 2 * 1/(3+1) = 0.5 cores.
+        let got = cpu.granted(1.0, None);
+        assert!((got - 0.5).abs() < 1e-12);
+        // With headroom it gets everything it asks for.
+        let mut idle = CpuModel::new(4.0);
+        assert_eq!(idle.granted(1.0, None), 1.0);
+        let t = idle.register(1.0);
+        // Excluding our own existing demand avoids double counting.
+        assert_eq!(idle.granted(1.0, Some(t)), 1.0);
+    }
+
+    #[test]
+    fn memory_floor_at_zero() {
+        let mut m = MemoryModel::new(1024.0, 512.0);
+        let t = m.register(600.0);
+        assert_eq!(m.free_mb(), 0.0);
+        m.set_used(t, 100.0);
+        assert!((m.free_mb() - 412.0).abs() < 1e-9);
+        m.remove(t);
+        assert!((m.free_frac() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn route_lookup() {
+        let mut h = Host::new("r");
+        h.fwd = vec![None, Some(LinkId(7))];
+        assert_eq!(h.route_to(HostId(1)), Some(LinkId(7)));
+        assert_eq!(h.route_to(HostId(0)), None);
+        assert_eq!(h.route_to(HostId(9)), None);
+    }
+
+    #[test]
+    fn unknown_token_is_noop() {
+        let mut cpu = CpuModel::new(1.0);
+        cpu.set_demand(42, 1.0);
+        assert_eq!(cpu.utilization(), 0.0);
+        let mut m = MemoryModel::new(100.0, 0.0);
+        m.set_used(42, 50.0);
+        assert_eq!(m.free_mb(), 100.0);
+    }
+}

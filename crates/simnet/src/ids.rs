@@ -1,0 +1,83 @@
+//! Typed identifiers for simulator entities.
+//!
+//! Every entity lives in a dense `Vec` inside the
+//! [`Network`](crate::engine::Network); identifiers are indices wrapped
+//! in newtypes so they cannot be confused with one another.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Index into the backing storage.
+            #[inline]
+            pub fn idx(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A host (end system or router) in the topology.
+    HostId, "h"
+);
+id_type!(
+    /// A one-way link. Duplex links are pairs of these.
+    LinkId, "l"
+);
+id_type!(
+    /// A network interface on a host (one per attached link/medium).
+    IfaceId, "if"
+);
+id_type!(
+    /// A TCP flow (a connection between two hosts).
+    FlowId, "f"
+);
+id_type!(
+    /// An application registered with the harness.
+    AppId, "app"
+);
+id_type!(
+    /// A shared wireless medium (one per WLAN broadcast domain).
+    MediumId, "m"
+);
+id_type!(
+    /// A UDP binding (host, port) that receives datagrams.
+    UdpSockId, "u"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_distinct_types_and_display() {
+        let h = HostId(3);
+        let l = LinkId(3);
+        assert_eq!(h.idx(), 3);
+        assert_eq!(format!("{h}"), "h3");
+        assert_eq!(format!("{l}"), "l3");
+    }
+
+    #[test]
+    fn ids_hash_and_order() {
+        let mut s = HashSet::new();
+        s.insert(FlowId(1));
+        s.insert(FlowId(2));
+        s.insert(FlowId(1));
+        assert_eq!(s.len(), 2);
+        assert!(FlowId(1) < FlowId(2));
+    }
+}

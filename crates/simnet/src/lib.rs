@@ -1,0 +1,94 @@
+//! # vqd-simnet — deterministic packet-level network simulator
+//!
+//! A discrete-event simulator purpose-built to reproduce the testbed of
+//! *"Identifying the Root Cause of Video Streaming Issues on Mobile
+//! Devices"* (CoNEXT 2015): hosts with CPU/memory resource models, wired
+//! duplex links with rate/delay/jitter/loss and drop-tail queues (the
+//! `tc`/`netem` equivalent), a pluggable shared-medium abstraction for
+//! 802.11 WLANs, a packet-level TCP Reno implementation, UDP, and a set
+//! of background-traffic generators (the `iperf`/D-ITG equivalent).
+//!
+//! ## Design
+//!
+//! * **Deterministic.** Every run is a pure function of the seed: events
+//!   are ordered by `(time, sequence-number)` and all randomness flows
+//!   from [`rand::rngs::SmallRng`] instances seeded from a single root.
+//! * **Central-state dispatch.** [`Network`](engine::Network) owns all
+//!   hosts, links, flows and media; events are a plain `enum` matched in
+//!   one dispatcher. There are no `Rc<RefCell<…>>` webs.
+//! * **Synchronous.** The workload is CPU-bound simulation; following
+//!   the guidance of the Tokio documentation itself, no async runtime is
+//!   used.
+//! * **Apps and observers plug in from above.** User logic implements
+//!   [`engine::App`]; passive measurement implements
+//!   [`engine::PacketObserver`] and sees every packet at every tap
+//!   point, exactly like running `tstat` on a mirror port.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use vqd_simnet::prelude::*;
+//!
+//! // Two hosts joined by a 10 Mbit/s wire; send 1 MiB over TCP.
+//! let mut tb = TopologyBuilder::new();
+//! let a = tb.add_host("client");
+//! let b = tb.add_host("server");
+//! tb.add_duplex_link(a, b, LinkConfig::ethernet(10_000_000));
+//! let net = tb.build();
+//!
+//! struct Sender;
+//! impl App for Sender {
+//!     fn start(&mut self, ctl: &mut Ctl) {
+//!         let flow = ctl.tcp_connect(HostId(0), HostId(1), 80);
+//!         ctl.tcp_send(flow, 1 << 20);
+//!         ctl.tcp_close_after_send(flow);
+//!     }
+//!     fn on_tcp(&mut self, ev: TcpEvent, ctl: &mut Ctl) {
+//!         match ev {
+//!             // Drain arriving data as fast as possible.
+//!             TcpEvent::DataAvailable { flow, side, .. } => {
+//!                 ctl.tcp_read_at(flow, side, u64::MAX);
+//!             }
+//!             // Close our half once the peer is done.
+//!             TcpEvent::PeerFin { flow, side } => ctl.tcp_close_from(flow, side),
+//!             _ => {}
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Harness::new(net, 42);
+//! sim.add_app(Box::new(Sender));
+//! sim.run_until(SimTime::from_secs(30));
+//! assert!(sim.net.flow_stats(FlowId(0)).unwrap().complete);
+//! ```
+
+pub mod engine;
+pub mod host;
+pub mod ids;
+pub mod link;
+pub mod medium;
+pub mod packet;
+pub mod rng;
+pub mod stats;
+pub mod tcp;
+pub mod time;
+pub mod topology;
+pub mod traffic;
+pub mod udp;
+
+/// Convenient glob import of the commonly used simulator types.
+pub mod prelude {
+    pub use crate::engine::{
+        App, Ctl, Harness, NullObserver, PacketObserver, TapDir, TapPoint, TcpEvent, UdpEvent,
+    };
+    pub use crate::host::{CpuModel, Host, MemoryModel};
+    pub use crate::ids::{AppId, FlowId, HostId, IfaceId, LinkId, MediumId};
+    pub use crate::link::LinkConfig;
+    pub use crate::medium::{MediumGrant, PhySnapshot, SharedMedium};
+    pub use crate::packet::{Packet, TransportHdr};
+    pub use crate::rng::SimRng;
+    pub use crate::stats::Welford;
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::topology::TopologyBuilder;
+    pub use crate::traffic::{AppMix, MixKind, UdpFlood};
+}

@@ -1,0 +1,183 @@
+//! Shared-medium abstraction for wireless links.
+//!
+//! Wired links serialise packets at their own private rate; stations on
+//! a WLAN instead *contend* for shared airtime, their PHY rate depends
+//! on signal quality, and frames can be corrupted and retried at the MAC
+//! layer. The engine delegates all of that to a [`SharedMedium`]
+//! implementation (the real 802.11 model lives in the `vqd-wireless`
+//! crate; this module only defines the contract plus a trivial
+//! [`PerfectMedium`] used in unit tests).
+
+use std::any::Any;
+
+use crate::ids::HostId;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// What the medium decided about one frame transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MediumGrant {
+    /// Time spent waiting for the medium (busy airtime of other
+    /// stations, DIFS/backoff, and any failed attempts before the final
+    /// one).
+    pub access_delay: SimDuration,
+    /// Airtime of the final transmission attempt — the link's
+    /// transmitter is considered busy for `access_delay + airtime`.
+    pub airtime: SimDuration,
+    /// Whether the frame ultimately got through (false = dropped after
+    /// the retry limit).
+    pub delivered: bool,
+    /// Number of MAC-layer retransmissions performed (0 = first try).
+    pub mac_retries: u32,
+}
+
+/// Instantaneous PHY-layer state of one station, as sampled by probes
+/// once per second (the paper's RSSI collection interval).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhySnapshot {
+    /// Received signal strength at the station, dBm.
+    pub rssi_dbm: f64,
+    /// Signal-to-noise ratio, dB.
+    pub snr_db: f64,
+    /// Negotiated PHY rate, bits/second.
+    pub phy_rate_bps: u64,
+    /// Whether the station is currently associated.
+    pub connected: bool,
+    /// Cumulative disconnection/handover events since start.
+    pub disconnections: u64,
+}
+
+/// A broadcast domain shared by an AP and its stations.
+pub trait SharedMedium {
+    /// Account one frame of `bytes` payload from `from` to `to` at
+    /// `now`, advancing internal busy-time state. Deterministic given
+    /// the RNG.
+    fn transmit(
+        &mut self,
+        now: SimTime,
+        from: HostId,
+        to: HostId,
+        bytes: u32,
+        rng: &mut SimRng,
+    ) -> MediumGrant;
+
+    /// PHY state of `station`, if it is part of this medium.
+    fn snapshot(&self, station: HostId) -> Option<PhySnapshot>;
+
+    /// Fraction of recent airtime the medium was busy (all stations +
+    /// external interference), `[0, 1]`.
+    fn busy_fraction(&self, now: SimTime) -> f64;
+
+    /// Periodic state update hook (fading, mobility, handover); called
+    /// by the engine once per simulated second.
+    fn on_tick(&mut self, _now: SimTime, _rng: &mut SimRng) {}
+
+    /// Hosts currently associated as stations (probes at the AP sample
+    /// the PHY state of every connected device, as the paper's router
+    /// probe does).
+    fn stations(&self) -> Vec<HostId> {
+        Vec::new()
+    }
+
+    /// Downcast support so fault injectors can reconfigure concrete
+    /// medium models through the engine.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// An idealised medium: fixed rate, no contention, no loss. Used by
+/// simnet's own tests and as a placeholder before `vqd-wireless`
+/// attaches the real model.
+#[derive(Debug, Clone)]
+pub struct PerfectMedium {
+    /// PHY rate applied to every frame.
+    pub rate_bps: u64,
+    /// Time the transmitter is busy until (shared across stations).
+    busy_until: SimTime,
+    /// Cumulative busy ns, for `busy_fraction`.
+    busy_ns: u64,
+}
+
+impl PerfectMedium {
+    /// A perfect medium at the given rate.
+    pub fn new(rate_bps: u64) -> Self {
+        PerfectMedium { rate_bps, busy_until: SimTime::ZERO, busy_ns: 0 }
+    }
+}
+
+impl SharedMedium for PerfectMedium {
+    fn transmit(
+        &mut self,
+        now: SimTime,
+        _from: HostId,
+        _to: HostId,
+        bytes: u32,
+        _rng: &mut SimRng,
+    ) -> MediumGrant {
+        let airtime = SimDuration::tx_time(bytes as u64, self.rate_bps);
+        let start = now.max(self.busy_until);
+        let access_delay = start - now;
+        self.busy_until = start + airtime;
+        self.busy_ns += airtime.0;
+        MediumGrant { access_delay, airtime, delivered: true, mac_retries: 0 }
+    }
+
+    fn snapshot(&self, _station: HostId) -> Option<PhySnapshot> {
+        Some(PhySnapshot {
+            rssi_dbm: -40.0,
+            snr_db: 45.0,
+            phy_rate_bps: self.rate_bps,
+            connected: true,
+            disconnections: 0,
+        })
+    }
+
+    fn busy_fraction(&self, now: SimTime) -> f64 {
+        if now.0 == 0 {
+            0.0
+        } else {
+            (self.busy_ns as f64 / now.0 as f64).min(1.0)
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_medium_serialises_across_stations() {
+        let mut m = PerfectMedium::new(8_000_000); // 1 byte/us
+        let mut rng = SimRng::seed_from_u64(0);
+        let g1 = m.transmit(SimTime::ZERO, HostId(0), HostId(1), 1000, &mut rng);
+        assert_eq!(g1.access_delay, SimDuration::ZERO);
+        assert_eq!(g1.airtime, SimDuration::from_millis(1));
+        assert!(g1.delivered);
+        // Second frame from a different station must wait for the first.
+        let g2 = m.transmit(SimTime::ZERO, HostId(2), HostId(1), 1000, &mut rng);
+        assert_eq!(g2.access_delay, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn busy_fraction_reflects_airtime() {
+        let mut m = PerfectMedium::new(8_000_000);
+        let mut rng = SimRng::seed_from_u64(0);
+        for _ in 0..500 {
+            m.transmit(SimTime::ZERO, HostId(0), HostId(1), 1000, &mut rng);
+        }
+        // 500 ms of airtime over a 1 s window.
+        let f = m.busy_fraction(SimTime::from_secs(1));
+        assert!((f - 0.5).abs() < 1e-9, "{f}");
+    }
+
+    #[test]
+    fn snapshot_is_healthy() {
+        let m = PerfectMedium::new(54_000_000);
+        let s = m.snapshot(HostId(0)).unwrap();
+        assert!(s.connected);
+        assert_eq!(s.phy_rate_bps, 54_000_000);
+    }
+}

@@ -1,0 +1,201 @@
+//! Deterministic randomness helpers.
+//!
+//! All stochastic behaviour in the simulator (link jitter, loss draws,
+//! traffic inter-arrivals, fault intensities …) flows from [`SimRng`],
+//! a thin wrapper over [`SmallRng`] that adds the distributions the
+//! testbed needs. Normal sampling is implemented with the Box–Muller
+//! transform so we do not need the `rand_distr` crate.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic simulation RNG with the distributions used by the
+/// testbed models (normal, truncated normal, exponential, Bernoulli).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    /// Spare value from the last Box–Muller draw, if any.
+    spare_gauss: Option<f64>,
+}
+
+impl SimRng {
+    /// Create an RNG from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            spare_gauss: None,
+        }
+    }
+
+    /// Derive an independent child RNG. Children created with distinct
+    /// `salt`s from the same parent state are statistically independent
+    /// streams; this is how per-component RNGs are split from the root
+    /// seed without correlated draws.
+    pub fn split(&mut self, salt: u64) -> SimRng {
+        // SplitMix64-style mixing of a fresh draw with the salt.
+        let mut z = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::seed_from_u64(z)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)` (`hi > lo`).
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo);
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Standard normal via Box–Muller (polar rejection form).
+    pub fn gauss(&mut self) -> f64 {
+        if let Some(s) = self.spare_gauss.take() {
+            return s;
+        }
+        loop {
+            let u = 2.0 * self.f64() - 1.0;
+            let v = 2.0 * self.f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let k = (-2.0 * s.ln() / s).sqrt();
+                self.spare_gauss = Some(v * k);
+                return u * k;
+            }
+        }
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.gauss()
+    }
+
+    /// Normal truncated below at `min` (re-draws are not used: values
+    /// are clamped, which preserves the mean shift the netem-style link
+    /// models expect for small tail masses).
+    pub fn normal_min(&mut self, mean: f64, sd: f64, min: f64) -> f64 {
+        self.normal(mean, sd).max(min)
+    }
+
+    /// Exponential with the given mean (`mean > 0`).
+    pub fn expo(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let u: f64 = self.f64();
+        // 1 - u is in (0, 1]; ln of it is finite and <= 0.
+        -(1.0 - u).ln() * mean
+    }
+
+    /// Pareto with shape `alpha` and minimum `xm` — heavy-tailed flow
+    /// sizes for background FTP/web traffic.
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        debug_assert!(alpha > 0.0 && xm > 0.0);
+        let u: f64 = self.f64();
+        xm / (1.0 - u).powf(1.0 / alpha)
+    }
+
+    /// Pick an index in `[0, n)` uniformly.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.inner.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.f64().to_bits(), b.f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn split_streams_differ() {
+        let mut root = SimRng::seed_from_u64(1);
+        let mut a = root.split(1);
+        let mut b = root.split(2);
+        let va: Vec<u64> = (0..16).map(|_| (a.f64() * 1e9) as u64).collect();
+        let vb: Vec<u64> = (0..16).map(|_| (b.f64() * 1e9) as u64).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gauss_moments() {
+        let mut r = SimRng::seed_from_u64(99);
+        let n = 200_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = r.gauss();
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn expo_mean() {
+        let mut r = SimRng::seed_from_u64(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.expo(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn chance_probability() {
+        let mut r = SimRng::seed_from_u64(123);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.25).abs() < 0.01, "p {p}");
+    }
+
+    #[test]
+    fn normal_min_clamps() {
+        let mut r = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(r.normal_min(0.0, 10.0, 0.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pareto_at_least_xm() {
+        let mut r = SimRng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            assert!(r.pareto(100.0, 1.5) >= 100.0);
+        }
+    }
+}

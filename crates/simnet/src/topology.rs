@@ -1,0 +1,222 @@
+//! Topology construction with automatic static routing.
+//!
+//! The testbed topologies are small graphs (a handful of hosts on a
+//! path plus side branches for cross-traffic sources). The builder
+//! wires duplex links (two [`OneWayLink`]s) and wireless attachments
+//! (links bound to a [`SharedMedium`]), then computes shortest-path
+//! forwarding tables by BFS.
+
+use crate::host::Host;
+use crate::ids::{HostId, LinkId, MediumId};
+use crate::link::{LinkConfig, OneWayLink};
+use crate::medium::SharedMedium;
+use crate::engine::Network;
+
+/// Builds a [`Network`] from hosts and links.
+pub struct TopologyBuilder {
+    net: Network,
+    edges: Vec<(HostId, HostId, LinkId)>,
+    /// Shared AP downlink per (ap, medium).
+    ap_downlinks: std::collections::HashMap<(HostId, MediumId), LinkId>,
+}
+
+impl TopologyBuilder {
+    /// Empty builder (network seeded with 0; override via
+    /// [`TopologyBuilder::with_seed`]).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self::with_seed(0)
+    }
+
+    /// Empty builder with the RNG seed used for link jitter/loss draws.
+    pub fn with_seed(seed: u64) -> Self {
+        TopologyBuilder {
+            net: Network::new(seed),
+            edges: Vec::new(),
+            ap_downlinks: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Add a host with default hardware.
+    pub fn add_host(&mut self, name: &str) -> HostId {
+        self.net.add_host(Host::new(name))
+    }
+
+    /// Add a host with a specific hardware profile.
+    pub fn add_host_with(&mut self, host: Host) -> HostId {
+        self.net.add_host(host)
+    }
+
+    /// Add a duplex wired link (same config both ways). Returns the
+    /// (a→b, b→a) link ids.
+    pub fn add_duplex_link(&mut self, a: HostId, b: HostId, cfg: LinkConfig) -> (LinkId, LinkId) {
+        self.add_duplex_link_asym(a, b, cfg, cfg)
+    }
+
+    /// Add a duplex wired link with asymmetric configs (e.g. ADSL).
+    pub fn add_duplex_link_asym(
+        &mut self,
+        a: HostId,
+        b: HostId,
+        ab: LinkConfig,
+        ba: LinkConfig,
+    ) -> (LinkId, LinkId) {
+        let l1 = self.net.add_link(OneWayLink::new(a, b, ab));
+        let l2 = self.net.add_link(OneWayLink::new(b, a, ba));
+        self.edges.push((a, b, l1));
+        self.edges.push((b, a, l2));
+        (l1, l2)
+    }
+
+    /// Attach a shared medium (WLAN) and return its id. Stations are
+    /// attached with [`TopologyBuilder::add_wireless`].
+    pub fn add_medium(&mut self, medium: Box<dyn SharedMedium>) -> MediumId {
+        self.net.add_medium(medium)
+    }
+
+    /// Attach `station` to `ap` over `medium`. The per-direction links
+    /// carry the queues; rate/loss/extra delay come from the medium.
+    pub fn add_wireless(
+        &mut self,
+        station: HostId,
+        ap: HostId,
+        medium: MediumId,
+        mtu_payload: u32,
+    ) -> (LinkId, LinkId) {
+        let cfg = LinkConfig {
+            // rate/loss are decided by the medium; these values are
+            // only used if the medium is detached.
+            rate_bps: 54_000_000,
+            delay: crate::time::SimDuration::from_micros(2),
+            jitter_sd: crate::time::SimDuration::ZERO,
+            loss: 0.0,
+            loss_burst: 4.0,
+            queue_bytes: 128 * 1024,
+            mtu_payload,
+        };
+        let mut up = OneWayLink::new(station, ap, cfg);
+        up.medium = Some(medium);
+        let l1 = self.net.add_link(up);
+        self.edges.push((station, ap, l1));
+        // One shared downlink queue per AP radio: all stations behind
+        // the same FIFO, packets delivered to their own destination.
+        let l2 = *self.ap_downlinks.entry((ap, medium)).or_insert_with(|| {
+            let mut down = OneWayLink::new(ap, station, cfg);
+            down.medium = Some(medium);
+            down.shared_to_dst = true;
+            self.net.add_link(down)
+        });
+        self.edges.push((ap, station, l2));
+        (l1, l2)
+    }
+
+    /// Compute forwarding tables (BFS shortest path, first-added link
+    /// wins ties) and return the finished network.
+    pub fn build(mut self) -> Network {
+        let n = self.net.hosts.len();
+        // adjacency: for each host, (neighbor, out-link)
+        let mut adj: Vec<Vec<(HostId, LinkId)>> = vec![Vec::new(); n];
+        for &(a, b, l) in &self.edges {
+            adj[a.idx()].push((b, l));
+        }
+        for dst in 0..n {
+            // BFS from dst over *reversed* edges, recording each
+            // host's next-hop link toward dst.
+            let mut next: Vec<Option<LinkId>> = vec![None; n];
+            let mut visited = vec![false; n];
+            let mut queue = std::collections::VecDeque::new();
+            visited[dst] = true;
+            queue.push_back(HostId(dst as u32));
+            while let Some(u) = queue.pop_front() {
+                // look at all hosts v with an edge v→u
+                for v in 0..n {
+                    if visited[v] {
+                        continue;
+                    }
+                    if let Some(&(_, l)) = adj[v].iter().find(|(nb, _)| *nb == u) {
+                        visited[v] = true;
+                        next[v] = Some(l);
+                        queue.push_back(HostId(v as u32));
+                    }
+                }
+            }
+            for v in 0..n {
+                let host = &mut self.net.hosts[v];
+                if host.fwd.len() < n {
+                    host.fwd.resize(n, None);
+                }
+                host.fwd[dst] = next[v];
+            }
+        }
+        self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_routing() {
+        // a — r — b : a routes to b via r.
+        let mut tb = TopologyBuilder::new();
+        let a = tb.add_host("a");
+        let r = tb.add_host("r");
+        let b = tb.add_host("b");
+        let (ar, _) = tb.add_duplex_link(a, r, LinkConfig::ethernet(1_000_000));
+        let (rb, br) = tb.add_duplex_link(r, b, LinkConfig::ethernet(1_000_000));
+        let net = tb.build();
+        assert_eq!(net.hosts[a.idx()].route_to(b), Some(ar));
+        assert_eq!(net.hosts[r.idx()].route_to(b), Some(rb));
+        assert_eq!(net.hosts[b.idx()].route_to(r), Some(br));
+        assert_eq!(net.hosts[a.idx()].route_to(a), None);
+    }
+
+    #[test]
+    fn star_routing() {
+        // Three leaves on one router.
+        let mut tb = TopologyBuilder::new();
+        let r = tb.add_host("r");
+        let hs: Vec<HostId> = (0..3).map(|i| tb.add_host(&format!("h{i}"))).collect();
+        for &h in &hs {
+            tb.add_duplex_link(r, h, LinkConfig::ethernet(1_000_000));
+        }
+        let net = tb.build();
+        // Each leaf reaches each other leaf in two hops through r.
+        for &x in &hs {
+            for &y in &hs {
+                if x != y {
+                    let l = net.hosts[x.idx()].route_to(y).unwrap();
+                    assert_eq!(net.links[l.idx()].to, r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_hosts_have_no_route() {
+        let mut tb = TopologyBuilder::new();
+        let a = tb.add_host("a");
+        let b = tb.add_host("b");
+        let c = tb.add_host("c"); // isolated
+        tb.add_duplex_link(a, b, LinkConfig::ethernet(1_000_000));
+        let net = tb.build();
+        assert!(net.hosts[a.idx()].route_to(c).is_none());
+        assert!(net.hosts[c.idx()].route_to(a).is_none());
+        assert!(net.hosts[a.idx()].route_to(b).is_some());
+    }
+
+    #[test]
+    fn wireless_links_carry_medium() {
+        use crate::medium::PerfectMedium;
+        let mut tb = TopologyBuilder::new();
+        let sta = tb.add_host("phone");
+        let ap = tb.add_host("ap");
+        let m = tb.add_medium(Box::new(PerfectMedium::new(54_000_000)));
+        let (up, down) = tb.add_wireless(sta, ap, m, 1460);
+        let net = tb.build();
+        assert_eq!(net.links[up.idx()].medium, Some(m));
+        assert_eq!(net.links[down.idx()].medium, Some(m));
+        assert_eq!(net.hosts[sta.idx()].route_to(ap), Some(up));
+    }
+}

@@ -1,0 +1,319 @@
+//! Background traffic generators.
+//!
+//! Reproduces the testbed's load tooling:
+//!
+//! * [`UdpFlood`] — the `iperf` equivalent used for the LAN/WAN
+//!   *congestion* faults: constant-rate UDP between two hosts, sharing
+//!   (and saturating) every queue on its path.
+//! * [`AppMix`] — the D-ITG equivalent used for *background
+//!   variations*: a blend of VoIP, gaming, web, FTP and telnet traffic
+//!   with the characteristic packet sizes and arrival processes of each
+//!   application, so the training data is never collected on a silent
+//!   network.
+
+use std::collections::HashMap;
+
+use crate::engine::{App, Ctl, TcpEvent};
+use crate::ids::{FlowId, HostId};
+use crate::rng::SimRng;
+use crate::tcp::Side;
+use crate::time::{SimDuration, SimTime};
+
+/// Constant-bit-rate UDP flood (the `iperf -u` equivalent).
+pub struct UdpFlood {
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Target rate in bits/second.
+    pub rate_bps: u64,
+    /// Datagram payload size.
+    pub pkt_len: u32,
+    /// When to start sending.
+    pub start: SimTime,
+    /// When to stop.
+    pub stop: SimTime,
+    /// Destination port (a sink; nothing needs to be bound).
+    pub dst_port: u16,
+}
+
+impl UdpFlood {
+    /// Flood at `rate_bps` with 1200-byte datagrams for the whole run.
+    pub fn new(src: HostId, dst: HostId, rate_bps: u64) -> Self {
+        UdpFlood {
+            src,
+            dst,
+            rate_bps,
+            pkt_len: 1200,
+            start: SimTime::ZERO,
+            stop: SimTime::MAX,
+            dst_port: 5001,
+        }
+    }
+
+    fn interval(&self) -> SimDuration {
+        SimDuration::tx_time(self.pkt_len as u64, self.rate_bps)
+    }
+}
+
+impl App for UdpFlood {
+    fn start(&mut self, ctl: &mut Ctl) {
+        let delay = self.start.since(ctl.now());
+        ctl.timer(delay, 0);
+    }
+    fn on_timer(&mut self, _token: u64, ctl: &mut Ctl) {
+        if ctl.now() >= self.stop {
+            return;
+        }
+        ctl.udp_send(self.src, self.dst, 30_000, self.dst_port, self.pkt_len);
+        let iv = self.interval();
+        ctl.timer(iv, 0);
+    }
+}
+
+/// A background application pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixKind {
+    /// 160-byte datagrams every 20 ms (G.711-style), with talk spurts.
+    Voip,
+    /// Small bursty datagrams, exponential inter-arrival ~30 ms.
+    Gaming,
+    /// Poisson page fetches; Pareto response sizes (~30 kB median).
+    Web,
+    /// Poisson bulk transfers; Pareto sizes (~200 kB and up).
+    Ftp,
+    /// Chatty small request/response exchanges on a persistent flow.
+    Telnet,
+}
+
+impl MixKind {
+    /// All patterns (the D-ITG set used by the testbed).
+    pub const ALL: [MixKind; 5] =
+        [MixKind::Voip, MixKind::Gaming, MixKind::Web, MixKind::Ftp, MixKind::Telnet];
+}
+
+/// State for one background TCP exchange.
+struct MixFlow {
+    respond: u64,
+}
+
+/// D-ITG-style background traffic between `src` (the load generator)
+/// and `dst` (the responder host).
+pub struct AppMix {
+    /// Client-side host.
+    pub src: HostId,
+    /// Server-side host.
+    pub dst: HostId,
+    kinds: Vec<MixKind>,
+    /// Rate multiplier (1.0 = nominal background level).
+    pub intensity: f64,
+    rng: SimRng,
+    flows: HashMap<FlowId, MixFlow>,
+    port: u16,
+    voip_talking: bool,
+}
+
+impl AppMix {
+    /// A mix of the given kinds at `intensity`, seeded deterministically.
+    pub fn new(src: HostId, dst: HostId, kinds: &[MixKind], intensity: f64, seed: u64) -> Self {
+        AppMix {
+            src,
+            dst,
+            kinds: kinds.to_vec(),
+            intensity: intensity.max(0.0),
+            rng: SimRng::seed_from_u64(seed),
+            flows: HashMap::new(),
+            port: 8000,
+            voip_talking: true,
+        }
+    }
+
+    fn next_gap(&mut self, kind: MixKind) -> SimDuration {
+        let k = self.intensity.max(1e-6);
+        let mean_s = match kind {
+            MixKind::Voip => 0.020, // fixed cadence (not scaled)
+            MixKind::Gaming => 0.030 / k,
+            MixKind::Web => 2.0 / k,
+            MixKind::Ftp => 20.0 / k,
+            MixKind::Telnet => 0.5 / k,
+        };
+        if kind == MixKind::Voip {
+            SimDuration::from_secs_f64(mean_s)
+        } else {
+            SimDuration::from_secs_f64(self.rng.expo(mean_s))
+        }
+    }
+
+    fn fire(&mut self, kind: MixKind, ctl: &mut Ctl) {
+        match kind {
+            MixKind::Voip => {
+                // Talk spurts: flip state occasionally.
+                if self.rng.chance(0.01) {
+                    self.voip_talking = !self.voip_talking;
+                }
+                if self.voip_talking {
+                    ctl.udp_send(self.src, self.dst, 16_384, 7078, 160);
+                    // Bidirectional call.
+                    ctl.udp_send(self.dst, self.src, 7078, 16_384, 160);
+                }
+            }
+            MixKind::Gaming => {
+                let len = 60 + self.rng.index(120) as u32;
+                ctl.udp_send(self.src, self.dst, 27_015, 27_015, len);
+                if self.rng.chance(0.5) {
+                    ctl.udp_send(self.dst, self.src, 27_015, 27_015, 90);
+                }
+            }
+            MixKind::Web => {
+                let resp = (self.rng.pareto(12_000.0, 1.2) as u64).min(600_000);
+                self.open_exchange(ctl, 80, 400, resp);
+            }
+            MixKind::Ftp => {
+                let resp = (self.rng.pareto(80_000.0, 1.15) as u64).min(1_500_000);
+                self.open_exchange(ctl, 21, 200, resp);
+            }
+            MixKind::Telnet => {
+                let resp = 80 + self.rng.index(400) as u64;
+                self.open_exchange(ctl, 23, 50, resp);
+            }
+        }
+    }
+
+    fn open_exchange(&mut self, ctl: &mut Ctl, _port: u16, req: u64, resp: u64) {
+        let flow = ctl.tcp_connect(self.src, self.dst, self.port);
+        self.port = self.port.wrapping_add(1).max(8000);
+        self.flows.insert(flow, MixFlow { respond: resp });
+        // Request is queued immediately; it transmits once connected.
+        ctl.tcp_send(flow, req);
+        ctl.tcp_close_after_send(flow);
+    }
+}
+
+impl App for AppMix {
+    fn start(&mut self, ctl: &mut Ctl) {
+        if self.intensity <= 0.0 {
+            return;
+        }
+        for i in 0..self.kinds.len() {
+            let kind = self.kinds[i];
+            let gap = self.next_gap(kind);
+            ctl.timer(gap, i as u64);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctl: &mut Ctl) {
+        let Some(&kind) = self.kinds.get(token as usize) else { return };
+        self.fire(kind, ctl);
+        let gap = self.next_gap(kind);
+        ctl.timer(gap, token);
+    }
+
+    fn on_tcp(&mut self, ev: TcpEvent, ctl: &mut Ctl) {
+        match ev {
+            TcpEvent::DataAvailable { flow, side, .. } => {
+                ctl.tcp_read_at(flow, side, u64::MAX);
+                if side == Side::Server {
+                    // First request byte triggers the response.
+                    if let Some(mf) = self.flows.get_mut(&flow) {
+                        if mf.respond > 0 {
+                            let n = mf.respond;
+                            mf.respond = 0;
+                            ctl.tcp_send_from(flow, Side::Server, n);
+                            ctl.tcp_close_from(flow, Side::Server);
+                        }
+                    }
+                }
+            }
+            TcpEvent::PeerFin { flow, side } => {
+                ctl.tcp_read_at(flow, side, u64::MAX);
+            }
+            TcpEvent::Closed { flow } | TcpEvent::Aborted { flow } => {
+                self.flows.remove(&flow);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Harness;
+    use crate::link::LinkConfig;
+    use crate::topology::TopologyBuilder;
+
+    fn wire() -> (crate::engine::Network, HostId, HostId) {
+        let mut tb = TopologyBuilder::new();
+        let a = tb.add_host("gen");
+        let b = tb.add_host("sink");
+        tb.add_duplex_link(a, b, LinkConfig::ethernet(20_000_000));
+        (tb.build(), a, b)
+    }
+
+    #[test]
+    fn udp_flood_achieves_target_rate() {
+        let (net, a, b) = wire();
+        let mut sim = Harness::new(net, 1);
+        sim.add_app(Box::new(UdpFlood::new(a, b, 4_000_000)));
+        sim.run_until(SimTime::from_secs(5));
+        let l = sim.net.link_between(a, b).unwrap();
+        let bytes = sim.net.links[l.idx()].ctr.delivered_bytes;
+        let rate = bytes as f64 * 8.0 / 5.0;
+        // Within 10% of 4 Mbit/s (header overhead pushes it slightly up).
+        assert!((rate - 4_000_000.0).abs() < 400_000.0, "rate={rate}");
+    }
+
+    #[test]
+    fn udp_flood_respects_stop_time() {
+        let (net, a, b) = wire();
+        let mut sim = Harness::new(net, 1);
+        let mut flood = UdpFlood::new(a, b, 8_000_000);
+        flood.stop = SimTime::from_secs(1);
+        sim.add_app(Box::new(flood));
+        sim.run_until(SimTime::from_secs(3));
+        let l = sim.net.link_between(a, b).unwrap();
+        let bytes = sim.net.links[l.idx()].ctr.delivered_bytes;
+        // Roughly 1 s at 8 Mbit/s = 1 MB; definitely less than 1.2 MB.
+        assert!(bytes < 1_200_000, "bytes={bytes}");
+        assert!(bytes > 800_000, "bytes={bytes}");
+    }
+
+    #[test]
+    fn appmix_generates_bidirectional_traffic() {
+        let (net, a, b) = wire();
+        let mut sim = Harness::new(net, 2);
+        sim.add_app(Box::new(AppMix::new(a, b, &MixKind::ALL, 1.0, 99)));
+        sim.run_until(SimTime::from_secs(20));
+        let fwd = sim.net.link_between(a, b).unwrap();
+        let rev = sim.net.link_between(b, a).unwrap();
+        let f = sim.net.links[fwd.idx()].ctr.delivered_bytes;
+        let r = sim.net.links[rev.idx()].ctr.delivered_bytes;
+        assert!(f > 10_000, "forward bytes {f}");
+        assert!(r > 10_000, "reverse bytes {r}");
+    }
+
+    #[test]
+    fn appmix_zero_intensity_is_silent() {
+        let (net, a, b) = wire();
+        let mut sim = Harness::new(net, 2);
+        sim.add_app(Box::new(AppMix::new(a, b, &MixKind::ALL, 0.0, 1)));
+        sim.run_until(SimTime::from_secs(5));
+        let fwd = sim.net.link_between(a, b).unwrap();
+        assert_eq!(sim.net.links[fwd.idx()].ctr.delivered_bytes, 0);
+    }
+
+    #[test]
+    fn appmix_intensity_scales_volume() {
+        let volume = |intensity: f64| -> u64 {
+            let (net, a, b) = wire();
+            let mut sim = Harness::new(net, 2);
+            sim.add_app(Box::new(AppMix::new(a, b, &[MixKind::Web], intensity, 7)));
+            sim.run_until(SimTime::from_secs(60));
+            let rev = sim.net.link_between(b, a).unwrap();
+            sim.net.links[rev.idx()].ctr.delivered_bytes
+        };
+        let low = volume(0.3);
+        let high = volume(3.0);
+        assert!(high > low * 2, "low={low} high={high}");
+    }
+}

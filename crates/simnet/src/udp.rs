@@ -1,0 +1,86 @@
+//! UDP: fire-and-forget datagrams.
+//!
+//! Used by the congestion fault injectors (the `iperf` equivalent) and
+//! by the D-ITG-style background generators (VoIP/gaming patterns).
+//! Sockets are (host, port) bindings owned by an application; datagrams
+//! to an unbound port are silently sunk, exactly like a kernel dropping
+//! to a closed port (the traffic still loaded every queue on its path,
+//! which is all congestion generation needs).
+
+use crate::ids::{AppId, HostId};
+
+/// A (host, port) binding that wants to receive datagrams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpBinding {
+    /// Bound host.
+    pub host: HostId,
+    /// Bound port.
+    pub port: u16,
+    /// Owning application (receives [`UdpEvent`](crate::engine::UdpEvent)s).
+    pub owner: AppId,
+}
+
+/// Registry of UDP bindings.
+#[derive(Debug, Default)]
+pub struct UdpTable {
+    bindings: Vec<UdpBinding>,
+}
+
+impl UdpTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `port` on `host` to `owner`. Re-binding an existing
+    /// (host, port) replaces the owner.
+    pub fn bind(&mut self, host: HostId, port: u16, owner: AppId) {
+        if let Some(b) = self
+            .bindings
+            .iter_mut()
+            .find(|b| b.host == host && b.port == port)
+        {
+            b.owner = owner;
+        } else {
+            self.bindings.push(UdpBinding { host, port, owner });
+        }
+    }
+
+    /// Remove a binding.
+    pub fn unbind(&mut self, host: HostId, port: u16) {
+        self.bindings.retain(|b| !(b.host == host && b.port == port));
+    }
+
+    /// Owner of datagrams arriving at (host, port), if bound.
+    pub fn lookup(&self, host: HostId, port: u16) -> Option<AppId> {
+        self.bindings
+            .iter()
+            .find(|b| b.host == host && b.port == port)
+            .map(|b| b.owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_lookup_unbind() {
+        let mut t = UdpTable::new();
+        assert_eq!(t.lookup(HostId(0), 5001), None);
+        t.bind(HostId(0), 5001, AppId(3));
+        assert_eq!(t.lookup(HostId(0), 5001), Some(AppId(3)));
+        // Same port on another host is distinct.
+        assert_eq!(t.lookup(HostId(1), 5001), None);
+        t.unbind(HostId(0), 5001);
+        assert_eq!(t.lookup(HostId(0), 5001), None);
+    }
+
+    #[test]
+    fn rebind_replaces_owner() {
+        let mut t = UdpTable::new();
+        t.bind(HostId(0), 9, AppId(1));
+        t.bind(HostId(0), 9, AppId(2));
+        assert_eq!(t.lookup(HostId(0), 9), Some(AppId(2)));
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests of the simulator's core data structures.
+
+use proptest::prelude::*;
+
+use vqd_simnet::rng::SimRng;
+use vqd_simnet::stats::Welford;
+use vqd_simnet::time::{SimDuration, SimTime};
+
+proptest! {
+    /// Welford matches the naive two-pass computation on arbitrary
+    /// finite samples.
+    #[test]
+    fn welford_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.add(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert_eq!(w.count(), xs.len() as u64);
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()), "{} vs {}", w.mean(), mean);
+        prop_assert!((w.std() - var.sqrt()).abs() < 1e-5 * (1.0 + var.sqrt()), "{} vs {}", w.std(), var.sqrt());
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(w.min(), min);
+        prop_assert_eq!(w.max(), max);
+    }
+
+    /// Merging arbitrary partitions equals sequential accumulation.
+    #[test]
+    fn welford_merge_invariant(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        split in 1usize..99,
+    ) {
+        let cut = split.min(xs.len() - 1);
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.add(x);
+        }
+        let (mut a, mut b) = (Welford::new(), Welford::new());
+        for &x in &xs[..cut] {
+            a.add(x);
+        }
+        for &x in &xs[cut..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-8);
+        prop_assert!((a.std() - all.std()).abs() < 1e-8);
+    }
+
+    /// Time arithmetic: associativity with durations and saturation.
+    #[test]
+    fn time_arithmetic(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4, c in 0u64..u64::MAX / 4) {
+        let t = SimTime(a);
+        let d1 = SimDuration(b);
+        let d2 = SimDuration(c);
+        prop_assert_eq!((t + d1) + d2, t + (d1 + d2));
+        // since() is the inverse of + for in-range values.
+        prop_assert_eq!((t + d1).since(t), d1);
+        // Subtraction saturates.
+        prop_assert_eq!(t.since(t + d1 + SimDuration(1)), SimDuration::ZERO);
+    }
+
+    /// tx_time is monotone in bytes and antitone in rate.
+    #[test]
+    fn tx_time_monotonicity(bytes in 1u64..1_000_000, rate in 1_000u64..10_000_000_000) {
+        let t = SimDuration::tx_time(bytes, rate);
+        prop_assert!(SimDuration::tx_time(bytes + 1, rate) >= t);
+        prop_assert!(SimDuration::tx_time(bytes, rate * 2) <= t);
+    }
+
+    /// Distribution sampling invariants under arbitrary seeds.
+    #[test]
+    fn rng_sampling_ranges(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let u = rng.f64();
+            prop_assert!((0.0..1.0).contains(&u));
+            prop_assert!(rng.normal_min(5.0, 3.0, 0.0) >= 0.0);
+            prop_assert!(rng.expo(2.0) >= 0.0);
+            prop_assert!(rng.pareto(10.0, 1.5) >= 10.0);
+            let i = rng.index(7);
+            prop_assert!(i < 7);
+        }
+    }
+
+    /// Split streams are independent of parent draws afterwards: two
+    /// children with the same salt from identical parents agree.
+    #[test]
+    fn rng_split_deterministic(seed in any::<u64>(), salt in any::<u64>()) {
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        let mut ca = a.split(salt);
+        let mut cb = b.split(salt);
+        for _ in 0..16 {
+            prop_assert_eq!(ca.f64().to_bits(), cb.f64().to_bits());
+        }
+    }
+}
+
+// Gilbert–Elliott loss: long-run loss rate stays close to the
+// configured average for arbitrary burst lengths.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn ge_loss_rate_converges(loss in 0.001f64..0.2, burst in 1.0f64..10.0, seed in any::<u64>()) {
+        use vqd_simnet::ids::HostId;
+        use vqd_simnet::link::{LinkConfig, OneWayLink};
+        let mut cfg = LinkConfig::ethernet(1_000_000);
+        cfg.loss = loss;
+        cfg.loss_burst = burst;
+        let mut link = OneWayLink::new(HostId(0), HostId(1), cfg);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n = 200_000;
+        let lost = (0..n).filter(|_| link.sample_loss(&mut rng)).count();
+        let observed = lost as f64 / n as f64;
+        prop_assert!(
+            (observed - loss).abs() < 0.25 * loss + 0.002,
+            "configured {loss}, observed {observed}"
+        );
+    }
+}
+
+// TCP torture: under arbitrary loss rates, burstiness, delays and
+// transfer sizes, a transfer either completes exactly or the flow
+// aborts — never hangs, never delivers wrong byte counts.
+mod tcp_torture {
+    use super::*;
+    use vqd_simnet::engine::{App, Ctl, Harness, TcpEvent};
+    use vqd_simnet::ids::{FlowId, HostId};
+    use vqd_simnet::link::LinkConfig;
+    use vqd_simnet::tcp::{FlowState, Side};
+    use vqd_simnet::topology::TopologyBuilder;
+
+    struct Fetch {
+        a: HostId,
+        b: HostId,
+        reply: u64,
+    }
+    impl App for Fetch {
+        fn start(&mut self, ctl: &mut Ctl) {
+            let f = ctl.tcp_connect(self.a, self.b, 80);
+            ctl.tcp_send(f, 100);
+        }
+        fn on_tcp(&mut self, ev: TcpEvent, ctl: &mut Ctl) {
+            match ev {
+                TcpEvent::DataAvailable { flow, side, .. } => {
+                    ctl.tcp_read_at(flow, side, u64::MAX);
+                    if side == Side::Server {
+                        ctl.tcp_send_from(flow, Side::Server, self.reply);
+                        ctl.tcp_close_from(flow, Side::Server);
+                    }
+                }
+                TcpEvent::PeerFin { flow, side } => {
+                    ctl.tcp_close_from(flow, side);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn transfer_completes_or_aborts(
+            loss in 0.0f64..0.12,
+            burst in 1.0f64..6.0,
+            delay_ms in 1u64..150,
+            jitter_ms in 0u64..20,
+            kib in 1u64..400,
+            seed in any::<u64>(),
+        ) {
+            let mut cfg = LinkConfig::ethernet(5_000_000);
+            cfg.loss = loss;
+            cfg.loss_burst = burst;
+            cfg.delay = SimDuration::from_millis(delay_ms);
+            cfg.jitter_sd = SimDuration::from_millis(jitter_ms);
+            let mut tb = TopologyBuilder::new();
+            let a = tb.add_host("a");
+            let b = tb.add_host("b");
+            tb.add_duplex_link(a, b, cfg);
+            let mut sim = Harness::new(tb.build(), seed);
+            let reply = kib * 1024;
+            sim.add_app(Box::new(Fetch { a, b, reply }));
+            sim.run_until(SimTime::from_secs(600));
+            let f = sim.net.flow(FlowId(0)).unwrap();
+            match f.state {
+                FlowState::Closed => {
+                    if f.complete {
+                        prop_assert_eq!(
+                            f.endpoint(Side::Client).bytes_read(),
+                            reply,
+                            "byte count mismatch"
+                        );
+                    }
+                    // Aborted flows are acceptable under heavy loss.
+                }
+                other => {
+                    // 600 simulated seconds is beyond any RTO chain for
+                    // these parameters: a still-open flow means a stall.
+                    return Err(TestCaseError::fail(format!(
+                        "flow neither completed nor aborted: {other:?}, \
+                         loss={loss:.3} burst={burst:.1} delay={delay_ms}ms"
+                    )));
+                }
+            }
+        }
+    }
+}

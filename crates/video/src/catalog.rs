@@ -1,0 +1,175 @@
+//! The video catalogue.
+//!
+//! The testbed served the 100 most-viewed YouTube videos in SD or HD
+//! "to ensure the diversity of the video collection". We generate a
+//! synthetic equivalent: 100 titles with varied durations and encoded
+//! bitrates, half SD and half HD. Durations are time-compressed by
+//! default (tens of seconds instead of minutes) to keep packet-level
+//! simulation of thousands of sessions tractable; the QoE labelling is
+//! driven by startup delay and stall *rates*, both of which are
+//! preserved under compression. Set
+//! [`CatalogConfig::min_duration_s`]/[`max_duration_s`](CatalogConfig::max_duration_s)
+//! to full-length values to stream real-scale videos.
+
+use vqd_simnet::rng::SimRng;
+
+/// One video.
+#[derive(Debug, Clone)]
+pub struct Video {
+    /// Catalogue index.
+    pub id: u32,
+    /// Media duration in seconds.
+    pub duration_s: f64,
+    /// Encoded bitrate, bits/second.
+    pub bitrate_bps: u64,
+    /// True for high definition.
+    pub hd: bool,
+}
+
+impl Video {
+    /// Total media bytes of the file.
+    pub fn size_bytes(&self) -> u64 {
+        (self.duration_s * self.bitrate_bps as f64 / 8.0) as u64
+    }
+
+    /// The standard-definition encode of this title (what the service
+    /// serves to clients on cellular access, as YouTube did on 3G).
+    pub fn sd_variant(&self) -> Video {
+        if !self.hd {
+            return self.clone();
+        }
+        Video {
+            id: self.id,
+            duration_s: self.duration_s,
+            bitrate_bps: (self.bitrate_bps as f64 * 0.45) as u64,
+            hd: false,
+        }
+    }
+}
+
+/// Catalogue generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogConfig {
+    /// Number of videos.
+    pub count: usize,
+    /// Shortest duration, seconds.
+    pub min_duration_s: f64,
+    /// Longest duration, seconds.
+    pub max_duration_s: f64,
+    /// Mean SD bitrate, bits/second.
+    pub sd_bitrate_bps: u64,
+    /// Mean HD bitrate, bits/second.
+    pub hd_bitrate_bps: u64,
+    /// Probability a title is HD.
+    pub hd_prob: f64,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            count: 100,
+            min_duration_s: 20.0,
+            max_duration_s: 60.0,
+            sd_bitrate_bps: 900_000,
+            hd_bitrate_bps: 2_000_000,
+            hd_prob: 0.5,
+        }
+    }
+}
+
+/// A generated catalogue.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    videos: Vec<Video>,
+}
+
+impl Catalog {
+    /// Generate the top-`count` catalogue deterministically from `seed`.
+    pub fn generate(cfg: &CatalogConfig, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let videos = (0..cfg.count)
+            .map(|i| {
+                let hd = rng.chance(cfg.hd_prob);
+                let mean = if hd { cfg.hd_bitrate_bps } else { cfg.sd_bitrate_bps } as f64;
+                let bitrate = rng.normal_min(mean, mean * 0.15, mean * 0.5) as u64;
+                let duration = rng.range_f64(cfg.min_duration_s, cfg.max_duration_s);
+                Video { id: i as u32, duration_s: duration, bitrate_bps: bitrate, hd }
+            })
+            .collect();
+        Catalog { videos }
+    }
+
+    /// Default top-100 catalogue.
+    pub fn top100(seed: u64) -> Self {
+        Self::generate(&CatalogConfig::default(), seed)
+    }
+
+    /// All videos.
+    pub fn videos(&self) -> &[Video] {
+        &self.videos
+    }
+
+    /// A uniformly random title (the testbed "streams a randomly
+    /// picked video" per scenario).
+    pub fn pick(&self, rng: &mut SimRng) -> &Video {
+        &self.videos[rng.index(self.videos.len())]
+    }
+
+    /// Lookup by id.
+    pub fn get(&self, id: u32) -> Option<&Video> {
+        self.videos.get(id as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_and_mix() {
+        let c = Catalog::top100(1);
+        assert_eq!(c.videos().len(), 100);
+        let hd = c.videos().iter().filter(|v| v.hd).count();
+        assert!((30..=70).contains(&hd), "hd count {hd}");
+    }
+
+    #[test]
+    fn durations_and_bitrates_in_range() {
+        let cfg = CatalogConfig::default();
+        let c = Catalog::generate(&cfg, 7);
+        for v in c.videos() {
+            assert!(v.duration_s >= cfg.min_duration_s && v.duration_s <= cfg.max_duration_s);
+            assert!(v.bitrate_bps >= 450_000, "bitrate {}", v.bitrate_bps);
+            if v.hd {
+                assert!(v.bitrate_bps > 1_250_000);
+            }
+        }
+    }
+
+    #[test]
+    fn size_matches_duration_times_bitrate() {
+        let v = Video { id: 0, duration_s: 10.0, bitrate_bps: 800_000, hd: false };
+        assert_eq!(v.size_bytes(), 1_000_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Catalog::top100(9);
+        let b = Catalog::top100(9);
+        for (x, y) in a.videos().iter().zip(b.videos()) {
+            assert_eq!(x.bitrate_bps, y.bitrate_bps);
+            assert_eq!(x.duration_s, y.duration_s);
+        }
+    }
+
+    #[test]
+    fn pick_is_uniformish() {
+        let c = Catalog::top100(2);
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(c.pick(&mut rng).id);
+        }
+        assert!(seen.len() > 90, "picked {} distinct titles", seen.len());
+    }
+}

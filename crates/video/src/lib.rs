@@ -1,0 +1,31 @@
+//! # vqd-video — video streaming substrate
+//!
+//! Everything between "user taps a video" and "labelled QoE outcome":
+//!
+//! * [`catalog`] — a synthetic *top-100* video catalogue (SD/HD mix,
+//!   varied durations and encoded bitrates) standing in for the
+//!   YouTube top-100 list the testbed served from its Apache box.
+//! * [`server`] — an HTTP-style progressive-download server with a CPU
+//!   load model (the ApacheBench knob): high server load delays the
+//!   first byte and paces chunks.
+//! * [`player`] — the instrumented Android-player equivalent: playout
+//!   buffer fed by a real simulated TCP flow, startup threshold, stall
+//!   detection, CPU-gated decoding (the `stress` fault starves it) and
+//!   memory-pressure-limited buffering.
+//! * [`session`] — per-session application-layer QoE metrics (startup
+//!   delay, stall count/duration, frame skips). **Used only for
+//!   labelling**, never as classifier features — same as the paper.
+//! * [`mos`] — the Mok et al. regression mapping those metrics to a
+//!   Mean Opinion Score and the good/mild/severe label.
+
+pub mod catalog;
+pub mod mos;
+pub mod player;
+pub mod server;
+pub mod session;
+
+pub use catalog::{Catalog, CatalogConfig, Video};
+pub use mos::{mos_score, QoeClass};
+pub use player::{Player, PlayerConfig, PlayerHandle};
+pub use server::{SessionDirectory, VideoServer, VideoServerConfig};
+pub use session::SessionQoe;

@@ -1,0 +1,211 @@
+//! MOS estimation and QoE labelling.
+//!
+//! Implements the regression model of Mok, Chan & Chang, *"Measuring
+//! the Quality of Experience of HTTP Video Streaming"* (IM 2011), which
+//! the paper uses to turn application metrics into the labelled ground
+//! truth:
+//!
+//! ```text
+//! MOS = 4.23 − 0.0672·L_ti − 0.742·L_fr − 0.106·L_tr
+//! ```
+//!
+//! where the `L` values are three-level quantisations (1 = best,
+//! 3 = worst) of the startup delay (`ti`), rebuffering frequency
+//! (`fr`) and mean rebuffering duration (`tr`). Sessions are then
+//! labelled **good** (MOS > 3), **mild** (2 ≤ MOS ≤ 3) or **severe**
+//! (MOS < 2), the thresholds of Section 4.4 of the paper.
+
+use crate::session::SessionQoe;
+
+/// QoE label of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QoeClass {
+    /// MOS > 3.
+    Good,
+    /// 2 ≤ MOS ≤ 3.
+    Mild,
+    /// MOS < 2.
+    Severe,
+}
+
+impl QoeClass {
+    /// Label for a MOS value.
+    pub fn from_mos(mos: f64) -> Self {
+        if mos > 3.0 {
+            QoeClass::Good
+        } else if mos >= 2.0 {
+            QoeClass::Mild
+        } else {
+            QoeClass::Severe
+        }
+    }
+
+    /// Short lowercase name ("good"/"mild"/"severe").
+    pub fn name(self) -> &'static str {
+        match self {
+            QoeClass::Good => "good",
+            QoeClass::Mild => "mild",
+            QoeClass::Severe => "severe",
+        }
+    }
+}
+
+/// Quantise the startup delay to level 1–3. Thresholds follow the
+/// dichotomies of the Mok et al. subjective study: ≤1 s unnoticeable,
+/// ≤5 s tolerable, beyond that annoying.
+fn level_ti(startup_s: Option<f64>) -> f64 {
+    match startup_s {
+        Some(t) if t <= 1.0 => 1.0,
+        Some(t) if t <= 5.0 => 2.0,
+        Some(_) => 3.0,
+        None => 3.0,
+    }
+}
+
+/// Quantise rebuffering frequency (events/s of viewing): ≈never,
+/// occasional, frequent. The band edges are scaled up from Mok et
+/// al.'s (who used multi-minute clips) because the default catalogue
+/// time-compresses sessions to tens of seconds: one stall in a 30 s
+/// clip is an *occasional* stall, not a frequent one.
+fn level_fr(freq_hz: f64) -> f64 {
+    if freq_hz <= 0.01 {
+        1.0
+    } else if freq_hz <= 0.055 {
+        2.0
+    } else {
+        3.0
+    }
+}
+
+/// Quantise mean rebuffer duration: ≤1 s blips, ≤5 s tolerable, longer
+/// is severe.
+fn level_tr(mean_s: f64) -> f64 {
+    if mean_s <= 1.0 {
+        1.0
+    } else if mean_s <= 5.0 {
+        2.0
+    } else {
+        3.0
+    }
+}
+
+/// Compute the MOS for a session. Failed sessions (never started) get
+/// the floor of the model (all levels at 3).
+pub fn mos_score(q: &SessionQoe) -> f64 {
+    if q.failed || q.playback_at.is_none() {
+        return 4.23 - 0.0672 * 3.0 - 0.742 * 3.0 - 0.106 * 3.0;
+    }
+    let lti = level_ti(q.startup_delay_s());
+    let mut lfr = level_fr(q.rebuffer_frequency_hz());
+    let ltr = level_tr(q.mean_rebuffer_s());
+    // Decode stutter is continuous, so it registers as few *events*;
+    // perceptually, sustained frame skipping is at least as bad as
+    // frequent rebuffering. Escalate the frequency level with the
+    // fraction of viewing time lost to skipped frames.
+    let viewing = (q.played_s + q.frame_skip_s).max(0.1);
+    let skip_ratio = q.frame_skip_s / viewing;
+    if skip_ratio > 0.20 {
+        lfr = 3.0;
+    } else if skip_ratio > 0.06 {
+        lfr = lfr.max(2.0);
+    }
+    4.23 - 0.0672 * lti - 0.742 * lfr - 0.106 * ltr
+}
+
+/// Convenience: MOS → label in one step.
+pub fn label(q: &SessionQoe) -> QoeClass {
+    QoeClass::from_mos(mos_score(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqd_simnet::time::{SimDuration, SimTime};
+
+    fn session(startup: f64, stalls: &[(f64, f64)], played: f64) -> SessionQoe {
+        let mut q = SessionQoe {
+            started_at: SimTime::ZERO,
+            playback_at: Some(SimTime::from_secs_f(startup)),
+            ended_at: Some(SimTime::from_secs(100)),
+            media_duration_s: played,
+            bitrate_bps: 1_000_000,
+            played_s: played,
+            completed: true,
+            ..Default::default()
+        };
+        for &(at, dur) in stalls {
+            q.stalls.push((
+                SimTime::ZERO + SimDuration::from_secs_f64(at),
+                SimDuration::from_secs_f64(dur),
+            ));
+        }
+        q
+    }
+
+    trait FromSecsF {
+        fn from_secs_f(s: f64) -> SimTime;
+    }
+    impl FromSecsF for SimTime {
+        fn from_secs_f(s: f64) -> SimTime {
+            SimTime::ZERO + SimDuration::from_secs_f64(s)
+        }
+    }
+
+    #[test]
+    fn clean_session_is_good() {
+        let q = session(0.5, &[], 60.0);
+        let mos = mos_score(&q);
+        assert!(mos > 3.0, "mos {mos}");
+        assert_eq!(label(&q), QoeClass::Good);
+    }
+
+    #[test]
+    fn slow_startup_alone_stays_good() {
+        // The paper's Figure 3 baseline: rebuffering dominates MOS, and
+        // a 4-second startup with no stalls is still rated acceptable.
+        let q = session(4.0, &[], 60.0);
+        assert_eq!(label(&q), QoeClass::Good);
+    }
+
+    #[test]
+    fn occasional_stall_is_mild() {
+        // One 3-second stall in a minute: frequency ≈ 0.016 Hz (level
+        // 2), duration level 2.
+        let q = session(1.5, &[(30.0, 3.0)], 60.0);
+        let mos = mos_score(&q);
+        assert_eq!(label(&q), QoeClass::Mild, "mos {mos}");
+    }
+
+    #[test]
+    fn frequent_stalls_are_severe() {
+        let stalls: Vec<(f64, f64)> = (0..8).map(|i| (i as f64 * 7.0, 6.0)).collect();
+        let q = session(6.0, &stalls, 50.0);
+        let mos = mos_score(&q);
+        assert!(mos < 2.0, "mos {mos}");
+        assert_eq!(label(&q), QoeClass::Severe);
+    }
+
+    #[test]
+    fn failed_session_is_severe() {
+        let q = SessionQoe { failed: true, ..Default::default() };
+        assert_eq!(label(&q), QoeClass::Severe);
+        let mos = mos_score(&q);
+        assert!((mos - 1.4844).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stutter_degrades_like_stalls() {
+        let mut q = session(0.8, &[], 60.0);
+        q.stutter_events = 5;
+        q.frame_skip_s = 15.0;
+        assert_eq!(label(&q), QoeClass::Severe);
+    }
+
+    #[test]
+    fn label_thresholds() {
+        assert_eq!(QoeClass::from_mos(3.01), QoeClass::Good);
+        assert_eq!(QoeClass::from_mos(3.0), QoeClass::Mild);
+        assert_eq!(QoeClass::from_mos(2.0), QoeClass::Mild);
+        assert_eq!(QoeClass::from_mos(1.99), QoeClass::Severe);
+    }
+}

@@ -1,0 +1,522 @@
+//! The instrumented video player.
+//!
+//! Models the Android player of the testbed: a progressive-download
+//! client that fills a playout buffer from a real simulated TCP flow
+//! and drains it at the encoded bitrate, with three hardware couplings
+//! that make the *mobile load* fault observable:
+//!
+//! 1. **CPU-gated decoding** — decoding needs a core share; when
+//!    `stress` occupies the CPU the decoder falls behind realtime and
+//!    playback stutters even with a full buffer.
+//! 2. **Memory-limited buffering** — under memory pressure the playout
+//!    buffer shrinks, making the session fragile to network jitter.
+//! 3. **Backpressure** — the player only reads what fits in its
+//!    buffer, so a stalled player genuinely closes the TCP receive
+//!    window (visible to every probe as window-size dynamics).
+//!
+//! All QoE accounting ([`SessionQoe`]) is exposed through a cloneable
+//! [`PlayerHandle`] read after the run.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vqd_simnet::engine::{App, Ctl, TcpEvent};
+use vqd_simnet::ids::{FlowId, HostId};
+use vqd_simnet::tcp::Side;
+use vqd_simnet::time::{SimDuration, SimTime};
+
+use crate::catalog::Video;
+use crate::server::SessionDirectory;
+use crate::session::SessionQoe;
+
+/// Player tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct PlayerConfig {
+    /// Media seconds buffered before playback starts.
+    pub startup_buffer_s: f64,
+    /// Media seconds buffered before resuming after a stall.
+    pub resume_buffer_s: f64,
+    /// Playout buffer cap in media seconds (shrinks under memory
+    /// pressure).
+    pub max_buffer_s: f64,
+    /// Playback clock tick.
+    pub tick: SimDuration,
+    /// Give up if the connection has not established by then.
+    pub connect_timeout: SimDuration,
+    /// Abandon the session when wall time exceeds
+    /// `media_duration × giveup_factor + giveup_base_s`.
+    pub giveup_factor: f64,
+    /// See [`PlayerConfig::giveup_factor`].
+    pub giveup_base_s: f64,
+    /// CPU cores needed to decode SD in realtime.
+    pub decode_cores_sd: f64,
+    /// CPU cores needed to decode HD in realtime.
+    pub decode_cores_hd: f64,
+}
+
+impl Default for PlayerConfig {
+    fn default() -> Self {
+        PlayerConfig {
+            startup_buffer_s: 4.0,
+            resume_buffer_s: 4.0,
+            max_buffer_s: 30.0,
+            tick: SimDuration::from_millis(100),
+            connect_timeout: SimDuration::from_secs(15),
+            giveup_factor: 4.0,
+            giveup_base_s: 45.0,
+            decode_cores_sd: 0.45,
+            decode_cores_hd: 0.85,
+        }
+    }
+}
+
+/// Shared, cloneable view of the session outcome.
+#[derive(Clone, Default)]
+pub struct PlayerHandle {
+    inner: Rc<RefCell<(SessionQoe, bool, Option<FlowId>)>>,
+}
+
+impl PlayerHandle {
+    /// The QoE record (valid once [`PlayerHandle::done`] is true, and
+    /// progressively filled before that).
+    pub fn qoe(&self) -> SessionQoe {
+        self.inner.borrow().0.clone()
+    }
+    /// True once the session ended (completed, abandoned or failed).
+    pub fn done(&self) -> bool {
+        self.inner.borrow().1
+    }
+    /// The TCP flow carrying the session (known once started).
+    pub fn flow(&self) -> Option<FlowId> {
+        self.inner.borrow().2
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Connecting,
+    Buffering,
+    Playing,
+    Stalled,
+    Done,
+}
+
+/// The player application — one per video session.
+pub struct Player {
+    /// Mobile host the player runs on.
+    pub mobile: HostId,
+    /// Content server host.
+    pub server: HostId,
+    /// Server port.
+    pub port: u16,
+    video: Video,
+    cfg: PlayerConfig,
+    directory: SessionDirectory,
+    handle: PlayerHandle,
+
+    flow: Option<FlowId>,
+    phase: Phase,
+    t0: SimTime,
+    buffered_bytes: f64,
+    received: u64,
+    all_received: bool,
+    played_s: f64,
+    stall_started: Option<SimTime>,
+    stuttering: bool,
+    cpu_token: Option<u64>,
+    mem_token: Option<u64>,
+}
+
+impl Player {
+    /// A player that will stream `video` from `server` when started.
+    pub fn new(
+        mobile: HostId,
+        server: HostId,
+        port: u16,
+        video: Video,
+        cfg: PlayerConfig,
+        directory: SessionDirectory,
+    ) -> (Self, PlayerHandle) {
+        let handle = PlayerHandle::default();
+        let p = Player {
+            mobile,
+            server,
+            port,
+            video,
+            cfg,
+            directory,
+            handle: handle.clone(),
+            flow: None,
+            phase: Phase::Connecting,
+            t0: SimTime::ZERO,
+            buffered_bytes: 0.0,
+            received: 0,
+            all_received: false,
+            played_s: 0.0,
+            stall_started: None,
+            stuttering: false,
+            cpu_token: None,
+            mem_token: None,
+        };
+        (p, handle)
+    }
+
+    fn with_qoe(&self, f: impl FnOnce(&mut SessionQoe)) {
+        f(&mut self.handle.inner.borrow_mut().0);
+    }
+
+    fn decode_cores(&self) -> f64 {
+        if self.video.hd {
+            self.cfg.decode_cores_hd
+        } else {
+            self.cfg.decode_cores_sd
+        }
+    }
+
+    fn buffer_seconds(&self) -> f64 {
+        self.buffered_bytes * 8.0 / self.video.bitrate_bps as f64
+    }
+
+    /// Playout buffer capacity in bytes, shrunk under memory pressure.
+    fn capacity_bytes(&self, ctl: &Ctl) -> f64 {
+        let host = &ctl.net().hosts[self.mobile.idx()];
+        let own_mb = self.buffered_bytes / 1.0e6;
+        let avail_mb = host.mem.free_mb() + own_mb;
+        let mem_cap = (avail_mb * 0.35).max(0.3) * 1.0e6;
+        let time_cap = self.cfg.max_buffer_s * self.video.bitrate_bps as f64 / 8.0;
+        time_cap.min(mem_cap)
+    }
+
+    fn pull_data(&mut self, ctl: &mut Ctl) {
+        let Some(flow) = self.flow else { return };
+        let room = (self.capacity_bytes(ctl) - self.buffered_bytes).max(0.0) as u64;
+        if room == 0 {
+            return;
+        }
+        let n = ctl.tcp_read(flow, room);
+        if n > 0 {
+            self.buffered_bytes += n as f64;
+            self.received += n;
+            if let Some(mt) = self.mem_token {
+                let host = self.mobile;
+                let mb = self.buffered_bytes / 1.0e6;
+                ctl.host_mut(host).mem.set_used(mt, mb);
+            }
+            if self.received >= self.video.size_bytes() {
+                self.all_received = true;
+            }
+            self.with_qoe(|q| q.bytes_received = self.received);
+        }
+    }
+
+    fn set_decode_demand(&mut self, ctl: &mut Ctl, cores: f64) {
+        let host = self.mobile;
+        let cpu = &mut ctl.host_mut(host).cpu;
+        match self.cpu_token {
+            Some(t) => cpu.set_demand(t, cores),
+            None => self.cpu_token = Some(cpu.register(cores)),
+        }
+    }
+
+    fn begin_playback(&mut self, ctl: &mut Ctl) {
+        self.phase = Phase::Playing;
+        let now = ctl.now();
+        self.with_qoe(|q| q.playback_at = Some(now));
+        self.set_decode_demand(ctl, self.decode_cores());
+    }
+
+    fn finish(&mut self, ctl: &mut Ctl, failed: bool) {
+        if self.phase == Phase::Done {
+            return;
+        }
+        // Close out a stall in progress.
+        if let Some(s) = self.stall_started.take() {
+            let d = ctl.now().since(s);
+            self.with_qoe(|q| q.stalls.push((s, d)));
+        }
+        self.phase = Phase::Done;
+        let now = ctl.now();
+        let played = self.played_s;
+        let complete = played >= self.video.duration_s - 0.1;
+        self.with_qoe(|q| {
+            q.ended_at = Some(now);
+            q.played_s = played;
+            q.completed = complete && !failed;
+            q.failed = failed;
+        });
+        if let Some(t) = self.cpu_token {
+            let host = self.mobile;
+            ctl.host_mut(host).cpu.remove(t);
+        }
+        if let Some(t) = self.mem_token {
+            let host = self.mobile;
+            ctl.host_mut(host).mem.remove(t);
+        }
+        if let Some(flow) = self.flow {
+            match ctl.net().flow(flow).map(|f| f.state) {
+                Some(vqd_simnet::tcp::FlowState::Closed) => {}
+                _ => ctl.tcp_abort(flow),
+            }
+        }
+        self.handle.inner.borrow_mut().1 = true;
+    }
+
+    fn tick(&mut self, ctl: &mut Ctl) {
+        let now = ctl.now();
+        let wall = now.since(self.t0).as_secs_f64();
+        self.pull_data(ctl);
+
+        match self.phase {
+            Phase::Connecting => {
+                if now.since(self.t0) > self.cfg.connect_timeout {
+                    self.finish(ctl, true);
+                    return;
+                }
+            }
+            Phase::Buffering => {
+                // Start at the startup threshold — or when the (memory-
+                // pressure-shrunken) buffer simply cannot hold more.
+                let cap_full = self.buffered_bytes >= 0.9 * self.capacity_bytes(ctl);
+                if self.buffer_seconds() >= self.cfg.startup_buffer_s
+                    || self.all_received
+                    || cap_full
+                {
+                    self.begin_playback(ctl);
+                }
+            }
+            Phase::Playing | Phase::Stalled => {
+                self.advance_playback(ctl);
+            }
+            Phase::Done => return,
+        }
+
+        // Abandonment deadline ("the user gives up").
+        if self.phase != Phase::Done
+            && wall > self.video.duration_s * self.cfg.giveup_factor + self.cfg.giveup_base_s
+        {
+            self.finish(ctl, false);
+            return;
+        }
+        if self.phase != Phase::Done {
+            let t = self.cfg.tick;
+            ctl.timer(t, 0);
+        }
+    }
+
+    fn advance_playback(&mut self, ctl: &mut Ctl) {
+        let now = ctl.now();
+        let tick_s = self.cfg.tick.as_secs_f64();
+        if self.phase == Phase::Stalled {
+            let cap_full = self.buffered_bytes >= 0.9 * self.capacity_bytes(ctl);
+            if self.buffer_seconds() >= self.cfg.resume_buffer_s || self.all_received || cap_full {
+                // Stall over.
+                if let Some(s) = self.stall_started.take() {
+                    let d = now.since(s);
+                    self.with_qoe(|q| q.stalls.push((s, d)));
+                }
+                self.phase = Phase::Playing;
+                self.set_decode_demand(ctl, self.decode_cores());
+            }
+            return;
+        }
+        // Decode speed: CPU share granted vs needed, degraded by I/O
+        // pressure.
+        let host = &ctl.net().hosts[self.mobile.idx()];
+        let need = self.decode_cores();
+        let granted = host.cpu.granted(need, self.cpu_token);
+        let io = host.io_load;
+        let speed = ((granted / need) * (1.0 - 0.25 * io)).clamp(0.0, 1.0);
+
+        let media_avail = self.buffer_seconds();
+        let consumed = (tick_s * speed).min(media_avail).min(self.video.duration_s - self.played_s);
+        self.played_s += consumed;
+        self.buffered_bytes =
+            (self.buffered_bytes - consumed * self.video.bitrate_bps as f64 / 8.0).max(0.0);
+        self.with_qoe(|q| q.played_s = self.played_s);
+
+        // Decode stutter: buffer had media but the decoder could not
+        // keep realtime.
+        if media_avail > tick_s && speed < 0.9 {
+            let lost = tick_s - consumed.min(tick_s);
+            self.with_qoe(|q| q.frame_skip_s += lost);
+            if !self.stuttering {
+                self.stuttering = true;
+                self.with_qoe(|q| q.stutter_events += 1);
+            }
+        } else if speed >= 0.97 {
+            self.stuttering = false;
+        }
+
+        if self.played_s >= self.video.duration_s - 1e-9 {
+            self.finish(ctl, false);
+            return;
+        }
+        // Network stall: buffer dry and more bytes are pending.
+        if self.buffer_seconds() < 0.1 && !self.all_received {
+            self.phase = Phase::Stalled;
+            self.stall_started = Some(now);
+            // Decoder idles during a stall.
+            self.set_decode_demand(ctl, 0.1);
+        } else if self.all_received && self.buffer_seconds() <= 0.0 && self.played_s < self.video.duration_s - 0.1
+        {
+            // Everything arrived and the buffer is empty but media
+            // remains unplayed: accounting drift — finish as played.
+            self.finish(ctl, false);
+        }
+    }
+}
+
+impl App for Player {
+    fn start(&mut self, ctl: &mut Ctl) {
+        self.t0 = ctl.now();
+        let now = ctl.now();
+        let (dur, br) = (self.video.duration_s, self.video.bitrate_bps);
+        self.with_qoe(|q| {
+            q.started_at = now;
+            q.media_duration_s = dur;
+            q.bitrate_bps = br;
+        });
+        let host = self.mobile;
+        let mt = ctl.host_mut(host).mem.register(0.0);
+        self.mem_token = Some(mt);
+        let flow = ctl.tcp_connect(self.mobile, self.server, self.port);
+        self.directory.register(flow, self.video.clone());
+        self.flow = Some(flow);
+        self.handle.inner.borrow_mut().2 = Some(flow);
+        let t = self.cfg.tick;
+        ctl.timer(t, 0);
+    }
+
+    fn on_timer(&mut self, _token: u64, ctl: &mut Ctl) {
+        self.tick(ctl);
+    }
+
+    fn on_tcp(&mut self, ev: TcpEvent, ctl: &mut Ctl) {
+        match ev {
+            TcpEvent::Connected { flow } => {
+                // Send the "HTTP GET".
+                ctl.tcp_send(flow, 350);
+                if self.phase == Phase::Connecting {
+                    self.phase = Phase::Buffering;
+                }
+            }
+            TcpEvent::DataAvailable { side: Side::Client, .. } => {
+                self.pull_data(ctl);
+            }
+            TcpEvent::PeerFin { flow, side: Side::Client } => {
+                self.pull_data(ctl);
+                ctl.tcp_close_from(flow, Side::Client);
+                if self.received >= self.video.size_bytes() {
+                    self.all_received = true;
+                }
+            }
+            TcpEvent::Aborted { .. } => {
+                // Transport gave up (e.g. dead wireless link).
+                self.finish(ctl, true);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mos::{label, QoeClass};
+    use crate::server::{VideoServer, VideoServerConfig};
+    use vqd_simnet::engine::Harness;
+    use vqd_simnet::link::LinkConfig;
+    use vqd_simnet::topology::TopologyBuilder;
+
+    fn video(duration_s: f64, bitrate: u64) -> Video {
+        Video { id: 0, duration_s, bitrate_bps: bitrate, hd: bitrate > 1_500_000 }
+    }
+
+    /// One player + server on a configurable wire; returns the QoE.
+    fn stream(cfg_link: LinkConfig, v: Video, tweak: impl FnOnce(&mut Harness)) -> SessionQoe {
+        let mut tb = TopologyBuilder::new();
+        let m = tb.add_host("mobile");
+        let s = tb.add_host("server");
+        tb.add_duplex_link(m, s, cfg_link);
+        let net = tb.build();
+        let dir = SessionDirectory::new();
+        let (player, handle) =
+            Player::new(m, s, 80, v, PlayerConfig::default(), dir.clone());
+        let mut sim = Harness::new(net, 11);
+        sim.add_app(Box::new(player));
+        sim.add_app(Box::new(VideoServer::new(s, VideoServerConfig::default(), dir)));
+        tweak(&mut sim);
+        sim.run_until(SimTime::from_secs(400));
+        assert!(handle.done(), "session must end");
+        handle.qoe()
+    }
+
+    #[test]
+    fn smooth_playback_on_fast_wire() {
+        let q = stream(LinkConfig::ethernet(20_000_000), video(30.0, 1_000_000), |_| {});
+        assert!(q.completed, "{q:?}");
+        assert!(q.startup_delay_s().unwrap() < 1.5, "startup {:?}", q.startup_delay_s());
+        assert!(q.stalls.is_empty(), "stalls {:?}", q.stalls);
+        assert_eq!(label(&q), QoeClass::Good);
+    }
+
+    #[test]
+    fn starved_link_stalls_playback() {
+        // 0.6 Mbit/s wire cannot carry a 1 Mbit/s video.
+        let q = stream(LinkConfig::ethernet(600_000), video(20.0, 1_000_000), |_| {});
+        assert!(q.rebuffer_count() > 0, "{q:?}");
+        assert_ne!(label(&q), QoeClass::Good);
+    }
+
+    #[test]
+    fn cpu_starvation_causes_stutter_not_stalls() {
+        let q = stream(LinkConfig::ethernet(30_000_000), video(20.0, 2_400_000), |sim| {
+            // stress-style load: 6 cores demanded on the default 4-core
+            // host; decoder gets ~40% of what it needs... high load.
+            sim.net.hosts[0].cpu.register(6.0);
+        });
+        assert!(q.frame_skip_s > 1.0, "frame skips {}", q.frame_skip_s);
+        assert!(q.stutter_events >= 1);
+        assert_ne!(label(&q), QoeClass::Good);
+    }
+
+    #[test]
+    fn memory_pressure_shrinks_buffer_and_survives() {
+        let q = stream(LinkConfig::ethernet(20_000_000), video(15.0, 1_000_000), |sim| {
+            // Leave almost no free memory.
+            let total = sim.net.hosts[0].mem.total_mb;
+            sim.net.hosts[0].mem.register(total);
+        });
+        // Session still ends; tight buffer means it completed (fast
+        // wire) but bytes buffered were capped.
+        assert!(q.played_s > 10.0, "{q:?}");
+    }
+
+    #[test]
+    fn unreachable_server_fails_session() {
+        // No link at all: build two isolated hosts.
+        let mut tb = TopologyBuilder::new();
+        let m = tb.add_host("mobile");
+        let s = tb.add_host("server");
+        let net = tb.build();
+        let dir = SessionDirectory::new();
+        let (player, handle) =
+            Player::new(m, s, 80, video(10.0, 500_000), PlayerConfig::default(), dir.clone());
+        let mut sim = Harness::new(net, 3);
+        sim.add_app(Box::new(player));
+        sim.add_app(Box::new(VideoServer::new(s, VideoServerConfig::default(), dir)));
+        sim.run_until(SimTime::from_secs(60));
+        assert!(handle.done());
+        let q = handle.qoe();
+        assert!(q.failed);
+        assert_eq!(label(&q), QoeClass::Severe);
+    }
+
+    #[test]
+    fn dsl_wire_is_good_for_sd() {
+        // Sanity: the nominal DSL link of Table 3 carries SD video well.
+        let q = stream(LinkConfig::dsl_nominal(), video(30.0, 900_000), |_| {});
+        assert!(q.completed, "{q:?}");
+        assert_eq!(label(&q), QoeClass::Good, "{q:?}");
+    }
+}

@@ -1,0 +1,199 @@
+//! The content server: progressive HTTP-style download with a load
+//! model.
+//!
+//! The server answers each request with the video's bytes in chunks.
+//! Its CPU (loadable by the ApacheBench-style background generator in
+//! `vqd-faults`) delays the first byte and paces chunks when busy —
+//! the observable signature of a loaded content server.
+//!
+//! Because the simulator does not materialise payload bytes, the
+//! mapping *flow → requested video* travels through a
+//! [`SessionDirectory`] shared between player and server, standing in
+//! for the URL in the HTTP request.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use vqd_simnet::engine::{App, Ctl, TcpEvent};
+use vqd_simnet::ids::{FlowId, HostId};
+use vqd_simnet::tcp::Side;
+use vqd_simnet::time::SimDuration;
+
+use crate::catalog::Video;
+
+/// Shared flow → video registry (the "URL" side channel).
+#[derive(Clone, Default)]
+pub struct SessionDirectory {
+    inner: Rc<RefCell<HashMap<FlowId, Video>>>,
+}
+
+impl SessionDirectory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Record that `flow` requests `video`.
+    pub fn register(&self, flow: FlowId, video: Video) {
+        self.inner.borrow_mut().insert(flow, video);
+    }
+    /// Look up the video requested on `flow`.
+    pub fn get(&self, flow: FlowId) -> Option<Video> {
+        self.inner.borrow().get(&flow).cloned()
+    }
+    /// Remove a finished flow.
+    pub fn remove(&self, flow: FlowId) {
+        self.inner.borrow_mut().remove(&flow);
+    }
+}
+
+/// Server behaviour parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct VideoServerConfig {
+    /// TCP port served.
+    pub port: u16,
+    /// Response chunk size, bytes.
+    pub chunk_bytes: u64,
+    /// First-byte latency when idle.
+    pub base_first_byte: SimDuration,
+    /// CPU cores consumed per active session (request parsing, disk).
+    pub cpu_per_session: f64,
+}
+
+impl Default for VideoServerConfig {
+    fn default() -> Self {
+        VideoServerConfig {
+            port: 80,
+            chunk_bytes: 1024 * 1024,
+            base_first_byte: SimDuration::from_millis(3),
+            cpu_per_session: 0.05,
+        }
+    }
+}
+
+struct ServerSession {
+    remaining: u64,
+}
+
+/// The video server application.
+pub struct VideoServer {
+    /// Host the server runs on.
+    pub host: HostId,
+    cfg: VideoServerConfig,
+    directory: SessionDirectory,
+    sessions: HashMap<FlowId, ServerSession>,
+    cpu_token: Option<u64>,
+}
+
+impl VideoServer {
+    /// A server on `host` using `directory` to resolve requests.
+    pub fn new(host: HostId, cfg: VideoServerConfig, directory: SessionDirectory) -> Self {
+        VideoServer { host, cfg, directory, sessions: HashMap::new(), cpu_token: None }
+    }
+
+    fn update_cpu(&mut self, ctl: &mut Ctl) {
+        let demand = self.sessions.len() as f64 * self.cfg.cpu_per_session;
+        let host = self.host;
+        let cpu = &mut ctl.host_mut(host).cpu;
+        match self.cpu_token {
+            Some(t) => cpu.set_demand(t, demand),
+            None => self.cpu_token = Some(cpu.register(demand)),
+        }
+    }
+
+    /// First-byte delay given current CPU pressure: a loaded Apache
+    /// queues requests.
+    fn first_byte_delay(&self, ctl: &Ctl) -> SimDuration {
+        let util = ctl.net().hosts[self.host.idx()].cpu.utilization();
+        self.cfg.base_first_byte + SimDuration::from_secs_f64(0.200 * util.powi(3))
+    }
+
+    /// Inter-chunk pacing under load.
+    fn pacing(&self, ctl: &Ctl) -> SimDuration {
+        let util = ctl.net().hosts[self.host.idx()].cpu.utilization();
+        SimDuration::from_secs_f64(0.030 * util.powi(3))
+    }
+
+    fn send_chunk(&mut self, flow: FlowId, ctl: &mut Ctl) {
+        let Some(s) = self.sessions.get_mut(&flow) else { return };
+        let n = s.remaining.min(self.cfg.chunk_bytes);
+        if n == 0 {
+            return;
+        }
+        s.remaining -= n;
+        ctl.tcp_send_from(flow, Side::Server, n);
+        if s.remaining == 0 {
+            ctl.tcp_close_from(flow, Side::Server);
+        }
+    }
+}
+
+impl App for VideoServer {
+    fn start(&mut self, ctl: &mut Ctl) {
+        let (h, p) = (self.host, self.cfg.port);
+        ctl.tcp_listen(h, p);
+        self.update_cpu(ctl);
+    }
+
+    fn on_timer(&mut self, token: u64, ctl: &mut Ctl) {
+        // Timers carry the flow id: time to push the next chunk.
+        self.send_chunk(FlowId(token as u32), ctl);
+    }
+
+    fn on_tcp(&mut self, ev: TcpEvent, ctl: &mut Ctl) {
+        match ev {
+            TcpEvent::DataAvailable { flow, side, .. } if side == Side::Server => {
+                ctl.tcp_read_at(flow, side, u64::MAX);
+                if !self.sessions.contains_key(&flow) {
+                    let Some(video) = self.directory.get(flow) else { return };
+                    self.sessions.insert(flow, ServerSession { remaining: video.size_bytes() });
+                    self.update_cpu(ctl);
+                    let d = self.first_byte_delay(ctl);
+                    ctl.timer(d, flow.0 as u64);
+                }
+            }
+            TcpEvent::SendDrained { flow, side } if side == Side::Server => {
+                if let Some(s) = self.sessions.get(&flow) {
+                    if s.remaining > 0 {
+                        let d = self.pacing(ctl);
+                        if d == SimDuration::ZERO {
+                            self.send_chunk(flow, ctl);
+                        } else {
+                            ctl.timer(d, flow.0 as u64);
+                        }
+                    }
+                }
+            }
+            TcpEvent::PeerFin { flow, side } if side == Side::Server => {
+                ctl.tcp_read_at(flow, side, u64::MAX);
+            }
+            TcpEvent::Closed { flow } | TcpEvent::Aborted { flow } => {
+                if self.sessions.remove(&flow).is_some() {
+                    self.update_cpu(ctl);
+                }
+                self.directory.remove(flow);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_round_trip() {
+        let d = SessionDirectory::new();
+        let v = Video { id: 7, duration_s: 30.0, bitrate_bps: 1_000_000, hd: false };
+        d.register(FlowId(3), v.clone());
+        assert_eq!(d.get(FlowId(3)).unwrap().id, 7);
+        assert!(d.get(FlowId(4)).is_none());
+        d.remove(FlowId(3));
+        assert!(d.get(FlowId(3)).is_none());
+        // Clones share state.
+        let d2 = d.clone();
+        d.register(FlowId(5), v);
+        assert!(d2.get(FlowId(5)).is_some());
+    }
+}

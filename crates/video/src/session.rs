@@ -1,0 +1,139 @@
+//! Per-session application-layer QoE metrics.
+//!
+//! These are the metrics an instrumented player reports: startup
+//! delay, rebuffering events (count and duration), decode stutter
+//! (frame skips) and completion state. They are converted to a MOS
+//! label by [`crate::mos`] and are **never** exported as classifier
+//! features — they are the ground truth, exactly as in the paper.
+
+use vqd_simnet::time::{SimDuration, SimTime};
+
+/// Application-layer outcome of one video session.
+#[derive(Debug, Clone, Default)]
+pub struct SessionQoe {
+    /// When the session was initiated (user tapped play).
+    pub started_at: SimTime,
+    /// When playback began, if it did.
+    pub playback_at: Option<SimTime>,
+    /// When the session ended (completed, abandoned or failed).
+    pub ended_at: Option<SimTime>,
+    /// Media duration of the requested video, seconds.
+    pub media_duration_s: f64,
+    /// Encoded bitrate of the requested video, bits/second.
+    pub bitrate_bps: u64,
+    /// Media seconds actually played.
+    pub played_s: f64,
+    /// Rebuffering events: (start, duration).
+    pub stalls: Vec<(SimTime, SimDuration)>,
+    /// Seconds of playback lost to decode stutter (CPU-starved player).
+    pub frame_skip_s: f64,
+    /// Decode-stutter episodes (counted like stalls for MOS).
+    pub stutter_events: u32,
+    /// Bytes of media received.
+    pub bytes_received: u64,
+    /// True if the whole video played to the end.
+    pub completed: bool,
+    /// True if the session failed outright (never connected / aborted).
+    pub failed: bool,
+}
+
+impl SessionQoe {
+    /// Startup delay in seconds (`None` → playback never began; treat
+    /// as worst case).
+    pub fn startup_delay_s(&self) -> Option<f64> {
+        self.playback_at.map(|t| t.since(self.started_at).as_secs_f64())
+    }
+
+    /// Number of rebuffering events, including decode stutter episodes.
+    pub fn rebuffer_count(&self) -> u32 {
+        self.stalls.len() as u32 + self.stutter_events
+    }
+
+    /// Total time spent rebuffering (plus decode stutter), seconds.
+    pub fn rebuffer_time_s(&self) -> f64 {
+        self.stalls.iter().map(|(_, d)| d.as_secs_f64()).sum::<f64>() + self.frame_skip_s
+    }
+
+    /// Mean rebuffer duration, seconds (0 if none).
+    pub fn mean_rebuffer_s(&self) -> f64 {
+        let n = self.rebuffer_count();
+        if n == 0 {
+            0.0
+        } else {
+            self.rebuffer_time_s() / n as f64
+        }
+    }
+
+    /// Rebuffering frequency in events per second of *playback* time,
+    /// the rate the MOS model quantises. (Playback time, not wall
+    /// time: counting the stalls' own duration in the denominator
+    /// would make longer stalls look *less* frequent.)
+    pub fn rebuffer_frequency_hz(&self) -> f64 {
+        if self.played_s <= 0.0 {
+            // Never played at all: worst case.
+            return f64::INFINITY;
+        }
+        self.rebuffer_count() as f64 / self.played_s
+    }
+
+    /// Wall-clock session length, seconds.
+    pub fn wall_time_s(&self) -> f64 {
+        self.ended_at
+            .map(|e| e.since(self.started_at).as_secs_f64())
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SessionQoe {
+        SessionQoe {
+            started_at: SimTime::from_secs(10),
+            playback_at: Some(SimTime::from_secs(12)),
+            ended_at: Some(SimTime::from_secs(52)),
+            media_duration_s: 40.0,
+            bitrate_bps: 1_000_000,
+            played_s: 40.0,
+            completed: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn startup_delay() {
+        assert_eq!(base().startup_delay_s(), Some(2.0));
+        let mut s = base();
+        s.playback_at = None;
+        assert_eq!(s.startup_delay_s(), None);
+    }
+
+    #[test]
+    fn rebuffer_accounting() {
+        let mut s = base();
+        s.stalls.push((SimTime::from_secs(20), SimDuration::from_secs(3)));
+        s.stalls.push((SimTime::from_secs(30), SimDuration::from_secs(1)));
+        assert_eq!(s.rebuffer_count(), 2);
+        assert!((s.rebuffer_time_s() - 4.0).abs() < 1e-9);
+        assert!((s.mean_rebuffer_s() - 2.0).abs() < 1e-9);
+        // 2 events over 40 s of playback.
+        assert!((s.rebuffer_frequency_hz() - 2.0 / 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stutter_counts_as_rebuffering() {
+        let mut s = base();
+        s.frame_skip_s = 5.0;
+        s.stutter_events = 3;
+        assert_eq!(s.rebuffer_count(), 3);
+        assert!((s.rebuffer_time_s() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dead_session_has_infinite_frequency() {
+        let s = SessionQoe { failed: true, ..Default::default() };
+        assert!(s.rebuffer_frequency_hz().is_infinite());
+        assert_eq!(s.mean_rebuffer_s(), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the video substrate.
+
+use proptest::prelude::*;
+
+use vqd_simnet::time::{SimDuration, SimTime};
+use vqd_video::catalog::{Catalog, CatalogConfig};
+use vqd_video::mos::{label, mos_score, QoeClass};
+use vqd_video::session::SessionQoe;
+
+fn session(startup: f64, stalls: Vec<(f64, f64)>, played: f64) -> SessionQoe {
+    let mut q = SessionQoe {
+        started_at: SimTime::ZERO,
+        playback_at: Some(SimTime::ZERO + SimDuration::from_secs_f64(startup)),
+        ended_at: Some(SimTime::from_secs(1000)),
+        media_duration_s: played,
+        bitrate_bps: 1_000_000,
+        played_s: played,
+        completed: true,
+        ..Default::default()
+    };
+    for (at, dur) in stalls {
+        q.stalls.push((
+            SimTime::ZERO + SimDuration::from_secs_f64(at),
+            SimDuration::from_secs_f64(dur),
+        ));
+    }
+    q
+}
+
+proptest! {
+    /// MOS is bounded by the model's extreme values and labels
+    /// partition the score line.
+    #[test]
+    fn mos_bounds_and_labels(
+        startup in 0.0f64..60.0,
+        stalls in proptest::collection::vec((0.0f64..100.0, 0.1f64..30.0), 0..20),
+        played in 1.0f64..300.0,
+    ) {
+        let q = session(startup, stalls, played);
+        let mos = mos_score(&q);
+        prop_assert!(mos >= 1.4843 && mos <= 3.3216, "mos {mos}");
+        let l = label(&q);
+        match l {
+            QoeClass::Good => prop_assert!(mos > 3.0),
+            QoeClass::Mild => prop_assert!((2.0..=3.0).contains(&mos)),
+            QoeClass::Severe => prop_assert!(mos < 2.0),
+        }
+    }
+
+    /// Adding the *first* stall to a clean session never improves the
+    /// MOS. (The unconditional version is false for the published Mok
+    /// model: a short extra stall can lower the *mean* stall duration
+    /// enough to drop L_tr a level — a quirk of quantising the mean.)
+    #[test]
+    fn first_stall_never_helps(
+        startup in 0.0f64..10.0,
+        extra_at in 0.0f64..100.0,
+        extra_dur in 0.5f64..10.0,
+        played in 10.0f64..120.0,
+    ) {
+        let before = mos_score(&session(startup, vec![], played));
+        let after = mos_score(&session(startup, vec![(extra_at, extra_dur)], played));
+        prop_assert!(after <= before + 1e-12, "stall improved MOS: {before} -> {after}");
+    }
+
+    /// Lengthening an existing stall never improves the MOS (duration
+    /// level and total time are both monotone).
+    #[test]
+    fn longer_stall_never_helps(
+        dur in 0.5f64..10.0,
+        extra in 0.1f64..20.0,
+        played in 10.0f64..120.0,
+    ) {
+        let a = mos_score(&session(1.0, vec![(5.0, dur)], played));
+        let b = mos_score(&session(1.0, vec![(5.0, dur + extra)], played));
+        prop_assert!(b <= a + 1e-12);
+    }
+
+    /// More frame-skip time never improves the MOS.
+    #[test]
+    fn skips_never_help(
+        played in 10.0f64..120.0,
+        skip_a in 0.0f64..20.0,
+        extra in 0.1f64..40.0,
+    ) {
+        let mut a = session(0.5, vec![], played);
+        a.frame_skip_s = skip_a;
+        a.stutter_events = u32::from(skip_a > 0.0);
+        let mut b = a.clone();
+        b.frame_skip_s = skip_a + extra;
+        b.stutter_events = 1;
+        prop_assert!(mos_score(&b) <= mos_score(&a) + 1e-12);
+    }
+
+    /// Catalogue generation respects its configuration for arbitrary
+    /// parameters.
+    #[test]
+    fn catalog_respects_config(
+        count in 1usize..300,
+        min_d in 5.0f64..50.0,
+        span in 1.0f64..100.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = CatalogConfig {
+            count,
+            min_duration_s: min_d,
+            max_duration_s: min_d + span,
+            ..Default::default()
+        };
+        let c = Catalog::generate(&cfg, seed);
+        prop_assert_eq!(c.videos().len(), count);
+        for v in c.videos() {
+            prop_assert!(v.duration_s >= min_d && v.duration_s <= min_d + span);
+            prop_assert!(v.bitrate_bps > 0);
+            // SD variant never exceeds the original bitrate.
+            let sd = v.sd_variant();
+            prop_assert!(sd.bitrate_bps <= v.bitrate_bps);
+            prop_assert!(!sd.hd);
+            prop_assert_eq!(sd.duration_s, v.duration_s);
+        }
+    }
+
+    /// Session accounting identities hold for arbitrary stall sets.
+    #[test]
+    fn session_accounting(
+        stalls in proptest::collection::vec((0.0f64..100.0, 0.1f64..10.0), 0..10),
+        skips in 0.0f64..30.0,
+        events in 0u32..5,
+    ) {
+        let mut q = session(1.0, stalls.clone(), 50.0);
+        q.frame_skip_s = skips;
+        q.stutter_events = events;
+        prop_assert_eq!(q.rebuffer_count(), stalls.len() as u32 + events);
+        let expect: f64 = stalls.iter().map(|(_, d)| d).sum::<f64>() + skips;
+        prop_assert!((q.rebuffer_time_s() - expect).abs() < 1e-6);
+        if q.rebuffer_count() > 0 {
+            prop_assert!((q.mean_rebuffer_s() - expect / q.rebuffer_count() as f64).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # vqd-wireless — 802.11 PHY/MAC medium model
+//!
+//! Implements [`vqd_simnet::medium::SharedMedium`] for a single WLAN
+//! broadcast domain (one AP plus stations), reproducing the wireless
+//! phenomenology the paper's faults manipulate:
+//!
+//! * **Path loss & RSSI** — log-distance path loss with slow (AR(1))
+//!   shadow fading; the *poor signal reception* fault moves a station
+//!   away from the AP and/or attenuates the AP's transmit power,
+//!   exactly like the physical testbed did ([`phy`]).
+//! * **Rate adaptation** — SNR-indexed 802.11a/b/g/n rate table with a
+//!   hysteresis margin; low SNR first costs PHY rate, then frame error
+//!   rate, then association itself ([`rates`]).
+//! * **MAC contention** — DIFS + binary-exponential backoff, shared
+//!   airtime across all stations, per-frame corruption with up to 7
+//!   retries; the *WiFi interference* fault adds co-channel airtime
+//!   occupancy and collision probability, the way a neighbouring WLAN
+//!   blasting on the same channel does ([`wlan`]).
+//!
+//! The model surfaces exactly the link/PHY metrics the paper's probes
+//! collect: per-station RSSI (sampled at 1 Hz), negotiated rate,
+//! association state and disconnection counts, plus MAC-level
+//! retransmissions on the attached links.
+
+pub mod phy;
+pub mod rates;
+pub mod wlan;
+
+pub use phy::{PhyConfig, StationPhy};
+pub use rates::{frame_error_rate, rate_for_snr, MIN_ASSOC_SNR_DB};
+pub use wlan::{Wlan80211, WlanConfig};

@@ -1,0 +1,152 @@
+//! PHY layer: log-distance path loss, shadow fading, RSSI and SNR.
+//!
+//! RSSI at distance `d` is
+//! `tx_power − (pl0 + 10·n·log10(d/1 m)) − attenuation + shadowing`,
+//! the standard indoor log-distance model. Shadowing is a slow AR(1)
+//! process updated once per second so consecutive RSSI samples within a
+//! session are realistically correlated (the paper keeps the *average*
+//! RSSI per session precisely because samples wander).
+
+use vqd_simnet::rng::SimRng;
+
+/// Static PHY parameters for one WLAN.
+#[derive(Debug, Clone, Copy)]
+pub struct PhyConfig {
+    /// Transmit power in dBm (both directions; symmetric links).
+    pub tx_power_dbm: f64,
+    /// Path loss at the 1 m reference distance, dB.
+    pub pl0_db: f64,
+    /// Path-loss exponent (≈2 free space, 3–4 indoors).
+    pub path_loss_exp: f64,
+    /// Noise floor, dBm.
+    pub noise_floor_dbm: f64,
+    /// Shadow-fading standard deviation, dB.
+    pub shadow_sd_db: f64,
+    /// AR(1) coefficient of the shadowing process per 1 s tick.
+    pub shadow_rho: f64,
+}
+
+impl Default for PhyConfig {
+    fn default() -> Self {
+        PhyConfig {
+            tx_power_dbm: 15.0,
+            pl0_db: 40.0,
+            path_loss_exp: 3.0,
+            noise_floor_dbm: -95.0,
+            shadow_sd_db: 2.0,
+            shadow_rho: 0.9,
+        }
+    }
+}
+
+impl PhyConfig {
+    /// Deterministic mean RSSI (no shadowing) at `distance_m` with
+    /// `atten_db` of extra attenuation.
+    pub fn mean_rssi(&self, distance_m: f64, atten_db: f64) -> f64 {
+        let d = distance_m.max(0.5);
+        let pl = self.pl0_db + 10.0 * self.path_loss_exp * d.log10();
+        self.tx_power_dbm - pl - atten_db
+    }
+}
+
+/// Per-station PHY state.
+#[derive(Debug, Clone)]
+pub struct StationPhy {
+    /// Distance from the AP in metres (fault knob).
+    pub distance_m: f64,
+    /// Extra attenuation in dB (fault knob: attenuator on the AP).
+    pub atten_db: f64,
+    /// Current shadow-fading value, dB.
+    shadow_db: f64,
+    /// Current RSSI (mean + shadowing), dBm.
+    pub rssi_dbm: f64,
+    /// Current SNR, dB.
+    pub snr_db: f64,
+}
+
+impl StationPhy {
+    /// A station at `distance_m` with no extra attenuation.
+    pub fn new(cfg: &PhyConfig, distance_m: f64) -> Self {
+        let rssi = cfg.mean_rssi(distance_m, 0.0);
+        StationPhy {
+            distance_m,
+            atten_db: 0.0,
+            shadow_db: 0.0,
+            rssi_dbm: rssi,
+            snr_db: rssi - cfg.noise_floor_dbm,
+        }
+    }
+
+    /// Advance the shadowing process one tick and refresh RSSI/SNR.
+    /// `interference_noise_db` raises the effective noise floor
+    /// (co-channel energy the receiver cannot decode).
+    pub fn tick(&mut self, cfg: &PhyConfig, interference_noise_db: f64, rng: &mut SimRng) {
+        // AR(1): x' = ρx + sqrt(1-ρ²)·σ·ε keeps stationary variance σ².
+        let innov = (1.0 - cfg.shadow_rho * cfg.shadow_rho).sqrt() * cfg.shadow_sd_db;
+        self.shadow_db = cfg.shadow_rho * self.shadow_db + innov * rng.gauss();
+        self.rssi_dbm = cfg.mean_rssi(self.distance_m, self.atten_db) + self.shadow_db;
+        self.snr_db = self.rssi_dbm - (cfg.noise_floor_dbm + interference_noise_db.max(0.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        let cfg = PhyConfig::default();
+        let near = cfg.mean_rssi(2.0, 0.0);
+        let mid = cfg.mean_rssi(10.0, 0.0);
+        let far = cfg.mean_rssi(40.0, 0.0);
+        assert!(near > mid && mid > far);
+        // 10x distance at n=3 costs 30 dB.
+        assert!((cfg.mean_rssi(1.0, 0.0) - cfg.mean_rssi(10.0, 0.0) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attenuation_subtracts_directly() {
+        let cfg = PhyConfig::default();
+        assert!((cfg.mean_rssi(5.0, 10.0) - (cfg.mean_rssi(5.0, 0.0) - 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn healthy_distance_gives_strong_signal() {
+        let cfg = PhyConfig::default();
+        // A phone a few metres from its AP sees better than -60 dBm.
+        assert!(cfg.mean_rssi(4.0, 0.0) > -60.0);
+        // And ~45+ dB of SNR.
+        assert!(cfg.mean_rssi(4.0, 0.0) - cfg.noise_floor_dbm > 45.0);
+    }
+
+    #[test]
+    fn shadowing_is_stationary() {
+        let cfg = PhyConfig::default();
+        let mut st = StationPhy::new(&cfg, 8.0);
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut acc = vqd_simnet::stats::Welford::new();
+        for _ in 0..20_000 {
+            st.tick(&cfg, 0.0, &mut rng);
+            acc.add(st.rssi_dbm);
+        }
+        let mean_expected = cfg.mean_rssi(8.0, 0.0);
+        assert!((acc.mean() - mean_expected).abs() < 0.2, "mean {}", acc.mean());
+        assert!((acc.std() - cfg.shadow_sd_db).abs() < 0.3, "std {}", acc.std());
+    }
+
+    #[test]
+    fn interference_noise_lowers_snr_not_rssi() {
+        let cfg = PhyConfig::default();
+        let mut st = StationPhy::new(&cfg, 8.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        st.tick(&cfg, 0.0, &mut rng);
+        let clean_snr = st.snr_db;
+        let rssi = st.rssi_dbm;
+        // Re-tick with raised noise; shadowing changes a little but the
+        // SNR drop must dominate.
+        let mut st2 = st.clone();
+        st2.tick(&cfg, 12.0, &mut rng);
+        assert!(clean_snr - st2.snr_db > 8.0);
+        assert!((st2.rssi_dbm - rssi).abs() < 5.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Rate adaptation and frame error model.
+//!
+//! A station picks the fastest rate whose SNR requirement (plus a 3 dB
+//! hysteresis margin) is met — a Minstrel-flavoured simplification.
+//! Frames at a given rate fail with a probability that decays
+//! exponentially in the SNR margin, so a station hovering at a rate
+//! boundary sees elevated MAC retries: exactly the "poor signal"
+//! signature (low RSSI + retransmissions + reduced advertised rate) the
+//! paper's classifier keys on.
+
+/// (required SNR dB, PHY rate bit/s) — 802.11a/g rates plus low-MCS
+/// 802.11n, covering the "1 up to 70 Mbit/s" range of the testbed.
+pub const RATE_TABLE: [(f64, u64); 10] = [
+    (2.0, 1_000_000),
+    (5.0, 6_000_000),
+    (7.0, 9_000_000),
+    (9.0, 12_000_000),
+    (12.0, 18_000_000),
+    (16.0, 24_000_000),
+    (20.0, 36_000_000),
+    (24.0, 48_000_000),
+    (27.0, 54_000_000),
+    (30.0, 65_000_000),
+];
+
+/// Stations below this SNR cannot stay associated.
+pub const MIN_ASSOC_SNR_DB: f64 = 2.0;
+
+/// Hysteresis margin required on top of a rate's SNR threshold.
+pub const RATE_MARGIN_DB: f64 = 3.0;
+
+/// The PHY rate a station at `snr_db` negotiates, or `None` if it
+/// cannot associate at all.
+pub fn rate_for_snr(snr_db: f64) -> Option<u64> {
+    if snr_db < MIN_ASSOC_SNR_DB {
+        return None;
+    }
+    let mut best = RATE_TABLE[0].1; // lowest rate is the fallback
+    for &(req, rate) in &RATE_TABLE {
+        if snr_db >= req + RATE_MARGIN_DB {
+            best = rate;
+        }
+    }
+    Some(best)
+}
+
+/// Per-attempt frame error probability at the rate chosen for
+/// `snr_db`. `margin` is SNR above the chosen rate's requirement.
+pub fn frame_error_rate(snr_db: f64) -> f64 {
+    let Some(rate) = rate_for_snr(snr_db) else {
+        return 1.0;
+    };
+    let req = RATE_TABLE
+        .iter()
+        .find(|(_, r)| *r == rate)
+        .map(|(q, _)| *q)
+        .unwrap_or(2.0);
+    let margin = (snr_db - req).max(0.0);
+    // 40 % at zero margin, ~2 % at the 3 dB hysteresis point, with a
+    // 0.5 % floor for collisions/thermal hits that never go away.
+    (0.40 * (-1.0 * margin).exp()).max(0.005)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_signal_gets_top_rate() {
+        assert_eq!(rate_for_snr(50.0), Some(65_000_000));
+        assert_eq!(rate_for_snr(33.5), Some(65_000_000));
+    }
+
+    #[test]
+    fn weak_signal_downgrades() {
+        assert_eq!(rate_for_snr(10.0), Some(9_000_000));
+        assert_eq!(rate_for_snr(5.5), Some(1_000_000));
+        assert_eq!(rate_for_snr(1.0), None);
+    }
+
+    #[test]
+    fn rate_is_monotone_in_snr() {
+        let mut prev = 0;
+        for i in 0..80 {
+            let snr = i as f64;
+            if let Some(r) = rate_for_snr(snr) {
+                assert!(r >= prev, "rate regressed at snr={snr}");
+                prev = r;
+            }
+        }
+    }
+
+    #[test]
+    fn fer_decreases_with_snr() {
+        // Compare within one rate step: 36 Mbit/s requires 20 dB and is
+        // selected from 23 dB (margin 3) up to 27 dB (margin 7).
+        let low = frame_error_rate(23.0);
+        let high = frame_error_rate(26.9);
+        assert!(low > high, "low={low} high={high}");
+        assert!(frame_error_rate(60.0) >= 0.005); // floor
+        assert_eq!(frame_error_rate(0.0), 1.0); // disassociated
+    }
+
+    #[test]
+    fn fer_bounded() {
+        for i in 0..100 {
+            let f = frame_error_rate(i as f64);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! The 802.11 shared medium: contention, retries, interference,
+//! association.
+//!
+//! One [`Wlan80211`] instance is one broadcast domain (an AP and its
+//! stations). All frames — uplink, downlink, any station — serialise
+//! through the same airtime, so a phone far from the AP transmitting at
+//! 1 Mbit/s slows *everyone* down, and an interfering neighbour WLAN
+//! (the paper's *WiFi interference* fault) both occupies airtime and
+//! corrupts frames.
+
+use std::any::Any;
+
+use vqd_simnet::ids::HostId;
+use vqd_simnet::medium::{MediumGrant, PhySnapshot, SharedMedium};
+use vqd_simnet::rng::SimRng;
+use vqd_simnet::time::{SimDuration, SimTime};
+
+use crate::phy::{PhyConfig, StationPhy};
+use crate::rates::{frame_error_rate, rate_for_snr};
+
+/// MAC/PHY parameters of the WLAN.
+#[derive(Debug, Clone, Copy)]
+pub struct WlanConfig {
+    /// PHY parameters.
+    pub phy: PhyConfig,
+    /// MAC retry limit (802.11 default: 7).
+    pub max_retries: u32,
+    /// Slot time, µs.
+    pub slot_us: u64,
+    /// DIFS, µs.
+    pub difs_us: u64,
+    /// Fixed per-frame overhead (preamble + MAC header + SIFS + ACK), µs.
+    pub overhead_us: u64,
+    /// Minimum contention window (slots − 1).
+    pub cw_min: u32,
+}
+
+impl Default for WlanConfig {
+    fn default() -> Self {
+        WlanConfig {
+            phy: PhyConfig::default(),
+            max_retries: 7,
+            slot_us: 9,
+            difs_us: 34,
+            overhead_us: 120,
+            cw_min: 15,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Station {
+    host: HostId,
+    phy: StationPhy,
+    rate: Option<u64>,
+    disconnections: u64,
+}
+
+/// An 802.11 WLAN broadcast domain.
+pub struct Wlan80211 {
+    cfg: WlanConfig,
+    ap: HostId,
+    stations: Vec<Station>,
+    busy_until: SimTime,
+    busy_ns: u64,
+    /// Airtime fraction occupied by a co-channel interferer, `[0, 1)`.
+    interference_load: f64,
+    /// Noise-floor rise caused by the interferer, dB.
+    interference_noise_db: f64,
+    /// PHY rate ceiling (the LAN-shaping fault: forcing 802.11a/b/g
+    /// rate sets of 1–70 Mbit/s).
+    rate_cap_bps: Option<u64>,
+}
+
+impl Wlan80211 {
+    /// A WLAN rooted at `ap`.
+    pub fn new(ap: HostId, cfg: WlanConfig) -> Self {
+        Wlan80211 {
+            cfg,
+            ap,
+            stations: Vec::new(),
+            busy_until: SimTime::ZERO,
+            busy_ns: 0,
+            interference_load: 0.0,
+            interference_noise_db: 0.0,
+            rate_cap_bps: None,
+        }
+    }
+
+    /// Register a station at `distance_m` from the AP.
+    pub fn add_station(&mut self, host: HostId, distance_m: f64) {
+        let phy = StationPhy::new(&self.cfg.phy, distance_m);
+        let rate = rate_for_snr(phy.snr_db);
+        self.stations.push(Station { host, phy, rate, disconnections: 0 });
+    }
+
+    /// Move a station (the *poor signal* fault's distance knob).
+    pub fn set_distance(&mut self, host: HostId, distance_m: f64) {
+        if let Some(s) = self.stations.iter_mut().find(|s| s.host == host) {
+            s.phy.distance_m = distance_m.max(0.5);
+        }
+    }
+
+    /// Attenuate a station's link (the AP-side attenuator knob), dB.
+    pub fn set_attenuation(&mut self, host: HostId, atten_db: f64) {
+        if let Some(s) = self.stations.iter_mut().find(|s| s.host == host) {
+            s.phy.atten_db = atten_db.max(0.0);
+        }
+    }
+
+    /// Configure co-channel interference: `load` is the airtime
+    /// fraction the interferer occupies, `noise_db` the noise-floor
+    /// rise it causes at receivers.
+    pub fn set_interference(&mut self, load: f64, noise_db: f64) {
+        self.interference_load = load.clamp(0.0, 0.95);
+        self.interference_noise_db = noise_db.max(0.0);
+    }
+
+    /// Current interference airtime load.
+    pub fn interference_load(&self) -> f64 {
+        self.interference_load
+    }
+
+    /// Cap the negotiated PHY rate (LAN shaping); `None` removes the
+    /// cap.
+    pub fn set_rate_cap(&mut self, cap: Option<u64>) {
+        self.rate_cap_bps = cap;
+    }
+
+    fn capped(&self, rate: Option<u64>) -> Option<u64> {
+        match (rate, self.rate_cap_bps) {
+            (Some(r), Some(c)) => Some(r.min(c)),
+            (r, _) => r,
+        }
+    }
+
+    /// Refresh a station's PHY immediately (used after fault knobs move
+    /// so the change takes effect without waiting a tick).
+    pub fn refresh(&mut self, rng: &mut SimRng) {
+        let noise = self.interference_noise_db;
+        for s in &mut self.stations {
+            s.phy.tick(&self.cfg.phy, noise, rng);
+            let new_rate = rate_for_snr(s.phy.snr_db);
+            if s.rate.is_some() && new_rate.is_none() {
+                s.disconnections += 1;
+            }
+            s.rate = new_rate;
+        }
+    }
+
+    fn station_of(&self, from: HostId, to: HostId) -> Option<usize> {
+        let sta = if from == self.ap { to } else { from };
+        self.stations.iter().position(|s| s.host == sta)
+    }
+}
+
+impl SharedMedium for Wlan80211 {
+    fn transmit(
+        &mut self,
+        now: SimTime,
+        from: HostId,
+        to: HostId,
+        bytes: u32,
+        rng: &mut SimRng,
+    ) -> MediumGrant {
+        let Some(idx) = self.station_of(from, to) else {
+            // Unknown station: behave like a clean 54 Mbit/s hop.
+            let airtime = SimDuration::tx_time(bytes as u64, 54_000_000)
+                + SimDuration::from_micros(self.cfg.overhead_us);
+            return MediumGrant {
+                access_delay: SimDuration::ZERO,
+                airtime,
+                delivered: true,
+                mac_retries: 0,
+            };
+        };
+        let (snr, rate) = {
+            let s = &self.stations[idx];
+            (s.phy.snr_db, self.capped(s.rate))
+        };
+        let Some(rate) = rate else {
+            // Disassociated: the frame is lost after a beacon-scale
+            // stall at the sender.
+            return MediumGrant {
+                access_delay: SimDuration::from_millis(100),
+                airtime: SimDuration::ZERO,
+                delivered: false,
+                mac_retries: 0,
+            };
+        };
+
+        let start = now.max(self.busy_until);
+        let mut t = start;
+        // Interferer holding the channel when we arrive.
+        if rng.chance(self.interference_load) {
+            let stretch = 1.0 + 2.0 * self.interference_load;
+            t += SimDuration::from_secs_f64(rng.expo(0.0004) * stretch);
+        }
+        let fer = frame_error_rate(snr);
+        // Collisions with co-channel traffic we cannot hear coming.
+        let p_col = 0.45 * self.interference_load;
+        let p_fail = 1.0 - (1.0 - fer) * (1.0 - p_col);
+
+        let mut retries = 0u32;
+        let mut delivered = false;
+        let mut airtime = SimDuration::ZERO;
+        for attempt in 0..=self.cfg.max_retries {
+            let cw = ((self.cfg.cw_min + 1) << attempt.min(6)).min(1024);
+            let slots = rng.index(cw as usize) as u64;
+            t += SimDuration::from_micros(self.cfg.difs_us + slots * self.cfg.slot_us);
+            airtime = SimDuration::tx_time(bytes as u64, rate)
+                + SimDuration::from_micros(self.cfg.overhead_us);
+            t += airtime;
+            if !rng.chance(p_fail) {
+                delivered = true;
+                break;
+            }
+            retries = attempt + 1;
+        }
+        self.busy_ns += (t - start).0;
+        self.busy_until = t;
+        MediumGrant {
+            access_delay: (t - now).saturating_sub(airtime),
+            airtime,
+            delivered,
+            mac_retries: retries.min(self.cfg.max_retries),
+        }
+    }
+
+    fn snapshot(&self, station: HostId) -> Option<PhySnapshot> {
+        self.stations.iter().find(|s| s.host == station).map(|s| PhySnapshot {
+            rssi_dbm: s.phy.rssi_dbm,
+            snr_db: s.phy.snr_db,
+            phy_rate_bps: self.capped(s.rate).unwrap_or(0),
+            connected: s.rate.is_some(),
+            disconnections: s.disconnections,
+        })
+    }
+
+    fn busy_fraction(&self, now: SimTime) -> f64 {
+        if now.0 == 0 {
+            return self.interference_load;
+        }
+        let own = (self.busy_ns as f64 / now.0 as f64).min(1.0);
+        // The interferer occupies `load` of whatever airtime we left idle.
+        (own + self.interference_load * (1.0 - own)).min(1.0)
+    }
+
+    fn stations(&self) -> Vec<HostId> {
+        self.stations.iter().map(|s| s.host).collect()
+    }
+
+    fn on_tick(&mut self, _now: SimTime, rng: &mut SimRng) {
+        self.refresh(rng);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wlan_with_station(distance: f64) -> (Wlan80211, HostId, HostId) {
+        let ap = HostId(0);
+        let sta = HostId(1);
+        let mut w = Wlan80211::new(ap, WlanConfig::default());
+        w.add_station(sta, distance);
+        (w, ap, sta)
+    }
+
+    #[test]
+    fn close_station_is_fast_and_reliable() {
+        let (mut w, ap, sta) = wlan_with_station(4.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut fails = 0;
+        let mut retries = 0;
+        for _ in 0..1000 {
+            let g = w.transmit(w.busy_until, ap, sta, 1500, &mut rng);
+            if !g.delivered {
+                fails += 1;
+            }
+            retries += g.mac_retries;
+        }
+        assert_eq!(fails, 0);
+        assert!(retries < 40, "retries {retries}");
+        let snap = w.snapshot(sta).unwrap();
+        assert!(snap.connected);
+        assert_eq!(snap.phy_rate_bps, 65_000_000);
+    }
+
+    #[test]
+    fn far_station_degrades_then_disconnects() {
+        let (mut w, _ap, sta) = wlan_with_station(4.0);
+        let mut rng = SimRng::seed_from_u64(2);
+        w.set_distance(sta, 35.0);
+        w.refresh(&mut rng);
+        let mid = w.snapshot(sta).unwrap();
+        assert!(mid.rssi_dbm < -70.0, "rssi {}", mid.rssi_dbm);
+        assert!(mid.phy_rate_bps < 65_000_000);
+        // Push it past the association limit.
+        w.set_distance(sta, 60.0);
+        w.set_attenuation(sta, 25.0);
+        w.refresh(&mut rng);
+        let far = w.snapshot(sta).unwrap();
+        assert!(!far.connected);
+        assert!(far.disconnections >= 1);
+    }
+
+    #[test]
+    fn interference_costs_airtime_and_frames() {
+        let run = |load: f64| -> (u64, u64) {
+            let (mut w, ap, sta) = wlan_with_station(6.0);
+            w.set_interference(load, 6.0);
+            let mut rng = SimRng::seed_from_u64(3);
+            w.refresh(&mut rng);
+            let mut total_ns = 0u64;
+            let mut retries = 0u64;
+            for _ in 0..2000 {
+                let g = w.transmit(w.busy_until, ap, sta, 1500, &mut rng);
+                total_ns += (g.access_delay + g.airtime).0;
+                retries += g.mac_retries as u64;
+            }
+            (total_ns, retries)
+        };
+        let (clean_t, clean_r) = run(0.0);
+        let (noisy_t, noisy_r) = run(0.6);
+        assert!(noisy_t > clean_t * 2, "clean {clean_t} noisy {noisy_t}");
+        assert!(noisy_r > clean_r * 3 + 20, "clean {clean_r} noisy {noisy_r}");
+    }
+
+    #[test]
+    fn airtime_shared_between_stations() {
+        let ap = HostId(0);
+        let (a, b) = (HostId(1), HostId(2));
+        let mut w = Wlan80211::new(ap, WlanConfig::default());
+        w.add_station(a, 4.0);
+        w.add_station(b, 4.0);
+        let mut rng = SimRng::seed_from_u64(4);
+        let g1 = w.transmit(SimTime::ZERO, ap, a, 1500, &mut rng);
+        assert!(g1.delivered);
+        // Station b transmitting "at the same instant" has to wait for
+        // the first frame's airtime.
+        let g2 = w.transmit(SimTime::ZERO, b, ap, 1500, &mut rng);
+        assert!(g2.access_delay >= g1.airtime);
+    }
+
+    #[test]
+    fn disassociated_station_loses_frames() {
+        let (mut w, ap, sta) = wlan_with_station(4.0);
+        let mut rng = SimRng::seed_from_u64(5);
+        w.set_attenuation(sta, 60.0);
+        w.refresh(&mut rng);
+        let g = w.transmit(SimTime::ZERO, ap, sta, 1500, &mut rng);
+        assert!(!g.delivered);
+    }
+
+    #[test]
+    fn unknown_station_falls_back_clean() {
+        let (mut w, ap, _sta) = wlan_with_station(4.0);
+        let mut rng = SimRng::seed_from_u64(6);
+        let g = w.transmit(SimTime::ZERO, ap, HostId(9), 1500, &mut rng);
+        assert!(g.delivered);
+        assert_eq!(g.mac_retries, 0);
+    }
+
+    #[test]
+    fn busy_fraction_includes_interference() {
+        let (mut w, _, _) = wlan_with_station(4.0);
+        w.set_interference(0.5, 3.0);
+        let f = w.busy_fraction(SimTime::from_secs(10));
+        assert!(f >= 0.5 && f <= 1.0, "{f}");
+    }
+}

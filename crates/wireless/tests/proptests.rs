@@ -1,0 +1,77 @@
+//! Property-based tests of the 802.11 medium model.
+
+use proptest::prelude::*;
+
+use vqd_simnet::ids::HostId;
+use vqd_simnet::medium::SharedMedium;
+use vqd_simnet::rng::SimRng;
+use vqd_simnet::time::{SimDuration, SimTime};
+use vqd_wireless::{frame_error_rate, rate_for_snr, Wlan80211, WlanConfig};
+
+proptest! {
+    /// Rate selection is monotone in SNR and FER is a probability.
+    #[test]
+    fn rate_and_fer_sane(snr in -10.0f64..80.0) {
+        if let Some(r) = rate_for_snr(snr) {
+            prop_assert!(r >= 1_000_000);
+            if let Some(r2) = rate_for_snr(snr + 1.0) {
+                prop_assert!(r2 >= r);
+            }
+        }
+        let fer = frame_error_rate(snr);
+        prop_assert!((0.0..=1.0).contains(&fer));
+    }
+
+    /// Monotone time: grants never start in the past, airtime and
+    /// access delay are non-negative, and retries respect the limit,
+    /// for arbitrary station geometry, interference and frame sizes.
+    #[test]
+    fn grants_are_physical(
+        distance in 1.0f64..60.0,
+        atten in 0.0f64..30.0,
+        interference in 0.0f64..0.9,
+        sizes in proptest::collection::vec(40u32..1600, 1..60),
+        seed in any::<u64>(),
+    ) {
+        let ap = HostId(0);
+        let sta = HostId(1);
+        let mut w = Wlan80211::new(ap, WlanConfig::default());
+        w.add_station(sta, distance);
+        w.set_attenuation(sta, atten);
+        w.set_interference(interference, interference * 15.0);
+        let mut rng = SimRng::seed_from_u64(seed);
+        w.refresh(&mut rng);
+        let mut now = SimTime::ZERO;
+        for &bytes in &sizes {
+            let g = w.transmit(now, ap, sta, bytes, &mut rng);
+            prop_assert!(g.access_delay >= SimDuration::ZERO);
+            prop_assert!(g.mac_retries <= 7);
+            if g.delivered {
+                prop_assert!(g.airtime > SimDuration::ZERO);
+            }
+            now = now + SimDuration::from_micros(50);
+        }
+        // Busy fraction is a fraction.
+        let f = w.busy_fraction(now + SimDuration::from_secs(1));
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    /// RSSI decreases (stochastically, so compare means over ticks)
+    /// as distance grows; disconnection only at very low SNR.
+    #[test]
+    fn rssi_distance_ordering(seed in any::<u64>(), d1 in 2.0f64..10.0, extra in 10.0f64..40.0) {
+        let ap = HostId(0);
+        let (near, far) = (HostId(1), HostId(2));
+        let mut w = Wlan80211::new(ap, WlanConfig::default());
+        w.add_station(near, d1);
+        w.add_station(far, d1 + extra);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let (mut sum_near, mut sum_far) = (0.0, 0.0);
+        for _ in 0..50 {
+            w.refresh(&mut rng);
+            sum_near += w.snapshot(near).unwrap().rssi_dbm;
+            sum_far += w.snapshot(far).unwrap().rssi_dbm;
+        }
+        prop_assert!(sum_near > sum_far, "near {sum_near} far {sum_far}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: train the root-cause model on a small controlled corpus
+//! and diagnose three fresh sessions (healthy, low-RSSI, device load).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vqd::prelude::*;
+
+fn main() {
+    // 1. Ground truth: simulate labelled sessions on the controlled
+    //    testbed (server — shaped WAN — router/AP — WLAN — phone).
+    let catalog = Catalog::top100(42);
+    let sessions: usize = std::env::var("VQD_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250);
+    println!("simulating {sessions} training sessions...");
+    let cfg = CorpusConfig { sessions, seed: 1, p_fault: 0.55, ..Default::default() };
+    let corpus = generate_corpus(&cfg, &catalog);
+    let good = corpus.iter().filter(|r| r.truth.qoe == QoeClass::Good).count();
+    println!("  corpus: {} sessions, {} good / {} problematic", corpus.len(), good, corpus.len() - good);
+
+    // 2. Train: feature construction -> FCBF -> C4.5.
+    let data = to_dataset(&corpus, LabelScheme::Exact);
+    let model = Diagnoser::train(&data, &DiagnoserConfig::default());
+    println!("  model uses {} features (selected by FCBF):", model.selected_features().len());
+    for f in model.selected_features() {
+        println!("    {f}");
+    }
+
+    // 3. Diagnose fresh sessions the model has never seen.
+    let cases = [
+        ("healthy", FaultKind::None, 0.0),
+        ("poor signal", FaultKind::LowRssi, 0.9),
+        ("device overload", FaultKind::MobileLoad, 0.9),
+    ];
+    for (what, kind, intensity) in cases {
+        let spec = SessionSpec {
+            seed: 4242 + intensity as u64,
+            fault: FaultPlan { kind, intensity },
+            background: 0.4,
+            wan: WanProfile::Dsl,
+        };
+        let session = run_controlled_session(&spec, &catalog);
+        let dx = model.diagnose(&session.metrics);
+        println!(
+            "\nscenario '{what}': induced={} qoe={:?}",
+            kind.name(),
+            session.truth.qoe
+        );
+        println!("  -> diagnosis: {} (confidence {:.2})", dx.label, dx.dist[dx.class]);
+        println!(
+            "  session: startup {:?}s, {} stalls, {:.1}s frame skips",
+            session.qoe.startup_delay_s().map(|s| (s * 10.0).round() / 10.0),
+            session.qoe.stalls.len(),
+            session.qoe.frame_skip_s
+        );
+    }
+}

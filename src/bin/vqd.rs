@@ -1,0 +1,195 @@
+//! `vqd` — command-line front end for the diagnosis framework.
+//!
+//! ```text
+//! vqd corpus   --sessions 600 --seed 2015 --out corpus.tsv
+//! vqd train    --corpus corpus.tsv --labels exact --out model.vqd
+//! vqd diagnose --model model.vqd --metrics session.tsv
+//! vqd simulate --fault low_rssi --intensity 0.9 --model model.vqd
+//! vqd inspect  --model model.vqd
+//! ```
+//!
+//! Corpus files use the same tab-separated format as the bench cache
+//! (`fault\tqoe\tname=value\t…` per line); metrics files are
+//! `name=value` per line or tab-separated on one line.
+
+use std::collections::HashMap;
+
+use vqd::prelude::*;
+use vqd_core::dataset::LabeledRun;
+
+fn parse_args() -> (String, HashMap<String, String>) {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| "help".to_string());
+    let mut opts = HashMap::new();
+    let mut key: Option<String> = None;
+    for a in args {
+        if let Some(k) = a.strip_prefix("--") {
+            if let Some(prev) = key.take() {
+                opts.insert(prev, "true".to_string());
+            }
+            key = Some(k.to_string());
+        } else if let Some(k) = key.take() {
+            opts.insert(k, a);
+        }
+    }
+    if let Some(prev) = key.take() {
+        opts.insert(prev, "true".to_string());
+    }
+    (cmd, opts)
+}
+
+fn runs_to_text(runs: &[LabeledRun]) -> String {
+    let mut s = String::new();
+    for r in runs {
+        s.push_str(r.truth.fault.name());
+        s.push('\t');
+        s.push_str(r.truth.qoe.name());
+        for (n, v) in &r.metrics {
+            s.push_str(&format!("\t{n}={v:?}"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+fn runs_from_text(text: &str) -> Vec<LabeledRun> {
+    text.lines()
+        .filter(|l| !l.is_empty())
+        .map(|line| {
+            let mut parts = line.split('\t');
+            let fault_name = parts.next().unwrap_or("none");
+            let fault = FaultKind::ALL
+                .iter()
+                .copied()
+                .find(|f| f.name() == fault_name)
+                .unwrap_or(FaultKind::None);
+            let qoe = match parts.next().unwrap_or("good") {
+                "mild" => QoeClass::Mild,
+                "severe" => QoeClass::Severe,
+                _ => QoeClass::Good,
+            };
+            let metrics = parts
+                .filter_map(|kv| {
+                    let (k, v) = kv.split_once('=')?;
+                    Some((k.to_string(), v.parse::<f64>().ok()?))
+                })
+                .collect();
+            LabeledRun { metrics, truth: GroundTruth { fault, qoe } }
+        })
+        .collect()
+}
+
+fn scheme_of(opts: &HashMap<String, String>) -> LabelScheme {
+    match opts.get("labels").map(String::as_str) {
+        Some("existence") => LabelScheme::Existence,
+        Some("location") => LabelScheme::Location,
+        _ => LabelScheme::Exact,
+    }
+}
+
+fn main() {
+    let (cmd, opts) = parse_args();
+    let get = |k: &str| opts.get(k).cloned();
+    let num = |k: &str, d: f64| get(k).and_then(|v| v.parse().ok()).unwrap_or(d);
+
+    match cmd.as_str() {
+        "corpus" => {
+            let sessions = num("sessions", 400.0) as usize;
+            let seed = num("seed", 2015.0) as u64;
+            let out = get("out").unwrap_or_else(|| "corpus.tsv".to_string());
+            eprintln!("simulating {sessions} controlled sessions (seed {seed})...");
+            let cfg = CorpusConfig { sessions, seed, ..Default::default() };
+            let runs = generate_corpus(&cfg, &Catalog::top100(42));
+            std::fs::write(&out, runs_to_text(&runs)).expect("write corpus");
+            let good = runs.iter().filter(|r| r.truth.qoe == QoeClass::Good).count();
+            eprintln!("wrote {out}: {} runs ({good} good)", runs.len());
+        }
+        "train" => {
+            let corpus = get("corpus").expect("--corpus <file>");
+            let out = get("out").unwrap_or_else(|| "model.vqd".to_string());
+            let text = std::fs::read_to_string(&corpus).expect("read corpus");
+            let runs = runs_from_text(&text);
+            let data = to_dataset(&runs, scheme_of(&opts));
+            let model = Diagnoser::train(&data, &DiagnoserConfig::default());
+            model.save(&out).expect("write model");
+            eprintln!(
+                "trained on {} runs, {} features selected -> {out}",
+                runs.len(),
+                model.selected_features().len()
+            );
+        }
+        "diagnose" => {
+            let model = Diagnoser::load(get("model").expect("--model <file>")).expect("load model");
+            let path = get("metrics").expect("--metrics <file>");
+            let text = std::fs::read_to_string(&path).expect("read metrics");
+            let metrics: Vec<(String, f64)> = text
+                .split(['\n', '\t'])
+                .filter_map(|kv| {
+                    let (k, v) = kv.trim().split_once('=')?;
+                    Some((k.to_string(), v.parse::<f64>().ok()?))
+                })
+                .collect();
+            let dx = model.diagnose(&metrics);
+            println!("{} (confidence {:.2})", dx.label, dx.dist[dx.class]);
+            for (c, p) in model.classes.iter().zip(&dx.dist) {
+                if *p > 0.01 {
+                    println!("  {c:<28} {p:.3}");
+                }
+            }
+        }
+        "simulate" => {
+            // One session through the testbed, optionally diagnosed.
+            let kind = get("fault")
+                .and_then(|f| FaultKind::ALL.iter().copied().find(|k| k.name() == f))
+                .unwrap_or(FaultKind::None);
+            let spec = SessionSpec {
+                seed: num("seed", 7.0) as u64,
+                fault: FaultPlan { kind, intensity: num("intensity", 0.8) },
+                background: num("background", 0.4),
+                wan: WanProfile::Dsl,
+            };
+            let session = run_controlled_session(&spec, &Catalog::top100(42));
+            println!(
+                "session: induced={} qoe={:?} stalls={} startup={:?}",
+                kind.name(),
+                session.truth.qoe,
+                session.qoe.stalls.len(),
+                session.qoe.startup_delay_s()
+            );
+            if let Some(mpath) = get("model") {
+                let model = Diagnoser::load(mpath).expect("load model");
+                let dx = model.diagnose(&session.metrics);
+                println!("diagnosis: {} (confidence {:.2})", dx.label, dx.dist[dx.class]);
+            }
+            if let Some(out) = get("out") {
+                let mut s = String::new();
+                for (n, v) in &session.metrics {
+                    s.push_str(&format!("{n}={v:?}\n"));
+                }
+                std::fs::write(&out, s).expect("write metrics");
+                eprintln!("wrote session metrics to {out}");
+            }
+        }
+        "inspect" => {
+            let model = Diagnoser::load(get("model").expect("--model <file>")).expect("load model");
+            println!("classes: {}", model.classes.join(", "));
+            println!("features ({}):", model.selected_features().len());
+            for f in model.selected_features() {
+                println!("  {f}");
+            }
+            println!("\ndecision tree ({} nodes, depth {}):", model.tree().size(), model.tree().depth());
+            print!("{}", model.tree().to_text());
+        }
+        _ => {
+            eprintln!(
+                "usage: vqd <corpus|train|diagnose|simulate|inspect> [--opt value ...]\n\
+                 \n\
+                 vqd corpus   --sessions 600 --seed 2015 --out corpus.tsv\n\
+                 vqd train    --corpus corpus.tsv --labels exact|location|existence --out model.vqd\n\
+                 vqd diagnose --model model.vqd --metrics session.tsv\n\
+                 vqd simulate --fault low_rssi --intensity 0.9 [--model model.vqd] [--out session.tsv]\n\
+                 vqd inspect  --model model.vqd"
+            );
+        }
+    }
+}

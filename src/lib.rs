@@ -1,0 +1,80 @@
+//! # vqd — Video QoE Diagnosis
+//!
+//! A multi-vantage-point framework for detecting video-streaming QoE
+//! problems on mobile devices and identifying their **root cause** —
+//! a full reproduction of *"Identifying the Root Cause of Video
+//! Streaming Issues on Mobile Devices"* (CoNEXT 2015), including every
+//! substrate the paper depends on:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`simnet`] | deterministic packet-level network simulator (links, queues, TCP Reno, UDP, traffic generators) |
+//! | [`wireless`] | 802.11 PHY/MAC medium (RSSI, rate adaptation, contention, interference) |
+//! | [`video`] | catalogue, HTTP-style server, buffered player, MOS labelling |
+//! | [`faults`] | the Table 2 fault injectors and background variation |
+//! | [`probes`] | tstat-style flow analysis + HW/NIC/PHY sampling per vantage point |
+//! | [`features`] | feature construction (normalisation) and FCBF selection |
+//! | [`ml`] | C4.5 (J48), Naive Bayes, linear SVM, MDL discretisation, cross-validation |
+//! | [`core`] | scenarios, testbed, corpus generation, the [`Diagnoser`] API, real-world deployments |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use vqd::prelude::*;
+//!
+//! // 1. Generate labelled ground truth on the controlled testbed.
+//! let catalog = Catalog::top100(42);
+//! let corpus = generate_corpus(&CorpusConfig { sessions: 400, ..Default::default() }, &catalog);
+//!
+//! // 2. Train the root-cause model (FC → FCBF → C4.5).
+//! let data = to_dataset(&corpus, LabelScheme::Exact);
+//! let model = Diagnoser::train(&data, &DiagnoserConfig::default());
+//!
+//! // 3. Diagnose a fresh session from any vantage-point subset.
+//! let spec = SessionSpec {
+//!     seed: 7,
+//!     fault: FaultPlan { kind: FaultKind::LowRssi, intensity: 0.9 },
+//!     background: 0.4,
+//!     wan: WanProfile::Dsl,
+//! };
+//! let session = run_controlled_session(&spec, &catalog);
+//! let dx = model.diagnose(&session.metrics);
+//! println!("diagnosis: {} (p={:.2})", dx.label, dx.dist[dx.class]);
+//! ```
+
+pub use vqd_core as core;
+pub use vqd_faults as faults;
+pub use vqd_features as features;
+pub use vqd_ml as ml;
+pub use vqd_probes as probes;
+pub use vqd_simnet as simnet;
+pub use vqd_video as video;
+pub use vqd_wireless as wireless;
+
+/// Everything needed for the typical train-and-diagnose workflow.
+pub mod prelude {
+    pub use vqd_core::dataset::{generate_corpus, to_dataset, CorpusConfig, LabeledRun};
+    pub use vqd_core::diagnoser::{Diagnoser, DiagnoserConfig, Diagnosis};
+    pub use vqd_core::experiments::{eval_by_vp, eval_transfer, VP_SETS};
+    pub use vqd_core::realworld::{
+        generate_induced, generate_wild, Access, RealWorldConfig, RwRun, Service,
+    };
+    pub use vqd_core::scenario::{class_names, GroundTruth, LabelScheme};
+    pub use vqd_core::testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};
+    pub use vqd_faults::{FaultKind, FaultPlan};
+    pub use vqd_ml::metrics::ConfusionMatrix;
+    pub use vqd_video::catalog::{Catalog, CatalogConfig, Video};
+    pub use vqd_video::QoeClass;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let c = Catalog::top100(1);
+        assert_eq!(c.videos().len(), 100);
+        assert_eq!(class_names(LabelScheme::Existence).len(), 3);
+        let _ = FaultPlan { kind: FaultKind::None, intensity: 0.0 };
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: the full pipeline from packet-level
+//! simulation to root-cause diagnosis.
+
+use vqd::prelude::*;
+
+fn catalog() -> Catalog {
+    Catalog::top100(42)
+}
+
+fn small_corpus(sessions: usize, seed: u64) -> Vec<LabeledRun> {
+    let cfg = CorpusConfig { sessions, seed, p_fault: 0.6, p_mobile_wan: 0.25, ..Default::default() };
+    generate_corpus(&cfg, &catalog())
+}
+
+#[test]
+fn train_on_lab_diagnose_fresh_sessions() {
+    let corpus = small_corpus(160, 1000);
+    let data = to_dataset(&corpus, LabelScheme::Exact);
+    let model = Diagnoser::train(&data, &DiagnoserConfig::default());
+
+    // Fresh, severe, unambiguous faults must be attributed to the right
+    // *family* (fault kind, severity aside).
+    let mut family_hits = 0;
+    // 0.85 for low RSSI keeps the station associated-but-degraded (a
+    // fully disconnected phone produces almost no transport evidence).
+    let cases = [
+        (FaultKind::MobileLoad, 0.92),
+        (FaultKind::LowRssi, 0.85),
+        (FaultKind::WanCongestion, 0.92),
+    ];
+    for (i, (kind, intensity)) in cases.iter().enumerate() {
+        let spec = SessionSpec {
+            seed: 77_000 + i as u64,
+            fault: FaultPlan { kind: *kind, intensity: *intensity },
+            background: 0.3,
+            wan: WanProfile::Dsl,
+        };
+        let session = run_controlled_session(&spec, &catalog());
+        let dx = model.diagnose(&session.metrics);
+        if dx.label.starts_with(kind.name()) {
+            family_hits += 1;
+        }
+    }
+    assert!(family_hits >= 2, "only {family_hits}/3 severe faults attributed correctly");
+}
+
+#[test]
+fn existence_detection_beats_majority_baseline() {
+    let corpus = small_corpus(200, 2000);
+    let data = to_dataset(&corpus, LabelScheme::Existence);
+    let cm = Diagnoser::cross_validate(&data, &DiagnoserConfig::default(), 10, 1);
+    let majority = data
+        .class_counts()
+        .into_iter()
+        .max()
+        .unwrap() as f64
+        / data.len() as f64;
+    assert!(
+        cm.accuracy() > majority + 0.03,
+        "accuracy {:.3} must beat majority {:.3}",
+        cm.accuracy(),
+        majority
+    );
+}
+
+#[test]
+fn vantage_point_subsets_all_work() {
+    let corpus = small_corpus(150, 3000);
+    let data = to_dataset(&corpus, LabelScheme::Existence);
+    for (name, vps) in VP_SETS {
+        let sub = data.select_features_by(|n| vps.iter().any(|vp| n.starts_with(vp)));
+        assert!(sub.n_features() > 20, "{name}: {} features", sub.n_features());
+        let cm = Diagnoser::cross_validate(&sub, &DiagnoserConfig::default(), 10, 1);
+        assert!(cm.accuracy() > 0.5, "{name}: accuracy {:.2}", cm.accuracy());
+    }
+}
+
+#[test]
+fn lab_model_transfers_to_wild_sessions() {
+    let corpus = small_corpus(160, 4000);
+    let data = to_dataset(&corpus, LabelScheme::Existence);
+    let model = Diagnoser::train(&data, &DiagnoserConfig::default());
+    let wild = generate_wild(&RealWorldConfig { sessions: 40, seed: 5000, threads: 0 }, &catalog());
+    let runs: Vec<LabeledRun> = wild.into_iter().map(|r| r.run).collect();
+    let cm = eval_transfer(&model, &runs, LabelScheme::Existence, None);
+    assert!(cm.total() >= 38);
+    assert!(cm.accuracy() > 0.6, "wild transfer accuracy {:.2}", cm.accuracy());
+}
+
+#[test]
+fn severity_tracks_intensity() {
+    // The same fault at higher intensity must never yield a *better*
+    // QoE class (monotone in expectation; we check two far-apart
+    // points on a few seeds to avoid flakiness).
+    let order = |q: QoeClass| match q {
+        QoeClass::Good => 0,
+        QoeClass::Mild => 1,
+        QoeClass::Severe => 2,
+    };
+    let mut violations = 0;
+    let mut checks = 0;
+    for seed in [1u64, 2, 3] {
+        for kind in [FaultKind::WanShaping, FaultKind::MobileLoad] {
+            let run = |intensity: f64| {
+                let spec = SessionSpec {
+                    seed: 88_000 + seed,
+                    fault: FaultPlan { kind, intensity },
+                    background: 0.2,
+                    wan: WanProfile::Dsl,
+                };
+                run_controlled_session(&spec, &catalog()).truth.qoe
+            };
+            let lo = run(0.1);
+            let hi = run(0.97);
+            checks += 1;
+            if order(hi) < order(lo) {
+                violations += 1;
+            }
+        }
+    }
+    assert_eq!(violations, 0, "{violations}/{checks} intensity inversions");
+}
+
+#[test]
+fn probes_never_use_application_qoe() {
+    // The classifier features must not contain application-layer QoE
+    // (stall counts etc.) — the paper uses those only for labelling.
+    let corpus = small_corpus(10, 6000);
+    for r in &corpus {
+        for (name, _) in &r.metrics {
+            assert!(
+                !name.contains("stall") && !name.contains("mos") && !name.contains("startup"),
+                "leaked QoE metric: {name}"
+            );
+        }
+    }
+}

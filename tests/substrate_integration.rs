@@ -1,0 +1,160 @@
+//! Integration tests of the substrates working together *below* the
+//! diagnosis layer: simulator + wireless + video + probes.
+
+use vqd::simnet::engine::Harness;
+use vqd::simnet::ids::HostId;
+use vqd::simnet::link::LinkConfig;
+use vqd::simnet::time::SimTime;
+use vqd::simnet::topology::TopologyBuilder;
+use vqd::simnet::traffic::UdpFlood;
+use vqd::probes::{ProbeSet, SamplerApp, VpData};
+use vqd::video::catalog::Video;
+use vqd::video::player::{Player, PlayerConfig};
+use vqd::video::server::{SessionDirectory, VideoServer, VideoServerConfig};
+use vqd::wireless::{Wlan80211, WlanConfig};
+
+fn video(duration_s: f64, bitrate: u64) -> Video {
+    Video { id: 0, duration_s, bitrate_bps: bitrate, hd: bitrate > 1_500_000 }
+}
+
+/// Build phone—AP—server with a WLAN and stream one video; return the
+/// probes and player handle.
+struct Rig {
+    sim: Harness<ProbeSet>,
+    handle: vqd::video::player::PlayerHandle,
+    vps: Vec<vqd::probes::VpHandle>,
+    mobile: HostId,
+}
+
+fn rig(distance_m: f64, interference: f64, flood_bps: u64) -> Rig {
+    let mut tb = TopologyBuilder::with_seed(9);
+    let mobile = tb.add_host("mobile");
+    let router = tb.add_host("router");
+    let server = tb.add_host("server");
+    let other = tb.add_host("other-sta");
+    tb.add_duplex_link(router, server, LinkConfig::dsl_nominal());
+    let mut wlan = Wlan80211::new(router, WlanConfig::default());
+    wlan.add_station(mobile, distance_m);
+    wlan.add_station(other, 3.0);
+    wlan.set_interference(interference, interference * 12.0);
+    let m = tb.add_medium(Box::new(wlan));
+    tb.add_wireless(mobile, router, m, 1460);
+    tb.add_wireless(other, router, m, 1460);
+    let net = tb.build();
+
+    let vps = vec![
+        VpData::new("mobile", mobile, &[80]),
+        VpData::new("router", router, &[80]),
+        VpData::new("server", server, &[80]),
+    ];
+    let obs = ProbeSet::new(vps.clone());
+    let mut sim = Harness::with_observer(net, obs);
+    let dir = SessionDirectory::new();
+    let (player, handle) = Player::new(
+        mobile,
+        server,
+        80,
+        video(25.0, 900_000),
+        PlayerConfig::default(),
+        dir.clone(),
+    );
+    sim.add_app(Box::new(player));
+    sim.add_app(Box::new(VideoServer::new(server, VideoServerConfig::default(), dir)));
+    sim.add_app(Box::new(SamplerApp::new(vps.clone())));
+    if flood_bps > 0 {
+        sim.add_app(Box::new(UdpFlood::new(server, other, flood_bps)));
+    }
+    Rig { sim, handle, vps, mobile }
+}
+
+fn metric(rig: &Rig, vp: usize, name: &str) -> Option<f64> {
+    let flow = rig.handle.flow()?;
+    rig.vps[vp]
+        .borrow()
+        .metrics_for(flow)?
+        .into_iter()
+        .find(|(n, _)| n.ends_with(name))
+        .map(|(_, v)| v)
+}
+
+#[test]
+fn clean_wlan_session_plays_and_probes_agree_on_bytes() {
+    let mut r = rig(4.0, 0.0, 0);
+    r.sim.run_until(SimTime::from_secs(120));
+    assert!(r.handle.done());
+    let q = r.handle.qoe();
+    assert!(q.completed, "{q:?}");
+    assert!(q.stalls.is_empty(), "{:?}", q.stalls);
+    // All probes counted (at least) the full media size downstream;
+    // retransmitted copies may add a little.
+    let size = q.bytes_received as f64;
+    for vp in 0..3 {
+        let b = metric(&r, vp, "tcp.s2c.data_bytes").unwrap();
+        assert!(b >= size && b < size * 1.15, "vp{vp}: {b} vs {size}");
+    }
+}
+
+#[test]
+fn weak_signal_shows_in_mobile_probe_only() {
+    let mut far = rig(38.0, 0.0, 0);
+    far.sim.run_until(SimTime::from_secs(150));
+    assert!(far.handle.done());
+    let rssi = metric(&far, 0, "phy.rssi_avg").unwrap();
+    assert!(rssi < -72.0, "rssi {rssi}");
+    // MAC retries on the mobile's uplink are elevated vs a near rig.
+    let mut near = rig(3.0, 0.0, 0);
+    near.sim.run_until(SimTime::from_secs(120));
+    let far_rate = metric(&far, 0, "phy.rate_avg").unwrap();
+    let near_rate = metric(&near, 0, "phy.rate_avg").unwrap();
+    assert!(far_rate < near_rate * 0.7, "far {far_rate} near {near_rate}");
+    // The server probe has no radio view at all.
+    let flow = far.handle.flow().unwrap();
+    let server_names = far.vps[2].borrow().metrics_for(flow).unwrap();
+    assert!(server_names.iter().all(|(n, _)| !n.contains("phy.rssi")));
+}
+
+#[test]
+fn interference_raises_medium_busy_and_mac_retx() {
+    let mut noisy = rig(5.0, 0.6, 0);
+    noisy.sim.run_until(SimTime::from_secs(150));
+    let busy = metric(&noisy, 0, "phy.busy_avg").unwrap();
+    assert!(busy > 0.5, "busy {busy}");
+    let mut clean = rig(5.0, 0.0, 0);
+    clean.sim.run_until(SimTime::from_secs(120));
+    let busy_clean = metric(&clean, 0, "phy.busy_avg").unwrap();
+    assert!(busy > busy_clean + 0.3, "noisy {busy} clean {busy_clean}");
+}
+
+#[test]
+fn wan_flood_congests_shared_ap_queue() {
+    // Flood to the *other* station crossing WAN + WLAN: the video must
+    // see queueing at the shared AP queue (RTT inflation at the server
+    // probe) or outright drops.
+    let mut r = rig(4.0, 0.0, 7_000_000);
+    r.sim.run_until(SimTime::from_secs(200));
+    assert!(r.handle.done());
+    let q = r.handle.qoe();
+    // 7 Mbit/s of flood on a 7.8 Mbit/s DSL pipe: the session suffers.
+    assert!(
+        !q.stalls.is_empty() || !q.completed || q.startup_delay_s().unwrap_or(99.0) > 3.0,
+        "{q:?}"
+    );
+    let rtt = metric(&r, 2, "tcp.s2c.rtt_avg").unwrap();
+    let mut calm = rig(4.0, 0.0, 0);
+    calm.sim.run_until(SimTime::from_secs(120));
+    let rtt_calm = metric(&calm, 2, "tcp.s2c.rtt_avg").unwrap();
+    assert!(rtt > rtt_calm * 1.3, "flooded rtt {rtt} calm {rtt_calm}");
+}
+
+#[test]
+fn hardware_sampling_observed_by_all_probes() {
+    let mut r = rig(4.0, 0.0, 0);
+    // Stress the phone mid-run.
+    r.sim.net.hosts[r.mobile.idx()].cpu.register(5.0);
+    r.sim.run_until(SimTime::from_secs(120));
+    let cpu = metric(&r, 0, "hw.cpu_avg").unwrap();
+    assert!(cpu > 0.9, "cpu {cpu}");
+    // The router probe reports *its own* CPU, not the phone's.
+    let router_cpu = metric(&r, 1, "hw.cpu_avg").unwrap();
+    assert!(router_cpu < 0.5, "router cpu {router_cpu}");
+}
