@@ -10,7 +10,10 @@ use vqd_core::scenario::LabelScheme;
 fn main() {
     let runs = controlled_runs();
     let mut text = String::new();
-    for (scheme, tag) in [(LabelScheme::Existence, "existence"), (LabelScheme::Exact, "exact")] {
+    for (scheme, tag) in [
+        (LabelScheme::Existence, "existence"),
+        (LabelScheme::Exact, "exact"),
+    ] {
         let rows = classifier_comparison(&runs, scheme, 1);
         text.push_str(&render_ablation(
             &format!("Ablation: classifier comparison ({tag} labels, FC+FS, 10-fold CV)"),
@@ -18,6 +21,8 @@ fn main() {
         ));
         text.push('\n');
     }
-    text.push_str("paper: C4.5 wins; DTs cope with noise and non-linear relations and stay interpretable\n");
+    text.push_str(
+        "paper: C4.5 wins; DTs cope with noise and non-linear relations and stay interpretable\n",
+    );
     emit_section("ablation_classifiers", &text);
 }

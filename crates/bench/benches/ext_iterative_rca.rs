@@ -22,12 +22,7 @@ fn main() {
 
     let data = to_dataset(train, LabelScheme::Location);
     let full = Diagnoser::train(&data, &DiagnoserConfig::default());
-    let cm_full = vqd_core::experiments::eval_transfer(
-        &full,
-        test,
-        LabelScheme::Location,
-        None,
-    );
+    let cm_full = vqd_core::experiments::eval_transfer(&full, test, LabelScheme::Location, None);
 
     let mut text = String::from("== Extension: iterative RCA (one-bit collaboration, §7) ==\n");
     text.push_str(&format!(

@@ -16,9 +16,10 @@ fn main() {
     let model = Diagnoser::train(&data, &DiagnoserConfig::default());
     let n = (controlled_sessions() / 6).max(30);
     eprintln!("[ext_multifault] simulating {n} two-fault sessions...");
-    let runs = generate_multifault(n, 2015_09, &Catalog::top100(CATALOG_SEED));
+    let runs = generate_multifault(n, 201509, &Catalog::top100(CATALOG_SEED));
     let ev = evaluate_multifault(&model, &runs);
-    let mut text = String::from("== Extension: multi-problem sessions (two concurrent faults) ==\n");
+    let mut text =
+        String::from("== Extension: multi-problem sessions (two concurrent faults) ==\n");
     text.push_str(&format!(
         "sessions with degraded QoE: {}\n  blamed one of the two true causes: {} ({:.0}%)\n  missed entirely (predicted good): {}\n",
         ev.total,

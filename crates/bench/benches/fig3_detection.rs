@@ -13,7 +13,12 @@ use vqd_core::scenario::LabelScheme;
 
 fn main() {
     let runs = controlled_runs();
-    let evals = eval_by_vp(&runs, LabelScheme::Existence, &DiagnoserConfig::default(), 1);
+    let evals = eval_by_vp(
+        &runs,
+        LabelScheme::Existence,
+        &DiagnoserConfig::default(),
+        1,
+    );
     let mut text = render_vp_evals(
         "Figure 3: problem-existence detection (controlled, 10-fold CV)",
         &evals,

@@ -17,8 +17,6 @@ fn main() {
         "Figure 4: exact-problem detection (controlled, 10-fold CV)",
         &evals,
     );
-    text.push_str(
-        "\npaper: mobile 88.18%  router 85.74%  server 84.2%  combined 88.95%\n",
-    );
+    text.push_str("\npaper: mobile 88.18%  router 85.74%  server 84.2%  combined 88.95%\n");
     emit_section("fig4", &text);
 }

@@ -43,6 +43,8 @@ fn main() {
             ));
         }
     }
-    text.push_str("\npaper: good sessions identified with high accuracy; mobile > server; combined best\n");
+    text.push_str(
+        "\npaper: good sessions identified with high accuracy; mobile > server; combined best\n",
+    );
     emit_section("fig8", &text);
 }

@@ -17,7 +17,7 @@ fn quantiles(mut xs: Vec<f64>) -> String {
     if xs.is_empty() {
         return "n=0".into();
     }
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(|a, b| a.total_cmp(b));
     let q = |p: f64| xs[((xs.len() - 1) as f64 * p) as usize];
     format!(
         "n={:<4} p10={:7.2} p25={:7.2} p50={:7.2} p75={:7.2} p90={:7.2}",
@@ -35,8 +35,8 @@ fn main() {
     let wild = wild_runs();
     // The paper's §6.2.2 asks what the *server vantage point* predicts:
     // train the exact-problem model on the server's own columns.
-    let data = to_dataset(&train, LabelScheme::Exact)
-        .select_features_by(|n| n.starts_with("server"));
+    let data =
+        to_dataset(&train, LabelScheme::Exact).select_features_by(|n| n.starts_with("server"));
     let model = Diagnoser::train(&data, &DiagnoserConfig::default());
 
     let mut cpu_flagged = Vec::new();
@@ -78,11 +78,25 @@ fn main() {
         "== Figure 9: server-VP inference of client-side conditions (wild, problematic) ==\n",
     );
     text.push_str("ground-truth mobile CPU utilisation:\n");
-    text.push_str(&format!("   predicted 'mobile load':  {}\n", quantiles(cpu_flagged)));
-    text.push_str(&format!("   not predicted:            {}\n", quantiles(cpu_rest)));
+    text.push_str(&format!(
+        "   predicted 'mobile load':  {}\n",
+        quantiles(cpu_flagged)
+    ));
+    text.push_str(&format!(
+        "   not predicted:            {}\n",
+        quantiles(cpu_rest)
+    ));
     text.push_str("ground-truth mobile RSSI (dBm, WiFi sessions):\n");
-    text.push_str(&format!("   predicted 'low RSSI':     {}\n", quantiles(rssi_flagged)));
-    text.push_str(&format!("   not predicted:            {}\n", quantiles(rssi_rest)));
-    text.push_str("\npaper shape: flagged sessions show far higher CPU / lower RSSI than the rest\n");
+    text.push_str(&format!(
+        "   predicted 'low RSSI':     {}\n",
+        quantiles(rssi_flagged)
+    ));
+    text.push_str(&format!(
+        "   not predicted:            {}\n",
+        quantiles(rssi_rest)
+    ));
+    text.push_str(
+        "\npaper shape: flagged sessions show far higher CPU / lower RSSI than the rest\n",
+    );
     emit_section("fig9", &text);
 }

@@ -76,22 +76,22 @@ fn bench_session(c: &mut Criterion) {
     group.finish();
 }
 
-fn synthetic_dataset(n: usize) -> Dataset {
+fn synthetic_dataset(n: usize, nf: usize) -> Dataset {
     let mut rng = SimRng::seed_from_u64(3);
-    let names: Vec<String> = (0..40).map(|i| format!("f{i}")).collect();
+    let names: Vec<String> = (0..nf).map(|i| format!("f{i}")).collect();
     let mut d = Dataset::new(names, vec!["a".into(), "b".into(), "c".into()]);
     for _ in 0..n {
         let cl = rng.index(3);
-        let mut row: Vec<f64> = (0..38).map(|_| rng.normal(0.0, 1.0)).collect();
+        let mut row: Vec<f64> = (0..nf - 2).map(|_| rng.normal(0.0, 1.0)).collect();
         row.push(cl as f64 * 2.0 + rng.normal(0.0, 0.7));
-        row.push(cl as f64 * -1.0 + rng.normal(0.0, 0.9));
+        row.push(-(cl as f64) + rng.normal(0.0, 0.9));
         d.push(row, cl);
     }
     d
 }
 
 fn bench_ml(c: &mut Criterion) {
-    let d = synthetic_dataset(1500);
+    let d = synthetic_dataset(1500, 40);
     let rows: Vec<usize> = (0..d.len()).collect();
     c.bench_function("c45_train_1500x40", |b| {
         b.iter(|| black_box(C45Trainer::default().fit(&d, &rows)))
@@ -107,6 +107,28 @@ fn bench_ml(c: &mut Criterion) {
             }
         })
     });
+}
+
+/// Before/after comparison of the C4.5 training engine on the
+/// acceptance workload (2000 rows × 50 features): `columnar` is the
+/// pre-sorted engine behind [`C45Trainer::fit`], `seed_reference` the
+/// original per-node collect-and-sort path. Both produce identical
+/// trees; only the time differs.
+fn bench_ml_train_engine(c: &mut Criterion) {
+    let d = synthetic_dataset(2000, 50);
+    let rows: Vec<usize> = (0..d.len()).collect();
+    let trainer = C45Trainer::default();
+    debug_assert_eq!(
+        trainer.fit(&d, &rows).serialize(),
+        trainer.fit_seed_reference(&d, &rows).serialize()
+    );
+    let mut group = c.benchmark_group("c45_train_2000x50");
+    group.sample_size(10);
+    group.bench_function("columnar", |b| b.iter(|| black_box(trainer.fit(&d, &rows))));
+    group.bench_function("seed_reference", |b| {
+        b.iter(|| black_box(trainer.fit_seed_reference(&d, &rows)))
+    });
+    group.finish();
 }
 
 fn bench_tstat(c: &mut Criterion) {
@@ -154,9 +176,20 @@ fn bench_mos(c: &mut Criterion) {
         completed: true,
         ..Default::default()
     };
-    q.stalls.push((SimTime::from_secs(20), SimDuration::from_secs(3)));
-    c.bench_function("mos_score", |b| b.iter(|| black_box(vqd_video::mos_score(&q))));
+    q.stalls
+        .push((SimTime::from_secs(20), SimDuration::from_secs(3)));
+    c.bench_function("mos_score", |b| {
+        b.iter(|| black_box(vqd_video::mos_score(&q)))
+    });
 }
 
-criterion_group!(benches, bench_tcp_transfer, bench_session, bench_ml, bench_tstat, bench_mos);
+criterion_group!(
+    benches,
+    bench_tcp_transfer,
+    bench_session,
+    bench_ml,
+    bench_ml_train_engine,
+    bench_tstat,
+    bench_mos
+);
 criterion_main!(benches);

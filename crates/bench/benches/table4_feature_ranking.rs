@@ -19,8 +19,11 @@ fn main() {
             text.push_str(&format!("\n-- {} --\n", c.fault));
             last_fault = c.fault.clone();
         }
-        let tops: Vec<String> =
-            c.top.iter().map(|(n, su)| format!("{n} ({su:.2})")).collect();
+        let tops: Vec<String> = c
+            .top
+            .iter()
+            .map(|(n, su)| format!("{n} ({su:.2})"))
+            .collect();
         text.push_str(&format!("   {:<9} {}\n", c.vp, tops.join("  |  ")));
     }
     emit_section("table4", &text);

@@ -10,11 +10,14 @@
 use std::fmt::Write as _;
 
 use vqd_bench::{controlled_runs, emit_section, induced_runs, wild_runs};
+use vqd_core::ablation::{
+    classifier_comparison, pipeline_ablation, pruning_ablation, render_ablation,
+};
 use vqd_core::dataset::{to_dataset, LabeledRun};
 use vqd_core::diagnoser::{Diagnoser, DiagnoserConfig};
-use vqd_core::ablation::{classifier_comparison, pipeline_ablation, pruning_ablation, render_ablation};
 use vqd_core::experiments::{
-    eval_by_vp, eval_transfer, feature_set_sweep, render_vp_evals, table1, table4, VP_SETS,
+    eval_by_vp, eval_transfer, feature_set_sweep_prepared, render_vp_evals, table1_prepared,
+    table4_prepared, ExactPrep, VP_SETS,
 };
 use vqd_core::iterative::IterativeRca;
 use vqd_core::multifault::{evaluate_multifault, generate_multifault};
@@ -23,9 +26,16 @@ use vqd_video::QoeClass;
 
 fn fig3(out: &mut String) {
     let runs = controlled_runs();
-    let evals = eval_by_vp(&runs, LabelScheme::Existence, &DiagnoserConfig::default(), 1);
-    let mut text =
-        render_vp_evals("Figure 3: problem-existence detection (controlled, 10-fold CV)", &evals);
+    let evals = eval_by_vp(
+        &runs,
+        LabelScheme::Existence,
+        &DiagnoserConfig::default(),
+        1,
+    );
+    let mut text = render_vp_evals(
+        "Figure 3: problem-existence detection (controlled, 10-fold CV)",
+        &evals,
+    );
     text.push_str("paper: mobile 88.1%  router 86.4%  server 85.6%  combined 88.8%\n");
     emit_section("fig3", &text);
     out.push_str(&text);
@@ -34,8 +44,10 @@ fn fig3(out: &mut String) {
 fn fig4(out: &mut String) {
     let runs = controlled_runs();
     let evals = eval_by_vp(&runs, LabelScheme::Exact, &DiagnoserConfig::default(), 1);
-    let mut text =
-        render_vp_evals("Figure 4: exact-problem detection (controlled, 10-fold CV)", &evals);
+    let mut text = render_vp_evals(
+        "Figure 4: exact-problem detection (controlled, 10-fold CV)",
+        &evals,
+    );
     text.push_str("paper: mobile 88.18%  router 85.74%  server 84.2%  combined 88.95%\n");
     emit_section("fig4", &text);
     out.push_str(&text);
@@ -44,15 +56,25 @@ fn fig4(out: &mut String) {
 fn sec52(out: &mut String) {
     let runs = controlled_runs();
     let evals = eval_by_vp(&runs, LabelScheme::Location, &DiagnoserConfig::default(), 1);
-    let text =
-        render_vp_evals("Section 5.2: problem-location detection (controlled, 10-fold CV)", &evals);
+    let text = render_vp_evals(
+        "Section 5.2: problem-location detection (controlled, 10-fold CV)",
+        &evals,
+    );
     emit_section("sec52", &text);
     out.push_str(&text);
 }
 
+/// The shared exact-label dataset + constructed view of the controlled
+/// corpus: fig5, table1 and table4 all consume it, so `to_dataset` and
+/// feature construction run once per repro invocation instead of once
+/// per section.
+fn exact_prep() -> &'static ExactPrep {
+    static PREP: std::sync::OnceLock<ExactPrep> = std::sync::OnceLock::new();
+    PREP.get_or_init(|| ExactPrep::from_runs(&controlled_runs()))
+}
+
 fn fig5(out: &mut String) {
-    let runs = controlled_runs();
-    let sweep = feature_set_sweep(&runs, 1);
+    let sweep = feature_set_sweep_prepared(exact_prep(), 1);
     let mut text =
         String::from("== Figure 5: detection by feature set (combined VPs, exact labels) ==\n");
     text.push_str("   set           precision  recall  accuracy  #features\n");
@@ -73,14 +95,13 @@ fn fig5(out: &mut String) {
 }
 
 fn table1_section(out: &mut String) {
-    let runs = controlled_runs();
-    let raw = to_dataset(&runs, LabelScheme::Exact);
-    let sel = table1(&runs);
+    let prep = exact_prep();
+    let sel = table1_prepared(prep);
     let mut text = String::from("== Table 1: features after Feature Selection (FCBF) ==\n");
     let _ = writeln!(
         text,
         "raw features: {}   selected: {}   (paper: 354 -> 22)",
-        raw.n_features(),
+        prep.raw.n_features(),
         sel.names.len()
     );
     for (name, su) in sel.names.iter().zip(&sel.su) {
@@ -91,8 +112,7 @@ fn table1_section(out: &mut String) {
 }
 
 fn table4_section(out: &mut String) {
-    let runs = controlled_runs();
-    let cells = table4(&runs, 3);
+    let cells = table4_prepared(exact_prep(), 3);
     let mut text = String::from("== Table 4: top features per fault per vantage point ==\n");
     let mut last = String::new();
     for c in &cells {
@@ -100,7 +120,11 @@ fn table4_section(out: &mut String) {
             let _ = writeln!(text, "\n-- {} --", c.fault);
             last = c.fault.clone();
         }
-        let tops: Vec<String> = c.top.iter().map(|(n, su)| format!("{n} ({su:.2})")).collect();
+        let tops: Vec<String> = c
+            .top
+            .iter()
+            .map(|(n, su)| format!("{n} ({su:.2})"))
+            .collect();
         let _ = writeln!(text, "   {:<9} {}", c.vp, tops.join("  |  "));
     }
     emit_section("table4", &text);
@@ -197,7 +221,7 @@ fn quantiles(mut xs: Vec<f64>) -> String {
     if xs.is_empty() {
         return "n=0".into();
     }
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(|a, b| a.total_cmp(b));
     let q = |p: f64| xs[((xs.len() - 1) as f64 * p) as usize];
     format!(
         "n={:<4} p10={:7.2} p25={:7.2} p50={:7.2} p75={:7.2} p90={:7.2}",
@@ -215,8 +239,8 @@ fn fig9(out: &mut String) {
     let wild = wild_runs();
     // The paper's §6.2.2 asks what the *server vantage point* predicts:
     // train the exact-problem model on the server's own columns.
-    let data = to_dataset(&train, LabelScheme::Exact)
-        .select_features_by(|n| n.starts_with("server"));
+    let data =
+        to_dataset(&train, LabelScheme::Exact).select_features_by(|n| n.starts_with("server"));
     let model = Diagnoser::train(&data, &DiagnoserConfig::default());
     let (mut cf, mut cr, mut rf, mut rr) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     for r in &wild {
@@ -235,10 +259,18 @@ fn fig9(out: &mut String) {
         }
         let d = model.diagnose(&server);
         if let Some(cpu) = r.cpu_truth() {
-            if d.label.starts_with("mobile_load") { cf.push(cpu) } else { cr.push(cpu) }
+            if d.label.starts_with("mobile_load") {
+                cf.push(cpu)
+            } else {
+                cr.push(cpu)
+            }
         }
         if let Some(rssi) = r.rssi_truth() {
-            if d.label.starts_with("low_rssi") { rf.push(rssi) } else { rr.push(rssi) }
+            if d.label.starts_with("low_rssi") {
+                rf.push(rssi)
+            } else {
+                rr.push(rssi)
+            }
         }
     }
     let mut text = String::from(
@@ -279,7 +311,10 @@ fn table5(out: &mut String) {
 fn ablations(out: &mut String) {
     let runs = controlled_runs();
     let mut text = String::new();
-    for (scheme, tag) in [(LabelScheme::Existence, "existence"), (LabelScheme::Exact, "exact")] {
+    for (scheme, tag) in [
+        (LabelScheme::Existence, "existence"),
+        (LabelScheme::Exact, "exact"),
+    ] {
         text.push_str(&render_ablation(
             &format!("Ablation: classifier comparison ({tag} labels, FC+FS, 10-fold CV)"),
             &classifier_comparison(&runs, scheme, 1),
@@ -303,16 +338,26 @@ fn extensions(out: &mut String) {
     let data = to_dataset(&runs, LabelScheme::Exact);
     let model = Diagnoser::train(&data, &DiagnoserConfig::default());
     let n = (runs.len() / 6).max(30);
-    let mf = generate_multifault(n, 2015_09, &vqd_video::catalog::Catalog::top100(vqd_bench::CATALOG_SEED));
+    let mf = generate_multifault(
+        n,
+        201509,
+        &vqd_video::catalog::Catalog::top100(vqd_bench::CATALOG_SEED),
+    );
     let ev = evaluate_multifault(&model, &mf);
-    let mut text = String::from("== Extension: multi-problem sessions (two concurrent faults, §9) ==
-");
+    let mut text = String::from(
+        "== Extension: multi-problem sessions (two concurrent faults, §9) ==
+",
+    );
     let _ = writeln!(
         text,
         "degraded sessions: {}  blamed-one-of-two: {} ({:.0}%)  missed: {}",
         ev.total,
         ev.hit_either,
-        if ev.total > 0 { 100.0 * ev.hit_either as f64 / ev.total as f64 } else { 0.0 },
+        if ev.total > 0 {
+            100.0 * ev.hit_either as f64 / ev.total as f64
+        } else {
+            0.0
+        },
         ev.missed
     );
     for (fault, k) in &ev.winners {
@@ -326,8 +371,11 @@ fn extensions(out: &mut String) {
     let loc = to_dataset(train, LabelScheme::Location);
     let full = Diagnoser::train(&loc, &DiagnoserConfig::default());
     let cm_full = eval_transfer(&full, test, LabelScheme::Location, None);
-    let _ = writeln!(text, "
-== Extension: iterative RCA (one-bit collaboration, §7) ==");
+    let _ = writeln!(
+        text,
+        "
+== Extension: iterative RCA (one-bit collaboration, §7) =="
+    );
     let _ = writeln!(
         text,
         "   pooled combined model: {:.1}%   iterative verdicts-only: {:.1}%  (n={})",
@@ -339,6 +387,8 @@ fn extensions(out: &mut String) {
     out.push_str(&text);
 }
 
+type Section = (&'static str, fn(&mut String));
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
@@ -347,7 +397,7 @@ fn main() {
          Generated by `cargo run --release -p vqd-bench --bin repro`.\n\
          Corpus sizes are controlled by `VQD_SESSIONS` / `VQD_FULL=1`.\n\n```text\n",
     );
-    let sections: [(&str, fn(&mut String)); 13] = [
+    let sections: [Section; 13] = [
         ("table1", table1_section),
         ("fig3", fig3),
         ("sec52", sec52),

@@ -17,7 +17,9 @@ use std::fs;
 use std::path::PathBuf;
 
 use vqd_core::dataset::{generate_corpus, CorpusConfig, LabeledRun};
-use vqd_core::realworld::{generate_induced, generate_wild, Access, RealWorldConfig, RwRun, Service};
+use vqd_core::realworld::{
+    generate_induced, generate_wild, Access, RealWorldConfig, RwRun, Service,
+};
 use vqd_core::scenario::GroundTruth;
 use vqd_faults::FaultKind;
 use vqd_video::catalog::Catalog;
@@ -42,7 +44,10 @@ pub fn controlled_sessions() -> usize {
     if full_scale() {
         return PAPER_CONTROLLED;
     }
-    std::env::var("VQD_SESSIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(900)
+    std::env::var("VQD_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(900)
 }
 
 /// §6.1 corpus size.
@@ -123,7 +128,10 @@ pub fn runs_from_text(text: &str) -> Vec<LabeledRun> {
                     Some((k.to_string(), v.parse::<f64>().ok()?))
                 })
                 .collect();
-            LabeledRun { metrics, truth: GroundTruth { fault, qoe } }
+            LabeledRun {
+                metrics,
+                truth: GroundTruth { fault, qoe },
+            }
         })
         .collect()
 }
@@ -156,7 +164,7 @@ pub fn controlled_runs() -> Vec<LabeledRun> {
             eprintln!("[vqd-bench] simulating {sessions} controlled sessions...");
             let cfg = CorpusConfig {
                 sessions,
-                seed: 2015_12_01,
+                seed: 20151201,
                 p_fault: 0.5,
                 p_mobile_wan: 0.3,
                 ..Default::default()
@@ -194,12 +202,23 @@ fn rwruns_from_text(text: &str) -> Vec<RwRun> {
             let (service, rest) = rest.split_once('\t').unwrap_or(("private", rest));
             let run = runs_from_text(rest).pop().unwrap_or(LabeledRun {
                 metrics: Vec::new(),
-                truth: GroundTruth { fault: FaultKind::None, qoe: QoeClass::Good },
+                truth: GroundTruth {
+                    fault: FaultKind::None,
+                    qoe: QoeClass::Good,
+                },
             });
             RwRun {
                 run,
-                access: if access == "cell" { Access::Cellular } else { Access::Wifi },
-                service: if service == "youtube" { Service::Youtube } else { Service::Private },
+                access: if access == "cell" {
+                    Access::Cellular
+                } else {
+                    Access::Wifi
+                },
+                service: if service == "youtube" {
+                    Service::Youtube
+                } else {
+                    Service::Private
+                },
             }
         })
         .collect()
@@ -214,7 +233,11 @@ pub fn induced_runs() -> Vec<RwRun> {
         rwruns_from_text,
         || {
             eprintln!("[vqd-bench] simulating {sessions} induced real-world sessions...");
-            let cfg = RealWorldConfig { sessions, seed: 2015_06_01, threads: 0 };
+            let cfg = RealWorldConfig {
+                sessions,
+                seed: 20150601,
+                threads: 0,
+            };
             generate_induced(&cfg, &Catalog::top100(CATALOG_SEED))
         },
     )
@@ -229,7 +252,11 @@ pub fn wild_runs() -> Vec<RwRun> {
         rwruns_from_text,
         || {
             eprintln!("[vqd-bench] simulating {sessions} in-the-wild sessions...");
-            let cfg = RealWorldConfig { sessions, seed: 2015_07_01, threads: 0 };
+            let cfg = RealWorldConfig {
+                sessions,
+                seed: 20150701,
+                threads: 0,
+            };
             generate_wild(&cfg, &Catalog::top100(CATALOG_SEED))
         },
     )
@@ -258,7 +285,10 @@ mod tests {
                 ("mobile.hw.cpu_avg".into(), 0.12345678901234567),
                 ("a.b".into(), f64::NAN),
             ],
-            truth: GroundTruth { fault: FaultKind::LowRssi, qoe: QoeClass::Mild },
+            truth: GroundTruth {
+                fault: FaultKind::LowRssi,
+                qoe: QoeClass::Mild,
+            },
         }];
         let text = runs_to_text(&runs);
         let back = runs_from_text(&text);
@@ -275,7 +305,10 @@ mod tests {
         let runs = vec![RwRun {
             run: LabeledRun {
                 metrics: vec![("m.x".into(), -1.5)],
-                truth: GroundTruth { fault: FaultKind::None, qoe: QoeClass::Severe },
+                truth: GroundTruth {
+                    fault: FaultKind::None,
+                    qoe: QoeClass::Severe,
+                },
             },
             access: Access::Cellular,
             service: Service::Youtube,

@@ -9,7 +9,6 @@
 //!   model size (interpretability is one of the paper's reasons to
 //!   pick C4.5).
 
-use vqd_features::FeatureConstructor;
 use vqd_ml::cv::{cross_validate, NbLearner, SvmLearner};
 use vqd_ml::dtree::{C45Config, C45Trainer};
 
@@ -33,15 +32,15 @@ pub struct AblationRow {
 }
 
 /// Compare the three classifiers on the FC+FS-prepared feature space.
-pub fn classifier_comparison(runs: &[LabeledRun], scheme: LabelScheme, seed: u64) -> Vec<AblationRow> {
+/// Shares the one [`Diagnoser::prepare`] pass across all three CV
+/// runs.
+pub fn classifier_comparison(
+    runs: &[LabeledRun],
+    scheme: LabelScheme,
+    seed: u64,
+) -> Vec<AblationRow> {
     let raw = to_dataset(runs, scheme);
-    let constructed = FeatureConstructor::fit(&raw).transform(&raw);
-    let sel = vqd_features::fcbf(&constructed, 0.01);
-    let data = if sel.names.is_empty() {
-        constructed
-    } else {
-        constructed.select_features(&sel.names)
-    };
+    let data = Diagnoser::prepare(&raw, &DiagnoserConfig::default()).data;
 
     let mut out = Vec::new();
     let c45 = cross_validate(&C45Trainer::default(), &data, 10, seed);
@@ -76,9 +75,15 @@ pub fn pipeline_ablation(runs: &[LabeledRun], scheme: LabelScheme, seed: u64) ->
     let raw = to_dataset(runs, scheme);
     let mut out = Vec::new();
     for (use_fc, use_fs) in [(false, false), (true, false), (false, true), (true, true)] {
-        let cfg = DiagnoserConfig { use_fc, use_fs, ..Default::default() };
-        let cm = Diagnoser::cross_validate(&raw, &cfg, 10, seed);
-        let model = Diagnoser::train(&raw, &cfg);
+        let cfg = DiagnoserConfig {
+            use_fc,
+            use_fs,
+            ..Default::default()
+        };
+        // One FC+FS pass backs both the CV and the fitted model.
+        let prep = Diagnoser::prepare(&raw, &cfg);
+        let cm = Diagnoser::cross_validate_prepared(&prep, &cfg, 10, seed);
+        let model = Diagnoser::train_prepared(&prep, &cfg);
         out.push(AblationRow {
             name: format!(
                 "FC={} FS={}",
@@ -97,14 +102,20 @@ pub fn pipeline_ablation(runs: &[LabeledRun], scheme: LabelScheme, seed: u64) ->
 /// Pruned vs unpruned C4.5 on the full pipeline.
 pub fn pruning_ablation(runs: &[LabeledRun], scheme: LabelScheme, seed: u64) -> Vec<AblationRow> {
     let raw = to_dataset(runs, scheme);
+    // Pruning only affects the tree, so both variants share one
+    // FC+FS pass.
+    let prep = Diagnoser::prepare(&raw, &DiagnoserConfig::default());
     let mut out = Vec::new();
     for (name, unpruned) in [("pruned (CF 0.25)", false), ("unpruned", true)] {
         let cfg = DiagnoserConfig {
-            tree: C45Config { unpruned, ..Default::default() },
+            tree: C45Config {
+                unpruned,
+                ..Default::default()
+            },
             ..Default::default()
         };
-        let cm = Diagnoser::cross_validate(&raw, &cfg, 10, seed);
-        let model = Diagnoser::train(&raw, &cfg);
+        let cm = Diagnoser::cross_validate_prepared(&prep, &cfg, 10, seed);
+        let model = Diagnoser::train_prepared(&prep, &cfg);
         out.push(AblationRow {
             name: name.into(),
             accuracy: cm.accuracy(),
@@ -140,7 +151,12 @@ mod tests {
     use vqd_video::catalog::Catalog;
 
     fn corpus() -> Vec<LabeledRun> {
-        let cfg = CorpusConfig { sessions: 80, seed: 424, p_fault: 0.7, ..Default::default() };
+        let cfg = CorpusConfig {
+            sessions: 80,
+            seed: 424,
+            p_fault: 0.7,
+            ..Default::default()
+        };
         generate_corpus(&cfg, &Catalog::top100(42))
     }
 

@@ -63,7 +63,10 @@ pub struct LabeledRun {
 
 impl From<SessionOutcome> for LabeledRun {
     fn from(o: SessionOutcome) -> Self {
-        LabeledRun { metrics: o.metrics, truth: o.truth }
+        LabeledRun {
+            metrics: o.metrics,
+            truth: o.truth,
+        }
     }
 }
 
@@ -89,8 +92,11 @@ pub fn draw_specs(cfg: &CorpusConfig) -> Vec<CorpusSpec> {
             };
             let seed = cfg.seed ^ (0x9E37_79B9 * (i as u64 + 1));
             let background = rng.range_f64(0.1, 0.8);
-            let wan =
-                if rng.chance(cfg.p_mobile_wan) { WanProfile::Mobile } else { WanProfile::Dsl };
+            let wan = if rng.chance(cfg.p_mobile_wan) {
+                WanProfile::Mobile
+            } else {
+                WanProfile::Dsl
+            };
             if rng.chance(cfg.p_cellular) {
                 CorpusSpec::Cellular(RwSpec {
                     seed,
@@ -101,7 +107,12 @@ pub fn draw_specs(cfg: &CorpusConfig) -> Vec<CorpusSpec> {
                     corporate: false,
                 })
             } else {
-                CorpusSpec::Lab(SessionSpec { seed, fault, background, wan })
+                CorpusSpec::Lab(SessionSpec {
+                    seed,
+                    fault,
+                    background,
+                    wan,
+                })
             }
         })
         .collect()
@@ -118,7 +129,9 @@ fn run_spec(spec: &CorpusSpec, catalog: &Catalog) -> SessionOutcome {
 pub fn generate_corpus(cfg: &CorpusConfig, catalog: &Catalog) -> Vec<LabeledRun> {
     let specs = draw_specs(cfg);
     let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     } else {
         cfg.threads
     };
@@ -136,7 +149,12 @@ pub fn generate_corpus(cfg: &CorpusConfig, catalog: &Catalog) -> Vec<LabeledRun>
             });
         }
     });
-    results.into_inner().unwrap().into_iter().map(|r| r.expect("session ran")).collect()
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("session ran"))
+        .collect()
 }
 
 /// Assemble runs into an ML dataset under a label scheme.
@@ -155,7 +173,10 @@ mod tests {
 
     #[test]
     fn specs_deterministic_and_mixed() {
-        let cfg = CorpusConfig { sessions: 200, ..Default::default() };
+        let cfg = CorpusConfig {
+            sessions: 200,
+            ..Default::default()
+        };
         let a = draw_specs(&cfg);
         let b = draw_specs(&cfg);
         assert_eq!(a.len(), 200);
@@ -177,7 +198,12 @@ mod tests {
 
     #[test]
     fn small_corpus_end_to_end() {
-        let cfg = CorpusConfig { sessions: 12, seed: 5, p_fault: 0.6, ..Default::default() };
+        let cfg = CorpusConfig {
+            sessions: 12,
+            seed: 5,
+            p_fault: 0.6,
+            ..Default::default()
+        };
         let catalog = Catalog::top100(7);
         let runs = generate_corpus(&cfg, &catalog);
         assert_eq!(runs.len(), 12);

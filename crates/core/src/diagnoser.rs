@@ -9,10 +9,10 @@
 //! tree handles natively.
 
 use vqd_features::{fcbf, FeatureConstructor};
+use vqd_ml::cv::cross_validate_threads;
 use vqd_ml::dataset::Dataset;
 use vqd_ml::dtree::{C45Config, C45Trainer, DecisionTree};
 use vqd_ml::metrics::ConfusionMatrix;
-use vqd_simnet::rng::SimRng;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy)]
@@ -59,13 +59,33 @@ pub struct Diagnosis {
     pub dist: Vec<f64>,
 }
 
+/// A raw dataset already run through feature construction and
+/// selection, ready for (repeated) model training.
+///
+/// [`Diagnoser::prepare`] is the single FC + FCBF pass; `train`,
+/// `cross_validate` and the experiment/ablation drivers in this crate
+/// all consume a `PreparedPipeline` so the pass runs once per corpus
+/// instead of once per evaluation.
+pub struct PreparedPipeline {
+    /// The transformed, feature-selected dataset.
+    pub data: Dataset,
+    /// The fitted feature constructor (when `use_fc`).
+    pub constructor: Option<FeatureConstructor>,
+}
+
 impl Diagnoser {
+    /// Run the discretisation-free part of the pipeline once: feature
+    /// construction (when `use_fc`) and FCBF selection (when
+    /// `use_fs`). The result can back any number of `*_prepared`
+    /// calls.
+    pub fn prepare(raw: &Dataset, cfg: &DiagnoserConfig) -> PreparedPipeline {
+        let (data, constructor) = Self::prepare_impl(raw, cfg);
+        PreparedPipeline { data, constructor }
+    }
+
     /// Prepare a raw dataset through FC + FS, returning the prepared
     /// dataset and the fitted constructor.
-    fn prepare(
-        raw: &Dataset,
-        cfg: &DiagnoserConfig,
-    ) -> (Dataset, Option<FeatureConstructor>) {
+    fn prepare_impl(raw: &Dataset, cfg: &DiagnoserConfig) -> (Dataset, Option<FeatureConstructor>) {
         let (data, constructor) = if cfg.use_fc {
             let c = FeatureConstructor::fit(raw);
             (c.transform(raw), Some(c))
@@ -107,11 +127,17 @@ impl Diagnoser {
 
     /// Train on a raw labelled dataset.
     pub fn train(raw: &Dataset, cfg: &DiagnoserConfig) -> Diagnoser {
-        let (data, constructor) = Self::prepare(raw, cfg);
+        Self::train_prepared(&Self::prepare(raw, cfg), cfg)
+    }
+
+    /// Train on an already-prepared pipeline (see
+    /// [`Diagnoser::prepare`]); skips the FC + FCBF pass.
+    pub fn train_prepared(prep: &PreparedPipeline, cfg: &DiagnoserConfig) -> Diagnoser {
+        let data = &prep.data;
         let rows: Vec<usize> = (0..data.len()).collect();
-        let tree = C45Trainer { cfg: cfg.tree }.fit(&data, &rows);
+        let tree = C45Trainer { cfg: cfg.tree }.fit(data, &rows);
         Diagnoser {
-            constructor,
+            constructor: prep.constructor.clone(),
             feature_names: data.features.clone(),
             classes: data.classes.clone(),
             tree,
@@ -162,10 +188,14 @@ impl Diagnoser {
         let class = dist
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
-        Diagnosis { label: self.classes[class].clone(), class, dist }
+        Diagnosis {
+            label: self.classes[class].clone(),
+            class,
+            dist,
+        }
     }
 
     /// Serialise the whole diagnoser (pipeline flags + tree) to a
@@ -238,39 +268,40 @@ impl Diagnoser {
 
     /// 10-fold (or k-fold) cross-validation of the full pipeline on a
     /// raw dataset: FC/FS are fitted once on the full data (as the
-    /// paper does with Weka), the tree is cross-validated.
+    /// paper does with Weka), the tree is cross-validated. Folds run
+    /// in parallel (governed by `cfg.tree.threads`); the result is
+    /// identical for every thread count.
     pub fn cross_validate(
         raw: &Dataset,
         cfg: &DiagnoserConfig,
         k: usize,
         seed: u64,
     ) -> ConfusionMatrix {
-        let (data, _) = Self::prepare(raw, cfg);
-        let mut rng = SimRng::seed_from_u64(seed);
-        let folds = data.stratified_folds(k, &mut rng);
-        let mut cm = ConfusionMatrix::new(data.classes.clone());
-        for held in 0..k {
-            let train: Vec<usize> = folds
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != held)
-                .flat_map(|(_, f)| f.iter().copied())
-                .collect();
-            if train.is_empty() {
-                continue;
-            }
-            let tree = C45Trainer { cfg: cfg.tree }.fit(&data, &train);
-            for &r in &folds[held] {
-                cm.add(data.y[r], tree.predict(&data.x[r]));
-            }
-        }
-        cm
+        Self::cross_validate_prepared(&Self::prepare(raw, cfg), cfg, k, seed)
+    }
+
+    /// [`Diagnoser::cross_validate`] on an already-prepared pipeline;
+    /// skips the FC + FCBF pass.
+    pub fn cross_validate_prepared(
+        prep: &PreparedPipeline,
+        cfg: &DiagnoserConfig,
+        k: usize,
+        seed: u64,
+    ) -> ConfusionMatrix {
+        cross_validate_threads(
+            &C45Trainer { cfg: cfg.tree },
+            &prep.data,
+            k,
+            seed,
+            cfg.tree.threads,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vqd_simnet::rng::SimRng;
 
     /// Synthetic "raw probe metrics" with the naming shape of real
     /// ones: rssi drives the class, retx is its redundant echo, plus
@@ -289,11 +320,21 @@ mod tests {
         );
         for _ in 0..n {
             let c = rng.index(2);
-            let rssi = if c == 0 { rng.normal(-50.0, 4.0) } else { rng.normal(-85.0, 4.0) };
+            let rssi = if c == 0 {
+                rng.normal(-50.0, 4.0)
+            } else {
+                rng.normal(-85.0, 4.0)
+            };
             let pkts = rng.range_f64(500.0, 5000.0);
             let retx_rate = if c == 0 { 0.005 } else { 0.08 };
             d.push(
-                vec![rssi, pkts * retx_rate, pkts, pkts * 1400.0, rng.range_f64(0.1, 0.5)],
+                vec![
+                    rssi,
+                    pkts * retx_rate,
+                    pkts,
+                    pkts * 1400.0,
+                    rng.range_f64(0.1, 0.5),
+                ],
                 c,
             );
         }
@@ -348,10 +389,19 @@ mod tests {
     fn fs_reduces_schema() {
         let d = synthetic(500, 4);
         let with_fs = Diagnoser::train(&d, &DiagnoserConfig::default());
-        let without =
-            Diagnoser::train(&d, &DiagnoserConfig { use_fs: false, ..Default::default() });
+        let without = Diagnoser::train(
+            &d,
+            &DiagnoserConfig {
+                use_fs: false,
+                ..Default::default()
+            },
+        );
         assert!(with_fs.feature_names.len() <= without.feature_names.len());
-        assert!(with_fs.feature_names.len() <= 3, "{:?}", with_fs.feature_names);
+        assert!(
+            with_fs.feature_names.len() <= 3,
+            "{:?}",
+            with_fs.feature_names
+        );
     }
 
     #[test]

@@ -81,7 +81,11 @@ pub fn eval_by_vp(
         .map(|(name, vps)| {
             let sub = vp_subset(&data, vps);
             let cm = Diagnoser::cross_validate(&sub, cfg, 10, seed);
-            VpEval { vp: name.to_string(), accuracy: cm.accuracy(), rows: rows_of(&cm) }
+            VpEval {
+                vp: name.to_string(),
+                accuracy: cm.accuracy(),
+                rows: rows_of(&cm),
+            }
         })
         .collect()
 }
@@ -101,12 +105,40 @@ pub struct FeatureSetEval {
     pub n_features: usize,
 }
 
+/// The exact-label dataset and its constructed (normalised) view,
+/// computed once per corpus and shared by [`feature_set_sweep`],
+/// [`table1`] and [`table4`] (and the `repro` binary, which renders
+/// all three from one corpus).
+pub struct ExactPrep {
+    /// Raw exact-label dataset.
+    pub raw: Dataset,
+    /// Feature-constructed (normalised) view of `raw`.
+    pub constructed: Dataset,
+}
+
+impl ExactPrep {
+    /// Run `to_dataset` + feature construction once.
+    pub fn from_runs(runs: &[LabeledRun]) -> ExactPrep {
+        let raw = to_dataset(runs, LabelScheme::Exact);
+        let constructed = FeatureConstructor::fit(&raw).transform(&raw);
+        ExactPrep { raw, constructed }
+    }
+}
+
 /// Figure 5: compare feature subsets on exact-problem detection with
 /// all three VPs combined.
 pub fn feature_set_sweep(runs: &[LabeledRun], seed: u64) -> Vec<FeatureSetEval> {
-    let raw = to_dataset(runs, LabelScheme::Exact);
-    let constructed = FeatureConstructor::fit(&raw).transform(&raw);
-    let no_fs = DiagnoserConfig { use_fc: false, use_fs: false, ..Default::default() };
+    feature_set_sweep_prepared(&ExactPrep::from_runs(runs), seed)
+}
+
+/// [`feature_set_sweep`] on an already-prepared corpus.
+pub fn feature_set_sweep_prepared(prep: &ExactPrep, seed: u64) -> Vec<FeatureSetEval> {
+    let ExactPrep { raw, constructed } = prep;
+    let no_fs = DiagnoserConfig {
+        use_fc: false,
+        use_fs: false,
+        ..Default::default()
+    };
 
     let mut out = Vec::new();
     let mut eval = |name: &str, data: &Dataset| {
@@ -120,15 +152,30 @@ pub fn feature_set_sweep(runs: &[LabeledRun], seed: u64) -> Vec<FeatureSetEval> 
         });
     };
 
-    eval("RSSI", &constructed.select_features_by(|n| n.contains("phy.rssi")));
-    eval("HW", &constructed.select_features_by(|n| n.contains(".hw.")));
-    eval("UTILIZATION", &constructed.select_features_by(|n| n.contains("util")));
-    eval("DELAY", &constructed.select_features_by(|n| n.contains("rtt")));
-    eval("TCP", &constructed.select_features_by(|n| n.contains(".tcp.")));
-    eval("ALL", &raw);
+    eval(
+        "RSSI",
+        &constructed.select_features_by(|n| n.contains("phy.rssi")),
+    );
+    eval(
+        "HW",
+        &constructed.select_features_by(|n| n.contains(".hw.")),
+    );
+    eval(
+        "UTILIZATION",
+        &constructed.select_features_by(|n| n.contains("util")),
+    );
+    eval(
+        "DELAY",
+        &constructed.select_features_by(|n| n.contains("rtt")),
+    );
+    eval(
+        "TCP",
+        &constructed.select_features_by(|n| n.contains(".tcp.")),
+    );
+    eval("ALL", raw);
     // Full pipeline (FS & FC).
-    let cm = Diagnoser::cross_validate(&raw, &DiagnoserConfig::default(), 10, seed);
-    let sel = fcbf(&constructed, 0.01);
+    let cm = Diagnoser::cross_validate(raw, &DiagnoserConfig::default(), 10, seed);
+    let sel = fcbf(constructed, 0.01);
     out.push(FeatureSetEval {
         name: "FS & FC".to_string(),
         precision: cm.macro_precision(),
@@ -142,9 +189,12 @@ pub fn feature_set_sweep(runs: &[LabeledRun], seed: u64) -> Vec<FeatureSetEval> 
 /// Table 1: the FCBF selection over the combined, constructed feature
 /// space (exact labels).
 pub fn table1(runs: &[LabeledRun]) -> Selection {
-    let raw = to_dataset(runs, LabelScheme::Exact);
-    let constructed = FeatureConstructor::fit(&raw).transform(&raw);
-    fcbf(&constructed, 0.01)
+    table1_prepared(&ExactPrep::from_runs(runs))
+}
+
+/// [`table1`] on an already-prepared corpus.
+pub fn table1_prepared(prep: &ExactPrep) -> Selection {
+    fcbf(&prep.constructed, 0.01)
 }
 
 /// One Table 4 cell: the strongest features for detecting `fault` from
@@ -163,9 +213,16 @@ pub struct FaultFeatureRank {
 /// dataset is restricted to *good vs that fault* (both severities) and
 /// features are ranked by symmetrical uncertainty.
 pub fn table4(runs: &[LabeledRun], top_k: usize) -> Vec<FaultFeatureRank> {
-    let raw = to_dataset(runs, LabelScheme::Exact);
-    let constructed = FeatureConstructor::fit(&raw).transform(&raw);
-    let faults: Vec<&str> = vqd_faults::FaultKind::ALL.iter().map(|f| f.name()).collect();
+    table4_prepared(&ExactPrep::from_runs(runs), top_k)
+}
+
+/// [`table4`] on an already-prepared corpus.
+pub fn table4_prepared(prep: &ExactPrep, top_k: usize) -> Vec<FaultFeatureRank> {
+    let constructed = &prep.constructed;
+    let faults: Vec<&str> = vqd_faults::FaultKind::ALL
+        .iter()
+        .map(|f| f.name())
+        .collect();
     let mut out = Vec::new();
     for fault in &faults {
         // Binary dataset: good (0) vs this fault (1).
@@ -256,7 +313,11 @@ pub fn eval_transfer(
 pub fn render_vp_evals(title: &str, evals: &[VpEval]) -> String {
     let mut s = format!("== {title} ==\n");
     for e in evals {
-        s.push_str(&format!("-- VP {:<9} accuracy {:.1}%\n", e.vp, e.accuracy * 100.0));
+        s.push_str(&format!(
+            "-- VP {:<9} accuracy {:.1}%\n",
+            e.vp,
+            e.accuracy * 100.0
+        ));
         s.push_str("   class                        precision  recall  support\n");
         for r in &e.rows {
             if r.support == 0 {
@@ -291,7 +352,12 @@ mod tests {
     #[test]
     fn vp_eval_produces_all_sets() {
         let runs = small_corpus();
-        let evals = eval_by_vp(&runs, LabelScheme::Existence, &DiagnoserConfig::default(), 1);
+        let evals = eval_by_vp(
+            &runs,
+            LabelScheme::Existence,
+            &DiagnoserConfig::default(),
+            1,
+        );
         assert_eq!(evals.len(), 4);
         for e in &evals {
             assert!(e.accuracy > 0.4, "{} acc {}", e.vp, e.accuracy);
@@ -308,7 +374,15 @@ mod tests {
         let names: Vec<&str> = sweep.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["RSSI", "HW", "UTILIZATION", "DELAY", "TCP", "ALL", "FS & FC"]
+            vec![
+                "RSSI",
+                "HW",
+                "UTILIZATION",
+                "DELAY",
+                "TCP",
+                "ALL",
+                "FS & FC"
+            ]
         );
         for e in &sweep {
             assert!(e.n_features > 0, "{} empty", e.name);
@@ -332,7 +406,12 @@ mod tests {
         for cell in &t4 {
             assert!(cell.top.len() <= 3);
             for (name, su) in &cell.top {
-                assert!(name.starts_with("mobile") || name.starts_with("router") || name.starts_with("server") || cell.vp == "combined");
+                assert!(
+                    name.starts_with("mobile")
+                        || name.starts_with("router")
+                        || name.starts_with("server")
+                        || cell.vp == "combined"
+                );
                 assert!(*su >= 0.0);
             }
         }

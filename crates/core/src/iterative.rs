@@ -59,7 +59,11 @@ impl IterativeRca {
             .iter()
             .map(|&(vp, segment)| {
                 let own = data.select_features_by(|n| n.starts_with(vp));
-                EntityModel { vp, segment, model: Diagnoser::train(&own, cfg) }
+                EntityModel {
+                    vp,
+                    segment,
+                    model: Diagnoser::train(&own, cfg),
+                }
             })
             .collect();
         IterativeRca { entities }
@@ -126,7 +130,12 @@ mod tests {
     use vqd_video::catalog::Catalog;
 
     fn corpus(sessions: usize, seed: u64) -> Vec<LabeledRun> {
-        let cfg = CorpusConfig { sessions, seed, p_fault: 0.65, ..Default::default() };
+        let cfg = CorpusConfig {
+            sessions,
+            seed,
+            p_fault: 0.65,
+            ..Default::default()
+        };
         generate_corpus(&cfg, &Catalog::top100(42))
     }
 

@@ -27,12 +27,12 @@ pub mod realworld;
 pub mod scenario;
 pub mod testbed;
 
+pub use ablation::{classifier_comparison, pipeline_ablation, pruning_ablation};
 pub use dataset::{generate_corpus, to_dataset, CorpusConfig, LabeledRun};
 pub use diagnoser::{Diagnoser, DiagnoserConfig, Diagnosis};
-pub use scenario::{class_names, GroundTruth, LabelScheme};
-pub use ablation::{classifier_comparison, pipeline_ablation, pruning_ablation};
 pub use experiments::{eval_by_vp, feature_set_sweep, table1, table4, VpEval, VP_SETS};
 pub use iterative::IterativeRca;
 pub use multifault::{evaluate_multifault, generate_multifault};
 pub use realworld::{generate_induced, generate_wild, Access, RealWorldConfig, RwRun, Service};
+pub use scenario::{class_names, GroundTruth, LabelScheme};
 pub use testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};

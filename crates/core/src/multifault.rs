@@ -42,8 +42,14 @@ pub fn generate_multifault(sessions: usize, seed: u64, catalog: &Catalog) -> Vec
                     break k;
                 }
             };
-            let fa = FaultPlan { kind: a, intensity: rng.range_f64(0.5, 0.95) };
-            let fb = FaultPlan { kind: b, intensity: rng.range_f64(0.5, 0.95) };
+            let fa = FaultPlan {
+                kind: a,
+                intensity: rng.range_f64(0.5, 0.95),
+            };
+            let fb = FaultPlan {
+                kind: b,
+                intensity: rng.range_f64(0.5, 0.95),
+            };
             let spec = SessionSpec {
                 seed: seed ^ (0xC0FF_EE11u64.wrapping_mul(i as u64 + 1)),
                 fault: fa,
@@ -55,7 +61,9 @@ pub fn generate_multifault(sessions: usize, seed: u64, catalog: &Catalog) -> Vec
         .collect();
     let results: Mutex<Vec<Option<MultiFaultRun>>> = Mutex::new(vec![None; specs.len()]);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     std::thread::scope(|s| {
         for _ in 0..threads.min(specs.len().max(1)) {
             s.spawn(|| loop {
@@ -66,13 +74,21 @@ pub fn generate_multifault(sessions: usize, seed: u64, catalog: &Catalog) -> Vec
                 let (spec, fb, faults) = &specs[i];
                 let out = run_controlled_session_with(spec, std::slice::from_ref(fb), catalog);
                 results.lock().unwrap()[i] = Some(MultiFaultRun {
-                    run: LabeledRun { metrics: out.metrics, truth: out.truth },
+                    run: LabeledRun {
+                        metrics: out.metrics,
+                        truth: out.truth,
+                    },
                     faults: *faults,
                 });
             });
         }
     });
-    results.into_inner().unwrap().into_iter().map(|r| r.expect("ran")).collect()
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("ran"))
+        .collect()
 }
 
 /// Evaluation summary for multi-fault sessions.
@@ -134,10 +150,18 @@ mod tests {
             assert!(!r.run.metrics.is_empty());
         }
         // Two concurrent moderate-high faults should usually hurt.
-        let bad = runs.iter().filter(|r| r.run.truth.qoe != QoeClass::Good).count();
+        let bad = runs
+            .iter()
+            .filter(|r| r.run.truth.qoe != QoeClass::Good)
+            .count();
         assert!(bad >= 6, "only {bad}/12 sessions degraded");
 
-        let cfg = CorpusConfig { sessions: 100, seed: 31, p_fault: 0.7, ..Default::default() };
+        let cfg = CorpusConfig {
+            sessions: 100,
+            seed: 31,
+            p_fault: 0.7,
+            ..Default::default()
+        };
         let corpus = generate_corpus(&cfg, &catalog);
         let data = to_dataset(&corpus, LabelScheme::Exact);
         let model = Diagnoser::train(&data, &DiagnoserConfig::default());

@@ -116,7 +116,7 @@ pub fn run_realworld_session(spec: &RwSpec, catalog: &Catalog) -> SessionOutcome
     // CDN sits one jittery hop further away.
     let (_, private_wan) = tb.add_duplex_link(isp, private, LinkConfig::backbone());
     let mut yt_link = LinkConfig::backbone();
-    yt_link.delay = yt_link.delay + vqd_simnet::time::SimDuration::from_millis(12);
+    yt_link.delay += vqd_simnet::time::SimDuration::from_millis(12);
     yt_link.jitter_sd = vqd_simnet::time::SimDuration::from_millis(3);
     tb.add_duplex_link(isp, youtube, yt_link);
 
@@ -147,7 +147,10 @@ pub fn run_realworld_session(spec: &RwSpec, catalog: &Catalog) -> SessionOutcome
             wan_up = u;
             wan_down = d;
             let mut wlan = Wlan80211::new(r, WlanConfig::default());
-            wlan.add_station(mobile, rng.range_f64(2.0, if spec.corporate { 18.0 } else { 9.0 }));
+            wlan.add_station(
+                mobile,
+                rng.range_f64(2.0, if spec.corporate { 18.0 } else { 9.0 }),
+            );
             let wc = tb.add_host("wifi-client");
             wlan.add_station(wc, rng.range_f64(2.0, 10.0));
             wifi_client = Some(wc);
@@ -186,7 +189,11 @@ pub fn run_realworld_session(spec: &RwSpec, catalog: &Catalog) -> SessionOutcome
     let handles = TestbedHandles {
         mobile,
         router: router.unwrap_or(isp),
-        server: if spec.service == Service::Private { private } else { youtube },
+        server: if spec.service == Service::Private {
+            private
+        } else {
+            youtube
+        },
         wired_client,
         wifi_client,
         wan_up,
@@ -194,7 +201,11 @@ pub fn run_realworld_session(spec: &RwSpec, catalog: &Catalog) -> SessionOutcome
         medium,
     };
     let mut fault_rng = rng.split(4);
-    let plan = if handles.supports(spec.fault.kind) { spec.fault } else { FaultPlan::none() };
+    let plan = if handles.supports(spec.fault.kind) {
+        spec.fault
+    } else {
+        FaultPlan::none()
+    };
     let floods = plan.apply(&mut net, &handles, &mut fault_rng);
 
     // Probes: mobile always; router only on WiFi; the private server is
@@ -218,12 +229,30 @@ pub fn run_realworld_session(spec: &RwSpec, catalog: &Catalog) -> SessionOutcome
 
     let mut sim = Harness::with_observer(net, obs);
     let dir = SessionDirectory::new();
-    let origin = if spec.service == Service::Private { private } else { youtube };
-    let (player, handle) =
-        Player::new(mobile, origin, 80, video.clone(), PlayerConfig::default(), dir.clone());
+    let origin = if spec.service == Service::Private {
+        private
+    } else {
+        youtube
+    };
+    let (player, handle) = Player::new(
+        mobile,
+        origin,
+        80,
+        video.clone(),
+        PlayerConfig::default(),
+        dir.clone(),
+    );
     sim.add_app(Box::new(player));
-    sim.add_app(Box::new(VideoServer::new(private, VideoServerConfig::default(), dir.clone())));
-    sim.add_app(Box::new(VideoServer::new(youtube, VideoServerConfig::default(), dir)));
+    sim.add_app(Box::new(VideoServer::new(
+        private,
+        VideoServerConfig::default(),
+        dir.clone(),
+    )));
+    sim.add_app(Box::new(VideoServer::new(
+        youtube,
+        VideoServerConfig::default(),
+        dir,
+    )));
     sim.add_app(Box::new(SamplerApp::new(vps.clone())));
     for f in floods {
         sim.add_app(Box::new(f));
@@ -231,7 +260,12 @@ pub fn run_realworld_session(spec: &RwSpec, catalog: &Catalog) -> SessionOutcome
     // Ambient traffic: between the LAN side and the ISP/backbone, plus
     // neighbour stations chattering on the WLAN.
     if let Some(w) = wired_client {
-        for app in background_apps(w, isp, spec.background, rng.split(5).range_u64(0, u64::MAX - 1)) {
+        for app in background_apps(
+            w,
+            isp,
+            spec.background,
+            rng.split(5).range_u64(0, u64::MAX - 1),
+        ) {
             sim.add_app(app);
         }
     }
@@ -253,7 +287,10 @@ pub fn run_realworld_session(spec: &RwSpec, catalog: &Catalog) -> SessionOutcome
     }
 
     let qoe = handle.qoe();
-    let truth = GroundTruth { fault: plan.kind, qoe: mos::label(&qoe) };
+    let truth = GroundTruth {
+        fault: plan.kind,
+        qoe: mos::label(&qoe),
+    };
     let mut metrics = Vec::new();
     if let Some(flow) = handle.flow() {
         for vp in &vps {
@@ -262,7 +299,12 @@ pub fn run_realworld_session(spec: &RwSpec, catalog: &Catalog) -> SessionOutcome
             }
         }
     }
-    SessionOutcome { qoe, truth, metrics, video }
+    SessionOutcome {
+        qoe,
+        truth,
+        metrics,
+        video,
+    }
 }
 
 /// Config for the real-world corpora.
@@ -278,13 +320,19 @@ pub struct RealWorldConfig {
 
 impl Default for RealWorldConfig {
     fn default() -> Self {
-        RealWorldConfig { sessions: 300, seed: 2015_06, threads: 0 }
+        RealWorldConfig {
+            sessions: 300,
+            seed: 201506,
+            threads: 0,
+        }
     }
 }
 
 fn run_parallel(specs: Vec<RwSpec>, catalog: &Catalog, threads: usize) -> Vec<RwRun> {
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     } else {
         threads
     };
@@ -299,7 +347,10 @@ fn run_parallel(specs: Vec<RwSpec>, catalog: &Catalog, threads: usize) -> Vec<Rw
                 }
                 let out = run_realworld_session(&specs[i], catalog);
                 let rr = RwRun {
-                    run: LabeledRun { metrics: out.metrics, truth: out.truth },
+                    run: LabeledRun {
+                        metrics: out.metrics,
+                        truth: out.truth,
+                    },
                     access: specs[i].access,
                     service: specs[i].service,
                 };
@@ -307,7 +358,12 @@ fn run_parallel(specs: Vec<RwSpec>, catalog: &Catalog, threads: usize) -> Vec<Rw
             });
         }
     });
-    results.into_inner().unwrap().into_iter().map(|r| r.expect("session ran")).collect()
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("session ran"))
+        .collect()
 }
 
 /// §6.1 — corporate WiFi with induced faults (five types, no shaping),
@@ -331,7 +387,11 @@ pub fn generate_induced(cfg: &RealWorldConfig, catalog: &Catalog) -> Vec<RwRun> 
             RwSpec {
                 seed: cfg.seed ^ (0xA5A5_1234u64.wrapping_mul(i as u64 + 1)),
                 access: Access::Wifi,
-                service: if rng.chance(0.25) { Service::Private } else { Service::Youtube },
+                service: if rng.chance(0.25) {
+                    Service::Private
+                } else {
+                    Service::Youtube
+                },
                 fault,
                 background: rng.range_f64(0.2, 0.9),
                 corporate: true,
@@ -348,7 +408,11 @@ pub fn generate_wild(cfg: &RealWorldConfig, catalog: &Catalog) -> Vec<RwRun> {
     let specs: Vec<RwSpec> = (0..cfg.sessions)
         .map(|i| {
             // "The majority of the videos were delivered over 3G."
-            let access = if rng.chance(0.65) { Access::Cellular } else { Access::Wifi };
+            let access = if rng.chance(0.65) {
+                Access::Cellular
+            } else {
+                Access::Wifi
+            };
             // Natural impairments: mostly nothing, otherwise a random
             // process at (low-skewed) intensity.
             let fault = if rng.chance(0.30) {
@@ -362,7 +426,11 @@ pub fn generate_wild(cfg: &RealWorldConfig, catalog: &Catalog) -> Vec<RwRun> {
             RwSpec {
                 seed: cfg.seed ^ (0xB7C3_9F21u64.wrapping_mul(i as u64 + 1)),
                 access,
-                service: if rng.chance(0.25) { Service::Private } else { Service::Youtube },
+                service: if rng.chance(0.25) {
+                    Service::Private
+                } else {
+                    Service::Youtube
+                },
                 fault,
                 background: rng.range_f64(0.1, 0.9),
                 corporate: false,
@@ -406,9 +474,15 @@ mod tests {
             corporate: true,
         };
         let o = run_realworld_session(&spec, &catalog());
-        let vps: std::collections::HashSet<&str> =
-            o.metrics.iter().map(|(n, _)| n.split('.').next().unwrap()).collect();
-        assert!(vps.contains("mobile") && vps.contains("router") && vps.contains("server"), "{vps:?}");
+        let vps: std::collections::HashSet<&str> = o
+            .metrics
+            .iter()
+            .map(|(n, _)| n.split('.').next().unwrap())
+            .collect();
+        assert!(
+            vps.contains("mobile") && vps.contains("router") && vps.contains("server"),
+            "{vps:?}"
+        );
     }
 
     #[test]
@@ -422,10 +496,16 @@ mod tests {
             corporate: true,
         };
         let o = run_realworld_session(&spec, &catalog());
-        let vps: std::collections::HashSet<&str> =
-            o.metrics.iter().map(|(n, _)| n.split('.').next().unwrap()).collect();
+        let vps: std::collections::HashSet<&str> = o
+            .metrics
+            .iter()
+            .map(|(n, _)| n.split('.').next().unwrap())
+            .collect();
         assert!(vps.contains("mobile") && vps.contains("router"));
-        assert!(!vps.contains("server"), "uninstrumented CDN must be invisible");
+        assert!(
+            !vps.contains("server"),
+            "uninstrumented CDN must be invisible"
+        );
         assert!(!o.qoe.failed, "{:?}", o.qoe);
     }
 
@@ -440,8 +520,11 @@ mod tests {
             corporate: false,
         };
         let o = run_realworld_session(&spec, &catalog());
-        let vps: std::collections::HashSet<&str> =
-            o.metrics.iter().map(|(n, _)| n.split('.').next().unwrap()).collect();
+        let vps: std::collections::HashSet<&str> = o
+            .metrics
+            .iter()
+            .map(|(n, _)| n.split('.').next().unwrap())
+            .collect();
         assert!(vps.contains("mobile") && vps.contains("server"));
         assert!(!vps.contains("router"));
         // No WLAN → no RSSI even at the mobile.
@@ -455,7 +538,10 @@ mod tests {
             seed: 14,
             access: Access::Cellular,
             service: Service::Youtube,
-            fault: FaultPlan { kind: FaultKind::WifiInterference, intensity: 0.9 },
+            fault: FaultPlan {
+                kind: FaultKind::WifiInterference,
+                intensity: 0.9,
+            },
             background: 0.2,
             corporate: false,
         };
@@ -465,7 +551,11 @@ mod tests {
 
     #[test]
     fn wild_corpus_mixed_and_router_free() {
-        let cfg = RealWorldConfig { sessions: 10, seed: 3, threads: 0 };
+        let cfg = RealWorldConfig {
+            sessions: 10,
+            seed: 3,
+            threads: 0,
+        };
         let runs = generate_wild(&cfg, &catalog());
         assert_eq!(runs.len(), 10);
         assert!(runs.iter().any(|r| r.access == Access::Cellular));

@@ -151,7 +151,10 @@ mod tests {
 
     #[test]
     fn mos_gating_folds_good() {
-        let gt = GroundTruth { fault: FaultKind::WanShaping, qoe: QoeClass::Good };
+        let gt = GroundTruth {
+            fault: FaultKind::WanShaping,
+            qoe: QoeClass::Good,
+        };
         assert_eq!(gt.label(LabelScheme::Exact), "good");
         assert_eq!(gt.label(LabelScheme::Existence), "good");
         assert_eq!(gt.effective_fault(), FaultKind::None);
@@ -159,7 +162,10 @@ mod tests {
 
     #[test]
     fn exact_labels() {
-        let gt = GroundTruth { fault: FaultKind::LowRssi, qoe: QoeClass::Severe };
+        let gt = GroundTruth {
+            fault: FaultKind::LowRssi,
+            qoe: QoeClass::Severe,
+        };
         assert_eq!(gt.label(LabelScheme::Exact), "low_rssi_severe");
         assert_eq!(gt.label(LabelScheme::Location), "mobile_severe");
         assert_eq!(gt.label(LabelScheme::Existence), "severe");
@@ -178,7 +184,11 @@ mod tests {
         for f in FaultKind::ALL {
             for qoe in [QoeClass::Mild, QoeClass::Severe] {
                 let gt = GroundTruth { fault: f, qoe };
-                for scheme in [LabelScheme::Existence, LabelScheme::Location, LabelScheme::Exact] {
+                for scheme in [
+                    LabelScheme::Existence,
+                    LabelScheme::Location,
+                    LabelScheme::Exact,
+                ] {
                     let id = class_id(&gt, scheme);
                     assert_eq!(class_names(scheme)[id], gt.label(scheme));
                 }
@@ -199,7 +209,10 @@ mod tests {
 
     #[test]
     fn ambient_faults_labelled() {
-        let gt = GroundTruth { fault: FaultKind::None, qoe: QoeClass::Mild };
+        let gt = GroundTruth {
+            fault: FaultKind::None,
+            qoe: QoeClass::Mild,
+        };
         assert_eq!(gt.label(LabelScheme::Exact), "ambient_mild");
         assert_eq!(gt.label(LabelScheme::Location), "wan_mild");
     }

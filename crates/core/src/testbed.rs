@@ -179,7 +179,11 @@ pub fn run_controlled_session_with(
         dir.clone(),
     );
     sim.add_app(Box::new(player));
-    sim.add_app(Box::new(VideoServer::new(server, VideoServerConfig::default(), dir)));
+    sim.add_app(Box::new(VideoServer::new(
+        server,
+        VideoServerConfig::default(),
+        dir,
+    )));
     sim.add_app(Box::new(SamplerApp::new(vps.clone())));
     for f in floods {
         sim.add_app(Box::new(f));
@@ -203,7 +207,10 @@ pub fn run_controlled_session_with(
 
     // --- Extract ------------------------------------------------------------
     let qoe = handle.qoe();
-    let truth = GroundTruth { fault: spec.fault.kind, qoe: mos::label(&qoe) };
+    let truth = GroundTruth {
+        fault: spec.fault.kind,
+        qoe: mos::label(&qoe),
+    };
     let mut metrics = Vec::new();
     if let Some(flow) = handle.flow() {
         for vp in &vps {
@@ -212,7 +219,12 @@ pub fn run_controlled_session_with(
             }
         }
     }
-    SessionOutcome { qoe, truth, metrics, video }
+    SessionOutcome {
+        qoe,
+        truth,
+        metrics,
+        video,
+    }
 }
 
 trait FromSecsF {
@@ -271,7 +283,11 @@ mod tests {
     #[test]
     fn severe_mobile_load_causes_stutter() {
         let o = run(FaultKind::MobileLoad, 0.95, 3);
-        assert!(o.qoe.frame_skip_s > 0.5 || o.truth.qoe != QoeClass::Good, "{:?}", o.qoe);
+        assert!(
+            o.qoe.frame_skip_s > 0.5 || o.truth.qoe != QoeClass::Good,
+            "{:?}",
+            o.qoe
+        );
         // CPU metric at the mobile probe reflects the stress load.
         let cpu = o
             .metrics
@@ -302,7 +318,10 @@ mod tests {
         assert_eq!(a.metrics.len(), b.metrics.len());
         for ((n1, v1), (n2, v2)) in a.metrics.iter().zip(&b.metrics) {
             assert_eq!(n1, n2);
-            assert!((v1 - v2).abs() < 1e-12 || (v1.is_nan() && v2.is_nan()), "{n1}: {v1} vs {v2}");
+            assert!(
+                (v1 - v2).abs() < 1e-12 || (v1.is_nan() && v2.is_nan()),
+                "{n1}: {v1} vs {v2}"
+            );
         }
     }
 }

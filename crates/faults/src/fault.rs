@@ -109,7 +109,9 @@ impl TestbedHandles {
     /// Whether `kind` can be injected on this topology.
     pub fn supports(&self, kind: FaultKind) -> bool {
         match kind {
-            FaultKind::None | FaultKind::WanCongestion | FaultKind::WanShaping
+            FaultKind::None
+            | FaultKind::WanCongestion
+            | FaultKind::WanShaping
             | FaultKind::MobileLoad => true,
             FaultKind::LanCongestion => self.wired_client.is_some() && self.wifi_client.is_some(),
             FaultKind::LanShaping | FaultKind::LowRssi | FaultKind::WifiInterference => {
@@ -131,12 +133,19 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// No fault.
     pub fn none() -> Self {
-        FaultPlan { kind: FaultKind::None, intensity: 0.0 }
+        FaultPlan {
+            kind: FaultKind::None,
+            intensity: 0.0,
+        }
     }
 
     /// Sample an intensity for `kind`.
     pub fn sample(kind: FaultKind, rng: &mut SimRng) -> Self {
-        let intensity = if kind == FaultKind::None { 0.0 } else { rng.range_f64(0.05, 1.0) };
+        let intensity = if kind == FaultKind::None {
+            0.0
+        } else {
+            rng.range_f64(0.05, 1.0)
+        };
         FaultPlan { kind, intensity }
     }
 
@@ -165,7 +174,7 @@ impl FaultPlan {
                 for l in [h.wan_down, h.wan_up] {
                     let cfg = &mut net.links[l.idx()].cfg;
                     cfg.rate_bps = ((cfg.rate_bps as f64) * (1.0 - 0.90 * k)).max(200_000.0) as u64;
-                    cfg.delay = cfg.delay + SimDuration::from_secs_f64(0.120 * k);
+                    cfg.delay += SimDuration::from_secs_f64(0.120 * k);
                     cfg.loss = (cfg.loss + 0.035 * k).min(0.12);
                 }
                 Vec::new()

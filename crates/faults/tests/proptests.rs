@@ -4,7 +4,6 @@ use proptest::prelude::*;
 
 use vqd_faults::{FaultKind, FaultPlan, TestbedHandles};
 use vqd_simnet::host::Host;
-use vqd_simnet::ids::HostId;
 use vqd_simnet::link::LinkConfig;
 use vqd_simnet::rng::SimRng;
 use vqd_simnet::topology::TopologyBuilder;

@@ -46,7 +46,9 @@ fn is_pkt_count(name: &str) -> bool {
 
 fn is_byte_count(name: &str) -> bool {
     name.contains(".tcp.")
-        && (name.ends_with(".bytes") || name.ends_with("data_bytes") || name.ends_with("retx_bytes"))
+        && (name.ends_with(".bytes")
+            || name.ends_with("data_bytes")
+            || name.ends_with("retx_bytes"))
         && !name.contains("total_")
 }
 
@@ -83,12 +85,8 @@ impl FeatureConstructor {
     /// Transform a dataset with the learned denominators.
     pub fn transform(&self, data: &Dataset) -> Dataset {
         // Locate each VP's session totals.
-        let total_pkts_col = |vp: &str| {
-            data.feature_index(&format!("{vp}.tcp.total_pkts"))
-        };
-        let total_bytes_col = |vp: &str| {
-            data.feature_index(&format!("{vp}.tcp.total_data_bytes"))
-        };
+        let total_pkts_col = |vp: &str| data.feature_index(&format!("{vp}.tcp.total_pkts"));
+        let total_bytes_col = |vp: &str| data.feature_index(&format!("{vp}.tcp.total_data_bytes"));
 
         let mut features = Vec::new();
         let mut plan: Vec<Plan> = Vec::new();
@@ -156,14 +154,30 @@ impl FeatureConstructor {
             let vp = Self::vp_of(name);
             if is_pkt_count(name) {
                 if let Some(t) = lookup(&format!("{vp}.tcp.total_pkts")) {
-                    let r = if v.is_nan() || t <= 0.0 { if v.is_nan() { f64::NAN } else { 0.0 } } else { v / t };
+                    let r = if v.is_nan() || t <= 0.0 {
+                        if v.is_nan() {
+                            f64::NAN
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        v / t
+                    };
                     out.push((format!("{name}_norm"), r));
                     continue;
                 }
             }
             if is_byte_count(name) {
                 if let Some(t) = lookup(&format!("{vp}.tcp.total_data_bytes")) {
-                    let r = if v.is_nan() || t <= 0.0 { if v.is_nan() { f64::NAN } else { 0.0 } } else { v / t };
+                    let r = if v.is_nan() || t <= 0.0 {
+                        if v.is_nan() {
+                            f64::NAN
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        v / t
+                    };
                     out.push((format!("{name}_norm"), r));
                     continue;
                 }
@@ -198,8 +212,23 @@ mod tests {
             ],
             vec!["good".into(), "bad".into()],
         );
-        d.push(vec![10.0, 1_000_000.0, 1000.0, 2_000_000.0, 0.05, 4e6, -50.0, -60.0], 0);
-        d.push(vec![50.0, 500_000.0, 500.0, 1_000_000.0, 0.20, 8e6, -80.0, -90.0], 1);
+        d.push(
+            vec![
+                10.0,
+                1_000_000.0,
+                1000.0,
+                2_000_000.0,
+                0.05,
+                4e6,
+                -50.0,
+                -60.0,
+            ],
+            0,
+        );
+        d.push(
+            vec![50.0, 500_000.0, 500.0, 1_000_000.0, 0.20, 8e6, -80.0, -90.0],
+            1,
+        );
         d
     }
 

@@ -25,7 +25,10 @@ pub struct Selection {
 pub fn fcbf(data: &Dataset, delta: f64) -> Selection {
     let n = data.len();
     if n == 0 {
-        return Selection { names: Vec::new(), su: Vec::new() };
+        return Selection {
+            names: Vec::new(),
+            su: Vec::new(),
+        };
     }
     let ny = data.n_classes();
 
@@ -46,7 +49,7 @@ pub fn fcbf(data: &Dataset, delta: f64) -> Selection {
         }
     }
     // Descending by SU with the class.
-    cols.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap());
+    cols.sort_by(|a, b| b.3.total_cmp(&a.3));
 
     // Redundancy elimination.
     let mut selected: Vec<usize> = Vec::new(); // indices into cols
@@ -68,7 +71,10 @@ pub fn fcbf(data: &Dataset, delta: f64) -> Selection {
     }
 
     Selection {
-        names: selected.iter().map(|&i| data.features[cols[i].0].clone()).collect(),
+        names: selected
+            .iter()
+            .map(|&i| data.features[cols[i].0].clone())
+            .collect(),
         su: selected.iter().map(|&i| cols[i].3).collect(),
     }
 }
@@ -88,7 +94,7 @@ pub fn rank_by_su(data: &Dataset) -> Vec<(String, f64)> {
         let su = symmetrical_uncertainty(&bins, &data.y, cuts.n_bins(), ny);
         out.push((data.features[j].clone(), su));
     }
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    out.sort_by(|a, b| b.1.total_cmp(&a.1));
     out
 }
 
@@ -118,7 +124,9 @@ mod tests {
     fn fcbf_keeps_signal_drops_echo_and_junk() {
         let d = toy(500, 1);
         let sel = fcbf(&d, 0.01);
-        assert!(sel.names.contains(&"signal".to_string()) || sel.names.contains(&"echo".to_string()));
+        assert!(
+            sel.names.contains(&"signal".to_string()) || sel.names.contains(&"echo".to_string())
+        );
         // The redundant twin must not survive alongside the original.
         assert!(
             !(sel.names.contains(&"signal".to_string()) && sel.names.contains(&"echo".to_string())),
@@ -134,7 +142,11 @@ mod tests {
         let sel = fcbf(&d, 0.01);
         // `weak` carries class information not fully captured once
         // redundancy with signal is accounted — FCBF usually keeps it.
-        assert!(sel.names.len() >= 1 && sel.names.len() <= 3, "{:?}", sel.names);
+        assert!(
+            !sel.names.is_empty() && sel.names.len() <= 3,
+            "{:?}",
+            sel.names
+        );
         // Ordering is by SU descending.
         for w in sel.su.windows(2) {
             assert!(w[0] >= w[1]);

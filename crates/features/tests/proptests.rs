@@ -23,7 +23,12 @@ fn probe_like_dataset(n: usize, seed: u64, signal_strength: f64) -> Dataset {
     for _ in 0..n {
         let c = rng.index(2);
         let pkts = rng.range_f64(100.0, 10_000.0);
-        let retx = pkts * if c == 1 { 0.05 * signal_strength } else { 0.004 };
+        let retx = pkts
+            * if c == 1 {
+                0.05 * signal_strength
+            } else {
+                0.004
+            };
         d.push(
             vec![
                 retx,

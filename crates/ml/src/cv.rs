@@ -66,16 +66,37 @@ impl Learner for SvmLearner {
 
 /// Run stratified k-fold cross-validation; returns the pooled
 /// confusion matrix over all held-out folds.
-pub fn cross_validate<L: Learner>(
+///
+/// Folds are evaluated across all available worker threads; see
+/// [`cross_validate_threads`] for an explicit thread count. The result
+/// is identical for every thread count.
+pub fn cross_validate<L: Learner + Sync>(
     learner: &L,
     data: &Dataset,
     k: usize,
     seed: u64,
 ) -> ConfusionMatrix {
+    cross_validate_threads(learner, data, k, seed, 0)
+}
+
+/// [`cross_validate`] with an explicit worker-thread count
+/// (0 = available parallelism, 1 = serial).
+///
+/// The fold assignment is drawn serially from `seed` before any worker
+/// starts, each fold's held-out predictions are collected
+/// independently, and the pooled confusion matrix is merged in fold
+/// order — so the result is byte-identical for every `threads` value.
+pub fn cross_validate_threads<L: Learner + Sync>(
+    learner: &L,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    threads: usize,
+) -> ConfusionMatrix {
     let mut rng = SimRng::seed_from_u64(seed);
     let folds = data.stratified_folds(k, &mut rng);
-    let mut cm = ConfusionMatrix::new(data.classes.clone());
-    for held in 0..k {
+    let threads = crate::dtree::resolve_threads(threads).min(k.max(1));
+    let eval_fold = |held: usize| -> Vec<(usize, usize)> {
         let train: Vec<usize> = folds
             .iter()
             .enumerate()
@@ -83,11 +104,37 @@ pub fn cross_validate<L: Learner>(
             .flat_map(|(_, f)| f.iter().copied())
             .collect();
         if train.is_empty() || folds[held].is_empty() {
-            continue;
+            return Vec::new();
         }
         let model = learner.fit(data, &train);
-        for &r in &folds[held] {
-            cm.add(data.y[r], L::predict(&model, &data.x[r]));
+        folds[held]
+            .iter()
+            .map(|&r| (data.y[r], L::predict(&model, &data.x[r])))
+            .collect()
+    };
+    let per_fold: Vec<Vec<(usize, usize)>> = if threads <= 1 || k < 2 {
+        (0..k).map(eval_fold).collect()
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Vec<(usize, usize)>>> =
+            (0..k).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let held = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if held >= k {
+                        break;
+                    }
+                    *slots[held].lock().unwrap() = eval_fold(held);
+                });
+            }
+        });
+        slots.into_iter().map(|m| m.into_inner().unwrap()).collect()
+    };
+    let mut cm = ConfusionMatrix::new(data.classes.clone());
+    for fold in per_fold {
+        for (truth, pred) in fold {
+            cm.add(truth, pred);
         }
     }
     cm

@@ -24,7 +24,12 @@ pub struct Dataset {
 impl Dataset {
     /// Empty dataset with the given schema.
     pub fn new(features: Vec<String>, classes: Vec<String>) -> Self {
-        Dataset { features, x: Vec::new(), y: Vec::new(), classes }
+        Dataset {
+            features,
+            x: Vec::new(),
+            y: Vec::new(),
+            classes,
+        }
     }
 
     /// Number of instances.
@@ -70,22 +75,25 @@ impl Dataset {
     /// A new dataset keeping only the named feature columns (order
     /// preserved from `names`). Unknown names are skipped.
     pub fn select_features(&self, names: &[String]) -> Dataset {
-        let idx: Vec<usize> =
-            names.iter().filter_map(|n| self.feature_index(n)).collect();
+        let idx: Vec<usize> = names.iter().filter_map(|n| self.feature_index(n)).collect();
         let features = idx.iter().map(|&i| self.features[i].clone()).collect();
         let x = self
             .x
             .iter()
             .map(|row| idx.iter().map(|&i| row[i]).collect())
             .collect();
-        Dataset { features, x, y: self.y.clone(), classes: self.classes.clone() }
+        Dataset {
+            features,
+            x,
+            y: self.y.clone(),
+            classes: self.classes.clone(),
+        }
     }
 
     /// A new dataset keeping only feature columns whose name matches
     /// `pred`.
     pub fn select_features_by(&self, pred: impl Fn(&str) -> bool) -> Dataset {
-        let names: Vec<String> =
-            self.features.iter().filter(|f| pred(f)).cloned().collect();
+        let names: Vec<String> = self.features.iter().filter(|f| pred(f)).cloned().collect();
         self.select_features(&names)
     }
 
@@ -95,7 +103,12 @@ impl Dataset {
     pub fn relabel(&self, classes: Vec<String>, map: impl Fn(usize) -> usize) -> Dataset {
         let y: Vec<usize> = self.y.iter().map(|&c| map(c)).collect();
         assert!(y.iter().all(|&c| c < classes.len()));
-        Dataset { features: self.features.clone(), x: self.x.clone(), y, classes }
+        Dataset {
+            features: self.features.clone(),
+            x: self.x.clone(),
+            y,
+            classes,
+        }
     }
 
     /// Stratified k-fold split: returns `k` disjoint row-index sets

@@ -89,7 +89,9 @@ fn split_recursive(pairs: &[(f64, usize)], n_classes: usize, out: &mut Vec<f64>,
             best = Some((i, cut, h_l, h_r));
         }
     }
-    let Some((idx, cut, h_l, h_r)) = best else { return };
+    let Some((idx, cut, h_l, h_r)) = best else {
+        return;
+    };
     let nl = (idx + 1) as f64;
     let nr = (n - idx - 1) as f64;
     let gain = h_all - (nl * h_l + nr * h_r) / n as f64;
@@ -100,8 +102,11 @@ fn split_recursive(pairs: &[(f64, usize)], n_classes: usize, out: &mut Vec<f64>,
     for &(_, c) in &pairs[..=idx] {
         left_counts[c] += 1;
     }
-    let right_counts: Vec<usize> =
-        total.iter().zip(&left_counts).map(|(&t, &l)| t - l).collect();
+    let right_counts: Vec<usize> = total
+        .iter()
+        .zip(&left_counts)
+        .map(|(&t, &l)| t - l)
+        .collect();
     let k_l = distinct_classes(&left_counts) as f64;
     let k_r = distinct_classes(&right_counts) as f64;
     let delta = (3f64.powf(k) - 2.0).log2() - (k * h_all - k_l * h_l - k_r * h_r);
@@ -122,10 +127,10 @@ pub fn mdl_cuts(values: &[f64], labels: &[usize], n_classes: usize) -> FeatureCu
         .filter(|(v, _)| !v.is_nan())
         .map(|(&v, &c)| (v, c))
         .collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut cuts = Vec::new();
     split_recursive(&pairs, n_classes, &mut cuts, 0);
-    cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cuts.sort_by(|a, b| a.total_cmp(b));
     FeatureCuts { cuts }
 }
 
@@ -164,8 +169,10 @@ mod tests {
     fn multiple_boundaries() {
         // Three bands: class 0 | class 1 | class 0.
         let values: Vec<f64> = (0..90).map(|i| i as f64).collect();
-        let labels: Vec<usize> =
-            values.iter().map(|&v| usize::from((30.0..60.0).contains(&v))).collect();
+        let labels: Vec<usize> = values
+            .iter()
+            .map(|&v| usize::from((30.0..60.0).contains(&v)))
+            .collect();
         let cuts = mdl_cuts(&values, &labels, 2);
         assert_eq!(cuts.cuts.len(), 2, "{:?}", cuts.cuts);
     }

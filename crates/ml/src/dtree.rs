@@ -12,6 +12,24 @@
 //!   upper bound (Weka's `addErrs`),
 //! * an interpretable dump ([`DecisionTree::to_text`]) and per-feature
 //!   importance scores used for the paper's Table 4 feature ranking.
+//!
+//! # Training engine
+//!
+//! [`C45Trainer::fit`] uses a columnar, pre-sorted engine (the
+//! Weka/SLIQ "sorted index" representation): each feature's row
+//! indices are sorted **once per fit**, and every tree node filters
+//! its parent's sorted sequences by membership instead of
+//! re-collecting and re-sorting feature columns per node. This drops
+//! the per-node cost from `O(features · n log n)` to
+//! `O(features · n)` and removes all per-candidate allocations from
+//! the split sweep. Candidate splits for different features are
+//! evaluated in parallel across OS threads ([`C45Config::threads`]);
+//! the search is deterministic, so the trained tree is **bit-identical
+//! for any thread count** (ties between equally-scored splits resolve
+//! to the lowest feature index, matching a serial left-to-right scan).
+//! [`C45Trainer::fit_seed_reference`] keeps the original
+//! per-node-sort implementation as a semantics oracle for tests and
+//! benchmarks.
 
 use crate::dataset::Dataset;
 use crate::info::entropy_of_counts;
@@ -27,11 +45,21 @@ pub struct C45Config {
     pub max_depth: usize,
     /// Disable error-based pruning (unpruned J48 `-U`).
     pub unpruned: bool,
+    /// Worker threads for the split search (0 = available
+    /// parallelism, 1 = serial). The result is identical for every
+    /// value.
+    pub threads: usize,
 }
 
 impl Default for C45Config {
     fn default() -> Self {
-        C45Config { min_leaf: 2.0, cf: 0.25, max_depth: 60, unpruned: false }
+        C45Config {
+            min_leaf: 2.0,
+            cf: 0.25,
+            max_depth: 60,
+            unpruned: false,
+            threads: 0,
+        }
     }
 }
 
@@ -99,7 +127,14 @@ impl DecisionTree {
                         }
                     }
                 }
-                Node::Split { feat, thr, lo, hi, lo_frac, .. } => {
+                Node::Split {
+                    feat,
+                    thr,
+                    lo,
+                    hi,
+                    lo_frac,
+                    ..
+                } => {
                     let v = x[*feat];
                     if v.is_nan() {
                         go(lo, x, w * lo_frac, out);
@@ -148,7 +183,14 @@ impl DecisionTree {
     /// the ranking used to reproduce the paper's Table 4.
     pub fn feature_importance(&self) -> Vec<f64> {
         fn acc(n: &Node, imp: &mut [f64]) {
-            if let Node::Split { feat, gain_w, lo, hi, .. } = n {
+            if let Node::Split {
+                feat,
+                gain_w,
+                lo,
+                hi,
+                ..
+            } = n
+            {
                 imp[*feat] += gain_w;
                 acc(lo, imp);
                 acc(hi, imp);
@@ -172,7 +214,15 @@ impl DecisionTree {
                     }
                     s.push('\n');
                 }
-                Node::Split { feat, thr, lo, hi, lo_frac, dist, gain_w } => {
+                Node::Split {
+                    feat,
+                    thr,
+                    lo,
+                    hi,
+                    lo_frac,
+                    dist,
+                    gain_w,
+                } => {
                     s.push_str(&format!("S {feat} {thr:?} {lo_frac:?} {gain_w:?}"));
                     for d in dist {
                         s.push(' ');
@@ -212,10 +262,7 @@ impl DecisionTree {
             .split('\t')
             .map(str::to_string)
             .collect();
-        fn parse<'a>(
-            lines: &mut impl Iterator<Item = &'a str>,
-            nf: usize,
-        ) -> Result<Node, String> {
+        fn parse<'a>(lines: &mut impl Iterator<Item = &'a str>, nf: usize) -> Result<Node, String> {
             let line = lines.next().ok_or("unexpected end of tree")?;
             let mut tok = line.split(' ');
             match tok.next() {
@@ -226,30 +273,55 @@ impl DecisionTree {
                     Ok(Node::Leaf { dist })
                 }
                 Some("S") => {
-                    let feat: usize =
-                        tok.next().ok_or("missing feat")?.parse().map_err(|_| "bad feat")?;
+                    let feat: usize = tok
+                        .next()
+                        .ok_or("missing feat")?
+                        .parse()
+                        .map_err(|_| "bad feat")?;
                     if feat >= nf {
                         return Err(format!("feature index {feat} out of range"));
                     }
-                    let thr: f64 =
-                        tok.next().ok_or("missing thr")?.parse().map_err(|_| "bad thr")?;
-                    let lo_frac: f64 =
-                        tok.next().ok_or("missing lo_frac")?.parse().map_err(|_| "bad lo_frac")?;
-                    let gain_w: f64 =
-                        tok.next().ok_or("missing gain")?.parse().map_err(|_| "bad gain")?;
+                    let thr: f64 = tok
+                        .next()
+                        .ok_or("missing thr")?
+                        .parse()
+                        .map_err(|_| "bad thr")?;
+                    let lo_frac: f64 = tok
+                        .next()
+                        .ok_or("missing lo_frac")?
+                        .parse()
+                        .map_err(|_| "bad lo_frac")?;
+                    let gain_w: f64 = tok
+                        .next()
+                        .ok_or("missing gain")?
+                        .parse()
+                        .map_err(|_| "bad gain")?;
                     let dist: Vec<f64> = tok
                         .map(|t| t.parse().map_err(|e| format!("bad dist value: {e}")))
                         .collect::<Result<_, _>>()?;
                     let lo = Box::new(parse(lines, nf)?);
                     let hi = Box::new(parse(lines, nf)?);
-                    Ok(Node::Split { feat, thr, lo, hi, lo_frac, dist, gain_w })
+                    Ok(Node::Split {
+                        feat,
+                        thr,
+                        lo,
+                        hi,
+                        lo_frac,
+                        dist,
+                        gain_w,
+                    })
                 }
                 other => Err(format!("bad node tag: {other:?}")),
             }
         }
         let root = parse(&mut lines, features.len())?;
         let n_classes = classes.len();
-        Ok(DecisionTree { root, n_classes, feature_names: features, class_names: classes })
+        Ok(DecisionTree {
+            root,
+            n_classes,
+            feature_names: features,
+            class_names: classes,
+        })
     }
 
     /// Human-readable dump (the "not a black box" property the paper
@@ -266,7 +338,9 @@ impl DecisionTree {
                         classes.get(c).map(String::as_str).unwrap_or("?")
                     ));
                 }
-                Node::Split { feat, thr, lo, hi, .. } => {
+                Node::Split {
+                    feat, thr, lo, hi, ..
+                } => {
                     s.push_str(&format!("{pad}{} < {thr:.4}:\n", names[*feat]));
                     fmt(lo, names, classes, ind + 1, s);
                     s.push_str(&format!("{pad}{} >= {thr:.4}:\n", names[*feat]));
@@ -275,7 +349,13 @@ impl DecisionTree {
             }
         }
         let mut s = String::new();
-        fmt(&self.root, &self.feature_names, &self.class_names, 0, &mut s);
+        fmt(
+            &self.root,
+            &self.feature_names,
+            &self.class_names,
+            0,
+            &mut s,
+        );
         s
     }
 }
@@ -287,7 +367,7 @@ fn norm_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -345,8 +425,7 @@ fn add_errs(n: f64, e: f64, cf: f64) -> f64 {
     }
     let z = norm_quantile(1.0 - cf);
     let f = (e + 0.5) / n;
-    let r = (f + z * z / (2.0 * n)
-        + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+    let r = (f + z * z / (2.0 * n) + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
         / (1.0 + z * z / n);
     (r * n - e).max(0.0)
 }
@@ -358,11 +437,555 @@ pub struct C45Trainer {
     pub cfg: C45Config,
 }
 
+/// Resolve a thread-count knob (0 = available parallelism).
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Winning candidate of one feature's split sweep.
+#[derive(Debug, Clone, Copy)]
+struct FeatSplit {
+    ratio: f64,
+    thr: f64,
+    gain: f64,
+    lo_w: f64,
+    known_w: f64,
+}
+
+/// One node's working set in the pre-sorted representation: the member
+/// rows (compact ids + fractional weights, in parent order) and, per
+/// feature, the member rows with a known value for that feature in
+/// ascending value order. Children filter these sequences — order is
+/// preserved, so no node ever sorts.
+struct NodeCtx {
+    rows: Vec<(u32, f64)>,
+    order: Vec<Vec<u32>>,
+}
+
+/// Reusable per-worker buffers for the split sweep: one contiguous
+/// gather of a feature's (value, class, weight) triples plus the three
+/// class-count vectors. Reuse keeps the sweep allocation-free.
+struct Scratch {
+    gathered: Vec<(f64, u32, f64)>,
+    known_dist: Vec<f64>,
+    left: Vec<f64>,
+    right: Vec<f64>,
+    /// Integer twins of `known_dist`/`left`, used by the unit-weight
+    /// sweep specialisation (see [`Engine::eval_feature`]).
+    known_dist_i: Vec<u32>,
+    left_i: Vec<u32>,
+}
+
+impl Scratch {
+    fn new(n_classes: usize) -> Scratch {
+        Scratch {
+            gathered: Vec::new(),
+            known_dist: vec![0.0; n_classes],
+            left: vec![0.0; n_classes],
+            right: vec![0.0; n_classes],
+            known_dist_i: vec![0; n_classes],
+            left_i: vec![0; n_classes],
+        }
+    }
+}
+
+/// Columnar training state shared by every node of one `fit` call.
+///
+/// `cols` is a column-major copy of the training rows (compact row ids
+/// `0..rows.len()` in the order the caller passed them), `y` the class
+/// per compact id. `-0.0` is normalised to `+0.0` in the copy so that
+/// the total order used for pre-sorting agrees exactly with the `<`
+/// comparisons of the split sweep.
+struct Engine {
+    cfg: C45Config,
+    cols: Vec<Vec<f64>>,
+    y: Vec<u32>,
+    n_classes: usize,
+    threads: usize,
+}
+
+impl Engine {
+    /// Per-feature sorted compact-id sequences for the root node.
+    /// Sorted by (value, compact id): stable with respect to the
+    /// caller's row order, exactly like a stable per-node sort.
+    fn presort(&self) -> Vec<Vec<u32>> {
+        let nf = self.cols.len();
+        let sort_one = |j: usize| -> Vec<u32> {
+            let col = &self.cols[j];
+            let mut idx: Vec<u32> = (0..col.len() as u32)
+                .filter(|&c| !col[c as usize].is_nan())
+                .collect();
+            idx.sort_unstable_by(|&a, &b| {
+                col[a as usize].total_cmp(&col[b as usize]).then(a.cmp(&b))
+            });
+            idx
+        };
+        if self.threads <= 1 || nf < 2 {
+            return (0..nf).map(sort_one).collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let out: Vec<std::sync::Mutex<Vec<u32>>> =
+            (0..nf).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        std::thread::scope(|s| {
+            for _ in 0..self.threads.min(nf) {
+                s.spawn(|| loop {
+                    let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if j >= nf {
+                        break;
+                    }
+                    *out[j].lock().unwrap() = sort_one(j);
+                });
+            }
+        });
+        out.into_iter().map(|m| m.into_inner().unwrap()).collect()
+    }
+
+    fn dist_of(&self, rows: &[(u32, f64)]) -> Vec<f64> {
+        let mut d = vec![0.0; self.n_classes];
+        for &(c, w) in rows {
+            d[self.y[c as usize] as usize] += w;
+        }
+        d
+    }
+
+    fn build(
+        &self,
+        ctx: NodeCtx,
+        depth: usize,
+        weights: &mut [f64],
+        side: &mut [u8],
+        scratch: &mut Scratch,
+    ) -> Node {
+        let dist = self.dist_of(&ctx.rows);
+        let total: f64 = dist.iter().sum();
+        let pure = dist.iter().filter(|&&w| w > 0.0).count() <= 1;
+        if pure || total < 2.0 * self.cfg.min_leaf || depth >= self.cfg.max_depth {
+            return Node::Leaf { dist };
+        }
+        for &(c, w) in &ctx.rows {
+            weights[c as usize] = w;
+        }
+        let best = self.best_split(&ctx, weights, total, scratch);
+        for &(c, _) in &ctx.rows {
+            weights[c as usize] = 0.0;
+        }
+        let Some((feat, thr, gain_w, lo_frac)) = best else {
+            return Node::Leaf { dist };
+        };
+        // Partition the member rows (parent order preserved), recording
+        // each member's side in a compact per-row byte so the
+        // per-feature filtering below reads one byte instead of
+        // re-deriving the comparison from the split column.
+        const LO: u8 = 0;
+        const HI: u8 = 1;
+        const BOTH: u8 = 2;
+        let split_col = &self.cols[feat];
+        let mut lo_rows = Vec::with_capacity(ctx.rows.len());
+        let mut hi_rows = Vec::with_capacity(ctx.rows.len());
+        for &(c, w) in &ctx.rows {
+            let v = split_col[c as usize];
+            if v.is_nan() {
+                side[c as usize] = BOTH;
+                if lo_frac > 0.0 {
+                    lo_rows.push((c, w * lo_frac));
+                }
+                if lo_frac < 1.0 {
+                    hi_rows.push((c, w * (1.0 - lo_frac)));
+                }
+            } else if v < thr {
+                side[c as usize] = LO;
+                lo_rows.push((c, w));
+            } else {
+                side[c as usize] = HI;
+                hi_rows.push((c, w));
+            }
+        }
+        if lo_rows.is_empty() || hi_rows.is_empty() {
+            return Node::Leaf { dist };
+        }
+        // Filter each feature's sorted sequence into the children;
+        // order is preserved, so children never sort either.
+        let nf = ctx.order.len();
+        let mut lo_order: Vec<Vec<u32>> = Vec::with_capacity(nf);
+        let mut hi_order: Vec<Vec<u32>> = Vec::with_capacity(nf);
+        for list in &ctx.order {
+            let mut lo_list = Vec::with_capacity(list.len().min(lo_rows.len()));
+            let mut hi_list = Vec::with_capacity(list.len().min(hi_rows.len()));
+            for &c in list {
+                match side[c as usize] {
+                    LO => lo_list.push(c),
+                    HI => hi_list.push(c),
+                    _ => {
+                        if lo_frac > 0.0 {
+                            lo_list.push(c);
+                        }
+                        if lo_frac < 1.0 {
+                            hi_list.push(c);
+                        }
+                    }
+                }
+            }
+            lo_order.push(lo_list);
+            hi_order.push(hi_list);
+        }
+        drop(ctx);
+        let lo = Box::new(self.build(
+            NodeCtx {
+                rows: lo_rows,
+                order: lo_order,
+            },
+            depth + 1,
+            weights,
+            side,
+            scratch,
+        ));
+        let hi = Box::new(self.build(
+            NodeCtx {
+                rows: hi_rows,
+                order: hi_order,
+            },
+            depth + 1,
+            weights,
+            side,
+            scratch,
+        ));
+        Node::Split {
+            feat,
+            thr,
+            lo,
+            hi,
+            lo_frac,
+            dist,
+            gain_w,
+        }
+    }
+
+    /// Best (feature, threshold, weighted gain, lo fraction) by gain
+    /// ratio over the pre-sorted sequences. Feature sweeps are
+    /// independent; large nodes fan them out across threads. The merge
+    /// scans candidates in feature order with a strict `>`, so ties
+    /// resolve to the lowest feature index no matter how many threads
+    /// ran — the result is identical to a serial scan.
+    fn best_split(
+        &self,
+        ctx: &NodeCtx,
+        weights: &[f64],
+        total: f64,
+        scratch: &mut Scratch,
+    ) -> Option<(usize, f64, f64, f64)> {
+        let nf = ctx.order.len();
+        let work: usize = ctx.order.iter().map(Vec::len).sum();
+        let evals: Vec<Option<FeatSplit>> =
+            if self.threads > 1 && nf >= 2 && work * self.n_classes > 64 * 1024 {
+                let next = std::sync::atomic::AtomicUsize::new(0);
+                let slots: Vec<std::sync::Mutex<Option<FeatSplit>>> =
+                    (0..nf).map(|_| std::sync::Mutex::new(None)).collect();
+                std::thread::scope(|s| {
+                    for _ in 0..self.threads.min(nf) {
+                        s.spawn(|| {
+                            let mut local = Scratch::new(self.n_classes);
+                            loop {
+                                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if j >= nf {
+                                    break;
+                                }
+                                *slots[j].lock().unwrap() =
+                                    self.eval_feature(j, &ctx.order[j], weights, total, &mut local);
+                            }
+                        });
+                    }
+                });
+                slots.into_iter().map(|m| m.into_inner().unwrap()).collect()
+            } else {
+                (0..nf)
+                    .map(|j| self.eval_feature(j, &ctx.order[j], weights, total, scratch))
+                    .collect()
+            };
+        let mut best: Option<(usize, f64, f64, f64)> = None;
+        let mut best_ratio = 0.0f64;
+        for (feat, eval) in evals.into_iter().enumerate() {
+            let Some(e) = eval else { continue };
+            if e.ratio > best_ratio {
+                best_ratio = e.ratio;
+                best = Some((feat, e.thr, e.gain * total, e.lo_w / e.known_w));
+            }
+        }
+        best
+    }
+
+    /// Sweep one feature's sorted member sequence for its best
+    /// threshold. Arithmetically step-for-step identical to the seed
+    /// implementation's per-node sweep (same accumulation order), minus
+    /// the per-node sort and the per-candidate allocations: a pre-pass
+    /// over the sorted ids computes the known-weight totals, then the
+    /// sweep runs over the same ids (the fast unit-weight variant reads
+    /// the columns in place; the weighted variant copies the triples
+    /// into contiguous scratch first).
+    fn eval_feature(
+        &self,
+        feat: usize,
+        list: &[u32],
+        weights: &[f64],
+        total: f64,
+        scratch: &mut Scratch,
+    ) -> Option<FeatSplit> {
+        if list.len() < 4 {
+            return None;
+        }
+        // Pre-pass. `known_w` and `known_dist` are independent
+        // accumulators, each summed in list order — the same order the
+        // seed implementation uses in its two separate passes, so the
+        // sums are bit-identical.
+        for d in scratch.known_dist.iter_mut() {
+            *d = 0.0;
+        }
+        let mut known_w = 0.0;
+        let mut unit_weights = true;
+        let col = &self.cols[feat];
+        for &c in list {
+            let ci = c as usize;
+            let (y, w) = (self.y[ci], weights[ci]);
+            known_w += w;
+            unit_weights &= w == 1.0;
+            scratch.known_dist[y as usize] += w;
+        }
+        if known_w < 2.0 * self.cfg.min_leaf {
+            return None;
+        }
+        // Clamped: float cancellation in `total - known_w` must not
+        // feed a negative count into `entropy_of_counts` (NaN gain).
+        let miss_w = (total - known_w).max(0.0);
+        let frac_known = known_w / total;
+        let h = entropy_of_counts(&scratch.known_dist);
+        if h == 0.0 {
+            return None;
+        }
+        // Sweep over the contiguous gather. `left`/`right` are reused
+        // across candidates — the seed implementation allocated
+        // `right` per candidate.
+        let mut candidates = 0u32;
+        let mut feat_best: Option<(f64, f64, f64)> = None; // (thr, gain, lo_w)
+        let min_leaf = self.cfg.min_leaf;
+        if unit_weights && known_w < crate::info::LOG_TABLE_LEN as f64 {
+            // Unit-weight specialisation: every weight in this node is
+            // exactly 1.0 (no fractional missing-value split above us),
+            // so the left/right class counts are exact small integers
+            // and `entropy_of_counts` would take its table branch on
+            // every candidate. Inline that branch — identical table
+            // lookups, identical add/divide order — and keep the
+            // counts in `u32`s. Bit-identical gains, no per-candidate
+            // function calls and no gather copy.
+            let (klogk, logk) = crate::info::log_tables();
+            for (li, &d) in scratch.known_dist_i.iter_mut().zip(&scratch.known_dist) {
+                *li = d as u32;
+            }
+            for l in scratch.left_i.iter_mut() {
+                *l = 0;
+            }
+            let known_n = list.len() as u32;
+            let mut lo_n = 0u32;
+            for i in 0..list.len() - 1 {
+                let ci = list[i] as usize;
+                let (v, y) = (col[ci], self.y[ci]);
+                scratch.left_i[y as usize] += 1;
+                lo_n += 1;
+                let v_next = col[list[i + 1] as usize];
+                if v == v_next {
+                    continue;
+                }
+                candidates += 1;
+                let left_w = lo_n as f64;
+                let right_w = known_w - left_w;
+                if left_w < min_leaf || right_w < min_leaf {
+                    continue;
+                }
+                let (mut s_l, mut s_r) = (0.0, 0.0);
+                let (mut nz_l, mut nz_r) = (0u32, 0u32);
+                for (&lc_u, &kd_u) in scratch.left_i.iter().zip(&scratch.known_dist_i) {
+                    let lc = lc_u as usize;
+                    let rc = (kd_u - lc_u) as usize;
+                    s_l += klogk[lc];
+                    s_r += klogk[rc];
+                    nz_l += (lc > 0) as u32;
+                    nz_r += (rc > 0) as u32;
+                }
+                let h_l = if nz_l <= 1 {
+                    0.0
+                } else {
+                    logk[lo_n as usize] - s_l / left_w
+                };
+                let h_r = if nz_r <= 1 {
+                    0.0
+                } else {
+                    logk[(known_n - lo_n) as usize] - s_r / right_w
+                };
+                let h_split = (left_w * h_l + right_w * h_r) / known_w;
+                let gain = frac_known * (h - h_split);
+                if feat_best
+                    .map(|(_, best_g, _)| gain > best_g)
+                    .unwrap_or(true)
+                {
+                    feat_best = Some(((v + v_next) / 2.0, gain, left_w));
+                }
+            }
+        } else {
+            // Weighted sweep: gather the triples into contiguous
+            // scratch first (the weights make the entropy counts
+            // fractional, so the generic entropy path applies).
+            scratch.gathered.clear();
+            scratch.gathered.reserve(list.len());
+            for &c in list {
+                let ci = c as usize;
+                scratch.gathered.push((col[ci], self.y[ci], weights[ci]));
+            }
+            for l in scratch.left.iter_mut() {
+                *l = 0.0;
+            }
+            let mut left_w = 0.0;
+            let g = &scratch.gathered;
+            for i in 0..g.len() - 1 {
+                let (v, y, w) = g[i];
+                scratch.left[y as usize] += w;
+                left_w += w;
+                let v_next = g[i + 1].0;
+                if v == v_next {
+                    continue;
+                }
+                candidates += 1;
+                let right_w = known_w - left_w;
+                if left_w < self.cfg.min_leaf || right_w < self.cfg.min_leaf {
+                    continue;
+                }
+                for (r, (&t, &l)) in scratch
+                    .right
+                    .iter_mut()
+                    .zip(scratch.known_dist.iter().zip(&scratch.left))
+                {
+                    *r = t - l;
+                }
+                let h_split = (left_w * entropy_of_counts(&scratch.left)
+                    + right_w * entropy_of_counts(&scratch.right))
+                    / known_w;
+                let gain = frac_known * (h - h_split);
+                if feat_best
+                    .map(|(_, best_g, _)| gain > best_g)
+                    .unwrap_or(true)
+                {
+                    feat_best = Some(((v + v_next) / 2.0, gain, left_w));
+                }
+            }
+        }
+        let (thr, mut gain, lo_w) = feat_best?;
+        if candidates == 0 {
+            return None;
+        }
+        // C4.5 continuous-attribute penalty.
+        gain -= (candidates as f64).log2() / list.len() as f64;
+        if gain <= 1e-9 {
+            return None;
+        }
+        // Split info over {lo, hi, missing} shares of total weight.
+        let hi_w = known_w - lo_w;
+        let si = entropy_of_counts(&[lo_w, hi_w, miss_w]);
+        if si <= 1e-9 {
+            return None;
+        }
+        Some(FeatSplit {
+            ratio: gain / si,
+            thr,
+            gain,
+            lo_w,
+            known_w,
+        })
+    }
+}
+
 impl C45Trainer {
-    /// Train on the rows `rows` of `data` (pass `0..len` for all).
+    /// Train on the rows `rows` of `data` (pass `0..len` for all;
+    /// row indices must be distinct).
+    ///
+    /// Uses the columnar pre-sorted engine (see the module docs): each
+    /// feature is sorted once, nodes filter the sorted sequences, and
+    /// the per-node split search runs across [`C45Config::threads`]
+    /// worker threads. The trained tree is bit-identical for every
+    /// thread count, and matches [`C45Trainer::fit_seed_reference`].
     pub fn fit(&self, data: &Dataset, rows: &[usize]) -> DecisionTree {
+        debug_assert!(
+            {
+                let mut seen = std::collections::HashSet::new();
+                rows.iter().all(|r| seen.insert(*r))
+            },
+            "fit requires distinct row indices"
+        );
+        assert!(
+            rows.len() < u32::MAX as usize,
+            "row count exceeds u32 range"
+        );
+        let nf = data.n_features();
+        // Column-major copy of the training rows, compact ids in
+        // caller order; -0.0 normalised so value ties are exact.
+        let cols: Vec<Vec<f64>> = (0..nf)
+            .map(|j| {
+                rows.iter()
+                    .map(|&r| {
+                        let v = data.x[r][j];
+                        if v == 0.0 {
+                            0.0
+                        } else {
+                            v
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let y: Vec<u32> = rows.iter().map(|&r| data.y[r] as u32).collect();
+        let engine = Engine {
+            cfg: self.cfg,
+            cols,
+            y,
+            n_classes: data.n_classes(),
+            threads: resolve_threads(self.cfg.threads),
+        };
+        let order = engine.presort();
+        let root_rows: Vec<(u32, f64)> = (0..rows.len() as u32).map(|c| (c, 1.0)).collect();
+        let mut weights = vec![0.0; rows.len()];
+        let mut side = vec![0u8; rows.len()];
+        let mut scratch = Scratch::new(data.n_classes());
+        let mut root = engine.build(
+            NodeCtx {
+                rows: root_rows,
+                order,
+            },
+            0,
+            &mut weights,
+            &mut side,
+            &mut scratch,
+        );
+        if !self.cfg.unpruned {
+            prune(&mut root, self.cfg.cf);
+        }
+        DecisionTree {
+            root,
+            n_classes: data.n_classes(),
+            feature_names: data.features.clone(),
+            class_names: data.classes.clone(),
+        }
+    }
+
+    /// The seed's original training path: per-node column collection
+    /// and sorting, serial split search. Kept as the semantics oracle —
+    /// [`C45Trainer::fit`] must produce byte-identical trees — and as
+    /// the baseline for the `micro` benchmark's before/after
+    /// comparison.
+    pub fn fit_seed_reference(&self, data: &Dataset, rows: &[usize]) -> DecisionTree {
         let weighted: Vec<(usize, f64)> = rows.iter().map(|&r| (r, 1.0)).collect();
-        let mut root = self.build(data, &weighted, 0);
+        let mut root = self.build_rowwise(data, &weighted, 0);
         if !self.cfg.unpruned {
             prune(&mut root, self.cfg.cf);
         }
@@ -382,14 +1005,14 @@ impl C45Trainer {
         d
     }
 
-    fn build(&self, data: &Dataset, rows: &[(usize, f64)], depth: usize) -> Node {
+    fn build_rowwise(&self, data: &Dataset, rows: &[(usize, f64)], depth: usize) -> Node {
         let dist = self.dist(data, rows);
         let total: f64 = dist.iter().sum();
         let pure = dist.iter().filter(|&&w| w > 0.0).count() <= 1;
         if pure || total < 2.0 * self.cfg.min_leaf || depth >= self.cfg.max_depth {
             return Node::Leaf { dist };
         }
-        let Some(best) = self.best_split(data, rows, &dist, total) else {
+        let Some(best) = self.best_split_rowwise(data, rows, total) else {
             return Node::Leaf { dist };
         };
         let (feat, thr, gain_w, lo_frac) = best;
@@ -414,18 +1037,25 @@ impl C45Trainer {
         if lo_rows.is_empty() || hi_rows.is_empty() {
             return Node::Leaf { dist };
         }
-        let lo = Box::new(self.build(data, &lo_rows, depth + 1));
-        let hi = Box::new(self.build(data, &hi_rows, depth + 1));
-        Node::Split { feat, thr, lo, hi, lo_frac, dist, gain_w }
+        let lo = Box::new(self.build_rowwise(data, &lo_rows, depth + 1));
+        let hi = Box::new(self.build_rowwise(data, &hi_rows, depth + 1));
+        Node::Split {
+            feat,
+            thr,
+            lo,
+            hi,
+            lo_frac,
+            dist,
+            gain_w,
+        }
     }
 
     /// Best (feature, threshold, weighted gain, lo fraction) by gain
-    /// ratio.
-    fn best_split(
+    /// ratio — the seed's per-node collect-and-sort search.
+    fn best_split_rowwise(
         &self,
         data: &Dataset,
         rows: &[(usize, f64)],
-        dist: &[f64],
         total: f64,
     ) -> Option<(usize, f64, f64, f64)> {
         let n_classes = data.n_classes();
@@ -442,12 +1072,12 @@ impl C45Trainer {
             if known.len() < 4 {
                 continue;
             }
-            known.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            known.sort_by(|a, b| a.0.total_cmp(&b.0));
             let known_w: f64 = known.iter().map(|k| k.2).sum();
             if known_w < 2.0 * self.cfg.min_leaf {
                 continue;
             }
-            let miss_w = total - known_w;
+            let miss_w = (total - known_w).max(0.0);
             let frac_known = known_w / total;
             let mut known_dist = vec![0.0; n_classes];
             for &(_, c, w) in &known {
@@ -473,18 +1103,19 @@ impl C45Trainer {
                 if left_w < self.cfg.min_leaf || right_w < self.cfg.min_leaf {
                     continue;
                 }
-                let right: Vec<f64> =
-                    known_dist.iter().zip(&left).map(|(&t, &l)| t - l).collect();
-                let h_split =
-                    (left_w * entropy_of_counts(&left) + right_w * entropy_of_counts(&right))
-                        / known_w;
+                let right: Vec<f64> = known_dist.iter().zip(&left).map(|(&t, &l)| t - l).collect();
+                let h_split = (left_w * entropy_of_counts(&left)
+                    + right_w * entropy_of_counts(&right))
+                    / known_w;
                 let gain = frac_known * (h - h_split);
                 if feat_best.map(|(_, g, _)| gain > g).unwrap_or(true) {
                     let thr = (known[i].0 + known[i + 1].0) / 2.0;
                     feat_best = Some((thr, gain, left_w));
                 }
             }
-            let Some((thr, mut gain, lo_w)) = feat_best else { continue };
+            let Some((thr, mut gain, lo_w)) = feat_best else {
+                continue;
+            };
             if candidates == 0 {
                 continue;
             }
@@ -505,7 +1136,6 @@ impl C45Trainer {
                 best = Some((feat, thr, gain * total, lo_w / known_w));
             }
         }
-        let _ = dist;
         best
     }
 }
@@ -576,7 +1206,10 @@ mod tests {
         let imp = tree.feature_importance();
         assert!(imp[1] > imp[0] * 5.0, "importances {imp:?}");
         // Accuracy on training data is near perfect.
-        let correct = rows.iter().filter(|&&r| tree.predict(&d.x[r]) == d.y[r]).count();
+        let correct = rows
+            .iter()
+            .filter(|&&r| tree.predict(&d.x[r]) == d.y[r])
+            .count();
         assert!(correct as f64 / rows.len() as f64 > 0.95);
     }
 
@@ -586,7 +1219,11 @@ mod tests {
         let mut d = dataset(&["a", "b"], &["x", "y"]);
         for i in 0..400 {
             let c = i % 2;
-            let a = if rng.chance(0.3) { f64::NAN } else { c as f64 * 4.0 + rng.normal(0.0, 0.5) };
+            let a = if rng.chance(0.3) {
+                f64::NAN
+            } else {
+                c as f64 * 4.0 + rng.normal(0.0, 0.5)
+            };
             let b = c as f64 * 4.0 + rng.normal(0.0, 0.5);
             d.push(vec![a, b], c);
         }
@@ -608,8 +1245,13 @@ mod tests {
             d.push(vec![x, rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)], c);
         }
         let rows: Vec<usize> = (0..d.len()).collect();
-        let unpruned = C45Trainer { cfg: C45Config { unpruned: true, ..Default::default() } }
-            .fit(&d, &rows);
+        let unpruned = C45Trainer {
+            cfg: C45Config {
+                unpruned: true,
+                ..Default::default()
+            },
+        }
+        .fit(&d, &rows);
         let pruned = C45Trainer::default().fit(&d, &rows);
         assert!(
             pruned.size() < unpruned.size(),
@@ -624,7 +1266,13 @@ mod tests {
         let mut d = dataset(&["v"], &["low", "mid", "high"]);
         for i in 0..300 {
             let v = i as f64 / 10.0;
-            let c = if v < 10.0 { 0 } else if v < 20.0 { 1 } else { 2 };
+            let c = if v < 10.0 {
+                0
+            } else if v < 20.0 {
+                1
+            } else {
+                2
+            };
             d.push(vec![v], c);
         }
         let rows: Vec<usize> = (0..d.len()).collect();
@@ -657,7 +1305,11 @@ mod tests {
                 vec![
                     c as f64 * 3.0 + rng.normal(0.0, 0.8),
                     rng.normal(0.0, 1.0),
-                    if rng.chance(0.2) { f64::NAN } else { c as f64 - 1.0 },
+                    if rng.chance(0.2) {
+                        f64::NAN
+                    } else {
+                        c as f64 - 1.0
+                    },
                 ],
                 c,
             );
@@ -689,10 +1341,13 @@ mod tests {
     fn deserialize_rejects_garbage() {
         assert!(DecisionTree::deserialize("nope").is_err());
         assert!(DecisionTree::deserialize("vqd-tree v1\nclasses\ta\n").is_err());
-        assert!(DecisionTree::deserialize(
-            "vqd-tree v1\nclasses\ta\tb\nfeatures\tf\nS 9 0.5 0.5 1.0 1 2\nL 1\nL 2\n"
-        )
-        .is_err(), "out-of-range feature index must fail");
+        assert!(
+            DecisionTree::deserialize(
+                "vqd-tree v1\nclasses\ta\tb\nfeatures\tf\nS 9 0.5 0.5 1.0 1 2\nL 1\nL 2\n"
+            )
+            .is_err(),
+            "out-of-range feature index must fail"
+        );
     }
 
     #[test]

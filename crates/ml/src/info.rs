@@ -5,12 +5,64 @@
 //! selector. All functions operate on discrete value indices (continuous
 //! features are discretised first — see [`crate::discretize`]).
 
+/// `k·log2(k)` and `log2(k)` for integer `k`, precomputed once: the
+/// C4.5 split sweep calls [`entropy_of_counts`] on every candidate
+/// threshold of every feature of every node, and whenever no
+/// fractional (missing-value) weights are involved the counts are
+/// exact small integers — a table lookup replaces the `log2` calls.
+pub(crate) const LOG_TABLE_LEN: usize = 4096;
+
+pub(crate) fn log_tables() -> &'static (Vec<f64>, Vec<f64>) {
+    static TABLES: std::sync::OnceLock<(Vec<f64>, Vec<f64>)> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut klogk = vec![0.0; LOG_TABLE_LEN];
+        let mut logk = vec![0.0; LOG_TABLE_LEN];
+        for k in 1..LOG_TABLE_LEN {
+            let l = (k as f64).log2();
+            klogk[k] = k as f64 * l;
+            logk[k] = l;
+        }
+        (klogk, logk)
+    })
+}
+
 /// Shannon entropy (bits) of a count vector.
+///
+/// When every count is a small non-negative integer (the common case
+/// in tree training: instance counts without fractional missing-value
+/// weights), the entropy is computed as
+/// `log2(T) − (Σ c·log2 c)/T` from precomputed log tables; otherwise
+/// it falls back to the direct `−Σ p·log2 p` sum. Both branches are
+/// pure functions of the input values, so results are reproducible
+/// across runs and thread counts.
 pub fn entropy_of_counts(counts: &[f64]) -> f64 {
-    let total: f64 = counts.iter().sum();
-    if total <= 0.0 {
+    let mut total = 0.0;
+    let mut integral = true;
+    let mut nonzero = 0u32;
+    for &c in counts {
+        total += c;
+        // `c as usize as f64 == c` ⟺ c is an exact non-negative
+        // integer in range (NaN and negatives fail the round-trip).
+        integral &= (c as usize) < LOG_TABLE_LEN && c as usize as f64 == c;
+        nonzero += (c > 0.0) as u32;
+    }
+    if total.is_nan() || total <= 0.0 || nonzero <= 1 {
+        // Empty, degenerate, single-class or NaN: entropy is exactly 0.
         return 0.0;
     }
+    if integral && (total as usize) < LOG_TABLE_LEN && total as usize as f64 == total {
+        let (klogk, logk) = log_tables();
+        let mut s = 0.0;
+        for &c in counts {
+            s += klogk[c as usize];
+        }
+        logk[total as usize] - s / total
+    } else {
+        direct_entropy(counts, total)
+    }
+}
+
+fn direct_entropy(counts: &[f64], total: f64) -> f64 {
     let mut h = 0.0;
     for &c in counts {
         if c > 0.0 {

@@ -17,7 +17,10 @@ impl ConfusionMatrix {
     /// Empty matrix over the given classes.
     pub fn new(classes: Vec<String>) -> Self {
         let n = classes.len();
-        ConfusionMatrix { classes, m: vec![vec![0; n]; n] }
+        ConfusionMatrix {
+            classes,
+            m: vec![vec![0; n]; n],
+        }
     }
 
     /// Record one prediction.

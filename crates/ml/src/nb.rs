@@ -28,8 +28,8 @@ impl NaiveBayes {
             .map(|&c| (((c + 1) as f64) / ((total + nc) as f64)).ln())
             .collect();
         let mut params = vec![vec![None; nf]; nc];
-        for c in 0..nc {
-            for f in 0..nf {
+        for (c, pc) in params.iter_mut().enumerate() {
+            for (f, pf) in pc.iter_mut().enumerate() {
                 let vals: Vec<f64> = rows
                     .iter()
                     .filter(|&&r| data.y[r] == c)
@@ -40,7 +40,7 @@ impl NaiveBayes {
                     let n = vals.len() as f64;
                     let mean = vals.iter().sum::<f64>() / n;
                     let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-                    params[c][f] = Some((mean, var.max(1e-9)));
+                    *pf = Some((mean, var.max(1e-9)));
                 }
             }
         }
@@ -58,7 +58,8 @@ impl NaiveBayes {
                     continue;
                 }
                 if let Some((mean, var)) = self.params[c][f] {
-                    ll += -0.5 * ((v - mean).powi(2) / var + var.ln() + (2.0 * std::f64::consts::PI).ln());
+                    ll += -0.5
+                        * ((v - mean).powi(2) / var + var.ln() + (2.0 * std::f64::consts::PI).ln());
                 }
             }
             if ll > best_ll {
@@ -82,13 +83,19 @@ mod tests {
         for _ in 0..400 {
             let c = rng.index(2);
             d.push(
-                vec![rng.normal(c as f64 * 5.0, 1.0), rng.normal(-(c as f64) * 3.0, 1.0)],
+                vec![
+                    rng.normal(c as f64 * 5.0, 1.0),
+                    rng.normal(-(c as f64) * 3.0, 1.0),
+                ],
                 c,
             );
         }
         let rows: Vec<usize> = (0..d.len()).collect();
         let nb = NaiveBayes::fit(&d, &rows);
-        let acc = rows.iter().filter(|&&r| nb.predict(&d.x[r]) == d.y[r]).count() as f64
+        let acc = rows
+            .iter()
+            .filter(|&&r| nb.predict(&d.x[r]) == d.y[r])
+            .count() as f64
             / rows.len() as f64;
         assert!(acc > 0.97, "acc {acc}");
     }

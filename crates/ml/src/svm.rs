@@ -21,7 +21,11 @@ pub struct SvmConfig {
 
 impl Default for SvmConfig {
     fn default() -> Self {
-        SvmConfig { lambda: 1e-4, epochs: 20, seed: 7 }
+        SvmConfig {
+            lambda: 1e-4,
+            epochs: 20,
+            seed: 7,
+        }
     }
 }
 
@@ -43,8 +47,11 @@ impl LinearSvm {
         let mut mean = vec![0.0; nf];
         let mut std = vec![1.0; nf];
         for f in 0..nf {
-            let vals: Vec<f64> =
-                rows.iter().map(|&r| data.x[r][f]).filter(|v| !v.is_nan()).collect();
+            let vals: Vec<f64> = rows
+                .iter()
+                .map(|&r| data.x[r][f])
+                .filter(|v| !v.is_nan())
+                .collect();
             if vals.len() >= 2 {
                 let m = vals.iter().sum::<f64>() / vals.len() as f64;
                 let v = vals.iter().map(|x| (x - m).powi(2)).sum::<f64>() / vals.len() as f64;
@@ -70,16 +77,16 @@ impl LinearSvm {
                 for (c, wc) in w.iter_mut().enumerate() {
                     let y = if data.y[r] == c { 1.0 } else { -1.0 };
                     let mut score = wc[nf];
-                    for f in 0..nf {
-                        score += wc[f] * feat(r, f);
+                    for (f, &wv) in wc[..nf].iter().enumerate() {
+                        score += wv * feat(r, f);
                     }
                     // λ-shrink then hinge step.
                     for v in wc.iter_mut() {
                         *v *= 1.0 - eta * cfg.lambda;
                     }
                     if y * score < 1.0 {
-                        for f in 0..nf {
-                            wc[f] += eta * y * feat(r, f);
+                        for (f, wv) in wc[..nf].iter_mut().enumerate() {
+                            *wv += eta * y * feat(r, f);
                         }
                         wc[nf] += eta * y;
                     }
@@ -99,7 +106,11 @@ impl LinearSvm {
             let mut s = wc[nf];
             for f in 0..nf {
                 let v = x[f];
-                let z = if v.is_nan() { 0.0 } else { (v - self.mean[f]) / self.std[f] };
+                let z = if v.is_nan() {
+                    0.0
+                } else {
+                    (v - self.mean[f]) / self.std[f]
+                };
                 s += wc[f] * z;
             }
             if s > best_s {
@@ -127,7 +138,10 @@ mod tests {
         }
         let rows: Vec<usize> = (0..d.len()).collect();
         let svm = LinearSvm::fit(&d, &rows, SvmConfig::default());
-        let acc = rows.iter().filter(|&&r| svm.predict(&d.x[r]) == d.y[r]).count() as f64
+        let acc = rows
+            .iter()
+            .filter(|&&r| svm.predict(&d.x[r]) == d.y[r])
+            .count() as f64
             / rows.len() as f64;
         assert!(acc > 0.97, "acc {acc}");
     }
@@ -149,7 +163,10 @@ mod tests {
         }
         let rows: Vec<usize> = (0..d.len()).collect();
         let svm = LinearSvm::fit(&d, &rows, SvmConfig::default());
-        let acc = rows.iter().filter(|&&r| svm.predict(&d.x[r]) == d.y[r]).count() as f64
+        let acc = rows
+            .iter()
+            .filter(|&&r| svm.predict(&d.x[r]) == d.y[r])
+            .count() as f64
             / rows.len() as f64;
         assert!(acc > 0.95, "acc {acc}");
     }

@@ -62,7 +62,13 @@ pub struct NicAccum {
 }
 
 impl NicAccum {
-    fn new(label: String, link_out: LinkId, link_in: Option<LinkId>, peer: HostId, wireless: bool) -> Self {
+    fn new(
+        label: String,
+        link_out: LinkId,
+        link_in: Option<LinkId>,
+        peer: HostId,
+        wireless: bool,
+    ) -> Self {
         NicAccum {
             label,
             link_out,
@@ -112,7 +118,10 @@ pub struct SamplerApp {
 impl SamplerApp {
     /// Sampler over the given vantage points.
     pub fn new(vps: Vec<VpHandle>) -> Self {
-        SamplerApp { vps, interval: SimDuration::from_secs(1) }
+        SamplerApp {
+            vps,
+            interval: SimDuration::from_secs(1),
+        }
     }
 
     fn discover_nics(vp: &VpHandle, ctl: &Ctl) {
@@ -143,7 +152,8 @@ impl SamplerApp {
                         }
                     });
                 next_idx += 1;
-                vp.nics.push(NicAccum::new(label, out, link_in, peer, wireless));
+                vp.nics
+                    .push(NicAccum::new(label, out, link_in, peer, wireless));
             }
         }
     }

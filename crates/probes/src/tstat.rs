@@ -71,11 +71,7 @@ impl SeqTracker {
             }
         }
         // Merge with successors.
-        let followers: Vec<u64> = self
-            .seen
-            .range(start..=stop)
-            .map(|(&s, _)| s)
-            .collect();
+        let followers: Vec<u64> = self.seen.range(start..=stop).map(|(&s, _)| s).collect();
         for s in followers {
             let e = self.seen.remove(&s).unwrap();
             stop = stop.max(e);
@@ -175,7 +171,8 @@ impl FlowAnalyzer {
         let ds = &mut self.dir[d];
         ds.pkts += 1;
         ds.bytes += hdr.len as u64 + vqd_simnet::packet::TCP_HEADER_BYTES as u64;
-        ds.pkt_size.add(hdr.len as f64 + vqd_simnet::packet::TCP_HEADER_BYTES as f64);
+        ds.pkt_size
+            .add(hdr.len as f64 + vqd_simnet::packet::TCP_HEADER_BYTES as f64);
         if let Some(prev) = ds.last_pkt_at {
             ds.interarrival.add(now.since(prev).as_secs_f64());
         }
@@ -291,7 +288,10 @@ mod tests {
         let mut a = FlowAnalyzer::default();
         // Server data with tsval=100 at t=1ms; client ACK echoing 100
         // at t=21ms → 20 ms RTT sample for the s2c direction.
-        a.observe(SimTime(1_000_000), &hdr(false, 0, 1000, 0, TcpFlags::DATA, 100));
+        a.observe(
+            SimTime(1_000_000),
+            &hdr(false, 0, 1000, 0, TcpFlags::DATA, 100),
+        );
         let mut ack = hdr(true, 1, 0, 1000, TcpFlags::DATA, 200);
         ack.tsecr = SimTime(100);
         a.observe(SimTime(21_000_000), &ack);
@@ -313,9 +313,18 @@ mod tests {
     #[test]
     fn first_payload_delay() {
         let mut a = FlowAnalyzer::default();
-        a.observe(SimTime::from_millis(5), &hdr(true, 0, 0, 0, TcpFlags::SYN, 1));
-        a.observe(SimTime::from_millis(55), &hdr(false, 0, 0, 1, TcpFlags::SYN_ACK, 2));
-        a.observe(SimTime::from_millis(205), &hdr(false, 1, 1000, 1, TcpFlags::DATA, 3));
+        a.observe(
+            SimTime::from_millis(5),
+            &hdr(true, 0, 0, 0, TcpFlags::SYN, 1),
+        );
+        a.observe(
+            SimTime::from_millis(55),
+            &hdr(false, 0, 0, 1, TcpFlags::SYN_ACK, 2),
+        );
+        a.observe(
+            SimTime::from_millis(205),
+            &hdr(false, 1, 1000, 1, TcpFlags::DATA, 3),
+        );
         assert!((a.first_payload_delay_s() - 0.200).abs() < 1e-9);
         assert!((a.duration_s() - 0.200).abs() < 1e-9);
     }

@@ -103,7 +103,11 @@ impl VpData {
         p(out, "iat_avg", d.interarrival.mean());
         p(out, "iat_max", d.interarrival.max());
         p(out, "iat_std", d.interarrival.std());
-        let tput = if dur_s > 0.0 { d.data_bytes as f64 * 8.0 / dur_s } else { 0.0 };
+        let tput = if dur_s > 0.0 {
+            d.data_bytes as f64 * 8.0 / dur_s
+        } else {
+            0.0
+        };
         p(out, "throughput_bps", tput);
     }
 
@@ -120,10 +124,20 @@ impl VpData {
         Self::dir_metrics(&mut out, vp, "c2s", &a.dir[0], dur);
         Self::dir_metrics(&mut out, vp, "s2c", &a.dir[1], dur);
         Self::push(&mut out, vp, "tcp.duration_s", dur);
-        Self::push(&mut out, vp, "tcp.first_payload_delay", a.first_payload_delay_s());
+        Self::push(
+            &mut out,
+            vp,
+            "tcp.first_payload_delay",
+            a.first_payload_delay_s(),
+        );
         Self::push(&mut out, vp, "tcp.syn_count", a.syn_count as f64);
         Self::push(&mut out, vp, "tcp.fin_count", a.fin_count as f64);
-        Self::push(&mut out, vp, "tcp.total_pkts", (a.dir[0].pkts + a.dir[1].pkts) as f64);
+        Self::push(
+            &mut out,
+            vp,
+            "tcp.total_pkts",
+            (a.dir[0].pkts + a.dir[1].pkts) as f64,
+        );
         Self::push(
             &mut out,
             vp,
@@ -158,8 +172,18 @@ impl VpData {
                 Self::push(&mut out, vp, &format!("{g}.{n}_max"), w.max());
                 Self::push(&mut out, vp, &format!("{g}.{n}_std"), w.std());
             }
-            Self::push(&mut out, vp, &format!("{g}.tail_drops"), nic.tail_drops as f64);
-            Self::push(&mut out, vp, &format!("{g}.loss_drops"), nic.loss_drops as f64);
+            Self::push(
+                &mut out,
+                vp,
+                &format!("{g}.tail_drops"),
+                nic.tail_drops as f64,
+            );
+            Self::push(
+                &mut out,
+                vp,
+                &format!("{g}.loss_drops"),
+                nic.loss_drops as f64,
+            );
             Self::push(&mut out, vp, &format!("{g}.mac_retx"), nic.mac_retx as f64);
         }
 
@@ -175,8 +199,18 @@ impl VpData {
             Self::push(&mut out, vp, "phy.rate_min", phy.phy_rate.min());
             Self::push(&mut out, vp, "phy.busy_avg", phy.busy.mean());
             Self::push(&mut out, vp, "phy.busy_max", phy.busy.max());
-            Self::push(&mut out, vp, "phy.disconnections", phy.disconnections as f64);
-            Self::push(&mut out, vp, "phy.disconnected_samples", phy.disconnected_samples as f64);
+            Self::push(
+                &mut out,
+                vp,
+                "phy.disconnections",
+                phy.disconnections as f64,
+            );
+            Self::push(
+                &mut out,
+                vp,
+                "phy.disconnected_samples",
+                phy.disconnected_samples as f64,
+            );
         }
         Some(out)
     }
@@ -207,7 +241,9 @@ impl ProbeSet {
 
 impl PacketObserver for ProbeSet {
     fn observe(&mut self, now: SimTime, tap: TapPoint, pkt: &Packet) {
-        let TransportHdr::Tcp(hdr) = &pkt.hdr else { return };
+        let TransportHdr::Tcp(hdr) = &pkt.hdr else {
+            return;
+        };
         // A transit host (the router) sees every forwarded packet at
         // two taps: ingress Rx and egress Tx. Count each packet once -
         // on Rx, plus Tx for locally originated traffic - the view of
@@ -287,7 +323,11 @@ mod tests {
         ];
         let obs = ProbeSet::new(vps.clone());
         let mut sim = Harness::with_observer(net, obs);
-        sim.add_app(Box::new(Fetch { a: m, b: s, reply: 400_000 }));
+        sim.add_app(Box::new(Fetch {
+            a: m,
+            b: s,
+            reply: 400_000,
+        }));
         sim.add_app(Box::new(SamplerApp::new(vps.clone())));
         sim.run_until(SimTime::from_secs(30));
         (vps, FlowId(0))
@@ -298,7 +338,9 @@ mod tests {
         let (vps, flow) = run_three_hop();
         for vp in &vps {
             let vp = vp.borrow();
-            let m = vp.metrics_for(flow).unwrap_or_else(|| panic!("{} missing flow", vp.name));
+            let m = vp
+                .metrics_for(flow)
+                .unwrap_or_else(|| panic!("{} missing flow", vp.name));
             assert!(m.len() > 80, "{} has {} metrics", vp.name, m.len());
             // All names carry the VP prefix.
             assert!(m.iter().all(|(n, _)| n.starts_with(&vp.name)));

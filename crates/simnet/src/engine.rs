@@ -286,7 +286,11 @@ impl Network {
     fn schedule(&mut self, delay: SimDuration, ev: Ev) {
         let at = self.now + delay;
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq: self.seq, ev }));
+        self.heap.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            ev,
+        }));
     }
 
     // ------------------------------------------------------------------
@@ -305,7 +309,15 @@ impl Network {
             obs.on_drop(self.now, LinkId(u32::MAX), &pkt, DropKind::NoRoute);
             return;
         };
-        obs.observe(self.now, TapPoint { host, link: link_id, dir: TapDir::Tx }, &pkt);
+        obs.observe(
+            self.now,
+            TapPoint {
+                host,
+                link: link_id,
+                dir: TapDir::Tx,
+            },
+            &pkt,
+        );
         let link = &mut self.links[link_id.idx()];
         match link.enqueue(pkt) {
             EnqueueOutcome::AcceptedIdle => self.start_tx(link_id),
@@ -394,7 +406,15 @@ impl Network {
             link.ctr.delivered_pkts += 1;
             link.ctr.delivered_bytes += pkt.size as u64;
         }
-        obs.observe(self.now, TapPoint { host: to, link: link_id, dir: TapDir::Rx }, &pkt);
+        obs.observe(
+            self.now,
+            TapPoint {
+                host: to,
+                link: link_id,
+                dir: TapDir::Rx,
+            },
+            &pkt,
+        );
         if pkt.dst != to {
             // Transit hop: forward on.
             self.forward_from(to, pkt, obs);
@@ -430,7 +450,14 @@ impl Network {
 
     fn apply_tcp_actions(&mut self, flow: FlowId, out: TcpActions, obs: &mut dyn PacketObserver) {
         for t in &out.timers {
-            self.schedule(t.delay, Ev::TcpTimer { flow, side: t.side, gen: t.gen });
+            self.schedule(
+                t.delay,
+                Ev::TcpTimer {
+                    flow,
+                    side: t.side,
+                    gen: t.gen,
+                },
+            );
         }
         for ev in out.events {
             self.route_tcp_event(flow, ev);
@@ -481,7 +508,9 @@ impl Network {
             Ev::LinkTxDone { link } => self.link_tx_done(link, obs),
             Ev::Deliver { link, pkt } => self.deliver(link, pkt, obs),
             Ev::TcpTimer { flow, side, gen } => {
-                let Some(f) = self.flows.get_mut(flow.idx()) else { return };
+                let Some(f) = self.flows.get_mut(flow.idx()) else {
+                    return;
+                };
                 if !f.timer_valid(side, gen) {
                     return;
                 }
@@ -556,7 +585,9 @@ impl<'a> Ctl<'a> {
 
     /// Queue `bytes` of application data for sending from `side`.
     pub fn tcp_send_from(&mut self, flow: FlowId, side: Side, bytes: u64) {
-        let Some(f) = self.net.flows.get_mut(flow.idx()) else { return };
+        let Some(f) = self.net.flows.get_mut(flow.idx()) else {
+            return;
+        };
         let mut out = TcpActions::default();
         f.app_send(side, bytes, self.net.now, &mut out);
         self.net.apply_tcp_actions(flow, out, self.obs);
@@ -569,7 +600,9 @@ impl<'a> Ctl<'a> {
 
     /// Read up to `max` in-order bytes at `side`; returns the count.
     pub fn tcp_read_at(&mut self, flow: FlowId, side: Side, max: u64) -> u64 {
-        let Some(f) = self.net.flows.get_mut(flow.idx()) else { return 0 };
+        let Some(f) = self.net.flows.get_mut(flow.idx()) else {
+            return 0;
+        };
         let mut out = TcpActions::default();
         let n = f.app_read(side, max, self.net.now, &mut out);
         self.net.apply_tcp_actions(flow, out, self.obs);
@@ -583,7 +616,9 @@ impl<'a> Ctl<'a> {
 
     /// Half-close `side` after everything queued has been sent.
     pub fn tcp_close_from(&mut self, flow: FlowId, side: Side) {
-        let Some(f) = self.net.flows.get_mut(flow.idx()) else { return };
+        let Some(f) = self.net.flows.get_mut(flow.idx()) else {
+            return;
+        };
         let mut out = TcpActions::default();
         f.app_close(side, self.net.now, &mut out);
         self.net.apply_tcp_actions(flow, out, self.obs);
@@ -597,7 +632,9 @@ impl<'a> Ctl<'a> {
 
     /// Abort a flow immediately.
     pub fn tcp_abort(&mut self, flow: FlowId) {
-        let Some(f) = self.net.flows.get_mut(flow.idx()) else { return };
+        let Some(f) = self.net.flows.get_mut(flow.idx()) else {
+            return;
+        };
         let mut out = TcpActions::default();
         f.abort(self.net.now, &mut out);
         self.net.apply_tcp_actions(flow, out, self.obs);
@@ -605,7 +642,16 @@ impl<'a> Ctl<'a> {
 
     /// Send a UDP datagram.
     pub fn udp_send(&mut self, src: HostId, dst: HostId, src_port: u16, dst_port: u16, len: u32) {
-        let pkt = Packet::udp(src, dst, UdpHdr { dst_port, src_port, len }, self.net.now);
+        let pkt = Packet::udp(
+            src,
+            dst,
+            UdpHdr {
+                dst_port,
+                src_port,
+                len,
+            },
+            self.net.now,
+        );
         self.net.inject(pkt, self.obs);
     }
 
@@ -650,14 +696,24 @@ impl Harness<NullObserver> {
     /// Harness without packet observation; reseeds the network RNG.
     pub fn new(mut net: Network, seed: u64) -> Self {
         net.rng = SimRng::seed_from_u64(seed);
-        Harness { net, obs: NullObserver, apps: Vec::new(), started: false }
+        Harness {
+            net,
+            obs: NullObserver,
+            apps: Vec::new(),
+            started: false,
+        }
     }
 }
 
 impl<O: PacketObserver> Harness<O> {
     /// Harness with a packet observer.
     pub fn with_observer(net: Network, obs: O) -> Self {
-        Harness { net, obs, apps: Vec::new(), started: false }
+        Harness {
+            net,
+            obs,
+            apps: Vec::new(),
+            started: false,
+        }
     }
 
     /// Register an application; returns its id.
@@ -671,13 +727,21 @@ impl<O: PacketObserver> Harness<O> {
             match note {
                 AppNote::Tcp(app, ev) => {
                     let mut a = std::mem::replace(&mut self.apps[app.idx()], Box::new(NoApp));
-                    let mut ctl = Ctl { net: &mut self.net, obs: &mut self.obs, app };
+                    let mut ctl = Ctl {
+                        net: &mut self.net,
+                        obs: &mut self.obs,
+                        app,
+                    };
                     a.on_tcp(ev, &mut ctl);
                     self.apps[app.idx()] = a;
                 }
                 AppNote::Udp(app, ev) => {
                     let mut a = std::mem::replace(&mut self.apps[app.idx()], Box::new(NoApp));
-                    let mut ctl = Ctl { net: &mut self.net, obs: &mut self.obs, app };
+                    let mut ctl = Ctl {
+                        net: &mut self.net,
+                        obs: &mut self.obs,
+                        app,
+                    };
                     a.on_udp(ev, &mut ctl);
                     self.apps[app.idx()] = a;
                 }
@@ -693,14 +757,17 @@ impl<O: PacketObserver> Harness<O> {
             for i in 0..self.apps.len() {
                 let app = AppId(i as u32);
                 let mut a = std::mem::replace(&mut self.apps[i], Box::new(NoApp));
-                let mut ctl = Ctl { net: &mut self.net, obs: &mut self.obs, app };
+                let mut ctl = Ctl {
+                    net: &mut self.net,
+                    obs: &mut self.obs,
+                    app,
+                };
                 a.start(&mut ctl);
                 self.apps[i] = a;
             }
         }
         self.drain_notes();
-        loop {
-            let Some(Reverse(top)) = self.net.heap.peek() else { break };
+        while let Some(Reverse(top)) = self.net.heap.peek() {
             if top.at > t {
                 break;
             }
@@ -709,7 +776,11 @@ impl<O: PacketObserver> Harness<O> {
             match sch.ev {
                 Ev::AppTimer { app, token } => {
                     let mut a = std::mem::replace(&mut self.apps[app.idx()], Box::new(NoApp));
-                    let mut ctl = Ctl { net: &mut self.net, obs: &mut self.obs, app };
+                    let mut ctl = Ctl {
+                        net: &mut self.net,
+                        obs: &mut self.obs,
+                        app,
+                    };
                     a.on_timer(token, &mut ctl);
                     self.apps[app.idx()] = a;
                 }
@@ -806,8 +877,17 @@ mod tests {
     fn request_response_over_clean_wire() {
         let (net, a, b) = two_host_net(LinkConfig::ethernet(10_000_000));
         let mut sim = Harness::new(net, 1);
-        sim.add_app(Box::new(Client { client: a, server: b, got: 0, flow: None, done_at: None }));
-        sim.add_app(Box::new(Server { host: b, reply: 500_000 }));
+        sim.add_app(Box::new(Client {
+            client: a,
+            server: b,
+            got: 0,
+            flow: None,
+            done_at: None,
+        }));
+        sim.add_app(Box::new(Server {
+            host: b,
+            reply: 500_000,
+        }));
         sim.run_until(SimTime::from_secs(30));
         let fs = sim.net.flow_stats(FlowId(0)).unwrap();
         assert!(fs.complete, "state={:?}", fs.state);
@@ -818,15 +898,37 @@ mod tests {
 
     #[test]
     fn transfer_survives_lossy_link() {
-        let mut cfg = LinkConfig::ethernet(5_000_000);
-        cfg.loss = 0.02;
-        let (net, a, b) = two_host_net(cfg);
+        // Loss on the server→client (data) direction only: cumulative
+        // ACKs absorb reverse-path drops without forcing a resend, so
+        // a duplex-lossy link can complete with zero retransmissions
+        // for seeds whose drops all land on the ACK path (as seed 7's
+        // do) — which is exactly what this test must not depend on.
+        let mut lossy = LinkConfig::ethernet(5_000_000);
+        lossy.loss = 0.02;
+        let mut tb = TopologyBuilder::new();
+        let a = tb.add_host("client");
+        let b = tb.add_host("server");
+        tb.add_duplex_link_asym(a, b, LinkConfig::ethernet(5_000_000), lossy);
+        let net = tb.build();
         let mut sim = Harness::new(net, 7);
-        sim.add_app(Box::new(Client { client: a, server: b, got: 0, flow: None, done_at: None }));
-        sim.add_app(Box::new(Server { host: b, reply: 300_000 }));
+        sim.add_app(Box::new(Client {
+            client: a,
+            server: b,
+            got: 0,
+            flow: None,
+            done_at: None,
+        }));
+        sim.add_app(Box::new(Server {
+            host: b,
+            reply: 300_000,
+        }));
         sim.run_until(SimTime::from_secs(120));
         let fs = sim.net.flow_stats(FlowId(0)).unwrap();
-        assert!(fs.complete, "lossy transfer must still finish: {:?}", fs.state);
+        assert!(
+            fs.complete,
+            "lossy transfer must still finish: {:?}",
+            fs.state
+        );
         let f = sim.net.flow(FlowId(0)).unwrap();
         assert!(
             f.endpoint(Side::Server).stats.retx_pkts > 0,
@@ -842,8 +944,17 @@ mod tests {
             cfg.jitter_sd = SimDuration::from_millis(3);
             let (net, a, b) = two_host_net(cfg);
             let mut sim = Harness::new(net, seed);
-            sim.add_app(Box::new(Client { client: a, server: b, got: 0, flow: None, done_at: None }));
-            sim.add_app(Box::new(Server { host: b, reply: 400_000 }));
+            sim.add_app(Box::new(Client {
+                client: a,
+                server: b,
+                got: 0,
+                flow: None,
+                done_at: None,
+            }));
+            sim.add_app(Box::new(Server {
+                host: b,
+                reply: 400_000,
+            }));
             sim.run_until(SimTime::from_secs(60));
             let f = sim.net.flow(FlowId(0)).unwrap();
             (
@@ -869,8 +980,17 @@ mod tests {
         tb.add_duplex_link(r, b, thin);
         let net = tb.build();
         let mut sim = Harness::new(net, 5);
-        sim.add_app(Box::new(Client { client: a, server: b, got: 0, flow: None, done_at: None }));
-        sim.add_app(Box::new(Server { host: b, reply: 2_000_000 }));
+        sim.add_app(Box::new(Client {
+            client: a,
+            server: b,
+            got: 0,
+            flow: None,
+            done_at: None,
+        }));
+        sim.add_app(Box::new(Server {
+            host: b,
+            reply: 2_000_000,
+        }));
         sim.run_until(SimTime::from_secs(60));
         let fs = sim.net.flow_stats(FlowId(0)).unwrap();
         assert!(fs.complete);
@@ -919,7 +1039,10 @@ mod tests {
         let got = std::rc::Rc::new(std::cell::Cell::new(0));
         let mut sim = Harness::new(net, 1);
         sim.add_app(Box::new(Blaster { src: a, dst: b }));
-        sim.add_app(Box::new(Sink { host: b, got: got.clone() }));
+        sim.add_app(Box::new(Sink {
+            host: b,
+            got: got.clone(),
+        }));
         sim.run_until(SimTime::from_secs(1));
         assert!(got.get() >= 99, "got {}", got.get());
     }
@@ -941,8 +1064,17 @@ mod tests {
         }
         let (net, a, b) = two_host_net(LinkConfig::ethernet(10_000_000));
         let mut sim = Harness::with_observer(net, Counter::default());
-        sim.add_app(Box::new(Client { client: a, server: b, got: 0, flow: None, done_at: None }));
-        sim.add_app(Box::new(Server { host: b, reply: 50_000 }));
+        sim.add_app(Box::new(Client {
+            client: a,
+            server: b,
+            got: 0,
+            flow: None,
+            done_at: None,
+        }));
+        sim.add_app(Box::new(Server {
+            host: b,
+            reply: 50_000,
+        }));
         sim.run_until(SimTime::from_secs(10));
         assert!(sim.obs.tx > 40);
         // No loss: every transmitted packet was received.

@@ -28,7 +28,11 @@ impl CpuModel {
     /// A CPU with the given core count.
     pub fn new(cores: f64) -> Self {
         assert!(cores > 0.0);
-        CpuModel { cores, demands: Vec::new(), next_token: 0 }
+        CpuModel {
+            cores,
+            demands: Vec::new(),
+            next_token: 0,
+        }
     }
 
     /// Register a demand slot; returns a token used to update/remove it.
@@ -95,7 +99,12 @@ impl MemoryModel {
     /// A memory model with the given size and baseline occupancy.
     pub fn new(total_mb: f64, baseline_mb: f64) -> Self {
         assert!(total_mb > 0.0 && baseline_mb >= 0.0);
-        MemoryModel { total_mb, baseline_mb, used: Vec::new(), next_token: 0 }
+        MemoryModel {
+            total_mb,
+            baseline_mb,
+            used: Vec::new(),
+            next_token: 0,
+        }
     }
 
     /// Register a usage slot; returns its token.
@@ -182,7 +191,7 @@ mod tests {
     fn cpu_proportional_share() {
         let mut cpu = CpuModel::new(2.0);
         let _bg = cpu.register(3.0); // stress-style load
-        // A decoder wanting 1 core gets 2 * 1/(3+1) = 0.5 cores.
+                                     // A decoder wanting 1 core gets 2 * 1/(3+1) = 0.5 cores.
         let got = cpu.granted(1.0, None);
         assert!((got - 0.5).abs() < 1e-12);
         // With headroom it gets everything it asks for.

@@ -241,7 +241,9 @@ impl OneWayLink {
 
     /// Finish the in-flight transmission, returning the packet.
     pub fn finish_tx(&mut self) -> Packet {
-        self.in_flight.take().expect("finish_tx with nothing in flight")
+        self.in_flight
+            .take()
+            .expect("finish_tx with nothing in flight")
     }
 
     /// Whether another packet is waiting behind the transmitter.
@@ -314,8 +316,8 @@ impl OneWayLink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{TcpFlags, TcpHdr};
     use crate::ids::FlowId;
+    use crate::packet::{TcpFlags, TcpHdr};
 
     fn pkt(size_payload: u32) -> Packet {
         Packet::tcp(

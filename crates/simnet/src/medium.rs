@@ -100,7 +100,11 @@ pub struct PerfectMedium {
 impl PerfectMedium {
     /// A perfect medium at the given rate.
     pub fn new(rate_bps: u64) -> Self {
-        PerfectMedium { rate_bps, busy_until: SimTime::ZERO, busy_ns: 0 }
+        PerfectMedium {
+            rate_bps,
+            busy_until: SimTime::ZERO,
+            busy_ns: 0,
+        }
     }
 }
 
@@ -118,7 +122,12 @@ impl SharedMedium for PerfectMedium {
         let access_delay = start - now;
         self.busy_until = start + airtime;
         self.busy_ns += airtime.0;
-        MediumGrant { access_delay, airtime, delivered: true, mac_retries: 0 }
+        MediumGrant {
+            access_delay,
+            airtime,
+            delivered: true,
+            mac_retries: 0,
+        }
     }
 
     fn snapshot(&self, _station: HostId) -> Option<PhySnapshot> {

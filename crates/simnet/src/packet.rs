@@ -28,13 +28,29 @@ pub struct TcpFlags {
 
 impl TcpFlags {
     /// Plain data/ack segment.
-    pub const DATA: TcpFlags = TcpFlags { syn: false, fin: false, ack: true };
+    pub const DATA: TcpFlags = TcpFlags {
+        syn: false,
+        fin: false,
+        ack: true,
+    };
     /// Initial SYN.
-    pub const SYN: TcpFlags = TcpFlags { syn: true, fin: false, ack: false };
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        fin: false,
+        ack: false,
+    };
     /// SYN-ACK.
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, fin: false, ack: true };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        fin: false,
+        ack: true,
+    };
     /// FIN(+ACK).
-    pub const FIN: TcpFlags = TcpFlags { syn: false, fin: true, ack: true };
+    pub const FIN: TcpFlags = TcpFlags {
+        syn: false,
+        fin: true,
+        ack: true,
+    };
 }
 
 /// A TCP segment header.
@@ -191,13 +207,18 @@ mod tests {
 
     #[test]
     fn udp_packet_size() {
-        let h = UdpHdr { dst_port: 5001, src_port: 40000, len: 1000 };
+        let h = UdpHdr {
+            dst_port: 5001,
+            src_port: 40000,
+            len: 1000,
+        };
         let p = Packet::udp(HostId(2), HostId(3), h, SimTime::ZERO);
         assert_eq!(p.size, 1000 + UDP_HEADER_BYTES);
         assert!(p.tcp_hdr().is_none());
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn flag_constants() {
         assert!(TcpFlags::SYN.syn && !TcpFlags::SYN.ack);
         assert!(TcpFlags::SYN_ACK.syn && TcpFlags::SYN_ACK.ack);

@@ -68,7 +68,11 @@ pub enum TcpAppEvent {
     /// the SYN-ACK is sent — i.e. when the initiator may transmit).
     Connected { flow: FlowId },
     /// In-order data is waiting to be read at `side`.
-    DataAvailable { flow: FlowId, side: Side, available: u64 },
+    DataAvailable {
+        flow: FlowId,
+        side: Side,
+        available: u64,
+    },
     /// Everything the application asked to send from `side` has been
     /// acknowledged.
     SendDrained { flow: FlowId, side: Side },
@@ -368,7 +372,15 @@ impl TcpFlow {
         }
     }
 
-    fn hdr(&self, side: Side, seq: u64, len: u32, flags: TcpFlags, now: SimTime, is_retx: bool) -> TcpHdr {
+    fn hdr(
+        &self,
+        side: Side,
+        seq: u64,
+        len: u32,
+        flags: TcpFlags,
+        now: SimTime,
+        is_retx: bool,
+    ) -> TcpHdr {
         let ep = &self.ep[side.idx()];
         TcpHdr {
             flow: self.id,
@@ -382,12 +394,26 @@ impl TcpFlow {
             wnd: ep.rcv_wnd(),
             mss: ep.mss_local,
             tsval: now,
-            tsecr: if flags.ack { ep.ts_to_echo } else { SimTime::ZERO },
+            tsecr: if flags.ack {
+                ep.ts_to_echo
+            } else {
+                SimTime::ZERO
+            },
             is_retx,
         }
     }
 
-    fn emit(&mut self, side: Side, seq: u64, len: u32, flags: TcpFlags, now: SimTime, is_retx: bool, out: &mut TcpActions) {
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &mut self,
+        side: Side,
+        seq: u64,
+        len: u32,
+        flags: TcpFlags,
+        now: SimTime,
+        is_retx: bool,
+        out: &mut TcpActions,
+    ) {
         let hdr = self.hdr(side, seq, len, flags, now, is_retx);
         let src = self.ep[side.idx()].host;
         let dst = self.ep[side.other().idx()].host;
@@ -399,7 +425,11 @@ impl TcpFlow {
         let ep = &mut self.ep[side.idx()];
         ep.timer_gen += 1;
         ep.timer_armed = true;
-        out.timers.push(TimerArm { side, delay: ep.current_rto(), gen: ep.timer_gen });
+        out.timers.push(TimerArm {
+            side,
+            delay: ep.current_rto(),
+            gen: ep.timer_gen,
+        });
     }
 
     fn cancel_timer(&mut self, side: Side) {
@@ -449,10 +479,7 @@ impl TcpFlow {
         let wnd_after = ep.rcv_wnd();
         // Window-update ACK when the window grows from (near) zero —
         // the peer may be persist-blocked on it.
-        if self.state == FlowState::Established
-            && wnd_before < ep.mss
-            && wnd_after >= ep.mss
-        {
+        if self.state == FlowState::Established && wnd_before < ep.mss && wnd_after >= ep.mss {
             let seq = ep.snd_nxt;
             self.emit(side, seq, 0, TcpFlags::DATA, now, false, out);
         }
@@ -598,7 +625,11 @@ impl TcpFlow {
 
         // Server completes the handshake on the first ACK that covers
         // its SYN.
-        if self.state == FlowState::Connecting && side == Side::Server && hdr.flags.ack && hdr.ack >= 1 {
+        if self.state == FlowState::Connecting
+            && side == Side::Server
+            && hdr.flags.ack
+            && hdr.ack >= 1
+        {
             self.state = FlowState::Established;
             self.established_at = Some(now);
             let ep = &mut self.ep[Side::Server.idx()];
@@ -714,7 +745,10 @@ impl TcpFlow {
         let ep = &mut self.ep[side.idx()];
         if !ep.drained_notified && ep.acked_data() >= ep.app_limit {
             ep.drained_notified = true;
-            out.events.push(TcpAppEvent::SendDrained { flow: self.id, side });
+            out.events.push(TcpAppEvent::SendDrained {
+                flow: self.id,
+                side,
+            });
         }
     }
 
@@ -773,7 +807,11 @@ impl TcpFlow {
             ep.stats.retx_pkts += 1;
             ep.stats.retx_bytes += len as u64;
         }
-        let flags = if is_fin { TcpFlags::FIN } else { TcpFlags::DATA };
+        let flags = if is_fin {
+            TcpFlags::FIN
+        } else {
+            TcpFlags::DATA
+        };
         self.emit(side, seq, len, flags, now, true, out);
     }
 
@@ -805,7 +843,10 @@ impl TcpFlow {
                 } else if seg_start > ep.rcv_nxt {
                     // Out of order: hole before this segment.
                     ep.stats.ooo_pkts += 1;
-                    ep.ooo.entry(seg_start).and_modify(|e| *e = (*e).max(seg_end)).or_insert(seg_end);
+                    ep.ooo
+                        .entry(seg_start)
+                        .and_modify(|e| *e = (*e).max(seg_end))
+                        .or_insert(seg_end);
                 }
                 // else: full duplicate of delivered data — just re-ACK.
             }
@@ -822,7 +863,11 @@ impl TcpFlow {
         self.emit(side, seq, 0, TcpFlags::DATA, now, false, out);
         let ep = &mut self.ep[side.idx()];
         if newly_readable && ep.readable() > 0 {
-            out.events.push(TcpAppEvent::DataAvailable { flow, side, available: ep.readable() });
+            out.events.push(TcpAppEvent::DataAvailable {
+                flow,
+                side,
+                available: ep.readable(),
+            });
         }
         if ep.peer_fin_done && !ep.fin_notified {
             ep.fin_notified = true;
@@ -964,7 +1009,7 @@ mod tests {
         let mut out = TcpActions::default();
         flow.open(now, &mut out);
         let mut wire: Vec<Packet> = out.packets.drain(..).collect();
-        events.extend(out.events.drain(..));
+        events.append(&mut out.events);
         let mut served = false;
         let mut to_client_count = 0usize;
         let mut iters = 0;
@@ -974,7 +1019,11 @@ mod tests {
             let batch: Vec<Packet> = std::mem::take(&mut wire);
             for pkt in batch {
                 let hdr = *pkt.tcp_hdr().unwrap();
-                let side = if hdr.from_initiator { Side::Server } else { Side::Client };
+                let side = if hdr.from_initiator {
+                    Side::Server
+                } else {
+                    Side::Client
+                };
                 if side == Side::Client {
                     to_client_count += 1;
                     if Some(to_client_count) == drop_nth_to_client {
@@ -1018,7 +1067,7 @@ mod tests {
                     if flow.ep[side.idx()].timer_armed {
                         let mut out = TcpActions::default();
                         flow.on_timeout(side, now + SimDuration::from_secs(1), &mut out);
-                        events.extend(out.events.drain(..));
+                        events.append(&mut out.events);
                         wire.extend(out.packets);
                         let _ = gen;
                     }
@@ -1034,8 +1083,12 @@ mod tests {
         assert_eq!(flow.state, FlowState::Closed);
         assert!(flow.complete);
         assert!(flow.established_at.is_some());
-        assert!(events.iter().any(|e| matches!(e, TcpAppEvent::Connected { .. })));
-        assert!(events.iter().any(|e| matches!(e, TcpAppEvent::Closed { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TcpAppEvent::Connected { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TcpAppEvent::Closed { .. })));
         // All 100k bytes were read by the client.
         assert_eq!(flow.endpoint(Side::Client).app_read, 100_000);
         // The server saw zero retransmissions on a perfect wire.
@@ -1046,7 +1099,11 @@ mod tests {
     fn lost_data_packet_is_recovered() {
         // Drop the 20th packet heading to the client (a data segment).
         let (flow, _) = run_loopback(200_000, Some(20));
-        assert_eq!(flow.state, FlowState::Closed, "flow must finish despite loss");
+        assert_eq!(
+            flow.state,
+            FlowState::Closed,
+            "flow must finish despite loss"
+        );
         assert_eq!(flow.endpoint(Side::Client).app_read, 200_000);
         let st = &flow.endpoint(Side::Server).stats;
         assert!(st.retx_pkts >= 1, "server must have retransmitted");
@@ -1104,13 +1161,21 @@ mod tests {
         let mut o = TcpActions::default();
         flow.app_send(Side::Server, 4000, SimTime::from_millis(3), &mut o);
         let mut t = SimTime::from_millis(4);
-        let mut pending: Vec<TcpHdr> = o.packets.iter().filter_map(|p| p.tcp_hdr().copied()).collect();
+        let mut pending: Vec<TcpHdr> = o
+            .packets
+            .iter()
+            .filter_map(|p| p.tcp_hdr().copied())
+            .collect();
         let mut wnd_seen = u32::MAX;
         let mut guard = 0;
         while let Some(h) = pending.pop() {
             guard += 1;
             assert!(guard < 1000);
-            let side = if h.from_initiator { Side::Server } else { Side::Client };
+            let side = if h.from_initiator {
+                Side::Server
+            } else {
+                Side::Client
+            };
             let mut o = TcpActions::default();
             flow.on_segment(side, &h, t, &mut o);
             t += SimDuration::from_millis(1);
@@ -1140,7 +1205,10 @@ mod tests {
             let mut o = TcpActions::default();
             flow.on_timeout(Side::Client, now, &mut o);
             now += SimDuration::from_secs(40);
-            if o.events.iter().any(|e| matches!(e, TcpAppEvent::Aborted { .. })) {
+            if o.events
+                .iter()
+                .any(|e| matches!(e, TcpAppEvent::Aborted { .. }))
+            {
                 aborted = true;
                 break;
             }

@@ -6,11 +6,11 @@
 //! (links bound to a [`SharedMedium`]), then computes shortest-path
 //! forwarding tables by BFS.
 
+use crate::engine::Network;
 use crate::host::Host;
 use crate::ids::{HostId, LinkId, MediumId};
 use crate::link::{LinkConfig, OneWayLink};
 use crate::medium::SharedMedium;
-use crate::engine::Network;
 
 /// Builds a [`Network`] from hosts and links.
 pub struct TopologyBuilder {
@@ -140,12 +140,11 @@ impl TopologyBuilder {
                     }
                 }
             }
-            for v in 0..n {
-                let host = &mut self.net.hosts[v];
+            for (host, &hop) in self.net.hosts.iter_mut().zip(&next) {
                 if host.fwd.len() < n {
                     host.fwd.resize(n, None);
                 }
-                host.fwd[dst] = next[v];
+                host.fwd[dst] = hop;
             }
         }
         self.net

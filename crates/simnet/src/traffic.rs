@@ -88,8 +88,13 @@ pub enum MixKind {
 
 impl MixKind {
     /// All patterns (the D-ITG set used by the testbed).
-    pub const ALL: [MixKind; 5] =
-        [MixKind::Voip, MixKind::Gaming, MixKind::Web, MixKind::Ftp, MixKind::Telnet];
+    pub const ALL: [MixKind; 5] = [
+        MixKind::Voip,
+        MixKind::Gaming,
+        MixKind::Web,
+        MixKind::Ftp,
+        MixKind::Telnet,
+    ];
 }
 
 /// State for one background TCP exchange.
@@ -202,7 +207,9 @@ impl App for AppMix {
     }
 
     fn on_timer(&mut self, token: u64, ctl: &mut Ctl) {
-        let Some(&kind) = self.kinds.get(token as usize) else { return };
+        let Some(&kind) = self.kinds.get(token as usize) else {
+            return;
+        };
         self.fire(kind, ctl);
         let gap = self.next_gap(kind);
         ctl.timer(gap, token);

@@ -48,7 +48,8 @@ impl UdpTable {
 
     /// Remove a binding.
     pub fn unbind(&mut self, host: HostId, port: u16) {
-        self.bindings.retain(|b| !(b.host == host && b.port == port));
+        self.bindings
+            .retain(|b| !(b.host == host && b.port == port));
     }
 
     /// Owner of datagrams arriving at (host, port), if bound.

@@ -90,10 +90,19 @@ impl Catalog {
         let videos = (0..cfg.count)
             .map(|i| {
                 let hd = rng.chance(cfg.hd_prob);
-                let mean = if hd { cfg.hd_bitrate_bps } else { cfg.sd_bitrate_bps } as f64;
+                let mean = if hd {
+                    cfg.hd_bitrate_bps
+                } else {
+                    cfg.sd_bitrate_bps
+                } as f64;
                 let bitrate = rng.normal_min(mean, mean * 0.15, mean * 0.5) as u64;
                 let duration = rng.range_f64(cfg.min_duration_s, cfg.max_duration_s);
-                Video { id: i as u32, duration_s: duration, bitrate_bps: bitrate, hd }
+                Video {
+                    id: i as u32,
+                    duration_s: duration,
+                    bitrate_bps: bitrate,
+                    hd,
+                }
             })
             .collect();
         Catalog { videos }
@@ -148,7 +157,12 @@ mod tests {
 
     #[test]
     fn size_matches_duration_times_bitrate() {
-        let v = Video { id: 0, duration_s: 10.0, bitrate_bps: 800_000, hd: false };
+        let v = Video {
+            id: 0,
+            duration_s: 10.0,
+            bitrate_bps: 800_000,
+            hd: false,
+        };
         assert_eq!(v.size_bytes(), 1_000_000);
     }
 

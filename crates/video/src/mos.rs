@@ -187,7 +187,10 @@ mod tests {
 
     #[test]
     fn failed_session_is_severe() {
-        let q = SessionQoe { failed: true, ..Default::default() };
+        let q = SessionQoe {
+            failed: true,
+            ..Default::default()
+        };
         assert_eq!(label(&q), QoeClass::Severe);
         let mos = mos_score(&q);
         assert!((mos - 1.4844).abs() < 1e-6);

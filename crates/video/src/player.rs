@@ -328,7 +328,9 @@ impl Player {
         let speed = ((granted / need) * (1.0 - 0.25 * io)).clamp(0.0, 1.0);
 
         let media_avail = self.buffer_seconds();
-        let consumed = (tick_s * speed).min(media_avail).min(self.video.duration_s - self.played_s);
+        let consumed = (tick_s * speed)
+            .min(media_avail)
+            .min(self.video.duration_s - self.played_s);
         self.played_s += consumed;
         self.buffered_bytes =
             (self.buffered_bytes - consumed * self.video.bitrate_bps as f64 / 8.0).max(0.0);
@@ -357,7 +359,9 @@ impl Player {
             self.stall_started = Some(now);
             // Decoder idles during a stall.
             self.set_decode_demand(ctl, 0.1);
-        } else if self.all_received && self.buffer_seconds() <= 0.0 && self.played_s < self.video.duration_s - 0.1
+        } else if self.all_received
+            && self.buffer_seconds() <= 0.0
+            && self.played_s < self.video.duration_s - 0.1
         {
             // Everything arrived and the buffer is empty but media
             // remains unplayed: accounting drift — finish as played.
@@ -400,10 +404,15 @@ impl App for Player {
                     self.phase = Phase::Buffering;
                 }
             }
-            TcpEvent::DataAvailable { side: Side::Client, .. } => {
+            TcpEvent::DataAvailable {
+                side: Side::Client, ..
+            } => {
                 self.pull_data(ctl);
             }
-            TcpEvent::PeerFin { flow, side: Side::Client } => {
+            TcpEvent::PeerFin {
+                flow,
+                side: Side::Client,
+            } => {
                 self.pull_data(ctl);
                 ctl.tcp_close_from(flow, Side::Client);
                 if self.received >= self.video.size_bytes() {
@@ -429,7 +438,12 @@ mod tests {
     use vqd_simnet::topology::TopologyBuilder;
 
     fn video(duration_s: f64, bitrate: u64) -> Video {
-        Video { id: 0, duration_s, bitrate_bps: bitrate, hd: bitrate > 1_500_000 }
+        Video {
+            id: 0,
+            duration_s,
+            bitrate_bps: bitrate,
+            hd: bitrate > 1_500_000,
+        }
     }
 
     /// One player + server on a configurable wire; returns the QoE.
@@ -440,11 +454,14 @@ mod tests {
         tb.add_duplex_link(m, s, cfg_link);
         let net = tb.build();
         let dir = SessionDirectory::new();
-        let (player, handle) =
-            Player::new(m, s, 80, v, PlayerConfig::default(), dir.clone());
+        let (player, handle) = Player::new(m, s, 80, v, PlayerConfig::default(), dir.clone());
         let mut sim = Harness::new(net, 11);
         sim.add_app(Box::new(player));
-        sim.add_app(Box::new(VideoServer::new(s, VideoServerConfig::default(), dir)));
+        sim.add_app(Box::new(VideoServer::new(
+            s,
+            VideoServerConfig::default(),
+            dir,
+        )));
         tweak(&mut sim);
         sim.run_until(SimTime::from_secs(400));
         assert!(handle.done(), "session must end");
@@ -453,9 +470,17 @@ mod tests {
 
     #[test]
     fn smooth_playback_on_fast_wire() {
-        let q = stream(LinkConfig::ethernet(20_000_000), video(30.0, 1_000_000), |_| {});
+        let q = stream(
+            LinkConfig::ethernet(20_000_000),
+            video(30.0, 1_000_000),
+            |_| {},
+        );
         assert!(q.completed, "{q:?}");
-        assert!(q.startup_delay_s().unwrap() < 1.5, "startup {:?}", q.startup_delay_s());
+        assert!(
+            q.startup_delay_s().unwrap() < 1.5,
+            "startup {:?}",
+            q.startup_delay_s()
+        );
         assert!(q.stalls.is_empty(), "stalls {:?}", q.stalls);
         assert_eq!(label(&q), QoeClass::Good);
     }
@@ -463,18 +488,26 @@ mod tests {
     #[test]
     fn starved_link_stalls_playback() {
         // 0.6 Mbit/s wire cannot carry a 1 Mbit/s video.
-        let q = stream(LinkConfig::ethernet(600_000), video(20.0, 1_000_000), |_| {});
+        let q = stream(
+            LinkConfig::ethernet(600_000),
+            video(20.0, 1_000_000),
+            |_| {},
+        );
         assert!(q.rebuffer_count() > 0, "{q:?}");
         assert_ne!(label(&q), QoeClass::Good);
     }
 
     #[test]
     fn cpu_starvation_causes_stutter_not_stalls() {
-        let q = stream(LinkConfig::ethernet(30_000_000), video(20.0, 2_400_000), |sim| {
-            // stress-style load: 6 cores demanded on the default 4-core
-            // host; decoder gets ~40% of what it needs... high load.
-            sim.net.hosts[0].cpu.register(6.0);
-        });
+        let q = stream(
+            LinkConfig::ethernet(30_000_000),
+            video(20.0, 2_400_000),
+            |sim| {
+                // stress-style load: 6 cores demanded on the default 4-core
+                // host; decoder gets ~40% of what it needs... high load.
+                sim.net.hosts[0].cpu.register(6.0);
+            },
+        );
         assert!(q.frame_skip_s > 1.0, "frame skips {}", q.frame_skip_s);
         assert!(q.stutter_events >= 1);
         assert_ne!(label(&q), QoeClass::Good);
@@ -482,11 +515,15 @@ mod tests {
 
     #[test]
     fn memory_pressure_shrinks_buffer_and_survives() {
-        let q = stream(LinkConfig::ethernet(20_000_000), video(15.0, 1_000_000), |sim| {
-            // Leave almost no free memory.
-            let total = sim.net.hosts[0].mem.total_mb;
-            sim.net.hosts[0].mem.register(total);
-        });
+        let q = stream(
+            LinkConfig::ethernet(20_000_000),
+            video(15.0, 1_000_000),
+            |sim| {
+                // Leave almost no free memory.
+                let total = sim.net.hosts[0].mem.total_mb;
+                sim.net.hosts[0].mem.register(total);
+            },
+        );
         // Session still ends; tight buffer means it completed (fast
         // wire) but bytes buffered were capped.
         assert!(q.played_s > 10.0, "{q:?}");
@@ -500,11 +537,21 @@ mod tests {
         let s = tb.add_host("server");
         let net = tb.build();
         let dir = SessionDirectory::new();
-        let (player, handle) =
-            Player::new(m, s, 80, video(10.0, 500_000), PlayerConfig::default(), dir.clone());
+        let (player, handle) = Player::new(
+            m,
+            s,
+            80,
+            video(10.0, 500_000),
+            PlayerConfig::default(),
+            dir.clone(),
+        );
         let mut sim = Harness::new(net, 3);
         sim.add_app(Box::new(player));
-        sim.add_app(Box::new(VideoServer::new(s, VideoServerConfig::default(), dir)));
+        sim.add_app(Box::new(VideoServer::new(
+            s,
+            VideoServerConfig::default(),
+            dir,
+        )));
         sim.run_until(SimTime::from_secs(60));
         assert!(handle.done());
         let q = handle.qoe();

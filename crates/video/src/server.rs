@@ -88,7 +88,13 @@ pub struct VideoServer {
 impl VideoServer {
     /// A server on `host` using `directory` to resolve requests.
     pub fn new(host: HostId, cfg: VideoServerConfig, directory: SessionDirectory) -> Self {
-        VideoServer { host, cfg, directory, sessions: HashMap::new(), cpu_token: None }
+        VideoServer {
+            host,
+            cfg,
+            directory,
+            sessions: HashMap::new(),
+            cpu_token: None,
+        }
     }
 
     fn update_cpu(&mut self, ctl: &mut Ctl) {
@@ -115,7 +121,9 @@ impl VideoServer {
     }
 
     fn send_chunk(&mut self, flow: FlowId, ctl: &mut Ctl) {
-        let Some(s) = self.sessions.get_mut(&flow) else { return };
+        let Some(s) = self.sessions.get_mut(&flow) else {
+            return;
+        };
         let n = s.remaining.min(self.cfg.chunk_bytes);
         if n == 0 {
             return;
@@ -145,14 +153,24 @@ impl App for VideoServer {
             TcpEvent::DataAvailable { flow, side, .. } if side == Side::Server => {
                 ctl.tcp_read_at(flow, side, u64::MAX);
                 if !self.sessions.contains_key(&flow) {
-                    let Some(video) = self.directory.get(flow) else { return };
-                    self.sessions.insert(flow, ServerSession { remaining: video.size_bytes() });
+                    let Some(video) = self.directory.get(flow) else {
+                        return;
+                    };
+                    self.sessions.insert(
+                        flow,
+                        ServerSession {
+                            remaining: video.size_bytes(),
+                        },
+                    );
                     self.update_cpu(ctl);
                     let d = self.first_byte_delay(ctl);
                     ctl.timer(d, flow.0 as u64);
                 }
             }
-            TcpEvent::SendDrained { flow, side } if side == Side::Server => {
+            TcpEvent::SendDrained {
+                flow,
+                side: Side::Server,
+            } => {
                 if let Some(s) = self.sessions.get(&flow) {
                     if s.remaining > 0 {
                         let d = self.pacing(ctl);
@@ -185,7 +203,12 @@ mod tests {
     #[test]
     fn directory_round_trip() {
         let d = SessionDirectory::new();
-        let v = Video { id: 7, duration_s: 30.0, bitrate_bps: 1_000_000, hd: false };
+        let v = Video {
+            id: 7,
+            duration_s: 30.0,
+            bitrate_bps: 1_000_000,
+            hd: false,
+        };
         d.register(FlowId(3), v.clone());
         assert_eq!(d.get(FlowId(3)).unwrap().id, 7);
         assert!(d.get(FlowId(4)).is_none());

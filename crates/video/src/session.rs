@@ -41,7 +41,8 @@ impl SessionQoe {
     /// Startup delay in seconds (`None` → playback never began; treat
     /// as worst case).
     pub fn startup_delay_s(&self) -> Option<f64> {
-        self.playback_at.map(|t| t.since(self.started_at).as_secs_f64())
+        self.playback_at
+            .map(|t| t.since(self.started_at).as_secs_f64())
     }
 
     /// Number of rebuffering events, including decode stutter episodes.
@@ -51,7 +52,11 @@ impl SessionQoe {
 
     /// Total time spent rebuffering (plus decode stutter), seconds.
     pub fn rebuffer_time_s(&self) -> f64 {
-        self.stalls.iter().map(|(_, d)| d.as_secs_f64()).sum::<f64>() + self.frame_skip_s
+        self.stalls
+            .iter()
+            .map(|(_, d)| d.as_secs_f64())
+            .sum::<f64>()
+            + self.frame_skip_s
     }
 
     /// Mean rebuffer duration, seconds (0 if none).
@@ -112,8 +117,10 @@ mod tests {
     #[test]
     fn rebuffer_accounting() {
         let mut s = base();
-        s.stalls.push((SimTime::from_secs(20), SimDuration::from_secs(3)));
-        s.stalls.push((SimTime::from_secs(30), SimDuration::from_secs(1)));
+        s.stalls
+            .push((SimTime::from_secs(20), SimDuration::from_secs(3)));
+        s.stalls
+            .push((SimTime::from_secs(30), SimDuration::from_secs(1)));
         assert_eq!(s.rebuffer_count(), 2);
         assert!((s.rebuffer_time_s() - 4.0).abs() < 1e-9);
         assert!((s.mean_rebuffer_s() - 2.0).abs() < 1e-9);
@@ -132,7 +139,10 @@ mod tests {
 
     #[test]
     fn dead_session_has_infinite_frequency() {
-        let s = SessionQoe { failed: true, ..Default::default() };
+        let s = SessionQoe {
+            failed: true,
+            ..Default::default()
+        };
         assert!(s.rebuffer_frequency_hz().is_infinite());
         assert_eq!(s.mean_rebuffer_s(), 0.0);
     }

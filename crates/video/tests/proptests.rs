@@ -38,7 +38,7 @@ proptest! {
     ) {
         let q = session(startup, stalls, played);
         let mos = mos_score(&q);
-        prop_assert!(mos >= 1.4843 && mos <= 3.3216, "mos {mos}");
+        prop_assert!((1.4843..=3.3216).contains(&mos), "mos {mos}");
         let l = label(&q);
         match l {
             QoeClass::Good => prop_assert!(mos > 3.0),

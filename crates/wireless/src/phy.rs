@@ -130,8 +130,16 @@ mod tests {
             acc.add(st.rssi_dbm);
         }
         let mean_expected = cfg.mean_rssi(8.0, 0.0);
-        assert!((acc.mean() - mean_expected).abs() < 0.2, "mean {}", acc.mean());
-        assert!((acc.std() - cfg.shadow_sd_db).abs() < 0.3, "std {}", acc.std());
+        assert!(
+            (acc.mean() - mean_expected).abs() < 0.2,
+            "mean {}",
+            acc.mean()
+        );
+        assert!(
+            (acc.std() - cfg.shadow_sd_db).abs() < 0.3,
+            "std {}",
+            acc.std()
+        );
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub fn frame_error_rate(snr_db: f64) -> f64 {
     let margin = (snr_db - req).max(0.0);
     // 40 % at zero margin, ~2 % at the 3 dB hysteresis point, with a
     // 0.5 % floor for collisions/thermal hits that never go away.
-    (0.40 * (-1.0 * margin).exp()).max(0.005)
+    (0.40 * (-margin).exp()).max(0.005)
 }
 
 #[cfg(test)]

@@ -91,7 +91,12 @@ impl Wlan80211 {
     pub fn add_station(&mut self, host: HostId, distance_m: f64) {
         let phy = StationPhy::new(&self.cfg.phy, distance_m);
         let rate = rate_for_snr(phy.snr_db);
-        self.stations.push(Station { host, phy, rate, disconnections: 0 });
+        self.stations.push(Station {
+            host,
+            phy,
+            rate,
+            disconnections: 0,
+        });
     }
 
     /// Move a station (the *poor signal* fault's distance knob).
@@ -228,13 +233,16 @@ impl SharedMedium for Wlan80211 {
     }
 
     fn snapshot(&self, station: HostId) -> Option<PhySnapshot> {
-        self.stations.iter().find(|s| s.host == station).map(|s| PhySnapshot {
-            rssi_dbm: s.phy.rssi_dbm,
-            snr_db: s.phy.snr_db,
-            phy_rate_bps: self.capped(s.rate).unwrap_or(0),
-            connected: s.rate.is_some(),
-            disconnections: s.disconnections,
-        })
+        self.stations
+            .iter()
+            .find(|s| s.host == station)
+            .map(|s| PhySnapshot {
+                rssi_dbm: s.phy.rssi_dbm,
+                snr_db: s.phy.snr_db,
+                phy_rate_bps: self.capped(s.rate).unwrap_or(0),
+                connected: s.rate.is_some(),
+                disconnections: s.disconnections,
+            })
     }
 
     fn busy_fraction(&self, now: SimTime) -> f64 {
@@ -295,7 +303,12 @@ mod tests {
     fn far_station_degrades_then_disconnects() {
         let (mut w, _ap, sta) = wlan_with_station(4.0);
         let mut rng = SimRng::seed_from_u64(2);
-        w.set_distance(sta, 35.0);
+        // 45 m: mean RSSI is ≈ −74.6 dBm (15 − 40 − 30·log10(45)), so
+        // the −70 dBm check holds with > 2σ of margin against the
+        // ±2 dB shadow fading. (At 35 m the mean is −71.3 dBm and the
+        // check sat *inside* the fading band — seed 2's +1.4 dB draw
+        // landed at −69.96 and failed it.)
+        w.set_distance(sta, 45.0);
         w.refresh(&mut rng);
         let mid = w.snapshot(sta).unwrap();
         assert!(mid.rssi_dbm < -70.0, "rssi {}", mid.rssi_dbm);
@@ -328,7 +341,10 @@ mod tests {
         let (clean_t, clean_r) = run(0.0);
         let (noisy_t, noisy_r) = run(0.6);
         assert!(noisy_t > clean_t * 2, "clean {clean_t} noisy {noisy_t}");
-        assert!(noisy_r > clean_r * 3 + 20, "clean {clean_r} noisy {noisy_r}");
+        assert!(
+            noisy_r > clean_r * 3 + 20,
+            "clean {clean_r} noisy {noisy_r}"
+        );
     }
 
     #[test]
@@ -371,6 +387,6 @@ mod tests {
         let (mut w, _, _) = wlan_with_station(4.0);
         w.set_interference(0.5, 3.0);
         let f = w.busy_fraction(SimTime::from_secs(10));
-        assert!(f >= 0.5 && f <= 1.0, "{f}");
+        assert!((0.5..=1.0).contains(&f), "{f}");
     }
 }

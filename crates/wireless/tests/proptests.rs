@@ -49,7 +49,7 @@ proptest! {
             if g.delivered {
                 prop_assert!(g.airtime > SimDuration::ZERO);
             }
-            now = now + SimDuration::from_micros(50);
+            now += SimDuration::from_micros(50);
         }
         // Busy fraction is a fraction.
         let f = w.busy_fraction(now + SimDuration::from_secs(1));

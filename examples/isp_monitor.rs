@@ -17,8 +17,16 @@ use vqd::prelude::*;
 
 fn main() {
     let catalog = Catalog::top100(42);
-    let cfg = CorpusConfig { sessions: 250, seed: 77, p_fault: 0.55, ..Default::default() };
-    println!("training location model on {} lab sessions...", cfg.sessions);
+    let cfg = CorpusConfig {
+        sessions: 250,
+        seed: 77,
+        p_fault: 0.55,
+        ..Default::default()
+    };
+    println!(
+        "training location model on {} lab sessions...",
+        cfg.sessions
+    );
     let corpus = generate_corpus(&cfg, &catalog);
     let data = to_dataset(&corpus, LabelScheme::Location);
     let model = Diagnoser::train(&data, &DiagnoserConfig::default());
@@ -39,9 +47,16 @@ fn main() {
         };
         let spec = SessionSpec {
             seed: 31_000 + i as u64,
-            fault: FaultPlan { kind, intensity: 0.8 },
+            fault: FaultPlan {
+                kind,
+                intensity: 0.8,
+            },
             background: 0.4,
-            wan: if i % 5 == 4 { WanProfile::Mobile } else { WanProfile::Dsl },
+            wan: if i % 5 == 4 {
+                WanProfile::Mobile
+            } else {
+                WanProfile::Dsl
+            },
         };
         let session = run_controlled_session(&spec, &catalog);
         let router_view: Vec<(String, f64)> = session
@@ -66,5 +81,7 @@ fn main() {
         println!("  {label:<16} {n:>3} sessions");
     }
     println!("\nsegment attribution on truly-problematic sessions: {correct_loc}/{problems}");
-    println!("(the paper: ISPs can identify whether an issue is theirs, the user's LAN, or beyond)");
+    println!(
+        "(the paper: ISPs can identify whether an issue is theirs, the user's LAN, or beyond)"
+    );
 }

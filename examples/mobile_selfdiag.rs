@@ -15,7 +15,12 @@ use vqd::prelude::*;
 
 fn main() {
     let catalog = Catalog::top100(42);
-    let cfg = CorpusConfig { sessions: 250, seed: 11, p_fault: 0.55, ..Default::default() };
+    let cfg = CorpusConfig {
+        sessions: 250,
+        seed: 11,
+        p_fault: 0.55,
+        ..Default::default()
+    };
     println!("training on {} lab sessions...", cfg.sessions);
     let corpus = generate_corpus(&cfg, &catalog);
     let data = to_dataset(&corpus, LabelScheme::Exact);
@@ -27,7 +32,10 @@ fn main() {
     for (i, kind) in FaultKind::ALL.iter().enumerate() {
         let spec = SessionSpec {
             seed: 9_000 + i as u64,
-            fault: FaultPlan { kind: *kind, intensity: 0.85 },
+            fault: FaultPlan {
+                kind: *kind,
+                intensity: 0.85,
+            },
             background: 0.3,
             wan: WanProfile::Dsl,
         };
@@ -42,7 +50,8 @@ fn main() {
         let dx = model.diagnose(&phone_view);
         let truth = session.truth.label(LabelScheme::Exact);
         let hit = dx.label == truth
-            || (truth != "good" && dx.label.rsplit_once('_').map(|x| x.0) == truth.rsplit_once('_').map(|x| x.0));
+            || (truth != "good"
+                && dx.label.rsplit_once('_').map(|x| x.0) == truth.rsplit_once('_').map(|x| x.0));
         total += 1;
         if hit {
             agree += 1;

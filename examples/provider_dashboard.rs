@@ -15,7 +15,12 @@ use vqd::prelude::*;
 
 fn main() {
     let catalog = Catalog::top100(42);
-    let cfg = CorpusConfig { sessions: 300, seed: 55, p_fault: 0.55, ..Default::default() };
+    let cfg = CorpusConfig {
+        sessions: 300,
+        seed: 55,
+        p_fault: 0.55,
+        ..Default::default()
+    };
     println!("training on {} lab sessions...", cfg.sessions);
     let corpus = generate_corpus(&cfg, &catalog);
     let data = to_dataset(&corpus, LabelScheme::Exact);
@@ -23,8 +28,8 @@ fn main() {
 
     println!("\nprovider dashboard — server vantage point only:");
     println!(
-        "{:<4} {:<20} {:>9} {:>9}  {}",
-        "id", "server diagnosis", "cpu(gt)", "rssi(gt)", "induced truth"
+        "{:<4} {:<20} {:>9} {:>9}  induced truth",
+        "id", "server diagnosis", "cpu(gt)", "rssi(gt)"
     );
     let mix = [
         FaultKind::None,
@@ -39,7 +44,10 @@ fn main() {
     for (i, kind) in mix.iter().enumerate() {
         let spec = SessionSpec {
             seed: 60_000 + i as u64,
-            fault: FaultPlan { kind: *kind, intensity: 0.9 },
+            fault: FaultPlan {
+                kind: *kind,
+                intensity: 0.9,
+            },
             background: 0.35,
             wan: WanProfile::Dsl,
         };

@@ -16,15 +16,31 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(250);
     println!("simulating {sessions} training sessions...");
-    let cfg = CorpusConfig { sessions, seed: 1, p_fault: 0.55, ..Default::default() };
+    let cfg = CorpusConfig {
+        sessions,
+        seed: 1,
+        p_fault: 0.55,
+        ..Default::default()
+    };
     let corpus = generate_corpus(&cfg, &catalog);
-    let good = corpus.iter().filter(|r| r.truth.qoe == QoeClass::Good).count();
-    println!("  corpus: {} sessions, {} good / {} problematic", corpus.len(), good, corpus.len() - good);
+    let good = corpus
+        .iter()
+        .filter(|r| r.truth.qoe == QoeClass::Good)
+        .count();
+    println!(
+        "  corpus: {} sessions, {} good / {} problematic",
+        corpus.len(),
+        good,
+        corpus.len() - good
+    );
 
     // 2. Train: feature construction -> FCBF -> C4.5.
     let data = to_dataset(&corpus, LabelScheme::Exact);
     let model = Diagnoser::train(&data, &DiagnoserConfig::default());
-    println!("  model uses {} features (selected by FCBF):", model.selected_features().len());
+    println!(
+        "  model uses {} features (selected by FCBF):",
+        model.selected_features().len()
+    );
     for f in model.selected_features() {
         println!("    {f}");
     }
@@ -49,10 +65,16 @@ fn main() {
             kind.name(),
             session.truth.qoe
         );
-        println!("  -> diagnosis: {} (confidence {:.2})", dx.label, dx.dist[dx.class]);
+        println!(
+            "  -> diagnosis: {} (confidence {:.2})",
+            dx.label, dx.dist[dx.class]
+        );
         println!(
             "  session: startup {:?}s, {} stalls, {:.1}s frame skips",
-            session.qoe.startup_delay_s().map(|s| (s * 10.0).round() / 10.0),
+            session
+                .qoe
+                .startup_delay_s()
+                .map(|s| (s * 10.0).round() / 10.0),
             session.qoe.stalls.len(),
             session.qoe.frame_skip_s
         );

@@ -74,7 +74,10 @@ fn runs_from_text(text: &str) -> Vec<LabeledRun> {
                     Some((k.to_string(), v.parse::<f64>().ok()?))
                 })
                 .collect();
-            LabeledRun { metrics, truth: GroundTruth { fault, qoe } }
+            LabeledRun {
+                metrics,
+                truth: GroundTruth { fault, qoe },
+            }
         })
         .collect()
 }
@@ -98,10 +101,17 @@ fn main() {
             let seed = num("seed", 2015.0) as u64;
             let out = get("out").unwrap_or_else(|| "corpus.tsv".to_string());
             eprintln!("simulating {sessions} controlled sessions (seed {seed})...");
-            let cfg = CorpusConfig { sessions, seed, ..Default::default() };
+            let cfg = CorpusConfig {
+                sessions,
+                seed,
+                ..Default::default()
+            };
             let runs = generate_corpus(&cfg, &Catalog::top100(42));
             std::fs::write(&out, runs_to_text(&runs)).expect("write corpus");
-            let good = runs.iter().filter(|r| r.truth.qoe == QoeClass::Good).count();
+            let good = runs
+                .iter()
+                .filter(|r| r.truth.qoe == QoeClass::Good)
+                .count();
             eprintln!("wrote {out}: {} runs ({good} good)", runs.len());
         }
         "train" => {
@@ -144,7 +154,10 @@ fn main() {
                 .unwrap_or(FaultKind::None);
             let spec = SessionSpec {
                 seed: num("seed", 7.0) as u64,
-                fault: FaultPlan { kind, intensity: num("intensity", 0.8) },
+                fault: FaultPlan {
+                    kind,
+                    intensity: num("intensity", 0.8),
+                },
                 background: num("background", 0.4),
                 wan: WanProfile::Dsl,
             };
@@ -159,7 +172,10 @@ fn main() {
             if let Some(mpath) = get("model") {
                 let model = Diagnoser::load(mpath).expect("load model");
                 let dx = model.diagnose(&session.metrics);
-                println!("diagnosis: {} (confidence {:.2})", dx.label, dx.dist[dx.class]);
+                println!(
+                    "diagnosis: {} (confidence {:.2})",
+                    dx.label, dx.dist[dx.class]
+                );
             }
             if let Some(out) = get("out") {
                 let mut s = String::new();
@@ -177,7 +193,11 @@ fn main() {
             for f in model.selected_features() {
                 println!("  {f}");
             }
-            println!("\ndecision tree ({} nodes, depth {}):", model.tree().size(), model.tree().depth());
+            println!(
+                "\ndecision tree ({} nodes, depth {}):",
+                model.tree().size(),
+                model.tree().depth()
+            );
             print!("{}", model.tree().to_text());
         }
         _ => {

@@ -75,6 +75,9 @@ mod tests {
         let c = Catalog::top100(1);
         assert_eq!(c.videos().len(), 100);
         assert_eq!(class_names(LabelScheme::Existence).len(), 3);
-        let _ = FaultPlan { kind: FaultKind::None, intensity: 0.0 };
+        let _ = FaultPlan {
+            kind: FaultKind::None,
+            intensity: 0.0,
+        };
     }
 }

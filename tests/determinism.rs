@@ -1,0 +1,96 @@
+//! Determinism regression tests: every parallel stage of the pipeline
+//! must produce byte-identical results regardless of worker-thread
+//! count, and the columnar pre-sorted C4.5 engine must reproduce the
+//! seed implementation's trees exactly.
+//!
+//! Corpus generation fans sessions out across OS threads, and tree
+//! training fans the per-node split search out across features; both
+//! merge results back in deterministic index order. These tests pin
+//! that contract: 1 thread and 8 threads are indistinguishable from
+//! the outside, down to the last bit of every float.
+
+use std::sync::OnceLock;
+
+use vqd::ml::dtree::{C45Config, C45Trainer};
+use vqd::prelude::*;
+
+fn catalog() -> Catalog {
+    Catalog::top100(42)
+}
+
+fn corpus_with_threads(threads: usize) -> Vec<LabeledRun> {
+    let cfg = CorpusConfig {
+        sessions: 500,
+        seed: 9100,
+        p_fault: 0.6,
+        threads,
+        ..Default::default()
+    };
+    generate_corpus(&cfg, &catalog())
+}
+
+/// The 500-session corpus shared by the tests below (generated once,
+/// with 8 worker threads).
+fn corpus() -> &'static Vec<LabeledRun> {
+    static CORPUS: OnceLock<Vec<LabeledRun>> = OnceLock::new();
+    CORPUS.get_or_init(|| corpus_with_threads(8))
+}
+
+/// Bit-exact fingerprint of a corpus: metric names in order plus the
+/// raw IEEE-754 bits of every value (NaN-safe, `-0.0`-safe — stricter
+/// than `==`).
+fn fingerprint(runs: &[LabeledRun]) -> Vec<(String, u64)> {
+    runs.iter()
+        .flat_map(|r| r.metrics.iter().map(|(n, v)| (n.clone(), v.to_bits())))
+        .collect()
+}
+
+#[test]
+fn corpus_identical_across_thread_counts() {
+    let one = corpus_with_threads(1);
+    let eight = corpus();
+    assert_eq!(one.len(), eight.len());
+    for (a, b) in one.iter().zip(eight.iter()) {
+        assert_eq!(a.truth, b.truth);
+    }
+    assert_eq!(fingerprint(&one), fingerprint(eight));
+}
+
+#[test]
+fn trained_diagnoser_identical_across_thread_counts() {
+    let data = to_dataset(corpus(), LabelScheme::Exact);
+    let serialized: Vec<String> = [1usize, 8]
+        .iter()
+        .map(|&threads| {
+            let mut cfg = DiagnoserConfig::default();
+            cfg.tree.threads = threads;
+            Diagnoser::train(&data, &cfg).serialize()
+        })
+        .collect();
+    assert_eq!(serialized[0], serialized[1]);
+}
+
+#[test]
+fn columnar_fit_matches_seed_reference() {
+    // The raw exact-label dataset has missing vantage points (NaNs),
+    // so this exercises both the unit-weight fast sweep and the
+    // fractional-weight generic sweep of the columnar engine.
+    let data = to_dataset(corpus(), LabelScheme::Exact);
+    let rows: Vec<usize> = (0..data.len()).collect();
+    for unpruned in [false, true] {
+        for threads in [1usize, 8] {
+            let trainer = C45Trainer {
+                cfg: C45Config {
+                    threads,
+                    unpruned,
+                    ..Default::default()
+                },
+            };
+            assert_eq!(
+                trainer.fit(&data, &rows).serialize(),
+                trainer.fit_seed_reference(&data, &rows).serialize(),
+                "unpruned={unpruned} threads={threads}"
+            );
+        }
+    }
+}

@@ -8,7 +8,13 @@ fn catalog() -> Catalog {
 }
 
 fn small_corpus(sessions: usize, seed: u64) -> Vec<LabeledRun> {
-    let cfg = CorpusConfig { sessions, seed, p_fault: 0.6, p_mobile_wan: 0.25, ..Default::default() };
+    let cfg = CorpusConfig {
+        sessions,
+        seed,
+        p_fault: 0.6,
+        p_mobile_wan: 0.25,
+        ..Default::default()
+    };
     generate_corpus(&cfg, &catalog())
 }
 
@@ -31,7 +37,10 @@ fn train_on_lab_diagnose_fresh_sessions() {
     for (i, (kind, intensity)) in cases.iter().enumerate() {
         let spec = SessionSpec {
             seed: 77_000 + i as u64,
-            fault: FaultPlan { kind: *kind, intensity: *intensity },
+            fault: FaultPlan {
+                kind: *kind,
+                intensity: *intensity,
+            },
             background: 0.3,
             wan: WanProfile::Dsl,
         };
@@ -41,7 +50,10 @@ fn train_on_lab_diagnose_fresh_sessions() {
             family_hits += 1;
         }
     }
-    assert!(family_hits >= 2, "only {family_hits}/3 severe faults attributed correctly");
+    assert!(
+        family_hits >= 2,
+        "only {family_hits}/3 severe faults attributed correctly"
+    );
 }
 
 #[test]
@@ -49,12 +61,7 @@ fn existence_detection_beats_majority_baseline() {
     let corpus = small_corpus(200, 2000);
     let data = to_dataset(&corpus, LabelScheme::Existence);
     let cm = Diagnoser::cross_validate(&data, &DiagnoserConfig::default(), 10, 1);
-    let majority = data
-        .class_counts()
-        .into_iter()
-        .max()
-        .unwrap() as f64
-        / data.len() as f64;
+    let majority = data.class_counts().into_iter().max().unwrap() as f64 / data.len() as f64;
     assert!(
         cm.accuracy() > majority + 0.03,
         "accuracy {:.3} must beat majority {:.3}",
@@ -69,7 +76,11 @@ fn vantage_point_subsets_all_work() {
     let data = to_dataset(&corpus, LabelScheme::Existence);
     for (name, vps) in VP_SETS {
         let sub = data.select_features_by(|n| vps.iter().any(|vp| n.starts_with(vp)));
-        assert!(sub.n_features() > 20, "{name}: {} features", sub.n_features());
+        assert!(
+            sub.n_features() > 20,
+            "{name}: {} features",
+            sub.n_features()
+        );
         let cm = Diagnoser::cross_validate(&sub, &DiagnoserConfig::default(), 10, 1);
         assert!(cm.accuracy() > 0.5, "{name}: accuracy {:.2}", cm.accuracy());
     }
@@ -80,11 +91,22 @@ fn lab_model_transfers_to_wild_sessions() {
     let corpus = small_corpus(160, 4000);
     let data = to_dataset(&corpus, LabelScheme::Existence);
     let model = Diagnoser::train(&data, &DiagnoserConfig::default());
-    let wild = generate_wild(&RealWorldConfig { sessions: 40, seed: 5000, threads: 0 }, &catalog());
+    let wild = generate_wild(
+        &RealWorldConfig {
+            sessions: 40,
+            seed: 5000,
+            threads: 0,
+        },
+        &catalog(),
+    );
     let runs: Vec<LabeledRun> = wild.into_iter().map(|r| r.run).collect();
     let cm = eval_transfer(&model, &runs, LabelScheme::Existence, None);
     assert!(cm.total() >= 38);
-    assert!(cm.accuracy() > 0.6, "wild transfer accuracy {:.2}", cm.accuracy());
+    assert!(
+        cm.accuracy() > 0.6,
+        "wild transfer accuracy {:.2}",
+        cm.accuracy()
+    );
 }
 
 #[test]

@@ -1,20 +1,25 @@
 //! Integration tests of the substrates working together *below* the
 //! diagnosis layer: simulator + wireless + video + probes.
 
+use vqd::probes::{ProbeSet, SamplerApp, VpData};
 use vqd::simnet::engine::Harness;
 use vqd::simnet::ids::HostId;
 use vqd::simnet::link::LinkConfig;
 use vqd::simnet::time::SimTime;
 use vqd::simnet::topology::TopologyBuilder;
 use vqd::simnet::traffic::UdpFlood;
-use vqd::probes::{ProbeSet, SamplerApp, VpData};
 use vqd::video::catalog::Video;
 use vqd::video::player::{Player, PlayerConfig};
 use vqd::video::server::{SessionDirectory, VideoServer, VideoServerConfig};
 use vqd::wireless::{Wlan80211, WlanConfig};
 
 fn video(duration_s: f64, bitrate: u64) -> Video {
-    Video { id: 0, duration_s, bitrate_bps: bitrate, hd: bitrate > 1_500_000 }
+    Video {
+        id: 0,
+        duration_s,
+        bitrate_bps: bitrate,
+        hd: bitrate > 1_500_000,
+    }
 }
 
 /// Build phone—AP—server with a WLAN and stream one video; return the
@@ -59,12 +64,21 @@ fn rig(distance_m: f64, interference: f64, flood_bps: u64) -> Rig {
         dir.clone(),
     );
     sim.add_app(Box::new(player));
-    sim.add_app(Box::new(VideoServer::new(server, VideoServerConfig::default(), dir)));
+    sim.add_app(Box::new(VideoServer::new(
+        server,
+        VideoServerConfig::default(),
+        dir,
+    )));
     sim.add_app(Box::new(SamplerApp::new(vps.clone())));
     if flood_bps > 0 {
         sim.add_app(Box::new(UdpFlood::new(server, other, flood_bps)));
     }
-    Rig { sim, handle, vps, mobile }
+    Rig {
+        sim,
+        handle,
+        vps,
+        mobile,
+    }
 }
 
 fn metric(rig: &Rig, vp: usize, name: &str) -> Option<f64> {
@@ -106,7 +120,10 @@ fn weak_signal_shows_in_mobile_probe_only() {
     near.sim.run_until(SimTime::from_secs(120));
     let far_rate = metric(&far, 0, "phy.rate_avg").unwrap();
     let near_rate = metric(&near, 0, "phy.rate_avg").unwrap();
-    assert!(far_rate < near_rate * 0.7, "far {far_rate} near {near_rate}");
+    assert!(
+        far_rate < near_rate * 0.7,
+        "far {far_rate} near {near_rate}"
+    );
     // The server probe has no radio view at all.
     let flow = far.handle.flow().unwrap();
     let server_names = far.vps[2].borrow().metrics_for(flow).unwrap();

@@ -1,0 +1,225 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the slice of criterion's API the workspace's
+//! benches use: [`Criterion::bench_function`], benchmark groups with
+//! `sample_size`, `Bencher::iter`, [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each sample times a batch of iterations sized so
+//! a batch takes ≳1 ms, collects `sample_size` samples, and reports
+//! min / mean / median per-iteration time to stdout. Passing `--test`
+//! (as `cargo test` does for bench targets) runs every benchmark for a
+//! single iteration, so bench targets stay cheap under `cargo test`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Times closures for one benchmark.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Bencher<'_> {
+    /// Measure `f`, called repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.quick {
+            black_box(f());
+            return;
+        }
+        // Warm up and size the batch so one batch is ≳1 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, quick: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut samples = Vec::new();
+    let mut b = Bencher {
+        samples: &mut samples,
+        sample_size,
+        quick,
+    };
+    f(&mut b);
+    if quick {
+        println!("{name}: ok (test mode)");
+        return;
+    }
+    samples.sort();
+    if samples.is_empty() {
+        println!("{name}: no samples");
+        return;
+    }
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name}: min {}  mean {}  median {}  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(median),
+        samples.len()
+    );
+}
+
+/// Benchmark registry/driver for one `criterion_group!` function.
+pub struct Criterion {
+    default_sample_size: usize,
+    quick: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // `cargo test` / `cargo bench` pass harness flags; honour
+        // `--test` (single-iteration mode) and treat the first bare
+        // argument as a substring filter, like criterion proper.
+        let quick = args.iter().any(|a| a == "--test");
+        let filter = args.iter().skip(1).find(|a| !a.starts_with('-')).cloned();
+        Criterion {
+            default_sample_size: 20,
+            quick,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.selected(name) {
+            run_one(name, self.default_sample_size, self.quick, &mut f);
+        }
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            prefix: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    prefix: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.prefix);
+        if self.parent.selected(&full) {
+            let n = self.sample_size.unwrap_or(self.parent.default_sample_size);
+            run_one(&full, n, self.parent.quick, &mut f);
+        }
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declare a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare `main` running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion {
+            default_sample_size: 3,
+            quick: false,
+            filter: None,
+        };
+        let mut count = 0u64;
+        c.bench_function("counter", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_sample_size_and_filter() {
+        let mut c = Criterion {
+            default_sample_size: 3,
+            quick: true,
+            filter: Some("yes".into()),
+        };
+        let mut ran_yes = false;
+        let mut ran_no = false;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("yes_case", |b| b.iter(|| ran_yes = true));
+        g.bench_function("other", |b| b.iter(|| ran_no = true));
+        g.finish();
+        assert!(ran_yes && !ran_no);
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline drop-in subset of the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the (small) slice of the `rand 0.8` API the
+//! workspace actually uses: [`rngs::SmallRng`], the [`Rng`] extension
+//! trait with `gen` / `gen_range`, and [`SeedableRng::seed_from_u64`].
+//!
+//! `SmallRng` is implemented as xoshiro256++ seeded through SplitMix64,
+//! the same generator family `rand 0.8` uses on 64-bit targets. The
+//! exact output stream is not guaranteed to match upstream `rand` —
+//! nothing in the workspace depends on the upstream stream, only on
+//! determinism for a fixed seed.
+
+/// Low-level generator interface: a source of `u64`s.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit output (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (only the `seed_from_u64` entry point is needed).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from their full domain
+/// (the `Standard` distribution in upstream rand).
+pub trait StandardSample {
+    /// Draw one value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open `lo..hi` range.
+pub trait UniformSample: Sized {
+    /// Draw one value from `[lo, hi)`. Panics if the range is empty.
+    fn uniform_sample<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn uniform_sample<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Lemire-style widening multiply with rejection for an
+                // exactly uniform draw over `span` buckets.
+                let zone = u128::from(u64::MAX) + 1;
+                let reject = zone % span;
+                loop {
+                    let x = u128::from(rng.next_u64());
+                    let m = x * span;
+                    if m % zone >= reject || reject == 0 {
+                        return (lo as i128 + (m / zone) as i128) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn uniform_sample<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in gen_range");
+                let u = <$t as StandardSample>::standard_sample(rng);
+                let v = lo + u * (hi - lo);
+                // Guard against rounding up to the excluded endpoint.
+                if v < hi { v } else { <$t>::from_bits(hi.to_bits() - 1) }
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// High-level convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draw a value of type `T` from its standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    /// Draw uniformly from a half-open range `lo..hi`.
+    fn gen_range<T: UniformSample>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::uniform_sample(self, range.start, range.end)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::standard_sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// SplitMix64 step — used for seeding xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic PRNG: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = splitmix64(&mut sm);
+            }
+            // All-zero state is invalid for xoshiro; splitmix64 cannot
+            // produce four zero outputs in a row, but keep the guard.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let f = r.gen_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&f));
+            let i = r.gen_range(0usize..5);
+            assert!(i < 5);
+        }
+    }
+
+    #[test]
+    fn uniform_int_unbiased_mean() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| r.gen_range(0u64..10)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 4.5).abs() < 0.05, "mean {mean}");
+    }
+}
