@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_classifiers-f77321ff38c0763a.d: crates/bench/benches/ablation_classifiers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_classifiers-f77321ff38c0763a.rmeta: crates/bench/benches/ablation_classifiers.rs Cargo.toml
+
+crates/bench/benches/ablation_classifiers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

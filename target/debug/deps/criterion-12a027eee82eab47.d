@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-12a027eee82eab47.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-12a027eee82eab47.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-12a027eee82eab47.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-822c01e0bea634e8.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-822c01e0bea634e8: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

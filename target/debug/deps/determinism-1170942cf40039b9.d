@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-1170942cf40039b9.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-1170942cf40039b9.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

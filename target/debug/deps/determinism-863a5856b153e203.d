@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-863a5856b153e203.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-863a5856b153e203: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-6fbae0b28daa663e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-6fbae0b28daa663e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

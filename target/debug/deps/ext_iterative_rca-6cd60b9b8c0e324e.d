@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_iterative_rca-6cd60b9b8c0e324e.d: crates/bench/benches/ext_iterative_rca.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_iterative_rca-6cd60b9b8c0e324e.rmeta: crates/bench/benches/ext_iterative_rca.rs Cargo.toml
+
+crates/bench/benches/ext_iterative_rca.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_multifault-05c358dfe0b3cf98.d: crates/bench/benches/ext_multifault.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_multifault-05c358dfe0b3cf98.rmeta: crates/bench/benches/ext_multifault.rs Cargo.toml
+
+crates/bench/benches/ext_multifault.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_detection-a0db2fd8865862f6.d: crates/bench/benches/fig3_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_detection-a0db2fd8865862f6.rmeta: crates/bench/benches/fig3_detection.rs Cargo.toml
+
+crates/bench/benches/fig3_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_exact_problem-403a06ad9df357de.d: crates/bench/benches/fig4_exact_problem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_exact_problem-403a06ad9df357de.rmeta: crates/bench/benches/fig4_exact_problem.rs Cargo.toml
+
+crates/bench/benches/fig4_exact_problem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

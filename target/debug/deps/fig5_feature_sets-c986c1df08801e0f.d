@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_feature_sets-c986c1df08801e0f.d: crates/bench/benches/fig5_feature_sets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_feature_sets-c986c1df08801e0f.rmeta: crates/bench/benches/fig5_feature_sets.rs Cargo.toml
+
+crates/bench/benches/fig5_feature_sets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

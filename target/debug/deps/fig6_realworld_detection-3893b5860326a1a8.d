@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_realworld_detection-3893b5860326a1a8.d: crates/bench/benches/fig6_realworld_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_realworld_detection-3893b5860326a1a8.rmeta: crates/bench/benches/fig6_realworld_detection.rs Cargo.toml
+
+crates/bench/benches/fig6_realworld_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

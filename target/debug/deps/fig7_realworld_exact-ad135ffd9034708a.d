@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_realworld_exact-ad135ffd9034708a.d: crates/bench/benches/fig7_realworld_exact.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_realworld_exact-ad135ffd9034708a.rmeta: crates/bench/benches/fig7_realworld_exact.rs Cargo.toml
+
+crates/bench/benches/fig7_realworld_exact.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_wild_detection-f3c77a227bd44ee7.d: crates/bench/benches/fig8_wild_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_wild_detection-f3c77a227bd44ee7.rmeta: crates/bench/benches/fig8_wild_detection.rs Cargo.toml
+
+crates/bench/benches/fig8_wild_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_server_inference-bd2257ad8604b294.d: crates/bench/benches/fig9_server_inference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_server_inference-bd2257ad8604b294.rmeta: crates/bench/benches/fig9_server_inference.rs Cargo.toml
+
+crates/bench/benches/fig9_server_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

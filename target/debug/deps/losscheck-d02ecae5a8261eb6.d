@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/losscheck-d02ecae5a8261eb6.d: crates/simnet/tests/losscheck.rs
+
+/root/repo/target/debug/deps/losscheck-d02ecae5a8261eb6: crates/simnet/tests/losscheck.rs
+
+crates/simnet/tests/losscheck.rs:

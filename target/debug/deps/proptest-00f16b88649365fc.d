@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-00f16b88649365fc.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-00f16b88649365fc.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-00f16b88649365fc.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

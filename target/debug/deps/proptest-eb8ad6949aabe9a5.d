@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-eb8ad6949aabe9a5.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-eb8ad6949aabe9a5: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-17eb0800a3b9bce4.d: crates/ml/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-17eb0800a3b9bce4: crates/ml/tests/proptests.rs
+
+crates/ml/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1d0a7a39d06e69cf.d: crates/probes/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1d0a7a39d06e69cf: crates/probes/tests/proptests.rs
+
+crates/probes/tests/proptests.rs:

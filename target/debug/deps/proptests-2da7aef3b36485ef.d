@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2da7aef3b36485ef.d: crates/video/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2da7aef3b36485ef: crates/video/tests/proptests.rs
+
+crates/video/tests/proptests.rs:

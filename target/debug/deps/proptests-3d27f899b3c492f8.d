@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-3d27f899b3c492f8.d: crates/video/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-3d27f899b3c492f8.rmeta: crates/video/tests/proptests.rs Cargo.toml
+
+crates/video/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

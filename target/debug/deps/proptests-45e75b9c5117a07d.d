@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-45e75b9c5117a07d.d: crates/features/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-45e75b9c5117a07d.rmeta: crates/features/tests/proptests.rs Cargo.toml
+
+crates/features/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

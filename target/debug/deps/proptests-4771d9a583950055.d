@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-4771d9a583950055.d: crates/faults/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-4771d9a583950055.rmeta: crates/faults/tests/proptests.rs Cargo.toml
+
+crates/faults/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

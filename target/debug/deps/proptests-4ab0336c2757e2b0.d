@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4ab0336c2757e2b0.d: crates/wireless/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4ab0336c2757e2b0: crates/wireless/tests/proptests.rs
+
+crates/wireless/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-5efaf4db6deae565.d: crates/simnet/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-5efaf4db6deae565.rmeta: crates/simnet/tests/proptests.rs Cargo.toml
+
+crates/simnet/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-7d1078b3e2353e1c.d: crates/wireless/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-7d1078b3e2353e1c.rmeta: crates/wireless/tests/proptests.rs Cargo.toml
+
+crates/wireless/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9d643620a4bb3c6e.d: crates/simnet/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9d643620a4bb3c6e: crates/simnet/tests/proptests.rs
+
+crates/simnet/tests/proptests.rs:

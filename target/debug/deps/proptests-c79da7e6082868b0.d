@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c79da7e6082868b0.d: crates/probes/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c79da7e6082868b0.rmeta: crates/probes/tests/proptests.rs Cargo.toml
+
+crates/probes/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

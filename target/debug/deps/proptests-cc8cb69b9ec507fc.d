@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cc8cb69b9ec507fc.d: crates/faults/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cc8cb69b9ec507fc: crates/faults/tests/proptests.rs
+
+crates/faults/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d7032fa0f94ba434.d: crates/features/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d7032fa0f94ba434: crates/features/tests/proptests.rs
+
+crates/features/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e550eddc4f415b27.d: crates/ml/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e550eddc4f415b27.rmeta: crates/ml/tests/proptests.rs Cargo.toml
+
+crates/ml/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

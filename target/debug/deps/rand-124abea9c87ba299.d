@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-124abea9c87ba299.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-124abea9c87ba299: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-68984dac29f52c47.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-68984dac29f52c47.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-68984dac29f52c47.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-fa58fe153743c482.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-fa58fe153743c482.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-e0c8f32cd266d227.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-e0c8f32cd266d227: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

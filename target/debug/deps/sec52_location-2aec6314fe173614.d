@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec52_location-2aec6314fe173614.d: crates/bench/benches/sec52_location.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec52_location-2aec6314fe173614.rmeta: crates/bench/benches/sec52_location.rs Cargo.toml
+
+crates/bench/benches/sec52_location.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_integration-5f86e04f32d347ac.d: tests/substrate_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_integration-5f86e04f32d347ac.rmeta: tests/substrate_integration.rs Cargo.toml
+
+tests/substrate_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

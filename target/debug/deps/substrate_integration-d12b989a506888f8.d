@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_integration-d12b989a506888f8.d: tests/substrate_integration.rs
+
+/root/repo/target/debug/deps/substrate_integration-d12b989a506888f8: tests/substrate_integration.rs
+
+tests/substrate_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_feature_selection-72cb3456c7ebeead.d: crates/bench/benches/table1_feature_selection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_feature_selection-72cb3456c7ebeead.rmeta: crates/bench/benches/table1_feature_selection.rs Cargo.toml
+
+crates/bench/benches/table1_feature_selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

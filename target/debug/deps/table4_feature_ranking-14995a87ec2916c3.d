@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_feature_ranking-14995a87ec2916c3.d: crates/bench/benches/table4_feature_ranking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_feature_ranking-14995a87ec2916c3.rmeta: crates/bench/benches/table4_feature_ranking.rs Cargo.toml
+
+crates/bench/benches/table4_feature_ranking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

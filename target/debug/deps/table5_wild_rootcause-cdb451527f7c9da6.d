@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_wild_rootcause-cdb451527f7c9da6.d: crates/bench/benches/table5_wild_rootcause.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_wild_rootcause-cdb451527f7c9da6.rmeta: crates/bench/benches/table5_wild_rootcause.rs Cargo.toml
+
+crates/bench/benches/table5_wild_rootcause.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

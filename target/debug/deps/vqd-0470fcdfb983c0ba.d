@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vqd-0470fcdfb983c0ba.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvqd-0470fcdfb983c0ba.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

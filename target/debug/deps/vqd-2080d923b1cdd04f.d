@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vqd-2080d923b1cdd04f.d: src/bin/vqd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvqd-2080d923b1cdd04f.rmeta: src/bin/vqd.rs Cargo.toml
+
+src/bin/vqd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vqd-57718925d49dbbbb.d: src/bin/vqd.rs
+
+/root/repo/target/debug/deps/vqd-57718925d49dbbbb: src/bin/vqd.rs
+
+src/bin/vqd.rs:

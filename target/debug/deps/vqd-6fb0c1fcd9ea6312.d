@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vqd-6fb0c1fcd9ea6312.d: src/bin/vqd.rs
+
+/root/repo/target/debug/deps/vqd-6fb0c1fcd9ea6312: src/bin/vqd.rs
+
+src/bin/vqd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vqd-aab81fd4927489e7.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvqd-aab81fd4927489e7.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vqd-d82944d8d4b34cc8.d: src/lib.rs
+
+/root/repo/target/debug/deps/vqd-d82944d8d4b34cc8: src/lib.rs
+
+src/lib.rs:

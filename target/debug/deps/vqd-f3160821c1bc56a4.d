@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vqd-f3160821c1bc56a4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libvqd-f3160821c1bc56a4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libvqd-f3160821c1bc56a4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vqd-f4e6c7f5725418ab.d: src/bin/vqd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvqd-f4e6c7f5725418ab.rmeta: src/bin/vqd.rs Cargo.toml
+
+src/bin/vqd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

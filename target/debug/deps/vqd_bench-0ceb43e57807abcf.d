@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vqd_bench-0ceb43e57807abcf.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libvqd_bench-0ceb43e57807abcf.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libvqd_bench-0ceb43e57807abcf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vqd_bench-624c6e7185b2d4d3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/vqd_bench-624c6e7185b2d4d3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vqd_bench-f5db1bef91fa4e9a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvqd_bench-f5db1bef91fa4e9a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/vqd_core-df082bd56c38fc1f.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/dataset.rs crates/core/src/diagnoser.rs crates/core/src/experiments.rs crates/core/src/iterative.rs crates/core/src/multifault.rs crates/core/src/realworld.rs crates/core/src/scenario.rs crates/core/src/testbed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvqd_core-df082bd56c38fc1f.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/dataset.rs crates/core/src/diagnoser.rs crates/core/src/experiments.rs crates/core/src/iterative.rs crates/core/src/multifault.rs crates/core/src/realworld.rs crates/core/src/scenario.rs crates/core/src/testbed.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/dataset.rs:
+crates/core/src/diagnoser.rs:
+crates/core/src/experiments.rs:
+crates/core/src/iterative.rs:
+crates/core/src/multifault.rs:
+crates/core/src/realworld.rs:
+crates/core/src/scenario.rs:
+crates/core/src/testbed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/vqd_core-ea8bbe2fae2b375f.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/dataset.rs crates/core/src/diagnoser.rs crates/core/src/experiments.rs crates/core/src/iterative.rs crates/core/src/multifault.rs crates/core/src/realworld.rs crates/core/src/scenario.rs crates/core/src/testbed.rs
+
+/root/repo/target/debug/deps/libvqd_core-ea8bbe2fae2b375f.rlib: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/dataset.rs crates/core/src/diagnoser.rs crates/core/src/experiments.rs crates/core/src/iterative.rs crates/core/src/multifault.rs crates/core/src/realworld.rs crates/core/src/scenario.rs crates/core/src/testbed.rs
+
+/root/repo/target/debug/deps/libvqd_core-ea8bbe2fae2b375f.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/dataset.rs crates/core/src/diagnoser.rs crates/core/src/experiments.rs crates/core/src/iterative.rs crates/core/src/multifault.rs crates/core/src/realworld.rs crates/core/src/scenario.rs crates/core/src/testbed.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/dataset.rs:
+crates/core/src/diagnoser.rs:
+crates/core/src/experiments.rs:
+crates/core/src/iterative.rs:
+crates/core/src/multifault.rs:
+crates/core/src/realworld.rs:
+crates/core/src/scenario.rs:
+crates/core/src/testbed.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vqd_faults-2a7e445214305511.d: crates/faults/src/lib.rs crates/faults/src/background.rs crates/faults/src/fault.rs
+
+/root/repo/target/debug/deps/vqd_faults-2a7e445214305511: crates/faults/src/lib.rs crates/faults/src/background.rs crates/faults/src/fault.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/background.rs:
+crates/faults/src/fault.rs:

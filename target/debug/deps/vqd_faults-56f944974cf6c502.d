@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vqd_faults-56f944974cf6c502.d: crates/faults/src/lib.rs crates/faults/src/background.rs crates/faults/src/fault.rs
+
+/root/repo/target/debug/deps/libvqd_faults-56f944974cf6c502.rlib: crates/faults/src/lib.rs crates/faults/src/background.rs crates/faults/src/fault.rs
+
+/root/repo/target/debug/deps/libvqd_faults-56f944974cf6c502.rmeta: crates/faults/src/lib.rs crates/faults/src/background.rs crates/faults/src/fault.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/background.rs:
+crates/faults/src/fault.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vqd_faults-957ebad7d399f201.d: crates/faults/src/lib.rs crates/faults/src/background.rs crates/faults/src/fault.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvqd_faults-957ebad7d399f201.rmeta: crates/faults/src/lib.rs crates/faults/src/background.rs crates/faults/src/fault.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/background.rs:
+crates/faults/src/fault.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vqd_faults-b9b1c7d9bdfcbf99.d: crates/faults/src/lib.rs crates/faults/src/background.rs crates/faults/src/fault.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvqd_faults-b9b1c7d9bdfcbf99.rmeta: crates/faults/src/lib.rs crates/faults/src/background.rs crates/faults/src/fault.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/background.rs:
+crates/faults/src/fault.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

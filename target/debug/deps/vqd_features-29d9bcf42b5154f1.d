@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vqd_features-29d9bcf42b5154f1.d: crates/features/src/lib.rs crates/features/src/construct.rs crates/features/src/select.rs
+
+/root/repo/target/debug/deps/vqd_features-29d9bcf42b5154f1: crates/features/src/lib.rs crates/features/src/construct.rs crates/features/src/select.rs
+
+crates/features/src/lib.rs:
+crates/features/src/construct.rs:
+crates/features/src/select.rs:

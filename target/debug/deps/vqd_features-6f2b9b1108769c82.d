@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vqd_features-6f2b9b1108769c82.d: crates/features/src/lib.rs crates/features/src/construct.rs crates/features/src/select.rs
+
+/root/repo/target/debug/deps/libvqd_features-6f2b9b1108769c82.rlib: crates/features/src/lib.rs crates/features/src/construct.rs crates/features/src/select.rs
+
+/root/repo/target/debug/deps/libvqd_features-6f2b9b1108769c82.rmeta: crates/features/src/lib.rs crates/features/src/construct.rs crates/features/src/select.rs
+
+crates/features/src/lib.rs:
+crates/features/src/construct.rs:
+crates/features/src/select.rs:

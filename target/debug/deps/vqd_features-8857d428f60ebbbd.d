@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vqd_features-8857d428f60ebbbd.d: crates/features/src/lib.rs crates/features/src/construct.rs crates/features/src/select.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvqd_features-8857d428f60ebbbd.rmeta: crates/features/src/lib.rs crates/features/src/construct.rs crates/features/src/select.rs Cargo.toml
+
+crates/features/src/lib.rs:
+crates/features/src/construct.rs:
+crates/features/src/select.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/vqd_ml-68aab1d3069b6d8a.d: crates/ml/src/lib.rs crates/ml/src/cv.rs crates/ml/src/dataset.rs crates/ml/src/discretize.rs crates/ml/src/dtree.rs crates/ml/src/info.rs crates/ml/src/metrics.rs crates/ml/src/nb.rs crates/ml/src/svm.rs
+
+/root/repo/target/debug/deps/libvqd_ml-68aab1d3069b6d8a.rlib: crates/ml/src/lib.rs crates/ml/src/cv.rs crates/ml/src/dataset.rs crates/ml/src/discretize.rs crates/ml/src/dtree.rs crates/ml/src/info.rs crates/ml/src/metrics.rs crates/ml/src/nb.rs crates/ml/src/svm.rs
+
+/root/repo/target/debug/deps/libvqd_ml-68aab1d3069b6d8a.rmeta: crates/ml/src/lib.rs crates/ml/src/cv.rs crates/ml/src/dataset.rs crates/ml/src/discretize.rs crates/ml/src/dtree.rs crates/ml/src/info.rs crates/ml/src/metrics.rs crates/ml/src/nb.rs crates/ml/src/svm.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/cv.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/discretize.rs:
+crates/ml/src/dtree.rs:
+crates/ml/src/info.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/nb.rs:
+crates/ml/src/svm.rs:

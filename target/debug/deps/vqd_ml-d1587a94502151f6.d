@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vqd_ml-d1587a94502151f6.d: crates/ml/src/lib.rs crates/ml/src/cv.rs crates/ml/src/dataset.rs crates/ml/src/discretize.rs crates/ml/src/dtree.rs crates/ml/src/info.rs crates/ml/src/metrics.rs crates/ml/src/nb.rs crates/ml/src/svm.rs
+
+/root/repo/target/debug/deps/vqd_ml-d1587a94502151f6: crates/ml/src/lib.rs crates/ml/src/cv.rs crates/ml/src/dataset.rs crates/ml/src/discretize.rs crates/ml/src/dtree.rs crates/ml/src/info.rs crates/ml/src/metrics.rs crates/ml/src/nb.rs crates/ml/src/svm.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/cv.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/discretize.rs:
+crates/ml/src/dtree.rs:
+crates/ml/src/info.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/nb.rs:
+crates/ml/src/svm.rs:

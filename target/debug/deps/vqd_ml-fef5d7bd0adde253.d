@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/vqd_ml-fef5d7bd0adde253.d: crates/ml/src/lib.rs crates/ml/src/cv.rs crates/ml/src/dataset.rs crates/ml/src/discretize.rs crates/ml/src/dtree.rs crates/ml/src/info.rs crates/ml/src/metrics.rs crates/ml/src/nb.rs crates/ml/src/svm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvqd_ml-fef5d7bd0adde253.rmeta: crates/ml/src/lib.rs crates/ml/src/cv.rs crates/ml/src/dataset.rs crates/ml/src/discretize.rs crates/ml/src/dtree.rs crates/ml/src/info.rs crates/ml/src/metrics.rs crates/ml/src/nb.rs crates/ml/src/svm.rs Cargo.toml
+
+crates/ml/src/lib.rs:
+crates/ml/src/cv.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/discretize.rs:
+crates/ml/src/dtree.rs:
+crates/ml/src/info.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/nb.rs:
+crates/ml/src/svm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

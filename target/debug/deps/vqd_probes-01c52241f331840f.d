@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vqd_probes-01c52241f331840f.d: crates/probes/src/lib.rs crates/probes/src/sampler.rs crates/probes/src/tstat.rs crates/probes/src/vantage.rs
+
+/root/repo/target/debug/deps/vqd_probes-01c52241f331840f: crates/probes/src/lib.rs crates/probes/src/sampler.rs crates/probes/src/tstat.rs crates/probes/src/vantage.rs
+
+crates/probes/src/lib.rs:
+crates/probes/src/sampler.rs:
+crates/probes/src/tstat.rs:
+crates/probes/src/vantage.rs:

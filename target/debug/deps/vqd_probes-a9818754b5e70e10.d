@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vqd_probes-a9818754b5e70e10.d: crates/probes/src/lib.rs crates/probes/src/sampler.rs crates/probes/src/tstat.rs crates/probes/src/vantage.rs
+
+/root/repo/target/debug/deps/libvqd_probes-a9818754b5e70e10.rlib: crates/probes/src/lib.rs crates/probes/src/sampler.rs crates/probes/src/tstat.rs crates/probes/src/vantage.rs
+
+/root/repo/target/debug/deps/libvqd_probes-a9818754b5e70e10.rmeta: crates/probes/src/lib.rs crates/probes/src/sampler.rs crates/probes/src/tstat.rs crates/probes/src/vantage.rs
+
+crates/probes/src/lib.rs:
+crates/probes/src/sampler.rs:
+crates/probes/src/tstat.rs:
+crates/probes/src/vantage.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vqd_probes-c1637de276ae9620.d: crates/probes/src/lib.rs crates/probes/src/sampler.rs crates/probes/src/tstat.rs crates/probes/src/vantage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvqd_probes-c1637de276ae9620.rmeta: crates/probes/src/lib.rs crates/probes/src/sampler.rs crates/probes/src/tstat.rs crates/probes/src/vantage.rs Cargo.toml
+
+crates/probes/src/lib.rs:
+crates/probes/src/sampler.rs:
+crates/probes/src/tstat.rs:
+crates/probes/src/vantage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/vqd_simnet-df8dddd99d087a1e.d: crates/simnet/src/lib.rs crates/simnet/src/engine.rs crates/simnet/src/host.rs crates/simnet/src/ids.rs crates/simnet/src/link.rs crates/simnet/src/medium.rs crates/simnet/src/packet.rs crates/simnet/src/rng.rs crates/simnet/src/stats.rs crates/simnet/src/tcp.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/traffic.rs crates/simnet/src/udp.rs
+
+/root/repo/target/debug/deps/vqd_simnet-df8dddd99d087a1e: crates/simnet/src/lib.rs crates/simnet/src/engine.rs crates/simnet/src/host.rs crates/simnet/src/ids.rs crates/simnet/src/link.rs crates/simnet/src/medium.rs crates/simnet/src/packet.rs crates/simnet/src/rng.rs crates/simnet/src/stats.rs crates/simnet/src/tcp.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/traffic.rs crates/simnet/src/udp.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/engine.rs:
+crates/simnet/src/host.rs:
+crates/simnet/src/ids.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/medium.rs:
+crates/simnet/src/packet.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/tcp.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/topology.rs:
+crates/simnet/src/traffic.rs:
+crates/simnet/src/udp.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/vqd_simnet-ed2eae67fed2785e.d: crates/simnet/src/lib.rs crates/simnet/src/engine.rs crates/simnet/src/host.rs crates/simnet/src/ids.rs crates/simnet/src/link.rs crates/simnet/src/medium.rs crates/simnet/src/packet.rs crates/simnet/src/rng.rs crates/simnet/src/stats.rs crates/simnet/src/tcp.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/traffic.rs crates/simnet/src/udp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvqd_simnet-ed2eae67fed2785e.rmeta: crates/simnet/src/lib.rs crates/simnet/src/engine.rs crates/simnet/src/host.rs crates/simnet/src/ids.rs crates/simnet/src/link.rs crates/simnet/src/medium.rs crates/simnet/src/packet.rs crates/simnet/src/rng.rs crates/simnet/src/stats.rs crates/simnet/src/tcp.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/traffic.rs crates/simnet/src/udp.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/engine.rs:
+crates/simnet/src/host.rs:
+crates/simnet/src/ids.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/medium.rs:
+crates/simnet/src/packet.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/tcp.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/topology.rs:
+crates/simnet/src/traffic.rs:
+crates/simnet/src/udp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

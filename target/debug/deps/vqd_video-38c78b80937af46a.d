@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/vqd_video-38c78b80937af46a.d: crates/video/src/lib.rs crates/video/src/catalog.rs crates/video/src/mos.rs crates/video/src/player.rs crates/video/src/server.rs crates/video/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvqd_video-38c78b80937af46a.rmeta: crates/video/src/lib.rs crates/video/src/catalog.rs crates/video/src/mos.rs crates/video/src/player.rs crates/video/src/server.rs crates/video/src/session.rs Cargo.toml
+
+crates/video/src/lib.rs:
+crates/video/src/catalog.rs:
+crates/video/src/mos.rs:
+crates/video/src/player.rs:
+crates/video/src/server.rs:
+crates/video/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vqd_video-64ddbf22976916ef.d: crates/video/src/lib.rs crates/video/src/catalog.rs crates/video/src/mos.rs crates/video/src/player.rs crates/video/src/server.rs crates/video/src/session.rs
+
+/root/repo/target/debug/deps/libvqd_video-64ddbf22976916ef.rlib: crates/video/src/lib.rs crates/video/src/catalog.rs crates/video/src/mos.rs crates/video/src/player.rs crates/video/src/server.rs crates/video/src/session.rs
+
+/root/repo/target/debug/deps/libvqd_video-64ddbf22976916ef.rmeta: crates/video/src/lib.rs crates/video/src/catalog.rs crates/video/src/mos.rs crates/video/src/player.rs crates/video/src/server.rs crates/video/src/session.rs
+
+crates/video/src/lib.rs:
+crates/video/src/catalog.rs:
+crates/video/src/mos.rs:
+crates/video/src/player.rs:
+crates/video/src/server.rs:
+crates/video/src/session.rs:

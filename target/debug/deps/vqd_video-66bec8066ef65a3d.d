@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vqd_video-66bec8066ef65a3d.d: crates/video/src/lib.rs crates/video/src/catalog.rs crates/video/src/mos.rs crates/video/src/player.rs crates/video/src/server.rs crates/video/src/session.rs
+
+/root/repo/target/debug/deps/vqd_video-66bec8066ef65a3d: crates/video/src/lib.rs crates/video/src/catalog.rs crates/video/src/mos.rs crates/video/src/player.rs crates/video/src/server.rs crates/video/src/session.rs
+
+crates/video/src/lib.rs:
+crates/video/src/catalog.rs:
+crates/video/src/mos.rs:
+crates/video/src/player.rs:
+crates/video/src/server.rs:
+crates/video/src/session.rs:

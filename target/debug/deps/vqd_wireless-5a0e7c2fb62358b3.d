@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vqd_wireless-5a0e7c2fb62358b3.d: crates/wireless/src/lib.rs crates/wireless/src/phy.rs crates/wireless/src/rates.rs crates/wireless/src/wlan.rs
+
+/root/repo/target/debug/deps/vqd_wireless-5a0e7c2fb62358b3: crates/wireless/src/lib.rs crates/wireless/src/phy.rs crates/wireless/src/rates.rs crates/wireless/src/wlan.rs
+
+crates/wireless/src/lib.rs:
+crates/wireless/src/phy.rs:
+crates/wireless/src/rates.rs:
+crates/wireless/src/wlan.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vqd_wireless-b9c775bd09cf3d88.d: crates/wireless/src/lib.rs crates/wireless/src/phy.rs crates/wireless/src/rates.rs crates/wireless/src/wlan.rs
+
+/root/repo/target/debug/deps/libvqd_wireless-b9c775bd09cf3d88.rlib: crates/wireless/src/lib.rs crates/wireless/src/phy.rs crates/wireless/src/rates.rs crates/wireless/src/wlan.rs
+
+/root/repo/target/debug/deps/libvqd_wireless-b9c775bd09cf3d88.rmeta: crates/wireless/src/lib.rs crates/wireless/src/phy.rs crates/wireless/src/rates.rs crates/wireless/src/wlan.rs
+
+crates/wireless/src/lib.rs:
+crates/wireless/src/phy.rs:
+crates/wireless/src/rates.rs:
+crates/wireless/src/wlan.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vqd_wireless-d45e5f948fc01f02.d: crates/wireless/src/lib.rs crates/wireless/src/phy.rs crates/wireless/src/rates.rs crates/wireless/src/wlan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvqd_wireless-d45e5f948fc01f02.rmeta: crates/wireless/src/lib.rs crates/wireless/src/phy.rs crates/wireless/src/rates.rs crates/wireless/src/wlan.rs Cargo.toml
+
+crates/wireless/src/lib.rs:
+crates/wireless/src/phy.rs:
+crates/wireless/src/rates.rs:
+crates/wireless/src/wlan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

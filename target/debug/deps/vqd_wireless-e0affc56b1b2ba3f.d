@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vqd_wireless-e0affc56b1b2ba3f.d: crates/wireless/src/lib.rs crates/wireless/src/phy.rs crates/wireless/src/rates.rs crates/wireless/src/wlan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvqd_wireless-e0affc56b1b2ba3f.rmeta: crates/wireless/src/lib.rs crates/wireless/src/phy.rs crates/wireless/src/rates.rs crates/wireless/src/wlan.rs Cargo.toml
+
+crates/wireless/src/lib.rs:
+crates/wireless/src/phy.rs:
+crates/wireless/src/rates.rs:
+crates/wireless/src/wlan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/isp_monitor-d645e05f2204ef65.d: examples/isp_monitor.rs
+
+/root/repo/target/debug/examples/isp_monitor-d645e05f2204ef65: examples/isp_monitor.rs
+
+examples/isp_monitor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/isp_monitor-fcd4e34c1f77d398.d: examples/isp_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libisp_monitor-fcd4e34c1f77d398.rmeta: examples/isp_monitor.rs Cargo.toml
+
+examples/isp_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mobile_selfdiag-a1123c60a8593cb3.d: examples/mobile_selfdiag.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmobile_selfdiag-a1123c60a8593cb3.rmeta: examples/mobile_selfdiag.rs Cargo.toml
+
+examples/mobile_selfdiag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobile_selfdiag-b1144e37fe4f85c9.d: examples/mobile_selfdiag.rs
+
+/root/repo/target/debug/examples/mobile_selfdiag-b1144e37fe4f85c9: examples/mobile_selfdiag.rs
+
+examples/mobile_selfdiag.rs:

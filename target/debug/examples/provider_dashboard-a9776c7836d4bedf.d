@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/provider_dashboard-a9776c7836d4bedf.d: examples/provider_dashboard.rs
+
+/root/repo/target/debug/examples/provider_dashboard-a9776c7836d4bedf: examples/provider_dashboard.rs
+
+examples/provider_dashboard.rs:

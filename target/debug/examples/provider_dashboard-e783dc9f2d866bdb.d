@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/provider_dashboard-e783dc9f2d866bdb.d: examples/provider_dashboard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprovider_dashboard-e783dc9f2d866bdb.rmeta: examples/provider_dashboard.rs Cargo.toml
+
+examples/provider_dashboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

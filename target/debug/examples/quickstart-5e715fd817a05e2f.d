@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-5e715fd817a05e2f.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-5e715fd817a05e2f.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ab288d9b6279cff3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ab288d9b6279cff3: examples/quickstart.rs
+
+examples/quickstart.rs:

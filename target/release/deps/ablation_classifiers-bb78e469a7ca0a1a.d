@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_classifiers-bb78e469a7ca0a1a.d: crates/bench/benches/ablation_classifiers.rs
+
+/root/repo/target/release/deps/ablation_classifiers-bb78e469a7ca0a1a: crates/bench/benches/ablation_classifiers.rs
+
+crates/bench/benches/ablation_classifiers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pipeline-c907b27b085c430e.d: crates/bench/benches/ablation_pipeline.rs
+
+/root/repo/target/release/deps/ablation_pipeline-c907b27b085c430e: crates/bench/benches/ablation_pipeline.rs
+
+crates/bench/benches/ablation_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-c015dc2aba03979b.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-c015dc2aba03979b: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_iterative_rca-85ec099441f51cce.d: crates/bench/benches/ext_iterative_rca.rs
+
+/root/repo/target/release/deps/ext_iterative_rca-85ec099441f51cce: crates/bench/benches/ext_iterative_rca.rs
+
+crates/bench/benches/ext_iterative_rca.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_multifault-0d48075cfcc421e8.d: crates/bench/benches/ext_multifault.rs
+
+/root/repo/target/release/deps/ext_multifault-0d48075cfcc421e8: crates/bench/benches/ext_multifault.rs
+
+crates/bench/benches/ext_multifault.rs:

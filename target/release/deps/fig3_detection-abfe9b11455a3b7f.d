@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_detection-abfe9b11455a3b7f.d: crates/bench/benches/fig3_detection.rs
+
+/root/repo/target/release/deps/fig3_detection-abfe9b11455a3b7f: crates/bench/benches/fig3_detection.rs
+
+crates/bench/benches/fig3_detection.rs:

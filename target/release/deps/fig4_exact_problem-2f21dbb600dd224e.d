@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_exact_problem-2f21dbb600dd224e.d: crates/bench/benches/fig4_exact_problem.rs
+
+/root/repo/target/release/deps/fig4_exact_problem-2f21dbb600dd224e: crates/bench/benches/fig4_exact_problem.rs
+
+crates/bench/benches/fig4_exact_problem.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_feature_sets-2dd5df0776c99be1.d: crates/bench/benches/fig5_feature_sets.rs
+
+/root/repo/target/release/deps/fig5_feature_sets-2dd5df0776c99be1: crates/bench/benches/fig5_feature_sets.rs
+
+crates/bench/benches/fig5_feature_sets.rs:

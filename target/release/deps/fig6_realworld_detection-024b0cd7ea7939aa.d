@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_realworld_detection-024b0cd7ea7939aa.d: crates/bench/benches/fig6_realworld_detection.rs
+
+/root/repo/target/release/deps/fig6_realworld_detection-024b0cd7ea7939aa: crates/bench/benches/fig6_realworld_detection.rs
+
+crates/bench/benches/fig6_realworld_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_realworld_exact-dabfc40d5d96b6df.d: crates/bench/benches/fig7_realworld_exact.rs
+
+/root/repo/target/release/deps/fig7_realworld_exact-dabfc40d5d96b6df: crates/bench/benches/fig7_realworld_exact.rs
+
+crates/bench/benches/fig7_realworld_exact.rs:

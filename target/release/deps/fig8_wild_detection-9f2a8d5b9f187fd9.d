@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_wild_detection-9f2a8d5b9f187fd9.d: crates/bench/benches/fig8_wild_detection.rs
+
+/root/repo/target/release/deps/fig8_wild_detection-9f2a8d5b9f187fd9: crates/bench/benches/fig8_wild_detection.rs
+
+crates/bench/benches/fig8_wild_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_server_inference-cc9992d24ddd9187.d: crates/bench/benches/fig9_server_inference.rs
+
+/root/repo/target/release/deps/fig9_server_inference-cc9992d24ddd9187: crates/bench/benches/fig9_server_inference.rs
+
+crates/bench/benches/fig9_server_inference.rs:

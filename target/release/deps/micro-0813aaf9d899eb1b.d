@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-0813aaf9d899eb1b.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-0813aaf9d899eb1b: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

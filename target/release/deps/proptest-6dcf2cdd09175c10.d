@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-6dcf2cdd09175c10.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-6dcf2cdd09175c10.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-6dcf2cdd09175c10.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

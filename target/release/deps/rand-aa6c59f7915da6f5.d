@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-aa6c59f7915da6f5.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-aa6c59f7915da6f5.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-aa6c59f7915da6f5.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-bbea9d05e3bab844.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-bbea9d05e3bab844: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

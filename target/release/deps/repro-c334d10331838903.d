@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-c334d10331838903.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-c334d10331838903: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec52_location-44f88c3acdaaa113.d: crates/bench/benches/sec52_location.rs
+
+/root/repo/target/release/deps/sec52_location-44f88c3acdaaa113: crates/bench/benches/sec52_location.rs
+
+crates/bench/benches/sec52_location.rs:

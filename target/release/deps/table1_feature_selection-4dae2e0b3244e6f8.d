@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_feature_selection-4dae2e0b3244e6f8.d: crates/bench/benches/table1_feature_selection.rs
+
+/root/repo/target/release/deps/table1_feature_selection-4dae2e0b3244e6f8: crates/bench/benches/table1_feature_selection.rs
+
+crates/bench/benches/table1_feature_selection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_feature_ranking-d5e7af0ffd2e7a7a.d: crates/bench/benches/table4_feature_ranking.rs
+
+/root/repo/target/release/deps/table4_feature_ranking-d5e7af0ffd2e7a7a: crates/bench/benches/table4_feature_ranking.rs
+
+crates/bench/benches/table4_feature_ranking.rs:

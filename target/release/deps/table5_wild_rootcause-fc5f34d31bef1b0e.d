@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_wild_rootcause-fc5f34d31bef1b0e.d: crates/bench/benches/table5_wild_rootcause.rs
+
+/root/repo/target/release/deps/table5_wild_rootcause-fc5f34d31bef1b0e: crates/bench/benches/table5_wild_rootcause.rs
+
+crates/bench/benches/table5_wild_rootcause.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tmp_prof-24f62f3a39824c3a.d: crates/ml/tests/tmp_prof.rs
+
+/root/repo/target/release/deps/tmp_prof-24f62f3a39824c3a: crates/ml/tests/tmp_prof.rs
+
+crates/ml/tests/tmp_prof.rs:

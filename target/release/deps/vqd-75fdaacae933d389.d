@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vqd-75fdaacae933d389.d: src/bin/vqd.rs
+
+/root/repo/target/release/deps/vqd-75fdaacae933d389: src/bin/vqd.rs
+
+src/bin/vqd.rs:

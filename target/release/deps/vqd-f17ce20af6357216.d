@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vqd-f17ce20af6357216.d: src/lib.rs
+
+/root/repo/target/release/deps/libvqd-f17ce20af6357216.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libvqd-f17ce20af6357216.rmeta: src/lib.rs
+
+src/lib.rs:

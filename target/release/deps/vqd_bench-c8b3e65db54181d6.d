@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vqd_bench-c8b3e65db54181d6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libvqd_bench-c8b3e65db54181d6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libvqd_bench-c8b3e65db54181d6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

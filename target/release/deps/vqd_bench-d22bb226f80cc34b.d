@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vqd_bench-d22bb226f80cc34b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/vqd_bench-d22bb226f80cc34b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/vqd_core-e62ec35462916c0d.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/dataset.rs crates/core/src/diagnoser.rs crates/core/src/experiments.rs crates/core/src/iterative.rs crates/core/src/multifault.rs crates/core/src/realworld.rs crates/core/src/scenario.rs crates/core/src/testbed.rs
+
+/root/repo/target/release/deps/libvqd_core-e62ec35462916c0d.rlib: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/dataset.rs crates/core/src/diagnoser.rs crates/core/src/experiments.rs crates/core/src/iterative.rs crates/core/src/multifault.rs crates/core/src/realworld.rs crates/core/src/scenario.rs crates/core/src/testbed.rs
+
+/root/repo/target/release/deps/libvqd_core-e62ec35462916c0d.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/dataset.rs crates/core/src/diagnoser.rs crates/core/src/experiments.rs crates/core/src/iterative.rs crates/core/src/multifault.rs crates/core/src/realworld.rs crates/core/src/scenario.rs crates/core/src/testbed.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/dataset.rs:
+crates/core/src/diagnoser.rs:
+crates/core/src/experiments.rs:
+crates/core/src/iterative.rs:
+crates/core/src/multifault.rs:
+crates/core/src/realworld.rs:
+crates/core/src/scenario.rs:
+crates/core/src/testbed.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vqd_faults-18623bf6fff0f804.d: crates/faults/src/lib.rs crates/faults/src/background.rs crates/faults/src/fault.rs
+
+/root/repo/target/release/deps/libvqd_faults-18623bf6fff0f804.rlib: crates/faults/src/lib.rs crates/faults/src/background.rs crates/faults/src/fault.rs
+
+/root/repo/target/release/deps/libvqd_faults-18623bf6fff0f804.rmeta: crates/faults/src/lib.rs crates/faults/src/background.rs crates/faults/src/fault.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/background.rs:
+crates/faults/src/fault.rs:

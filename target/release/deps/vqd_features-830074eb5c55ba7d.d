@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vqd_features-830074eb5c55ba7d.d: crates/features/src/lib.rs crates/features/src/construct.rs crates/features/src/select.rs
+
+/root/repo/target/release/deps/libvqd_features-830074eb5c55ba7d.rlib: crates/features/src/lib.rs crates/features/src/construct.rs crates/features/src/select.rs
+
+/root/repo/target/release/deps/libvqd_features-830074eb5c55ba7d.rmeta: crates/features/src/lib.rs crates/features/src/construct.rs crates/features/src/select.rs
+
+crates/features/src/lib.rs:
+crates/features/src/construct.rs:
+crates/features/src/select.rs:

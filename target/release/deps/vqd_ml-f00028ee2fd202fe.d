@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/vqd_ml-f00028ee2fd202fe.d: crates/ml/src/lib.rs crates/ml/src/cv.rs crates/ml/src/dataset.rs crates/ml/src/discretize.rs crates/ml/src/dtree.rs crates/ml/src/info.rs crates/ml/src/metrics.rs crates/ml/src/nb.rs crates/ml/src/svm.rs
+
+/root/repo/target/release/deps/libvqd_ml-f00028ee2fd202fe.rlib: crates/ml/src/lib.rs crates/ml/src/cv.rs crates/ml/src/dataset.rs crates/ml/src/discretize.rs crates/ml/src/dtree.rs crates/ml/src/info.rs crates/ml/src/metrics.rs crates/ml/src/nb.rs crates/ml/src/svm.rs
+
+/root/repo/target/release/deps/libvqd_ml-f00028ee2fd202fe.rmeta: crates/ml/src/lib.rs crates/ml/src/cv.rs crates/ml/src/dataset.rs crates/ml/src/discretize.rs crates/ml/src/dtree.rs crates/ml/src/info.rs crates/ml/src/metrics.rs crates/ml/src/nb.rs crates/ml/src/svm.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/cv.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/discretize.rs:
+crates/ml/src/dtree.rs:
+crates/ml/src/info.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/nb.rs:
+crates/ml/src/svm.rs:

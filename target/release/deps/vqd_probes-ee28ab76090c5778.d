@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vqd_probes-ee28ab76090c5778.d: crates/probes/src/lib.rs crates/probes/src/sampler.rs crates/probes/src/tstat.rs crates/probes/src/vantage.rs
+
+/root/repo/target/release/deps/libvqd_probes-ee28ab76090c5778.rlib: crates/probes/src/lib.rs crates/probes/src/sampler.rs crates/probes/src/tstat.rs crates/probes/src/vantage.rs
+
+/root/repo/target/release/deps/libvqd_probes-ee28ab76090c5778.rmeta: crates/probes/src/lib.rs crates/probes/src/sampler.rs crates/probes/src/tstat.rs crates/probes/src/vantage.rs
+
+crates/probes/src/lib.rs:
+crates/probes/src/sampler.rs:
+crates/probes/src/tstat.rs:
+crates/probes/src/vantage.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/vqd_simnet-ccbf8baccbde289e.d: crates/simnet/src/lib.rs crates/simnet/src/engine.rs crates/simnet/src/host.rs crates/simnet/src/ids.rs crates/simnet/src/link.rs crates/simnet/src/medium.rs crates/simnet/src/packet.rs crates/simnet/src/rng.rs crates/simnet/src/stats.rs crates/simnet/src/tcp.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/traffic.rs crates/simnet/src/udp.rs
+
+/root/repo/target/release/deps/libvqd_simnet-ccbf8baccbde289e.rlib: crates/simnet/src/lib.rs crates/simnet/src/engine.rs crates/simnet/src/host.rs crates/simnet/src/ids.rs crates/simnet/src/link.rs crates/simnet/src/medium.rs crates/simnet/src/packet.rs crates/simnet/src/rng.rs crates/simnet/src/stats.rs crates/simnet/src/tcp.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/traffic.rs crates/simnet/src/udp.rs
+
+/root/repo/target/release/deps/libvqd_simnet-ccbf8baccbde289e.rmeta: crates/simnet/src/lib.rs crates/simnet/src/engine.rs crates/simnet/src/host.rs crates/simnet/src/ids.rs crates/simnet/src/link.rs crates/simnet/src/medium.rs crates/simnet/src/packet.rs crates/simnet/src/rng.rs crates/simnet/src/stats.rs crates/simnet/src/tcp.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/traffic.rs crates/simnet/src/udp.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/engine.rs:
+crates/simnet/src/host.rs:
+crates/simnet/src/ids.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/medium.rs:
+crates/simnet/src/packet.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/tcp.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/topology.rs:
+crates/simnet/src/traffic.rs:
+crates/simnet/src/udp.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vqd_video-5f80db35d15dd09a.d: crates/video/src/lib.rs crates/video/src/catalog.rs crates/video/src/mos.rs crates/video/src/player.rs crates/video/src/server.rs crates/video/src/session.rs
+
+/root/repo/target/release/deps/libvqd_video-5f80db35d15dd09a.rlib: crates/video/src/lib.rs crates/video/src/catalog.rs crates/video/src/mos.rs crates/video/src/player.rs crates/video/src/server.rs crates/video/src/session.rs
+
+/root/repo/target/release/deps/libvqd_video-5f80db35d15dd09a.rmeta: crates/video/src/lib.rs crates/video/src/catalog.rs crates/video/src/mos.rs crates/video/src/player.rs crates/video/src/server.rs crates/video/src/session.rs
+
+crates/video/src/lib.rs:
+crates/video/src/catalog.rs:
+crates/video/src/mos.rs:
+crates/video/src/player.rs:
+crates/video/src/server.rs:
+crates/video/src/session.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vqd_wireless-83945e78ef40ad40.d: crates/wireless/src/lib.rs crates/wireless/src/phy.rs crates/wireless/src/rates.rs crates/wireless/src/wlan.rs
+
+/root/repo/target/release/deps/libvqd_wireless-83945e78ef40ad40.rlib: crates/wireless/src/lib.rs crates/wireless/src/phy.rs crates/wireless/src/rates.rs crates/wireless/src/wlan.rs
+
+/root/repo/target/release/deps/libvqd_wireless-83945e78ef40ad40.rmeta: crates/wireless/src/lib.rs crates/wireless/src/phy.rs crates/wireless/src/rates.rs crates/wireless/src/wlan.rs
+
+crates/wireless/src/lib.rs:
+crates/wireless/src/phy.rs:
+crates/wireless/src/rates.rs:
+crates/wireless/src/wlan.rs:
