@@ -20,10 +20,7 @@ use vqd_core::dataset::{generate_corpus, CorpusConfig, LabeledRun};
 use vqd_core::realworld::{
     generate_induced, generate_wild, Access, RealWorldConfig, RwRun, Service,
 };
-use vqd_core::scenario::GroundTruth;
-use vqd_faults::FaultKind;
 use vqd_video::catalog::Catalog;
-use vqd_video::QoeClass;
 
 /// The catalogue seed shared by every experiment.
 pub const CATALOG_SEED: u64 = 42;
@@ -80,72 +77,31 @@ fn cache_dir() -> PathBuf {
 // Text serialisation of labelled runs (cache format)
 // ---------------------------------------------------------------------
 
-fn fault_from_name(name: &str) -> FaultKind {
-    FaultKind::ALL
-        .iter()
-        .copied()
-        .find(|f| f.name() == name)
-        .unwrap_or(FaultKind::None)
-}
-
-fn qoe_from_name(name: &str) -> QoeClass {
-    match name {
-        "mild" => QoeClass::Mild,
-        "severe" => QoeClass::Severe,
-        _ => QoeClass::Good,
-    }
-}
-
-/// Serialise runs to the cache format (one line per run).
+/// Serialise runs to the cache format (one line per run). The cache
+/// format is the corpus format of `vqd_core::dataset`.
 pub fn runs_to_text(runs: &[LabeledRun]) -> String {
-    let mut s = String::new();
-    for r in runs {
-        s.push_str(r.truth.fault.name());
-        s.push('\t');
-        s.push_str(r.truth.qoe.name());
-        for (n, v) in &r.metrics {
-            s.push('\t');
-            s.push_str(n);
-            s.push('=');
-            s.push_str(&format!("{v:?}"));
-        }
-        s.push('\n');
-    }
-    s
+    vqd_core::dataset::corpus_to_text(runs)
 }
 
-/// Parse the cache format back into runs.
-pub fn runs_from_text(text: &str) -> Vec<LabeledRun> {
-    text.lines()
-        .filter(|l| !l.is_empty())
-        .map(|line| {
-            let mut parts = line.split('\t');
-            let fault = fault_from_name(parts.next().unwrap_or("none"));
-            let qoe = qoe_from_name(parts.next().unwrap_or("good"));
-            let metrics = parts
-                .filter_map(|kv| {
-                    let (k, v) = kv.split_once('=')?;
-                    Some((k.to_string(), v.parse::<f64>().ok()?))
-                })
-                .collect();
-            LabeledRun {
-                metrics,
-                truth: GroundTruth { fault, qoe },
-            }
-        })
-        .collect()
+/// Parse the cache format back into runs; `None` on a corrupt cache
+/// (the caller regenerates it).
+pub fn runs_from_text(text: &str) -> Option<Vec<LabeledRun>> {
+    vqd_core::dataset::corpus_from_text(text).ok()
 }
 
 fn cached<T>(
     key: &str,
     to_text: impl Fn(&T) -> String,
-    from_text: impl Fn(&str) -> T,
+    from_text: impl Fn(&str) -> Option<T>,
     generate: impl FnOnce() -> T,
 ) -> T {
     let path = cache_dir().join(format!("{key}.tsv"));
     if let Ok(text) = fs::read_to_string(&path) {
         if !text.is_empty() {
-            return from_text(&text);
+            match from_text(&text) {
+                Some(v) => return v,
+                None => eprintln!("[vqd-bench] cache {key} is corrupt; regenerating"),
+            }
         }
     }
     let value = generate();
@@ -194,20 +150,14 @@ fn rwruns_to_text(runs: &[RwRun]) -> String {
     s
 }
 
-fn rwruns_from_text(text: &str) -> Vec<RwRun> {
+fn rwruns_from_text(text: &str) -> Option<Vec<RwRun>> {
     text.lines()
         .filter(|l| !l.is_empty())
         .map(|line| {
-            let (access, rest) = line.split_once('\t').unwrap_or(("wifi", line));
-            let (service, rest) = rest.split_once('\t').unwrap_or(("private", rest));
-            let run = runs_from_text(rest).pop().unwrap_or(LabeledRun {
-                metrics: Vec::new(),
-                truth: GroundTruth {
-                    fault: FaultKind::None,
-                    qoe: QoeClass::Good,
-                },
-            });
-            RwRun {
+            let (access, rest) = line.split_once('\t')?;
+            let (service, rest) = rest.split_once('\t')?;
+            let run = runs_from_text(rest)?.pop()?;
+            Some(RwRun {
                 run,
                 access: if access == "cell" {
                     Access::Cellular
@@ -219,7 +169,7 @@ fn rwruns_from_text(text: &str) -> Vec<RwRun> {
                 } else {
                     Service::Private
                 },
-            }
+            })
         })
         .collect()
 }
@@ -277,6 +227,9 @@ pub fn emit_section(name: &str, text: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vqd_core::scenario::GroundTruth;
+    use vqd_faults::FaultKind;
+    use vqd_video::QoeClass;
 
     #[test]
     fn run_serialisation_round_trips() {
@@ -291,7 +244,7 @@ mod tests {
             },
         }];
         let text = runs_to_text(&runs);
-        let back = runs_from_text(&text);
+        let back = runs_from_text(&text).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].truth.fault, FaultKind::LowRssi);
         assert_eq!(back[0].truth.qoe, QoeClass::Mild);
@@ -314,7 +267,7 @@ mod tests {
             service: Service::Youtube,
         }];
         let text = rwruns_to_text(&runs);
-        let back = rwruns_from_text(&text);
+        let back = rwruns_from_text(&text).unwrap();
         assert_eq!(back[0].access, Access::Cellular);
         assert_eq!(back[0].service, Service::Youtube);
         assert_eq!(back[0].run.truth.qoe, QoeClass::Severe);

@@ -15,6 +15,9 @@ use vqd_ml::{Dataset, DatasetBuilder};
 use vqd_simnet::rng::SimRng;
 use vqd_video::catalog::Catalog;
 
+use vqd_video::QoeClass;
+
+use crate::error::VqdError;
 use crate::realworld::{run_realworld_session, Access, RwSpec, Service};
 use crate::scenario::{class_id, class_names, GroundTruth, LabelScheme};
 use crate::testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};
@@ -157,6 +160,79 @@ pub fn generate_corpus(cfg: &CorpusConfig, catalog: &Catalog) -> Vec<LabeledRun>
         .collect()
 }
 
+/// Serialise a corpus to the tab-separated on-disk format: one run
+/// per line, `fault\tqoe\tname=value\t…`. Floats use Rust's `{:?}`
+/// round-trip formatting, so [`corpus_from_text`] recovers them
+/// bit-exactly (including NaN for missing readings).
+pub fn corpus_to_text(runs: &[LabeledRun]) -> String {
+    let mut s = String::new();
+    for r in runs {
+        s.push_str(r.truth.fault.name());
+        s.push('\t');
+        s.push_str(r.truth.qoe.name());
+        for (n, v) in &r.metrics {
+            s.push_str(&format!("\t{n}={v:?}"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Parse a corpus written by [`corpus_to_text`]. Strict: unknown
+/// fault or QoE names, malformed `name=value` tokens and non-numeric
+/// values are errors naming the 1-based line, not silently defaulted
+/// — a typo'd corpus must not train a mislabelled model.
+pub fn corpus_from_text(text: &str) -> Result<Vec<LabeledRun>, VqdError> {
+    let mut runs = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let fault_name = parts.next().unwrap_or("");
+        // `FaultKind::ALL` is the injectable set; "none" is separate.
+        let fault = if fault_name == FaultKind::None.name() {
+            FaultKind::None
+        } else {
+            FaultKind::ALL
+                .iter()
+                .copied()
+                .find(|f| f.name() == fault_name)
+                .ok_or_else(|| VqdError::corpus(lineno, format!("unknown fault {fault_name:?}")))?
+        };
+        let qoe = match parts.next() {
+            Some("good") => QoeClass::Good,
+            Some("mild") => QoeClass::Mild,
+            Some("severe") => QoeClass::Severe,
+            other => {
+                return Err(VqdError::corpus(
+                    lineno,
+                    format!(
+                        "unknown QoE class {:?} (expected good|mild|severe)",
+                        other.unwrap_or("")
+                    ),
+                ))
+            }
+        };
+        let mut metrics = Vec::new();
+        for kv in parts {
+            let (k, v) = kv.split_once('=').ok_or_else(|| {
+                VqdError::corpus(lineno, format!("metric token {kv:?} is not name=value"))
+            })?;
+            let value: f64 = v.parse().map_err(|_| {
+                VqdError::corpus(lineno, format!("metric {k:?} has non-numeric value {v:?}"))
+            })?;
+            metrics.push((k.to_string(), value));
+        }
+        runs.push(LabeledRun {
+            metrics,
+            truth: GroundTruth { fault, qoe },
+        });
+    }
+    Ok(runs)
+}
+
 /// Assemble runs into an ML dataset under a label scheme.
 pub fn to_dataset(runs: &[LabeledRun], scheme: LabelScheme) -> Dataset {
     let mut b = DatasetBuilder::new(class_names(scheme));
@@ -194,6 +270,57 @@ mod tests {
             .filter(|s| matches!(s, CorpusSpec::Cellular(_)))
             .count();
         assert!(docked > 15 && docked < 90, "docked {docked}");
+    }
+
+    #[test]
+    fn corpus_text_round_trips_bit_exactly() {
+        let runs = vec![
+            LabeledRun {
+                metrics: vec![
+                    ("mobile.phy.rssi_avg".into(), -62.25),
+                    ("mobile.hw.cpu_avg".into(), f64::NAN),
+                ],
+                truth: GroundTruth {
+                    fault: FaultKind::LowRssi,
+                    qoe: QoeClass::Severe,
+                },
+            },
+            LabeledRun {
+                metrics: vec![("server.tcp.c2s.iat_avg".into(), 0.1)],
+                truth: GroundTruth {
+                    fault: FaultKind::None,
+                    qoe: QoeClass::Good,
+                },
+            },
+        ];
+        let text = corpus_to_text(&runs);
+        let back = corpus_from_text(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].truth.fault, FaultKind::LowRssi);
+        assert_eq!(back[0].truth.qoe, QoeClass::Severe);
+        for (a, b) in runs[0].metrics.iter().zip(&back[0].metrics) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn corpus_parse_errors_name_the_line() {
+        let err = |text: &str| corpus_from_text(text).unwrap_err().to_string();
+        let good = "none\tgood\ta.b.c=1.0\n";
+        assert!(corpus_from_text(good).is_ok());
+
+        let e = err("none\tgood\ta=1.0\nwat\tgood\ta=1.0\n");
+        assert!(e.contains("line 2") && e.contains("wat"), "{e}");
+
+        let e = err("none\tterrible\ta=1.0\n");
+        assert!(e.contains("line 1") && e.contains("terrible"), "{e}");
+
+        let e = err("none\tgood\tnovalue\n");
+        assert!(e.contains("name=value"), "{e}");
+
+        let e = err("none\tgood\ta=abc\n");
+        assert!(e.contains("non-numeric"), "{e}");
     }
 
     #[test]

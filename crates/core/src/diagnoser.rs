@@ -13,6 +13,9 @@ use vqd_ml::cv::cross_validate_threads;
 use vqd_ml::dataset::Dataset;
 use vqd_ml::dtree::{C45Config, C45Trainer, DecisionTree};
 use vqd_ml::metrics::ConfusionMatrix;
+use vqd_ml::ModelParseError;
+
+use crate::error::VqdError;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy)]
@@ -25,6 +28,14 @@ pub struct DiagnoserConfig {
     pub fcbf_delta: f64,
     /// C4.5 settings.
     pub tree: C45Config,
+    /// Feature-coverage floor for *exact* root-cause answers: when the
+    /// importance-weighted fraction of tree-relevant features present
+    /// in a session drops below this, the diagnosis is downgraded to a
+    /// localisation (Q2) answer.
+    pub min_coverage_exact: f64,
+    /// Coverage floor for localisation answers: below this only
+    /// problem existence (Q1) is reported.
+    pub min_coverage_location: f64,
 }
 
 impl Default for DiagnoserConfig {
@@ -34,6 +45,8 @@ impl Default for DiagnoserConfig {
             use_fs: true,
             fcbf_delta: 0.01,
             tree: C45Config::default(),
+            min_coverage_exact: 0.45,
+            min_coverage_location: 0.15,
         }
     }
 }
@@ -46,17 +59,68 @@ pub struct Diagnoser {
     /// Class names.
     pub classes: Vec<String>,
     tree: DecisionTree,
+    /// Fallback thresholds, copied from the training config
+    /// (defaults when the model was loaded from disk).
+    min_coverage_exact: f64,
+    min_coverage_location: f64,
+}
+
+/// How specific an answer the available telemetry supports — the
+/// paper's three questions, coarsest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Resolution {
+    /// Q1: a problem exists (good / mild / severe).
+    Existence,
+    /// Q2: the problem's location (mobile / lan / wan).
+    Location,
+    /// Q3: the exact root cause.
+    Exact,
+}
+
+/// How trustworthy one diagnosis is, given the telemetry that was
+/// actually present (§6.2's partial-deployment reality).
+#[derive(Debug, Clone)]
+pub struct DiagnosisQuality {
+    /// Importance-weighted fraction of tree-relevant features present
+    /// in the session (`[0, 1]`; 1 = the model saw everything it uses).
+    pub feature_coverage: f64,
+    /// Vantage points the model schema expects but that contributed no
+    /// reading at all (crashed or undeployed probes).
+    pub silent_vps: Vec<String>,
+    /// Fraction of the prediction weight that reached leaves through
+    /// missing-value fallback branches.
+    pub missing_descent: f64,
+    /// Top-class probability after downgrading for evidence that
+    /// arrived via missing-branch fallbacks (shrunk toward chance).
+    pub confidence: f64,
 }
 
 /// One diagnosis.
 #[derive(Debug, Clone)]
 pub struct Diagnosis {
-    /// Predicted class name (e.g. `"wifi_interference_severe"`).
+    /// Predicted class name (e.g. `"wifi_interference_severe"`) at the
+    /// model's native granularity, regardless of telemetry quality.
     pub label: String,
     /// Predicted class index.
     pub class: usize,
     /// Class probability distribution.
     pub dist: Vec<f64>,
+    /// Telemetry-quality report for this session.
+    pub quality: DiagnosisQuality,
+    /// The most specific question the available telemetry supports.
+    pub resolution: Resolution,
+    /// The downgraded (Q1/Q2) answer when `resolution` is coarser than
+    /// exact: the class distribution projected onto location or
+    /// existence classes, argmaxed.
+    pub fallback_label: Option<String>,
+}
+
+impl Diagnosis {
+    /// The answer to report: the exact label when coverage supports
+    /// it, else the coarser fallback.
+    pub fn answer(&self) -> &str {
+        self.fallback_label.as_deref().unwrap_or(&self.label)
+    }
 }
 
 /// A raw dataset already run through feature construction and
@@ -141,6 +205,8 @@ impl Diagnoser {
             feature_names: data.features.clone(),
             classes: data.classes.clone(),
             tree,
+            min_coverage_exact: cfg.min_coverage_exact,
+            min_coverage_location: cfg.min_coverage_location,
         }
     }
 
@@ -175,10 +241,80 @@ impl Diagnoser {
             .collect()
     }
 
+    /// Importance-weighted coverage of the tree-relevant schema by a
+    /// tree-space row, plus the schema VPs with no reading at all.
+    fn coverage_of(&self, row: &[f64]) -> (f64, Vec<String>) {
+        let imp = self.tree.feature_importance();
+        let used = self.tree.features_used();
+        let total: f64 = used.iter().map(|&i| imp[i]).sum();
+        let coverage = if total > 0.0 {
+            used.iter()
+                .filter(|&&i| row[i].is_finite())
+                .map(|&i| imp[i])
+                .sum::<f64>()
+                / total
+        } else if used.is_empty() {
+            // A leaf-only tree (majority-class model) needs nothing.
+            1.0
+        } else {
+            let present = used.iter().filter(|&&i| row[i].is_finite()).count();
+            present as f64 / used.len() as f64
+        };
+        // A schema VP is silent when every one of its columns is NaN.
+        let mut vps: Vec<&str> = Vec::new();
+        for n in &self.feature_names {
+            let vp = n.split('.').next().unwrap_or("");
+            if !vps.contains(&vp) {
+                vps.push(vp);
+            }
+        }
+        let silent = vps
+            .into_iter()
+            .filter(|vp| {
+                self.feature_names
+                    .iter()
+                    .zip(row)
+                    .filter(|(n, _)| n.split('.').next() == Some(vp))
+                    .all(|(_, v)| !v.is_finite())
+            })
+            .map(str::to_string)
+            .collect();
+        // Zero-gain importances can sum to -0.0; normalise so reports
+        // never show "-0%".
+        (coverage + 0.0, silent)
+    }
+
+    /// Project the class distribution onto a coarser label set and
+    /// argmax it: the Q2 (location) or Q1 (existence) answer.
+    fn project_dist(&self, dist: &[f64], project: impl Fn(&str) -> String) -> String {
+        let mut groups: Vec<(String, f64)> = Vec::new();
+        for (name, p) in self.classes.iter().zip(dist) {
+            let g = project(name);
+            match groups.iter_mut().find(|(n, _)| *n == g) {
+                Some((_, acc)) => *acc += p,
+                None => groups.push((g, *p)),
+            }
+        }
+        groups
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(n, _)| n)
+            .unwrap_or_else(|| "good".to_string())
+    }
+
     /// Diagnose one session from raw probe metrics (any VP subset).
+    ///
+    /// Degrades gracefully: missing features descend the tree's
+    /// missing-value branches as always, but the returned
+    /// [`DiagnosisQuality`] reports how much of the model's evidence
+    /// was actually present, and when coverage falls below the
+    /// configured floors the answer falls back from the exact root
+    /// cause (Q3) to localisation (Q2) or bare existence (Q1) — a
+    /// sparse deployment still gets the coarser answers the paper
+    /// shows remain reliable (§6.2).
     pub fn diagnose(&self, metrics: &[(String, f64)]) -> Diagnosis {
         let row = self.row_for(metrics);
-        let mut dist = self.tree.predict_dist(&row);
+        let (mut dist, missing_descent) = self.tree.predict_dist_traced(&row);
         let total: f64 = dist.iter().sum();
         if total > 0.0 {
             for d in &mut dist {
@@ -191,10 +327,38 @@ impl Diagnoser {
             .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
+        let (feature_coverage, silent_vps) = self.coverage_of(&row);
+        // Evidence that arrived through missing-branch fallbacks only
+        // carries chance-level certainty: shrink the top probability
+        // toward 1/n by the missing-descent fraction.
+        let p_top = dist.get(class).copied().unwrap_or(0.0);
+        let chance = 1.0 / self.classes.len().max(1) as f64;
+        let confidence = p_top * (1.0 - missing_descent) + chance * missing_descent;
+        let (resolution, fallback_label) = if feature_coverage >= self.min_coverage_exact {
+            (Resolution::Exact, None)
+        } else if feature_coverage >= self.min_coverage_location {
+            (
+                Resolution::Location,
+                Some(self.project_dist(&dist, crate::scenario::exact_to_location)),
+            )
+        } else {
+            (
+                Resolution::Existence,
+                Some(self.project_dist(&dist, crate::scenario::exact_to_existence)),
+            )
+        };
         Diagnosis {
             label: self.classes[class].clone(),
             class,
             dist,
+            quality: DiagnosisQuality {
+                feature_coverage,
+                silent_vps,
+                missing_descent,
+                confidence,
+            },
+            resolution,
+            fallback_label,
         }
     }
 
@@ -208,35 +372,64 @@ impl Diagnoser {
     }
 
     /// Load a diagnoser serialised with [`Diagnoser::serialize`].
-    pub fn deserialize(text: &str) -> Result<Diagnoser, String> {
+    /// Malformed input — wrong header, bad pipeline flags, or any of
+    /// the tree-payload corruptions [`DecisionTree::deserialize`]
+    /// rejects — yields a [`VqdError`] naming the offending file line.
+    pub fn deserialize(text: &str) -> Result<Diagnoser, VqdError> {
         let mut lines = text.lines();
         match lines.next() {
             Some("vqd-diagnoser v1") => {}
-            other => return Err(format!("bad header: {other:?}")),
+            other => {
+                return Err(ModelParseError::at(
+                    1,
+                    "header",
+                    format!("expected \"vqd-diagnoser v1\", got {other:?}"),
+                )
+                .into())
+            }
         }
         let fc = match lines.next() {
             Some("fc\ttrue") => true,
             Some("fc\tfalse") => false,
-            other => return Err(format!("bad fc line: {other:?}")),
+            other => {
+                return Err(ModelParseError::at(
+                    2,
+                    "fc",
+                    format!("expected \"fc\\ttrue\" or \"fc\\tfalse\", got {other:?}"),
+                )
+                .into())
+            }
         };
         let rest: String = lines.collect::<Vec<_>>().join("\n");
-        let tree = DecisionTree::deserialize(&rest)?;
+        // The tree payload starts at file line 3: re-address its parse
+        // errors to the whole file so the message is actionable.
+        let tree = DecisionTree::deserialize(&rest).map_err(|mut e| {
+            if e.line > 0 {
+                e.line += 2;
+            }
+            VqdError::Model(e)
+        })?;
+        let defaults = DiagnoserConfig::default();
         Ok(Diagnoser {
             constructor: fc.then(FeatureConstructor::default),
             feature_names: tree.feature_names.clone(),
             classes: tree.class_names.clone(),
             tree,
+            min_coverage_exact: defaults.min_coverage_exact,
+            min_coverage_location: defaults.min_coverage_location,
         })
     }
 
     /// Save to a file.
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.serialize())
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), VqdError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.serialize()).map_err(|e| VqdError::io(path, e))
     }
 
     /// Load from a file.
-    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Diagnoser, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Diagnoser, VqdError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| VqdError::io(path, e))?;
         Self::deserialize(&text)
     }
 
@@ -375,6 +568,71 @@ mod tests {
             ("mobile.tcp.total_data_bytes".into(), 1.4e6),
         ]);
         assert!(dx.class < 2);
+    }
+
+    #[test]
+    fn quality_full_telemetry_is_clean() {
+        let d = synthetic(400, 6);
+        let model = Diagnoser::train(&d, &DiagnoserConfig::default());
+        let dx = model.diagnose(&[
+            ("mobile.phy.rssi_avg".into(), -48.0),
+            ("mobile.tcp.s2c.retx_pkts".into(), 4.0),
+            ("mobile.tcp.total_pkts".into(), 1000.0),
+            ("mobile.tcp.total_data_bytes".into(), 1.4e6),
+            ("mobile.hw.cpu_avg".into(), 0.3),
+        ]);
+        assert!(
+            (dx.quality.feature_coverage - 1.0).abs() < 1e-12,
+            "coverage {}",
+            dx.quality.feature_coverage
+        );
+        assert!(dx.quality.silent_vps.is_empty());
+        assert_eq!(dx.quality.missing_descent, 0.0);
+        assert_eq!(dx.resolution, Resolution::Exact);
+        assert!(dx.fallback_label.is_none());
+        assert_eq!(dx.answer(), dx.label);
+        assert!(dx.quality.confidence > 0.5);
+    }
+
+    #[test]
+    fn empty_telemetry_falls_back_to_existence() {
+        let d = synthetic(400, 7);
+        let model = Diagnoser::train(&d, &DiagnoserConfig::default());
+        let dx = model.diagnose(&[]);
+        assert!(dx.quality.feature_coverage < 1e-12);
+        // Every schema VP is silent.
+        assert!(!dx.quality.silent_vps.is_empty());
+        assert_eq!(dx.resolution, Resolution::Existence);
+        let fb = dx.fallback_label.as_deref().unwrap();
+        assert!(
+            ["good", "mild", "severe"].contains(&fb),
+            "fallback {fb:?} is not an existence class"
+        );
+        // Confidence shrinks toward chance when all evidence is
+        // missing-branch fallback.
+        assert!(
+            dx.quality.confidence <= dx.dist[dx.class] + 1e-12,
+            "confidence {} > top prob {}",
+            dx.quality.confidence,
+            dx.dist[dx.class]
+        );
+    }
+
+    #[test]
+    fn degraded_telemetry_reports_missing_descent() {
+        let d = synthetic(400, 9);
+        let model = Diagnoser::train(&d, &DiagnoserConfig::default());
+        let full = model.diagnose(&[
+            ("mobile.phy.rssi_avg".into(), -88.0),
+            ("mobile.tcp.s2c.retx_pkts".into(), 90.0),
+            ("mobile.tcp.total_pkts".into(), 1000.0),
+            ("mobile.tcp.total_data_bytes".into(), 1.4e6),
+            ("mobile.hw.cpu_avg".into(), 0.3),
+        ]);
+        let partial = model.diagnose(&[("mobile.hw.cpu_avg".into(), 0.3)]);
+        assert!(partial.quality.feature_coverage < full.quality.feature_coverage);
+        assert!(partial.quality.missing_descent > 0.0);
+        assert!(partial.resolution < full.resolution);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! The framework's typed error layer.
+//!
+//! Everything fallible in the persistence and ingestion paths — model
+//! files, corpus files, session-metric files, CLI configuration —
+//! surfaces as a [`VqdError`] instead of a `String` or a panic, so the
+//! `vqd` binary can print an actionable message (naming the file, line
+//! and field) and exit nonzero. Std-only: no `anyhow`/`thiserror`.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use vqd_ml::ModelParseError;
+
+/// Any error the diagnosis framework reports to callers.
+#[derive(Debug)]
+pub enum VqdError {
+    /// A filesystem operation failed; `path` names the file.
+    Io {
+        /// The file being read or written.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// A model file failed to parse (line/field inside the payload).
+    Model(ModelParseError),
+    /// A corpus or metrics file failed to parse.
+    Corpus {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong (names the bad token).
+        msg: String,
+    },
+    /// Invalid configuration or usage (bad flag value, unknown name).
+    Config(String),
+}
+
+impl VqdError {
+    /// An I/O failure on `path`.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        VqdError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// A corpus-parse failure pinned to a 1-based line.
+    pub fn corpus(line: usize, msg: impl Into<String>) -> Self {
+        VqdError::Corpus {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for VqdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VqdError::Io { path, source } => {
+                write!(f, "{}: {}", path.display(), source)
+            }
+            VqdError::Model(e) => write!(f, "{e}"),
+            VqdError::Corpus { line, msg } => {
+                write!(f, "corpus parse error at line {line}: {msg}")
+            }
+            VqdError::Config(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VqdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VqdError::Io { source, .. } => Some(source),
+            VqdError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelParseError> for VqdError {
+    fn from(e: ModelParseError) -> Self {
+        VqdError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_path_line_and_field() {
+        let io = VqdError::io(
+            "model.vqd",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "no such file"),
+        );
+        assert!(io.to_string().contains("model.vqd"), "{io}");
+
+        let model: VqdError = ModelParseError::at(4, "lo_id", "out of range").into();
+        let s = model.to_string();
+        assert!(s.contains("line 4") && s.contains("lo_id"), "{s}");
+
+        let corpus = VqdError::corpus(12, "unknown fault \"wat\"");
+        let s = corpus.to_string();
+        assert!(s.contains("line 12") && s.contains("wat"), "{s}");
+    }
+
+    #[test]
+    fn error_sources_chain() {
+        use std::error::Error;
+        let io = VqdError::io("x", std::io::Error::other("boom"));
+        assert!(io.source().is_some());
+        let cfg = VqdError::Config("bad --labels".into());
+        assert!(cfg.source().is_none());
+    }
+}

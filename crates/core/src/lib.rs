@@ -4,6 +4,8 @@
 //! crates: a multi-vantage-point diagnosis system that detects video
 //! QoE problems and identifies their location and exact root cause.
 //!
+//! * [`error`] — the typed error layer ([`VqdError`]) for persistence
+//!   and ingestion failures.
 //! * [`scenario`] — the label taxonomy (existence / location / exact).
 //! * [`testbed`] — the controlled testbed (Figure 2) and session runner.
 //! * [`dataset`] — labelled corpus generation (Section 4).
@@ -12,6 +14,8 @@
 //!   Tables 1 & 4).
 //! * [`realworld`] — the Section 6 deployments (induced-fault corporate
 //!   WiFi, in-the-wild 3G/WiFi).
+//! * [`robustness`] — degraded-telemetry evaluation: a lab-trained
+//!   model swept over probe-fault kind × intensity grids (§6.2).
 //! * [`ablation`] — classifier/pipeline/pruning ablations.
 //! * [`iterative`] — the Section 7 privacy-preserving iterative RCA
 //!   protocol (one-bit collaboration).
@@ -20,19 +24,25 @@
 pub mod ablation;
 pub mod dataset;
 pub mod diagnoser;
+pub mod error;
 pub mod experiments;
 pub mod iterative;
 pub mod multifault;
 pub mod realworld;
+pub mod robustness;
 pub mod scenario;
 pub mod testbed;
 
 pub use ablation::{classifier_comparison, pipeline_ablation, pruning_ablation};
-pub use dataset::{generate_corpus, to_dataset, CorpusConfig, LabeledRun};
-pub use diagnoser::{Diagnoser, DiagnoserConfig, Diagnosis};
+pub use dataset::{
+    corpus_from_text, corpus_to_text, generate_corpus, to_dataset, CorpusConfig, LabeledRun,
+};
+pub use diagnoser::{Diagnoser, DiagnoserConfig, Diagnosis, DiagnosisQuality, Resolution};
+pub use error::VqdError;
 pub use experiments::{eval_by_vp, feature_set_sweep, table1, table4, VpEval, VP_SETS};
 pub use iterative::IterativeRca;
 pub use multifault::{evaluate_multifault, generate_multifault};
 pub use realworld::{generate_induced, generate_wild, Access, RealWorldConfig, RwRun, Service};
+pub use robustness::{degrade_corpus, majority_baseline, sweep, RobustnessCell};
 pub use scenario::{class_names, GroundTruth, LabelScheme};
 pub use testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};

@@ -1,0 +1,270 @@
+//! Robustness evaluation: diagnosis accuracy under degraded telemetry.
+//!
+//! The paper's lab-to-wild transfer (§6) silently assumes the deployed
+//! probes behave like the testbed's. This harness drops that
+//! assumption: a lab-trained [`Diagnoser`] is evaluated against a test
+//! corpus whose probe telemetry is degraded by a
+//! [`DegradePlan`] — whole-VP dropout, per-group metric loss, sample
+//! truncation, value corruption, clock skew — swept over a kind ×
+//! intensity grid. Each cell reports the confusion matrix, the mean
+//! telemetry coverage the diagnoser observed, and how often it could
+//! still answer at exact (Q3) resolution, reproducing the spirit of
+//! the paper's partial-deployment results (§6.2: coarse answers stay
+//! reliable long after exact ones stop being available).
+//!
+//! Degradation is deterministic per run index, so every cell is
+//! byte-identical across repeats and worker-thread counts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use vqd_ml::metrics::ConfusionMatrix;
+use vqd_probes::degrade::{DegradeKind, DegradePlan};
+
+use crate::dataset::LabeledRun;
+use crate::diagnoser::{Diagnoser, Resolution};
+use crate::scenario::{class_id, LabelScheme};
+
+/// Worker-thread count: `threads` or available parallelism when 0.
+fn thread_count(threads: usize, jobs: usize) -> usize {
+    let n = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    };
+    n.min(jobs.max(1))
+}
+
+/// Run `f` over `0..n` on a work-stealing thread pool, collecting
+/// results in index order (thread-count invariant as long as `f` is a
+/// pure function of the index).
+fn par_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, threads: usize, f: F) -> Vec<T> {
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..thread_count(threads, n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                if let Ok(mut guard) = results.lock() {
+                    guard[i] = Some(out);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap_or_else(|p| p.into_inner())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Degrade every run of a corpus under one plan. Parallel over runs;
+/// the output is byte-identical for any `threads` because each run's
+/// degradation is a pure function of `(plan, run index)`.
+pub fn degrade_corpus(runs: &[LabeledRun], plan: &DegradePlan, threads: usize) -> Vec<LabeledRun> {
+    par_map(runs.len(), threads, |i| LabeledRun {
+        metrics: plan.apply(i as u64, &runs[i].metrics),
+        truth: runs[i].truth,
+    })
+}
+
+/// One (kind, intensity) cell of a robustness sweep.
+#[derive(Debug, Clone)]
+pub struct RobustnessCell {
+    /// Injected failure mode.
+    pub kind: DegradeKind,
+    /// Injected intensity (0 = pristine, 1 = worst case).
+    pub intensity: f64,
+    /// Confusion of exact-resolution predictions against ground truth.
+    pub cm: ConfusionMatrix,
+    /// Mean importance-weighted feature coverage the diagnoser saw.
+    pub mean_coverage: f64,
+    /// Mean downgraded confidence of the predictions.
+    pub mean_confidence: f64,
+    /// Fraction of sessions still answerable at exact (Q3) resolution.
+    pub exact_fraction: f64,
+}
+
+impl RobustnessCell {
+    /// Accuracy of the exact-resolution predictions in this cell.
+    pub fn accuracy(&self) -> f64 {
+        self.cm.accuracy()
+    }
+}
+
+/// Accuracy of always predicting the most common class of `test` —
+/// the floor any useful diagnosis must beat.
+pub fn majority_baseline(test: &[LabeledRun], scheme: LabelScheme) -> f64 {
+    if test.is_empty() {
+        return 0.0;
+    }
+    let mut counts: Vec<(usize, usize)> = Vec::new();
+    for r in test {
+        let c = class_id(&r.truth, scheme);
+        match counts.iter_mut().find(|(id, _)| *id == c) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((c, 1)),
+        }
+    }
+    let top = counts.iter().map(|(_, n)| *n).max().unwrap_or(0);
+    top as f64 / test.len() as f64
+}
+
+/// Evaluate one degradation cell: degrade the test corpus, diagnose
+/// every run, score against ground truth under `scheme`.
+pub fn eval_cell(
+    model: &Diagnoser,
+    test: &[LabeledRun],
+    scheme: LabelScheme,
+    plan: &DegradePlan,
+    threads: usize,
+) -> RobustnessCell {
+    let per_run = par_map(test.len(), threads, |i| {
+        let metrics = plan.apply(i as u64, &test[i].metrics);
+        let dx = model.diagnose(&metrics);
+        (
+            class_id(&test[i].truth, scheme),
+            dx.class,
+            dx.quality.feature_coverage,
+            dx.quality.confidence,
+            dx.resolution == Resolution::Exact,
+        )
+    });
+    let mut cm = ConfusionMatrix::new(model.classes.clone());
+    let (mut cov, mut conf, mut exact) = (0.0, 0.0, 0usize);
+    for &(actual, predicted, c, p, is_exact) in &per_run {
+        cm.add(actual, predicted);
+        cov += c;
+        conf += p;
+        exact += is_exact as usize;
+    }
+    let n = per_run.len().max(1) as f64;
+    RobustnessCell {
+        kind: plan.kind,
+        intensity: plan.intensity,
+        cm,
+        mean_coverage: cov / n,
+        mean_confidence: conf / n,
+        exact_fraction: exact as f64 / n,
+    }
+}
+
+/// Sweep a lab-trained model over a degradation grid: every `kind` ×
+/// every `intensity`, each cell seeded independently from `seed`.
+pub fn sweep(
+    model: &Diagnoser,
+    test: &[LabeledRun],
+    scheme: LabelScheme,
+    kinds: &[DegradeKind],
+    intensities: &[f64],
+    seed: u64,
+    threads: usize,
+) -> Vec<RobustnessCell> {
+    let mut cells = Vec::with_capacity(kinds.len() * intensities.len());
+    for &kind in kinds {
+        for &intensity in intensities {
+            let plan = DegradePlan::new(kind, intensity, seed);
+            cells.push(eval_cell(model, test, scheme, &plan, threads));
+        }
+    }
+    cells
+}
+
+/// Render sweep cells as an aligned text table (one row per cell).
+pub fn report(cells: &[RobustnessCell], baseline: f64) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>8}\n",
+        "kind", "intensity", "accuracy", "coverage", "conf", "exact%"
+    ));
+    for c in cells {
+        s.push_str(&format!(
+            "{:<12} {:>9.2} {:>9.3} {:>9.3} {:>9.3} {:>8.1}\n",
+            c.kind.name(),
+            c.intensity,
+            c.accuracy(),
+            c.mean_coverage,
+            c.mean_confidence,
+            100.0 * c.exact_fraction,
+        ));
+    }
+    s.push_str(&format!("majority-class baseline: {baseline:.3}\n"));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_corpus, to_dataset, CorpusConfig};
+    use crate::diagnoser::DiagnoserConfig;
+    use vqd_video::catalog::Catalog;
+
+    fn tiny_corpus(sessions: usize, seed: u64) -> Vec<LabeledRun> {
+        let cfg = CorpusConfig {
+            sessions,
+            seed,
+            ..Default::default()
+        };
+        generate_corpus(&cfg, &Catalog::top100(42))
+    }
+
+    #[test]
+    fn degrade_corpus_thread_invariant() {
+        let runs = tiny_corpus(8, 11);
+        let plan = DegradePlan::new(DegradeKind::Corruption, 0.5, 99);
+        let a = degrade_corpus(&runs, &plan, 1);
+        let b = degrade_corpus(&runs, &plan, 4);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.metrics.len(), y.metrics.len());
+            for ((nx, vx), (ny, vy)) in x.metrics.iter().zip(&y.metrics) {
+                assert_eq!(nx, ny);
+                assert_eq!(vx.to_bits(), vy.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_degrades_without_cliff() {
+        let train = tiny_corpus(40, 21);
+        let test = tiny_corpus(24, 22);
+        let scheme = LabelScheme::Existence;
+        let model = Diagnoser::train(&to_dataset(&train, scheme), &DiagnoserConfig::default());
+        let cells = sweep(
+            &model,
+            &test,
+            scheme,
+            &[DegradeKind::VpDropout],
+            &[0.0, 0.5, 1.0],
+            7,
+            0,
+        );
+        assert_eq!(cells.len(), 3);
+        for c in &cells {
+            assert_eq!(c.cm.total() as usize, test.len());
+            assert!((0.0..=1.0).contains(&c.mean_coverage));
+        }
+        // Coverage shrinks monotonically with dropout intensity; at
+        // full dropout the diagnoser sees nothing.
+        assert!(cells[0].mean_coverage >= cells[1].mean_coverage);
+        assert!(cells[1].mean_coverage >= cells[2].mean_coverage);
+        assert!(cells[2].mean_coverage < 1e-9);
+        assert!(cells[2].exact_fraction < 1e-9);
+        let txt = report(&cells, majority_baseline(&test, scheme));
+        assert!(txt.contains("vp_dropout"), "{txt}");
+    }
+
+    #[test]
+    fn baseline_counts_majority() {
+        let runs = tiny_corpus(20, 31);
+        let b = majority_baseline(&runs, LabelScheme::Existence);
+        assert!(b > 0.0 && b <= 1.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based robustness: diagnosis must never panic, whatever
+//! subset of the telemetry survives and however the surviving values
+//! are mangled.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use vqd_core::dataset::{generate_corpus, to_dataset, CorpusConfig, LabeledRun};
+use vqd_core::diagnoser::{Diagnoser, DiagnoserConfig, Resolution};
+use vqd_core::scenario::LabelScheme;
+use vqd_probes::degrade::{DegradeKind, DegradePlan};
+use vqd_video::catalog::Catalog;
+
+/// One lab-trained model plus its corpus, shared by every property
+/// (simulation and training are the expensive part).
+fn fixture() -> &'static (Diagnoser, Vec<LabeledRun>) {
+    static FIX: OnceLock<(Diagnoser, Vec<LabeledRun>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let cfg = CorpusConfig {
+            sessions: 24,
+            seed: 7701,
+            ..Default::default()
+        };
+        let runs = generate_corpus(&cfg, &Catalog::top100(42));
+        let model = Diagnoser::train(
+            &to_dataset(&runs, LabelScheme::Exact),
+            &DiagnoserConfig::default(),
+        );
+        (model, runs)
+    })
+}
+
+/// Check the invariants every diagnosis must satisfy.
+fn check_diagnosis(model: &Diagnoser, metrics: &[(String, f64)]) -> Result<(), TestCaseError> {
+    let dx = model.diagnose(metrics);
+    prop_assert!(dx.class < model.classes.len());
+    prop_assert_eq!(&dx.label, &model.classes[dx.class]);
+    let total: f64 = dx.dist.iter().sum();
+    prop_assert!(
+        total.abs() < 1e-9 || (total - 1.0).abs() < 1e-6,
+        "dist sums to {total}"
+    );
+    prop_assert!((0.0..=1.0).contains(&dx.quality.feature_coverage));
+    prop_assert!((0.0..=1.0).contains(&dx.quality.missing_descent));
+    prop_assert!((0.0..=1.0 + 1e-9).contains(&dx.quality.confidence));
+    prop_assert_eq!(
+        dx.fallback_label.is_some(),
+        dx.resolution != Resolution::Exact
+    );
+    Ok(())
+}
+
+proptest! {
+    /// Dropping any subset of the metrics (down to none at all) never
+    /// panics and always yields a well-formed diagnosis.
+    #[test]
+    fn diagnose_survives_any_metric_subset(
+        run in any::<prop::sample::Index>(),
+        mask in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let (model, runs) = fixture();
+        let base = &runs[run.index(runs.len())].metrics;
+        let kept: Vec<(String, f64)> = base
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask[i % mask.len()])
+            .map(|(_, m)| m.clone())
+            .collect();
+        check_diagnosis(model, &kept)?;
+    }
+
+    /// Dropping whole vantage points (any subset of them) never
+    /// panics — the paper's partial-deployment scenario.
+    #[test]
+    fn diagnose_survives_any_vp_subset(
+        run in any::<prop::sample::Index>(),
+        keep_mobile in any::<bool>(),
+        keep_router in any::<bool>(),
+        keep_server in any::<bool>(),
+    ) {
+        let (model, runs) = fixture();
+        let base = &runs[run.index(runs.len())].metrics;
+        let kept: Vec<(String, f64)> = base
+            .iter()
+            .filter(|(n, _)| {
+                let vp = n.split('.').next().unwrap_or("");
+                (vp == "mobile" && keep_mobile)
+                    || (vp == "router" && keep_router)
+                    || (vp == "server" && keep_server)
+            })
+            .cloned()
+            .collect();
+        check_diagnosis(model, &kept)?;
+    }
+
+    /// Mangling surviving values — NaN, infinities, zeros, huge
+    /// magnitudes — never panics the pipeline (FC + tree descent).
+    #[test]
+    fn diagnose_survives_corrupt_values(
+        run in any::<prop::sample::Index>(),
+        hits in proptest::collection::vec((any::<prop::sample::Index>(), 0u8..5), 1..32),
+    ) {
+        let (model, runs) = fixture();
+        let mut metrics = runs[run.index(runs.len())].metrics.clone();
+        for (pick, variant) in &hits {
+            let i = pick.index(metrics.len());
+            metrics[i].1 = match variant {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                _ => 1e300,
+            };
+        }
+        check_diagnosis(model, &metrics)?;
+    }
+
+    /// Any degradation plan applied to any run yields metrics the
+    /// diagnoser accepts, and surviving metric names are always a
+    /// subset of the input names (degradation never invents data).
+    #[test]
+    fn degrade_then_diagnose_never_panics(
+        kind_pick in any::<prop::sample::Index>(),
+        intensity in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+        run in any::<prop::sample::Index>(),
+    ) {
+        let (model, runs) = fixture();
+        let kind = DegradeKind::ALL[kind_pick.index(DegradeKind::ALL.len())];
+        let plan = DegradePlan::new(kind, intensity, seed);
+        let i = run.index(runs.len());
+        let degraded = plan.apply(i as u64, &runs[i].metrics);
+        for (n, _) in &degraded {
+            prop_assert!(runs[i].metrics.iter().any(|(m, _)| m == n));
+        }
+        check_diagnosis(model, &degraded)?;
+    }
+}

@@ -32,7 +32,14 @@
 //! benchmarks.
 
 use crate::dataset::Dataset;
+use crate::error::ModelParseError;
 use crate::info::entropy_of_counts;
+
+/// Depth cap for deserialised trees: bounds parser recursion and the
+/// recursive `Drop`/`predict` walks on adversarial inputs. Far above
+/// anything training can produce (`C45Config::max_depth` defaults
+/// to 60).
+const MAX_DESERIALIZED_DEPTH: usize = 512;
 
 /// Training configuration (defaults match J48's `-C 0.25 -M 2`).
 #[derive(Debug, Clone, Copy)]
@@ -201,18 +208,104 @@ impl DecisionTree {
         imp
     }
 
+    /// Indices of the features used by at least one split, ascending —
+    /// the tree-relevant schema subset that degraded-telemetry
+    /// coverage is scored against (a selected feature the pruned tree
+    /// never routes on cannot hurt a diagnosis by going missing).
+    pub fn features_used(&self) -> Vec<usize> {
+        fn walk(n: &Node, seen: &mut Vec<bool>) {
+            if let Node::Split { feat, lo, hi, .. } = n {
+                seen[*feat] = true;
+                walk(lo, seen);
+                walk(hi, seen);
+            }
+        }
+        let mut seen = vec![false; self.feature_names.len()];
+        walk(&self.root, &mut seen);
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(i))
+            .collect()
+    }
+
+    /// [`DecisionTree::predict_dist`] plus a trace of how much of the
+    /// prediction weight descended through at least one missing-value
+    /// fallback (`lo_frac`-weighted both-branch descent). 0.0 means
+    /// the instance answered every split it reached; 1.0 means every
+    /// path routed around missing data — the prediction is the
+    /// training prior of the regions the instance could not
+    /// disambiguate.
+    pub fn predict_dist_traced(&self, x: &[f64]) -> (Vec<f64>, f64) {
+        fn go(node: &Node, x: &[f64], w: f64, via_missing: bool, out: &mut [f64], miss: &mut f64) {
+            match node {
+                Node::Leaf { dist } => {
+                    let total: f64 = dist.iter().sum();
+                    if total > 0.0 {
+                        for (o, d) in out.iter_mut().zip(dist) {
+                            *o += w * d / total;
+                        }
+                        if via_missing {
+                            *miss += w;
+                        }
+                    }
+                }
+                Node::Split {
+                    feat,
+                    thr,
+                    lo,
+                    hi,
+                    lo_frac,
+                    ..
+                } => {
+                    let v = x[*feat];
+                    if v.is_nan() {
+                        go(lo, x, w * lo_frac, true, out, miss);
+                        go(hi, x, w * (1.0 - lo_frac), true, out, miss);
+                    } else if v < *thr {
+                        go(lo, x, w, via_missing, out, miss);
+                    } else {
+                        go(hi, x, w, via_missing, out, miss);
+                    }
+                }
+            }
+        }
+        let mut out = vec![0.0; self.n_classes];
+        let mut miss = 0.0;
+        go(&self.root, x, 1.0, false, &mut out, &mut miss);
+        // Weight reaching empty leaves contributes to neither sum;
+        // normalise the trace against the weight that did land.
+        let landed: f64 = out.iter().sum();
+        let miss_frac = if landed > 0.0 {
+            (miss / landed).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        (out, miss_frac)
+    }
+
     /// Serialise to a line-oriented text format (dependency-free model
     /// persistence; see [`DecisionTree::deserialize`]).
+    ///
+    /// Writes the **v2 indexed format**: after the header, class and
+    /// feature lines, a `nodes\t<n>` line announces an explicit node
+    /// table; each node line is `<id>\t<body>` with split bodies
+    /// referencing their children by id. Node 0 is the root and ids
+    /// are assigned in pre-order. The explicit table lets the parser
+    /// validate every child reference (range, cycles, sharing) before
+    /// building anything.
     pub fn serialize(&self) -> String {
-        fn node(n: &Node, s: &mut String) {
-            match n {
+        fn node(n: &Node, next_id: &mut usize, out: &mut Vec<String>) -> usize {
+            let id = *next_id;
+            *next_id += 1;
+            out.push(String::new()); // reserve the slot; filled below
+            let body = match n {
                 Node::Leaf { dist } => {
-                    s.push('L');
+                    let mut s = String::from("L");
                     for d in dist {
                         s.push(' ');
                         s.push_str(&format!("{d:?}"));
                     }
-                    s.push('\n');
+                    s
                 }
                 Node::Split {
                     feat,
@@ -223,102 +316,80 @@ impl DecisionTree {
                     dist,
                     gain_w,
                 } => {
-                    s.push_str(&format!("S {feat} {thr:?} {lo_frac:?} {gain_w:?}"));
+                    let lo_id = node(lo, next_id, out);
+                    let hi_id = node(hi, next_id, out);
+                    let mut s = format!("S {feat} {thr:?} {lo_frac:?} {gain_w:?} {lo_id} {hi_id}");
                     for d in dist {
                         s.push(' ');
                         s.push_str(&format!("{d:?}"));
                     }
-                    s.push('\n');
-                    node(lo, s);
-                    node(hi, s);
+                    s
                 }
-            }
+            };
+            out[id] = format!("{id}\t{body}");
+            id
         }
-        let mut s = String::from("vqd-tree v1\n");
+        let mut table = Vec::new();
+        let mut next = 0usize;
+        node(&self.root, &mut next, &mut table);
+        let mut s = String::from("vqd-tree v2\n");
         s.push_str(&format!("classes\t{}\n", self.class_names.join("\t")));
         s.push_str(&format!("features\t{}\n", self.feature_names.join("\t")));
-        node(&self.root, &mut s);
+        s.push_str(&format!("nodes\t{}\n", table.len()));
+        for line in table {
+            s.push_str(&line);
+            s.push('\n');
+        }
         s
     }
 
     /// Parse a model serialised by [`DecisionTree::serialize`].
-    pub fn deserialize(text: &str) -> Result<DecisionTree, String> {
-        let mut lines = text.lines();
-        match lines.next() {
-            Some("vqd-tree v1") => {}
-            other => return Err(format!("bad header: {other:?}")),
-        }
+    ///
+    /// Accepts both the current v2 indexed format and the legacy v1
+    /// pre-order format. Malformed input of any shape — truncated
+    /// files, bad tokens, out-of-range feature or node indices, cyclic
+    /// or shared child references, class-count mismatches, non-finite
+    /// splits — returns a [`ModelParseError`] naming the offending
+    /// line and field; the parser never panics and its work is bounded
+    /// by the input size.
+    pub fn deserialize(text: &str) -> Result<DecisionTree, ModelParseError> {
+        let lines: Vec<&str> = text.lines().collect();
+        let version = match lines.first() {
+            Some(&"vqd-tree v1") => 1,
+            Some(&"vqd-tree v2") => 2,
+            Some(other) => {
+                return Err(ModelParseError::at(
+                    1,
+                    "header",
+                    format!("expected \"vqd-tree v1\" or \"vqd-tree v2\", got {other:?}"),
+                ))
+            }
+            None => return Err(ModelParseError::at(0, "file", "empty input")),
+        };
         let classes: Vec<String> = lines
-            .next()
+            .get(1)
             .and_then(|l| l.strip_prefix("classes\t"))
-            .ok_or("missing classes line")?
+            .ok_or_else(|| ModelParseError::at(2, "classes", "missing classes line"))?
             .split('\t')
             .map(str::to_string)
             .collect();
         let features: Vec<String> = lines
-            .next()
+            .get(2)
             .and_then(|l| l.strip_prefix("features\t"))
-            .ok_or("missing features line")?
+            .ok_or_else(|| ModelParseError::at(3, "features", "missing features line"))?
             .split('\t')
             .map(str::to_string)
             .collect();
-        fn parse<'a>(lines: &mut impl Iterator<Item = &'a str>, nf: usize) -> Result<Node, String> {
-            let line = lines.next().ok_or("unexpected end of tree")?;
-            let mut tok = line.split(' ');
-            match tok.next() {
-                Some("L") => {
-                    let dist: Vec<f64> = tok
-                        .map(|t| t.parse().map_err(|e| format!("bad leaf value: {e}")))
-                        .collect::<Result<_, _>>()?;
-                    Ok(Node::Leaf { dist })
-                }
-                Some("S") => {
-                    let feat: usize = tok
-                        .next()
-                        .ok_or("missing feat")?
-                        .parse()
-                        .map_err(|_| "bad feat")?;
-                    if feat >= nf {
-                        return Err(format!("feature index {feat} out of range"));
-                    }
-                    let thr: f64 = tok
-                        .next()
-                        .ok_or("missing thr")?
-                        .parse()
-                        .map_err(|_| "bad thr")?;
-                    let lo_frac: f64 = tok
-                        .next()
-                        .ok_or("missing lo_frac")?
-                        .parse()
-                        .map_err(|_| "bad lo_frac")?;
-                    let gain_w: f64 = tok
-                        .next()
-                        .ok_or("missing gain")?
-                        .parse()
-                        .map_err(|_| "bad gain")?;
-                    let dist: Vec<f64> = tok
-                        .map(|t| t.parse().map_err(|e| format!("bad dist value: {e}")))
-                        .collect::<Result<_, _>>()?;
-                    let lo = Box::new(parse(lines, nf)?);
-                    let hi = Box::new(parse(lines, nf)?);
-                    Ok(Node::Split {
-                        feat,
-                        thr,
-                        lo,
-                        hi,
-                        lo_frac,
-                        dist,
-                        gain_w,
-                    })
-                }
-                other => Err(format!("bad node tag: {other:?}")),
-            }
+        if classes.is_empty() || classes.iter().any(|c| c.is_empty()) {
+            return Err(ModelParseError::at(2, "classes", "empty class name"));
         }
-        let root = parse(&mut lines, features.len())?;
-        let n_classes = classes.len();
+        let root = match version {
+            1 => parse_v1(&lines, features.len(), classes.len())?,
+            _ => parse_v2(&lines, features.len(), classes.len())?,
+        };
         Ok(DecisionTree {
             root,
-            n_classes,
+            n_classes: classes.len(),
             feature_names: features,
             class_names: classes,
         })
@@ -358,6 +429,314 @@ impl DecisionTree {
         );
         s
     }
+}
+
+/// Parse one `f64` token, requiring it to be finite.
+fn parse_finite(tok: Option<&str>, line: usize, field: &str) -> Result<f64, ModelParseError> {
+    let t = tok.ok_or_else(|| ModelParseError::at(line, field, "missing value"))?;
+    let v: f64 = t
+        .parse()
+        .map_err(|_| ModelParseError::at(line, field, format!("bad float {t:?}")))?;
+    if !v.is_finite() {
+        return Err(ModelParseError::at(
+            line,
+            field,
+            format!("non-finite value {v}"),
+        ));
+    }
+    Ok(v)
+}
+
+/// Parse the trailing class distribution of a node body: exactly
+/// `n_classes` finite, non-negative weights.
+fn parse_dist<'a>(
+    tok: impl Iterator<Item = &'a str>,
+    n_classes: usize,
+    line: usize,
+) -> Result<Vec<f64>, ModelParseError> {
+    let mut dist = Vec::with_capacity(n_classes);
+    for t in tok {
+        let v = parse_finite(Some(t), line, "dist")?;
+        if v < 0.0 {
+            return Err(ModelParseError::at(
+                line,
+                "dist",
+                format!("negative class weight {v}"),
+            ));
+        }
+        dist.push(v);
+    }
+    if dist.len() != n_classes {
+        return Err(ModelParseError::at(
+            line,
+            "dist",
+            format!(
+                "class-count mismatch: {} weights for {} classes",
+                dist.len(),
+                n_classes
+            ),
+        ));
+    }
+    Ok(dist)
+}
+
+/// Parse the `feat thr lo_frac gain_w` head of a split body.
+fn parse_split_head<'a>(
+    tok: &mut impl Iterator<Item = &'a str>,
+    nf: usize,
+    line: usize,
+) -> Result<(usize, f64, f64, f64), ModelParseError> {
+    let feat_tok = tok
+        .next()
+        .ok_or_else(|| ModelParseError::at(line, "feat", "missing value"))?;
+    let feat: usize = feat_tok
+        .parse()
+        .map_err(|_| ModelParseError::at(line, "feat", format!("bad index {feat_tok:?}")))?;
+    if feat >= nf {
+        return Err(ModelParseError::at(
+            line,
+            "feat",
+            format!("feature index {feat} out of range ({nf} features)"),
+        ));
+    }
+    let thr = parse_finite(tok.next(), line, "thr")?;
+    let lo_frac = parse_finite(tok.next(), line, "lo_frac")?;
+    if !(0.0..=1.0).contains(&lo_frac) {
+        return Err(ModelParseError::at(
+            line,
+            "lo_frac",
+            format!("missing-value fraction {lo_frac} outside [0, 1]"),
+        ));
+    }
+    let gain_w = parse_finite(tok.next(), line, "gain_w")?;
+    Ok((feat, thr, lo_frac, gain_w))
+}
+
+/// Legacy v1 pre-order parser: node lines follow the features line,
+/// splits listing their two children immediately after themselves.
+/// Recursion is capped at [`MAX_DESERIALIZED_DEPTH`], so adversarially
+/// deep chains of `S` lines error out instead of overflowing the
+/// stack.
+fn parse_v1(lines: &[&str], nf: usize, n_classes: usize) -> Result<Node, ModelParseError> {
+    fn parse(
+        lines: &[&str],
+        pos: &mut usize,
+        nf: usize,
+        n_classes: usize,
+        depth: usize,
+    ) -> Result<Node, ModelParseError> {
+        if depth > MAX_DESERIALIZED_DEPTH {
+            return Err(ModelParseError::at(
+                *pos + 1,
+                "tree",
+                format!("tree deeper than {MAX_DESERIALIZED_DEPTH} (corrupt or adversarial)"),
+            ));
+        }
+        let line_no = *pos + 1; // 1-based for messages
+        let line = lines
+            .get(*pos)
+            .ok_or_else(|| ModelParseError::at(line_no, "tree", "unexpected end of tree"))?;
+        *pos += 1;
+        let mut tok = line.split(' ');
+        match tok.next() {
+            Some("L") => Ok(Node::Leaf {
+                dist: parse_dist(tok, n_classes, line_no)?,
+            }),
+            Some("S") => {
+                let (feat, thr, lo_frac, gain_w) = parse_split_head(&mut tok, nf, line_no)?;
+                let dist = parse_dist(tok, n_classes, line_no)?;
+                let lo = Box::new(parse(lines, pos, nf, n_classes, depth + 1)?);
+                let hi = Box::new(parse(lines, pos, nf, n_classes, depth + 1)?);
+                Ok(Node::Split {
+                    feat,
+                    thr,
+                    lo,
+                    hi,
+                    lo_frac,
+                    dist,
+                    gain_w,
+                })
+            }
+            other => Err(ModelParseError::at(
+                line_no,
+                "node",
+                format!("bad node tag {other:?}"),
+            )),
+        }
+    }
+    let mut pos = 3;
+    let root = parse(lines, &mut pos, nf, n_classes, 0)?;
+    if pos < lines.len() && lines[pos..].iter().any(|l| !l.is_empty()) {
+        return Err(ModelParseError::at(
+            pos + 1,
+            "tree",
+            "trailing data after the tree",
+        ));
+    }
+    Ok(root)
+}
+
+/// Untyped node-table entry of the v2 format, before linking.
+enum RawNode {
+    Leaf(Vec<f64>),
+    Split {
+        feat: usize,
+        thr: f64,
+        lo_frac: f64,
+        gain_w: f64,
+        lo: usize,
+        hi: usize,
+        dist: Vec<f64>,
+    },
+}
+
+/// v2 indexed parser: a `nodes\t<n>` line announces the table, node
+/// lines are `<id>\t<body>` with children referenced by id, node 0 is
+/// the root. Every reference is validated — range, sharing, cycles,
+/// unreachable entries — before the tree is linked.
+fn parse_v2(lines: &[&str], nf: usize, n_classes: usize) -> Result<Node, ModelParseError> {
+    let count_line = lines
+        .get(3)
+        .and_then(|l| l.strip_prefix("nodes\t"))
+        .ok_or_else(|| ModelParseError::at(4, "nodes", "missing nodes line"))?;
+    let n: usize = count_line
+        .parse()
+        .map_err(|_| ModelParseError::at(4, "nodes", format!("bad node count {count_line:?}")))?;
+    if n == 0 {
+        return Err(ModelParseError::at(4, "nodes", "empty node table"));
+    }
+    if lines.len() < 4 + n {
+        return Err(ModelParseError::at(
+            lines.len(),
+            "nodes",
+            format!(
+                "node table truncated: {} of {n} node lines present",
+                lines.len() - 4
+            ),
+        ));
+    }
+    if lines[4 + n..].iter().any(|l| !l.is_empty()) {
+        return Err(ModelParseError::at(
+            4 + n + 1,
+            "nodes",
+            "trailing data after the node table",
+        ));
+    }
+    let mut table: Vec<RawNode> = Vec::with_capacity(n);
+    for (i, line) in lines[4..4 + n].iter().enumerate() {
+        let line_no = 5 + i; // 1-based
+        let (id_tok, body) = line.split_once('\t').ok_or_else(|| {
+            ModelParseError::at(line_no, "node", "missing <id>\\t<body> separator")
+        })?;
+        let id: usize = id_tok
+            .parse()
+            .map_err(|_| ModelParseError::at(line_no, "node", format!("bad id {id_tok:?}")))?;
+        if id != i {
+            return Err(ModelParseError::at(
+                line_no,
+                "node",
+                format!("node id {id} out of order (expected {i})"),
+            ));
+        }
+        let mut tok = body.split(' ');
+        let raw = match tok.next() {
+            Some("L") => RawNode::Leaf(parse_dist(tok, n_classes, line_no)?),
+            Some("S") => {
+                let (feat, thr, lo_frac, gain_w) = parse_split_head(&mut tok, nf, line_no)?;
+                let mut child = |field: &str| -> Result<usize, ModelParseError> {
+                    let t = tok
+                        .next()
+                        .ok_or_else(|| ModelParseError::at(line_no, field, "missing child id"))?;
+                    let c: usize = t.parse().map_err(|_| {
+                        ModelParseError::at(line_no, field, format!("bad child id {t:?}"))
+                    })?;
+                    if c >= n {
+                        return Err(ModelParseError::at(
+                            line_no,
+                            field,
+                            format!("child id {c} out of range ({n} nodes)"),
+                        ));
+                    }
+                    Ok(c)
+                };
+                let lo = child("lo_id")?;
+                let hi = child("hi_id")?;
+                RawNode::Split {
+                    feat,
+                    thr,
+                    lo_frac,
+                    gain_w,
+                    lo,
+                    hi,
+                    dist: parse_dist(tok, n_classes, line_no)?,
+                }
+            }
+            other => {
+                return Err(ModelParseError::at(
+                    line_no,
+                    "node",
+                    format!("bad node tag {other:?}"),
+                ))
+            }
+        };
+        table.push(raw);
+    }
+    // Link from the root. Each node may be consumed exactly once: a
+    // repeat visit is a cycle or a shared child, both rejected — so the
+    // walk terminates after at most `n` steps by construction.
+    fn link(
+        table: &[RawNode],
+        used: &mut [bool],
+        id: usize,
+        depth: usize,
+    ) -> Result<Node, ModelParseError> {
+        let line_no = 5 + id;
+        if used[id] {
+            return Err(ModelParseError::at(
+                line_no,
+                "node",
+                format!("node {id} referenced more than once (cycle or shared child)"),
+            ));
+        }
+        used[id] = true;
+        if depth > MAX_DESERIALIZED_DEPTH {
+            return Err(ModelParseError::at(
+                line_no,
+                "tree",
+                format!("tree deeper than {MAX_DESERIALIZED_DEPTH} (corrupt or adversarial)"),
+            ));
+        }
+        match &table[id] {
+            RawNode::Leaf(dist) => Ok(Node::Leaf { dist: dist.clone() }),
+            RawNode::Split {
+                feat,
+                thr,
+                lo_frac,
+                gain_w,
+                lo,
+                hi,
+                dist,
+            } => Ok(Node::Split {
+                feat: *feat,
+                thr: *thr,
+                lo_frac: *lo_frac,
+                gain_w: *gain_w,
+                dist: dist.clone(),
+                lo: Box::new(link(table, used, *lo, depth + 1)?),
+                hi: Box::new(link(table, used, *hi, depth + 1)?),
+            }),
+        }
+    }
+    let mut used = vec![false; n];
+    let root = link(&table, &mut used, 0, 0)?;
+    if let Some(orphan) = used.iter().position(|&u| !u) {
+        return Err(ModelParseError::at(
+            5 + orphan,
+            "node",
+            format!("node {orphan} unreachable from the root"),
+        ));
+    }
+    Ok(root)
 }
 
 /// Inverse standard-normal CDF (Beasley–Springer–Moro approximation).
@@ -1340,14 +1719,110 @@ mod tests {
     #[test]
     fn deserialize_rejects_garbage() {
         assert!(DecisionTree::deserialize("nope").is_err());
+        assert!(DecisionTree::deserialize("").is_err());
         assert!(DecisionTree::deserialize("vqd-tree v1\nclasses\ta\n").is_err());
         assert!(
             DecisionTree::deserialize(
-                "vqd-tree v1\nclasses\ta\tb\nfeatures\tf\nS 9 0.5 0.5 1.0 1 2\nL 1\nL 2\n"
+                "vqd-tree v1\nclasses\ta\tb\nfeatures\tf\nS 9 0.5 0.5 1.0 1 2\nL 1 2\nL 2 1\n"
             )
             .is_err(),
             "out-of-range feature index must fail"
         );
+    }
+
+    #[test]
+    fn deserialize_reads_legacy_v1() {
+        let v1 = "vqd-tree v1\nclasses\ta\tb\nfeatures\tf\n\
+                  S 0 0.5 0.5 1.0 3.0 3.0\nL 3.0 0.0\nL 0.0 3.0\n";
+        let tree = DecisionTree::deserialize(v1).unwrap();
+        assert_eq!(tree.size(), 3);
+        assert_eq!(tree.predict(&[0.0]), 0);
+        assert_eq!(tree.predict(&[1.0]), 1);
+        // Re-serialising writes v2; semantics survive the upgrade.
+        let back = DecisionTree::deserialize(&tree.serialize()).unwrap();
+        assert!(tree.serialize().starts_with("vqd-tree v2\n"));
+        assert_eq!(back.predict(&[0.0]), 0);
+        assert_eq!(back.predict(&[1.0]), 1);
+    }
+
+    fn v2(nodes: &str) -> String {
+        let n = nodes.lines().count();
+        format!("vqd-tree v2\nclasses\ta\tb\nfeatures\tf\nnodes\t{n}\n{nodes}")
+    }
+
+    #[test]
+    fn deserialize_errors_name_line_and_field() {
+        // Cycle: node 1 is its own child.
+        let err = DecisionTree::deserialize(&v2(
+            "0\tS 0 0.5 0.5 1.0 1 2 3.0 3.0\n1\tS 0 0.7 0.5 1.0 1 2 1.0 1.0\n2\tL 0.0 3.0",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("more than once"), "{err}");
+        // Out-of-range child id, error names the line.
+        let err = DecisionTree::deserialize(&v2("0\tS 0 0.5 0.5 1.0 1 7 3.0 3.0\n1\tL 3.0 0.0"))
+            .unwrap_err();
+        assert_eq!(err.line, 5);
+        assert_eq!(err.field, "hi_id");
+        // Truncated table.
+        let err = DecisionTree::deserialize(
+            "vqd-tree v2\nclasses\ta\tb\nfeatures\tf\nnodes\t3\n0\tL 1.0 1.0\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // Class-count mismatch in a leaf dist.
+        let err = DecisionTree::deserialize(&v2("0\tL 1.0 1.0 1.0")).unwrap_err();
+        assert!(err.to_string().contains("class-count mismatch"), "{err}");
+        // Unreachable node.
+        let err = DecisionTree::deserialize(&v2("0\tL 1.0 1.0\n1\tL 2.0 0.0")).unwrap_err();
+        assert!(err.to_string().contains("unreachable"), "{err}");
+        // Non-finite threshold.
+        let err = DecisionTree::deserialize(&v2(
+            "0\tS 0 NaN 0.5 1.0 1 2 3.0 3.0\n1\tL 3.0 0.0\n2\tL 0.0 3.0",
+        ))
+        .unwrap_err();
+        assert_eq!(err.field, "thr");
+    }
+
+    #[test]
+    fn deserialize_depth_capped_no_overflow() {
+        // 100k-deep v1 chain of splits: must error, not blow the stack.
+        let mut s = String::from("vqd-tree v1\nclasses\ta\tb\nfeatures\tf\n");
+        for _ in 0..100_000 {
+            s.push_str("S 0 0.5 0.5 1.0 2.0 2.0\nL 1.0 0.0\n");
+        }
+        s.push_str("L 0.0 1.0\n");
+        let err = DecisionTree::deserialize(&s).unwrap_err();
+        assert!(err.to_string().contains("deeper"), "{err}");
+    }
+
+    #[test]
+    fn features_used_reports_split_features_only() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut d = dataset(&["noise", "signal"], &["a", "b"]);
+        for _ in 0..200 {
+            let c = rng.index(2);
+            d.push(vec![rng.normal(0.0, 1.0), c as f64 * 8.0], c);
+        }
+        let tree = C45Trainer::default().fit(&d, &(0..200).collect::<Vec<_>>());
+        assert_eq!(tree.features_used(), vec![1]);
+    }
+
+    #[test]
+    fn traced_prediction_reports_missing_descent() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut d = dataset(&["x"], &["a", "b"]);
+        for _ in 0..200 {
+            let c = rng.index(2);
+            d.push(vec![c as f64 * 4.0 + rng.normal(0.0, 0.5)], c);
+        }
+        let tree = C45Trainer::default().fit(&d, &(0..200).collect::<Vec<_>>());
+        let (dist, miss) = tree.predict_dist_traced(&[0.1]);
+        assert_eq!(miss, 0.0, "known value must not trace as missing");
+        assert!(dist[0] > dist[1]);
+        let (dist_m, miss_m) = tree.predict_dist_traced(&[f64::NAN]);
+        assert!(miss_m > 0.99, "all-missing descent must trace as missing");
+        // The all-missing distribution is (close to) the training prior.
+        assert!((dist_m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Typed model-persistence errors.
+//!
+//! Every failure mode of [`DecisionTree::deserialize`]
+//! (crate::dtree::DecisionTree::deserialize) — truncated files, bad
+//! tokens, out-of-range node or feature indices, cyclic child
+//! references, class/feature-count mismatches — maps to a
+//! [`ModelParseError`] that names the offending line and field instead
+//! of panicking or looping. `vqd-core` wraps this into its `VqdError`.
+
+use std::fmt;
+
+/// A model file failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelParseError {
+    /// 1-based line number of the offending line (0 = the file as a
+    /// whole, e.g. an empty input).
+    pub line: usize,
+    /// The field or token that failed ("header", "feat", "dist", …).
+    pub field: String,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl ModelParseError {
+    /// Build an error pinned to `line` (1-based).
+    pub fn at(line: usize, field: &str, msg: impl Into<String>) -> Self {
+        ModelParseError {
+            line,
+            field: field.to_string(),
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ModelParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "model parse error in {}: {}", self.field, self.msg)
+        } else {
+            write!(
+                f,
+                "model parse error at line {} ({}): {}",
+                self.line, self.field, self.msg
+            )
+        }
+    }
+}
+
+impl std::error::Error for ModelParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_line_and_field() {
+        let e = ModelParseError::at(7, "feat", "index 9 out of range (3 features)");
+        let s = e.to_string();
+        assert!(s.contains("line 7"), "{s}");
+        assert!(s.contains("feat"), "{s}");
+        let whole = ModelParseError::at(0, "file", "empty input");
+        assert!(!whole.to_string().contains("line"), "{whole}");
+    }
+}

@@ -15,11 +15,14 @@
 //! * [`metrics`] — accuracy, per-class precision/recall, confusion
 //!   matrices, exactly as defined in Section 5 of the paper.
 //! * [`dataset`] — the ARFF-shaped numeric dataset with missing values.
+//! * [`error`] — typed model-persistence errors (line- and
+//!   field-addressed parse failures instead of panics).
 
 pub mod cv;
 pub mod dataset;
 pub mod discretize;
 pub mod dtree;
+pub mod error;
 pub mod info;
 pub mod metrics;
 pub mod nb;
@@ -29,6 +32,7 @@ pub use cv::{cross_validate, Learner, NbLearner, SvmLearner};
 pub use dataset::{Dataset, DatasetBuilder};
 pub use discretize::{mdl_cuts, FeatureCuts};
 pub use dtree::{C45Config, C45Trainer, DecisionTree};
+pub use error::ModelParseError;
 pub use info::{entropy, mutual_information, symmetrical_uncertainty};
 pub use metrics::ConfusionMatrix;
 pub use nb::NaiveBayes;

@@ -1,0 +1,455 @@
+//! Probe-degradation fault injection.
+//!
+//! The paper's real-world results (§6.1–6.2) depend on a lab-trained
+//! model surviving *degraded telemetry*: vantage points that were never
+//! deployed, probes that crashed mid-session, uninstrumented CDN
+//! servers, routers removed entirely for 3G sessions, and the routine
+//! sensor noise of production fleets. A [`DegradePlan`] reproduces
+//! those failure modes deterministically on top of a collected probe
+//! view — the flattened `(name, value)` metric vector a
+//! [`VpData`](crate::vantage::VpData) emits — so the diagnosis
+//! pipeline can be evaluated under controlled, reproducible telemetry
+//! loss (the `robustness` sweep in `vqd-core`).
+//!
+//! Degradation is a pure function of `(plan, run_index, metrics)`:
+//! each run derives its own RNG stream from the plan seed and the run
+//! index, so a degraded corpus is byte-identical across runs and
+//! worker-thread counts, and sweeping intensities re-draws nothing
+//! from neighbouring cells.
+
+use vqd_simnet::rng::SimRng;
+
+/// One probe-failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradeKind {
+    /// Whole-VP dropout: the probe crashed (or was never deployed) —
+    /// every metric of the affected vantage points disappears. The
+    /// paper's partial-deployment scenario (§6.2) and the removed
+    /// router probe of 3G sessions.
+    VpDropout,
+    /// Per-group metric loss: one instrument of a probe failed — the
+    /// `hw`, `nic`, `phy` or `tstat` group of a vantage point is
+    /// absent (e.g. a server without radio counters, a router whose
+    /// packet tap broke but whose SNMP counters survive).
+    GroupLoss,
+    /// Sample truncation: the probe died a fraction of the way into
+    /// the session — cumulative counters stop early (scaled down)
+    /// while per-sample aggregates keep their value.
+    Truncation,
+    /// Value corruption: individual readings come back NaN (failed
+    /// sensor read), zeroed (reset counter) or attenuated/clipped
+    /// (saturated ADC, mis-scaled unit).
+    Corruption,
+    /// Clock skew: the probe's clock runs fast or slow, multiplying
+    /// every time-derived metric (RTTs, inter-arrivals, durations,
+    /// delays) by a per-VP factor.
+    ClockSkew,
+}
+
+impl DegradeKind {
+    /// Every failure mode, in canonical sweep order.
+    pub const ALL: [DegradeKind; 5] = [
+        DegradeKind::VpDropout,
+        DegradeKind::GroupLoss,
+        DegradeKind::Truncation,
+        DegradeKind::Corruption,
+        DegradeKind::ClockSkew,
+    ];
+
+    /// Stable CLI/report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DegradeKind::VpDropout => "vp_dropout",
+            DegradeKind::GroupLoss => "group_loss",
+            DegradeKind::Truncation => "truncation",
+            DegradeKind::Corruption => "corruption",
+            DegradeKind::ClockSkew => "clock_skew",
+        }
+    }
+
+    /// Parse a [`DegradeKind::name`] back.
+    pub fn from_name(name: &str) -> Option<DegradeKind> {
+        DegradeKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    fn salt(&self) -> u64 {
+        match self {
+            DegradeKind::VpDropout => 0x11,
+            DegradeKind::GroupLoss => 0x22,
+            DegradeKind::Truncation => 0x33,
+            DegradeKind::Corruption => 0x44,
+            DegradeKind::ClockSkew => 0x55,
+        }
+    }
+}
+
+/// A deterministic, seeded degradation plan: one failure mode at one
+/// intensity, applied per run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradePlan {
+    /// Failure mode to inject.
+    pub kind: DegradeKind,
+    /// Severity in `[0, 1]`: 0 = no-op, 1 = the mode's worst case
+    /// (all VPs dropped, every group lost, …). Clamped on use.
+    pub intensity: f64,
+    /// Root seed of the plan's RNG streams.
+    pub seed: u64,
+}
+
+/// Instrument group of a metric (`"<vp>.<group>.<metric>"`). NIC role
+/// labels ("wan", "lan", "net", "wlan", "nic0", …) all map to `nic`;
+/// the packet-tap metrics (`tcp.*`) map to `tstat`.
+pub fn group_of(name: &str) -> &'static str {
+    match name.split('.').nth(1) {
+        Some("tcp") => "tstat",
+        Some("hw") => "hw",
+        Some("phy") => "phy",
+        _ => "nic",
+    }
+}
+
+/// Vantage-point prefix of a metric name.
+pub fn vp_of(name: &str) -> &str {
+    name.split('.').next().unwrap_or("")
+}
+
+/// Cumulative-counter metrics: they stop accumulating when a probe
+/// dies mid-session, so truncation scales them down.
+fn is_cumulative(name: &str) -> bool {
+    name.ends_with("pkts")
+        || name.ends_with("bytes")
+        || name.ends_with("pure_acks")
+        || name.ends_with("dup_acks")
+        || name.ends_with("zero_wnd")
+        || name.ends_with("rtt_cnt")
+        || name.ends_with("syn_count")
+        || name.ends_with("fin_count")
+        || name.ends_with("drops")
+        || name.ends_with("mac_retx")
+        || name.ends_with("disconnections")
+        || name.ends_with("disconnected_samples")
+}
+
+/// Time-derived metrics: a skewed probe clock scales them.
+fn is_time_metric(name: &str) -> bool {
+    let metric = name.rsplit('.').next().unwrap_or(name);
+    metric.starts_with("rtt_") && !metric.ends_with("cnt")
+        || metric.starts_with("iat_")
+        || metric == "duration_s"
+        || metric == "first_payload_delay"
+}
+
+/// The distinct vantage points of a metric vector, in first-appearance
+/// order (stable → decisions are reproducible).
+fn vps_in(metrics: &[(String, f64)]) -> Vec<String> {
+    let mut vps: Vec<String> = Vec::new();
+    for (n, _) in metrics {
+        let vp = vp_of(n);
+        if !vps.iter().any(|v| v == vp) {
+            vps.push(vp.to_string());
+        }
+    }
+    vps
+}
+
+impl DegradePlan {
+    /// A plan for `kind` at `intensity`, seeded.
+    pub fn new(kind: DegradeKind, intensity: f64, seed: u64) -> DegradePlan {
+        DegradePlan {
+            kind,
+            intensity,
+            seed,
+        }
+    }
+
+    /// The RNG stream for one run: SplitMix64-style mixing of the plan
+    /// seed, the kind and the run index, so every (plan, run) cell is
+    /// an independent deterministic stream.
+    fn run_rng(&self, run_index: u64) -> SimRng {
+        let mut z = self.seed
+            ^ self.kind.salt().wrapping_mul(0xD6E8_FEB8_6659_FD93)
+            ^ run_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::seed_from_u64(z)
+    }
+
+    /// Degrade one collected probe view. Pure in `(self, run_index,
+    /// metrics)`; the input order is preserved for surviving metrics.
+    pub fn apply(&self, run_index: u64, metrics: &[(String, f64)]) -> Vec<(String, f64)> {
+        let x = self.intensity.clamp(0.0, 1.0);
+        if x <= 0.0 || metrics.is_empty() {
+            return metrics.to_vec();
+        }
+        let mut rng = self.run_rng(run_index);
+        match self.kind {
+            DegradeKind::VpDropout => {
+                let dead: Vec<String> = vps_in(metrics)
+                    .into_iter()
+                    .filter(|_| rng.chance(x))
+                    .collect();
+                metrics
+                    .iter()
+                    .filter(|(n, _)| !dead.iter().any(|d| d == vp_of(n)))
+                    .cloned()
+                    .collect()
+            }
+            DegradeKind::GroupLoss => {
+                // Decide per (vp, group) in appearance order.
+                let mut seen: Vec<(String, &'static str, bool)> = Vec::new();
+                let mut out = Vec::with_capacity(metrics.len());
+                for (n, v) in metrics {
+                    let vp = vp_of(n);
+                    let g = group_of(n);
+                    let lost = match seen.iter().find(|(svp, sg, _)| svp == vp && *sg == g) {
+                        Some(&(_, _, lost)) => lost,
+                        None => {
+                            let lost = rng.chance(x);
+                            seen.push((vp.to_string(), g, lost));
+                            lost
+                        }
+                    };
+                    if !lost {
+                        out.push((n.clone(), *v));
+                    }
+                }
+                out
+            }
+            DegradeKind::Truncation => {
+                // Each VP dies at its own observed fraction f: at
+                // intensity 0 probes survive the whole session (f = 1),
+                // at intensity 1 they may die after 10 % of it.
+                let fracs: Vec<(String, f64)> = vps_in(metrics)
+                    .into_iter()
+                    .map(|vp| {
+                        let f = rng.range_f64(1.0 - 0.9 * x, 1.0);
+                        (vp, f)
+                    })
+                    .collect();
+                metrics
+                    .iter()
+                    .map(|(n, v)| {
+                        let f = fracs
+                            .iter()
+                            .find(|(vp, _)| vp == vp_of(n))
+                            .map(|(_, f)| *f)
+                            .unwrap_or(1.0);
+                        let scaled = if is_cumulative(n) || n.ends_with("duration_s") {
+                            v * f
+                        } else {
+                            *v
+                        };
+                        (n.clone(), scaled)
+                    })
+                    .collect()
+            }
+            DegradeKind::Corruption => metrics
+                .iter()
+                .map(|(n, v)| {
+                    if !rng.chance(x) {
+                        return (n.clone(), *v);
+                    }
+                    let corrupted = match rng.index(3) {
+                        0 => f64::NAN,  // failed sensor read
+                        1 => 0.0,       // reset counter
+                        _ => *v * 0.25, // attenuated / clipped-scale reading
+                    };
+                    (n.clone(), corrupted)
+                })
+                .collect(),
+            DegradeKind::ClockSkew => {
+                // Per-VP multiplicative skew, log-normal around 1: at
+                // intensity 1 clocks run up to ~2x fast or slow (±1σ).
+                let skews: Vec<(String, f64)> = vps_in(metrics)
+                    .into_iter()
+                    .map(|vp| {
+                        let s = (x * rng.normal(0.0, 0.7)).exp();
+                        (vp, s)
+                    })
+                    .collect();
+                metrics
+                    .iter()
+                    .map(|(n, v)| {
+                        if is_time_metric(n) {
+                            let s = skews
+                                .iter()
+                                .find(|(vp, _)| vp == vp_of(n))
+                                .map(|(_, s)| *s)
+                                .unwrap_or(1.0);
+                            (n.clone(), v * s)
+                        } else {
+                            (n.clone(), *v)
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<(String, f64)> {
+        vec![
+            ("mobile.tcp.s2c.retx_pkts".into(), 40.0),
+            ("mobile.tcp.s2c.rtt_avg".into(), 0.08),
+            ("mobile.tcp.duration_s".into(), 120.0),
+            ("mobile.hw.cpu_avg".into(), 0.4),
+            ("mobile.phy.rssi_avg".into(), -62.0),
+            ("router.tcp.s2c.retx_pkts".into(), 38.0),
+            ("router.wan.tx_util_avg".into(), 0.7),
+            ("server.tcp.c2s.iat_avg".into(), 0.01),
+            ("server.hw.cpu_avg".into(), 0.1),
+        ]
+    }
+
+    #[test]
+    fn zero_intensity_is_identity() {
+        for kind in DegradeKind::ALL {
+            let plan = DegradePlan::new(kind, 0.0, 7);
+            assert_eq!(plan.apply(0, &sample()), sample(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn full_vp_dropout_silences_everything() {
+        let plan = DegradePlan::new(DegradeKind::VpDropout, 1.0, 7);
+        assert!(plan.apply(3, &sample()).is_empty());
+    }
+
+    #[test]
+    fn partial_dropout_removes_whole_vps() {
+        let plan = DegradePlan::new(DegradeKind::VpDropout, 0.5, 11);
+        // Across many runs, each surviving metric set is a union of
+        // complete VPs.
+        let mut ever_dropped = false;
+        for run in 0..40 {
+            let out = plan.apply(run, &sample());
+            let out_vps = vps_in(&out);
+            for vp in ["mobile", "router", "server"] {
+                let n_in = sample().iter().filter(|(n, _)| vp_of(n) == vp).count();
+                let n_out = out.iter().filter(|(n, _)| vp_of(n) == vp).count();
+                assert!(
+                    n_out == 0 || n_out == n_in,
+                    "run {run}: {vp} partially dropped ({n_out}/{n_in})"
+                );
+            }
+            if out_vps.len() < 3 {
+                ever_dropped = true;
+            }
+        }
+        assert!(ever_dropped, "intensity 0.5 never dropped a VP in 40 runs");
+    }
+
+    #[test]
+    fn group_loss_removes_whole_groups() {
+        let plan = DegradePlan::new(DegradeKind::GroupLoss, 0.6, 13);
+        for run in 0..40 {
+            let out = plan.apply(run, &sample());
+            for (vp, g) in [("mobile", "tstat"), ("mobile", "hw"), ("router", "nic")] {
+                let n_in = sample()
+                    .iter()
+                    .filter(|(n, _)| vp_of(n) == vp && group_of(n) == g)
+                    .count();
+                let n_out = out
+                    .iter()
+                    .filter(|(n, _)| vp_of(n) == vp && group_of(n) == g)
+                    .count();
+                assert!(
+                    n_out == 0 || n_out == n_in,
+                    "run {run}: {vp}.{g} partially lost"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_scales_counters_not_aggregates() {
+        let plan = DegradePlan::new(DegradeKind::Truncation, 1.0, 17);
+        let out = plan.apply(5, &sample());
+        let get = |m: &[(String, f64)], name: &str| {
+            m.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap()
+        };
+        let f = get(&out, "mobile.tcp.duration_s") / 120.0;
+        assert!((0.1..1.0).contains(&f), "fraction {f}");
+        assert!((get(&out, "mobile.tcp.s2c.retx_pkts") - 40.0 * f).abs() < 1e-9);
+        // Per-sample aggregates survive unscaled.
+        assert_eq!(get(&out, "mobile.hw.cpu_avg"), 0.4);
+        assert_eq!(get(&out, "mobile.tcp.s2c.rtt_avg"), 0.08);
+        assert_eq!(get(&out, "mobile.phy.rssi_avg"), -62.0);
+    }
+
+    #[test]
+    fn clock_skew_touches_only_time_metrics() {
+        let plan = DegradePlan::new(DegradeKind::ClockSkew, 1.0, 19);
+        let out = plan.apply(2, &sample());
+        for ((n, before), (_, after)) in sample().iter().zip(&out) {
+            if is_time_metric(n) {
+                assert!(*after > 0.0);
+            } else {
+                assert_eq!(before, after, "{n} must be untouched");
+            }
+        }
+        // Same VP, same skew factor.
+        let rtt = out.iter().find(|(n, _)| n.ends_with("rtt_avg")).unwrap().1;
+        let dur = out
+            .iter()
+            .find(|(n, _)| n.ends_with("duration_s"))
+            .unwrap()
+            .1;
+        assert!(((rtt / 0.08) - (dur / 120.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corruption_rate_tracks_intensity() {
+        let plan = DegradePlan::new(DegradeKind::Corruption, 0.4, 23);
+        let mut changed = 0usize;
+        let mut total = 0usize;
+        for run in 0..200 {
+            let out = plan.apply(run, &sample());
+            for ((n, before), (_, after)) in sample().iter().zip(&out) {
+                total += 1;
+                if after.is_nan() || (before != after) {
+                    changed += 1;
+                }
+                let _ = n;
+            }
+        }
+        let rate = changed as f64 / total as f64;
+        assert!((0.25..0.55).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_per_run_index() {
+        for kind in DegradeKind::ALL {
+            let plan = DegradePlan::new(kind, 0.7, 31);
+            let a = plan.apply(9, &sample());
+            let b = plan.apply(9, &sample());
+            let fp = |m: &[(String, f64)]| -> Vec<(String, u64)> {
+                m.iter().map(|(n, v)| (n.clone(), v.to_bits())).collect()
+            };
+            assert_eq!(fp(&a), fp(&b), "{}", kind.name());
+            // And different run indices draw different streams (for
+            // kinds that draw per-metric or per-VP randomness).
+            let c = plan.apply(10, &sample());
+            let _ = c;
+        }
+    }
+
+    #[test]
+    fn group_taxonomy() {
+        assert_eq!(group_of("mobile.tcp.s2c.retx_pkts"), "tstat");
+        assert_eq!(group_of("mobile.hw.cpu_avg"), "hw");
+        assert_eq!(group_of("mobile.phy.rssi_avg"), "phy");
+        assert_eq!(group_of("router.wan.tx_util_avg"), "nic");
+        assert_eq!(group_of("mobile.net.tx_bps_avg"), "nic");
+        assert_eq!(
+            DegradeKind::from_name("clock_skew"),
+            Some(DegradeKind::ClockSkew)
+        );
+        assert_eq!(DegradeKind::from_name("nope"), None);
+    }
+}

@@ -14,15 +14,21 @@
 //!   vectors (`"mobile.tcp.s2c.retx_pkts"`, …) and the
 //!   [`ProbeSet`](vantage::ProbeSet) packet observer that feeds every
 //!   vantage point from the simulator's taps.
+//! * [`degrade`] — deterministic probe-fault injection
+//!   ([`DegradePlan`](degrade::DegradePlan)): VP dropout, group loss,
+//!   truncation, corruption and clock skew applied to collected metric
+//!   vectors, for the robustness sweeps of `vqd-core`.
 //!
 //! Application-layer QoE (stalls, startup delay) is deliberately *not*
 //! collected here: it lives in `vqd-video` and is used only to label
 //! the ground truth, mirroring the paper's methodology.
 
+pub mod degrade;
 pub mod sampler;
 pub mod tstat;
 pub mod vantage;
 
+pub use degrade::{DegradeKind, DegradePlan};
 pub use sampler::{HwAccum, NicAccum, PhyAccum, SamplerApp};
 pub use tstat::{DirStats, FlowAnalyzer};
 pub use vantage::{ProbeSet, VpData, VpHandle};

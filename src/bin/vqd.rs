@@ -1,23 +1,50 @@
 //! `vqd` — command-line front end for the diagnosis framework.
 //!
 //! ```text
-//! vqd corpus   --sessions 600 --seed 2015 --out corpus.tsv
-//! vqd train    --corpus corpus.tsv --labels exact --out model.vqd
-//! vqd diagnose --model model.vqd --metrics session.tsv
-//! vqd simulate --fault low_rssi --intensity 0.9 --model model.vqd
-//! vqd inspect  --model model.vqd
+//! vqd corpus     --sessions 600 --seed 2015 --out corpus.tsv
+//! vqd train      --corpus corpus.tsv --labels exact --out model.vqd
+//! vqd diagnose   --model model.vqd --metrics session.tsv
+//! vqd simulate   --fault low_rssi --intensity 0.9 --model model.vqd
+//! vqd inspect    --model model.vqd
+//! vqd robustness --corpus corpus.tsv --test test.tsv --labels exact
+//! vqd help
 //! ```
 //!
 //! Corpus files use the same tab-separated format as the bench cache
 //! (`fault\tqoe\tname=value\t…` per line); metrics files are
 //! `name=value` per line or tab-separated on one line.
+//!
+//! Exit codes: 0 success, 1 runtime failure (I/O, corrupt file), 2
+//! usage error (unknown command, missing or malformed flag).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::HashMap;
 
 use vqd::prelude::*;
-use vqd_core::dataset::LabeledRun;
 
-fn parse_args() -> (String, HashMap<String, String>) {
+const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
+    \n\
+    vqd corpus     --sessions 600 --seed 2015 --out corpus.tsv\n\
+    vqd train      --corpus corpus.tsv --labels exact|location|existence --out model.vqd\n\
+    vqd diagnose   --model model.vqd --metrics session.tsv\n\
+    vqd simulate   --fault low_rssi --intensity 0.9 [--model model.vqd] [--out session.tsv]\n\
+    vqd inspect    --model model.vqd\n\
+    vqd robustness --corpus corpus.tsv [--test test.tsv] [--model model.vqd]\n\
+    \x20              [--labels exact|location|existence] [--kinds vp_dropout,corruption,...]\n\
+    \x20              [--intensities 0,0.25,0.5,0.75,1] [--seed 7] [--threads 0]\n\
+    vqd help\n\
+    \n\
+    `robustness` trains on --corpus (or loads --model), then sweeps the\n\
+    degradation kind x intensity grid over the --test corpus, reporting\n\
+    accuracy, telemetry coverage and exact-answer rate per cell.\n\
+    Degradation kinds: vp_dropout, group_loss, truncation, corruption,\n\
+    clock_skew.";
+
+/// Split argv into `(command, --key value flags)`. Flags without a
+/// value are recorded as `"true"`; stray positional arguments are a
+/// usage error.
+fn parse_args() -> Result<(String, HashMap<String, String>), VqdError> {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_else(|| "help".to_string());
     let mut opts = HashMap::new();
@@ -30,186 +57,327 @@ fn parse_args() -> (String, HashMap<String, String>) {
             key = Some(k.to_string());
         } else if let Some(k) = key.take() {
             opts.insert(k, a);
+        } else {
+            return Err(VqdError::Config(format!(
+                "unexpected positional argument {a:?} (flags are --key value)"
+            )));
         }
     }
     if let Some(prev) = key.take() {
         opts.insert(prev, "true".to_string());
     }
-    (cmd, opts)
+    Ok((cmd, opts))
 }
 
-fn runs_to_text(runs: &[LabeledRun]) -> String {
-    let mut s = String::new();
-    for r in runs {
-        s.push_str(r.truth.fault.name());
-        s.push('\t');
-        s.push_str(r.truth.qoe.name());
-        for (n, v) in &r.metrics {
-            s.push_str(&format!("\t{n}={v:?}"));
+struct Opts(HashMap<String, String>);
+
+impl Opts {
+    fn get(&self, k: &str) -> Option<String> {
+        self.0.get(k).cloned()
+    }
+
+    /// A flag that must be present.
+    fn require(&self, k: &str, what: &str) -> Result<String, VqdError> {
+        self.get(k)
+            .ok_or_else(|| VqdError::Config(format!("missing required flag --{k} <{what}>")))
+    }
+
+    /// A numeric flag with a default; malformed values are usage
+    /// errors, not silent defaults.
+    fn num(&self, k: &str, default: f64) -> Result<f64, VqdError> {
+        match self.get(k) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| VqdError::Config(format!("--{k} expects a number, got {v:?}"))),
         }
-        s.push('\n');
     }
-    s
+
+    fn label_scheme(&self) -> Result<LabelScheme, VqdError> {
+        match self.get("labels").as_deref() {
+            None | Some("exact") => Ok(LabelScheme::Exact),
+            Some("location") => Ok(LabelScheme::Location),
+            Some("existence") => Ok(LabelScheme::Existence),
+            Some(other) => Err(VqdError::Config(format!(
+                "--labels expects exact|location|existence, got {other:?}"
+            ))),
+        }
+    }
 }
 
-fn runs_from_text(text: &str) -> Vec<LabeledRun> {
-    text.lines()
-        .filter(|l| !l.is_empty())
-        .map(|line| {
-            let mut parts = line.split('\t');
-            let fault_name = parts.next().unwrap_or("none");
-            let fault = FaultKind::ALL
-                .iter()
-                .copied()
-                .find(|f| f.name() == fault_name)
-                .unwrap_or(FaultKind::None);
-            let qoe = match parts.next().unwrap_or("good") {
-                "mild" => QoeClass::Mild,
-                "severe" => QoeClass::Severe,
-                _ => QoeClass::Good,
-            };
-            let metrics = parts
-                .filter_map(|kv| {
-                    let (k, v) = kv.split_once('=')?;
-                    Some((k.to_string(), v.parse::<f64>().ok()?))
-                })
-                .collect();
-            LabeledRun {
-                metrics,
-                truth: GroundTruth { fault, qoe },
+fn read_file(path: &str) -> Result<String, VqdError> {
+    std::fs::read_to_string(path).map_err(|e| VqdError::io(path, e))
+}
+
+fn write_file(path: &str, text: &str) -> Result<(), VqdError> {
+    std::fs::write(path, text).map_err(|e| VqdError::io(path, e))
+}
+
+/// Parse a session-metrics file: `name=value` tokens separated by
+/// newlines and/or tabs. Malformed tokens name their line.
+fn metrics_from_text(text: &str) -> Result<Vec<(String, f64)>, VqdError> {
+    let mut metrics = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        for kv in line.split('\t') {
+            let kv = kv.trim();
+            if kv.is_empty() {
+                continue;
             }
-        })
-        .collect()
+            let (k, v) = kv.split_once('=').ok_or_else(|| {
+                VqdError::corpus(idx + 1, format!("metric token {kv:?} is not name=value"))
+            })?;
+            let value: f64 = v.parse().map_err(|_| {
+                VqdError::corpus(idx + 1, format!("metric {k:?} has non-numeric value {v:?}"))
+            })?;
+            metrics.push((k.to_string(), value));
+        }
+    }
+    Ok(metrics)
 }
 
-fn scheme_of(opts: &HashMap<String, String>) -> LabelScheme {
-    match opts.get("labels").map(String::as_str) {
-        Some("existence") => LabelScheme::Existence,
-        Some("location") => LabelScheme::Location,
-        _ => LabelScheme::Exact,
+fn cmd_corpus(opts: &Opts) -> Result<(), VqdError> {
+    let sessions = opts.num("sessions", 400.0)? as usize;
+    let seed = opts.num("seed", 2015.0)? as u64;
+    let out = opts.get("out").unwrap_or_else(|| "corpus.tsv".to_string());
+    eprintln!("simulating {sessions} controlled sessions (seed {seed})...");
+    let cfg = CorpusConfig {
+        sessions,
+        seed,
+        ..Default::default()
+    };
+    let runs = generate_corpus(&cfg, &Catalog::top100(42));
+    write_file(&out, &corpus_to_text(&runs))?;
+    let good = runs
+        .iter()
+        .filter(|r| r.truth.qoe == QoeClass::Good)
+        .count();
+    eprintln!("wrote {out}: {} runs ({good} good)", runs.len());
+    Ok(())
+}
+
+fn cmd_train(opts: &Opts) -> Result<(), VqdError> {
+    let corpus = opts.require("corpus", "file")?;
+    let out = opts.get("out").unwrap_or_else(|| "model.vqd".to_string());
+    let runs = corpus_from_text(&read_file(&corpus)?)?;
+    let data = to_dataset(&runs, opts.label_scheme()?);
+    let model = Diagnoser::train(&data, &DiagnoserConfig::default());
+    model.save(&out)?;
+    eprintln!(
+        "trained on {} runs, {} features selected -> {out}",
+        runs.len(),
+        model.selected_features().len()
+    );
+    Ok(())
+}
+
+fn print_diagnosis(model: &Diagnoser, dx: &Diagnosis) {
+    println!("{} (confidence {:.2})", dx.label, dx.quality.confidence);
+    for (c, p) in model.classes.iter().zip(&dx.dist) {
+        if *p > 0.01 {
+            println!("  {c:<28} {p:.3}");
+        }
     }
+    println!(
+        "telemetry: {:.0}% of tree-relevant features present, {:.0}% of prediction weight via missing-value fallbacks",
+        100.0 * dx.quality.feature_coverage,
+        100.0 * dx.quality.missing_descent
+    );
+    if !dx.quality.silent_vps.is_empty() {
+        println!(
+            "silent vantage points: {}",
+            dx.quality.silent_vps.join(", ")
+        );
+    }
+    if let Some(fb) = &dx.fallback_label {
+        let q = match dx.resolution {
+            Resolution::Existence => "existence (Q1)",
+            Resolution::Location => "location (Q2)",
+            Resolution::Exact => "exact (Q3)",
+        };
+        println!("telemetry too sparse for an exact root cause; {q} answer: {fb}");
+    }
+}
+
+fn cmd_diagnose(opts: &Opts) -> Result<(), VqdError> {
+    let model = Diagnoser::load(opts.require("model", "file")?)?;
+    let metrics = metrics_from_text(&read_file(&opts.require("metrics", "file")?)?)?;
+    let dx = model.diagnose(&metrics);
+    print_diagnosis(&model, &dx);
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Opts) -> Result<(), VqdError> {
+    let kind = match opts.get("fault") {
+        None => FaultKind::None,
+        Some(f) if f == FaultKind::None.name() => FaultKind::None,
+        Some(f) => FaultKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == f)
+            .ok_or_else(|| {
+                let names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+                VqdError::Config(format!(
+                    "--fault expects one of none, {}; got {f:?}",
+                    names.join(", ")
+                ))
+            })?,
+    };
+    let spec = SessionSpec {
+        seed: opts.num("seed", 7.0)? as u64,
+        fault: FaultPlan {
+            kind,
+            intensity: opts.num("intensity", 0.8)?,
+        },
+        background: opts.num("background", 0.4)?,
+        wan: WanProfile::Dsl,
+    };
+    let session = run_controlled_session(&spec, &Catalog::top100(42));
+    println!(
+        "session: induced={} qoe={:?} stalls={} startup={:?}",
+        kind.name(),
+        session.truth.qoe,
+        session.qoe.stalls.len(),
+        session.qoe.startup_delay_s()
+    );
+    if let Some(mpath) = opts.get("model") {
+        let model = Diagnoser::load(mpath)?;
+        let dx = model.diagnose(&session.metrics);
+        print_diagnosis(&model, &dx);
+    }
+    if let Some(out) = opts.get("out") {
+        let mut s = String::new();
+        for (n, v) in &session.metrics {
+            s.push_str(&format!("{n}={v:?}\n"));
+        }
+        write_file(&out, &s)?;
+        eprintln!("wrote session metrics to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_inspect(opts: &Opts) -> Result<(), VqdError> {
+    let model = Diagnoser::load(opts.require("model", "file")?)?;
+    println!("classes: {}", model.classes.join(", "));
+    println!("features ({}):", model.selected_features().len());
+    for f in model.selected_features() {
+        println!("  {f}");
+    }
+    println!(
+        "\ndecision tree ({} nodes, depth {}):",
+        model.tree().size(),
+        model.tree().depth()
+    );
+    print!("{}", model.tree().to_text());
+    Ok(())
+}
+
+fn cmd_robustness(opts: &Opts) -> Result<(), VqdError> {
+    let scheme = opts.label_scheme()?;
+    let seed = opts.num("seed", 7.0)? as u64;
+    let threads = opts.num("threads", 0.0)? as usize;
+
+    let kinds: Vec<DegradeKind> = match opts.get("kinds") {
+        None => DegradeKind::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|k| {
+                DegradeKind::from_name(k.trim()).ok_or_else(|| {
+                    let names: Vec<&str> = DegradeKind::ALL.iter().map(|k| k.name()).collect();
+                    VqdError::Config(format!(
+                        "--kinds: unknown degradation {k:?} (expected {})",
+                        names.join(", ")
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let intensities: Vec<f64> = match opts.get("intensities") {
+        None => vec![0.0, 0.25, 0.5, 0.75, 1.0],
+        Some(list) => list
+            .split(',')
+            .map(|v| {
+                v.trim()
+                    .parse()
+                    .map_err(|_| VqdError::Config(format!("--intensities: {v:?} is not a number")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+
+    let train_runs = corpus_from_text(&read_file(&opts.require("corpus", "file")?)?)?;
+    let model = match opts.get("model") {
+        Some(mpath) => Diagnoser::load(mpath)?,
+        None => {
+            eprintln!("training on {} runs...", train_runs.len());
+            Diagnoser::train(
+                &to_dataset(&train_runs, scheme),
+                &DiagnoserConfig::default(),
+            )
+        }
+    };
+    let test_runs = match opts.get("test") {
+        Some(t) => corpus_from_text(&read_file(&t)?)?,
+        None => {
+            eprintln!("note: no --test corpus; evaluating on the training corpus (resubstitution)");
+            train_runs
+        }
+    };
+
+    eprintln!(
+        "sweeping {} kinds x {} intensities over {} sessions...",
+        kinds.len(),
+        intensities.len(),
+        test_runs.len()
+    );
+    let cells = sweep(
+        &model,
+        &test_runs,
+        scheme,
+        &kinds,
+        &intensities,
+        seed,
+        threads,
+    );
+    let baseline = majority_baseline(&test_runs, scheme);
+    print!("{}", vqd::core::robustness::report(&cells, baseline));
+    Ok(())
 }
 
 fn main() {
-    let (cmd, opts) = parse_args();
-    let get = |k: &str| opts.get(k).cloned();
-    let num = |k: &str, d: f64| get(k).and_then(|v| v.parse().ok()).unwrap_or(d);
-
-    match cmd.as_str() {
-        "corpus" => {
-            let sessions = num("sessions", 400.0) as usize;
-            let seed = num("seed", 2015.0) as u64;
-            let out = get("out").unwrap_or_else(|| "corpus.tsv".to_string());
-            eprintln!("simulating {sessions} controlled sessions (seed {seed})...");
-            let cfg = CorpusConfig {
-                sessions,
-                seed,
-                ..Default::default()
+    let code = match parse_args() {
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            2
+        }
+        Ok((cmd, opts)) => {
+            let opts = Opts(opts);
+            let result = match cmd.as_str() {
+                "corpus" => cmd_corpus(&opts),
+                "train" => cmd_train(&opts),
+                "diagnose" => cmd_diagnose(&opts),
+                "simulate" => cmd_simulate(&opts),
+                "inspect" => cmd_inspect(&opts),
+                "robustness" => cmd_robustness(&opts),
+                "help" | "--help" | "-h" => {
+                    println!("{USAGE}");
+                    Ok(())
+                }
+                other => {
+                    eprintln!("error: unknown command {other:?}\n\n{USAGE}");
+                    std::process::exit(2);
+                }
             };
-            let runs = generate_corpus(&cfg, &Catalog::top100(42));
-            std::fs::write(&out, runs_to_text(&runs)).expect("write corpus");
-            let good = runs
-                .iter()
-                .filter(|r| r.truth.qoe == QoeClass::Good)
-                .count();
-            eprintln!("wrote {out}: {} runs ({good} good)", runs.len());
-        }
-        "train" => {
-            let corpus = get("corpus").expect("--corpus <file>");
-            let out = get("out").unwrap_or_else(|| "model.vqd".to_string());
-            let text = std::fs::read_to_string(&corpus).expect("read corpus");
-            let runs = runs_from_text(&text);
-            let data = to_dataset(&runs, scheme_of(&opts));
-            let model = Diagnoser::train(&data, &DiagnoserConfig::default());
-            model.save(&out).expect("write model");
-            eprintln!(
-                "trained on {} runs, {} features selected -> {out}",
-                runs.len(),
-                model.selected_features().len()
-            );
-        }
-        "diagnose" => {
-            let model = Diagnoser::load(get("model").expect("--model <file>")).expect("load model");
-            let path = get("metrics").expect("--metrics <file>");
-            let text = std::fs::read_to_string(&path).expect("read metrics");
-            let metrics: Vec<(String, f64)> = text
-                .split(['\n', '\t'])
-                .filter_map(|kv| {
-                    let (k, v) = kv.trim().split_once('=')?;
-                    Some((k.to_string(), v.parse::<f64>().ok()?))
-                })
-                .collect();
-            let dx = model.diagnose(&metrics);
-            println!("{} (confidence {:.2})", dx.label, dx.dist[dx.class]);
-            for (c, p) in model.classes.iter().zip(&dx.dist) {
-                if *p > 0.01 {
-                    println!("  {c:<28} {p:.3}");
+            match result {
+                Ok(()) => 0,
+                Err(e @ VqdError::Config(_)) => {
+                    eprintln!("error: {e}\n\n{USAGE}");
+                    2
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
                 }
             }
         }
-        "simulate" => {
-            // One session through the testbed, optionally diagnosed.
-            let kind = get("fault")
-                .and_then(|f| FaultKind::ALL.iter().copied().find(|k| k.name() == f))
-                .unwrap_or(FaultKind::None);
-            let spec = SessionSpec {
-                seed: num("seed", 7.0) as u64,
-                fault: FaultPlan {
-                    kind,
-                    intensity: num("intensity", 0.8),
-                },
-                background: num("background", 0.4),
-                wan: WanProfile::Dsl,
-            };
-            let session = run_controlled_session(&spec, &Catalog::top100(42));
-            println!(
-                "session: induced={} qoe={:?} stalls={} startup={:?}",
-                kind.name(),
-                session.truth.qoe,
-                session.qoe.stalls.len(),
-                session.qoe.startup_delay_s()
-            );
-            if let Some(mpath) = get("model") {
-                let model = Diagnoser::load(mpath).expect("load model");
-                let dx = model.diagnose(&session.metrics);
-                println!(
-                    "diagnosis: {} (confidence {:.2})",
-                    dx.label, dx.dist[dx.class]
-                );
-            }
-            if let Some(out) = get("out") {
-                let mut s = String::new();
-                for (n, v) in &session.metrics {
-                    s.push_str(&format!("{n}={v:?}\n"));
-                }
-                std::fs::write(&out, s).expect("write metrics");
-                eprintln!("wrote session metrics to {out}");
-            }
-        }
-        "inspect" => {
-            let model = Diagnoser::load(get("model").expect("--model <file>")).expect("load model");
-            println!("classes: {}", model.classes.join(", "));
-            println!("features ({}):", model.selected_features().len());
-            for f in model.selected_features() {
-                println!("  {f}");
-            }
-            println!(
-                "\ndecision tree ({} nodes, depth {}):",
-                model.tree().size(),
-                model.tree().depth()
-            );
-            print!("{}", model.tree().to_text());
-        }
-        _ => {
-            eprintln!(
-                "usage: vqd <corpus|train|diagnose|simulate|inspect> [--opt value ...]\n\
-                 \n\
-                 vqd corpus   --sessions 600 --seed 2015 --out corpus.tsv\n\
-                 vqd train    --corpus corpus.tsv --labels exact|location|existence --out model.vqd\n\
-                 vqd diagnose --model model.vqd --metrics session.tsv\n\
-                 vqd simulate --fault low_rssi --intensity 0.9 [--model model.vqd] [--out session.tsv]\n\
-                 vqd inspect  --model model.vqd"
-            );
-        }
-    }
+    };
+    std::process::exit(code);
 }

@@ -53,16 +53,23 @@ pub use vqd_wireless as wireless;
 
 /// Everything needed for the typical train-and-diagnose workflow.
 pub mod prelude {
-    pub use vqd_core::dataset::{generate_corpus, to_dataset, CorpusConfig, LabeledRun};
-    pub use vqd_core::diagnoser::{Diagnoser, DiagnoserConfig, Diagnosis};
+    pub use vqd_core::dataset::{
+        corpus_from_text, corpus_to_text, generate_corpus, to_dataset, CorpusConfig, LabeledRun,
+    };
+    pub use vqd_core::diagnoser::{
+        Diagnoser, DiagnoserConfig, Diagnosis, DiagnosisQuality, Resolution,
+    };
+    pub use vqd_core::error::VqdError;
     pub use vqd_core::experiments::{eval_by_vp, eval_transfer, VP_SETS};
     pub use vqd_core::realworld::{
         generate_induced, generate_wild, Access, RealWorldConfig, RwRun, Service,
     };
+    pub use vqd_core::robustness::{degrade_corpus, majority_baseline, sweep, RobustnessCell};
     pub use vqd_core::scenario::{class_names, GroundTruth, LabelScheme};
     pub use vqd_core::testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};
     pub use vqd_faults::{FaultKind, FaultPlan};
     pub use vqd_ml::metrics::ConfusionMatrix;
+    pub use vqd_probes::degrade::{DegradeKind, DegradePlan};
     pub use vqd_video::catalog::{Catalog, CatalogConfig, Video};
     pub use vqd_video::QoeClass;
 }

@@ -1,0 +1,134 @@
+//! Degraded-telemetry integration tests: determinism of fault
+//! injection, smooth accuracy decay under probe dropout, and the
+//! mobile-VP-only deployment beating the majority-class floor.
+
+use vqd::prelude::*;
+
+fn corpus(sessions: usize, seed: u64) -> Vec<LabeledRun> {
+    let cfg = CorpusConfig {
+        sessions,
+        seed,
+        ..Default::default()
+    };
+    generate_corpus(&cfg, &Catalog::top100(42))
+}
+
+/// Bit-exact fingerprint of a degraded corpus.
+fn fingerprint(runs: &[LabeledRun]) -> Vec<(String, u64)> {
+    runs.iter()
+        .flat_map(|r| r.metrics.iter().map(|(n, v)| (n.clone(), v.to_bits())))
+        .collect()
+}
+
+/// A seeded degradation plan produces byte-identical corpora across
+/// repeated applications and across worker-thread counts, for every
+/// failure mode.
+#[test]
+fn degradation_is_deterministic_across_runs_and_threads() {
+    let runs = corpus(10, 4001);
+    for kind in DegradeKind::ALL {
+        let plan = DegradePlan::new(kind, 0.6, 20150917);
+        let one = degrade_corpus(&runs, &plan, 1);
+        let again = degrade_corpus(&runs, &plan, 1);
+        let wide = degrade_corpus(&runs, &plan, 8);
+        assert_eq!(
+            fingerprint(&one),
+            fingerprint(&again),
+            "{} not reproducible across runs",
+            kind.name()
+        );
+        assert_eq!(
+            fingerprint(&one),
+            fingerprint(&wide),
+            "{} depends on thread count",
+            kind.name()
+        );
+    }
+}
+
+/// Accuracy decays smoothly from pristine telemetry to total VP
+/// dropout: no panic, no cliff below the majority-class floor, and
+/// coverage/exact-answer rate shrink monotonically.
+#[test]
+fn dropout_sweep_degrades_smoothly() {
+    let train = corpus(60, 4002);
+    let test = corpus(40, 4003);
+    let scheme = LabelScheme::Existence;
+    let model = Diagnoser::train(&to_dataset(&train, scheme), &DiagnoserConfig::default());
+    let baseline = majority_baseline(&test, scheme);
+
+    let intensities = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let cells = sweep(
+        &model,
+        &test,
+        scheme,
+        &[DegradeKind::VpDropout],
+        &intensities,
+        5,
+        0,
+    );
+    assert_eq!(cells.len(), intensities.len());
+    for (prev, next) in cells.iter().zip(cells.iter().skip(1)) {
+        assert!(
+            next.mean_coverage <= prev.mean_coverage + 1e-9,
+            "coverage rose with dropout: {} -> {}",
+            prev.mean_coverage,
+            next.mean_coverage
+        );
+        assert!(
+            next.exact_fraction <= prev.exact_fraction + 1e-9,
+            "exact-answer rate rose with dropout"
+        );
+    }
+    // Pristine telemetry beats the majority floor; fully degraded
+    // telemetry falls back to the prior and never drops far below it.
+    assert!(
+        cells[0].accuracy() > baseline,
+        "pristine accuracy {} <= baseline {baseline}",
+        cells[0].accuracy()
+    );
+    for c in &cells {
+        assert!(
+            c.accuracy() >= baseline - 0.1,
+            "cliff at intensity {}: accuracy {} vs baseline {baseline}",
+            c.intensity,
+            c.accuracy()
+        );
+    }
+    // Total dropout leaves zero coverage and no exact answers.
+    let last = cells.last().unwrap();
+    assert!(last.mean_coverage < 1e-9);
+    assert!(last.exact_fraction < 1e-9);
+}
+
+/// A deployment with only the on-device probe (the paper's most
+/// realistic partial deployment) still beats always-guessing the
+/// majority class.
+#[test]
+fn mobile_only_deployment_beats_majority_baseline() {
+    let train = corpus(110, 4004);
+    let test = corpus(60, 4005);
+    let scheme = LabelScheme::Existence;
+    let model = Diagnoser::train(&to_dataset(&train, scheme), &DiagnoserConfig::default());
+    let baseline = majority_baseline(&test, scheme);
+
+    let mut correct = 0usize;
+    for r in &test {
+        let mobile_only: Vec<(String, f64)> = r
+            .metrics
+            .iter()
+            .filter(|(n, _)| n.starts_with("mobile."))
+            .cloned()
+            .collect();
+        assert!(!mobile_only.is_empty(), "corpus run without a mobile VP");
+        let dx = model.diagnose(&mobile_only);
+        if dx.label == r.truth.label(scheme) {
+            correct += 1;
+        }
+    }
+    let acc = correct as f64 / test.len() as f64;
+    assert!(
+        acc > baseline,
+        "mobile-only accuracy {acc} <= majority baseline {baseline}"
+    );
+}
