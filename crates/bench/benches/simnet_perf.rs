@@ -1,0 +1,130 @@
+//! **Perf harness** — simulator throughput and scheduler differential
+//! check, persisted to `BENCH_simnet.json`.
+//!
+//! Generates the controlled corpus twice — once on the timer-wheel
+//! scheduler (the production fast path) and once on the binary-heap
+//! oracle — and:
+//!
+//! 1. **fails hard** if the two corpora are not byte-identical (the
+//!    determinism regression gate used by CI's perf-smoke job), and
+//! 2. records sessions/sec, events/sec and p50/p95 per-session wall
+//!    time for both engines in `BENCH_simnet.json` at the repo root.
+//!
+//! Knobs:
+//!
+//! * `VQD_PERF_SMOKE=1` — short mode for CI (40 sessions; timings are
+//!   then indicative only, the determinism check is the point),
+//! * `VQD_SESSIONS` — explicit session count (default 120),
+//! * `VQD_BASELINE_SPS` / `VQD_BASELINE_COMMIT` — sessions/sec of a
+//!   reference build measured on the same host, recorded verbatim so
+//!   the JSON carries the speedup it was generated against,
+//! * `VQD_BENCH_OUT` — output path override (CI artifact location).
+
+use std::time::Instant;
+
+use vqd_bench::emit_section;
+use vqd_core::dataset::{corpus_to_text, generate_corpus_with_stats, CorpusConfig, CorpusGenStats};
+use vqd_simnet::sched::{set_default_scheduler, SchedulerKind};
+use vqd_video::catalog::Catalog;
+
+/// FNV-1a 64-bit fingerprint of a corpus serialisation.
+fn fingerprint(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn run(kind: SchedulerKind, cfg: &CorpusConfig) -> (u64, usize, CorpusGenStats, f64) {
+    set_default_scheduler(kind);
+    let t0 = Instant::now();
+    let (runs, stats) = generate_corpus_with_stats(cfg, &Catalog::top100(vqd_bench::CATALOG_SEED));
+    let wall = t0.elapsed().as_secs_f64();
+    let text = corpus_to_text(&runs);
+    (fingerprint(&text), text.len(), stats, wall)
+}
+
+fn stats_json(s: &CorpusGenStats) -> String {
+    format!(
+        "{{\"sessions_per_sec\": {:.2}, \"events_per_sec\": {:.0}, \"events\": {}, \"wall_s\": {:.3}, \"p50_session_ms\": {:.2}, \"p95_session_ms\": {:.2}}}",
+        s.sessions_per_sec, s.events_per_sec, s.events, s.wall_s, s.p50_session_ms, s.p95_session_ms
+    )
+}
+
+fn main() {
+    let smoke = std::env::var("VQD_PERF_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let sessions = std::env::var("VQD_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 40 } else { 120 });
+    let cfg = CorpusConfig {
+        sessions,
+        seed: 2015,
+        ..Default::default()
+    };
+
+    eprintln!("[simnet_perf] {sessions} sessions on the timer wheel...");
+    let (fp_wheel, len_wheel, wheel, _) = run(SchedulerKind::TimerWheel, &cfg);
+    eprintln!("[simnet_perf] {sessions} sessions on the heap oracle...");
+    let (fp_heap, len_heap, heap, _) = run(SchedulerKind::BinaryHeap, &cfg);
+    set_default_scheduler(SchedulerKind::TimerWheel);
+
+    // The determinism gate: wheel and heap must serialise the exact
+    // same corpus. A mismatch is a scheduler-ordering bug, never noise.
+    if fp_wheel != fp_heap || len_wheel != len_heap {
+        eprintln!(
+            "[simnet_perf] DETERMINISM REGRESSION: wheel {fp_wheel:#018x} ({len_wheel} B) != heap {fp_heap:#018x} ({len_heap} B)"
+        );
+        std::process::exit(1);
+    }
+
+    let baseline_sps: Option<f64> = std::env::var("VQD_BASELINE_SPS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let baseline_commit = std::env::var("VQD_BASELINE_COMMIT").unwrap_or_else(|_| "unknown".into());
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"sessions\": {sessions},\n"));
+    json.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!(
+        "  \"corpus_fingerprint\": \"{fp_wheel:#018x}\",\n"
+    ));
+    json.push_str(&format!("  \"wheel\": {},\n", stats_json(&wheel)));
+    json.push_str(&format!("  \"heap\": {},\n", stats_json(&heap)));
+    json.push_str(&format!(
+        "  \"wheel_vs_heap\": {:.3}",
+        wheel.sessions_per_sec / heap.sessions_per_sec
+    ));
+    if let Some(b) = baseline_sps {
+        json.push_str(&format!(
+            ",\n  \"baseline\": {{\"commit\": \"{baseline_commit}\", \"sessions_per_sec\": {b:.2}, \"note\": \"pre-PR build, same host, interleaved timing\"}},\n  \"speedup_vs_baseline\": {:.3}",
+            wheel.sessions_per_sec / b
+        ));
+    }
+    json.push_str("\n}\n");
+
+    let out = std::env::var("VQD_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_simnet.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_simnet.json");
+
+    let text = format!(
+        "simnet perf ({sessions} sessions, seed {}):\n  wheel: {:.1} sessions/sec, {:.2} M events/sec, p50 {:.0} ms, p95 {:.0} ms\n  heap:  {:.1} sessions/sec, {:.2} M events/sec, p50 {:.0} ms, p95 {:.0} ms\n  wheel/heap corpora byte-identical (fingerprint {:#018x})\n",
+        cfg.seed,
+        wheel.sessions_per_sec,
+        wheel.events_per_sec / 1e6,
+        wheel.p50_session_ms,
+        wheel.p95_session_ms,
+        heap.sessions_per_sec,
+        heap.events_per_sec / 1e6,
+        heap.p50_session_ms,
+        heap.p95_session_ms,
+        fp_wheel,
+    );
+    emit_section("simnet_perf", &text);
+}

@@ -17,10 +17,12 @@ use vqd_video::catalog::Catalog;
 
 use vqd_video::QoeClass;
 
+use vqd_simnet::engine::SimArena;
+
 use crate::error::VqdError;
-use crate::realworld::{run_realworld_session, Access, RwSpec, Service};
+use crate::realworld::{run_realworld_session_in, Access, RwSpec, Service};
 use crate::scenario::{class_id, class_names, GroundTruth, LabelScheme};
-use crate::testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};
+use crate::testbed::{run_controlled_session_in, SessionOutcome, SessionSpec, WanProfile};
 
 /// Corpus generation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -121,15 +123,44 @@ pub fn draw_specs(cfg: &CorpusConfig) -> Vec<CorpusSpec> {
         .collect()
 }
 
-fn run_spec(spec: &CorpusSpec, catalog: &Catalog) -> SessionOutcome {
+fn run_spec(spec: &CorpusSpec, catalog: &Catalog, arena: &mut SimArena) -> SessionOutcome {
     match spec {
-        CorpusSpec::Lab(s) => run_controlled_session(s, catalog),
-        CorpusSpec::Cellular(s) => run_realworld_session(s, catalog),
+        CorpusSpec::Lab(s) => run_controlled_session_in(s, catalog, arena),
+        CorpusSpec::Cellular(s) => run_realworld_session_in(s, catalog, arena),
     }
+}
+
+/// Throughput summary for one corpus generation run.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusGenStats {
+    /// Sessions simulated.
+    pub sessions: usize,
+    /// Wall-clock seconds for the whole corpus.
+    pub wall_s: f64,
+    /// Sessions per wall-clock second.
+    pub sessions_per_sec: f64,
+    /// Simulator events dispatched across all sessions.
+    pub events: u64,
+    /// Events dispatched per wall-clock second.
+    pub events_per_sec: f64,
+    /// Median per-session wall time, milliseconds.
+    pub p50_session_ms: f64,
+    /// 95th-percentile per-session wall time, milliseconds.
+    pub p95_session_ms: f64,
 }
 
 /// Simulate the corpus, in parallel.
 pub fn generate_corpus(cfg: &CorpusConfig, catalog: &Catalog) -> Vec<LabeledRun> {
+    generate_corpus_with_stats(cfg, catalog).0
+}
+
+/// Like [`generate_corpus`], but also reports throughput. Each worker
+/// thread keeps one [`SimArena`] so host/link/flow/event storage is
+/// recycled across the sessions it runs.
+pub fn generate_corpus_with_stats(
+    cfg: &CorpusConfig,
+    catalog: &Catalog,
+) -> (Vec<LabeledRun>, CorpusGenStats) {
     let specs = draw_specs(cfg);
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism()
@@ -138,26 +169,55 @@ pub fn generate_corpus(cfg: &CorpusConfig, catalog: &Catalog) -> Vec<LabeledRun>
     } else {
         cfg.threads
     };
-    let results: Mutex<Vec<Option<LabeledRun>>> = Mutex::new(vec![None; specs.len()]);
+    let start = std::time::Instant::now();
+    let results: Mutex<Vec<Option<(LabeledRun, u64, f64)>>> = Mutex::new(vec![None; specs.len()]);
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..threads.min(specs.len().max(1)) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
+            s.spawn(|| {
+                let mut arena = SimArena::default();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let t0 = std::time::Instant::now();
+                    let out = run_spec(&specs[i], catalog, &mut arena);
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    let events = out.events;
+                    results.lock().unwrap()[i] = Some((out.into(), events, ms));
                 }
-                let out = run_spec(&specs[i], catalog);
-                results.lock().unwrap()[i] = Some(out.into());
             });
         }
     });
-    results
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|r| r.expect("session ran"))
-        .collect()
+    let wall_s = start.elapsed().as_secs_f64();
+    let mut runs = Vec::with_capacity(specs.len());
+    let mut events: u64 = 0;
+    let mut times_ms = Vec::with_capacity(specs.len());
+    for r in results.into_inner().unwrap() {
+        let (run, ev, ms) = r.expect("session ran");
+        runs.push(run);
+        events += ev;
+        times_ms.push(ms);
+    }
+    times_ms.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        if times_ms.is_empty() {
+            return 0.0;
+        }
+        let ix = ((times_ms.len() - 1) as f64 * p).round() as usize;
+        times_ms[ix]
+    };
+    let stats = CorpusGenStats {
+        sessions: runs.len(),
+        wall_s,
+        sessions_per_sec: runs.len() as f64 / wall_s.max(1e-9),
+        events,
+        events_per_sec: events as f64 / wall_s.max(1e-9),
+        p50_session_ms: pct(0.50),
+        p95_session_ms: pct(0.95),
+    };
+    (runs, stats)
 }
 
 /// Serialise a corpus to the tab-separated on-disk format: one run

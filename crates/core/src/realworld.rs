@@ -17,7 +17,7 @@ use std::sync::Mutex;
 
 use vqd_faults::{background_apps, FaultKind, FaultPlan, TestbedHandles};
 use vqd_probes::{ProbeSet, SamplerApp, VpData};
-use vqd_simnet::engine::Harness;
+use vqd_simnet::engine::{Harness, SimArena};
 use vqd_simnet::link::LinkConfig;
 use vqd_simnet::rng::SimRng;
 use vqd_simnet::time::SimTime;
@@ -100,13 +100,23 @@ impl RwRun {
 
 /// Run one real-world session.
 pub fn run_realworld_session(spec: &RwSpec, catalog: &Catalog) -> SessionOutcome {
+    run_realworld_session_in(spec, catalog, &mut SimArena::default())
+}
+
+/// Run one real-world session reusing `arena`'s storage. Output is
+/// bit-identical to [`run_realworld_session`].
+pub fn run_realworld_session_in(
+    spec: &RwSpec,
+    catalog: &Catalog,
+    arena: &mut SimArena,
+) -> SessionOutcome {
     let mut rng = SimRng::seed_from_u64(spec.seed);
     let mut video = catalog.pick(&mut rng.split(1)).clone();
     if spec.access == Access::Cellular {
         video = video.sd_variant();
     }
 
-    let mut tb = TopologyBuilder::with_seed(rng.split(2).range_u64(0, u64::MAX - 1));
+    let mut tb = TopologyBuilder::with_seed_in(rng.split(2).range_u64(0, u64::MAX - 1), arena);
     let mobile = tb.add_host_with(crate::testbed::mobile_host_profile());
     let isp = tb.add_host("isp");
     let private = tb.add_host_with(crate::testbed::server_host_profile());
@@ -227,7 +237,7 @@ pub fn run_realworld_session(spec: &RwSpec, catalog: &Catalog) -> SessionOutcome
     vps.push(svp);
     let obs = ProbeSet::new(vps.clone());
 
-    let mut sim = Harness::with_observer(net, obs);
+    let mut sim = Harness::with_observer_in(net, obs, arena);
     let dir = SessionDirectory::new();
     let origin = if spec.service == Service::Private {
         private
@@ -287,6 +297,8 @@ pub fn run_realworld_session(spec: &RwSpec, catalog: &Catalog) -> SessionOutcome
     }
 
     let qoe = handle.qoe();
+    let events = sim.sched_stats().dispatched;
+    sim.recycle_into(arena);
     let truth = GroundTruth {
         fault: plan.kind,
         qoe: mos::label(&qoe),
@@ -304,6 +316,7 @@ pub fn run_realworld_session(spec: &RwSpec, catalog: &Catalog) -> SessionOutcome
         truth,
         metrics,
         video,
+        events,
     }
 }
 
@@ -340,21 +353,24 @@ fn run_parallel(specs: Vec<RwSpec>, catalog: &Catalog, threads: usize) -> Vec<Rw
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..threads.min(specs.len().max(1)) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
+            s.spawn(|| {
+                let mut arena = SimArena::default();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let out = run_realworld_session_in(&specs[i], catalog, &mut arena);
+                    let rr = RwRun {
+                        run: LabeledRun {
+                            metrics: out.metrics,
+                            truth: out.truth,
+                        },
+                        access: specs[i].access,
+                        service: specs[i].service,
+                    };
+                    results.lock().unwrap()[i] = Some(rr);
                 }
-                let out = run_realworld_session(&specs[i], catalog);
-                let rr = RwRun {
-                    run: LabeledRun {
-                        metrics: out.metrics,
-                        truth: out.truth,
-                    },
-                    access: specs[i].access,
-                    service: specs[i].service,
-                };
-                results.lock().unwrap()[i] = Some(rr);
             });
         }
     });

@@ -11,7 +11,7 @@
 
 use vqd_faults::{background_apps, FaultPlan, TestbedHandles};
 use vqd_probes::{ProbeSet, SamplerApp, VpData};
-use vqd_simnet::engine::Harness;
+use vqd_simnet::engine::{Harness, SimArena};
 use vqd_simnet::host::{CpuModel, Host, MemoryModel};
 use vqd_simnet::link::LinkConfig;
 use vqd_simnet::rng::SimRng;
@@ -61,6 +61,9 @@ pub struct SessionOutcome {
     pub metrics: Vec<(String, f64)>,
     /// The video streamed.
     pub video: Video,
+    /// Simulator events dispatched while running the session (for
+    /// events-per-second throughput accounting).
+    pub events: u64,
 }
 
 /// Hardware profile of the phone under test (Galaxy S II-class).
@@ -92,6 +95,17 @@ pub fn run_controlled_session(spec: &SessionSpec, catalog: &Catalog) -> SessionO
     run_controlled_session_with(spec, &[], catalog)
 }
 
+/// Run one controlled session reusing `arena`'s storage (corpus
+/// workers recycle one arena across their hundreds of sessions).
+/// Output is bit-identical to [`run_controlled_session`].
+pub fn run_controlled_session_in(
+    spec: &SessionSpec,
+    catalog: &Catalog,
+    arena: &mut SimArena,
+) -> SessionOutcome {
+    run_controlled_session_with_in(spec, &[], catalog, arena)
+}
+
 /// Run a controlled session with additional co-occurring faults on top
 /// of `spec.fault` — the paper's future-work "multi-problem" scenario.
 /// The ground-truth label still carries the primary fault.
@@ -99,6 +113,15 @@ pub fn run_controlled_session_with(
     spec: &SessionSpec,
     extra_faults: &[FaultPlan],
     catalog: &Catalog,
+) -> SessionOutcome {
+    run_controlled_session_with_in(spec, extra_faults, catalog, &mut SimArena::default())
+}
+
+fn run_controlled_session_with_in(
+    spec: &SessionSpec,
+    extra_faults: &[FaultPlan],
+    catalog: &Catalog,
+    arena: &mut SimArena,
 ) -> SessionOutcome {
     let mut rng = SimRng::seed_from_u64(spec.seed);
     let mut video = catalog.pick(&mut rng.split(1)).clone();
@@ -108,7 +131,7 @@ pub fn run_controlled_session_with(
     }
 
     // --- Topology -----------------------------------------------------
-    let mut tb = TopologyBuilder::with_seed(rng.split(2).range_u64(0, u64::MAX - 1));
+    let mut tb = TopologyBuilder::with_seed_in(rng.split(2).range_u64(0, u64::MAX - 1), arena);
     let mobile = tb.add_host_with(mobile_host_profile());
     let router = tb.add_host("router");
     let server = tb.add_host_with(server_host_profile());
@@ -168,7 +191,7 @@ pub fn run_controlled_session_with(
     let obs = ProbeSet::new(vps.clone());
 
     // --- Applications ----------------------------------------------------
-    let mut sim = Harness::with_observer(net, obs);
+    let mut sim = Harness::with_observer_in(net, obs, arena);
     let dir = SessionDirectory::new();
     let (player, handle) = Player::new(
         mobile,
@@ -206,6 +229,8 @@ pub fn run_controlled_session_with(
     }
 
     // --- Extract ------------------------------------------------------------
+    let events = sim.sched_stats().dispatched;
+    sim.recycle_into(arena);
     let qoe = handle.qoe();
     let truth = GroundTruth {
         fault: spec.fault.kind,
@@ -224,6 +249,7 @@ pub fn run_controlled_session_with(
         truth,
         metrics,
         video,
+        events,
     }
 }
 

@@ -9,17 +9,22 @@
 //! RTTs are measured from the tap outward — which is precisely what
 //! makes multi-VP diagnosis informative.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use vqd_simnet::packet::TcpHdr;
 use vqd_simnet::stats::Welford;
 use vqd_simnet::time::SimTime;
 
 /// Merged-interval tracker used to classify re-seen sequence ranges.
+///
+/// Intervals are kept in a sorted `Vec` rather than a tree: in-order
+/// traffic keeps the set at one interval, loss episodes a handful, so
+/// binary search over a contiguous array beats pointer-chasing on
+/// every data segment.
 #[derive(Debug, Default, Clone)]
 struct SeqTracker {
-    /// Seen intervals `[start, end)`, merged, keyed by start.
-    seen: BTreeMap<u64, u64>,
+    /// Seen intervals `[start, end)`, merged, sorted by start.
+    seen: Vec<(u64, u64)>,
     /// Highest end ever seen.
     pub high: u64,
 }
@@ -53,30 +58,34 @@ impl SeqTracker {
 
     fn covered(&self, seq: u64, end: u64) -> bool {
         // The interval starting at or before `seq`.
-        if let Some((_, &e)) = self.seen.range(..=seq).next_back() {
-            return e >= end;
-        }
-        false
+        let i = self.seen.partition_point(|&(s, _)| s <= seq);
+        i > 0 && self.seen[i - 1].1 >= end
     }
 
     fn insert(&mut self, seq: u64, end: u64) {
         let mut start = seq;
         let mut stop = end;
         // Merge with predecessor.
-        if let Some((&s, &e)) = self.seen.range(..=start).next_back() {
-            if e >= start {
-                start = s;
-                stop = stop.max(e);
-                self.seen.remove(&s);
-            }
+        let mut i = self.seen.partition_point(|&(s, _)| s <= start);
+        if i > 0 && self.seen[i - 1].1 >= start {
+            i -= 1;
+            start = self.seen[i].0;
+            stop = stop.max(self.seen[i].1);
         }
-        // Merge with successors.
-        let followers: Vec<u64> = self.seen.range(start..=stop).map(|(&s, _)| s).collect();
-        for s in followers {
-            let e = self.seen.remove(&s).unwrap();
-            stop = stop.max(e);
+        // Merge with successors starting inside `[start, stop]`
+        // (intervals are disjoint, so none can reach past the run).
+        let bound = stop;
+        let mut j = i;
+        while j < self.seen.len() && self.seen[j].0 <= bound {
+            stop = stop.max(self.seen[j].1);
+            j += 1;
         }
-        self.seen.insert(start, stop);
+        if i == j {
+            self.seen.insert(i, (start, stop));
+        } else {
+            self.seen[i] = (start, stop);
+            self.seen.drain(i + 1..j);
+        }
     }
 }
 
@@ -119,8 +128,11 @@ pub struct DirStats {
     last_pkt_at: Option<SimTime>,
     last_ack_seen: u64,
     tracker: SeqTracker,
-    /// Outstanding tsval → tap time, awaiting echo.
-    pending_ts: BTreeMap<SimTime, SimTime>,
+    /// Outstanding `(tsval, tap time)` pairs awaiting echo, sorted by
+    /// tsval. tsvals are sender clocks, so insertion is almost always
+    /// a push at the back and echoes match near the front — a deque
+    /// beats a tree map on both ends.
+    pending_ts: VecDeque<(SimTime, SimTime)>,
 }
 
 /// Passive analyzer of one flow at one tap point.
@@ -159,13 +171,16 @@ impl FlowAnalyzer {
         // recorded for the *other* direction.
         if hdr.flags.ack && hdr.tsecr != SimTime::ZERO {
             let other = &mut self.dir[1 - d];
-            if let Some(sent) = other.pending_ts.remove(&hdr.tsecr) {
+            if let Ok(i) = other
+                .pending_ts
+                .binary_search_by_key(&hdr.tsecr, |&(k, _)| k)
+            {
+                let (_, sent) = other.pending_ts.remove(i).unwrap_or_default();
                 other.rtt.add(now.since(sent).as_secs_f64());
             }
             // GC stale entries (never echoed, e.g. lost downstream).
             while other.pending_ts.len() > 512 {
-                let k = *other.pending_ts.keys().next().unwrap();
-                other.pending_ts.remove(&k);
+                other.pending_ts.pop_front();
             }
         }
         let ds = &mut self.dir[d];
@@ -197,7 +212,15 @@ impl FlowAnalyzer {
                 SegKind::HoleFill => ds.ooo_pkts += 1,
             }
             // Data segments may be RTT-timed via their tsval.
-            ds.pending_ts.insert(hdr.tsval, now);
+            match ds.pending_ts.back_mut() {
+                Some(&mut (k, ref mut v)) if k == hdr.tsval => *v = now,
+                Some(&mut (k, _)) if k < hdr.tsval => ds.pending_ts.push_back((hdr.tsval, now)),
+                None => ds.pending_ts.push_back((hdr.tsval, now)),
+                _ => match ds.pending_ts.binary_search_by_key(&hdr.tsval, |&(k, _)| k) {
+                    Ok(i) => ds.pending_ts[i].1 = now,
+                    Err(i) => ds.pending_ts.insert(i, (hdr.tsval, now)),
+                },
+            }
         } else if hdr.flags.ack && !hdr.flags.syn {
             ds.pure_acks += 1;
             if hdr.ack == ds.last_ack_seen && hdr.ack > 0 {

@@ -11,7 +11,6 @@
 //! deployments (Section 6.2 of the paper) are expressed.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use vqd_simnet::engine::{PacketObserver, TapDir, TapPoint};
@@ -32,8 +31,9 @@ pub struct VpData {
     /// Only flows to these server ports are analyzed (the video flows;
     /// empty = analyze everything).
     pub video_ports: Vec<u16>,
-    /// Per-flow tstat analyzers.
-    pub flows: HashMap<FlowId, FlowAnalyzer>,
+    /// Per-flow tstat analyzers. A session has a handful of flows at
+    /// most, so a linear scan beats hashing on the per-packet path.
+    pub flows: Vec<(FlowId, FlowAnalyzer)>,
     /// Hardware samples.
     pub hw: HwAccum,
     /// NIC samples (discovered by the sampler on first tick).
@@ -55,7 +55,7 @@ impl VpData {
             name: name.to_string(),
             host,
             video_ports: video_ports.to_vec(),
-            flows: HashMap::new(),
+            flows: Vec::new(),
             hw: HwAccum::default(),
             nics: Vec::new(),
             nic_labels: Vec::new(),
@@ -115,7 +115,11 @@ impl VpData {
     /// `None` if the probe never saw the flow (e.g. the router probe in
     /// a cellular session).
     pub fn metrics_for(&self, flow: FlowId) -> Option<Vec<(String, f64)>> {
-        let a = self.flows.get(&flow)?;
+        let a = self
+            .flows
+            .iter()
+            .find(|(f, _)| *f == flow)
+            .map(|(_, a)| a)?;
         let vp = self.name.as_str();
         let mut out = Vec::with_capacity(96);
         let dur = a.duration_s();
@@ -219,12 +223,34 @@ impl VpData {
 /// The packet-tap observer feeding every vantage point.
 pub struct ProbeSet {
     vps: Vec<VpHandle>,
+    /// `host.idx() → index into vps`, densely indexed. Most taps are on
+    /// hosts without a probe (ISP, backbone, neighbour stations); this
+    /// lets `observe` skip them without borrowing any vantage point.
+    /// Only populated when each probed host has exactly one probe (true
+    /// for every topology in the repo); otherwise `observe` falls back
+    /// to scanning `vps`.
+    by_host: Option<Vec<Option<u32>>>,
 }
 
 impl ProbeSet {
     /// Observer over the given vantage points.
     pub fn new(vps: Vec<VpHandle>) -> Self {
-        ProbeSet { vps }
+        let mut by_host: Vec<Option<u32>> = Vec::new();
+        let mut unique = true;
+        for (i, vp) in vps.iter().enumerate() {
+            let h = vp.borrow().host.idx();
+            if by_host.len() <= h {
+                by_host.resize(h + 1, None);
+            }
+            if by_host[h].is_some() {
+                unique = false;
+            }
+            by_host[h] = Some(i as u32);
+        }
+        ProbeSet {
+            vps,
+            by_host: unique.then_some(by_host),
+        }
     }
 
     /// Handles (for constructing the matching
@@ -251,17 +277,35 @@ impl PacketObserver for ProbeSet {
         if tap.dir == TapDir::Tx && pkt.src != tap.host {
             return;
         }
-        for vp in &self.vps {
-            let mut vp = vp.borrow_mut();
-            if vp.host != tap.host {
-                continue;
-            }
+        let feed = |vp: &mut VpData| {
             if !vp.video_ports.is_empty() && !vp.video_ports.contains(&hdr.dport) {
-                continue;
+                return;
             }
-            vp.flows.entry(hdr.flow).or_default().observe(now, hdr);
-            if let Some(a) = vp.flows.get_mut(&hdr.flow) {
-                a.dst_port = hdr.dport;
+            let i = match vp.flows.iter().position(|(f, _)| *f == hdr.flow) {
+                Some(i) => i,
+                None => {
+                    vp.flows.push((hdr.flow, FlowAnalyzer::default()));
+                    vp.flows.len() - 1
+                }
+            };
+            let a = &mut vp.flows[i].1;
+            a.observe(now, hdr);
+            a.dst_port = hdr.dport;
+        };
+        match &self.by_host {
+            Some(map) => {
+                let Some(Some(i)) = map.get(tap.host.idx()) else {
+                    return;
+                };
+                feed(&mut self.vps[*i as usize].borrow_mut());
+            }
+            None => {
+                for vp in &self.vps {
+                    let mut vp = vp.borrow_mut();
+                    if vp.host == tap.host {
+                        feed(&mut vp);
+                    }
+                }
             }
         }
     }

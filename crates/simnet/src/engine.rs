@@ -1,16 +1,17 @@
-//! The discrete-event engine: central network state, the event heap,
+//! The discrete-event engine: central network state, the event queue,
 //! application plumbing and passive observation taps.
 //!
 //! [`Network`] owns every host, link, shared medium and TCP flow.
 //! Events are a plain enum processed in one dispatcher, ordered by
 //! `(time, sequence)` so runs are bit-for-bit deterministic for a given
-//! seed. User logic implements [`App`]; measurement implements
+//! seed. The queue is a hierarchical timer wheel (see [`crate::sched`])
+//! with the original binary heap retained as a differential oracle.
+//! User logic implements [`App`]; measurement implements
 //! [`PacketObserver`] and is offered every packet at every NIC tap,
 //! plus every drop — exactly the visibility a mirror-port `tstat`
 //! deployment has.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::host::Host;
 use crate::ids::{AppId, FlowId, HostId, LinkId, MediumId};
@@ -18,6 +19,7 @@ use crate::link::{EnqueueOutcome, OneWayLink};
 use crate::medium::{MediumGrant, SharedMedium};
 use crate::packet::{Packet, TransportHdr, UdpHdr};
 use crate::rng::SimRng;
+use crate::sched::{default_scheduler, EventQueue, SchedStats, SchedulerKind};
 use crate::tcp::{FlowState, Side, TcpActions, TcpAppEvent, TcpFlow};
 use crate::time::{SimDuration, SimTime};
 use crate::udp::UdpTable;
@@ -106,33 +108,53 @@ enum Ev {
     LinkTxDone { link: LinkId },
     /// A packet completed propagation and arrives at the link's far end.
     Deliver { link: LinkId, pkt: Packet },
-    /// TCP retransmission/persist timer.
-    TcpTimer { flow: FlowId, side: Side, gen: u64 },
+    /// TCP retransmission/persist timer entry. `wheel_gen` identifies
+    /// the entry against its per-flow [`TimerSlot`]; a mismatch means
+    /// the entry was superseded and is dropped without touching the
+    /// flow.
+    TcpTimer {
+        flow: FlowId,
+        side: Side,
+        wheel_gen: u64,
+    },
     /// Application timer.
     AppTimer { app: AppId, token: u64 },
     /// Periodic shared-medium state update.
     MediumTick { medium: MediumId },
 }
 
-struct Scheduled {
+/// The deadline a TCP timer slot is armed for.
+#[derive(Debug, Clone, Copy)]
+struct TimerTarget {
+    /// Absolute deadline.
     at: SimTime,
+    /// The flow's `timer_gen` at arm time (validity check at fire).
+    gen: u64,
+    /// The engine sequence number drawn at arm time — the entry fires
+    /// at exactly `(at, seq)`, the same total-order key the heap
+    /// engine gave the arm's own queue entry.
     seq: u64,
-    ev: Ev,
 }
-impl PartialEq for Scheduled {
-    fn eq(&self, o: &Self) -> bool {
-        self.at == o.at && self.seq == o.seq
-    }
+
+/// Per-(flow, side) retransmission-timer slot. Instead of one queue
+/// entry per re-arm (TCP re-arms on every ACK, so the heap used to
+/// fill up with dead gen-checked entries), each slot keeps at most one
+/// live queue entry and lazily hops it forward when it fires early.
+#[derive(Debug, Default, Clone, Copy)]
+struct TimerSlot {
+    /// The armed deadline, or `None` when disarmed/fired.
+    target: Option<TimerTarget>,
+    /// The queue entry currently in flight for this slot: its
+    /// scheduled time and `wheel_gen`, or `None` if no entry queued.
+    sched: Option<(SimTime, u64)>,
+    /// Monotonic counter distinguishing this slot's queue entries.
+    wheel_gen: u64,
 }
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(o))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(o.at, o.seq))
+
+fn side_ix(side: Side) -> usize {
+    match side {
+        Side::Client => 0,
+        Side::Server => 1,
     }
 }
 
@@ -160,6 +182,28 @@ enum AppNote {
     Udp(AppId, UdpEvent),
 }
 
+/// Reusable simulation storage. Corpus generation runs hundreds of
+/// sessions per worker thread; recycling the event queue and the big
+/// vectors between sessions (instead of reallocating from scratch)
+/// keeps each session allocation-light. Obtain networks from an arena
+/// via [`Network::new_in`] and return the storage at session end with
+/// [`Harness::recycle_into`].
+#[derive(Default)]
+pub struct SimArena {
+    queue: Option<EventQueue<Ev>>,
+    hosts: Vec<Host>,
+    links: Vec<OneWayLink>,
+    media: Vec<Box<dyn SharedMedium>>,
+    flows: Vec<TcpFlow>,
+    flow_owner: Vec<AppId>,
+    listeners: Vec<(HostId, u16, AppId)>,
+    wifi_outcome: Vec<Option<MediumGrant>>,
+    tcp_timers: Vec<[TimerSlot; 2]>,
+    notes: VecDeque<AppNote>,
+    actions_pool: Vec<TcpActions>,
+    apps: Vec<Box<dyn App>>,
+}
+
 /// The network: all simulation state and the event queue.
 pub struct Network {
     /// Hosts (indexed by [`HostId`]).
@@ -171,7 +215,13 @@ pub struct Network {
     flow_owner: Vec<AppId>,
     listeners: Vec<(HostId, u16, AppId)>,
     udp: UdpTable,
-    heap: BinaryHeap<Reverse<Scheduled>>,
+    queue: EventQueue<Ev>,
+    /// Per-flow `[client, server]` retransmission-timer slots.
+    tcp_timers: Vec<[TimerSlot; 2]>,
+    /// Queued events that are neither medium ticks nor timer entries
+    /// (maintained for [`Harness::idle`]).
+    pending_other: usize,
+    stats: SchedStats,
     seq: u64,
     now: SimTime,
     rng: SimRng,
@@ -180,6 +230,10 @@ pub struct Network {
     /// Default TCP receive buffer for new flows (bytes).
     pub tcp_rcv_buf: u32,
     notes: VecDeque<AppNote>,
+    /// Spare [`TcpActions`] buffers. Every segment delivery fills and
+    /// drains one; recycling them keeps the per-packet path free of
+    /// `Vec` allocations.
+    actions_pool: Vec<TcpActions>,
     next_eph_port: u16,
 }
 
@@ -187,23 +241,109 @@ impl Network {
     /// An empty network with the given RNG seed (used for link jitter
     /// and loss draws; apps should use their own seeds).
     pub fn new(seed: u64) -> Self {
+        Self::new_in(seed, &mut SimArena::default())
+    }
+
+    /// An empty network drawing its storage from `arena` (see
+    /// [`SimArena`]). The recycled buffers are empty but keep their
+    /// previous capacity.
+    pub fn new_in(seed: u64, arena: &mut SimArena) -> Self {
+        let kind = default_scheduler();
+        let queue = match arena.queue.take() {
+            Some(q) if q.kind() == kind => q,
+            _ => EventQueue::new(kind),
+        };
         Network {
-            hosts: Vec::new(),
-            links: Vec::new(),
-            media: Vec::new(),
-            flows: Vec::new(),
-            flow_owner: Vec::new(),
-            listeners: Vec::new(),
+            hosts: std::mem::take(&mut arena.hosts),
+            links: std::mem::take(&mut arena.links),
+            media: std::mem::take(&mut arena.media),
+            flows: std::mem::take(&mut arena.flows),
+            flow_owner: std::mem::take(&mut arena.flow_owner),
+            listeners: std::mem::take(&mut arena.listeners),
             udp: UdpTable::new(),
-            heap: BinaryHeap::new(),
+            queue,
+            tcp_timers: std::mem::take(&mut arena.tcp_timers),
+            pending_other: 0,
+            stats: SchedStats::default(),
             seq: 0,
             now: SimTime::ZERO,
             rng: SimRng::seed_from_u64(seed),
-            wifi_outcome: Vec::new(),
+            wifi_outcome: std::mem::take(&mut arena.wifi_outcome),
             tcp_rcv_buf: 256 * 1024,
-            notes: VecDeque::new(),
+            notes: std::mem::take(&mut arena.notes),
+            actions_pool: std::mem::take(&mut arena.actions_pool),
             next_eph_port: 40_000,
         }
+    }
+
+    /// Return this network's storage to `arena` for the next session.
+    pub fn recycle_into(mut self, arena: &mut SimArena) {
+        self.queue.reset();
+        arena.queue = Some(self.queue);
+        self.hosts.clear();
+        arena.hosts = self.hosts;
+        self.links.clear();
+        arena.links = self.links;
+        self.media.clear();
+        arena.media = self.media;
+        self.flows.clear();
+        arena.flows = self.flows;
+        self.flow_owner.clear();
+        arena.flow_owner = self.flow_owner;
+        self.listeners.clear();
+        arena.listeners = self.listeners;
+        self.wifi_outcome.clear();
+        arena.wifi_outcome = self.wifi_outcome;
+        self.tcp_timers.clear();
+        arena.tcp_timers = self.tcp_timers;
+        self.notes.clear();
+        arena.notes = self.notes;
+        arena.actions_pool = self.actions_pool;
+    }
+
+    /// A cleared [`TcpActions`] buffer from the pool (or a fresh one).
+    fn take_actions(&mut self) -> TcpActions {
+        self.actions_pool.pop().unwrap_or_default()
+    }
+
+    /// Return a drained buffer to the pool, keeping its capacity.
+    fn put_actions(&mut self, mut out: TcpActions) {
+        out.packets.clear();
+        out.timers.clear();
+        out.events.clear();
+        self.actions_pool.push(out);
+    }
+
+    /// Switch the event-queue implementation. Only legal while the
+    /// queue is empty (i.e. before any medium/app/flow is added);
+    /// differential tests use this to run the same scenario on both
+    /// the wheel and the heap oracle.
+    ///
+    /// # Panics
+    /// If events are already queued.
+    pub fn set_scheduler(&mut self, kind: SchedulerKind) {
+        if self.queue.kind() != kind {
+            assert!(
+                self.queue.is_empty(),
+                "cannot switch scheduler with events queued"
+            );
+            self.queue = EventQueue::new(kind);
+        }
+    }
+
+    /// Which event-queue implementation this network runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.queue.kind()
+    }
+
+    /// Scheduler observability counters for this network.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// Number of queued events (including lazily cancelled timers).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
     }
 
     /// Current simulated time.
@@ -286,11 +426,60 @@ impl Network {
     fn schedule(&mut self, delay: SimDuration, ev: Ev) {
         let at = self.now + delay;
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled {
-            at,
-            seq: self.seq,
-            ev,
-        }));
+        if !matches!(ev, Ev::MediumTick { .. } | Ev::TcpTimer { .. }) {
+            self.pending_other += 1;
+        }
+        self.stats.scheduled += 1;
+        self.queue.push(at.0, self.seq, ev);
+    }
+
+    /// Arm (or re-arm) the retransmission timer for `(flow, side)`.
+    ///
+    /// Draws a sequence number exactly like `schedule` did when every
+    /// arm pushed its own queue entry — the shared seq stream, and
+    /// therefore every downstream RNG draw and corpus byte, is
+    /// unchanged — but only enqueues when the slot has no entry or its
+    /// entry is later than the new deadline. The common re-arm-on-ACK
+    /// case just updates the slot target and lets the queued entry hop
+    /// forward lazily when it fires.
+    fn arm_tcp_timer(&mut self, flow: FlowId, side: Side, gen: u64, delay: SimDuration) {
+        let at = self.now + delay;
+        self.seq += 1;
+        let seq = self.seq;
+        self.stats.timer_arms += 1;
+        let slot = &mut self.tcp_timers[flow.idx()][side_ix(side)];
+        slot.target = Some(TimerTarget { at, gen, seq });
+        let need_entry = match slot.sched {
+            None => true,
+            Some((s, _)) => s > at,
+        };
+        if need_entry {
+            slot.wheel_gen += 1;
+            let wheel_gen = slot.wheel_gen;
+            slot.sched = Some((at, wheel_gen));
+            self.stats.scheduled += 1;
+            self.queue.push(
+                at.0,
+                seq,
+                Ev::TcpTimer {
+                    flow,
+                    side,
+                    wheel_gen,
+                },
+            );
+        }
+    }
+
+    /// True if any flow still has a validly armed retransmission
+    /// timer (i.e. one that will actually fire, not a cancelled slot).
+    fn any_live_tcp_timer(&self) -> bool {
+        self.tcp_timers.iter().zip(&self.flows).any(|(slots, f)| {
+            [Side::Client, Side::Server].iter().any(|&side| {
+                slots[side_ix(side)]
+                    .target
+                    .is_some_and(|tg| f.timer_valid(side, tg.gen))
+            })
+        })
     }
 
     // ------------------------------------------------------------------
@@ -298,13 +487,13 @@ impl Network {
     // ------------------------------------------------------------------
 
     /// Inject a packet at its source host (route lookup + first hop).
-    fn inject(&mut self, pkt: Packet, obs: &mut dyn PacketObserver) {
+    fn inject<O: PacketObserver + ?Sized>(&mut self, pkt: Packet, obs: &mut O) {
         let src = pkt.src;
         self.forward_from(src, pkt, obs);
     }
 
     /// Forward `pkt` out of `host` toward `pkt.dst`.
-    fn forward_from(&mut self, host: HostId, pkt: Packet, obs: &mut dyn PacketObserver) {
+    fn forward_from<O: PacketObserver + ?Sized>(&mut self, host: HostId, pkt: Packet, obs: &mut O) {
         let Some(link_id) = self.hosts[host.idx()].route_to(pkt.dst) else {
             obs.on_drop(self.now, LinkId(u32::MAX), &pkt, DropKind::NoRoute);
             return;
@@ -363,7 +552,7 @@ impl Network {
         self.schedule(busy_for, Ev::LinkTxDone { link: link_id });
     }
 
-    fn link_tx_done(&mut self, link_id: LinkId, obs: &mut dyn PacketObserver) {
+    fn link_tx_done<O: PacketObserver + ?Sized>(&mut self, link_id: LinkId, obs: &mut O) {
         let grant = self.wifi_outcome[link_id.idx()].take();
         let (pkt, delivered, delay) = {
             let link = &mut self.links[link_id.idx()];
@@ -398,7 +587,7 @@ impl Network {
         }
     }
 
-    fn deliver(&mut self, link_id: LinkId, pkt: Packet, obs: &mut dyn PacketObserver) {
+    fn deliver<O: PacketObserver + ?Sized>(&mut self, link_id: LinkId, pkt: Packet, obs: &mut O) {
         let l = &self.links[link_id.idx()];
         let to = if l.shared_to_dst { pkt.dst } else { l.to };
         {
@@ -423,13 +612,18 @@ impl Network {
         // Local delivery.
         match pkt.hdr {
             TransportHdr::Tcp(hdr) => {
+                let mut out = self.take_actions();
                 let Some(flow) = self.flows.get_mut(hdr.flow.idx()) else {
+                    self.put_actions(out);
                     return;
                 };
-                let Some(side) = flow.side_of(to) else { return };
-                let mut out = TcpActions::default();
+                let Some(side) = flow.side_of(to) else {
+                    self.put_actions(out);
+                    return;
+                };
                 flow.on_segment(side, &hdr, self.now, &mut out);
-                self.apply_tcp_actions(hdr.flow, out, obs);
+                self.apply_tcp_actions(hdr.flow, &mut out, obs);
+                self.put_actions(out);
             }
             TransportHdr::Udp(hdr) => {
                 if let Some(owner) = self.udp.lookup(to, hdr.dst_port) {
@@ -448,21 +642,21 @@ impl Network {
         }
     }
 
-    fn apply_tcp_actions(&mut self, flow: FlowId, out: TcpActions, obs: &mut dyn PacketObserver) {
-        for t in &out.timers {
-            self.schedule(
-                t.delay,
-                Ev::TcpTimer {
-                    flow,
-                    side: t.side,
-                    gen: t.gen,
-                },
-            );
+    /// Apply and drain one [`TcpActions`] batch; the caller returns the
+    /// emptied buffer to the pool via [`Network::put_actions`].
+    fn apply_tcp_actions<O: PacketObserver + ?Sized>(
+        &mut self,
+        flow: FlowId,
+        out: &mut TcpActions,
+        obs: &mut O,
+    ) {
+        for t in out.timers.drain(..) {
+            self.arm_tcp_timer(flow, t.side, t.gen, t.delay);
         }
-        for ev in out.events {
+        for ev in out.events.drain(..) {
             self.route_tcp_event(flow, ev);
         }
-        for pkt in out.packets {
+        for pkt in out.packets.drain(..) {
             self.inject(pkt, obs);
         }
     }
@@ -503,20 +697,64 @@ impl Network {
         }
     }
 
-    fn handle(&mut self, ev: Ev, obs: &mut dyn PacketObserver) {
+    fn handle<O: PacketObserver + ?Sized>(&mut self, ev: Ev, seq: u64, obs: &mut O) {
         match ev {
             Ev::LinkTxDone { link } => self.link_tx_done(link, obs),
             Ev::Deliver { link, pkt } => self.deliver(link, pkt, obs),
-            Ev::TcpTimer { flow, side, gen } => {
-                let Some(f) = self.flows.get_mut(flow.idx()) else {
+            Ev::TcpTimer {
+                flow,
+                side,
+                wheel_gen,
+            } => {
+                let slot = &mut self.tcp_timers[flow.idx()][side_ix(side)];
+                // Superseded entry (a newer one was queued for an
+                // earlier deadline): drop without any flow work.
+                match slot.sched {
+                    Some((_, wg)) if wg == wheel_gen => {}
+                    _ => {
+                        self.stats.timer_stale += 1;
+                        return;
+                    }
+                }
+                slot.sched = None;
+                let Some(target) = slot.target else {
+                    self.stats.timer_cancelled += 1;
                     return;
                 };
-                if !f.timer_valid(side, gen) {
+                if target.at > self.now || (target.at == self.now && target.seq > seq) {
+                    // Re-armed since this entry was queued: hop it to
+                    // the stored `(at, seq)` — the exact total-order
+                    // key the heap engine gave the surviving arm.
+                    slot.wheel_gen += 1;
+                    let wheel_gen = slot.wheel_gen;
+                    slot.sched = Some((target.at, wheel_gen));
+                    self.stats.timer_rescheduled += 1;
+                    self.stats.scheduled += 1;
+                    self.queue.push(
+                        target.at.0,
+                        target.seq,
+                        Ev::TcpTimer {
+                            flow,
+                            side,
+                            wheel_gen,
+                        },
+                    );
                     return;
                 }
-                let mut out = TcpActions::default();
+                slot.target = None;
+                let mut out = self.take_actions();
+                let Some(f) = self.flows.get_mut(flow.idx()) else {
+                    self.put_actions(out);
+                    return;
+                };
+                if !f.timer_valid(side, target.gen) {
+                    self.stats.timer_cancelled += 1;
+                    self.put_actions(out);
+                    return;
+                }
                 f.on_timeout(side, self.now, &mut out);
-                self.apply_tcp_actions(flow, out, obs);
+                self.apply_tcp_actions(flow, &mut out, obs);
+                self.put_actions(out);
             }
             Ev::AppTimer { app, token } => {
                 // Routed by the harness (it owns the apps); stash as a
@@ -569,11 +807,13 @@ impl<'a> Ctl<'a> {
         self.net.next_eph_port = self.net.next_eph_port.wrapping_add(1).max(40_000);
         let rcv = self.net.tcp_rcv_buf;
         let mut flow = TcpFlow::new(id, client, server, dst_port, src_port, mss_c, mss_s, rcv);
-        let mut out = TcpActions::default();
+        let mut out = self.net.take_actions();
         flow.open(self.net.now, &mut out);
         self.net.flows.push(flow);
         self.net.flow_owner.push(self.app);
-        self.net.apply_tcp_actions(id, out, self.obs);
+        self.net.tcp_timers.push([TimerSlot::default(); 2]);
+        self.net.apply_tcp_actions(id, &mut out, self.obs);
+        self.net.put_actions(out);
         id
     }
 
@@ -585,12 +825,14 @@ impl<'a> Ctl<'a> {
 
     /// Queue `bytes` of application data for sending from `side`.
     pub fn tcp_send_from(&mut self, flow: FlowId, side: Side, bytes: u64) {
+        let mut out = self.net.take_actions();
         let Some(f) = self.net.flows.get_mut(flow.idx()) else {
+            self.net.put_actions(out);
             return;
         };
-        let mut out = TcpActions::default();
         f.app_send(side, bytes, self.net.now, &mut out);
-        self.net.apply_tcp_actions(flow, out, self.obs);
+        self.net.apply_tcp_actions(flow, &mut out, self.obs);
+        self.net.put_actions(out);
     }
 
     /// Convenience: queue data from the client side.
@@ -600,12 +842,14 @@ impl<'a> Ctl<'a> {
 
     /// Read up to `max` in-order bytes at `side`; returns the count.
     pub fn tcp_read_at(&mut self, flow: FlowId, side: Side, max: u64) -> u64 {
+        let mut out = self.net.take_actions();
         let Some(f) = self.net.flows.get_mut(flow.idx()) else {
+            self.net.put_actions(out);
             return 0;
         };
-        let mut out = TcpActions::default();
         let n = f.app_read(side, max, self.net.now, &mut out);
-        self.net.apply_tcp_actions(flow, out, self.obs);
+        self.net.apply_tcp_actions(flow, &mut out, self.obs);
+        self.net.put_actions(out);
         n
     }
 
@@ -616,12 +860,14 @@ impl<'a> Ctl<'a> {
 
     /// Half-close `side` after everything queued has been sent.
     pub fn tcp_close_from(&mut self, flow: FlowId, side: Side) {
+        let mut out = self.net.take_actions();
         let Some(f) = self.net.flows.get_mut(flow.idx()) else {
+            self.net.put_actions(out);
             return;
         };
-        let mut out = TcpActions::default();
         f.app_close(side, self.net.now, &mut out);
-        self.net.apply_tcp_actions(flow, out, self.obs);
+        self.net.apply_tcp_actions(flow, &mut out, self.obs);
+        self.net.put_actions(out);
     }
 
     /// Convenience used by client-driven flows: close the client side
@@ -632,12 +878,14 @@ impl<'a> Ctl<'a> {
 
     /// Abort a flow immediately.
     pub fn tcp_abort(&mut self, flow: FlowId) {
+        let mut out = self.net.take_actions();
         let Some(f) = self.net.flows.get_mut(flow.idx()) else {
+            self.net.put_actions(out);
             return;
         };
-        let mut out = TcpActions::default();
         f.abort(self.net.now, &mut out);
-        self.net.apply_tcp_actions(flow, out, self.obs);
+        self.net.apply_tcp_actions(flow, &mut out, self.obs);
+        self.net.put_actions(out);
     }
 
     /// Send a UDP datagram.
@@ -716,6 +964,33 @@ impl<O: PacketObserver> Harness<O> {
         }
     }
 
+    /// Harness with a packet observer, reusing `arena`'s app storage.
+    pub fn with_observer_in(net: Network, obs: O, arena: &mut SimArena) -> Self {
+        Harness {
+            net,
+            obs,
+            apps: std::mem::take(&mut arena.apps),
+            started: false,
+        }
+    }
+
+    /// Tear the session down, returning all reusable storage to
+    /// `arena` (see [`SimArena`]); yields the observer so callers can
+    /// still extract measurements.
+    pub fn recycle_into(mut self, arena: &mut SimArena) -> O {
+        self.net.recycle_into(arena);
+        self.apps.clear();
+        arena.apps = self.apps;
+        self.obs
+    }
+
+    /// Scheduler observability counters (events dispatched, scheduled,
+    /// timer cancellations, …). Pair with a wall clock and
+    /// [`SchedStats::events_per_sec`] for throughput.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.net.sched_stats()
+    }
+
     /// Register an application; returns its id.
     pub fn add_app(&mut self, app: Box<dyn App>) -> AppId {
         self.apps.push(app);
@@ -767,13 +1042,13 @@ impl<O: PacketObserver> Harness<O> {
             }
         }
         self.drain_notes();
-        while let Some(Reverse(top)) = self.net.heap.peek() {
-            if top.at > t {
-                break;
+        while let Some((at, seq, ev)) = self.net.queue.pop_before(t.0) {
+            self.net.now = SimTime(at);
+            self.net.stats.dispatched += 1;
+            if !matches!(ev, Ev::MediumTick { .. } | Ev::TcpTimer { .. }) {
+                self.net.pending_other -= 1;
             }
-            let Reverse(sch) = self.net.heap.pop().unwrap();
-            self.net.now = sch.at;
-            match sch.ev {
+            match ev {
                 Ev::AppTimer { app, token } => {
                     let mut a = std::mem::replace(&mut self.apps[app.idx()], Box::new(NoApp));
                     let mut ctl = Ctl {
@@ -784,7 +1059,7 @@ impl<O: PacketObserver> Harness<O> {
                     a.on_timer(token, &mut ctl);
                     self.apps[app.idx()] = a;
                 }
-                other => self.net.handle(other, &mut self.obs),
+                other => self.net.handle(other, seq, &mut self.obs),
             }
             self.drain_notes();
         }
@@ -793,10 +1068,12 @@ impl<O: PacketObserver> Harness<O> {
         }
     }
 
-    /// True if no events remain (the simulation is quiescent apart from
-    /// medium ticks).
+    /// True if the simulation is quiescent: no packets in flight, no
+    /// app timers pending, and no *validly armed* TCP timer. Self-
+    /// rescheduling medium ticks and lazily cancelled timer entries
+    /// still sitting in the queue do not count.
     pub fn idle(&self) -> bool {
-        self.net.heap.is_empty()
+        self.net.pending_other == 0 && !self.net.any_live_tcp_timer()
     }
 }
 
@@ -1079,5 +1356,137 @@ mod tests {
         assert!(sim.obs.tx > 40);
         // No loss: every transmitted packet was received.
         assert_eq!(sim.obs.tx, sim.obs.rx);
+    }
+
+    #[test]
+    fn idle_ignores_medium_ticks_and_cancelled_timers() {
+        use crate::medium::PerfectMedium;
+
+        // A shared medium keeps a MediumTick self-rescheduling once per
+        // simulated second forever, and a completed TCP flow leaves its
+        // last (lazily cancelled) timer entry sitting in the wheel.
+        // Neither must keep `idle()` false once the transfer is done.
+        let mut tb = TopologyBuilder::new();
+        let sta = tb.add_host("station");
+        let ap = tb.add_host("ap");
+        let medium = tb.add_medium(Box::new(PerfectMedium::new(54_000_000)));
+        tb.add_wireless(sta, ap, medium, 1460);
+        let mut sim = Harness::new(tb.build(), 11);
+        sim.add_app(Box::new(Client {
+            client: sta,
+            server: ap,
+            got: 0,
+            flow: None,
+            done_at: None,
+        }));
+        sim.add_app(Box::new(Server {
+            host: ap,
+            reply: 200_000,
+        }));
+
+        // Mid-transfer: packets in flight, so not idle.
+        sim.run_until(SimTime::from_millis(30));
+        assert!(!sim.idle(), "mid-transfer must not be idle");
+
+        sim.run_until(SimTime::from_secs(60));
+        let fs = sim.net.flow_stats(FlowId(0)).unwrap();
+        assert!(fs.complete, "state={:?}", fs.state);
+        // The medium tick is still queued (it reschedules itself
+        // forever), yet the simulation is quiescent.
+        assert!(!sim.net.queue.is_empty(), "medium tick should be queued");
+        assert!(
+            sim.idle(),
+            "medium ticks/cancelled timers must not block idle"
+        );
+    }
+
+    #[test]
+    fn zero_delay_timers_fire_in_schedule_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // Same-timestamp events must dispatch in schedule (seq) order,
+        // including a zero-delay timer armed from *within* a timer
+        // callback at that same instant: it goes to the back of the
+        // line, not the front.
+        struct Ticker {
+            order: Rc<RefCell<Vec<u64>>>,
+        }
+        impl App for Ticker {
+            fn start(&mut self, ctl: &mut Ctl) {
+                ctl.timer(SimDuration::from_millis(1), 99);
+                ctl.timer(SimDuration::ZERO, 1);
+                ctl.timer(SimDuration::ZERO, 2);
+                ctl.timer(SimDuration::ZERO, 3);
+            }
+            fn on_timer(&mut self, token: u64, ctl: &mut Ctl) {
+                self.order.borrow_mut().push(token);
+                if token == 1 {
+                    ctl.timer(SimDuration::ZERO, 4);
+                }
+            }
+        }
+        let (net, _, _) = two_host_net(LinkConfig::ethernet(10_000_000));
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Harness::new(net, 1);
+        sim.add_app(Box::new(Ticker {
+            order: Rc::clone(&order),
+        }));
+        sim.run_until(SimTime::from_millis(2));
+        assert_eq!(*order.borrow(), vec![1, 2, 3, 4, 99]);
+    }
+
+    #[test]
+    fn wheel_and_heap_dispatch_identical_traces() {
+        use crate::sched::SchedulerKind;
+
+        // The full per-packet tap trace — every (time, host, link,
+        // direction) tuple, in dispatch order — must be identical under
+        // the timer wheel and the binary-heap oracle. Loss makes this a
+        // meaningful workout: TCP retransmission timers are armed,
+        // rescheduled and lazily cancelled throughout.
+        struct Recorder {
+            log: Vec<(SimTime, TapPoint)>,
+        }
+        impl PacketObserver for Recorder {
+            fn observe(&mut self, now: SimTime, tap: TapPoint, _p: &Packet) {
+                self.log.push((now, tap));
+            }
+        }
+        let run = |kind: SchedulerKind| -> (Vec<(SimTime, TapPoint)>, SchedStats) {
+            let mut lossy = LinkConfig::ethernet(5_000_000);
+            lossy.loss = 0.02;
+            let mut tb = TopologyBuilder::new();
+            let a = tb.add_host("client");
+            let b = tb.add_host("server");
+            tb.add_duplex_link_asym(a, b, LinkConfig::ethernet(5_000_000), lossy);
+            let mut net = tb.build();
+            net.set_scheduler(kind);
+            net.rng = SimRng::seed_from_u64(7);
+            let mut sim = Harness::with_observer(net, Recorder { log: Vec::new() });
+            sim.add_app(Box::new(Client {
+                client: a,
+                server: b,
+                got: 0,
+                flow: None,
+                done_at: None,
+            }));
+            sim.add_app(Box::new(Server {
+                host: b,
+                reply: 300_000,
+            }));
+            sim.run_until(SimTime::from_secs(120));
+            assert!(sim.net.flow_stats(FlowId(0)).unwrap().complete);
+            let stats = sim.sched_stats();
+            (sim.obs.log, stats)
+        };
+        let (wheel, wheel_stats) = run(SchedulerKind::TimerWheel);
+        let (heap, _) = run(SchedulerKind::BinaryHeap);
+        assert!(
+            wheel_stats.timer_rescheduled > 0,
+            "lossy run should exercise TCP timer rescheduling"
+        );
+        assert!(!wheel.is_empty());
+        assert_eq!(wheel, heap, "wheel and heap packet traces diverge");
     }
 }

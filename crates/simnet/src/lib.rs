@@ -62,6 +62,8 @@
 //! assert!(sim.net.flow_stats(FlowId(0)).unwrap().complete);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod engine;
 pub mod host;
 pub mod ids;
@@ -69,6 +71,7 @@ pub mod link;
 pub mod medium;
 pub mod packet;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod tcp;
 pub mod time;
@@ -79,7 +82,8 @@ pub mod udp;
 /// Convenient glob import of the commonly used simulator types.
 pub mod prelude {
     pub use crate::engine::{
-        App, Ctl, Harness, NullObserver, PacketObserver, TapDir, TapPoint, TcpEvent, UdpEvent,
+        App, Ctl, Harness, NullObserver, PacketObserver, SimArena, TapDir, TapPoint, TcpEvent,
+        UdpEvent,
     };
     pub use crate::host::{CpuModel, Host, MemoryModel};
     pub use crate::ids::{AppId, FlowId, HostId, IfaceId, LinkId, MediumId};
@@ -87,6 +91,7 @@ pub mod prelude {
     pub use crate::medium::{MediumGrant, PhySnapshot, SharedMedium};
     pub use crate::packet::{Packet, TransportHdr};
     pub use crate::rng::SimRng;
+    pub use crate::sched::{SchedStats, SchedulerKind};
     pub use crate::stats::Welford;
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::TopologyBuilder;

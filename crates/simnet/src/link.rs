@@ -235,8 +235,7 @@ impl OneWayLink {
         assert!(self.in_flight.is_none(), "link already transmitting");
         let pkt = self.queue.pop_front().expect("begin_tx on empty queue");
         self.queued_bytes -= pkt.size;
-        self.in_flight = Some(pkt);
-        self.in_flight.as_ref().unwrap()
+        self.in_flight.insert(pkt)
     }
 
     /// Finish the in-flight transmission, returning the packet.

@@ -277,18 +277,19 @@ impl TcpEndpoint {
 
     fn rtt_sample(&mut self, rtt_s: f64) {
         self.stats.rtt.add(rtt_s);
-        match self.srtt {
+        let srtt = match self.srtt {
             None => {
-                self.srtt = Some(rtt_s);
                 self.rttvar = rtt_s / 2.0;
+                rtt_s
             }
             Some(srtt) => {
                 let d = (srtt - rtt_s).abs();
                 self.rttvar = 0.75 * self.rttvar + 0.25 * d;
-                self.srtt = Some(0.875 * srtt + 0.125 * rtt_s);
+                0.875 * srtt + 0.125 * rtt_s
             }
-        }
-        let rto = SimDuration::from_secs_f64(self.srtt.unwrap() + (4.0 * self.rttvar).max(0.01));
+        };
+        self.srtt = Some(srtt);
+        let rto = SimDuration::from_secs_f64(srtt + (4.0 * self.rttvar).max(0.01));
         self.rto = rto.clamp(MIN_RTO, MAX_RTO);
     }
 

@@ -89,7 +89,12 @@ impl SimDuration {
         if rate_bps == 0 {
             return SimDuration(0);
         }
-        // bits * 1e9 / rate, computed in u128 to avoid overflow.
+        // bits * 1e9 / rate. Every real packet fits the u64 fast path
+        // (bytes up to ~2.3 GB); the u128 form, with its libcall
+        // division, is kept only for overflow correctness.
+        if let Some(bits_ns) = bytes.checked_mul(8_000_000_000) {
+            return SimDuration(bits_ns / rate_bps);
+        }
         let ns = (bytes as u128 * 8 * 1_000_000_000) / rate_bps as u128;
         SimDuration(ns.min(u64::MAX as u128) as u64)
     }

@@ -6,7 +6,7 @@
 //! (links bound to a [`SharedMedium`]), then computes shortest-path
 //! forwarding tables by BFS.
 
-use crate::engine::Network;
+use crate::engine::{Network, SimArena};
 use crate::host::Host;
 use crate::ids::{HostId, LinkId, MediumId};
 use crate::link::{LinkConfig, OneWayLink};
@@ -30,8 +30,14 @@ impl TopologyBuilder {
 
     /// Empty builder with the RNG seed used for link jitter/loss draws.
     pub fn with_seed(seed: u64) -> Self {
+        Self::with_seed_in(seed, &mut SimArena::default())
+    }
+
+    /// Like [`TopologyBuilder::with_seed`], but the network draws its
+    /// storage from `arena` (recycled from a previous session).
+    pub fn with_seed_in(seed: u64, arena: &mut SimArena) -> Self {
         TopologyBuilder {
-            net: Network::new(seed),
+            net: Network::new_in(seed, arena),
             edges: Vec::new(),
             ap_downlinks: std::collections::HashMap::new(),
         }

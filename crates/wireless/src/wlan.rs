@@ -53,6 +53,10 @@ struct Station {
     host: HostId,
     phy: StationPhy,
     rate: Option<u64>,
+    /// Cached `frame_error_rate(phy.snr_db)` — the FER is a pure
+    /// function of the SNR, which only moves on PHY ticks, so there is
+    /// no reason to re-derive it on every frame.
+    fer: f64,
     disconnections: u64,
 }
 
@@ -91,10 +95,12 @@ impl Wlan80211 {
     pub fn add_station(&mut self, host: HostId, distance_m: f64) {
         let phy = StationPhy::new(&self.cfg.phy, distance_m);
         let rate = rate_for_snr(phy.snr_db);
+        let fer = frame_error_rate(phy.snr_db);
         self.stations.push(Station {
             host,
             phy,
             rate,
+            fer,
             disconnections: 0,
         });
     }
@@ -150,6 +156,7 @@ impl Wlan80211 {
                 s.disconnections += 1;
             }
             s.rate = new_rate;
+            s.fer = frame_error_rate(s.phy.snr_db);
         }
     }
 
@@ -179,9 +186,9 @@ impl SharedMedium for Wlan80211 {
                 mac_retries: 0,
             };
         };
-        let (snr, rate) = {
+        let (rate, fer) = {
             let s = &self.stations[idx];
-            (s.phy.snr_db, self.capped(s.rate))
+            (self.capped(s.rate), s.fer)
         };
         let Some(rate) = rate else {
             // Disassociated: the frame is lost after a beacon-scale
@@ -201,7 +208,6 @@ impl SharedMedium for Wlan80211 {
             let stretch = 1.0 + 2.0 * self.interference_load;
             t += SimDuration::from_secs_f64(rng.expo(0.0004) * stretch);
         }
-        let fer = frame_error_rate(snr);
         // Collisions with co-channel traffic we cannot hear coming.
         let p_col = 0.45 * self.interference_load;
         let p_fail = 1.0 - (1.0 - fer) * (1.0 - p_col);

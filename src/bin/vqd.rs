@@ -145,13 +145,22 @@ fn cmd_corpus(opts: &Opts) -> Result<(), VqdError> {
         seed,
         ..Default::default()
     };
-    let runs = generate_corpus(&cfg, &Catalog::top100(42));
+    let (runs, stats) = generate_corpus_with_stats(&cfg, &Catalog::top100(42));
     write_file(&out, &corpus_to_text(&runs))?;
     let good = runs
         .iter()
         .filter(|r| r.truth.qoe == QoeClass::Good)
         .count();
     eprintln!("wrote {out}: {} runs ({good} good)", runs.len());
+    eprintln!(
+        "throughput: {:.1} sessions/sec, {:.2} M events/sec ({} events, {:.2}s wall, p50 {:.0} ms, p95 {:.0} ms per session)",
+        stats.sessions_per_sec,
+        stats.events_per_sec / 1e6,
+        stats.events,
+        stats.wall_s,
+        stats.p50_session_ms,
+        stats.p95_session_ms,
+    );
     Ok(())
 }
 

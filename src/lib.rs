@@ -54,7 +54,8 @@ pub use vqd_wireless as wireless;
 /// Everything needed for the typical train-and-diagnose workflow.
 pub mod prelude {
     pub use vqd_core::dataset::{
-        corpus_from_text, corpus_to_text, generate_corpus, to_dataset, CorpusConfig, LabeledRun,
+        corpus_from_text, corpus_to_text, generate_corpus, generate_corpus_with_stats, to_dataset,
+        CorpusConfig, CorpusGenStats, LabeledRun,
     };
     pub use vqd_core::diagnoser::{
         Diagnoser, DiagnoserConfig, Diagnosis, DiagnosisQuality, Resolution,

@@ -1,0 +1,41 @@
+//! Differential scheduler test: the hierarchical timer wheel and the
+//! binary-heap oracle must generate **byte-identical** corpora, at any
+//! worker-thread count.
+//!
+//! This is the end-to-end guarantee behind swapping the event queue:
+//! the wheel preserves the exact `(at, seq)` total order the heap
+//! defined, so every RNG draw, every packet timing and every derived
+//! feature comes out the same — serialised, to the last bit of every
+//! float. Kept in its own integration-test binary because the
+//! scheduler default is process-global.
+
+use vqd::prelude::*;
+use vqd::simnet::sched::{set_default_scheduler, SchedulerKind};
+
+fn corpus_text(kind: SchedulerKind, threads: usize) -> String {
+    set_default_scheduler(kind);
+    let cfg = CorpusConfig {
+        sessions: 200,
+        seed: 77_2015,
+        p_fault: 0.6,
+        threads,
+        ..Default::default()
+    };
+    corpus_to_text(&generate_corpus(&cfg, &Catalog::top100(42)))
+}
+
+/// 200 sessions × {wheel, heap} × {1 thread, 8 threads}: all four
+/// serialisations must be the same bytes.
+#[test]
+fn wheel_and_heap_corpora_are_byte_identical_at_any_thread_count() {
+    let wheel_1 = corpus_text(SchedulerKind::TimerWheel, 1);
+    let wheel_8 = corpus_text(SchedulerKind::TimerWheel, 8);
+    let heap_1 = corpus_text(SchedulerKind::BinaryHeap, 1);
+    let heap_8 = corpus_text(SchedulerKind::BinaryHeap, 8);
+    set_default_scheduler(SchedulerKind::TimerWheel);
+
+    assert!(!wheel_1.is_empty());
+    assert_eq!(wheel_1, wheel_8, "wheel: thread count changed the corpus");
+    assert_eq!(heap_1, heap_8, "heap: thread count changed the corpus");
+    assert_eq!(wheel_1, heap_1, "wheel and heap disagree");
+}

@@ -77,16 +77,18 @@ macro_rules! impl_uniform_int {
         impl UniformSample for $t {
             fn uniform_sample<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
                 assert!(lo < hi, "empty range in gen_range");
-                let span = (hi as i128 - lo as i128) as u128;
+                // The widest expressible range of any supported type
+                // spans fewer than 2^64 values, so the span fits u64
+                // and `2^64 % span` is `(2^64 - span) % span` — no
+                // u128 division libcalls on this path.
+                let span = (hi as i128 - lo as i128) as u64;
                 // Lemire-style widening multiply with rejection for an
                 // exactly uniform draw over `span` buckets.
-                let zone = u128::from(u64::MAX) + 1;
-                let reject = zone % span;
+                let reject = 0u64.wrapping_sub(span) % span;
                 loop {
-                    let x = u128::from(rng.next_u64());
-                    let m = x * span;
-                    if m % zone >= reject || reject == 0 {
-                        return (lo as i128 + (m / zone) as i128) as $t;
+                    let m = u128::from(rng.next_u64()) * u128::from(span);
+                    if (m as u64) >= reject || reject == 0 {
+                        return (lo as i128 + ((m >> 64) as i128)) as $t;
                     }
                 }
             }
