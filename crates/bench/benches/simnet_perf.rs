@@ -37,19 +37,36 @@ fn fingerprint(text: &str) -> u64 {
     h
 }
 
-fn run(kind: SchedulerKind, cfg: &CorpusConfig) -> (u64, usize, CorpusGenStats, f64) {
+fn run(
+    kind: SchedulerKind,
+    cfg: &CorpusConfig,
+) -> (u64, usize, CorpusGenStats, vqd_obs::Snapshot, f64) {
     set_default_scheduler(kind);
+    // Fresh registry per engine so wheel and heap report their own
+    // histograms (spans from earlier runs are dropped too).
+    vqd_obs::reset();
     let t0 = Instant::now();
     let (runs, stats) = generate_corpus_with_stats(cfg, &Catalog::top100(vqd_bench::CATALOG_SEED));
     let wall = t0.elapsed().as_secs_f64();
+    let snap = vqd_obs::snapshot();
     let text = corpus_to_text(&runs);
-    (fingerprint(&text), text.len(), stats, wall)
+    (fingerprint(&text), text.len(), stats, snap, wall)
 }
 
-fn stats_json(s: &CorpusGenStats) -> String {
+/// Session wall-time percentiles for one engine: from the registry's
+/// `core.session.wall_ms` histogram when recording is on, otherwise
+/// from the generator's own stats (same `LogHistogram` math).
+fn session_percentiles(s: &CorpusGenStats, snap: &vqd_obs::Snapshot) -> (f64, f64, f64) {
+    snap.hist("core.session.wall_ms")
+        .map(|h| h.percentiles())
+        .unwrap_or((s.p50_session_ms, s.p95_session_ms, s.p99_session_ms))
+}
+
+fn stats_json(s: &CorpusGenStats, snap: &vqd_obs::Snapshot) -> String {
+    let (p50, p95, p99) = session_percentiles(s, snap);
     format!(
-        "{{\"sessions_per_sec\": {:.2}, \"events_per_sec\": {:.0}, \"events\": {}, \"wall_s\": {:.3}, \"p50_session_ms\": {:.2}, \"p95_session_ms\": {:.2}}}",
-        s.sessions_per_sec, s.events_per_sec, s.events, s.wall_s, s.p50_session_ms, s.p95_session_ms
+        "{{\"sessions_per_sec\": {:.2}, \"events_per_sec\": {:.0}, \"events\": {}, \"wall_s\": {:.3}, \"p50_session_ms\": {p50:.2}, \"p95_session_ms\": {p95:.2}, \"p99_session_ms\": {p99:.2}}}",
+        s.sessions_per_sec, s.events_per_sec, s.events, s.wall_s
     )
 }
 
@@ -67,10 +84,21 @@ fn main() {
         ..Default::default()
     };
 
+    // Record through the metrics registry unless VQD_NO_OBS=1 (the
+    // no-op-recorder configuration used for overhead measurements).
+    let no_obs = std::env::var("VQD_NO_OBS")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    if no_obs {
+        vqd_obs::disable();
+    } else {
+        vqd_obs::enable();
+    }
+
     eprintln!("[simnet_perf] {sessions} sessions on the timer wheel...");
-    let (fp_wheel, len_wheel, wheel, _) = run(SchedulerKind::TimerWheel, &cfg);
+    let (fp_wheel, len_wheel, wheel, snap_wheel, _) = run(SchedulerKind::TimerWheel, &cfg);
     eprintln!("[simnet_perf] {sessions} sessions on the heap oracle...");
-    let (fp_heap, len_heap, heap, _) = run(SchedulerKind::BinaryHeap, &cfg);
+    let (fp_heap, len_heap, heap, snap_heap, _) = run(SchedulerKind::BinaryHeap, &cfg);
     set_default_scheduler(SchedulerKind::TimerWheel);
 
     // The determinism gate: wheel and heap must serialise the exact
@@ -95,8 +123,12 @@ fn main() {
     json.push_str(&format!(
         "  \"corpus_fingerprint\": \"{fp_wheel:#018x}\",\n"
     ));
-    json.push_str(&format!("  \"wheel\": {},\n", stats_json(&wheel)));
-    json.push_str(&format!("  \"heap\": {},\n", stats_json(&heap)));
+    json.push_str(&format!("  \"obs_recording\": {},\n", !no_obs));
+    json.push_str(&format!(
+        "  \"wheel\": {},\n",
+        stats_json(&wheel, &snap_wheel)
+    ));
+    json.push_str(&format!("  \"heap\": {},\n", stats_json(&heap, &snap_heap)));
     json.push_str(&format!(
         "  \"wheel_vs_heap\": {:.3}",
         wheel.sessions_per_sec / heap.sessions_per_sec
@@ -113,17 +145,15 @@ fn main() {
         .unwrap_or_else(|_| format!("{}/../../BENCH_simnet.json", env!("CARGO_MANIFEST_DIR")));
     std::fs::write(&out, &json).expect("write BENCH_simnet.json");
 
+    let (w50, w95, w99) = session_percentiles(&wheel, &snap_wheel);
+    let (h50, h95, h99) = session_percentiles(&heap, &snap_heap);
     let text = format!(
-        "simnet perf ({sessions} sessions, seed {}):\n  wheel: {:.1} sessions/sec, {:.2} M events/sec, p50 {:.0} ms, p95 {:.0} ms\n  heap:  {:.1} sessions/sec, {:.2} M events/sec, p50 {:.0} ms, p95 {:.0} ms\n  wheel/heap corpora byte-identical (fingerprint {:#018x})\n",
+        "simnet perf ({sessions} sessions, seed {}):\n  wheel: {:.1} sessions/sec, {:.2} M events/sec, p50 {w50:.0} ms, p95 {w95:.0} ms, p99 {w99:.0} ms\n  heap:  {:.1} sessions/sec, {:.2} M events/sec, p50 {h50:.0} ms, p95 {h95:.0} ms, p99 {h99:.0} ms\n  wheel/heap corpora byte-identical (fingerprint {:#018x})\n",
         cfg.seed,
         wheel.sessions_per_sec,
         wheel.events_per_sec / 1e6,
-        wheel.p50_session_ms,
-        wheel.p95_session_ms,
         heap.sessions_per_sec,
         heap.events_per_sec / 1e6,
-        heap.p50_session_ms,
-        heap.p95_session_ms,
         fp_wheel,
     );
     emit_section("simnet_perf", &text);

@@ -147,6 +147,8 @@ pub struct CorpusGenStats {
     pub p50_session_ms: f64,
     /// 95th-percentile per-session wall time, milliseconds.
     pub p95_session_ms: f64,
+    /// 99th-percentile per-session wall time, milliseconds.
+    pub p99_session_ms: f64,
 }
 
 /// Simulate the corpus, in parallel.
@@ -161,6 +163,7 @@ pub fn generate_corpus_with_stats(
     cfg: &CorpusConfig,
     catalog: &Catalog,
 ) -> (Vec<LabeledRun>, CorpusGenStats) {
+    let _span = vqd_obs::WallSpan::begin("generate", "pipeline");
     let specs = draw_specs(cfg);
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism()
@@ -193,30 +196,35 @@ pub fn generate_corpus_with_stats(
     let wall_s = start.elapsed().as_secs_f64();
     let mut runs = Vec::with_capacity(specs.len());
     let mut events: u64 = 0;
-    let mut times_ms = Vec::with_capacity(specs.len());
+    let mut times = vqd_obs::LogHistogram::new();
+    let obs_on = vqd_obs::enabled();
     for r in results.into_inner().unwrap() {
         let (run, ev, ms) = r.expect("session ran");
         runs.push(run);
         events += ev;
-        times_ms.push(ms);
-    }
-    times_ms.sort_by(|a, b| a.total_cmp(b));
-    let pct = |p: f64| -> f64 {
-        if times_ms.is_empty() {
-            return 0.0;
+        times.record(ms);
+        if obs_on {
+            vqd_obs::recorder().hist_record("core.session.wall_ms", ms);
         }
-        let ix = ((times_ms.len() - 1) as f64 * p).round() as usize;
-        times_ms[ix]
-    };
+    }
+    let (p50, p95, p99) = times.percentiles();
     let stats = CorpusGenStats {
         sessions: runs.len(),
         wall_s,
         sessions_per_sec: runs.len() as f64 / wall_s.max(1e-9),
         events,
         events_per_sec: events as f64 / wall_s.max(1e-9),
-        p50_session_ms: pct(0.50),
-        p95_session_ms: pct(0.95),
+        p50_session_ms: p50,
+        p95_session_ms: p95,
+        p99_session_ms: p99,
     };
+    if vqd_obs::enabled() {
+        let r = vqd_obs::recorder();
+        r.gauge_set("core.corpus.sessions_per_sec", stats.sessions_per_sec);
+        r.gauge_set("core.corpus.events_per_sec", stats.events_per_sec);
+        r.gauge_set("core.corpus.wall_s", stats.wall_s);
+        r.counter_add("core.corpus.sessions", stats.sessions as u64);
+    }
     (runs, stats)
 }
 

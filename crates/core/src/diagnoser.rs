@@ -150,12 +150,16 @@ impl Diagnoser {
     /// Prepare a raw dataset through FC + FS, returning the prepared
     /// dataset and the fitted constructor.
     fn prepare_impl(raw: &Dataset, cfg: &DiagnoserConfig) -> (Dataset, Option<FeatureConstructor>) {
-        let (data, constructor) = if cfg.use_fc {
-            let c = FeatureConstructor::fit(raw);
-            (c.transform(raw), Some(c))
-        } else {
-            (raw.clone(), None)
+        let (data, constructor) = {
+            let _span = vqd_obs::WallSpan::begin("construct", "pipeline");
+            if cfg.use_fc {
+                let c = FeatureConstructor::fit(raw);
+                (c.transform(raw), Some(c))
+            } else {
+                (raw.clone(), None)
+            }
         };
+        let _span = vqd_obs::WallSpan::begin("select", "pipeline");
         let data = if cfg.use_fs {
             // Global FCBF plus a per-vantage-point pass, unioned: the
             // global pass alone tends to keep one VP's copy of a
@@ -197,6 +201,7 @@ impl Diagnoser {
     /// Train on an already-prepared pipeline (see
     /// [`Diagnoser::prepare`]); skips the FC + FCBF pass.
     pub fn train_prepared(prep: &PreparedPipeline, cfg: &DiagnoserConfig) -> Diagnoser {
+        let _span = vqd_obs::WallSpan::begin("train", "pipeline");
         let data = &prep.data;
         let rows: Vec<usize> = (0..data.len()).collect();
         let tree = C45Trainer { cfg: cfg.tree }.fit(data, &rows);
@@ -347,6 +352,24 @@ impl Diagnoser {
                 Some(self.project_dist(&dist, crate::scenario::exact_to_existence)),
             )
         };
+        if vqd_obs::enabled() {
+            let r = vqd_obs::recorder();
+            r.counter_add("core.diagnose.calls", 1);
+            r.counter_add(
+                match resolution {
+                    Resolution::Exact => "core.diagnose.resolution.exact",
+                    Resolution::Location => "core.diagnose.resolution.location",
+                    Resolution::Existence => "core.diagnose.resolution.existence",
+                },
+                1,
+            );
+            // The reported answer: the fallback projection when
+            // coverage forced one, else the exact class.
+            let reported = fallback_label.as_deref().unwrap_or(&self.classes[class]);
+            r.counter_add_dyn(&format!("core.diagnose.label.{reported}"), 1);
+            r.hist_record("core.diagnose.coverage", feature_coverage);
+            r.hist_record("core.diagnose.confidence", confidence);
+        }
         Diagnosis {
             label: self.classes[class].clone(),
             class,

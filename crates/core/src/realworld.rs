@@ -311,6 +311,7 @@ pub fn run_realworld_session_in(
             }
         }
     }
+    crate::testbed::flush_session_obs(&qoe, &vps);
     SessionOutcome {
         qoe,
         truth,

@@ -126,6 +126,9 @@ pub fn eval_cell(
     plan: &DegradePlan,
     threads: usize,
 ) -> RobustnessCell {
+    // One batch-level span per cell (not per call: a sweep diagnoses
+    // hundreds of thousands of sessions).
+    let _span = vqd_obs::WallSpan::begin("diagnose", "pipeline");
     let per_run = par_map(test.len(), threads, |i| {
         let metrics = plan.apply(i as u64, &test[i].metrics);
         let dx = model.diagnose(&metrics);

@@ -89,6 +89,39 @@ pub fn server_host_profile() -> Host {
     }
 }
 
+/// Per-session observability flush shared by the testbed and
+/// real-world runners: probe sampling totals, QoE tallies, and — when
+/// tracing — virtual-time session/stall spans on the sim clock.
+/// Purely write-only, and called after the simulation is torn down, so
+/// it cannot perturb RNG streams or event order.
+pub(crate) fn flush_session_obs(qoe: &SessionQoe, vps: &[vqd_probes::VpHandle]) {
+    if !vqd_obs::enabled() {
+        return;
+    }
+    for vp in vps {
+        vp.borrow().flush_obs();
+    }
+    let r = vqd_obs::recorder();
+    r.counter_add("core.qoe.stalls", qoe.stalls.len() as u64);
+    if qoe.completed {
+        r.counter_add("core.qoe.completed", 1);
+    }
+    if qoe.failed {
+        r.counter_add("core.qoe.failed", 1);
+    }
+    if vqd_obs::tracing_enabled() {
+        let start = qoe.started_at.0;
+        let end = qoe.ended_at.map(|t| t.0).unwrap_or(start);
+        vqd_obs::virtual_span("session", "sim", start, end);
+        if let Some(t) = qoe.playback_at {
+            vqd_obs::virtual_span("startup", "sim", start, t.0);
+        }
+        for (at, dur) in &qoe.stalls {
+            vqd_obs::virtual_span("stall", "sim", at.0, at.0 + dur.0);
+        }
+    }
+}
+
 /// Run one controlled session; deterministic in `spec` and
 /// `catalog_seed`.
 pub fn run_controlled_session(spec: &SessionSpec, catalog: &Catalog) -> SessionOutcome {
@@ -244,6 +277,7 @@ fn run_controlled_session_with_in(
             }
         }
     }
+    flush_session_obs(&qoe, &vps);
     SessionOutcome {
         qoe,
         truth,

@@ -70,6 +70,14 @@ pub fn fcbf(data: &Dataset, delta: f64) -> Selection {
         }
     }
 
+    // Per-run selection-funnel counters (write-only; no-ops unless
+    // observability is enabled).
+    let r = vqd_obs::recorder();
+    r.counter_add("features.fcbf.runs", 1);
+    r.counter_add("features.fcbf.candidates", data.n_features() as u64);
+    r.counter_add("features.fcbf.relevant", cols.len() as u64);
+    r.counter_add("features.fcbf.selected", selected.len() as u64);
+
     Selection {
         names: selected
             .iter()

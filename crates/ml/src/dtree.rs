@@ -887,6 +887,13 @@ struct Engine {
     y: Vec<u32>,
     n_classes: usize,
     threads: usize,
+    /// Observability snapshot taken once at fit start; when false the
+    /// split-search timing below is skipped entirely (no clock reads).
+    obs_on: bool,
+    /// Cumulative wall time spent in [`Engine::best_split`], ns.
+    split_ns: std::sync::atomic::AtomicU64,
+    /// Number of split searches performed.
+    split_calls: std::sync::atomic::AtomicU64,
 }
 
 impl Engine {
@@ -950,7 +957,19 @@ impl Engine {
         for &(c, w) in &ctx.rows {
             weights[c as usize] = w;
         }
-        let best = self.best_split(&ctx, weights, total, scratch);
+        let best = if self.obs_on {
+            let t0 = std::time::Instant::now();
+            let b = self.best_split(&ctx, weights, total, scratch);
+            self.split_ns.fetch_add(
+                t0.elapsed().as_nanos() as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+            self.split_calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            b
+        } else {
+            self.best_split(&ctx, weights, total, scratch)
+        };
         for &(c, _) in &ctx.rows {
             weights[c as usize] = 0.0;
         }
@@ -1324,12 +1343,17 @@ impl C45Trainer {
             })
             .collect();
         let y: Vec<u32> = rows.iter().map(|&r| data.y[r] as u32).collect();
+        let obs_on = vqd_obs::enabled();
+        let fit_t0 = obs_on.then(std::time::Instant::now);
         let engine = Engine {
             cfg: self.cfg,
             cols,
             y,
             n_classes: data.n_classes(),
             threads: resolve_threads(self.cfg.threads),
+            obs_on,
+            split_ns: std::sync::atomic::AtomicU64::new(0),
+            split_calls: std::sync::atomic::AtomicU64::new(0),
         };
         let order = engine.presort();
         let root_rows: Vec<(u32, f64)> = (0..rows.len() as u32).map(|c| (c, 1.0)).collect();
@@ -1349,12 +1373,31 @@ impl C45Trainer {
         if !self.cfg.unpruned {
             prune(&mut root, self.cfg.cf);
         }
-        DecisionTree {
+        let tree = DecisionTree {
             root,
             n_classes: data.n_classes(),
             feature_names: data.features.clone(),
             class_names: data.classes.clone(),
+        };
+        if let Some(t0) = fit_t0 {
+            let r = vqd_obs::recorder();
+            r.counter_add("ml.fit.count", 1);
+            r.counter_add(
+                "ml.fit.split_searches",
+                engine
+                    .split_calls
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            );
+            r.hist_record("ml.fit.rows", rows.len() as f64);
+            r.hist_record("ml.fit.nodes", tree.size() as f64);
+            r.hist_record("ml.fit.depth", tree.depth() as f64);
+            r.hist_record("ml.fit.wall_ms", t0.elapsed().as_secs_f64() * 1e3);
+            r.hist_record(
+                "ml.fit.split_search_ms",
+                engine.split_ns.load(std::sync::atomic::Ordering::Relaxed) as f64 / 1e6,
+            );
         }
+        tree
     }
 
     /// The seed's original training path: per-node column collection

@@ -1,0 +1,259 @@
+//! `vqd-obs`: determinism-neutral observability for the vqd workspace.
+//!
+//! Three pieces:
+//!
+//! * [`Registry`] — sharded counters / gauges / log-linear histograms
+//!   ([`LogHistogram`]), merged into a deterministic [`Snapshot`].
+//! * [`trace`] — spans on two clock domains (wall for pipeline stages,
+//!   virtual sim time for in-simulation events), exported as Chrome
+//!   `trace_event` JSON.
+//! * [`Recorder`] — the trait instrumentation sites talk to. The
+//!   global [`recorder()`] returns a no-op implementation until
+//!   [`enable()`] is called, so the disabled path is one relaxed
+//!   atomic load and a static dispatch-table call that does nothing.
+//!
+//! # Determinism contract
+//!
+//! Recording is *write-only* with respect to the system under
+//! observation: no instrumentation site reads a metric back to make a
+//! decision, recording never draws from an RNG, and flush points sit
+//! outside the event loop (per session / per fit). Simulated corpora
+//! are therefore byte-identical with observability on or off, at any
+//! thread count — `tests/determinism.rs` and `tests/scheduler_diff.rs`
+//! enforce this.
+
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use hist::LogHistogram;
+pub use registry::{Registry, Snapshot};
+pub use trace::{chrome_trace_json, validate_trace, Clock, SpanRecord, SpanSink};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// What instrumentation sites record to. Every method has a no-op
+/// default, so a custom recorder only overrides what it wants and the
+/// null recorder is literally empty.
+pub trait Recorder: Sync {
+    /// Add `n` to counter `name`.
+    fn counter_add(&self, name: &'static str, n: u64) {
+        let _ = (name, n);
+    }
+    /// Add `n` to a counter with a runtime-built name (per-label
+    /// tallies). Costlier than [`counter_add`](Recorder::counter_add);
+    /// prefer literals where the name set is static.
+    fn counter_add_dyn(&self, name: &str, n: u64) {
+        let _ = (name, n);
+    }
+    /// Set gauge `name` (last write wins).
+    fn gauge_set(&self, name: &'static str, v: f64) {
+        let _ = (name, v);
+    }
+    /// Record a histogram sample.
+    fn hist_record(&self, name: &'static str, v: f64) {
+        let _ = (name, v);
+    }
+    /// Record a completed span. Only called when [`tracing_enabled`]
+    /// is also true — span construction costs a clock read, so sites
+    /// gate on that flag themselves.
+    fn span(&self, span: SpanRecord) {
+        let _ = span;
+    }
+}
+
+/// The recorder used while observability is disabled.
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Global registry + span sink behind the `Recorder` trait.
+struct GlobalRecorder {
+    registry: Registry,
+    spans: SpanSink,
+}
+
+impl Recorder for GlobalRecorder {
+    fn counter_add(&self, name: &'static str, n: u64) {
+        self.registry.counter_add(name, n);
+    }
+    fn counter_add_dyn(&self, name: &str, n: u64) {
+        self.registry.counter_add_dyn(name, n);
+    }
+    fn gauge_set(&self, name: &'static str, v: f64) {
+        self.registry.gauge_set(name, v);
+    }
+    fn hist_record(&self, name: &'static str, v: f64) {
+        self.registry.hist_record(name, v);
+    }
+    fn span(&self, span: SpanRecord) {
+        self.spans.push(span);
+    }
+}
+
+static NOOP: NoopRecorder = NoopRecorder;
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+fn global() -> &'static GlobalRecorder {
+    static GLOBAL: OnceLock<GlobalRecorder> = OnceLock::new();
+    GLOBAL.get_or_init(|| GlobalRecorder {
+        registry: Registry::new(),
+        spans: SpanSink::new(),
+    })
+}
+
+/// The process-wide recorder. One relaxed load when disabled.
+#[inline]
+pub fn recorder() -> &'static dyn Recorder {
+    if ENABLED.load(Ordering::Relaxed) {
+        global()
+    } else {
+        &NOOP
+    }
+}
+
+/// Turn metric recording on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn metric recording off (also stops span collection).
+pub fn disable() {
+    TRACING.store(false, Ordering::Relaxed);
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether metric recording is on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn span collection on (implies [`enable`]).
+pub fn enable_tracing() {
+    ENABLED.store(true, Ordering::Relaxed);
+    TRACING.store(true, Ordering::Relaxed);
+}
+
+/// Whether span collection is on. Sites that would pay a clock read
+/// to build a span check this first.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Merge and return the global registry's current contents.
+pub fn snapshot() -> Snapshot {
+    global().registry.snapshot()
+}
+
+/// Clear the global registry and drop any collected spans.
+pub fn reset() {
+    global().registry.reset();
+    let _ = global().spans.drain_sorted();
+}
+
+/// Take all collected spans (sorted deterministically), leaving the
+/// sink empty.
+pub fn take_spans() -> Vec<SpanRecord> {
+    global().spans.drain_sorted()
+}
+
+/// RAII guard for a wall-clock span: measures from construction to
+/// drop and records via the global recorder. Free when tracing is off
+/// (no clock read, nothing recorded).
+pub struct WallSpan {
+    name: &'static str,
+    cat: &'static str,
+    start_ns: Option<u64>,
+}
+
+impl WallSpan {
+    pub fn begin(name: &'static str, cat: &'static str) -> Self {
+        let start_ns = tracing_enabled().then(trace::wall_now_ns);
+        Self {
+            name,
+            cat,
+            start_ns,
+        }
+    }
+}
+
+impl Drop for WallSpan {
+    fn drop(&mut self) {
+        if let Some(start_ns) = self.start_ns {
+            let end = trace::wall_now_ns();
+            recorder().span(SpanRecord {
+                name: self.name,
+                cat: self.cat,
+                clock: Clock::Wall,
+                start_ns,
+                dur_ns: end.saturating_sub(start_ns),
+            });
+        }
+    }
+}
+
+/// Record a virtual-clock (simulated time) span. The caller supplies
+/// both endpoints from the sim clock; nothing is recorded when tracing
+/// is off.
+pub fn virtual_span(name: &'static str, cat: &'static str, start_ns: u64, end_ns: u64) {
+    if tracing_enabled() {
+        recorder().span(SpanRecord {
+            name,
+            cat,
+            clock: Clock::Virtual,
+            start_ns,
+            dur_ns: end_ns.saturating_sub(start_ns),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global-state tests share one process; run the whole flow in a
+    // single test to avoid cross-test ordering flakes.
+    #[test]
+    fn global_recorder_lifecycle() {
+        // Disabled: everything is dropped.
+        disable();
+        reset();
+        recorder().counter_add("t.dropped", 5);
+        assert_eq!(snapshot().counter("t.dropped"), 0);
+
+        // Enabled: metrics land.
+        enable();
+        recorder().counter_add("t.kept", 2);
+        recorder().hist_record("t.h", 4.0);
+        assert_eq!(snapshot().counter("t.kept"), 2);
+        assert_eq!(snapshot().hist("t.h").map(|h| h.count()), Some(1));
+
+        // Spans only collected under tracing.
+        {
+            let _s = WallSpan::begin("no_trace", "test");
+        }
+        assert!(take_spans().is_empty());
+        enable_tracing();
+        {
+            let _s = WallSpan::begin("traced", "test");
+        }
+        virtual_span("vspan", "test", 100, 300);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "traced" && s.clock == Clock::Wall));
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "vspan" && s.clock == Clock::Virtual && s.dur_ns == 200));
+
+        disable();
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}

@@ -1,0 +1,385 @@
+//! Sharded metrics registry.
+//!
+//! Each OS thread that records gets its own shard (an `Arc<Shard>`
+//! cached in a thread-local), so the common path is an uncontended
+//! mutex lock on thread-private data — no cross-thread cache traffic.
+//! [`Registry::snapshot`] merges every shard into a deterministic,
+//! name-sorted [`Snapshot`]; merging is pure bucket/sum addition, so
+//! the snapshot is independent of how work was sharded across threads.
+//!
+//! Recording sites flush at coarse granularity (once per simulated
+//! session, once per model fit), never per event — the registry is
+//! cheap, but the hot loops stay untouched.
+
+use crate::hist::LogHistogram;
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Metric name: almost always a `'static` literal (zero-alloc); the
+/// dynamic-name paths (`*_dyn`) pay one allocation per shard on first
+/// use of a name.
+type Key = Cow<'static, str>;
+
+/// Thread-private metric storage, keyed by dotted names
+/// (`"simnet.link.drop_tail_pkts"`).
+#[derive(Default)]
+struct ShardData {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, (u64, f64)>,
+    hists: BTreeMap<Key, LogHistogram>,
+}
+
+/// One thread's shard. The mutex is almost always uncontended: only
+/// the owning thread records, and `snapshot()` briefly locks each
+/// shard when merging.
+#[derive(Default)]
+pub(crate) struct Shard {
+    data: Mutex<ShardData>,
+}
+
+impl Shard {
+    fn lock(&self) -> MutexGuard<'_, ShardData> {
+        // A poisoned shard mutex would mean a panic mid-record; the
+        // data is still structurally sound (plain adds), so keep it.
+        match self.data.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+/// A metrics registry with per-thread shards.
+pub struct Registry {
+    shards: Mutex<Vec<Arc<Shard>>>,
+    /// Global sequence for gauge last-write-wins ordering.
+    gauge_seq: AtomicU64,
+    /// Process-unique id for the thread-local shard cache (a raw
+    /// address would be unsound: a new registry can reuse a dropped
+    /// one's allocation).
+    id: u64,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Source of process-unique registry ids.
+static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(registry id, shard)` cache so repeat records on the same
+    /// thread skip the registry-wide lock.
+    static SHARD_CACHE: std::cell::RefCell<Option<(u64, Arc<Shard>)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self {
+            shards: Mutex::new(Vec::new()),
+            gauge_seq: AtomicU64::new(0),
+            id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    fn shard(&self) -> Arc<Shard> {
+        let id = self.id;
+        SHARD_CACHE.with(|c| {
+            let mut c = c.borrow_mut();
+            if let Some((cached_id, shard)) = c.as_ref() {
+                if *cached_id == id {
+                    return Arc::clone(shard);
+                }
+            }
+            let shard = Arc::new(Shard::default());
+            match self.shards.lock() {
+                Ok(mut v) => v.push(Arc::clone(&shard)),
+                Err(p) => p.into_inner().push(Arc::clone(&shard)),
+            }
+            *c = Some((id, Arc::clone(&shard)));
+            shard
+        })
+    }
+
+    /// Add `n` to counter `name`.
+    pub fn counter_add(&self, name: &'static str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let shard = self.shard();
+        *shard
+            .lock()
+            .counters
+            .entry(Cow::Borrowed(name))
+            .or_insert(0) += n;
+    }
+
+    /// Add `n` to a counter with a runtime-built name (e.g. per-label
+    /// counts). Allocates the key once per shard.
+    pub fn counter_add_dyn(&self, name: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let shard = self.shard();
+        let mut data = shard.lock();
+        match data.counters.get_mut(name) {
+            Some(c) => *c += n,
+            None => {
+                data.counters.insert(Cow::Owned(name.to_string()), n);
+            }
+        }
+    }
+
+    /// Set gauge `name` to `v` (last write across all threads wins,
+    /// ordered by a global sequence number).
+    pub fn gauge_set(&self, name: &'static str, v: f64) {
+        let seq = self.gauge_seq.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard();
+        shard.lock().gauges.insert(Cow::Borrowed(name), (seq, v));
+    }
+
+    /// Record one sample into histogram `name`.
+    pub fn hist_record(&self, name: &'static str, v: f64) {
+        let shard = self.shard();
+        shard
+            .lock()
+            .hists
+            .entry(Cow::Borrowed(name))
+            .or_default()
+            .record(v);
+    }
+
+    /// Merge every shard into a deterministic snapshot. Shards are
+    /// left in place (counters keep accumulating); use [`reset`] to
+    /// clear.
+    ///
+    /// [`reset`]: Registry::reset
+    pub fn snapshot(&self) -> Snapshot {
+        let shards = match self.shards.lock() {
+            Ok(g) => g.iter().map(Arc::clone).collect::<Vec<_>>(),
+            Err(p) => p.into_inner().iter().map(Arc::clone).collect(),
+        };
+        let mut snap = Snapshot::default();
+        let mut gauges: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+        for shard in shards {
+            let data = shard.lock();
+            for (k, v) in &data.counters {
+                *snap.counters.entry(k.to_string()).or_insert(0) += v;
+            }
+            for (k, (seq, v)) in &data.gauges {
+                let e = gauges.entry(k.to_string()).or_insert((*seq, *v));
+                if *seq >= e.0 {
+                    *e = (*seq, *v);
+                }
+            }
+            for (k, h) in &data.hists {
+                snap.hists.entry(k.to_string()).or_default().merge(h);
+            }
+        }
+        for (k, (_, v)) in gauges {
+            snap.gauges.insert(k, v);
+        }
+        snap
+    }
+
+    /// Clear all shards (snapshot after reset is empty). Shards stay
+    /// registered so thread-local caches remain valid.
+    pub fn reset(&self) {
+        let shards = match self.shards.lock() {
+            Ok(g) => g.iter().map(Arc::clone).collect::<Vec<_>>(),
+            Err(p) => p.into_inner().iter().map(Arc::clone).collect(),
+        };
+        for shard in shards {
+            let mut data = shard.lock();
+            data.counters.clear();
+            data.gauges.clear();
+            data.hists.clear();
+        }
+    }
+}
+
+/// A merged, name-sorted view of the registry at one point in time.
+#[derive(Default, Debug, Clone)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub hists: BTreeMap<String, LogHistogram>,
+}
+
+impl Snapshot {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Counter value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram, if any samples were recorded.
+    pub fn hist(&self, name: &str) -> Option<&LogHistogram> {
+        self.hists.get(name)
+    }
+
+    /// Counters under `prefix` (e.g. `"core.diagnose.label."`),
+    /// returned as `(suffix, value)` pairs in name order.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(move |(k, v)| (&k[prefix.len()..], *v))
+    }
+
+    /// Render as JSON Lines: one `{"kind":...,"name":...}` object per
+    /// metric, in deterministic (kind, name) order.
+    pub fn to_jsonl(&self) -> String {
+        use crate::json::Json;
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let obj = Json::obj(vec![
+                ("kind", Json::str("counter")),
+                ("name", Json::str(k)),
+                ("value", Json::num(*v as f64)),
+            ]);
+            out.push_str(&obj.to_string());
+            out.push('\n');
+        }
+        for (k, v) in &self.gauges {
+            let obj = Json::obj(vec![
+                ("kind", Json::str("gauge")),
+                ("name", Json::str(k)),
+                ("value", Json::num(*v)),
+            ]);
+            out.push_str(&obj.to_string());
+            out.push('\n');
+        }
+        for (k, h) in &self.hists {
+            let (p50, p95, p99) = h.percentiles();
+            let obj = Json::obj(vec![
+                ("kind", Json::str("hist")),
+                ("name", Json::str(k)),
+                ("count", Json::num(h.count() as f64)),
+                ("sum", Json::num(h.sum())),
+                ("mean", Json::num(h.mean())),
+                ("min", Json::num(h.min())),
+                ("max", Json::num(h.max())),
+                ("p50", Json::num(p50)),
+                ("p95", Json::num(p95)),
+                ("p99", Json::num(p99)),
+                ("non_positive", Json::num(h.non_positive() as f64)),
+                ("nan", Json::num(h.nan() as f64)),
+            ]);
+            out.push_str(&obj.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render a human-readable table (the `vqd stats` view).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<44} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k:<44} {v:.3}\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, h) in &self.hists {
+                let (p50, p95, p99) = h.percentiles();
+                out.push_str(&format!(
+                    "  {k:<44} n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}\n",
+                    h.count(),
+                    h.mean(),
+                    p50,
+                    p95,
+                    p99,
+                    h.max()
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_hists_accumulate() {
+        let r = Registry::new();
+        r.counter_add("a.b", 3);
+        r.counter_add("a.b", 4);
+        r.hist_record("h", 2.0);
+        r.hist_record("h", 8.0);
+        r.gauge_set("g", 1.0);
+        r.gauge_set("g", 2.5);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a.b"), 7);
+        assert_eq!(s.gauge("g"), Some(2.5));
+        let h = s.hist("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 10.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let r = Registry::new();
+        r.counter_add("x", 1);
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn cross_thread_shards_merge() {
+        let r = Arc::new(Registry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        r.counter_add("t.c", 1);
+                        r.hist_record("t.h", 5.0);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("t.c"), 400);
+        assert_eq!(snap.hist("t.h").unwrap().count(), 400);
+    }
+
+    #[test]
+    fn prefix_iter() {
+        let r = Registry::new();
+        r.counter_add("lab.a", 1);
+        r.counter_add("lab.b", 2);
+        r.counter_add("other", 9);
+        let s = r.snapshot();
+        let got: Vec<_> = s.counters_with_prefix("lab.").collect();
+        assert_eq!(got, vec![("a", 1), ("b", 2)]);
+    }
+}

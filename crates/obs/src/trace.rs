@@ -1,0 +1,240 @@
+//! Span/trace facility.
+//!
+//! Two clock domains, never mixed on one timeline:
+//!
+//! * **Wall** — monotonic host time ([`std::time::Instant`]) relative
+//!   to a process-wide epoch. Used for pipeline stages (generate →
+//!   construct → select → train → diagnose) and anything else that
+//!   measures real elapsed time.
+//! * **Virtual** — simulated nanoseconds from the discrete-event
+//!   clock. Used for in-simulation events (session lifetimes, stall
+//!   intervals). Virtual timestamps are part of the simulation's
+//!   deterministic state, so recording them can never perturb it.
+//!
+//! Export is Chrome `trace_event` JSON (the "Trace Event Format"
+//! complete-event `"ph":"X"` flavor); virtual-clock spans are emitted
+//! on a separate `pid` so chrome://tracing / Perfetto shows the two
+//! timelines as distinct processes instead of interleaving
+//! incomparable clocks.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Which timeline a span's timestamps belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Monotonic host time relative to the process trace epoch.
+    Wall,
+    /// Simulated nanoseconds.
+    Virtual,
+}
+
+/// One completed span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"train"`, `"session"`).
+    pub name: &'static str,
+    /// Category for trace viewers (e.g. `"pipeline"`, `"sim"`).
+    pub cat: &'static str,
+    pub clock: Clock,
+    /// Start in ns on `clock`'s timeline.
+    pub start_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+}
+
+/// Thread-safe span sink. Span *collection* order across threads is
+/// nondeterministic; export sorts by `(clock, start_ns, dur_ns, name)`
+/// so the file is stable for a deterministic workload.
+#[derive(Default)]
+pub struct SpanSink {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// Process-wide wall epoch: first use wins; all wall spans are offsets
+/// from it so they share one timeline.
+static WALL_EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+
+/// Nanoseconds since the process trace epoch.
+pub fn wall_now_ns() -> u64 {
+    let epoch = *WALL_EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_nanos() as u64
+}
+
+impl SpanSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&self, span: SpanRecord) {
+        match self.spans.lock() {
+            Ok(mut v) => v.push(span),
+            Err(p) => p.into_inner().push(span),
+        }
+    }
+
+    /// Copy out all spans, sorted deterministically.
+    pub fn drain_sorted(&self) -> Vec<SpanRecord> {
+        let mut spans = match self.spans.lock() {
+            Ok(mut v) => std::mem::take(&mut *v),
+            Err(p) => std::mem::take(&mut *p.into_inner()),
+        };
+        spans.sort_by(|a, b| {
+            let ka = (a.clock == Clock::Virtual, a.start_ns, a.dur_ns, a.name);
+            let kb = (b.clock == Clock::Virtual, b.start_ns, b.dur_ns, b.name);
+            ka.cmp(&kb)
+        });
+        spans
+    }
+
+    pub fn len(&self) -> usize {
+        match self.spans.lock() {
+            Ok(v) => v.len(),
+            Err(p) => p.into_inner().len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// `pid` used for wall-clock spans in the Chrome export.
+pub const WALL_PID: u64 = 1;
+/// `pid` used for virtual-clock spans in the Chrome export.
+pub const VIRTUAL_PID: u64 = 2;
+
+/// Serialize spans as Chrome `trace_event` JSON (object form with a
+/// `traceEvents` array of complete events). Timestamps are microsecond
+/// floats per the format; sub-microsecond spans keep fractional
+/// precision.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    use crate::json::Json;
+    let events: Vec<Json> = spans
+        .iter()
+        .map(|s| {
+            let pid = match s.clock {
+                Clock::Wall => WALL_PID,
+                Clock::Virtual => VIRTUAL_PID,
+            };
+            Json::obj(vec![
+                ("name", Json::str(s.name)),
+                ("cat", Json::str(s.cat)),
+                ("ph", Json::str("X")),
+                ("ts", Json::num(s.start_ns as f64 / 1000.0)),
+                ("dur", Json::num(s.dur_ns as f64 / 1000.0)),
+                ("pid", Json::num(pid as f64)),
+                ("tid", Json::num(1.0)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
+    .to_string()
+}
+
+/// Minimal schema check for an exported trace: top-level object with a
+/// `traceEvents` array whose entries all carry string `name`/`cat`,
+/// `"ph":"X"`, and numeric `ts`/`dur`/`pid`/`tid`. Returns the event
+/// count, or a description of the first violation.
+pub fn validate_trace(text: &str) -> Result<usize, String> {
+    use crate::json::Json;
+    let root = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let Json::Obj(fields) = &root else {
+        return Err("top level is not an object".into());
+    };
+    let events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .ok_or("missing traceEvents")?;
+    let Json::Arr(events) = events else {
+        return Err("traceEvents is not an array".into());
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let Json::Obj(f) = ev else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let get = |k: &str| f.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        for key in ["name", "cat", "ph"] {
+            match get(key) {
+                Some(Json::Str(_)) => {}
+                _ => return Err(format!("event {i}: missing string field {key:?}")),
+            }
+        }
+        if get("ph") != Some(&Json::Str("X".into())) {
+            return Err(format!("event {i}: ph is not \"X\""));
+        }
+        for key in ["ts", "dur", "pid", "tid"] {
+            match get(key) {
+                Some(Json::Num(_)) => {}
+                _ => return Err(format!("event {i}: missing numeric field {key:?}")),
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_and_validate_roundtrip() {
+        let sink = SpanSink::new();
+        sink.push(SpanRecord {
+            name: "generate",
+            cat: "pipeline",
+            clock: Clock::Wall,
+            start_ns: 10,
+            dur_ns: 2000,
+        });
+        sink.push(SpanRecord {
+            name: "session",
+            cat: "sim",
+            clock: Clock::Virtual,
+            start_ns: 0,
+            dur_ns: 90_000_000_000,
+        });
+        let json = chrome_trace_json(&sink.drain_sorted());
+        assert_eq!(validate_trace(&json), Ok(2));
+    }
+
+    #[test]
+    fn drain_sorts_wall_before_virtual() {
+        let sink = SpanSink::new();
+        sink.push(SpanRecord {
+            name: "v",
+            cat: "sim",
+            clock: Clock::Virtual,
+            start_ns: 0,
+            dur_ns: 1,
+        });
+        sink.push(SpanRecord {
+            name: "w",
+            cat: "pipeline",
+            clock: Clock::Wall,
+            start_ns: 999,
+            dur_ns: 1,
+        });
+        let spans = sink.drain_sorted();
+        assert_eq!(spans[0].name, "w");
+        assert_eq!(spans[1].name, "v");
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        assert!(validate_trace("[]").is_err());
+        assert!(validate_trace("{\"traceEvents\": [{}]}").is_err());
+        assert!(validate_trace("not json").is_err());
+    }
+
+    #[test]
+    fn wall_now_is_monotone() {
+        let a = wall_now_ns();
+        let b = wall_now_ns();
+        assert!(b >= a);
+    }
+}

@@ -81,6 +81,17 @@ impl DegradeKind {
             DegradeKind::ClockSkew => 0x55,
         }
     }
+
+    /// Observability counter key for injections of this mode.
+    fn obs_key(&self) -> &'static str {
+        match self {
+            DegradeKind::VpDropout => "probes.degrade.vp_dropout",
+            DegradeKind::GroupLoss => "probes.degrade.group_loss",
+            DegradeKind::Truncation => "probes.degrade.truncation",
+            DegradeKind::Corruption => "probes.degrade.corruption",
+            DegradeKind::ClockSkew => "probes.degrade.clock_skew",
+        }
+    }
 }
 
 /// A deterministic, seeded degradation plan: one failure mode at one
@@ -182,6 +193,7 @@ impl DegradePlan {
         if x <= 0.0 || metrics.is_empty() {
             return metrics.to_vec();
         }
+        vqd_obs::recorder().counter_add(self.kind.obs_key(), 1);
         let mut rng = self.run_rng(run_index);
         match self.kind {
             DegradeKind::VpDropout => {

@@ -111,6 +111,33 @@ impl VpData {
         p(out, "throughput_bps", tput);
     }
 
+    /// Flush this probe's sampling totals and per-flow tstat states
+    /// into the global observability recorder. Called once per session
+    /// by the extraction code (after [`metrics_for`]); write-only, so
+    /// it cannot perturb the collected view.
+    ///
+    /// [`metrics_for`]: VpData::metrics_for
+    pub fn flush_obs(&self) {
+        if !vqd_obs::enabled() {
+            return;
+        }
+        let r = vqd_obs::recorder();
+        r.counter_add("probes.samples.hw", self.hw.cpu.count());
+        r.counter_add("probes.samples.phy", self.phy.rssi.count());
+        let nic_samples: u64 = self.nics.iter().map(|n| n.tx_bps.count()).sum();
+        r.counter_add("probes.samples.nic", nic_samples);
+        for (_, a) in &self.flows {
+            // tstat-style flow-state taxonomy: did this tap see the
+            // handshake, and did the flow close while observed?
+            let key = match (a.syn_count > 0, a.fin_count > 0) {
+                (true, true) => "probes.tstat.flows_complete",
+                (true, false) => "probes.tstat.flows_open",
+                (false, _) => "probes.tstat.flows_midstream",
+            };
+            r.counter_add(key, 1);
+        }
+    }
+
     /// Flatten this probe's view of `flow` into named metrics. Returns
     /// `None` if the probe never saw the flow (e.g. the router probe in
     /// a cellular session).

@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 
 use crate::host::Host;
 use crate::ids::{AppId, FlowId, HostId, LinkId, MediumId};
-use crate::link::{EnqueueOutcome, OneWayLink};
+use crate::link::{EnqueueOutcome, LinkCounters, OneWayLink};
 use crate::medium::{MediumGrant, SharedMedium};
 use crate::packet::{Packet, TransportHdr, UdpHdr};
 use crate::rng::SimRng;
@@ -276,8 +276,73 @@ impl Network {
         }
     }
 
+    /// Flush this network's accumulated counters into the global
+    /// observability recorder. Called once per session from
+    /// [`recycle_into`] — never from the event loop — so the per-event
+    /// path stays untouched. Purely write-only: nothing here feeds
+    /// back into simulation state, RNG draws or event order.
+    ///
+    /// [`recycle_into`]: Network::recycle_into
+    fn flush_obs(&self) {
+        if !vqd_obs::enabled() {
+            return;
+        }
+        let r = vqd_obs::recorder();
+        let s = &self.stats;
+        r.counter_add("simnet.sched.scheduled", s.scheduled);
+        r.counter_add("simnet.sched.dispatched", s.dispatched);
+        r.counter_add("simnet.sched.timer_arms", s.timer_arms);
+        r.counter_add("simnet.sched.timer_cancelled", s.timer_cancelled);
+        r.counter_add("simnet.sched.timer_rescheduled", s.timer_rescheduled);
+        r.counter_add("simnet.sched.timer_stale", s.timer_stale);
+        // Occupancy histograms are keyed by scheduler kind so wheel
+        // and heap runs stay comparable side by side.
+        let (mean_key, peak_key) = match self.queue.kind() {
+            SchedulerKind::TimerWheel => (
+                "simnet.sched.wheel.occupancy_mean",
+                "simnet.sched.wheel.occupancy_peak",
+            ),
+            SchedulerKind::BinaryHeap => (
+                "simnet.sched.heap.occupancy_mean",
+                "simnet.sched.heap.occupancy_peak",
+            ),
+        };
+        if s.dispatched > 0 {
+            r.hist_record(mean_key, s.occupancy_sum as f64 / s.dispatched as f64);
+            r.hist_record(peak_key, s.occupancy_peak as f64);
+        }
+        let mut ctr = LinkCounters::default();
+        for link in &self.links {
+            let c = &link.ctr;
+            ctr.enq_pkts += c.enq_pkts;
+            ctr.enq_bytes += c.enq_bytes;
+            ctr.drop_tail_pkts += c.drop_tail_pkts;
+            ctr.drop_loss_pkts += c.drop_loss_pkts;
+            ctr.delivered_pkts += c.delivered_pkts;
+            ctr.delivered_bytes += c.delivered_bytes;
+            ctr.mac_retx += c.mac_retx;
+        }
+        r.counter_add("simnet.link.enq_pkts", ctr.enq_pkts);
+        r.counter_add("simnet.link.enq_bytes", ctr.enq_bytes);
+        r.counter_add("simnet.link.drop_tail_pkts", ctr.drop_tail_pkts);
+        r.counter_add("simnet.link.drop_loss_pkts", ctr.drop_loss_pkts);
+        r.counter_add("simnet.link.delivered_pkts", ctr.delivered_pkts);
+        r.counter_add("simnet.link.delivered_bytes", ctr.delivered_bytes);
+        r.counter_add("simnet.link.mac_retx", ctr.mac_retx);
+        let retx: u64 = self
+            .flows
+            .iter()
+            .map(|f| {
+                f.endpoint(Side::Client).stats.retx_pkts + f.endpoint(Side::Server).stats.retx_pkts
+            })
+            .sum();
+        r.counter_add("simnet.tcp.retx_pkts", retx);
+        r.counter_add("simnet.sessions", 1);
+    }
+
     /// Return this network's storage to `arena` for the next session.
     pub fn recycle_into(mut self, arena: &mut SimArena) {
+        self.flush_obs();
         self.queue.reset();
         arena.queue = Some(self.queue);
         self.hosts.clear();
@@ -1045,6 +1110,11 @@ impl<O: PacketObserver> Harness<O> {
         while let Some((at, seq, ev)) = self.net.queue.pop_before(t.0) {
             self.net.now = SimTime(at);
             self.net.stats.dispatched += 1;
+            let occ = self.net.queue.len() as u64;
+            self.net.stats.occupancy_sum += occ;
+            if occ > self.net.stats.occupancy_peak {
+                self.net.stats.occupancy_peak = occ;
+            }
             if !matches!(ev, Ev::MediumTick { .. } | Ev::TcpTimer { .. }) {
                 self.net.pending_other -= 1;
             }

@@ -98,6 +98,11 @@ pub struct SchedStats {
     pub timer_rescheduled: u64,
     /// Superseded timer entries dropped without any slot lookup work.
     pub timer_stale: u64,
+    /// Sum of queue length sampled after each dispatch (mean occupancy
+    /// = `occupancy_sum / dispatched`).
+    pub occupancy_sum: u64,
+    /// Peak queue length observed after a dispatch.
+    pub occupancy_peak: u64,
 }
 
 impl SchedStats {

@@ -11,11 +11,12 @@
 //! cargo run --release --example isp_monitor
 //! ```
 
-use std::collections::BTreeMap;
-
 use vqd::prelude::*;
 
 fn main() {
+    // The NOC blame report below is read straight from the metrics
+    // registry (`core.diagnose.label.*`), not tallied by hand.
+    vqd_obs::enable();
     let catalog = Catalog::top100(42);
     let cfg = CorpusConfig {
         sessions: 250,
@@ -34,7 +35,9 @@ fn main() {
     // A fleet of subscribers with a mix of ambient conditions.
     let fleet = 24;
     println!("monitoring {fleet} subscriber sessions (router vantage point only)...\n");
-    let mut blame: BTreeMap<String, u32> = BTreeMap::new();
+    // Only the truth-dependent tally is kept by hand; the model is the
+    // registry's business.
+    vqd_obs::reset();
     let mut correct_loc = 0;
     let mut problems = 0;
     for i in 0..fleet {
@@ -66,7 +69,6 @@ fn main() {
             .cloned()
             .collect();
         let dx = model.diagnose(&router_view);
-        *blame.entry(dx.label.clone()).or_insert(0) += 1;
         let truth = session.truth.label(LabelScheme::Location);
         if truth != "good" {
             problems += 1;
@@ -76,10 +78,18 @@ fn main() {
             }
         }
     }
-    println!("NOC blame report (router-only diagnoses):");
-    for (label, n) in &blame {
+    let snap = vqd_obs::snapshot();
+    println!("NOC blame report (router-only diagnoses, from the metrics registry):");
+    for (label, n) in snap.counters_with_prefix("core.diagnose.label.") {
         println!("  {label:<16} {n:>3} sessions");
     }
+    println!(
+        "  ({} diagnoses; exact answers {}, downgraded to location {}, to existence {})",
+        snap.counter("core.diagnose.calls"),
+        snap.counter("core.diagnose.resolution.exact"),
+        snap.counter("core.diagnose.resolution.location"),
+        snap.counter("core.diagnose.resolution.existence"),
+    );
     println!("\nsegment attribution on truly-problematic sessions: {correct_loc}/{problems}");
     println!(
         "(the paper: ISPs can identify whether an issue is theirs, the user's LAN, or beyond)"

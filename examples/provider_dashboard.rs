@@ -14,6 +14,9 @@
 use vqd::prelude::*;
 
 fn main() {
+    // The closing summary is read from the metrics registry rather
+    // than re-aggregated from per-session state.
+    vqd_obs::enable();
     let catalog = Catalog::top100(42);
     let cfg = CorpusConfig {
         sessions: 300,
@@ -75,6 +78,24 @@ fn main() {
             cpu,
             rssi,
             session.truth.label(LabelScheme::Exact)
+        );
+    }
+    let snap = vqd_obs::snapshot();
+    println!("\npipeline summary (metrics registry):");
+    println!(
+        "  {} sessions simulated, {} stalls observed, {} dispatched sim events",
+        snap.counter("simnet.sessions"),
+        snap.counter("core.qoe.stalls"),
+        snap.counter("simnet.sched.dispatched"),
+    );
+    if let Some(h) = snap.hist("core.diagnose.confidence") {
+        println!(
+            "  {} server-side diagnoses, mean confidence {:.2}, mean telemetry coverage {:.2}",
+            snap.counter("core.diagnose.calls"),
+            h.mean(),
+            snap.hist("core.diagnose.coverage")
+                .map(vqd_obs::LogHistogram::mean)
+                .unwrap_or(0.0),
         );
     }
     println!("\n(the paper: server-flagged 'mobile load' sessions really do have high CPU,");

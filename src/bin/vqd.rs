@@ -7,6 +7,7 @@
 //! vqd simulate   --fault low_rssi --intensity 0.9 --model model.vqd
 //! vqd inspect    --model model.vqd
 //! vqd robustness --corpus corpus.tsv --test test.tsv --labels exact
+//! vqd stats      --sessions 50
 //! vqd help
 //! ```
 //!
@@ -33,13 +34,25 @@ const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
     vqd robustness --corpus corpus.tsv [--test test.tsv] [--model model.vqd]\n\
     \x20              [--labels exact|location|existence] [--kinds vp_dropout,corruption,...]\n\
     \x20              [--intensities 0,0.25,0.5,0.75,1] [--seed 7] [--threads 0]\n\
+    vqd stats      [--sessions 50 --seed 2015] | [--metrics metrics.jsonl] | [--trace trace.json]\n\
     vqd help\n\
     \n\
     `robustness` trains on --corpus (or loads --model), then sweeps the\n\
     degradation kind x intensity grid over the --test corpus, reporting\n\
     accuracy, telemetry coverage and exact-answer rate per cell.\n\
     Degradation kinds: vp_dropout, group_loss, truncation, corruption,\n\
-    clock_skew.";
+    clock_skew.\n\
+    \n\
+    Observability (corpus / train / robustness):\n\
+    \x20 --trace <path>   collect pipeline + sim spans, write Chrome trace_event JSON\n\
+    \x20 --stats <path>   write a JSONL metrics snapshot at exit\n\
+    \x20 --no-obs         disable metric recording entirely\n\
+    Recording is determinism-neutral: output files (corpora, models,\n\
+    reports) are byte-identical with it on or off.\n\
+    \n\
+    `stats` profiles a small corpus run and prints the metrics registry\n\
+    (counters, gauges, histograms); with --metrics it renders an existing\n\
+    JSONL snapshot, with --trace it validates a trace file.";
 
 /// Split argv into `(command, --key value flags)`. Flags without a
 /// value are recorded as `"true"`; stray positional arguments are a
@@ -135,11 +148,82 @@ fn metrics_from_text(text: &str) -> Result<Vec<(String, f64)>, VqdError> {
     Ok(metrics)
 }
 
+/// Output paths requested by the shared observability flags
+/// (`--trace`, `--stats`, `--no-obs`), written at command exit.
+struct ObsOut {
+    trace: Option<String>,
+    stats: Option<String>,
+}
+
+/// Wire up the global recorder from the shared flags. Recording is on
+/// by default (it is determinism-neutral and near-free); `--no-obs`
+/// turns it off, `--trace` additionally collects spans.
+fn obs_setup(opts: &Opts) -> ObsOut {
+    let out = ObsOut {
+        trace: opts.get("trace"),
+        stats: opts.get("stats"),
+    };
+    if opts.get("no-obs").is_some() {
+        vqd_obs::disable();
+    } else if out.trace.is_some() {
+        vqd_obs::enable_tracing();
+    } else {
+        vqd_obs::enable();
+    }
+    out
+}
+
+/// Write the trace / metrics files requested by the shared flags.
+fn obs_finish(out: &ObsOut) -> Result<(), VqdError> {
+    if let Some(path) = &out.trace {
+        let spans = vqd_obs::take_spans();
+        write_file(path, &vqd_obs::chrome_trace_json(&spans))?;
+        eprintln!("wrote {} trace spans to {path}", spans.len());
+    }
+    if let Some(path) = &out.stats {
+        write_file(path, &vqd_obs::snapshot().to_jsonl())?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+    Ok(())
+}
+
+/// The one human-readable generation summary. Rendered from the
+/// metrics registry when recording is on; falls back to the plain
+/// stats struct under `--no-obs`.
+fn corpus_summary(stats: &vqd::core::dataset::CorpusGenStats) -> String {
+    let snap = vqd_obs::snapshot();
+    if vqd_obs::enabled() && !snap.is_empty() {
+        let (p50, p95, p99) = snap
+            .hist("core.session.wall_ms")
+            .map(|h| h.percentiles())
+            .unwrap_or((0.0, 0.0, 0.0));
+        format!(
+            "throughput: {:.1} sessions/sec, {:.2} M events/sec ({} sessions, {} events, {:.2}s wall; session p50 {p50:.0} ms, p95 {p95:.0} ms, p99 {p99:.0} ms)",
+            snap.gauge("core.corpus.sessions_per_sec").unwrap_or(0.0),
+            snap.gauge("core.corpus.events_per_sec").unwrap_or(0.0) / 1e6,
+            snap.counter("core.corpus.sessions"),
+            snap.counter("simnet.sched.dispatched"),
+            snap.gauge("core.corpus.wall_s").unwrap_or(0.0),
+        )
+    } else {
+        format!(
+            "throughput: {:.1} sessions/sec, {:.2} M events/sec ({} events, {:.2}s wall; session p50 {:.0} ms, p95 {:.0} ms, p99 {:.0} ms)",
+            stats.sessions_per_sec,
+            stats.events_per_sec / 1e6,
+            stats.events,
+            stats.wall_s,
+            stats.p50_session_ms,
+            stats.p95_session_ms,
+            stats.p99_session_ms,
+        )
+    }
+}
+
 fn cmd_corpus(opts: &Opts) -> Result<(), VqdError> {
     let sessions = opts.num("sessions", 400.0)? as usize;
     let seed = opts.num("seed", 2015.0)? as u64;
     let out = opts.get("out").unwrap_or_else(|| "corpus.tsv".to_string());
-    eprintln!("simulating {sessions} controlled sessions (seed {seed})...");
+    let obs = obs_setup(opts);
     let cfg = CorpusConfig {
         sessions,
         seed,
@@ -152,31 +236,35 @@ fn cmd_corpus(opts: &Opts) -> Result<(), VqdError> {
         .filter(|r| r.truth.qoe == QoeClass::Good)
         .count();
     eprintln!("wrote {out}: {} runs ({good} good)", runs.len());
-    eprintln!(
-        "throughput: {:.1} sessions/sec, {:.2} M events/sec ({} events, {:.2}s wall, p50 {:.0} ms, p95 {:.0} ms per session)",
-        stats.sessions_per_sec,
-        stats.events_per_sec / 1e6,
-        stats.events,
-        stats.wall_s,
-        stats.p50_session_ms,
-        stats.p95_session_ms,
-    );
-    Ok(())
+    eprintln!("{}", corpus_summary(&stats));
+    obs_finish(&obs)
 }
 
 fn cmd_train(opts: &Opts) -> Result<(), VqdError> {
     let corpus = opts.require("corpus", "file")?;
     let out = opts.get("out").unwrap_or_else(|| "model.vqd".to_string());
+    let obs = obs_setup(opts);
     let runs = corpus_from_text(&read_file(&corpus)?)?;
     let data = to_dataset(&runs, opts.label_scheme()?);
     let model = Diagnoser::train(&data, &DiagnoserConfig::default());
     model.save(&out)?;
-    eprintln!(
-        "trained on {} runs, {} features selected -> {out}",
-        runs.len(),
-        model.selected_features().len()
-    );
-    Ok(())
+    let snap = vqd_obs::snapshot();
+    match snap.hist("ml.fit.wall_ms") {
+        Some(h) => eprintln!(
+            "trained on {} runs, {}/{} features survived FCBF, {} tree nodes in {:.0} ms -> {out}",
+            runs.len(),
+            snap.counter("features.fcbf.selected"),
+            snap.counter("features.fcbf.candidates"),
+            snap.hist("ml.fit.nodes").map(|n| n.max()).unwrap_or(0.0),
+            h.max(),
+        ),
+        None => eprintln!(
+            "trained on {} runs, {} features selected -> {out}",
+            runs.len(),
+            model.selected_features().len()
+        ),
+    }
+    obs_finish(&obs)
 }
 
 fn print_diagnosis(model: &Diagnoser, dx: &Diagnosis) {
@@ -284,6 +372,7 @@ fn cmd_robustness(opts: &Opts) -> Result<(), VqdError> {
     let scheme = opts.label_scheme()?;
     let seed = opts.num("seed", 7.0)? as u64;
     let threads = opts.num("threads", 0.0)? as usize;
+    let obs = obs_setup(opts);
 
     let kinds: Vec<DegradeKind> = match opts.get("kinds") {
         None => DegradeKind::ALL.to_vec(),
@@ -348,6 +437,68 @@ fn cmd_robustness(opts: &Opts) -> Result<(), VqdError> {
     );
     let baseline = majority_baseline(&test_runs, scheme);
     print!("{}", vqd::core::robustness::report(&cells, baseline));
+    obs_finish(&obs)
+}
+
+/// Render an existing JSONL metrics snapshot as a table.
+fn render_metrics_file(path: &str) -> Result<(), VqdError> {
+    use vqd_obs::json::Json;
+    let text = read_file(path)?;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = Json::parse(line)
+            .map_err(|e| VqdError::corpus(idx + 1, format!("bad metrics line: {e}")))?;
+        let field = |k: &str| obj.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let kind = obj.get("kind").and_then(Json::as_str).unwrap_or("?");
+        let name = obj.get("name").and_then(Json::as_str).unwrap_or("?");
+        match kind {
+            "hist" => println!(
+                "hist     {name:<44} n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+                field("count"),
+                field("mean"),
+                field("p50"),
+                field("p95"),
+                field("p99"),
+                field("max"),
+            ),
+            _ => println!("{kind:<8} {name:<44} {}", field("value")),
+        }
+    }
+    Ok(())
+}
+
+/// `vqd stats`: with `--metrics` render a snapshot file, with
+/// `--trace` validate a trace file; otherwise self-profile a small
+/// corpus + train + diagnose pipeline and print the live registry.
+fn cmd_stats(opts: &Opts) -> Result<(), VqdError> {
+    if let Some(path) = opts.get("metrics") {
+        return render_metrics_file(&path);
+    }
+    if let Some(path) = opts.get("trace") {
+        let n = vqd_obs::validate_trace(&read_file(&path)?)
+            .map_err(|e| VqdError::corpus(0, format!("{path}: {e}")))?;
+        println!("{path}: valid Chrome trace, {n} events");
+        return Ok(());
+    }
+    let sessions = opts.num("sessions", 50.0)? as usize;
+    let seed = opts.num("seed", 2015.0)? as u64;
+    vqd_obs::enable();
+    let cfg = CorpusConfig {
+        sessions,
+        seed,
+        ..Default::default()
+    };
+    let (runs, _stats) = generate_corpus_with_stats(&cfg, &Catalog::top100(42));
+    let model = Diagnoser::train(
+        &to_dataset(&runs, LabelScheme::Exact),
+        &DiagnoserConfig::default(),
+    );
+    for r in &runs {
+        let _ = model.diagnose(&r.metrics);
+    }
+    print!("{}", vqd_obs::snapshot().render_text());
     Ok(())
 }
 
@@ -366,6 +517,7 @@ fn main() {
                 "simulate" => cmd_simulate(&opts),
                 "inspect" => cmd_inspect(&opts),
                 "robustness" => cmd_robustness(&opts),
+                "stats" => cmd_stats(&opts),
                 "help" | "--help" | "-h" => {
                     println!("{USAGE}");
                     Ok(())

@@ -70,6 +70,49 @@ fn trained_diagnoser_identical_across_thread_counts() {
     assert_eq!(serialized[0], serialized[1]);
 }
 
+/// Observability must be write-only: enabling metrics and span
+/// tracing cannot change a single bit of the corpus or the trained
+/// model, at any worker-thread count.
+#[test]
+fn corpus_and_model_identical_with_observability_on_and_off() {
+    let make = |threads: usize| {
+        let cfg = CorpusConfig {
+            sessions: 120,
+            seed: 4242,
+            p_fault: 0.6,
+            threads,
+            ..Default::default()
+        };
+        let runs = generate_corpus(&cfg, &catalog());
+        let mut dcfg = DiagnoserConfig::default();
+        dcfg.tree.threads = threads;
+        let model = Diagnoser::train(&to_dataset(&runs, LabelScheme::Exact), &dcfg);
+        (corpus_to_text(&runs), model.serialize())
+    };
+
+    vqd_obs::disable();
+    let (c_off_1, m_off_1) = make(1);
+    let (c_off_8, m_off_8) = make(8);
+
+    vqd_obs::enable_tracing();
+    let (c_on_1, m_on_1) = make(1);
+    let (c_on_8, m_on_8) = make(8);
+    let spans = vqd_obs::take_spans();
+    let snap = vqd_obs::snapshot();
+    vqd_obs::disable();
+
+    // Recording actually happened while enabled...
+    assert!(!spans.is_empty(), "tracing collected no spans");
+    assert!(snap.counter("core.corpus.sessions") >= 240);
+    // ...and perturbed nothing.
+    assert_eq!(c_off_1, c_on_1, "1 thread: recording changed the corpus");
+    assert_eq!(c_off_8, c_on_8, "8 threads: recording changed the corpus");
+    assert_eq!(c_off_1, c_off_8, "thread count changed the corpus");
+    assert_eq!(m_off_1, m_on_1, "1 thread: recording changed the model");
+    assert_eq!(m_off_8, m_on_8, "8 threads: recording changed the model");
+    assert_eq!(m_off_1, m_off_8, "thread count changed the model");
+}
+
 #[test]
 fn columnar_fit_matches_seed_reference() {
     // The raw exact-label dataset has missing vantage points (NaNs),

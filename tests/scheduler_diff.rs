@@ -25,15 +25,23 @@ fn corpus_text(kind: SchedulerKind, threads: usize) -> String {
 }
 
 /// 200 sessions × {wheel, heap} × {1 thread, 8 threads}: all four
-/// serialisations must be the same bytes.
+/// serialisations must be the same bytes. Half the grid runs with
+/// metrics and span tracing enabled — the recorder must not perturb
+/// either engine (it is write-only and flushes outside the event
+/// loop), so obs-on and obs-off corpora are the same bytes too.
 #[test]
 fn wheel_and_heap_corpora_are_byte_identical_at_any_thread_count() {
+    vqd_obs::disable();
     let wheel_1 = corpus_text(SchedulerKind::TimerWheel, 1);
-    let wheel_8 = corpus_text(SchedulerKind::TimerWheel, 8);
     let heap_1 = corpus_text(SchedulerKind::BinaryHeap, 1);
+    vqd_obs::enable_tracing();
+    let wheel_8 = corpus_text(SchedulerKind::TimerWheel, 8);
     let heap_8 = corpus_text(SchedulerKind::BinaryHeap, 8);
+    let spans = vqd_obs::take_spans();
+    vqd_obs::disable();
     set_default_scheduler(SchedulerKind::TimerWheel);
 
+    assert!(!spans.is_empty(), "tracing collected no spans");
     assert!(!wheel_1.is_empty());
     assert_eq!(wheel_1, wheel_8, "wheel: thread count changed the corpus");
     assert_eq!(heap_1, heap_8, "heap: thread count changed the corpus");
