@@ -1,0 +1,247 @@
+//! **Serving perf harness** — batched diagnosis throughput and the
+//! batch/scalar equality gate, persisted to `BENCH_diagnose.json`.
+//!
+//! Trains an exact-resolution diagnoser on the controlled corpus, then
+//! serves every session three ways — pristine, moderately degraded and
+//! heavily degraded telemetry (so the quality/fallback logic runs on
+//! all three resolution tiers) — through:
+//!
+//! 1. the **seed-reference scalar loop** (`diagnose_seed_reference`:
+//!    linear name scans, pointer-tree descent, fresh allocations per
+//!    call — the pre-compilation serving path, kept as the baseline),
+//! 2. the **compiled single-session path** (`diagnose`, which is a
+//!    batch of one), and
+//! 3. the **batched engine** (`diagnose_batch`) at one thread and at
+//!    full parallelism.
+//!
+//! The bench **fails hard** unless every path returns bit-identical
+//! diagnoses (labels, distributions, coverage, confidence, resolution,
+//! fallback) and the batch is identical at 1 vs 8 vs all threads —
+//! the equality gate CI's perf-smoke job runs. Timings follow the
+//! warmup-then-measure discipline of `simnet_perf`.
+//!
+//! Knobs: `VQD_PERF_SMOKE=1` (small corpus, fewer repeats; the
+//! equality gate is the point), `VQD_SESSIONS` (corpus size),
+//! `VQD_BENCH_OUT` (output path), `VQD_NO_OBS=1` (bypass the metrics
+//! registry during timing).
+
+use std::time::Instant;
+
+use vqd_bench::emit_section;
+use vqd_core::dataset::{generate_corpus, to_dataset, CorpusConfig};
+use vqd_core::diagnoser::{Diagnoser, DiagnoserConfig, Diagnosis};
+use vqd_core::scenario::LabelScheme;
+use vqd_probes::degrade::{DegradeKind, DegradePlan};
+use vqd_video::catalog::Catalog;
+
+/// Exit with a diff report unless two diagnoses are bit-identical.
+fn assert_same(a: &Diagnosis, b: &Diagnosis, i: usize, what: &str) {
+    let bits = |v: f64| v.to_bits();
+    let ok = a.label == b.label
+        && a.class == b.class
+        && a.dist.len() == b.dist.len()
+        && a.dist
+            .iter()
+            .zip(&b.dist)
+            .all(|(x, y)| bits(*x) == bits(*y))
+        && bits(a.quality.feature_coverage) == bits(b.quality.feature_coverage)
+        && bits(a.quality.missing_descent) == bits(b.quality.missing_descent)
+        && bits(a.quality.confidence) == bits(b.quality.confidence)
+        && a.quality.silent_vps == b.quality.silent_vps
+        && a.resolution == b.resolution
+        && a.fallback_label == b.fallback_label;
+    if !ok {
+        eprintln!(
+            "[diagnose_perf] EQUALITY REGRESSION ({what}, session {i}):\n  a: {a:?}\n  b: {b:?}"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `(p50, p99)` of per-call latencies, in microseconds.
+fn percentiles_us(lat_ns: &mut [u64]) -> (f64, f64) {
+    if lat_ns.is_empty() {
+        return (0.0, 0.0);
+    }
+    lat_ns.sort_unstable();
+    let pick = |q: usize| lat_ns[(lat_ns.len() * q / 100).min(lat_ns.len() - 1)] as f64 / 1e3;
+    (pick(50), pick(99))
+}
+
+fn main() {
+    let smoke = std::env::var("VQD_PERF_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let sessions = std::env::var("VQD_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 24 } else { 96 });
+    let no_obs = std::env::var("VQD_NO_OBS")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    if no_obs {
+        vqd_obs::disable();
+    } else {
+        vqd_obs::enable();
+    }
+
+    eprintln!("[diagnose_perf] generating {sessions}-session corpus...");
+    let cfg = CorpusConfig {
+        sessions,
+        seed: 2015,
+        ..Default::default()
+    };
+    let corpus = generate_corpus(&cfg, &Catalog::top100(vqd_bench::CATALOG_SEED));
+    eprintln!("[diagnose_perf] training exact-resolution model...");
+    let model = Diagnoser::train(
+        &to_dataset(&corpus, LabelScheme::Exact),
+        &DiagnoserConfig::default(),
+    );
+
+    // Serving set: every corpus session pristine, plus two degraded
+    // replicas per session so coverage spans all three resolution
+    // tiers and the fallback projections actually run. Each tier is a
+    // contiguous block, the way a production scorer drains per-feed
+    // queues (sessions from one telemetry pipeline arrive together).
+    let mild = DegradePlan::new(DegradeKind::VpDropout, 0.55, 77);
+    let harsh = DegradePlan::new(DegradeKind::VpDropout, 0.95, 78);
+    let mut serving: Vec<Vec<(String, f64)>> = Vec::with_capacity(3 * corpus.len());
+    serving.extend(corpus.iter().map(|r| r.metrics.clone()));
+    for (plan, runs) in [(&mild, &corpus), (&harsh, &corpus)] {
+        serving.extend(
+            runs.iter()
+                .enumerate()
+                .map(|(i, r)| plan.apply(i as u64, &r.metrics)),
+        );
+    }
+    let n = serving.len();
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4);
+
+    // ---- Equality gate (untimed; doubles as warmup). -------------
+    eprintln!("[diagnose_perf] equality gate over {n} sessions...");
+    let reference: Vec<Diagnosis> = serving
+        .iter()
+        .map(|s| model.diagnose_seed_reference(s))
+        .collect();
+    let b1 = model.diagnose_batch(&serving, 1);
+    let b8 = model.diagnose_batch(&serving, 8);
+    let ball = model.diagnose_batch(&serving, 0);
+    for i in 0..n {
+        assert_same(&reference[i], &b1.get(i), i, "scalar reference vs batch(1)");
+        assert_same(&b1.get(i), &b8.get(i), i, "batch threads 1 vs 8");
+        assert_same(&b1.get(i), &ball.get(i), i, "batch threads 1 vs all");
+        assert_same(
+            &reference[i],
+            &model.diagnose(&serving[i]),
+            i,
+            "scalar vs compiled single",
+        );
+    }
+
+    // ---- Timed passes. -------------------------------------------
+    let reps = if smoke { 2 } else { 5 };
+
+    eprintln!("[diagnose_perf] timing scalar reference ({reps} passes)...");
+    let mut scalar_lat: Vec<u64> = Vec::with_capacity(reps * n);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for s in &serving {
+            let c0 = Instant::now();
+            std::hint::black_box(model.diagnose_seed_reference(s));
+            scalar_lat.push(c0.elapsed().as_nanos() as u64);
+        }
+    }
+    let scalar_wall = t0.elapsed().as_secs_f64();
+    let scalar_sps = (reps * n) as f64 / scalar_wall;
+    let (scalar_p50, scalar_p99) = percentiles_us(&mut scalar_lat);
+
+    eprintln!("[diagnose_perf] timing compiled single-session path...");
+    let mut single_lat: Vec<u64> = Vec::with_capacity(reps * n);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for s in &serving {
+            let c0 = Instant::now();
+            std::hint::black_box(model.diagnose(s));
+            single_lat.push(c0.elapsed().as_nanos() as u64);
+        }
+    }
+    let single_wall = t0.elapsed().as_secs_f64();
+    let single_sps = (reps * n) as f64 / single_wall;
+    let (single_p50, single_p99) = percentiles_us(&mut single_lat);
+
+    let time_batch = |threads: usize| {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            std::hint::black_box(model.diagnose_batch(&serving, threads));
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        (n as f64 / best, best / n as f64 * 1e6)
+    };
+    eprintln!("[diagnose_perf] timing batch (1 thread)...");
+    let (batch1_sps, batch1_us) = time_batch(1);
+    eprintln!("[diagnose_perf] timing batch ({threads} threads)...");
+    let (batchp_sps, batchp_us) = time_batch(0);
+
+    let tree_nodes = model
+        .tree()
+        .serialize()
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix("nodes\t")
+                .and_then(|v| v.parse::<usize>().ok())
+        })
+        .unwrap_or(0);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"corpus_sessions\": {sessions},\n"));
+    json.push_str(&format!("  \"serving_sessions\": {n},\n"));
+    json.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"obs_recording\": {},\n", !no_obs));
+    json.push_str(&format!(
+        "  \"model\": {{\"classes\": {}, \"features\": {}, \"tree_nodes\": {tree_nodes}}},\n",
+        model.classes.len(),
+        model.feature_names.len()
+    ));
+    json.push_str(&format!(
+        "  \"scalar_reference\": {{\"diagnoses_per_sec\": {scalar_sps:.0}, \"p50_us\": {scalar_p50:.2}, \"p99_us\": {scalar_p99:.2}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"compiled_single\": {{\"diagnoses_per_sec\": {single_sps:.0}, \"p50_us\": {single_p50:.2}, \"p99_us\": {single_p99:.2}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"batch_1thread\": {{\"diagnoses_per_sec\": {batch1_sps:.0}, \"amortized_us_per_session\": {batch1_us:.2}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"batch_parallel\": {{\"threads\": {threads}, \"diagnoses_per_sec\": {batchp_sps:.0}, \"amortized_us_per_session\": {batchp_us:.2}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"speedup_batch1_vs_scalar\": {:.2},\n",
+        batch1_sps / scalar_sps
+    ));
+    json.push_str(&format!(
+        "  \"speedup_parallel_vs_scalar\": {:.2},\n",
+        batchp_sps / scalar_sps
+    ));
+    json.push_str(
+        "  \"equality\": \"batch == scalar reference == compiled single, threads 1 == 8 == all, bitwise\"\n",
+    );
+    json.push_str("}\n");
+
+    let out = std::env::var("VQD_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_diagnose.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_diagnose.json");
+
+    let text = format!(
+        "diagnose perf ({n} serving sessions, {} classes, {} features, {tree_nodes} nodes):\n  scalar reference: {scalar_sps:.0}/s, p50 {scalar_p50:.1} us, p99 {scalar_p99:.1} us\n  compiled single:  {single_sps:.0}/s, p50 {single_p50:.1} us, p99 {single_p99:.1} us\n  batch x1 thread:  {batch1_sps:.0}/s ({:.2}x scalar)\n  batch x{threads} threads: {batchp_sps:.0}/s ({:.2}x scalar)\n  all paths bit-identical (equality gate passed)\n",
+        model.classes.len(),
+        model.feature_names.len(),
+        batch1_sps / scalar_sps,
+        batchp_sps / scalar_sps,
+    );
+    emit_section("diagnose_perf", &text);
+}

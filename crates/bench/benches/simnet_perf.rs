@@ -1,14 +1,21 @@
 //! **Perf harness** — simulator throughput and scheduler differential
 //! check, persisted to `BENCH_simnet.json`.
 //!
-//! Generates the controlled corpus twice — once on the timer-wheel
-//! scheduler (the production fast path) and once on the binary-heap
-//! oracle — and:
+//! Generates the controlled corpus on both the timer-wheel scheduler
+//! (the production fast path) and the binary-heap oracle — and:
 //!
-//! 1. **fails hard** if the two corpora are not byte-identical (the
+//! 1. **fails hard** if the corpora are not byte-identical (the
 //!    determinism regression gate used by CI's perf-smoke job), and
 //! 2. records sessions/sec, events/sec and p50/p95 per-session wall
 //!    time for both engines in `BENCH_simnet.json` at the repo root.
+//!
+//! Timing is order-neutral: an untimed warmup pass on each engine
+//! first (page faults, lazy allocation, CPU frequency ramp), then two
+//! timed passes per engine interleaved ABBA (wheel, heap, heap,
+//! wheel) so linear drift cancels instead of penalising whichever
+//! engine happens to run first. An earlier revision timed a single
+//! cold wheel pass against a single warm heap pass and misreported
+//! the wheel as ~10% slower; the ABBA numbers show it ahead.
 //!
 //! Knobs:
 //!
@@ -53,6 +60,24 @@ fn run(
     (fingerprint(&text), text.len(), stats, snap, wall)
 }
 
+/// Merge two timed passes of one engine: totals accumulate, rates are
+/// recomputed over the combined wall time, percentiles come from the
+/// warmer second pass (the caller pairs this with that pass's
+/// histogram snapshot).
+fn combine(a: &CorpusGenStats, b: &CorpusGenStats) -> CorpusGenStats {
+    let wall = a.wall_s + b.wall_s;
+    CorpusGenStats {
+        sessions: a.sessions,
+        wall_s: wall,
+        sessions_per_sec: (a.sessions + b.sessions) as f64 / wall,
+        events: a.events,
+        events_per_sec: (a.events + b.events) as f64 / wall,
+        p50_session_ms: b.p50_session_ms,
+        p95_session_ms: b.p95_session_ms,
+        p99_session_ms: b.p99_session_ms,
+    }
+}
+
 /// Session wall-time percentiles for one engine: from the registry's
 /// `core.session.wall_ms` histogram when recording is on, otherwise
 /// from the generator's own stats (same `LogHistogram` math).
@@ -95,20 +120,43 @@ fn main() {
         vqd_obs::enable();
     }
 
-    eprintln!("[simnet_perf] {sessions} sessions on the timer wheel...");
-    let (fp_wheel, len_wheel, wheel, snap_wheel, _) = run(SchedulerKind::TimerWheel, &cfg);
-    eprintln!("[simnet_perf] {sessions} sessions on the heap oracle...");
-    let (fp_heap, len_heap, heap, snap_heap, _) = run(SchedulerKind::BinaryHeap, &cfg);
+    // Untimed warmup on each engine so neither timed pass pays
+    // first-run costs.
+    let warm_cfg = CorpusConfig {
+        sessions: sessions.min(12),
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    eprintln!(
+        "[simnet_perf] warmup ({} sessions per engine)...",
+        warm_cfg.sessions
+    );
+    run(SchedulerKind::TimerWheel, &warm_cfg);
+    run(SchedulerKind::BinaryHeap, &warm_cfg);
+
+    // Timed ABBA passes: wheel, heap, heap, wheel.
+    eprintln!("[simnet_perf] {sessions} sessions on the timer wheel (pass 1)...");
+    let (fp_w1, len_w1, w1, _snap_w1, _) = run(SchedulerKind::TimerWheel, &cfg);
+    eprintln!("[simnet_perf] {sessions} sessions on the heap oracle (pass 1)...");
+    let (fp_h1, len_h1, h1, _snap_h1, _) = run(SchedulerKind::BinaryHeap, &cfg);
+    eprintln!("[simnet_perf] {sessions} sessions on the heap oracle (pass 2)...");
+    let (fp_h2, len_h2, h2, snap_heap, _) = run(SchedulerKind::BinaryHeap, &cfg);
+    eprintln!("[simnet_perf] {sessions} sessions on the timer wheel (pass 2)...");
+    let (fp_w2, len_w2, w2, snap_wheel, _) = run(SchedulerKind::TimerWheel, &cfg);
     set_default_scheduler(SchedulerKind::TimerWheel);
 
-    // The determinism gate: wheel and heap must serialise the exact
-    // same corpus. A mismatch is a scheduler-ordering bug, never noise.
-    if fp_wheel != fp_heap || len_wheel != len_heap {
+    // The determinism gate: every pass of either engine must serialise
+    // the exact same corpus. A mismatch is a scheduler-ordering bug,
+    // never noise.
+    let (fp_wheel, len_wheel) = (fp_w1, len_w1);
+    if [fp_h1, fp_h2, fp_w2] != [fp_wheel; 3] || [len_h1, len_h2, len_w2] != [len_wheel; 3] {
         eprintln!(
-            "[simnet_perf] DETERMINISM REGRESSION: wheel {fp_wheel:#018x} ({len_wheel} B) != heap {fp_heap:#018x} ({len_heap} B)"
+            "[simnet_perf] DETERMINISM REGRESSION: wheel {fp_w1:#018x}/{fp_w2:#018x} ({len_w1}/{len_w2} B) != heap {fp_h1:#018x}/{fp_h2:#018x} ({len_h1}/{len_h2} B)"
         );
         std::process::exit(1);
     }
+    let wheel = combine(&w1, &w2);
+    let heap = combine(&h1, &h2);
 
     let baseline_sps: Option<f64> = std::env::var("VQD_BASELINE_SPS")
         .ok()
@@ -124,6 +172,7 @@ fn main() {
         "  \"corpus_fingerprint\": \"{fp_wheel:#018x}\",\n"
     ));
     json.push_str(&format!("  \"obs_recording\": {},\n", !no_obs));
+    json.push_str("  \"timing\": \"warmup + 2 ABBA-interleaved passes per engine\",\n");
     json.push_str(&format!(
         "  \"wheel\": {},\n",
         stats_json(&wheel, &snap_wheel)

@@ -61,8 +61,12 @@ pub struct Diagnoser {
     tree: DecisionTree,
     /// Fallback thresholds, copied from the training config
     /// (defaults when the model was loaded from disk).
-    min_coverage_exact: f64,
-    min_coverage_location: f64,
+    pub(crate) min_coverage_exact: f64,
+    pub(crate) min_coverage_location: f64,
+    /// The serving-path compilation of this model (flattened tree,
+    /// interned schema, pre-resolved projections) — see
+    /// [`crate::serving`].
+    pub(crate) compiled: crate::serving::CompiledModel,
 }
 
 /// How specific an answer the available telemetry supports — the
@@ -205,6 +209,7 @@ impl Diagnoser {
         let data = &prep.data;
         let rows: Vec<usize> = (0..data.len()).collect();
         let tree = C45Trainer { cfg: cfg.tree }.fit(data, &rows);
+        let compiled = crate::serving::CompiledModel::build(&tree, prep.constructor.is_some());
         Diagnoser {
             constructor: prep.constructor.clone(),
             feature_names: data.features.clone(),
@@ -212,6 +217,7 @@ impl Diagnoser {
             tree,
             min_coverage_exact: cfg.min_coverage_exact,
             min_coverage_location: cfg.min_coverage_location,
+            compiled,
         }
     }
 
@@ -317,7 +323,22 @@ impl Diagnoser {
     /// cause (Q3) to localisation (Q2) or bare existence (Q1) — a
     /// sparse deployment still gets the coarser answers the paper
     /// shows remain reliable (§6.2).
+    ///
+    /// This is the batched engine ([`Diagnoser::diagnose_batch`])
+    /// applied to a single session; batching N sessions returns
+    /// bit-identical results at a fraction of the per-session cost.
     pub fn diagnose(&self, metrics: &[(String, f64)]) -> Diagnosis {
+        self.diagnose_batch(std::slice::from_ref(&metrics), 1)
+            .get(0)
+    }
+
+    /// The pre-batch scalar serving loop, retained verbatim as the
+    /// baseline the `diagnose_perf` bench and the equality tests
+    /// measure the compiled engine against: linear name scans over the
+    /// metric list per schema feature, pointer-tree descent, fresh
+    /// allocations per call.
+    #[doc(hidden)]
+    pub fn diagnose_seed_reference(&self, metrics: &[(String, f64)]) -> Diagnosis {
         let row = self.row_for(metrics);
         let (mut dist, missing_descent) = self.tree.predict_dist_traced(&row);
         let total: f64 = dist.iter().sum();
@@ -433,6 +454,7 @@ impl Diagnoser {
             VqdError::Model(e)
         })?;
         let defaults = DiagnoserConfig::default();
+        let compiled = crate::serving::CompiledModel::build(&tree, fc);
         Ok(Diagnoser {
             constructor: fc.then(FeatureConstructor::default),
             feature_names: tree.feature_names.clone(),
@@ -440,6 +462,7 @@ impl Diagnoser {
             tree,
             min_coverage_exact: defaults.min_coverage_exact,
             min_coverage_location: defaults.min_coverage_location,
+            compiled,
         })
     }
 
@@ -460,16 +483,19 @@ impl Diagnoser {
     /// (classes must match by name; extra/missing feature columns are
     /// handled by name alignment).
     pub fn evaluate(&self, raw: &Dataset) -> ConfusionMatrix {
+        let sessions: Vec<Vec<(String, f64)>> = (0..raw.len())
+            .map(|i| {
+                raw.features
+                    .iter()
+                    .cloned()
+                    .zip(raw.x[i].iter().copied())
+                    .filter(|(_, v)| !v.is_nan())
+                    .collect()
+            })
+            .collect();
+        let batch = self.diagnose_batch(&sessions, 0);
         let mut cm = ConfusionMatrix::new(self.classes.clone());
         for i in 0..raw.len() {
-            let metrics: Vec<(String, f64)> = raw
-                .features
-                .iter()
-                .cloned()
-                .zip(raw.x[i].iter().copied())
-                .filter(|(_, v)| !v.is_nan())
-                .collect();
-            let d = self.diagnose(&metrics);
             // Align class by name.
             let actual_name = &raw.classes[raw.y[i]];
             let actual = self
@@ -477,7 +503,7 @@ impl Diagnoser {
                 .iter()
                 .position(|c| c == actual_name)
                 .unwrap_or(0);
-            cm.add(actual, d.class);
+            cm.add(actual, batch.class(i));
         }
         cm
     }

@@ -10,6 +10,9 @@
 //! * [`testbed`] — the controlled testbed (Figure 2) and session runner.
 //! * [`dataset`] — labelled corpus generation (Section 4).
 //! * [`diagnoser`] — the train/diagnose API (FC → FCBF → C4.5).
+//! * [`serving`] — the batched serving engine: compiled trees,
+//!   interned schemas, zero-alloc columnar diagnosis
+//!   ([`DiagnosisBatch`]).
 //! * [`experiments`] — the Section 5 evaluation drivers (Figs 3–5,
 //!   Tables 1 & 4).
 //! * [`realworld`] — the Section 6 deployments (induced-fault corporate
@@ -31,6 +34,7 @@ pub mod multifault;
 pub mod realworld;
 pub mod robustness;
 pub mod scenario;
+pub mod serving;
 pub mod testbed;
 
 pub use ablation::{classifier_comparison, pipeline_ablation, pruning_ablation};
@@ -45,4 +49,5 @@ pub use multifault::{evaluate_multifault, generate_multifault};
 pub use realworld::{generate_induced, generate_wild, Access, RealWorldConfig, RwRun, Service};
 pub use robustness::{degrade_corpus, majority_baseline, sweep, RobustnessCell};
 pub use scenario::{class_names, GroundTruth, LabelScheme};
+pub use serving::DiagnosisBatch;
 pub use testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};

@@ -26,7 +26,7 @@ use crate::diagnoser::{Diagnoser, Resolution};
 use crate::scenario::{class_id, LabelScheme};
 
 /// Worker-thread count: `threads` or available parallelism when 0.
-fn thread_count(threads: usize, jobs: usize) -> usize {
+pub(crate) fn thread_count(threads: usize, jobs: usize) -> usize {
     let n = if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -129,26 +129,22 @@ pub fn eval_cell(
     // One batch-level span per cell (not per call: a sweep diagnoses
     // hundreds of thousands of sessions).
     let _span = vqd_obs::WallSpan::begin("diagnose", "pipeline");
-    let per_run = par_map(test.len(), threads, |i| {
-        let metrics = plan.apply(i as u64, &test[i].metrics);
-        let dx = model.diagnose(&metrics);
-        (
-            class_id(&test[i].truth, scheme),
-            dx.class,
-            dx.quality.feature_coverage,
-            dx.quality.confidence,
-            dx.resolution == Resolution::Exact,
-        )
+    // Degrade in parallel (pure per index), then score the whole cell
+    // through the batched serving engine — same outputs as per-session
+    // `diagnose` calls, bit for bit, at batch throughput.
+    let degraded = par_map(test.len(), threads, |i| {
+        plan.apply(i as u64, &test[i].metrics)
     });
+    let batch = model.diagnose_batch(&degraded, threads);
     let mut cm = ConfusionMatrix::new(model.classes.clone());
     let (mut cov, mut conf, mut exact) = (0.0, 0.0, 0usize);
-    for &(actual, predicted, c, p, is_exact) in &per_run {
-        cm.add(actual, predicted);
-        cov += c;
-        conf += p;
-        exact += is_exact as usize;
+    for (i, run) in test.iter().enumerate() {
+        cm.add(class_id(&run.truth, scheme), batch.class(i));
+        cov += batch.coverage(i);
+        conf += batch.confidence(i);
+        exact += (batch.resolution(i) == Resolution::Exact) as usize;
     }
-    let n = per_run.len().max(1) as f64;
+    let n = test.len().max(1) as f64;
     RobustnessCell {
         kind: plan.kind,
         intensity: plan.intensity,

@@ -1,0 +1,754 @@
+//! Batched diagnosis serving: compiled model + columnar batch API.
+//!
+//! [`Diagnoser::diagnose`] is correct but built for one session at a
+//! time: every call resolves feature names with linear string scans,
+//! re-derives tree importances, and allocates a handful of vectors.
+//! At the deployment scale the paper targets (scoring every video
+//! session an ISP carries) the serving path is the product, so this
+//! module compiles the model once —
+//!
+//! * the decision tree flattened to SoA node tables
+//!   ([`vqd_ml::CompiledTree`]),
+//! * the post-selection schema interned to dense column ids
+//!   ([`vqd_ml::FeatureInterner`]),
+//! * feature importances, tree-used columns, vantage-point groups and
+//!   the Q2/Q1 label projections all pre-resolved —
+//!
+//! and scores N sessions into a columnar [`DiagnosisBatch`] with
+//! **zero allocation inside the per-session loop** (scratch buffers
+//! and per-shape [`InstancePlan`]s are reused; only genuinely new
+//! metric-name shapes compile a plan).
+//!
+//! # Determinism
+//!
+//! The batch is sharded across threads as contiguous index ranges,
+//! each worker writing its own disjoint slice of every output column,
+//! so the result is **byte-identical to the scalar path at any thread
+//! count**: per-session work is a pure function of the session, every
+//! floating-point expression keeps the scalar path's exact shape and
+//! evaluation order (leaf-visit order, ascending-index coverage sums,
+//! class-order projection accumulation, last-max tie-breaks), and no
+//! reduction crosses a shard boundary.
+
+use std::cmp::Ordering;
+
+use vqd_features::InstancePlan;
+use vqd_ml::compiled::{CompiledTree, DescentFrame};
+use vqd_ml::dtree::DecisionTree;
+use vqd_ml::intern::FeatureInterner;
+
+use crate::diagnoser::{Diagnoser, Diagnosis, DiagnosisQuality, Resolution};
+use crate::robustness::thread_count;
+
+/// Sentinel for "no fallback label" in [`DiagnosisBatch::fallback`].
+const NO_FALLBACK: u32 = u32::MAX;
+
+/// Everything about a trained model that the serving hot path needs,
+/// resolved once at construction time.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledModel {
+    /// The flattened tree.
+    pub(crate) ctree: CompiledTree,
+    /// Post-FC/FS schema, interned (dense column ids).
+    pub(crate) schema: FeatureInterner,
+    /// Whether sessions go through feature construction first.
+    pub(crate) with_fc: bool,
+    /// Tree-used schema columns, ascending.
+    used: Vec<u32>,
+    /// Importance per schema column (same bits as
+    /// `DecisionTree::feature_importance`).
+    imp: Vec<f64>,
+    /// `Σ imp[used]`, the scalar path's per-call coverage denominator.
+    total_imp: f64,
+    /// First-occurrence vantage-point names over the schema.
+    vp_names: Vec<String>,
+    /// Vantage-point index of each schema column.
+    vp_of_col: Vec<u32>,
+    /// Q2 (location) projection: group names in first-occurrence order
+    /// and the group of each class.
+    loc_names: Vec<String>,
+    loc_group: Vec<u32>,
+    /// Q1 (existence) projection, same layout.
+    ex_names: Vec<String>,
+    ex_group: Vec<u32>,
+    /// `1 / n_classes` — the chance level confidence shrinks toward.
+    chance: f64,
+    /// Reusable worker scratch states (see [`ScratchPool`]).
+    pool: ScratchPool,
+}
+
+/// Pool of per-worker [`Scratch`] states, owned by the compiled model
+/// so consecutive `diagnose`/`diagnose_batch` calls reuse warm plan
+/// caches instead of recompiling every shape from nothing — this is
+/// what makes a batch-of-one call cheap. Scratch sizes are a function
+/// of the model, and the pool is rebuilt with it (and emptied on
+/// clone), so a pooled scratch always fits. Workers pop concurrently
+/// under the mutex — one lock per shard, never per session.
+pub(crate) struct ScratchPool(std::sync::Mutex<Vec<Scratch>>);
+
+impl ScratchPool {
+    fn new() -> ScratchPool {
+        ScratchPool(std::sync::Mutex::new(Vec::new()))
+    }
+
+    fn get(&self, cm: &CompiledModel) -> Scratch {
+        self.0
+            .lock()
+            .ok()
+            .and_then(|mut v| v.pop())
+            .unwrap_or_else(|| Scratch::new(cm))
+    }
+
+    fn put(&self, sc: Scratch) {
+        if let Ok(mut v) = self.0.lock() {
+            v.push(sc);
+        }
+    }
+}
+
+impl Clone for ScratchPool {
+    fn clone(&self) -> Self {
+        ScratchPool::new()
+    }
+}
+
+impl std::fmt::Debug for ScratchPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ScratchPool")
+    }
+}
+
+impl CompiledModel {
+    pub(crate) fn build(tree: &DecisionTree, with_fc: bool) -> CompiledModel {
+        let ctree = CompiledTree::from_tree(tree);
+        let schema = FeatureInterner::from_names(&tree.feature_names);
+        let imp = ctree.feature_importance();
+        let used: Vec<u32> = ctree.features_used().iter().map(|&i| i as u32).collect();
+        // Same expression the scalar path evaluates per call.
+        let total_imp: f64 = used.iter().map(|&i| imp[i as usize]).sum();
+
+        // First-occurrence VP list + per-column VP index, mirroring the
+        // scalar `coverage_of` silent-VP scan.
+        let mut vp_names: Vec<String> = Vec::new();
+        let mut vp_of_col = Vec::with_capacity(tree.feature_names.len());
+        for n in &tree.feature_names {
+            let vp = n.split('.').next().unwrap_or("");
+            let vi = match vp_names.iter().position(|v| v == vp) {
+                Some(i) => i,
+                None => {
+                    vp_names.push(vp.to_string());
+                    vp_names.len() - 1
+                }
+            };
+            vp_of_col.push(vi as u32);
+        }
+
+        let (loc_names, loc_group) =
+            Self::projection(&tree.class_names, crate::scenario::exact_to_location);
+        let (ex_names, ex_group) =
+            Self::projection(&tree.class_names, crate::scenario::exact_to_existence);
+        let chance = 1.0 / tree.class_names.len().max(1) as f64;
+        CompiledModel {
+            ctree,
+            schema,
+            with_fc,
+            used,
+            imp,
+            total_imp,
+            vp_names,
+            vp_of_col,
+            loc_names,
+            loc_group,
+            ex_names,
+            ex_group,
+            chance,
+            pool: ScratchPool::new(),
+        }
+    }
+
+    /// Pre-resolve one label projection: group names in the
+    /// first-occurrence order the scalar `project_dist` discovers them,
+    /// plus each class's group index.
+    fn projection(classes: &[String], f: impl Fn(&str) -> String) -> (Vec<String>, Vec<u32>) {
+        let mut names: Vec<String> = Vec::new();
+        let mut group = Vec::with_capacity(classes.len());
+        for c in classes {
+            let g = f(c);
+            let gi = match names.iter().position(|n| *n == g) {
+                Some(i) => i,
+                None => {
+                    names.push(g);
+                    names.len() - 1
+                }
+            };
+            group.push(gi as u32);
+        }
+        (names, group)
+    }
+
+    /// Words per session in the silent-VP bitmask.
+    fn silent_words(&self) -> usize {
+        self.vp_names.len().div_ceil(64).max(1)
+    }
+}
+
+/// Columnar results of a batched diagnosis: one entry per session, in
+/// input order, bit-identical to calling [`Diagnoser::diagnose`] per
+/// session. Use the accessors for zero-copy reads or
+/// [`DiagnosisBatch::get`] to materialise one [`Diagnosis`].
+#[derive(Debug, Clone)]
+pub struct DiagnosisBatch {
+    n_classes: usize,
+    /// Silent-VP bitmask words per session.
+    nw: usize,
+    classes: Vec<String>,
+    vp_names: Vec<String>,
+    loc_names: Vec<String>,
+    ex_names: Vec<String>,
+    /// Predicted class per session.
+    class: Vec<u32>,
+    /// Class distributions, session-major (`n × n_classes`).
+    dist: Vec<f64>,
+    coverage: Vec<f64>,
+    missing_descent: Vec<f64>,
+    confidence: Vec<f64>,
+    resolution: Vec<Resolution>,
+    /// Fallback group index per session ([`NO_FALLBACK`] when the
+    /// answer is exact); indexes `loc_names` or `ex_names` according
+    /// to `resolution`.
+    fallback: Vec<u32>,
+    /// Silent-VP bitmask, session-major (`n × nw`).
+    silent: Vec<u64>,
+}
+
+impl DiagnosisBatch {
+    /// Number of sessions diagnosed.
+    pub fn len(&self) -> usize {
+        self.class.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.class.is_empty()
+    }
+
+    /// Predicted class index of session `i`.
+    pub fn class(&self, i: usize) -> usize {
+        self.class[i] as usize
+    }
+
+    /// Predicted class label of session `i`.
+    pub fn label(&self, i: usize) -> &str {
+        &self.classes[self.class[i] as usize]
+    }
+
+    /// Class distribution of session `i`.
+    pub fn dist(&self, i: usize) -> &[f64] {
+        &self.dist[i * self.n_classes..(i + 1) * self.n_classes]
+    }
+
+    /// Feature coverage of session `i`.
+    pub fn coverage(&self, i: usize) -> f64 {
+        self.coverage[i]
+    }
+
+    /// Downgraded confidence of session `i`.
+    pub fn confidence(&self, i: usize) -> f64 {
+        self.confidence[i]
+    }
+
+    /// Resolution of session `i`.
+    pub fn resolution(&self, i: usize) -> Resolution {
+        self.resolution[i]
+    }
+
+    /// The reported answer for session `i`: the exact label, or the
+    /// coarser fallback when coverage forced one.
+    pub fn answer(&self, i: usize) -> &str {
+        match self.fallback_label(i) {
+            Some(f) => f,
+            None => self.label(i),
+        }
+    }
+
+    fn fallback_label(&self, i: usize) -> Option<&str> {
+        let names = match self.resolution[i] {
+            Resolution::Exact => return None,
+            Resolution::Location => &self.loc_names,
+            Resolution::Existence => &self.ex_names,
+        };
+        Some(match names.get(self.fallback[i] as usize) {
+            Some(n) => n.as_str(),
+            // Empty class list: the scalar path answers "good".
+            None => "good",
+        })
+    }
+
+    /// Silent vantage points of session `i`, in schema order.
+    pub fn silent_vps(&self, i: usize) -> Vec<String> {
+        let words = &self.silent[i * self.nw..(i + 1) * self.nw];
+        self.vp_names
+            .iter()
+            .enumerate()
+            .filter(|(v, _)| words[v / 64] & (1u64 << (v % 64)) != 0)
+            .map(|(_, n)| n.clone())
+            .collect()
+    }
+
+    /// Materialise session `i` as a scalar [`Diagnosis`] — field-for-
+    /// field (and bit-for-bit) what [`Diagnoser::diagnose`] returns.
+    pub fn get(&self, i: usize) -> Diagnosis {
+        Diagnosis {
+            label: self.classes[self.class[i] as usize].clone(),
+            class: self.class[i] as usize,
+            dist: self.dist(i).to_vec(),
+            quality: DiagnosisQuality {
+                feature_coverage: self.coverage[i],
+                silent_vps: self.silent_vps(i),
+                missing_descent: self.missing_descent[i],
+                confidence: self.confidence[i],
+            },
+            resolution: self.resolution[i],
+            fallback_label: self.fallback_label(i).map(str::to_string),
+        }
+    }
+}
+
+/// Per-shard mutable views over the batch's output columns.
+struct Shard<'a> {
+    class: &'a mut [u32],
+    dist: &'a mut [f64],
+    coverage: &'a mut [f64],
+    missing_descent: &'a mut [f64],
+    confidence: &'a mut [f64],
+    resolution: &'a mut [Resolution],
+    fallback: &'a mut [u32],
+    silent: &'a mut [u64],
+}
+
+/// Per-worker scratch: reused across every session of a shard so the
+/// hot loop allocates nothing (a new metric-name *shape* compiles one
+/// plan; repeated shapes hit the cache).
+struct Scratch {
+    row: Vec<f64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    stack: Vec<DescentFrame>,
+    gacc: Vec<f64>,
+    plans: Vec<(u64, InstancePlan)>,
+    /// Index of the most recently hit plan — tried first, before any
+    /// hashing, so shape-stable session streams pay one fused
+    /// verify+scatter pass and nothing else.
+    mru: usize,
+}
+
+impl Scratch {
+    fn new(cm: &CompiledModel) -> Scratch {
+        let w = cm.schema.len();
+        Scratch {
+            row: vec![0.0; w],
+            stamp: vec![0u32; w],
+            epoch: 0,
+            stack: Vec::new(),
+            gacc: vec![0.0; cm.loc_names.len().max(cm.ex_names.len())],
+            plans: Vec::new(),
+            mru: 0,
+        }
+    }
+
+    /// Advance the session epoch, resetting the stamps on wrap so a
+    /// recycled epoch value can never validate a stale write.
+    fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Plan-cache discriminator over a session's metric-name shape:
+    /// an FNV fold of the name-length sequence. Lengths live in the
+    /// `String` headers, so hashing touches no name bytes at all —
+    /// deliberately cheap, because it only routes the lookup; the
+    /// authoritative check is [`InstancePlan::apply_verified`]'s
+    /// name-by-name comparison (shapes that collide here diverge on
+    /// their first differing name), so a collision costs a retried
+    /// epoch, never a wrong row.
+    fn shape_hash(metrics: &[(String, f64)]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (name, _) in metrics {
+            h ^= name.len() as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Build the schema row for one session: find (or compile) the
+    /// plan for its metric-name shape and scatter its values, leaving
+    /// the result in `self.row`. Verification is fused into the
+    /// scatter, so a cache hit costs a single pass over the session.
+    fn construct_row(&mut self, metrics: &[(String, f64)], cm: &CompiledModel) {
+        self.bump_epoch();
+        // MRU fast path: verification is fused into the scatter, so
+        // trying the last-hit plan outright is cheaper than hashing
+        // the session's names whenever shapes repeat back to back.
+        let mru = self.mru;
+        if mru < self.plans.len() && self.plans[mru].1.shape_len() == metrics.len() {
+            if self.plans[mru]
+                .1
+                .apply_verified(metrics, &mut self.row, &mut self.stamp, self.epoch)
+            {
+                return;
+            }
+            // The failed attempt may have scattered a few values
+            // before diverging; invalidate them.
+            self.bump_epoch();
+        }
+        let h = Self::shape_hash(metrics);
+        for i in 0..self.plans.len() {
+            if i == mru || self.plans[i].0 != h {
+                continue;
+            }
+            if self.plans[i]
+                .1
+                .apply_verified(metrics, &mut self.row, &mut self.stamp, self.epoch)
+            {
+                self.mru = i;
+                return;
+            }
+            // Hash collision: invalidate any partial scatter and keep
+            // looking.
+            self.bump_epoch();
+        }
+        let names: Vec<String> = metrics.iter().map(|(n, _)| n.clone()).collect();
+        let plan = if cm.with_fc {
+            InstancePlan::with_construction(&names, &cm.schema)
+        } else {
+            InstancePlan::direct(&names, &cm.schema)
+        };
+        let ok = plan.apply_verified(metrics, &mut self.row, &mut self.stamp, self.epoch);
+        debug_assert!(ok, "freshly compiled plan must match its own shape");
+        self.plans.push((h, plan));
+        self.mru = self.plans.len() - 1;
+    }
+}
+
+/// Split `len` elements off the front of `*s`, advancing it — the
+/// progressive-carving idiom for handing disjoint column ranges to
+/// worker threads.
+fn carve<'a, T>(s: &mut &'a mut [T], len: usize) -> &'a mut [T] {
+    let tmp = std::mem::take(s);
+    let (a, b) = tmp.split_at_mut(len);
+    *s = b;
+    a
+}
+
+/// Per-shard observability tallies, flushed once per shard so the hot
+/// loop never formats metric names.
+#[derive(Default)]
+struct ShardObs {
+    res_counts: [u64; 3],
+    exact_labels: Vec<u64>,
+    loc_labels: Vec<u64>,
+    ex_labels: Vec<u64>,
+    construct_ns: u64,
+    descend_ns: u64,
+    score_ns: u64,
+}
+
+impl Diagnoser {
+    /// Diagnose a batch of sessions — one [`Diagnosis`]-worth of
+    /// output per session, bit-identical to calling
+    /// [`Diagnoser::diagnose`] on each, at a fraction of the cost.
+    ///
+    /// `threads` shards the batch across scoped worker threads
+    /// (0 = available parallelism); the output is identical for every
+    /// thread count. Sessions are arbitrary `(metric name, value)`
+    /// slices, exactly as the scalar API takes them.
+    pub fn diagnose_batch<S>(&self, sessions: &[S], threads: usize) -> DiagnosisBatch
+    where
+        S: AsRef<[(String, f64)]> + Sync,
+    {
+        let cm = &self.compiled;
+        let n = sessions.len();
+        let k = cm.ctree.n_classes();
+        let nw = cm.silent_words();
+        let mut batch = DiagnosisBatch {
+            n_classes: k,
+            nw,
+            classes: self.classes.clone(),
+            vp_names: cm.vp_names.clone(),
+            loc_names: cm.loc_names.clone(),
+            ex_names: cm.ex_names.clone(),
+            class: vec![0; n],
+            dist: vec![0.0; n * k],
+            coverage: vec![0.0; n],
+            missing_descent: vec![0.0; n],
+            confidence: vec![0.0; n],
+            resolution: vec![Resolution::Exact; n],
+            fallback: vec![NO_FALLBACK; n],
+            silent: vec![0; n * nw],
+        };
+        if n == 0 {
+            return batch;
+        }
+
+        let obs_on = vqd_obs::enabled();
+        if obs_on {
+            let r = vqd_obs::recorder();
+            r.counter_add("core.batch.calls", 1);
+            r.counter_add("core.batch.sessions", n as u64);
+            r.hist_record("core.batch.size", n as f64);
+        }
+
+        let nt = thread_count(threads, n);
+        if nt == 1 {
+            // Single worker: run inline. Identical output to the
+            // sharded path (it is the one-shard case of it), without
+            // paying a thread spawn — this keeps the batch-of-one
+            // calls `diagnose` makes cheap.
+            let out = Shard {
+                class: &mut batch.class,
+                dist: &mut batch.dist,
+                coverage: &mut batch.coverage,
+                missing_descent: &mut batch.missing_descent,
+                confidence: &mut batch.confidence,
+                resolution: &mut batch.resolution,
+                fallback: &mut batch.fallback,
+                silent: &mut batch.silent,
+            };
+            self.run_shard(sessions, out, obs_on);
+            return batch;
+        }
+        let cs = n.div_ceil(nt);
+        std::thread::scope(|s| {
+            let mut class = batch.class.as_mut_slice();
+            let mut dist = batch.dist.as_mut_slice();
+            let mut coverage = batch.coverage.as_mut_slice();
+            let mut missing = batch.missing_descent.as_mut_slice();
+            let mut confidence = batch.confidence.as_mut_slice();
+            let mut resolution = batch.resolution.as_mut_slice();
+            let mut fallback = batch.fallback.as_mut_slice();
+            let mut silent = batch.silent.as_mut_slice();
+            let mut start = 0usize;
+            while start < n {
+                let len = cs.min(n - start);
+                let out = Shard {
+                    class: carve(&mut class, len),
+                    dist: carve(&mut dist, len * k),
+                    coverage: carve(&mut coverage, len),
+                    missing_descent: carve(&mut missing, len),
+                    confidence: carve(&mut confidence, len),
+                    resolution: carve(&mut resolution, len),
+                    fallback: carve(&mut fallback, len),
+                    silent: carve(&mut silent, len * nw),
+                };
+                let chunk = &sessions[start..start + len];
+                s.spawn(move || self.run_shard(chunk, out, obs_on));
+                start += len;
+            }
+        });
+        batch
+    }
+
+    /// Score one contiguous shard of sessions into its output slices.
+    fn run_shard<S>(&self, sessions: &[S], out: Shard<'_>, obs_on: bool)
+    where
+        S: AsRef<[(String, f64)]>,
+    {
+        let cm = &self.compiled;
+        let k = cm.ctree.n_classes();
+        let nw = cm.silent_words();
+        let n_vps = cm.vp_names.len();
+        let mut sc = cm.pool.get(cm);
+        let mut tally = ShardObs {
+            exact_labels: vec![0; self.classes.len()],
+            loc_labels: vec![0; cm.loc_names.len()],
+            ex_labels: vec![0; cm.ex_names.len()],
+            ..Default::default()
+        };
+
+        for (i, session) in sessions.iter().enumerate() {
+            let metrics = session.as_ref();
+            let t0 = obs_on.then(std::time::Instant::now);
+
+            // Construct + scatter: compiled transform into the schema
+            // row (first-match-wins via epoch stamps).
+            sc.construct_row(metrics, cm);
+            let t1 = obs_on.then(std::time::Instant::now);
+
+            // Descend the compiled tree.
+            let dist = &mut out.dist[i * k..(i + 1) * k];
+            let (missing_descent, depth) = cm.ctree.predict_into(&sc.row, dist, &mut sc.stack);
+            let t2 = obs_on.then(std::time::Instant::now);
+
+            // Normalise + argmax (last max on ties, like the scalar
+            // path's `max_by`).
+            let total: f64 = dist.iter().sum();
+            if total > 0.0 {
+                for d in dist.iter_mut() {
+                    *d /= total;
+                }
+            }
+            let mut class = 0usize;
+            for c in 1..k {
+                if dist[c].total_cmp(&dist[class]) != Ordering::Less {
+                    class = c;
+                }
+            }
+
+            // Coverage: importance-weighted, summed in ascending used-
+            // column order exactly as the scalar path does.
+            let coverage = if cm.total_imp > 0.0 {
+                let mut s = 0.0;
+                for &u in &cm.used {
+                    if sc.row[u as usize].is_finite() {
+                        s += cm.imp[u as usize];
+                    }
+                }
+                s / cm.total_imp
+            } else if cm.used.is_empty() {
+                1.0
+            } else {
+                let present = cm
+                    .used
+                    .iter()
+                    .filter(|&&u| sc.row[u as usize].is_finite())
+                    .count();
+                present as f64 / cm.used.len() as f64
+            };
+            let coverage = coverage + 0.0;
+
+            // Silent VPs: start all-silent, clear each VP that has any
+            // finite column.
+            let words = &mut out.silent[i * nw..(i + 1) * nw];
+            for (w, word) in words.iter_mut().enumerate() {
+                let bits = n_vps.saturating_sub(w * 64).min(64);
+                *word = if bits == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits) - 1
+                };
+            }
+            for (j, v) in sc.row.iter().enumerate() {
+                if v.is_finite() {
+                    let vp = cm.vp_of_col[j] as usize;
+                    words[vp / 64] &= !(1u64 << (vp % 64));
+                }
+            }
+
+            let p_top = dist.get(class).copied().unwrap_or(0.0);
+            let confidence = p_top * (1.0 - missing_descent) + cm.chance * missing_descent;
+
+            let (resolution, fb) = if coverage >= self.min_coverage_exact {
+                (Resolution::Exact, NO_FALLBACK)
+            } else if coverage >= self.min_coverage_location {
+                (
+                    Resolution::Location,
+                    project(&cm.loc_group, cm.loc_names.len(), dist, &mut sc.gacc),
+                )
+            } else {
+                (
+                    Resolution::Existence,
+                    project(&cm.ex_group, cm.ex_names.len(), dist, &mut sc.gacc),
+                )
+            };
+
+            out.class[i] = class as u32;
+            out.coverage[i] = coverage;
+            out.missing_descent[i] = missing_descent;
+            out.confidence[i] = confidence;
+            out.resolution[i] = resolution;
+            out.fallback[i] = fb;
+
+            if obs_on {
+                let r = vqd_obs::recorder();
+                r.hist_record("core.diagnose.coverage", coverage);
+                r.hist_record("core.diagnose.confidence", confidence);
+                r.hist_record("core.diagnose.depth", depth as f64);
+                match resolution {
+                    Resolution::Exact => {
+                        tally.res_counts[0] += 1;
+                        tally.exact_labels[class] += 1;
+                    }
+                    Resolution::Location => {
+                        tally.res_counts[1] += 1;
+                        if let Some(c) = tally.loc_labels.get_mut(fb as usize) {
+                            *c += 1;
+                        }
+                    }
+                    Resolution::Existence => {
+                        tally.res_counts[2] += 1;
+                        if let Some(c) = tally.ex_labels.get_mut(fb as usize) {
+                            *c += 1;
+                        }
+                    }
+                }
+                if let (Some(t0), Some(t1), Some(t2)) = (t0, t1, t2) {
+                    tally.construct_ns += (t1 - t0).as_nanos() as u64;
+                    tally.descend_ns += (t2 - t1).as_nanos() as u64;
+                    tally.score_ns += t2.elapsed().as_nanos() as u64;
+                }
+            }
+        }
+
+        cm.pool.put(sc);
+        if obs_on {
+            self.flush_obs(&tally, sessions.len());
+        }
+    }
+
+    /// Flush one shard's tallies to the registry — the same counter
+    /// names the scalar path records, plus the batch-stage timings.
+    fn flush_obs(&self, t: &ShardObs, sessions: usize) {
+        let cm = &self.compiled;
+        let r = vqd_obs::recorder();
+        r.counter_add("core.diagnose.calls", sessions as u64);
+        for (name, count) in [
+            ("core.diagnose.resolution.exact", t.res_counts[0]),
+            ("core.diagnose.resolution.location", t.res_counts[1]),
+            ("core.diagnose.resolution.existence", t.res_counts[2]),
+        ] {
+            if count > 0 {
+                r.counter_add(name, count);
+            }
+        }
+        let label_sets = [
+            (&t.exact_labels, &self.classes),
+            (&t.loc_labels, &cm.loc_names),
+            (&t.ex_labels, &cm.ex_names),
+        ];
+        for (counts, names) in label_sets {
+            for (c, name) in counts.iter().zip(names) {
+                if *c > 0 {
+                    r.counter_add_dyn(&format!("core.diagnose.label.{name}"), *c);
+                }
+            }
+        }
+        r.hist_record("core.batch.stage.construct_ms", t.construct_ns as f64 / 1e6);
+        r.hist_record("core.batch.stage.descend_ms", t.descend_ns as f64 / 1e6);
+        r.hist_record("core.batch.stage.score_ms", t.score_ns as f64 / 1e6);
+    }
+}
+
+/// Project a normalised class distribution onto a coarser label group
+/// set and argmax it — identical accumulation order (class order per
+/// group) and tie-break (last max) to the scalar `project_dist`.
+fn project(group: &[u32], ngroups: usize, dist: &[f64], gacc: &mut [f64]) -> u32 {
+    if ngroups == 0 {
+        return NO_FALLBACK;
+    }
+    for g in gacc[..ngroups].iter_mut() {
+        *g = 0.0;
+    }
+    for (c, p) in dist.iter().enumerate() {
+        gacc[group[c] as usize] += p;
+    }
+    let mut best = 0usize;
+    for i in 1..ngroups {
+        if gacc[i].total_cmp(&gacc[best]) != Ordering::Less {
+            best = i;
+        }
+    }
+    best as u32
+}

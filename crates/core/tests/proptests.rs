@@ -137,3 +137,94 @@ proptest! {
         check_diagnosis(model, &degraded)?;
     }
 }
+
+/// Bitwise equality between two diagnoses — the batch/scalar contract
+/// is exact IEEE-754 bits, not approximate agreement.
+fn assert_bitwise(
+    a: &vqd_core::diagnoser::Diagnosis,
+    b: &vqd_core::diagnoser::Diagnosis,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&a.label, &b.label);
+    prop_assert_eq!(a.class, b.class);
+    prop_assert_eq!(a.dist.len(), b.dist.len());
+    for (x, y) in a.dist.iter().zip(&b.dist) {
+        prop_assert_eq!(x.to_bits(), y.to_bits());
+    }
+    prop_assert_eq!(
+        a.quality.feature_coverage.to_bits(),
+        b.quality.feature_coverage.to_bits()
+    );
+    prop_assert_eq!(
+        a.quality.missing_descent.to_bits(),
+        b.quality.missing_descent.to_bits()
+    );
+    prop_assert_eq!(
+        a.quality.confidence.to_bits(),
+        b.quality.confidence.to_bits()
+    );
+    prop_assert_eq!(&a.quality.silent_vps, &b.quality.silent_vps);
+    prop_assert_eq!(a.resolution, b.resolution);
+    prop_assert_eq!(&a.fallback_label, &b.fallback_label);
+    Ok(())
+}
+
+proptest! {
+    /// The batched engine is bit-identical to the per-session scalar
+    /// path for any mix of metric subsets, at any thread count — the
+    /// serving engine's core contract, probed on adversarial shapes
+    /// (shared plans, unique plans, empty sessions) rather than just
+    /// the fixed corpus.
+    #[test]
+    fn batch_matches_scalar_bitwise_any_shape(
+        picks in proptest::collection::vec(any::<prop::sample::Index>(), 1..10),
+        mask in proptest::collection::vec(any::<bool>(), 1..64),
+        threads in 0usize..9,
+    ) {
+        let (model, runs) = fixture();
+        let sessions: Vec<Vec<(String, f64)>> = picks
+            .iter()
+            .enumerate()
+            .map(|(j, p)| {
+                let base = &runs[p.index(runs.len())].metrics;
+                base.iter()
+                    .enumerate()
+                    // Rotate the mask per session so the batch mixes
+                    // repeated and distinct shapes.
+                    .filter(|(i, _)| mask[(i + j) % mask.len()])
+                    .map(|(_, m)| m.clone())
+                    .collect()
+            })
+            .collect();
+        let batch = model.diagnose_batch(&sessions, threads);
+        for (i, s) in sessions.iter().enumerate() {
+            assert_bitwise(&model.diagnose(s), &batch.get(i))?;
+        }
+    }
+
+    /// Same contract under telemetry degradation: any plan, any
+    /// intensity, batch == scalar bit for bit and threads are
+    /// invisible.
+    #[test]
+    fn batch_matches_scalar_bitwise_degraded(
+        kind_pick in any::<prop::sample::Index>(),
+        intensity in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+        threads in 1usize..9,
+    ) {
+        let (model, runs) = fixture();
+        let kind = DegradeKind::ALL[kind_pick.index(DegradeKind::ALL.len())];
+        let plan = DegradePlan::new(kind, intensity, seed);
+        let sessions: Vec<Vec<(String, f64)>> = runs
+            .iter()
+            .take(12)
+            .enumerate()
+            .map(|(i, r)| plan.apply(i as u64, &r.metrics))
+            .collect();
+        let b1 = model.diagnose_batch(&sessions, 1);
+        let bt = model.diagnose_batch(&sessions, threads);
+        for (i, s) in sessions.iter().enumerate() {
+            assert_bitwise(&model.diagnose(s), &b1.get(i))?;
+            assert_bitwise(&b1.get(i), &bt.get(i))?;
+        }
+    }
+}

@@ -20,7 +20,7 @@
 //! * scale-free metrics (RTTs, windows, MSS, CPU, memory fractions,
 //!   delays) pass through unchanged.
 
-use vqd_ml::Dataset;
+use vqd_ml::{Dataset, FeatureInterner};
 
 /// Applies feature construction to raw probe datasets.
 ///
@@ -194,6 +194,211 @@ enum Plan {
     Ratio(usize, usize),
 }
 
+/// One step of a compiled instance transform, aligned 1:1 with the
+/// session's metric list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStep {
+    /// Metric is dropped by construction, or its (transformed) name is
+    /// not in the model schema.
+    Skip,
+    /// Metric passes through to schema column `dst`.
+    Copy {
+        /// Schema column the value lands in.
+        dst: u32,
+    },
+    /// Metric is normalised by the value of metric index `denom`
+    /// before landing in schema column `dst`.
+    Ratio {
+        /// Schema column the ratio lands in.
+        dst: u32,
+        /// Index (into the session's metric list) of the denominator.
+        denom: u32,
+    },
+}
+
+/// A compiled single-session transform: feature construction plus
+/// schema-row scatter, resolved to column indices once per distinct
+/// metric-name shape so the per-session loop does no string work and
+/// no allocation.
+///
+/// Semantically this is `FeatureConstructor::transform_instance`
+/// followed by a first-match-wins lookup of every schema name — the
+/// exact scalar serving path — with all name resolution (construction
+/// rules, `_norm` renames, denominator lookup, schema scatter) hoisted
+/// to compile time.
+#[derive(Debug, Clone)]
+pub struct InstancePlan {
+    /// The metric-name shape this plan was compiled for, concatenated
+    /// into one buffer with per-name end offsets (aligned 1:1 with
+    /// `steps`). Stored flat so [`InstancePlan::apply_verified`]'s
+    /// name check walks a single sequential buffer instead of chasing
+    /// one heap pointer per name.
+    name_buf: String,
+    name_end: Vec<u32>,
+    steps: Vec<PlanStep>,
+}
+
+/// Pack a name list into [`InstancePlan`]'s flat shape encoding.
+fn pack_names(names: &[String]) -> (String, Vec<u32>) {
+    let mut buf = String::with_capacity(names.iter().map(|n| n.len()).sum());
+    let mut end = Vec::with_capacity(names.len());
+    for n in names {
+        buf.push_str(n);
+        end.push(buf.len() as u32);
+    }
+    (buf, end)
+}
+
+impl InstancePlan {
+    /// Compile a plan for sessions whose metric list has exactly the
+    /// names `names` (in order), applying the construction rules and
+    /// scattering into `schema` columns.
+    pub fn with_construction(names: &[String], schema: &FeatureInterner) -> InstancePlan {
+        // First-match denominator lookup over the *raw* metric list,
+        // mirroring `transform_instance`'s `lookup` closure (dropped
+        // metrics still serve as denominators).
+        let first = |want: &str| names.iter().position(|n| n == want).map(|i| i as u32);
+        let steps = names
+            .iter()
+            .map(|name| {
+                if dropped(name) {
+                    return PlanStep::Skip;
+                }
+                let vp = FeatureConstructor::vp_of(name);
+                if is_pkt_count(name) {
+                    if let Some(t) = first(&format!("{vp}.tcp.total_pkts")) {
+                        return Self::ratio_step(&format!("{name}_norm"), t, schema);
+                    }
+                }
+                if is_byte_count(name) {
+                    if let Some(t) = first(&format!("{vp}.tcp.total_data_bytes")) {
+                        return Self::ratio_step(&format!("{name}_norm"), t, schema);
+                    }
+                }
+                Self::copy_step(name, schema)
+            })
+            .collect();
+        let (name_buf, name_end) = pack_names(names);
+        InstancePlan {
+            name_buf,
+            name_end,
+            steps,
+        }
+    }
+
+    /// Number of metrics in the shape this plan was compiled for.
+    pub fn shape_len(&self) -> usize {
+        self.name_end.len()
+    }
+
+    /// Compile a pass-through plan (no feature construction): each
+    /// metric scatters to its schema column directly.
+    pub fn direct(names: &[String], schema: &FeatureInterner) -> InstancePlan {
+        let (name_buf, name_end) = pack_names(names);
+        InstancePlan {
+            name_buf,
+            name_end,
+            steps: names.iter().map(|n| Self::copy_step(n, schema)).collect(),
+        }
+    }
+
+    fn copy_step(name: &str, schema: &FeatureInterner) -> PlanStep {
+        match schema.index(name) {
+            Some(d) => PlanStep::Copy { dst: d as u32 },
+            None => PlanStep::Skip,
+        }
+    }
+
+    fn ratio_step(out_name: &str, denom: u32, schema: &FeatureInterner) -> PlanStep {
+        match schema.index(out_name) {
+            Some(d) => PlanStep::Ratio {
+                dst: d as u32,
+                denom,
+            },
+            None => PlanStep::Skip,
+        }
+    }
+
+    /// Scatter one session's metric values into the schema row.
+    ///
+    /// `row` (len = schema width) is reset to all-`NaN` here; `stamp`
+    /// (same len) carries per-column epoch marks so duplicate metric
+    /// names keep their *first* value — even a first value that is
+    /// legitimately `NaN` — without clearing the stamp vector between
+    /// sessions. The caller bumps `epoch` per session (and resets
+    /// `stamp` on wrap). Zero allocation.
+    pub fn apply_into(
+        &self,
+        metrics: &[(String, f64)],
+        row: &mut [f64],
+        stamp: &mut [u32],
+        epoch: u32,
+    ) {
+        let ok = self.apply_verified(metrics, row, stamp, epoch);
+        debug_assert!(ok, "plan/session shape mismatch");
+    }
+
+    /// [`InstancePlan::apply_into`] fused with shape verification: the
+    /// single pass both compares each incoming metric name against the
+    /// compiled shape and scatters its value. Returns `false` on the
+    /// first mismatch, leaving `row` partially written — the caller
+    /// must retry under a fresh `epoch` (with another plan or after
+    /// recompiling) so the stale writes stay invisible.
+    ///
+    /// This keeps plan-cache lookups cheap: the cache's hash is only a
+    /// discriminator, and the authoritative name-by-name check costs no
+    /// extra pass over the session.
+    pub fn apply_verified(
+        &self,
+        metrics: &[(String, f64)],
+        row: &mut [f64],
+        stamp: &mut [u32],
+        epoch: u32,
+    ) -> bool {
+        if metrics.len() != self.name_end.len() {
+            return false;
+        }
+        debug_assert_eq!(row.len(), stamp.len());
+        for r in row.iter_mut() {
+            *r = f64::NAN;
+        }
+        let shape = self.name_buf.as_bytes();
+        let mut start = 0usize;
+        for ((step, &end), (m, v)) in self.steps.iter().zip(&self.name_end).zip(metrics) {
+            let end = end as usize;
+            if m.as_bytes() != &shape[start..end] {
+                return false;
+            }
+            start = end;
+            let (dst, val) = match *step {
+                PlanStep::Skip => continue,
+                PlanStep::Copy { dst } => (dst as usize, *v),
+                PlanStep::Ratio { dst, denom } => {
+                    // Exact branch structure of the scalar instance
+                    // transform (note: no NaN check on the denominator
+                    // there either — `v / NaN` is `NaN` by itself).
+                    let t = metrics[denom as usize].1;
+                    let r = if v.is_nan() || t <= 0.0 {
+                        if v.is_nan() {
+                            f64::NAN
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        v / t
+                    };
+                    (dst as usize, r)
+                }
+            };
+            if stamp[dst] != epoch {
+                stamp[dst] = epoch;
+                row[dst] = val;
+            }
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +480,108 @@ mod tests {
         let t = fc.transform(&eval);
         let retx = t.feature_index("mobile.tcp.s2c.retx_pkts_norm").unwrap();
         assert!((t.x[0][retx] - 0.05).abs() < 1e-12);
+    }
+
+    /// Scalar reference: transform the instance, then resolve each
+    /// schema name to the *first* transformed metric carrying it —
+    /// exactly what the pre-plan serving path did.
+    fn scalar_row(
+        fc: &FeatureConstructor,
+        metrics: &[(String, f64)],
+        schema: &[String],
+    ) -> Vec<f64> {
+        let view = fc.transform_instance(metrics);
+        schema
+            .iter()
+            .map(|name| {
+                view.iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(f64::NAN)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn instance_plan_matches_scalar_transform() {
+        let fc = FeatureConstructor::default();
+        let schema: Vec<String> = vec![
+            "mobile.tcp.s2c.retx_pkts_norm".into(),
+            "mobile.tcp.s2c.data_bytes_norm".into(),
+            "mobile.tcp.s2c.rtt_avg".into(),
+            "mobile.phy.rssi_avg".into(),
+            "router.tcp.s2c.retx_pkts_norm".into(),
+            "never.seen.metric".into(),
+        ];
+        let it = FeatureInterner::from_names(&schema);
+        let cases: Vec<Vec<(String, f64)>> = vec![
+            // Full telemetry.
+            vec![
+                ("mobile.tcp.s2c.retx_pkts".into(), 10.0),
+                ("mobile.tcp.s2c.data_bytes".into(), 1e6),
+                ("mobile.tcp.total_pkts".into(), 1000.0),
+                ("mobile.tcp.total_data_bytes".into(), 2e6),
+                ("mobile.tcp.s2c.rtt_avg".into(), 0.05),
+                ("mobile.phy.rssi_avg".into(), -50.0),
+                ("mobile.phy.rssi_min".into(), -60.0),
+            ],
+            // Missing denominator: pkt count passes through raw (and so
+            // misses the `_norm` schema slot).
+            vec![
+                ("mobile.tcp.s2c.retx_pkts".into(), 10.0),
+                ("mobile.tcp.s2c.rtt_avg".into(), 0.05),
+            ],
+            // NaN numerator, zero denominator, NaN first duplicate.
+            vec![
+                ("mobile.tcp.s2c.retx_pkts".into(), f64::NAN),
+                ("mobile.tcp.s2c.data_bytes".into(), 5.0),
+                ("mobile.tcp.total_pkts".into(), 0.0),
+                ("mobile.tcp.total_data_bytes".into(), f64::NAN),
+                ("mobile.phy.rssi_avg".into(), f64::NAN),
+                ("mobile.phy.rssi_avg".into(), -40.0),
+            ],
+            // Empty session.
+            vec![],
+        ];
+        for metrics in &cases {
+            let names: Vec<String> = metrics.iter().map(|(n, _)| n.clone()).collect();
+            let plan = InstancePlan::with_construction(&names, &it);
+            let mut row = vec![0.0; schema.len()];
+            let mut stamp = vec![0u32; schema.len()];
+            plan.apply_into(metrics, &mut row, &mut stamp, 1);
+            let want = scalar_row(&fc, metrics, &schema);
+            assert_eq!(
+                row.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stamp_epochs_keep_first_duplicate_across_sessions() {
+        let schema = vec!["a".to_string()];
+        let it = FeatureInterner::from_names(&schema);
+        let names = vec!["a".to_string(), "a".to_string()];
+        let plan = InstancePlan::direct(&names, &it);
+        let mut row = vec![0.0];
+        let mut stamp = vec![0u32];
+        // Session 1: first duplicate is NaN and must win.
+        plan.apply_into(
+            &[("a".into(), f64::NAN), ("a".into(), 7.0)],
+            &mut row,
+            &mut stamp,
+            1,
+        );
+        assert!(row[0].is_nan());
+        // Session 2 (same buffers, bumped epoch): first value wins again.
+        plan.apply_into(
+            &[("a".into(), 3.0), ("a".into(), 9.0)],
+            &mut row,
+            &mut stamp,
+            2,
+        );
+        assert_eq!(row[0], 3.0);
     }
 
     #[test]

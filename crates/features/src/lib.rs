@@ -14,5 +14,5 @@
 pub mod construct;
 pub mod select;
 
-pub use construct::FeatureConstructor;
+pub use construct::{FeatureConstructor, InstancePlan, PlanStep};
 pub use select::{fcbf, rank_by_su, Selection};

@@ -1,0 +1,396 @@
+//! Flattened decision trees for the serving hot path.
+//!
+//! [`DecisionTree`] is a pointer-chasing `Box<Node>` graph — fine for
+//! training and dumps, hostile to a loop that scores millions of
+//! sessions: every split is a heap hop and every leaf allocates a
+//! fresh distribution vector. [`CompiledTree`] flattens the graph once
+//! into structure-of-arrays node tables indexed by pre-order id
+//! (node 0 = the root, the same id assignment
+//! [`DecisionTree::serialize`] uses), so a descent is array walks over
+//! a few contiguous vectors and prediction accumulates into
+//! caller-owned buffers with **zero allocation**.
+//!
+//! The compiled descent is bit-identical to
+//! [`DecisionTree::predict_dist_traced`]: the explicit stack replays
+//! the recursion's exact leaf-visit order (low subtree fully before
+//! high), every floating-point expression keeps the same shape and
+//! association, and leaf totals are precomputed with the same
+//! left-to-right summation the scalar path performs per visit.
+
+use crate::dtree::{DecisionTree, Node};
+
+/// Sentinel feature id marking a leaf row in the node table.
+const LEAF: u32 = u32::MAX;
+
+/// One pending high-branch visit during a descent. Callers keep a
+/// `Vec<DescentFrame>` alive across calls so the hot loop never
+/// allocates.
+#[derive(Debug, Clone, Copy)]
+pub struct DescentFrame {
+    node: u32,
+    w: f64,
+    via_missing: bool,
+    depth: u32,
+}
+
+/// A [`DecisionTree`] flattened into cache-friendly SoA node tables.
+#[derive(Debug, Clone)]
+pub struct CompiledTree {
+    /// Split feature id per node; [`LEAF`] for leaves.
+    feat: Vec<u32>,
+    /// Split threshold per node (unused for leaves).
+    thr: Vec<f64>,
+    /// Low / high child ids per node (unused for leaves).
+    lo: Vec<u32>,
+    hi: Vec<u32>,
+    /// Fraction of known-valued weight routed low (missing-value
+    /// routing), per split node.
+    lo_frac: Vec<f64>,
+    /// Weighted information gain per split node (importance).
+    gain_w: Vec<f64>,
+    /// Training class distributions, node-major:
+    /// `dist[id * n_classes ..][..n_classes]`.
+    dist: Vec<f64>,
+    /// Per-node distribution total, precomputed with the same
+    /// left-to-right sum the scalar leaf accumulation performs.
+    dist_total: Vec<f64>,
+    n_classes: usize,
+    /// Feature names (id = column index).
+    pub feature_names: Vec<String>,
+    /// Class names.
+    pub class_names: Vec<String>,
+}
+
+impl CompiledTree {
+    /// Flatten a trained tree. Node ids are assigned in pre-order,
+    /// matching `serialize`'s id assignment.
+    pub fn from_tree(tree: &DecisionTree) -> CompiledTree {
+        let k = tree.class_names.len();
+        let mut ct = CompiledTree {
+            feat: Vec::new(),
+            thr: Vec::new(),
+            lo: Vec::new(),
+            hi: Vec::new(),
+            lo_frac: Vec::new(),
+            gain_w: Vec::new(),
+            dist: Vec::new(),
+            dist_total: Vec::new(),
+            n_classes: k,
+            feature_names: tree.feature_names.clone(),
+            class_names: tree.class_names.clone(),
+        };
+        ct.flatten(tree.root());
+        ct
+    }
+
+    /// Append `node` and its subtree to the tables; returns its id.
+    fn flatten(&mut self, node: &Node) -> u32 {
+        let id = self.feat.len() as u32;
+        // Reserve the row, then fill it once the children have ids.
+        self.feat.push(LEAF);
+        self.thr.push(0.0);
+        self.lo.push(0);
+        self.hi.push(0);
+        self.lo_frac.push(0.0);
+        self.gain_w.push(0.0);
+        match node {
+            Node::Leaf { dist } => {
+                self.push_dist(dist);
+            }
+            Node::Split {
+                feat,
+                thr,
+                lo,
+                hi,
+                lo_frac,
+                dist,
+                gain_w,
+            } => {
+                self.push_dist(dist);
+                let lo_id = self.flatten(lo);
+                let hi_id = self.flatten(hi);
+                let i = id as usize;
+                self.feat[i] = *feat as u32;
+                self.thr[i] = *thr;
+                self.lo[i] = lo_id;
+                self.hi[i] = hi_id;
+                self.lo_frac[i] = *lo_frac;
+                self.gain_w[i] = *gain_w;
+            }
+        }
+        id
+    }
+
+    fn push_dist(&mut self, dist: &[f64]) {
+        debug_assert_eq!(dist.len(), self.n_classes);
+        // Same expression the scalar leaf computes per visit:
+        // `dist.iter().sum()`, left to right.
+        let total: f64 = dist.iter().sum();
+        self.dist.extend_from_slice(dist);
+        self.dist_total.push(total);
+    }
+
+    /// Reassemble the pointer tree (the inverse of
+    /// [`CompiledTree::from_tree`], used for round-trip checks and
+    /// interop with the text model format).
+    pub fn to_tree(&self) -> DecisionTree {
+        let root = self.rebuild(0);
+        DecisionTree::from_parts(
+            root,
+            self.n_classes,
+            self.feature_names.clone(),
+            self.class_names.clone(),
+        )
+    }
+
+    fn rebuild(&self, id: u32) -> Node {
+        let i = id as usize;
+        let dist = self.dist[i * self.n_classes..(i + 1) * self.n_classes].to_vec();
+        if self.feat[i] == LEAF {
+            Node::Leaf { dist }
+        } else {
+            Node::Split {
+                feat: self.feat[i] as usize,
+                thr: self.thr[i],
+                lo: Box::new(self.rebuild(self.lo[i])),
+                hi: Box::new(self.rebuild(self.hi[i])),
+                lo_frac: self.lo_frac[i],
+                dist,
+                gain_w: self.gain_w[i],
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.feat.len()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Total weighted information gain per feature — identical values
+    /// to [`DecisionTree::feature_importance`] (the node table is in
+    /// pre-order, so accumulation order matches the recursive walk).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut imp = vec![0.0; self.feature_names.len()];
+        for i in 0..self.feat.len() {
+            if self.feat[i] != LEAF {
+                imp[self.feat[i] as usize] += self.gain_w[i];
+            }
+        }
+        imp
+    }
+
+    /// Indices of features used by at least one split, ascending —
+    /// same result as [`DecisionTree::features_used`].
+    pub fn features_used(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.feature_names.len()];
+        for i in 0..self.feat.len() {
+            if self.feat[i] != LEAF {
+                seen[self.feat[i] as usize] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(i))
+            .collect()
+    }
+
+    /// Traced prediction into caller-owned buffers: accumulates the
+    /// class distribution into `out` (len `n_classes`, cleared here)
+    /// and returns `(miss_frac, max_depth)` where `miss_frac` is the
+    /// fraction of landed weight that descended through at least one
+    /// missing-value fallback — bit-identical to
+    /// [`DecisionTree::predict_dist_traced`] — and `max_depth` is the
+    /// deepest node visited (root = 0; observability only).
+    ///
+    /// `stack` is scratch for pending high-branch visits; it is
+    /// cleared here and only grows on instances with missing values at
+    /// split features. Nothing allocates once the buffers have warmed.
+    pub fn predict_into(
+        &self,
+        x: &[f64],
+        out: &mut [f64],
+        stack: &mut Vec<DescentFrame>,
+    ) -> (f64, u32) {
+        debug_assert_eq!(out.len(), self.n_classes);
+        for o in out.iter_mut() {
+            *o = 0.0;
+        }
+        stack.clear();
+        let mut miss = 0.0f64;
+        let mut max_depth = 0u32;
+
+        let mut node = 0u32;
+        let mut w = 1.0f64;
+        let mut via_missing = false;
+        let mut depth = 0u32;
+        loop {
+            let i = node as usize;
+            max_depth = max_depth.max(depth);
+            let f = self.feat[i];
+            if f == LEAF {
+                let total = self.dist_total[i];
+                if total > 0.0 {
+                    let base = i * self.n_classes;
+                    for (c, o) in out.iter_mut().enumerate() {
+                        *o += w * self.dist[base + c] / total;
+                    }
+                    if via_missing {
+                        miss += w;
+                    }
+                }
+                // Deepest pending high branch next — replays the
+                // recursion's lo-before-hi leaf order exactly.
+                match stack.pop() {
+                    Some(fr) => {
+                        node = fr.node;
+                        w = fr.w;
+                        via_missing = fr.via_missing;
+                        depth = fr.depth;
+                    }
+                    None => break,
+                }
+            } else {
+                let v = x[f as usize];
+                if v.is_nan() {
+                    stack.push(DescentFrame {
+                        node: self.hi[i],
+                        w: w * (1.0 - self.lo_frac[i]),
+                        via_missing: true,
+                        depth: depth + 1,
+                    });
+                    w *= self.lo_frac[i];
+                    node = self.lo[i];
+                    via_missing = true;
+                } else if v < self.thr[i] {
+                    node = self.lo[i];
+                } else {
+                    node = self.hi[i];
+                }
+                depth += 1;
+            }
+        }
+
+        // Same trace normalisation as the scalar path: weight reaching
+        // empty leaves contributes to neither sum.
+        let landed: f64 = out.iter().sum();
+        let miss_frac = if landed > 0.0 {
+            (miss / landed).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        (miss_frac, max_depth)
+    }
+
+    /// Allocating convenience wrapper over [`CompiledTree::predict_into`]
+    /// (tests and one-off calls).
+    pub fn predict_dist_traced(&self, x: &[f64]) -> (Vec<f64>, f64) {
+        let mut out = vec![0.0; self.n_classes];
+        let mut stack = Vec::new();
+        let (miss_frac, _) = self.predict_into(x, &mut out, &mut stack);
+        (out, miss_frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::dtree::{C45Config, C45Trainer};
+
+    fn trained() -> DecisionTree {
+        let mut d = Dataset::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["x".into(), "y".into(), "z".into()],
+        );
+        // Deterministic pseudo-random rows with a real signal on a/b
+        // plus some missing values so lo_frac routing is exercised.
+        let mut s = 0x9e3779b97f4a7c15u64;
+        for i in 0..240 {
+            let mut next = || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let a = next() * 10.0;
+            let b = next() * 10.0;
+            let c = if i % 7 == 0 { f64::NAN } else { next() };
+            let y = if a < 3.0 {
+                0
+            } else if b < 5.0 {
+                1
+            } else {
+                2
+            };
+            d.push(vec![if i % 11 == 0 { f64::NAN } else { a }, b, c], y);
+        }
+        let trainer = C45Trainer {
+            cfg: C45Config::default(),
+        };
+        trainer.fit(&d, &(0..d.len()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn compiled_matches_scalar_bitwise() {
+        let tree = trained();
+        let ct = CompiledTree::from_tree(&tree);
+        assert_eq!(ct.n_classes(), 3);
+        let probes = [
+            vec![1.0, 2.0, 0.5],
+            vec![5.0, 1.0, 0.1],
+            vec![9.0, 9.0, 0.9],
+            vec![f64::NAN, 4.0, 0.2],
+            vec![4.0, f64::NAN, 0.2],
+            vec![f64::NAN, f64::NAN, f64::NAN],
+        ];
+        for x in &probes {
+            let (d_ref, m_ref) = tree.predict_dist_traced(x);
+            let (d_c, m_c) = ct.predict_dist_traced(x);
+            assert_eq!(
+                d_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                d_c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{x:?}"
+            );
+            assert_eq!(m_ref.to_bits(), m_c.to_bits(), "{x:?}");
+        }
+    }
+
+    #[test]
+    fn importance_and_used_match() {
+        let tree = trained();
+        let ct = CompiledTree::from_tree(&tree);
+        let a = tree.feature_importance();
+        let b = ct.feature_importance();
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(tree.features_used(), ct.features_used());
+    }
+
+    #[test]
+    fn round_trips_through_pointer_tree() {
+        let tree = trained();
+        let ct = CompiledTree::from_tree(&tree);
+        let back = ct.to_tree();
+        assert_eq!(tree.serialize(), back.serialize());
+    }
+
+    #[test]
+    fn round_trips_v1_text() {
+        let text = "vqd-tree v1\nclasses\ta\tb\nfeatures\tf\nS 0 0.5 0.5 1.0 3.0 3.0\nL 3.0 0.0\nL 0.0 3.0\n";
+        let tree = DecisionTree::deserialize(text).unwrap();
+        let ct = CompiledTree::from_tree(&tree);
+        assert_eq!(ct.n_nodes(), 3);
+        // v1 re-serialises as v2; the compiled round-trip must agree.
+        assert_eq!(ct.to_tree().serialize(), tree.serialize());
+        let (d, m) = ct.predict_dist_traced(&[0.2]);
+        assert_eq!(d, vec![1.0, 0.0]);
+        assert_eq!(m, 0.0);
+    }
+}

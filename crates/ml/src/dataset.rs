@@ -5,7 +5,11 @@
 //! instance carries a class index. This is the Weka-ARFF-shaped input
 //! every learner in this crate consumes.
 
+use std::sync::OnceLock;
+
 use vqd_simnet::rng::SimRng;
+
+use crate::intern::FeatureInterner;
 
 /// A labelled numeric dataset with optional missing values.
 #[derive(Debug, Clone, Default)]
@@ -19,6 +23,11 @@ pub struct Dataset {
     pub y: Vec<usize>,
     /// Class names (index = class id).
     pub classes: Vec<String>,
+    /// Lazily-built name → column interner; never serialised, rebuilt
+    /// on demand. `features` is treated as immutable once any lookup
+    /// has happened (nothing in the workspace mutates it after
+    /// construction).
+    interner: OnceLock<FeatureInterner>,
 }
 
 impl Dataset {
@@ -29,6 +38,7 @@ impl Dataset {
             x: Vec::new(),
             y: Vec::new(),
             classes,
+            interner: OnceLock::new(),
         }
     }
 
@@ -58,9 +68,17 @@ impl Dataset {
         self.y.push(class);
     }
 
-    /// Index of a feature by name.
+    /// Index of a feature by name — a thin adapter over the interned
+    /// name map (duplicate names resolve to the first column, exactly
+    /// as the old left-to-right scan did).
     pub fn feature_index(&self, name: &str) -> Option<usize> {
-        self.features.iter().position(|f| f == name)
+        self.interner().index(name)
+    }
+
+    /// The dataset's name ↔ column interner (built on first use).
+    pub fn interner(&self) -> &FeatureInterner {
+        self.interner
+            .get_or_init(|| FeatureInterner::from_names(&self.features))
     }
 
     /// Class frequency counts.
@@ -75,7 +93,8 @@ impl Dataset {
     /// A new dataset keeping only the named feature columns (order
     /// preserved from `names`). Unknown names are skipped.
     pub fn select_features(&self, names: &[String]) -> Dataset {
-        let idx: Vec<usize> = names.iter().filter_map(|n| self.feature_index(n)).collect();
+        let it = self.interner();
+        let idx: Vec<usize> = names.iter().filter_map(|n| it.index(n)).collect();
         let features = idx.iter().map(|&i| self.features[i].clone()).collect();
         let x = self
             .x
@@ -87,6 +106,7 @@ impl Dataset {
             x,
             y: self.y.clone(),
             classes: self.classes.clone(),
+            interner: OnceLock::new(),
         }
     }
 
@@ -108,6 +128,7 @@ impl Dataset {
             x: self.x.clone(),
             y,
             classes,
+            interner: OnceLock::new(),
         }
     }
 
@@ -150,8 +171,7 @@ impl Dataset {
 /// feature sets: the schema is the union of all names; absent values
 /// become `NaN`.
 pub struct DatasetBuilder {
-    features: Vec<String>,
-    index: std::collections::HashMap<String, usize>,
+    interner: FeatureInterner,
     rows: Vec<(Vec<(usize, f64)>, usize)>,
     classes: Vec<String>,
 }
@@ -160,8 +180,7 @@ impl DatasetBuilder {
     /// Builder with the given class names.
     pub fn new(classes: Vec<String>) -> Self {
         DatasetBuilder {
-            features: Vec::new(),
-            index: std::collections::HashMap::new(),
+            interner: FeatureInterner::new(),
             rows: Vec::new(),
             classes,
         }
@@ -171,24 +190,15 @@ impl DatasetBuilder {
     pub fn push(&mut self, metrics: &[(String, f64)], class: usize) {
         let mut sparse = Vec::with_capacity(metrics.len());
         for (name, v) in metrics {
-            let id = match self.index.get(name) {
-                Some(&i) => i,
-                None => {
-                    let i = self.features.len();
-                    self.features.push(name.clone());
-                    self.index.insert(name.clone(), i);
-                    i
-                }
-            };
-            sparse.push((id, *v));
+            sparse.push((self.interner.intern(name).index(), *v));
         }
         self.rows.push((sparse, class));
     }
 
     /// Finalize into a dense dataset (absent → NaN).
     pub fn build(self) -> Dataset {
-        let n = self.features.len();
-        let mut ds = Dataset::new(self.features, self.classes);
+        let n = self.interner.len();
+        let mut ds = Dataset::new(self.interner.into_names(), self.classes);
         for (sparse, class) in self.rows {
             let mut row = vec![f64::NAN; n];
             for (i, v) in sparse {

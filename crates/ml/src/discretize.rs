@@ -22,14 +22,15 @@ impl FeatureCuts {
     }
 
     /// Bin index of a value.
+    ///
+    /// Binary search over the sorted cut vector: the bin is the number
+    /// of cuts `<= v`, which for sorted cuts is exactly the index of
+    /// the first cut `> v` that the old linear scan returned.
     pub fn bin(&self, v: f64) -> usize {
         if v.is_nan() {
             return self.cuts.len() + 1;
         }
-        match self.cuts.iter().position(|&c| v < c) {
-            Some(i) => i,
-            None => self.cuts.len(),
-        }
+        self.cuts.partition_point(|&c| c <= v)
     }
 }
 

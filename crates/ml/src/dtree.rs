@@ -121,6 +121,27 @@ fn argmax(v: &[f64]) -> usize {
 }
 
 impl DecisionTree {
+    /// The root node (read-only; the compiled-tree flattener walks it).
+    pub(crate) fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Reassemble a tree from parts — the compiled-tree → pointer-tree
+    /// direction of the round-trip.
+    pub(crate) fn from_parts(
+        root: Node,
+        n_classes: usize,
+        feature_names: Vec<String>,
+        class_names: Vec<String>,
+    ) -> DecisionTree {
+        DecisionTree {
+            root,
+            n_classes,
+            feature_names,
+            class_names,
+        }
+    }
+
     /// Class distribution predicted for an instance (missing values
     /// descend both branches, weighted).
     pub fn predict_dist(&self, x: &[f64]) -> Vec<f64> {

@@ -1,0 +1,155 @@
+//! Interned feature identifiers.
+//!
+//! Every layer of the serving path keys features by name — raw probe
+//! metrics, constructed `*_norm` columns, the post-selection tree
+//! schema. Resolving those names by linear string scan is O(schema)
+//! per lookup and shows up hard on the diagnosis hot path, so the
+//! names are interned once into dense `u32` ids and every lookup after
+//! that is a single hash probe. The `String`-keyed APIs stay in place
+//! as thin adapters over an interner.
+
+use std::collections::HashMap;
+
+/// A dense feature identifier: the feature's column index in the
+/// interner (and therefore in any row laid out against its schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FeatureId(pub u32);
+
+impl FeatureId {
+    /// The id as a usize column index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A bidirectional name ↔ dense-id map over feature names.
+///
+/// Ids are assigned in first-occurrence order, so an interner built
+/// from a schema vector maps every name to its column index —
+/// duplicate names keep their *first* index, matching what a
+/// left-to-right linear scan (`Iterator::position`) would have found.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureInterner {
+    names: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+impl FeatureInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a schema: ids are column indices, duplicates resolve to
+    /// the first occurrence.
+    pub fn from_names<S: AsRef<str>>(names: &[S]) -> Self {
+        let mut it = FeatureInterner {
+            names: Vec::with_capacity(names.len()),
+            map: HashMap::with_capacity(names.len()),
+        };
+        for n in names {
+            it.push_name(n.as_ref());
+        }
+        it
+    }
+
+    /// Append `name`, keeping the first id when it is already known.
+    /// Returns the name's id either way.
+    fn push_name(&mut self, name: &str) -> FeatureId {
+        if let Some(&id) = self.map.get(name) {
+            // Keep the column count in sync with the source schema even
+            // for duplicate names: lookups still resolve to the first.
+            self.names.push(name.to_string());
+            return FeatureId(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), id);
+        FeatureId(id)
+    }
+
+    /// Intern one name, assigning a fresh id on first sight.
+    pub fn intern(&mut self, name: &str) -> FeatureId {
+        if let Some(&id) = self.map.get(name) {
+            return FeatureId(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), id);
+        FeatureId(id)
+    }
+
+    /// Id of a known name.
+    pub fn id(&self, name: &str) -> Option<FeatureId> {
+        self.map.get(name).copied().map(FeatureId)
+    }
+
+    /// Column index of a known name (the `usize` adapter).
+    pub fn index(&self, name: &str) -> Option<usize> {
+        self.map.get(name).map(|&i| i as usize)
+    }
+
+    /// Name of an id.
+    pub fn name(&self, id: FeatureId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// All names, in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of interned columns (duplicates included).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Consume the interner, returning the name table.
+    pub fn into_names(self) -> Vec<String> {
+        self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_first_occurrence_column_indices() {
+        let it = FeatureInterner::from_names(&["a", "b", "a", "c"]);
+        assert_eq!(it.len(), 4);
+        assert_eq!(it.index("a"), Some(0), "duplicate resolves to first");
+        assert_eq!(it.index("b"), Some(1));
+        assert_eq!(it.index("c"), Some(3));
+        assert_eq!(it.index("zzz"), None);
+        assert_eq!(it.name(FeatureId(1)), "b");
+    }
+
+    #[test]
+    fn intern_grows_and_is_idempotent() {
+        let mut it = FeatureInterner::new();
+        let a = it.intern("x");
+        let b = it.intern("y");
+        assert_eq!(it.intern("x"), a);
+        assert_ne!(a, b);
+        assert_eq!(it.into_names(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn matches_linear_position_for_any_schema() {
+        let names = ["m.a", "m.b", "m.a", "r.c", "", "r.c", "m.b"];
+        let it = FeatureInterner::from_names(&names);
+        for probe in ["m.a", "m.b", "r.c", "", "nope"] {
+            assert_eq!(
+                it.index(probe),
+                names.iter().position(|n| *n == probe),
+                "{probe}"
+            );
+        }
+    }
+}

@@ -18,22 +18,26 @@
 //! * [`error`] — typed model-persistence errors (line- and
 //!   field-addressed parse failures instead of panics).
 
+pub mod compiled;
 pub mod cv;
 pub mod dataset;
 pub mod discretize;
 pub mod dtree;
 pub mod error;
 pub mod info;
+pub mod intern;
 pub mod metrics;
 pub mod nb;
 pub mod svm;
 
+pub use compiled::{CompiledTree, DescentFrame};
 pub use cv::{cross_validate, Learner, NbLearner, SvmLearner};
 pub use dataset::{Dataset, DatasetBuilder};
 pub use discretize::{mdl_cuts, FeatureCuts};
 pub use dtree::{C45Config, C45Trainer, DecisionTree};
 pub use error::ModelParseError;
 pub use info::{entropy, mutual_information, symmetrical_uncertainty};
+pub use intern::{FeatureId, FeatureInterner};
 pub use metrics::ConfusionMatrix;
 pub use nb::NaiveBayes;
 pub use svm::{LinearSvm, SvmConfig};

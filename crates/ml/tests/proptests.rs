@@ -142,3 +142,68 @@ proptest! {
         prop_assert!((total - 1.0).abs() < 1e-6, "dist sums to {total}");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The SoA-compiled tree is equivalent to the pointer tree it came
+    /// from: `to_tree` round-trips the serialized text format exactly,
+    /// and descent — including missing-value both-branch routing — is
+    /// bit-identical on arbitrary probes.
+    #[test]
+    fn compiled_tree_roundtrips_and_matches_descent(seed in any::<u64>(), nan_mask in 0u8..8) {
+        use vqd_ml::compiled::CompiledTree;
+        use vqd_ml::dtree::DecisionTree;
+        use vqd_simnet::rng::SimRng;
+        let mut rng = SimRng::seed_from_u64(seed);
+        // Noisy three-class data over three features so trees get some
+        // depth and real lo_frac values at the splits.
+        let mut d = Dataset::new(
+            vec!["x".into(), "y".into(), "z".into()],
+            vec!["a".into(), "b".into(), "c".into()],
+        );
+        for _ in 0..240 {
+            let c = rng.index(3);
+            d.push(
+                vec![
+                    c as f64 * 3.0 + rng.normal(0.0, 1.2),
+                    rng.normal(0.0, 1.0),
+                    (c % 2) as f64 * 2.0 + rng.normal(0.0, 0.8),
+                ],
+                c,
+            );
+        }
+        let rows: Vec<usize> = (0..d.len()).collect();
+        let tree = C45Trainer::default().fit(&d, &rows);
+        let compiled = CompiledTree::from_tree(&tree);
+
+        // Compile -> decompile is the identity on the text format, and
+        // so is a pass through the parser.
+        let text = tree.serialize();
+        prop_assert_eq!(compiled.to_tree().serialize(), text.clone());
+        let reparsed = DecisionTree::deserialize(&text)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}")))?;
+        prop_assert_eq!(CompiledTree::from_tree(&reparsed).to_tree().serialize(), text);
+
+        // Bitwise descent equivalence on random probes, cycling NaNs
+        // through the features named by `nan_mask`.
+        for step in 0..32usize {
+            let mut x = vec![
+                rng.normal(1.5, 3.0),
+                rng.normal(0.0, 2.0),
+                rng.normal(1.0, 2.0),
+            ];
+            for (f, v) in x.iter_mut().enumerate() {
+                if nan_mask & (1 << f) != 0 && step % 3 == f {
+                    *v = f64::NAN;
+                }
+            }
+            let (want_dist, want_miss) = tree.predict_dist_traced(&x);
+            let (got_dist, got_miss) = compiled.predict_dist_traced(&x);
+            prop_assert_eq!(want_miss.to_bits(), got_miss.to_bits());
+            for (w, g) in want_dist.iter().zip(&got_dist) {
+                prop_assert_eq!(w.to_bits(), g.to_bits());
+            }
+        }
+    }
+}

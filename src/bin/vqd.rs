@@ -4,6 +4,7 @@
 //! vqd corpus     --sessions 600 --seed 2015 --out corpus.tsv
 //! vqd train      --corpus corpus.tsv --labels exact --out model.vqd
 //! vqd diagnose   --model model.vqd --metrics session.tsv
+//! vqd diagnose   --model model.vqd --batch corpus.tsv --threads 0
 //! vqd simulate   --fault low_rssi --intensity 0.9 --model model.vqd
 //! vqd inspect    --model model.vqd
 //! vqd robustness --corpus corpus.tsv --test test.tsv --labels exact
@@ -29,6 +30,7 @@ const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
     vqd corpus     --sessions 600 --seed 2015 --out corpus.tsv\n\
     vqd train      --corpus corpus.tsv --labels exact|location|existence --out model.vqd\n\
     vqd diagnose   --model model.vqd --metrics session.tsv\n\
+    vqd diagnose   --model model.vqd --batch corpus.tsv [--threads 0] [--out results.tsv]\n\
     vqd simulate   --fault low_rssi --intensity 0.9 [--model model.vqd] [--out session.tsv]\n\
     vqd inspect    --model model.vqd\n\
     vqd robustness --corpus corpus.tsv [--test test.tsv] [--model model.vqd]\n\
@@ -42,6 +44,11 @@ const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
     accuracy, telemetry coverage and exact-answer rate per cell.\n\
     Degradation kinds: vp_dropout, group_loss, truncation, corruption,\n\
     clock_skew.\n\
+    \n\
+    `diagnose --batch` scores every session of a corpus file through\n\
+    the batched serving engine (one TSV line per session: label,\n\
+    resolution, confidence, coverage, fallback). Results are\n\
+    bit-identical to per-session `diagnose` at any --threads value.\n\
     \n\
     Observability (corpus / train / robustness):\n\
     \x20 --trace <path>   collect pipeline + sim spans, write Chrome trace_event JSON\n\
@@ -297,10 +304,64 @@ fn print_diagnosis(model: &Diagnoser, dx: &Diagnosis) {
 
 fn cmd_diagnose(opts: &Opts) -> Result<(), VqdError> {
     let model = Diagnoser::load(opts.require("model", "file")?)?;
+    if let Some(path) = opts.get("batch") {
+        return cmd_diagnose_batch(&model, opts, &path);
+    }
     let metrics = metrics_from_text(&read_file(&opts.require("metrics", "file")?)?)?;
     let dx = model.diagnose(&metrics);
     print_diagnosis(&model, &dx);
     Ok(())
+}
+
+/// `vqd diagnose --batch corpus.tsv`: score every session in a corpus
+/// file through the batched engine, one TSV result line per session
+/// (order matches the input at any thread count).
+fn cmd_diagnose_batch(model: &Diagnoser, opts: &Opts, path: &str) -> Result<(), VqdError> {
+    let threads = opts.num("threads", 0.0)? as usize;
+    let obs = obs_setup(opts);
+    let runs = corpus_from_text(&read_file(path)?)?;
+    let sessions: Vec<&Vec<(String, f64)>> = runs.iter().map(|r| &r.metrics).collect();
+
+    let t0 = std::time::Instant::now();
+    let batch = model.diagnose_batch(&sessions, threads);
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut out = String::with_capacity(64 * runs.len());
+    out.push_str("session\tlabel\tresolution\tconfidence\tcoverage\tfallback\n");
+    let mut tiers = [0usize; 3];
+    for i in 0..runs.len() {
+        let dx = batch.get(i);
+        let (tier, name) = match dx.resolution {
+            Resolution::Exact => (0, "exact"),
+            Resolution::Location => (1, "location"),
+            Resolution::Existence => (2, "existence"),
+        };
+        tiers[tier] += 1;
+        out.push_str(&format!(
+            "{i}\t{}\t{name}\t{:.3}\t{:.3}\t{}\n",
+            dx.label,
+            dx.quality.confidence,
+            dx.quality.feature_coverage,
+            dx.fallback_label.as_deref().unwrap_or("-"),
+        ));
+    }
+    match opts.get("out") {
+        Some(p) => {
+            write_file(&p, &out)?;
+            eprintln!("wrote {} diagnoses to {p}", runs.len());
+        }
+        None => print!("{out}"),
+    }
+    eprintln!(
+        "diagnosed {} sessions in {:.1} ms ({:.0} sessions/sec); resolution: {} exact, {} location, {} existence",
+        runs.len(),
+        wall * 1e3,
+        runs.len() as f64 / wall.max(1e-9),
+        tiers[0],
+        tiers[1],
+        tiers[2],
+    );
+    obs_finish(&obs)
 }
 
 fn cmd_simulate(opts: &Opts) -> Result<(), VqdError> {

@@ -67,6 +67,7 @@ pub mod prelude {
     };
     pub use vqd_core::robustness::{degrade_corpus, majority_baseline, sweep, RobustnessCell};
     pub use vqd_core::scenario::{class_names, GroundTruth, LabelScheme};
+    pub use vqd_core::serving::DiagnosisBatch;
     pub use vqd_core::testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};
     pub use vqd_faults::{FaultKind, FaultPlan};
     pub use vqd_ml::metrics::ConfusionMatrix;

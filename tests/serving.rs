@@ -1,0 +1,174 @@
+//! Serving-engine equality tests: the batched engine must be
+//! bit-identical to the scalar paths on a fixed corpus — pristine and
+//! degraded — at every thread count, and the compiled tree must
+//! round-trip the serialized model format losslessly (including the
+//! `model.vqd` artifact checked in at the repo root).
+
+use std::sync::OnceLock;
+
+use vqd::ml::compiled::CompiledTree;
+use vqd::ml::dtree::DecisionTree;
+use vqd::prelude::*;
+
+fn fixture() -> &'static (Diagnoser, Vec<LabeledRun>) {
+    static FIX: OnceLock<(Diagnoser, Vec<LabeledRun>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let cfg = CorpusConfig {
+            sessions: 48,
+            seed: 4110,
+            ..Default::default()
+        };
+        let runs = generate_corpus(&cfg, &Catalog::top100(42));
+        let model = Diagnoser::train(
+            &to_dataset(&runs, LabelScheme::Exact),
+            &DiagnoserConfig::default(),
+        );
+        (model, runs)
+    })
+}
+
+/// Panic with a diff unless two diagnoses are bit-identical — same
+/// discipline as the `diagnose_perf` equality gate: labels, the raw
+/// IEEE-754 bits of every float, resolution and fallback.
+fn assert_bit_identical(a: &Diagnosis, b: &Diagnosis, what: &str) {
+    let bits = |v: f64| v.to_bits();
+    assert_eq!(a.label, b.label, "{what}: label");
+    assert_eq!(a.class, b.class, "{what}: class");
+    assert_eq!(a.dist.len(), b.dist.len(), "{what}: dist len");
+    for (i, (x, y)) in a.dist.iter().zip(&b.dist).enumerate() {
+        assert_eq!(bits(*x), bits(*y), "{what}: dist[{i}] {x} vs {y}");
+    }
+    assert_eq!(
+        bits(a.quality.feature_coverage),
+        bits(b.quality.feature_coverage),
+        "{what}: coverage"
+    );
+    assert_eq!(
+        bits(a.quality.missing_descent),
+        bits(b.quality.missing_descent),
+        "{what}: missing_descent"
+    );
+    assert_eq!(
+        bits(a.quality.confidence),
+        bits(b.quality.confidence),
+        "{what}: confidence"
+    );
+    assert_eq!(
+        a.quality.silent_vps, b.quality.silent_vps,
+        "{what}: silent VPs"
+    );
+    assert_eq!(a.resolution, b.resolution, "{what}: resolution");
+    assert_eq!(a.fallback_label, b.fallback_label, "{what}: fallback");
+}
+
+/// Pristine + mildly degraded + heavily degraded replicas of the fixed
+/// corpus — the same three-tier serving mix the perf harness scores.
+fn serving_mix(runs: &[LabeledRun]) -> Vec<Vec<(String, f64)>> {
+    let mild = DegradePlan::new(DegradeKind::VpDropout, 0.55, 77);
+    let harsh = DegradePlan::new(DegradeKind::VpDropout, 0.95, 78);
+    let mut out: Vec<Vec<(String, f64)>> = runs.iter().map(|r| r.metrics.clone()).collect();
+    for plan in [&mild, &harsh] {
+        out.extend(
+            runs.iter()
+                .enumerate()
+                .map(|(i, r)| plan.apply(i as u64, &r.metrics)),
+        );
+    }
+    out
+}
+
+/// The batched engine reproduces the seed-reference scalar loop and
+/// the compiled single-session path bit for bit, across all three
+/// telemetry tiers.
+#[test]
+fn batch_matches_scalar_reference_bitwise() {
+    let (model, runs) = fixture();
+    let serving = serving_mix(runs);
+    let batch = model.diagnose_batch(&serving, 1);
+    for (i, s) in serving.iter().enumerate() {
+        assert_bit_identical(
+            &model.diagnose_seed_reference(s),
+            &batch.get(i),
+            &format!("session {i}: seed reference vs batch"),
+        );
+        assert_bit_identical(
+            &model.diagnose(s),
+            &batch.get(i),
+            &format!("session {i}: compiled single vs batch"),
+        );
+    }
+}
+
+/// Sharding is invisible: 1 thread, 8 threads and available
+/// parallelism return identical batches in input order.
+#[test]
+fn batch_identical_at_any_thread_count() {
+    let (model, runs) = fixture();
+    let serving = serving_mix(runs);
+    let b1 = model.diagnose_batch(&serving, 1);
+    let b8 = model.diagnose_batch(&serving, 8);
+    let ball = model.diagnose_batch(&serving, 0);
+    for i in 0..serving.len() {
+        assert_bit_identical(
+            &b1.get(i),
+            &b8.get(i),
+            &format!("session {i}: threads 1 vs 8"),
+        );
+        assert_bit_identical(
+            &b1.get(i),
+            &ball.get(i),
+            &format!("session {i}: threads 1 vs all"),
+        );
+    }
+}
+
+/// Recording on or off never changes results (observability is
+/// determinism-neutral on the batch path too).
+#[test]
+fn batch_identical_with_obs_on_and_off() {
+    let (model, runs) = fixture();
+    let serving = serving_mix(runs);
+    vqd_obs::enable();
+    let on = model.diagnose_batch(&serving, 8);
+    vqd_obs::disable();
+    let off = model.diagnose_batch(&serving, 8);
+    vqd_obs::enable();
+    for i in 0..serving.len() {
+        assert_bit_identical(
+            &on.get(i),
+            &off.get(i),
+            &format!("session {i}: obs on vs off"),
+        );
+    }
+}
+
+/// `CompiledTree` round-trips the serialized model format: compile →
+/// decompile → reserialize is the identity on the text form, for both
+/// a freshly trained model and the `model.vqd` artifact at the repo
+/// root (the v1/v2 format-compatibility fixture).
+#[test]
+fn compiled_tree_roundtrips_model_files() {
+    let (model, _) = fixture();
+    let mut trees = vec![("freshly trained".to_string(), model.tree().clone())];
+    let root_model = concat!(env!("CARGO_MANIFEST_DIR"), "/model.vqd");
+    if let Ok(m) = Diagnoser::load(root_model) {
+        trees.push(("repo-root model.vqd".into(), m.tree().clone()));
+    }
+    for (what, tree) in &trees {
+        let text = tree.serialize();
+        let compiled = CompiledTree::from_tree(tree);
+        assert_eq!(
+            compiled.to_tree().serialize(),
+            text,
+            "{what}: compile -> decompile -> serialize must be the identity"
+        );
+        let reparsed = DecisionTree::deserialize(&text).unwrap_or_else(|e| {
+            panic!("{what}: serialized tree failed to reparse: {e}");
+        });
+        assert_eq!(
+            CompiledTree::from_tree(&reparsed).to_tree().serialize(),
+            text,
+            "{what}: round-trip through the text format drifted"
+        );
+    }
+}
