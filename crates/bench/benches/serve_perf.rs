@@ -1,0 +1,242 @@
+//! **Streaming-daemon perf harness** — `StreamServer` ingest
+//! throughput and flush latency, plus the serve/offline equality gate,
+//! persisted to `BENCH_serve.json`.
+//!
+//! Trains an exact-resolution diagnoser, converts the corpus into the
+//! per-sample probe-event stream `vqd serve` ingests, shuffles it, and
+//! replays it through the daemon at one shard and at full parallelism.
+//! The bench **fails hard** unless every streamed diagnosis is
+//! bit-identical to the offline `diagnose_batch` answer for the same
+//! session — the invariant CI's serve-smoke job also checks end to end
+//! through the binary.
+//!
+//! Reported: events/sec through the daemon (ingest to last flush),
+//! sessions/sec, and flush-batch latency p50/p99 from the daemon's own
+//! `LogHistogram`.
+//!
+//! Knobs: `VQD_PERF_SMOKE=1` (small corpus, fewer repeats),
+//! `VQD_SESSIONS` (corpus size), `VQD_BENCH_OUT` (output path),
+//! `VQD_NO_OBS=1` (bypass the metrics registry during timing).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+use vqd_bench::emit_section;
+use vqd_core::dataset::{generate_corpus, to_dataset, CorpusConfig};
+use vqd_core::diagnoser::{Diagnoser, DiagnoserConfig, Diagnosis};
+use vqd_core::scenario::LabelScheme;
+use vqd_core::stream::{corpus_to_events, FlushedSession, ServeConfig, ServeReport, StreamServer};
+use vqd_probes::event::ProbeEvent;
+use vqd_video::catalog::Catalog;
+
+/// Exit with a diff report unless two diagnoses are bit-identical.
+fn assert_same(a: &Diagnosis, b: &Diagnosis, key: &str, what: &str) {
+    let bits = |v: f64| v.to_bits();
+    let ok = a.label == b.label
+        && a.class == b.class
+        && a.dist.len() == b.dist.len()
+        && a.dist
+            .iter()
+            .zip(&b.dist)
+            .all(|(x, y)| bits(*x) == bits(*y))
+        && bits(a.quality.feature_coverage) == bits(b.quality.feature_coverage)
+        && bits(a.quality.missing_descent) == bits(b.quality.missing_descent)
+        && bits(a.quality.confidence) == bits(b.quality.confidence)
+        && a.quality.silent_vps == b.quality.silent_vps
+        && a.resolution == b.resolution
+        && a.fallback_label == b.fallback_label;
+    if !ok {
+        eprintln!(
+            "[serve_perf] EQUALITY REGRESSION ({what}, session {key}):\n  a: {a:?}\n  b: {b:?}"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Deterministic xorshift64* Fisher–Yates, same scheme as `vqd events
+/// --shuffle`.
+fn shuffle(items: &mut [ProbeEvent], seed: u64) {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Replay `events` through a daemon; return the flushes and report.
+fn serve(
+    model: &Arc<Diagnoser>,
+    cfg: ServeConfig,
+    events: &[ProbeEvent],
+) -> (Vec<FlushedSession>, ServeReport) {
+    let got: Arc<Mutex<Vec<FlushedSession>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&got);
+    let mut server = StreamServer::new(Arc::clone(model), cfg, move |fs| {
+        sink.lock().unwrap_or_else(PoisonError::into_inner).push(fs);
+    });
+    for ev in events {
+        server.push_event(ev.clone());
+    }
+    let report = server.finish();
+    let got = Arc::try_unwrap(got)
+        .unwrap_or_else(|_| panic!("sink still shared after finish"))
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    (got, report)
+}
+
+fn main() {
+    let smoke = std::env::var("VQD_PERF_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let sessions = std::env::var("VQD_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 24 } else { 96 });
+    let no_obs = std::env::var("VQD_NO_OBS")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    if no_obs {
+        vqd_obs::disable();
+    } else {
+        vqd_obs::enable();
+    }
+
+    eprintln!("[serve_perf] generating {sessions}-session corpus...");
+    let cfg = CorpusConfig {
+        sessions,
+        seed: 2015,
+        ..Default::default()
+    };
+    let corpus = generate_corpus(&cfg, &Catalog::top100(vqd_bench::CATALOG_SEED));
+    eprintln!("[serve_perf] training exact-resolution model...");
+    let model = Arc::new(Diagnoser::train(
+        &to_dataset(&corpus, LabelScheme::Exact),
+        &DiagnoserConfig::default(),
+    ));
+
+    let mut events = corpus_to_events(&corpus);
+    shuffle(&mut events, 0x5EEDCAFE);
+    let n_events = events.len();
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4);
+
+    // ---- Equality gate (untimed; doubles as warmup). -------------
+    eprintln!(
+        "[serve_perf] equality gate: {} sessions / {n_events} shuffled events at shards 1 and {threads}...",
+        corpus.len()
+    );
+    let views: Vec<&Vec<(String, f64)>> = corpus.iter().map(|r| &r.metrics).collect();
+    let offline = model.diagnose_batch(&views, 1);
+    let want: HashMap<String, Diagnosis> = (0..corpus.len())
+        .map(|i| (i.to_string(), offline.get(i)))
+        .collect();
+    for shards in [1usize, threads] {
+        let (got, report) = serve(
+            &model,
+            ServeConfig {
+                shards,
+                flush_batch: 8,
+                ..ServeConfig::default()
+            },
+            &events,
+        );
+        if got.len() != corpus.len() || report.sessions as usize != corpus.len() {
+            eprintln!(
+                "[serve_perf] SESSION COUNT REGRESSION (shards {shards}): {} flushed, {} expected",
+                got.len(),
+                corpus.len()
+            );
+            std::process::exit(1);
+        }
+        for fs in &got {
+            let dx = want.get(&fs.session).unwrap_or_else(|| {
+                eprintln!("[serve_perf] unknown session {:?}", fs.session);
+                std::process::exit(1);
+            });
+            assert_same(dx, &fs.diagnosis, &fs.session, &format!("shards {shards}"));
+        }
+    }
+
+    // ---- Timed passes: best-of-N daemon replays. -----------------
+    let reps = if smoke { 2 } else { 5 };
+    let time_serve = |shards: usize| {
+        let mut best = f64::INFINITY;
+        let mut last_report = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let (_, report) = serve(
+                &model,
+                ServeConfig {
+                    shards,
+                    flush_batch: 8,
+                    ..ServeConfig::default()
+                },
+                &events,
+            );
+            best = best.min(t0.elapsed().as_secs_f64());
+            last_report = Some(report);
+        }
+        (best, last_report)
+    };
+    eprintln!("[serve_perf] timing daemon (1 shard, {reps} passes)...");
+    let (wall1, report1) = time_serve(1);
+    eprintln!("[serve_perf] timing daemon ({threads} shards, {reps} passes)...");
+    let (wallp, reportp) = time_serve(threads);
+
+    let eps1 = n_events as f64 / wall1;
+    let epsp = n_events as f64 / wallp;
+    let sps1 = corpus.len() as f64 / wall1;
+    let spsp = corpus.len() as f64 / wallp;
+    let flush_pcts = |r: &Option<ServeReport>| {
+        r.as_ref()
+            .map(|r| r.flush_ms.percentiles())
+            .unwrap_or((0.0, 0.0, 0.0))
+    };
+    let (f1_p50, _, f1_p99) = flush_pcts(&report1);
+    let (fp_p50, _, fp_p99) = flush_pcts(&reportp);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"corpus_sessions\": {},\n", corpus.len()));
+    json.push_str(&format!("  \"events\": {n_events},\n"));
+    json.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"obs_recording\": {},\n", !no_obs));
+    json.push_str(&format!(
+        "  \"serve_1shard\": {{\"events_per_sec\": {eps1:.0}, \"sessions_per_sec\": {sps1:.0}, \"flush_p50_ms\": {f1_p50:.3}, \"flush_p99_ms\": {f1_p99:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"serve_parallel\": {{\"shards\": {threads}, \"events_per_sec\": {epsp:.0}, \"sessions_per_sec\": {spsp:.0}, \"flush_p50_ms\": {fp_p50:.3}, \"flush_p99_ms\": {fp_p99:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"speedup_parallel_vs_1shard\": {:.2},\n",
+        epsp / eps1.max(1e-9)
+    ));
+    json.push_str(
+        "  \"equality\": \"streamed diagnosis == offline diagnose_batch, bitwise, shards 1 and parallel, shuffled arrival\"\n",
+    );
+    json.push_str("}\n");
+
+    let out = std::env::var("VQD_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")));
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("[serve_perf] cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+
+    let text = format!(
+        "serve perf ({} sessions, {n_events} shuffled events):\n  1 shard:  {eps1:.0} events/s, {sps1:.0} sessions/s, flush p50 {f1_p50:.2} ms, p99 {f1_p99:.2} ms\n  {threads} shards: {epsp:.0} events/s, {spsp:.0} sessions/s, flush p50 {fp_p50:.2} ms, p99 {fp_p99:.2} ms ({:.2}x)\n  streamed == offline batch, bitwise (equality gate passed)\n",
+        corpus.len(),
+        epsp / eps1,
+    );
+    emit_section("serve_perf", &text);
+}

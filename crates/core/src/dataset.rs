@@ -188,7 +188,10 @@ pub fn generate_corpus_with_stats(
                     let out = run_spec(&specs[i], catalog, &mut arena);
                     let ms = t0.elapsed().as_secs_f64() * 1e3;
                     let events = out.events;
-                    results.lock().unwrap()[i] = Some((out.into(), events, ms));
+                    results
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i] =
+                        Some((out.into(), events, ms));
                 }
             });
         }
@@ -198,7 +201,10 @@ pub fn generate_corpus_with_stats(
     let mut events: u64 = 0;
     let mut times = vqd_obs::LogHistogram::new();
     let obs_on = vqd_obs::enabled();
-    for r in results.into_inner().unwrap() {
+    for r in results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
         let (run, ev, ms) = r.expect("session ran");
         runs.push(run);
         events += ev;

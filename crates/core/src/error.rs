@@ -30,6 +30,13 @@ pub enum VqdError {
         /// What went wrong (names the bad token).
         msg: String,
     },
+    /// A probe-event line failed to parse (streaming ingest).
+    Event {
+        /// 1-based line number of the offending event line.
+        line: usize,
+        /// The typed parse failure, naming the bad field.
+        source: vqd_probes::event::EventParseError,
+    },
     /// Invalid configuration or usage (bad flag value, unknown name).
     Config(String),
 }
@@ -62,6 +69,9 @@ impl fmt::Display for VqdError {
             VqdError::Corpus { line, msg } => {
                 write!(f, "corpus parse error at line {line}: {msg}")
             }
+            VqdError::Event { line, source } => {
+                write!(f, "event parse error at line {line}: {source}")
+            }
             VqdError::Config(msg) => write!(f, "{msg}"),
         }
     }
@@ -72,6 +82,7 @@ impl std::error::Error for VqdError {
         match self {
             VqdError::Io { source, .. } => Some(source),
             VqdError::Model(e) => Some(e),
+            VqdError::Event { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -13,6 +13,9 @@
 //! * [`serving`] — the batched serving engine: compiled trees,
 //!   interned schemas, zero-alloc columnar diagnosis
 //!   ([`DiagnosisBatch`]).
+//! * [`stream`] — the streaming daemon behind `vqd serve`: sharded
+//!   session reassembly from probe events, watermarks, eviction,
+//!   bounded-queue backpressure ([`StreamServer`]).
 //! * [`experiments`] — the Section 5 evaluation drivers (Figs 3–5,
 //!   Tables 1 & 4).
 //! * [`realworld`] — the Section 6 deployments (induced-fault corporate
@@ -35,6 +38,7 @@ pub mod realworld;
 pub mod robustness;
 pub mod scenario;
 pub mod serving;
+pub mod stream;
 pub mod testbed;
 
 pub use ablation::{classifier_comparison, pipeline_ablation, pruning_ablation};
@@ -50,4 +54,8 @@ pub use realworld::{generate_induced, generate_wild, Access, RealWorldConfig, Rw
 pub use robustness::{degrade_corpus, majority_baseline, sweep, RobustnessCell};
 pub use scenario::{class_names, GroundTruth, LabelScheme};
 pub use serving::DiagnosisBatch;
+pub use stream::{
+    corpus_to_events, result_line, FlushCause, FlushedSession, ServeConfig, ServeReport,
+    StreamServer,
+};
 pub use testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};

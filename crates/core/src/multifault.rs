@@ -73,7 +73,9 @@ pub fn generate_multifault(sessions: usize, seed: u64, catalog: &Catalog) -> Vec
                 }
                 let (spec, fb, faults) = &specs[i];
                 let out = run_controlled_session_with(spec, std::slice::from_ref(fb), catalog);
-                results.lock().unwrap()[i] = Some(MultiFaultRun {
+                results
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(MultiFaultRun {
                     run: LabeledRun {
                         metrics: out.metrics,
                         truth: out.truth,
@@ -85,7 +87,7 @@ pub fn generate_multifault(sessions: usize, seed: u64, catalog: &Catalog) -> Vec
     });
     results
         .into_inner()
-        .unwrap()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
         .map(|r| r.expect("ran"))
         .collect()

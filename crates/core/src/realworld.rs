@@ -370,14 +370,16 @@ fn run_parallel(specs: Vec<RwSpec>, catalog: &Catalog, threads: usize) -> Vec<Rw
                         access: specs[i].access,
                         service: specs[i].service,
                     };
-                    results.lock().unwrap()[i] = Some(rr);
+                    results
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(rr);
                 }
             });
         }
     });
     results
         .into_inner()
-        .unwrap()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
         .map(|r| r.expect("session ran"))
         .collect()
@@ -494,7 +496,7 @@ mod tests {
         let vps: std::collections::HashSet<&str> = o
             .metrics
             .iter()
-            .map(|(n, _)| n.split('.').next().unwrap())
+            .map(|(n, _)| n.split('.').next().unwrap_or(""))
             .collect();
         assert!(
             vps.contains("mobile") && vps.contains("router") && vps.contains("server"),
@@ -516,7 +518,7 @@ mod tests {
         let vps: std::collections::HashSet<&str> = o
             .metrics
             .iter()
-            .map(|(n, _)| n.split('.').next().unwrap())
+            .map(|(n, _)| n.split('.').next().unwrap_or(""))
             .collect();
         assert!(vps.contains("mobile") && vps.contains("router"));
         assert!(
@@ -540,7 +542,7 @@ mod tests {
         let vps: std::collections::HashSet<&str> = o
             .metrics
             .iter()
-            .map(|(n, _)| n.split('.').next().unwrap())
+            .map(|(n, _)| n.split('.').next().unwrap_or(""))
             .collect();
         assert!(vps.contains("mobile") && vps.contains("server"));
         assert!(!vps.contains("router"));

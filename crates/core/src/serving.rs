@@ -661,6 +661,12 @@ impl Diagnoser {
             out.resolution[i] = resolution;
             out.fallback[i] = fb;
 
+            // Scoring ends here: sample the clock before any recorder
+            // work so score_ns measures the stage, not the recorders.
+            // Like t0–t2 this rides the enabled fast path — with obs
+            // off the loop reads no clock at all.
+            let t3 = obs_on.then(std::time::Instant::now);
+
             if obs_on {
                 let r = vqd_obs::recorder();
                 r.hist_record("core.diagnose.coverage", coverage);
@@ -684,10 +690,10 @@ impl Diagnoser {
                         }
                     }
                 }
-                if let (Some(t0), Some(t1), Some(t2)) = (t0, t1, t2) {
+                if let (Some(t0), Some(t1), Some(t2), Some(t3)) = (t0, t1, t2, t3) {
                     tally.construct_ns += (t1 - t0).as_nanos() as u64;
                     tally.descend_ns += (t2 - t1).as_nanos() as u64;
-                    tally.score_ns += t2.elapsed().as_nanos() as u64;
+                    tally.score_ns += (t3 - t2).as_nanos() as u64;
                 }
             }
         }

@@ -1,0 +1,877 @@
+//! Streaming diagnosis serving: the `vqd serve` daemon engine.
+//!
+//! The paper diagnoses sessions offline from completed corpora; an
+//! operator runs the same model against *live* traffic, where probe
+//! telemetry arrives as an interleaved, reordered, duplicated and
+//! sometimes truncated stream of per-VP events. This module turns the
+//! batched serving engine into a long-running daemon:
+//!
+//! ```text
+//!   events ──route by fnv(session id)──► shard queues (bounded)
+//!                                           │ one worker thread each
+//!                                           ▼
+//!                                     session tables
+//!                               (reassemble samples by seq)
+//!                                           │ complete / watermark
+//!                                           │ expiry / eviction
+//!                                           ▼
+//!                                  flush batches through
+//!                                 Diagnoser::diagnose_batch
+//!                                           │
+//!                                           ▼
+//!                                     sink callback
+//! ```
+//!
+//! **Determinism.** The daemon's hard invariant is that a session's
+//! diagnosis is bitwise identical to offline `vqd diagnose --batch`
+//! over the same samples, for *any* arrival order, interleaving,
+//! duplication or shard count. Three properties compose to give it:
+//!
+//! 1. A session's canonical metric vector is its samples sorted by the
+//!    source-assigned `seq`, duplicates dropped — a pure function of
+//!    the event *set*, not the arrival order.
+//! 2. One session is owned by exactly one shard (routing hashes only
+//!    the session id), so no session is ever split across tables.
+//! 3. [`Diagnoser::diagnose_batch`] computes each row independently
+//!    (per-row feature scatter, no cross-row reductions), so how
+//!    sessions are grouped into flush batches cannot change any
+//!    session's bits — and PR 5's engine is already bit-identical to
+//!    the scalar path at any thread count.
+//!
+//! Only the *order* in which diagnoses are emitted varies run to run;
+//! consumers key on the session id.
+//!
+//! **Lifecycle.** A session flushes on the first of: *completion* (its
+//! `end` marker and every promised `seq` arrived), *watermark expiry*
+//! (event time advanced more than the allowed lateness past the
+//! session's newest timestamp), *eviction* (shard table over its cap;
+//! least-recently-touched session goes first), or *shutdown* (input
+//! ended). Partial sessions are diagnosed from whatever arrived and
+//! resolve through the quality-tier fallback (exact → location →
+//! existence) instead of erroring — the §6.2 partial-deployment
+//! machinery doing live duty.
+//!
+//! **Backpressure.** Shard queues are bounded; when a worker falls
+//! behind, [`StreamServer::push_event`] blocks instead of buffering
+//! without limit, propagating pressure to the ingest edge (stdin or
+//! socket), where the transport's own flow control takes over.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use vqd_obs::LogHistogram;
+use vqd_probes::event::{EventKind, ProbeEvent};
+
+use crate::dataset::LabeledRun;
+use crate::diagnoser::{Diagnoser, Diagnosis, Resolution};
+use crate::error::VqdError;
+
+/// Lock a mutex, riding through poisoning: a panicked holder leaves
+/// per-shard tallies possibly stale, never unsound, and the daemon
+/// must outlive any single worker's panic.
+fn lock_in<T: ?Sized>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Bounded MPSC queue
+// ---------------------------------------------------------------------------
+
+/// A bounded FIFO handing events to one shard worker.
+///
+/// `std::sync::mpsc::sync_channel` would block the same way, but hides
+/// its depth; the serving daemon wants the queue observable (depth
+/// gauges are the first thing an operator looks at) and closable from
+/// the producer side, so this is the minimal Mutex + two-Condvar
+/// queue.
+pub struct Bounded<T> {
+    inner: Mutex<BoundedInner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+struct BoundedInner<T> {
+    q: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `cap` items (min 1).
+    pub fn new(cap: usize) -> Self {
+        Bounded {
+            inner: Mutex::new(BoundedInner {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Push, blocking while the queue is full (this is the
+    /// backpressure edge). Returns `false` if the queue was closed.
+    pub fn push(&self, v: T) -> bool {
+        let mut g = lock_in(&self.inner);
+        while g.q.len() >= self.cap && !g.closed {
+            g = self
+                .not_full
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if g.closed {
+            return false;
+        }
+        g.q.push_back(v);
+        drop(g);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Pop, blocking while empty. `None` means closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = lock_in(&self.inner);
+        loop {
+            if let Some(v) = g.q.pop_front() {
+                drop(g);
+                self.not_full.notify_one();
+                return Some(v);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self
+                .not_empty
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Close the queue: pushes start failing, pops drain then end.
+    pub fn close(&self) {
+        lock_in(&self.inner).closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current depth (racy by nature; for gauges only).
+    pub fn len(&self) -> usize {
+        lock_in(&self.inner).q.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Tuning for the streaming daemon. `Default` is sized for tests and
+/// small replays; the CLI exposes every knob.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shard (worker thread) count; sessions are hash-partitioned
+    /// across shards. Any value yields bit-identical diagnoses.
+    pub shards: usize,
+    /// Per-shard event queue capacity; producers block when full.
+    pub queue_capacity: usize,
+    /// Sessions accumulated per `diagnose_batch` flush. Batching
+    /// amortises the compiled-plan lookup; the engine's per-row
+    /// independence makes the grouping invisible in the output.
+    pub flush_batch: usize,
+    /// Watermark lateness in event-time seconds: once a shard has seen
+    /// event time `T`, sessions whose newest timestamp is older than
+    /// `T - lateness` are flushed as partial. `None` disables expiry;
+    /// events without `ts` never advance or trip watermarks either
+    /// way.
+    pub lateness: Option<f64>,
+    /// Resident-session cap per shard; beyond it the least recently
+    /// touched session is flushed as evicted.
+    pub max_sessions: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            queue_capacity: 1024,
+            flush_batch: 32,
+            lateness: None,
+            max_sessions: 4096,
+        }
+    }
+}
+
+/// Why a session left the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushCause {
+    /// `end` marker seen and every promised `seq` present.
+    Complete,
+    /// Event time moved past the session by more than the lateness.
+    Watermark,
+    /// Shard table exceeded `max_sessions`.
+    Evicted,
+    /// Input ended with the session still resident.
+    Shutdown,
+}
+
+impl FlushCause {
+    /// Stable lowercase name (TSV/report vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            FlushCause::Complete => "complete",
+            FlushCause::Watermark => "watermark",
+            FlushCause::Evicted => "evicted",
+            FlushCause::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One diagnosed session leaving the daemon.
+#[derive(Debug)]
+pub struct FlushedSession {
+    /// Session id (as carried by its events).
+    pub session: String,
+    /// Why it flushed.
+    pub cause: FlushCause,
+    /// Distinct samples that arrived.
+    pub samples: usize,
+    /// Duplicate sample events dropped during reassembly.
+    pub duplicates: u64,
+    /// Owning shard.
+    pub shard: usize,
+    /// The diagnosis — bitwise what offline batch serving produces
+    /// for the same samples.
+    pub diagnosis: Diagnosis,
+}
+
+/// End-of-run accounting, merged across shards.
+#[derive(Debug, Default)]
+pub struct ServeReport {
+    /// Events routed to shards (parse failures excluded).
+    pub events: u64,
+    /// Malformed lines rejected at the ingest edge.
+    pub parse_errors: u64,
+    /// Duplicate sample events dropped.
+    pub duplicates: u64,
+    /// Events dropped because their session was already flushed
+    /// (stragglers past a completion or lateness flush).
+    pub late_events: u64,
+    /// Sessions flushed, total and by cause.
+    pub sessions: u64,
+    /// Sessions flushed complete.
+    pub complete: u64,
+    /// Sessions flushed by watermark expiry.
+    pub expired: u64,
+    /// Sessions flushed by eviction pressure.
+    pub evicted: u64,
+    /// Sessions flushed at shutdown.
+    pub shutdown: u64,
+    /// Diagnoses per resolution tier (exact, location, existence).
+    pub tiers: [u64; 3],
+    /// `diagnose_batch` flush calls.
+    pub flush_batches: u64,
+    /// Flush latency in milliseconds (whole batch; mergeable).
+    pub flush_ms: LogHistogram,
+}
+
+impl ServeReport {
+    fn absorb(&mut self, s: &ShardStats) {
+        self.duplicates += s.duplicates;
+        self.late_events += s.late_events;
+        self.sessions += s.sessions;
+        self.complete += s.complete;
+        self.expired += s.expired;
+        self.evicted += s.evicted;
+        self.shutdown += s.shutdown;
+        for (t, n) in self.tiers.iter_mut().zip(s.tiers) {
+            *t += n;
+        }
+        self.flush_batches += s.flush_batches;
+        self.flush_ms.merge(&s.flush_ms);
+    }
+}
+
+#[derive(Default)]
+struct ShardStats {
+    duplicates: u64,
+    late_events: u64,
+    sessions: u64,
+    complete: u64,
+    expired: u64,
+    evicted: u64,
+    shutdown: u64,
+    tiers: [u64; 3],
+    flush_batches: u64,
+    flush_ms: LogHistogram,
+}
+
+// ---------------------------------------------------------------------------
+// Session reassembly
+// ---------------------------------------------------------------------------
+
+/// One in-flight session: samples keyed by canonical `seq`, kept
+/// sorted and unique so the rebuilt metric vector is a pure function
+/// of the event set.
+#[derive(Default)]
+struct SessionState {
+    /// `(seq, metric, value)`, sorted by `seq`, no duplicate seqs.
+    samples: Vec<(u64, String, f64)>,
+    /// Sample count promised by the `end` marker, once seen.
+    expected: Option<u64>,
+    /// Newest event timestamp seen (`None` until a `ts` arrives).
+    newest_ts: Option<f64>,
+    /// Shard tick of the last touch (eviction recency; unique per
+    /// shard, so the eviction victim is deterministic).
+    last_tick: u64,
+    /// Duplicate sample events dropped.
+    duplicates: u64,
+}
+
+impl SessionState {
+    fn touch(&mut self, tick: u64, ts: Option<f64>) {
+        self.last_tick = tick;
+        if let Some(t) = ts {
+            self.newest_ts = Some(match self.newest_ts {
+                Some(prev) => prev.max(t),
+                None => t,
+            });
+        }
+    }
+
+    fn add_sample(&mut self, seq: u64, metric: String, value: f64) {
+        match self.samples.binary_search_by_key(&seq, |s| s.0) {
+            Ok(_) => self.duplicates += 1,
+            Err(pos) => self.samples.insert(pos, (seq, metric, value)),
+        }
+    }
+
+    /// Complete ⇔ `end` seen and the sorted-unique seqs are exactly
+    /// `0..expected` (length + endpoints pin the set by pigeonhole).
+    fn complete(&self) -> bool {
+        match self.expected {
+            Some(0) => self.samples.is_empty(),
+            Some(e) => {
+                self.samples.len() as u64 == e
+                    && self.samples[0].0 == 0
+                    && self.samples[self.samples.len() - 1].0 == e - 1
+            }
+            None => false,
+        }
+    }
+
+    fn into_metrics(self) -> (Vec<(String, f64)>, u64) {
+        (
+            self.samples.into_iter().map(|(_, n, v)| (n, v)).collect(),
+            self.duplicates,
+        )
+    }
+}
+
+/// FNV-1a session-id hash for shard routing. Only the id is hashed,
+/// so one session always lands on one shard.
+fn shard_of(session: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in session.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+// ---------------------------------------------------------------------------
+// Shard worker
+// ---------------------------------------------------------------------------
+
+/// Events between watermark / eviction sweeps of a shard table.
+const SWEEP_EVERY: u64 = 64;
+
+type Sink = Arc<Mutex<dyn FnMut(FlushedSession) + Send>>;
+
+struct PendingFlush {
+    session: String,
+    cause: FlushCause,
+    metrics: Vec<(String, f64)>,
+    duplicates: u64,
+}
+
+struct ShardWorker {
+    shard: usize,
+    diagnoser: Arc<Diagnoser>,
+    cfg: ServeConfig,
+    sink: Sink,
+    table: HashMap<String, SessionState>,
+    /// Recently flushed session ids: stragglers for an
+    /// already-answered session (duplicate copies racing a completion
+    /// flush, data beyond the allowed lateness) are dropped instead of
+    /// reopening it — the daemon answers each session exactly once.
+    /// Bounded FIFO so a long-lived daemon can't leak.
+    retired: HashSet<String>,
+    retired_fifo: VecDeque<String>,
+    pending: Vec<PendingFlush>,
+    tick: u64,
+    max_ts: Option<f64>,
+    stats: ShardStats,
+}
+
+impl ShardWorker {
+    fn run(mut self, queue: Arc<Bounded<ProbeEvent>>) -> ShardStats {
+        while let Some(ev) = queue.pop() {
+            self.tick += 1;
+            self.ingest(ev);
+            if self.pending.len() >= self.cfg.flush_batch {
+                self.flush();
+            }
+            if self.tick.is_multiple_of(SWEEP_EVERY) {
+                self.sweep_watermark();
+                if vqd_obs::enabled() {
+                    vqd_obs::recorder().hist_record("serve.queue.depth", queue.len() as f64);
+                }
+            }
+        }
+        // Input over: everything still resident flushes as shutdown,
+        // in session-id order so the drain itself is deterministic.
+        let mut keys: Vec<String> = self.table.keys().cloned().collect();
+        keys.sort_unstable();
+        for k in keys {
+            self.retire(&k, FlushCause::Shutdown);
+        }
+        self.flush();
+        self.stats
+    }
+
+    fn ingest(&mut self, ev: ProbeEvent) {
+        let ProbeEvent { session, ts, kind } = ev;
+        if let Some(t) = ts {
+            self.max_ts = Some(match self.max_ts {
+                Some(prev) => prev.max(t),
+                None => t,
+            });
+        }
+        if self.retired.contains(&session) {
+            self.stats.late_events += 1;
+            if vqd_obs::enabled() {
+                vqd_obs::recorder().counter_add("serve.events.late", 1);
+            }
+            return;
+        }
+        if !self.table.contains_key(&session) {
+            self.table.insert(session.clone(), SessionState::default());
+        }
+        let done = match self.table.get_mut(&session) {
+            Some(entry) => {
+                entry.touch(self.tick, ts);
+                match kind {
+                    EventKind::Sample { seq, metric, value } => {
+                        entry.add_sample(seq, metric, value)
+                    }
+                    EventKind::End { expected } => entry.expected = Some(expected),
+                }
+                entry.complete()
+            }
+            None => false,
+        };
+        if done {
+            self.retire(&session, FlushCause::Complete);
+        } else if self.table.len() > self.cfg.max_sessions {
+            self.evict_one();
+        }
+    }
+
+    /// Remove `key` from the table, stage it for the next flush, and
+    /// tombstone it so stragglers can't reopen it.
+    fn retire(&mut self, key: &str, cause: FlushCause) {
+        if let Some(state) = self.table.remove(key) {
+            if self.retired.insert(key.to_string()) {
+                self.retired_fifo.push_back(key.to_string());
+                // Remember ~4 tables' worth of flushed ids; beyond
+                // that a reopened straggler session is accepted (and
+                // flushed again at shutdown) rather than leaking.
+                if self.retired_fifo.len() > self.cfg.max_sessions.saturating_mul(4).max(1024) {
+                    if let Some(old) = self.retired_fifo.pop_front() {
+                        self.retired.remove(&old);
+                    }
+                }
+            }
+            let (metrics, duplicates) = state.into_metrics();
+            self.pending.push(PendingFlush {
+                session: key.to_string(),
+                cause,
+                metrics,
+                duplicates,
+            });
+        }
+    }
+
+    /// Flush sessions whose newest event time fell behind the shard's
+    /// watermark (max event time minus allowed lateness).
+    fn sweep_watermark(&mut self) {
+        let (Some(lateness), Some(max_ts)) = (self.cfg.lateness, self.max_ts) else {
+            return;
+        };
+        let cutoff = max_ts - lateness;
+        let mut victims: Vec<String> = self
+            .table
+            .iter()
+            .filter(|(_, s)| s.newest_ts.is_some_and(|t| t < cutoff))
+            .map(|(k, _)| k.clone())
+            .collect();
+        victims.sort_unstable();
+        for k in victims {
+            self.retire(&k, FlushCause::Watermark);
+        }
+    }
+
+    /// Flush the least recently touched session (unique per shard:
+    /// ticks are a per-shard monotone counter).
+    fn evict_one(&mut self) {
+        let victim = self
+            .table
+            .iter()
+            .min_by_key(|(_, s)| s.last_tick)
+            .map(|(k, _)| k.clone());
+        if let Some(k) = victim {
+            self.retire(&k, FlushCause::Evicted);
+        }
+    }
+
+    /// Push the staged sessions through `diagnose_batch` and hand the
+    /// diagnoses to the sink. Single-shard engine call: the daemon's
+    /// parallelism is across shard workers, and the warm
+    /// `ScratchPool` on the compiled model means each worker reuses
+    /// its interned plan cache across flushes.
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let staged = std::mem::take(&mut self.pending);
+        let t0 = Instant::now();
+        let batch = {
+            let views: Vec<&[(String, f64)]> =
+                staged.iter().map(|p| p.metrics.as_slice()).collect();
+            self.diagnoser.diagnose_batch(&views, 1)
+        };
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.stats.flush_batches += 1;
+        self.stats.flush_ms.record(ms);
+        let obs_on = vqd_obs::enabled();
+        if obs_on {
+            let r = vqd_obs::recorder();
+            r.hist_record("serve.flush.ms", ms);
+            r.hist_record("serve.flush.sessions", staged.len() as f64);
+            r.counter_add("serve.flushes", 1);
+        }
+        for (i, p) in staged.into_iter().enumerate() {
+            let dx = batch.get(i);
+            let tier = match dx.resolution {
+                Resolution::Exact => 0,
+                Resolution::Location => 1,
+                Resolution::Existence => 2,
+            };
+            self.stats.tiers[tier] += 1;
+            self.stats.sessions += 1;
+            self.stats.duplicates += p.duplicates;
+            match p.cause {
+                FlushCause::Complete => self.stats.complete += 1,
+                FlushCause::Watermark => self.stats.expired += 1,
+                FlushCause::Evicted => self.stats.evicted += 1,
+                FlushCause::Shutdown => self.stats.shutdown += 1,
+            }
+            if obs_on {
+                let r = vqd_obs::recorder();
+                r.counter_add(
+                    match tier {
+                        0 => "serve.tier.exact",
+                        1 => "serve.tier.location",
+                        _ => "serve.tier.existence",
+                    },
+                    1,
+                );
+                r.counter_add(
+                    match p.cause {
+                        FlushCause::Complete => "serve.sessions.complete",
+                        FlushCause::Watermark => "serve.sessions.expired",
+                        FlushCause::Evicted => "serve.sessions.evicted",
+                        FlushCause::Shutdown => "serve.sessions.shutdown",
+                    },
+                    1,
+                );
+            }
+            (lock_in(&self.sink))(FlushedSession {
+                session: p.session,
+                cause: p.cause,
+                samples: p.metrics.len(),
+                duplicates: p.duplicates,
+                shard: self.shard,
+                diagnosis: dx,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------------
+
+/// The streaming daemon: routes events to shard workers and joins
+/// them at the end. Drop-in embedding API for the `vqd serve`
+/// subcommand and the tests/benches.
+pub struct StreamServer {
+    queues: Vec<Arc<Bounded<ProbeEvent>>>,
+    workers: Vec<JoinHandle<ShardStats>>,
+    events: u64,
+    parse_errors: u64,
+}
+
+impl StreamServer {
+    /// Spawn `cfg.shards` workers serving `diagnoser`; every flushed
+    /// session is handed to `sink` (called from worker threads, one
+    /// at a time).
+    pub fn new(
+        diagnoser: Arc<Diagnoser>,
+        cfg: ServeConfig,
+        sink: impl FnMut(FlushedSession) + Send + 'static,
+    ) -> StreamServer {
+        let shards = cfg.shards.max(1);
+        let sink: Sink = Arc::new(Mutex::new(sink));
+        let mut queues = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let queue = Arc::new(Bounded::new(cfg.queue_capacity));
+            let worker = ShardWorker {
+                shard,
+                diagnoser: Arc::clone(&diagnoser),
+                cfg: cfg.clone(),
+                sink: Arc::clone(&sink),
+                table: HashMap::new(),
+                retired: HashSet::new(),
+                retired_fifo: VecDeque::new(),
+                pending: Vec::new(),
+                tick: 0,
+                max_ts: None,
+                stats: ShardStats::default(),
+            };
+            let q = Arc::clone(&queue);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("vqd-serve-{shard}"))
+                    .spawn(move || worker.run(q))
+                    .unwrap_or_else(|e| panic!("spawn serve shard {shard}: {e}")),
+            );
+            queues.push(queue);
+        }
+        StreamServer {
+            queues,
+            workers,
+            events: 0,
+            parse_errors: 0,
+        }
+    }
+
+    /// Route one event to its shard, blocking if that shard's queue
+    /// is full (backpressure).
+    pub fn push_event(&mut self, ev: ProbeEvent) {
+        self.events += 1;
+        if self.events.is_multiple_of(256) && vqd_obs::enabled() {
+            let depth: usize = self.queues.iter().map(|q| q.len()).sum();
+            vqd_obs::recorder().gauge_set("serve.queue.depth", depth as f64);
+        }
+        let shard = shard_of(&ev.session, self.queues.len());
+        self.queues[shard].push(ev);
+        if vqd_obs::enabled() {
+            vqd_obs::recorder().counter_add("serve.events", 1);
+        }
+    }
+
+    /// Parse and route one JSONL event line (1-based `lineno` for
+    /// error messages). Blank lines are ignored. A malformed line is
+    /// counted, reported as a typed error and *dropped* — the caller
+    /// decides whether to keep going; the daemon state is untouched.
+    pub fn push_line(&mut self, lineno: usize, line: &str) -> Result<(), VqdError> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(());
+        }
+        match ProbeEvent::parse(line) {
+            Ok(ev) => {
+                self.push_event(ev);
+                Ok(())
+            }
+            Err(e) => {
+                self.parse_errors += 1;
+                if vqd_obs::enabled() {
+                    vqd_obs::recorder().counter_add("serve.events.malformed", 1);
+                }
+                Err(VqdError::Event {
+                    line: lineno,
+                    source: e,
+                })
+            }
+        }
+    }
+
+    /// Total queued events across shards right now (for gauges).
+    pub fn queue_depth(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Close the queues, drain and join every worker, and return the
+    /// merged accounting. Flushes all still-resident sessions as
+    /// [`FlushCause::Shutdown`].
+    pub fn finish(self) -> ServeReport {
+        for q in &self.queues {
+            q.close();
+        }
+        let mut report = ServeReport {
+            events: self.events,
+            parse_errors: self.parse_errors,
+            ..ServeReport::default()
+        };
+        for w in self.workers {
+            match w.join() {
+                Ok(stats) => report.absorb(&stats),
+                Err(_) => {
+                    // A worker died; its sessions are lost but the
+                    // daemon still reports what the others did.
+                    if vqd_obs::enabled() {
+                        vqd_obs::recorder().counter_add("serve.shard.panics", 1);
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared output format + corpus replay
+// ---------------------------------------------------------------------------
+
+/// Stable lowercase name of a resolution tier.
+pub fn resolution_name(r: Resolution) -> &'static str {
+    match r {
+        Resolution::Exact => "exact",
+        Resolution::Location => "location",
+        Resolution::Existence => "existence",
+    }
+}
+
+/// Header for the diagnosis TSV emitted by both `vqd diagnose
+/// --batch` and `vqd serve`.
+pub const RESULT_HEADER: &str = "session\tlabel\tresolution\tconfidence\tcoverage\tfallback\n";
+
+/// One diagnosis TSV line (with trailing newline), keyed by `key`.
+/// `vqd diagnose --batch` and `vqd serve` both emit exactly this, so
+/// the streaming-equals-offline gate compares bytes, not parses.
+pub fn result_line(key: &str, dx: &Diagnosis) -> String {
+    format!(
+        "{key}\t{}\t{}\t{:.3}\t{:.3}\t{}\n",
+        dx.label,
+        resolution_name(dx.resolution),
+        dx.quality.confidence,
+        dx.quality.feature_coverage,
+        dx.fallback_label.as_deref().unwrap_or("-"),
+    )
+}
+
+/// Explode a labelled corpus into the probe events a live deployment
+/// would have emitted: session id = corpus index, `seq` = metric
+/// position, one `end` marker each. In-order replay through
+/// [`StreamServer`] reproduces offline batch diagnosis bit for bit —
+/// and, by the determinism argument above, so does any shuffle.
+pub fn corpus_to_events(runs: &[LabeledRun]) -> Vec<ProbeEvent> {
+    let mut out = Vec::with_capacity(runs.iter().map(|r| r.metrics.len() + 1).sum());
+    for (i, run) in runs.iter().enumerate() {
+        let sid = i.to_string();
+        for (j, (name, v)) in run.metrics.iter().enumerate() {
+            out.push(ProbeEvent::sample(sid.clone(), j as u64, name.clone(), *v));
+        }
+        out.push(ProbeEvent::end(sid, run.metrics.len() as u64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_queue_fifo_close_drain() {
+        let q = Bounded::new(4);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert!(!q.push(3), "push after close must fail");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn bounded_queue_blocks_until_popped() {
+        let q = Arc::new(Bounded::new(1));
+        assert!(q.push(10u32));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.push(11));
+        // The pusher is blocked on the full queue until we pop.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(10));
+        assert!(h.join().expect("pusher"));
+        assert_eq!(q.pop(), Some(11));
+    }
+
+    #[test]
+    fn session_state_reassembles_by_seq() {
+        let mut s = SessionState::default();
+        s.add_sample(2, "c".into(), 3.0);
+        s.add_sample(0, "a".into(), 1.0);
+        s.add_sample(1, "b".into(), 2.0);
+        s.add_sample(1, "b".into(), 2.0); // duplicate
+        assert!(!s.complete());
+        s.expected = Some(3);
+        assert!(s.complete());
+        let (m, dups) = s.into_metrics();
+        assert_eq!(dups, 1);
+        assert_eq!(
+            m,
+            vec![
+                ("a".to_string(), 1.0),
+                ("b".to_string(), 2.0),
+                ("c".to_string(), 3.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn completeness_needs_contiguous_seqs() {
+        let mut s = SessionState::default();
+        s.add_sample(0, "a".into(), 1.0);
+        s.add_sample(2, "c".into(), 3.0);
+        s.expected = Some(2);
+        assert!(!s.complete(), "seq 2 present but seq 1 missing");
+        let empty = SessionState {
+            expected: Some(0),
+            ..SessionState::default()
+        };
+        assert!(empty.complete(), "zero-sample session completes on end");
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for shards in [1usize, 2, 8] {
+            for id in ["0", "17", "session-x", ""] {
+                let a = shard_of(id, shards);
+                assert!(a < shards);
+                assert_eq!(a, shard_of(id, shards));
+            }
+        }
+    }
+}

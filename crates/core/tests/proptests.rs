@@ -9,13 +9,15 @@ use proptest::prelude::*;
 use vqd_core::dataset::{generate_corpus, to_dataset, CorpusConfig, LabeledRun};
 use vqd_core::diagnoser::{Diagnoser, DiagnoserConfig, Resolution};
 use vqd_core::scenario::LabelScheme;
+use vqd_core::stream::{FlushCause, FlushedSession, ServeConfig, StreamServer};
 use vqd_probes::degrade::{DegradeKind, DegradePlan};
+use vqd_probes::event::ProbeEvent;
 use vqd_video::catalog::Catalog;
 
 /// One lab-trained model plus its corpus, shared by every property
 /// (simulation and training are the expensive part).
-fn fixture() -> &'static (Diagnoser, Vec<LabeledRun>) {
-    static FIX: OnceLock<(Diagnoser, Vec<LabeledRun>)> = OnceLock::new();
+fn fixture() -> &'static (std::sync::Arc<Diagnoser>, Vec<LabeledRun>) {
+    static FIX: OnceLock<(std::sync::Arc<Diagnoser>, Vec<LabeledRun>)> = OnceLock::new();
     FIX.get_or_init(|| {
         let cfg = CorpusConfig {
             sessions: 24,
@@ -27,7 +29,7 @@ fn fixture() -> &'static (Diagnoser, Vec<LabeledRun>) {
             &to_dataset(&runs, LabelScheme::Exact),
             &DiagnoserConfig::default(),
         );
-        (model, runs)
+        (std::sync::Arc::new(model), runs)
     })
 }
 
@@ -60,6 +62,7 @@ proptest! {
         mask in proptest::collection::vec(any::<bool>(), 1..64),
     ) {
         let (model, runs) = fixture();
+        let model: &Diagnoser = model;
         let base = &runs[run.index(runs.len())].metrics;
         let kept: Vec<(String, f64)> = base
             .iter()
@@ -80,6 +83,7 @@ proptest! {
         keep_server in any::<bool>(),
     ) {
         let (model, runs) = fixture();
+        let model: &Diagnoser = model;
         let base = &runs[run.index(runs.len())].metrics;
         let kept: Vec<(String, f64)> = base
             .iter()
@@ -102,6 +106,7 @@ proptest! {
         hits in proptest::collection::vec((any::<prop::sample::Index>(), 0u8..5), 1..32),
     ) {
         let (model, runs) = fixture();
+        let model: &Diagnoser = model;
         let mut metrics = runs[run.index(runs.len())].metrics.clone();
         for (pick, variant) in &hits {
             let i = pick.index(metrics.len());
@@ -127,6 +132,7 @@ proptest! {
         run in any::<prop::sample::Index>(),
     ) {
         let (model, runs) = fixture();
+        let model: &Diagnoser = model;
         let kind = DegradeKind::ALL[kind_pick.index(DegradeKind::ALL.len())];
         let plan = DegradePlan::new(kind, intensity, seed);
         let i = run.index(runs.len());
@@ -181,6 +187,7 @@ proptest! {
         threads in 0usize..9,
     ) {
         let (model, runs) = fixture();
+        let model: &Diagnoser = model;
         let sessions: Vec<Vec<(String, f64)>> = picks
             .iter()
             .enumerate()
@@ -212,6 +219,7 @@ proptest! {
         threads in 1usize..9,
     ) {
         let (model, runs) = fixture();
+        let model: &Diagnoser = model;
         let kind = DegradeKind::ALL[kind_pick.index(DegradeKind::ALL.len())];
         let plan = DegradePlan::new(kind, intensity, seed);
         let sessions: Vec<Vec<(String, f64)>> = runs
@@ -226,5 +234,155 @@ proptest! {
             assert_bitwise(&model.diagnose(s), &b1.get(i))?;
             assert_bitwise(&b1.get(i), &bt.get(i))?;
         }
+    }
+}
+
+/// Replay events through a streaming daemon and collect every flushed
+/// session — the proptest twin of the helper in `tests/stream.rs`.
+fn serve_all(cfg: ServeConfig, events: Vec<ProbeEvent>) -> Vec<FlushedSession> {
+    use std::sync::{Arc, Mutex, PoisonError};
+    let (model, _) = fixture();
+    let got: Arc<Mutex<Vec<FlushedSession>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&got);
+    let mut server = StreamServer::new(Arc::clone(model), cfg, move |fs| {
+        sink.lock().unwrap_or_else(PoisonError::into_inner).push(fs);
+    });
+    for ev in events {
+        server.push_event(ev);
+    }
+    server.finish();
+    Arc::try_unwrap(got)
+        .unwrap_or_else(|_| panic!("sink still shared after finish"))
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Deterministic xorshift64* Fisher–Yates, same scheme as `vqd events
+/// --shuffle`, so any permutation is reproducible from one u64.
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+proptest! {
+    /// The daemon's hard invariant, probed adversarially: a session's
+    /// diagnosis is invariant under arbitrary permutation and
+    /// duplication of its events, at any shard count — always bitwise
+    /// identical to the scalar engine on the canonical sample set.
+    #[test]
+    fn stream_diagnosis_invariant_under_permutation_and_duplication(
+        picks in proptest::collection::vec(any::<prop::sample::Index>(), 1..5),
+        dup_mask in proptest::collection::vec(any::<bool>(), 1..32),
+        order_seed in any::<u64>(),
+        shards in 1usize..9,
+    ) {
+        let (model, runs) = fixture();
+        let model: &Diagnoser = model;
+        let mut events = Vec::new();
+        for (j, p) in picks.iter().enumerate() {
+            let m = &runs[p.index(runs.len())].metrics;
+            for (k, (n, v)) in m.iter().enumerate() {
+                events.push(ProbeEvent::sample(j.to_string(), k as u64, n.clone(), *v));
+            }
+            events.push(ProbeEvent::end(j.to_string(), m.len() as u64));
+        }
+        let dups: Vec<ProbeEvent> = events
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| dup_mask[i % dup_mask.len()])
+            .map(|(_, e)| e.clone())
+            .collect();
+        events.extend(dups);
+        shuffle(&mut events, order_seed);
+        let got = serve_all(
+            ServeConfig {
+                shards,
+                flush_batch: 3, // force several partial flush batches
+                ..ServeConfig::default()
+            },
+            events,
+        );
+        prop_assert_eq!(got.len(), picks.len());
+        for fs in &got {
+            prop_assert_eq!(fs.cause, FlushCause::Complete);
+            let j: usize = fs.session.parse().unwrap_or(usize::MAX);
+            prop_assert!(j < picks.len(), "unknown session {:?}", fs.session);
+            let want = model.diagnose(&runs[picks[j].index(runs.len())].metrics);
+            assert_bitwise(&want, &fs.diagnosis)?;
+        }
+    }
+
+    /// Watermark-expired partial sessions resolve through the
+    /// quality-tier fallback with no panic, for any `DegradePlan`:
+    /// the expired diagnosis is well formed, bitwise equal to the
+    /// scalar result on the samples that arrived, and a coarser tier
+    /// always carries a fallback answer.
+    #[test]
+    fn watermark_expired_partials_fall_back_for_any_degrade_plan(
+        kind_pick in any::<prop::sample::Index>(),
+        intensity in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+        run in any::<prop::sample::Index>(),
+        frac in 0.05f64..0.95,
+    ) {
+        let (model, runs) = fixture();
+        let model: &Diagnoser = model;
+        let kind = DegradeKind::ALL[kind_pick.index(DegradeKind::ALL.len())];
+        let plan = DegradePlan::new(kind, intensity, seed);
+        let i = run.index(runs.len());
+        let degraded = plan.apply(i as u64, &runs[i].metrics);
+        if degraded.is_empty() {
+            // Plan erased every sample: nothing ever reaches the wire.
+            return Ok(());
+        }
+        let keep = ((degraded.len() as f64 * frac) as usize).max(1);
+        let partial = &degraded[..keep];
+        let mut events = Vec::new();
+        // The degraded session sends a prefix around t=0, then goes
+        // quiet — no end marker ever arrives.
+        for (k, (n, v)) in partial.iter().enumerate() {
+            events.push(ProbeEvent::sample("stale", k as u64, n.clone(), *v).at(k as f64 * 1e-3));
+        }
+        // A busy neighbour on the same shard drives the event clock
+        // far past the lateness bound so the partial session expires.
+        let busy = &runs[(i + 1) % runs.len()].metrics;
+        for (k, (n, v)) in busy.iter().enumerate() {
+            events.push(ProbeEvent::sample("busy", k as u64, n.clone(), *v).at(1_000.0 + k as f64));
+        }
+        events.push(ProbeEvent::end("busy", busy.len() as u64).at(1_000.0 + busy.len() as f64));
+        let got = serve_all(
+            ServeConfig {
+                shards: 1,
+                lateness: Some(5.0),
+                ..ServeConfig::default()
+            },
+            events,
+        );
+        let stale = got.iter().find(|fs| fs.session == "stale");
+        let stale = match stale {
+            Some(fs) => fs,
+            None => return Err(TestCaseError::fail("stale session never flushed")),
+        };
+        // Sweeps are amortised, so a short busy stream may only expire
+        // the session at EOF — either way it must resolve, not panic.
+        prop_assert!(
+            matches!(stale.cause, FlushCause::Watermark | FlushCause::Shutdown),
+            "unexpected flush cause {:?}",
+            stale.cause
+        );
+        assert_bitwise(&model.diagnose(partial), &stale.diagnosis)?;
+        prop_assert_eq!(
+            stale.diagnosis.fallback_label.is_some(),
+            stale.diagnosis.resolution != Resolution::Exact
+        );
     }
 }

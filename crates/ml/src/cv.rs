@@ -125,11 +125,19 @@ pub fn cross_validate_threads<L: Learner + Sync>(
                     if held >= k {
                         break;
                     }
-                    *slots[held].lock().unwrap() = eval_fold(held);
+                    *slots[held]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = eval_fold(held);
                 });
             }
         });
-        slots.into_iter().map(|m| m.into_inner().unwrap()).collect()
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            })
+            .collect()
     };
     let mut cm = ConfusionMatrix::new(data.classes.clone());
     for fold in per_fold {

@@ -946,11 +946,18 @@ impl Engine {
                     if j >= nf {
                         break;
                     }
-                    *out[j].lock().unwrap() = sort_one(j);
+                    *out[j]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = sort_one(j);
                 });
             }
         });
-        out.into_iter().map(|m| m.into_inner().unwrap()).collect()
+        out.into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            })
+            .collect()
     }
 
     fn dist_of(&self, rows: &[(u32, f64)]) -> Vec<f64> {
@@ -1114,13 +1121,21 @@ impl Engine {
                                 if j >= nf {
                                     break;
                                 }
-                                *slots[j].lock().unwrap() =
+                                *slots[j]
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner) =
                                     self.eval_feature(j, &ctx.order[j], weights, total, &mut local);
                             }
                         });
                     }
                 });
-                slots.into_iter().map(|m| m.into_inner().unwrap()).collect()
+                slots
+                    .into_iter()
+                    .map(|m| {
+                        m.into_inner()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    })
+                    .collect()
             } else {
                 (0..nf)
                     .map(|j| self.eval_feature(j, &ctx.order[j], weights, total, scratch))

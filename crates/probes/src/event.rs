@@ -1,0 +1,355 @@
+//! Probe event lines: the wire format of the streaming serving path.
+//!
+//! A deployed probe does not hand the operator a finished session
+//! vector — it emits *events*, one reading at a time, and the serving
+//! daemon (`vqd serve`, `vqd_core::stream`) reassembles sessions from
+//! whatever arrives. Events travel as JSONL, one object per line:
+//!
+//! ```text
+//! {"session":"42","seq":0,"metric":"mobile.phy.rssi_avg","value":-62.25}
+//! {"session":"42","seq":1,"metric":"mobile.hw.cpu_avg","value":null,"ts":12.5}
+//! {"session":"42","end":280}
+//! ```
+//!
+//! * `session` — opaque session id; all events of one session carry it.
+//! * `seq` — the **canonical position** of a sample within its
+//!   session, assigned at the source. Reassembly sorts by `seq`, so a
+//!   session's rebuilt metric vector — and therefore its diagnosis —
+//!   is invariant under arbitrary re-ordering and duplication of its
+//!   events in transit (duplicate `seq`s are idempotently dropped).
+//! * `value` — the reading. JSON has no NaN/∞, so a missing reading
+//!   (`NaN`) is written as `null` and infinities as the strings
+//!   `"inf"` / `"-inf"`; finite values round-trip bit-exactly.
+//! * `ts` — optional event time in seconds, used by the daemon's
+//!   watermarks; events without it never advance or expire anything.
+//! * `end` — the session's sample count as emitted by the source. A
+//!   session is *complete* once its `end` event and all `seq`s it
+//!   promises have arrived, in any order.
+//!
+//! Parsing is total: any malformed line yields a typed
+//! [`EventParseError`] naming the offending field — never a panic —
+//! so one corrupt line degrades one event, not the daemon.
+
+use std::fmt;
+
+use vqd_obs::json::Json;
+
+/// What one event line carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// One metric reading at canonical position `seq`.
+    Sample {
+        /// Canonical position of this sample within its session.
+        seq: u64,
+        /// Metric name (VP-prefixed, e.g. `"mobile.phy.rssi_avg"`).
+        metric: String,
+        /// The reading (NaN = present-but-missing, as in corpora).
+        value: f64,
+    },
+    /// End-of-session marker: the source emitted `expected` samples.
+    End {
+        /// Total samples the session's probes emitted (seqs
+        /// `0..expected`).
+        expected: u64,
+    },
+}
+
+/// One parsed probe event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeEvent {
+    /// Session id this event belongs to.
+    pub session: String,
+    /// Optional event time (seconds) for watermarking.
+    pub ts: Option<f64>,
+    /// Sample or end marker.
+    pub kind: EventKind,
+}
+
+/// A malformed event line, naming the field that failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventParseError {
+    /// The JSON field (or `"line"` for non-JSON input) at fault.
+    pub field: &'static str,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl EventParseError {
+    fn new(field: &'static str, msg: impl Into<String>) -> Self {
+        EventParseError {
+            field,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for EventParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad event field {:?}: {}", self.field, self.msg)
+    }
+}
+
+impl std::error::Error for EventParseError {}
+
+/// Decode a metric value: number, `null` (→ NaN) or an infinity
+/// string.
+fn value_of(v: &Json) -> Result<f64, EventParseError> {
+    match v {
+        Json::Num(x) => Ok(*x),
+        Json::Null => Ok(f64::NAN),
+        Json::Str(s) => match s.as_str() {
+            "inf" | "+inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" | "NaN" => Ok(f64::NAN),
+            other => Err(EventParseError::new(
+                "value",
+                format!("expected a number, null, \"inf\" or \"-inf\", got {other:?}"),
+            )),
+        },
+        other => Err(EventParseError::new(
+            "value",
+            format!("expected a number, got {other}"),
+        )),
+    }
+}
+
+/// Encode a metric value the way [`value_of`] decodes it. Finite
+/// values use `{:?}` round-trip formatting (bit-exact, `-0.0`
+/// preserved), NaN becomes `null`, infinities become strings.
+fn value_json(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else if v.is_nan() {
+        "null".to_string()
+    } else if v > 0.0 {
+        "\"inf\"".to_string()
+    } else {
+        "\"-inf\"".to_string()
+    }
+}
+
+fn u64_field(obj: &Json, field: &'static str) -> Result<u64, EventParseError> {
+    let v = obj
+        .get(field)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| EventParseError::new(field, "missing or non-numeric"))?;
+    if v < 0.0 || v.fract() != 0.0 || v > u64::MAX as f64 {
+        return Err(EventParseError::new(
+            field,
+            format!("{v:?} is not a non-negative integer"),
+        ));
+    }
+    Ok(v as u64)
+}
+
+impl ProbeEvent {
+    /// A sample event.
+    pub fn sample(
+        session: impl Into<String>,
+        seq: u64,
+        metric: impl Into<String>,
+        value: f64,
+    ) -> Self {
+        ProbeEvent {
+            session: session.into(),
+            ts: None,
+            kind: EventKind::Sample {
+                seq,
+                metric: metric.into(),
+                value,
+            },
+        }
+    }
+
+    /// An end-of-session marker.
+    pub fn end(session: impl Into<String>, expected: u64) -> Self {
+        ProbeEvent {
+            session: session.into(),
+            ts: None,
+            kind: EventKind::End { expected },
+        }
+    }
+
+    /// Attach an event timestamp (seconds).
+    pub fn at(mut self, ts: f64) -> Self {
+        self.ts = Some(ts);
+        self
+    }
+
+    /// Parse one JSONL event line. Total: every failure is a typed
+    /// [`EventParseError`]; nothing panics, whatever the input.
+    pub fn parse(line: &str) -> Result<ProbeEvent, EventParseError> {
+        let obj = Json::parse(line)
+            .map_err(|e| EventParseError::new("line", format!("not a JSON object: {e}")))?;
+        if !matches!(obj, Json::Obj(_)) {
+            return Err(EventParseError::new("line", "not a JSON object"));
+        }
+        let session = obj
+            .get("session")
+            .and_then(Json::as_str)
+            .ok_or_else(|| EventParseError::new("session", "missing or not a string"))?;
+        if session.is_empty() {
+            return Err(EventParseError::new("session", "must not be empty"));
+        }
+        let ts = match obj.get("ts") {
+            None => None,
+            Some(v) => {
+                let t = v.as_f64().ok_or_else(|| {
+                    EventParseError::new("ts", format!("expected a number, got {v}"))
+                })?;
+                if !t.is_finite() {
+                    return Err(EventParseError::new("ts", "must be finite"));
+                }
+                Some(t)
+            }
+        };
+        let kind = if obj.get("end").is_some() {
+            EventKind::End {
+                expected: u64_field(&obj, "end")?,
+            }
+        } else {
+            let metric = obj
+                .get("metric")
+                .and_then(Json::as_str)
+                .ok_or_else(|| EventParseError::new("metric", "missing or not a string"))?;
+            if metric.is_empty() {
+                return Err(EventParseError::new("metric", "must not be empty"));
+            }
+            let value = value_of(
+                obj.get("value")
+                    .ok_or_else(|| EventParseError::new("value", "missing"))?,
+            )?;
+            EventKind::Sample {
+                seq: u64_field(&obj, "seq")?,
+                metric: metric.to_string(),
+                value,
+            }
+        };
+        Ok(ProbeEvent {
+            session: session.to_string(),
+            ts,
+            kind,
+        })
+    }
+
+    /// Serialise to one JSONL line (no trailing newline) that
+    /// [`ProbeEvent::parse`] recovers exactly.
+    pub fn to_jsonl(&self) -> String {
+        let sid = Json::str(&self.session);
+        let ts = match self.ts {
+            Some(t) => format!(",\"ts\":{t:?}"),
+            None => String::new(),
+        };
+        match &self.kind {
+            EventKind::Sample { seq, metric, value } => format!(
+                "{{\"session\":{sid},\"seq\":{seq},\"metric\":{},\"value\":{}{ts}}}",
+                Json::str(metric),
+                value_json(*value),
+            ),
+            EventKind::End { expected } => {
+                format!("{{\"session\":{sid},\"end\":{expected}{ts}}}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for ProbeEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_jsonl())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_round_trips_bit_exactly() {
+        for v in [
+            -62.25,
+            0.0,
+            -0.0,
+            1.0e300,
+            6.25e-7,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.12345678901234567,
+        ] {
+            let ev = ProbeEvent::sample("s1", 7, "mobile.phy.rssi_avg", v).at(3.5);
+            let back = ProbeEvent::parse(&ev.to_jsonl()).unwrap();
+            assert_eq!(back.session, "s1");
+            assert_eq!(back.ts, Some(3.5));
+            match back.kind {
+                EventKind::Sample { seq, metric, value } => {
+                    assert_eq!(seq, 7);
+                    assert_eq!(metric, "mobile.phy.rssi_avg");
+                    if v.is_nan() {
+                        assert!(value.is_nan());
+                    } else {
+                        assert_eq!(value.to_bits(), v.to_bits(), "value {v:?}");
+                    }
+                }
+                k => panic!("wrong kind {k:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn end_round_trips() {
+        let ev = ProbeEvent::end("42", 280);
+        let back = ProbeEvent::parse(&ev.to_jsonl()).unwrap();
+        assert_eq!(back, ev);
+        assert!(back.ts.is_none());
+    }
+
+    #[test]
+    fn escaped_session_ids_round_trip() {
+        let ev = ProbeEvent::sample("tab\there \"q\"", 0, "m.x", 1.0);
+        let back = ProbeEvent::parse(&ev.to_jsonl()).unwrap();
+        assert_eq!(back.session, "tab\there \"q\"");
+    }
+
+    #[test]
+    fn malformed_lines_yield_typed_errors() {
+        let cases = [
+            ("", "line"),
+            ("not json", "line"),
+            ("[1,2]", "line"),
+            ("{\"seq\":1}", "session"),
+            ("{\"session\":\"\"}", "session"),
+            ("{\"session\":\"s\"}", "metric"),
+            ("{\"session\":\"s\",\"metric\":\"m\"}", "value"),
+            (
+                "{\"session\":\"s\",\"metric\":\"m\",\"value\":\"x\"}",
+                "value",
+            ),
+            (
+                "{\"session\":\"s\",\"metric\":\"m\",\"value\":1,\"seq\":-1}",
+                "seq",
+            ),
+            (
+                "{\"session\":\"s\",\"metric\":\"m\",\"value\":1,\"seq\":1.5}",
+                "seq",
+            ),
+            ("{\"session\":\"s\",\"end\":\"x\"}", "end"),
+            (
+                "{\"session\":\"s\",\"seq\":0,\"metric\":\"m\",\"value\":1,\"ts\":\"x\"}",
+                "ts",
+            ),
+        ];
+        for (line, field) in cases {
+            let err = ProbeEvent::parse(line).unwrap_err();
+            assert_eq!(err.field, field, "line {line:?} -> {err}");
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn truncated_line_is_an_error_not_a_panic() {
+        let full = ProbeEvent::sample("s", 3, "mobile.hw.cpu_avg", 0.5).to_jsonl();
+        for cut in 0..full.len() {
+            let _ = ProbeEvent::parse(&full[..cut]);
+        }
+    }
+}

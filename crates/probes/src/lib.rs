@@ -14,6 +14,9 @@
 //!   vectors (`"mobile.tcp.s2c.retx_pkts"`, …) and the
 //!   [`ProbeSet`](vantage::ProbeSet) packet observer that feeds every
 //!   vantage point from the simulator's taps.
+//! * [`event`] — the JSONL probe-event wire format
+//!   ([`ProbeEvent`](event::ProbeEvent)) consumed by the streaming
+//!   serving daemon (`vqd serve`), with typed parse errors.
 //! * [`degrade`] — deterministic probe-fault injection
 //!   ([`DegradePlan`](degrade::DegradePlan)): VP dropout, group loss,
 //!   truncation, corruption and clock skew applied to collected metric
@@ -24,11 +27,13 @@
 //! the ground truth, mirroring the paper's methodology.
 
 pub mod degrade;
+pub mod event;
 pub mod sampler;
 pub mod tstat;
 pub mod vantage;
 
 pub use degrade::{DegradeKind, DegradePlan};
+pub use event::{EventKind, EventParseError, ProbeEvent};
 pub use sampler::{HwAccum, NicAccum, PhyAccum, SamplerApp};
 pub use tstat::{DirStats, FlowAnalyzer};
 pub use vantage::{ProbeSet, VpData, VpHandle};

@@ -136,13 +136,14 @@ pub struct TimerWheel<T> {
     scratch: Vec<Entry<T>>,
 }
 
+/// Wheel level of a bucket key relative to the cursor: the byte
+/// position of the highest differing bit. Branch-free on the zero
+/// delta (a same-tick push while the cursor sits on that very bucket):
+/// `leading_zeros() == 64` saturates to level 0 instead of
+/// underflowing `63 - 64`.
 fn level_of(key: u64, cursor: u64) -> usize {
     let x = key ^ cursor;
-    if x == 0 {
-        0
-    } else {
-        (63 - x.leading_zeros() as usize) / 8
-    }
+    ((u64::BITS - 1).saturating_sub(x.leading_zeros()) / 8) as usize
 }
 
 impl<T> TimerWheel<T> {
@@ -573,6 +574,45 @@ mod tests {
         assert_eq!(w.pop_before(100), Some((50, 2, 2)));
         assert_eq!(w.pop_before(100), Some((50, 3, 3)));
         assert_eq!(w.pop_before(100), None);
+    }
+
+    #[test]
+    fn same_tick_push_pop_at_cursor_bucket_matches_heap() {
+        // Regression for the `level_of` zero-delta hazard: every push
+        // here lands in the exact bucket the cursor sits on
+        // (`key ^ cursor == 0`), the case where `63 - leading_zeros()`
+        // would underflow without saturation. Interleave pushes and
+        // pops at the same tick and check against the heap oracle.
+        let mut w = TimerWheel::new();
+        let mut h = HeapQueue::new();
+        let mut seq = 0u64;
+        // Ticks chosen to park the cursor at bucket boundaries across
+        // several levels (SHIFT-granular buckets).
+        for &now in &[
+            0u64,
+            1 << SHIFT,
+            3 << SHIFT,
+            (1 << (SHIFT + 9)) + (1 << SHIFT),
+        ] {
+            // Advance both cursors to `now` with a sentinel drain.
+            w.push(now, seq, 0u32);
+            h.push(now, seq, 0u32);
+            seq += 1;
+            drain_both(&mut w, &mut h, now);
+            // Same-tick churn: push into the cursor's own bucket and
+            // pop it back, repeatedly, including re-pushes triggered
+            // mid-drain (a zero-delay event scheduled by a dispatch).
+            for i in 0..8 {
+                w.push(now, seq, i);
+                h.push(now, seq, i);
+                seq += 1;
+                if i % 3 == 0 {
+                    drain_both(&mut w, &mut h, now);
+                }
+            }
+            drain_both(&mut w, &mut h, now);
+            assert!(w.is_empty() && h.is_empty(), "drained at t={now}");
+        }
     }
 
     #[test]

@@ -36,6 +36,10 @@ const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
     vqd robustness --corpus corpus.tsv [--test test.tsv] [--model model.vqd]\n\
     \x20              [--labels exact|location|existence] [--kinds vp_dropout,corruption,...]\n\
     \x20              [--intensities 0,0.25,0.5,0.75,1] [--seed 7] [--threads 0]\n\
+    vqd events     --corpus corpus.tsv [--shuffle 7] [--ts 1.0] [--out events.jsonl]\n\
+    vqd serve      --model model.vqd --stdin|--listen 127.0.0.1:4815 [--shards 4]\n\
+    \x20              [--flush-batch 32] [--queue 1024] [--lateness 30]\n\
+    \x20              [--max-sessions 4096] [--strict] [--out results.tsv]\n\
     vqd stats      [--sessions 50 --seed 2015] | [--metrics metrics.jsonl] | [--trace trace.json]\n\
     vqd help\n\
     \n\
@@ -49,6 +53,17 @@ const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
     the batched serving engine (one TSV line per session: label,\n\
     resolution, confidence, coverage, fallback). Results are\n\
     bit-identical to per-session `diagnose` at any --threads value.\n\
+    \n\
+    `events` explodes a corpus into the JSONL probe-event stream a live\n\
+    deployment would emit (optionally shuffled by --shuffle <seed>, with\n\
+    synthetic --ts <step> arrival timestamps). `serve` is the streaming\n\
+    daemon: it reassembles sessions from such events (stdin or a TCP\n\
+    socket; the literal line \"shutdown\" stops a socket daemon),\n\
+    diagnoses each on completion / watermark expiry / eviction, and\n\
+    emits the same TSV as `diagnose --batch` — bit-identical per\n\
+    session at any arrival order and --shards count (emission order\n\
+    varies; sort both by session to compare). Malformed lines are\n\
+    dropped with a warning unless --strict.\n\
     \n\
     Observability (corpus / train / robustness):\n\
     \x20 --trace <path>   collect pipeline + sim spans, write Chrome trace_event JSON\n\
@@ -327,23 +342,19 @@ fn cmd_diagnose_batch(model: &Diagnoser, opts: &Opts, path: &str) -> Result<(), 
     let wall = t0.elapsed().as_secs_f64();
 
     let mut out = String::with_capacity(64 * runs.len());
-    out.push_str("session\tlabel\tresolution\tconfidence\tcoverage\tfallback\n");
+    out.push_str(RESULT_HEADER);
     let mut tiers = [0usize; 3];
     for i in 0..runs.len() {
         let dx = batch.get(i);
-        let (tier, name) = match dx.resolution {
-            Resolution::Exact => (0, "exact"),
-            Resolution::Location => (1, "location"),
-            Resolution::Existence => (2, "existence"),
+        let tier = match dx.resolution {
+            Resolution::Exact => 0,
+            Resolution::Location => 1,
+            Resolution::Existence => 2,
         };
         tiers[tier] += 1;
-        out.push_str(&format!(
-            "{i}\t{}\t{name}\t{:.3}\t{:.3}\t{}\n",
-            dx.label,
-            dx.quality.confidence,
-            dx.quality.feature_coverage,
-            dx.fallback_label.as_deref().unwrap_or("-"),
-        ));
+        // Shared with `vqd serve`, so streaming-vs-offline equality
+        // gates compare bytes.
+        out.push_str(&result_line(&i.to_string(), &dx));
     }
     match opts.get("out") {
         Some(p) => {
@@ -362,6 +373,201 @@ fn cmd_diagnose_batch(model: &Diagnoser, opts: &Opts, path: &str) -> Result<(), 
         tiers[2],
     );
     obs_finish(&obs)
+}
+
+/// `vqd events`: explode a corpus into the JSONL probe-event stream a
+/// live deployment would have emitted, optionally shuffled (the
+/// daemon's determinism makes the shuffle invisible in its output).
+fn cmd_events(opts: &Opts) -> Result<(), VqdError> {
+    let runs = corpus_from_text(&read_file(&opts.require("corpus", "file")?)?)?;
+    let mut events = corpus_to_events(&runs);
+    if let Some(seed) = opts.get("shuffle") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| VqdError::Config(format!("--shuffle expects a seed, got {seed:?}")))?;
+        shuffle_events(&mut events, seed);
+    }
+    if opts.get("ts").is_some() {
+        // Synthetic arrival timestamps in emission order, for
+        // exercising --lateness watermarks.
+        let step = opts.num("ts", 1.0)?;
+        for (i, ev) in events.iter_mut().enumerate() {
+            ev.ts = Some(i as f64 * step);
+        }
+    }
+    let mut s = String::with_capacity(events.len() * 80);
+    for ev in &events {
+        s.push_str(&ev.to_jsonl());
+        s.push('\n');
+    }
+    match opts.get("out") {
+        Some(p) => {
+            write_file(&p, &s)?;
+            eprintln!(
+                "wrote {} events ({} sessions) to {p}",
+                events.len(),
+                runs.len()
+            );
+        }
+        None => print!("{s}"),
+    }
+    Ok(())
+}
+
+/// Deterministic Fisher–Yates (xorshift64*), so `--shuffle <seed>`
+/// replays identically everywhere without pulling in an RNG crate.
+fn shuffle_events(events: &mut [ProbeEvent], seed: u64) {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    for i in (1..events.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        events.swap(i, j);
+    }
+}
+
+/// `vqd serve`: the streaming diagnosis daemon. Reads JSONL probe
+/// events from stdin or a TCP socket, reassembles sessions across
+/// shard workers, and emits one diagnosis TSV line per flushed
+/// session — bit-identical per session to `diagnose --batch`.
+fn cmd_serve(opts: &Opts) -> Result<(), VqdError> {
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    let model = Arc::new(Diagnoser::load(opts.require("model", "file")?)?);
+    let obs = obs_setup(opts);
+    let cfg =
+        ServeConfig {
+            shards: (opts.num("shards", 4.0)? as usize).max(1),
+            queue_capacity: (opts.num("queue", 1024.0)? as usize).max(1),
+            flush_batch: (opts.num("flush-batch", 32.0)? as usize).max(1),
+            lateness: match opts.get("lateness") {
+                None => None,
+                Some(v) => Some(v.parse().map_err(|_| {
+                    VqdError::Config(format!("--lateness expects seconds, got {v:?}"))
+                })?),
+            },
+            max_sessions: (opts.num("max-sessions", 4096.0)? as usize).max(1),
+        };
+    let strict = opts.get("strict").is_some();
+    let out_path = opts.get("out");
+    let to_stdout = out_path.is_none();
+
+    // Results leave through the sink on worker threads: straight to
+    // stdout in daemon mode (line-flushed, results appear as sessions
+    // resolve), or into a buffer written once when --out is given.
+    let buf = Arc::new(Mutex::new(String::from(RESULT_HEADER)));
+    if to_stdout {
+        use std::io::Write;
+        let mut so = std::io::stdout().lock();
+        let _ = so.write_all(RESULT_HEADER.as_bytes());
+        let _ = so.flush();
+    }
+    let sink_buf = Arc::clone(&buf);
+    let mut server = StreamServer::new(model, cfg, move |fs| {
+        let line = result_line(&fs.session, &fs.diagnosis);
+        if to_stdout {
+            use std::io::Write;
+            let mut so = std::io::stdout().lock();
+            let _ = so.write_all(line.as_bytes());
+            let _ = so.flush();
+        } else {
+            sink_buf
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_str(&line);
+        }
+    });
+
+    if opts.get("stdin").is_some() {
+        ingest_stdin(&mut server, strict)?;
+    } else if let Some(addr) = opts.get("listen") {
+        ingest_socket(&mut server, &addr, strict)?;
+    } else {
+        return Err(VqdError::Config(
+            "serve needs an input: --stdin or --listen <addr:port>".to_string(),
+        ));
+    }
+
+    let report = server.finish();
+    if let Some(p) = &out_path {
+        write_file(p, &buf.lock().unwrap_or_else(PoisonError::into_inner))?;
+        eprintln!("wrote {} diagnoses to {p}", report.sessions);
+    }
+    let (p50, _p95, p99) = report.flush_ms.percentiles();
+    eprintln!(
+        "served {} events ({} malformed dropped, {} duplicates): {} sessions ({} complete, {} expired, {} evicted, {} at shutdown); resolution: {} exact, {} location, {} existence; {} flushes, flush p50 {p50:.2} ms p99 {p99:.2} ms",
+        report.events,
+        report.parse_errors,
+        report.duplicates,
+        report.sessions,
+        report.complete,
+        report.expired,
+        report.evicted,
+        report.shutdown,
+        report.tiers[0],
+        report.tiers[1],
+        report.tiers[2],
+        report.flush_batches,
+    );
+    obs_finish(&obs)
+}
+
+/// Feed stdin lines to the daemon. A malformed line is dropped with a
+/// warning (the daemon must outlive bad input) unless `--strict`.
+fn ingest_stdin(server: &mut StreamServer, strict: bool) -> Result<(), VqdError> {
+    use std::io::BufRead;
+    for (idx, line) in std::io::stdin().lock().lines().enumerate() {
+        let line = line.map_err(|e| VqdError::io("<stdin>", e))?;
+        if let Err(e) = server.push_line(idx + 1, &line) {
+            if strict {
+                return Err(e);
+            }
+            eprintln!("warning: {e} (line dropped)");
+        }
+    }
+    Ok(())
+}
+
+/// Feed the daemon from a TCP socket, one sequential connection at a
+/// time; the literal line `shutdown` stops the daemon.
+fn ingest_socket(server: &mut StreamServer, addr: &str, strict: bool) -> Result<(), VqdError> {
+    use std::io::BufRead;
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| VqdError::io(addr, e))?;
+    eprintln!("listening on {addr}; send the line \"shutdown\" to stop");
+    let mut lineno = 0usize;
+    'daemon: for conn in listener.incoming() {
+        let conn = match conn {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("warning: accept failed: {e}");
+                continue;
+            }
+        };
+        for line in std::io::BufReader::new(conn).lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("warning: connection read failed: {e}; dropping connection");
+                    break;
+                }
+            };
+            if line.trim() == "shutdown" {
+                break 'daemon;
+            }
+            lineno += 1;
+            if let Err(e) = server.push_line(lineno, &line) {
+                if strict {
+                    return Err(e);
+                }
+                eprintln!("warning: {e} (line dropped)");
+            }
+        }
+    }
+    Ok(())
 }
 
 fn cmd_simulate(opts: &Opts) -> Result<(), VqdError> {
@@ -575,6 +781,8 @@ fn main() {
                 "corpus" => cmd_corpus(&opts),
                 "train" => cmd_train(&opts),
                 "diagnose" => cmd_diagnose(&opts),
+                "events" => cmd_events(&opts),
+                "serve" => cmd_serve(&opts),
                 "simulate" => cmd_simulate(&opts),
                 "inspect" => cmd_inspect(&opts),
                 "robustness" => cmd_robustness(&opts),

@@ -68,10 +68,15 @@ pub mod prelude {
     pub use vqd_core::robustness::{degrade_corpus, majority_baseline, sweep, RobustnessCell};
     pub use vqd_core::scenario::{class_names, GroundTruth, LabelScheme};
     pub use vqd_core::serving::DiagnosisBatch;
+    pub use vqd_core::stream::{
+        corpus_to_events, resolution_name, result_line, FlushCause, FlushedSession, ServeConfig,
+        ServeReport, StreamServer, RESULT_HEADER,
+    };
     pub use vqd_core::testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};
     pub use vqd_faults::{FaultKind, FaultPlan};
     pub use vqd_ml::metrics::ConfusionMatrix;
     pub use vqd_probes::degrade::{DegradeKind, DegradePlan};
+    pub use vqd_probes::event::{EventKind, EventParseError, ProbeEvent};
     pub use vqd_video::catalog::{Catalog, CatalogConfig, Video};
     pub use vqd_video::QoeClass;
 }
