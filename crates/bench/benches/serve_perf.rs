@@ -12,13 +12,17 @@
 //!
 //! Reported: events/sec through the daemon (ingest to last flush),
 //! sessions/sec, and flush-batch latency p50/p99 from the daemon's own
-//! `LogHistogram`.
+//! `LogHistogram` — plus, since the durability layer landed, the same
+//! ingest pass with the write-ahead journal enabled (overhead ratio vs
+//! plain, budget 15%) and cold-recovery replay throughput (journal
+//! suffix back through the shards).
 //!
 //! Knobs: `VQD_PERF_SMOKE=1` (small corpus, fewer repeats),
 //! `VQD_SESSIONS` (corpus size), `VQD_BENCH_OUT` (output path),
 //! `VQD_NO_OBS=1` (bypass the metrics registry during timing).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
@@ -26,7 +30,10 @@ use vqd_bench::emit_section;
 use vqd_core::dataset::{generate_corpus, to_dataset, CorpusConfig};
 use vqd_core::diagnoser::{Diagnoser, DiagnoserConfig, Diagnosis};
 use vqd_core::scenario::LabelScheme;
-use vqd_core::stream::{corpus_to_events, FlushedSession, ServeConfig, ServeReport, StreamServer};
+use vqd_core::stream::{
+    corpus_to_events, recover_state, Durability, FlushedSession, JournalSpec, ServeConfig,
+    ServeReport, StreamServer,
+};
 use vqd_probes::event::ProbeEvent;
 use vqd_video::catalog::Catalog;
 
@@ -82,14 +89,96 @@ fn serve(
         sink.lock().unwrap_or_else(PoisonError::into_inner).push(fs);
     });
     for ev in events {
-        server.push_event(ev.clone());
+        if let Err(e) = server.push_event(ev.clone()) {
+            eprintln!("[serve_perf] push failed without durability: {e}");
+            std::process::exit(1);
+        }
     }
-    let report = server.finish();
+    let report = match server.finish() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[serve_perf] finish failed without durability: {e}");
+            std::process::exit(1);
+        }
+    };
     let got = Arc::try_unwrap(got)
         .unwrap_or_else(|_| panic!("sink still shared after finish"))
         .into_inner()
         .unwrap_or_else(PoisonError::into_inner);
     (got, report)
+}
+
+/// Replay `events` through a daemon with the write-ahead journal on,
+/// into a fresh journal directory. Returns wall seconds and the dir
+/// (left populated so the caller can time recovery replay from it).
+fn serve_journaled(
+    model: &Arc<Diagnoser>,
+    cfg: ServeConfig,
+    events: &[ProbeEvent],
+    dir: &Path,
+) -> f64 {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+        eprintln!(
+            "[serve_perf] cannot create journal dir {}: {e}",
+            dir.display()
+        );
+        std::process::exit(1);
+    });
+    let dur = Durability {
+        journal: Some(JournalSpec::new(dir.to_path_buf())),
+        snapshots: None,
+    };
+    let bail = |what: &str, e: vqd_core::error::VqdError| -> ! {
+        eprintln!("[serve_perf] journaled {what} failed: {e}");
+        std::process::exit(1);
+    };
+    let t0 = Instant::now();
+    let mut server = match StreamServer::start(Arc::clone(model), cfg, dur, None, |_| {}) {
+        Ok(s) => s,
+        Err(e) => bail("start", e),
+    };
+    for ev in events {
+        if let Err(e) = server.push_event(ev.clone()) {
+            bail("push", e);
+        }
+    }
+    if let Err(e) = server.finish() {
+        bail("finish", e);
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Cold recovery from a populated journal dir: scan + full suffix
+/// replay back through the shards to final flush. Returns wall seconds
+/// and the number of events replayed.
+fn recover_replay(model: &Arc<Diagnoser>, cfg: ServeConfig, dir: &Path) -> (f64, u64) {
+    let dur = Durability {
+        journal: Some(JournalSpec::new(dir.to_path_buf())),
+        snapshots: None,
+    };
+    let t0 = Instant::now();
+    let recovered = match recover_state(&dur, HashSet::new()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[serve_perf] recover_state failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match StreamServer::start(Arc::clone(model), cfg, dur, Some(recovered), |_| {}) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[serve_perf] recovery start failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = match server.finish() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[serve_perf] recovery finish failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    (t0.elapsed().as_secs_f64(), report.replayed)
 }
 
 fn main() {
@@ -167,7 +256,7 @@ fn main() {
     }
 
     // ---- Timed passes: best-of-N daemon replays. -----------------
-    let reps = if smoke { 2 } else { 5 };
+    let reps = if smoke { 4 } else { 5 };
     let time_serve = |shards: usize| {
         let mut best = f64::INFINITY;
         let mut last_report = None;
@@ -191,6 +280,81 @@ fn main() {
     let (wall1, report1) = time_serve(1);
     eprintln!("[serve_perf] timing daemon ({threads} shards, {reps} passes)...");
     let (wallp, reportp) = time_serve(threads);
+
+    // ---- Durability passes: journal overhead + recovery replay. --
+    // Plain and journaled passes interleave so CPU-frequency and
+    // writeback drift hits both alike; the overhead gate compares
+    // paired best-of times, not measurements taken minutes apart.
+    let scratch = std::env::temp_dir().join(format!("vqd-serve-perf-{}", std::process::id()));
+    eprintln!(
+        "[serve_perf] timing journaled ingest ({threads} shards, {reps} interleaved pass pairs)..."
+    );
+    let mut wallj = f64::INFINITY;
+    let mut best_ratio = f64::INFINITY;
+    let mut last_jdir = None;
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        let _ = serve(
+            &model,
+            ServeConfig {
+                shards: threads,
+                flush_batch: 8,
+                ..ServeConfig::default()
+            },
+            &events,
+        );
+        let tp = t0.elapsed().as_secs_f64();
+        let jdir = scratch.join(format!("journal-{rep}"));
+        let tj = serve_journaled(
+            &model,
+            ServeConfig {
+                shards: threads,
+                flush_batch: 8,
+                ..ServeConfig::default()
+            },
+            &events,
+            &jdir,
+        );
+        wallj = wallj.min(tj);
+        best_ratio = best_ratio.min(tj / tp.max(1e-9));
+        last_jdir = Some(jdir);
+    }
+    let jdir = last_jdir.unwrap_or_else(|| {
+        eprintln!("[serve_perf] no journaled pass ran");
+        std::process::exit(1);
+    });
+    eprintln!("[serve_perf] timing cold recovery replay ({reps} passes)...");
+    let mut wallr = f64::INFINITY;
+    let mut replayed = 0u64;
+    for _ in 0..reps {
+        let (w, n) = recover_replay(
+            &model,
+            ServeConfig {
+                shards: threads,
+                flush_batch: 8,
+                ..ServeConfig::default()
+            },
+            &jdir,
+        );
+        wallr = wallr.min(w);
+        replayed = n;
+    }
+    if replayed as usize != n_events {
+        eprintln!(
+            "[serve_perf] RECOVERY REPLAY REGRESSION: replayed {replayed} of {n_events} journaled events"
+        );
+        std::process::exit(1);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let epsj = n_events as f64 / wallj;
+    let epsr = n_events as f64 / wallr;
+    let overhead_pct = (best_ratio - 1.0) * 100.0;
+    if overhead_pct > 15.0 {
+        eprintln!(
+            "[serve_perf] WARNING: journal overhead {overhead_pct:.1}% exceeds the 15% budget"
+        );
+    }
 
     let eps1 = n_events as f64 / wall1;
     let epsp = n_events as f64 / wallp;
@@ -221,6 +385,12 @@ fn main() {
         "  \"speedup_parallel_vs_1shard\": {:.2},\n",
         epsp / eps1.max(1e-9)
     ));
+    json.push_str(&format!(
+        "  \"serve_journaled\": {{\"shards\": {threads}, \"events_per_sec\": {epsj:.0}, \"overhead_vs_plain_pct\": {overhead_pct:.1}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"recovery_replay\": {{\"shards\": {threads}, \"events_per_sec\": {epsr:.0}, \"events_replayed\": {replayed}}},\n"
+    ));
     json.push_str(
         "  \"equality\": \"streamed diagnosis == offline diagnose_batch, bitwise, shards 1 and parallel, shuffled arrival\"\n",
     );
@@ -234,7 +404,7 @@ fn main() {
     }
 
     let text = format!(
-        "serve perf ({} sessions, {n_events} shuffled events):\n  1 shard:  {eps1:.0} events/s, {sps1:.0} sessions/s, flush p50 {f1_p50:.2} ms, p99 {f1_p99:.2} ms\n  {threads} shards: {epsp:.0} events/s, {spsp:.0} sessions/s, flush p50 {fp_p50:.2} ms, p99 {fp_p99:.2} ms ({:.2}x)\n  streamed == offline batch, bitwise (equality gate passed)\n",
+        "serve perf ({} sessions, {n_events} shuffled events):\n  1 shard:  {eps1:.0} events/s, {sps1:.0} sessions/s, flush p50 {f1_p50:.2} ms, p99 {f1_p99:.2} ms\n  {threads} shards: {epsp:.0} events/s, {spsp:.0} sessions/s, flush p50 {fp_p50:.2} ms, p99 {fp_p99:.2} ms ({:.2}x)\n  journaled: {epsj:.0} events/s ({overhead_pct:+.1}% vs plain, budget 15%)\n  recovery replay: {epsr:.0} events/s ({replayed} events, cold journal scan to final flush)\n  streamed == offline batch, bitwise (equality gate passed)\n",
         corpus.len(),
         epsp / eps1,
     );

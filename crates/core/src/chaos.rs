@@ -1,0 +1,117 @@
+//! Deterministic crash injection for the durability layer.
+//!
+//! The chaos harness (`tests/chaos.rs`, and the CI `chaos-smoke` job
+//! at the binary level) kills the serving daemon at *seeded* event
+//! boundaries and asserts the recovery invariant: the merged output
+//! after any number of crash/recover cycles is byte-identical to
+//! offline batch diagnosis, every session answered exactly once. The
+//! crash points come from a SplitMix64 stream, so a failing seed is a
+//! complete reproduction recipe — no timing, no flakes.
+//!
+//! SplitMix64 (Steele, Lea & Flood, OOPSLA 2014) is the standard
+//! seed-expansion generator: one 64-bit add + two xor-shift-multiply
+//! mixes per draw, passes BigCrush, and — unlike the xorshift64*
+//! shuffler elsewhere in the repo — accepts *any* seed including 0.
+
+/// SplitMix64: tiny, seedable, full-period 2^64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed` (any value, 0 included).
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; 0 when `bound` is 0. Modulo
+    /// reduction: the bias over a 64-bit range is irrelevant for
+    /// crash-point picking and determinism is what matters.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// `count` distinct crash points for a stream of `total_events`
+/// events, sorted ascending, each in `1..total_events` — "crash after
+/// accepting exactly this many events". Returns fewer than `count`
+/// when the stream is too short to hold that many distinct interior
+/// boundaries.
+pub fn crash_points(seed: u64, total_events: u64, count: usize) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut points = Vec::with_capacity(count);
+    if total_events < 2 {
+        return points;
+    }
+    let interior = total_events - 1; // boundaries 1..=total_events-1
+    let want = count.min(interior as usize);
+    while points.len() < want {
+        let p = 1 + rng.below(interior);
+        if !points.contains(&p) {
+            points.push(p);
+        }
+    }
+    points.sort_unstable();
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = SplitMix64::new(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+        // Seed 0 must not be a fixed point.
+        let mut z = SplitMix64::new(0);
+        assert_ne!(z.next_u64(), z.next_u64());
+    }
+
+    #[test]
+    fn crash_points_are_sorted_distinct_interior() {
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            let pts = crash_points(seed, 1000, 5);
+            assert_eq!(pts.len(), 5, "seed {seed}");
+            assert_eq!(pts, crash_points(seed, 1000, 5), "deterministic");
+            for w in pts.windows(2) {
+                assert!(w[0] < w[1], "sorted distinct: {pts:?}");
+            }
+            assert!(pts[0] >= 1 && pts[4] < 1000, "interior: {pts:?}");
+        }
+    }
+
+    #[test]
+    fn short_streams_yield_fewer_points() {
+        assert!(crash_points(1, 0, 3).is_empty());
+        assert!(crash_points(1, 1, 3).is_empty());
+        assert_eq!(crash_points(1, 2, 3), vec![1]);
+        assert_eq!(crash_points(9, 4, 10).len(), 3);
+    }
+}

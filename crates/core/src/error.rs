@@ -37,6 +37,17 @@ pub enum VqdError {
         /// The typed parse failure, naming the bad field.
         source: vqd_probes::event::EventParseError,
     },
+    /// The write-ahead event journal failed (I/O or corruption).
+    Journal(vqd_probes::journal::JournalError),
+    /// A snapshot file failed to load or validate.
+    Snapshot {
+        /// The snapshot file being read or written.
+        path: PathBuf,
+        /// 1-based line number of the damage (0 = whole file).
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
     /// Invalid configuration or usage (bad flag value, unknown name).
     Config(String),
 }
@@ -57,6 +68,16 @@ impl VqdError {
             msg: msg.into(),
         }
     }
+
+    /// A snapshot-file failure pinned to a 1-based line (0 = whole
+    /// file).
+    pub fn snapshot(path: impl Into<PathBuf>, line: usize, msg: impl Into<String>) -> Self {
+        VqdError::Snapshot {
+            path: path.into(),
+            line,
+            msg: msg.into(),
+        }
+    }
 }
 
 impl fmt::Display for VqdError {
@@ -72,6 +93,14 @@ impl fmt::Display for VqdError {
             VqdError::Event { line, source } => {
                 write!(f, "event parse error at line {line}: {source}")
             }
+            VqdError::Journal(e) => write!(f, "{e}"),
+            VqdError::Snapshot { path, line, msg } => {
+                if *line == 0 {
+                    write!(f, "snapshot {}: {msg}", path.display())
+                } else {
+                    write!(f, "snapshot {} line {line}: {msg}", path.display())
+                }
+            }
             VqdError::Config(msg) => write!(f, "{msg}"),
         }
     }
@@ -83,6 +112,7 @@ impl std::error::Error for VqdError {
             VqdError::Io { source, .. } => Some(source),
             VqdError::Model(e) => Some(e),
             VqdError::Event { source, .. } => Some(source),
+            VqdError::Journal(e) => Some(e),
             _ => None,
         }
     }
@@ -91,6 +121,12 @@ impl std::error::Error for VqdError {
 impl From<ModelParseError> for VqdError {
     fn from(e: ModelParseError) -> Self {
         VqdError::Model(e)
+    }
+}
+
+impl From<vqd_probes::journal::JournalError> for VqdError {
+    fn from(e: vqd_probes::journal::JournalError) -> Self {
+        VqdError::Journal(e)
     }
 }
 

@@ -15,7 +15,11 @@
 //!   ([`DiagnosisBatch`]).
 //! * [`stream`] — the streaming daemon behind `vqd serve`: sharded
 //!   session reassembly from probe events, watermarks, eviction,
-//!   bounded-queue backpressure ([`StreamServer`]).
+//!   bounded-queue backpressure ([`StreamServer`]), plus the
+//!   durability layer (journal + snapshots + recovery) and overload
+//!   shedding.
+//! * [`chaos`] — seeded crash-point generation (SplitMix64) for the
+//!   deterministic crash-injection harness.
 //! * [`experiments`] — the Section 5 evaluation drivers (Figs 3–5,
 //!   Tables 1 & 4).
 //! * [`realworld`] — the Section 6 deployments (induced-fault corporate
@@ -28,6 +32,7 @@
 //! * [`multifault`] — the Section 9 future-work extension: sessions
 //!   with co-occurring problems.
 pub mod ablation;
+pub mod chaos;
 pub mod dataset;
 pub mod diagnoser;
 pub mod error;
@@ -42,6 +47,7 @@ pub mod stream;
 pub mod testbed;
 
 pub use ablation::{classifier_comparison, pipeline_ablation, pruning_ablation};
+pub use chaos::{crash_points, SplitMix64};
 pub use dataset::{
     corpus_from_text, corpus_to_text, generate_corpus, to_dataset, CorpusConfig, LabeledRun,
 };
@@ -55,7 +61,8 @@ pub use robustness::{degrade_corpus, majority_baseline, sweep, RobustnessCell};
 pub use scenario::{class_names, GroundTruth, LabelScheme};
 pub use serving::DiagnosisBatch;
 pub use stream::{
-    corpus_to_events, result_line, FlushCause, FlushedSession, ServeConfig, ServeReport,
-    StreamServer,
+    corpus_to_events, inspect_recovery, prepare_output, recover_state, result_line, Durability,
+    FlushCause, FlushedSession, JournalSpec, RecoveredState, RecoveryInfo, ServeConfig,
+    ServeReport, SnapshotSpec, StreamServer,
 };
 pub use testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};

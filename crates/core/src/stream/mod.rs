@@ -54,19 +54,42 @@
 //! **Backpressure.** Shard queues are bounded; when a worker falls
 //! behind, [`StreamServer::push_event`] blocks instead of buffering
 //! without limit, propagating pressure to the ingest edge (stdin or
-//! socket), where the transport's own flow control takes over.
+//! socket), where the transport's own flow control takes over. Past
+//! the optional shedding high-water mark the daemon instead starts
+//! dropping the lowest-value buffered samples (see [`ServeConfig::
+//! shed`]), trading per-session answer quality for ingest liveness.
+//!
+//! **Durability.** With a [`Durability`] config, accepted events are
+//! journaled ([`vqd_probes::journal`]) before they enter a shard
+//! queue, and consistent state snapshots ([`snapshot`]) are cut on a
+//! cadence and at shutdown via an in-band barrier message through the
+//! FIFO queues. Recovery ([`recovery`]) = newest valid snapshot +
+//! journal suffix replay + output-file dedup; the recovered daemon's
+//! merged output is byte-identical to offline batch diagnosis, every
+//! session answered exactly once.
+
+pub mod recovery;
+pub mod snapshot;
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use vqd_obs::LogHistogram;
 use vqd_probes::event::{EventKind, ProbeEvent};
+use vqd_probes::journal::JournalWriter;
 
 use crate::dataset::LabeledRun;
 use crate::diagnoser::{Diagnoser, Diagnosis, Resolution};
 use crate::error::VqdError;
+
+pub use recovery::{
+    inspect_recovery, prepare_output, recover_state, Durability, JournalSpec, OutputPrep,
+    RecoveredState, RecoveryInfo, SnapshotSpec,
+};
+pub use snapshot::{PortableSession, StreamSnapshot};
 
 /// Lock a mutex, riding through poisoning: a panicked holder leaves
 /// per-shard tallies possibly stale, never unsound, and the daemon
@@ -194,6 +217,14 @@ pub struct ServeConfig {
     /// Resident-session cap per shard; beyond it the least recently
     /// touched session is flushed as evicted.
     pub max_sessions: usize,
+    /// Overload-shedding high-water mark: buffered samples per shard
+    /// beyond which the shard sheds its lowest-value samples (largest
+    /// session first, least important metric first) instead of letting
+    /// backpressure stall ingest. Shed sessions degrade through the
+    /// quality tiers rather than blocking the stream. `None` (the
+    /// default, and `--no-shed`) never sheds: strict mode, where the
+    /// streamed-equals-offline invariant holds unconditionally.
+    pub shed: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -204,6 +235,7 @@ impl Default for ServeConfig {
             flush_batch: 32,
             lateness: None,
             max_sessions: 4096,
+            shed: None,
         }
     }
 }
@@ -244,6 +276,9 @@ pub struct FlushedSession {
     pub samples: usize,
     /// Duplicate sample events dropped during reassembly.
     pub duplicates: u64,
+    /// Samples shed from this session under overload (degraded
+    /// answer if nonzero).
+    pub shed: u64,
     /// Owning shard.
     pub shard: usize,
     /// The diagnosis — bitwise what offline batch serving produces
@@ -279,6 +314,17 @@ pub struct ServeReport {
     pub flush_batches: u64,
     /// Flush latency in milliseconds (whole batch; mergeable).
     pub flush_ms: LogHistogram,
+    /// Samples shed under overload.
+    pub shed_samples: u64,
+    /// Sessions that lost at least one sample to shedding.
+    pub shed_sessions: u64,
+    /// Journal records replayed during recovery startup.
+    pub replayed: u64,
+    /// Re-flushes suppressed because the session was already answered
+    /// in the output file before the crash.
+    pub suppressed: u64,
+    /// State snapshots written (cadence + shutdown).
+    pub snapshots: u64,
 }
 
 impl ServeReport {
@@ -295,6 +341,8 @@ impl ServeReport {
         }
         self.flush_batches += s.flush_batches;
         self.flush_ms.merge(&s.flush_ms);
+        self.shed_samples += s.shed_samples;
+        self.shed_sessions += s.shed_sessions;
     }
 }
 
@@ -310,6 +358,8 @@ struct ShardStats {
     tiers: [u64; 3],
     flush_batches: u64,
     flush_ms: LogHistogram,
+    shed_samples: u64,
+    shed_sessions: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -332,6 +382,8 @@ struct SessionState {
     last_tick: u64,
     /// Duplicate sample events dropped.
     duplicates: u64,
+    /// Samples shed under overload (the answer is degraded).
+    shed: u64,
 }
 
 impl SessionState {
@@ -345,11 +397,45 @@ impl SessionState {
         }
     }
 
-    fn add_sample(&mut self, seq: u64, metric: String, value: f64) {
+    /// Insert one sample; `false` means a duplicate seq was dropped.
+    fn add_sample(&mut self, seq: u64, metric: String, value: f64) -> bool {
         match self.samples.binary_search_by_key(&seq, |s| s.0) {
-            Ok(_) => self.duplicates += 1,
-            Err(pos) => self.samples.insert(pos, (seq, metric, value)),
+            Ok(_) => {
+                self.duplicates += 1;
+                false
+            }
+            Err(pos) => {
+                self.samples.insert(pos, (seq, metric, value));
+                true
+            }
         }
+    }
+
+    /// Portable form for snapshots (clones; the session stays live).
+    fn to_portable(&self, id: &str) -> PortableSession {
+        PortableSession {
+            id: id.to_string(),
+            expected: self.expected,
+            newest_ts: self.newest_ts,
+            duplicates: self.duplicates,
+            shed: self.shed,
+            samples: self.samples.clone(),
+        }
+    }
+
+    /// Rebuild from a snapshot at restore tick `tick`.
+    fn from_portable(p: PortableSession, tick: u64) -> (String, SessionState) {
+        (
+            p.id,
+            SessionState {
+                samples: p.samples,
+                expected: p.expected,
+                newest_ts: p.newest_ts,
+                last_tick: tick,
+                duplicates: p.duplicates,
+                shed: p.shed,
+            },
+        )
     }
 
     /// Complete ⇔ `end` seen and the sorted-unique seqs are exactly
@@ -394,11 +480,73 @@ const SWEEP_EVERY: u64 = 64;
 
 type Sink = Arc<Mutex<dyn FnMut(FlushedSession) + Send>>;
 
+/// What travels down a shard queue: events, or an in-band snapshot
+/// barrier. Because the queue is FIFO, a worker that answers `Snap`
+/// has processed *exactly* the events routed before the barrier was
+/// pushed — a consistent cut across shards with no global pause.
+enum ShardMsg {
+    /// One routed probe event.
+    Event(ProbeEvent),
+    /// Snapshot barrier: reply with this shard's state as of now.
+    Snap(mpsc::Sender<ShardSnap>),
+}
+
+/// One shard's contribution to a snapshot (or its final state at
+/// graceful shutdown: sessions empty, tombstones and clock kept).
+struct ShardSnap {
+    shard: usize,
+    /// `(last_tick, session)` — recency preserved for restore.
+    sessions: Vec<(u64, PortableSession)>,
+    /// Retired ids, FIFO order.
+    tombstones: Vec<String>,
+    max_ts: Option<f64>,
+}
+
+/// Per-metric shed value derived from the model: feature importance
+/// of the exact feature, half-credit for features the metric merely
+/// feeds (substring match), zero for metrics the tree never splits
+/// on. Under overload the *least* valuable samples go first, so the
+/// degraded diagnosis keeps the splits that matter most.
+struct ShedValues {
+    by_name: HashMap<String, f64>,
+    features: Vec<(String, f64)>,
+}
+
+impl ShedValues {
+    fn new(diagnoser: &Diagnoser) -> ShedValues {
+        let imp = diagnoser.tree().feature_importance();
+        let features: Vec<(String, f64)> = diagnoser
+            .feature_names
+            .iter()
+            .cloned()
+            .zip(imp.iter().copied())
+            .collect();
+        ShedValues {
+            by_name: features.iter().cloned().collect(),
+            features,
+        }
+    }
+
+    fn value(&self, metric: &str) -> f64 {
+        if let Some(v) = self.by_name.get(metric) {
+            return *v;
+        }
+        let mut best = 0.0f64;
+        for (name, v) in &self.features {
+            if name.contains(metric) || metric.contains(name.as_str()) {
+                best = best.max(0.5 * v);
+            }
+        }
+        best
+    }
+}
+
 struct PendingFlush {
     session: String,
     cause: FlushCause,
     metrics: Vec<(String, f64)>,
     duplicates: u64,
+    shed: u64,
 }
 
 struct ShardWorker {
@@ -418,22 +566,50 @@ struct ShardWorker {
     tick: u64,
     max_ts: Option<f64>,
     stats: ShardStats,
+    /// Buffered samples across the table (shedding trigger).
+    buffered: usize,
+    /// Per-metric shed values (shared, model-derived) + memo cache.
+    shed_values: Arc<ShedValues>,
+    shed_memo: HashMap<String, f64>,
+    /// Simulated-crash flag: when set, bail out without flushing
+    /// anything — the in-process equivalent of `kill -9`.
+    abandon: Arc<AtomicBool>,
 }
 
 impl ShardWorker {
-    fn run(mut self, queue: Arc<Bounded<ProbeEvent>>) -> ShardStats {
-        while let Some(ev) = queue.pop() {
-            self.tick += 1;
-            self.ingest(ev);
-            if self.pending.len() >= self.cfg.flush_batch {
-                self.flush();
+    fn run(mut self, queue: Arc<Bounded<ShardMsg>>) -> (ShardStats, ShardSnap) {
+        while let Some(msg) = queue.pop() {
+            if self.abandon.load(Ordering::SeqCst) {
+                return self.dead_snap();
             }
-            if self.tick.is_multiple_of(SWEEP_EVERY) {
-                self.sweep_watermark();
-                if vqd_obs::enabled() {
-                    vqd_obs::recorder().hist_record("serve.queue.depth", queue.len() as f64);
+            match msg {
+                ShardMsg::Event(ev) => {
+                    self.tick += 1;
+                    self.ingest(ev);
+                    if self.pending.len() >= self.cfg.flush_batch {
+                        self.flush();
+                    }
+                    if self.tick.is_multiple_of(SWEEP_EVERY) {
+                        self.sweep_watermark();
+                        if vqd_obs::enabled() {
+                            vqd_obs::recorder()
+                                .hist_record("serve.queue.depth", queue.len() as f64);
+                        }
+                    }
+                }
+                ShardMsg::Snap(tx) => {
+                    // Flush staged sessions first: their output lines
+                    // must be durable before a snapshot tombstones
+                    // them, or a crash between the two would lose
+                    // their answers.
+                    self.flush();
+                    let snap = self.collect_snap();
+                    let _ = tx.send(snap);
                 }
             }
+        }
+        if self.abandon.load(Ordering::SeqCst) {
+            return self.dead_snap();
         }
         // Input over: everything still resident flushes as shutdown,
         // in session-id order so the drain itself is deterministic.
@@ -443,7 +619,38 @@ impl ShardWorker {
             self.retire(&k, FlushCause::Shutdown);
         }
         self.flush();
-        self.stats
+        let fin = self.collect_snap();
+        (self.stats, fin)
+    }
+
+    /// A crashed worker's return value: nothing in it may be trusted
+    /// or persisted, it only satisfies the join.
+    fn dead_snap(self) -> (ShardStats, ShardSnap) {
+        (
+            self.stats,
+            ShardSnap {
+                shard: self.shard,
+                sessions: Vec::new(),
+                tombstones: Vec::new(),
+                max_ts: None,
+            },
+        )
+    }
+
+    /// This shard's state in portable form, recency order.
+    fn collect_snap(&self) -> ShardSnap {
+        let mut sessions: Vec<(u64, PortableSession)> = self
+            .table
+            .iter()
+            .map(|(id, s)| (s.last_tick, s.to_portable(id)))
+            .collect();
+        sessions.sort_unstable_by_key(|(tick, _)| *tick);
+        ShardSnap {
+            shard: self.shard,
+            sessions,
+            tombstones: self.retired_fifo.iter().cloned().collect(),
+            max_ts: self.max_ts,
+        }
     }
 
     fn ingest(&mut self, ev: ProbeEvent) {
@@ -469,7 +676,9 @@ impl ShardWorker {
                 entry.touch(self.tick, ts);
                 match kind {
                     EventKind::Sample { seq, metric, value } => {
-                        entry.add_sample(seq, metric, value)
+                        if entry.add_sample(seq, metric, value) {
+                            self.buffered += 1;
+                        }
                     }
                     EventKind::End { expected } => entry.expected = Some(expected),
                 }
@@ -481,6 +690,78 @@ impl ShardWorker {
             self.retire(&session, FlushCause::Complete);
         } else if self.table.len() > self.cfg.max_sessions {
             self.evict_one();
+        }
+        if let Some(high) = self.cfg.shed {
+            if self.buffered > high {
+                self.shed_down(high);
+            }
+        }
+    }
+
+    /// Shed buffered samples until at most `target` remain. Victim
+    /// selection is deterministic (a pure function of shard state):
+    /// largest session first (tie: smallest id), and within it the
+    /// lowest-value metrics first (tie: highest seq), so what survives
+    /// is what the model would miss most. Shed sessions keep serving —
+    /// they just resolve through coarser quality tiers.
+    fn shed_down(&mut self, target: usize) {
+        while self.buffered > target {
+            let victim = self
+                .table
+                .iter()
+                .filter(|(_, s)| !s.samples.is_empty())
+                .max_by(|(ak, a), (bk, b)| {
+                    a.samples
+                        .len()
+                        .cmp(&b.samples.len())
+                        .then_with(|| bk.cmp(ak))
+                })
+                .map(|(k, _)| k.clone());
+            let Some(key) = victim else {
+                return; // nothing sheddable (end-only sessions)
+            };
+            let need = self.buffered - target;
+            let Some(state) = self.table.get_mut(&key) else {
+                return;
+            };
+            // Drop up to half the session per round so the pain
+            // spreads across sessions instead of zeroing one out.
+            let k = need.min((state.samples.len() / 2).max(1));
+            let mut order: Vec<usize> = (0..state.samples.len()).collect();
+            let values: Vec<f64> = state
+                .samples
+                .iter()
+                .map(|(_, m, _)| match self.shed_memo.get(m) {
+                    Some(v) => *v,
+                    None => {
+                        let v = self.shed_values.value(m);
+                        self.shed_memo.insert(m.clone(), v);
+                        v
+                    }
+                })
+                .collect();
+            order.sort_unstable_by(|&a, &b| {
+                values[a]
+                    .total_cmp(&values[b])
+                    .then_with(|| state.samples[b].0.cmp(&state.samples[a].0))
+            });
+            let mut doomed: Vec<usize> = order[..k].to_vec();
+            doomed.sort_unstable_by(|a, b| b.cmp(a));
+            for i in doomed {
+                state.samples.remove(i);
+            }
+            if state.shed == 0 {
+                self.stats.shed_sessions += 1;
+                if vqd_obs::enabled() {
+                    vqd_obs::recorder().counter_add("serve.shed.sessions", 1);
+                }
+            }
+            state.shed += k as u64;
+            self.buffered -= k;
+            self.stats.shed_samples += k as u64;
+            if vqd_obs::enabled() {
+                vqd_obs::recorder().counter_add("serve.shed.samples", k as u64);
+            }
         }
     }
 
@@ -499,12 +780,15 @@ impl ShardWorker {
                     }
                 }
             }
+            self.buffered = self.buffered.saturating_sub(state.samples.len());
+            let shed = state.shed;
             let (metrics, duplicates) = state.into_metrics();
             self.pending.push(PendingFlush {
                 session: key.to_string(),
                 cause,
                 metrics,
                 duplicates,
+                shed,
             });
         }
     }
@@ -608,6 +892,7 @@ impl ShardWorker {
                 cause: p.cause,
                 samples: p.metrics.len(),
                 duplicates: p.duplicates,
+                shed: p.shed,
                 shard: self.shard,
                 diagnosis: dx,
             });
@@ -621,41 +906,171 @@ impl ShardWorker {
 
 /// The streaming daemon: routes events to shard workers and joins
 /// them at the end. Drop-in embedding API for the `vqd serve`
-/// subcommand and the tests/benches.
+/// subcommand and the tests/benches. With a [`Durability`] config it
+/// journals accepted events, cuts barrier snapshots, and can restart
+/// from a [`RecoveredState`].
 pub struct StreamServer {
-    queues: Vec<Arc<Bounded<ProbeEvent>>>,
-    workers: Vec<JoinHandle<ShardStats>>,
+    queues: Vec<Arc<Bounded<ShardMsg>>>,
+    workers: Vec<JoinHandle<(ShardStats, ShardSnap)>>,
     events: u64,
     parse_errors: u64,
+    journal: Option<JournalWriter>,
+    snapshots: Option<SnapshotSpec>,
+    /// Events routed to queues so far — the journal seq a snapshot
+    /// barrier pushed *now* would cover.
+    covered_seq: u64,
+    /// Events routed since the last snapshot (cadence counter).
+    since_snap: u64,
+    snapshots_written: u64,
+    replayed: u64,
+    suppressed: Arc<AtomicU64>,
+    abandon: Arc<AtomicBool>,
+    /// Journal appends not yet folded into the obs counter; reported
+    /// in batches so the hot path skips the per-event recorder call.
+    journal_unreported: u64,
 }
 
 impl StreamServer {
     /// Spawn `cfg.shards` workers serving `diagnoser`; every flushed
     /// session is handed to `sink` (called from worker threads, one
-    /// at a time).
+    /// at a time). No durability: the PR 6 daemon, nothing survives a
+    /// crash.
     pub fn new(
         diagnoser: Arc<Diagnoser>,
         cfg: ServeConfig,
         sink: impl FnMut(FlushedSession) + Send + 'static,
     ) -> StreamServer {
+        match Self::start(diagnoser, cfg, Durability::none(), None, sink) {
+            Ok(s) => s,
+            Err(e) => unreachable!("StreamServer without durability cannot fail to start: {e}"),
+        }
+    }
+
+    /// Spawn the daemon with durability. `recovered` (from
+    /// [`recover_state`]) seeds the shard tables from the snapshot
+    /// and replays the journal suffix before this returns; flushes
+    /// for sessions already present in the output file are
+    /// suppressed. Restored sessions are re-routed by id hash, so the
+    /// shard count may differ from the crashed run's.
+    pub fn start(
+        diagnoser: Arc<Diagnoser>,
+        cfg: ServeConfig,
+        durability: Durability,
+        recovered: Option<RecoveredState>,
+        sink: impl FnMut(FlushedSession) + Send + 'static,
+    ) -> Result<StreamServer, VqdError> {
         let shards = cfg.shards.max(1);
-        let sink: Sink = Arc::new(Mutex::new(sink));
+        if durability.snapshots.is_some() && durability.journal.is_none() && recovered.is_none() {
+            return Err(VqdError::Config(
+                "snapshots require a journal: a snapshot is keyed by a journal seq".to_string(),
+            ));
+        }
+
+        // Suppression: sessions answered before the crash must not be
+        // re-emitted by the replay. Diagnosis is deterministic, so
+        // the suppressed line would have been byte-identical anyway.
+        let suppressed = Arc::new(AtomicU64::new(0));
+        let sink: Sink = match recovered.as_ref().map(|r| r.emitted.clone()) {
+            Some(emitted) if !emitted.is_empty() => {
+                let sup = Arc::clone(&suppressed);
+                let mut inner = sink;
+                Arc::new(Mutex::new(move |fs: FlushedSession| {
+                    if emitted.contains(&fs.session) {
+                        sup.fetch_add(1, Ordering::Relaxed);
+                        if vqd_obs::enabled() {
+                            vqd_obs::recorder().counter_add("serve.recovery.suppressed", 1);
+                        }
+                    } else {
+                        inner(fs);
+                    }
+                }))
+            }
+            _ => Arc::new(Mutex::new(sink)),
+        };
+
+        // Distribute recovered state across the (possibly different)
+        // shard layout: sessions and tombstones re-route by the same
+        // id hash; the watermark clock collapses to its global max,
+        // which can only delay expiry, never change a diagnosis.
+        let mut init_sessions: Vec<Vec<PortableSession>> = vec![Vec::new(); shards];
+        let mut init_tombs: Vec<Vec<String>> = vec![Vec::new(); shards];
+        let mut init_max_ts: Option<f64> = None;
+        let (journal, replay) = match recovered {
+            Some(r) => {
+                let RecoveredState {
+                    writer,
+                    sessions,
+                    tombstones,
+                    max_ts,
+                    replay,
+                    ..
+                } = r;
+                for s in sessions {
+                    init_sessions[shard_of(&s.id, shards)].push(s);
+                }
+                for t in tombstones {
+                    init_tombs[shard_of(&t, shards)].push(t);
+                }
+                init_max_ts = max_ts;
+                (Some(writer), replay)
+            }
+            None => match &durability.journal {
+                Some(spec) => {
+                    let (writer, scan) =
+                        JournalWriter::open(&spec.dir, spec.config()).map_err(VqdError::Journal)?;
+                    if scan.next_seq() != 0 || scan.torn.is_some() {
+                        return Err(VqdError::Config(format!(
+                            "journal directory {} already holds {} record(s); \
+                             pass --recover to resume from it or point --journal at a fresh \
+                             directory",
+                            spec.dir.display(),
+                            scan.next_seq()
+                        )));
+                    }
+                    (Some(writer), Vec::new())
+                }
+                None => (None, Vec::new()),
+            },
+        };
+        let covered_seq = journal.as_ref().map(|j| j.next_seq()).unwrap_or(0) - replay.len() as u64;
+
+        let shed_values = Arc::new(ShedValues::new(&diagnoser));
+        let abandon = Arc::new(AtomicBool::new(false));
         let mut queues = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
-        for shard in 0..shards {
+        for (shard, (sessions, tombstones)) in init_sessions
+            .drain(..)
+            .zip(init_tombs.drain(..))
+            .enumerate()
+        {
             let queue = Arc::new(Bounded::new(cfg.queue_capacity));
+            let mut table = HashMap::with_capacity(sessions.len());
+            let mut buffered = 0usize;
+            let mut tick = 0u64;
+            for p in sessions {
+                tick += 1;
+                let (id, state) = SessionState::from_portable(p, tick);
+                buffered += state.samples.len();
+                table.insert(id, state);
+            }
+            let retired: HashSet<String> = tombstones.iter().cloned().collect();
+            let retired_fifo: VecDeque<String> = tombstones.into();
             let worker = ShardWorker {
                 shard,
                 diagnoser: Arc::clone(&diagnoser),
                 cfg: cfg.clone(),
                 sink: Arc::clone(&sink),
-                table: HashMap::new(),
-                retired: HashSet::new(),
-                retired_fifo: VecDeque::new(),
+                table,
+                retired,
+                retired_fifo,
                 pending: Vec::new(),
-                tick: 0,
-                max_ts: None,
+                tick,
+                max_ts: init_max_ts,
                 stats: ShardStats::default(),
+                buffered,
+                shed_values: Arc::clone(&shed_values),
+                shed_memo: HashMap::new(),
+                abandon: Arc::clone(&abandon),
             };
             let q = Arc::clone(&queue);
             workers.push(
@@ -666,27 +1081,75 @@ impl StreamServer {
             );
             queues.push(queue);
         }
-        StreamServer {
+        let mut server = StreamServer {
             queues,
             workers,
             events: 0,
             parse_errors: 0,
+            journal,
+            snapshots: durability.snapshots,
+            covered_seq,
+            since_snap: 0,
+            snapshots_written: 0,
+            replayed: 0,
+            suppressed,
+            abandon,
+            journal_unreported: 0,
+        };
+        // Replay the journal suffix (already journaled — route only).
+        for ev in replay {
+            server.route(ev);
+            server.replayed += 1;
+        }
+        Ok(server)
+    }
+
+    /// Fold batched journal appends into the obs counter.
+    fn report_journal_counter(&mut self) {
+        if self.journal_unreported > 0 {
+            if vqd_obs::enabled() {
+                vqd_obs::recorder().counter_add("serve.journal.records", self.journal_unreported);
+            }
+            self.journal_unreported = 0;
         }
     }
 
-    /// Route one event to its shard, blocking if that shard's queue
-    /// is full (backpressure).
-    pub fn push_event(&mut self, ev: ProbeEvent) {
+    /// Route one event to its shard queue without journaling.
+    fn route(&mut self, ev: ProbeEvent) {
         self.events += 1;
         if self.events.is_multiple_of(256) && vqd_obs::enabled() {
             let depth: usize = self.queues.iter().map(|q| q.len()).sum();
             vqd_obs::recorder().gauge_set("serve.queue.depth", depth as f64);
         }
         let shard = shard_of(&ev.session, self.queues.len());
-        self.queues[shard].push(ev);
+        self.queues[shard].push(ShardMsg::Event(ev));
+        self.covered_seq += 1;
         if vqd_obs::enabled() {
             vqd_obs::recorder().counter_add("serve.events", 1);
         }
+    }
+
+    /// Accept one event: journal it (write-ahead), route it to its
+    /// shard (blocking if that queue is full — backpressure), and cut
+    /// a snapshot if the cadence came due. The only error source is
+    /// the durability layer; without one this never fails.
+    pub fn push_event(&mut self, ev: ProbeEvent) -> Result<(), VqdError> {
+        if let Some(j) = self.journal.as_mut() {
+            j.append_with(|buf| ev.to_journal_bytes_into(buf))
+                .map_err(VqdError::Journal)?;
+            self.journal_unreported += 1;
+            if self.journal_unreported >= 256 {
+                self.report_journal_counter();
+            }
+        }
+        self.route(ev);
+        self.since_snap += 1;
+        if let Some(every) = self.snapshots.as_ref().map(|s| s.every_events) {
+            if every > 0 && self.since_snap >= every {
+                self.write_snapshot()?;
+            }
+        }
+        Ok(())
     }
 
     /// Parse and route one JSONL event line (1-based `lineno` for
@@ -699,10 +1162,7 @@ impl StreamServer {
             return Ok(());
         }
         match ProbeEvent::parse(line) {
-            Ok(ev) => {
-                self.push_event(ev);
-                Ok(())
-            }
+            Ok(ev) => self.push_event(ev),
             Err(e) => {
                 self.parse_errors += 1;
                 if vqd_obs::enabled() {
@@ -716,26 +1176,115 @@ impl StreamServer {
         }
     }
 
+    /// Journal seq of the next accepted event — the ingest ack a
+    /// sender resumes from after a crash (0 when not journaling).
+    pub fn next_seq(&self) -> u64 {
+        self.journal.as_ref().map(|j| j.next_seq()).unwrap_or(0)
+    }
+
     /// Total queued events across shards right now (for gauges).
     pub fn queue_depth(&self) -> usize {
         self.queues.iter().map(|q| q.len()).sum()
     }
 
+    /// Cut a consistent snapshot *now*: flush the journal, push a
+    /// barrier message down every shard queue, assemble the replies
+    /// at `covered_seq`, write atomically, prune old snapshots and
+    /// the journal prefix they cover.
+    pub fn write_snapshot(&mut self) -> Result<(), VqdError> {
+        let Some(spec) = self.snapshots.clone() else {
+            return Ok(());
+        };
+        if let Some(j) = self.journal.as_mut() {
+            j.flush().map_err(VqdError::Journal)?;
+        }
+        let (tx, rx) = mpsc::channel();
+        for q in &self.queues {
+            if !q.push(ShardMsg::Snap(tx.clone())) {
+                return Ok(()); // shutting down; finish() snapshots
+            }
+        }
+        drop(tx);
+        let mut shards: Vec<ShardSnap> = Vec::with_capacity(self.queues.len());
+        for _ in 0..self.queues.len() {
+            match rx.recv() {
+                Ok(s) => shards.push(s),
+                Err(_) => {
+                    // A worker died mid-barrier: skip this snapshot
+                    // rather than persist a partial cut.
+                    if vqd_obs::enabled() {
+                        vqd_obs::recorder().counter_add("serve.snapshot.failed", 1);
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        self.persist_snapshot(&spec, shards)
+    }
+
+    /// Assemble per-shard cuts into one snapshot file at
+    /// `covered_seq` and rotate retention.
+    fn persist_snapshot(
+        &mut self,
+        spec: &SnapshotSpec,
+        mut shards: Vec<ShardSnap>,
+    ) -> Result<(), VqdError> {
+        shards.sort_unstable_by_key(|s| s.shard);
+        let mut snap = StreamSnapshot {
+            seq: self.covered_seq,
+            ..StreamSnapshot::default()
+        };
+        for sh in shards {
+            if let Some(t) = sh.max_ts {
+                snap.max_ts = Some(match snap.max_ts {
+                    Some(prev) => prev.max(t),
+                    None => t,
+                });
+            }
+            snap.sessions
+                .extend(sh.sessions.into_iter().map(|(_, p)| p));
+            snap.tombstones.extend(sh.tombstones);
+        }
+        snap.save(&spec.dir)?;
+        self.since_snap = 0;
+        self.snapshots_written += 1;
+        if vqd_obs::enabled() {
+            vqd_obs::recorder().counter_add("serve.snapshot.written", 1);
+        }
+        if let Some(oldest_kept) = snapshot::prune_snapshots(&spec.dir, spec.keep)? {
+            if let Some(j) = self.journal.as_mut() {
+                j.prune_through(oldest_kept).map_err(VqdError::Journal)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Close the queues, drain and join every worker, and return the
     /// merged accounting. Flushes all still-resident sessions as
-    /// [`FlushCause::Shutdown`].
-    pub fn finish(self) -> ServeReport {
+    /// [`FlushCause::Shutdown`], then writes a final snapshot (empty
+    /// tables, full tombstones) so a subsequent `--recover` restart
+    /// replays nothing and re-answers nothing.
+    pub fn finish(mut self) -> Result<ServeReport, VqdError> {
+        self.report_journal_counter();
+        if let Some(j) = self.journal.as_mut() {
+            j.flush().map_err(VqdError::Journal)?;
+        }
         for q in &self.queues {
             q.close();
         }
         let mut report = ServeReport {
             events: self.events,
             parse_errors: self.parse_errors,
+            replayed: self.replayed,
             ..ServeReport::default()
         };
-        for w in self.workers {
+        let mut finals: Vec<ShardSnap> = Vec::with_capacity(self.workers.len());
+        for w in self.workers.drain(..) {
             match w.join() {
-                Ok(stats) => report.absorb(&stats),
+                Ok((stats, fin)) => {
+                    report.absorb(&stats);
+                    finals.push(fin);
+                }
                 Err(_) => {
                     // A worker died; its sessions are lost but the
                     // daemon still reports what the others did.
@@ -745,7 +1294,34 @@ impl StreamServer {
                 }
             }
         }
-        report
+        if let Some(spec) = self.snapshots.clone() {
+            if finals.len() == self.queues.len() {
+                self.persist_snapshot(&spec, finals)?;
+            }
+        }
+        if let Some(mut j) = self.journal.take() {
+            j.flush().map_err(VqdError::Journal)?;
+        }
+        report.suppressed = self.suppressed.load(Ordering::Relaxed);
+        report.snapshots = self.snapshots_written;
+        Ok(report)
+    }
+
+    /// Simulate `kill -9` in-process: workers bail without flushing,
+    /// the journal's buffered tail is discarded unwritten, no
+    /// snapshot is cut. Everything the chaos harness needs to die at
+    /// an exact event boundary — deterministically — without forking.
+    pub fn crash(mut self) {
+        self.abandon.store(true, Ordering::SeqCst);
+        for q in &self.queues {
+            q.close();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(j) = self.journal.take() {
+            j.abandon();
+        }
     }
 }
 

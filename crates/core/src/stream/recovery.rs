@@ -1,0 +1,446 @@
+//! Crash recovery: newest valid snapshot + journal suffix replay.
+//!
+//! The recovery invariant, enforced by `tests/chaos.rs` and the CI
+//! chaos-smoke job: **kill the daemon at any point, restart with
+//! `--recover`, and the merged output is byte-identical to offline
+//! `vqd diagnose --batch`, every session answered exactly once.**
+//! Three mechanisms compose to give it:
+//!
+//! 1. The journal holds every acknowledged event; recovery rebuilds
+//!    the tables from the newest valid snapshot and replays the
+//!    journal records past the snapshot's `seq`. The journal's
+//!    `next_seq` is the ingest ack — a sender resumes feeding from it,
+//!    so group-commit buffering loses nothing end to end.
+//! 2. The output TSV doubles as the *emission log*: a torn final line
+//!    (the crash hit mid-`write`) is truncated away, and every session
+//!    id already present is suppressed during replay — diagnosis is
+//!    deterministic, so a suppressed re-emission would have been
+//!    byte-identical anyway. That closes the window between "session
+//!    flushed to output" and "snapshot recorded the tombstone".
+//! 3. Restored sessions are re-routed by the same id hash, so
+//!    recovery works across `--shards` changes; only per-shard
+//!    watermark clocks collapse to their max, which can only *delay*
+//!    expiry, never change a diagnosis.
+
+use std::collections::HashSet;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use vqd_probes::event::ProbeEvent;
+use vqd_probes::journal::{self, JournalConfig, JournalError, JournalWriter};
+
+use crate::error::VqdError;
+
+use super::snapshot::{self, StreamSnapshot};
+
+/// Where and how the daemon journals accepted events.
+#[derive(Debug, Clone)]
+pub struct JournalSpec {
+    /// Journal directory (segments live here).
+    pub dir: PathBuf,
+    /// Segment rotation size in bytes.
+    pub segment_bytes: u64,
+    /// Records per group commit (1 = flush every record).
+    pub flush_every: u64,
+}
+
+impl JournalSpec {
+    /// Journal at `dir` with default rotation and group commit.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        let d = JournalConfig::default();
+        JournalSpec {
+            dir: dir.into(),
+            segment_bytes: d.segment_bytes,
+            flush_every: d.flush_every,
+        }
+    }
+
+    pub(crate) fn config(&self) -> JournalConfig {
+        JournalConfig {
+            segment_bytes: self.segment_bytes,
+            flush_every: self.flush_every,
+        }
+    }
+}
+
+/// Where and how often the daemon snapshots its state.
+#[derive(Debug, Clone)]
+pub struct SnapshotSpec {
+    /// Snapshot directory.
+    pub dir: PathBuf,
+    /// Events between automatic snapshots (0 = only on shutdown).
+    pub every_events: u64,
+    /// Snapshots retained (older ones pruned, journal trimmed to the
+    /// oldest survivor).
+    pub keep: usize,
+}
+
+impl SnapshotSpec {
+    /// Snapshots at `dir` every `every_events` events, keeping 2.
+    pub fn new(dir: impl Into<PathBuf>, every_events: u64) -> Self {
+        SnapshotSpec {
+            dir: dir.into(),
+            every_events,
+            keep: 2,
+        }
+    }
+}
+
+/// The daemon's durability configuration. `Durability::none()` is the
+/// PR 6 daemon: fast, volatile, nothing survives a crash.
+#[derive(Debug, Clone, Default)]
+pub struct Durability {
+    /// Write-ahead journal of accepted events.
+    pub journal: Option<JournalSpec>,
+    /// Periodic + shutdown state snapshots.
+    pub snapshots: Option<SnapshotSpec>,
+}
+
+impl Durability {
+    /// No journal, no snapshots.
+    pub fn none() -> Self {
+        Durability::default()
+    }
+}
+
+/// Everything `recover_state` salvaged, ready to hand to
+/// [`StreamServer::start`](super::StreamServer::start).
+pub struct RecoveredState {
+    /// The reopened journal writer (torn tail already truncated),
+    /// positioned after the last valid record.
+    pub(super) writer: JournalWriter,
+    /// Journal seq the snapshot covered (0 if none).
+    pub snapshot_seq: u64,
+    /// Seq the next accepted event will get — the sender's resume
+    /// point (re-feed events from here).
+    pub next_seq: u64,
+    /// The snapshot file recovery loaded, if any.
+    pub snapshot_path: Option<PathBuf>,
+    /// Torn journal bytes discarded (crash debris).
+    pub torn_bytes: u64,
+    /// In-flight sessions from the snapshot, recency order.
+    pub(super) sessions: Vec<snapshot::PortableSession>,
+    /// Tombstones from the snapshot, FIFO order.
+    pub(super) tombstones: Vec<String>,
+    /// Watermark clock from the snapshot.
+    pub(super) max_ts: Option<f64>,
+    /// Journal suffix to replay (events `snapshot_seq..next_seq`).
+    pub(super) replay: Vec<ProbeEvent>,
+    /// Session ids already answered in the output file; re-emission is
+    /// suppressed during replay.
+    pub(super) emitted: HashSet<String>,
+}
+
+impl RecoveredState {
+    /// Events that will be replayed into the shard queues on start.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+}
+
+/// Rebuild daemon state from disk: reopen the journal (truncating any
+/// torn tail), load the newest valid snapshot no newer than the
+/// journal, and stage the journal suffix for replay. `emitted` is the
+/// set of already-answered session ids from [`prepare_output`].
+pub fn recover_state(
+    durability: &Durability,
+    emitted: HashSet<String>,
+) -> Result<RecoveredState, VqdError> {
+    let spec = durability.journal.as_ref().ok_or_else(|| {
+        VqdError::Config("recovery requires a journal (--journal <dir>)".to_string())
+    })?;
+    let (writer, scan) = JournalWriter::open(&spec.dir, spec.config())?;
+    let torn_bytes = scan.torn.as_ref().map(|t| t.bytes_dropped).unwrap_or(0);
+
+    let mut snapshot_seq = 0;
+    let mut snapshot_path = None;
+    let mut sessions = Vec::new();
+    let mut tombstones = Vec::new();
+    let mut max_ts = None;
+    if let Some(sspec) = &durability.snapshots {
+        if let Some((path, snap)) = snapshot::find_newest_valid(&sspec.dir, scan.next_seq())? {
+            let StreamSnapshot {
+                seq,
+                max_ts: ts,
+                sessions: ss,
+                tombstones: tt,
+            } = snap;
+            if seq < scan.first_seq() {
+                return Err(VqdError::snapshot(
+                    &path,
+                    0,
+                    format!(
+                        "snapshot covers seq {seq} but the journal starts at {} — \
+                         journal segments were deleted out from under the snapshots",
+                        scan.first_seq()
+                    ),
+                ));
+            }
+            snapshot_seq = seq;
+            snapshot_path = Some(path);
+            sessions = ss;
+            tombstones = tt;
+            max_ts = ts;
+        }
+    }
+    if snapshot_seq == 0 && scan.first_seq() != 0 {
+        return Err(VqdError::Journal(JournalError::corrupt(
+            &spec.dir,
+            0,
+            format!(
+                "journal starts at seq {} with no usable snapshot covering it",
+                scan.first_seq()
+            ),
+        )));
+    }
+
+    let mut replay = Vec::with_capacity((scan.next_seq() - snapshot_seq) as usize);
+    for seq in snapshot_seq..scan.next_seq() {
+        let payload = scan
+            .record(seq)
+            .unwrap_or_else(|| unreachable!("seq bounds checked above"));
+        let ev = ProbeEvent::from_journal_bytes(payload).map_err(|e| {
+            VqdError::Journal(JournalError::corrupt(
+                &spec.dir,
+                seq,
+                format!("record {seq} is not a valid event: {e}"),
+            ))
+        })?;
+        replay.push(ev);
+    }
+
+    if vqd_obs::enabled() {
+        let r = vqd_obs::recorder();
+        r.counter_add("serve.recovery.replayed", replay.len() as u64);
+        r.counter_add("serve.recovery.sessions", sessions.len() as u64);
+        if torn_bytes > 0 {
+            r.counter_add("serve.recovery.torn_bytes", torn_bytes);
+        }
+    }
+
+    Ok(RecoveredState {
+        writer,
+        snapshot_seq,
+        next_seq: scan.next_seq(),
+        snapshot_path,
+        torn_bytes,
+        sessions,
+        tombstones,
+        max_ts,
+        replay,
+        emitted,
+    })
+}
+
+/// What [`prepare_output`] did to the output file.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct OutputPrep {
+    /// Session ids already answered (suppressed on replay).
+    pub emitted: usize,
+    /// Torn trailing bytes truncated off (crash mid-write).
+    pub truncated_bytes: u64,
+}
+
+/// Ready an output TSV for resumed appending: truncate a torn final
+/// line (no trailing newline = the crash hit mid-`write`) and collect
+/// the session ids already answered. A missing file is a fresh start.
+pub fn prepare_output(path: &Path) -> Result<(HashSet<String>, OutputPrep), VqdError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok((HashSet::new(), OutputPrep::default()))
+        }
+        Err(e) => return Err(VqdError::io(path, e)),
+    };
+    let valid_len = match bytes.iter().rposition(|&b| b == b'\n') {
+        Some(i) => i + 1,
+        None => 0,
+    };
+    let truncated = (bytes.len() - valid_len) as u64;
+    if truncated > 0 {
+        let f = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| VqdError::io(path, e))?;
+        f.set_len(valid_len as u64)
+            .map_err(|e| VqdError::io(path, e))?;
+        f.sync_all().map_err(|e| VqdError::io(path, e))?;
+    }
+    let text = String::from_utf8_lossy(&bytes[..valid_len]);
+    let mut emitted = HashSet::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with("session\t") {
+            continue; // header
+        }
+        let id = line.split('\t').next().unwrap_or(line);
+        emitted.insert(id.to_string());
+    }
+    let prep = OutputPrep {
+        emitted: emitted.len(),
+        truncated_bytes: truncated,
+    };
+    Ok((emitted, prep))
+}
+
+/// Append `text` to `path`, creating it with `header` first if it
+/// does not exist yet (or is empty). The journaling serve path keeps
+/// the file open instead; this is the one-shot variant used by tests.
+pub fn append_output(path: &Path, header: &str, text: &str) -> Result<(), VqdError> {
+    let mut f = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| VqdError::io(path, e))?;
+    let len = f.metadata().map_err(|e| VqdError::io(path, e))?.len();
+    if len == 0 {
+        f.write_all(header.as_bytes())
+            .map_err(|e| VqdError::io(path, e))?;
+    }
+    f.write_all(text.as_bytes())
+        .map_err(|e| VqdError::io(path, e))
+}
+
+/// Read-only report of what recovery *would* find — the `vqd recover`
+/// inspection subcommand. Touches nothing: no truncation, no
+/// snapshot pruning, safe to run beside a live daemon.
+#[derive(Debug)]
+pub struct RecoveryInfo {
+    /// Journal segment count.
+    pub segments: usize,
+    /// First retained journal seq.
+    pub first_seq: u64,
+    /// Next journal seq — the sender's resume point.
+    pub next_seq: u64,
+    /// Torn bytes at the journal tail (discarded on writer open).
+    pub torn_bytes: u64,
+    /// Newest valid snapshot file, if any.
+    pub snapshot_path: Option<PathBuf>,
+    /// Journal seq that snapshot covers.
+    pub snapshot_seq: u64,
+    /// In-flight sessions in that snapshot.
+    pub snapshot_sessions: usize,
+    /// Tombstones in that snapshot.
+    pub snapshot_tombstones: usize,
+    /// Journal records a recovery would replay.
+    pub replay: u64,
+    /// Session ids already answered in the output file.
+    pub emitted: usize,
+    /// Torn trailing bytes in the output file.
+    pub output_torn_bytes: u64,
+}
+
+/// Inspect journal, snapshots and output without modifying anything.
+pub fn inspect_recovery(
+    journal_dir: &Path,
+    snapshot_dir: Option<&Path>,
+    output: Option<&Path>,
+) -> Result<RecoveryInfo, VqdError> {
+    let scan = journal::scan(journal_dir).map_err(VqdError::Journal)?;
+    let mut info = RecoveryInfo {
+        segments: scan.segments.len(),
+        first_seq: scan.first_seq(),
+        next_seq: scan.next_seq(),
+        torn_bytes: scan.torn.as_ref().map(|t| t.bytes_dropped).unwrap_or(0),
+        snapshot_path: None,
+        snapshot_seq: 0,
+        snapshot_sessions: 0,
+        snapshot_tombstones: 0,
+        replay: scan.next_seq() - scan.first_seq(),
+        emitted: 0,
+        output_torn_bytes: 0,
+    };
+    if let Some(dir) = snapshot_dir {
+        if let Some((path, snap)) = snapshot::find_newest_valid(dir, scan.next_seq())? {
+            info.snapshot_seq = snap.seq;
+            info.snapshot_sessions = snap.sessions.len();
+            info.snapshot_tombstones = snap.tombstones.len();
+            info.replay = scan.next_seq() - snap.seq.max(scan.first_seq());
+            info.snapshot_path = Some(path);
+        }
+    }
+    if let Some(out) = output {
+        match std::fs::read(out) {
+            Ok(bytes) => {
+                let valid_len = bytes
+                    .iter()
+                    .rposition(|&b| b == b'\n')
+                    .map(|i| i + 1)
+                    .unwrap_or(0);
+                info.output_torn_bytes = (bytes.len() - valid_len) as u64;
+                let text = String::from_utf8_lossy(&bytes[..valid_len]);
+                info.emitted = text
+                    .lines()
+                    .filter(|l| !l.is_empty() && !l.starts_with("session\t"))
+                    .count();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(VqdError::io(out, e)),
+        }
+    }
+    Ok(info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("vqd-recovery-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn prepare_output_truncates_torn_line_and_collects_ids() {
+        let dir = tmpdir("prep");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("out.tsv");
+        std::fs::write(
+            &out,
+            "session\tlabel\tresolution\tconfidence\tcoverage\tfallback\n\
+             7\tok\texact\t1.000\t1.000\t-\n\
+             12\tok\texact\t1.000\t1.000\t-\n\
+             99\tok\texa",
+        )
+        .unwrap();
+        let (emitted, prep) = prepare_output(&out).unwrap();
+        assert_eq!(prep.emitted, 2);
+        assert!(prep.truncated_bytes > 0);
+        assert!(emitted.contains("7") && emitted.contains("12"));
+        assert!(!emitted.contains("99"), "torn line must not count");
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.ends_with("-\n"), "file physically truncated");
+        // Idempotent on a clean file.
+        let (_, prep2) = prepare_output(&out).unwrap();
+        assert_eq!(prep2.truncated_bytes, 0);
+        assert_eq!(prep2.emitted, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prepare_output_missing_file_is_fresh_start() {
+        let out = tmpdir("prep-missing").join("nope.tsv");
+        let (emitted, prep) = prepare_output(&out).unwrap();
+        assert!(emitted.is_empty());
+        assert_eq!(prep, OutputPrep::default());
+    }
+
+    #[test]
+    fn recover_requires_a_journal() {
+        let err = match recover_state(&Durability::none(), HashSet::new()) {
+            Err(e) => e,
+            Ok(_) => panic!("recovery without a journal must fail"),
+        };
+        assert!(matches!(err, VqdError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn inspect_is_read_only_on_missing_dirs() {
+        let dir = tmpdir("inspect-none");
+        let info = inspect_recovery(&dir, Some(&dir.join("snaps")), None).unwrap();
+        assert_eq!(info.next_seq, 0);
+        assert_eq!(info.replay, 0);
+        assert!(!dir.exists(), "inspection must not create directories");
+    }
+}

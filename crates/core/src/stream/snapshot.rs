@@ -1,0 +1,523 @@
+//! Versioned snapshots of full `StreamServer` state.
+//!
+//! A snapshot is a consistent cut of the daemon at a journal sequence
+//! number: every in-flight session's reassembly buffer, every shard's
+//! retired-session tombstones, and the event-time watermark. Recovery
+//! loads the newest valid snapshot and replays the journal suffix past
+//! its `seq`, so snapshot cadence trades replay time against snapshot
+//! I/O — correctness never depends on it.
+//!
+//! The format is a line-oriented text file, versioned by its first
+//! line and sealed by a trailing FNV-64 checksum:
+//!
+//! ```text
+//! vqdsnap v1
+//! seq <journal seq this snapshot covers>
+//! max_ts <f64 bits as 16 hex digits, or ->
+//! sessions <count>
+//! s <expected|-> <newest_ts|-> <dups> <shed> <samples> <id as JSON>
+//! m <seq> <f64 bits as 16 hex digits> <metric name as JSON>
+//! ...
+//! tombstones <count>
+//! t <id as JSON>
+//! ...
+//! end <FNV-64 of every preceding byte, 16 hex digits>
+//! ```
+//!
+//! Floats travel as raw bit patterns (`{:016x}` of `to_bits`), so
+//! `-0.0`, NaN payloads and infinities round-trip bit-exactly — the
+//! recovered daemon must reproduce offline diagnosis bit for bit, and
+//! any decimal detour would quietly break that. Ids and metric names
+//! are JSON strings (the wire format's own escaping) placed last on
+//! their line so embedded spaces never confuse the field split.
+//!
+//! Writing is atomic: serialize to `<name>.tmp`, fsync, rename. A
+//! crash mid-write leaves debris that never shadows a good snapshot,
+//! and a torn rename target fails the checksum and is skipped by
+//! [`find_newest_valid`] — recovery falls back to the previous
+//! snapshot plus a longer replay, never to a half-read table.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use vqd_obs::json::Json;
+
+use crate::error::VqdError;
+
+/// Snapshot format version — the `v1` on the first line.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Filename for the snapshot covering journal seq `seq`.
+pub fn snapshot_name(seq: u64) -> String {
+    format!("snap-{seq:020}.vqds")
+}
+
+/// One in-flight session in portable (shard-independent) form: enough
+/// to rebuild `SessionState` exactly, on any shard layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortableSession {
+    /// Session id.
+    pub id: String,
+    /// Sample count promised by the `end` marker, once seen.
+    pub expected: Option<u64>,
+    /// Newest event timestamp seen.
+    pub newest_ts: Option<f64>,
+    /// Duplicate sample events dropped so far.
+    pub duplicates: u64,
+    /// Samples shed under overload so far.
+    pub shed: u64,
+    /// `(seq, metric, value)`, sorted by `seq`, no duplicate seqs.
+    pub samples: Vec<(u64, String, f64)>,
+}
+
+/// A full daemon state cut at journal seq `seq`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamSnapshot {
+    /// Journal seq this snapshot covers: every event with seq `< seq`
+    /// is reflected in the state below; replay resumes here.
+    pub seq: u64,
+    /// Max event timestamp seen across shards (watermark clock).
+    pub max_ts: Option<f64>,
+    /// In-flight sessions, in eviction-recency order (least recently
+    /// touched first) so restore can reassign ticks faithfully.
+    pub sessions: Vec<PortableSession>,
+    /// Retired-session tombstones, oldest first (FIFO order), shards
+    /// concatenated.
+    pub tombstones: Vec<String>,
+}
+
+/// FNV-1a 64-bit over raw bytes — the whole-file seal.
+fn fnv64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+fn hex_bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn opt_hex_bits(v: Option<f64>) -> String {
+    v.map(hex_bits).unwrap_or_else(|| "-".to_string())
+}
+
+fn parse_hex_bits(tok: &str) -> Result<f64, String> {
+    u64::from_str_radix(tok, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad f64 bit pattern {tok:?}"))
+}
+
+fn parse_opt_hex_bits(tok: &str) -> Result<Option<f64>, String> {
+    if tok == "-" {
+        Ok(None)
+    } else {
+        parse_hex_bits(tok).map(Some)
+    }
+}
+
+fn parse_u64(tok: &str, what: &str) -> Result<u64, String> {
+    tok.parse::<u64>()
+        .map_err(|_| format!("bad {what} {tok:?}"))
+}
+
+fn parse_opt_u64(tok: &str, what: &str) -> Result<Option<u64>, String> {
+    if tok == "-" {
+        Ok(None)
+    } else {
+        parse_u64(tok, what).map(Some)
+    }
+}
+
+fn parse_json_str(tok: &str, what: &str) -> Result<String, String> {
+    match Json::parse(tok) {
+        Ok(Json::Str(s)) => Ok(s),
+        Ok(_) => Err(format!("{what} is not a JSON string: {tok}")),
+        Err(e) => Err(format!("bad {what}: {e}")),
+    }
+}
+
+impl StreamSnapshot {
+    /// Serialize to the `vqdsnap v1` text form, checksum included.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("vqdsnap v{SNAPSHOT_VERSION}\n"));
+        out.push_str(&format!("seq {}\n", self.seq));
+        out.push_str(&format!("max_ts {}\n", opt_hex_bits(self.max_ts)));
+        out.push_str(&format!("sessions {}\n", self.sessions.len()));
+        for s in &self.sessions {
+            let expected = s
+                .expected
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "s {expected} {} {} {} {} {}\n",
+                opt_hex_bits(s.newest_ts),
+                s.duplicates,
+                s.shed,
+                s.samples.len(),
+                Json::str(&s.id),
+            ));
+            for (seq, metric, value) in &s.samples {
+                out.push_str(&format!(
+                    "m {seq} {} {}\n",
+                    hex_bits(*value),
+                    Json::str(metric)
+                ));
+            }
+        }
+        out.push_str(&format!("tombstones {}\n", self.tombstones.len()));
+        for t in &self.tombstones {
+            out.push_str(&format!("t {}\n", Json::str(t)));
+        }
+        let seal = fnv64(out.as_bytes());
+        out.push_str(&format!("end {seal:016x}\n"));
+        out
+    }
+
+    /// Parse the text form back. The error is `(1-based line, msg)`;
+    /// callers wrap it with the file path.
+    pub fn deserialize(text: &str) -> Result<StreamSnapshot, (usize, String)> {
+        // Seal first: everything before the final "end " line must
+        // hash to the hex on it. A torn or bit-flipped file dies here,
+        // before any field is trusted.
+        let body_end = text
+            .rfind("\nend ")
+            .map(|i| i + 1)
+            .or_else(|| text.starts_with("end ").then_some(0))
+            .ok_or((0, "missing end-checksum line".to_string()))?;
+        let seal_line = text[body_end..]
+            .strip_prefix("end ")
+            .and_then(|s| s.strip_suffix('\n'))
+            .ok_or((0, "malformed end-checksum line".to_string()))?;
+        let want = u64::from_str_radix(seal_line.trim(), 16)
+            .map_err(|_| (0, format!("bad end checksum {seal_line:?}")))?;
+        let got = fnv64(&text.as_bytes()[..body_end]);
+        if got != want {
+            return Err((
+                0,
+                format!("checksum mismatch: file says {want:016x}, content hashes to {got:016x}"),
+            ));
+        }
+
+        let mut lines = text[..body_end].lines().enumerate();
+        let mut expect = |tag: &str| -> Result<(usize, String), (usize, String)> {
+            match lines.next() {
+                Some((i, line)) => {
+                    let rest = line
+                        .strip_prefix(tag)
+                        .ok_or((i + 1, format!("expected {tag:?} line, got {line:?}")))?;
+                    Ok((i + 1, rest.to_string()))
+                }
+                None => Err((0, format!("truncated: missing {tag:?} line"))),
+            }
+        };
+
+        let (line_no, version) = expect("vqdsnap v")?;
+        let v: u32 = version
+            .trim()
+            .parse()
+            .map_err(|_| (line_no, format!("bad version {version:?}")))?;
+        if v != SNAPSHOT_VERSION {
+            return Err((
+                line_no,
+                format!(
+                    "snapshot version {v} not supported (this build reads v{SNAPSHOT_VERSION})"
+                ),
+            ));
+        }
+        let (line_no, seq) = expect("seq ")?;
+        let seq = parse_u64(seq.trim(), "seq").map_err(|m| (line_no, m))?;
+        let (line_no, max_ts) = expect("max_ts ")?;
+        let max_ts = parse_opt_hex_bits(max_ts.trim()).map_err(|m| (line_no, m))?;
+        let (line_no, n_sessions) = expect("sessions ")?;
+        let n_sessions =
+            parse_u64(n_sessions.trim(), "session count").map_err(|m| (line_no, m))? as usize;
+
+        let mut sessions = Vec::with_capacity(n_sessions.min(1 << 20));
+        for _ in 0..n_sessions {
+            let (line_no, rest) = expect("s ")?;
+            let mut f = rest.splitn(6, ' ');
+            let mut next = |what: &str| {
+                f.next()
+                    .ok_or((line_no, format!("session line missing {what}")))
+            };
+            let expected =
+                parse_opt_u64(next("expected")?, "expected").map_err(|m| (line_no, m))?;
+            let newest_ts = parse_opt_hex_bits(next("newest_ts")?).map_err(|m| (line_no, m))?;
+            let duplicates =
+                parse_u64(next("duplicates")?, "duplicates").map_err(|m| (line_no, m))?;
+            let shed = parse_u64(next("shed")?, "shed").map_err(|m| (line_no, m))?;
+            let n_samples =
+                parse_u64(next("samples")?, "sample count").map_err(|m| (line_no, m))? as usize;
+            let id = parse_json_str(next("id")?, "session id").map_err(|m| (line_no, m))?;
+            let mut samples = Vec::with_capacity(n_samples.min(1 << 20));
+            for _ in 0..n_samples {
+                let (line_no, rest) = expect("m ")?;
+                let mut f = rest.splitn(3, ' ');
+                let mut next = |what: &str| {
+                    f.next()
+                        .ok_or((line_no, format!("sample line missing {what}")))
+                };
+                let sseq = parse_u64(next("seq")?, "seq").map_err(|m| (line_no, m))?;
+                let value = parse_hex_bits(next("value")?).map_err(|m| (line_no, m))?;
+                let metric = parse_json_str(next("metric")?, "metric").map_err(|m| (line_no, m))?;
+                if let Some((prev, _, _)) = samples.last() {
+                    if *prev >= sseq {
+                        return Err((line_no, format!("sample seqs not increasing at {sseq}")));
+                    }
+                }
+                samples.push((sseq, metric, value));
+            }
+            sessions.push(PortableSession {
+                id,
+                expected,
+                newest_ts,
+                duplicates,
+                shed,
+                samples,
+            });
+        }
+
+        let (line_no, n_tomb) = expect("tombstones ")?;
+        let n_tomb =
+            parse_u64(n_tomb.trim(), "tombstone count").map_err(|m| (line_no, m))? as usize;
+        let mut tombstones = Vec::with_capacity(n_tomb.min(1 << 20));
+        for _ in 0..n_tomb {
+            let (line_no, rest) = expect("t ")?;
+            tombstones.push(parse_json_str(&rest, "tombstone id").map_err(|m| (line_no, m))?);
+        }
+        if let Some((i, line)) = lines.next() {
+            return Err((i + 1, format!("trailing content {line:?}")));
+        }
+        Ok(StreamSnapshot {
+            seq,
+            max_ts,
+            sessions,
+            tombstones,
+        })
+    }
+
+    /// Write atomically into `dir` as `snap-<seq>.vqds`: tmp file,
+    /// fsync, rename. Creates the directory if missing.
+    pub fn save(&self, dir: &Path) -> Result<PathBuf, VqdError> {
+        std::fs::create_dir_all(dir).map_err(|e| VqdError::io(dir, e))?;
+        let path = dir.join(snapshot_name(self.seq));
+        let tmp = dir.join(format!("{}.tmp", snapshot_name(self.seq)));
+        let text = self.serialize();
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|e| VqdError::io(&tmp, e))?;
+        f.write_all(text.as_bytes())
+            .and_then(|()| f.sync_all())
+            .map_err(|e| VqdError::io(&tmp, e))?;
+        drop(f);
+        std::fs::rename(&tmp, &path).map_err(|e| VqdError::io(&path, e))?;
+        Ok(path)
+    }
+
+    /// Load and validate one snapshot file.
+    pub fn load(path: &Path) -> Result<StreamSnapshot, VqdError> {
+        let text = std::fs::read_to_string(path).map_err(|e| VqdError::io(path, e))?;
+        StreamSnapshot::deserialize(&text)
+            .map_err(|(line, msg)| VqdError::snapshot(path, line, msg))
+    }
+}
+
+/// List a snapshot directory's files in ascending seq order. A
+/// missing directory is an empty list, not an error.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, VqdError> {
+    let mut snaps = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(snaps),
+        Err(e) => return Err(VqdError::io(dir, e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| VqdError::io(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("snap-")
+            .and_then(|s| s.strip_suffix(".vqds"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            snaps.push((seq, entry.path()));
+        }
+    }
+    snaps.sort_unstable_by_key(|(seq, _)| *seq);
+    Ok(snaps)
+}
+
+/// Newest snapshot that both validates and covers no more than
+/// `max_seq` journal records. Invalid files (torn writes, stale
+/// versions) are *skipped*, not fatal: recovery prefers an older good
+/// snapshot plus a longer replay over refusing to start.
+pub fn find_newest_valid(
+    dir: &Path,
+    max_seq: u64,
+) -> Result<Option<(PathBuf, StreamSnapshot)>, VqdError> {
+    for (seq, path) in list_snapshots(dir)?.into_iter().rev() {
+        if seq > max_seq {
+            continue;
+        }
+        match StreamSnapshot::load(&path) {
+            Ok(snap) => return Ok(Some((path, snap))),
+            Err(_) => {
+                if vqd_obs::enabled() {
+                    vqd_obs::recorder().counter_add("serve.snapshot.invalid", 1);
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Delete all but the newest `keep` snapshots (and any `.tmp` debris)
+/// and return the seq of the oldest survivor, which bounds how far
+/// the journal may be pruned.
+pub fn prune_snapshots(dir: &Path, keep: usize) -> Result<Option<u64>, VqdError> {
+    let snaps = list_snapshots(dir)?;
+    let cut = snaps.len().saturating_sub(keep.max(1));
+    for (_, path) in &snaps[..cut] {
+        std::fs::remove_file(path).map_err(|e| VqdError::io(path, e))?;
+    }
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if entry.file_name().to_string_lossy().ends_with(".tmp") {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+    Ok(snaps.get(cut).map(|(seq, _)| *seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> StreamSnapshot {
+        StreamSnapshot {
+            seq: 12345,
+            max_ts: Some(-0.0),
+            sessions: vec![
+                PortableSession {
+                    id: "plain".into(),
+                    expected: Some(3),
+                    newest_ts: Some(17.25),
+                    duplicates: 2,
+                    shed: 1,
+                    samples: vec![
+                        (0, "mobile.phy.rssi_avg".into(), -62.25),
+                        (2, "mobile.hw.cpu avg sp".into(), f64::NAN),
+                        (7, "x".into(), f64::NEG_INFINITY),
+                    ],
+                },
+                PortableSession {
+                    id: "id with spaces \"and quotes\"\n".into(),
+                    expected: None,
+                    newest_ts: None,
+                    duplicates: 0,
+                    shed: 0,
+                    samples: vec![(1, "m".into(), 0.0)],
+                },
+            ],
+            tombstones: vec!["gone".into(), "also gone ".into()],
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let snap = sample_snapshot();
+        let text = snap.serialize();
+        let back = StreamSnapshot::deserialize(&text).unwrap();
+        assert_eq!(back.seq, snap.seq);
+        assert_eq!(
+            back.max_ts.map(f64::to_bits),
+            snap.max_ts.map(f64::to_bits),
+            "-0.0 must survive"
+        );
+        assert_eq!(back.tombstones, snap.tombstones);
+        assert_eq!(back.sessions.len(), snap.sessions.len());
+        for (a, b) in back.sessions.iter().zip(&snap.sessions) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.expected, b.expected);
+            assert_eq!(a.duplicates, b.duplicates);
+            assert_eq!(a.shed, b.shed);
+            for ((sa, ma, va), (sb, mb, vb)) in a.samples.iter().zip(&b.samples) {
+                assert_eq!(sa, sb);
+                assert_eq!(ma, mb);
+                assert_eq!(va.to_bits(), vb.to_bits(), "{ma}: {va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn any_truncation_or_flip_is_rejected() {
+        let text = sample_snapshot().serialize();
+        for cut in 0..text.len() {
+            assert!(
+                StreamSnapshot::deserialize(&text[..cut]).is_err(),
+                "cut at {cut} must not validate"
+            );
+        }
+        let mut flipped = text.clone().into_bytes();
+        flipped[text.len() / 2] ^= 0x01;
+        if let Ok(s) = std::str::from_utf8(&flipped) {
+            assert!(StreamSnapshot::deserialize(s).is_err(), "bit flip accepted");
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_a_typed_error() {
+        let text = sample_snapshot().serialize();
+        let bumped = text.replace("vqdsnap v1\n", "vqdsnap v9\n");
+        // Re-seal so only the version check can fail.
+        let body_end = bumped.rfind("\nend ").unwrap() + 1;
+        let resealed = format!(
+            "{}end {:016x}\n",
+            &bumped[..body_end],
+            fnv64(&bumped.as_bytes()[..body_end])
+        );
+        let err = StreamSnapshot::deserialize(&resealed).unwrap_err();
+        assert!(err.1.contains("version 9"), "{err:?}");
+    }
+
+    #[test]
+    fn save_load_prune_and_newest_valid() {
+        let dir = std::env::temp_dir().join(format!("vqd-snap-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for seq in [10u64, 20, 30] {
+            let snap = StreamSnapshot {
+                seq,
+                ..StreamSnapshot::default()
+            };
+            snap.save(&dir).unwrap();
+        }
+        // Corrupt the newest: find_newest_valid must fall back to 20.
+        let newest = dir.join(snapshot_name(30));
+        std::fs::write(&newest, b"vqdsnap v1\ngarbage\n").unwrap();
+        let (_, snap) = find_newest_valid(&dir, u64::MAX).unwrap().unwrap();
+        assert_eq!(snap.seq, 20);
+        // Cap at max_seq below 20: falls back to 10.
+        let (_, snap) = find_newest_valid(&dir, 15).unwrap().unwrap();
+        assert_eq!(snap.seq, 10);
+        let oldest = prune_snapshots(&dir, 2).unwrap();
+        assert_eq!(oldest, Some(20));
+        assert_eq!(list_snapshots(&dir).unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_lists_empty() {
+        let dir = std::env::temp_dir().join("vqd-snap-none-such");
+        assert!(list_snapshots(&dir).unwrap().is_empty());
+        assert!(find_newest_valid(&dir, u64::MAX).unwrap().is_none());
+    }
+}

@@ -248,9 +248,13 @@ fn serve_all(cfg: ServeConfig, events: Vec<ProbeEvent>) -> Vec<FlushedSession> {
         sink.lock().unwrap_or_else(PoisonError::into_inner).push(fs);
     });
     for ev in events {
-        server.push_event(ev);
+        server
+            .push_event(ev)
+            .unwrap_or_else(|e| panic!("push without durability cannot fail: {e}"));
     }
-    server.finish();
+    server
+        .finish()
+        .unwrap_or_else(|e| panic!("finish without durability cannot fail: {e}"));
     Arc::try_unwrap(got)
         .unwrap_or_else(|_| panic!("sink still shared after finish"))
         .into_inner()
@@ -384,5 +388,126 @@ proptest! {
             stale.diagnosis.fallback_label.is_some(),
             stale.diagnosis.resolution != Resolution::Exact
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot save → load bit-exact round trip.
+// ---------------------------------------------------------------------------
+
+/// A float that stresses the hex-bits codec: mostly arbitrary bit
+/// patterns, salted with the values a naive `{}`/`parse` codec
+/// mangles (-0.0, NaN with a payload, ±inf, subnormals).
+fn chaos_f64(rng: &mut vqd_core::SplitMix64) -> f64 {
+    match rng.below(8) {
+        0 => -0.0,
+        1 => f64::NAN,
+        2 => f64::from_bits(0x7ff8_0000_0000_beef), // NaN payload
+        3 => f64::INFINITY,
+        4 => f64::NEG_INFINITY,
+        5 => f64::MIN_POSITIVE / 2.0, // subnormal
+        _ => f64::from_bits(rng.next_u64()),
+    }
+}
+
+/// A string that stresses the JSON string codec: quotes, backslashes,
+/// control characters, tabs, newlines, non-ASCII.
+fn chaos_string(rng: &mut vqd_core::SplitMix64) -> String {
+    const POOL: &[char] = &[
+        'a', 'Z', '7', '"', '\\', '\t', '\n', '\r', '\u{1}', ' ', 'é', '→', '🎬', '\u{7f}',
+    ];
+    let len = rng.below(12) as usize;
+    (0..len)
+        .map(|_| POOL[rng.below(POOL.len() as u64) as usize])
+        .collect()
+}
+
+/// An arbitrary in-flight session derived from the seed stream.
+fn chaos_session(rng: &mut vqd_core::SplitMix64) -> vqd_core::stream::PortableSession {
+    let n_samples = rng.below(12) as usize;
+    let mut samples: Vec<(u64, String, f64)> = (0..n_samples)
+        .map(|_| (rng.next_u64(), chaos_string(rng), chaos_f64(rng)))
+        .collect();
+    samples.sort_unstable_by_key(|(seq, _, _)| *seq);
+    samples.dedup_by_key(|(seq, _, _)| *seq);
+    vqd_core::stream::PortableSession {
+        id: chaos_string(rng),
+        expected: (rng.below(2) == 0).then(|| rng.next_u64()),
+        newest_ts: (rng.below(2) == 0).then(|| chaos_f64(rng)),
+        duplicates: rng.next_u64(),
+        shed: rng.next_u64(),
+        samples,
+    }
+}
+
+/// Bit-exact snapshot equality (`==` is wrong for NaN and blind to
+/// -0.0).
+fn assert_snap_bits_eq(
+    a: &vqd_core::stream::StreamSnapshot,
+    b: &vqd_core::stream::StreamSnapshot,
+) -> Result<(), TestCaseError> {
+    let bits = |v: Option<f64>| v.map(f64::to_bits);
+    prop_assert_eq!(a.seq, b.seq);
+    prop_assert_eq!(bits(a.max_ts), bits(b.max_ts));
+    prop_assert_eq!(&a.tombstones, &b.tombstones);
+    prop_assert_eq!(a.sessions.len(), b.sessions.len());
+    for (x, y) in a.sessions.iter().zip(&b.sessions) {
+        prop_assert_eq!(&x.id, &y.id);
+        prop_assert_eq!(x.expected, y.expected);
+        prop_assert_eq!(bits(x.newest_ts), bits(y.newest_ts));
+        prop_assert_eq!(x.duplicates, y.duplicates);
+        prop_assert_eq!(x.shed, y.shed);
+        prop_assert_eq!(x.samples.len(), y.samples.len());
+        for ((s1, n1, v1), (s2, n2, v2)) in x.samples.iter().zip(&y.samples) {
+            prop_assert_eq!(s1, s2);
+            prop_assert_eq!(n1, n2);
+            prop_assert_eq!(v1.to_bits(), v2.to_bits());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// serialize → deserialize and save → load both reproduce the
+    /// snapshot bit for bit: every float (NaN payloads, -0.0, ±inf,
+    /// subnormals), every id and tombstone (quotes, control chars,
+    /// non-ASCII through the JSON string codec), in order.
+    #[test]
+    fn snapshot_roundtrip_is_bit_exact(
+        seed in any::<u64>(),
+        n_sessions in 0usize..8,
+        n_tombstones in 0usize..8,
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use vqd_core::stream::StreamSnapshot;
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+
+        let mut rng = vqd_core::SplitMix64::new(seed);
+        let snap = StreamSnapshot {
+            seq: rng.next_u64(),
+            max_ts: (rng.below(2) == 0).then(|| chaos_f64(&mut rng)),
+            sessions: (0..n_sessions).map(|_| chaos_session(&mut rng)).collect(),
+            tombstones: (0..n_tombstones).map(|_| chaos_string(&mut rng)).collect(),
+        };
+
+        // Text round trip.
+        let text = snap.serialize();
+        let back = StreamSnapshot::deserialize(&text)
+            .unwrap_or_else(|(line, msg)| panic!("line {line}: {msg}"));
+        assert_snap_bits_eq(&snap, &back)?;
+        // Idempotence: re-serialising the decoded state is identical.
+        prop_assert_eq!(&back.serialize(), &text);
+
+        // Disk round trip (tmp + fsync + rename path).
+        let dir = std::env::temp_dir().join(format!(
+            "vqd-snap-prop-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = snap.save(&dir).unwrap();
+        let loaded = StreamSnapshot::load(&path).unwrap();
+        assert_snap_bits_eq(&snap, &loaded)?;
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

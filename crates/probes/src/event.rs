@@ -34,6 +34,13 @@ use std::fmt;
 
 use vqd_obs::json::Json;
 
+/// Longest event line the parser accepts, in bytes. Real event lines
+/// are well under a kilobyte; the cap exists so one adversarial
+/// multi-gigabyte line is a typed per-line error instead of an
+/// allocation that can take the daemon down. Ingest front ends bound
+/// their read buffers to the same value.
+pub const MAX_EVENT_LINE: usize = 64 * 1024;
+
 /// What one event line carries.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
@@ -116,16 +123,51 @@ fn value_of(v: &Json) -> Result<f64, EventParseError> {
 /// Encode a metric value the way [`value_of`] decodes it. Finite
 /// values use `{:?}` round-trip formatting (bit-exact, `-0.0`
 /// preserved), NaN becomes `null`, infinities become strings.
-fn value_json(v: f64) -> String {
+fn value_json_into(out: &mut String, v: f64) {
+    use std::fmt::Write as _;
     if v.is_finite() {
-        format!("{v:?}")
+        let _ = write!(out, "{v:?}");
     } else if v.is_nan() {
-        "null".to_string()
+        out.push_str("null");
     } else if v > 0.0 {
-        "\"inf\"".to_string()
+        out.push_str("\"inf\"");
     } else {
-        "\"-inf\"".to_string()
+        out.push_str("\"-inf\"");
     }
+}
+
+/// Append `s` as a quoted JSON string, escaping exactly like the
+/// `Json` writer does. Plain runs (no quote, backslash or control
+/// byte — the overwhelmingly common case for session ids and metric
+/// names) are copied in one `push_str` instead of char by char.
+fn json_str_into(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'"' || b == b'\\' || b < 0x20 {
+            out.push_str(&s[start..i]);
+            match b {
+                b'"' => out.push_str("\\\""),
+                b'\\' => out.push_str("\\\\"),
+                b'\n' => out.push_str("\\n"),
+                b'\r' => out.push_str("\\r"),
+                b'\t' => out.push_str("\\t"),
+                _ => {
+                    let _ = write!(out, "\\u{:04x}", b as u32);
+                }
+            }
+            i += 1;
+            start = i;
+        } else {
+            i += 1;
+        }
+    }
+    out.push_str(&s[start..]);
+    out.push('"');
 }
 
 fn u64_field(obj: &Json, field: &'static str) -> Result<u64, EventParseError> {
@@ -179,6 +221,15 @@ impl ProbeEvent {
     /// Parse one JSONL event line. Total: every failure is a typed
     /// [`EventParseError`]; nothing panics, whatever the input.
     pub fn parse(line: &str) -> Result<ProbeEvent, EventParseError> {
+        if line.len() > MAX_EVENT_LINE {
+            return Err(EventParseError::new(
+                "line",
+                format!(
+                    "{} bytes exceeds the {MAX_EVENT_LINE}-byte event line cap",
+                    line.len()
+                ),
+            ));
+        }
         let obj = Json::parse(line)
             .map_err(|e| EventParseError::new("line", format!("not a JSON object: {e}")))?;
         if !matches!(obj, Json::Obj(_)) {
@@ -235,21 +286,165 @@ impl ProbeEvent {
     /// Serialise to one JSONL line (no trailing newline) that
     /// [`ProbeEvent::parse`] recovers exactly.
     pub fn to_jsonl(&self) -> String {
-        let sid = Json::str(&self.session);
-        let ts = match self.ts {
-            Some(t) => format!(",\"ts\":{t:?}"),
-            None => String::new(),
-        };
+        let mut out = String::with_capacity(96);
+        self.to_jsonl_into(&mut out);
+        out
+    }
+
+    /// Append the JSONL form to `out` without allocating. The journal
+    /// hot path serialises every accepted event; a reused buffer here
+    /// keeps that per-event cost to formatting alone.
+    pub fn to_jsonl_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push_str("{\"session\":");
+        json_str_into(out, &self.session);
         match &self.kind {
-            EventKind::Sample { seq, metric, value } => format!(
-                "{{\"session\":{sid},\"seq\":{seq},\"metric\":{},\"value\":{}{ts}}}",
-                Json::str(metric),
-                value_json(*value),
-            ),
+            EventKind::Sample { seq, metric, value } => {
+                out.push_str(",\"seq\":");
+                let _ = write!(out, "{seq}");
+                out.push_str(",\"metric\":");
+                json_str_into(out, metric);
+                out.push_str(",\"value\":");
+                value_json_into(out, *value);
+            }
             EventKind::End { expected } => {
-                format!("{{\"session\":{sid},\"end\":{expected}{ts}}}")
+                out.push_str(",\"end\":");
+                let _ = write!(out, "{expected}");
             }
         }
+        if let Some(t) = self.ts {
+            let _ = write!(out, ",\"ts\":{t:?}");
+        }
+        out.push('}');
+    }
+
+    /// Append the compact binary journal encoding to `out`. Floats are
+    /// raw IEEE-754 bits, so encoding costs a few stores instead of a
+    /// shortest-round-trip float format, and decoding needs no JSON
+    /// parse — this is what makes write-ahead journaling nearly free
+    /// on the ingest hot path. [`ProbeEvent::from_journal_bytes`]
+    /// reverses it bit-exactly.
+    pub fn to_journal_bytes_into(&self, out: &mut Vec<u8>) {
+        let mut flags = 0u8;
+        if matches!(self.kind, EventKind::End { .. }) {
+            flags |= 0x01;
+        }
+        if self.ts.is_some() {
+            flags |= 0x02;
+        }
+        out.push(BINARY_EVENT_TAG);
+        out.push(flags);
+        out.extend_from_slice(&(self.session.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.session.as_bytes());
+        match &self.kind {
+            EventKind::Sample { seq, metric, value } => {
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&(metric.len() as u32).to_le_bytes());
+                out.extend_from_slice(metric.as_bytes());
+                out.extend_from_slice(&value.to_bits().to_le_bytes());
+            }
+            EventKind::End { expected } => {
+                out.extend_from_slice(&expected.to_le_bytes());
+            }
+        }
+        if let Some(t) = self.ts {
+            out.extend_from_slice(&t.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Decode one journal record payload: the binary form written by
+    /// [`to_journal_bytes_into`](ProbeEvent::to_journal_bytes_into),
+    /// or — for tooling that feeds event lines straight into a
+    /// journal — a plain JSONL line (they always start with `{`).
+    pub fn from_journal_bytes(bytes: &[u8]) -> Result<ProbeEvent, EventParseError> {
+        match bytes.first() {
+            Some(&BINARY_EVENT_TAG) => Self::from_binary(&bytes[1..]),
+            Some(b'{') => {
+                let line = std::str::from_utf8(bytes)
+                    .map_err(|e| EventParseError::new("record", format!("not UTF-8: {e}")))?;
+                Self::parse(line)
+            }
+            Some(other) => Err(EventParseError::new(
+                "record",
+                format!("unknown journal record tag {other:#04x}"),
+            )),
+            None => Err(EventParseError::new("record", "empty journal record")),
+        }
+    }
+
+    fn from_binary(rest: &[u8]) -> Result<ProbeEvent, EventParseError> {
+        let mut cur = BinCursor { rest };
+        let flags = cur.u8()?;
+        if flags & !0x03 != 0 {
+            return Err(EventParseError::new(
+                "record",
+                format!("unknown flag bits {flags:#04x}"),
+            ));
+        }
+        let session = cur.string("session")?;
+        let kind = if flags & 0x01 == 0 {
+            let seq = cur.u64("seq")?;
+            let metric = cur.string("metric")?;
+            let value = f64::from_bits(cur.u64("value")?);
+            EventKind::Sample { seq, metric, value }
+        } else {
+            EventKind::End {
+                expected: cur.u64("end")?,
+            }
+        };
+        let ts = if flags & 0x02 != 0 {
+            Some(f64::from_bits(cur.u64("ts")?))
+        } else {
+            None
+        };
+        if !cur.rest.is_empty() {
+            return Err(EventParseError::new(
+                "record",
+                format!("{} trailing byte(s) after event", cur.rest.len()),
+            ));
+        }
+        Ok(ProbeEvent { session, ts, kind })
+    }
+}
+
+/// First byte of every binary-encoded journal record; distinct from
+/// `{` so JSONL payloads remain decodable alongside binary ones.
+pub const BINARY_EVENT_TAG: u8 = 0x01;
+
+/// Bounds-checked little-endian reader for the binary event codec.
+struct BinCursor<'a> {
+    rest: &'a [u8],
+}
+
+impl BinCursor<'_> {
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&[u8], EventParseError> {
+        if self.rest.len() < n {
+            return Err(EventParseError::new(field, "record truncated"));
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, EventParseError> {
+        Ok(self.take(1, "record")?[0])
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, EventParseError> {
+        let b = self.take(8, field)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn string(&mut self, field: &'static str) -> Result<String, EventParseError> {
+        let b = self.take(4, field)?;
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(b);
+        let len = u32::from_le_bytes(raw) as usize;
+        let bytes = self.take(len, field)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| EventParseError::new(field, format!("not UTF-8: {e}")))
     }
 }
 
@@ -351,5 +546,73 @@ mod tests {
         for cut in 0..full.len() {
             let _ = ProbeEvent::parse(&full[..cut]);
         }
+    }
+
+    fn binary_roundtrip(ev: &ProbeEvent) -> ProbeEvent {
+        let mut buf = Vec::new();
+        ev.to_journal_bytes_into(&mut buf);
+        ProbeEvent::from_journal_bytes(&buf).unwrap()
+    }
+
+    #[test]
+    fn binary_codec_round_trips_bit_exactly() {
+        for v in [
+            -62.25,
+            0.0,
+            -0.0,
+            1.0e300,
+            f64::NAN,
+            f64::from_bits(0x7ff8_0000_0000_beef), // NaN payload survives
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let ev = ProbeEvent::sample("sés\t\"on", 7, "mobile.phy.rssi_avg", v).at(3.5);
+            let back = binary_roundtrip(&ev);
+            assert_eq!(back.session, ev.session);
+            assert_eq!(back.ts.map(f64::to_bits), ev.ts.map(f64::to_bits));
+            match (back.kind, &ev.kind) {
+                (
+                    EventKind::Sample { seq, metric, value },
+                    EventKind::Sample {
+                        seq: s0,
+                        metric: m0,
+                        value: v0,
+                    },
+                ) => {
+                    assert_eq!(seq, *s0);
+                    assert_eq!(&metric, m0);
+                    assert_eq!(value.to_bits(), v0.to_bits());
+                }
+                other => panic!("kind changed: {other:?}"),
+            }
+        }
+        let end = ProbeEvent::end("s9", 42);
+        let back = binary_roundtrip(&end);
+        assert_eq!(back.session, "s9");
+        assert_eq!(back.ts, None);
+        assert!(matches!(back.kind, EventKind::End { expected: 42 }));
+    }
+
+    #[test]
+    fn journal_decode_accepts_jsonl_payloads() {
+        let ev = ProbeEvent::sample("s1", 2, "net.tcp.rtt_avg", 18.5).at(1.25);
+        let back = ProbeEvent::from_journal_bytes(ev.to_jsonl().as_bytes()).unwrap();
+        assert_eq!(back.to_jsonl(), ev.to_jsonl());
+    }
+
+    #[test]
+    fn journal_decode_rejects_garbage() {
+        assert!(ProbeEvent::from_journal_bytes(b"").is_err());
+        assert!(ProbeEvent::from_journal_bytes(&[0x7f, 1, 2]).is_err());
+        let mut buf = Vec::new();
+        ProbeEvent::sample("s", 1, "m", 2.0).to_journal_bytes_into(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(
+                ProbeEvent::from_journal_bytes(&buf[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        buf.push(0);
+        assert!(ProbeEvent::from_journal_bytes(&buf).is_err());
     }
 }

@@ -17,6 +17,9 @@
 //! * [`event`] — the JSONL probe-event wire format
 //!   ([`ProbeEvent`](event::ProbeEvent)) consumed by the streaming
 //!   serving daemon (`vqd serve`), with typed parse errors.
+//! * [`journal`] — the write-ahead event journal behind `vqd serve
+//!   --journal`: length-prefixed CRC-checked records in rotating
+//!   segments, torn-tail tolerant, read-only scannable.
 //! * [`degrade`] — deterministic probe-fault injection
 //!   ([`DegradePlan`](degrade::DegradePlan)): VP dropout, group loss,
 //!   truncation, corruption and clock skew applied to collected metric
@@ -28,12 +31,14 @@
 
 pub mod degrade;
 pub mod event;
+pub mod journal;
 pub mod sampler;
 pub mod tstat;
 pub mod vantage;
 
 pub use degrade::{DegradeKind, DegradePlan};
 pub use event::{EventKind, EventParseError, ProbeEvent};
+pub use journal::{JournalConfig, JournalError, JournalScan, JournalWriter};
 pub use sampler::{HwAccum, NicAccum, PhyAccum, SamplerApp};
 pub use tstat::{DirStats, FlowAnalyzer};
 pub use vantage::{ProbeSet, VpData, VpHandle};

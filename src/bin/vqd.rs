@@ -40,6 +40,10 @@ const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
     vqd serve      --model model.vqd --stdin|--listen 127.0.0.1:4815 [--shards 4]\n\
     \x20              [--flush-batch 32] [--queue 1024] [--lateness 30]\n\
     \x20              [--max-sessions 4096] [--strict] [--out results.tsv]\n\
+    \x20              [--journal dir] [--journal-flush 256] [--recover]\n\
+    \x20              [--snapshot dir] [--snapshot-every 512] [--snapshot-keep 2]\n\
+    \x20              [--shed-high 1048576] [--no-shed]\n\
+    vqd recover    --journal dir [--snapshot dir] [--out results.tsv] [--next-seq]\n\
     vqd stats      [--sessions 50 --seed 2015] | [--metrics metrics.jsonl] | [--trace trace.json]\n\
     vqd help\n\
     \n\
@@ -63,7 +67,22 @@ const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
     emits the same TSV as `diagnose --batch` — bit-identical per\n\
     session at any arrival order and --shards count (emission order\n\
     varies; sort both by session to compare). Malformed lines are\n\
-    dropped with a warning unless --strict.\n\
+    dropped with a warning unless --strict. SIGINT/SIGTERM drain the\n\
+    shards, flush every open session, write a final snapshot (when\n\
+    configured) and exit 0.\n\
+    \n\
+    Crash safety: --journal <dir> appends every accepted event to a\n\
+    checksummed write-ahead log before it reaches a shard (group\n\
+    commit every --journal-flush records); --snapshot <dir> also\n\
+    persists full daemon state every --snapshot-every events and at\n\
+    shutdown, keeping --snapshot-keep files and pruning the journal\n\
+    behind the oldest survivor. After a crash, `vqd recover` (read\n\
+    only) reports the resume point, and `vqd serve ... --recover`\n\
+    rebuilds state from snapshot + journal replay; with --out the\n\
+    results file is deduplicated, so every session is answered exactly\n\
+    once across any number of crashes. Past --shed-high buffered\n\
+    samples per shard the daemon sheds the least informative samples\n\
+    of the fattest sessions instead of stalling (--no-shed disables).\n\
     \n\
     Observability (corpus / train / robustness):\n\
     \x20 --trace <path>   collect pipeline + sim spans, write Chrome trace_event JSON\n\
@@ -430,15 +449,55 @@ fn shuffle_events(events: &mut [ProbeEvent], seed: u64) {
     }
 }
 
+/// Set by the SIGINT/SIGTERM handler; every ingest loop polls it and
+/// falls through to the graceful-shutdown path (drain shards, flush
+/// open sessions, final snapshot, exit 0).
+static STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+fn stop_requested() -> bool {
+    STOP.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Route SIGINT and SIGTERM to the `STOP` flag. Raw `signal(2)` FFI —
+/// storing to an atomic is async-signal-safe, and the handler does
+/// nothing else. No-op off Unix.
+#[cfg(unix)]
+fn install_stop_handler() {
+    extern "C" fn on_stop(_sig: i32) {
+        STOP.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_stop as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_stop as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_stop_handler() {}
+
 /// `vqd serve`: the streaming diagnosis daemon. Reads JSONL probe
 /// events from stdin or a TCP socket, reassembles sessions across
 /// shard workers, and emits one diagnosis TSV line per flushed
-/// session — bit-identical per session to `diagnose --batch`.
+/// session — bit-identical per session to `diagnose --batch`. With
+/// `--journal` every accepted event hits a write-ahead log first and
+/// `--recover` resumes after a crash with exactly-once output.
 fn cmd_serve(opts: &Opts) -> Result<(), VqdError> {
+    use std::io::Write;
+    use std::path::Path;
     use std::sync::{Arc, Mutex, PoisonError};
 
     let model = Arc::new(Diagnoser::load(opts.require("model", "file")?)?);
     let obs = obs_setup(opts);
+    let shed = if opts.get("no-shed").is_some() {
+        None
+    } else {
+        Some((opts.num("shed-high", 1_048_576.0)? as usize).max(1))
+    };
     let cfg =
         ServeConfig {
             shards: (opts.num("shards", 4.0)? as usize).max(1),
@@ -451,37 +510,140 @@ fn cmd_serve(opts: &Opts) -> Result<(), VqdError> {
                 })?),
             },
             max_sessions: (opts.num("max-sessions", 4096.0)? as usize).max(1),
+            shed,
         };
     let strict = opts.get("strict").is_some();
     let out_path = opts.get("out");
     let to_stdout = out_path.is_none();
 
+    // ---- Durability wiring. --------------------------------------
+    let recovering = opts.get("recover").is_some();
+    let journal = match opts.get("journal") {
+        Some(dir) => {
+            let mut spec = JournalSpec::new(dir);
+            spec.flush_every = (opts.num("journal-flush", 256.0)? as u64).max(1);
+            Some(spec)
+        }
+        None => {
+            if recovering {
+                return Err(VqdError::Config(
+                    "--recover needs --journal <dir> to replay from".to_string(),
+                ));
+            }
+            None
+        }
+    };
+    let snapshots = match opts.get("snapshot") {
+        Some(dir) => {
+            let mut spec = SnapshotSpec::new(dir, opts.num("snapshot-every", 512.0)? as u64);
+            spec.keep = (opts.num("snapshot-keep", 2.0)? as usize).max(1);
+            Some(spec)
+        }
+        None => None,
+    };
+    let durability = Durability { journal, snapshots };
+    let journaling = durability.journal.is_some();
+
+    let recovered = if recovering {
+        let emitted = match &out_path {
+            Some(p) => {
+                let (emitted, prep) = prepare_output(Path::new(p))?;
+                if prep.truncated_bytes > 0 {
+                    eprintln!(
+                        "recover: truncated {} torn byte(s) off {p}",
+                        prep.truncated_bytes
+                    );
+                }
+                eprintln!(
+                    "recover: {} session(s) already answered in {p}",
+                    prep.emitted
+                );
+                emitted
+            }
+            None => {
+                eprintln!(
+                    "warning: --recover without --out cannot suppress re-emission; \
+                     replayed sessions will print again"
+                );
+                std::collections::HashSet::new()
+            }
+        };
+        let r = recover_state(&durability, emitted)?;
+        eprintln!(
+            "recover: snapshot seq {} ({}), replaying {} journal record(s); next seq {}",
+            r.snapshot_seq,
+            r.snapshot_path
+                .as_ref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|| "none".to_string()),
+            r.replay_len(),
+            r.next_seq,
+        );
+        Some(r)
+    } else {
+        None
+    };
+
     // Results leave through the sink on worker threads: straight to
     // stdout in daemon mode (line-flushed, results appear as sessions
-    // resolve), or into a buffer written once when --out is given.
-    let buf = Arc::new(Mutex::new(String::from(RESULT_HEADER)));
+    // resolve); into an append-mode file written line by line when
+    // journaling (a crash must not lose answered sessions); or into a
+    // buffer written once at exit for the plain --out case.
+    enum Out {
+        Stdout,
+        Durable(Mutex<std::fs::File>),
+        Buffered(Mutex<String>),
+    }
+    let out: Arc<Out> = Arc::new(match &out_path {
+        None => Out::Stdout,
+        Some(p) if journaling => {
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(p)
+                .map_err(|e| VqdError::io(p, e))?;
+            let fresh = f.metadata().map_err(|e| VqdError::io(p, e))?.len() == 0;
+            if fresh {
+                f.write_all(RESULT_HEADER.as_bytes())
+                    .map_err(|e| VqdError::io(p, e))?;
+            }
+            Out::Durable(Mutex::new(f))
+        }
+        Some(_) => Out::Buffered(Mutex::new(String::from(RESULT_HEADER))),
+    });
     if to_stdout {
-        use std::io::Write;
         let mut so = std::io::stdout().lock();
         let _ = so.write_all(RESULT_HEADER.as_bytes());
         let _ = so.flush();
     }
-    let sink_buf = Arc::clone(&buf);
-    let mut server = StreamServer::new(model, cfg, move |fs| {
+    let sink_out = Arc::clone(&out);
+    let sink = move |fs: FlushedSession| {
         let line = result_line(&fs.session, &fs.diagnosis);
-        if to_stdout {
-            use std::io::Write;
-            let mut so = std::io::stdout().lock();
-            let _ = so.write_all(line.as_bytes());
-            let _ = so.flush();
-        } else {
-            sink_buf
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .push_str(&line);
+        match &*sink_out {
+            Out::Stdout => {
+                let mut so = std::io::stdout().lock();
+                let _ = so.write_all(line.as_bytes());
+                let _ = so.flush();
+            }
+            // One write(2) per line: the answer is in the kernel
+            // before the tombstone can reach a snapshot, which is
+            // what exactly-once recovery leans on.
+            Out::Durable(f) => {
+                let mut f = f.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Err(e) = f.write_all(line.as_bytes()) {
+                    eprintln!("error: result write failed: {e}");
+                }
+            }
+            Out::Buffered(buf) => {
+                buf.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push_str(&line);
+            }
         }
-    });
+    };
+    let mut server = StreamServer::start(model, cfg, durability, recovered, sink)?;
 
+    install_stop_handler();
     if opts.get("stdin").is_some() {
         ingest_stdin(&mut server, strict)?;
     } else if let Some(addr) = opts.get("listen") {
@@ -491,11 +653,25 @@ fn cmd_serve(opts: &Opts) -> Result<(), VqdError> {
             "serve needs an input: --stdin or --listen <addr:port>".to_string(),
         ));
     }
+    if stop_requested() {
+        eprintln!("signal received: draining shards and flushing open sessions...");
+    }
 
-    let report = server.finish();
-    if let Some(p) = &out_path {
-        write_file(p, &buf.lock().unwrap_or_else(PoisonError::into_inner))?;
-        eprintln!("wrote {} diagnoses to {p}", report.sessions);
+    let next_seq = server.next_seq();
+    let report = server.finish()?;
+    match (&*out, &out_path) {
+        (Out::Buffered(buf), Some(p)) => {
+            write_file(p, &buf.lock().unwrap_or_else(PoisonError::into_inner))?;
+            eprintln!("wrote {} diagnoses to {p}", report.sessions);
+        }
+        (Out::Durable(_), Some(p)) => {
+            eprintln!(
+                "appended {} diagnoses to {p} ({} suppressed as already answered)",
+                report.sessions - report.suppressed,
+                report.suppressed
+            );
+        }
+        _ => {}
     }
     let (p50, _p95, p99) = report.flush_ms.percentiles();
     eprintln!(
@@ -513,60 +689,335 @@ fn cmd_serve(opts: &Opts) -> Result<(), VqdError> {
         report.tiers[2],
         report.flush_batches,
     );
+    if journaling {
+        eprintln!(
+            "durability: journal next seq {next_seq}, {} replayed, {} snapshot(s) written, {} samples shed across {} sessions",
+            report.replayed, report.snapshots, report.shed_samples, report.shed_sessions,
+        );
+    }
     obs_finish(&obs)
 }
 
-/// Feed stdin lines to the daemon. A malformed line is dropped with a
-/// warning (the daemon must outlive bad input) unless `--strict`.
-fn ingest_stdin(server: &mut StreamServer, strict: bool) -> Result<(), VqdError> {
-    use std::io::BufRead;
-    for (idx, line) in std::io::stdin().lock().lines().enumerate() {
-        let line = line.map_err(|e| VqdError::io("<stdin>", e))?;
-        if let Err(e) = server.push_line(idx + 1, &line) {
+/// A line fished out of a byte stream by [`LineAccumulator`].
+enum PulledLine {
+    /// A complete line (no terminator, `\r` stripped).
+    Line(String),
+    /// A line that blew past [`vqd::probes::event::MAX_EVENT_LINE`];
+    /// the payload is discarded unparsed, only its length survives.
+    TooLong(usize),
+}
+
+/// Incremental capped line splitter. Feeding chunks never buffers
+/// more than `MAX_EVENT_LINE` bytes per line: once a line exceeds the
+/// cap the accumulator switches to skip mode and counts the overflow
+/// instead of storing it — a hostile or corrupt sender cannot balloon
+/// daemon memory, matching the parse-time cap in `ProbeEvent::parse`.
+#[derive(Default)]
+struct LineAccumulator {
+    buf: Vec<u8>,
+    /// Bytes skipped of an over-long line still waiting for `\n`.
+    skipping: Option<usize>,
+}
+
+impl LineAccumulator {
+    /// Feed a chunk; append each completed line to `lines`.
+    fn push(&mut self, chunk: &[u8], lines: &mut Vec<PulledLine>) {
+        const CAP: usize = vqd::probes::event::MAX_EVENT_LINE;
+        for &b in chunk {
+            if let Some(skipped) = &mut self.skipping {
+                if b == b'\n' {
+                    let total = *skipped + self.buf.len();
+                    self.buf.clear();
+                    self.skipping = None;
+                    lines.push(PulledLine::TooLong(total));
+                } else {
+                    *skipped += 1;
+                }
+                continue;
+            }
+            if b == b'\n' {
+                if self.buf.last() == Some(&b'\r') {
+                    self.buf.pop();
+                }
+                let line = String::from_utf8_lossy(&self.buf).into_owned();
+                self.buf.clear();
+                lines.push(PulledLine::Line(line));
+            } else {
+                self.buf.push(b);
+                if self.buf.len() > CAP {
+                    self.skipping = Some(0);
+                }
+            }
+        }
+    }
+
+    /// EOF: whatever is buffered is the (unterminated) final line.
+    fn finish(&mut self, lines: &mut Vec<PulledLine>) {
+        if let Some(skipped) = self.skipping.take() {
+            lines.push(PulledLine::TooLong(skipped + self.buf.len()));
+            self.buf.clear();
+        } else if !self.buf.is_empty() {
+            let line = String::from_utf8_lossy(&self.buf).into_owned();
+            self.buf.clear();
+            lines.push(PulledLine::Line(line));
+        }
+    }
+}
+
+/// Hand one pulled line to the daemon. Malformed and over-long lines
+/// are dropped with a warning (the daemon must outlive bad input)
+/// unless `--strict`; durability failures (journal write, disk) are
+/// always fatal — dropping an accepted event would break the
+/// exactly-once recovery contract.
+fn push_pulled(
+    server: &mut StreamServer,
+    lineno: usize,
+    pulled: PulledLine,
+    strict: bool,
+) -> Result<(), VqdError> {
+    let verdict = match pulled {
+        PulledLine::Line(l) => server.push_line(lineno, &l),
+        PulledLine::TooLong(n) => Err(VqdError::Config(format!(
+            "line {lineno}: event line of {n} bytes exceeds the {} byte cap",
+            vqd::probes::event::MAX_EVENT_LINE
+        ))),
+    };
+    match verdict {
+        Ok(()) => Ok(()),
+        Err(e @ (VqdError::Event { .. } | VqdError::Config(_))) => {
             if strict {
                 return Err(e);
             }
             eprintln!("warning: {e} (line dropped)");
+            Ok(())
+        }
+        Err(fatal) => Err(fatal),
+    }
+}
+
+/// True for accept/read errors worth retrying with backoff: EINTR,
+/// connection resets/aborts, and fd exhaustion (EMFILE/ENFILE) which
+/// clears as connections close.
+fn transient_net_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+    ) || matches!(e.raw_os_error(), Some(23) | Some(24)) // ENFILE | EMFILE
+}
+
+/// Feed stdin lines to the daemon. A reader thread pulls capped lines
+/// so the main loop can poll the STOP flag and drain gracefully even
+/// while stdin is idle.
+fn ingest_stdin(server: &mut StreamServer, strict: bool) -> Result<(), VqdError> {
+    use std::io::Read;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    let (tx, rx) = mpsc::sync_channel::<std::io::Result<Vec<PulledLine>>>(64);
+    std::thread::spawn(move || {
+        let mut stdin = std::io::stdin().lock();
+        let mut acc = LineAccumulator::default();
+        let mut chunk = [0u8; 8192];
+        loop {
+            match stdin.read(&mut chunk) {
+                Ok(0) => {
+                    let mut lines = Vec::new();
+                    acc.finish(&mut lines);
+                    let _ = tx.send(Ok(lines));
+                    break;
+                }
+                Ok(n) => {
+                    let mut lines = Vec::new();
+                    acc.push(&chunk[..n], &mut lines);
+                    if !lines.is_empty() && tx.send(Ok(lines)).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    break;
+                }
+            }
+        }
+    });
+
+    let mut lineno = 0usize;
+    loop {
+        if stop_requested() {
+            return Ok(());
+        }
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(Ok(lines)) => {
+                for pulled in lines {
+                    lineno += 1;
+                    push_pulled(server, lineno, pulled, strict)?;
+                }
+            }
+            Ok(Err(e)) => return Err(VqdError::io("<stdin>", e)),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+        }
+    }
+}
+
+/// Feed the daemon from a TCP socket, one sequential connection at a
+/// time; the literal line `shutdown` stops the daemon. Transient
+/// accept/read errors retry with doubling backoff (capped count,
+/// `serve.ingest.retries` counter); the listener polls non-blocking
+/// so SIGINT/SIGTERM drain promptly.
+fn ingest_socket(server: &mut StreamServer, addr: &str, strict: bool) -> Result<(), VqdError> {
+    use std::io::Read;
+    use std::time::Duration;
+
+    const MAX_RETRIES: u32 = 8;
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| VqdError::io(addr, e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| VqdError::io(addr, e))?;
+    eprintln!("listening on {addr}; send the line \"shutdown\" to stop");
+
+    let mut lineno = 0usize;
+    let mut retries = 0u32;
+    let mut backoff = Duration::from_millis(10);
+    let note_retry = |retries: &mut u32, backoff: &mut Duration, what: &str, e: &std::io::Error| {
+        *retries += 1;
+        if vqd_obs::enabled() {
+            vqd_obs::recorder().counter_add("serve.ingest.retries", 1);
+        }
+        eprintln!("warning: {what} failed ({e}); retry {retries}/{MAX_RETRIES} in {backoff:?}");
+        std::thread::sleep(*backoff);
+        *backoff = (*backoff * 2).min(Duration::from_secs(1));
+    };
+
+    'daemon: loop {
+        if stop_requested() {
+            break;
+        }
+        let conn = match listener.accept() {
+            Ok((conn, _peer)) => {
+                retries = 0;
+                backoff = Duration::from_millis(10);
+                conn
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+                continue;
+            }
+            Err(e) if transient_net_error(&e) => {
+                if retries >= MAX_RETRIES {
+                    return Err(VqdError::io(addr, e));
+                }
+                note_retry(&mut retries, &mut backoff, "accept", &e);
+                continue;
+            }
+            Err(e) => return Err(VqdError::io(addr, e)),
+        };
+        // Blocking reads with a timeout: the loop keeps polling STOP
+        // while the sender is idle, and a partial line survives in
+        // the accumulator across timeouts.
+        conn.set_nonblocking(false)
+            .map_err(|e| VqdError::io(addr, e))?;
+        conn.set_read_timeout(Some(Duration::from_millis(100)))
+            .map_err(|e| VqdError::io(addr, e))?;
+        let mut conn = conn;
+        let mut acc = LineAccumulator::default();
+        let mut chunk = [0u8; 8192];
+        loop {
+            if stop_requested() {
+                break 'daemon;
+            }
+            let mut lines = Vec::new();
+            let mut eof = false;
+            match conn.read(&mut chunk) {
+                Ok(0) => {
+                    acc.finish(&mut lines);
+                    eof = true;
+                }
+                Ok(n) => {
+                    retries = 0;
+                    backoff = Duration::from_millis(10);
+                    acc.push(&chunk[..n], &mut lines);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) if transient_net_error(&e) => {
+                    if retries >= MAX_RETRIES {
+                        return Err(VqdError::io(addr, e));
+                    }
+                    note_retry(&mut retries, &mut backoff, "read", &e);
+                    continue;
+                }
+                Err(e) => {
+                    eprintln!("warning: connection read failed: {e}; dropping connection");
+                    break;
+                }
+            }
+            for pulled in lines {
+                if matches!(&pulled, PulledLine::Line(l) if l.trim() == "shutdown") {
+                    break 'daemon;
+                }
+                lineno += 1;
+                push_pulled(server, lineno, pulled, strict)?;
+            }
+            if eof {
+                break;
+            }
         }
     }
     Ok(())
 }
 
-/// Feed the daemon from a TCP socket, one sequential connection at a
-/// time; the literal line `shutdown` stops the daemon.
-fn ingest_socket(server: &mut StreamServer, addr: &str, strict: bool) -> Result<(), VqdError> {
-    use std::io::BufRead;
-    let listener = std::net::TcpListener::bind(addr).map_err(|e| VqdError::io(addr, e))?;
-    eprintln!("listening on {addr}; send the line \"shutdown\" to stop");
-    let mut lineno = 0usize;
-    'daemon: for conn in listener.incoming() {
-        let conn = match conn {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("warning: accept failed: {e}");
-                continue;
-            }
-        };
-        for line in std::io::BufReader::new(conn).lines() {
-            let line = match line {
-                Ok(l) => l,
-                Err(e) => {
-                    eprintln!("warning: connection read failed: {e}; dropping connection");
-                    break;
-                }
-            };
-            if line.trim() == "shutdown" {
-                break 'daemon;
-            }
-            lineno += 1;
-            if let Err(e) = server.push_line(lineno, &line) {
-                if strict {
-                    return Err(e);
-                }
-                eprintln!("warning: {e} (line dropped)");
-            }
-        }
+/// `vqd recover`: read-only inspection of a crashed daemon's journal,
+/// snapshots and output file — what a `serve --recover` would do,
+/// without doing it. `--next-seq` prints only the sender's resume
+/// point, for scripting (`RESUME=$(vqd recover ... --next-seq)`).
+fn cmd_recover(opts: &Opts) -> Result<(), VqdError> {
+    use std::path::Path;
+    let journal = opts.require("journal", "dir")?;
+    let snapshot = opts.get("snapshot");
+    let out = opts.get("out");
+    let info = inspect_recovery(
+        Path::new(&journal),
+        snapshot.as_deref().map(Path::new),
+        out.as_deref().map(Path::new),
+    )?;
+    if opts.get("next-seq").is_some() {
+        println!("{}", info.next_seq);
+        return Ok(());
     }
+    println!(
+        "journal:  {} segment(s), seq [{}, {}), {} torn byte(s) at the tail",
+        info.segments, info.first_seq, info.next_seq, info.torn_bytes,
+    );
+    match &info.snapshot_path {
+        Some(p) => println!(
+            "snapshot: {} (seq {}, {} in-flight session(s), {} tombstone(s))",
+            p.display(),
+            info.snapshot_seq,
+            info.snapshot_sessions,
+            info.snapshot_tombstones,
+        ),
+        None => println!("snapshot: none"),
+    }
+    if out.is_some() {
+        println!(
+            "output:   {} session(s) already answered, {} torn byte(s)",
+            info.emitted, info.output_torn_bytes,
+        );
+    }
+    println!(
+        "recovery would replay {} journal record(s); senders resume from seq {}",
+        info.replay, info.next_seq,
+    );
     Ok(())
 }
 
@@ -783,6 +1234,7 @@ fn main() {
                 "diagnose" => cmd_diagnose(&opts),
                 "events" => cmd_events(&opts),
                 "serve" => cmd_serve(&opts),
+                "recover" => cmd_recover(&opts),
                 "simulate" => cmd_simulate(&opts),
                 "inspect" => cmd_inspect(&opts),
                 "robustness" => cmd_robustness(&opts),

@@ -53,6 +53,7 @@ pub use vqd_wireless as wireless;
 
 /// Everything needed for the typical train-and-diagnose workflow.
 pub mod prelude {
+    pub use vqd_core::chaos::{crash_points, SplitMix64};
     pub use vqd_core::dataset::{
         corpus_from_text, corpus_to_text, generate_corpus, generate_corpus_with_stats, to_dataset,
         CorpusConfig, CorpusGenStats, LabeledRun,
@@ -69,8 +70,9 @@ pub mod prelude {
     pub use vqd_core::scenario::{class_names, GroundTruth, LabelScheme};
     pub use vqd_core::serving::DiagnosisBatch;
     pub use vqd_core::stream::{
-        corpus_to_events, resolution_name, result_line, FlushCause, FlushedSession, ServeConfig,
-        ServeReport, StreamServer, RESULT_HEADER,
+        corpus_to_events, inspect_recovery, prepare_output, recover_state, resolution_name,
+        result_line, Durability, FlushCause, FlushedSession, JournalSpec, RecoveredState,
+        RecoveryInfo, ServeConfig, ServeReport, SnapshotSpec, StreamServer, RESULT_HEADER,
     };
     pub use vqd_core::testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};
     pub use vqd_faults::{FaultKind, FaultPlan};

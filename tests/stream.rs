@@ -59,9 +59,11 @@ fn serve_all(cfg: ServeConfig, events: Vec<ProbeEvent>) -> Vec<FlushedSession> {
         sink.lock().unwrap_or_else(PoisonError::into_inner).push(fs);
     });
     for ev in events {
-        server.push_event(ev);
+        server
+            .push_event(ev)
+            .expect("no durability, push cannot fail");
     }
-    let report = server.finish();
+    let report = server.finish().expect("no durability, finish cannot fail");
     let got = Arc::try_unwrap(got)
         .unwrap_or_else(|_| panic!("sink still shared after finish"))
         .into_inner()
@@ -325,7 +327,7 @@ fn malformed_lines_degrade_one_event_not_the_daemon() {
             }
         }
     }
-    let report = server.finish();
+    let report = server.finish().expect("no durability, finish cannot fail");
     assert_eq!(errors, report.parse_errors as usize);
     assert!(errors > 0);
     assert_eq!(report.sessions, 4, "good sessions served despite bad lines");
