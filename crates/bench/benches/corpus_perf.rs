@@ -1,0 +1,271 @@
+//! **Corpus-scale perf harness** — sharded generation, binary format
+//! load speed and out-of-core training cost, persisted to
+//! `BENCH_corpus.json`.
+//!
+//! Three phases, each with its own hard equality gate:
+//!
+//! 1. **Farm scaling** — generates the controlled corpus at farm
+//!    widths 1, 2 and 4 and times each. The width-1 farm output must
+//!    be byte-identical to the plain single-process generator, and
+//!    every width must fingerprint-match width 1 (the determinism
+//!    contract `vqd corpus --farm` advertises). Per-worker efficiency
+//!    is `rate_w / (min(w, cores) * rate_1)` — normalised by the
+//!    cores actually available, so a single-core CI host measures
+//!    scheduling overhead rather than pretending to scale.
+//! 2. **Load path** — serialises the corpus both ways and times how
+//!    long each takes to reach the training-ready columnar form:
+//!    text read + parse + `to_dataset` pivot vs `.vqdc` open +
+//!    checksummed column reads + label ids. Row-major reconstruction
+//!    (`to_runs`, the `corpus convert` path) is timed alongside.
+//! 3. **Training** — in-memory `Diagnoser::train` vs
+//!    `train_out_of_core` streaming from `.vqdc`; the two models must
+//!    serialise identically (bit-exact trees). Records the external
+//!    sort's spill counters and the process peak-RSS proxy
+//!    (`VmHWM` from `/proc/self/status`, 0 where unavailable).
+//!
+//! Knobs: `VQD_PERF_SMOKE=1` (small corpus, fewer repeats),
+//! `VQD_SESSIONS` (corpus size), `VQD_BENCH_OUT` (output path).
+
+use std::time::Instant;
+
+use vqd_bench::emit_section;
+use vqd_core::dataset::{corpus_from_text, corpus_to_text, to_dataset, CorpusConfig};
+use vqd_core::diagnoser::{Diagnoser, DiagnoserConfig};
+use vqd_core::farm::generate_corpus_farm;
+use vqd_core::octrain::{train_out_of_core, OocConfig};
+use vqd_core::scenario::LabelScheme;
+use vqd_core::vqdc::{write_vqdc, VqdcReader};
+use vqd_video::catalog::Catalog;
+
+/// FNV-1a 64-bit fingerprint of a corpus serialisation.
+fn fingerprint(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Peak resident set (kB) from `/proc/self/status`; 0 when the file
+/// or field is missing (non-Linux).
+fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")
+                    .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let smoke = std::env::var("VQD_PERF_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let sessions = if smoke {
+        120
+    } else {
+        vqd_bench::controlled_sessions()
+    };
+    let detected_cores = vqd_bench::detected_cores();
+    let catalog = Catalog::top100(vqd_bench::CATALOG_SEED);
+    let cfg = CorpusConfig {
+        sessions,
+        seed: 20151201,
+        p_fault: 0.5,
+        p_mobile_wan: 0.3,
+        ..Default::default()
+    };
+
+    // ---- Phase 1: farm scaling + determinism gate. ---------------
+    eprintln!("[corpus_perf] plain single-process generation ({sessions} sessions)...");
+    let t0 = Instant::now();
+    let plain = vqd_core::dataset::generate_corpus(&cfg, &catalog);
+    let plain_wall = t0.elapsed().as_secs_f64();
+    let plain_text = corpus_to_text(&plain);
+    let want_fp = fingerprint(&plain_text);
+
+    let widths = [1usize, 2, 4];
+    let mut rates = Vec::with_capacity(widths.len());
+    for &w in &widths {
+        eprintln!("[corpus_perf] farm generation at width {w}...");
+        let t0 = Instant::now();
+        let (runs, stats) = generate_corpus_farm(&cfg, &catalog, w);
+        let wall = t0.elapsed().as_secs_f64();
+        let text = corpus_to_text(&runs);
+        if fingerprint(&text) != want_fp || text != plain_text {
+            eprintln!(
+                "[corpus_perf] FARM MERGE REGRESSION: width {w} corpus differs from plain generator"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[corpus_perf]   width {w}: {:.1} sessions/s (shards {:?})",
+            sessions as f64 / wall,
+            stats.shard_sessions
+        );
+        rates.push(sessions as f64 / wall);
+    }
+    let rate1 = rates[0];
+    let efficiency: Vec<f64> = widths
+        .iter()
+        .zip(&rates)
+        .map(|(&w, &r)| r / (w.min(detected_cores) as f64 * rate1))
+        .collect();
+
+    // ---- Phase 2: time-to-training-ready, plus row rebuild. ------
+    // The format exists to feed training, which consumes feature-major
+    // columns (`VqdcReader::column`, checksum-verified) and label ids
+    // — so the headline comparison is text → `Dataset` (parse + the
+    // row-major→columnar pivot `to_dataset` does) against binary →
+    // columns + `class_ids`. Both sides end in the same shape the
+    // trainer reads. Row-major reconstruction (`to_runs`, what
+    // `vqd corpus convert` runs) pays one String allocation per cell
+    // just like the text parser and is recorded alongside.
+    let scratch = std::env::temp_dir().join(format!("vqd-corpus-perf-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let text_path = scratch.join("corpus.tsv");
+    let bin_path = scratch.join("corpus.vqdc");
+    std::fs::write(&text_path, &plain_text).expect("write text corpus");
+    write_vqdc(&plain, &bin_path).expect("write binary corpus");
+    let text_bytes = std::fs::metadata(&text_path).map(|m| m.len()).unwrap_or(0);
+    let bin_bytes = std::fs::metadata(&bin_path).map(|m| m.len()).unwrap_or(0);
+
+    let reps = if smoke { 3 } else { 5 };
+    eprintln!("[corpus_perf] timing text parse vs binary load ({reps} passes each)...");
+    let mut text_parse = f64::INFINITY;
+    let mut text_ready = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let s = std::fs::read_to_string(&text_path).expect("read text corpus");
+        let runs = corpus_from_text(&s).expect("parse text corpus");
+        std::hint::black_box(runs.len());
+        let parse_s = t0.elapsed().as_secs_f64();
+        let data = to_dataset(&runs, LabelScheme::Exact);
+        std::hint::black_box(data.features.len());
+        let ready_s = t0.elapsed().as_secs_f64();
+        text_parse = text_parse.min(parse_s);
+        text_ready = text_ready.min(ready_s);
+    }
+    let mut bin_cols = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let reader = VqdcReader::open(&bin_path).expect("open binary corpus");
+        let n_cols = reader.feature_names().len();
+        let mut cells = 0usize;
+        for j in 0..n_cols {
+            let col = reader.column(j).expect("load binary column");
+            cells += col.len();
+        }
+        let y = reader.class_ids(LabelScheme::Exact);
+        std::hint::black_box((cells, y.len()));
+        bin_cols = bin_cols.min(t0.elapsed().as_secs_f64());
+    }
+    let mut bin_rows = f64::INFINITY;
+    let mut bin_runs_len = 0usize;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let reader = VqdcReader::open(&bin_path).expect("open binary corpus");
+        let runs = reader.to_runs().expect("load binary corpus");
+        bin_runs_len = std::hint::black_box(runs.len());
+        bin_rows = bin_rows.min(t0.elapsed().as_secs_f64());
+    }
+    if bin_runs_len != plain.len() {
+        eprintln!(
+            "[corpus_perf] BINARY LOAD REGRESSION: {bin_runs_len} sessions loaded, {} expected",
+            plain.len()
+        );
+        std::process::exit(1);
+    }
+    let load_speedup = text_ready / bin_cols.max(1e-9);
+    let rows_speedup = text_parse / bin_rows.max(1e-9);
+
+    // ---- Phase 3: out-of-core vs in-memory training. -------------
+    // Out-of-core first so the RSS high-water mark reflects the
+    // streaming path rather than the in-memory dataset built next.
+    let rss_before_kb = vm_hwm_kb();
+    eprintln!(
+        "[corpus_perf] out-of-core training from {}...",
+        bin_path.display()
+    );
+    let reader = VqdcReader::open(&bin_path).expect("open binary corpus");
+    let ooc_cfg = OocConfig {
+        scheme: LabelScheme::Exact,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let (ooc_model, report) = train_out_of_core(&reader, &ooc_cfg).expect("out-of-core train");
+    let ooc_wall = t0.elapsed().as_secs_f64();
+    let rss_after_ooc_kb = vm_hwm_kb();
+
+    eprintln!("[corpus_perf] in-memory training...");
+    let t0 = Instant::now();
+    let data = to_dataset(&plain, LabelScheme::Exact);
+    let mem_model = Diagnoser::train(&data, &DiagnoserConfig::default());
+    let mem_wall = t0.elapsed().as_secs_f64();
+
+    if ooc_model.serialize() != mem_model.serialize() {
+        eprintln!(
+            "[corpus_perf] OUT-OF-CORE EQUALITY REGRESSION: streamed model differs from in-memory model"
+        );
+        std::process::exit(1);
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+
+    if efficiency[2] < 0.7 {
+        eprintln!(
+            "[corpus_perf] WARNING: width-4 per-worker efficiency {:.2} below 0.7 target",
+            efficiency[2]
+        );
+    }
+    if load_speedup < 5.0 {
+        eprintln!(
+            "[corpus_perf] WARNING: binary column load only {load_speedup:.1}x faster than text parse (target 5x)"
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"sessions\": {sessions},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"detected_cores\": {detected_cores},\n"));
+    json.push_str(&format!(
+        "  \"farm\": {{\"widths\": [1, 2, 4], \"sessions_per_sec\": [{:.2}, {:.2}, {:.2}], \"plain_sessions_per_sec\": {:.2}, \"per_worker_efficiency\": [{:.3}, {:.3}, {:.3}], \"merge_identical\": true}},\n",
+        rates[0], rates[1], rates[2],
+        sessions as f64 / plain_wall,
+        efficiency[0], efficiency[1], efficiency[2]
+    ));
+    json.push_str(&format!(
+        "  \"load\": {{\"text_bytes\": {text_bytes}, \"binary_bytes\": {bin_bytes}, \"text_parse_s\": {text_parse:.6}, \"text_to_dataset_s\": {text_ready:.6}, \"binary_columns_s\": {bin_cols:.6}, \"binary_to_rows_s\": {bin_rows:.6}, \"binary_speedup\": {load_speedup:.2}, \"rows_speedup\": {rows_speedup:.2}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"train\": {{\"in_memory_s\": {mem_wall:.4}, \"out_of_core_s\": {ooc_wall:.4}, \"models_identical\": true, \"selected_features\": {}, \"spill_runs\": {}, \"spilled_bytes\": {}, \"peak_gather_pairs\": {}}},\n",
+        report.selected_features, report.fit.spill_runs, report.fit.spilled_bytes,
+        report.fit.peak_gather_pairs
+    ));
+    json.push_str(&format!(
+        "  \"peak_rss_proxy\": {{\"vm_hwm_kb_before_train\": {rss_before_kb}, \"vm_hwm_kb_after_ooc_train\": {rss_after_ooc_kb}}},\n"
+    ));
+    json.push_str(
+        "  \"equality\": \"farm widths 1/2/4 byte-identical to plain generator; out-of-core model bit-identical to in-memory\"\n",
+    );
+    json.push_str("}\n");
+
+    let out = std::env::var("VQD_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_corpus.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_corpus.json");
+
+    let text = format!(
+        "corpus perf ({sessions} sessions, {detected_cores} cores):\n  farm width 1/2/4: {:.1} / {:.1} / {:.1} sessions/s (per-worker efficiency {:.2} / {:.2} / {:.2})\n  load (training-ready): text {:.1} ms vs binary columns {:.2} ms ({load_speedup:.1}x)\n  load (row rebuild):    text {:.1} ms vs binary rows {:.1} ms ({rows_speedup:.1}x)\n  train: in-memory {mem_wall:.2} s vs out-of-core {ooc_wall:.2} s ({} spill runs, models bit-identical)\n",
+        rates[0], rates[1], rates[2],
+        efficiency[0], efficiency[1], efficiency[2],
+        text_ready * 1e3, bin_cols * 1e3,
+        text_parse * 1e3, bin_rows * 1e3,
+        report.fit.spill_runs,
+    );
+    emit_section("corpus_perf", &text);
+    eprintln!("[corpus_perf] wrote {out}");
+}

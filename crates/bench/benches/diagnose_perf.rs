@@ -115,9 +115,8 @@ fn main() {
         );
     }
     let n = serving.len();
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(4);
+    let detected_cores = vqd_bench::detected_cores();
+    let threads = vqd_bench::parallel_workers();
 
     // ---- Equality gate (untimed; doubles as warmup). -------------
     eprintln!("[diagnose_perf] equality gate over {n} sessions...");
@@ -182,8 +181,10 @@ fn main() {
     };
     eprintln!("[diagnose_perf] timing batch (1 thread)...");
     let (batch1_sps, batch1_us) = time_batch(1);
-    eprintln!("[diagnose_perf] timing batch ({threads} threads)...");
-    let (batchp_sps, batchp_us) = time_batch(0);
+    eprintln!(
+        "[diagnose_perf] timing batch ({threads} threads, {detected_cores} cores detected)..."
+    );
+    let (batchp_sps, batchp_us) = time_batch(threads);
 
     let tree_nodes = model
         .tree()
@@ -217,7 +218,7 @@ fn main() {
         "  \"batch_1thread\": {{\"diagnoses_per_sec\": {batch1_sps:.0}, \"amortized_us_per_session\": {batch1_us:.2}}},\n"
     ));
     json.push_str(&format!(
-        "  \"batch_parallel\": {{\"threads\": {threads}, \"diagnoses_per_sec\": {batchp_sps:.0}, \"amortized_us_per_session\": {batchp_us:.2}}},\n"
+        "  \"batch_parallel\": {{\"threads\": {threads}, \"detected_cores\": {detected_cores}, \"diagnoses_per_sec\": {batchp_sps:.0}, \"amortized_us_per_session\": {batchp_us:.2}}},\n"
     ));
     json.push_str(&format!(
         "  \"speedup_batch1_vs_scalar\": {:.2},\n",

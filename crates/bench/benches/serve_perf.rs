@@ -214,9 +214,8 @@ fn main() {
     let mut events = corpus_to_events(&corpus);
     shuffle(&mut events, 0x5EEDCAFE);
     let n_events = events.len();
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(4);
+    let detected_cores = vqd_bench::detected_cores();
+    let threads = vqd_bench::parallel_workers();
 
     // ---- Equality gate (untimed; doubles as warmup). -------------
     eprintln!(
@@ -379,7 +378,7 @@ fn main() {
         "  \"serve_1shard\": {{\"events_per_sec\": {eps1:.0}, \"sessions_per_sec\": {sps1:.0}, \"flush_p50_ms\": {f1_p50:.3}, \"flush_p99_ms\": {f1_p99:.3}}},\n"
     ));
     json.push_str(&format!(
-        "  \"serve_parallel\": {{\"shards\": {threads}, \"events_per_sec\": {epsp:.0}, \"sessions_per_sec\": {spsp:.0}, \"flush_p50_ms\": {fp_p50:.3}, \"flush_p99_ms\": {fp_p99:.3}}},\n"
+        "  \"serve_parallel\": {{\"shards\": {threads}, \"detected_cores\": {detected_cores}, \"events_per_sec\": {epsp:.0}, \"sessions_per_sec\": {spsp:.0}, \"flush_p50_ms\": {fp_p50:.3}, \"flush_p99_ms\": {fp_p99:.3}}},\n"
     ));
     json.push_str(&format!(
         "  \"speedup_parallel_vs_1shard\": {:.2},\n",

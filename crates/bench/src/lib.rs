@@ -65,6 +65,23 @@ pub fn wild_sessions() -> usize {
     }
 }
 
+/// Cores visible to this process (1 when detection fails).
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+}
+
+/// Worker count for the parallel arms of the benches: the detected
+/// core count, floored at 2 so the sharded/threaded code paths are
+/// genuinely exercised even on a single-core host (where a width-1
+/// "parallel" pass would be indistinguishable from the serial one).
+/// Benches record [`detected_cores`] alongside this value so readers
+/// can tell oversubscription from real parallelism.
+pub fn parallel_workers() -> usize {
+    detected_cores().max(2)
+}
+
 fn cache_dir() -> PathBuf {
     let p = std::env::var("VQD_CACHE_DIR")
         .map(PathBuf::from)

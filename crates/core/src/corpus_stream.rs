@@ -1,0 +1,202 @@
+//! Format-sniffing, chunked corpus reader.
+//!
+//! `vqd events`, `vqd diagnose --batch` and `vqd train` all accept "a
+//! corpus file". This reader hides which format that is — it sniffs
+//! the `.vqdc` magic and otherwise parses the text format — and hands
+//! the sessions back in bounded chunks, so every CLI consumer works on
+//! corpora larger than memory. Text chunks parse line by line with
+//! [`parse_corpus_line`] (identical semantics and error lines to
+//! `corpus_from_text`); binary chunks are blocked transposes of the
+//! column file.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+
+use crate::dataset::{parse_corpus_line, LabeledRun};
+use crate::error::VqdError;
+use crate::vqdc::{sniff_vqdc, VqdcReader};
+
+/// Default sessions per [`CorpusReader::next_chunk`] chunk for CLI
+/// consumers: bounded memory, still large enough to amortise
+/// per-chunk costs.
+pub const DEFAULT_CHUNK_SESSIONS: usize = 1024;
+
+enum Inner {
+    Text {
+        lines: std::io::Lines<BufReader<File>>,
+        lineno: usize,
+    },
+    Binary {
+        reader: VqdcReader,
+        at: usize,
+    },
+}
+
+/// A corpus file opened for streaming, text or binary.
+pub struct CorpusReader {
+    path: PathBuf,
+    inner: Inner,
+}
+
+impl CorpusReader {
+    /// Open `path`, sniffing the format by magic.
+    pub fn open(path: impl AsRef<Path>) -> Result<CorpusReader, VqdError> {
+        let path = path.as_ref().to_path_buf();
+        let inner = if sniff_vqdc(&path) {
+            Inner::Binary {
+                reader: VqdcReader::open(&path)?,
+                at: 0,
+            }
+        } else {
+            let f = File::open(&path).map_err(|e| VqdError::io(&path, e))?;
+            Inner::Text {
+                lines: BufReader::with_capacity(1 << 20, f).lines(),
+                lineno: 0,
+            }
+        };
+        Ok(CorpusReader { path, inner })
+    }
+
+    /// Is the underlying file binary columnar (`.vqdc`)?
+    pub fn is_binary(&self) -> bool {
+        matches!(self.inner, Inner::Binary { .. })
+    }
+
+    /// Total session count, when the format records it up front.
+    pub fn known_rows(&self) -> Option<usize> {
+        match &self.inner {
+            Inner::Binary { reader, .. } => Some(reader.n_rows()),
+            Inner::Text { .. } => None,
+        }
+    }
+
+    /// The underlying binary reader, for column-oriented consumers.
+    pub fn binary(&self) -> Option<&VqdcReader> {
+        match &self.inner {
+            Inner::Binary { reader, .. } => Some(reader),
+            Inner::Text { .. } => None,
+        }
+    }
+
+    /// Next chunk of up to `max` sessions; empty at end of corpus.
+    pub fn next_chunk(&mut self, max: usize) -> Result<Vec<LabeledRun>, VqdError> {
+        let max = max.max(1);
+        match &mut self.inner {
+            Inner::Text { lines, lineno } => {
+                let mut out = Vec::new();
+                for line in lines.by_ref() {
+                    *lineno += 1;
+                    let line = line.map_err(|e| VqdError::io(&self.path, e))?;
+                    if line.is_empty() {
+                        continue;
+                    }
+                    out.push(parse_corpus_line(*lineno, &line)?);
+                    if out.len() >= max {
+                        break;
+                    }
+                }
+                Ok(out)
+            }
+            Inner::Binary { reader, at } => {
+                let chunk = reader.read_rows(*at, max)?;
+                *at += chunk.len();
+                Ok(chunk)
+            }
+        }
+    }
+
+    /// Drain the whole corpus into memory (for consumers that need
+    /// random access, e.g. shuffled event replay).
+    pub fn read_all(mut self) -> Result<Vec<LabeledRun>, VqdError> {
+        let mut out = Vec::new();
+        loop {
+            let chunk = self.next_chunk(DEFAULT_CHUNK_SESSIONS)?;
+            if chunk.is_empty() {
+                return Ok(out);
+            }
+            out.extend(chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{corpus_from_text, corpus_to_text};
+    use crate::scenario::GroundTruth;
+    use crate::vqdc::corpus_to_vqdc_bytes;
+    use vqd_faults::FaultKind;
+    use vqd_video::QoeClass;
+
+    fn sample() -> Vec<LabeledRun> {
+        (0..7)
+            .map(|i| LabeledRun {
+                metrics: vec![
+                    ("mobile.tcp.rtt".into(), i as f64 / 4.0),
+                    ("mobile.phy.rssi".into(), -50.0 - i as f64),
+                ],
+                truth: GroundTruth {
+                    fault: if i % 2 == 0 {
+                        FaultKind::None
+                    } else {
+                        FaultKind::LowRssi
+                    },
+                    qoe: if i % 3 == 0 {
+                        QoeClass::Good
+                    } else {
+                        QoeClass::Mild
+                    },
+                },
+            })
+            .collect()
+    }
+
+    fn tmp(name: &str, bytes: &[u8]) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("vqd-cs-{}-{name}", std::process::id()));
+        std::fs::write(&p, bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn text_and_binary_stream_identically() {
+        let runs = sample();
+        let text = corpus_to_text(&runs);
+        let tp = tmp("c.txt", text.as_bytes());
+        let bp = tmp("c.vqdc", &corpus_to_vqdc_bytes(&runs).unwrap());
+        for (path, is_bin) in [(&tp, false), (&bp, true)] {
+            let mut r = CorpusReader::open(path).unwrap();
+            assert_eq!(r.is_binary(), is_bin);
+            let mut got = Vec::new();
+            loop {
+                let chunk = r.next_chunk(3).unwrap();
+                if chunk.is_empty() {
+                    break;
+                }
+                assert!(chunk.len() <= 3);
+                got.extend(chunk);
+            }
+            assert_eq!(corpus_to_text(&got), text, "binary={is_bin}");
+        }
+        std::fs::remove_file(tp).ok();
+        std::fs::remove_file(bp).ok();
+    }
+
+    #[test]
+    fn text_errors_name_the_true_line_number() {
+        let text = "none\tgood\ta=1.0\n\nwat\tgood\ta=1.0\n";
+        let p = tmp("bad.txt", text.as_bytes());
+        let mut r = CorpusReader::open(&p).unwrap();
+        let e = loop {
+            match r.next_chunk(10) {
+                Ok(c) if c.is_empty() => panic!("expected parse error"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        // Line 3 (the blank line counts), same as corpus_from_text.
+        assert!(e.to_string().contains("line 3"), "{e}");
+        assert!(corpus_from_text(text).is_err());
+        std::fs::remove_file(p).ok();
+    }
+}

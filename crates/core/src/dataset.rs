@@ -123,7 +123,11 @@ pub fn draw_specs(cfg: &CorpusConfig) -> Vec<CorpusSpec> {
         .collect()
 }
 
-fn run_spec(spec: &CorpusSpec, catalog: &Catalog, arena: &mut SimArena) -> SessionOutcome {
+pub(crate) fn run_spec(
+    spec: &CorpusSpec,
+    catalog: &Catalog,
+    arena: &mut SimArena,
+) -> SessionOutcome {
     match spec {
         CorpusSpec::Lab(s) => run_controlled_session_in(s, catalog, arena),
         CorpusSpec::Cellular(s) => run_realworld_session_in(s, catalog, arena),
@@ -259,52 +263,59 @@ pub fn corpus_to_text(runs: &[LabeledRun]) -> String {
 pub fn corpus_from_text(text: &str) -> Result<Vec<LabeledRun>, VqdError> {
     let mut runs = Vec::new();
     for (idx, line) in text.lines().enumerate() {
-        let lineno = idx + 1;
         if line.is_empty() {
             continue;
         }
-        let mut parts = line.split('\t');
-        let fault_name = parts.next().unwrap_or("");
-        // `FaultKind::ALL` is the injectable set; "none" is separate.
-        let fault = if fault_name == FaultKind::None.name() {
-            FaultKind::None
-        } else {
-            FaultKind::ALL
-                .iter()
-                .copied()
-                .find(|f| f.name() == fault_name)
-                .ok_or_else(|| VqdError::corpus(lineno, format!("unknown fault {fault_name:?}")))?
-        };
-        let qoe = match parts.next() {
-            Some("good") => QoeClass::Good,
-            Some("mild") => QoeClass::Mild,
-            Some("severe") => QoeClass::Severe,
-            other => {
-                return Err(VqdError::corpus(
-                    lineno,
-                    format!(
-                        "unknown QoE class {:?} (expected good|mild|severe)",
-                        other.unwrap_or("")
-                    ),
-                ))
-            }
-        };
-        let mut metrics = Vec::new();
-        for kv in parts {
-            let (k, v) = kv.split_once('=').ok_or_else(|| {
-                VqdError::corpus(lineno, format!("metric token {kv:?} is not name=value"))
-            })?;
-            let value: f64 = v.parse().map_err(|_| {
-                VqdError::corpus(lineno, format!("metric {k:?} has non-numeric value {v:?}"))
-            })?;
-            metrics.push((k.to_string(), value));
-        }
-        runs.push(LabeledRun {
-            metrics,
-            truth: GroundTruth { fault, qoe },
-        });
+        runs.push(parse_corpus_line(idx + 1, line)?);
     }
     Ok(runs)
+}
+
+/// Parse one non-empty line of the text corpus format (`lineno` is the
+/// 1-based line number, used in error messages). This is the unit the
+/// streaming corpus reader consumes, so corpora larger than memory
+/// parse line by line with the exact [`corpus_from_text`] semantics.
+pub fn parse_corpus_line(lineno: usize, line: &str) -> Result<LabeledRun, VqdError> {
+    let mut parts = line.split('\t');
+    let fault_name = parts.next().unwrap_or("");
+    // `FaultKind::ALL` is the injectable set; "none" is separate.
+    let fault = if fault_name == FaultKind::None.name() {
+        FaultKind::None
+    } else {
+        FaultKind::ALL
+            .iter()
+            .copied()
+            .find(|f| f.name() == fault_name)
+            .ok_or_else(|| VqdError::corpus(lineno, format!("unknown fault {fault_name:?}")))?
+    };
+    let qoe = match parts.next() {
+        Some("good") => QoeClass::Good,
+        Some("mild") => QoeClass::Mild,
+        Some("severe") => QoeClass::Severe,
+        other => {
+            return Err(VqdError::corpus(
+                lineno,
+                format!(
+                    "unknown QoE class {:?} (expected good|mild|severe)",
+                    other.unwrap_or("")
+                ),
+            ))
+        }
+    };
+    let mut metrics = Vec::new();
+    for kv in parts {
+        let (k, v) = kv.split_once('=').ok_or_else(|| {
+            VqdError::corpus(lineno, format!("metric token {kv:?} is not name=value"))
+        })?;
+        let value: f64 = v.parse().map_err(|_| {
+            VqdError::corpus(lineno, format!("metric {k:?} has non-numeric value {v:?}"))
+        })?;
+        metrics.push((k.to_string(), value));
+    }
+    Ok(LabeledRun {
+        metrics,
+        truth: GroundTruth { fault, qoe },
+    })
 }
 
 /// Assemble runs into an ML dataset under a label scheme.

@@ -221,6 +221,29 @@ impl Diagnoser {
         }
     }
 
+    /// Assemble a diagnoser around an externally-fitted tree — the
+    /// out-of-core training path ([`crate::octrain`]). Mirrors
+    /// [`Diagnoser::train_prepared`] field-for-field so the two paths
+    /// serialise identically when fed identical trees.
+    pub(crate) fn from_trained_tree(
+        constructor: Option<FeatureConstructor>,
+        feature_names: Vec<String>,
+        classes: Vec<String>,
+        tree: DecisionTree,
+        cfg: &DiagnoserConfig,
+    ) -> Diagnoser {
+        let compiled = crate::serving::CompiledModel::build(&tree, constructor.is_some());
+        Diagnoser {
+            constructor,
+            feature_names,
+            classes,
+            tree,
+            min_coverage_exact: cfg.min_coverage_exact,
+            min_coverage_location: cfg.min_coverage_location,
+            compiled,
+        }
+    }
+
     /// The selected features (post-FS schema) — the paper's Table 1.
     pub fn selected_features(&self) -> &[String] {
         &self.feature_names

@@ -48,6 +48,14 @@ pub enum VqdError {
         /// What went wrong.
         msg: String,
     },
+    /// A binary columnar corpus (`.vqdc`) failed to open or validate
+    /// (bad magic, truncation, checksum mismatch, malformed section).
+    BinCorpus {
+        /// The `.vqdc` file being read or written.
+        path: PathBuf,
+        /// What went wrong (names the damaged section).
+        msg: String,
+    },
     /// Invalid configuration or usage (bad flag value, unknown name).
     Config(String),
 }
@@ -65,6 +73,14 @@ impl VqdError {
     pub fn corpus(line: usize, msg: impl Into<String>) -> Self {
         VqdError::Corpus {
             line,
+            msg: msg.into(),
+        }
+    }
+
+    /// A binary-corpus failure on `path`.
+    pub fn bin_corpus(path: impl Into<PathBuf>, msg: impl Into<String>) -> Self {
+        VqdError::BinCorpus {
+            path: path.into(),
             msg: msg.into(),
         }
     }
@@ -100,6 +116,9 @@ impl fmt::Display for VqdError {
                 } else {
                     write!(f, "snapshot {} line {line}: {msg}", path.display())
                 }
+            }
+            VqdError::BinCorpus { path, msg } => {
+                write!(f, "binary corpus {}: {msg}", path.display())
             }
             VqdError::Config(msg) => write!(f, "{msg}"),
         }

@@ -1,0 +1,153 @@
+//! Sharded corpus generation ("sim farm").
+//!
+//! `generate_corpus_with_stats` already runs sessions across worker
+//! threads, but as *one* work-stealing pool over one spec list. The
+//! farm instead splits the seed range into `width` **contiguous
+//! shards**, each driven by an independent worker with its own
+//! [`SimArena`] — the process-per-shard shape a multi-host farm would
+//! use, here as threads. The merge concatenates shard outputs in shard
+//! order, which *is* the spec order: every session is deterministic in
+//! its own spec (seeded RNG, arena reset per session), so the merged
+//! corpus is byte-identical to a single-process run over the same seed
+//! set at any width (test-enforced at widths 1/2/8, and gated in CI).
+
+use vqd_simnet::engine::SimArena;
+use vqd_video::catalog::Catalog;
+
+use crate::dataset::{draw_specs, run_spec, CorpusConfig, LabeledRun};
+
+/// Throughput summary of one farm run.
+#[derive(Debug, Clone)]
+pub struct FarmStats {
+    /// Shard count the farm ran with.
+    pub width: usize,
+    /// Sessions simulated across all shards.
+    pub sessions: usize,
+    /// Wall-clock seconds for the whole farm (slowest shard).
+    pub wall_s: f64,
+    /// Sessions per wall-clock second, farm-wide.
+    pub sessions_per_sec: f64,
+    /// Simulator events dispatched across all shards.
+    pub events: u64,
+    /// Sessions each shard ran.
+    pub shard_sessions: Vec<usize>,
+    /// Per-shard wall seconds (busy time of that worker).
+    pub shard_wall_s: Vec<f64>,
+}
+
+/// Generate the corpus sharded `width` ways by contiguous seed range.
+/// The merged output is byte-identical to `generate_corpus(cfg,
+/// catalog)` over the same config, for every `width ≥ 1`.
+pub fn generate_corpus_farm(
+    cfg: &CorpusConfig,
+    catalog: &Catalog,
+    width: usize,
+) -> (Vec<LabeledRun>, FarmStats) {
+    let _span = vqd_obs::WallSpan::begin("farm", "pipeline");
+    let width = width.max(1);
+    let specs = draw_specs(cfg);
+    let n = specs.len();
+    // Contiguous ranges: the first `n % width` shards take one extra.
+    let base = n / width;
+    let rem = n % width;
+    let mut ranges = Vec::with_capacity(width);
+    let mut at = 0usize;
+    for k in 0..width {
+        let len = base + usize::from(k < rem);
+        ranges.push(at..at + len);
+        at += len;
+    }
+    let start = std::time::Instant::now();
+    let mut shard_out: Vec<(Vec<LabeledRun>, u64, f64)> = Vec::with_capacity(width);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|range| {
+                let shard_specs = &specs[range.clone()];
+                s.spawn(move || {
+                    let t0 = std::time::Instant::now();
+                    let mut arena = SimArena::default();
+                    let mut runs = Vec::with_capacity(shard_specs.len());
+                    let mut events = 0u64;
+                    for spec in shard_specs {
+                        let out = run_spec(spec, catalog, &mut arena);
+                        events += out.events;
+                        runs.push(LabeledRun::from(out));
+                    }
+                    (runs, events, t0.elapsed().as_secs_f64())
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(out) => shard_out.push(out),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let mut runs = Vec::with_capacity(n);
+    let mut events = 0u64;
+    let mut shard_sessions = Vec::with_capacity(width);
+    let mut shard_wall_s = Vec::with_capacity(width);
+    for (shard_runs, ev, w) in shard_out {
+        shard_sessions.push(shard_runs.len());
+        shard_wall_s.push(w);
+        events += ev;
+        runs.extend(shard_runs);
+    }
+    let stats = FarmStats {
+        width,
+        sessions: runs.len(),
+        wall_s,
+        sessions_per_sec: runs.len() as f64 / wall_s.max(1e-9),
+        events,
+        shard_sessions,
+        shard_wall_s,
+    };
+    if vqd_obs::enabled() {
+        let r = vqd_obs::recorder();
+        r.gauge_set("core.farm.width", stats.width as f64);
+        r.gauge_set("core.farm.sessions_per_sec", stats.sessions_per_sec);
+        r.counter_add("core.farm.sessions", stats.sessions as u64);
+    }
+    (runs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{corpus_to_text, generate_corpus};
+
+    #[test]
+    fn farm_merge_matches_single_process_at_small_widths() {
+        let cfg = CorpusConfig {
+            sessions: 10,
+            seed: 99,
+            ..Default::default()
+        };
+        let catalog = Catalog::top100(7);
+        let want = corpus_to_text(&generate_corpus(&cfg, &catalog));
+        for width in [1usize, 3] {
+            let (runs, stats) = generate_corpus_farm(&cfg, &catalog, width);
+            assert_eq!(stats.width, width);
+            assert_eq!(stats.sessions, 10);
+            assert_eq!(stats.shard_sessions.iter().sum::<usize>(), 10);
+            assert_eq!(corpus_to_text(&runs), want, "width {width}");
+        }
+    }
+
+    #[test]
+    fn width_larger_than_corpus_is_fine() {
+        let cfg = CorpusConfig {
+            sessions: 3,
+            seed: 4,
+            ..Default::default()
+        };
+        let catalog = Catalog::top100(7);
+        let want = corpus_to_text(&generate_corpus(&cfg, &catalog));
+        let (runs, stats) = generate_corpus_farm(&cfg, &catalog, 8);
+        assert_eq!(corpus_to_text(&runs), want);
+        assert_eq!(stats.shard_sessions.iter().filter(|&&c| c > 0).count(), 3);
+    }
+}

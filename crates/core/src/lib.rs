@@ -9,6 +9,17 @@
 //! * [`scenario`] — the label taxonomy (existence / location / exact).
 //! * [`testbed`] — the controlled testbed (Figure 2) and session runner.
 //! * [`dataset`] — labelled corpus generation (Section 4).
+//! * [`farm`] — sharded corpus generation: contiguous seed-range
+//!   shards, each an independent simnet worker, with a deterministic
+//!   byte-identical merge.
+//! * [`vqdc`] — the binary columnar corpus format (`.vqdc`):
+//!   feature-major column blocks, checksummed sections, interned
+//!   string table; lossless round-trip with the text format.
+//! * [`corpus_stream`] — format-sniffing chunked corpus reader, so
+//!   CLI consumers stream corpora larger than memory.
+//! * [`octrain`] — out-of-core training: the FC → FCBF → C4.5
+//!   pipeline fed column-by-column from a `.vqdc` file, bit-identical
+//!   to in-memory training.
 //! * [`diagnoser`] — the train/diagnose API (FC → FCBF → C4.5).
 //! * [`serving`] — the batched serving engine: compiled trees,
 //!   interned schemas, zero-alloc columnar diagnosis
@@ -33,36 +44,45 @@
 //!   with co-occurring problems.
 pub mod ablation;
 pub mod chaos;
+pub mod corpus_stream;
 pub mod dataset;
 pub mod diagnoser;
 pub mod error;
 pub mod experiments;
+pub mod farm;
 pub mod iterative;
 pub mod multifault;
+pub mod octrain;
 pub mod realworld;
 pub mod robustness;
 pub mod scenario;
 pub mod serving;
 pub mod stream;
 pub mod testbed;
+pub mod vqdc;
 
 pub use ablation::{classifier_comparison, pipeline_ablation, pruning_ablation};
 pub use chaos::{crash_points, SplitMix64};
+pub use corpus_stream::{CorpusReader, DEFAULT_CHUNK_SESSIONS};
 pub use dataset::{
-    corpus_from_text, corpus_to_text, generate_corpus, to_dataset, CorpusConfig, LabeledRun,
+    corpus_from_text, corpus_to_text, generate_corpus, parse_corpus_line, to_dataset, CorpusConfig,
+    LabeledRun,
 };
 pub use diagnoser::{Diagnoser, DiagnoserConfig, Diagnosis, DiagnosisQuality, Resolution};
 pub use error::VqdError;
 pub use experiments::{eval_by_vp, feature_set_sweep, table1, table4, VpEval, VP_SETS};
+pub use farm::{generate_corpus_farm, FarmStats};
 pub use iterative::IterativeRca;
 pub use multifault::{evaluate_multifault, generate_multifault};
+pub use octrain::{train_out_of_core, OocConfig, OocReport};
 pub use realworld::{generate_induced, generate_wild, Access, RealWorldConfig, RwRun, Service};
 pub use robustness::{degrade_corpus, majority_baseline, sweep, RobustnessCell};
 pub use scenario::{class_names, GroundTruth, LabelScheme};
 pub use serving::DiagnosisBatch;
 pub use stream::{
-    corpus_to_events, inspect_recovery, prepare_output, recover_state, result_line, Durability,
-    FlushCause, FlushedSession, JournalSpec, RecoveredState, RecoveryInfo, ServeConfig,
-    ServeReport, SnapshotSpec, StreamServer,
+    corpus_to_events, corpus_to_events_from, inspect_recovery, prepare_output, recover_state,
+    result_line, Durability, FlushCause, FlushedSession, JournalSpec, RecoveredState, RecoveryInfo,
+    ServeConfig, ServeReport, SnapshotSpec, StreamServer,
 };
 pub use testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};
+pub use vqdc::{corpus_to_vqdc_bytes, sniff_vqdc, write_vqdc, VqdcReader, VQDC_MAGIC};

@@ -1362,9 +1362,17 @@ pub fn result_line(key: &str, dx: &Diagnosis) -> String {
 /// [`StreamServer`] reproduces offline batch diagnosis bit for bit —
 /// and, by the determinism argument above, so does any shuffle.
 pub fn corpus_to_events(runs: &[LabeledRun]) -> Vec<ProbeEvent> {
+    corpus_to_events_from(runs, 0)
+}
+
+/// [`corpus_to_events`] with session ids starting at `base` — the
+/// chunked-streaming form: exploding corpus chunk `k` with `base` set
+/// to the sessions already emitted concatenates to exactly the
+/// whole-corpus event list.
+pub fn corpus_to_events_from(runs: &[LabeledRun], base: usize) -> Vec<ProbeEvent> {
     let mut out = Vec::with_capacity(runs.iter().map(|r| r.metrics.len() + 1).sum());
     for (i, run) in runs.iter().enumerate() {
-        let sid = i.to_string();
+        let sid = (base + i).to_string();
         for (j, (name, v)) in run.metrics.iter().enumerate() {
             out.push(ProbeEvent::sample(sid.clone(), j as u64, name.clone(), *v));
         }

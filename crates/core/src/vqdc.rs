@@ -1,0 +1,734 @@
+//! `.vqdc` — the binary columnar corpus format (DESIGN.md §7h).
+//!
+//! The text corpus (`corpus_to_text`) is the debug/interchange path:
+//! one session per line, every float printed and re-parsed. That
+//! costs a float parse per value and forces whole-file residency. The
+//! `.vqdc` format stores the same corpus feature-major so training can
+//! stream one column (or a chunk of one) at a time:
+//!
+//! ```text
+//! offset 0   magic  "VQDCORP1"                                  8 B
+//! META       u64 payload_len | u32 checksum32 | payload
+//!            payload: u32 version(=1) | u64 n_rows | u32 n_cols
+//!                     | u32 n_shapes
+//!                     | n_cols  × (u32 len | name UTF-8)
+//!                     | n_shapes × (u32 len | len × u32 col id)
+//! LABELS     u64 payload_len | u32 checksum32 | payload
+//!            payload: n_rows × (u8 fault | u8 qoe | u32 shape)   6 B/row
+//! COLUMNS    n_cols × (u32 checksum32 | n_rows × f64 bits LE)
+//! ```
+//!
+//! Everything little-endian; checksums are `probes::journal`'s
+//! [`checksum32`] over each section payload, and the magic/section
+//! conventions mirror the journal's segment format. Column cells are
+//! fixed-width f64 bit patterns, so a column (or any row range of one)
+//! is a single `pread` at a computable offset — mmap-friendly, no
+//! parsing. A *shape* is an interned sequence of column ids recording
+//! which metrics a session emitted and in which order; absent cells
+//! hold a canonical-NaN filler that is never read (the shape says
+//! which cells exist), so a metric whose *value* is NaN survives a
+//! round trip distinct from a metric that was never emitted, and
+//! `text → binary → text` is byte-identical.
+//!
+//! Failure handling is typed end to end: bad magic, truncation,
+//! checksum mismatches and malformed sections all surface as
+//! [`VqdError::BinCorpus`] naming the damaged section — never a panic
+//! (proptest-enforced).
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::{Path, PathBuf};
+
+use vqd_faults::FaultKind;
+use vqd_probes::journal::checksum32;
+use vqd_video::QoeClass;
+
+use crate::dataset::LabeledRun;
+use crate::error::VqdError;
+use crate::scenario::{class_id, GroundTruth, LabelScheme};
+
+/// `.vqdc` file magic, byte-for-byte at offset 0.
+pub const VQDC_MAGIC: &[u8; 8] = b"VQDCORP1";
+
+const VERSION: u32 = 1;
+const LABEL_BYTES: u64 = 6;
+const CELL_BYTES: u64 = 8;
+const COL_HEADER_BYTES: u64 = 4;
+
+fn fault_code(f: FaultKind) -> u8 {
+    if f == FaultKind::None {
+        0
+    } else {
+        match FaultKind::ALL.iter().position(|&k| k == f) {
+            Some(i) => (i + 1) as u8,
+            None => 0,
+        }
+    }
+}
+
+fn fault_of(code: u8) -> Option<FaultKind> {
+    match code {
+        0 => Some(FaultKind::None),
+        c => FaultKind::ALL.get(c as usize - 1).copied(),
+    }
+}
+
+fn qoe_code(q: QoeClass) -> u8 {
+    match q {
+        QoeClass::Good => 0,
+        QoeClass::Mild => 1,
+        QoeClass::Severe => 2,
+    }
+}
+
+fn qoe_of(code: u8) -> Option<QoeClass> {
+    match code {
+        0 => Some(QoeClass::Good),
+        1 => Some(QoeClass::Mild),
+        2 => Some(QoeClass::Severe),
+        _ => None,
+    }
+}
+
+/// Encode a corpus into `.vqdc` bytes. Errors (as a line-addressed
+/// corpus error) if a session emits the same metric name twice — a
+/// columnar file has one cell per (row, column), so duplicates cannot
+/// be represented; the simulator never produces them.
+pub fn corpus_to_vqdc_bytes(runs: &[LabeledRun]) -> Result<Vec<u8>, VqdError> {
+    let n_rows = runs.len();
+    if n_rows >= u32::MAX as usize {
+        return Err(VqdError::corpus(0, "corpus exceeds u32 row range"));
+    }
+    // Pass 1: intern names (first-seen order — the DatasetBuilder
+    // schema order) and shapes.
+    let mut col_of: HashMap<&str, u32> = HashMap::new();
+    let mut names: Vec<&str> = Vec::new();
+    let mut shape_of: HashMap<Vec<u32>, u32> = HashMap::new();
+    let mut shapes: Vec<Vec<u32>> = Vec::new();
+    let mut row_shape: Vec<u32> = Vec::with_capacity(n_rows);
+    let mut seen = vec![u32::MAX; 0];
+    for (i, r) in runs.iter().enumerate() {
+        let mut shape: Vec<u32> = Vec::with_capacity(r.metrics.len());
+        for (n, _) in &r.metrics {
+            let c = *col_of.entry(n.as_str()).or_insert_with(|| {
+                names.push(n.as_str());
+                (names.len() - 1) as u32
+            });
+            shape.push(c);
+        }
+        seen.resize(names.len(), u32::MAX);
+        for &c in &shape {
+            if seen[c as usize] == i as u32 {
+                return Err(VqdError::corpus(
+                    i + 1,
+                    format!(
+                        "duplicate metric {:?} in one session (unrepresentable in columnar form)",
+                        names[c as usize]
+                    ),
+                ));
+            }
+            seen[c as usize] = i as u32;
+        }
+        let sid = *shape_of.entry(shape.clone()).or_insert_with(|| {
+            shapes.push(shape);
+            (shapes.len() - 1) as u32
+        });
+        row_shape.push(sid);
+    }
+    let n_cols = names.len();
+
+    // Pass 2: fill the column matrix (absent = canonical-NaN filler).
+    let filler = f64::NAN.to_bits();
+    let mut cols: Vec<Vec<u64>> = vec![vec![filler; n_rows]; n_cols];
+    for (i, r) in runs.iter().enumerate() {
+        for (n, v) in &r.metrics {
+            let c = col_of[n.as_str()] as usize;
+            cols[c][i] = v.to_bits();
+        }
+    }
+
+    // Serialise.
+    let mut meta = Vec::new();
+    meta.extend_from_slice(&VERSION.to_le_bytes());
+    meta.extend_from_slice(&(n_rows as u64).to_le_bytes());
+    meta.extend_from_slice(&(n_cols as u32).to_le_bytes());
+    meta.extend_from_slice(&(shapes.len() as u32).to_le_bytes());
+    for n in &names {
+        meta.extend_from_slice(&(n.len() as u32).to_le_bytes());
+        meta.extend_from_slice(n.as_bytes());
+    }
+    for s in &shapes {
+        meta.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        for &c in s {
+            meta.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    let mut labels = Vec::with_capacity(n_rows * LABEL_BYTES as usize);
+    for (r, &sid) in runs.iter().zip(&row_shape) {
+        labels.push(fault_code(r.truth.fault));
+        labels.push(qoe_code(r.truth.qoe));
+        labels.extend_from_slice(&sid.to_le_bytes());
+    }
+
+    let mut out = Vec::new();
+    out.extend_from_slice(VQDC_MAGIC);
+    for section in [&meta, &labels] {
+        out.extend_from_slice(&(section.len() as u64).to_le_bytes());
+        out.extend_from_slice(&checksum32(section).to_le_bytes());
+        out.extend_from_slice(section);
+    }
+    let mut colbuf = Vec::with_capacity(n_rows * CELL_BYTES as usize);
+    for col in &cols {
+        colbuf.clear();
+        for &bits in col {
+            colbuf.extend_from_slice(&bits.to_le_bytes());
+        }
+        out.extend_from_slice(&checksum32(&colbuf).to_le_bytes());
+        out.extend_from_slice(&colbuf);
+    }
+    Ok(out)
+}
+
+/// Encode and write a corpus to `path`.
+pub fn write_vqdc(runs: &[LabeledRun], path: impl AsRef<Path>) -> Result<(), VqdError> {
+    let path = path.as_ref();
+    let bytes = corpus_to_vqdc_bytes(runs)?;
+    std::fs::write(path, bytes).map_err(|e| VqdError::io(path, e))
+}
+
+/// Does `path` start with the `.vqdc` magic? (`false` on any read
+/// failure — callers fall back to the text parser's error reporting.)
+pub fn sniff_vqdc(path: impl AsRef<Path>) -> bool {
+    let mut magic = [0u8; 8];
+    match File::open(path.as_ref()).and_then(|mut f| f.read_exact(&mut magic)) {
+        Ok(()) => &magic == VQDC_MAGIC,
+        Err(_) => false,
+    }
+}
+
+/// `read_exact` with typed errors: truncation (unexpected EOF) becomes
+/// a [`VqdError::BinCorpus`] naming the section, any other I/O failure
+/// a [`VqdError::Io`].
+fn read_exact_or(
+    file: &mut File,
+    buf: &mut [u8],
+    path: &Path,
+    section: &str,
+) -> Result<(), VqdError> {
+    file.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            VqdError::bin_corpus(
+                path,
+                format!("{section} section truncated (unexpected EOF)"),
+            )
+        } else {
+            VqdError::io(path, e)
+        }
+    })
+}
+
+/// Bounds-checked little-endian cursor over a section payload.
+struct Cur<'a> {
+    b: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.b.len())
+            .ok_or_else(|| format!("{} section truncated", self.section))?;
+        let s = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+}
+
+/// Random-access reader over a `.vqdc` file. The header (names,
+/// shapes, labels) is resident — `O(n_rows)` for the labels — while
+/// column cells stay on disk until asked for.
+pub struct VqdcReader {
+    file: File,
+    path: PathBuf,
+    n_rows: usize,
+    names: Vec<String>,
+    shapes: Vec<Vec<u32>>,
+    truths: Vec<GroundTruth>,
+    row_shape: Vec<u32>,
+    columns_start: u64,
+}
+
+impl VqdcReader {
+    /// Open and validate `path`: magic, META/LABELS checksums, section
+    /// shapes, id ranges, and the exact expected file length. Typed
+    /// errors on every failure mode; never panics.
+    pub fn open(path: impl AsRef<Path>) -> Result<VqdcReader, VqdError> {
+        let path = path.as_ref().to_path_buf();
+        let fail = |msg: String| VqdError::bin_corpus(&path, msg);
+        let mut file = File::open(&path).map_err(|e| VqdError::io(&path, e))?;
+        let file_len = file.metadata().map_err(|e| VqdError::io(&path, e))?.len();
+
+        let mut magic = [0u8; 8];
+        read_exact_or(&mut file, &mut magic, &path, "magic")?;
+        if &magic != VQDC_MAGIC {
+            return Err(fail("not a .vqdc file (bad magic)".into()));
+        }
+        let mut offset = 8u64;
+        let read_section = |file: &mut File,
+                            offset: &mut u64,
+                            section: &'static str|
+         -> Result<Vec<u8>, VqdError> {
+            let mut hdr = [0u8; 12];
+            read_exact_or(file, &mut hdr, &path, section)?;
+            let len = u64::from_le_bytes([
+                hdr[0], hdr[1], hdr[2], hdr[3], hdr[4], hdr[5], hdr[6], hdr[7],
+            ]);
+            let want_sum = u32::from_le_bytes([hdr[8], hdr[9], hdr[10], hdr[11]]);
+            if len > file_len.saturating_sub(*offset + 12) {
+                return Err(VqdError::bin_corpus(
+                    &path,
+                    format!("{section} section truncated (length {len} past end of file)"),
+                ));
+            }
+            let mut payload = vec![0u8; len as usize];
+            read_exact_or(file, &mut payload, &path, section)?;
+            if checksum32(&payload) != want_sum {
+                return Err(VqdError::bin_corpus(
+                    &path,
+                    format!("{section} checksum mismatch (corrupt section)"),
+                ));
+            }
+            *offset += 12 + len;
+            Ok(payload)
+        };
+
+        let meta = read_section(&mut file, &mut offset, "META")?;
+        let mut c = Cur {
+            b: &meta,
+            pos: 0,
+            section: "META",
+        };
+        let parsed = (|| -> Result<_, String> {
+            let version = c.u32()?;
+            if version != VERSION {
+                return Err(format!(
+                    "unsupported version {version} (expected {VERSION})"
+                ));
+            }
+            let n_rows = c.u64()?;
+            if n_rows >= u32::MAX as u64 {
+                return Err(format!("row count {n_rows} exceeds u32 range"));
+            }
+            let n_cols = c.u32()? as usize;
+            let n_shapes = c.u32()? as usize;
+            let mut names = Vec::with_capacity(n_cols.min(1 << 20));
+            for _ in 0..n_cols {
+                let len = c.u32()? as usize;
+                let bytes = c.take(len)?;
+                names.push(
+                    std::str::from_utf8(bytes)
+                        .map_err(|_| "META feature name is not UTF-8".to_string())?
+                        .to_string(),
+                );
+            }
+            let mut shapes = Vec::with_capacity(n_shapes.min(1 << 20));
+            for _ in 0..n_shapes {
+                let len = c.u32()? as usize;
+                let mut shape = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    let col = c.u32()?;
+                    if col as usize >= n_cols {
+                        return Err(format!("META shape references column {col} of {n_cols}"));
+                    }
+                    shape.push(col);
+                }
+                shapes.push(shape);
+            }
+            if c.pos != meta.len() {
+                return Err("META section has trailing bytes".into());
+            }
+            Ok((n_rows as usize, names, shapes))
+        })()
+        .map_err(&fail)?;
+        let (n_rows, names, shapes) = parsed;
+
+        let labels = read_section(&mut file, &mut offset, "LABELS")?;
+        if labels.len() as u64 != n_rows as u64 * LABEL_BYTES {
+            return Err(fail(format!(
+                "LABELS section is {} bytes, expected {} for {n_rows} rows",
+                labels.len(),
+                n_rows as u64 * LABEL_BYTES
+            )));
+        }
+        let mut truths = Vec::with_capacity(n_rows);
+        let mut row_shape = Vec::with_capacity(n_rows);
+        for (i, rec) in labels.chunks_exact(LABEL_BYTES as usize).enumerate() {
+            let fault = fault_of(rec[0])
+                .ok_or_else(|| fail(format!("row {i}: unknown fault code {}", rec[0])))?;
+            let qoe = qoe_of(rec[1])
+                .ok_or_else(|| fail(format!("row {i}: unknown QoE code {}", rec[1])))?;
+            let sid = u32::from_le_bytes([rec[2], rec[3], rec[4], rec[5]]);
+            if sid as usize >= shapes.len() {
+                return Err(fail(format!("row {i}: shape id {sid} of {}", shapes.len())));
+            }
+            truths.push(GroundTruth { fault, qoe });
+            row_shape.push(sid);
+        }
+
+        let columns_start = offset;
+        let expect =
+            columns_start + names.len() as u64 * (COL_HEADER_BYTES + n_rows as u64 * CELL_BYTES);
+        if file_len != expect {
+            return Err(fail(format!(
+                "file is {file_len} bytes, expected {expect} ({} columns × {n_rows} rows)",
+                names.len()
+            )));
+        }
+        Ok(VqdcReader {
+            file,
+            path,
+            n_rows,
+            names,
+            shapes,
+            truths,
+            row_shape,
+            columns_start,
+        })
+    }
+
+    /// Number of sessions.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The file this reader is bound to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Feature (column) names, in column order — the first-seen metric
+    /// order, identical to the `DatasetBuilder` schema over the same
+    /// corpus.
+    pub fn feature_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Ground truth per row.
+    pub fn truths(&self) -> &[GroundTruth] {
+        &self.truths
+    }
+
+    /// Per-row class ids under a label scheme (the training `y`).
+    pub fn class_ids(&self, scheme: LabelScheme) -> Vec<usize> {
+        self.truths.iter().map(|t| class_id(t, scheme)).collect()
+    }
+
+    fn col_offset(&self, j: usize) -> u64 {
+        self.columns_start + j as u64 * (COL_HEADER_BYTES + self.n_rows as u64 * CELL_BYTES)
+    }
+
+    fn read_at(&self, buf: &mut [u8], off: u64) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, off)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::Seek;
+            let mut f = File::open(&self.path)?;
+            f.seek(io::SeekFrom::Start(off))?;
+            f.read_exact(buf)
+        }
+    }
+
+    /// Copy rows `start..start + out.len()` of column `j` into `out`
+    /// (raw cell values; absent cells read as the NaN filler). No
+    /// checksum pass — the open-time length check catches truncation;
+    /// use [`VqdcReader::verify`] for full integrity.
+    pub fn fill_column(&self, j: usize, start: usize, out: &mut [f64]) -> io::Result<()> {
+        if j >= self.names.len() || start + out.len() > self.n_rows {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "column range out of bounds",
+            ));
+        }
+        let mut raw = vec![0u8; out.len() * CELL_BYTES as usize];
+        self.read_at(
+            &mut raw,
+            self.col_offset(j) + COL_HEADER_BYTES + start as u64 * CELL_BYTES,
+        )?;
+        for (o, cell) in out.iter_mut().zip(raw.chunks_exact(CELL_BYTES as usize)) {
+            *o = f64::from_bits(u64::from_le_bytes([
+                cell[0], cell[1], cell[2], cell[3], cell[4], cell[5], cell[6], cell[7],
+            ]));
+        }
+        Ok(())
+    }
+
+    /// Read one full column, verifying its checksum.
+    pub fn column(&self, j: usize) -> Result<Vec<f64>, VqdError> {
+        if j >= self.names.len() {
+            return Err(VqdError::bin_corpus(
+                &self.path,
+                format!("column {j} of {}", self.names.len()),
+            ));
+        }
+        let mut raw = vec![0u8; (COL_HEADER_BYTES + self.n_rows as u64 * CELL_BYTES) as usize];
+        self.read_at(&mut raw, self.col_offset(j))
+            .map_err(|e| VqdError::io(&self.path, e))?;
+        let want = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]);
+        let payload = &raw[COL_HEADER_BYTES as usize..];
+        if checksum32(payload) != want {
+            return Err(VqdError::bin_corpus(
+                &self.path,
+                format!("column {j} ({:?}) checksum mismatch", self.names[j]),
+            ));
+        }
+        Ok(payload
+            .chunks_exact(CELL_BYTES as usize)
+            .map(|c| {
+                f64::from_bits(u64::from_le_bytes([
+                    c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+                ]))
+            })
+            .collect())
+    }
+
+    /// Verify every column checksum.
+    pub fn verify(&self) -> Result<(), VqdError> {
+        for j in 0..self.names.len() {
+            self.column(j)?;
+        }
+        Ok(())
+    }
+
+    /// Reconstruct rows `start..start + count` as [`LabeledRun`]s —
+    /// the blocked transpose the streaming corpus reader uses. Each
+    /// session's metric list comes back in its original emission order
+    /// with original value bits.
+    pub fn read_rows(&self, start: usize, count: usize) -> Result<Vec<LabeledRun>, VqdError> {
+        let count = count.min(self.n_rows.saturating_sub(start));
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let n_cols = self.names.len();
+        let mut block: Vec<Vec<f64>> = Vec::with_capacity(n_cols);
+        for j in 0..n_cols {
+            let mut col = vec![0.0f64; count];
+            self.fill_column(j, start, &mut col)
+                .map_err(|e| VqdError::io(&self.path, e))?;
+            block.push(col);
+        }
+        let mut out = Vec::with_capacity(count);
+        for (i, &shape_id) in self.row_shape[start..start + count].iter().enumerate() {
+            let shape = &self.shapes[shape_id as usize];
+            let metrics: Vec<(String, f64)> = shape
+                .iter()
+                .map(|&c| (self.names[c as usize].clone(), block[c as usize][i]))
+                .collect();
+            out.push(LabeledRun {
+                metrics,
+                truth: self.truths[start + i],
+            });
+        }
+        Ok(out)
+    }
+
+    /// Reconstruct the whole corpus, checksum-verified. The column
+    /// region is fetched in **one** read and verified in place, then
+    /// rows are transposed straight out of that buffer — not a
+    /// `verify()` sweep followed by a second per-column read pass.
+    pub fn to_runs(&self) -> Result<Vec<LabeledRun>, VqdError> {
+        let n_cols = self.names.len();
+        let stride = (COL_HEADER_BYTES + self.n_rows as u64 * CELL_BYTES) as usize;
+        let mut raw = vec![0u8; n_cols * stride];
+        self.read_at(&mut raw, self.columns_start)
+            .map_err(|e| VqdError::io(&self.path, e))?;
+        for j in 0..n_cols {
+            let col = &raw[j * stride..(j + 1) * stride];
+            let want = u32::from_le_bytes([col[0], col[1], col[2], col[3]]);
+            if checksum32(&col[COL_HEADER_BYTES as usize..]) != want {
+                return Err(VqdError::bin_corpus(
+                    &self.path,
+                    format!("column {j} ({:?}) checksum mismatch", self.names[j]),
+                ));
+            }
+        }
+        let cell = |c: usize, i: usize| {
+            let off = c * stride + COL_HEADER_BYTES as usize + i * CELL_BYTES as usize;
+            let b = &raw[off..off + CELL_BYTES as usize];
+            f64::from_bits(u64::from_le_bytes([
+                b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+            ]))
+        };
+        let mut out = Vec::with_capacity(self.n_rows);
+        for i in 0..self.n_rows {
+            let shape = &self.shapes[self.row_shape[i] as usize];
+            let metrics: Vec<(String, f64)> = shape
+                .iter()
+                .map(|&c| (self.names[c as usize].clone(), cell(c as usize, i)))
+                .collect();
+            out.push(LabeledRun {
+                metrics,
+                truth: self.truths[i],
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_runs() -> Vec<LabeledRun> {
+        vec![
+            LabeledRun {
+                metrics: vec![
+                    ("mobile.phy.rssi_avg".into(), -62.25),
+                    ("mobile.hw.cpu_avg".into(), f64::NAN),
+                    ("mobile.tcp.rtt".into(), -0.0),
+                ],
+                truth: GroundTruth {
+                    fault: FaultKind::LowRssi,
+                    qoe: QoeClass::Severe,
+                },
+            },
+            LabeledRun {
+                // Different shape: a subset, in a different order.
+                metrics: vec![
+                    ("mobile.tcp.rtt".into(), 0.125),
+                    ("server.tcp.iat".into(), 1e-300),
+                ],
+                truth: GroundTruth {
+                    fault: FaultKind::None,
+                    qoe: QoeClass::Good,
+                },
+            },
+            LabeledRun {
+                metrics: vec![],
+                truth: GroundTruth {
+                    fault: FaultKind::None,
+                    qoe: QoeClass::Mild,
+                },
+            },
+        ]
+    }
+
+    fn open_bytes(bytes: &[u8]) -> Result<VqdcReader, VqdError> {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "vqdc-test-{}-{:p}.vqdc",
+            std::process::id(),
+            bytes.as_ptr()
+        ));
+        std::fs::write(&path, bytes).unwrap();
+        let r = VqdcReader::open(&path);
+        std::fs::remove_file(&path).ok();
+        r
+    }
+
+    #[test]
+    fn round_trips_shapes_labels_and_value_bits() {
+        let runs = sample_runs();
+        let bytes = corpus_to_vqdc_bytes(&runs).unwrap();
+        let reader = open_bytes(&bytes).unwrap();
+        assert_eq!(reader.n_rows(), 3);
+        let back = reader.to_runs().unwrap();
+        assert_eq!(back.len(), runs.len());
+        for (a, b) in runs.iter().zip(&back) {
+            assert_eq!(a.truth.fault, b.truth.fault);
+            assert_eq!(a.truth.qoe, b.truth.qoe);
+            assert_eq!(a.metrics.len(), b.metrics.len());
+            for ((na, va), (nb, vb)) in a.metrics.iter().zip(&b.metrics) {
+                assert_eq!(na, nb);
+                assert_eq!(va.to_bits(), vb.to_bits(), "{na}");
+            }
+        }
+        // Text round trip through the binary format is byte-identical.
+        let text = crate::dataset::corpus_to_text(&runs);
+        assert_eq!(crate::dataset::corpus_to_text(&back), text);
+    }
+
+    #[test]
+    fn absent_cell_differs_from_present_nan() {
+        let runs = sample_runs();
+        let bytes = corpus_to_vqdc_bytes(&runs).unwrap();
+        let reader = open_bytes(&bytes).unwrap();
+        let back = reader.to_runs().unwrap();
+        // Row 0 carries cpu_avg as a *present* NaN.
+        assert!(back[0]
+            .metrics
+            .iter()
+            .any(|(n, v)| n == "mobile.hw.cpu_avg" && v.is_nan()));
+        // Row 1 does not carry it at all.
+        assert!(!back[1]
+            .metrics
+            .iter()
+            .any(|(n, _)| n == "mobile.hw.cpu_avg"));
+    }
+
+    #[test]
+    fn duplicate_metric_in_one_session_is_rejected() {
+        let runs = vec![LabeledRun {
+            metrics: vec![("a.b".into(), 1.0), ("a.b".into(), 2.0)],
+            truth: GroundTruth {
+                fault: FaultKind::None,
+                qoe: QoeClass::Good,
+            },
+        }];
+        let e = corpus_to_vqdc_bytes(&runs).unwrap_err();
+        assert!(e.to_string().contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error_never_a_panic() {
+        let runs = sample_runs();
+        let bytes = corpus_to_vqdc_bytes(&runs).unwrap();
+        // Bad magic.
+        let mut b = bytes.clone();
+        b[0] ^= 0xff;
+        assert!(matches!(open_bytes(&b), Err(VqdError::BinCorpus { .. })));
+        // Truncation at every section boundary and mid-column.
+        for cut in [4usize, 12, 40, bytes.len() / 2, bytes.len() - 3] {
+            let b = &bytes[..cut.min(bytes.len())];
+            assert!(open_bytes(b).is_err(), "cut at {cut} must fail");
+        }
+        // Flipped payload byte: either a section checksum catches it at
+        // open, or the column checksum does on full read.
+        let mut b = bytes.clone();
+        let last = b.len() - 1;
+        b[last] ^= 0x01;
+        match open_bytes(&b) {
+            Err(_) => {}
+            Ok(r) => {
+                assert!(r.to_runs().is_err(), "flipped column byte must fail verify");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_column_rejects_out_of_bounds() {
+        let bytes = corpus_to_vqdc_bytes(&sample_runs()).unwrap();
+        let reader = open_bytes(&bytes).unwrap();
+        let mut buf = vec![0.0; 10];
+        assert!(reader.fill_column(0, 0, &mut buf).is_err()); // past n_rows
+        let mut one = vec![0.0; 1];
+        assert!(reader.fill_column(99, 0, &mut one).is_err()); // no such column
+    }
+}

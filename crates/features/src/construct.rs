@@ -84,58 +84,96 @@ impl FeatureConstructor {
 
     /// Transform a dataset with the learned denominators.
     pub fn transform(&self, data: &Dataset) -> Dataset {
-        // Locate each VP's session totals.
-        let total_pkts_col = |vp: &str| data.feature_index(&format!("{vp}.tcp.total_pkts"));
-        let total_bytes_col = |vp: &str| data.feature_index(&format!("{vp}.tcp.total_data_bytes"));
-
-        let mut features = Vec::new();
-        let mut plan: Vec<Plan> = Vec::new();
-        for (j, name) in data.features.iter().enumerate() {
-            if dropped(name) {
-                continue;
-            }
-            let vp = Self::vp_of(name);
-            if is_pkt_count(name) {
-                if let Some(t) = total_pkts_col(vp) {
-                    features.push(format!("{name}_norm"));
-                    plan.push(Plan::Ratio(j, t));
-                    continue;
-                }
-            }
-            if is_byte_count(name) {
-                if let Some(t) = total_bytes_col(vp) {
-                    features.push(format!("{name}_norm"));
-                    plan.push(Plan::Ratio(j, t));
-                    continue;
-                }
-            }
-            features.push(name.clone());
-            plan.push(Plan::Copy(j));
-        }
-
-        let mut out = Dataset::new(features, data.classes.clone());
+        let plan = ConstructionPlan::for_schema(&data.features);
+        let mut out = Dataset::new(plan.names.clone(), data.classes.clone());
         for (i, row) in data.x.iter().enumerate() {
             let new_row: Vec<f64> = plan
+                .ops
                 .iter()
                 .map(|p| match *p {
-                    Plan::Copy(j) => row[j],
-                    Plan::Ratio(j, t) => {
-                        let denom = row[t];
-                        if row[j].is_nan() || denom.is_nan() || denom <= 0.0 {
-                            if row[j].is_nan() {
-                                f64::NAN
-                            } else {
-                                0.0
-                            }
-                        } else {
-                            row[j] / denom
-                        }
-                    }
+                    ColumnOp::Copy(j) => row[j],
+                    ColumnOp::Ratio(j, t) => ConstructionPlan::ratio(row[j], row[t]),
                 })
                 .collect();
             out.push(new_row, data.y[i]);
         }
         out
+    }
+}
+
+/// One output column of the batch construction plan: which raw
+/// column(s) it reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnOp {
+    /// Raw column `.0` passes through unchanged.
+    Copy(usize),
+    /// Raw column `.0` normalised by the VP's session total in raw
+    /// column `.1` (see [`ConstructionPlan::ratio`]).
+    Ratio(usize, usize),
+}
+
+/// The batch construction rules resolved against a raw feature schema:
+/// the transformed feature names plus, per output column, the raw
+/// columns it reads. This is the column-oriented twin of
+/// [`FeatureConstructor::transform`] — the streaming corpus/training
+/// paths use it to construct one transformed column at a time without
+/// materialising the raw dataset. `transform` itself is implemented on
+/// top of it, so the two can never drift.
+#[derive(Debug, Clone)]
+pub struct ConstructionPlan {
+    /// Transformed feature names, in output-column order.
+    pub names: Vec<String>,
+    /// Per output column, the raw columns it reads (aligned 1:1 with
+    /// `names`).
+    pub ops: Vec<ColumnOp>,
+}
+
+impl ConstructionPlan {
+    /// Resolve the construction rules against a raw schema. Duplicate
+    /// raw names resolve denominators to their first occurrence,
+    /// matching [`Dataset::feature_index`].
+    pub fn for_schema(raw: &[String]) -> ConstructionPlan {
+        let first = |want: String| raw.iter().position(|n| *n == want);
+        let mut names = Vec::new();
+        let mut ops = Vec::new();
+        for (j, name) in raw.iter().enumerate() {
+            if dropped(name) {
+                continue;
+            }
+            let vp = FeatureConstructor::vp_of(name);
+            if is_pkt_count(name) {
+                if let Some(t) = first(format!("{vp}.tcp.total_pkts")) {
+                    names.push(format!("{name}_norm"));
+                    ops.push(ColumnOp::Ratio(j, t));
+                    continue;
+                }
+            }
+            if is_byte_count(name) {
+                if let Some(t) = first(format!("{vp}.tcp.total_data_bytes")) {
+                    names.push(format!("{name}_norm"));
+                    ops.push(ColumnOp::Ratio(j, t));
+                    continue;
+                }
+            }
+            names.push(name.clone());
+            ops.push(ColumnOp::Copy(j));
+        }
+        ConstructionPlan { names, ops }
+    }
+
+    /// The exact ratio arithmetic of the batch transform: NaN
+    /// numerators stay NaN, non-positive or NaN denominators zero the
+    /// ratio (count metrics are zero when nothing flowed).
+    pub fn ratio(num: f64, denom: f64) -> f64 {
+        if num.is_nan() || denom.is_nan() || denom <= 0.0 {
+            if num.is_nan() {
+                f64::NAN
+            } else {
+                0.0
+            }
+        } else {
+            num / denom
+        }
     }
 }
 
@@ -186,12 +224,6 @@ impl FeatureConstructor {
         }
         out
     }
-}
-
-#[derive(Debug, Clone, Copy)]
-enum Plan {
-    Copy(usize),
-    Ratio(usize, usize),
 }
 
 /// One step of a compiled instance transform, aligned 1:1 with the

@@ -14,5 +14,5 @@
 pub mod construct;
 pub mod select;
 
-pub use construct::{FeatureConstructor, InstancePlan, PlanStep};
-pub use select::{fcbf, rank_by_su, Selection};
+pub use construct::{ColumnOp, ConstructionPlan, FeatureConstructor, InstancePlan, PlanStep};
+pub use select::{fcbf, fcbf_union_streaming, rank_by_su, Selection};

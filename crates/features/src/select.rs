@@ -87,6 +87,134 @@ pub fn fcbf(data: &Dataset, delta: f64) -> Selection {
     }
 }
 
+/// One relevant feature's cached discretisation in the streaming
+/// selector: the column never stays resident, only its MDL bins
+/// (`4·n_rows` bytes) and SU with the class.
+struct StreamCand {
+    col: usize,
+    bins: Vec<u32>,
+    n_bins: usize,
+    su: f64,
+}
+
+/// FCBF redundancy elimination over a candidate subset, exactly as
+/// [`fcbf`] does it: stable sort by SU descending, then walk the
+/// ranking removing redundant peers. Returns indices into `cands` in
+/// selection order.
+fn eliminate(cands: &[&StreamCand], xa: &mut Vec<usize>, xb: &mut Vec<usize>) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..cands.len()).collect();
+    order.sort_by(|&a, &b| cands[b].su.total_cmp(&cands[a].su));
+    let mut selected = Vec::new();
+    let mut removed = vec![false; order.len()];
+    for i in 0..order.len() {
+        if removed[i] {
+            continue;
+        }
+        selected.push(order[i]);
+        let ci = cands[order[i]];
+        xa.clear();
+        xa.extend(ci.bins.iter().map(|&b| b as usize));
+        for k in (i + 1)..order.len() {
+            if removed[k] {
+                continue;
+            }
+            let ck = cands[order[k]];
+            xb.clear();
+            xb.extend(ck.bins.iter().map(|&b| b as usize));
+            let su_pq = symmetrical_uncertainty(xa, xb, ci.n_bins, ck.n_bins);
+            if su_pq >= ck.su {
+                removed[k] = true;
+            }
+        }
+    }
+    selected
+}
+
+/// Streaming twin of the diagnoser's global + per-vantage-point FCBF
+/// union: columns are fetched one at a time (from a `.vqdc` reader, a
+/// constructed-column view, …) instead of from a resident [`Dataset`].
+///
+/// Selects **exactly** the same feature names, in the same order, as
+/// `fcbf(&data, delta)` unioned with `fcbf` over each VP-prefixed
+/// column subset — the per-column discretisation and SU are
+/// independent of the other columns, and the redundancy walk here
+/// replays [`fcbf`]'s stable ranking over each subset. Resident state
+/// is one column during `fetch` plus `4·n_rows` bytes per *relevant*
+/// candidate (its MDL bins).
+pub fn fcbf_union_streaming<E>(
+    features: &[String],
+    y: &[usize],
+    n_classes: usize,
+    delta: f64,
+    mut fetch: impl FnMut(usize) -> Result<Vec<f64>, E>,
+) -> Result<Vec<String>, E> {
+    if y.is_empty() {
+        return Ok(Vec::new());
+    }
+    let ny = n_classes;
+    let mut cands: Vec<StreamCand> = Vec::new();
+    for (j, _) in features.iter().enumerate() {
+        let values = fetch(j)?;
+        let cuts = mdl_cuts(&values, y, ny);
+        if cuts.cuts.is_empty() {
+            continue;
+        }
+        let bins = apply(&cuts, &values);
+        let nb = cuts.n_bins();
+        let su = symmetrical_uncertainty(&bins, y, nb, ny);
+        if su > delta {
+            cands.push(StreamCand {
+                col: j,
+                bins: bins.iter().map(|&b| b as u32).collect(),
+                n_bins: nb,
+                su,
+            });
+        }
+    }
+    let (mut xa, mut xb) = (Vec::new(), Vec::new());
+    let r = vqd_obs::recorder();
+
+    // Global pass.
+    let all: Vec<&StreamCand> = cands.iter().collect();
+    let picked = eliminate(&all, &mut xa, &mut xb);
+    let mut names: Vec<String> = picked
+        .iter()
+        .map(|&i| features[all[i].col].clone())
+        .collect();
+    r.counter_add("features.fcbf.runs", 1);
+    r.counter_add("features.fcbf.candidates", features.len() as u64);
+    r.counter_add("features.fcbf.relevant", cands.len() as u64);
+    r.counter_add("features.fcbf.selected", picked.len() as u64);
+
+    // Per-VP passes, unioned (same rationale as the in-memory
+    // pipeline: keep every entity able to diagnose alone).
+    let vps: std::collections::BTreeSet<String> = features
+        .iter()
+        .filter_map(|n| n.split('.').next().map(str::to_string))
+        .collect();
+    for vp in vps {
+        let sub: Vec<&StreamCand> = cands
+            .iter()
+            .filter(|c| features[c.col].starts_with(&vp))
+            .collect();
+        let picked = eliminate(&sub, &mut xa, &mut xb);
+        r.counter_add("features.fcbf.runs", 1);
+        r.counter_add(
+            "features.fcbf.candidates",
+            features.iter().filter(|n| n.starts_with(&vp)).count() as u64,
+        );
+        r.counter_add("features.fcbf.relevant", sub.len() as u64);
+        r.counter_add("features.fcbf.selected", picked.len() as u64);
+        for &i in &picked {
+            let n = &features[sub[i].col];
+            if !names.contains(n) {
+                names.push(n.clone());
+            }
+        }
+    }
+    Ok(names)
+}
+
 /// Rank all features by SU with the class (no redundancy elimination) —
 /// used for the paper's Table 4 per-fault feature rankings.
 pub fn rank_by_su(data: &Dataset) -> Vec<(String, f64)> {
@@ -177,6 +305,76 @@ mod tests {
         let d = Dataset::new(vec!["a".into()], vec!["x".into(), "y".into()]);
         let sel = fcbf(&d, 0.0);
         assert!(sel.names.is_empty());
+    }
+
+    /// Multi-VP toy data with correlated cross-VP copies, so the
+    /// per-VP union actually adds names beyond the global pass.
+    fn multi_vp(n: usize, seed: u64) -> Dataset {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let names: Vec<String> = vec![
+            "mobile.tcp.rtt".into(),
+            "mobile.phy.rssi".into(),
+            "router.tcp.rtt".into(),
+            "router.tcp.retx".into(),
+            "server.tcp.rtt".into(),
+            "server.junk".into(),
+        ];
+        let mut d = Dataset::new(names, vec!["a".into(), "b".into(), "c".into()]);
+        for _ in 0..n {
+            let c = rng.index(3);
+            let rtt = c as f64 * 4.0 + rng.normal(0.0, 0.6);
+            d.push(
+                vec![
+                    rtt + rng.normal(0.0, 0.2),
+                    c as f64 * -6.0 + rng.normal(0.0, 1.0),
+                    rtt + rng.normal(0.0, 0.3),
+                    (c == 2) as usize as f64 * 3.0 + rng.normal(0.0, 1.5),
+                    rtt + rng.normal(0.0, 0.4),
+                    rng.normal(0.0, 2.0),
+                ],
+                c,
+            );
+        }
+        d
+    }
+
+    /// In-memory reference of the diagnoser's global + per-VP union.
+    fn union_reference(data: &Dataset, delta: f64) -> Vec<String> {
+        let mut names = fcbf(data, delta).names;
+        let vps: std::collections::BTreeSet<String> = data
+            .features
+            .iter()
+            .filter_map(|n| n.split('.').next().map(str::to_string))
+            .collect();
+        for vp in vps {
+            let sub = data.select_features_by(|n| n.starts_with(&vp));
+            for n in fcbf(&sub, delta).names {
+                if !names.contains(&n) {
+                    names.push(n);
+                }
+            }
+        }
+        names
+    }
+
+    #[test]
+    fn streaming_union_matches_in_memory_reference() {
+        for seed in [7u64, 11, 23] {
+            let d = multi_vp(400, seed);
+            let want = union_reference(&d, 0.01);
+            let got: Vec<String> = fcbf_union_streaming(
+                &d.features,
+                &d.y,
+                d.n_classes(),
+                0.01,
+                |j| -> Result<Vec<f64>, std::convert::Infallible> {
+                    Ok(d.x.iter().map(|r| r[j]).collect())
+                },
+            )
+            .unwrap_or_else(|e| match e {});
+            assert_eq!(got, want, "seed {seed}");
+            assert!(!got.is_empty());
+        }
     }
 
     #[test]

@@ -1599,7 +1599,7 @@ impl C45Trainer {
 }
 
 /// Bottom-up error-based pruning. Returns the node's predicted errors.
-fn prune(node: &mut Node, cf: f64) -> f64 {
+pub(crate) fn prune(node: &mut Node, cf: f64) -> f64 {
     let (leaf_pred, dist) = match node {
         Node::Leaf { dist } => {
             let total: f64 = dist.iter().sum();

@@ -15,6 +15,8 @@
 //! * [`metrics`] — accuracy, per-class precision/recall, confusion
 //!   matrices, exactly as defined in Section 5 of the paper.
 //! * [`dataset`] — the ARFF-shaped numeric dataset with missing values.
+//! * [`stream_fit`] — out-of-core C4.5: chunked column materialisation
+//!   plus an external-sort gather, bit-identical to the in-memory fit.
 //! * [`error`] — typed model-persistence errors (line- and
 //!   field-addressed parse failures instead of panics).
 
@@ -28,6 +30,7 @@ pub mod info;
 pub mod intern;
 pub mod metrics;
 pub mod nb;
+pub mod stream_fit;
 pub mod svm;
 
 pub use compiled::{CompiledTree, DescentFrame};
@@ -40,4 +43,5 @@ pub use info::{entropy, mutual_information, symmetrical_uncertainty};
 pub use intern::{FeatureId, FeatureInterner};
 pub use metrics::ConfusionMatrix;
 pub use nb::NaiveBayes;
+pub use stream_fit::{ColumnSource, MemColumnSource, StreamFitConfig, StreamFitStats};
 pub use svm::{LinearSvm, SvmConfig};

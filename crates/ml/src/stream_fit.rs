@@ -1,0 +1,937 @@
+//! Out-of-core C4.5 training: fit a tree from a column source that is
+//! **not** resident in memory.
+//!
+//! The in-memory engine ([`C45Trainer::fit`]) pre-sorts every feature
+//! once and filters the sorted id sequences down the tree. That needs
+//! the full column-major matrix plus one sorted id list per feature —
+//! all resident. This module trades the pre-sort for a per-node
+//! *gather*: for each (node, feature) pair the member rows' values are
+//! streamed from a [`ColumnSource`] in fixed-size chunks, NaNs dropped,
+//! and the `(value, id)` pairs sorted — in memory when they fit the
+//! spill budget, via an external run-sort + k-way merge when they
+//! don't. Because the sort key `(value.total_cmp, id)` is unique (ids
+//! are distinct), the sorted sequence is *identical* to the in-memory
+//! engine's filtered pre-sort no matter how the chunks or spill runs
+//! fell, and the split sweep below replicates the in-memory
+//! accumulation order step for step — so the trained tree is
+//! bit-identical to [`C45Trainer::fit`] at any thread count, chunk
+//! size, and spill budget. The equality is pinned by tests here and by
+//! the `corpus-smoke` CI job diffing serialized models.
+//!
+//! Working memory is O(`n_rows`) for the label/weight vectors plus the
+//! spill budget per concurrent gather — never O(`n_rows × n_features`).
+
+use crate::dataset::Dataset;
+use crate::dtree::{resolve_threads, C45Config, C45Trainer, DecisionTree, Node};
+use crate::info::entropy_of_counts;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A feature-major view of a training set whose columns can be read
+/// range-by-range. Implementations: [`MemColumnSource`] (tests,
+/// benches) and the `.vqdc` readers in `vqd-core`.
+///
+/// `fill_column` returns the **raw** stored values; the engine itself
+/// normalises `-0.0` to `+0.0` (exactly like the in-memory engine's
+/// column copy), so sources must not.
+pub trait ColumnSource {
+    /// Number of rows.
+    fn n_rows(&self) -> usize;
+    /// Feature names, defining column indices.
+    fn feature_names(&self) -> &[String];
+    /// Class names, defining label indices.
+    fn class_names(&self) -> &[String];
+    /// Per-row class label (`< class_names().len()`).
+    fn labels(&self) -> &[u32];
+    /// Copy rows `start..start + out.len()` of column `feat` into `out`.
+    fn fill_column(&self, feat: usize, start: usize, out: &mut [f64]) -> io::Result<()>;
+}
+
+/// In-memory [`ColumnSource`] over a [`Dataset`] — the oracle the
+/// streaming path is tested against, and a convenience for callers
+/// that want the streaming API on resident data.
+pub struct MemColumnSource {
+    features: Vec<String>,
+    classes: Vec<String>,
+    y: Vec<u32>,
+    cols: Vec<Vec<f64>>,
+}
+
+impl MemColumnSource {
+    /// Column-major copy of `data` (raw values, no normalisation).
+    pub fn new(data: &Dataset) -> MemColumnSource {
+        let nf = data.n_features();
+        MemColumnSource {
+            features: data.features.clone(),
+            classes: data.classes.clone(),
+            y: data.y.iter().map(|&c| c as u32).collect(),
+            cols: (0..nf)
+                .map(|j| data.x.iter().map(|row| row[j]).collect())
+                .collect(),
+        }
+    }
+}
+
+impl ColumnSource for MemColumnSource {
+    fn n_rows(&self) -> usize {
+        self.y.len()
+    }
+    fn feature_names(&self) -> &[String] {
+        &self.features
+    }
+    fn class_names(&self) -> &[String] {
+        &self.classes
+    }
+    fn labels(&self) -> &[u32] {
+        &self.y
+    }
+    fn fill_column(&self, feat: usize, start: usize, out: &mut [f64]) -> io::Result<()> {
+        out.copy_from_slice(&self.cols[feat][start..start + out.len()]);
+        Ok(())
+    }
+}
+
+/// Knobs of the streaming fit. Neither affects the trained tree — only
+/// wall time and peak memory.
+#[derive(Debug, Clone)]
+pub struct StreamFitConfig {
+    /// Rows per column read (the I/O window of a gather).
+    pub chunk_rows: usize,
+    /// Maximum `(value, id)` pairs held in memory per gather before
+    /// the external sort spills a run (12 bytes per pair on disk).
+    pub spill_pairs: usize,
+    /// Directory for spill runs (default: the OS temp dir).
+    pub tmp_dir: Option<PathBuf>,
+}
+
+impl Default for StreamFitConfig {
+    fn default() -> StreamFitConfig {
+        StreamFitConfig {
+            chunk_rows: 64 * 1024,
+            spill_pairs: 4 * 1024 * 1024,
+            tmp_dir: None,
+        }
+    }
+}
+
+/// What the streaming fit did, for benches and capacity planning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamFitStats {
+    /// Sorted runs spilled to disk across all gathers.
+    pub spill_runs: u64,
+    /// Bytes written to spill files.
+    pub spilled_bytes: u64,
+    /// Largest number of pairs simultaneously resident in one gather.
+    pub peak_gather_pairs: u64,
+}
+
+/// Winning candidate of one feature's streamed sweep (mirror of the
+/// in-memory engine's `FeatSplit`).
+#[derive(Debug, Clone, Copy)]
+struct SFeatSplit {
+    ratio: f64,
+    thr: f64,
+    gain: f64,
+    lo_w: f64,
+    known_w: f64,
+}
+
+/// Per-worker sweep buffers (mirror of the in-memory `Scratch`, minus
+/// the gather vec — the streamed sweep reads from the pair cursor).
+struct SScratch {
+    known_dist: Vec<f64>,
+    left: Vec<f64>,
+    right: Vec<f64>,
+    known_dist_i: Vec<u32>,
+    left_i: Vec<u32>,
+}
+
+impl SScratch {
+    fn new(n_classes: usize) -> SScratch {
+        SScratch {
+            known_dist: vec![0.0; n_classes],
+            left: vec![0.0; n_classes],
+            right: vec![0.0; n_classes],
+            known_dist_i: vec![0; n_classes],
+            left_i: vec![0; n_classes],
+        }
+    }
+}
+
+const PAIR_BYTES: usize = 12; // 8B value bits LE + 4B row id LE
+
+/// A gather's sorted `(value, id)` pairs: fully in memory, or as
+/// sorted runs in a spill file merged on demand. Either way,
+/// [`SortedPairs::cursor`] yields the pairs in `(value.total_cmp, id)`
+/// order — the same unique total order, so byte-identical sweeps.
+enum SortedPairs {
+    Mem(Vec<(f64, u32)>),
+    Spilled {
+        path: PathBuf,
+        runs: Vec<(u64, usize)>, // (byte offset, pair count)
+        len: usize,
+    },
+}
+
+impl SortedPairs {
+    fn len(&self) -> usize {
+        match self {
+            SortedPairs::Mem(v) => v.len(),
+            SortedPairs::Spilled { len, .. } => *len,
+        }
+    }
+
+    fn cursor(&self) -> io::Result<PairCursor<'_>> {
+        match self {
+            SortedPairs::Mem(v) => Ok(PairCursor::Mem(v.iter())),
+            SortedPairs::Spilled { path, runs, .. } => {
+                let mut readers = Vec::with_capacity(runs.len());
+                let mut heap = std::collections::BinaryHeap::with_capacity(runs.len());
+                for (ri, &(off, count)) in runs.iter().enumerate() {
+                    let mut f = File::open(path)?;
+                    f.seek(SeekFrom::Start(off))?;
+                    let mut r = RunReader {
+                        f: BufReader::with_capacity(64 * 1024, f),
+                        remaining: count,
+                    };
+                    if let Some((key, id)) = r.next()? {
+                        heap.push(std::cmp::Reverse((key, id, ri)));
+                    }
+                    readers.push(r);
+                }
+                Ok(PairCursor::Merge { readers, heap })
+            }
+        }
+    }
+}
+
+impl Drop for SortedPairs {
+    fn drop(&mut self) {
+        if let SortedPairs::Spilled { path, .. } = self {
+            let _ = std::fs::remove_file(&*path);
+        }
+    }
+}
+
+/// Order-preserving encode of an f64 into a u64: `enc(a) < enc(b)`
+/// iff `a.total_cmp(&b) == Less`. Used as the heap key so the k-way
+/// merge compares plain integers.
+fn ord_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b ^ (1 << 63)
+    }
+}
+
+fn ord_key_value(key: u64) -> f64 {
+    let bits = if key >> 63 == 1 {
+        key ^ (1 << 63)
+    } else {
+        !key
+    };
+    f64::from_bits(bits)
+}
+
+struct RunReader {
+    f: BufReader<File>,
+    remaining: usize,
+}
+
+impl RunReader {
+    /// Next pair of this run as `(order key, id)`, or `None` at end.
+    fn next(&mut self) -> io::Result<Option<(u64, u32)>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let mut rec = [0u8; PAIR_BYTES];
+        self.f.read_exact(&mut rec)?;
+        let bits = u64::from_le_bytes([
+            rec[0], rec[1], rec[2], rec[3], rec[4], rec[5], rec[6], rec[7],
+        ]);
+        let id = u32::from_le_bytes([rec[8], rec[9], rec[10], rec[11]]);
+        Ok(Some((ord_key(f64::from_bits(bits)), id)))
+    }
+}
+
+/// Streaming iterator over a [`SortedPairs`] in sorted order.
+enum PairCursor<'a> {
+    Mem(std::slice::Iter<'a, (f64, u32)>),
+    Merge {
+        readers: Vec<RunReader>,
+        heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32, usize)>>,
+    },
+}
+
+impl PairCursor<'_> {
+    fn next(&mut self) -> io::Result<Option<(f64, u32)>> {
+        match self {
+            PairCursor::Mem(it) => Ok(it.next().copied()),
+            PairCursor::Merge { readers, heap } => {
+                let Some(std::cmp::Reverse((key, id, ri))) = heap.pop() else {
+                    return Ok(None);
+                };
+                if let Some((k2, id2)) = readers[ri].next()? {
+                    heap.push(std::cmp::Reverse((k2, id2, ri)));
+                }
+                Ok(Some((ord_key_value(key), id)))
+            }
+        }
+    }
+}
+
+/// An open spill file: path, writer, `(offset, pair_count)` per
+/// flushed run, and total bytes written so far.
+type SpillFile = (PathBuf, BufWriter<File>, Vec<(u64, usize)>, u64);
+
+/// Accumulates a gather's pairs, spilling sorted runs past the budget.
+struct PairSink<'a> {
+    budget: usize,
+    buf: Vec<(f64, u32)>,
+    spill: Option<SpillFile>,
+    tmp_dir: &'a std::path::Path,
+    seq: &'a AtomicU64,
+    stats_runs: &'a AtomicU64,
+    stats_bytes: &'a AtomicU64,
+    stats_peak: &'a AtomicU64,
+}
+
+impl<'a> PairSink<'a> {
+    fn new(
+        budget: usize,
+        tmp_dir: &'a std::path::Path,
+        seq: &'a AtomicU64,
+        stats_runs: &'a AtomicU64,
+        stats_bytes: &'a AtomicU64,
+        stats_peak: &'a AtomicU64,
+    ) -> PairSink<'a> {
+        PairSink {
+            budget: budget.max(16),
+            buf: Vec::new(),
+            spill: None,
+            tmp_dir,
+            seq,
+            stats_runs,
+            stats_bytes,
+            stats_peak,
+        }
+    }
+
+    fn push(&mut self, v: f64, id: u32) -> io::Result<()> {
+        self.buf.push((v, id));
+        if self.buf.len() >= self.budget {
+            self.flush_run()?;
+        }
+        Ok(())
+    }
+
+    fn flush_run(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.stats_peak
+            .fetch_max(self.buf.len() as u64, Ordering::Relaxed);
+        self.buf
+            .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        if self.spill.is_none() {
+            let n = self.seq.fetch_add(1, Ordering::Relaxed);
+            let path = self
+                .tmp_dir
+                .join(format!("vqd-spill-{}-{}.run", std::process::id(), n));
+            let f = File::create(&path)?;
+            self.spill = Some((path, BufWriter::with_capacity(256 * 1024, f), Vec::new(), 0));
+        }
+        let (_, w, runs, written) = self.spill.as_mut().unwrap_or_else(|| unreachable!());
+        runs.push((*written, self.buf.len()));
+        for &(v, id) in &self.buf {
+            let mut rec = [0u8; PAIR_BYTES];
+            rec[..8].copy_from_slice(&v.to_bits().to_le_bytes());
+            rec[8..].copy_from_slice(&id.to_le_bytes());
+            w.write_all(&rec)?;
+        }
+        *written += (self.buf.len() * PAIR_BYTES) as u64;
+        self.stats_runs.fetch_add(1, Ordering::Relaxed);
+        self.stats_bytes
+            .fetch_add((self.buf.len() * PAIR_BYTES) as u64, Ordering::Relaxed);
+        self.buf.clear();
+        Ok(())
+    }
+
+    fn finish(mut self) -> io::Result<SortedPairs> {
+        if self.spill.is_none() {
+            self.stats_peak
+                .fetch_max(self.buf.len() as u64, Ordering::Relaxed);
+            self.buf
+                .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            return Ok(SortedPairs::Mem(std::mem::take(&mut self.buf)));
+        }
+        self.flush_run()?;
+        let (path, w, runs, _) = self.spill.take().unwrap_or_else(|| unreachable!());
+        w.into_inner().map_err(|e| e.into_error())?.sync_data().ok();
+        let len = runs.iter().map(|&(_, c)| c).sum();
+        Ok(SortedPairs::Spilled { path, runs, len })
+    }
+}
+
+impl Drop for PairSink<'_> {
+    fn drop(&mut self) {
+        if let Some((path, _, _, _)) = self.spill.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Streaming training state shared by every node of one
+/// `fit_streaming` call. Labels are resident (`4·n_rows` bytes), as
+/// are the per-row weight scratch and the member-row lists down one
+/// root-to-leaf path — column values never are.
+struct StreamEngine<'a, S: ColumnSource + Sync> {
+    cfg: C45Config,
+    src: &'a S,
+    y: &'a [u32],
+    n_classes: usize,
+    threads: usize,
+    chunk_rows: usize,
+    spill_pairs: usize,
+    tmp_dir: PathBuf,
+    spill_seq: AtomicU64,
+    stat_runs: AtomicU64,
+    stat_bytes: AtomicU64,
+    stat_peak: AtomicU64,
+}
+
+impl<S: ColumnSource + Sync> StreamEngine<'_, S> {
+    fn dist_of(&self, rows: &[(u32, f64)]) -> Vec<f64> {
+        let mut d = vec![0.0; self.n_classes];
+        for &(c, w) in rows {
+            d[self.y[c as usize] as usize] += w;
+        }
+        d
+    }
+
+    /// Stream column `feat` over the member rows (ascending id ⇒
+    /// forward chunk reads), drop NaNs, normalise `-0.0`, and sort.
+    fn gather(&self, feat: usize, rows: &[(u32, f64)]) -> io::Result<SortedPairs> {
+        let mut sink = PairSink::new(
+            self.spill_pairs,
+            &self.tmp_dir,
+            &self.spill_seq,
+            &self.stat_runs,
+            &self.stat_bytes,
+            &self.stat_peak,
+        );
+        let n = self.src.n_rows();
+        let mut buf = vec![0.0f64; self.chunk_rows.max(1)];
+        let (mut lo, mut hi) = (0usize, 0usize);
+        for &(c, _) in rows {
+            let ci = c as usize;
+            if ci >= hi {
+                let len = buf.len().min(n - ci);
+                self.src.fill_column(feat, ci, &mut buf[..len])?;
+                lo = ci;
+                hi = ci + len;
+            }
+            let v = buf[ci - lo];
+            if v.is_nan() {
+                continue;
+            }
+            sink.push(if v == 0.0 { 0.0 } else { v }, c)?;
+        }
+        sink.finish()
+    }
+
+    /// One value of column `feat` for row `c`, via `chunk` (a cached
+    /// window `[w_lo, w_hi)` refreshed on miss). Rows arrive in
+    /// ascending id order, so misses are forward chunk loads.
+    fn col_value(
+        &self,
+        feat: usize,
+        ci: usize,
+        buf: &mut [f64],
+        window: &mut (usize, usize),
+    ) -> io::Result<f64> {
+        if ci < window.0 || ci >= window.1 {
+            let len = buf.len().min(self.src.n_rows() - ci);
+            self.src.fill_column(feat, ci, &mut buf[..len])?;
+            *window = (ci, ci + len);
+        }
+        Ok(buf[ci - window.0])
+    }
+
+    /// Mirror of the in-memory engine's `eval_feature`, consuming the
+    /// sorted pairs from a cursor instead of a resident id list. The
+    /// pre-pass and both sweep variants accumulate in the identical
+    /// order over the identical sequence, so every float is the same.
+    fn eval_pairs(
+        &self,
+        pairs: &SortedPairs,
+        weights: &[f64],
+        total: f64,
+        scratch: &mut SScratch,
+    ) -> io::Result<Option<SFeatSplit>> {
+        let len = pairs.len();
+        if len < 4 {
+            return Ok(None);
+        }
+        for d in scratch.known_dist.iter_mut() {
+            *d = 0.0;
+        }
+        let mut known_w = 0.0;
+        let mut unit_weights = true;
+        let mut cur = pairs.cursor()?;
+        while let Some((_, c)) = cur.next()? {
+            let ci = c as usize;
+            let (y, w) = (self.y[ci], weights[ci]);
+            known_w += w;
+            unit_weights &= w == 1.0;
+            scratch.known_dist[y as usize] += w;
+        }
+        if known_w < 2.0 * self.cfg.min_leaf {
+            return Ok(None);
+        }
+        let miss_w = (total - known_w).max(0.0);
+        let frac_known = known_w / total;
+        let h = entropy_of_counts(&scratch.known_dist);
+        if h == 0.0 {
+            return Ok(None);
+        }
+        let mut candidates = 0u32;
+        let mut feat_best: Option<(f64, f64, f64)> = None; // (thr, gain, lo_w)
+        let min_leaf = self.cfg.min_leaf;
+        let mut sweep = pairs.cursor()?;
+        let mut cur_pair = sweep.next()?;
+        if unit_weights && known_w < crate::info::LOG_TABLE_LEN as f64 {
+            let (klogk, logk) = crate::info::log_tables();
+            for (li, &d) in scratch.known_dist_i.iter_mut().zip(&scratch.known_dist) {
+                *li = d as u32;
+            }
+            for l in scratch.left_i.iter_mut() {
+                *l = 0;
+            }
+            let known_n = len as u32;
+            let mut lo_n = 0u32;
+            while let Some((v, c)) = cur_pair {
+                let Some((v_next, c_next)) = sweep.next()? else {
+                    break;
+                };
+                cur_pair = Some((v_next, c_next));
+                let y = self.y[c as usize];
+                scratch.left_i[y as usize] += 1;
+                lo_n += 1;
+                if v == v_next {
+                    continue;
+                }
+                candidates += 1;
+                let left_w = lo_n as f64;
+                let right_w = known_w - left_w;
+                if left_w < min_leaf || right_w < min_leaf {
+                    continue;
+                }
+                let (mut s_l, mut s_r) = (0.0, 0.0);
+                let (mut nz_l, mut nz_r) = (0u32, 0u32);
+                for (&lc_u, &kd_u) in scratch.left_i.iter().zip(&scratch.known_dist_i) {
+                    let lc = lc_u as usize;
+                    let rc = (kd_u - lc_u) as usize;
+                    s_l += klogk[lc];
+                    s_r += klogk[rc];
+                    nz_l += (lc > 0) as u32;
+                    nz_r += (rc > 0) as u32;
+                }
+                let h_l = if nz_l <= 1 {
+                    0.0
+                } else {
+                    logk[lo_n as usize] - s_l / left_w
+                };
+                let h_r = if nz_r <= 1 {
+                    0.0
+                } else {
+                    logk[(known_n - lo_n) as usize] - s_r / right_w
+                };
+                let h_split = (left_w * h_l + right_w * h_r) / known_w;
+                let gain = frac_known * (h - h_split);
+                if feat_best
+                    .map(|(_, best_g, _)| gain > best_g)
+                    .unwrap_or(true)
+                {
+                    feat_best = Some(((v + v_next) / 2.0, gain, left_w));
+                }
+            }
+        } else {
+            for l in scratch.left.iter_mut() {
+                *l = 0.0;
+            }
+            let mut left_w = 0.0;
+            while let Some((v, c)) = cur_pair {
+                let Some((v_next, c_next)) = sweep.next()? else {
+                    break;
+                };
+                cur_pair = Some((v_next, c_next));
+                let ci = c as usize;
+                let (y, w) = (self.y[ci], weights[ci]);
+                scratch.left[y as usize] += w;
+                left_w += w;
+                if v == v_next {
+                    continue;
+                }
+                candidates += 1;
+                let right_w = known_w - left_w;
+                if left_w < self.cfg.min_leaf || right_w < self.cfg.min_leaf {
+                    continue;
+                }
+                for (r, (&t, &l)) in scratch
+                    .right
+                    .iter_mut()
+                    .zip(scratch.known_dist.iter().zip(&scratch.left))
+                {
+                    *r = t - l;
+                }
+                let h_split = (left_w * entropy_of_counts(&scratch.left)
+                    + right_w * entropy_of_counts(&scratch.right))
+                    / known_w;
+                let gain = frac_known * (h - h_split);
+                if feat_best
+                    .map(|(_, best_g, _)| gain > best_g)
+                    .unwrap_or(true)
+                {
+                    feat_best = Some(((v + v_next) / 2.0, gain, left_w));
+                }
+            }
+        }
+        let Some((thr, mut gain, lo_w)) = feat_best else {
+            return Ok(None);
+        };
+        if candidates == 0 {
+            return Ok(None);
+        }
+        gain -= (candidates as f64).log2() / len as f64;
+        if gain <= 1e-9 {
+            return Ok(None);
+        }
+        let hi_w = known_w - lo_w;
+        let si = entropy_of_counts(&[lo_w, hi_w, miss_w]);
+        if si <= 1e-9 {
+            return Ok(None);
+        }
+        Ok(Some(SFeatSplit {
+            ratio: gain / si,
+            thr,
+            gain,
+            lo_w,
+            known_w,
+        }))
+    }
+
+    /// Best split across all features; fan-out mirrors the in-memory
+    /// engine (index-ordered merge, strict `>`, ties to the lowest
+    /// feature), so the winner is thread-count independent.
+    #[allow(clippy::type_complexity)]
+    fn best_split(
+        &self,
+        rows: &[(u32, f64)],
+        weights: &[f64],
+        total: f64,
+        scratch: &mut SScratch,
+    ) -> io::Result<Option<(usize, f64, f64, f64)>> {
+        let nf = self.src.feature_names().len();
+        let evals: Vec<Option<SFeatSplit>> =
+            if self.threads > 1 && nf >= 2 && rows.len() * nf * self.n_classes > 64 * 1024 {
+                let next = AtomicUsize::new(0);
+                let slots: Vec<std::sync::Mutex<io::Result<Option<SFeatSplit>>>> =
+                    (0..nf).map(|_| std::sync::Mutex::new(Ok(None))).collect();
+                std::thread::scope(|s| {
+                    for _ in 0..self.threads.min(nf) {
+                        s.spawn(|| {
+                            let mut local = SScratch::new(self.n_classes);
+                            loop {
+                                let j = next.fetch_add(1, Ordering::Relaxed);
+                                if j >= nf {
+                                    break;
+                                }
+                                let r = self.gather(j, rows).and_then(|pairs| {
+                                    self.eval_pairs(&pairs, weights, total, &mut local)
+                                });
+                                *slots[j]
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner) = r;
+                            }
+                        });
+                    }
+                });
+                let mut out = Vec::with_capacity(nf);
+                for m in slots {
+                    out.push(
+                        m.into_inner()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)?,
+                    );
+                }
+                out
+            } else {
+                let mut out = Vec::with_capacity(nf);
+                for j in 0..nf {
+                    let pairs = self.gather(j, rows)?;
+                    out.push(self.eval_pairs(&pairs, weights, total, scratch)?);
+                }
+                out
+            };
+        let mut best: Option<(usize, f64, f64, f64)> = None;
+        let mut best_ratio = 0.0f64;
+        for (feat, eval) in evals.into_iter().enumerate() {
+            let Some(e) = eval else { continue };
+            if e.ratio > best_ratio {
+                best_ratio = e.ratio;
+                best = Some((feat, e.thr, e.gain * total, e.lo_w / e.known_w));
+            }
+        }
+        Ok(best)
+    }
+
+    fn build(
+        &self,
+        rows: Vec<(u32, f64)>,
+        depth: usize,
+        weights: &mut [f64],
+        scratch: &mut SScratch,
+    ) -> io::Result<Node> {
+        let dist = self.dist_of(&rows);
+        let total: f64 = dist.iter().sum();
+        let pure = dist.iter().filter(|&&w| w > 0.0).count() <= 1;
+        if pure || total < 2.0 * self.cfg.min_leaf || depth >= self.cfg.max_depth {
+            return Ok(Node::Leaf { dist });
+        }
+        for &(c, w) in &rows {
+            weights[c as usize] = w;
+        }
+        let best = self.best_split(&rows, weights, total, scratch);
+        for &(c, _) in &rows {
+            weights[c as usize] = 0.0;
+        }
+        let Some((feat, thr, gain_w, lo_frac)) = best? else {
+            return Ok(Node::Leaf { dist });
+        };
+        // Partition in member order (ascending id is preserved, so the
+        // children's gathers stay forward reads).
+        let mut lo_rows = Vec::with_capacity(rows.len());
+        let mut hi_rows = Vec::with_capacity(rows.len());
+        let mut buf = vec![0.0f64; self.chunk_rows.max(1)];
+        let mut window = (0usize, 0usize);
+        for &(c, w) in &rows {
+            let raw = self.col_value(feat, c as usize, &mut buf, &mut window)?;
+            let v = if raw == 0.0 { 0.0 } else { raw };
+            if v.is_nan() {
+                if lo_frac > 0.0 {
+                    lo_rows.push((c, w * lo_frac));
+                }
+                if lo_frac < 1.0 {
+                    hi_rows.push((c, w * (1.0 - lo_frac)));
+                }
+            } else if v < thr {
+                lo_rows.push((c, w));
+            } else {
+                hi_rows.push((c, w));
+            }
+        }
+        drop(buf);
+        drop(rows);
+        if lo_rows.is_empty() || hi_rows.is_empty() {
+            return Ok(Node::Leaf { dist });
+        }
+        let lo = Box::new(self.build(lo_rows, depth + 1, weights, scratch)?);
+        let hi = Box::new(self.build(hi_rows, depth + 1, weights, scratch)?);
+        Ok(Node::Split {
+            feat,
+            thr,
+            lo,
+            hi,
+            lo_frac,
+            dist,
+            gain_w,
+        })
+    }
+}
+
+impl C45Trainer {
+    /// Train on every row of `src`, streaming columns instead of
+    /// materialising the dataset. Bit-identical to [`C45Trainer::fit`]
+    /// over the same rows at any thread count, `chunk_rows`, and
+    /// `spill_pairs` (test-enforced).
+    pub fn fit_streaming<S: ColumnSource + Sync>(
+        &self,
+        src: &S,
+        opts: &StreamFitConfig,
+    ) -> io::Result<DecisionTree> {
+        self.fit_streaming_with_stats(src, opts).map(|(t, _)| t)
+    }
+
+    /// [`C45Trainer::fit_streaming`] plus spill/memory statistics.
+    pub fn fit_streaming_with_stats<S: ColumnSource + Sync>(
+        &self,
+        src: &S,
+        opts: &StreamFitConfig,
+    ) -> io::Result<(DecisionTree, StreamFitStats)> {
+        let n = src.n_rows();
+        assert!(n < u32::MAX as usize, "row count exceeds u32 range");
+        let y = src.labels();
+        assert_eq!(y.len(), n, "label count must match row count");
+        let n_classes = src.class_names().len();
+        let engine = StreamEngine {
+            cfg: self.cfg,
+            src,
+            y,
+            n_classes,
+            threads: resolve_threads(self.cfg.threads),
+            chunk_rows: opts.chunk_rows.max(1),
+            spill_pairs: opts.spill_pairs,
+            tmp_dir: opts.tmp_dir.clone().unwrap_or_else(std::env::temp_dir),
+            spill_seq: AtomicU64::new(0),
+            stat_runs: AtomicU64::new(0),
+            stat_bytes: AtomicU64::new(0),
+            stat_peak: AtomicU64::new(0),
+        };
+        let root_rows: Vec<(u32, f64)> = (0..n as u32).map(|c| (c, 1.0)).collect();
+        let mut weights = vec![0.0; n];
+        let mut scratch = SScratch::new(n_classes);
+        let mut root = engine.build(root_rows, 0, &mut weights, &mut scratch)?;
+        if !self.cfg.unpruned {
+            crate::dtree::prune(&mut root, self.cfg.cf);
+        }
+        let stats = StreamFitStats {
+            spill_runs: engine.stat_runs.load(Ordering::Relaxed),
+            spilled_bytes: engine.stat_bytes.load(Ordering::Relaxed),
+            peak_gather_pairs: engine.stat_peak.load(Ordering::Relaxed),
+        };
+        Ok((
+            DecisionTree::from_parts(
+                root,
+                n_classes,
+                src.feature_names().to_vec(),
+                src.class_names().to_vec(),
+            ),
+            stats,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    /// Deterministic synthetic corpus with NaNs (missing values force
+    /// the weighted sweep below the root), `-0.0`, and repeated values.
+    fn synth(n: usize) -> Dataset {
+        let classes = vec!["a".into(), "b".into(), "c".into()];
+        let mut b = DatasetBuilder::new(classes);
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for i in 0..n {
+            let r1 = rng();
+            let r2 = rng();
+            let f0 = (r1 % 17) as f64 / 4.0 - 2.0;
+            let f0 = if f0 == 0.0 && r1 % 2 == 0 { -0.0 } else { f0 };
+            let f1 = if r2 % 5 == 0 {
+                f64::NAN
+            } else {
+                (r2 % 101) as f64 / 10.0
+            };
+            let f2 = ((r1 >> 8) % 3) as f64;
+            let cls = if f0 > 0.5 && !f1.is_nan() && f1 < 5.0 {
+                0
+            } else if f2 > 1.0 {
+                1
+            } else {
+                (i % 3).min(2)
+            };
+            b.push(
+                &[
+                    ("wifi.phy.rssi".to_string(), f0),
+                    ("wifi.tcp.retx".to_string(), f1),
+                    ("dev.cpu.load".to_string(), f2),
+                ],
+                cls,
+            );
+        }
+        b.build()
+    }
+
+    #[test]
+    fn streaming_fit_bit_identical_to_in_memory() {
+        let data = synth(240);
+        let rows: Vec<usize> = (0..data.len()).collect();
+        let src = MemColumnSource::new(&data);
+        for threads in [1usize, 2, 3] {
+            let trainer = C45Trainer {
+                cfg: C45Config {
+                    threads,
+                    ..C45Config::default()
+                },
+            };
+            let want = trainer.fit(&data, &rows).serialize();
+            for chunk_rows in [1usize, 7, 64 * 1024] {
+                for spill_pairs in [16usize, 1 << 20] {
+                    let opts = StreamFitConfig {
+                        chunk_rows,
+                        spill_pairs,
+                        tmp_dir: None,
+                    };
+                    let got = trainer
+                        .fit_streaming(&src, &opts)
+                        .unwrap_or_else(|e| panic!("fit_streaming failed: {e}"))
+                        .serialize();
+                    assert_eq!(
+                        got, want,
+                        "tree mismatch at threads={threads} chunk={chunk_rows} spill={spill_pairs}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_spill_budget_actually_spills() {
+        let data = synth(200);
+        let src = MemColumnSource::new(&data);
+        let trainer = C45Trainer::default();
+        let (_, stats) = trainer
+            .fit_streaming_with_stats(
+                &src,
+                &StreamFitConfig {
+                    chunk_rows: 8,
+                    spill_pairs: 16,
+                    tmp_dir: None,
+                },
+            )
+            .unwrap_or_else(|e| panic!("fit_streaming failed: {e}"));
+        assert!(stats.spill_runs > 0, "expected external-sort runs");
+        assert!(stats.spilled_bytes > 0);
+        assert!(stats.peak_gather_pairs <= 16);
+    }
+
+    #[test]
+    fn unpruned_and_deep_configs_agree() {
+        let data = synth(150);
+        let rows: Vec<usize> = (0..data.len()).collect();
+        let src = MemColumnSource::new(&data);
+        let trainer = C45Trainer {
+            cfg: C45Config {
+                unpruned: true,
+                min_leaf: 1.0,
+                ..C45Config::default()
+            },
+        };
+        let want = trainer.fit(&data, &rows).serialize();
+        let got = trainer
+            .fit_streaming(&src, &StreamFitConfig::default())
+            .unwrap_or_else(|e| panic!("fit_streaming failed: {e}"))
+            .serialize();
+        assert_eq!(got, want);
+    }
+}

@@ -27,8 +27,10 @@ use vqd::prelude::*;
 
 const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
     \n\
-    vqd corpus     --sessions 600 --seed 2015 --out corpus.tsv\n\
-    vqd train      --corpus corpus.tsv --labels exact|location|existence --out model.vqd\n\
+    vqd corpus     --sessions 600 --seed 2015 --out corpus.tsv|corpus.vqdc [--farm 4]\n\
+    vqd corpus convert --in corpus.tsv --out corpus.vqdc   (and back)\n\
+    vqd train      --corpus corpus.tsv|corpus.vqdc --labels exact|location|existence --out model.vqd\n\
+    \x20              [--out-of-core --chunk-rows 65536 --spill-pairs 4194304 --spill-dir /tmp]\n\
     vqd diagnose   --model model.vqd --metrics session.tsv\n\
     vqd diagnose   --model model.vqd --batch corpus.tsv [--threads 0] [--out results.tsv]\n\
     vqd simulate   --fault low_rssi --intensity 0.9 [--model model.vqd] [--out session.tsv]\n\
@@ -53,10 +55,28 @@ const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
     Degradation kinds: vp_dropout, group_loss, truncation, corruption,\n\
     clock_skew.\n\
     \n\
+    Corpus files come in two losslessly interconvertible formats,\n\
+    sniffed by magic everywhere a corpus is read: the tab-separated\n\
+    text format (debug/interchange) and the binary columnar `.vqdc`\n\
+    format (checksummed feature-major column blocks; the fast path for\n\
+    million-session corpora). `corpus` writes whichever the --out\n\
+    extension names; `corpus convert` translates between them.\n\
+    `corpus --farm N` shards generation across N independent sim\n\
+    workers by contiguous seed range — the merged corpus is\n\
+    byte-identical to --farm 1 at any width.\n\
+    \n\
+    `train --out-of-core` streams a `.vqdc` corpus column by column\n\
+    through FC + FCBF + an external-sort C4.5 fit, holding O(rows)\n\
+    memory instead of the full matrix; the model file is byte-identical\n\
+    to in-memory `train` at any --chunk-rows/--spill-pairs.\n\
+    \n\
     `diagnose --batch` scores every session of a corpus file through\n\
     the batched serving engine (one TSV line per session: label,\n\
     resolution, confidence, coverage, fallback). Results are\n\
     bit-identical to per-session `diagnose` at any --threads value.\n\
+    Corpora stream through in bounded chunks, so `events` and\n\
+    `diagnose --batch` handle corpora larger than memory (except\n\
+    `events --shuffle`, which must hold every event to permute them).\n\
     \n\
     `events` explodes a corpus into the JSONL probe-event stream a live\n\
     deployment would emit (optionally shuffled by --shuffle <seed>, with\n\
@@ -95,15 +115,20 @@ const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
     (counters, gauges, histograms); with --metrics it renders an existing\n\
     JSONL snapshot, with --trace it validates a trace file.";
 
-/// Split argv into `(command, --key value flags)`. Flags without a
-/// value are recorded as `"true"`; stray positional arguments are a
-/// usage error.
-fn parse_args() -> Result<(String, HashMap<String, String>), VqdError> {
+/// Parsed argv: `(command, subcommand, --key value flags)`.
+type ParsedArgs = (String, Option<String>, HashMap<String, String>);
+
+/// Split argv into `(command, subcommand, --key value flags)`. A bare
+/// word directly after the command is its subcommand (`vqd corpus
+/// convert`); flags without a value are recorded as `"true"`; any
+/// other positional argument is a usage error.
+fn parse_args() -> Result<ParsedArgs, VqdError> {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_else(|| "help".to_string());
+    let mut sub: Option<String> = None;
     let mut opts = HashMap::new();
     let mut key: Option<String> = None;
-    for a in args {
+    for (i, a) in args.enumerate() {
         if let Some(k) = a.strip_prefix("--") {
             if let Some(prev) = key.take() {
                 opts.insert(prev, "true".to_string());
@@ -111,6 +136,8 @@ fn parse_args() -> Result<(String, HashMap<String, String>), VqdError> {
             key = Some(k.to_string());
         } else if let Some(k) = key.take() {
             opts.insert(k, a);
+        } else if i == 0 {
+            sub = Some(a);
         } else {
             return Err(VqdError::Config(format!(
                 "unexpected positional argument {a:?} (flags are --key value)"
@@ -120,7 +147,7 @@ fn parse_args() -> Result<(String, HashMap<String, String>), VqdError> {
     if let Some(prev) = key.take() {
         opts.insert(prev, "true".to_string());
     }
-    Ok((cmd, opts))
+    Ok((cmd, sub, opts))
 }
 
 struct Opts(HashMap<String, String>);
@@ -260,32 +287,78 @@ fn corpus_summary(stats: &vqd::core::dataset::CorpusGenStats) -> String {
     }
 }
 
+/// Write a corpus in the format the path's extension names: binary
+/// columnar for `.vqdc`, the text format otherwise.
+fn write_corpus(path: &str, runs: &[LabeledRun]) -> Result<(), VqdError> {
+    if path.ends_with(".vqdc") {
+        write_vqdc(runs, path)
+    } else {
+        write_file(path, &corpus_to_text(runs))
+    }
+}
+
 fn cmd_corpus(opts: &Opts) -> Result<(), VqdError> {
     let sessions = opts.num("sessions", 400.0)? as usize;
     let seed = opts.num("seed", 2015.0)? as u64;
     let out = opts.get("out").unwrap_or_else(|| "corpus.tsv".to_string());
+    let farm = opts.num("farm", 0.0)? as usize;
     let obs = obs_setup(opts);
     let cfg = CorpusConfig {
         sessions,
         seed,
         ..Default::default()
     };
-    let (runs, stats) = generate_corpus_with_stats(&cfg, &Catalog::top100(42));
-    write_file(&out, &corpus_to_text(&runs))?;
+    let catalog = Catalog::top100(42);
+    let (runs, summary) = if farm > 0 {
+        let (runs, fs) = generate_corpus_farm(&cfg, &catalog, farm);
+        let summary = format!(
+            "farm: {} shards, {:.1} sessions/sec ({} sessions, {} events, {:.2}s wall; sessions per shard {:?})",
+            fs.width, fs.sessions_per_sec, fs.sessions, fs.events, fs.wall_s, fs.shard_sessions,
+        );
+        (runs, summary)
+    } else {
+        let (runs, stats) = generate_corpus_with_stats(&cfg, &catalog);
+        let summary = corpus_summary(&stats);
+        (runs, summary)
+    };
+    write_corpus(&out, &runs)?;
     let good = runs
         .iter()
         .filter(|r| r.truth.qoe == QoeClass::Good)
         .count();
     eprintln!("wrote {out}: {} runs ({good} good)", runs.len());
-    eprintln!("{}", corpus_summary(&stats));
+    eprintln!("{summary}");
     obs_finish(&obs)
+}
+
+/// `vqd corpus convert`: translate a corpus between the text and
+/// binary columnar formats (the direction follows the --out
+/// extension). Round-tripping either way is bit-exact.
+fn cmd_corpus_convert(opts: &Opts) -> Result<(), VqdError> {
+    let input = opts.require("in", "file")?;
+    let out = opts.require("out", "file")?;
+    let fmt = |binary: bool| if binary { "binary" } else { "text" };
+    let reader = CorpusReader::open(&input)?;
+    let from = reader.is_binary();
+    let runs = reader.read_all()?;
+    write_corpus(&out, &runs)?;
+    eprintln!(
+        "converted {input} ({}) -> {out} ({}): {} sessions",
+        fmt(from),
+        fmt(out.ends_with(".vqdc")),
+        runs.len()
+    );
+    Ok(())
 }
 
 fn cmd_train(opts: &Opts) -> Result<(), VqdError> {
     let corpus = opts.require("corpus", "file")?;
     let out = opts.get("out").unwrap_or_else(|| "model.vqd".to_string());
     let obs = obs_setup(opts);
-    let runs = corpus_from_text(&read_file(&corpus)?)?;
+    if opts.get("out-of-core").is_some() {
+        return cmd_train_ooc(opts, &corpus, &out, &obs);
+    }
+    let runs = CorpusReader::open(&corpus)?.read_all()?;
     let data = to_dataset(&runs, opts.label_scheme()?);
     let model = Diagnoser::train(&data, &DiagnoserConfig::default());
     model.save(&out)?;
@@ -306,6 +379,41 @@ fn cmd_train(opts: &Opts) -> Result<(), VqdError> {
         ),
     }
     obs_finish(&obs)
+}
+
+/// `vqd train --out-of-core`: stream the pipeline column by column
+/// from a binary corpus. The model file is byte-identical to the
+/// in-memory path over the same corpus and labels.
+fn cmd_train_ooc(opts: &Opts, corpus: &str, out: &str, obs: &ObsOut) -> Result<(), VqdError> {
+    if !sniff_vqdc(corpus) {
+        return Err(VqdError::Config(format!(
+            "--out-of-core needs a binary corpus; convert first: \
+             vqd corpus convert --in {corpus} --out corpus.vqdc"
+        )));
+    }
+    let reader = VqdcReader::open(corpus)?;
+    let defaults = vqd::ml::stream_fit::StreamFitConfig::default();
+    let fit = vqd::ml::stream_fit::StreamFitConfig {
+        chunk_rows: (opts.num("chunk-rows", defaults.chunk_rows as f64)? as usize).max(1),
+        spill_pairs: opts.num("spill-pairs", defaults.spill_pairs as f64)? as usize,
+        tmp_dir: opts.get("spill-dir").map(Into::into),
+    };
+    let cfg = OocConfig {
+        diagnoser: DiagnoserConfig::default(),
+        scheme: opts.label_scheme()?,
+        fit,
+    };
+    let (model, report) = train_out_of_core(&reader, &cfg)?;
+    model.save(out)?;
+    eprintln!(
+        "out-of-core: trained on {} sessions, {} raw -> {} constructed -> {} selected features -> {out}",
+        report.sessions, report.raw_features, report.constructed_features, report.selected_features,
+    );
+    eprintln!(
+        "external sort: {} spill runs ({} bytes); peak gather {} pairs resident",
+        report.fit.spill_runs, report.fit.spilled_bytes, report.fit.peak_gather_pairs,
+    );
+    obs_finish(obs)
 }
 
 fn print_diagnosis(model: &Diagnoser, dx: &Diagnosis) {
@@ -347,46 +455,57 @@ fn cmd_diagnose(opts: &Opts) -> Result<(), VqdError> {
     Ok(())
 }
 
-/// `vqd diagnose --batch corpus.tsv`: score every session in a corpus
-/// file through the batched engine, one TSV result line per session
-/// (order matches the input at any thread count).
+/// `vqd diagnose --batch corpus.tsv|corpus.vqdc`: score every session
+/// in a corpus file through the batched engine, one TSV result line
+/// per session (order matches the input at any thread count). The
+/// corpus streams through in bounded chunks — per-session results are
+/// independent, so chunking never changes a line.
 fn cmd_diagnose_batch(model: &Diagnoser, opts: &Opts, path: &str) -> Result<(), VqdError> {
+    use std::io::Write;
     let threads = opts.num("threads", 0.0)? as usize;
     let obs = obs_setup(opts);
-    let runs = corpus_from_text(&read_file(path)?)?;
-    let sessions: Vec<&Vec<(String, f64)>> = runs.iter().map(|r| &r.metrics).collect();
+    let out_path = opts.get("out");
+    let mut reader = CorpusReader::open(path)?;
+    let mut w = open_sink(&out_path)?;
+    let io_err = |e: std::io::Error| VqdError::io(out_path.as_deref().unwrap_or("<stdout>"), e);
+    w.write_all(RESULT_HEADER.as_bytes()).map_err(io_err)?;
 
-    let t0 = std::time::Instant::now();
-    let batch = model.diagnose_batch(&sessions, threads);
-    let wall = t0.elapsed().as_secs_f64();
-
-    let mut out = String::with_capacity(64 * runs.len());
-    out.push_str(RESULT_HEADER);
     let mut tiers = [0usize; 3];
-    for i in 0..runs.len() {
-        let dx = batch.get(i);
-        let tier = match dx.resolution {
-            Resolution::Exact => 0,
-            Resolution::Location => 1,
-            Resolution::Existence => 2,
-        };
-        tiers[tier] += 1;
-        // Shared with `vqd serve`, so streaming-vs-offline equality
-        // gates compare bytes.
-        out.push_str(&result_line(&i.to_string(), &dx));
-    }
-    match opts.get("out") {
-        Some(p) => {
-            write_file(&p, &out)?;
-            eprintln!("wrote {} diagnoses to {p}", runs.len());
+    let mut n = 0usize;
+    let mut wall = 0.0f64;
+    loop {
+        let chunk = reader.next_chunk(DEFAULT_CHUNK_SESSIONS)?;
+        if chunk.is_empty() {
+            break;
         }
-        None => print!("{out}"),
+        let sessions: Vec<&Vec<(String, f64)>> = chunk.iter().map(|r| &r.metrics).collect();
+        let t0 = std::time::Instant::now();
+        let batch = model.diagnose_batch(&sessions, threads);
+        wall += t0.elapsed().as_secs_f64();
+        let mut out = String::with_capacity(64 * chunk.len());
+        for i in 0..chunk.len() {
+            let dx = batch.get(i);
+            let tier = match dx.resolution {
+                Resolution::Exact => 0,
+                Resolution::Location => 1,
+                Resolution::Existence => 2,
+            };
+            tiers[tier] += 1;
+            // Shared with `vqd serve`, so streaming-vs-offline
+            // equality gates compare bytes.
+            out.push_str(&result_line(&(n + i).to_string(), &dx));
+        }
+        w.write_all(out.as_bytes()).map_err(io_err)?;
+        n += chunk.len();
+    }
+    w.flush().map_err(io_err)?;
+    if let Some(p) = &out_path {
+        eprintln!("wrote {n} diagnoses to {p}");
     }
     eprintln!(
-        "diagnosed {} sessions in {:.1} ms ({:.0} sessions/sec); resolution: {} exact, {} location, {} existence",
-        runs.len(),
+        "diagnosed {n} sessions in {:.1} ms ({:.0} sessions/sec); resolution: {} exact, {} location, {} existence",
         wall * 1e3,
-        runs.len() as f64 / wall.max(1e-9),
+        n as f64 / wall.max(1e-9),
         tiers[0],
         tiers[1],
         tiers[2],
@@ -394,41 +513,82 @@ fn cmd_diagnose_batch(model: &Diagnoser, opts: &Opts, path: &str) -> Result<(), 
     obs_finish(&obs)
 }
 
+/// Line-oriented output sink for the streaming commands: a buffered
+/// file when `--out` is given, stdout otherwise.
+fn open_sink(out: &Option<String>) -> Result<Box<dyn std::io::Write>, VqdError> {
+    Ok(match out {
+        Some(p) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(p).map_err(|e| VqdError::io(p.as_str(), e))?,
+        )),
+        None => Box::new(std::io::stdout().lock()),
+    })
+}
+
 /// `vqd events`: explode a corpus into the JSONL probe-event stream a
 /// live deployment would have emitted, optionally shuffled (the
 /// daemon's determinism makes the shuffle invisible in its output).
+/// Unshuffled corpora stream through in bounded chunks; `--shuffle`
+/// must hold every event in memory to permute them.
 fn cmd_events(opts: &Opts) -> Result<(), VqdError> {
-    let runs = corpus_from_text(&read_file(&opts.require("corpus", "file")?)?)?;
-    let mut events = corpus_to_events(&runs);
-    if let Some(seed) = opts.get("shuffle") {
-        let seed: u64 = seed
-            .parse()
-            .map_err(|_| VqdError::Config(format!("--shuffle expects a seed, got {seed:?}")))?;
+    use std::io::Write;
+    let path = opts.require("corpus", "file")?;
+    let shuffle: Option<u64> = match opts.get("shuffle") {
+        None => None,
+        Some(seed) => Some(
+            seed.parse()
+                .map_err(|_| VqdError::Config(format!("--shuffle expects a seed, got {seed:?}")))?,
+        ),
+    };
+    let ts_step = match opts.get("ts") {
+        Some(_) => Some(opts.num("ts", 1.0)?),
+        None => None,
+    };
+    let out_path = opts.get("out");
+    let mut reader = CorpusReader::open(&path)?;
+    let mut w = open_sink(&out_path)?;
+    let io_err = |e: std::io::Error| VqdError::io(out_path.as_deref().unwrap_or("<stdout>"), e);
+    let mut n_events = 0usize;
+    let mut n_sessions = 0usize;
+    if let Some(seed) = shuffle {
+        let runs = reader.read_all()?;
+        n_sessions = runs.len();
+        let mut events = corpus_to_events(&runs);
         shuffle_events(&mut events, seed);
-    }
-    if opts.get("ts").is_some() {
-        // Synthetic arrival timestamps in emission order, for
-        // exercising --lateness watermarks.
-        let step = opts.num("ts", 1.0)?;
-        for (i, ev) in events.iter_mut().enumerate() {
-            ev.ts = Some(i as f64 * step);
+        if let Some(step) = ts_step {
+            for (i, ev) in events.iter_mut().enumerate() {
+                ev.ts = Some(i as f64 * step);
+            }
+        }
+        for ev in &events {
+            writeln!(w, "{}", ev.to_jsonl()).map_err(io_err)?;
+        }
+        n_events = events.len();
+    } else {
+        loop {
+            let chunk = reader.next_chunk(DEFAULT_CHUNK_SESSIONS)?;
+            if chunk.is_empty() {
+                break;
+            }
+            let mut events = corpus_to_events_from(&chunk, n_sessions);
+            if let Some(step) = ts_step {
+                // Synthetic arrival timestamps in emission order, for
+                // exercising --lateness watermarks.
+                for ev in events.iter_mut() {
+                    ev.ts = Some(n_events as f64 * step);
+                    n_events += 1;
+                }
+            } else {
+                n_events += events.len();
+            }
+            n_sessions += chunk.len();
+            for ev in &events {
+                writeln!(w, "{}", ev.to_jsonl()).map_err(io_err)?;
+            }
         }
     }
-    let mut s = String::with_capacity(events.len() * 80);
-    for ev in &events {
-        s.push_str(&ev.to_jsonl());
-        s.push('\n');
-    }
-    match opts.get("out") {
-        Some(p) => {
-            write_file(&p, &s)?;
-            eprintln!(
-                "wrote {} events ({} sessions) to {p}",
-                events.len(),
-                runs.len()
-            );
-        }
-        None => print!("{s}"),
+    w.flush().map_err(io_err)?;
+    if let Some(p) = &out_path {
+        eprintln!("wrote {n_events} events ({n_sessions} sessions) to {p}");
     }
     Ok(())
 }
@@ -1226,27 +1386,33 @@ fn main() {
             eprintln!("error: {e}\n\n{USAGE}");
             2
         }
-        Ok((cmd, opts)) => {
+        Ok((cmd, sub, opts)) => {
             let opts = Opts(opts);
-            let result = match cmd.as_str() {
-                "corpus" => cmd_corpus(&opts),
-                "train" => cmd_train(&opts),
-                "diagnose" => cmd_diagnose(&opts),
-                "events" => cmd_events(&opts),
-                "serve" => cmd_serve(&opts),
-                "recover" => cmd_recover(&opts),
-                "simulate" => cmd_simulate(&opts),
-                "inspect" => cmd_inspect(&opts),
-                "robustness" => cmd_robustness(&opts),
-                "stats" => cmd_stats(&opts),
-                "help" | "--help" | "-h" => {
-                    println!("{USAGE}");
-                    Ok(())
-                }
-                other => {
-                    eprintln!("error: unknown command {other:?}\n\n{USAGE}");
-                    std::process::exit(2);
-                }
+            let result = match (cmd.as_str(), sub.as_deref()) {
+                ("corpus", Some("convert")) => cmd_corpus_convert(&opts),
+                (c, Some(s)) => Err(VqdError::Config(format!(
+                    "unknown subcommand {s:?} for {c:?} (did you mean corpus convert?)"
+                ))),
+                _ => match cmd.as_str() {
+                    "corpus" => cmd_corpus(&opts),
+                    "train" => cmd_train(&opts),
+                    "diagnose" => cmd_diagnose(&opts),
+                    "events" => cmd_events(&opts),
+                    "serve" => cmd_serve(&opts),
+                    "recover" => cmd_recover(&opts),
+                    "simulate" => cmd_simulate(&opts),
+                    "inspect" => cmd_inspect(&opts),
+                    "robustness" => cmd_robustness(&opts),
+                    "stats" => cmd_stats(&opts),
+                    "help" | "--help" | "-h" => {
+                        println!("{USAGE}");
+                        Ok(())
+                    }
+                    other => {
+                        eprintln!("error: unknown command {other:?}\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                },
             };
             match result {
                 Ok(()) => 0,

@@ -54,15 +54,18 @@ pub use vqd_wireless as wireless;
 /// Everything needed for the typical train-and-diagnose workflow.
 pub mod prelude {
     pub use vqd_core::chaos::{crash_points, SplitMix64};
+    pub use vqd_core::corpus_stream::{CorpusReader, DEFAULT_CHUNK_SESSIONS};
     pub use vqd_core::dataset::{
-        corpus_from_text, corpus_to_text, generate_corpus, generate_corpus_with_stats, to_dataset,
-        CorpusConfig, CorpusGenStats, LabeledRun,
+        corpus_from_text, corpus_to_text, generate_corpus, generate_corpus_with_stats,
+        parse_corpus_line, to_dataset, CorpusConfig, CorpusGenStats, LabeledRun,
     };
     pub use vqd_core::diagnoser::{
         Diagnoser, DiagnoserConfig, Diagnosis, DiagnosisQuality, Resolution,
     };
     pub use vqd_core::error::VqdError;
     pub use vqd_core::experiments::{eval_by_vp, eval_transfer, VP_SETS};
+    pub use vqd_core::farm::{generate_corpus_farm, FarmStats};
+    pub use vqd_core::octrain::{train_out_of_core, OocConfig, OocReport};
     pub use vqd_core::realworld::{
         generate_induced, generate_wild, Access, RealWorldConfig, RwRun, Service,
     };
@@ -70,11 +73,15 @@ pub mod prelude {
     pub use vqd_core::scenario::{class_names, GroundTruth, LabelScheme};
     pub use vqd_core::serving::DiagnosisBatch;
     pub use vqd_core::stream::{
-        corpus_to_events, inspect_recovery, prepare_output, recover_state, resolution_name,
-        result_line, Durability, FlushCause, FlushedSession, JournalSpec, RecoveredState,
-        RecoveryInfo, ServeConfig, ServeReport, SnapshotSpec, StreamServer, RESULT_HEADER,
+        corpus_to_events, corpus_to_events_from, inspect_recovery, prepare_output, recover_state,
+        resolution_name, result_line, Durability, FlushCause, FlushedSession, JournalSpec,
+        RecoveredState, RecoveryInfo, ServeConfig, ServeReport, SnapshotSpec, StreamServer,
+        RESULT_HEADER,
     };
     pub use vqd_core::testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};
+    pub use vqd_core::vqdc::{
+        corpus_to_vqdc_bytes, sniff_vqdc, write_vqdc, VqdcReader, VQDC_MAGIC,
+    };
     pub use vqd_faults::{FaultKind, FaultPlan};
     pub use vqd_ml::metrics::ConfusionMatrix;
     pub use vqd_probes::degrade::{DegradeKind, DegradePlan};

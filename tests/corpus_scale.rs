@@ -1,0 +1,255 @@
+//! Million-session-scale contracts: the sharded sim farm must merge
+//! deterministically, the `.vqdc` binary corpus format must round-trip
+//! losslessly (down to NaN payloads and `-0.0` signs) and fail
+//! *typed* on corrupt input, and out-of-core training must reproduce
+//! the in-memory model bit-for-bit whatever the chunk/spill budget.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+
+use vqd::core::octrain::{train_out_of_core, OocConfig};
+use vqd::core::vqdc::{corpus_to_vqdc_bytes, VqdcReader};
+use vqd::ml::stream_fit::StreamFitConfig;
+use vqd::prelude::*;
+
+fn catalog() -> Catalog {
+    Catalog::top100(42)
+}
+
+/// Bit-exact fingerprint of a corpus: metric names in order plus the
+/// raw IEEE-754 bits of every value (NaN-safe, `-0.0`-safe — stricter
+/// than `==`).
+fn fingerprint(runs: &[LabeledRun]) -> Vec<(String, u64)> {
+    runs.iter()
+        .flat_map(|r| r.metrics.iter().map(|(n, v)| (n.clone(), v.to_bits())))
+        .collect()
+}
+
+/// Write `bytes` to a unique scratch file and return its path.
+fn scratch_file(bytes: &[u8]) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "vqd-corpus-scale-{}-{}.vqdc",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, bytes).expect("write scratch corpus");
+    path
+}
+
+// ---------------------------------------------------------------------
+// Farm-merge determinism
+// ---------------------------------------------------------------------
+
+#[test]
+fn farm_merge_identical_at_widths_1_2_8() {
+    let cfg = CorpusConfig {
+        sessions: 60,
+        seed: 9200,
+        p_fault: 0.5,
+        ..Default::default()
+    };
+    let plain = generate_corpus(&cfg, &catalog());
+    let want = fingerprint(&plain);
+    for width in [1usize, 2, 8] {
+        let (runs, stats) = generate_corpus_farm(&cfg, &catalog(), width);
+        assert_eq!(stats.width, width);
+        assert_eq!(stats.shard_sessions.iter().sum::<usize>(), 60);
+        assert_eq!(
+            fingerprint(&runs),
+            want,
+            "farm width {width} diverged from the single-process generator"
+        );
+        for (a, b) in plain.iter().zip(&runs) {
+            assert_eq!(a.truth, b.truth);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Out-of-core training equality
+// ---------------------------------------------------------------------
+
+#[test]
+fn out_of_core_training_matches_in_memory_at_any_budget() {
+    let cfg = CorpusConfig {
+        sessions: 50,
+        seed: 9300,
+        p_fault: 0.6,
+        ..Default::default()
+    };
+    let runs = generate_corpus(&cfg, &catalog());
+    let path = scratch_file(&corpus_to_vqdc_bytes(&runs).expect("encode corpus"));
+    let reader = VqdcReader::open(&path).expect("open corpus");
+    let want = Diagnoser::train(
+        &to_dataset(&runs, LabelScheme::Exact),
+        &DiagnoserConfig::default(),
+    )
+    .serialize();
+    // Tiny chunk + tiny spill budget forces the external-sort path;
+    // the huge budget keeps everything in memory. Same bits either way.
+    for (chunk_rows, spill_pairs) in [(3usize, 32usize), (7, 128), (1 << 16, 1 << 22)] {
+        let ooc = OocConfig {
+            scheme: LabelScheme::Exact,
+            fit: StreamFitConfig {
+                chunk_rows,
+                spill_pairs,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (model, report) = train_out_of_core(&reader, &ooc).expect("out-of-core train");
+        assert_eq!(report.sessions, 50);
+        assert_eq!(
+            model.serialize(),
+            want,
+            "chunk_rows {chunk_rows} / spill_pairs {spill_pairs} changed the model"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------
+// Property tests: lossless round-trip, typed corruption errors
+// ---------------------------------------------------------------------
+
+/// Metric-name pool: rows draw ordered subsets so the corpus exercises
+/// shape sharing (repeated shapes) and shape diversity (subsets).
+const NAME_POOL: [&str; 8] = [
+    "mobile.phy.rssi_avg",
+    "mobile.hw.cpu_avg",
+    "mobile.tcp.rtt",
+    "ap.mac.retx",
+    "gw.tcp.loss",
+    "server.tcp.iat",
+    "server.http.rate",
+    "mobile.app.buffering_ratio",
+];
+
+const FAULTS: [FaultKind; 6] = [
+    FaultKind::None,
+    FaultKind::WanCongestion,
+    FaultKind::LanShaping,
+    FaultKind::MobileLoad,
+    FaultKind::LowRssi,
+    FaultKind::WifiInterference,
+];
+const QOES: [QoeClass; 3] = [QoeClass::Good, QoeClass::Mild, QoeClass::Severe];
+
+/// Expand one proptest-drawn `(seed, rot, fault, qoe)` tuple into a
+/// row. The seed drives a SplitMix64 stream that picks presence and
+/// values per cell; values deliberately stress the encoding — raw
+/// random bits (which include NaNs, infinities and subnormals) mixed
+/// with canonical NaN, payload-carrying NaN, signed zero and
+/// subnormal/huge magnitudes. The rotation varies emission order
+/// without ever duplicating a name within a row.
+fn build_run(spec: &(u64, usize, usize, usize)) -> LabeledRun {
+    let (seed, rot, fault, qoe) = *spec;
+    let mut rng = SplitMix64::new(seed);
+    let mut metrics = Vec::with_capacity(NAME_POOL.len());
+    for k in 0..NAME_POOL.len() {
+        let i = (k + rot) % NAME_POOL.len();
+        if rng.next_u64() & 1 == 0 {
+            continue;
+        }
+        let v = match rng.next_u64() % 8 {
+            0..=2 => f64::from_bits(rng.next_u64()),
+            3 => f64::NAN,
+            4 => f64::from_bits(0x7ff8_0000_dead_beef),
+            5 => -0.0,
+            6 => f64::MIN_POSITIVE / 2.0,
+            _ => f64::NEG_INFINITY,
+        };
+        metrics.push((NAME_POOL[i].to_string(), v));
+    }
+    LabeledRun {
+        metrics,
+        truth: GroundTruth {
+            fault: FAULTS[fault % FAULTS.len()],
+            qoe: QOES[qoe % QOES.len()],
+        },
+    }
+}
+
+fn build_runs(specs: &[(u64, usize, usize, usize)]) -> Vec<LabeledRun> {
+    specs.iter().map(build_run).collect()
+}
+
+proptest! {
+    /// text → binary → text is the identity, and the reconstructed
+    /// runs carry the exact value bits (stricter than text equality).
+    #[test]
+    fn vqdc_round_trip_is_lossless(
+        specs in proptest::collection::vec(
+            (any::<u64>(), 0usize..8, 0usize..6, 0usize..3),
+            0..12,
+        ),
+    ) {
+        let runs = build_runs(&specs);
+        let bytes = corpus_to_vqdc_bytes(&runs).expect("encode");
+        let path = scratch_file(&bytes);
+        let back = VqdcReader::open(&path).expect("open").to_runs().expect("decode");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back.len(), runs.len());
+        for (a, b) in runs.iter().zip(&back) {
+            prop_assert_eq!(a.truth, b.truth);
+        }
+        prop_assert_eq!(fingerprint(&back), fingerprint(&runs));
+        prop_assert_eq!(
+            vqd::core::dataset::corpus_to_text(&back),
+            vqd::core::dataset::corpus_to_text(&runs)
+        );
+    }
+
+    /// Truncating a valid file anywhere yields a typed error (or, for
+    /// prefix-intact truncations caught later, a typed error from the
+    /// column reads) — never a panic, never silent data loss.
+    #[test]
+    fn vqdc_truncation_never_panics(
+        specs in proptest::collection::vec(
+            (any::<u64>(), 0usize..8, 0usize..6, 0usize..3),
+            1..6,
+        ),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let bytes = corpus_to_vqdc_bytes(&build_runs(&specs)).expect("encode");
+        let cut = cut.index(bytes.len());
+        let path = scratch_file(&bytes[..cut]);
+        match VqdcReader::open(&path) {
+            Err(VqdError::BinCorpus { .. } | VqdError::Io { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error type: {e}"),
+            Ok(reader) => {
+                // Open-time checks passed on the surviving prefix; the
+                // checksummed full read must still refuse the file.
+                prop_assert!(reader.to_runs().is_err(), "truncated file decoded cleanly");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Flipping any single byte yields a typed error at open or a
+    /// checksum failure on read — never a panic.
+    #[test]
+    fn vqdc_bitflip_never_panics(
+        specs in proptest::collection::vec(
+            (any::<u64>(), 0usize..8, 0usize..6, 0usize..3),
+            1..6,
+        ),
+        at in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = corpus_to_vqdc_bytes(&build_runs(&specs)).expect("encode");
+        let at = at.index(bytes.len());
+        bytes[at] ^= flip;
+        let path = scratch_file(&bytes);
+        if let Ok(reader) = VqdcReader::open(&path) {
+            // A flip the header checks missed must be caught by the
+            // column checksums or decode cleanly if it only disturbed
+            // redundancy the open re-derives; either way: no panic.
+            let _ = reader.to_runs();
+            let _ = reader.verify();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
