@@ -10,12 +10,12 @@
 //! column file.
 
 use std::fs::File;
-use std::io::{BufRead, BufReader};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
-use crate::dataset::{parse_corpus_line, LabeledRun};
+use crate::dataset::{corpus_to_text, parse_corpus_line, LabeledRun};
 use crate::error::VqdError;
-use crate::vqdc::{sniff_vqdc, VqdcReader};
+use crate::vqdc::{sniff_vqdc, VqdcReader, VqdcSchema, VqdcWriter};
 
 /// Default sessions per [`CorpusReader::next_chunk`] chunk for CLI
 /// consumers: bounded memory, still large enough to amortise
@@ -120,6 +120,79 @@ impl CorpusReader {
     }
 }
 
+/// What [`convert_corpus`] did.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvertStats {
+    /// Sessions converted.
+    pub sessions: usize,
+    /// Was the input binary columnar?
+    pub from_binary: bool,
+}
+
+/// Convert a corpus between the text and binary columnar formats,
+/// streaming both sides so corpora larger than RAM convert in
+/// bounded memory. Text output is written chunk by chunk; binary
+/// output goes through the two-pass [`VqdcWriter`] (schema scan,
+/// then chunked column writes), so peak memory is one chunk of
+/// sessions plus the `O(n_rows)` schema — never the cell values.
+/// Either direction round-trips bit-exactly.
+pub fn convert_corpus(
+    input: impl AsRef<Path>,
+    output: impl AsRef<Path>,
+    to_binary: bool,
+) -> Result<ConvertStats, VqdError> {
+    let (input, output) = (input.as_ref(), output.as_ref());
+    if input == output {
+        return Err(VqdError::Config(format!(
+            "convert --in and --out are the same file ({})",
+            input.display()
+        )));
+    }
+    let mut reader = CorpusReader::open(input)?;
+    let from_binary = reader.is_binary();
+    let sessions = if to_binary {
+        // Pass 1: schema scan. Pass 2: replay the source through the
+        // positioned column writer.
+        let mut schema = VqdcSchema::new();
+        loop {
+            let chunk = reader.next_chunk(DEFAULT_CHUNK_SESSIONS)?;
+            if chunk.is_empty() {
+                break;
+            }
+            schema.scan(&chunk)?;
+        }
+        let mut writer = VqdcWriter::create(output, schema)?;
+        let mut reader = CorpusReader::open(input)?;
+        loop {
+            let chunk = reader.next_chunk(DEFAULT_CHUNK_SESSIONS)?;
+            if chunk.is_empty() {
+                break;
+            }
+            writer.write_rows(&chunk)?;
+        }
+        writer.finish()?
+    } else {
+        let f = File::create(output).map_err(|e| VqdError::io(output, e))?;
+        let mut w = BufWriter::with_capacity(1 << 20, f);
+        let mut sessions = 0usize;
+        loop {
+            let chunk = reader.next_chunk(DEFAULT_CHUNK_SESSIONS)?;
+            if chunk.is_empty() {
+                break;
+            }
+            sessions += chunk.len();
+            w.write_all(corpus_to_text(&chunk).as_bytes())
+                .map_err(|e| VqdError::io(output, e))?;
+        }
+        w.flush().map_err(|e| VqdError::io(output, e))?;
+        sessions
+    };
+    Ok(ConvertStats {
+        sessions,
+        from_binary,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +253,34 @@ mod tests {
         }
         std::fs::remove_file(tp).ok();
         std::fs::remove_file(bp).ok();
+    }
+
+    #[test]
+    fn streamed_convert_round_trips_bit_exactly() {
+        let runs = sample();
+        let text = corpus_to_text(&runs);
+        let tp = tmp("conv.txt", text.as_bytes());
+        let bp = std::env::temp_dir().join(format!("vqd-cs-{}-conv.vqdc", std::process::id()));
+        let back = std::env::temp_dir().join(format!("vqd-cs-{}-back.txt", std::process::id()));
+        let s = convert_corpus(&tp, &bp, true).unwrap();
+        assert_eq!(s.sessions, runs.len());
+        assert!(!s.from_binary);
+        // Streamed text -> binary equals the batch encoder's bytes.
+        assert_eq!(
+            std::fs::read(&bp).unwrap(),
+            corpus_to_vqdc_bytes(&runs).unwrap()
+        );
+        // Binary -> text recovers the original file byte for byte.
+        let s = convert_corpus(&bp, &back, false).unwrap();
+        assert_eq!(s.sessions, runs.len());
+        assert!(s.from_binary);
+        assert_eq!(std::fs::read_to_string(&back).unwrap(), text);
+        // Same-file conversion is refused, input untouched.
+        assert!(convert_corpus(&tp, &tp, true).is_err());
+        assert_eq!(std::fs::read_to_string(&tp).unwrap(), text);
+        for p in [&tp, &bp, &back] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod vqdc;
 
 pub use ablation::{classifier_comparison, pipeline_ablation, pruning_ablation};
 pub use chaos::{crash_points, SplitMix64};
-pub use corpus_stream::{CorpusReader, DEFAULT_CHUNK_SESSIONS};
+pub use corpus_stream::{convert_corpus, ConvertStats, CorpusReader, DEFAULT_CHUNK_SESSIONS};
 pub use dataset::{
     corpus_from_text, corpus_to_text, generate_corpus, parse_corpus_line, to_dataset, CorpusConfig,
     LabeledRun,

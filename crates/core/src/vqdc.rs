@@ -41,7 +41,7 @@ use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 
 use vqd_faults::FaultKind;
-use vqd_probes::journal::checksum32;
+use vqd_probes::journal::{checksum32, Checksum32};
 use vqd_video::QoeClass;
 
 use crate::dataset::LabeledRun;
@@ -91,93 +91,137 @@ fn qoe_of(code: u8) -> Option<QoeClass> {
     }
 }
 
-/// Encode a corpus into `.vqdc` bytes. Errors (as a line-addressed
-/// corpus error) if a session emits the same metric name twice — a
-/// columnar file has one cell per (row, column), so duplicates cannot
-/// be represented; the simulator never produces them.
-pub fn corpus_to_vqdc_bytes(runs: &[LabeledRun]) -> Result<Vec<u8>, VqdError> {
-    let n_rows = runs.len();
-    if n_rows >= u32::MAX as usize {
-        return Err(VqdError::corpus(0, "corpus exceeds u32 row range"));
+/// Pass-1 state of a `.vqdc` encode: interned names (first-seen
+/// order — the `DatasetBuilder` schema order), interned shapes, and
+/// the per-row label/shape records. `O(n_rows)` memory (the same
+/// resident state [`VqdcReader`] keeps) but never the cell values, so
+/// a streaming writer can scan a corpus far larger than RAM. Feed
+/// every session through [`VqdcSchema::scan`], then either serialise
+/// in memory ([`corpus_to_vqdc_bytes`]) or hand the schema to
+/// [`VqdcWriter`] for a second, chunked value pass.
+#[derive(Default)]
+pub struct VqdcSchema {
+    col_of: HashMap<String, u32>,
+    names: Vec<String>,
+    shape_of: HashMap<Vec<u32>, u32>,
+    shapes: Vec<Vec<u32>>,
+    row_shape: Vec<u32>,
+    labels: Vec<u8>,
+    seen: Vec<u32>,
+}
+
+impl VqdcSchema {
+    /// Fresh, empty schema.
+    pub fn new() -> VqdcSchema {
+        VqdcSchema::default()
     }
-    // Pass 1: intern names (first-seen order — the DatasetBuilder
-    // schema order) and shapes.
-    let mut col_of: HashMap<&str, u32> = HashMap::new();
-    let mut names: Vec<&str> = Vec::new();
-    let mut shape_of: HashMap<Vec<u32>, u32> = HashMap::new();
-    let mut shapes: Vec<Vec<u32>> = Vec::new();
-    let mut row_shape: Vec<u32> = Vec::with_capacity(n_rows);
-    let mut seen = vec![u32::MAX; 0];
-    for (i, r) in runs.iter().enumerate() {
-        let mut shape: Vec<u32> = Vec::with_capacity(r.metrics.len());
-        for (n, _) in &r.metrics {
-            let c = *col_of.entry(n.as_str()).or_insert_with(|| {
-                names.push(n.as_str());
-                (names.len() - 1) as u32
-            });
-            shape.push(c);
-        }
-        seen.resize(names.len(), u32::MAX);
-        for &c in &shape {
-            if seen[c as usize] == i as u32 {
-                return Err(VqdError::corpus(
-                    i + 1,
-                    format!(
-                        "duplicate metric {:?} in one session (unrepresentable in columnar form)",
-                        names[c as usize]
-                    ),
-                ));
+
+    /// Sessions scanned so far.
+    pub fn n_rows(&self) -> usize {
+        self.row_shape.len()
+    }
+
+    /// Distinct metric names seen so far.
+    pub fn n_cols(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Intern one chunk of sessions (call repeatedly, in corpus
+    /// order). Errors — as a line-addressed corpus error — if a
+    /// session emits the same metric name twice: a columnar file has
+    /// one cell per (row, column), so duplicates cannot be
+    /// represented; the simulator never produces them.
+    pub fn scan(&mut self, runs: &[LabeledRun]) -> Result<(), VqdError> {
+        for r in runs {
+            let i = self.row_shape.len();
+            if i + 1 >= u32::MAX as usize {
+                return Err(VqdError::corpus(0, "corpus exceeds u32 row range"));
             }
-            seen[c as usize] = i as u32;
+            let mut shape: Vec<u32> = Vec::with_capacity(r.metrics.len());
+            for (n, _) in &r.metrics {
+                let c = match self.col_of.get(n.as_str()) {
+                    Some(&c) => c,
+                    None => {
+                        let c = self.names.len() as u32;
+                        self.col_of.insert(n.clone(), c);
+                        self.names.push(n.clone());
+                        c
+                    }
+                };
+                shape.push(c);
+            }
+            self.seen.resize(self.names.len(), u32::MAX);
+            for &c in &shape {
+                if self.seen[c as usize] == i as u32 {
+                    return Err(VqdError::corpus(
+                        i + 1,
+                        format!(
+                            "duplicate metric {:?} in one session (unrepresentable in columnar form)",
+                            self.names[c as usize]
+                        ),
+                    ));
+                }
+                self.seen[c as usize] = i as u32;
+            }
+            let sid = *self.shape_of.entry(shape.clone()).or_insert_with(|| {
+                self.shapes.push(shape);
+                (self.shapes.len() - 1) as u32
+            });
+            self.row_shape.push(sid);
+            self.labels.push(fault_code(r.truth.fault));
+            self.labels.push(qoe_code(r.truth.qoe));
+            self.labels.extend_from_slice(&sid.to_le_bytes());
         }
-        let sid = *shape_of.entry(shape.clone()).or_insert_with(|| {
-            shapes.push(shape);
-            (shapes.len() - 1) as u32
-        });
-        row_shape.push(sid);
+        Ok(())
     }
-    let n_cols = names.len();
+
+    /// Serialise magic + META + LABELS — everything before the column
+    /// region — exactly as the file stores them.
+    fn header_bytes(&self) -> Vec<u8> {
+        let mut meta = Vec::new();
+        meta.extend_from_slice(&VERSION.to_le_bytes());
+        meta.extend_from_slice(&(self.n_rows() as u64).to_le_bytes());
+        meta.extend_from_slice(&(self.names.len() as u32).to_le_bytes());
+        meta.extend_from_slice(&(self.shapes.len() as u32).to_le_bytes());
+        for n in &self.names {
+            meta.extend_from_slice(&(n.len() as u32).to_le_bytes());
+            meta.extend_from_slice(n.as_bytes());
+        }
+        for s in &self.shapes {
+            meta.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            for &c in s {
+                meta.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(VQDC_MAGIC);
+        for section in [&meta, &self.labels] {
+            out.extend_from_slice(&(section.len() as u64).to_le_bytes());
+            out.extend_from_slice(&checksum32(section).to_le_bytes());
+            out.extend_from_slice(section);
+        }
+        out
+    }
+}
+
+/// Encode a corpus into `.vqdc` bytes (whole corpus resident — the
+/// convenience path; [`VqdcWriter`] is the bounded-memory one).
+pub fn corpus_to_vqdc_bytes(runs: &[LabeledRun]) -> Result<Vec<u8>, VqdError> {
+    let mut schema = VqdcSchema::new();
+    schema.scan(runs)?;
+    let n_rows = runs.len();
 
     // Pass 2: fill the column matrix (absent = canonical-NaN filler).
     let filler = f64::NAN.to_bits();
-    let mut cols: Vec<Vec<u64>> = vec![vec![filler; n_rows]; n_cols];
+    let mut cols: Vec<Vec<u64>> = vec![vec![filler; n_rows]; schema.n_cols()];
     for (i, r) in runs.iter().enumerate() {
         for (n, v) in &r.metrics {
-            let c = col_of[n.as_str()] as usize;
+            let c = schema.col_of[n.as_str()] as usize;
             cols[c][i] = v.to_bits();
         }
     }
 
-    // Serialise.
-    let mut meta = Vec::new();
-    meta.extend_from_slice(&VERSION.to_le_bytes());
-    meta.extend_from_slice(&(n_rows as u64).to_le_bytes());
-    meta.extend_from_slice(&(n_cols as u32).to_le_bytes());
-    meta.extend_from_slice(&(shapes.len() as u32).to_le_bytes());
-    for n in &names {
-        meta.extend_from_slice(&(n.len() as u32).to_le_bytes());
-        meta.extend_from_slice(n.as_bytes());
-    }
-    for s in &shapes {
-        meta.extend_from_slice(&(s.len() as u32).to_le_bytes());
-        for &c in s {
-            meta.extend_from_slice(&c.to_le_bytes());
-        }
-    }
-    let mut labels = Vec::with_capacity(n_rows * LABEL_BYTES as usize);
-    for (r, &sid) in runs.iter().zip(&row_shape) {
-        labels.push(fault_code(r.truth.fault));
-        labels.push(qoe_code(r.truth.qoe));
-        labels.extend_from_slice(&sid.to_le_bytes());
-    }
-
-    let mut out = Vec::new();
-    out.extend_from_slice(VQDC_MAGIC);
-    for section in [&meta, &labels] {
-        out.extend_from_slice(&(section.len() as u64).to_le_bytes());
-        out.extend_from_slice(&checksum32(section).to_le_bytes());
-        out.extend_from_slice(section);
-    }
+    let mut out = schema.header_bytes();
     let mut colbuf = Vec::with_capacity(n_rows * CELL_BYTES as usize);
     for col in &cols {
         colbuf.clear();
@@ -188,6 +232,157 @@ pub fn corpus_to_vqdc_bytes(runs: &[LabeledRun]) -> Result<Vec<u8>, VqdError> {
         out.extend_from_slice(&colbuf);
     }
     Ok(out)
+}
+
+/// Positioned write mirroring [`VqdcReader`]'s `read_at`.
+fn write_at(file: &File, path: &Path, buf: &[u8], off: u64) -> Result<(), VqdError> {
+    #[cfg(unix)]
+    let res = {
+        use std::os::unix::fs::FileExt;
+        file.write_all_at(buf, off)
+    };
+    #[cfg(not(unix))]
+    let res = (|| {
+        use std::io::{Seek, Write};
+        let mut f = File::options().write(true).open(path)?;
+        f.seek(io::SeekFrom::Start(off))?;
+        f.write_all(buf)
+    })();
+    res.map_err(|e| VqdError::io(path, e))
+}
+
+/// Streaming `.vqdc` writer: bounded memory no matter the corpus
+/// size. Two passes over the source — first [`VqdcSchema::scan`]
+/// every session, then replay the same sessions through
+/// [`VqdcWriter::write_rows`], which transposes each chunk into
+/// per-column slabs written at their final offsets while column
+/// checksums accumulate incrementally ([`Checksum32`]). Peak memory
+/// is `O(chunk × n_cols)` cells plus the schema — never the corpus.
+/// The bytes produced are identical to [`corpus_to_vqdc_bytes`] over
+/// the same sessions (test-enforced).
+pub struct VqdcWriter {
+    file: File,
+    path: PathBuf,
+    schema: VqdcSchema,
+    columns_start: u64,
+    sums: Vec<Option<Checksum32>>,
+    at: usize,
+}
+
+impl VqdcWriter {
+    /// Create `path` and write the header for a corpus whose schema
+    /// pass already ran. The column region is sized up front; every
+    /// byte of it is overwritten by `write_rows` + `finish`.
+    pub fn create(path: impl AsRef<Path>, schema: VqdcSchema) -> Result<VqdcWriter, VqdError> {
+        let path = path.as_ref().to_path_buf();
+        let header = schema.header_bytes();
+        let n_rows = schema.n_rows() as u64;
+        let file = File::create(&path).map_err(|e| VqdError::io(&path, e))?;
+        write_at(&file, &path, &header, 0)?;
+        let columns_start = header.len() as u64;
+        let total = columns_start
+            + schema.n_cols() as u64 * (COL_HEADER_BYTES + n_rows * CELL_BYTES);
+        file.set_len(total).map_err(|e| VqdError::io(&path, e))?;
+        let sums = (0..schema.n_cols())
+            .map(|_| Some(Checksum32::new(n_rows * CELL_BYTES)))
+            .collect();
+        Ok(VqdcWriter {
+            file,
+            path,
+            schema,
+            columns_start,
+            sums,
+            at: 0,
+        })
+    }
+
+    fn col_offset(&self, j: usize) -> u64 {
+        self.columns_start
+            + j as u64 * (COL_HEADER_BYTES + self.schema.n_rows() as u64 * CELL_BYTES)
+    }
+
+    /// Write the next chunk of sessions (same sessions, same order as
+    /// the schema scan — verified per row via the interned shape, so
+    /// a source that changed between the passes is a typed error, not
+    /// a corrupt file).
+    pub fn write_rows(&mut self, runs: &[LabeledRun]) -> Result<(), VqdError> {
+        if runs.is_empty() {
+            return Ok(());
+        }
+        let start = self.at;
+        if start + runs.len() > self.schema.n_rows() {
+            return Err(VqdError::corpus(
+                start + runs.len(),
+                "corpus grew between schema scan and write passes",
+            ));
+        }
+        let count = runs.len();
+        let filler = f64::NAN.to_bits().to_le_bytes();
+        let mut slabs: Vec<Vec<u8>> = (0..self.schema.n_cols())
+            .map(|_| filler.repeat(count))
+            .collect();
+        let mut shape: Vec<u32> = Vec::new();
+        for (i, r) in runs.iter().enumerate() {
+            let row = start + i;
+            shape.clear();
+            for (n, v) in &r.metrics {
+                let Some(&c) = self.schema.col_of.get(n.as_str()) else {
+                    return Err(VqdError::corpus(
+                        row + 1,
+                        format!("metric {n:?} appeared between schema scan and write passes"),
+                    ));
+                };
+                shape.push(c);
+                let cell = i * CELL_BYTES as usize;
+                slabs[c as usize][cell..cell + CELL_BYTES as usize]
+                    .copy_from_slice(&v.to_bits().to_le_bytes());
+            }
+            let sid = self.schema.row_shape[row] as usize;
+            if self.schema.shapes[sid] != shape {
+                return Err(VqdError::corpus(
+                    row + 1,
+                    "session shape changed between schema scan and write passes",
+                ));
+            }
+        }
+        for (j, slab) in slabs.iter().enumerate() {
+            write_at(
+                &self.file,
+                &self.path,
+                slab,
+                self.col_offset(j) + COL_HEADER_BYTES + start as u64 * CELL_BYTES,
+            )?;
+            if let Some(sum) = self.sums[j].as_mut() {
+                sum.update(slab);
+            }
+        }
+        self.at += count;
+        Ok(())
+    }
+
+    /// Patch in the column checksums and flush. Errors if fewer rows
+    /// were written than the schema scan promised. Returns the number
+    /// of sessions written.
+    pub fn finish(mut self) -> Result<usize, VqdError> {
+        let n_rows = self.schema.n_rows();
+        if self.at != n_rows {
+            return Err(VqdError::corpus(
+                self.at,
+                format!("corpus shrank between passes: wrote {} of {n_rows} rows", self.at),
+            ));
+        }
+        for j in 0..self.schema.n_cols() {
+            let sum = self.sums[j]
+                .take()
+                .unwrap_or_else(|| unreachable!("checksum consumed once"))
+                .finish();
+            write_at(&self.file, &self.path, &sum.to_le_bytes(), self.col_offset(j))?;
+        }
+        self.file
+            .sync_data()
+            .map_err(|e| VqdError::io(&self.path, e))?;
+        Ok(n_rows)
+    }
 }
 
 /// Encode and write a corpus to `path`.
@@ -390,8 +585,19 @@ impl VqdcReader {
         }
 
         let columns_start = offset;
-        let expect =
-            columns_start + names.len() as u64 * (COL_HEADER_BYTES + n_rows as u64 * CELL_BYTES);
+        // Checked arithmetic: header-controlled n_cols/n_rows must not
+        // wrap the expected length into agreement with a crafted file.
+        let expect = (n_rows as u64)
+            .checked_mul(CELL_BYTES)
+            .and_then(|b| b.checked_add(COL_HEADER_BYTES))
+            .and_then(|col| col.checked_mul(names.len() as u64))
+            .and_then(|cols| cols.checked_add(columns_start))
+            .ok_or_else(|| {
+                fail(format!(
+                    "META geometry overflows ({} columns × {n_rows} rows)",
+                    names.len()
+                ))
+            })?;
         if file_len != expect {
             return Err(fail(format!(
                 "file is {file_len} bytes, expected {expect} ({} columns × {n_rows} rows)",
@@ -663,6 +869,55 @@ mod tests {
         // Text round trip through the binary format is byte-identical.
         let text = crate::dataset::corpus_to_text(&runs);
         assert_eq!(crate::dataset::corpus_to_text(&back), text);
+    }
+
+    #[test]
+    fn streaming_writer_is_byte_identical_to_batch_encoder() {
+        let runs = sample_runs();
+        let want = corpus_to_vqdc_bytes(&runs).unwrap();
+        for chunk in [1usize, 2, 3, 7] {
+            let mut schema = VqdcSchema::new();
+            for c in runs.chunks(chunk) {
+                schema.scan(c).unwrap();
+            }
+            let path = std::env::temp_dir().join(format!(
+                "vqdc-stream-{}-{chunk}.vqdc",
+                std::process::id()
+            ));
+            let mut w = VqdcWriter::create(&path, schema).unwrap();
+            for c in runs.chunks(chunk) {
+                w.write_rows(c).unwrap();
+            }
+            assert_eq!(w.finish().unwrap(), runs.len());
+            let got = std::fs::read(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            assert_eq!(got, want, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn streaming_writer_rejects_source_changed_between_passes() {
+        let runs = sample_runs();
+        let mut schema = VqdcSchema::new();
+        schema.scan(&runs).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "vqdc-stream-race-{}.vqdc",
+            std::process::id()
+        ));
+        // Pass 2 sees a different second session: typed error, no file
+        // silently encoding the wrong values.
+        let mut changed = runs.clone();
+        changed[1].metrics.push(("late.metric".into(), 9.0));
+        let mut w = VqdcWriter::create(&path, schema).unwrap();
+        let e = w.write_rows(&changed).unwrap_err();
+        assert!(e.to_string().contains("between schema scan and write"), "{e}");
+        // And a shrunken pass 2 fails at finish.
+        let mut schema = VqdcSchema::new();
+        schema.scan(&runs).unwrap();
+        let mut w = VqdcWriter::create(&path, schema).unwrap();
+        w.write_rows(&runs[..1]).unwrap();
+        assert!(w.finish().is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

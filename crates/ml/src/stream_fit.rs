@@ -101,6 +101,8 @@ pub struct StreamFitConfig {
     pub chunk_rows: usize,
     /// Maximum `(value, id)` pairs held in memory per gather before
     /// the external sort spills a run (12 bytes per pair on disk).
+    /// Floored at `n_rows / 64` so the k-way merge never holds more
+    /// than 64 run file descriptors open per gather.
     pub spill_pairs: usize,
     /// Directory for spill runs (default: the OS temp dir).
     pub tmp_dir: Option<PathBuf>,
@@ -161,6 +163,19 @@ impl SScratch {
 }
 
 const PAIR_BYTES: usize = 12; // 8B value bits LE + 4B row id LE
+
+/// Process-global spill-file sequence. Spill names must be unique
+/// across every concurrent `fit_streaming` in the process — separate
+/// fits default to the same OS temp dir, so a per-engine counter
+/// would have two fits create/truncate/delete each other's run files.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Ceiling on spilled runs per gather, and therefore on file
+/// descriptors the k-way merge holds open at once. `fit_streaming`
+/// floors the spill budget at `n_rows / MAX_SPILL_FANIN` so a
+/// pathologically small `--spill-pairs` on a huge corpus cannot
+/// produce hundreds of thousands of runs and die on EMFILE.
+const MAX_SPILL_FANIN: usize = 64;
 
 /// A gather's sorted `(value, id)` pairs: fully in memory, or as
 /// sorted runs in a spill file merged on demand. Either way,
@@ -294,7 +309,6 @@ struct PairSink<'a> {
     buf: Vec<(f64, u32)>,
     spill: Option<SpillFile>,
     tmp_dir: &'a std::path::Path,
-    seq: &'a AtomicU64,
     stats_runs: &'a AtomicU64,
     stats_bytes: &'a AtomicU64,
     stats_peak: &'a AtomicU64,
@@ -304,7 +318,6 @@ impl<'a> PairSink<'a> {
     fn new(
         budget: usize,
         tmp_dir: &'a std::path::Path,
-        seq: &'a AtomicU64,
         stats_runs: &'a AtomicU64,
         stats_bytes: &'a AtomicU64,
         stats_peak: &'a AtomicU64,
@@ -314,7 +327,6 @@ impl<'a> PairSink<'a> {
             buf: Vec::new(),
             spill: None,
             tmp_dir,
-            seq,
             stats_runs,
             stats_bytes,
             stats_peak,
@@ -338,7 +350,7 @@ impl<'a> PairSink<'a> {
         self.buf
             .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         if self.spill.is_none() {
-            let n = self.seq.fetch_add(1, Ordering::Relaxed);
+            let n = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
             let path = self
                 .tmp_dir
                 .join(format!("vqd-spill-{}-{}.run", std::process::id(), n));
@@ -398,7 +410,6 @@ struct StreamEngine<'a, S: ColumnSource + Sync> {
     chunk_rows: usize,
     spill_pairs: usize,
     tmp_dir: PathBuf,
-    spill_seq: AtomicU64,
     stat_runs: AtomicU64,
     stat_bytes: AtomicU64,
     stat_peak: AtomicU64,
@@ -419,7 +430,6 @@ impl<S: ColumnSource + Sync> StreamEngine<'_, S> {
         let mut sink = PairSink::new(
             self.spill_pairs,
             &self.tmp_dir,
-            &self.spill_seq,
             &self.stat_runs,
             &self.stat_bytes,
             &self.stat_peak,
@@ -784,9 +794,11 @@ impl C45Trainer {
             n_classes,
             threads: resolve_threads(self.cfg.threads),
             chunk_rows: opts.chunk_rows.max(1),
-            spill_pairs: opts.spill_pairs,
+            // Floor the budget so no gather (at most n pairs) spills
+            // more than MAX_SPILL_FANIN runs — the merge opens one fd
+            // per run. The floor never changes the tree, only memory.
+            spill_pairs: opts.spill_pairs.max(n.div_ceil(MAX_SPILL_FANIN)),
             tmp_dir: opts.tmp_dir.clone().unwrap_or_else(std::env::temp_dir),
-            spill_seq: AtomicU64::new(0),
             stat_runs: AtomicU64::new(0),
             stat_bytes: AtomicU64::new(0),
             stat_peak: AtomicU64::new(0),
@@ -913,6 +925,40 @@ mod tests {
         assert!(stats.spill_runs > 0, "expected external-sort runs");
         assert!(stats.spilled_bytes > 0);
         assert!(stats.peak_gather_pairs <= 16);
+    }
+
+    /// Regression: spill file names must be unique process-wide, not
+    /// per engine. Two concurrent spilling fits sharing one tmp dir
+    /// used to collide on `vqd-spill-<pid>-0.run` and read each
+    /// other's runs — wrong trees, panics, or I/O errors.
+    #[test]
+    fn concurrent_spilling_fits_do_not_collide() {
+        let data = synth(220);
+        let rows: Vec<usize> = (0..data.len()).collect();
+        let src = MemColumnSource::new(&data);
+        let trainer = C45Trainer::default();
+        let want = trainer.fit(&data, &rows).serialize();
+        let opts = StreamFitConfig {
+            chunk_rows: 8,
+            spill_pairs: 1, // every gather spills (floored to 16 pairs/run)
+            tmp_dir: None,  // shared OS temp dir — the collision surface
+        };
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        trainer
+                            .fit_streaming_with_stats(&src, &opts)
+                            .unwrap_or_else(|e| panic!("concurrent fit failed: {e}"))
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (tree, stats) = h.join().unwrap_or_else(|_| panic!("fit thread panicked"));
+                assert!(stats.spill_runs > 0, "test must exercise the spill path");
+                assert_eq!(tree.serialize(), want);
+            }
+        });
     }
 
     #[test]

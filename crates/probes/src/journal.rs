@@ -82,34 +82,90 @@ fn segment_name(start_seq: u64) -> String {
 /// The length is mixed in up front so a short record zero-padded to a
 /// lane boundary cannot collide with a longer all-zero one.
 pub fn checksum32(data: &[u8]) -> u32 {
-    const M1: u64 = 0xbf58_476d_1ce4_e5b9;
-    const M2: u64 = 0x94d0_49bb_1331_11eb;
+    let mut c = Checksum32::new(data.len() as u64);
+    c.update(data);
+    c.finish()
+}
+
+const SUM_M1: u64 = 0xbf58_476d_1ce4_e5b9;
+const SUM_M2: u64 = 0x94d0_49bb_1331_11eb;
+
+/// Incremental [`checksum32`]: feed the payload in arbitrary pieces
+/// and get the identical digest, provided the total length promised
+/// to [`Checksum32::new`] equals the bytes actually fed (the length
+/// is mixed into the initial state, so it must be known up front).
+/// Lets writers checksum sections they produce chunk by chunk — e.g.
+/// the `.vqdc` column streamer — without buffering a whole section.
+pub struct Checksum32 {
+    h1: u64,
+    h2: u64,
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Checksum32 {
+    /// Start a digest over exactly `total_len` bytes.
+    pub fn new(total_len: u64) -> Checksum32 {
+        Checksum32 {
+            h1: 0x9e37_79b9_7f4a_7c15u64 ^ total_len,
+            h2: 0x6a09_e667_f3bc_c909u64,
+            buf: [0u8; 16],
+            buf_len: 0,
+        }
+    }
+
     // Two independent lanes so consecutive folds are not one serial
     // multiply chain; each multiply is by an odd constant (a bijection
     // on u64), so any single-lane change always alters that lane.
-    let mut h1 = 0x9e37_79b9_7f4a_7c15u64 ^ (data.len() as u64);
-    let mut h2 = 0x6a09_e667_f3bc_c909u64;
-    let mut chunks = data.chunks_exact(16);
-    for ch in &mut chunks {
+    fn fold16(&mut self, ch: &[u8]) {
         let mut a = [0u8; 8];
         let mut b = [0u8; 8];
         a.copy_from_slice(&ch[..8]);
         b.copy_from_slice(&ch[8..]);
-        h1 = (h1 ^ u64::from_le_bytes(a)).wrapping_mul(M1);
-        h2 = (h2 ^ u64::from_le_bytes(b)).wrapping_mul(M2);
+        self.h1 = (self.h1 ^ u64::from_le_bytes(a)).wrapping_mul(SUM_M1);
+        self.h2 = (self.h2 ^ u64::from_le_bytes(b)).wrapping_mul(SUM_M2);
     }
-    let mut rem = chunks.remainder();
-    while !rem.is_empty() {
-        let take = rem.len().min(8);
-        let mut lane = [0u8; 8];
-        lane[..take].copy_from_slice(&rem[..take]);
-        h1 = (h1 ^ u64::from_le_bytes(lane)).wrapping_mul(M1);
-        rem = &rem[take..];
+
+    /// Feed the next piece of the payload.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = data.len().min(16 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 16 {
+                return;
+            }
+            let full = self.buf;
+            self.fold16(&full);
+            self.buf_len = 0;
+        }
+        let mut chunks = data.chunks_exact(16);
+        for ch in &mut chunks {
+            self.fold16(ch);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
     }
-    let mut h = h1 ^ h2.rotate_left(32);
-    h ^= h >> 31;
-    h = h.wrapping_mul(M2);
-    (h ^ (h >> 32)) as u32
+
+    /// Finalise. Identical to `checksum32` over the concatenation of
+    /// every `update` slice.
+    pub fn finish(self) -> u32 {
+        let mut h1 = self.h1;
+        let mut rem = &self.buf[..self.buf_len];
+        while !rem.is_empty() {
+            let take = rem.len().min(8);
+            let mut lane = [0u8; 8];
+            lane[..take].copy_from_slice(&rem[..take]);
+            h1 = (h1 ^ u64::from_le_bytes(lane)).wrapping_mul(SUM_M1);
+            rem = &rem[take..];
+        }
+        let mut h = h1 ^ self.h2.rotate_left(32);
+        h ^= h >> 31;
+        h = h.wrapping_mul(SUM_M2);
+        (h ^ (h >> 32)) as u32
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -650,6 +706,31 @@ mod tests {
         let d = std::env::temp_dir().join(format!("vqd-journal-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
+    }
+
+    #[test]
+    fn incremental_checksum_matches_one_shot_at_any_split() {
+        // Pseudo-random payload long enough to cross several 16-byte
+        // chunk boundaries, split every way a streamer might.
+        let mut data = Vec::with_capacity(133);
+        let mut s = 0x1234_5678_9abc_def0u64;
+        while data.len() < 133 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            data.push(s as u8);
+        }
+        for len in [0usize, 1, 7, 8, 15, 16, 17, 32, 133] {
+            let d = &data[..len];
+            let want = checksum32(d);
+            for piece in [1usize, 3, 8, 16, 19, 133] {
+                let mut c = Checksum32::new(len as u64);
+                for p in d.chunks(piece) {
+                    c.update(p);
+                }
+                assert_eq!(c.finish(), want, "len={len} piece={piece}");
+            }
+        }
     }
 
     #[test]

@@ -333,20 +333,19 @@ fn cmd_corpus(opts: &Opts) -> Result<(), VqdError> {
 
 /// `vqd corpus convert`: translate a corpus between the text and
 /// binary columnar formats (the direction follows the --out
-/// extension). Round-tripping either way is bit-exact.
+/// extension). Round-tripping either way is bit-exact. Both sides
+/// stream, so a larger-than-RAM corpus converts in bounded memory.
 fn cmd_corpus_convert(opts: &Opts) -> Result<(), VqdError> {
     let input = opts.require("in", "file")?;
     let out = opts.require("out", "file")?;
     let fmt = |binary: bool| if binary { "binary" } else { "text" };
-    let reader = CorpusReader::open(&input)?;
-    let from = reader.is_binary();
-    let runs = reader.read_all()?;
-    write_corpus(&out, &runs)?;
+    let to_binary = out.ends_with(".vqdc");
+    let stats = convert_corpus(&input, &out, to_binary)?;
     eprintln!(
         "converted {input} ({}) -> {out} ({}): {} sessions",
-        fmt(from),
-        fmt(out.ends_with(".vqdc")),
-        runs.len()
+        fmt(stats.from_binary),
+        fmt(to_binary),
+        stats.sessions
     );
     Ok(())
 }

@@ -54,7 +54,9 @@ pub use vqd_wireless as wireless;
 /// Everything needed for the typical train-and-diagnose workflow.
 pub mod prelude {
     pub use vqd_core::chaos::{crash_points, SplitMix64};
-    pub use vqd_core::corpus_stream::{CorpusReader, DEFAULT_CHUNK_SESSIONS};
+    pub use vqd_core::corpus_stream::{
+        convert_corpus, ConvertStats, CorpusReader, DEFAULT_CHUNK_SESSIONS,
+    };
     pub use vqd_core::dataset::{
         corpus_from_text, corpus_to_text, generate_corpus, generate_corpus_with_stats,
         parse_corpus_line, to_dataset, CorpusConfig, CorpusGenStats, LabeledRun,
@@ -80,7 +82,8 @@ pub mod prelude {
     };
     pub use vqd_core::testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};
     pub use vqd_core::vqdc::{
-        corpus_to_vqdc_bytes, sniff_vqdc, write_vqdc, VqdcReader, VQDC_MAGIC,
+        corpus_to_vqdc_bytes, sniff_vqdc, write_vqdc, VqdcReader, VqdcSchema, VqdcWriter,
+        VQDC_MAGIC,
     };
     pub use vqd_faults::{FaultKind, FaultPlan};
     pub use vqd_ml::metrics::ConfusionMatrix;
