@@ -23,13 +23,15 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use vqd_bench::emit_section;
 use vqd_core::dataset::{generate_corpus, to_dataset, CorpusConfig};
 use vqd_core::diagnoser::{Diagnoser, DiagnoserConfig, Diagnosis};
 use vqd_core::scenario::LabelScheme;
+use vqd_core::stream::ops::{OpsServer, Readiness};
 use vqd_core::stream::{
     corpus_to_events, recover_state, Durability, FlushedSession, JournalSpec, ServeConfig,
     ServeReport, StreamServer,
@@ -355,6 +357,133 @@ fn main() {
         );
     }
 
+    // ---- Observability passes (same paired-interleave methodology
+    // as the journal budget): audit-on ingest, then ingest while a
+    // scraper hammers /metrics. Each pair runs plain then instrumented
+    // back to back, and the overhead gate compares paired bests.
+    eprintln!(
+        "[serve_perf] timing audit-on ingest ({threads} shards, {reps} interleaved pass pairs)..."
+    );
+    let mut walla = f64::INFINITY;
+    let mut audit_ratio = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let _ = serve(
+            &model,
+            ServeConfig {
+                shards: threads,
+                flush_batch: 8,
+                ..ServeConfig::default()
+            },
+            &events,
+        );
+        let tp = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let (got, _) = serve(
+            &model,
+            ServeConfig {
+                shards: threads,
+                flush_batch: 8,
+                audit: true,
+                ..ServeConfig::default()
+            },
+            &events,
+        );
+        let ta = t0.elapsed().as_secs_f64();
+        if got.iter().any(|fs| fs.audit.is_none()) {
+            eprintln!("[serve_perf] AUDIT REGRESSION: flushed session without a decision path");
+            std::process::exit(1);
+        }
+        walla = walla.min(ta);
+        audit_ratio = audit_ratio.min(ta / tp.max(1e-9));
+    }
+    let epsa = n_events as f64 / walla;
+    let audit_pct = (audit_ratio - 1.0) * 100.0;
+    if audit_pct > 10.0 {
+        eprintln!("[serve_perf] WARNING: audit overhead {audit_pct:.1}% exceeds the 10% budget");
+    }
+
+    eprintln!(
+        "[serve_perf] timing ingest under /metrics scrape ({threads} shards, {reps} interleaved pass pairs)..."
+    );
+    let readiness = Arc::new(Readiness::default());
+    let ops = match OpsServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&readiness),
+        Duration::from_millis(50),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[serve_perf] ops bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = ops.local_addr();
+    let scraping = Arc::new(AtomicBool::new(false));
+    let stop_scraper = Arc::new(AtomicBool::new(false));
+    let (sc, st) = (Arc::clone(&scraping), Arc::clone(&stop_scraper));
+    let scraper = std::thread::spawn(move || {
+        use std::io::{Read as _, Write as _};
+        let mut scrapes = 0u64;
+        while !st.load(Ordering::SeqCst) {
+            if !sc.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            if let Ok(mut s) = std::net::TcpStream::connect(addr) {
+                let _ = write!(s, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+                let mut body = String::new();
+                let _ = s.read_to_string(&mut body);
+                scrapes += 1;
+            }
+        }
+        scrapes
+    });
+    let mut walls = f64::INFINITY;
+    let mut scrape_ratio = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let _ = serve(
+            &model,
+            ServeConfig {
+                shards: threads,
+                flush_batch: 8,
+                ..ServeConfig::default()
+            },
+            &events,
+        );
+        let tp = t0.elapsed().as_secs_f64();
+        scraping.store(true, Ordering::SeqCst);
+        let t0 = Instant::now();
+        let _ = serve(
+            &model,
+            ServeConfig {
+                shards: threads,
+                flush_batch: 8,
+                ..ServeConfig::default()
+            },
+            &events,
+        );
+        let ts = t0.elapsed().as_secs_f64();
+        scraping.store(false, Ordering::SeqCst);
+        walls = walls.min(ts);
+        scrape_ratio = scrape_ratio.min(ts / tp.max(1e-9));
+    }
+    stop_scraper.store(true, Ordering::SeqCst);
+    let scrapes = scraper.join().unwrap_or(0);
+    ops.shutdown();
+    let epss = n_events as f64 / walls;
+    let scrape_pct = (scrape_ratio - 1.0) * 100.0;
+    if scrape_pct > 10.0 {
+        eprintln!(
+            "[serve_perf] WARNING: scrape-under-load overhead {scrape_pct:.1}% exceeds the 10% budget"
+        );
+    }
+    if scrapes == 0 {
+        eprintln!("[serve_perf] SCRAPE REGRESSION: scraper completed zero /metrics reads");
+        std::process::exit(1);
+    }
+
     let eps1 = n_events as f64 / wall1;
     let epsp = n_events as f64 / wallp;
     let sps1 = corpus.len() as f64 / wall1;
@@ -390,6 +519,12 @@ fn main() {
     json.push_str(&format!(
         "  \"recovery_replay\": {{\"shards\": {threads}, \"events_per_sec\": {epsr:.0}, \"events_replayed\": {replayed}}},\n"
     ));
+    json.push_str(&format!(
+        "  \"serve_audit\": {{\"shards\": {threads}, \"events_per_sec\": {epsa:.0}, \"overhead_vs_plain_pct\": {audit_pct:.1}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"serve_scraped\": {{\"shards\": {threads}, \"events_per_sec\": {epss:.0}, \"overhead_vs_plain_pct\": {scrape_pct:.1}, \"scrapes\": {scrapes}}},\n"
+    ));
     json.push_str(
         "  \"equality\": \"streamed diagnosis == offline diagnose_batch, bitwise, shards 1 and parallel, shuffled arrival\"\n",
     );
@@ -403,7 +538,7 @@ fn main() {
     }
 
     let text = format!(
-        "serve perf ({} sessions, {n_events} shuffled events):\n  1 shard:  {eps1:.0} events/s, {sps1:.0} sessions/s, flush p50 {f1_p50:.2} ms, p99 {f1_p99:.2} ms\n  {threads} shards: {epsp:.0} events/s, {spsp:.0} sessions/s, flush p50 {fp_p50:.2} ms, p99 {fp_p99:.2} ms ({:.2}x)\n  journaled: {epsj:.0} events/s ({overhead_pct:+.1}% vs plain, budget 15%)\n  recovery replay: {epsr:.0} events/s ({replayed} events, cold journal scan to final flush)\n  streamed == offline batch, bitwise (equality gate passed)\n",
+        "serve perf ({} sessions, {n_events} shuffled events):\n  1 shard:  {eps1:.0} events/s, {sps1:.0} sessions/s, flush p50 {f1_p50:.2} ms, p99 {f1_p99:.2} ms\n  {threads} shards: {epsp:.0} events/s, {spsp:.0} sessions/s, flush p50 {fp_p50:.2} ms, p99 {fp_p99:.2} ms ({:.2}x)\n  journaled: {epsj:.0} events/s ({overhead_pct:+.1}% vs plain, budget 15%)\n  recovery replay: {epsr:.0} events/s ({replayed} events, cold journal scan to final flush)\n  audit on: {epsa:.0} events/s ({audit_pct:+.1}% vs plain, budget 10%)\n  under scrape: {epss:.0} events/s ({scrape_pct:+.1}% vs plain, budget 10%, {scrapes} scrapes)\n  streamed == offline batch, bitwise (equality gate passed)\n",
         corpus.len(),
         epsp / eps1,
     );

@@ -67,6 +67,9 @@ pub struct Diagnoser {
     /// interned schema, pre-resolved projections) — see
     /// [`crate::serving`].
     pub(crate) compiled: crate::serving::CompiledModel,
+    /// Training-time feature/label distribution stamp
+    /// ([`crate::drift`]); `None` for models loaded from a v1 file.
+    pub(crate) drift: Option<crate::drift::DriftStamp>,
 }
 
 /// How specific an answer the available telemetry supports — the
@@ -210,6 +213,7 @@ impl Diagnoser {
         let rows: Vec<usize> = (0..data.len()).collect();
         let tree = C45Trainer { cfg: cfg.tree }.fit(data, &rows);
         let compiled = crate::serving::CompiledModel::build(&tree, prep.constructor.is_some());
+        let drift = crate::drift::DriftStamp::from_dataset(data);
         Diagnoser {
             constructor: prep.constructor.clone(),
             feature_names: data.features.clone(),
@@ -218,6 +222,7 @@ impl Diagnoser {
             min_coverage_exact: cfg.min_coverage_exact,
             min_coverage_location: cfg.min_coverage_location,
             compiled,
+            drift: Some(drift),
         }
     }
 
@@ -231,6 +236,7 @@ impl Diagnoser {
         classes: Vec<String>,
         tree: DecisionTree,
         cfg: &DiagnoserConfig,
+        drift: Option<crate::drift::DriftStamp>,
     ) -> Diagnoser {
         let compiled = crate::serving::CompiledModel::build(&tree, constructor.is_some());
         Diagnoser {
@@ -241,7 +247,14 @@ impl Diagnoser {
             min_coverage_exact: cfg.min_coverage_exact,
             min_coverage_location: cfg.min_coverage_location,
             compiled,
+            drift,
         }
+    }
+
+    /// The training-time distribution stamp, when the model carries
+    /// one (trained in-process, or loaded from a v2 file).
+    pub fn drift_stamp(&self) -> Option<&crate::drift::DriftStamp> {
+        self.drift.as_ref()
     }
 
     /// The selected features (post-FS schema) — the paper's Table 1.
@@ -429,32 +442,42 @@ impl Diagnoser {
         }
     }
 
-    /// Serialise the whole diagnoser (pipeline flags + tree) to a
-    /// dependency-free text format.
+    /// Serialise the whole diagnoser (pipeline flags + tree, plus the
+    /// drift stamp when present) to a dependency-free text format.
+    /// Models carrying a stamp write the `v2` header with a trailing
+    /// `drift v1` section; stamp-less models keep the `v1` layout
+    /// byte-for-byte.
     pub fn serialize(&self) -> String {
-        let mut s = String::from("vqd-diagnoser v1\n");
+        let version = if self.drift.is_some() { 2 } else { 1 };
+        let mut s = format!("vqd-diagnoser v{version}\n");
         s.push_str(&format!("fc\t{}\n", self.constructor.is_some()));
         s.push_str(&self.tree.serialize());
+        if let Some(stamp) = &self.drift {
+            s.push_str(&stamp.serialize());
+        }
         s
     }
 
     /// Load a diagnoser serialised with [`Diagnoser::serialize`].
-    /// Malformed input — wrong header, bad pipeline flags, or any of
-    /// the tree-payload corruptions [`DecisionTree::deserialize`]
-    /// rejects — yields a [`VqdError`] naming the offending file line.
+    /// Accepts both `v1` (no drift stamp) and `v2` (stamp required)
+    /// files. Malformed input — wrong header, bad pipeline flags, any
+    /// of the tree-payload corruptions [`DecisionTree::deserialize`]
+    /// rejects, or a corrupt drift section — yields a [`VqdError`]
+    /// naming the offending file line.
     pub fn deserialize(text: &str) -> Result<Diagnoser, VqdError> {
         let mut lines = text.lines();
-        match lines.next() {
-            Some("vqd-diagnoser v1") => {}
+        let version = match lines.next() {
+            Some("vqd-diagnoser v1") => 1,
+            Some("vqd-diagnoser v2") => 2,
             other => {
                 return Err(ModelParseError::at(
                     1,
                     "header",
-                    format!("expected \"vqd-diagnoser v1\", got {other:?}"),
+                    format!("expected \"vqd-diagnoser v1\" or \"vqd-diagnoser v2\", got {other:?}"),
                 )
                 .into())
             }
-        }
+        };
         let fc = match lines.next() {
             Some("fc\ttrue") => true,
             Some("fc\tfalse") => false,
@@ -467,15 +490,63 @@ impl Diagnoser {
                 .into())
             }
         };
-        let rest: String = lines.collect::<Vec<_>>().join("\n");
+        // Split the remaining lines into the tree payload and the
+        // optional trailing drift section. The marker is a bare
+        // `drift v1` line, which cannot occur inside a tree payload
+        // (every tree line is tagged or `id<TAB>body`-shaped).
+        let rest: Vec<&str> = lines.collect();
+        let drift_at = rest.iter().position(|&l| l == "drift v1");
+        let (tree_lines, drift_lines) = match drift_at {
+            Some(i) => (&rest[..i], Some(&rest[i..])),
+            None => (&rest[..], None),
+        };
+        if version >= 2 && drift_lines.is_none() {
+            return Err(ModelParseError::at(
+                3,
+                "drift",
+                "v2 model file is missing its drift section",
+            )
+            .into());
+        }
         // The tree payload starts at file line 3: re-address its parse
         // errors to the whole file so the message is actionable.
-        let tree = DecisionTree::deserialize(&rest).map_err(|mut e| {
+        let tree = DecisionTree::deserialize(&tree_lines.join("\n")).map_err(|mut e| {
             if e.line > 0 {
                 e.line += 2;
             }
             VqdError::Model(e)
         })?;
+        let drift = match drift_lines {
+            Some(section) => {
+                let offset = 2 + tree_lines.len();
+                let stamp = crate::drift::DriftStamp::deserialize(&section.join("\n")).map_err(
+                    |mut e| {
+                        if e.line > 0 {
+                            e.line += offset;
+                        }
+                        VqdError::Model(e)
+                    },
+                )?;
+                if stamp.features != tree.feature_names {
+                    return Err(ModelParseError::at(
+                        offset + 1,
+                        "drift",
+                        "drift stamp schema does not match the tree's feature list",
+                    )
+                    .into());
+                }
+                if stamp.label_counts.len() != tree.class_names.len() {
+                    return Err(ModelParseError::at(
+                        offset + 1,
+                        "drift",
+                        "drift stamp label counts do not match the class list",
+                    )
+                    .into());
+                }
+                Some(stamp)
+            }
+            None => None,
+        };
         let defaults = DiagnoserConfig::default();
         let compiled = crate::serving::CompiledModel::build(&tree, fc);
         Ok(Diagnoser {
@@ -486,6 +557,7 @@ impl Diagnoser {
             min_coverage_exact: defaults.min_coverage_exact,
             min_coverage_location: defaults.min_coverage_location,
             compiled,
+            drift,
         })
     }
 

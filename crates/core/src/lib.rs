@@ -47,6 +47,7 @@ pub mod chaos;
 pub mod corpus_stream;
 pub mod dataset;
 pub mod diagnoser;
+pub mod drift;
 pub mod error;
 pub mod experiments;
 pub mod farm;
@@ -69,6 +70,7 @@ pub use dataset::{
     LabeledRun,
 };
 pub use diagnoser::{Diagnoser, DiagnoserConfig, Diagnosis, DiagnosisQuality, Resolution};
+pub use drift::{DriftMonitor, DriftReading, DriftStamp, DriftWindow, FeatureSketch};
 pub use error::VqdError;
 pub use experiments::{eval_by_vp, feature_set_sweep, table1, table4, VpEval, VP_SETS};
 pub use farm::{generate_corpus_farm, FarmStats};
@@ -78,11 +80,13 @@ pub use octrain::{train_out_of_core, OocConfig, OocReport};
 pub use realworld::{generate_induced, generate_wild, Access, RealWorldConfig, RwRun, Service};
 pub use robustness::{degrade_corpus, majority_baseline, sweep, RobustnessCell};
 pub use scenario::{class_names, GroundTruth, LabelScheme};
-pub use serving::DiagnosisBatch;
+pub use serving::{AuditTrail, BatchOptions, DiagnosisBatch};
+pub use stream::ops::{OpsServer, Readiness};
 pub use stream::{
     corpus_to_events, corpus_to_events_from, inspect_recovery, prepare_output, recover_state,
     result_line, Durability, FlushCause, FlushedSession, JournalSpec, RecoveredState, RecoveryInfo,
     ServeConfig, ServeReport, SnapshotSpec, StreamServer,
 };
 pub use testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};
+pub use vqd_ml::{AuditDir, AuditStep};
 pub use vqdc::{corpus_to_vqdc_bytes, sniff_vqdc, write_vqdc, VqdcReader, VQDC_MAGIC};

@@ -191,12 +191,34 @@ pub fn train_out_of_core(
         selected_features: selected,
         fit: stats,
     };
+    // Drift stamp over the selected columns, one chunk at a time —
+    // column-by-column in row order, exactly the order
+    // `DriftStamp::from_dataset` records in-memory, so the two
+    // training paths stamp byte-identically (including the
+    // floating-point sums, which accumulate in record order).
+    let n = reader.n_rows();
+    let mut stamp = crate::drift::DriftStamp::empty(src.names.clone(), classes.len());
+    let chunk = cfg.fit.chunk_rows.clamp(1, n.max(1));
+    let mut buf = vec![0.0; chunk];
+    for j in 0..stamp.features.len() {
+        let mut start = 0;
+        while start < n {
+            let len = chunk.min(n - start);
+            src.fill_column(j, start, &mut buf[..len]).map_err(|e| {
+                VqdError::bin_corpus(reader.path(), format!("drift stamp column read: {e}"))
+            })?;
+            stamp.record_column(j, buf[..len].iter().copied());
+            start += len;
+        }
+    }
+    stamp.record_labels(y.iter().copied());
     let model = Diagnoser::from_trained_tree(
         dcfg.use_fc.then(FeatureConstructor::default),
         src.names,
         classes,
         tree,
         dcfg,
+        Some(stamp),
     );
     Ok((model, report))
 }

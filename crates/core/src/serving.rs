@@ -33,15 +33,77 @@
 use std::cmp::Ordering;
 
 use vqd_features::InstancePlan;
-use vqd_ml::compiled::{CompiledTree, DescentFrame};
+use vqd_ml::compiled::{AuditStep, CompiledTree, DescentFrame};
 use vqd_ml::dtree::DecisionTree;
 use vqd_ml::intern::FeatureInterner;
 
 use crate::diagnoser::{Diagnoser, Diagnosis, DiagnosisQuality, Resolution};
+use crate::drift::DriftWindow;
 use crate::robustness::thread_count;
 
 /// Sentinel for "no fallback label" in [`DiagnosisBatch::fallback`].
 const NO_FALLBACK: u32 = u32::MAX;
+
+/// Optional extras for a batched diagnosis — everything here is off
+/// by default and none of it changes a single output bit.
+#[derive(Default)]
+pub struct BatchOptions<'a> {
+    /// Record each session's decision path (every split the descent
+    /// crossed: node, feature, threshold, observed value, direction)
+    /// into the batch's [`AuditTrail`].
+    pub audit: bool,
+    /// Sketch every constructed row and diagnosis outcome into this
+    /// drift window (see [`crate::drift`]).
+    pub drift: Option<&'a mut DriftWindow>,
+}
+
+/// Recorded decision paths for a batch: a flat step arena plus
+/// per-session offsets (`offsets.len() == n + 1`), so audit-on
+/// batches make one allocation pattern per shard, not per session.
+#[derive(Debug, Clone, Default)]
+pub struct AuditTrail {
+    steps: Vec<AuditStep>,
+    offsets: Vec<usize>,
+}
+
+impl AuditTrail {
+    fn with_capacity(n: usize) -> AuditTrail {
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        AuditTrail {
+            steps: Vec::new(),
+            offsets,
+        }
+    }
+
+    /// Decision path of session `i`, in descent order.
+    pub fn path(&self, i: usize) -> &[AuditStep] {
+        &self.steps[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Number of recorded paths.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no paths were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&mut self, path: &[AuditStep]) {
+        self.steps.extend_from_slice(path);
+        self.offsets.push(self.steps.len());
+    }
+
+    /// Append another trail (shard-stitching).
+    fn absorb(&mut self, other: &AuditTrail) {
+        let base = self.steps.len();
+        self.steps.extend_from_slice(&other.steps);
+        self.offsets
+            .extend(other.offsets.iter().skip(1).map(|o| base + o));
+    }
+}
 
 /// Everything about a trained model that the serving hot path needs,
 /// resolved once at construction time.
@@ -219,6 +281,9 @@ pub struct DiagnosisBatch {
     fallback: Vec<u32>,
     /// Silent-VP bitmask, session-major (`n × nw`).
     silent: Vec<u64>,
+    /// Decision paths, present when the batch ran with
+    /// [`BatchOptions::audit`].
+    audit: Option<AuditTrail>,
 }
 
 impl DiagnosisBatch {
@@ -295,6 +360,12 @@ impl DiagnosisBatch {
             .collect()
     }
 
+    /// Decision path of session `i` — `None` unless the batch ran
+    /// with [`BatchOptions::audit`].
+    pub fn audit_path(&self, i: usize) -> Option<&[AuditStep]> {
+        self.audit.as_ref().map(|t| t.path(i))
+    }
+
     /// Materialise session `i` as a scalar [`Diagnosis`] — field-for-
     /// field (and bit-for-bit) what [`Diagnoser::diagnose`] returns.
     pub fn get(&self, i: usize) -> Diagnosis {
@@ -335,6 +406,9 @@ struct Scratch {
     epoch: u32,
     stack: Vec<DescentFrame>,
     gacc: Vec<f64>,
+    /// Per-session decision-path scratch (audit mode only; cleared by
+    /// the audited descent, so it never grows past one path).
+    path: Vec<AuditStep>,
     plans: Vec<(u64, InstancePlan)>,
     /// Index of the most recently hit plan — tried first, before any
     /// hashing, so shape-stable session streams pay one fused
@@ -351,6 +425,7 @@ impl Scratch {
             epoch: 0,
             stack: Vec::new(),
             gacc: vec![0.0; cm.loc_names.len().max(cm.ex_names.len())],
+            path: Vec::new(),
             plans: Vec::new(),
             mru: 0,
         }
@@ -469,6 +544,25 @@ impl Diagnoser {
     where
         S: AsRef<[(String, f64)]> + Sync,
     {
+        self.diagnose_batch_with(sessions, threads, BatchOptions::default())
+    }
+
+    /// [`Diagnoser::diagnose_batch`] plus opt-in extras: decision-path
+    /// audit recording and drift sketching ([`BatchOptions`]). With
+    /// everything off this *is* `diagnose_batch`; with extras on,
+    /// every diagnosis output bit is still identical — the audit
+    /// recorder observes the descent without touching any of its
+    /// floating-point expressions, and drift sketching only reads the
+    /// constructed rows.
+    pub fn diagnose_batch_with<S>(
+        &self,
+        sessions: &[S],
+        threads: usize,
+        mut opts: BatchOptions<'_>,
+    ) -> DiagnosisBatch
+    where
+        S: AsRef<[(String, f64)]> + Sync,
+    {
         let cm = &self.compiled;
         let n = sessions.len();
         let k = cm.ctree.n_classes();
@@ -488,6 +582,7 @@ impl Diagnoser {
             resolution: vec![Resolution::Exact; n],
             fallback: vec![NO_FALLBACK; n],
             silent: vec![0; n * nw],
+            audit: opts.audit.then(|| AuditTrail::with_capacity(n)),
         };
         if n == 0 {
             return batch;
@@ -517,11 +612,19 @@ impl Diagnoser {
                 fallback: &mut batch.fallback,
                 silent: &mut batch.silent,
             };
-            self.run_shard(sessions, out, obs_on);
+            self.run_shard(sessions, out, obs_on, batch.audit.as_mut(), opts.drift);
             return batch;
         }
         let cs = n.div_ceil(nt);
-        std::thread::scope(|s| {
+        let audit_on = batch.audit.is_some();
+        let drift_schema = opts
+            .drift
+            .as_ref()
+            .map(|dw| (dw.sketches.len(), dw.label_counts.len()));
+        // Shard-local extras, stitched back in shard (= session) order
+        // after the scope joins, so the merged trail is identical to
+        // the single-thread one.
+        let extras: Vec<(Option<AuditTrail>, Option<DriftWindow>)> = std::thread::scope(|s| {
             let mut class = batch.class.as_mut_slice();
             let mut dist = batch.dist.as_mut_slice();
             let mut coverage = batch.coverage.as_mut_slice();
@@ -531,6 +634,7 @@ impl Diagnoser {
             let mut fallback = batch.fallback.as_mut_slice();
             let mut silent = batch.silent.as_mut_slice();
             let mut start = 0usize;
+            let mut handles = Vec::new();
             while start < n {
                 let len = cs.min(n - start);
                 let out = Shard {
@@ -544,16 +648,42 @@ impl Diagnoser {
                     silent: carve(&mut silent, len * nw),
                 };
                 let chunk = &sessions[start..start + len];
-                s.spawn(move || self.run_shard(chunk, out, obs_on));
+                handles.push(s.spawn(move || {
+                    let mut trail = audit_on.then(|| AuditTrail::with_capacity(chunk.len()));
+                    let mut window = drift_schema.map(|(f, c)| DriftWindow::new(f, c));
+                    self.run_shard(chunk, out, obs_on, trail.as_mut(), window.as_mut());
+                    (trail, window)
+                }));
                 start += len;
             }
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect()
         });
+        for (trail, window) in &extras {
+            if let (Some(into), Some(t)) = (batch.audit.as_mut(), trail.as_ref()) {
+                into.absorb(t);
+            }
+            if let (Some(dw), Some(w)) = (opts.drift.as_deref_mut(), window.as_ref()) {
+                dw.absorb(w);
+            }
+        }
         batch
     }
 
     /// Score one contiguous shard of sessions into its output slices.
-    fn run_shard<S>(&self, sessions: &[S], out: Shard<'_>, obs_on: bool)
-    where
+    fn run_shard<S>(
+        &self,
+        sessions: &[S],
+        out: Shard<'_>,
+        obs_on: bool,
+        mut audit: Option<&mut AuditTrail>,
+        mut drift: Option<&mut DriftWindow>,
+    ) where
         S: AsRef<[(String, f64)]>,
     {
         let cm = &self.compiled;
@@ -575,11 +705,26 @@ impl Diagnoser {
             // Construct + scatter: compiled transform into the schema
             // row (first-match-wins via epoch stamps).
             sc.construct_row(metrics, cm);
+            if let Some(dw) = drift.as_deref_mut() {
+                dw.record_row(&sc.row);
+            }
             let t1 = obs_on.then(std::time::Instant::now);
 
-            // Descend the compiled tree.
+            // Descend the compiled tree — audited when a trail is
+            // attached; the audited descent is the same loop with a
+            // step recorder bolted on, so the outputs are bitwise
+            // identical either way.
             let dist = &mut out.dist[i * k..(i + 1) * k];
-            let (missing_descent, depth) = cm.ctree.predict_into(&sc.row, dist, &mut sc.stack);
+            let (missing_descent, depth) = match audit.as_deref_mut() {
+                Some(trail) => {
+                    let r =
+                        cm.ctree
+                            .predict_into_audited(&sc.row, dist, &mut sc.stack, &mut sc.path);
+                    trail.push(&sc.path);
+                    r
+                }
+                None => cm.ctree.predict_into(&sc.row, dist, &mut sc.stack),
+            };
             let t2 = obs_on.then(std::time::Instant::now);
 
             // Normalise + argmax (last max on ties, like the scalar
@@ -660,6 +805,9 @@ impl Diagnoser {
             out.confidence[i] = confidence;
             out.resolution[i] = resolution;
             out.fallback[i] = fb;
+            if let Some(dw) = drift.as_deref_mut() {
+                dw.record_outcome(class, confidence, coverage);
+            }
 
             // Scoring ends here: sample the clock before any recorder
             // work so score_ns measures the stage, not the recorders.
@@ -701,7 +849,48 @@ impl Diagnoser {
         cm.pool.put(sc);
         if obs_on {
             self.flush_obs(&tally, sessions.len());
+            if let Some(trail) = audit.as_deref() {
+                let r = vqd_obs::recorder();
+                r.counter_add("core.audit.path.sessions", trail.len() as u64);
+                r.counter_add("core.audit.path.steps", trail.steps.len() as u64);
+                for i in 0..trail.len() {
+                    r.hist_record("core.audit.path.len", trail.path(i).len() as f64);
+                }
+            }
         }
+    }
+
+    /// An empty [`DriftWindow`] sized to this model's schema and
+    /// class list, ready for [`BatchOptions::drift`].
+    pub fn drift_window(&self) -> DriftWindow {
+        DriftWindow::new(self.feature_names.len(), self.classes.len())
+    }
+
+    /// Re-run a recorded decision path against this model: consume the
+    /// steps in order, validate each against the compiled tree, and
+    /// return the normalised class distribution, predicted class (the
+    /// batch path's last-max tie-break) and missing-descent weight —
+    /// bitwise what the original descent produced. Errors when the
+    /// path does not fit this tree.
+    pub fn replay_audit(&self, steps: &[AuditStep]) -> Result<(Vec<f64>, usize, f64), String> {
+        let cm = &self.compiled;
+        let k = cm.ctree.n_classes();
+        let mut dist = vec![0.0; k];
+        let mut stack = Vec::new();
+        let (missing_descent, _depth) = cm.ctree.replay_into(steps, &mut dist, &mut stack)?;
+        let total: f64 = dist.iter().sum();
+        if total > 0.0 {
+            for d in dist.iter_mut() {
+                *d /= total;
+            }
+        }
+        let mut class = 0usize;
+        for c in 1..k {
+            if dist[c].total_cmp(&dist[class]) != Ordering::Less {
+                class = c;
+            }
+        }
+        Ok((dist, class, missing_descent))
     }
 
     /// Flush one shard's tallies to the registry — the same counter

@@ -68,6 +68,7 @@
 //! merged output is byte-identical to offline batch diagnosis, every
 //! session answered exactly once.
 
+pub mod ops;
 pub mod recovery;
 pub mod snapshot;
 
@@ -225,6 +226,15 @@ pub struct ServeConfig {
     /// default, and `--no-shed`) never sheds: strict mode, where the
     /// streamed-equals-offline invariant holds unconditionally.
     pub shed: Option<usize>,
+    /// Record each diagnosis's decision path and attach it to the
+    /// [`FlushedSession`] (`--audit-log`). Verdicts are bitwise
+    /// unaffected.
+    pub audit: bool,
+    /// Shared drift monitor: each shard keeps a local
+    /// [`DriftWindow`](crate::drift::DriftWindow) and folds it in on
+    /// every flush, after which the monitor publishes `serve.drift.*`
+    /// gauges and raises threshold alerts.
+    pub drift: Option<Arc<Mutex<crate::drift::DriftMonitor>>>,
 }
 
 impl Default for ServeConfig {
@@ -236,6 +246,8 @@ impl Default for ServeConfig {
             lateness: None,
             max_sessions: 4096,
             shed: None,
+            audit: false,
+            drift: None,
         }
     }
 }
@@ -284,6 +296,10 @@ pub struct FlushedSession {
     /// The diagnosis — bitwise what offline batch serving produces
     /// for the same samples.
     pub diagnosis: Diagnosis,
+    /// The decision path behind the diagnosis, when the server ran
+    /// with [`ServeConfig::audit`]; replaying it through the same
+    /// model reproduces the verdict exactly.
+    pub audit: Option<Vec<vqd_ml::AuditStep>>,
 }
 
 /// End-of-run accounting, merged across shards.
@@ -574,6 +590,10 @@ struct ShardWorker {
     /// Simulated-crash flag: when set, bail out without flushing
     /// anything — the in-process equivalent of `kill -9`.
     abandon: Arc<AtomicBool>,
+    /// Shard-local drift window (when [`ServeConfig::drift`] is set):
+    /// filled lock-free inside each flush's diagnose pass, folded
+    /// into the shared monitor afterwards.
+    drift_local: Option<crate::drift::DriftWindow>,
 }
 
 impl ShardWorker {
@@ -839,7 +859,14 @@ impl ShardWorker {
         let batch = {
             let views: Vec<&[(String, f64)]> =
                 staged.iter().map(|p| p.metrics.as_slice()).collect();
-            self.diagnoser.diagnose_batch(&views, 1)
+            self.diagnoser.diagnose_batch_with(
+                &views,
+                1,
+                crate::serving::BatchOptions {
+                    audit: self.cfg.audit,
+                    drift: self.drift_local.as_mut(),
+                },
+            )
         };
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         self.stats.flush_batches += 1;
@@ -895,7 +922,23 @@ impl ShardWorker {
                 shed: p.shed,
                 shard: self.shard,
                 diagnosis: dx,
+                audit: batch.audit_path(i).map(<[_]>::to_vec),
             });
+        }
+        // Flush cadence = drift cadence: fold this shard's window into
+        // the shared monitor and re-evaluate. The hot ingest path
+        // never touches the monitor lock.
+        if let (Some(monitor), Some(local)) = (&self.cfg.drift, &mut self.drift_local) {
+            if !local.is_empty() {
+                if let Ok(mut m) = monitor.lock() {
+                    m.absorb(local);
+                    let reading = m.evaluate();
+                    for alert in &reading.alerts {
+                        eprintln!("[vqd serve] {alert}");
+                    }
+                }
+                local.clear();
+            }
         }
     }
 }
@@ -1071,6 +1114,7 @@ impl StreamServer {
                 shed_values: Arc::clone(&shed_values),
                 shed_memo: HashMap::new(),
                 abandon: Arc::clone(&abandon),
+                drift_local: cfg.drift.is_some().then(|| diagnoser.drift_window()),
             };
             let q = Arc::clone(&queue);
             workers.push(

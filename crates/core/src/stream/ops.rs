@@ -1,0 +1,304 @@
+//! The live ops surface of `vqd serve`: a dependency-free blocking
+//! HTTP listener exposing `/metrics` (Prometheus text exposition of
+//! the obs registry), `/healthz` (process liveness) and `/readyz`
+//! (serving readiness: model loaded ∧ shards running ∧ journal
+//! writable).
+//!
+//! The listener thread renders the exposition from a periodically
+//! refreshed registry snapshot cache, so a scrape — however slow the
+//! scraper drains the socket — never takes a lock the event hot path
+//! cares about and never triggers more than one snapshot per refresh
+//! interval even under a scrape storm.
+
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What the `/readyz` probe reports. All three legs start `false`;
+/// the daemon flips them as it brings each piece up, so orchestration
+/// holds traffic until the process can actually answer.
+#[derive(Debug, Default)]
+pub struct Readiness {
+    /// The model file parsed and compiled.
+    pub model_loaded: AtomicBool,
+    /// Shard workers spawned and consuming their queues.
+    pub shards_running: AtomicBool,
+    /// The event journal (when durability is on) opened writable;
+    /// daemons without durability set this immediately.
+    pub journal_writable: AtomicBool,
+}
+
+impl Readiness {
+    /// True when every leg is up.
+    pub fn ready(&self) -> bool {
+        self.model_loaded.load(Ordering::SeqCst)
+            && self.shards_running.load(Ordering::SeqCst)
+            && self.journal_writable.load(Ordering::SeqCst)
+    }
+
+    /// The legs still down, for the 503 body.
+    fn missing(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if !self.model_loaded.load(Ordering::SeqCst) {
+            out.push("model");
+        }
+        if !self.shards_running.load(Ordering::SeqCst) {
+            out.push("shards");
+        }
+        if !self.journal_writable.load(Ordering::SeqCst) {
+            out.push("journal");
+        }
+        out
+    }
+}
+
+/// The ops listener: owns the accept thread; dropping or
+/// [`OpsServer::shutdown`] stops it.
+pub struct OpsServer {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+/// How long a connection may dribble its request before we give up on
+/// it — an ops endpoint must never be wedged by a stuck client.
+const READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Accept-loop poll interval while idle (non-blocking accept).
+const POLL: Duration = Duration::from_millis(10);
+
+impl OpsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9464`; port 0 picks a free port)
+    /// and start serving. `refresh` bounds how often a scrape may
+    /// re-snapshot the registry.
+    pub fn bind(addr: &str, readiness: Arc<Readiness>, refresh: Duration) -> io::Result<OpsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("vqd-ops".to_string())
+            .spawn(move || accept_loop(listener, readiness, refresh, stop2))?;
+        Ok(OpsServer {
+            stop,
+            handle: Some(handle),
+            addr: local,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the listener thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for OpsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The refresh-bounded exposition cache.
+struct MetricsCache {
+    body: String,
+    at: Option<Instant>,
+    refresh: Duration,
+}
+
+impl MetricsCache {
+    fn get(&mut self) -> &str {
+        let stale = match self.at {
+            Some(t) => t.elapsed() >= self.refresh,
+            None => true,
+        };
+        if stale {
+            self.body = vqd_obs::expose::render_prometheus(&vqd_obs::snapshot());
+            self.at = Some(Instant::now());
+        }
+        &self.body
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    readiness: Arc<Readiness>,
+    refresh: Duration,
+    stop: Arc<AtomicBool>,
+) {
+    let mut cache = MetricsCache {
+        body: String::new(),
+        at: None,
+        refresh,
+    };
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: ops traffic is one scraper and the
+                // occasional probe, and the cache makes each request
+                // cheap; a stuck client costs at most READ_TIMEOUT.
+                let _ = serve_conn(stream, &readiness, &mut cache);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// Read the request line (`GET <path> HTTP/1.x`), route, respond.
+fn serve_conn(
+    mut stream: TcpStream,
+    readiness: &Readiness,
+    cache: &mut MetricsCache,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(READ_TIMEOUT))?;
+    let mut buf = [0u8; 1024];
+    let mut req = Vec::new();
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        req.extend_from_slice(&buf[..n]);
+        if req.windows(2).any(|w| w == b"\r\n") || req.contains(&b'\n') || req.len() > 8192 {
+            break;
+        }
+    }
+    let line = String::from_utf8_lossy(&req);
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+    }
+    match path {
+        "/metrics" => {
+            let body = cache.get().to_string();
+            respond(&mut stream, 200, vqd_obs::expose::CONTENT_TYPE, &body)
+        }
+        "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
+        "/readyz" => {
+            if readiness.ready() {
+                respond(&mut stream, 200, "text/plain", "ready\n")
+            } else {
+                let body = format!("not ready: {}\n", readiness.missing().join(", "));
+                respond(&mut stream, 503, "text/plain", &body)
+            }
+        }
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, ctype: &str, body: &str) -> io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal test client: one GET, whole response as a string.
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("write");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn serves_metrics_health_and_readiness() {
+        let readiness = Arc::new(Readiness::default());
+        let ops = OpsServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&readiness),
+            Duration::from_millis(0),
+        )
+        .expect("bind");
+        let addr = ops.local_addr();
+
+        assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200"));
+
+        // Not ready until every leg is up, and the body names the
+        // missing pieces.
+        let r = get(addr, "/readyz");
+        assert!(r.starts_with("HTTP/1.1 503"), "{r}");
+        assert!(r.contains("model"), "{r}");
+        readiness.model_loaded.store(true, Ordering::SeqCst);
+        readiness.shards_running.store(true, Ordering::SeqCst);
+        let r = get(addr, "/readyz");
+        assert!(
+            r.starts_with("HTTP/1.1 503") && r.contains("journal"),
+            "{r}"
+        );
+        readiness.journal_writable.store(true, Ordering::SeqCst);
+        assert!(get(addr, "/readyz").starts_with("HTTP/1.1 200"));
+
+        // /metrics renders a valid exposition document with the right
+        // content type.
+        let resp = get(addr, "/metrics");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains(vqd_obs::expose::CONTENT_TYPE), "{resp}");
+        let body = resp.split("\r\n\r\n").nth(1).unwrap_or("");
+        vqd_obs::expose::validate_exposition(body).expect("valid exposition");
+
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+        assert!({
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.set_read_timeout(Some(Duration::from_secs(5))).ok();
+            write!(s, "POST /metrics HTTP/1.1\r\n\r\n").expect("write");
+            let mut out = String::new();
+            s.read_to_string(&mut out).expect("read");
+            out.starts_with("HTTP/1.1 405")
+        });
+        ops.shutdown();
+    }
+
+    #[test]
+    fn metrics_cache_respects_refresh_interval() {
+        let mut cache = MetricsCache {
+            body: String::new(),
+            at: None,
+            refresh: Duration::from_secs(3600),
+        };
+        let a = cache.get().to_string();
+        // A long refresh pins the cache: the second read re-renders
+        // nothing even if the registry moved.
+        let b = cache.get().to_string();
+        assert_eq!(a, b);
+    }
+}

@@ -280,8 +280,8 @@ impl VqdcWriter {
         let file = File::create(&path).map_err(|e| VqdError::io(&path, e))?;
         write_at(&file, &path, &header, 0)?;
         let columns_start = header.len() as u64;
-        let total = columns_start
-            + schema.n_cols() as u64 * (COL_HEADER_BYTES + n_rows * CELL_BYTES);
+        let total =
+            columns_start + schema.n_cols() as u64 * (COL_HEADER_BYTES + n_rows * CELL_BYTES);
         file.set_len(total).map_err(|e| VqdError::io(&path, e))?;
         let sums = (0..schema.n_cols())
             .map(|_| Some(Checksum32::new(n_rows * CELL_BYTES)))
@@ -368,7 +368,10 @@ impl VqdcWriter {
         if self.at != n_rows {
             return Err(VqdError::corpus(
                 self.at,
-                format!("corpus shrank between passes: wrote {} of {n_rows} rows", self.at),
+                format!(
+                    "corpus shrank between passes: wrote {} of {n_rows} rows",
+                    self.at
+                ),
             ));
         }
         for j in 0..self.schema.n_cols() {
@@ -376,7 +379,12 @@ impl VqdcWriter {
                 .take()
                 .unwrap_or_else(|| unreachable!("checksum consumed once"))
                 .finish();
-            write_at(&self.file, &self.path, &sum.to_le_bytes(), self.col_offset(j))?;
+            write_at(
+                &self.file,
+                &self.path,
+                &sum.to_le_bytes(),
+                self.col_offset(j),
+            )?;
         }
         self.file
             .sync_data()
@@ -880,10 +888,8 @@ mod tests {
             for c in runs.chunks(chunk) {
                 schema.scan(c).unwrap();
             }
-            let path = std::env::temp_dir().join(format!(
-                "vqdc-stream-{}-{chunk}.vqdc",
-                std::process::id()
-            ));
+            let path = std::env::temp_dir()
+                .join(format!("vqdc-stream-{}-{chunk}.vqdc", std::process::id()));
             let mut w = VqdcWriter::create(&path, schema).unwrap();
             for c in runs.chunks(chunk) {
                 w.write_rows(c).unwrap();
@@ -900,17 +906,18 @@ mod tests {
         let runs = sample_runs();
         let mut schema = VqdcSchema::new();
         schema.scan(&runs).unwrap();
-        let path = std::env::temp_dir().join(format!(
-            "vqdc-stream-race-{}.vqdc",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("vqdc-stream-race-{}.vqdc", std::process::id()));
         // Pass 2 sees a different second session: typed error, no file
         // silently encoding the wrong values.
         let mut changed = runs.clone();
         changed[1].metrics.push(("late.metric".into(), 9.0));
         let mut w = VqdcWriter::create(&path, schema).unwrap();
         let e = w.write_rows(&changed).unwrap_err();
-        assert!(e.to_string().contains("between schema scan and write"), "{e}");
+        assert!(
+            e.to_string().contains("between schema scan and write"),
+            "{e}"
+        );
         // And a shrunken pass 2 fails at finish.
         let mut schema = VqdcSchema::new();
         schema.scan(&runs).unwrap();

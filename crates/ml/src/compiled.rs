@@ -33,6 +33,55 @@ pub struct DescentFrame {
     depth: u32,
 }
 
+/// Which branch a recorded split decision took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditDir {
+    /// Observed value below the threshold.
+    Lo,
+    /// Observed value at or above the threshold.
+    Hi,
+    /// Value missing: weight split across both children by `lo_frac`.
+    Both,
+}
+
+impl AuditDir {
+    /// Stable lower-case name (audit record serialization).
+    pub fn name(self) -> &'static str {
+        match self {
+            AuditDir::Lo => "lo",
+            AuditDir::Hi => "hi",
+            AuditDir::Both => "both",
+        }
+    }
+
+    /// Inverse of [`AuditDir::name`].
+    pub fn parse(s: &str) -> Option<AuditDir> {
+        match s {
+            "lo" => Some(AuditDir::Lo),
+            "hi" => Some(AuditDir::Hi),
+            "both" => Some(AuditDir::Both),
+            _ => None,
+        }
+    }
+}
+
+/// One split decision recorded during an audited descent: enough to
+/// replay the exact traversal (and therefore the exact verdict)
+/// without the feature vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditStep {
+    /// Pre-order node id of the split (same ids `serialize` uses).
+    pub node: u32,
+    /// Split feature column.
+    pub feat: u32,
+    /// Split threshold.
+    pub thr: f64,
+    /// Observed feature value (NaN when the feature was missing).
+    pub value: f64,
+    /// Branch taken.
+    pub dir: AuditDir,
+}
+
 /// A [`DecisionTree`] flattened into cache-friendly SoA node tables.
 #[derive(Debug, Clone)]
 pub struct CompiledTree {
@@ -216,6 +265,33 @@ impl CompiledTree {
         out: &mut [f64],
         stack: &mut Vec<DescentFrame>,
     ) -> (f64, u32) {
+        self.descend(x, out, stack, None)
+    }
+
+    /// [`CompiledTree::predict_into`] with the decision path recorded
+    /// into `path` (cleared here): one [`AuditStep`] per split visited,
+    /// in traversal order. The recording changes no floating-point
+    /// expression and no visit order, so the returned distribution is
+    /// bitwise identical to the unaudited descent; `path` is
+    /// caller-owned scratch, so steady-state batches never allocate.
+    pub fn predict_into_audited(
+        &self,
+        x: &[f64],
+        out: &mut [f64],
+        stack: &mut Vec<DescentFrame>,
+        path: &mut Vec<AuditStep>,
+    ) -> (f64, u32) {
+        path.clear();
+        self.descend(x, out, stack, Some(path))
+    }
+
+    fn descend(
+        &self,
+        x: &[f64],
+        out: &mut [f64],
+        stack: &mut Vec<DescentFrame>,
+        mut audit: Option<&mut Vec<AuditStep>>,
+    ) -> (f64, u32) {
         debug_assert_eq!(out.len(), self.n_classes);
         for o in out.iter_mut() {
             *o = 0.0;
@@ -256,6 +332,7 @@ impl CompiledTree {
                 }
             } else {
                 let v = x[f as usize];
+                let dir;
                 if v.is_nan() {
                     stack.push(DescentFrame {
                         node: self.hi[i],
@@ -266,10 +343,22 @@ impl CompiledTree {
                     w *= self.lo_frac[i];
                     node = self.lo[i];
                     via_missing = true;
+                    dir = AuditDir::Both;
                 } else if v < self.thr[i] {
                     node = self.lo[i];
+                    dir = AuditDir::Lo;
                 } else {
                     node = self.hi[i];
+                    dir = AuditDir::Hi;
+                }
+                if let Some(p) = audit.as_deref_mut() {
+                    p.push(AuditStep {
+                        node: i as u32,
+                        feat: f,
+                        thr: self.thr[i],
+                        value: v,
+                        dir,
+                    });
                 }
                 depth += 1;
             }
@@ -284,6 +373,104 @@ impl CompiledTree {
             1.0
         };
         (miss_frac, max_depth)
+    }
+
+    /// Re-run a descent from a recorded decision path alone: the
+    /// branch choices come from `steps` (consumed in order) instead of
+    /// a feature vector, every floating-point expression matches
+    /// [`CompiledTree::predict_into`], and the resulting distribution
+    /// is therefore bitwise identical to the original verdict. Returns
+    /// the same `(miss_frac, max_depth)` pair, or an error when the
+    /// path does not fit this tree (wrong node/feature at a split, too
+    /// short, or steps left over).
+    pub fn replay_into(
+        &self,
+        steps: &[AuditStep],
+        out: &mut [f64],
+        stack: &mut Vec<DescentFrame>,
+    ) -> Result<(f64, u32), String> {
+        debug_assert_eq!(out.len(), self.n_classes);
+        for o in out.iter_mut() {
+            *o = 0.0;
+        }
+        stack.clear();
+        let mut next = 0usize;
+        let mut miss = 0.0f64;
+        let mut max_depth = 0u32;
+
+        let mut node = 0u32;
+        let mut w = 1.0f64;
+        let mut via_missing = false;
+        let mut depth = 0u32;
+        loop {
+            let i = node as usize;
+            max_depth = max_depth.max(depth);
+            let f = self.feat[i];
+            if f == LEAF {
+                let total = self.dist_total[i];
+                if total > 0.0 {
+                    let base = i * self.n_classes;
+                    for (c, o) in out.iter_mut().enumerate() {
+                        *o += w * self.dist[base + c] / total;
+                    }
+                    if via_missing {
+                        miss += w;
+                    }
+                }
+                match stack.pop() {
+                    Some(fr) => {
+                        node = fr.node;
+                        w = fr.w;
+                        via_missing = fr.via_missing;
+                        depth = fr.depth;
+                    }
+                    None => break,
+                }
+            } else {
+                let Some(step) = steps.get(next) else {
+                    return Err(format!("path ended at split node {node} (step {next})"));
+                };
+                next += 1;
+                if step.node != node || step.feat != f {
+                    return Err(format!(
+                        "step {} is node {} feat {}, tree expects node {node} feat {f}",
+                        next - 1,
+                        step.node,
+                        step.feat
+                    ));
+                }
+                match step.dir {
+                    AuditDir::Both => {
+                        stack.push(DescentFrame {
+                            node: self.hi[i],
+                            w: w * (1.0 - self.lo_frac[i]),
+                            via_missing: true,
+                            depth: depth + 1,
+                        });
+                        w *= self.lo_frac[i];
+                        node = self.lo[i];
+                        via_missing = true;
+                    }
+                    AuditDir::Lo => node = self.lo[i],
+                    AuditDir::Hi => node = self.hi[i],
+                }
+                depth += 1;
+            }
+        }
+        if next != steps.len() {
+            return Err(format!(
+                "{} recorded steps, traversal consumed {next}",
+                steps.len()
+            ));
+        }
+
+        let landed: f64 = out.iter().sum();
+        let miss_frac = if landed > 0.0 {
+            (miss / landed).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        Ok((miss_frac, max_depth))
     }
 
     /// Allocating convenience wrapper over [`CompiledTree::predict_into`]
@@ -379,6 +566,85 @@ mod tests {
         let ct = CompiledTree::from_tree(&tree);
         let back = ct.to_tree();
         assert_eq!(tree.serialize(), back.serialize());
+    }
+
+    #[test]
+    fn audited_descent_is_bitwise_identical_and_replays() {
+        let tree = trained();
+        let ct = CompiledTree::from_tree(&tree);
+        let probes = [
+            vec![1.0, 2.0, 0.5],
+            vec![5.0, 1.0, 0.1],
+            vec![9.0, 9.0, 0.9],
+            vec![f64::NAN, 4.0, 0.2],
+            vec![4.0, f64::NAN, 0.2],
+            vec![f64::NAN, f64::NAN, f64::NAN],
+        ];
+        let mut plain = vec![0.0; ct.n_classes()];
+        let mut audited = vec![0.0; ct.n_classes()];
+        let mut replayed = vec![0.0; ct.n_classes()];
+        let mut stack = Vec::new();
+        let mut path = Vec::new();
+        for x in &probes {
+            let (m_p, d_p) = ct.predict_into(x, &mut plain, &mut stack);
+            let (m_a, d_a) = ct.predict_into_audited(x, &mut audited, &mut stack, &mut path);
+            assert_eq!(
+                plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                audited.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{x:?}"
+            );
+            assert_eq!((m_p.to_bits(), d_p), (m_a.to_bits(), d_a), "{x:?}");
+            assert!(!path.is_empty(), "trained tree has splits");
+            // Steps land in traversal order starting at the root and
+            // carry the observed values.
+            assert_eq!(path[0].node, 0);
+            for s in &path {
+                assert_eq!(s.value.to_bits(), x[s.feat as usize].to_bits());
+            }
+            // The recorded path alone reproduces the verdict bitwise.
+            let (m_r, d_r) = ct.replay_into(&path, &mut replayed, &mut stack).unwrap();
+            assert_eq!(
+                plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                replayed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{x:?}"
+            );
+            assert_eq!((m_p.to_bits(), d_p), (m_r.to_bits(), d_r), "{x:?}");
+        }
+    }
+
+    #[test]
+    fn replay_rejects_paths_that_do_not_fit() {
+        let tree = trained();
+        let ct = CompiledTree::from_tree(&tree);
+        let mut out = vec![0.0; ct.n_classes()];
+        let mut stack = Vec::new();
+        let mut path = Vec::new();
+        let (_, _) = ct.predict_into_audited(&[5.0, 1.0, 0.1], &mut out, &mut stack, &mut path);
+
+        // Truncated path.
+        let err = ct
+            .replay_into(&path[..path.len() - 1], &mut out, &mut stack)
+            .unwrap_err();
+        assert!(err.contains("path ended"), "{err}");
+
+        // Wrong node id at a step.
+        let mut bad = path.clone();
+        bad[0].node = bad[0].node.wrapping_add(1);
+        assert!(ct.replay_into(&bad, &mut out, &mut stack).is_err());
+
+        // Extra trailing step.
+        let mut long = path.clone();
+        long.push(path[0]);
+        let err = ct.replay_into(&long, &mut out, &mut stack).unwrap_err();
+        assert!(err.contains("consumed"), "{err}");
+    }
+
+    #[test]
+    fn audit_dir_names_round_trip() {
+        for d in [AuditDir::Lo, AuditDir::Hi, AuditDir::Both] {
+            assert_eq!(AuditDir::parse(d.name()), Some(d));
+        }
+        assert_eq!(AuditDir::parse("sideways"), None);
     }
 
     #[test]

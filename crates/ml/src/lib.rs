@@ -33,7 +33,7 @@ pub mod nb;
 pub mod stream_fit;
 pub mod svm;
 
-pub use compiled::{CompiledTree, DescentFrame};
+pub use compiled::{AuditDir, AuditStep, CompiledTree, DescentFrame};
 pub use cv::{cross_validate, Learner, NbLearner, SvmLearner};
 pub use dataset::{Dataset, DatasetBuilder};
 pub use discretize::{mdl_cuts, FeatureCuts};

@@ -1,0 +1,301 @@
+//! Prometheus text exposition (format version 0.0.4) for a registry
+//! [`Snapshot`].
+//!
+//! Counters and gauges render as single samples; a [`LogHistogram`]
+//! renders as the standard cumulative series — one
+//! `name_bucket{le="<bound>"}` sample per occupied bucket (bounds are
+//! the log-linear bucket upper bounds, so the series is sparse but
+//! exact), the `le="+Inf"` closing bucket, and `name_sum` /
+//! `name_count`. Metric names are sanitized into the
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*` charset (dots become underscores);
+//! sanitization collisions are disambiguated with a numeric suffix so
+//! two distinct registry names never merge into one series. Sample
+//! values are always finite: non-finite gauges keep their `# TYPE`
+//! line but drop the unrepresentable sample, and histogram sums are
+//! clamped to the largest finite double.
+//!
+//! The renderer walks [`Snapshot::metrics`] — the same single
+//! traversal behind `render_text` and `to_jsonl` — so a metric
+//! recorded anywhere is present in every surface.
+//!
+//! [`LogHistogram`]: crate::hist::LogHistogram
+
+use std::collections::BTreeSet;
+
+use crate::registry::{Metric, Snapshot};
+
+/// The HTTP `Content-Type` for this exposition format.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Map a registry metric name into the Prometheus charset: characters
+/// outside `[a-zA-Z0-9_:]` become `_`, and a leading digit gets a `_`
+/// prefix. Empty names become `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Shortest round-trip float formatting; the callers guarantee `v` is
+/// finite.
+fn fmt_f64(v: f64) -> String {
+    debug_assert!(v.is_finite());
+    format!("{v:?}")
+}
+
+/// Claim a unique series base name: `base` itself when `base` and
+/// every `base + suffix` are unused, else `base_2`, `base_3`, … — so
+/// sanitization collisions (`a.b` vs `a_b`) and histogram suffix
+/// clashes (`x` vs a counter named `x_count`) never produce duplicate
+/// series.
+fn claim(used: &mut BTreeSet<String>, base: String, suffixes: &[&str]) -> String {
+    let free = |used: &BTreeSet<String>, cand: &str| {
+        !used.contains(cand)
+            && suffixes
+                .iter()
+                .all(|s| !used.contains(&format!("{cand}{s}")))
+    };
+    let name = if free(used, &base) {
+        base
+    } else {
+        let mut k = 2u64;
+        loop {
+            let cand = format!("{base}_{k}");
+            if free(used, &cand) {
+                break cand;
+            }
+            k += 1;
+        }
+    };
+    used.insert(name.clone());
+    for s in suffixes {
+        used.insert(format!("{name}{s}"));
+    }
+    name
+}
+
+/// Render a snapshot in Prometheus text exposition format. Output is
+/// deterministic: metrics appear in the snapshot's (kind, name) order.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    for m in snap.metrics() {
+        match m {
+            Metric::Counter { name, value } => {
+                let n = claim(&mut used, sanitize_name(name), &[]);
+                let _ = writeln!(out, "# TYPE {n} counter\n{n} {value}");
+            }
+            Metric::Gauge { name, value } => {
+                let n = claim(&mut used, sanitize_name(name), &[]);
+                let _ = writeln!(out, "# TYPE {n} gauge");
+                if value.is_finite() {
+                    let _ = writeln!(out, "{n} {}", fmt_f64(value));
+                }
+            }
+            Metric::Hist { name, hist } => {
+                let n = claim(
+                    &mut used,
+                    sanitize_name(name),
+                    &["_bucket", "_sum", "_count"],
+                );
+                let _ = writeln!(out, "# TYPE {n} histogram");
+                for (ub, cum) in hist.cumulative_buckets() {
+                    let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", fmt_f64(ub));
+                }
+                let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", hist.count());
+                let sum = hist.sum();
+                let sum = if sum.is_finite() { sum } else { f64::MAX };
+                let _ = writeln!(out, "{n}_sum {}", fmt_f64(sum));
+                let _ = writeln!(out, "{n}_count {}", hist.count());
+            }
+        }
+    }
+    out
+}
+
+/// A well-formed metric name in the exposition charset.
+fn is_valid_name(n: &str) -> bool {
+    let mut chars = n.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Check the structural validity of an exposition document: every
+/// line is a `# TYPE` comment or a `name[{le="bound"}] value` sample,
+/// all names in the sanitized charset, all sample values finite,
+/// bucket series ascending and monotone with a closing `+Inf` bucket
+/// equal to `_count`, and no duplicate series. Used by the
+/// exposition proptest and available to smoke tooling.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut seen_series: BTreeSet<String> = BTreeSet::new();
+    let mut bucket_prev: Option<(String, f64, u64)> = None;
+    let mut bucket_inf: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut counts: std::collections::BTreeMap<String, u64> = Default::default();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let name = it.next().unwrap_or("");
+            let kind = it.next().unwrap_or("");
+            if !is_valid_name(name) {
+                return Err(format!("bad TYPE name {name:?}"));
+            }
+            if !["counter", "gauge", "histogram"].contains(&kind) {
+                return Err(format!("bad TYPE kind {kind:?}"));
+            }
+            if it.next().is_some() {
+                return Err(format!("trailing TYPE tokens: {line:?}"));
+            }
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            return Err(format!("sample line without value: {line:?}"));
+        };
+        let v: f64 = value
+            .parse()
+            .map_err(|_| format!("unparseable sample value {value:?} in {line:?}"))?;
+        if !v.is_finite() {
+            return Err(format!("non-finite sample in {line:?}"));
+        }
+        if let Some((name, labels)) = series.split_once('{') {
+            // Only histogram buckets carry labels.
+            let Some(base) = name.strip_suffix("_bucket") else {
+                return Err(format!("labeled non-bucket series {series:?}"));
+            };
+            if !is_valid_name(name) {
+                return Err(format!("bad series name {name:?}"));
+            }
+            let Some(le) = labels
+                .strip_prefix("le=\"")
+                .and_then(|l| l.strip_suffix("\"}"))
+            else {
+                return Err(format!("bad le label in {line:?}"));
+            };
+            if le == "+Inf" {
+                bucket_inf.insert(base.to_string(), v as u64);
+                bucket_prev = None;
+            } else {
+                let bound: f64 = le
+                    .parse()
+                    .map_err(|_| format!("unparseable le bound {le:?}"))?;
+                if !bound.is_finite() {
+                    return Err(format!("non-finite le bound in {line:?}"));
+                }
+                if let Some((prev_base, prev_bound, prev_cum)) = &bucket_prev {
+                    if prev_base == base {
+                        if *prev_bound >= bound {
+                            return Err(format!("bounds not ascending at {line:?}"));
+                        }
+                        if *prev_cum > v as u64 {
+                            return Err(format!("buckets not monotone at {line:?}"));
+                        }
+                    }
+                }
+                bucket_prev = Some((base.to_string(), bound, v as u64));
+            }
+        } else {
+            if !is_valid_name(series) {
+                return Err(format!("bad series name {series:?}"));
+            }
+            if !seen_series.insert(series.to_string()) {
+                return Err(format!("duplicate series {series:?}"));
+            }
+            if let Some(base) = series.strip_suffix("_count") {
+                if bucket_inf.contains_key(base) {
+                    counts.insert(base.to_string(), v as u64);
+                }
+            }
+        }
+    }
+    for (base, inf) in &bucket_inf {
+        if counts.get(base) != Some(inf) {
+            return Err(format!("histogram {base}: +Inf bucket != _count"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn check_exposition(text: &str) {
+        if let Err(e) = validate_exposition(text) {
+            panic!("invalid exposition: {e}\n{text}");
+        }
+    }
+
+    #[test]
+    fn sanitize_rules() {
+        assert_eq!(sanitize_name("core.diagnose.calls"), "core_diagnose_calls");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name(""), "_");
+        assert_eq!(sanitize_name("ok:name_1"), "ok:name_1");
+    }
+
+    #[test]
+    fn renders_all_kinds_validly() {
+        let r = Registry::new();
+        r.counter_add("core.diagnose.calls", 7);
+        r.gauge_set("serve.queue.depth", 3.5);
+        r.gauge_set_dyn("serve.drift.psi.mobile.phy.rssi_avg", 0.07);
+        r.hist_record("core.diagnose.confidence", 0.9);
+        r.hist_record("core.diagnose.confidence", 0.4);
+        r.hist_record("core.diagnose.confidence", f64::NAN);
+        r.hist_record("core.diagnose.confidence", -1.0);
+        let text = render_prometheus(&r.snapshot());
+        check_exposition(&text);
+        assert!(text.contains("# TYPE core_diagnose_calls counter"));
+        assert!(text.contains("core_diagnose_calls 7"));
+        assert!(text.contains("serve_queue_depth 3.5"));
+        assert!(text.contains("serve_drift_psi_mobile_phy_rssi_avg 0.07"));
+        assert!(text.contains("# TYPE core_diagnose_confidence histogram"));
+        assert!(text.contains("core_diagnose_confidence_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("core_diagnose_confidence_count 2"));
+    }
+
+    #[test]
+    fn non_finite_gauges_drop_the_sample_only() {
+        let r = Registry::new();
+        r.gauge_set("bad.gauge", f64::NAN);
+        let text = render_prometheus(&r.snapshot());
+        check_exposition(&text);
+        assert!(text.contains("# TYPE bad_gauge gauge"));
+        assert!(!text.lines().any(|l| l.starts_with("bad_gauge ")));
+    }
+
+    #[test]
+    fn sanitization_collisions_stay_distinct() {
+        let r = Registry::new();
+        r.counter_add_dyn("a.b", 1);
+        r.counter_add_dyn("a_b", 2);
+        r.counter_add_dyn("a-b", 3);
+        let text = render_prometheus(&r.snapshot());
+        check_exposition(&text);
+        // Three distinct series, values 1..3 all present.
+        for v in 1..=3 {
+            assert!(
+                text.lines().any(|l| l.ends_with(&format!(" {v}"))),
+                "value {v} lost:\n{text}"
+            );
+        }
+    }
+}

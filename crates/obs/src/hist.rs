@@ -26,7 +26,9 @@ const MIN_EXP: i32 = -32;
 /// Largest representable exponent (values above saturate).
 const MAX_EXP: i32 = 63;
 /// Total bucket count.
-const BUCKETS: usize = ((MAX_EXP - MIN_EXP + 1) as usize) * SUBS;
+/// Total bucket count — the valid index range for
+/// [`LogHistogram::from_parts`] sparse pairs.
+pub const BUCKETS: usize = ((MAX_EXP - MIN_EXP + 1) as usize) * SUBS;
 
 /// A mergeable log-linear histogram of `f64` samples.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -198,6 +200,84 @@ impl LogHistogram {
             self.quantile(0.99),
         )
     }
+
+    /// Upper bound of bucket index `i` — the boundary a cumulative
+    /// (`le`) series reports for that bucket.
+    pub fn bucket_bound(i: usize) -> f64 {
+        upper_bound(i.min(BUCKETS - 1))
+    }
+
+    /// Occupied buckets as `(index, count)` pairs, ascending. Empty
+    /// buckets are skipped, so the result is `O(distinct magnitudes)`
+    /// rather than the full table.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Cumulative bucket series for exposition: `(upper_bound,
+    /// cumulative_count)` at every occupied bucket, ascending, with the
+    /// final entry's count equal to [`count`](LogHistogram::count).
+    /// Counts are monotone non-decreasing by construction. Empty
+    /// histograms yield an empty series.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, c) in self.nonzero_buckets() {
+            cum += c;
+            out.push((upper_bound(i), cum));
+        }
+        out
+    }
+
+    /// Reassemble a histogram from its serialized parts: sparse
+    /// `(bucket index, count)` pairs plus the scalar fields. The
+    /// inverse of reading [`nonzero_buckets`] and the accessors —
+    /// used by the model drift stamp's text round trip. Rejects
+    /// out-of-range bucket indices, bucket/count mismatches and
+    /// non-finite extrema.
+    pub fn from_parts(
+        sparse: &[(usize, u64)],
+        non_positive: u64,
+        nan: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    ) -> Result<LogHistogram, String> {
+        let mut h = LogHistogram::new();
+        let mut count = 0u64;
+        if !sparse.is_empty() {
+            h.buckets = vec![0; BUCKETS];
+            for &(i, c) in sparse {
+                if i >= BUCKETS {
+                    return Err(format!("bucket index {i} out of range (max {BUCKETS})"));
+                }
+                if c == 0 {
+                    return Err(format!("bucket {i} has zero count"));
+                }
+                h.buckets[i] += c;
+                count += c;
+            }
+        }
+        if count > 0 && !(sum.is_finite() && min.is_finite() && max.is_finite()) {
+            return Err("non-finite histogram extrema".to_string());
+        }
+        if count > 0 && min > max {
+            return Err(format!("histogram min {min} > max {max}"));
+        }
+        h.count = count;
+        h.non_positive = non_positive;
+        h.nan = nan;
+        if count > 0 {
+            h.sum = sum;
+            h.min = min;
+            h.max = max;
+        }
+        Ok(h)
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +333,48 @@ mod tests {
         // and ordered.
         assert!(h.quantile(0.01) <= h.quantile(0.99));
         assert!(h.quantile(0.99).is_finite());
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_complete() {
+        let mut h = LogHistogram::new();
+        for v in [0.5, 1.0, 3.2, 19.0, 19.0, 1e6, 7e-8, 42.0] {
+            h.record(v);
+        }
+        let series = h.cumulative_buckets();
+        assert!(!series.is_empty());
+        for w in series.windows(2) {
+            assert!(w[0].0 < w[1].0, "bounds not ascending: {series:?}");
+            assert!(w[0].1 <= w[1].1, "counts not monotone: {series:?}");
+        }
+        assert_eq!(series.last().map(|&(_, c)| c), Some(h.count()));
+        // Every bound is a real bucket upper bound and brackets max.
+        assert!(series.last().is_some_and(|&(ub, _)| ub >= h.max()));
+        assert!(LogHistogram::new().cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut h = LogHistogram::new();
+        for v in [0.5, 3.2, 19.0, -1.0, 0.0, f64::NAN, 1e6] {
+            h.record(v);
+        }
+        let sparse: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        let back = LogHistogram::from_parts(
+            &sparse,
+            h.non_positive(),
+            h.nan(),
+            h.sum(),
+            h.min(),
+            h.max(),
+        )
+        .unwrap();
+        assert_eq!(back, h);
+        // Corruption is rejected, not panicked on.
+        assert!(LogHistogram::from_parts(&[(usize::MAX, 1)], 0, 0, 1.0, 1.0, 1.0).is_err());
+        assert!(LogHistogram::from_parts(&[(3, 0)], 0, 0, 1.0, 1.0, 1.0).is_err());
+        assert!(LogHistogram::from_parts(&[(3, 1)], 0, 0, f64::NAN, 1.0, 1.0).is_err());
+        assert!(LogHistogram::from_parts(&[(3, 1)], 0, 0, 1.0, 2.0, 1.0).is_err());
     }
 
     #[test]

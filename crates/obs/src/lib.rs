@@ -22,13 +22,14 @@
 //! thread count — `tests/determinism.rs` and `tests/scheduler_diff.rs`
 //! enforce this.
 
+pub mod expose;
 pub mod hist;
 pub mod json;
 pub mod registry;
 pub mod trace;
 
 pub use hist::LogHistogram;
-pub use registry::{Registry, Snapshot};
+pub use registry::{Metric, Registry, Snapshot};
 pub use trace::{chrome_trace_json, validate_trace, Clock, SpanRecord, SpanSink};
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,6 +51,12 @@ pub trait Recorder: Sync {
     }
     /// Set gauge `name` (last write wins).
     fn gauge_set(&self, name: &'static str, v: f64) {
+        let _ = (name, v);
+    }
+    /// Set a gauge with a runtime-built name (per-label values).
+    /// Costlier than [`gauge_set`](Recorder::gauge_set); prefer
+    /// literals where the name set is static.
+    fn gauge_set_dyn(&self, name: &str, v: f64) {
         let _ = (name, v);
     }
     /// Record a histogram sample.
@@ -84,6 +91,9 @@ impl Recorder for GlobalRecorder {
     }
     fn gauge_set(&self, name: &'static str, v: f64) {
         self.registry.gauge_set(name, v);
+    }
+    fn gauge_set_dyn(&self, name: &str, v: f64) {
+        self.registry.gauge_set_dyn(name, v);
     }
     fn hist_record(&self, name: &'static str, v: f64) {
         self.registry.hist_record(name, v);

@@ -142,6 +142,20 @@ impl Registry {
         shard.lock().gauges.insert(Cow::Borrowed(name), (seq, v));
     }
 
+    /// Set a gauge with a runtime-built name (e.g. per-feature drift
+    /// scores). Allocates the key once per shard.
+    pub fn gauge_set_dyn(&self, name: &str, v: f64) {
+        let seq = self.gauge_seq.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard();
+        let mut data = shard.lock();
+        match data.gauges.get_mut(name) {
+            Some(g) => *g = (seq, v),
+            None => {
+                data.gauges.insert(Cow::Owned(name.to_string()), (seq, v));
+            }
+        }
+    }
+
     /// Record one sample into histogram `name`.
     pub fn hist_record(&self, name: &'static str, v: f64) {
         let shard = self.shard();
@@ -210,7 +224,58 @@ pub struct Snapshot {
     pub hists: BTreeMap<String, LogHistogram>,
 }
 
+/// One metric as every renderer sees it. [`Snapshot::metrics`] is the
+/// single traversal behind [`Snapshot::render_text`],
+/// [`Snapshot::to_jsonl`] and the Prometheus exposition
+/// ([`crate::expose`]) — a metric visible in one surface is visible in
+/// all of them by construction.
+#[derive(Debug, Clone, Copy)]
+pub enum Metric<'a> {
+    Counter {
+        name: &'a str,
+        value: u64,
+    },
+    Gauge {
+        name: &'a str,
+        value: f64,
+    },
+    Hist {
+        name: &'a str,
+        hist: &'a LogHistogram,
+    },
+}
+
+impl Metric<'_> {
+    /// The metric's name, whichever kind it is.
+    pub fn name(&self) -> &str {
+        match self {
+            Metric::Counter { name, .. }
+            | Metric::Gauge { name, .. }
+            | Metric::Hist { name, .. } => name,
+        }
+    }
+}
+
 impl Snapshot {
+    /// Every metric in deterministic (kind, name) order — counters,
+    /// then gauges, then histograms, each name-sorted. All render
+    /// surfaces iterate this one traversal.
+    pub fn metrics(&self) -> impl Iterator<Item = Metric<'_>> {
+        self.counters
+            .iter()
+            .map(|(k, &v)| Metric::Counter { name: k, value: v })
+            .chain(
+                self.gauges
+                    .iter()
+                    .map(|(k, &v)| Metric::Gauge { name: k, value: v }),
+            )
+            .chain(
+                self.hists
+                    .iter()
+                    .map(|(k, h)| Metric::Hist { name: k, hist: h }),
+            )
+    }
+
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
     }
@@ -247,40 +312,36 @@ impl Snapshot {
     pub fn to_jsonl(&self) -> String {
         use crate::json::Json;
         let mut out = String::new();
-        for (k, v) in &self.counters {
-            let obj = Json::obj(vec![
-                ("kind", Json::str("counter")),
-                ("name", Json::str(k)),
-                ("value", Json::num(*v as f64)),
-            ]);
-            out.push_str(&obj.to_string());
-            out.push('\n');
-        }
-        for (k, v) in &self.gauges {
-            let obj = Json::obj(vec![
-                ("kind", Json::str("gauge")),
-                ("name", Json::str(k)),
-                ("value", Json::num(*v)),
-            ]);
-            out.push_str(&obj.to_string());
-            out.push('\n');
-        }
-        for (k, h) in &self.hists {
-            let (p50, p95, p99) = h.percentiles();
-            let obj = Json::obj(vec![
-                ("kind", Json::str("hist")),
-                ("name", Json::str(k)),
-                ("count", Json::num(h.count() as f64)),
-                ("sum", Json::num(h.sum())),
-                ("mean", Json::num(h.mean())),
-                ("min", Json::num(h.min())),
-                ("max", Json::num(h.max())),
-                ("p50", Json::num(p50)),
-                ("p95", Json::num(p95)),
-                ("p99", Json::num(p99)),
-                ("non_positive", Json::num(h.non_positive() as f64)),
-                ("nan", Json::num(h.nan() as f64)),
-            ]);
+        for m in self.metrics() {
+            let obj = match m {
+                Metric::Counter { name, value } => Json::obj(vec![
+                    ("kind", Json::str("counter")),
+                    ("name", Json::str(name)),
+                    ("value", Json::num(value as f64)),
+                ]),
+                Metric::Gauge { name, value } => Json::obj(vec![
+                    ("kind", Json::str("gauge")),
+                    ("name", Json::str(name)),
+                    ("value", Json::num(value)),
+                ]),
+                Metric::Hist { name, hist: h } => {
+                    let (p50, p95, p99) = h.percentiles();
+                    Json::obj(vec![
+                        ("kind", Json::str("hist")),
+                        ("name", Json::str(name)),
+                        ("count", Json::num(h.count() as f64)),
+                        ("sum", Json::num(h.sum())),
+                        ("mean", Json::num(h.mean())),
+                        ("min", Json::num(h.min())),
+                        ("max", Json::num(h.max())),
+                        ("p50", Json::num(p50)),
+                        ("p95", Json::num(p95)),
+                        ("p99", Json::num(p99)),
+                        ("non_positive", Json::num(h.non_positive() as f64)),
+                        ("nan", Json::num(h.nan() as f64)),
+                    ])
+                }
+            };
             out.push_str(&obj.to_string());
             out.push('\n');
         }
@@ -290,31 +351,36 @@ impl Snapshot {
     /// Render a human-readable table (the `vqd stats` view).
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        if !self.counters.is_empty() {
-            out.push_str("counters:\n");
-            for (k, v) in &self.counters {
-                out.push_str(&format!("  {k:<44} {v}\n"));
+        let mut section = "";
+        for m in self.metrics() {
+            let header = match m {
+                Metric::Counter { .. } => "counters:\n",
+                Metric::Gauge { .. } => "gauges:\n",
+                Metric::Hist { .. } => "histograms:\n",
+            };
+            if section != header {
+                out.push_str(header);
+                section = header;
             }
-        }
-        if !self.gauges.is_empty() {
-            out.push_str("gauges:\n");
-            for (k, v) in &self.gauges {
-                out.push_str(&format!("  {k:<44} {v:.3}\n"));
-            }
-        }
-        if !self.hists.is_empty() {
-            out.push_str("histograms:\n");
-            for (k, h) in &self.hists {
-                let (p50, p95, p99) = h.percentiles();
-                out.push_str(&format!(
-                    "  {k:<44} n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}\n",
-                    h.count(),
-                    h.mean(),
-                    p50,
-                    p95,
-                    p99,
-                    h.max()
-                ));
+            match m {
+                Metric::Counter { name, value } => {
+                    out.push_str(&format!("  {name:<44} {value}\n"));
+                }
+                Metric::Gauge { name, value } => {
+                    out.push_str(&format!("  {name:<44} {value:.3}\n"));
+                }
+                Metric::Hist { name, hist: h } => {
+                    let (p50, p95, p99) = h.percentiles();
+                    out.push_str(&format!(
+                        "  {name:<44} n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}\n",
+                        h.count(),
+                        h.mean(),
+                        p50,
+                        p95,
+                        p99,
+                        h.max()
+                    ));
+                }
             }
         }
         if out.is_empty() {
@@ -370,6 +436,54 @@ mod tests {
         let snap = r.snapshot();
         assert_eq!(snap.counter("t.c"), 400);
         assert_eq!(snap.hist("t.h").unwrap().count(), 400);
+    }
+
+    /// Every render surface draws from the one `metrics()` traversal:
+    /// a metric present in any of text / JSONL / Prometheus exposition
+    /// must be present in all three, under the same (modulo
+    /// sanitization) name.
+    #[test]
+    fn renderers_agree_on_the_metric_name_set() {
+        use crate::json::Json;
+        let r = Registry::new();
+        r.counter_add("core.diagnose.calls", 3);
+        r.counter_add_dyn("core.diagnose.label.good", 2);
+        r.gauge_set("serve.queue.depth", 1.5);
+        r.gauge_set_dyn("serve.drift.psi.rssi", 0.2);
+        r.hist_record("core.batch.stage.predict_us", 12.0);
+        r.hist_record("serve.flush.ms", 0.7);
+        let snap = r.snapshot();
+
+        let names: Vec<String> = snap.metrics().map(|m| m.name().to_string()).collect();
+        assert_eq!(names.len(), 6);
+
+        let text = snap.render_text();
+        let jsonl = snap.to_jsonl();
+        let prom = crate::expose::render_prometheus(&snap);
+        let json_names: Vec<String> = jsonl
+            .lines()
+            .map(|l| {
+                Json::parse(l)
+                    .ok()
+                    .and_then(|o| o.get("name").and_then(|n| n.as_str().map(str::to_string)))
+                    .unwrap_or_default()
+            })
+            .collect();
+        assert_eq!(json_names, names, "JSONL names diverge from traversal");
+        for name in &names {
+            assert!(
+                text.lines()
+                    .any(|l| l.trim_start().starts_with(name.as_str())),
+                "{name} missing from render_text"
+            );
+            let sanitized = crate::expose::sanitize_name(name);
+            assert!(
+                prom.lines().any(|l| l
+                    .strip_prefix("# TYPE ")
+                    .is_some_and(|r| r.split(' ').next() == Some(sanitized.as_str()))),
+                "{name} (as {sanitized}) missing from exposition"
+            );
+        }
     }
 
     #[test]

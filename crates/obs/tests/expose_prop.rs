@@ -1,0 +1,103 @@
+//! Property tests for the Prometheus exposition renderer: whatever
+//! names and values land in the registry — hostile characters,
+//! sanitization collisions, non-finite gauges, histogram samples from
+//! subnormal to saturating — the rendered document is structurally
+//! valid, sample values are finite, cumulative buckets are monotone,
+//! and `_count`/`_sum` agree with the source histogram.
+
+use proptest::prelude::*;
+
+use vqd_obs::expose::{render_prometheus, sanitize_name, validate_exposition};
+use vqd_obs::{LogHistogram, Registry};
+
+/// Build a metric name from raw bytes: maps into printable ASCII with
+/// plenty of characters outside the exposition charset (dots, dashes,
+/// spaces, braces, quotes).
+fn name_from(bytes: &[u8]) -> String {
+    const POOL: &[u8] = b"abcZ019._-:{}\" \\\nun\0";
+    bytes
+        .iter()
+        .map(|&b| POOL[b as usize % POOL.len()] as char)
+        .collect()
+}
+
+/// Decode one histogram sample from a raw u64: mixes ordinary
+/// magnitudes with NaN, infinities, zeros, negatives and saturating
+/// extremes.
+fn sample_from(raw: u64) -> f64 {
+    match raw % 8 {
+        0 => f64::NAN,
+        1 => -1.0 - (raw >> 3) as f64,
+        2 => 0.0,
+        3 => 1e-300 * ((raw >> 3) as f64 + 1.0),
+        4 => 1e300 * ((raw >> 3) % 17 + 1) as f64,
+        _ => ((raw >> 3) % 100_000) as f64 / 7.0 + 1e-3,
+    }
+}
+
+proptest! {
+    /// Sanitized names are always valid exposition names, and
+    /// sanitization is idempotent.
+    #[test]
+    fn sanitize_always_valid(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+        let name = name_from(&bytes);
+        let s = sanitize_name(&name);
+        prop_assert!(!s.is_empty());
+        let mut chars = s.chars();
+        let first = chars.next().unwrap_or('_');
+        prop_assert!(first.is_ascii_alphabetic() || first == '_' || first == ':', "{s:?}");
+        prop_assert!(
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "{s:?}"
+        );
+        prop_assert_eq!(sanitize_name(&s), s.clone());
+    }
+
+    /// Any registry contents render to a valid exposition document,
+    /// and histogram `_count`/`_sum` agree with the `LogHistogram`
+    /// that produced them.
+    #[test]
+    fn exposition_is_always_valid(
+        counters in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..16), any::<u64>()), 0..6),
+        gauges in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..16), any::<u64>()), 0..6),
+        hist_samples in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let r = Registry::new();
+        for (bytes, v) in &counters {
+            r.counter_add_dyn(&name_from(bytes), v % 1_000_000 + 1);
+        }
+        for (bytes, raw) in &gauges {
+            r.gauge_set_dyn(&name_from(bytes), sample_from(*raw));
+        }
+        let mut reference = LogHistogram::new();
+        for raw in &hist_samples {
+            let v = sample_from(*raw);
+            r.hist_record("prop.hist", v);
+            reference.record(v);
+        }
+        let snap = r.snapshot();
+        let text = render_prometheus(&snap);
+        if let Err(e) = validate_exposition(&text) {
+            prop_assert!(false, "invalid exposition: {e}\n{text}");
+        }
+        if !hist_samples.is_empty() {
+            let count_line = format!("prop_hist_count {}", reference.count());
+            prop_assert!(
+                text.lines().any(|l| l == count_line),
+                "missing {count_line:?} in:\n{text}"
+            );
+            let sum = reference.sum();
+            let sum = if sum.is_finite() { sum } else { f64::MAX };
+            let sum_line = format!("prop_hist_sum {sum:?}");
+            prop_assert!(
+                text.lines().any(|l| l == sum_line),
+                "missing {sum_line:?} in:\n{text}"
+            );
+            // The cumulative series closes at the positive-sample count.
+            let inf_line = format!("prop_hist_bucket{{le=\"+Inf\"}} {}", reference.count());
+            prop_assert!(text.lines().any(|l| l == inf_line), "missing +Inf close");
+        }
+    }
+}

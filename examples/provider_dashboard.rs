@@ -7,15 +7,44 @@
 //! the exact-problem model, streams a mixed workload, and prints the
 //! provider-side dashboard with the ground truth alongside.
 //!
+//! The closing summary is scraped from the **live ops endpoint** — the
+//! same `/metrics` Prometheus exposition `vqd serve --metrics-addr`
+//! exposes — rather than from an exit snapshot, demonstrating how a
+//! production dashboard would consume the daemon.
+//!
 //! ```text
 //! cargo run --release --example provider_dashboard
 //! ```
 
+use std::io::{Read as _, Write as _};
+use std::sync::Arc;
+
 use vqd::prelude::*;
 
+/// One GET against the live ops endpoint, body only.
+fn scrape(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut s = std::net::TcpStream::connect(addr).expect("connect to ops endpoint");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: dashboard\r\n\r\n").expect("send request");
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("read response");
+    resp.split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or(resp)
+}
+
+/// Pull one sample value out of an exposition document (sanitized
+/// Prometheus name, e.g. `core_diagnose_calls`).
+fn sample(exposition: &str, name: &str) -> f64 {
+    exposition
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+}
+
 fn main() {
-    // The closing summary is read from the metrics registry rather
-    // than re-aggregated from per-session state.
+    // The closing summary is read over HTTP from the ops listener
+    // rather than re-aggregated from per-session state.
     vqd_obs::enable();
     let catalog = Catalog::top100(42);
     let cfg = CorpusConfig {
@@ -80,24 +109,44 @@ fn main() {
             session.truth.label(LabelScheme::Exact)
         );
     }
-    let snap = vqd_obs::snapshot();
-    println!("\npipeline summary (metrics registry):");
+    // Stand up the same ops listener `vqd serve --metrics-addr` runs,
+    // mark it ready, and read the dashboard numbers back over HTTP.
+    let readiness = Arc::new(Readiness::default());
+    for leg in [
+        &readiness.model_loaded,
+        &readiness.shards_running,
+        &readiness.journal_writable,
+    ] {
+        leg.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    let ops = OpsServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&readiness),
+        std::time::Duration::from_millis(0),
+    )
+    .expect("bind ops listener");
+    let addr = ops.local_addr();
+    assert!(scrape(addr, "/readyz").starts_with("ready"));
+    let exposition = scrape(addr, "/metrics");
+    println!("\npipeline summary (scraped live from http://{addr}/metrics):");
     println!(
         "  {} sessions simulated, {} stalls observed, {} dispatched sim events",
-        snap.counter("simnet.sessions"),
-        snap.counter("core.qoe.stalls"),
-        snap.counter("simnet.sched.dispatched"),
+        sample(&exposition, "simnet_sessions") as u64,
+        sample(&exposition, "core_qoe_stalls") as u64,
+        sample(&exposition, "simnet_sched_dispatched") as u64,
     );
-    if let Some(h) = snap.hist("core.diagnose.confidence") {
+    let calls = sample(&exposition, "core_diagnose_calls") as u64;
+    let conf_n = sample(&exposition, "core_diagnose_confidence_count");
+    let cov_n = sample(&exposition, "core_diagnose_coverage_count");
+    if conf_n > 0.0 {
         println!(
             "  {} server-side diagnoses, mean confidence {:.2}, mean telemetry coverage {:.2}",
-            snap.counter("core.diagnose.calls"),
-            h.mean(),
-            snap.hist("core.diagnose.coverage")
-                .map(vqd_obs::LogHistogram::mean)
-                .unwrap_or(0.0),
+            calls,
+            sample(&exposition, "core_diagnose_confidence_sum") / conf_n,
+            sample(&exposition, "core_diagnose_coverage_sum") / cov_n.max(1.0),
         );
     }
+    ops.shutdown();
     println!("\n(the paper: server-flagged 'mobile load' sessions really do have high CPU,");
     println!(" and 'low RSSI' sessions really do have weak signal — with no client data at all)");
 }

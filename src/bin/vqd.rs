@@ -33,6 +33,7 @@ const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
     \x20              [--out-of-core --chunk-rows 65536 --spill-pairs 4194304 --spill-dir /tmp]\n\
     vqd diagnose   --model model.vqd --metrics session.tsv\n\
     vqd diagnose   --model model.vqd --batch corpus.tsv [--threads 0] [--out results.tsv]\n\
+    \x20              [--explain audit.jsonl]\n\
     vqd simulate   --fault low_rssi --intensity 0.9 [--model model.vqd] [--out session.tsv]\n\
     vqd inspect    --model model.vqd\n\
     vqd robustness --corpus corpus.tsv [--test test.tsv] [--model model.vqd]\n\
@@ -45,6 +46,7 @@ const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
     \x20              [--journal dir] [--journal-flush 256] [--recover]\n\
     \x20              [--snapshot dir] [--snapshot-every 512] [--snapshot-keep 2]\n\
     \x20              [--shed-high 1048576] [--no-shed]\n\
+    \x20              [--metrics-addr 127.0.0.1:9464] [--audit-log audit.jsonl] [--no-drift]\n\
     vqd recover    --journal dir [--snapshot dir] [--out results.tsv] [--next-seq]\n\
     vqd stats      [--sessions 50 --seed 2015] | [--metrics metrics.jsonl] | [--trace trace.json]\n\
     vqd help\n\
@@ -103,6 +105,21 @@ const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
     once across any number of crashes. Past --shed-high buffered\n\
     samples per shard the daemon sheds the least informative samples\n\
     of the fattest sessions instead of stalling (--no-shed disables).\n\
+    \n\
+    Live ops surface (serve): --metrics-addr binds a dependency-free\n\
+    HTTP listener with /metrics (Prometheus text exposition of the\n\
+    metrics registry, rendered from a scrape-safe cached snapshot),\n\
+    /healthz (liveness) and /readyz (503 naming the missing legs until\n\
+    model loaded, shards running and journal writable). --audit-log\n\
+    appends one JSON line per flushed session recording every split\n\
+    the compiled-tree descent crossed (node, feature, threshold,\n\
+    observed value, direction) — replayable to the exact verdict;\n\
+    `diagnose --batch --explain` writes the same records offline.\n\
+    Models trained by this version carry a drift stamp (training-time\n\
+    feature sketches + label mix); serve compares live traffic against\n\
+    it on the flush cadence, publishes serve.drift.* gauges and logs\n\
+    threshold crossings (--no-drift disables). Graceful shutdown\n\
+    flushes the audit sink and writes the --stats snapshot last.\n\
     \n\
     Observability (corpus / train / robustness):\n\
     \x20 --trace <path>   collect pipeline + sim spans, write Chrome trace_event JSON\n\
@@ -443,6 +460,47 @@ fn print_diagnosis(model: &Diagnoser, dx: &Diagnosis) {
     }
 }
 
+/// One audit record as a JSON line: the session's verdict plus every
+/// split the compiled-tree descent crossed. `Diagnoser::replay_audit`
+/// reproduces the verdict from the `steps` array alone; the `feature`
+/// name is resolved from the model schema for human readers (`feat`
+/// stays the authoritative column index). Missing observed values
+/// serialize as `null` (JSON has no NaN).
+fn audit_record(session: &str, dx: &Diagnosis, features: &[String], steps: &[AuditStep]) -> String {
+    use vqd_obs::json::Json;
+    let steps_json = steps
+        .iter()
+        .map(|s| {
+            Json::obj(vec![
+                ("node", Json::num(s.node as f64)),
+                ("feat", Json::num(s.feat as f64)),
+                (
+                    "feature",
+                    Json::str(
+                        features
+                            .get(s.feat as usize)
+                            .map(String::as_str)
+                            .unwrap_or("?"),
+                    ),
+                ),
+                ("thr", Json::num(s.thr)),
+                ("value", Json::num(s.value)),
+                ("dir", Json::str(s.dir.name())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("session", Json::str(session)),
+        ("label", Json::str(&dx.label)),
+        ("class", Json::num(dx.class as f64)),
+        ("resolution", Json::str(resolution_name(dx.resolution))),
+        ("confidence", Json::num(dx.quality.confidence)),
+        ("coverage", Json::num(dx.quality.feature_coverage)),
+        ("steps", Json::Arr(steps_json)),
+    ])
+    .to_string()
+}
+
 fn cmd_diagnose(opts: &Opts) -> Result<(), VqdError> {
     let model = Diagnoser::load(opts.require("model", "file")?)?;
     if let Some(path) = opts.get("batch") {
@@ -468,6 +526,13 @@ fn cmd_diagnose_batch(model: &Diagnoser, opts: &Opts, path: &str) -> Result<(), 
     let mut w = open_sink(&out_path)?;
     let io_err = |e: std::io::Error| VqdError::io(out_path.as_deref().unwrap_or("<stdout>"), e);
     w.write_all(RESULT_HEADER.as_bytes()).map_err(io_err)?;
+    let explain_path = opts.get("explain");
+    let mut explain = match &explain_path {
+        Some(p) => Some(std::io::BufWriter::new(
+            std::fs::File::create(p).map_err(|e| VqdError::io(p.as_str(), e))?,
+        )),
+        None => None,
+    };
 
     let mut tiers = [0usize; 3];
     let mut n = 0usize;
@@ -479,7 +544,14 @@ fn cmd_diagnose_batch(model: &Diagnoser, opts: &Opts, path: &str) -> Result<(), 
         }
         let sessions: Vec<&Vec<(String, f64)>> = chunk.iter().map(|r| &r.metrics).collect();
         let t0 = std::time::Instant::now();
-        let batch = model.diagnose_batch(&sessions, threads);
+        let batch = model.diagnose_batch_with(
+            &sessions,
+            threads,
+            BatchOptions {
+                audit: explain.is_some(),
+                ..Default::default()
+            },
+        );
         wall += t0.elapsed().as_secs_f64();
         let mut out = String::with_capacity(64 * chunk.len());
         for i in 0..chunk.len() {
@@ -490,6 +562,11 @@ fn cmd_diagnose_batch(model: &Diagnoser, opts: &Opts, path: &str) -> Result<(), 
                 Resolution::Existence => 2,
             };
             tiers[tier] += 1;
+            if let (Some(ew), Some(steps)) = (explain.as_mut(), batch.audit_path(i)) {
+                let rec = audit_record(&(n + i).to_string(), &dx, model.selected_features(), steps);
+                writeln!(ew, "{rec}")
+                    .map_err(|e| VqdError::io(explain_path.as_deref().unwrap_or("?"), e))?;
+            }
             // Shared with `vqd serve`, so streaming-vs-offline
             // equality gates compare bytes.
             out.push_str(&result_line(&(n + i).to_string(), &dx));
@@ -498,8 +575,15 @@ fn cmd_diagnose_batch(model: &Diagnoser, opts: &Opts, path: &str) -> Result<(), 
         n += chunk.len();
     }
     w.flush().map_err(io_err)?;
+    if let Some(ew) = explain.as_mut() {
+        ew.flush()
+            .map_err(|e| VqdError::io(explain_path.as_deref().unwrap_or("?"), e))?;
+    }
     if let Some(p) = &out_path {
         eprintln!("wrote {n} diagnoses to {p}");
+    }
+    if let Some(p) = &explain_path {
+        eprintln!("wrote {n} audit records to {p}");
     }
     eprintln!(
         "diagnosed {n} sessions in {:.1} ms ({:.0} sessions/sec); resolution: {} exact, {} location, {} existence",
@@ -648,14 +732,72 @@ fn install_stop_handler() {}
 fn cmd_serve(opts: &Opts) -> Result<(), VqdError> {
     use std::io::Write;
     use std::path::Path;
+    use std::sync::atomic::Ordering;
     use std::sync::{Arc, Mutex, PoisonError};
 
-    let model = Arc::new(Diagnoser::load(opts.require("model", "file")?)?);
+    let model_path = opts.require("model", "file")?;
     let obs = obs_setup(opts);
+
+    // The ops listener comes up before anything heavy happens so
+    // orchestration can watch /readyz flip leg by leg: all three start
+    // false, and the daemon raises each as the piece becomes real.
+    let readiness = Arc::new(Readiness::default());
+    let ops = match opts.get("metrics-addr") {
+        Some(addr) => {
+            let srv = OpsServer::bind(
+                &addr,
+                Arc::clone(&readiness),
+                std::time::Duration::from_millis(250),
+            )
+            .map_err(|e| VqdError::io(addr.as_str(), e))?;
+            eprintln!("ops listener on http://{}/metrics", srv.local_addr());
+            Some(srv)
+        }
+        None => None,
+    };
+    // Test/CI hook: hold the not-ready window open long enough for an
+    // external probe to observe /readyz answering 503.
+    if let Some(ms) = std::env::var("VQD_SERVE_MODEL_LOAD_DELAY_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    let model = Arc::new(Diagnoser::load(model_path)?);
+    readiness.model_loaded.store(true, Ordering::SeqCst);
+
     let shed = if opts.get("no-shed").is_some() {
         None
     } else {
         Some((opts.num("shed-high", 1_048_576.0)? as usize).max(1))
+    };
+    // Per-diagnosis decision audit: one JSON line per flushed session,
+    // appended (a recovering daemon must not clobber earlier records).
+    let audit_path = opts.get("audit-log");
+    let audit_sink: Option<Arc<Mutex<std::io::BufWriter<std::fs::File>>>> = match &audit_path {
+        Some(p) => {
+            let f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(p)
+                .map_err(|e| VqdError::io(p.as_str(), e))?;
+            Some(Arc::new(Mutex::new(std::io::BufWriter::new(f))))
+        }
+        None => None,
+    };
+    // Drift monitoring runs whenever the model carries a training-time
+    // stamp (v2 format); --no-drift opts out, v1 models have nothing
+    // to compare against.
+    let drift = if opts.get("no-drift").is_none() {
+        match model.drift_stamp() {
+            Some(stamp) => Some(Arc::new(Mutex::new(DriftMonitor::new(stamp.clone())))),
+            None => {
+                eprintln!("note: model has no drift stamp (v1 format); drift monitoring off");
+                None
+            }
+        }
+    } else {
+        None
     };
     let cfg =
         ServeConfig {
@@ -670,6 +812,8 @@ fn cmd_serve(opts: &Opts) -> Result<(), VqdError> {
             },
             max_sessions: (opts.num("max-sessions", 4096.0)? as usize).max(1),
             shed,
+            audit: audit_sink.is_some(),
+            drift: drift.clone(),
         };
     let strict = opts.get("strict").is_some();
     let out_path = opts.get("out");
@@ -702,6 +846,11 @@ fn cmd_serve(opts: &Opts) -> Result<(), VqdError> {
     };
     let durability = Durability { journal, snapshots };
     let journaling = durability.journal.is_some();
+    if !journaling {
+        // Nothing to open: daemons without durability are "journal
+        // ready" by definition.
+        readiness.journal_writable.store(true, Ordering::SeqCst);
+    }
 
     let recovered = if recovering {
         let emitted = match &out_path {
@@ -776,7 +925,16 @@ fn cmd_serve(opts: &Opts) -> Result<(), VqdError> {
         let _ = so.flush();
     }
     let sink_out = Arc::clone(&out);
+    let sink_audit = audit_sink.clone();
+    let feat_names: Arc<Vec<String>> = Arc::new(model.selected_features().to_vec());
     let sink = move |fs: FlushedSession| {
+        if let (Some(sink), Some(steps)) = (&sink_audit, fs.audit.as_deref()) {
+            let rec = audit_record(&fs.session, &fs.diagnosis, &feat_names, steps);
+            let mut w = sink.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Err(e) = writeln!(w, "{rec}") {
+                eprintln!("error: audit write failed: {e}");
+            }
+        }
         let line = result_line(&fs.session, &fs.diagnosis);
         match &*sink_out {
             Out::Stdout => {
@@ -801,6 +959,12 @@ fn cmd_serve(opts: &Opts) -> Result<(), VqdError> {
         }
     };
     let mut server = StreamServer::start(model, cfg, durability, recovered, sink)?;
+    readiness.shards_running.store(true, Ordering::SeqCst);
+    if journaling {
+        // `start` opened (or replayed into) the write-ahead log; the
+        // journal leg is only raised once that succeeded.
+        readiness.journal_writable.store(true, Ordering::SeqCst);
+    }
 
     install_stop_handler();
     if opts.get("stdin").is_some() {
@@ -854,7 +1018,36 @@ fn cmd_serve(opts: &Opts) -> Result<(), VqdError> {
             report.replayed, report.snapshots, report.shed_samples, report.shed_sessions,
         );
     }
-    obs_finish(&obs)
+    // Graceful-shutdown observability order: flush the audit sink
+    // first (every record durable), evaluate any remaining drift
+    // window, then write the final metrics snapshot so it covers both,
+    // and only then stop answering scrapes.
+    if let Some(sink) = &audit_sink {
+        let mut w = sink.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Err(e) = w.flush() {
+            eprintln!("error: audit flush failed: {e}");
+        } else if let Some(p) = &audit_path {
+            eprintln!("audit: decision paths appended to {p}");
+        }
+    }
+    if let Some(mon) = &drift {
+        let reading = mon
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .evaluate();
+        eprintln!(
+            "drift: {} rows windowed, max feature PSI {:.3}, label mix {:.3}, {} alert(s)",
+            reading.rows,
+            reading.psi.iter().map(|(_, v)| *v).fold(0.0f64, f64::max),
+            reading.label_mix,
+            reading.alerts.len(),
+        );
+    }
+    let finished = obs_finish(&obs);
+    if let Some(ops) = ops {
+        ops.shutdown();
+    }
+    finished
 }
 
 /// A line fished out of a byte stream by [`LineAccumulator`].

@@ -64,6 +64,7 @@ pub mod prelude {
     pub use vqd_core::diagnoser::{
         Diagnoser, DiagnoserConfig, Diagnosis, DiagnosisQuality, Resolution,
     };
+    pub use vqd_core::drift::{DriftMonitor, DriftReading, DriftStamp, DriftWindow};
     pub use vqd_core::error::VqdError;
     pub use vqd_core::experiments::{eval_by_vp, eval_transfer, VP_SETS};
     pub use vqd_core::farm::{generate_corpus_farm, FarmStats};
@@ -73,7 +74,8 @@ pub mod prelude {
     };
     pub use vqd_core::robustness::{degrade_corpus, majority_baseline, sweep, RobustnessCell};
     pub use vqd_core::scenario::{class_names, GroundTruth, LabelScheme};
-    pub use vqd_core::serving::DiagnosisBatch;
+    pub use vqd_core::serving::{AuditTrail, BatchOptions, DiagnosisBatch};
+    pub use vqd_core::stream::ops::{OpsServer, Readiness};
     pub use vqd_core::stream::{
         corpus_to_events, corpus_to_events_from, inspect_recovery, prepare_output, recover_state,
         resolution_name, result_line, Durability, FlushCause, FlushedSession, JournalSpec,
@@ -87,6 +89,7 @@ pub mod prelude {
     };
     pub use vqd_faults::{FaultKind, FaultPlan};
     pub use vqd_ml::metrics::ConfusionMatrix;
+    pub use vqd_ml::{AuditDir, AuditStep};
     pub use vqd_probes::degrade::{DegradeKind, DegradePlan};
     pub use vqd_probes::event::{EventKind, EventParseError, ProbeEvent};
     pub use vqd_video::catalog::{Catalog, CatalogConfig, Video};
