@@ -2,7 +2,7 @@
 //! load speed and out-of-core training cost, persisted to
 //! `BENCH_corpus.json`.
 //!
-//! Three phases, each with its own hard equality gate:
+//! Five phases, each with its own hard equality gate:
 //!
 //! 1. **Farm scaling** — generates the controlled corpus at farm
 //!    widths 1, 2 and 4 and times each. The width-1 farm output must
@@ -12,29 +12,41 @@
 //!    is `rate_w / (min(w, cores) * rate_1)` — normalised by the
 //!    cores actually available, so a single-core CI host measures
 //!    scheduling overhead rather than pretending to scale.
-//! 2. **Load path** — serialises the corpus both ways and times how
+//! 2. **Multi-process farm** — `vqd corpus --procs 1/2/4` via
+//!    `generate_corpus_multiproc`, each output `cmp`-equal to the
+//!    plain CLI generator's bytes. Skipped (and recorded as skipped)
+//!    when the `vqd` binary is not built.
+//! 3. **Load path** — serialises the corpus both ways and times how
 //!    long each takes to reach the training-ready columnar form:
 //!    text read + parse + `to_dataset` pivot vs `.vqdc` open +
 //!    checksummed column reads + label ids. Row-major reconstruction
 //!    (`to_runs`, the `corpus convert` path) is timed alongside.
-//! 3. **Training** — in-memory `Diagnoser::train` vs
+//!    On-disk sizes for v1, v2-raw and v2-compressed are recorded
+//!    (compression gate: v2 ≤ v2raw / 1.5), and the mmap read path is
+//!    raced against the pread fallback over repeated whole-table
+//!    column sweeps with an XOR-of-bits equality gate.
+//! 4. **Training** — in-memory `Diagnoser::train` vs
 //!    `train_out_of_core` streaming from `.vqdc`; the two models must
 //!    serialise identically (bit-exact trees). Records the external
 //!    sort's spill counters and the process peak-RSS proxy
 //!    (`VmHWM` from `/proc/self/status`, 0 where unavailable).
 //!
 //! Knobs: `VQD_PERF_SMOKE=1` (small corpus, fewer repeats),
-//! `VQD_SESSIONS` (corpus size), `VQD_BENCH_OUT` (output path).
+//! `VQD_SESSIONS` (corpus size), `VQD_BENCH_OUT` (output path),
+//! `VQD_BIN` (path to the `vqd` binary for the multi-process phase).
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use vqd_bench::emit_section;
 use vqd_core::dataset::{corpus_from_text, corpus_to_text, to_dataset, CorpusConfig};
 use vqd_core::diagnoser::{Diagnoser, DiagnoserConfig};
-use vqd_core::farm::generate_corpus_farm;
+use vqd_core::farm::{generate_corpus_farm, generate_corpus_multiproc, ProcFarmConfig};
 use vqd_core::octrain::{train_out_of_core, OocConfig};
 use vqd_core::scenario::LabelScheme;
-use vqd_core::vqdc::{write_vqdc, VqdcReader};
+use vqd_core::vqdc::{
+    write_vqdc, write_vqdc_with, VqdcIoMode, VqdcReader, VqdcVersion, VqdcWriteOptions,
+};
 use vqd_video::catalog::Catalog;
 
 /// FNV-1a 64-bit fingerprint of a corpus serialisation.
@@ -59,6 +71,60 @@ fn vm_hwm_kb() -> u64 {
             })
         })
         .unwrap_or(0)
+}
+
+/// Locate the built `vqd` binary for the multi-process farm phase:
+/// `VQD_BIN` wins, then the profile directory this bench runs from,
+/// then the workspace `target/{release,debug}` directories.
+fn find_vqd_bin() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("VQD_BIN") {
+        let p = PathBuf::from(p);
+        return p.is_file().then_some(p);
+    }
+    let mut candidates = Vec::new();
+    if let Ok(me) = std::env::current_exe() {
+        // target/<profile>/deps/corpus_perf-… → target/<profile>/vqd
+        if let Some(profile) = me.parent().and_then(|d| d.parent()) {
+            candidates.push(profile.join("vqd"));
+        }
+    }
+    let ws = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    candidates.push(ws.join("target/release/vqd"));
+    candidates.push(ws.join("target/debug/vqd"));
+    candidates.into_iter().find(|p| p.is_file())
+}
+
+/// One whole-table column sweep through `reader`, XOR-folding every
+/// cell's bit pattern. The mmap fast path is taken per row group when
+/// the reader can lend; anything it cannot lend goes through the same
+/// `fill_column` the pread backend uses — so both backends fold the
+/// identical bits or the equality gate trips.
+fn sweep_columns(reader: &VqdcReader, buf: &mut [f64]) -> u64 {
+    let n = reader.n_rows();
+    let mut xor = 0u64;
+    for j in 0..reader.feature_names().len() {
+        let mut start = 0usize;
+        while start < n {
+            match reader.borrow_cells(j, start).expect("borrow column cells") {
+                Some(cells) => {
+                    for &c in cells {
+                        xor ^= c;
+                    }
+                    start += cells.len();
+                }
+                None => {
+                    reader
+                        .fill_column(j, start, &mut buf[start..])
+                        .expect("fill column");
+                    for v in &buf[start..] {
+                        xor ^= v.to_bits();
+                    }
+                    start = n;
+                }
+            }
+        }
+    }
+    xor
 }
 
 fn main() {
@@ -116,6 +182,64 @@ fn main() {
         .map(|(&w, &r)| r / (w.min(detected_cores) as f64 * rate1))
         .collect();
 
+    // ---- Phase 1b: multi-process farm (`vqd corpus --procs N`). ---
+    // Worker processes only receive `--sessions`/`--seed`, so this
+    // phase runs an otherwise-default config and gates every procs
+    // count against the plain CLI generator's bytes.
+    let scratch = std::env::temp_dir().join(format!("vqd-corpus-perf-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let procs_counts = [1usize, 2, 4];
+    let mut procs_rates: Vec<f64> = Vec::new();
+    let vqd_bin = find_vqd_bin();
+    if let Some(bin) = &vqd_bin {
+        let mp_cfg = CorpusConfig {
+            sessions,
+            seed: 20151201,
+            ..Default::default()
+        };
+        let expected_path = scratch.join("mp-expected.vqdc");
+        let st = std::process::Command::new(bin)
+            .args([
+                "corpus",
+                "--sessions",
+                &sessions.to_string(),
+                "--seed",
+                "20151201",
+                "--out",
+            ])
+            .arg(&expected_path)
+            .status()
+            .expect("run vqd corpus");
+        assert!(st.success(), "plain `vqd corpus` run failed");
+        let expected = std::fs::read(&expected_path).expect("read expected corpus");
+        for &procs in &procs_counts {
+            eprintln!("[corpus_perf] multi-process farm at --procs {procs}...");
+            let out = scratch.join(format!("mp-procs{procs}.vqdc"));
+            let pf = ProcFarmConfig {
+                exe: bin.clone(),
+                procs,
+                width: 4,
+                shard_dir: None,
+            };
+            let stats = generate_corpus_multiproc(&mp_cfg, &pf, &out, &VqdcWriteOptions::default())
+                .expect("multi-process farm");
+            let got = std::fs::read(&out).expect("read multiproc corpus");
+            if got != expected {
+                eprintln!(
+                    "[corpus_perf] MULTIPROC MERGE REGRESSION: --procs {procs} corpus differs from the plain generator"
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "[corpus_perf]   --procs {procs}: {:.1} sessions/s (per-proc {:?})",
+                stats.sessions_per_sec, stats.proc_sessions
+            );
+            procs_rates.push(stats.sessions_per_sec);
+        }
+    } else {
+        eprintln!("[corpus_perf] vqd binary not found; skipping the multi-process phase");
+    }
+
     // ---- Phase 2: time-to-training-ready, plus row rebuild. ------
     // The format exists to feed training, which consumes feature-major
     // columns (`VqdcReader::column`, checksum-verified) and label ids
@@ -125,14 +249,123 @@ fn main() {
     // trainer reads. Row-major reconstruction (`to_runs`, what
     // `vqd corpus convert` runs) pays one String allocation per cell
     // just like the text parser and is recorded alongside.
-    let scratch = std::env::temp_dir().join(format!("vqd-corpus-perf-{}", std::process::id()));
-    std::fs::create_dir_all(&scratch).expect("create scratch dir");
     let text_path = scratch.join("corpus.tsv");
     let bin_path = scratch.join("corpus.vqdc");
     std::fs::write(&text_path, &plain_text).expect("write text corpus");
     write_vqdc(&plain, &bin_path).expect("write binary corpus");
     let text_bytes = std::fs::metadata(&text_path).map(|m| m.len()).unwrap_or(0);
     let bin_bytes = std::fs::metadata(&bin_path).map(|m| m.len()).unwrap_or(0);
+
+    // On-disk footprint per container version: v1 (row-padded raw),
+    // v2 uncompressed (raw column blocks) and v2 compressed (the
+    // default). The compression gate compares like with like — the
+    // same v2 container with the codec on and off.
+    let v1_path = scratch.join("corpus.v1.vqdc");
+    let v2raw_path = scratch.join("corpus.v2raw.vqdc");
+    write_vqdc_with(&plain, &v1_path, &VqdcWriteOptions::v1()).expect("write v1 corpus");
+    write_vqdc_with(
+        &plain,
+        &v2raw_path,
+        &VqdcWriteOptions {
+            version: VqdcVersion::V2,
+            compress: false,
+            ..Default::default()
+        },
+    )
+    .expect("write v2raw corpus");
+    let v1_bytes = std::fs::metadata(&v1_path).map(|m| m.len()).unwrap_or(0);
+    let v2raw_bytes = std::fs::metadata(&v2raw_path).map(|m| m.len()).unwrap_or(0);
+    let compression_ratio = v2raw_bytes as f64 / bin_bytes.max(1) as f64;
+    let compression_ratio_vs_v1 = v1_bytes as f64 / bin_bytes.max(1) as f64;
+    eprintln!(
+        "[corpus_perf] on-disk: v1 {v1_bytes} B, v2raw {v2raw_bytes} B, v2 {bin_bytes} B ({compression_ratio:.2}x vs raw blocks)"
+    );
+
+    // mmap vs pread: repeated whole-table column sweeps over the same
+    // uncompressed v2 file, so the mmap side can lend raw blocks
+    // zero-copy while the pread side pays a syscall + copy per block.
+    // Both fold the identical XOR-of-bits or the gate trips.
+    let io_sweeps = if smoke { 400 } else { 100 };
+    let pread_reader =
+        VqdcReader::open_with(&v2raw_path, VqdcIoMode::Pread).expect("open pread reader");
+    let mmap_reader =
+        VqdcReader::open_with(&v2raw_path, VqdcIoMode::Mmap).expect("open mmap reader");
+    let n_rows = pread_reader.n_rows();
+    let n_cols = pread_reader.feature_names().len();
+    let mut io_buf = vec![0.0f64; n_rows];
+    let sweep_bytes = (n_rows * n_cols * 8) as f64;
+
+    // Equality gate (untimed): both backends must fold the identical
+    // bits over the whole table. This also faults every page and
+    // warms the per-column checksum cache, so the timed loops below
+    // measure the steady-state load path, not first-touch cost.
+    let xor_pread = sweep_columns(&pread_reader, &mut io_buf);
+    let xor_mmap = sweep_columns(&mmap_reader, &mut io_buf);
+    if xor_mmap != xor_pread {
+        eprintln!(
+            "[corpus_perf] IO BACKEND REGRESSION: mmap sweep folded {xor_mmap:#018x}, pread {xor_pread:#018x}"
+        );
+        std::process::exit(1);
+    }
+
+    // Headline: the load step alone — what it costs to make each
+    // column's cells available to the trainer. The pread backend must
+    // materialise them (syscall + copy per row group); the mmap
+    // backend lends the block in place.
+    eprintln!("[corpus_perf] column I/O: {io_sweeps} sweeps per backend...");
+    let t0 = Instant::now();
+    for _ in 0..io_sweeps {
+        for j in 0..n_cols {
+            pread_reader
+                .fill_column(j, 0, &mut io_buf)
+                .expect("fill column");
+            std::hint::black_box(io_buf[0]);
+        }
+    }
+    let pread_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    for _ in 0..io_sweeps {
+        for j in 0..n_cols {
+            let mut start = 0usize;
+            while start < n_rows {
+                match mmap_reader.borrow_cells(j, start).expect("borrow cells") {
+                    Some(cells) => {
+                        std::hint::black_box(cells[0]);
+                        start += cells.len();
+                    }
+                    None => {
+                        mmap_reader
+                            .fill_column(j, start, &mut io_buf[start..])
+                            .expect("fill column");
+                        std::hint::black_box(io_buf[start]);
+                        start = n_rows;
+                    }
+                }
+            }
+        }
+    }
+    let mmap_s = t0.elapsed().as_secs_f64();
+    let pread_gib_s = sweep_bytes * io_sweeps as f64 / pread_s.max(1e-9) / (1u64 << 30) as f64;
+    let mmap_gib_s = sweep_bytes * io_sweeps as f64 / mmap_s.max(1e-9) / (1u64 << 30) as f64;
+    let mmap_speedup = mmap_gib_s / pread_gib_s.max(1e-12);
+
+    // Secondary: the same sweep with the consume cost included (XOR
+    // fold of every cell), the end-to-end number a training pass sees.
+    let fold_sweeps = io_sweeps / 4;
+    let t0 = Instant::now();
+    for _ in 0..fold_sweeps {
+        std::hint::black_box(sweep_columns(&pread_reader, &mut io_buf));
+    }
+    let pread_fold_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    for _ in 0..fold_sweeps {
+        std::hint::black_box(sweep_columns(&mmap_reader, &mut io_buf));
+    }
+    let mmap_fold_s = t0.elapsed().as_secs_f64();
+    let fold_speedup = pread_fold_s / mmap_fold_s.max(1e-9);
+    eprintln!(
+        "[corpus_perf]   load-only: pread {pread_gib_s:.2} GiB/s, mmap {mmap_gib_s:.2} GiB/s ({mmap_speedup:.1}x); load+fold {fold_speedup:.2}x"
+    );
 
     let reps = if smoke { 3 } else { 5 };
     eprintln!("[corpus_perf] timing text parse vs binary load ({reps} passes each)...");
@@ -226,6 +459,16 @@ fn main() {
             "[corpus_perf] WARNING: binary column load only {load_speedup:.1}x faster than text parse (target 5x)"
         );
     }
+    if compression_ratio < 1.5 {
+        eprintln!(
+            "[corpus_perf] WARNING: column compression only {compression_ratio:.2}x vs raw blocks (target 1.5x)"
+        );
+    }
+    if mmap_speedup < 2.0 {
+        eprintln!(
+            "[corpus_perf] WARNING: mmap column sweep only {mmap_speedup:.1}x the pread rate (target 2x)"
+        );
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -238,8 +481,22 @@ fn main() {
         sessions as f64 / plain_wall,
         efficiency[0], efficiency[1], efficiency[2]
     ));
+    if procs_rates.len() == procs_counts.len() {
+        json.push_str(&format!(
+            "  \"multiproc\": {{\"procs\": [1, 2, 4], \"sessions_per_sec\": [{:.2}, {:.2}, {:.2}], \"byte_identical\": true}},\n",
+            procs_rates[0], procs_rates[1], procs_rates[2]
+        ));
+    } else {
+        json.push_str("  \"multiproc\": {\"skipped\": \"vqd binary not found\"},\n");
+    }
     json.push_str(&format!(
         "  \"load\": {{\"text_bytes\": {text_bytes}, \"binary_bytes\": {bin_bytes}, \"text_parse_s\": {text_parse:.6}, \"text_to_dataset_s\": {text_ready:.6}, \"binary_columns_s\": {bin_cols:.6}, \"binary_to_rows_s\": {bin_rows:.6}, \"binary_speedup\": {load_speedup:.2}, \"rows_speedup\": {rows_speedup:.2}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"formats\": {{\"v1_bytes\": {v1_bytes}, \"v2raw_bytes\": {v2raw_bytes}, \"v2_bytes\": {bin_bytes}, \"compression_ratio\": {compression_ratio:.3}, \"compression_ratio_vs_v1\": {compression_ratio_vs_v1:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"column_io\": {{\"sweeps\": {io_sweeps}, \"pread_gib_per_s\": {pread_gib_s:.3}, \"mmap_gib_per_s\": {mmap_gib_s:.3}, \"mmap_speedup\": {mmap_speedup:.2}, \"load_and_fold_speedup\": {fold_speedup:.2}, \"xor_identical\": true}},\n"
     ));
     json.push_str(&format!(
         "  \"train\": {{\"in_memory_s\": {mem_wall:.4}, \"out_of_core_s\": {ooc_wall:.4}, \"models_identical\": true, \"selected_features\": {}, \"spill_runs\": {}, \"spilled_bytes\": {}, \"peak_gather_pairs\": {}}},\n",
@@ -250,7 +507,7 @@ fn main() {
         "  \"peak_rss_proxy\": {{\"vm_hwm_kb_before_train\": {rss_before_kb}, \"vm_hwm_kb_after_ooc_train\": {rss_after_ooc_kb}}},\n"
     ));
     json.push_str(
-        "  \"equality\": \"farm widths 1/2/4 byte-identical to plain generator; out-of-core model bit-identical to in-memory\"\n",
+        "  \"equality\": \"farm widths 1/2/4 and --procs 1/2/4 byte-identical to plain generator; mmap and pread sweeps fold identical bits; out-of-core model bit-identical to in-memory\"\n",
     );
     json.push_str("}\n");
 
@@ -258,8 +515,16 @@ fn main() {
         .unwrap_or_else(|_| format!("{}/../../BENCH_corpus.json", env!("CARGO_MANIFEST_DIR")));
     std::fs::write(&out, &json).expect("write BENCH_corpus.json");
 
+    let procs_line = if procs_rates.len() == procs_counts.len() {
+        format!(
+            "  procs 1/2/4 (multi-process): {:.1} / {:.1} / {:.1} sessions/s (byte-identical)\n",
+            procs_rates[0], procs_rates[1], procs_rates[2]
+        )
+    } else {
+        "  procs 1/2/4 (multi-process): skipped (vqd binary not found)\n".to_string()
+    };
     let text = format!(
-        "corpus perf ({sessions} sessions, {detected_cores} cores):\n  farm width 1/2/4: {:.1} / {:.1} / {:.1} sessions/s (per-worker efficiency {:.2} / {:.2} / {:.2})\n  load (training-ready): text {:.1} ms vs binary columns {:.2} ms ({load_speedup:.1}x)\n  load (row rebuild):    text {:.1} ms vs binary rows {:.1} ms ({rows_speedup:.1}x)\n  train: in-memory {mem_wall:.2} s vs out-of-core {ooc_wall:.2} s ({} spill runs, models bit-identical)\n",
+        "corpus perf ({sessions} sessions, {detected_cores} cores):\n  farm width 1/2/4: {:.1} / {:.1} / {:.1} sessions/s (per-worker efficiency {:.2} / {:.2} / {:.2})\n{procs_line}  load (training-ready): text {:.1} ms vs binary columns {:.2} ms ({load_speedup:.1}x)\n  load (row rebuild):    text {:.1} ms vs binary rows {:.1} ms ({rows_speedup:.1}x)\n  formats: v1 {v1_bytes} B, v2raw {v2raw_bytes} B, v2 {bin_bytes} B ({compression_ratio:.2}x vs raw)\n  column load: pread {pread_gib_s:.2} GiB/s vs mmap {mmap_gib_s:.2} GiB/s ({mmap_speedup:.1}x; {fold_speedup:.2}x with the fold, bits identical)\n  train: in-memory {mem_wall:.2} s vs out-of-core {ooc_wall:.2} s ({} spill runs, models bit-identical)\n",
         rates[0], rates[1], rates[2],
         efficiency[0], efficiency[1], efficiency[2],
         text_ready * 1e3, bin_cols * 1e3,

@@ -1,0 +1,440 @@
+//! Block codecs for `.vqdc` v2 column blocks (DESIGN.md §7j).
+//!
+//! Each v2 column block — up to `block_rows` consecutive cells of one
+//! column, as raw little-endian f64 bit patterns — is encoded
+//! independently with whichever of three codecs measures smallest on
+//! that block:
+//!
+//! * **Raw** — the cells verbatim, 8 bytes each. The floor every
+//!   candidate must beat, and the only encoding the mmap path can lend
+//!   out as a zero-copy `&[u64]` view.
+//! * **Gorilla** — the Facebook Gorilla XOR scheme over f64 *bits*:
+//!   each cell is XORed with its predecessor and the surviving
+//!   meaningful bits are written under a 1/2-bit control prefix that
+//!   reuses the previous leading/length window when it still fits.
+//!   Ideal for slowly-varying metrics and for the canonical-NaN filler
+//!   runs of sparse columns (1 bit per repeated cell).
+//! * **XorPack** — a fixed-width fallback: the maximum significant
+//!   width of all XOR deltas is measured once, then every delta is
+//!   bit-packed at that width. Beats Gorilla when deltas are uniformly
+//!   wide (Gorilla's per-value control bits become pure overhead).
+//!
+//! All three operate on `u64` bit patterns, never on `f64` arithmetic,
+//! so round-trips are bit-exact by construction — NaN payloads, `-0.0`
+//! and ±inf included (proptest-pinned). Decoding is bounds-checked
+//! everywhere and returns `Err(String)` on malformed input — never a
+//! panic — though in practice the per-block checksum over the encoded
+//! bytes rejects corruption before a decoder ever sees it.
+
+/// Codec tag stored in the v2 block directory: cells verbatim.
+pub const CODEC_RAW: u8 = 0;
+/// Codec tag: Gorilla-style XOR-of-previous bit stream.
+pub const CODEC_GORILLA: u8 = 1;
+/// Codec tag: fixed-width bit-packed XOR-of-previous.
+pub const CODEC_XORPACK: u8 = 2;
+
+/// MSB-first bit writer over a byte vector.
+struct BitWriter {
+    out: Vec<u8>,
+    cur: u8,
+    used: u32,
+}
+
+impl BitWriter {
+    fn new() -> BitWriter {
+        BitWriter {
+            out: Vec::new(),
+            cur: 0,
+            used: 0,
+        }
+    }
+
+    /// Append the low `n` bits of `bits`, most significant first.
+    fn put(&mut self, bits: u64, n: u32) {
+        debug_assert!(n <= 64);
+        let mut left = n;
+        while left > 0 {
+            let room = 8 - self.used;
+            let take = room.min(left);
+            let chunk = (bits >> (left - take)) as u8 & ((1u16 << take) - 1) as u8;
+            self.cur |= chunk << (room - take);
+            self.used += take;
+            left -= take;
+            if self.used == 8 {
+                self.out.push(self.cur);
+                self.cur = 0;
+                self.used = 0;
+            }
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.used > 0 {
+            self.out.push(self.cur);
+        }
+        self.out
+    }
+
+    /// Bits written so far.
+    fn bit_len(&self) -> u64 {
+        self.out.len() as u64 * 8 + self.used as u64
+    }
+}
+
+/// MSB-first bounds-checked bit reader.
+struct BitReader<'a> {
+    b: &'a [u8],
+    /// Next bit index.
+    pos: u64,
+}
+
+impl BitReader<'_> {
+    fn get(&mut self, n: u32, what: &str) -> Result<u64, String> {
+        debug_assert!(n <= 64);
+        let end = self.pos + n as u64;
+        if end > self.b.len() as u64 * 8 {
+            return Err(format!("{what}: bit stream truncated"));
+        }
+        let mut v = 0u64;
+        let mut left = n;
+        while left > 0 {
+            let byte = self.b[(self.pos / 8) as usize];
+            let off = (self.pos % 8) as u32;
+            let avail = 8 - off;
+            let take = avail.min(left);
+            let chunk = (byte >> (avail - take)) & ((1u16 << take) - 1) as u8;
+            v = (v << take) | chunk as u64;
+            self.pos += take as u64;
+            left -= take;
+        }
+        Ok(v)
+    }
+}
+
+/// Gorilla cap on the 5-bit leading-zero field.
+const GOR_MAX_LEAD: u32 = 31;
+
+fn encode_gorilla(cells: &[u64], w: &mut BitWriter) {
+    let Some((&first, rest)) = cells.split_first() else {
+        return;
+    };
+    w.put(first, 64);
+    let mut prev = first;
+    // (leading, meaningful) window; invalid until the first '11' record.
+    let mut lead = u32::MAX;
+    let mut mlen = 0u32;
+    for &c in rest {
+        let xor = c ^ prev;
+        prev = c;
+        if xor == 0 {
+            w.put(0, 1);
+            continue;
+        }
+        let lz = xor.leading_zeros().min(GOR_MAX_LEAD);
+        let tz = xor.trailing_zeros();
+        if lead != u32::MAX && lz >= lead && tz >= 64 - lead - mlen {
+            // Fits the previous window: control '10' + window bits.
+            w.put(0b10, 2);
+            w.put(xor >> (64 - lead - mlen), mlen);
+        } else {
+            let m = 64 - lz - tz;
+            w.put(0b11, 2);
+            w.put(lz as u64, 5);
+            w.put((m - 1) as u64, 6);
+            w.put(xor >> tz, m);
+            lead = lz;
+            mlen = m;
+        }
+    }
+}
+
+fn decode_gorilla(enc: &[u8], n_cells: usize, out: &mut Vec<u64>) -> Result<(), String> {
+    out.clear();
+    if n_cells == 0 {
+        return Ok(());
+    }
+    let mut r = BitReader { b: enc, pos: 0 };
+    let mut prev = r.get(64, "gorilla first cell")?;
+    out.push(prev);
+    let mut lead = u32::MAX;
+    let mut mlen = 0u32;
+    for _ in 1..n_cells {
+        let xor = match r.get(1, "gorilla control")? {
+            0 => 0u64,
+            _ => {
+                if r.get(1, "gorilla control")? == 1 {
+                    lead = r.get(5, "gorilla leading count")? as u32;
+                    mlen = r.get(6, "gorilla length")? as u32 + 1;
+                    if lead + mlen > 64 {
+                        return Err(format!("gorilla window {lead}+{mlen} exceeds 64 bits"));
+                    }
+                } else if lead == u32::MAX {
+                    return Err("gorilla reuse before any window".into());
+                }
+                let bits = r.get(mlen, "gorilla value bits")?;
+                bits << (64 - lead - mlen)
+            }
+        };
+        prev ^= xor;
+        out.push(prev);
+    }
+    Ok(())
+}
+
+/// Significant width (in bits) of the widest XOR delta; 0 for a
+/// constant block.
+fn xorpack_width(cells: &[u64]) -> u32 {
+    let mut width = 0u32;
+    for pair in cells.windows(2) {
+        width = width.max(64 - (pair[0] ^ pair[1]).leading_zeros());
+    }
+    width
+}
+
+/// Exact encoded byte length of the XorPack codec for `cells`.
+fn xorpack_len(n_cells: usize, width: u32) -> u64 {
+    if n_cells == 0 {
+        return 0;
+    }
+    9 + ((n_cells as u64 - 1) * width as u64).div_ceil(8)
+}
+
+fn encode_xorpack(cells: &[u64], width: u32, out: &mut Vec<u8>) {
+    let Some((&first, rest)) = cells.split_first() else {
+        return;
+    };
+    out.push(width as u8);
+    out.extend_from_slice(&first.to_le_bytes());
+    let mut w = BitWriter::new();
+    let mut prev = first;
+    for &c in rest {
+        w.put(c ^ prev, width);
+        prev = c;
+    }
+    out.extend_from_slice(&w.finish());
+}
+
+fn decode_xorpack(enc: &[u8], n_cells: usize, out: &mut Vec<u64>) -> Result<(), String> {
+    out.clear();
+    if n_cells == 0 {
+        return Ok(());
+    }
+    if enc.len() < 9 {
+        return Err("xorpack block shorter than its header".into());
+    }
+    let width = enc[0] as u32;
+    if width > 64 {
+        return Err(format!("xorpack width {width} exceeds 64 bits"));
+    }
+    let mut prev = u64::from_le_bytes([
+        enc[1], enc[2], enc[3], enc[4], enc[5], enc[6], enc[7], enc[8],
+    ]);
+    out.push(prev);
+    let mut r = BitReader {
+        b: &enc[9..],
+        pos: 0,
+    };
+    for _ in 1..n_cells {
+        prev ^= r.get(width, "xorpack delta")?;
+        out.push(prev);
+    }
+    Ok(())
+}
+
+fn encode_raw(cells: &[u64], out: &mut Vec<u8>) {
+    out.reserve(cells.len() * 8);
+    for &c in cells {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+}
+
+fn decode_raw(enc: &[u8], n_cells: usize, out: &mut Vec<u64>) -> Result<(), String> {
+    out.clear();
+    if enc.len() != n_cells * 8 {
+        return Err(format!(
+            "raw block is {} bytes, expected {} for {n_cells} cells",
+            enc.len(),
+            n_cells * 8
+        ));
+    }
+    out.extend(
+        enc.chunks_exact(8)
+            .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])),
+    );
+    Ok(())
+}
+
+/// Encode one block, appending the winning encoding to `out` and
+/// returning its codec tag. The choice is by measured encoded size —
+/// Gorilla vs XorPack, ties to Gorilla — falling back to Raw whenever
+/// neither beats the cells verbatim, so an encoded block is never
+/// larger than raw. Deterministic: same cells, same choice, same
+/// bytes. When `compress` is false the block is always Raw (the shape
+/// the mmap path lends out zero-copy).
+pub fn encode_block(cells: &[u64], compress: bool, out: &mut Vec<u8>) -> u8 {
+    let raw_len = cells.len() as u64 * 8;
+    if compress && !cells.is_empty() {
+        let mut gor = BitWriter::new();
+        encode_gorilla(cells, &mut gor);
+        let gor_len = gor.bit_len().div_ceil(8);
+        let width = xorpack_width(cells);
+        let xp_len = xorpack_len(cells.len(), width);
+        if gor_len <= xp_len && gor_len < raw_len {
+            out.extend_from_slice(&gor.finish());
+            return CODEC_GORILLA;
+        }
+        if xp_len < raw_len {
+            encode_xorpack(cells, width, out);
+            return CODEC_XORPACK;
+        }
+    }
+    encode_raw(cells, out);
+    CODEC_RAW
+}
+
+/// Decode one block of exactly `n_cells` cells. Any malformed input —
+/// unknown tag, truncated stream, impossible geometry — is an
+/// `Err(String)` naming the damage; never a panic.
+pub fn decode_block(
+    codec: u8,
+    enc: &[u8],
+    n_cells: usize,
+    out: &mut Vec<u64>,
+) -> Result<(), String> {
+    match codec {
+        CODEC_RAW => decode_raw(enc, n_cells, out),
+        CODEC_GORILLA => decode_gorilla(enc, n_cells, out),
+        CODEC_XORPACK => decode_xorpack(enc, n_cells, out),
+        other => Err(format!("unknown block codec {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(cells: &[u64]) -> u8 {
+        let mut enc = Vec::new();
+        let codec = encode_block(cells, true, &mut enc);
+        assert!(enc.len() as u64 <= cells.len() as u64 * 8 || cells.is_empty());
+        let mut back = Vec::new();
+        decode_block(codec, &enc, cells.len(), &mut back).unwrap();
+        assert_eq!(back, cells);
+        // Every codec individually round-trips too.
+        for c in [CODEC_RAW, CODEC_GORILLA, CODEC_XORPACK] {
+            let mut e = Vec::new();
+            match c {
+                CODEC_RAW => encode_raw(cells, &mut e),
+                CODEC_GORILLA => {
+                    let mut w = BitWriter::new();
+                    encode_gorilla(cells, &mut w);
+                    e = w.finish();
+                }
+                _ => encode_xorpack(cells, xorpack_width(cells), &mut e),
+            }
+            let mut b = Vec::new();
+            decode_block(c, &e, cells.len(), &mut b).unwrap();
+            assert_eq!(b, cells, "codec {c}");
+        }
+        codec
+    }
+
+    #[test]
+    fn round_trips_special_values_bit_exactly() {
+        let specials = [
+            0.0f64.to_bits(),
+            (-0.0f64).to_bits(),
+            f64::NAN.to_bits(),
+            f64::NAN.to_bits() | 0xdead, // NaN payload
+            f64::INFINITY.to_bits(),
+            f64::NEG_INFINITY.to_bits(),
+            f64::MIN_POSITIVE.to_bits() >> 1, // subnormal
+            1.0f64.to_bits(),
+            (-1.5e300f64).to_bits(),
+            u64::MAX,
+            1,
+        ];
+        round_trip(&specials);
+        round_trip(&[]);
+        round_trip(&[f64::NAN.to_bits() | 1]);
+    }
+
+    #[test]
+    fn constant_blocks_collapse() {
+        let cells = vec![f64::NAN.to_bits(); 4096];
+        let mut enc = Vec::new();
+        let codec = encode_block(&cells, true, &mut enc);
+        assert_ne!(codec, CODEC_RAW);
+        // A constant run costs ~1 bit per repeated cell.
+        assert!(enc.len() < 8 + 4096 / 8 + 16, "{} bytes", enc.len());
+        let mut back = Vec::new();
+        decode_block(codec, &enc, cells.len(), &mut back).unwrap();
+        assert_eq!(back, cells);
+    }
+
+    #[test]
+    fn slowly_varying_metrics_compress() {
+        let cells: Vec<u64> = (0..1000)
+            .map(|i| (100.0 + (i % 7) as f64 * 0.25).to_bits())
+            .collect();
+        let mut enc = Vec::new();
+        let codec = encode_block(&cells, true, &mut enc);
+        assert_ne!(codec, CODEC_RAW);
+        assert!(enc.len() * 2 < cells.len() * 8);
+    }
+
+    #[test]
+    fn incompressible_blocks_fall_back_to_raw() {
+        // SplitMix64 noise: XOR deltas use all 64 bits.
+        let mut x = 0x12345678u64;
+        let cells: Vec<u64> = (0..256)
+            .map(|_| {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            })
+            .collect();
+        let mut enc = Vec::new();
+        let codec = encode_block(&cells, true, &mut enc);
+        assert_eq!(codec, CODEC_RAW);
+        assert_eq!(enc.len(), cells.len() * 8);
+    }
+
+    #[test]
+    fn compress_false_is_always_raw() {
+        let cells = vec![1u64; 64];
+        let mut enc = Vec::new();
+        assert_eq!(encode_block(&cells, false, &mut enc), CODEC_RAW);
+        assert_eq!(enc.len(), 64 * 8);
+    }
+
+    #[test]
+    fn corrupt_streams_are_typed_errors_never_panics() {
+        let cells: Vec<u64> = (0..100).map(|i| (i as f64 * 0.5).to_bits()).collect();
+        for compress in [true, false] {
+            let mut enc = Vec::new();
+            let codec = encode_block(&cells, compress, &mut enc);
+            let mut out = Vec::new();
+            // Truncation at every length.
+            for cut in 0..enc.len() {
+                let _ = decode_block(codec, &enc[..cut], cells.len(), &mut out);
+            }
+            // Every single-bit flip either round-trips to *something*
+            // or errors — never panics. (Checksums catch the flips in
+            // the real file.)
+            for i in 0..enc.len() {
+                let mut b = enc.clone();
+                b[i] ^= 0x80;
+                let _ = decode_block(codec, &b, cells.len(), &mut out);
+            }
+        }
+        // Unknown codec tag.
+        let mut out = Vec::new();
+        assert!(decode_block(99, &[0u8; 8], 1, &mut out).is_err());
+        // Absurd claimed geometry.
+        assert!(decode_block(CODEC_GORILLA, &[0xff; 4], 1000, &mut out).is_err());
+        assert!(decode_block(CODEC_XORPACK, &[65; 16], 2, &mut out).is_err());
+    }
+}

@@ -15,7 +15,7 @@ use std::path::{Path, PathBuf};
 
 use crate::dataset::{corpus_to_text, parse_corpus_line, LabeledRun};
 use crate::error::VqdError;
-use crate::vqdc::{sniff_vqdc, VqdcReader, VqdcSchema, VqdcWriter};
+use crate::vqdc::{sniff_vqdc, VqdcReader, VqdcSchema, VqdcWriteOptions, VqdcWriter};
 
 /// Default sessions per [`CorpusReader::next_chunk`] chunk for CLI
 /// consumers: bounded memory, still large enough to amortise
@@ -129,68 +129,98 @@ pub struct ConvertStats {
     pub from_binary: bool,
 }
 
-/// Convert a corpus between the text and binary columnar formats,
-/// streaming both sides so corpora larger than RAM convert in
-/// bounded memory. Text output is written chunk by chunk; binary
-/// output goes through the two-pass [`VqdcWriter`] (schema scan,
-/// then chunked column writes), so peak memory is one chunk of
-/// sessions plus the `O(n_rows)` schema — never the cell values.
-/// Either direction round-trips bit-exactly.
+/// Convert a corpus between the text and binary columnar formats with
+/// default binary options (`.vqdc` v2, compressed). See
+/// [`convert_corpus_with`].
 pub fn convert_corpus(
     input: impl AsRef<Path>,
     output: impl AsRef<Path>,
     to_binary: bool,
 ) -> Result<ConvertStats, VqdError> {
-    let (input, output) = (input.as_ref(), output.as_ref());
-    if input == output {
-        return Err(VqdError::Config(format!(
-            "convert --in and --out are the same file ({})",
-            input.display()
-        )));
-    }
-    let mut reader = CorpusReader::open(input)?;
-    let from_binary = reader.is_binary();
-    let sessions = if to_binary {
-        // Pass 1: schema scan. Pass 2: replay the source through the
-        // positioned column writer.
-        let mut schema = VqdcSchema::new();
-        loop {
-            let chunk = reader.next_chunk(DEFAULT_CHUNK_SESSIONS)?;
-            if chunk.is_empty() {
-                break;
-            }
-            schema.scan(&chunk)?;
-        }
-        let mut writer = VqdcWriter::create(output, schema)?;
-        let mut reader = CorpusReader::open(input)?;
-        loop {
-            let chunk = reader.next_chunk(DEFAULT_CHUNK_SESSIONS)?;
-            if chunk.is_empty() {
-                break;
-            }
-            writer.write_rows(&chunk)?;
-        }
-        writer.finish()?
-    } else {
-        let f = File::create(output).map_err(|e| VqdError::io(output, e))?;
-        let mut w = BufWriter::with_capacity(1 << 20, f);
-        let mut sessions = 0usize;
-        loop {
-            let chunk = reader.next_chunk(DEFAULT_CHUNK_SESSIONS)?;
-            if chunk.is_empty() {
-                break;
-            }
-            sessions += chunk.len();
-            w.write_all(corpus_to_text(&chunk).as_bytes())
-                .map_err(|e| VqdError::io(output, e))?;
-        }
-        w.flush().map_err(|e| VqdError::io(output, e))?;
-        sessions
-    };
+    convert_corpus_with(input, output, to_binary, &VqdcWriteOptions::default())
+}
+
+/// Convert a corpus between the text and binary columnar formats,
+/// streaming both sides so corpora larger than RAM convert in
+/// bounded memory. Text output is written chunk by chunk; binary
+/// output goes through the two-pass [`VqdcWriter`] (schema scan,
+/// then chunked value writes) at any container version/options, so
+/// peak memory is one chunk of sessions plus the `O(n_rows)` schema
+/// plus (v2) one row group of cells — never the corpus. Every
+/// direction round-trips bit-exactly, including binary→binary
+/// version moves (`v1 → v2 → v1` is byte-identical at the text
+/// level and v1→…→v1 at the file level).
+pub fn convert_corpus_with(
+    input: impl AsRef<Path>,
+    output: impl AsRef<Path>,
+    to_binary: bool,
+    opts: &VqdcWriteOptions,
+) -> Result<ConvertStats, VqdError> {
+    let input = input.as_ref().to_path_buf();
+    let from_binary = sniff_vqdc(&input);
+    let sessions = merge_corpora(&[input], output, to_binary, opts)?;
     Ok(ConvertStats {
         sessions,
         from_binary,
     })
+}
+
+/// Stream-concatenate `inputs` (in order) into one corpus at
+/// `output` — the shard-order merge behind the multi-process sim
+/// farm, and the general machinery behind [`convert_corpus_with`].
+/// Binary output runs the two-pass [`VqdcWriter`] over the shard
+/// sequence (schema scan across all inputs, then value replay), so
+/// the merged file is byte-identical to converting the concatenated
+/// sessions directly, at any shard split. Returns the total session
+/// count.
+pub fn merge_corpora(
+    inputs: &[PathBuf],
+    output: impl AsRef<Path>,
+    to_binary: bool,
+    opts: &VqdcWriteOptions,
+) -> Result<usize, VqdError> {
+    let output = output.as_ref();
+    for input in inputs {
+        if input == output {
+            return Err(VqdError::Config(format!(
+                "convert --in and --out are the same file ({})",
+                input.display()
+            )));
+        }
+    }
+    let each_chunk = |f: &mut dyn FnMut(&[LabeledRun]) -> Result<(), VqdError>| {
+        for input in inputs {
+            let mut reader = CorpusReader::open(input)?;
+            loop {
+                let chunk = reader.next_chunk(DEFAULT_CHUNK_SESSIONS)?;
+                if chunk.is_empty() {
+                    break;
+                }
+                f(&chunk)?;
+            }
+        }
+        Ok::<(), VqdError>(())
+    };
+    if to_binary {
+        // Pass 1: schema scan across every input. Pass 2: replay the
+        // same sessions through the streaming writer.
+        let mut schema = VqdcSchema::new();
+        each_chunk(&mut |chunk| schema.scan(chunk))?;
+        let mut writer = VqdcWriter::create_with(output, schema, opts)?;
+        each_chunk(&mut |chunk| writer.write_rows(chunk))?;
+        writer.finish()
+    } else {
+        let f = File::create(output).map_err(|e| VqdError::io(output, e))?;
+        let mut w = BufWriter::with_capacity(1 << 20, f);
+        let mut sessions = 0usize;
+        each_chunk(&mut |chunk| {
+            sessions += chunk.len();
+            w.write_all(corpus_to_text(chunk).as_bytes())
+                .map_err(|e| VqdError::io(output, e))
+        })?;
+        w.flush().map_err(|e| VqdError::io(output, e))?;
+        Ok(sessions)
+    }
 }
 
 #[cfg(test)]
@@ -198,7 +228,7 @@ mod tests {
     use super::*;
     use crate::dataset::{corpus_from_text, corpus_to_text};
     use crate::scenario::GroundTruth;
-    use crate::vqdc::corpus_to_vqdc_bytes;
+    use crate::vqdc::{corpus_to_vqdc_bytes, corpus_to_vqdc_bytes_with};
     use vqd_faults::FaultKind;
     use vqd_video::QoeClass;
 
@@ -265,10 +295,11 @@ mod tests {
         let s = convert_corpus(&tp, &bp, true).unwrap();
         assert_eq!(s.sessions, runs.len());
         assert!(!s.from_binary);
-        // Streamed text -> binary equals the batch encoder's bytes.
+        // Streamed text -> binary equals the batch encoder's bytes
+        // (v2 is the default container).
         assert_eq!(
             std::fs::read(&bp).unwrap(),
-            corpus_to_vqdc_bytes(&runs).unwrap()
+            corpus_to_vqdc_bytes_with(&runs, &VqdcWriteOptions::default()).unwrap()
         );
         // Binary -> text recovers the original file byte for byte.
         let s = convert_corpus(&bp, &back, false).unwrap();
@@ -279,6 +310,70 @@ mod tests {
         assert!(convert_corpus(&tp, &tp, true).is_err());
         assert_eq!(std::fs::read_to_string(&tp).unwrap(), text);
         for p in [&tp, &bp, &back] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn version_moves_are_byte_identical_both_directions() {
+        let runs = sample();
+        let id = std::process::id();
+        let d = std::env::temp_dir();
+        let v1a = d.join(format!("vqd-cs-{id}-m1.vqdc"));
+        let v2 = d.join(format!("vqd-cs-{id}-m2.vqdc"));
+        let v1b = d.join(format!("vqd-cs-{id}-m3.vqdc"));
+        let txt = d.join(format!("vqd-cs-{id}-m4.txt"));
+        std::fs::write(&v1a, corpus_to_vqdc_bytes(&runs).unwrap()).unwrap();
+        // v1 -> v2 -> v1: the final v1 file equals the original one
+        // byte for byte, and the v2 middle equals the batch encoder.
+        convert_corpus_with(&v1a, &v2, true, &VqdcWriteOptions::default()).unwrap();
+        assert_eq!(
+            std::fs::read(&v2).unwrap(),
+            corpus_to_vqdc_bytes_with(&runs, &VqdcWriteOptions::default()).unwrap()
+        );
+        convert_corpus_with(&v2, &v1b, true, &VqdcWriteOptions::v1()).unwrap();
+        assert_eq!(std::fs::read(&v1a).unwrap(), std::fs::read(&v1b).unwrap());
+        // …and at the text level.
+        convert_corpus(&v2, &txt, false).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&txt).unwrap(),
+            corpus_to_text(&runs)
+        );
+        for p in [&v1a, &v2, &v1b, &txt] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn merge_concatenates_shards_byte_identically() {
+        let runs = sample();
+        let id = std::process::id();
+        let d = std::env::temp_dir();
+        // Split the corpus into uneven text shards.
+        let shards: Vec<PathBuf> = [&runs[..3], &runs[3..5], &runs[5..]]
+            .iter()
+            .enumerate()
+            .map(|(k, part)| {
+                let p = d.join(format!("vqd-cs-{id}-shard{k}.tsv"));
+                std::fs::write(&p, corpus_to_text(part)).unwrap();
+                p
+            })
+            .collect();
+        let merged = d.join(format!("vqd-cs-{id}-merged.vqdc"));
+        let n = merge_corpora(&shards, &merged, true, &VqdcWriteOptions::default()).unwrap();
+        assert_eq!(n, runs.len());
+        assert_eq!(
+            std::fs::read(&merged).unwrap(),
+            corpus_to_vqdc_bytes_with(&runs, &VqdcWriteOptions::default()).unwrap()
+        );
+        // Text-side merge concatenates exactly.
+        let mtxt = d.join(format!("vqd-cs-{id}-merged.tsv"));
+        merge_corpora(&shards, &mtxt, false, &VqdcWriteOptions::default()).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&mtxt).unwrap(),
+            corpus_to_text(&runs)
+        );
+        for p in shards.iter().chain([&merged, &mtxt]) {
             std::fs::remove_file(p).ok();
         }
     }

@@ -56,6 +56,17 @@ pub enum VqdError {
         /// What went wrong (names the damaged section).
         msg: String,
     },
+    /// A sim-farm worker process failed; names the contiguous session
+    /// sub-range (spec indices) the worker owned so the run can be
+    /// retried or narrowed.
+    Farm {
+        /// First session index of the worker's range.
+        start: usize,
+        /// Sessions in the worker's range.
+        len: usize,
+        /// What went wrong (exit status, signal, spawn failure).
+        msg: String,
+    },
     /// Invalid configuration or usage (bad flag value, unknown name).
     Config(String),
 }
@@ -94,6 +105,15 @@ impl VqdError {
             msg: msg.into(),
         }
     }
+
+    /// A farm-worker failure pinned to its session sub-range.
+    pub fn farm(start: usize, len: usize, msg: impl Into<String>) -> Self {
+        VqdError::Farm {
+            start,
+            len,
+            msg: msg.into(),
+        }
+    }
 }
 
 impl fmt::Display for VqdError {
@@ -119,6 +139,13 @@ impl fmt::Display for VqdError {
             }
             VqdError::BinCorpus { path, msg } => {
                 write!(f, "binary corpus {}: {msg}", path.display())
+            }
+            VqdError::Farm { start, len, msg } => {
+                write!(
+                    f,
+                    "farm worker for sessions {start}..{} failed: {msg}",
+                    start + len
+                )
             }
             VqdError::Config(msg) => write!(f, "{msg}"),
         }

@@ -1,0 +1,416 @@
+//! Seeded bounded-memory external shuffle (DESIGN.md §7j).
+//!
+//! `vqd events --shuffle` used to hold every event in memory to
+//! Fisher–Yates them — the one corpus command that could not run
+//! beyond RAM. This module replaces the permutation with a **key
+//! sort**: record `i` gets the pseudorandom 64-bit key
+//! `mix(seed, i)` (a SplitMix64 finalizer, uniform and fixed forever),
+//! and the shuffled order is the records sorted by `(key, i)`. Sorting
+//! is an external-memory problem the repo already knows how to solve
+//! (`ml::stream_fit`'s spill runs): buffer up to `budget` records,
+//! spill each full buffer as a sorted run, k-way merge the runs on
+//! drain. The composite key is unique (`i` breaks ties), so the output
+//! permutation depends only on `(seed, n)` — **never** on the memory
+//! budget, the spill pattern, or the run count (test-enforced).
+//!
+//! Records are opaque byte strings (a JSONL event line, a corpus text
+//! line), so one shuffler serves both `vqd events --shuffle` and
+//! `vqd diagnose --batch --shuffle`.
+
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::VqdError;
+
+/// Maximum run files merged at once; beyond this, runs are cascaded
+/// into bigger runs so the final merge never holds more than this many
+/// descriptors open.
+const MAX_FANIN: usize = 64;
+
+/// Default in-memory budget: records buffered before a run spills.
+pub const DEFAULT_SHUFFLE_BUDGET: usize = 1 << 20;
+
+/// Process-wide run-file counter, so concurrent shuffles sharing one
+/// temp dir never collide (same lesson as the stream-fit spill files).
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// SplitMix64 finalizer: uniform, stateless key for record `seq` under
+/// `seed`. Fixed forever — the shuffled order is part of the CLI's
+/// deterministic surface.
+fn shuffle_key(seed: u64, seq: u64) -> u64 {
+    let mut z = seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A buffered record: sort key, arrival index (tie-break), payload.
+type Rec = (u64, u64, Vec<u8>);
+
+/// Accumulates records, spilling sorted runs past the budget; `finish`
+/// returns a reader that drains them in shuffled order.
+pub struct ExternalShuffle {
+    seed: u64,
+    budget: usize,
+    tmp_dir: PathBuf,
+    buf: Vec<Rec>,
+    runs: Vec<RunFile>,
+    seq: u64,
+}
+
+/// One spilled run: `count` records of `key u64 | seq u64 | len u32 |
+/// payload`, already in `(key, seq)` order.
+struct RunFile {
+    path: PathBuf,
+    count: u64,
+}
+
+impl ExternalShuffle {
+    /// A shuffler for `seed`, holding at most `budget` records in
+    /// memory (0 is clamped to 1); runs spill to `tmp_dir` (the OS
+    /// temp dir when `None`).
+    pub fn new(seed: u64, budget: usize, tmp_dir: Option<PathBuf>) -> ExternalShuffle {
+        ExternalShuffle {
+            seed,
+            budget: budget.max(1),
+            tmp_dir: tmp_dir.unwrap_or_else(std::env::temp_dir),
+            buf: Vec::new(),
+            runs: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Records accepted so far.
+    pub fn len(&self) -> u64 {
+        self.seq
+    }
+
+    /// No records yet?
+    pub fn is_empty(&self) -> bool {
+        self.seq == 0
+    }
+
+    /// Runs spilled so far (0 = still all in memory).
+    pub fn spilled_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Add one record (its bytes are copied).
+    pub fn push(&mut self, record: &[u8]) -> Result<(), VqdError> {
+        let key = shuffle_key(self.seed, self.seq);
+        self.buf.push((key, self.seq, record.to_vec()));
+        self.seq += 1;
+        if self.buf.len() >= self.budget {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn spill(&mut self) -> Result<(), VqdError> {
+        self.buf.sort_unstable_by_key(|&(k, s, _)| (k, s));
+        let run = write_run(&self.tmp_dir, self.buf.drain(..))?;
+        self.runs.push(run);
+        Ok(())
+    }
+
+    /// Seal the shuffler and return the drain-side reader. Cascades
+    /// the merge when more than [`MAX_FANIN`] runs spilled, so the
+    /// final pass is always bounded in open files.
+    pub fn finish(mut self) -> Result<ShuffledReader, VqdError> {
+        if self.runs.is_empty() {
+            // Everything fit: sort in place, no I/O at all.
+            self.buf.sort_unstable_by_key(|&(k, s, _)| (k, s));
+            let mut records: Vec<Vec<u8>> = self.buf.drain(..).map(|(_, _, b)| b).collect();
+            records.reverse(); // drain via pop() = front first
+            return Ok(ShuffledReader::Mem(records));
+        }
+        if !self.buf.is_empty() {
+            self.spill()?;
+        }
+        let mut runs = std::mem::take(&mut self.runs);
+        while runs.len() > MAX_FANIN {
+            let rest = runs.split_off(MAX_FANIN);
+            let merged = merge_runs_to_file(&self.tmp_dir, runs)?;
+            runs = rest;
+            runs.insert(0, merged);
+        }
+        let merge = RunMerge::open(runs)?;
+        Ok(ShuffledReader::Merge(merge))
+    }
+}
+
+impl Drop for ExternalShuffle {
+    fn drop(&mut self) {
+        for run in &self.runs {
+            std::fs::remove_file(&run.path).ok();
+        }
+    }
+}
+
+/// Write one sorted run. The iterator must already be `(key, seq)`
+/// ordered.
+fn write_run(
+    tmp_dir: &Path,
+    records: impl ExactSizeIterator<Item = Rec>,
+) -> Result<RunFile, VqdError> {
+    let path = tmp_dir.join(format!(
+        "vqd-shuffle-{}-{}.run",
+        std::process::id(),
+        RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let f = File::create(&path).map_err(|e| VqdError::io(&path, e))?;
+    let mut w = BufWriter::with_capacity(1 << 20, f);
+    let mut count = 0u64;
+    for (key, seq, bytes) in records {
+        w.write_all(&key.to_le_bytes())
+            .and_then(|()| w.write_all(&seq.to_le_bytes()))
+            .and_then(|()| w.write_all(&(bytes.len() as u32).to_le_bytes()))
+            .and_then(|()| w.write_all(&bytes))
+            .map_err(|e| VqdError::io(&path, e))?;
+        count += 1;
+    }
+    w.flush().map_err(|e| VqdError::io(&path, e))?;
+    Ok(RunFile { path, count })
+}
+
+/// Merge `runs` into one bigger run file (the cascade step).
+fn merge_runs_to_file(tmp_dir: &Path, runs: Vec<RunFile>) -> Result<RunFile, VqdError> {
+    let mut merge = RunMerge::open(runs)?;
+    // Stream straight to the new run: the merged order is the run
+    // order, so write records as they pop.
+    let path = tmp_dir.join(format!(
+        "vqd-shuffle-{}-{}.run",
+        std::process::id(),
+        RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let f = File::create(&path).map_err(|e| VqdError::io(&path, e))?;
+    let mut w = BufWriter::with_capacity(1 << 20, f);
+    let mut count = 0u64;
+    while let Some((key, seq, bytes)) = merge.next_rec()? {
+        w.write_all(&key.to_le_bytes())
+            .and_then(|()| w.write_all(&seq.to_le_bytes()))
+            .and_then(|()| w.write_all(&(bytes.len() as u32).to_le_bytes()))
+            .and_then(|()| w.write_all(&bytes))
+            .map_err(|e| VqdError::io(&path, e))?;
+        count += 1;
+    }
+    w.flush().map_err(|e| VqdError::io(&path, e))?;
+    Ok(RunFile { path, count })
+}
+
+/// Drain side of the shuffle: records in `(key, seq)` order.
+pub enum ShuffledReader {
+    /// Everything fit in memory (stored back-to-front, popped).
+    Mem(Vec<Vec<u8>>),
+    /// K-way merge over spilled runs.
+    Merge(RunMerge),
+}
+
+impl ShuffledReader {
+    /// The next record in shuffled order, `None` when drained.
+    pub fn next_record(&mut self) -> Result<Option<Vec<u8>>, VqdError> {
+        match self {
+            ShuffledReader::Mem(v) => Ok(v.pop()),
+            ShuffledReader::Merge(m) => Ok(m.next_rec()?.map(|(_, _, b)| b)),
+        }
+    }
+}
+
+/// Cursor over one spilled run.
+struct RunCursor {
+    reader: BufReader<File>,
+    path: PathBuf,
+    remaining: u64,
+}
+
+impl RunCursor {
+    fn read_rec(&mut self) -> Result<Option<Rec>, VqdError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let mut head = [0u8; 20];
+        self.reader
+            .read_exact(&mut head)
+            .map_err(|e| VqdError::io(&self.path, e))?;
+        let key = u64::from_le_bytes([
+            head[0], head[1], head[2], head[3], head[4], head[5], head[6], head[7],
+        ]);
+        let seq = u64::from_le_bytes([
+            head[8], head[9], head[10], head[11], head[12], head[13], head[14], head[15],
+        ]);
+        let len = u32::from_le_bytes([head[16], head[17], head[18], head[19]]) as usize;
+        let mut bytes = vec![0u8; len];
+        self.reader
+            .read_exact(&mut bytes)
+            .map_err(|e| VqdError::io(&self.path, e))?;
+        self.remaining -= 1;
+        Ok(Some((key, seq, bytes)))
+    }
+}
+
+/// Heap entry: min-heap by `(key, seq)` via reversed `Ord`.
+struct HeapRec {
+    key: u64,
+    seq: u64,
+    bytes: Vec<u8>,
+    run: usize,
+}
+
+impl PartialEq for HeapRec {
+    fn eq(&self, other: &Self) -> bool {
+        (self.key, self.seq) == (other.key, other.seq)
+    }
+}
+impl Eq for HeapRec {}
+impl PartialOrd for HeapRec {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapRec {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest.
+        (other.key, other.seq).cmp(&(self.key, self.seq))
+    }
+}
+
+/// K-way merge over spilled runs; deletes the run files on drop.
+pub struct RunMerge {
+    cursors: Vec<RunCursor>,
+    heap: BinaryHeap<HeapRec>,
+}
+
+impl RunMerge {
+    fn open(runs: Vec<RunFile>) -> Result<RunMerge, VqdError> {
+        let mut cursors = Vec::with_capacity(runs.len());
+        for run in runs {
+            let f = File::open(&run.path).map_err(|e| VqdError::io(&run.path, e))?;
+            cursors.push(RunCursor {
+                reader: BufReader::with_capacity(1 << 18, f),
+                path: run.path,
+                remaining: run.count,
+            });
+        }
+        let mut heap = BinaryHeap::with_capacity(cursors.len());
+        for (i, cur) in cursors.iter_mut().enumerate() {
+            if let Some((key, seq, bytes)) = cur.read_rec()? {
+                heap.push(HeapRec {
+                    key,
+                    seq,
+                    bytes,
+                    run: i,
+                });
+            }
+        }
+        Ok(RunMerge { cursors, heap })
+    }
+
+    fn next_rec(&mut self) -> Result<Option<Rec>, VqdError> {
+        let Some(top) = self.heap.pop() else {
+            return Ok(None);
+        };
+        if let Some((key, seq, bytes)) = self.cursors[top.run].read_rec()? {
+            self.heap.push(HeapRec {
+                key,
+                seq,
+                bytes,
+                run: top.run,
+            });
+        }
+        Ok(Some((top.key, top.seq, top.bytes)))
+    }
+}
+
+impl Drop for RunMerge {
+    fn drop(&mut self) {
+        for cur in &self.cursors {
+            std::fs::remove_file(&cur.path).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(mut r: ShuffledReader) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(rec) = r.next_record().unwrap() {
+            out.push(rec);
+        }
+        out
+    }
+
+    fn shuffle_all(seed: u64, budget: usize, records: &[Vec<u8>]) -> (Vec<Vec<u8>>, usize) {
+        let mut sh = ExternalShuffle::new(seed, budget, None);
+        for r in records {
+            sh.push(r).unwrap();
+        }
+        let spilled = sh.spilled_runs();
+        (drain(sh.finish().unwrap()), spilled)
+    }
+
+    fn records(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| format!("record-{i:05} {}", "x".repeat(i % 37)).into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn order_is_independent_of_the_memory_budget() {
+        let recs = records(500);
+        let (want, spilled0) = shuffle_all(42, usize::MAX, &recs);
+        assert_eq!(spilled0, 0, "want the all-in-memory path as oracle");
+        for budget in [1usize, 3, 7, 64, 499] {
+            let (got, spilled) = shuffle_all(42, budget, &recs);
+            assert!(spilled > 0, "budget {budget} must exercise the spill path");
+            assert_eq!(got, want, "order changed at budget {budget}");
+        }
+    }
+
+    #[test]
+    fn order_is_a_permutation_and_seed_sensitive() {
+        let recs = records(300);
+        let (a, _) = shuffle_all(1, 50, &recs);
+        let (b, _) = shuffle_all(2, 50, &recs);
+        assert_ne!(a, b, "different seeds must permute differently");
+        assert_ne!(a, recs, "seed 1 must actually move records");
+        let mut sorted_a = a.clone();
+        sorted_a.sort();
+        let mut sorted_in = recs.clone();
+        sorted_in.sort();
+        assert_eq!(sorted_a, sorted_in, "output must be a permutation");
+    }
+
+    #[test]
+    fn cascaded_merge_beyond_max_fanin_keeps_the_order() {
+        let recs = records(2 * MAX_FANIN + 7);
+        let (want, _) = shuffle_all(9, usize::MAX, &recs);
+        // budget 1 ⇒ one run per record ⇒ > MAX_FANIN runs ⇒ cascade.
+        let (got, spilled) = shuffle_all(9, 1, &recs);
+        assert!(spilled > MAX_FANIN);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_and_single_record_shuffles_work() {
+        let (out, _) = shuffle_all(7, 4, &[]);
+        assert!(out.is_empty());
+        let one = vec![b"only".to_vec()];
+        let (out, _) = shuffle_all(7, 4, &one);
+        assert_eq!(out, one);
+    }
+
+    #[test]
+    fn keys_are_fixed_forever() {
+        // The shuffled order is part of the CLI's deterministic
+        // surface; pin the key function against accidental change.
+        assert_eq!(shuffle_key(0, 0), 0);
+        assert_eq!(shuffle_key(2015, 1), 0x81e7_b04b_8a12_4a25);
+        assert_ne!(shuffle_key(2015, 1), shuffle_key(2015, 2));
+        assert_ne!(shuffle_key(2015, 1), shuffle_key(2016, 1));
+    }
+}

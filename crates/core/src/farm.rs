@@ -10,11 +10,27 @@
 //! its own spec (seeded RNG, arena reset per session), so the merged
 //! corpus is byte-identical to a single-process run over the same seed
 //! set at any width (test-enforced at widths 1/2/8, and gated in CI).
+//!
+//! [`generate_corpus_multiproc`] takes the same shape across *process*
+//! boundaries: the parent splits the session range into `procs`
+//! contiguous sub-ranges, spawns one `vqd` child per sub-range (each
+//! child is the in-process farm over its slice, selected by the hidden
+//! `--worker-range` flag), and streams a shard-order
+//! [`merge_corpora`](crate::corpus_stream::merge_corpora) of the child
+//! `.vqdc` files into the final output — byte-identical to `--procs 1`
+//! and to the plain generator at any width. A crashed child surfaces
+//! as [`VqdError::Farm`] naming the session sub-range it owned.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
 
 use vqd_simnet::engine::SimArena;
 use vqd_video::catalog::Catalog;
 
-use crate::dataset::{draw_specs, run_spec, CorpusConfig, LabeledRun};
+use crate::corpus_stream::merge_corpora;
+use crate::dataset::{draw_specs, run_spec, CorpusConfig, CorpusSpec, LabeledRun};
+use crate::error::VqdError;
+use crate::vqdc::VqdcWriteOptions;
 
 /// Throughput summary of one farm run.
 #[derive(Debug, Clone)]
@@ -35,19 +51,11 @@ pub struct FarmStats {
     pub shard_wall_s: Vec<f64>,
 }
 
-/// Generate the corpus sharded `width` ways by contiguous seed range.
-/// The merged output is byte-identical to `generate_corpus(cfg,
-/// catalog)` over the same config, for every `width ≥ 1`.
-pub fn generate_corpus_farm(
-    cfg: &CorpusConfig,
-    catalog: &Catalog,
-    width: usize,
-) -> (Vec<LabeledRun>, FarmStats) {
-    let _span = vqd_obs::WallSpan::begin("farm", "pipeline");
+/// Contiguous shard ranges over `n` items: the first `n % width`
+/// shards take one extra item, so concatenating the ranges in shard
+/// order reproduces `0..n` exactly.
+pub fn shard_ranges(n: usize, width: usize) -> Vec<std::ops::Range<usize>> {
     let width = width.max(1);
-    let specs = draw_specs(cfg);
-    let n = specs.len();
-    // Contiguous ranges: the first `n % width` shards take one extra.
     let base = n / width;
     let rem = n % width;
     let mut ranges = Vec::with_capacity(width);
@@ -57,8 +65,19 @@ pub fn generate_corpus_farm(
         ranges.push(at..at + len);
         at += len;
     }
-    let start = std::time::Instant::now();
-    let mut shard_out: Vec<(Vec<LabeledRun>, u64, f64)> = Vec::with_capacity(width);
+    ranges
+}
+
+/// The farm engine over an already-drawn spec slice: `width` scoped
+/// workers over contiguous shards, merged in shard order. Returns
+/// `(runs, events, shard_sessions, shard_wall_s)`.
+fn farm_specs(
+    specs: &[CorpusSpec],
+    catalog: &Catalog,
+    width: usize,
+) -> (Vec<LabeledRun>, u64, Vec<usize>, Vec<f64>) {
+    let ranges = shard_ranges(specs.len(), width);
+    let mut shard_out: Vec<(Vec<LabeledRun>, u64, f64)> = Vec::with_capacity(ranges.len());
     std::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .iter()
@@ -85,17 +104,33 @@ pub fn generate_corpus_farm(
             }
         }
     });
-    let wall_s = start.elapsed().as_secs_f64();
-    let mut runs = Vec::with_capacity(n);
+    let mut runs = Vec::with_capacity(specs.len());
     let mut events = 0u64;
-    let mut shard_sessions = Vec::with_capacity(width);
-    let mut shard_wall_s = Vec::with_capacity(width);
+    let mut shard_sessions = Vec::with_capacity(shard_out.len());
+    let mut shard_wall_s = Vec::with_capacity(shard_out.len());
     for (shard_runs, ev, w) in shard_out {
         shard_sessions.push(shard_runs.len());
         shard_wall_s.push(w);
         events += ev;
         runs.extend(shard_runs);
     }
+    (runs, events, shard_sessions, shard_wall_s)
+}
+
+/// Generate the corpus sharded `width` ways by contiguous seed range.
+/// The merged output is byte-identical to `generate_corpus(cfg,
+/// catalog)` over the same config, for every `width ≥ 1`.
+pub fn generate_corpus_farm(
+    cfg: &CorpusConfig,
+    catalog: &Catalog,
+    width: usize,
+) -> (Vec<LabeledRun>, FarmStats) {
+    let _span = vqd_obs::WallSpan::begin("farm", "pipeline");
+    let width = width.max(1);
+    let specs = draw_specs(cfg);
+    let start = std::time::Instant::now();
+    let (runs, events, shard_sessions, shard_wall_s) = farm_specs(&specs, catalog, width);
+    let wall_s = start.elapsed().as_secs_f64();
     let stats = FarmStats {
         width,
         sessions: runs.len(),
@@ -112,6 +147,201 @@ pub fn generate_corpus_farm(
         r.counter_add("core.farm.sessions", stats.sessions as u64);
     }
     (runs, stats)
+}
+
+/// The multi-process farm's per-child engine: draw the full spec list
+/// (deterministic in `cfg.seed`), take the contiguous slice
+/// `start..start + len`, and run it through the in-process farm at
+/// `width`. Because every session depends only on its own spec, the
+/// concatenation of the sub-range outputs in range order is exactly
+/// `generate_corpus(cfg, catalog)`.
+pub fn generate_corpus_range(
+    cfg: &CorpusConfig,
+    catalog: &Catalog,
+    start: usize,
+    len: usize,
+    width: usize,
+) -> Result<(Vec<LabeledRun>, u64), VqdError> {
+    let specs = draw_specs(cfg);
+    let end = start.checked_add(len).filter(|&e| e <= specs.len());
+    let Some(end) = end else {
+        return Err(VqdError::Config(format!(
+            "worker range {start}:{len} exceeds the {}-session corpus",
+            specs.len()
+        )));
+    };
+    let (runs, events, _, _) = farm_specs(&specs[start..end], catalog, width);
+    Ok((runs, events))
+}
+
+/// Multi-process farm configuration: how to reach the worker binary
+/// and how wide to fan out.
+#[derive(Debug, Clone)]
+pub struct ProcFarmConfig {
+    /// The `vqd` binary to spawn workers from (normally
+    /// `std::env::current_exe()`).
+    pub exe: PathBuf,
+    /// Worker processes (each owns one contiguous session sub-range).
+    pub procs: usize,
+    /// Total farm width, divided contiguously among the workers (each
+    /// child runs its share as in-process shards; floored at 1).
+    pub width: usize,
+    /// Directory for the intermediate shard `.vqdc` files (default:
+    /// a per-run directory under the OS temp dir, removed afterwards).
+    pub shard_dir: Option<PathBuf>,
+}
+
+/// Throughput summary of one multi-process farm run.
+#[derive(Debug, Clone)]
+pub struct ProcFarmStats {
+    /// Worker processes spawned.
+    pub procs: usize,
+    /// Sessions generated across all workers.
+    pub sessions: usize,
+    /// Wall-clock seconds, spawn through merge.
+    pub wall_s: f64,
+    /// Sessions per wall-clock second, farm-wide.
+    pub sessions_per_sec: f64,
+    /// Sessions each worker owned (contiguous, in worker order).
+    pub proc_sessions: Vec<usize>,
+}
+
+/// Generate a corpus with `procs` worker **processes**, streaming the
+/// final output to `out` (binary when the path ends in `.vqdc`, text
+/// otherwise; `opts` picks the binary version). Each child simulates
+/// one contiguous session sub-range and writes a shard `.vqdc`; the
+/// parent merges the shards in range order through the streaming
+/// writer, so the output is byte-identical to `--procs 1` and to the
+/// plain generator — without the parent ever holding the corpus.
+///
+/// Only `cfg.sessions` and `cfg.seed` are forwarded to the workers
+/// (they rebuild the spec list from those plus defaults — exactly what
+/// `vqd corpus` exposes); other `CorpusConfig` knobs must be left at
+/// their defaults. A child that fails to spawn, exits nonzero, or dies
+/// to a signal yields [`VqdError::Farm`] naming its session sub-range.
+pub fn generate_corpus_multiproc(
+    cfg: &CorpusConfig,
+    pf: &ProcFarmConfig,
+    out: &Path,
+    opts: &VqdcWriteOptions,
+) -> Result<ProcFarmStats, VqdError> {
+    let _span = vqd_obs::WallSpan::begin("farm", "multiproc");
+    let procs = pf.procs.max(1);
+    let start = std::time::Instant::now();
+    let ranges = shard_ranges(cfg.sessions, procs);
+    let widths = shard_ranges(pf.width.max(1), procs);
+    let shard_dir = pf
+        .shard_dir
+        .clone()
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("vqd-farm-{}", std::process::id())));
+    std::fs::create_dir_all(&shard_dir).map_err(|e| VqdError::io(&shard_dir, e))?;
+    let result = run_workers(cfg, pf, &ranges, &widths, &shard_dir, out, opts);
+    // Best-effort cleanup of the shard files and (if now empty) the
+    // shard directory, on success and failure alike.
+    for (k, _) in ranges.iter().enumerate() {
+        std::fs::remove_file(shard_path(&shard_dir, k)).ok();
+    }
+    std::fs::remove_dir(&shard_dir).ok();
+    result?;
+    let wall_s = start.elapsed().as_secs_f64();
+    let stats = ProcFarmStats {
+        procs,
+        sessions: cfg.sessions,
+        wall_s,
+        sessions_per_sec: cfg.sessions as f64 / wall_s.max(1e-9),
+        proc_sessions: ranges.iter().map(|r| r.len()).collect(),
+    };
+    if vqd_obs::enabled() {
+        let r = vqd_obs::recorder();
+        r.gauge_set("core.farm.procs", stats.procs as f64);
+        r.gauge_set("core.farm.sessions_per_sec", stats.sessions_per_sec);
+        r.counter_add("core.farm.sessions", stats.sessions as u64);
+    }
+    Ok(stats)
+}
+
+fn shard_path(dir: &Path, k: usize) -> PathBuf {
+    dir.join(format!("shard-{k:04}.vqdc"))
+}
+
+/// Spawn all workers, reap them in range order, then stream-merge
+/// their shards. Split out so the caller can clean the shard dir on
+/// every exit path.
+fn run_workers(
+    cfg: &CorpusConfig,
+    pf: &ProcFarmConfig,
+    ranges: &[std::ops::Range<usize>],
+    widths: &[std::ops::Range<usize>],
+    shard_dir: &Path,
+    out: &Path,
+    opts: &VqdcWriteOptions,
+) -> Result<(), VqdError> {
+    let mut children: Vec<(usize, std::process::Child)> = Vec::with_capacity(ranges.len());
+    for (k, range) in ranges.iter().enumerate() {
+        let spawned = Command::new(&pf.exe)
+            .arg("corpus")
+            .args(["--sessions", &cfg.sessions.to_string()])
+            .args(["--seed", &cfg.seed.to_string()])
+            .args([
+                "--worker-range",
+                &format!("{}:{}", range.start, range.len()),
+            ])
+            .args(["--farm", &widths[k].len().max(1).to_string()])
+            .arg("--out")
+            .arg(shard_path(shard_dir, k))
+            .arg("--no-obs")
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn();
+        match spawned {
+            Ok(child) => children.push((k, child)),
+            Err(e) => {
+                for (_, mut c) in children {
+                    c.kill().ok();
+                    c.wait().ok();
+                }
+                return Err(VqdError::farm(
+                    range.start,
+                    range.len(),
+                    format!("failed to spawn {}: {e}", pf.exe.display()),
+                ));
+            }
+        }
+    }
+    let mut failure: Option<VqdError> = None;
+    for (k, child) in children {
+        let range = &ranges[k];
+        match child.wait_with_output() {
+            Ok(output) if output.status.success() => {}
+            Ok(output) => {
+                let stderr = String::from_utf8_lossy(&output.stderr);
+                let tail = stderr.lines().last().unwrap_or("").trim().to_string();
+                failure.get_or_insert_with(|| {
+                    let msg = if tail.is_empty() {
+                        format!("worker exited with {}", output.status)
+                    } else {
+                        format!("worker exited with {} ({tail})", output.status)
+                    };
+                    VqdError::farm(range.start, range.len(), msg)
+                });
+            }
+            Err(e) => {
+                failure.get_or_insert_with(|| {
+                    VqdError::farm(range.start, range.len(), format!("wait failed: {e}"))
+                });
+            }
+        }
+    }
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    let shards: Vec<PathBuf> = (0..ranges.len())
+        .map(|k| shard_path(shard_dir, k))
+        .collect();
+    let to_binary = out.extension().is_some_and(|x| x == "vqdc");
+    merge_corpora(&shards, out, to_binary, opts)?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -44,14 +44,17 @@
 //!   with co-occurring problems.
 pub mod ablation;
 pub mod chaos;
+pub mod colcodec;
 pub mod corpus_stream;
 pub mod dataset;
 pub mod diagnoser;
 pub mod drift;
 pub mod error;
 pub mod experiments;
+pub mod extshuffle;
 pub mod farm;
 pub mod iterative;
+pub mod mmapio;
 pub mod multifault;
 pub mod octrain;
 pub mod realworld;
@@ -64,7 +67,10 @@ pub mod vqdc;
 
 pub use ablation::{classifier_comparison, pipeline_ablation, pruning_ablation};
 pub use chaos::{crash_points, SplitMix64};
-pub use corpus_stream::{convert_corpus, ConvertStats, CorpusReader, DEFAULT_CHUNK_SESSIONS};
+pub use corpus_stream::{
+    convert_corpus, convert_corpus_with, merge_corpora, ConvertStats, CorpusReader,
+    DEFAULT_CHUNK_SESSIONS,
+};
 pub use dataset::{
     corpus_from_text, corpus_to_text, generate_corpus, parse_corpus_line, to_dataset, CorpusConfig,
     LabeledRun,
@@ -73,7 +79,11 @@ pub use diagnoser::{Diagnoser, DiagnoserConfig, Diagnosis, DiagnosisQuality, Res
 pub use drift::{DriftMonitor, DriftReading, DriftStamp, DriftWindow, FeatureSketch};
 pub use error::VqdError;
 pub use experiments::{eval_by_vp, feature_set_sweep, table1, table4, VpEval, VP_SETS};
-pub use farm::{generate_corpus_farm, FarmStats};
+pub use extshuffle::{ExternalShuffle, ShuffledReader, DEFAULT_SHUFFLE_BUDGET};
+pub use farm::{
+    generate_corpus_farm, generate_corpus_multiproc, generate_corpus_range, shard_ranges,
+    FarmStats, ProcFarmConfig, ProcFarmStats,
+};
 pub use iterative::IterativeRca;
 pub use multifault::{evaluate_multifault, generate_multifault};
 pub use octrain::{train_out_of_core, OocConfig, OocReport};
@@ -89,4 +99,7 @@ pub use stream::{
 };
 pub use testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};
 pub use vqd_ml::{AuditDir, AuditStep};
-pub use vqdc::{corpus_to_vqdc_bytes, sniff_vqdc, write_vqdc, VqdcReader, VQDC_MAGIC};
+pub use vqdc::{
+    corpus_to_vqdc_bytes, corpus_to_vqdc_bytes_with, sniff_vqdc, write_vqdc, write_vqdc_with,
+    VqdcIoMode, VqdcReader, VqdcVersion, VqdcWriteOptions, VQDC2_MAGIC, VQDC_MAGIC,
+};

@@ -1,0 +1,199 @@
+//! Minimal read-only memory-map shim (DESIGN.md §7j).
+//!
+//! The workspace vendors its dependencies, so there is no `libc` or
+//! `memmap2` to lean on; this module declares the three syscalls the
+//! `.vqdc` mmap read path needs — `mmap`, `munmap`, `madvise` — the
+//! same way `vqd serve` already declares `signal(2)` for its shutdown
+//! handler. The map is strictly `PROT_READ`/`MAP_PRIVATE` and only
+//! compiled on 64-bit unix (where `off_t` is `i64`); every other
+//! target gets [`Mmap::map`] returning `Unsupported`, and callers fall
+//! back to the positioned-read path.
+//!
+//! ## Safety contract
+//!
+//! A mapping's pages alias the file: if another process *shrinks* the
+//! file, touching a no-longer-backed page raises SIGBUS, which no
+//! userspace bounds check can catch. [`Mmap`] therefore only promises
+//! memory safety for offsets below the length *at map time* — and the
+//! `.vqdc` reader layered on top re-checks the on-disk length against
+//! the mapped length before every access window, turning a shrunk file
+//! into a typed error in every race the check can see (the residual
+//! TOCTOU window is documented in DESIGN.md §7j).
+
+use std::fs::File;
+use std::io;
+
+/// A read-only, private memory map of an entire file.
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// The mapping is immutable (PROT_READ) for its whole lifetime, so
+// shared references to it are as thread-safe as any `&[u8]`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    /// `MADV_SEQUENTIAL`: 2 on every unix this shim compiles for.
+    pub const MADV_SEQUENTIAL: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+    }
+}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety. `Unsupported` on targets
+    /// without the shim (non-unix or 32-bit) and on zero-length files
+    /// (`mmap(0)` is `EINVAL`); any real syscall failure comes back as
+    /// the OS error. Callers treat every error as "use `pread`".
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let len = file.metadata()?.len();
+        if len == 0 || len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "file length not mappable",
+            ));
+        }
+        let len = len as usize;
+        // SAFETY: addr=null lets the kernel pick placement; the fd is
+        // open for read; PROT_READ|MAP_PRIVATE never writes back.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 || ptr.is_null() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    /// Fallback for targets without the syscall shim.
+    #[cfg(not(all(unix, target_pointer_width = "64")))]
+    pub fn map(_file: &File) -> io::Result<Mmap> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "mmap shim not available on this target",
+        ))
+    }
+
+    /// Mapped length (the file length at map time).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the mapping empty? (Never true for a successful map.)
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mapped bytes. Reading past the *current* file length
+    /// faults, so callers must gate accesses on a fresh length check
+    /// (see the module docs); the `.vqdc` reader does.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: ptr..ptr+len was returned by a successful mmap and
+        // stays mapped until Drop; PROT_READ makes it readable.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Hint the kernel that `offset..offset+len` will be read front to
+    /// back (`MADV_SEQUENTIAL`): aggressive readahead, early reclaim.
+    /// Best-effort — advice failures are ignored, they only cost
+    /// readahead. Out-of-range windows are clamped.
+    pub fn advise_sequential(&self, offset: usize, len: usize) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            // madvise wants a page-aligned address; rounding the start
+            // down to 4 KiB covers x86-64, and on larger-page targets
+            // a misaligned hint fails harmlessly (it is only advice).
+            let start = offset.min(self.len) & !4095;
+            let end = offset.saturating_add(len).min(self.len);
+            if end > start {
+                // SAFETY: the window is inside the live mapping.
+                unsafe {
+                    sys::madvise(
+                        self.ptr.add(start) as *mut std::os::raw::c_void,
+                        end - start,
+                        sys::MADV_SEQUENTIAL,
+                    );
+                }
+            }
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        let _ = (offset, len);
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        // SAFETY: exactly the region mmap returned; after this the
+        // struct is gone, so no dangling as_slice can exist (borrows
+        // pin the lifetime).
+        unsafe {
+            sys::munmap(self.ptr as *mut std::os::raw::c_void, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_a_real_file_and_reads_it_back() {
+        let path = std::env::temp_dir().join(format!("vqd-mmap-{}.bin", std::process::id()));
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut f = File::create(&path).unwrap();
+        f.write_all(&payload).unwrap();
+        drop(f);
+        let f = File::open(&path).unwrap();
+        match Mmap::map(&f) {
+            Ok(m) => {
+                assert_eq!(m.len(), payload.len());
+                assert_eq!(m.as_slice(), &payload[..]);
+                m.advise_sequential(0, m.len());
+                m.advise_sequential(m.len() + 100, 7); // clamped, no-op
+            }
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::Unsupported),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_files_are_unsupported_not_ub() {
+        let path = std::env::temp_dir().join(format!("vqd-mmap0-{}.bin", std::process::id()));
+        File::create(&path).unwrap();
+        let f = File::open(&path).unwrap();
+        assert!(Mmap::map(&f).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -107,6 +107,16 @@ impl ColumnSource for VqdcColumns<'_> {
             }
         }
     }
+    fn borrow_cells(&self, feat: usize, start: usize) -> io::Result<Option<&[u64]>> {
+        match self.ops[feat] {
+            // Copied columns are the stored bits verbatim, so an
+            // mmap-backed raw block can be lent straight through.
+            // Ratio columns are computed per window — no stored bits
+            // to lend — and fall back to `fill_column`.
+            ColumnOp::Copy(j) => self.reader.borrow_cells(j, start).map_err(io::Error::other),
+            ColumnOp::Ratio(..) => Ok(None),
+        }
+    }
 }
 
 /// Train a diagnoser from a binary corpus without materialising it.

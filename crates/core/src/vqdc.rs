@@ -1,10 +1,13 @@
-//! `.vqdc` — the binary columnar corpus format (DESIGN.md §7h).
+//! `.vqdc` — the binary columnar corpus format (DESIGN.md §7h, §7j).
 //!
 //! The text corpus (`corpus_to_text`) is the debug/interchange path:
 //! one session per line, every float printed and re-parsed. That
 //! costs a float parse per value and forces whole-file residency. The
 //! `.vqdc` format stores the same corpus feature-major so training can
-//! stream one column (or a chunk of one) at a time:
+//! stream one column (or a chunk of one) at a time. Two container
+//! versions coexist:
+//!
+//! **v1** (PR 8, still read and written):
 //!
 //! ```text
 //! offset 0   magic  "VQDCORP1"                                  8 B
@@ -18,43 +21,99 @@
 //! COLUMNS    n_cols × (u32 checksum32 | n_rows × f64 bits LE)
 //! ```
 //!
+//! **v2** (this PR): the same META (plus a `block_rows` field) and
+//! LABELS sections, then the cells cut into per-column *blocks* of
+//! `block_rows` rows, each block independently encoded with the
+//! best-measuring codec from [`crate::colcodec`] and checksummed, laid
+//! out row-group-major with every block 8-byte aligned:
+//!
+//! ```text
+//! offset 0   magic  "VQDCORP2"                                  8 B
+//! META       … as v1, payload gains trailing u32 block_rows
+//! LABELS     … as v1
+//! (zero pad to 8-byte boundary)
+//! DATA       for each row group g (block_rows rows):
+//!              for each column j:
+//!                encoded block bytes, zero-padded to 8 B multiple
+//! BLOCKDIR   u64 payload_len | u32 checksum32 | payload
+//!            payload: n_groups × n_cols ×
+//!                     (u64 offset | u32 enc_len | u32 checksum32
+//!                      | u8 codec)                              17 B
+//! TRAILER    u64 blockdir_offset | magic "VQDCEND2"             16 B
+//! ```
+//!
+//! Row-group-major order lets the two-pass streaming writer emit the
+//! file append-only in bounded memory; the trailing block directory
+//! (found via the fixed-size trailer) gives the reader random access
+//! to any (group, column) block. Raw blocks are 8-aligned so the mmap
+//! read path can lend them out as `&[u64]` views without copying.
+//!
 //! Everything little-endian; checksums are `probes::journal`'s
-//! [`checksum32`] over each section payload, and the magic/section
-//! conventions mirror the journal's segment format. Column cells are
-//! fixed-width f64 bit patterns, so a column (or any row range of one)
-//! is a single `pread` at a computable offset — mmap-friendly, no
-//! parsing. A *shape* is an interned sequence of column ids recording
-//! which metrics a session emitted and in which order; absent cells
-//! hold a canonical-NaN filler that is never read (the shape says
-//! which cells exist), so a metric whose *value* is NaN survives a
-//! round trip distinct from a metric that was never emitted, and
-//! `text → binary → text` is byte-identical.
+//! [`checksum32`] — over each section payload, and in v2 additionally
+//! over each encoded block. A *shape* is an interned sequence of
+//! column ids recording which metrics a session emitted and in which
+//! order; absent cells hold a canonical-NaN filler that is never read
+//! (the shape says which cells exist), so a metric whose *value* is
+//! NaN survives a round trip distinct from a metric that was never
+//! emitted, and `text → binary → text` is byte-identical in both
+//! versions.
+//!
+//! Reads go through one of two interchangeable backends: a zero-copy
+//! **mmap** view (default where supported) or positioned **pread**
+//! (`VQD_VQDC_IO=pread`, kept as the differential oracle exactly like
+//! the PR 3 heap-vs-wheel scheduler oracle). Column checksums are
+//! verified lazily, once per column per reader, whichever backend.
+//! The mmap path re-checks the on-disk file length before every
+//! access window so a file that shrinks beneath the map surfaces as a
+//! typed error, not SIGBUS (the residual TOCTOU window is documented
+//! in DESIGN.md §7j).
 //!
 //! Failure handling is typed end to end: bad magic, truncation,
-//! checksum mismatches and malformed sections all surface as
-//! [`VqdError::BinCorpus`] naming the damaged section — never a panic
-//! (proptest-enforced).
+//! checksum mismatches, malformed sections, corrupt blocks and
+//! shrunken files all surface as [`VqdError::BinCorpus`] naming the
+//! damaged section — never a panic (proptest-enforced).
 
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use vqd_faults::FaultKind;
 use vqd_probes::journal::{checksum32, Checksum32};
 use vqd_video::QoeClass;
 
+use crate::colcodec::{decode_block, encode_block, CODEC_RAW};
 use crate::dataset::LabeledRun;
 use crate::error::VqdError;
+use crate::mmapio::Mmap;
 use crate::scenario::{class_id, GroundTruth, LabelScheme};
 
-/// `.vqdc` file magic, byte-for-byte at offset 0.
+/// `.vqdc` v1 file magic, byte-for-byte at offset 0.
 pub const VQDC_MAGIC: &[u8; 8] = b"VQDCORP1";
+/// `.vqdc` v2 file magic, byte-for-byte at offset 0.
+pub const VQDC2_MAGIC: &[u8; 8] = b"VQDCORP2";
+/// v2 end-of-file trailer magic (last 8 bytes of the file).
+pub const VQDC2_END_MAGIC: &[u8; 8] = b"VQDCEND2";
 
-const VERSION: u32 = 1;
 const LABEL_BYTES: u64 = 6;
 const CELL_BYTES: u64 = 8;
 const COL_HEADER_BYTES: u64 = 4;
+/// Bytes of one v2 block-directory entry.
+const DIR_ENTRY_BYTES: u64 = 17;
+/// Bytes of the v2 trailer (u64 blockdir offset + end magic).
+const TRAILER_BYTES: u64 = 16;
+/// Default rows per v2 column block: big enough to amortise per-block
+/// overhead and give the codecs context, small enough that decoding
+/// one block is cache-friendly.
+pub const DEFAULT_BLOCK_ROWS: u32 = 65_536;
+/// Hard cap on `block_rows`, so a raw block (8 B/cell) always fits the
+/// directory's u32 `enc_len` with headroom.
+const MAX_BLOCK_ROWS: u32 = 1 << 24;
+
+fn align8(n: u64) -> u64 {
+    n.div_ceil(8) * 8
+}
 
 fn fault_code(f: FaultKind) -> u8 {
     if f == FaultKind::None {
@@ -88,6 +147,65 @@ fn qoe_of(code: u8) -> Option<QoeClass> {
         1 => Some(QoeClass::Mild),
         2 => Some(QoeClass::Severe),
         _ => None,
+    }
+}
+
+/// Container version of a `.vqdc` file being written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VqdcVersion {
+    /// PR 8 layout: one checksummed raw column after another.
+    V1,
+    /// Blocked layout: per-block codecs, block directory, trailer.
+    V2,
+}
+
+/// Everything a `.vqdc` writer needs to know beyond the sessions.
+#[derive(Debug, Clone, Copy)]
+pub struct VqdcWriteOptions {
+    /// Container version to emit.
+    pub version: VqdcVersion,
+    /// Rows per column block (v2 only; clamped to `1..=2^24`).
+    pub block_rows: u32,
+    /// Try the compressing codecs per block (v2 only)? `false` forces
+    /// every block Raw — the shape the mmap path lends out zero-copy.
+    pub compress: bool,
+}
+
+impl Default for VqdcWriteOptions {
+    fn default() -> VqdcWriteOptions {
+        VqdcWriteOptions {
+            version: VqdcVersion::V2,
+            block_rows: DEFAULT_BLOCK_ROWS,
+            compress: true,
+        }
+    }
+}
+
+impl VqdcWriteOptions {
+    /// The PR 8 layout.
+    pub fn v1() -> VqdcWriteOptions {
+        VqdcWriteOptions {
+            version: VqdcVersion::V1,
+            ..VqdcWriteOptions::default()
+        }
+    }
+
+    /// Parse a CLI `--format` value: `v1`, `v2` (compressed, the
+    /// default) or `v2raw` (v2 container, every block Raw).
+    pub fn parse(s: &str) -> Option<VqdcWriteOptions> {
+        match s {
+            "v1" => Some(VqdcWriteOptions::v1()),
+            "v2" => Some(VqdcWriteOptions::default()),
+            "v2raw" => Some(VqdcWriteOptions {
+                compress: false,
+                ..VqdcWriteOptions::default()
+            }),
+            _ => None,
+        }
+    }
+
+    fn block_rows_clamped(&self) -> usize {
+        self.block_rows.clamp(1, MAX_BLOCK_ROWS) as usize
     }
 }
 
@@ -175,11 +293,17 @@ impl VqdcSchema {
         Ok(())
     }
 
-    /// Serialise magic + META + LABELS — everything before the column
-    /// region — exactly as the file stores them.
-    fn header_bytes(&self) -> Vec<u8> {
+    /// Serialise magic + META + LABELS — everything before the cell
+    /// region — exactly as the file stores them. v2 headers append
+    /// `block_rows` to the META payload and pad the whole header to an
+    /// 8-byte boundary so the first data block is aligned.
+    fn header_bytes(&self, opts: &VqdcWriteOptions) -> Vec<u8> {
+        let (magic, version) = match opts.version {
+            VqdcVersion::V1 => (VQDC_MAGIC, 1u32),
+            VqdcVersion::V2 => (VQDC2_MAGIC, 2u32),
+        };
         let mut meta = Vec::new();
-        meta.extend_from_slice(&VERSION.to_le_bytes());
+        meta.extend_from_slice(&version.to_le_bytes());
         meta.extend_from_slice(&(self.n_rows() as u64).to_le_bytes());
         meta.extend_from_slice(&(self.names.len() as u32).to_le_bytes());
         meta.extend_from_slice(&(self.shapes.len() as u32).to_le_bytes());
@@ -193,19 +317,61 @@ impl VqdcSchema {
                 meta.extend_from_slice(&c.to_le_bytes());
             }
         }
+        if opts.version == VqdcVersion::V2 {
+            meta.extend_from_slice(&(opts.block_rows_clamped() as u32).to_le_bytes());
+        }
         let mut out = Vec::new();
-        out.extend_from_slice(VQDC_MAGIC);
+        out.extend_from_slice(magic);
         for section in [&meta, &self.labels] {
             out.extend_from_slice(&(section.len() as u64).to_le_bytes());
             out.extend_from_slice(&checksum32(section).to_le_bytes());
             out.extend_from_slice(section);
         }
+        if opts.version == VqdcVersion::V2 {
+            out.resize(align8(out.len() as u64) as usize, 0);
+        }
         out
     }
 }
 
-/// Encode a corpus into `.vqdc` bytes (whole corpus resident — the
-/// convenience path; [`VqdcWriter`] is the bounded-memory one).
+/// Transpose one chunk of sessions into per-column cell vectors
+/// (absent = canonical-NaN filler), verifying each row's shape against
+/// the interned schema — a source that changed between the schema and
+/// value passes is a typed error, not a corrupt file.
+fn transpose_chunk(
+    schema: &VqdcSchema,
+    start: usize,
+    runs: &[LabeledRun],
+) -> Result<Vec<Vec<u64>>, VqdError> {
+    let filler = f64::NAN.to_bits();
+    let mut cells: Vec<Vec<u64>> = vec![vec![filler; runs.len()]; schema.n_cols()];
+    let mut shape: Vec<u32> = Vec::new();
+    for (i, r) in runs.iter().enumerate() {
+        let row = start + i;
+        shape.clear();
+        for (n, v) in &r.metrics {
+            let Some(&c) = schema.col_of.get(n.as_str()) else {
+                return Err(VqdError::corpus(
+                    row + 1,
+                    format!("metric {n:?} appeared between schema scan and write passes"),
+                ));
+            };
+            shape.push(c);
+            cells[c as usize][i] = v.to_bits();
+        }
+        let sid = schema.row_shape[row] as usize;
+        if schema.shapes[sid] != shape {
+            return Err(VqdError::corpus(
+                row + 1,
+                "session shape changed between schema scan and write passes",
+            ));
+        }
+    }
+    Ok(cells)
+}
+
+/// Encode a corpus into `.vqdc` **v1** bytes (whole corpus resident —
+/// the convenience path; [`VqdcWriter`] is the bounded-memory one).
 pub fn corpus_to_vqdc_bytes(runs: &[LabeledRun]) -> Result<Vec<u8>, VqdError> {
     let mut schema = VqdcSchema::new();
     schema.scan(runs)?;
@@ -221,7 +387,7 @@ pub fn corpus_to_vqdc_bytes(runs: &[LabeledRun]) -> Result<Vec<u8>, VqdError> {
         }
     }
 
-    let mut out = schema.header_bytes();
+    let mut out = schema.header_bytes(&VqdcWriteOptions::v1());
     let mut colbuf = Vec::with_capacity(n_rows * CELL_BYTES as usize);
     for col in &cols {
         colbuf.clear();
@@ -232,6 +398,26 @@ pub fn corpus_to_vqdc_bytes(runs: &[LabeledRun]) -> Result<Vec<u8>, VqdError> {
         out.extend_from_slice(&colbuf);
     }
     Ok(out)
+}
+
+/// Encode a corpus into `.vqdc` bytes at any version/options. The v2
+/// path routes through the same group encoder as the streaming
+/// [`VqdcWriter`], so batch and streamed v2 bytes are identical by
+/// construction (and test).
+pub fn corpus_to_vqdc_bytes_with(
+    runs: &[LabeledRun],
+    opts: &VqdcWriteOptions,
+) -> Result<Vec<u8>, VqdError> {
+    match opts.version {
+        VqdcVersion::V1 => corpus_to_vqdc_bytes(runs),
+        VqdcVersion::V2 => {
+            let mut schema = VqdcSchema::new();
+            schema.scan(runs)?;
+            let mut w = VqdcWriter::create_mem(schema, opts)?;
+            w.write_rows(runs)?;
+            w.finish_bytes()
+        }
+    }
 }
 
 /// Positioned write mirroring [`VqdcReader`]'s `read_at`.
@@ -251,54 +437,162 @@ fn write_at(file: &File, path: &Path, buf: &[u8], off: u64) -> Result<(), VqdErr
     res.map_err(|e| VqdError::io(path, e))
 }
 
+/// One v2 block-directory entry, as held in memory. `enc_len` is the
+/// true encoded length — the on-disk block is zero-padded to the next
+/// 8-byte boundary, and the checksum covers only the true bytes.
+#[derive(Debug, Clone, Copy)]
+struct BlockMeta {
+    offset: u64,
+    enc_len: u64,
+    sum: u32,
+    codec: u8,
+}
+
+/// Append-only byte sink for the v2 writer: a buffered file or an
+/// in-memory vector (the batch encoder), so both paths share one
+/// serialiser and stay byte-identical.
+enum Sink {
+    File(io::BufWriter<File>),
+    Mem(Vec<u8>),
+}
+
+impl Sink {
+    fn write_all(&mut self, path: &Path, b: &[u8]) -> Result<(), VqdError> {
+        match self {
+            Sink::File(f) => f.write_all(b).map_err(|e| VqdError::io(path, e)),
+            Sink::Mem(v) => {
+                v.extend_from_slice(b);
+                Ok(())
+            }
+        }
+    }
+}
+
+enum WriterBody {
+    V1 {
+        file: File,
+        columns_start: u64,
+        sums: Vec<Option<Checksum32>>,
+    },
+    V2 {
+        sink: Sink,
+        block_rows: usize,
+        compress: bool,
+        /// Next byte offset in the file (== bytes written so far).
+        pos: u64,
+        /// Pending cells of the current row group, per column.
+        group: Vec<Vec<u64>>,
+        pending: usize,
+        dir: Vec<BlockMeta>,
+        enc: Vec<u8>,
+    },
+}
+
 /// Streaming `.vqdc` writer: bounded memory no matter the corpus
 /// size. Two passes over the source — first [`VqdcSchema::scan`]
 /// every session, then replay the same sessions through
-/// [`VqdcWriter::write_rows`], which transposes each chunk into
+/// [`VqdcWriter::write_rows`]. v1 transposes each chunk into
 /// per-column slabs written at their final offsets while column
-/// checksums accumulate incrementally ([`Checksum32`]). Peak memory
-/// is `O(chunk × n_cols)` cells plus the schema — never the corpus.
-/// The bytes produced are identical to [`corpus_to_vqdc_bytes`] over
-/// the same sessions (test-enforced).
+/// checksums accumulate incrementally ([`Checksum32`]); v2 buffers
+/// one row group of cells, encodes each column's block with the best
+/// codec and appends it — purely sequential I/O. Peak memory is
+/// `O(chunk × n_cols)` cells (v1) or `O(block_rows × n_cols)` (v2)
+/// plus the schema — never the corpus. The bytes produced are
+/// identical to the batch encoders over the same sessions
+/// (test-enforced).
 pub struct VqdcWriter {
-    file: File,
     path: PathBuf,
     schema: VqdcSchema,
-    columns_start: u64,
-    sums: Vec<Option<Checksum32>>,
     at: usize,
+    body: WriterBody,
 }
 
 impl VqdcWriter {
-    /// Create `path` and write the header for a corpus whose schema
-    /// pass already ran. The column region is sized up front; every
-    /// byte of it is overwritten by `write_rows` + `finish`.
+    /// Create `path` with default options (v2, compressed).
     pub fn create(path: impl AsRef<Path>, schema: VqdcSchema) -> Result<VqdcWriter, VqdError> {
+        VqdcWriter::create_with(path, schema, &VqdcWriteOptions::default())
+    }
+
+    /// Create `path` and write the header for a corpus whose schema
+    /// pass already ran.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        schema: VqdcSchema,
+        opts: &VqdcWriteOptions,
+    ) -> Result<VqdcWriter, VqdError> {
         let path = path.as_ref().to_path_buf();
-        let header = schema.header_bytes();
-        let n_rows = schema.n_rows() as u64;
+        let header = schema.header_bytes(opts);
         let file = File::create(&path).map_err(|e| VqdError::io(&path, e))?;
-        write_at(&file, &path, &header, 0)?;
-        let columns_start = header.len() as u64;
-        let total =
-            columns_start + schema.n_cols() as u64 * (COL_HEADER_BYTES + n_rows * CELL_BYTES);
-        file.set_len(total).map_err(|e| VqdError::io(&path, e))?;
-        let sums = (0..schema.n_cols())
-            .map(|_| Some(Checksum32::new(n_rows * CELL_BYTES)))
-            .collect();
+        match opts.version {
+            VqdcVersion::V1 => {
+                write_at(&file, &path, &header, 0)?;
+                let n_rows = schema.n_rows() as u64;
+                let columns_start = header.len() as u64;
+                let total = columns_start
+                    + schema.n_cols() as u64 * (COL_HEADER_BYTES + n_rows * CELL_BYTES);
+                file.set_len(total).map_err(|e| VqdError::io(&path, e))?;
+                let sums = (0..schema.n_cols())
+                    .map(|_| Some(Checksum32::new(n_rows * CELL_BYTES)))
+                    .collect();
+                Ok(VqdcWriter {
+                    path,
+                    schema,
+                    at: 0,
+                    body: WriterBody::V1 {
+                        file,
+                        columns_start,
+                        sums,
+                    },
+                })
+            }
+            VqdcVersion::V2 => {
+                let mut sink = Sink::File(io::BufWriter::with_capacity(1 << 20, file));
+                sink.write_all(&path, &header)?;
+                Ok(VqdcWriter {
+                    at: 0,
+                    body: WriterBody::V2 {
+                        sink,
+                        block_rows: opts.block_rows_clamped(),
+                        compress: opts.compress,
+                        pos: header.len() as u64,
+                        group: vec![Vec::new(); schema.n_cols()],
+                        pending: 0,
+                        dir: Vec::new(),
+                        enc: Vec::new(),
+                    },
+                    path,
+                    schema,
+                })
+            }
+        }
+    }
+
+    /// In-memory v2 writer backing [`corpus_to_vqdc_bytes_with`]: same
+    /// serialiser as the file writer, bytes returned by
+    /// [`VqdcWriter::finish_bytes`].
+    fn create_mem(schema: VqdcSchema, opts: &VqdcWriteOptions) -> Result<VqdcWriter, VqdError> {
+        debug_assert_eq!(opts.version, VqdcVersion::V2);
+        let header = schema.header_bytes(opts);
+        let pos = header.len() as u64;
         Ok(VqdcWriter {
-            file,
-            path,
-            schema,
-            columns_start,
-            sums,
+            path: PathBuf::from("<memory>"),
             at: 0,
+            body: WriterBody::V2 {
+                sink: Sink::Mem(header),
+                block_rows: opts.block_rows_clamped(),
+                compress: opts.compress,
+                pos,
+                group: vec![Vec::new(); schema.n_cols()],
+                pending: 0,
+                dir: Vec::new(),
+                enc: Vec::new(),
+            },
+            schema,
         })
     }
 
-    fn col_offset(&self, j: usize) -> u64 {
-        self.columns_start
-            + j as u64 * (COL_HEADER_BYTES + self.schema.n_rows() as u64 * CELL_BYTES)
+    fn col_offset(columns_start: u64, n_rows: u64, j: usize) -> u64 {
+        columns_start + j as u64 * (COL_HEADER_BYTES + n_rows * CELL_BYTES)
     }
 
     /// Write the next chunk of sessions (same sessions, same order as
@@ -317,53 +611,62 @@ impl VqdcWriter {
             ));
         }
         let count = runs.len();
-        let filler = f64::NAN.to_bits().to_le_bytes();
-        let mut slabs: Vec<Vec<u8>> = (0..self.schema.n_cols())
-            .map(|_| filler.repeat(count))
-            .collect();
-        let mut shape: Vec<u32> = Vec::new();
-        for (i, r) in runs.iter().enumerate() {
-            let row = start + i;
-            shape.clear();
-            for (n, v) in &r.metrics {
-                let Some(&c) = self.schema.col_of.get(n.as_str()) else {
-                    return Err(VqdError::corpus(
-                        row + 1,
-                        format!("metric {n:?} appeared between schema scan and write passes"),
-                    ));
-                };
-                shape.push(c);
-                let cell = i * CELL_BYTES as usize;
-                slabs[c as usize][cell..cell + CELL_BYTES as usize]
-                    .copy_from_slice(&v.to_bits().to_le_bytes());
+        let cells = transpose_chunk(&self.schema, start, runs)?;
+        match &mut self.body {
+            WriterBody::V1 {
+                file,
+                columns_start,
+                sums,
+            } => {
+                let n_rows = self.schema.n_rows() as u64;
+                let mut slab = Vec::with_capacity(count * CELL_BYTES as usize);
+                for (j, col) in cells.iter().enumerate() {
+                    slab.clear();
+                    for &bits in col {
+                        slab.extend_from_slice(&bits.to_le_bytes());
+                    }
+                    write_at(
+                        file,
+                        &self.path,
+                        &slab,
+                        VqdcWriter::col_offset(*columns_start, n_rows, j)
+                            + COL_HEADER_BYTES
+                            + start as u64 * CELL_BYTES,
+                    )?;
+                    if let Some(sum) = sums[j].as_mut() {
+                        sum.update(&slab);
+                    }
+                }
             }
-            let sid = self.schema.row_shape[row] as usize;
-            if self.schema.shapes[sid] != shape {
-                return Err(VqdError::corpus(
-                    row + 1,
-                    "session shape changed between schema scan and write passes",
-                ));
-            }
-        }
-        for (j, slab) in slabs.iter().enumerate() {
-            write_at(
-                &self.file,
-                &self.path,
-                slab,
-                self.col_offset(j) + COL_HEADER_BYTES + start as u64 * CELL_BYTES,
-            )?;
-            if let Some(sum) = self.sums[j].as_mut() {
-                sum.update(slab);
+            WriterBody::V2 {
+                sink,
+                block_rows,
+                compress,
+                pos,
+                group,
+                pending,
+                dir,
+                enc,
+            } => {
+                let mut done = 0usize;
+                while done < count {
+                    let take = (*block_rows - *pending).min(count - done);
+                    for (g, col) in group.iter_mut().zip(&cells) {
+                        g.extend_from_slice(&col[done..done + take]);
+                    }
+                    *pending += take;
+                    done += take;
+                    if *pending == *block_rows {
+                        flush_group(sink, &self.path, *compress, pos, group, pending, dir, enc)?;
+                    }
+                }
             }
         }
         self.at += count;
         Ok(())
     }
 
-    /// Patch in the column checksums and flush. Errors if fewer rows
-    /// were written than the schema scan promised. Returns the number
-    /// of sessions written.
-    pub fn finish(mut self) -> Result<usize, VqdError> {
+    fn finish_impl(&mut self) -> Result<(), VqdError> {
         let n_rows = self.schema.n_rows();
         if self.at != n_rows {
             return Err(VqdError::corpus(
@@ -374,38 +677,146 @@ impl VqdcWriter {
                 ),
             ));
         }
-        for j in 0..self.schema.n_cols() {
-            let sum = self.sums[j]
-                .take()
-                .unwrap_or_else(|| unreachable!("checksum consumed once"))
-                .finish();
-            write_at(
-                &self.file,
-                &self.path,
-                &sum.to_le_bytes(),
-                self.col_offset(j),
-            )?;
+        match &mut self.body {
+            WriterBody::V1 {
+                file,
+                columns_start,
+                sums,
+            } => {
+                for (j, slot) in sums.iter_mut().enumerate() {
+                    let sum = slot
+                        .take()
+                        .unwrap_or_else(|| unreachable!("checksum consumed once"))
+                        .finish();
+                    write_at(
+                        file,
+                        &self.path,
+                        &sum.to_le_bytes(),
+                        VqdcWriter::col_offset(*columns_start, n_rows as u64, j),
+                    )?;
+                }
+                file.sync_data().map_err(|e| VqdError::io(&self.path, e))?;
+            }
+            WriterBody::V2 {
+                sink,
+                compress,
+                pos,
+                group,
+                pending,
+                dir,
+                enc,
+                ..
+            } => {
+                if *pending > 0 {
+                    flush_group(sink, &self.path, *compress, pos, group, pending, dir, enc)?;
+                }
+                let blockdir_off = *pos;
+                let mut payload = Vec::with_capacity(dir.len() * DIR_ENTRY_BYTES as usize);
+                for m in dir.iter() {
+                    payload.extend_from_slice(&m.offset.to_le_bytes());
+                    payload.extend_from_slice(&(m.enc_len as u32).to_le_bytes());
+                    payload.extend_from_slice(&m.sum.to_le_bytes());
+                    payload.push(m.codec);
+                }
+                let mut tail = Vec::with_capacity(payload.len() + 28);
+                tail.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                tail.extend_from_slice(&checksum32(&payload).to_le_bytes());
+                tail.extend_from_slice(&payload);
+                tail.extend_from_slice(&blockdir_off.to_le_bytes());
+                tail.extend_from_slice(VQDC2_END_MAGIC);
+                sink.write_all(&self.path, &tail)?;
+                if let Sink::File(w) = sink {
+                    w.flush().map_err(|e| VqdError::io(&self.path, e))?;
+                    w.get_ref()
+                        .sync_data()
+                        .map_err(|e| VqdError::io(&self.path, e))?;
+                }
+            }
         }
-        self.file
-            .sync_data()
-            .map_err(|e| VqdError::io(&self.path, e))?;
-        Ok(n_rows)
+        Ok(())
+    }
+
+    /// Flush and finalise the file (v2: trailing block directory and
+    /// trailer; v1: patch in the column checksums). Errors if fewer
+    /// rows were written than the schema scan promised. Returns the
+    /// number of sessions written.
+    pub fn finish(mut self) -> Result<usize, VqdError> {
+        self.finish_impl()?;
+        Ok(self.schema.n_rows())
+    }
+
+    /// [`VqdcWriter::finish`] for the in-memory sink: the encoded
+    /// file bytes.
+    fn finish_bytes(mut self) -> Result<Vec<u8>, VqdError> {
+        self.finish_impl()?;
+        match self.body {
+            WriterBody::V2 {
+                sink: Sink::Mem(v), ..
+            } => Ok(v),
+            _ => Err(VqdError::Config("finish_bytes on a file writer".into())),
+        }
     }
 }
 
-/// Encode and write a corpus to `path`.
+/// Encode and append one completed row group: per column, the best
+/// codec's bytes, checksummed and zero-padded to an 8-byte boundary.
+#[allow(clippy::too_many_arguments)]
+fn flush_group(
+    sink: &mut Sink,
+    path: &Path,
+    compress: bool,
+    pos: &mut u64,
+    group: &mut [Vec<u64>],
+    pending: &mut usize,
+    dir: &mut Vec<BlockMeta>,
+    enc: &mut Vec<u8>,
+) -> Result<(), VqdError> {
+    const PAD: [u8; 8] = [0; 8];
+    for col in group.iter_mut() {
+        enc.clear();
+        let codec = encode_block(&col[..*pending], compress, enc);
+        let sum = checksum32(enc);
+        dir.push(BlockMeta {
+            offset: *pos,
+            enc_len: enc.len() as u64,
+            sum,
+            codec,
+        });
+        sink.write_all(path, enc)?;
+        let pad = (align8(enc.len() as u64) - enc.len() as u64) as usize;
+        if pad > 0 {
+            sink.write_all(path, &PAD[..pad])?;
+        }
+        *pos += align8(enc.len() as u64);
+        col.clear();
+    }
+    *pending = 0;
+    Ok(())
+}
+
+/// Encode and write a corpus to `path` with default options (v2).
 pub fn write_vqdc(runs: &[LabeledRun], path: impl AsRef<Path>) -> Result<(), VqdError> {
+    write_vqdc_with(runs, path, &VqdcWriteOptions::default())
+}
+
+/// Encode and write a corpus to `path` at any version/options.
+pub fn write_vqdc_with(
+    runs: &[LabeledRun],
+    path: impl AsRef<Path>,
+    opts: &VqdcWriteOptions,
+) -> Result<(), VqdError> {
     let path = path.as_ref();
-    let bytes = corpus_to_vqdc_bytes(runs)?;
+    let bytes = corpus_to_vqdc_bytes_with(runs, opts)?;
     std::fs::write(path, bytes).map_err(|e| VqdError::io(path, e))
 }
 
-/// Does `path` start with the `.vqdc` magic? (`false` on any read
-/// failure — callers fall back to the text parser's error reporting.)
+/// Does `path` start with a `.vqdc` magic (either version)? (`false`
+/// on any read failure — callers fall back to the text parser's error
+/// reporting.)
 pub fn sniff_vqdc(path: impl AsRef<Path>) -> bool {
     let mut magic = [0u8; 8];
     match File::open(path.as_ref()).and_then(|mut f| f.read_exact(&mut magic)) {
-        Ok(()) => &magic == VQDC_MAGIC,
+        Ok(()) => &magic == VQDC_MAGIC || &magic == VQDC2_MAGIC,
         Err(_) => false,
     }
 }
@@ -461,25 +872,73 @@ impl<'a> Cur<'a> {
     }
 }
 
-/// Random-access reader over a `.vqdc` file. The header (names,
-/// shapes, labels) is resident — `O(n_rows)` for the labels — while
-/// column cells stay on disk until asked for.
+/// Which read backend a [`VqdcReader`] should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VqdcIoMode {
+    /// Honour `VQD_VQDC_IO` (`mmap`/`pread`); otherwise try mmap and
+    /// fall back to pread where unsupported.
+    Auto,
+    /// Positioned reads only — the differential oracle.
+    Pread,
+    /// Require the memory map; error if the target can't map.
+    Mmap,
+}
+
+#[derive(Debug)]
+enum Backing {
+    Pread,
+    Map(Mmap),
+}
+
+/// Random-access reader over a `.vqdc` file, either version. The
+/// header (names, shapes, labels) is resident — `O(n_rows)` for the
+/// labels — while column cells stay on disk (or in the page cache,
+/// behind the map) until asked for. Column checksums are verified
+/// lazily: the first access to a column checks every one of its
+/// blocks, later accesses are free.
+#[derive(Debug)]
 pub struct VqdcReader {
     file: File,
     path: PathBuf,
+    version: u32,
     n_rows: usize,
+    block_rows: usize,
+    n_groups: usize,
     names: Vec<String>,
     shapes: Vec<Vec<u32>>,
     truths: Vec<GroundTruth>,
     row_shape: Vec<u32>,
-    columns_start: u64,
+    /// Block directory, `[g * n_cols + j]`. v1 files get one synthetic
+    /// Raw block per column so every read path is version-blind.
+    blocks: Vec<BlockMeta>,
+    file_len: u64,
+    backing: Backing,
+    verified: Vec<AtomicBool>,
+    /// Borrow-path access counter: the shrink guard's `fstat` runs on
+    /// every [`SHRINK_CHECK_PERIOD`]th `borrow_cells` call instead of
+    /// every call, so the zero-copy path is not throttled to syscall
+    /// speed by its own safety net.
+    borrow_tick: AtomicU64,
 }
 
+/// How many `borrow_cells` calls share one shrink-guard `fstat`. The
+/// guard is best-effort either way (the check-to-access TOCTOU window
+/// is inherent to mmap), so amortising it trades none of the contract
+/// away — truncation still surfaces as a typed error within a bounded
+/// number of borrows, and every bulk read path (`to_runs`, `verify`,
+/// `fill_column`) keeps its unconditional check.
+const SHRINK_CHECK_PERIOD: u64 = 64;
+
 impl VqdcReader {
-    /// Open and validate `path`: magic, META/LABELS checksums, section
-    /// shapes, id ranges, and the exact expected file length. Typed
-    /// errors on every failure mode; never panics.
+    /// Open and validate `path` with [`VqdcIoMode::Auto`].
     pub fn open(path: impl AsRef<Path>) -> Result<VqdcReader, VqdError> {
+        VqdcReader::open_with(path, VqdcIoMode::Auto)
+    }
+
+    /// Open and validate `path`: magic, META/LABELS checksums, section
+    /// shapes, id ranges, block directory and the exact expected file
+    /// length. Typed errors on every failure mode; never panics.
+    pub fn open_with(path: impl AsRef<Path>, mode: VqdcIoMode) -> Result<VqdcReader, VqdError> {
         let path = path.as_ref().to_path_buf();
         let fail = |msg: String| VqdError::bin_corpus(&path, msg);
         let mut file = File::open(&path).map_err(|e| VqdError::io(&path, e))?;
@@ -487,9 +946,13 @@ impl VqdcReader {
 
         let mut magic = [0u8; 8];
         read_exact_or(&mut file, &mut magic, &path, "magic")?;
-        if &magic != VQDC_MAGIC {
+        let version = if &magic == VQDC_MAGIC {
+            1u32
+        } else if &magic == VQDC2_MAGIC {
+            2u32
+        } else {
             return Err(fail("not a .vqdc file (bad magic)".into()));
-        }
+        };
         let mut offset = 8u64;
         let read_section = |file: &mut File,
                             offset: &mut u64,
@@ -526,10 +989,10 @@ impl VqdcReader {
             section: "META",
         };
         let parsed = (|| -> Result<_, String> {
-            let version = c.u32()?;
-            if version != VERSION {
+            let v = c.u32()?;
+            if v != version {
                 return Err(format!(
-                    "unsupported version {version} (expected {VERSION})"
+                    "META version {v} does not match the {version} magic"
                 ));
             }
             let n_rows = c.u64()?;
@@ -561,13 +1024,23 @@ impl VqdcReader {
                 }
                 shapes.push(shape);
             }
+            let block_rows = if version == 2 {
+                let b = c.u32()?;
+                if b == 0 || b > MAX_BLOCK_ROWS {
+                    return Err(format!("block_rows {b} outside 1..={MAX_BLOCK_ROWS}"));
+                }
+                b as usize
+            } else {
+                // v1 is one undivided run of rows per column.
+                (n_rows as usize).max(1)
+            };
             if c.pos != meta.len() {
                 return Err("META section has trailing bytes".into());
             }
-            Ok((n_rows as usize, names, shapes))
+            Ok((n_rows as usize, names, shapes, block_rows))
         })()
         .map_err(&fail)?;
-        let (n_rows, names, shapes) = parsed;
+        let (n_rows, names, shapes, block_rows) = parsed;
 
         let labels = read_section(&mut file, &mut offset, "LABELS")?;
         if labels.len() as u64 != n_rows as u64 * LABEL_BYTES {
@@ -592,41 +1065,186 @@ impl VqdcReader {
             row_shape.push(sid);
         }
 
-        let columns_start = offset;
-        // Checked arithmetic: header-controlled n_cols/n_rows must not
-        // wrap the expected length into agreement with a crafted file.
-        let expect = (n_rows as u64)
-            .checked_mul(CELL_BYTES)
-            .and_then(|b| b.checked_add(COL_HEADER_BYTES))
-            .and_then(|col| col.checked_mul(names.len() as u64))
-            .and_then(|cols| cols.checked_add(columns_start))
-            .ok_or_else(|| {
-                fail(format!(
-                    "META geometry overflows ({} columns × {n_rows} rows)",
-                    names.len()
-                ))
-            })?;
-        if file_len != expect {
-            return Err(fail(format!(
-                "file is {file_len} bytes, expected {expect} ({} columns × {n_rows} rows)",
-                names.len()
-            )));
-        }
+        let n_cols = names.len();
+        let blocks = if version == 1 {
+            let columns_start = offset;
+            // Checked arithmetic: header-controlled n_cols/n_rows must
+            // not wrap the expected length into agreement with a
+            // crafted file.
+            let expect = (n_rows as u64)
+                .checked_mul(CELL_BYTES)
+                .and_then(|b| b.checked_add(COL_HEADER_BYTES))
+                .and_then(|col| col.checked_mul(n_cols as u64))
+                .and_then(|cols| cols.checked_add(columns_start))
+                .ok_or_else(|| {
+                    fail(format!(
+                        "META geometry overflows ({n_cols} columns × {n_rows} rows)"
+                    ))
+                })?;
+            if file_len != expect {
+                return Err(fail(format!(
+                    "file is {file_len} bytes, expected {expect} ({n_cols} columns × {n_rows} rows)"
+                )));
+            }
+            // Synthetic single-block-per-column directory: the column
+            // checksum header becomes the block checksum.
+            let mut blocks = Vec::with_capacity(n_cols);
+            for j in 0..n_cols {
+                let col_off =
+                    columns_start + j as u64 * (COL_HEADER_BYTES + n_rows as u64 * CELL_BYTES);
+                let mut sum = [0u8; 4];
+                read_at_file(&file, &path, &mut sum, col_off)?;
+                blocks.push(BlockMeta {
+                    offset: col_off + COL_HEADER_BYTES,
+                    enc_len: n_rows as u64 * CELL_BYTES,
+                    sum: u32::from_le_bytes(sum),
+                    codec: CODEC_RAW,
+                });
+            }
+            blocks
+        } else {
+            let data_start = align8(offset);
+            let n_groups = if n_rows == 0 {
+                0
+            } else {
+                n_rows.div_ceil(block_rows)
+            };
+            let n_blocks = (n_groups as u64)
+                .checked_mul(n_cols as u64)
+                .filter(|&n| n < (1 << 32))
+                .ok_or_else(|| {
+                    fail(format!(
+                        "META geometry overflows ({n_cols} columns × {n_groups} groups)"
+                    ))
+                })?;
+            if file_len < data_start + 12 + TRAILER_BYTES {
+                return Err(fail(
+                    "BLOCKDIR trailer missing (file truncated before the block table)".into(),
+                ));
+            }
+            let mut trailer = [0u8; TRAILER_BYTES as usize];
+            read_at_file(&file, &path, &mut trailer, file_len - TRAILER_BYTES)?;
+            if &trailer[8..] != VQDC2_END_MAGIC {
+                return Err(fail(
+                    "BLOCKDIR trailer magic missing (truncated file, or a v1 body under a v2 header)"
+                        .into(),
+                ));
+            }
+            let blockdir_off = u64::from_le_bytes([
+                trailer[0], trailer[1], trailer[2], trailer[3], trailer[4], trailer[5], trailer[6],
+                trailer[7],
+            ]);
+            if blockdir_off < data_start
+                || blockdir_off % 8 != 0
+                || blockdir_off > file_len - TRAILER_BYTES - 12
+            {
+                return Err(fail(format!(
+                    "BLOCKDIR offset {blockdir_off} outside the data region"
+                )));
+            }
+            let want_payload = file_len - TRAILER_BYTES - 12 - blockdir_off;
+            let mut hdr = [0u8; 12];
+            read_at_file(&file, &path, &mut hdr, blockdir_off)?;
+            let dir_len = u64::from_le_bytes([
+                hdr[0], hdr[1], hdr[2], hdr[3], hdr[4], hdr[5], hdr[6], hdr[7],
+            ]);
+            let want_sum = u32::from_le_bytes([hdr[8], hdr[9], hdr[10], hdr[11]]);
+            if dir_len != want_payload {
+                return Err(fail(format!(
+                    "BLOCKDIR is {dir_len} bytes but {want_payload} remain before the trailer"
+                )));
+            }
+            if dir_len != n_blocks * DIR_ENTRY_BYTES {
+                return Err(fail(format!(
+                    "BLOCKDIR is {dir_len} bytes, expected {} for {n_blocks} blocks",
+                    n_blocks * DIR_ENTRY_BYTES
+                )));
+            }
+            let mut payload = vec![0u8; dir_len as usize];
+            read_at_file(&file, &path, &mut payload, blockdir_off + 12)?;
+            if checksum32(&payload) != want_sum {
+                return Err(fail(
+                    "BLOCKDIR checksum mismatch (corrupt block table)".into(),
+                ));
+            }
+            let mut blocks = Vec::with_capacity(n_blocks as usize);
+            for (i, e) in payload.chunks_exact(DIR_ENTRY_BYTES as usize).enumerate() {
+                let off = u64::from_le_bytes([e[0], e[1], e[2], e[3], e[4], e[5], e[6], e[7]]);
+                let enc_len = u32::from_le_bytes([e[8], e[9], e[10], e[11]]) as u64;
+                let sum = u32::from_le_bytes([e[12], e[13], e[14], e[15]]);
+                let codec = e[16];
+                let end = off
+                    .checked_add(enc_len)
+                    .ok_or_else(|| fail(format!("block {i}: offset + length overflows")))?;
+                if off < data_start || off % 8 != 0 || end > blockdir_off {
+                    return Err(fail(format!(
+                        "block {i}: bytes {off}..{end} outside the data region \
+                         {data_start}..{blockdir_off}"
+                    )));
+                }
+                if codec > crate::colcodec::CODEC_XORPACK {
+                    return Err(fail(format!("block {i}: unknown codec {codec}")));
+                }
+                blocks.push(BlockMeta {
+                    offset: off,
+                    enc_len,
+                    sum,
+                    codec,
+                });
+            }
+            blocks
+        };
+
+        let n_groups = blocks.len().checked_div(n_cols).unwrap_or(0);
+        let backing = match resolve_io_mode(mode)? {
+            VqdcIoMode::Pread => Backing::Pread,
+            VqdcIoMode::Mmap => Backing::Map(Mmap::map(&file).map_err(|e| VqdError::io(&path, e))?),
+            VqdcIoMode::Auto => match Mmap::map(&file) {
+                Ok(m) => Backing::Map(m),
+                Err(_) => Backing::Pread,
+            },
+        };
+        let verified = (0..n_cols).map(|_| AtomicBool::new(false)).collect();
         Ok(VqdcReader {
             file,
             path,
+            version,
             n_rows,
+            block_rows,
+            n_groups,
             names,
             shapes,
             truths,
             row_shape,
-            columns_start,
+            blocks,
+            file_len,
+            backing,
+            verified,
+            borrow_tick: AtomicU64::new(0),
         })
     }
 
     /// Number of sessions.
     pub fn n_rows(&self) -> usize {
         self.n_rows
+    }
+
+    /// Container version of the file (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Rows per column block (v2; the whole column for v1).
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Which backend reads are going through: `"mmap"` or `"pread"`.
+    pub fn io_backend(&self) -> &'static str {
+        match self.backing {
+            Backing::Map(_) => "mmap",
+            Backing::Pread => "pread",
+        }
     }
 
     /// The file this reader is bound to.
@@ -651,50 +1269,264 @@ impl VqdcReader {
         self.truths.iter().map(|t| class_id(t, scheme)).collect()
     }
 
-    fn col_offset(&self, j: usize) -> u64 {
-        self.columns_start + j as u64 * (COL_HEADER_BYTES + self.n_rows as u64 * CELL_BYTES)
+    fn meta(&self, g: usize, j: usize) -> &BlockMeta {
+        &self.blocks[g * self.names.len() + j]
     }
 
-    fn read_at(&self, buf: &mut [u8], off: u64) -> io::Result<()> {
-        #[cfg(unix)]
-        {
-            use std::os::unix::fs::FileExt;
-            self.file.read_exact_at(buf, off)
-        }
-        #[cfg(not(unix))]
-        {
-            use std::io::Seek;
-            let mut f = File::open(&self.path)?;
-            f.seek(io::SeekFrom::Start(off))?;
-            f.read_exact(buf)
+    fn rows_in_group(&self, g: usize) -> usize {
+        if g + 1 < self.n_groups {
+            self.block_rows
+        } else {
+            self.n_rows - g * self.block_rows
         }
     }
 
-    /// Copy rows `start..start + out.len()` of column `j` into `out`
-    /// (raw cell values; absent cells read as the NaN filler). No
-    /// checksum pass — the open-time length check catches truncation;
-    /// use [`VqdcReader::verify`] for full integrity.
-    pub fn fill_column(&self, j: usize, start: usize, out: &mut [f64]) -> io::Result<()> {
-        if j >= self.names.len() || start + out.len() > self.n_rows {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "column range out of bounds",
-            ));
-        }
-        let mut raw = vec![0u8; out.len() * CELL_BYTES as usize];
-        self.read_at(
-            &mut raw,
-            self.col_offset(j) + COL_HEADER_BYTES + start as u64 * CELL_BYTES,
-        )?;
-        for (o, cell) in out.iter_mut().zip(raw.chunks_exact(CELL_BYTES as usize)) {
-            *o = f64::from_bits(u64::from_le_bytes([
-                cell[0], cell[1], cell[2], cell[3], cell[4], cell[5], cell[6], cell[7],
-            ]));
+    /// The mmap shrink guard: before any window of accesses through
+    /// the map, re-check that the file still holds every byte the map
+    /// was built over, so a concurrently-truncated file is a typed
+    /// error rather than SIGBUS. (A shrink *between* the check and the
+    /// access can still fault — that TOCTOU window is inherent to
+    /// mmap; `VQD_VQDC_IO=pread` closes it completely.)
+    fn check_not_shrunk(&self) -> Result<(), VqdError> {
+        if let Backing::Map(_) = self.backing {
+            let now = self
+                .file
+                .metadata()
+                .map_err(|e| VqdError::io(&self.path, e))?
+                .len();
+            if now < self.file_len {
+                return Err(VqdError::bin_corpus(
+                    &self.path,
+                    format!(
+                        "file shrank beneath the mmap reader ({now} bytes, mapped {})",
+                        self.file_len
+                    ),
+                ));
+            }
         }
         Ok(())
     }
 
-    /// Read one full column, verifying its checksum.
+    fn read_at(&self, buf: &mut [u8], off: u64) -> io::Result<()> {
+        read_at_raw(&self.file, &self.path, buf, off)
+    }
+
+    /// Fetch one block's encoded bytes: a guarded subslice of the map,
+    /// or a positioned read into `scratch`.
+    fn block_bytes<'a>(
+        &'a self,
+        m: &BlockMeta,
+        scratch: &'a mut Vec<u8>,
+    ) -> Result<&'a [u8], VqdError> {
+        match &self.backing {
+            Backing::Map(map) => map
+                .as_slice()
+                .get(m.offset as usize..(m.offset + m.enc_len) as usize)
+                .ok_or_else(|| {
+                    VqdError::bin_corpus(
+                        &self.path,
+                        format!(
+                            "block bytes {}..{} outside the {}-byte map",
+                            m.offset,
+                            m.offset + m.enc_len,
+                            map.len()
+                        ),
+                    )
+                }),
+            Backing::Pread => {
+                scratch.resize(m.enc_len as usize, 0);
+                self.read_at(scratch, m.offset)
+                    .map_err(|e| VqdError::io(&self.path, e))?;
+                Ok(&scratch[..])
+            }
+        }
+    }
+
+    /// Verify every block checksum of column `j`, once per reader —
+    /// later calls return immediately. Concurrent first calls may both
+    /// verify; that is idempotent.
+    fn ensure_verified(&self, j: usize) -> Result<(), VqdError> {
+        if self.verified[j].load(Ordering::Acquire) {
+            return Ok(());
+        }
+        self.check_not_shrunk()?;
+        let mut scratch = Vec::new();
+        for g in 0..self.n_groups {
+            let m = self.meta(g, j);
+            let bytes = self.block_bytes(m, &mut scratch)?;
+            if checksum32(bytes) != m.sum {
+                return Err(VqdError::bin_corpus(
+                    &self.path,
+                    format!(
+                        "column {j} ({:?}) group {g} checksum mismatch",
+                        self.names[j]
+                    ),
+                ));
+            }
+        }
+        self.verified[j].store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Walk cells `start..start + n` of column `j`, handing each raw
+    /// little-endian bit pattern to `put(index_in_window, bits)`.
+    /// Raw blocks copy only the covered cells; compressed blocks are
+    /// decoded whole and sliced.
+    fn for_cells(
+        &self,
+        j: usize,
+        start: usize,
+        n: usize,
+        mut put: impl FnMut(usize, u64),
+    ) -> Result<(), VqdError> {
+        if j >= self.names.len() || start + n > self.n_rows {
+            return Err(VqdError::bin_corpus(
+                &self.path,
+                format!(
+                    "cell range {start}..{} of column {j} out of bounds ({} rows × {} cols)",
+                    start + n,
+                    self.n_rows,
+                    self.names.len()
+                ),
+            ));
+        }
+        self.ensure_verified(j)?;
+        self.check_not_shrunk()?;
+        let mut scratch = Vec::new();
+        let mut cells: Vec<u64> = Vec::new();
+        let mut i = 0usize;
+        while i < n {
+            let row = start + i;
+            let g = row / self.block_rows;
+            let in_b = row % self.block_rows;
+            let rows_g = self.rows_in_group(g);
+            let take = (rows_g - in_b).min(n - i);
+            let m = self.meta(g, j);
+            if m.codec == CODEC_RAW {
+                // Touch only the covered cells of the raw block.
+                match &self.backing {
+                    Backing::Map(map) => {
+                        let off = (m.offset + in_b as u64 * CELL_BYTES) as usize;
+                        let bytes = map
+                            .as_slice()
+                            .get(off..off + take * CELL_BYTES as usize)
+                            .ok_or_else(|| {
+                                VqdError::bin_corpus(&self.path, "raw block outside the map")
+                            })?;
+                        for (k, c) in bytes.chunks_exact(CELL_BYTES as usize).enumerate() {
+                            put(
+                                i + k,
+                                u64::from_le_bytes([
+                                    c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+                                ]),
+                            );
+                        }
+                    }
+                    Backing::Pread => {
+                        scratch.resize(take * CELL_BYTES as usize, 0);
+                        self.read_at(&mut scratch, m.offset + in_b as u64 * CELL_BYTES)
+                            .map_err(|e| VqdError::io(&self.path, e))?;
+                        for (k, c) in scratch.chunks_exact(CELL_BYTES as usize).enumerate() {
+                            put(
+                                i + k,
+                                u64::from_le_bytes([
+                                    c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+                                ]),
+                            );
+                        }
+                    }
+                }
+            } else {
+                let bytes = self.block_bytes(m, &mut scratch)?;
+                decode_block(m.codec, bytes, rows_g, &mut cells).map_err(|msg| {
+                    VqdError::bin_corpus(
+                        &self.path,
+                        format!("column {j} ({:?}) group {g}: {msg}", self.names[j]),
+                    )
+                })?;
+                for (k, &bits) in cells[in_b..in_b + take].iter().enumerate() {
+                    put(i + k, bits);
+                }
+            }
+            i += take;
+        }
+        Ok(())
+    }
+
+    /// Copy rows `start..start + out.len()` of column `j` into `out`
+    /// (raw cell values; absent cells read as the NaN filler). The
+    /// first access to a column verifies all its block checksums;
+    /// later accesses skip them.
+    pub fn fill_column(&self, j: usize, start: usize, out: &mut [f64]) -> io::Result<()> {
+        let n = out.len();
+        self.for_cells(j, start, n, |k, bits| out[k] = f64::from_bits(bits))
+            .map_err(io::Error::other)
+    }
+
+    /// Borrow rows `start..` of column `j` as raw little-endian f64
+    /// bit patterns, zero-copy, up to the end of the serving block.
+    /// `Ok(Some(..))` only when the backend is mmap, the block is Raw
+    /// and 8-aligned, and the target is little-endian (so the mapped
+    /// bytes *are* native `u64`s); every other case is `Ok(None)` and
+    /// callers fall back to [`VqdcReader::fill_column`]. Verifies the
+    /// column lazily; the shrink guard's length re-check is amortised
+    /// over [`SHRINK_CHECK_PERIOD`] borrows (it is best-effort under
+    /// mmap regardless — see [`VqdcIoMode`]).
+    pub fn borrow_cells(&self, j: usize, start: usize) -> Result<Option<&[u64]>, VqdError> {
+        if j >= self.names.len() || start >= self.n_rows {
+            return Err(VqdError::bin_corpus(
+                &self.path,
+                format!(
+                    "cell {start} of column {j} out of bounds ({} rows × {} cols)",
+                    self.n_rows,
+                    self.names.len()
+                ),
+            ));
+        }
+        if cfg!(target_endian = "big") {
+            return Ok(None);
+        }
+        let Backing::Map(map) = &self.backing else {
+            return Ok(None);
+        };
+        let g = start / self.block_rows;
+        let in_b = start % self.block_rows;
+        let m = self.meta(g, j);
+        if m.codec != CODEC_RAW {
+            return Ok(None);
+        }
+        self.ensure_verified(j)?;
+        // Amortised shrink guard: an fstat per call would cost as much
+        // as the pread it replaces. First call always checks.
+        if self
+            .borrow_tick
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(SHRINK_CHECK_PERIOD)
+        {
+            self.check_not_shrunk()?;
+        }
+        let take = self.rows_in_group(g) - in_b;
+        let off = (m.offset + in_b as u64 * CELL_BYTES) as usize;
+        let bytes = map
+            .as_slice()
+            .get(off..off + take * CELL_BYTES as usize)
+            .ok_or_else(|| VqdError::bin_corpus(&self.path, "raw block outside the map"))?;
+        let ptr = bytes.as_ptr();
+        if !(ptr as usize).is_multiple_of(std::mem::align_of::<u64>()) {
+            // v1 column payloads sit 4 past an arbitrary offset; only
+            // lend views that are truly aligned.
+            return Ok(None);
+        }
+        // SAFETY: the byte range lies inside the live read-only map
+        // (borrowing &self pins it), is 8-aligned (checked above), and
+        // u64 has no invalid bit patterns. On little-endian targets
+        // the stored LE cells are native u64 values.
+        Ok(Some(unsafe {
+            std::slice::from_raw_parts(ptr as *const u64, take)
+        }))
+    }
+
+    /// Read one full column (first access verifies its checksums).
     pub fn column(&self, j: usize) -> Result<Vec<f64>, VqdError> {
         if j >= self.names.len() {
             return Err(VqdError::bin_corpus(
@@ -702,31 +1534,31 @@ impl VqdcReader {
                 format!("column {j} of {}", self.names.len()),
             ));
         }
-        let mut raw = vec![0u8; (COL_HEADER_BYTES + self.n_rows as u64 * CELL_BYTES) as usize];
-        self.read_at(&mut raw, self.col_offset(j))
-            .map_err(|e| VqdError::io(&self.path, e))?;
-        let want = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]);
-        let payload = &raw[COL_HEADER_BYTES as usize..];
-        if checksum32(payload) != want {
-            return Err(VqdError::bin_corpus(
-                &self.path,
-                format!("column {j} ({:?}) checksum mismatch", self.names[j]),
-            ));
-        }
-        Ok(payload
-            .chunks_exact(CELL_BYTES as usize)
-            .map(|c| {
-                f64::from_bits(u64::from_le_bytes([
-                    c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
-                ]))
-            })
-            .collect())
+        let mut out = vec![0.0f64; self.n_rows];
+        self.for_cells(j, 0, self.n_rows, |k, bits| out[k] = f64::from_bits(bits))?;
+        Ok(out)
     }
 
-    /// Verify every column checksum.
+    /// Verify every block checksum of every column, unconditionally —
+    /// a fresh integrity sweep even on columns already lazily verified.
     pub fn verify(&self) -> Result<(), VqdError> {
+        self.check_not_shrunk()?;
+        let mut scratch = Vec::new();
         for j in 0..self.names.len() {
-            self.column(j)?;
+            for g in 0..self.n_groups {
+                let m = self.meta(g, j);
+                let bytes = self.block_bytes(m, &mut scratch)?;
+                if checksum32(bytes) != m.sum {
+                    return Err(VqdError::bin_corpus(
+                        &self.path,
+                        format!(
+                            "column {j} ({:?}) group {g} checksum mismatch",
+                            self.names[j]
+                        ),
+                    ));
+                }
+            }
+            self.verified[j].store(true, Ordering::Release);
         }
         Ok(())
     }
@@ -744,8 +1576,7 @@ impl VqdcReader {
         let mut block: Vec<Vec<f64>> = Vec::with_capacity(n_cols);
         for j in 0..n_cols {
             let mut col = vec![0.0f64; count];
-            self.fill_column(j, start, &mut col)
-                .map_err(|e| VqdError::io(&self.path, e))?;
+            self.for_cells(j, start, count, |k, bits| col[k] = f64::from_bits(bits))?;
             block.push(col);
         }
         let mut out = Vec::with_capacity(count);
@@ -763,46 +1594,69 @@ impl VqdcReader {
         Ok(out)
     }
 
-    /// Reconstruct the whole corpus, checksum-verified. The column
-    /// region is fetched in **one** read and verified in place, then
-    /// rows are transposed straight out of that buffer — not a
-    /// `verify()` sweep followed by a second per-column read pass.
+    /// Reconstruct the whole corpus, checksum-verified (lazily, per
+    /// column, on first touch). On the mmap backend the whole data
+    /// region is `madvise(SEQUENTIAL)`-hinted first, since this is a
+    /// front-to-back scan of every block.
     pub fn to_runs(&self) -> Result<Vec<LabeledRun>, VqdError> {
-        let n_cols = self.names.len();
-        let stride = (COL_HEADER_BYTES + self.n_rows as u64 * CELL_BYTES) as usize;
-        let mut raw = vec![0u8; n_cols * stride];
-        self.read_at(&mut raw, self.columns_start)
-            .map_err(|e| VqdError::io(&self.path, e))?;
-        for j in 0..n_cols {
-            let col = &raw[j * stride..(j + 1) * stride];
-            let want = u32::from_le_bytes([col[0], col[1], col[2], col[3]]);
-            if checksum32(&col[COL_HEADER_BYTES as usize..]) != want {
-                return Err(VqdError::bin_corpus(
-                    &self.path,
-                    format!("column {j} ({:?}) checksum mismatch", self.names[j]),
-                ));
+        self.advise_sequential_scan();
+        self.read_rows(0, self.n_rows)
+    }
+
+    /// Hint the kernel that the data region is about to be scanned
+    /// front to back (no-op on the pread backend).
+    pub fn advise_sequential_scan(&self) {
+        if let Backing::Map(map) = &self.backing {
+            if let Some(first) = self.blocks.first() {
+                map.advise_sequential(first.offset as usize, map.len());
             }
         }
-        let cell = |c: usize, i: usize| {
-            let off = c * stride + COL_HEADER_BYTES as usize + i * CELL_BYTES as usize;
-            let b = &raw[off..off + CELL_BYTES as usize];
-            f64::from_bits(u64::from_le_bytes([
-                b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-            ]))
-        };
-        let mut out = Vec::with_capacity(self.n_rows);
-        for i in 0..self.n_rows {
-            let shape = &self.shapes[self.row_shape[i] as usize];
-            let metrics: Vec<(String, f64)> = shape
-                .iter()
-                .map(|&c| (self.names[c as usize].clone(), cell(c as usize, i)))
-                .collect();
-            out.push(LabeledRun {
-                metrics,
-                truth: self.truths[i],
-            });
+    }
+}
+
+/// Positioned read against `file` (shared by the open-time directory
+/// reads and the pread backend).
+fn read_at_raw(file: &File, path: &Path, buf: &mut [u8], off: u64) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        let _ = path;
+        file.read_exact_at(buf, off)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::Seek;
+        let mut f = File::open(path)?;
+        f.seek(io::SeekFrom::Start(off))?;
+        f.read_exact(buf)
+    }
+}
+
+/// `read_at_raw` with the reader's typed-error convention: truncation
+/// is a [`VqdError::BinCorpus`], anything else [`VqdError::Io`].
+fn read_at_file(file: &File, path: &Path, buf: &mut [u8], off: u64) -> Result<(), VqdError> {
+    read_at_raw(file, path, buf, off).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            VqdError::bin_corpus(path, "file truncated (unexpected EOF)")
+        } else {
+            VqdError::io(path, e)
         }
-        Ok(out)
+    })
+}
+
+/// Resolve [`VqdcIoMode::Auto`] against `VQD_VQDC_IO`.
+fn resolve_io_mode(mode: VqdcIoMode) -> Result<VqdcIoMode, VqdError> {
+    if mode != VqdcIoMode::Auto {
+        return Ok(mode);
+    }
+    match std::env::var("VQD_VQDC_IO") {
+        Ok(v) if v == "pread" => Ok(VqdcIoMode::Pread),
+        Ok(v) if v == "mmap" => Ok(VqdcIoMode::Mmap),
+        Ok(v) if v.is_empty() => Ok(VqdcIoMode::Auto),
+        Ok(v) => Err(VqdError::Config(format!(
+            "VQD_VQDC_IO must be \"mmap\" or \"pread\", not {v:?}"
+        ))),
+        Err(_) => Ok(VqdcIoMode::Auto),
     }
 }
 
@@ -845,104 +1699,212 @@ mod tests {
     }
 
     fn open_bytes(bytes: &[u8]) -> Result<VqdcReader, VqdError> {
+        open_bytes_mode(bytes, VqdcIoMode::Auto)
+    }
+
+    fn open_bytes_mode(bytes: &[u8], mode: VqdcIoMode) -> Result<VqdcReader, VqdError> {
         let dir = std::env::temp_dir();
         let path = dir.join(format!(
-            "vqdc-test-{}-{:p}.vqdc",
+            "vqdc-test-{}-{:p}-{:?}.vqdc",
             std::process::id(),
-            bytes.as_ptr()
+            bytes.as_ptr(),
+            mode
         ));
         std::fs::write(&path, bytes).unwrap();
-        let r = VqdcReader::open(&path);
+        let r = VqdcReader::open_with(&path, mode);
         std::fs::remove_file(&path).ok();
         r
     }
 
-    #[test]
-    fn round_trips_shapes_labels_and_value_bits() {
-        let runs = sample_runs();
-        let bytes = corpus_to_vqdc_bytes(&runs).unwrap();
-        let reader = open_bytes(&bytes).unwrap();
-        assert_eq!(reader.n_rows(), 3);
-        let back = reader.to_runs().unwrap();
-        assert_eq!(back.len(), runs.len());
-        for (a, b) in runs.iter().zip(&back) {
-            assert_eq!(a.truth.fault, b.truth.fault);
-            assert_eq!(a.truth.qoe, b.truth.qoe);
-            assert_eq!(a.metrics.len(), b.metrics.len());
-            for ((na, va), (nb, vb)) in a.metrics.iter().zip(&b.metrics) {
+    fn assert_same_corpus(a: &[LabeledRun], b: &[LabeledRun]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.truth.fault, y.truth.fault);
+            assert_eq!(x.truth.qoe, y.truth.qoe);
+            assert_eq!(x.metrics.len(), y.metrics.len());
+            for ((na, va), (nb, vb)) in x.metrics.iter().zip(&y.metrics) {
                 assert_eq!(na, nb);
                 assert_eq!(va.to_bits(), vb.to_bits(), "{na}");
             }
         }
-        // Text round trip through the binary format is byte-identical.
-        let text = crate::dataset::corpus_to_text(&runs);
-        assert_eq!(crate::dataset::corpus_to_text(&back), text);
+    }
+
+    #[test]
+    fn round_trips_shapes_labels_and_value_bits_both_versions() {
+        let runs = sample_runs();
+        for opts in [
+            VqdcWriteOptions::v1(),
+            VqdcWriteOptions::default(),
+            VqdcWriteOptions {
+                block_rows: 2,
+                ..VqdcWriteOptions::default()
+            },
+            VqdcWriteOptions {
+                compress: false,
+                ..VqdcWriteOptions::default()
+            },
+        ] {
+            let bytes = corpus_to_vqdc_bytes_with(&runs, &opts).unwrap();
+            let reader = open_bytes(&bytes).unwrap();
+            assert_eq!(reader.n_rows(), 3);
+            let back = reader.to_runs().unwrap();
+            assert_same_corpus(&runs, &back);
+            // Text round trip through the binary format is
+            // byte-identical.
+            let text = crate::dataset::corpus_to_text(&runs);
+            assert_eq!(crate::dataset::corpus_to_text(&back), text);
+        }
+    }
+
+    #[test]
+    fn mmap_and_pread_backends_agree_bit_for_bit() {
+        let runs = sample_runs();
+        for opts in [
+            VqdcWriteOptions::v1(),
+            VqdcWriteOptions::default(),
+            VqdcWriteOptions {
+                block_rows: 2,
+                ..VqdcWriteOptions::default()
+            },
+        ] {
+            let bytes = corpus_to_vqdc_bytes_with(&runs, &opts).unwrap();
+            let pread = open_bytes_mode(&bytes, VqdcIoMode::Pread).unwrap();
+            assert_eq!(pread.io_backend(), "pread");
+            let auto = open_bytes_mode(&bytes, VqdcIoMode::Auto).unwrap();
+            for j in 0..pread.feature_names().len() {
+                let a = pread.column(j).unwrap();
+                let b = auto.column(j).unwrap();
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&a), bits(&b), "column {j}");
+            }
+            assert_eq!(
+                crate::dataset::corpus_to_text(&pread.to_runs().unwrap()),
+                crate::dataset::corpus_to_text(&auto.to_runs().unwrap())
+            );
+        }
+    }
+
+    #[test]
+    fn borrowed_views_match_filled_cells() {
+        let runs = sample_runs();
+        let opts = VqdcWriteOptions {
+            compress: false,
+            block_rows: 2,
+            ..VqdcWriteOptions::default()
+        };
+        let bytes = corpus_to_vqdc_bytes_with(&runs, &opts).unwrap();
+        let reader = open_bytes(&bytes).unwrap();
+        if reader.io_backend() != "mmap" {
+            return; // target without the shim: nothing to lend
+        }
+        for j in 0..reader.feature_names().len() {
+            let mut whole = vec![0.0; reader.n_rows()];
+            reader.fill_column(j, 0, &mut whole).unwrap();
+            let mut at = 0usize;
+            while at < reader.n_rows() {
+                let cells = reader
+                    .borrow_cells(j, at)
+                    .unwrap()
+                    .expect("raw v2 blocks must be borrowable under mmap");
+                assert!(!cells.is_empty());
+                for (k, &bits) in cells.iter().enumerate() {
+                    assert_eq!(bits, whole[at + k].to_bits(), "col {j} row {}", at + k);
+                }
+                at += cells.len();
+            }
+        }
     }
 
     #[test]
     fn streaming_writer_is_byte_identical_to_batch_encoder() {
         let runs = sample_runs();
-        let want = corpus_to_vqdc_bytes(&runs).unwrap();
-        for chunk in [1usize, 2, 3, 7] {
-            let mut schema = VqdcSchema::new();
-            for c in runs.chunks(chunk) {
-                schema.scan(c).unwrap();
+        for opts in [
+            VqdcWriteOptions::v1(),
+            VqdcWriteOptions::default(),
+            VqdcWriteOptions {
+                block_rows: 2,
+                ..VqdcWriteOptions::default()
+            },
+            VqdcWriteOptions {
+                block_rows: 2,
+                compress: false,
+                ..VqdcWriteOptions::default()
+            },
+        ] {
+            let want = corpus_to_vqdc_bytes_with(&runs, &opts).unwrap();
+            for chunk in [1usize, 2, 3, 7] {
+                let mut schema = VqdcSchema::new();
+                for c in runs.chunks(chunk) {
+                    schema.scan(c).unwrap();
+                }
+                let path = std::env::temp_dir().join(format!(
+                    "vqdc-stream-{}-{chunk}-{:?}-{}-{}.vqdc",
+                    std::process::id(),
+                    opts.version,
+                    opts.block_rows,
+                    opts.compress
+                ));
+                let mut w = VqdcWriter::create_with(&path, schema, &opts).unwrap();
+                for c in runs.chunks(chunk) {
+                    w.write_rows(c).unwrap();
+                }
+                assert_eq!(w.finish().unwrap(), runs.len());
+                let got = std::fs::read(&path).unwrap();
+                std::fs::remove_file(&path).ok();
+                assert_eq!(got, want, "chunk={chunk} opts={opts:?}");
             }
-            let path = std::env::temp_dir()
-                .join(format!("vqdc-stream-{}-{chunk}.vqdc", std::process::id()));
-            let mut w = VqdcWriter::create(&path, schema).unwrap();
-            for c in runs.chunks(chunk) {
-                w.write_rows(c).unwrap();
-            }
-            assert_eq!(w.finish().unwrap(), runs.len());
-            let got = std::fs::read(&path).unwrap();
-            std::fs::remove_file(&path).ok();
-            assert_eq!(got, want, "chunk={chunk}");
         }
     }
 
     #[test]
     fn streaming_writer_rejects_source_changed_between_passes() {
         let runs = sample_runs();
-        let mut schema = VqdcSchema::new();
-        schema.scan(&runs).unwrap();
-        let path =
-            std::env::temp_dir().join(format!("vqdc-stream-race-{}.vqdc", std::process::id()));
-        // Pass 2 sees a different second session: typed error, no file
-        // silently encoding the wrong values.
-        let mut changed = runs.clone();
-        changed[1].metrics.push(("late.metric".into(), 9.0));
-        let mut w = VqdcWriter::create(&path, schema).unwrap();
-        let e = w.write_rows(&changed).unwrap_err();
-        assert!(
-            e.to_string().contains("between schema scan and write"),
-            "{e}"
-        );
-        // And a shrunken pass 2 fails at finish.
-        let mut schema = VqdcSchema::new();
-        schema.scan(&runs).unwrap();
-        let mut w = VqdcWriter::create(&path, schema).unwrap();
-        w.write_rows(&runs[..1]).unwrap();
-        assert!(w.finish().is_err());
-        std::fs::remove_file(&path).ok();
+        for opts in [VqdcWriteOptions::v1(), VqdcWriteOptions::default()] {
+            let mut schema = VqdcSchema::new();
+            schema.scan(&runs).unwrap();
+            let path = std::env::temp_dir().join(format!(
+                "vqdc-stream-race-{}-{:?}.vqdc",
+                std::process::id(),
+                opts.version
+            ));
+            // Pass 2 sees a different second session: typed error, no
+            // file silently encoding the wrong values.
+            let mut changed = runs.clone();
+            changed[1].metrics.push(("late.metric".into(), 9.0));
+            let mut w = VqdcWriter::create_with(&path, schema, &opts).unwrap();
+            let e = w.write_rows(&changed).unwrap_err();
+            assert!(
+                e.to_string().contains("between schema scan and write"),
+                "{e}"
+            );
+            // And a shrunken pass 2 fails at finish.
+            let mut schema = VqdcSchema::new();
+            schema.scan(&runs).unwrap();
+            let mut w = VqdcWriter::create_with(&path, schema, &opts).unwrap();
+            w.write_rows(&runs[..1]).unwrap();
+            assert!(w.finish().is_err());
+            std::fs::remove_file(&path).ok();
+        }
     }
 
     #[test]
     fn absent_cell_differs_from_present_nan() {
         let runs = sample_runs();
-        let bytes = corpus_to_vqdc_bytes(&runs).unwrap();
-        let reader = open_bytes(&bytes).unwrap();
-        let back = reader.to_runs().unwrap();
-        // Row 0 carries cpu_avg as a *present* NaN.
-        assert!(back[0]
-            .metrics
-            .iter()
-            .any(|(n, v)| n == "mobile.hw.cpu_avg" && v.is_nan()));
-        // Row 1 does not carry it at all.
-        assert!(!back[1]
-            .metrics
-            .iter()
-            .any(|(n, _)| n == "mobile.hw.cpu_avg"));
+        for opts in [VqdcWriteOptions::v1(), VqdcWriteOptions::default()] {
+            let bytes = corpus_to_vqdc_bytes_with(&runs, &opts).unwrap();
+            let reader = open_bytes(&bytes).unwrap();
+            let back = reader.to_runs().unwrap();
+            // Row 0 carries cpu_avg as a *present* NaN.
+            assert!(back[0]
+                .metrics
+                .iter()
+                .any(|(n, v)| n == "mobile.hw.cpu_avg" && v.is_nan()));
+            // Row 1 does not carry it at all.
+            assert!(!back[1]
+                .metrics
+                .iter()
+                .any(|(n, _)| n == "mobile.hw.cpu_avg"));
+        }
     }
 
     #[test]
@@ -956,32 +1918,75 @@ mod tests {
         }];
         let e = corpus_to_vqdc_bytes(&runs).unwrap_err();
         assert!(e.to_string().contains("duplicate"), "{e}");
+        assert!(corpus_to_vqdc_bytes_with(&runs, &VqdcWriteOptions::default()).is_err());
     }
 
     #[test]
     fn corruption_is_a_typed_error_never_a_panic() {
         let runs = sample_runs();
-        let bytes = corpus_to_vqdc_bytes(&runs).unwrap();
-        // Bad magic.
-        let mut b = bytes.clone();
-        b[0] ^= 0xff;
-        assert!(matches!(open_bytes(&b), Err(VqdError::BinCorpus { .. })));
-        // Truncation at every section boundary and mid-column.
-        for cut in [4usize, 12, 40, bytes.len() / 2, bytes.len() - 3] {
-            let b = &bytes[..cut.min(bytes.len())];
-            assert!(open_bytes(b).is_err(), "cut at {cut} must fail");
-        }
-        // Flipped payload byte: either a section checksum catches it at
-        // open, or the column checksum does on full read.
-        let mut b = bytes.clone();
-        let last = b.len() - 1;
-        b[last] ^= 0x01;
-        match open_bytes(&b) {
-            Err(_) => {}
-            Ok(r) => {
-                assert!(r.to_runs().is_err(), "flipped column byte must fail verify");
+        for opts in [VqdcWriteOptions::v1(), VqdcWriteOptions::default()] {
+            let bytes = corpus_to_vqdc_bytes_with(&runs, &opts).unwrap();
+            // Bad magic.
+            let mut b = bytes.clone();
+            b[0] ^= 0xff;
+            assert!(matches!(open_bytes(&b), Err(VqdError::BinCorpus { .. })));
+            // Truncation at every section boundary and mid-file.
+            for cut in [4usize, 12, 40, bytes.len() / 2, bytes.len() - 3] {
+                let b = &bytes[..cut.min(bytes.len())];
+                assert!(open_bytes(b).is_err(), "cut at {cut} must fail ({opts:?})");
+            }
+            // Flipped payload byte anywhere: either a section/table
+            // checksum catches it at open, or a block checksum does on
+            // read.
+            for flip in [bytes.len() - 1, bytes.len() / 2, 60] {
+                let mut b = bytes.clone();
+                b[flip] ^= 0x01;
+                match open_bytes(&b) {
+                    Err(_) => {}
+                    Ok(r) => {
+                        let _ = r.to_runs(); // must not panic
+                    }
+                }
             }
         }
+    }
+
+    #[test]
+    fn v2_header_on_v1_body_is_a_typed_error() {
+        let runs = sample_runs();
+        let mut bytes = corpus_to_vqdc_bytes(&runs).unwrap();
+        // Swap the magic to v2 over an otherwise-v1 body: the META
+        // version (1) no longer matches the magic.
+        bytes[..8].copy_from_slice(VQDC2_MAGIC);
+        let e = open_bytes(&bytes).unwrap_err();
+        assert!(matches!(e, VqdError::BinCorpus { .. }), "{e}");
+        // And a v2 file whose trailer is sliced off — the shape a v1
+        // writer would leave — names the missing block table.
+        let v2 = corpus_to_vqdc_bytes_with(&runs, &VqdcWriteOptions::default()).unwrap();
+        let e = open_bytes(&v2[..v2.len() - TRAILER_BYTES as usize]).unwrap_err();
+        assert!(e.to_string().contains("BLOCKDIR"), "{e}");
+    }
+
+    #[test]
+    fn shrunken_file_is_a_typed_error_not_sigbus() {
+        let runs = sample_runs();
+        let bytes = corpus_to_vqdc_bytes_with(&runs, &VqdcWriteOptions::default()).unwrap();
+        let path = std::env::temp_dir().join(format!("vqdc-shrink-{}.vqdc", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let reader = VqdcReader::open(&path).unwrap();
+        if reader.io_backend() == "mmap" {
+            // Truncate the file beneath the live map, then read.
+            File::options()
+                .write(true)
+                .open(&path)
+                .unwrap()
+                .set_len(24)
+                .unwrap();
+            let e = reader.to_runs().unwrap_err();
+            assert!(e.to_string().contains("shrank"), "{e}");
+            assert!(matches!(e, VqdError::BinCorpus { .. }));
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -992,5 +1997,34 @@ mod tests {
         assert!(reader.fill_column(0, 0, &mut buf).is_err()); // past n_rows
         let mut one = vec![0.0; 1];
         assert!(reader.fill_column(99, 0, &mut one).is_err()); // no such column
+        assert!(reader.borrow_cells(99, 0).is_err());
+    }
+
+    #[test]
+    fn v2_compresses_the_nan_filler_heavy_corpus() {
+        // Sparse shapes mean long filler runs: v2 must be smaller.
+        let runs: Vec<LabeledRun> = (0..2000)
+            .map(|i| LabeledRun {
+                metrics: if i % 2 == 0 {
+                    vec![("a.x".into(), 1.0 + (i % 5) as f64 * 0.5)]
+                } else {
+                    vec![("b.y".into(), -3.0), ("a.x".into(), 2.0)]
+                },
+                truth: GroundTruth {
+                    fault: FaultKind::None,
+                    qoe: QoeClass::Good,
+                },
+            })
+            .collect();
+        let v1 = corpus_to_vqdc_bytes(&runs).unwrap();
+        let v2 = corpus_to_vqdc_bytes_with(&runs, &VqdcWriteOptions::default()).unwrap();
+        assert!(
+            (v2.len() as f64) < v1.len() as f64 / 1.5,
+            "v2 {} bytes vs v1 {}",
+            v2.len(),
+            v1.len()
+        );
+        let reader = open_bytes(&v2).unwrap();
+        assert_same_corpus(&runs, &reader.to_runs().unwrap());
     }
 }

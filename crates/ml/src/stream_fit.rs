@@ -47,6 +47,75 @@ pub trait ColumnSource {
     fn labels(&self) -> &[u32];
     /// Copy rows `start..start + out.len()` of column `feat` into `out`.
     fn fill_column(&self, feat: usize, start: usize, out: &mut [f64]) -> io::Result<()>;
+    /// Borrow the raw f64 bits of column `feat` from row `start` up to
+    /// some source-chosen boundary (a storage block, the column end),
+    /// if the source can serve them zero-copy. `Ok(None)` — the
+    /// default — means "use [`ColumnSource::fill_column`]"; a returned
+    /// slice must be non-empty, start exactly at row `start`, and hold
+    /// the identical bits `fill_column` would produce (the engine
+    /// reads them via `f64::from_bits`, so trees stay bit-identical
+    /// whichever path serves a window).
+    fn borrow_cells(&self, _feat: usize, _start: usize) -> io::Result<Option<&[u64]>> {
+        Ok(None)
+    }
+}
+
+/// Forward read cursor over one column of a [`ColumnSource`]: serves
+/// each row's value from a borrowed zero-copy window when the source
+/// offers one, falling back to a `fill_column` chunk buffer when it
+/// doesn't. Row ids arrive in ascending order (the engine guarantees
+/// it), so every window miss is a forward refill.
+struct ColCursor<'a, S: ColumnSource + ?Sized> {
+    src: &'a S,
+    feat: usize,
+    n_rows: usize,
+    buf: Vec<f64>,
+    borrowed: Option<&'a [u64]>,
+    lo: usize,
+    hi: usize,
+}
+
+impl<'a, S: ColumnSource + ?Sized> ColCursor<'a, S> {
+    fn new(src: &'a S, feat: usize, chunk_rows: usize) -> ColCursor<'a, S> {
+        ColCursor {
+            src,
+            feat,
+            n_rows: src.n_rows(),
+            buf: vec![0.0f64; chunk_rows.max(1)],
+            borrowed: None,
+            lo: 0,
+            hi: 0,
+        }
+    }
+
+    /// The raw stored value of row `ci` (no normalisation — the engine
+    /// does that, identically for both serving paths).
+    fn value(&mut self, ci: usize) -> io::Result<f64> {
+        if ci < self.lo || ci >= self.hi {
+            self.refill(ci)?;
+        }
+        Ok(match self.borrowed {
+            Some(cells) => f64::from_bits(cells[ci - self.lo]),
+            None => self.buf[ci - self.lo],
+        })
+    }
+
+    fn refill(&mut self, ci: usize) -> io::Result<()> {
+        self.borrowed = None;
+        if let Some(cells) = self.src.borrow_cells(self.feat, ci)? {
+            if !cells.is_empty() {
+                self.lo = ci;
+                self.hi = ci + cells.len();
+                self.borrowed = Some(cells);
+                return Ok(());
+            }
+        }
+        let len = self.buf.len().min(self.n_rows - ci);
+        self.src.fill_column(self.feat, ci, &mut self.buf[..len])?;
+        self.lo = ci;
+        self.hi = ci + len;
+        Ok(())
+    }
 }
 
 /// In-memory [`ColumnSource`] over a [`Dataset`] — the oracle the
@@ -425,7 +494,9 @@ impl<S: ColumnSource + Sync> StreamEngine<'_, S> {
     }
 
     /// Stream column `feat` over the member rows (ascending id ⇒
-    /// forward chunk reads), drop NaNs, normalise `-0.0`, and sort.
+    /// forward reads), drop NaNs, normalise `-0.0`, and sort. Windows
+    /// come zero-copy from the source when it can lend them
+    /// ([`ColumnSource::borrow_cells`]), via chunk copies otherwise.
     fn gather(&self, feat: usize, rows: &[(u32, f64)]) -> io::Result<SortedPairs> {
         let mut sink = PairSink::new(
             self.spill_pairs,
@@ -434,42 +505,15 @@ impl<S: ColumnSource + Sync> StreamEngine<'_, S> {
             &self.stat_bytes,
             &self.stat_peak,
         );
-        let n = self.src.n_rows();
-        let mut buf = vec![0.0f64; self.chunk_rows.max(1)];
-        let (mut lo, mut hi) = (0usize, 0usize);
+        let mut cur = ColCursor::new(self.src, feat, self.chunk_rows);
         for &(c, _) in rows {
-            let ci = c as usize;
-            if ci >= hi {
-                let len = buf.len().min(n - ci);
-                self.src.fill_column(feat, ci, &mut buf[..len])?;
-                lo = ci;
-                hi = ci + len;
-            }
-            let v = buf[ci - lo];
+            let v = cur.value(c as usize)?;
             if v.is_nan() {
                 continue;
             }
             sink.push(if v == 0.0 { 0.0 } else { v }, c)?;
         }
         sink.finish()
-    }
-
-    /// One value of column `feat` for row `c`, via `chunk` (a cached
-    /// window `[w_lo, w_hi)` refreshed on miss). Rows arrive in
-    /// ascending id order, so misses are forward chunk loads.
-    fn col_value(
-        &self,
-        feat: usize,
-        ci: usize,
-        buf: &mut [f64],
-        window: &mut (usize, usize),
-    ) -> io::Result<f64> {
-        if ci < window.0 || ci >= window.1 {
-            let len = buf.len().min(self.src.n_rows() - ci);
-            self.src.fill_column(feat, ci, &mut buf[..len])?;
-            *window = (ci, ci + len);
-        }
-        Ok(buf[ci - window.0])
     }
 
     /// Mirror of the in-memory engine's `eval_feature`, consuming the
@@ -726,10 +770,9 @@ impl<S: ColumnSource + Sync> StreamEngine<'_, S> {
         // children's gathers stay forward reads).
         let mut lo_rows = Vec::with_capacity(rows.len());
         let mut hi_rows = Vec::with_capacity(rows.len());
-        let mut buf = vec![0.0f64; self.chunk_rows.max(1)];
-        let mut window = (0usize, 0usize);
+        let mut cur = ColCursor::new(self.src, feat, self.chunk_rows);
         for &(c, w) in &rows {
-            let raw = self.col_value(feat, c as usize, &mut buf, &mut window)?;
+            let raw = cur.value(c as usize)?;
             let v = if raw == 0.0 { 0.0 } else { raw };
             if v.is_nan() {
                 if lo_frac > 0.0 {
@@ -744,7 +787,7 @@ impl<S: ColumnSource + Sync> StreamEngine<'_, S> {
                 hi_rows.push((c, w));
             }
         }
-        drop(buf);
+        drop(cur);
         drop(rows);
         if lo_rows.is_empty() || hi_rows.is_empty() {
             return Ok(Node::Leaf { dist });
@@ -903,6 +946,85 @@ mod tests {
                         "tree mismatch at threads={threads} chunk={chunk_rows} spill={spill_pairs}"
                     );
                 }
+            }
+        }
+    }
+
+    /// A source that lends zero-copy bit windows for some columns and
+    /// some offsets only — odd window lengths, borrow refusals on one
+    /// feature — so both serving paths interleave within one fit.
+    struct PartialBorrowSource {
+        inner: MemColumnSource,
+        bits: Vec<Vec<u64>>,
+        window: usize,
+    }
+
+    impl PartialBorrowSource {
+        fn new(data: &Dataset, window: usize) -> PartialBorrowSource {
+            let inner = MemColumnSource::new(data);
+            let nf = data.n_features();
+            let bits = (0..nf)
+                .map(|j| data.x.iter().map(|row| row[j].to_bits()).collect())
+                .collect();
+            PartialBorrowSource {
+                inner,
+                bits,
+                window,
+            }
+        }
+    }
+
+    impl ColumnSource for PartialBorrowSource {
+        fn n_rows(&self) -> usize {
+            self.inner.n_rows()
+        }
+        fn feature_names(&self) -> &[String] {
+            self.inner.feature_names()
+        }
+        fn class_names(&self) -> &[String] {
+            self.inner.class_names()
+        }
+        fn labels(&self) -> &[u32] {
+            self.inner.labels()
+        }
+        fn fill_column(&self, feat: usize, start: usize, out: &mut [f64]) -> io::Result<()> {
+            self.inner.fill_column(feat, start, out)
+        }
+        fn borrow_cells(&self, feat: usize, start: usize) -> io::Result<Option<&[u64]>> {
+            // Feature 1 never lends; others lend windows of `window`
+            // cells except when start lands on a multiple of 3, which
+            // forces the cursor back to fill_column mid-column.
+            if feat == 1 || start.is_multiple_of(3) {
+                return Ok(None);
+            }
+            let col = &self.bits[feat];
+            let end = (start + self.window).min(col.len());
+            Ok(Some(&col[start..end]))
+        }
+    }
+
+    #[test]
+    fn borrowed_windows_train_the_identical_tree() {
+        let data = synth(240);
+        let rows: Vec<usize> = (0..data.len()).collect();
+        let trainer = C45Trainer::default();
+        let want = trainer.fit(&data, &rows).serialize();
+        for window in [1usize, 5, 64] {
+            let src = PartialBorrowSource::new(&data, window);
+            for chunk_rows in [1usize, 7, 64 * 1024] {
+                let opts = StreamFitConfig {
+                    chunk_rows,
+                    spill_pairs: 64,
+                    tmp_dir: None,
+                };
+                let got = trainer
+                    .fit_streaming(&src, &opts)
+                    .unwrap_or_else(|e| panic!("fit_streaming failed: {e}"))
+                    .serialize();
+                assert_eq!(
+                    got, want,
+                    "tree mismatch at window={window} chunk={chunk_rows}"
+                );
             }
         }
     }

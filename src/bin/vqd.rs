@@ -28,18 +28,20 @@ use vqd::prelude::*;
 const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
     \n\
     vqd corpus     --sessions 600 --seed 2015 --out corpus.tsv|corpus.vqdc [--farm 4]\n\
-    vqd corpus convert --in corpus.tsv --out corpus.vqdc   (and back)\n\
+    \x20              [--procs 4] [--format v1|v2|v2raw]\n\
+    vqd corpus convert --in corpus.tsv --out corpus.vqdc [--format v1|v2|v2raw]   (and back)\n\
     vqd train      --corpus corpus.tsv|corpus.vqdc --labels exact|location|existence --out model.vqd\n\
     \x20              [--out-of-core --chunk-rows 65536 --spill-pairs 4194304 --spill-dir /tmp]\n\
     vqd diagnose   --model model.vqd --metrics session.tsv\n\
     vqd diagnose   --model model.vqd --batch corpus.tsv [--threads 0] [--out results.tsv]\n\
-    \x20              [--explain audit.jsonl]\n\
+    \x20              [--explain audit.jsonl] [--shuffle 7 [--shuffle-mem 1048576]]\n\
     vqd simulate   --fault low_rssi --intensity 0.9 [--model model.vqd] [--out session.tsv]\n\
     vqd inspect    --model model.vqd\n\
     vqd robustness --corpus corpus.tsv [--test test.tsv] [--model model.vqd]\n\
     \x20              [--labels exact|location|existence] [--kinds vp_dropout,corruption,...]\n\
     \x20              [--intensities 0,0.25,0.5,0.75,1] [--seed 7] [--threads 0]\n\
-    vqd events     --corpus corpus.tsv [--shuffle 7] [--ts 1.0] [--out events.jsonl]\n\
+    vqd events     --corpus corpus.tsv [--shuffle 7 [--shuffle-mem 1048576]] [--ts 1.0]\n\
+    \x20              [--out events.jsonl]\n\
     vqd serve      --model model.vqd --stdin|--listen 127.0.0.1:4815 [--shards 4]\n\
     \x20              [--flush-batch 32] [--queue 1024] [--lateness 30]\n\
     \x20              [--max-sessions 4096] [--strict] [--out results.tsv]\n\
@@ -62,10 +64,17 @@ const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
     text format (debug/interchange) and the binary columnar `.vqdc`\n\
     format (checksummed feature-major column blocks; the fast path for\n\
     million-session corpora). `corpus` writes whichever the --out\n\
-    extension names; `corpus convert` translates between them.\n\
+    extension names; `corpus convert` translates between them (and\n\
+    between .vqdc versions). --format picks the binary layout: v1\n\
+    (uncompressed columns, the PR 8 layout), v2 (compressed column\n\
+    blocks, the default) or v2raw (v2 container, no compression; the\n\
+    fastest mmap read path). Both versions load transparently.\n\
     `corpus --farm N` shards generation across N independent sim\n\
     workers by contiguous seed range — the merged corpus is\n\
-    byte-identical to --farm 1 at any width.\n\
+    byte-identical to --farm 1 at any width. `corpus --procs P` runs\n\
+    the same farm as P worker *processes*, each writing a shard .vqdc\n\
+    the parent stream-merges in range order — still byte-identical,\n\
+    and the parent never holds the corpus in memory.\n\
     \n\
     `train --out-of-core` streams a `.vqdc` corpus column by column\n\
     through FC + FCBF + an external-sort C4.5 fit, holding O(rows)\n\
@@ -77,8 +86,11 @@ const USAGE: &str = "usage: vqd <command> [--opt value ...]\n\
     resolution, confidence, coverage, fallback). Results are\n\
     bit-identical to per-session `diagnose` at any --threads value.\n\
     Corpora stream through in bounded chunks, so `events` and\n\
-    `diagnose --batch` handle corpora larger than memory (except\n\
-    `events --shuffle`, which must hold every event to permute them).\n\
+    `diagnose --batch` handle corpora larger than memory. --shuffle\n\
+    <seed> (both commands) permutes via a seeded external key-sort\n\
+    that spills sorted runs past --shuffle-mem records: the order\n\
+    depends only on the seed and the record count, never the budget,\n\
+    so shuffled streams replay identically beyond RAM.\n\
     \n\
     `events` explodes a corpus into the JSONL probe-event stream a live\n\
     deployment would emit (optionally shuffled by --shuffle <seed>, with\n\
@@ -305,12 +317,23 @@ fn corpus_summary(stats: &vqd::core::dataset::CorpusGenStats) -> String {
 }
 
 /// Write a corpus in the format the path's extension names: binary
-/// columnar for `.vqdc`, the text format otherwise.
-fn write_corpus(path: &str, runs: &[LabeledRun]) -> Result<(), VqdError> {
+/// columnar for `.vqdc` (at the version `wopts` picks), the text
+/// format otherwise.
+fn write_corpus(path: &str, runs: &[LabeledRun], wopts: &VqdcWriteOptions) -> Result<(), VqdError> {
     if path.ends_with(".vqdc") {
-        write_vqdc(runs, path)
+        write_vqdc_with(runs, path, wopts)
     } else {
         write_file(path, &corpus_to_text(runs))
+    }
+}
+
+/// The `--format v1|v2|v2raw` flag shared by `corpus` and `corpus
+/// convert` (default: v2, compressed).
+fn vqdc_format(opts: &Opts) -> Result<VqdcWriteOptions, VqdError> {
+    match opts.get("format") {
+        None => Ok(VqdcWriteOptions::default()),
+        Some(s) => VqdcWriteOptions::parse(&s)
+            .ok_or_else(|| VqdError::Config(format!("--format expects v1|v2|v2raw, got {s:?}"))),
     }
 }
 
@@ -319,6 +342,8 @@ fn cmd_corpus(opts: &Opts) -> Result<(), VqdError> {
     let seed = opts.num("seed", 2015.0)? as u64;
     let out = opts.get("out").unwrap_or_else(|| "corpus.tsv".to_string());
     let farm = opts.num("farm", 0.0)? as usize;
+    let procs = opts.num("procs", 0.0)? as usize;
+    let wopts = vqdc_format(opts)?;
     let obs = obs_setup(opts);
     let cfg = CorpusConfig {
         sessions,
@@ -326,6 +351,33 @@ fn cmd_corpus(opts: &Opts) -> Result<(), VqdError> {
         ..Default::default()
     };
     let catalog = Catalog::top100(42);
+    // Hidden worker mode: `--worker-range start:len` makes this
+    // process one shard engine of a multi-process farm — simulate the
+    // contiguous spec sub-range and write it as an ordinary corpus
+    // file (the parent merges the shards in range order).
+    if let Some(range) = opts.get("worker-range") {
+        let (start, len) = parse_worker_range(&range)?;
+        let width = farm.max(1);
+        let (runs, _events) = generate_corpus_range(&cfg, &catalog, start, len, width)?;
+        write_corpus(&out, &runs, &wopts)?;
+        eprintln!("worker wrote {out}: sessions {start}..{}", start + len);
+        return obs_finish(&obs);
+    }
+    if procs > 1 {
+        let pf = ProcFarmConfig {
+            exe: std::env::current_exe().map_err(|e| VqdError::io("vqd", e))?,
+            procs,
+            width: farm.max(procs),
+            shard_dir: None,
+        };
+        let fs = generate_corpus_multiproc(&cfg, &pf, std::path::Path::new(&out), &wopts)?;
+        eprintln!("wrote {out}: {} runs", fs.sessions);
+        eprintln!(
+            "farm: {} worker processes, {:.1} sessions/sec ({} sessions, {:.2}s wall; sessions per worker {:?})",
+            fs.procs, fs.sessions_per_sec, fs.sessions, fs.wall_s, fs.proc_sessions,
+        );
+        return obs_finish(&obs);
+    }
     let (runs, summary) = if farm > 0 {
         let (runs, fs) = generate_corpus_farm(&cfg, &catalog, farm);
         let summary = format!(
@@ -338,7 +390,7 @@ fn cmd_corpus(opts: &Opts) -> Result<(), VqdError> {
         let summary = corpus_summary(&stats);
         (runs, summary)
     };
-    write_corpus(&out, &runs)?;
+    write_corpus(&out, &runs, &wopts)?;
     let good = runs
         .iter()
         .filter(|r| r.truth.qoe == QoeClass::Good)
@@ -346,6 +398,18 @@ fn cmd_corpus(opts: &Opts) -> Result<(), VqdError> {
     eprintln!("wrote {out}: {} runs ({good} good)", runs.len());
     eprintln!("{summary}");
     obs_finish(&obs)
+}
+
+/// Parse the hidden `--worker-range start:len` flag.
+fn parse_worker_range(s: &str) -> Result<(usize, usize), VqdError> {
+    let parsed = s
+        .split_once(':')
+        .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)));
+    parsed.ok_or_else(|| {
+        VqdError::Config(format!(
+            "--worker-range expects start:len (two integers), got {s:?}"
+        ))
+    })
 }
 
 /// `vqd corpus convert`: translate a corpus between the text and
@@ -357,7 +421,8 @@ fn cmd_corpus_convert(opts: &Opts) -> Result<(), VqdError> {
     let out = opts.require("out", "file")?;
     let fmt = |binary: bool| if binary { "binary" } else { "text" };
     let to_binary = out.ends_with(".vqdc");
-    let stats = convert_corpus(&input, &out, to_binary)?;
+    let wopts = vqdc_format(opts)?;
+    let stats = convert_corpus_with(&input, &out, to_binary, &wopts)?;
     eprintln!(
         "converted {input} ({}) -> {out} ({}): {} sessions",
         fmt(stats.from_binary),
@@ -516,12 +581,16 @@ fn cmd_diagnose(opts: &Opts) -> Result<(), VqdError> {
 /// in a corpus file through the batched engine, one TSV result line
 /// per session (order matches the input at any thread count). The
 /// corpus streams through in bounded chunks — per-session results are
-/// independent, so chunking never changes a line.
+/// independent, so chunking never changes a line. With `--shuffle
+/// <seed>` the sessions are permuted by the seeded external shuffle
+/// first (still bounded memory); each session's result line is
+/// identical to the unshuffled run, only the order moves.
 fn cmd_diagnose_batch(model: &Diagnoser, opts: &Opts, path: &str) -> Result<(), VqdError> {
     use std::io::Write;
     let threads = opts.num("threads", 0.0)? as usize;
     let obs = obs_setup(opts);
     let out_path = opts.get("out");
+    let shuffle = shuffle_opts(opts)?;
     let mut reader = CorpusReader::open(path)?;
     let mut w = open_sink(&out_path)?;
     let io_err = |e: std::io::Error| VqdError::io(out_path.as_deref().unwrap_or("<stdout>"), e);
@@ -537,11 +606,10 @@ fn cmd_diagnose_batch(model: &Diagnoser, opts: &Opts, path: &str) -> Result<(), 
     let mut tiers = [0usize; 3];
     let mut n = 0usize;
     let mut wall = 0.0f64;
-    loop {
-        let chunk = reader.next_chunk(DEFAULT_CHUNK_SESSIONS)?;
-        if chunk.is_empty() {
-            break;
-        }
+    let mut score_chunk = |chunk: &[LabeledRun],
+                           w: &mut dyn Write,
+                           explain: &mut Option<std::io::BufWriter<std::fs::File>>|
+     -> Result<(), VqdError> {
         let sessions: Vec<&Vec<(String, f64)>> = chunk.iter().map(|r| &r.metrics).collect();
         let t0 = std::time::Instant::now();
         let batch = model.diagnose_batch_with(
@@ -573,6 +641,49 @@ fn cmd_diagnose_batch(model: &Diagnoser, opts: &Opts, path: &str) -> Result<(), 
         }
         w.write_all(out.as_bytes()).map_err(io_err)?;
         n += chunk.len();
+        Ok(())
+    };
+    if let Some((seed, budget)) = shuffle {
+        // Pass 1: spool every session's text line through the
+        // external shuffle. Pass 2: re-parse and score in shuffled
+        // order, chunked exactly like the straight path.
+        let mut sh = ExternalShuffle::new(seed, budget, None);
+        loop {
+            let chunk = reader.next_chunk(DEFAULT_CHUNK_SESSIONS)?;
+            if chunk.is_empty() {
+                break;
+            }
+            for run in &chunk {
+                let line = corpus_to_text(std::slice::from_ref(run));
+                sh.push(line.trim_end_matches('\n').as_bytes())?;
+            }
+        }
+        let mut drain = sh.finish()?;
+        let mut pending: Vec<LabeledRun> = Vec::with_capacity(DEFAULT_CHUNK_SESSIONS);
+        let mut parsed = 0usize;
+        loop {
+            let rec = drain.next_record()?;
+            if let Some(rec) = &rec {
+                let line = String::from_utf8_lossy(rec);
+                parsed += 1;
+                pending.push(parse_corpus_line(parsed, &line)?);
+            }
+            if pending.len() >= DEFAULT_CHUNK_SESSIONS || (rec.is_none() && !pending.is_empty()) {
+                score_chunk(&pending, &mut *w, &mut explain)?;
+                pending.clear();
+            }
+            if rec.is_none() {
+                break;
+            }
+        }
+    } else {
+        loop {
+            let chunk = reader.next_chunk(DEFAULT_CHUNK_SESSIONS)?;
+            if chunk.is_empty() {
+                break;
+            }
+            score_chunk(&chunk, &mut *w, &mut explain)?;
+        }
     }
     w.flush().map_err(io_err)?;
     if let Some(ew) = explain.as_mut() {
@@ -607,21 +718,30 @@ fn open_sink(out: &Option<String>) -> Result<Box<dyn std::io::Write>, VqdError> 
     })
 }
 
+/// The `--shuffle <seed>` flag with its optional `--shuffle-mem N`
+/// budget (records buffered in memory before the external shuffle
+/// spills a sorted run — wall time and disk only, never the order).
+fn shuffle_opts(opts: &Opts) -> Result<Option<(u64, usize)>, VqdError> {
+    let Some(seed) = opts.get("shuffle") else {
+        return Ok(None);
+    };
+    let seed: u64 = seed
+        .parse()
+        .map_err(|_| VqdError::Config(format!("--shuffle expects a seed, got {seed:?}")))?;
+    let budget = opts.num("shuffle-mem", DEFAULT_SHUFFLE_BUDGET as f64)? as usize;
+    Ok(Some((seed, budget)))
+}
+
 /// `vqd events`: explode a corpus into the JSONL probe-event stream a
 /// live deployment would have emitted, optionally shuffled (the
 /// daemon's determinism makes the shuffle invisible in its output).
-/// Unshuffled corpora stream through in bounded chunks; `--shuffle`
-/// must hold every event in memory to permute them.
+/// Both paths stream in bounded memory: `--shuffle` runs a seeded
+/// external key-sort shuffle whose order depends only on the seed and
+/// the event count — never on the `--shuffle-mem` budget.
 fn cmd_events(opts: &Opts) -> Result<(), VqdError> {
     use std::io::Write;
     let path = opts.require("corpus", "file")?;
-    let shuffle: Option<u64> = match opts.get("shuffle") {
-        None => None,
-        Some(seed) => Some(
-            seed.parse()
-                .map_err(|_| VqdError::Config(format!("--shuffle expects a seed, got {seed:?}")))?,
-        ),
-    };
+    let shuffle = shuffle_opts(opts)?;
     let ts_step = match opts.get("ts") {
         Some(_) => Some(opts.num("ts", 1.0)?),
         None => None,
@@ -632,20 +752,37 @@ fn cmd_events(opts: &Opts) -> Result<(), VqdError> {
     let io_err = |e: std::io::Error| VqdError::io(out_path.as_deref().unwrap_or("<stdout>"), e);
     let mut n_events = 0usize;
     let mut n_sessions = 0usize;
-    if let Some(seed) = shuffle {
-        let runs = reader.read_all()?;
-        n_sessions = runs.len();
-        let mut events = corpus_to_events(&runs);
-        shuffle_events(&mut events, seed);
-        if let Some(step) = ts_step {
-            for (i, ev) in events.iter_mut().enumerate() {
-                ev.ts = Some(i as f64 * step);
+    if let Some((seed, budget)) = shuffle {
+        let mut sh = ExternalShuffle::new(seed, budget, None);
+        loop {
+            let chunk = reader.next_chunk(DEFAULT_CHUNK_SESSIONS)?;
+            if chunk.is_empty() {
+                break;
             }
+            let events = corpus_to_events_from(&chunk, n_sessions);
+            for ev in &events {
+                sh.push(ev.to_jsonl().as_bytes())?;
+            }
+            n_sessions += chunk.len();
         }
-        for ev in &events {
-            writeln!(w, "{}", ev.to_jsonl()).map_err(io_err)?;
+        let mut drain = sh.finish()?;
+        while let Some(rec) = drain.next_record()? {
+            let line = String::from_utf8_lossy(&rec);
+            if let Some(step) = ts_step {
+                // Arrival timestamps follow the *shuffled* order, so
+                // re-stamp each event as it is emitted.
+                let mut ev = ProbeEvent::parse(&line).map_err(|source| VqdError::Event {
+                    line: n_events + 1,
+                    source,
+                })?;
+                ev.ts = Some(n_events as f64 * step);
+                writeln!(w, "{}", ev.to_jsonl()).map_err(io_err)?;
+            } else {
+                w.write_all(&rec).map_err(io_err)?;
+                w.write_all(b"\n").map_err(io_err)?;
+            }
+            n_events += 1;
         }
-        n_events = events.len();
     } else {
         loop {
             let chunk = reader.next_chunk(DEFAULT_CHUNK_SESSIONS)?;
@@ -674,22 +811,6 @@ fn cmd_events(opts: &Opts) -> Result<(), VqdError> {
         eprintln!("wrote {n_events} events ({n_sessions} sessions) to {p}");
     }
     Ok(())
-}
-
-/// Deterministic Fisher–Yates (xorshift64*), so `--shuffle <seed>`
-/// replays identically everywhere without pulling in an RNG crate.
-fn shuffle_events(events: &mut [ProbeEvent], seed: u64) {
-    let mut s = seed | 1;
-    let mut next = move || {
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        s.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    };
-    for i in (1..events.len()).rev() {
-        let j = (next() % (i as u64 + 1)) as usize;
-        events.swap(i, j);
-    }
 }
 
 /// Set by the SIGINT/SIGTERM handler; every ingest loop polls it and

@@ -55,7 +55,8 @@ pub use vqd_wireless as wireless;
 pub mod prelude {
     pub use vqd_core::chaos::{crash_points, SplitMix64};
     pub use vqd_core::corpus_stream::{
-        convert_corpus, ConvertStats, CorpusReader, DEFAULT_CHUNK_SESSIONS,
+        convert_corpus, convert_corpus_with, merge_corpora, ConvertStats, CorpusReader,
+        DEFAULT_CHUNK_SESSIONS,
     };
     pub use vqd_core::dataset::{
         corpus_from_text, corpus_to_text, generate_corpus, generate_corpus_with_stats,
@@ -67,7 +68,11 @@ pub mod prelude {
     pub use vqd_core::drift::{DriftMonitor, DriftReading, DriftStamp, DriftWindow};
     pub use vqd_core::error::VqdError;
     pub use vqd_core::experiments::{eval_by_vp, eval_transfer, VP_SETS};
-    pub use vqd_core::farm::{generate_corpus_farm, FarmStats};
+    pub use vqd_core::extshuffle::{ExternalShuffle, ShuffledReader, DEFAULT_SHUFFLE_BUDGET};
+    pub use vqd_core::farm::{
+        generate_corpus_farm, generate_corpus_multiproc, generate_corpus_range, FarmStats,
+        ProcFarmConfig, ProcFarmStats,
+    };
     pub use vqd_core::octrain::{train_out_of_core, OocConfig, OocReport};
     pub use vqd_core::realworld::{
         generate_induced, generate_wild, Access, RealWorldConfig, RwRun, Service,
@@ -84,8 +89,8 @@ pub mod prelude {
     };
     pub use vqd_core::testbed::{run_controlled_session, SessionOutcome, SessionSpec, WanProfile};
     pub use vqd_core::vqdc::{
-        corpus_to_vqdc_bytes, sniff_vqdc, write_vqdc, VqdcReader, VqdcSchema, VqdcWriter,
-        VQDC_MAGIC,
+        corpus_to_vqdc_bytes, sniff_vqdc, write_vqdc, write_vqdc_with, VqdcIoMode, VqdcReader,
+        VqdcSchema, VqdcVersion, VqdcWriteOptions, VqdcWriter, VQDC2_MAGIC, VQDC_MAGIC,
     };
     pub use vqd_faults::{FaultKind, FaultPlan};
     pub use vqd_ml::metrics::ConfusionMatrix;

@@ -8,8 +8,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use proptest::prelude::*;
 
+use vqd::core::colcodec::{decode_block, encode_block};
 use vqd::core::octrain::{train_out_of_core, OocConfig};
-use vqd::core::vqdc::{corpus_to_vqdc_bytes, VqdcReader};
+use vqd::core::vqdc::{
+    corpus_to_vqdc_bytes, corpus_to_vqdc_bytes_with, VqdcIoMode, VqdcReader, VqdcVersion,
+    VqdcWriteOptions,
+};
 use vqd::ml::stream_fit::StreamFitConfig;
 use vqd::prelude::*;
 
@@ -252,4 +256,400 @@ proptest! {
         }
         std::fs::remove_file(&path).ok();
     }
+
+    /// The v2 container under every option set: round-trips are
+    /// lossless at any block geometry, and the mmap and pread read
+    /// paths return the identical value bits for every column.
+    #[test]
+    fn vqdc2_round_trip_and_io_backends_agree(
+        specs in proptest::collection::vec(
+            (any::<u64>(), 0usize..8, 0usize..6, 0usize..3),
+            0..12,
+        ),
+        block_rows in 1u32..16,
+        compress in any::<bool>(),
+    ) {
+        let runs = build_runs(&specs);
+        let opts = VqdcWriteOptions { version: VqdcVersion::V2, block_rows, compress };
+        let bytes = corpus_to_vqdc_bytes_with(&runs, &opts).expect("encode v2");
+        let path = scratch_file(&bytes);
+        let pread = VqdcReader::open_with(&path, VqdcIoMode::Pread).expect("open pread");
+        let auto = VqdcReader::open_with(&path, VqdcIoMode::Auto).expect("open auto");
+        let back = auto.to_runs().expect("decode v2");
+        prop_assert_eq!(fingerprint(&back), fingerprint(&runs));
+        let n = pread.n_rows();
+        for j in 0..pread.feature_names().len() {
+            let mut a = vec![0.0f64; n];
+            let mut b = vec![0.0f64; n];
+            pread.fill_column(j, 0, &mut a).expect("pread column");
+            auto.fill_column(j, 0, &mut b).expect("auto column");
+            let abits: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let bbits: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(abits, bbits, "column {} diverged between backends", j);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// v2 corruption: any single-byte flip anywhere (block data, block
+    /// directory, trailer) is a typed error or a clean decode of
+    /// re-derivable redundancy — never a panic, at any geometry.
+    #[test]
+    fn vqdc2_bitflip_never_panics(
+        specs in proptest::collection::vec(
+            (any::<u64>(), 0usize..8, 0usize..6, 0usize..3),
+            1..6,
+        ),
+        block_rows in 1u32..8,
+        at in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let opts = VqdcWriteOptions { version: VqdcVersion::V2, block_rows, compress: true };
+        let mut bytes = corpus_to_vqdc_bytes_with(&build_runs(&specs), &opts).expect("encode");
+        let at = at.index(bytes.len());
+        bytes[at] ^= flip;
+        let path = scratch_file(&bytes);
+        if let Ok(reader) = VqdcReader::open(&path) {
+            let _ = reader.to_runs();
+            let _ = reader.verify();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// v2 truncation (which can land inside compressed blocks, the
+    /// block directory or the trailer): typed error at open or on the
+    /// first checksummed read.
+    #[test]
+    fn vqdc2_truncation_never_panics(
+        specs in proptest::collection::vec(
+            (any::<u64>(), 0usize..8, 0usize..6, 0usize..3),
+            1..6,
+        ),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let opts = VqdcWriteOptions::default();
+        let bytes = corpus_to_vqdc_bytes_with(&build_runs(&specs), &opts).expect("encode");
+        let cut = cut.index(bytes.len());
+        let path = scratch_file(&bytes[..cut]);
+        match VqdcReader::open(&path) {
+            Err(VqdError::BinCorpus { .. } | VqdError::Io { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error type: {e}"),
+            Ok(reader) => {
+                prop_assert!(reader.to_runs().is_err(), "truncated v2 file decoded cleanly");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The column codec alone: encode/decode is the bit-exact identity
+    /// over adversarial cells (raw random bits — including NaNs with
+    /// payloads, infinities, subnormals — plus signed zeros and runs of
+    /// repeats), compressed or not.
+    #[test]
+    fn column_codec_round_trips_bit_exactly(
+        draws in proptest::collection::vec((any::<u64>(), 0usize..7), 0..300),
+        compress in any::<bool>(),
+    ) {
+        // Each draw picks a raw bit pattern or one of the adversarial
+        // special values (payload NaN, signed zero, infinities).
+        let cells: Vec<u64> = draws
+            .iter()
+            .map(|&(bits, sel)| match sel {
+                0 | 1 => bits,
+                2 => f64::NAN.to_bits(),
+                3 => 0x7ff8_0000_dead_beef_u64,
+                4 => (-0.0f64).to_bits(),
+                5 => f64::INFINITY.to_bits(),
+                _ => f64::NEG_INFINITY.to_bits(),
+            })
+            .collect();
+        let mut enc = Vec::new();
+        let codec = encode_block(&cells, compress, &mut enc);
+        let mut out = Vec::new();
+        decode_block(codec, &enc, cells.len(), &mut out).expect("decode own encoding");
+        prop_assert_eq!(out, cells);
+    }
+
+    /// Constant columns (the NaN-filler case that dominates sparse
+    /// corpora) must round-trip and actually compress.
+    #[test]
+    fn constant_columns_collapse(bits in any::<u64>(), n in 65usize..2048) {
+        let cells = vec![bits; n];
+        let mut enc = Vec::new();
+        let codec = encode_block(&cells, true, &mut enc);
+        let mut out = Vec::new();
+        decode_block(codec, &enc, n, &mut out).expect("decode");
+        prop_assert_eq!(out, cells);
+        prop_assert!(
+            enc.len() < n * 8 / 4,
+            "constant run of {} cells only reached {} bytes",
+            n,
+            enc.len()
+        );
+    }
+
+    /// Corrupt *codec streams* (truncated or bit-flipped after a valid
+    /// encode) are typed `Err`s from `decode_block`, never panics.
+    #[test]
+    fn corrupt_codec_streams_never_panic(
+        cells in proptest::collection::vec(any::<u64>(), 1..200),
+        cut in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+        at in any::<prop::sample::Index>(),
+    ) {
+        let mut enc = Vec::new();
+        let codec = encode_block(&cells, true, &mut enc);
+        let mut out = Vec::new();
+        // Truncation at every possible length.
+        let cut = cut.index(enc.len() + 1);
+        if cut < enc.len() {
+            let _ = decode_block(codec, &enc[..cut], cells.len(), &mut out);
+        }
+        // A single-byte flip: either a typed error or a clean decode
+        // of some other valid stream — but never a panic, and never a
+        // wrong-length output on Ok.
+        let mut flipped = enc.clone();
+        let at = at.index(flipped.len());
+        flipped[at] ^= flip;
+        out.clear();
+        if decode_block(codec, &flipped, cells.len(), &mut out).is_ok() {
+            prop_assert_eq!(out.len(), cells.len());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-process farm and CLI-level determinism
+// ---------------------------------------------------------------------
+
+/// Run the vqd binary with `args`, panicking with its stderr on
+/// nonzero exit.
+fn vqd_cli(args: &[&str]) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_vqd"))
+        .args(args)
+        .output()
+        .expect("spawn vqd");
+    assert!(
+        out.status.success(),
+        "vqd {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn scratch_path(name: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "vqd-cs-cli-{}-{}-{name}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The multi-process farm writes the identical bytes as the
+/// in-process farm and the plain generator — at 1 and 2 worker
+/// processes, for both output formats.
+#[test]
+fn multiproc_farm_output_is_byte_identical() {
+    for ext in ["tsv", "vqdc"] {
+        let plain = scratch_path(&format!("plain.{ext}"));
+        vqd_cli(&[
+            "corpus",
+            "--sessions",
+            "30",
+            "--seed",
+            "77",
+            "--out",
+            &plain.to_string_lossy(),
+        ]);
+        let want = std::fs::read(&plain).expect("read plain corpus");
+        for procs in ["1", "2", "3"] {
+            let out = scratch_path(&format!("procs{procs}.{ext}"));
+            vqd_cli(&[
+                "corpus",
+                "--sessions",
+                "30",
+                "--seed",
+                "77",
+                "--farm",
+                "4",
+                "--procs",
+                procs,
+                "--out",
+                &out.to_string_lossy(),
+            ]);
+            let got = std::fs::read(&out).expect("read farm corpus");
+            assert_eq!(got, want, "--procs {procs} changed the {ext} output bytes");
+            std::fs::remove_file(&out).ok();
+        }
+        std::fs::remove_file(&plain).ok();
+    }
+}
+
+/// A crashed worker process surfaces as `VqdError::Farm` naming the
+/// session sub-range it owned.
+#[test]
+fn crashed_farm_worker_is_a_typed_error_naming_its_range() {
+    use vqd::prelude::{generate_corpus_multiproc, ProcFarmConfig, VqdcWriteOptions};
+    let cfg = CorpusConfig {
+        sessions: 10,
+        seed: 3,
+        ..Default::default()
+    };
+    let pf = ProcFarmConfig {
+        // A binary that exits nonzero no matter the args.
+        exe: std::path::PathBuf::from("/bin/false"),
+        procs: 2,
+        width: 2,
+        shard_dir: None,
+    };
+    let out = scratch_path("crash.vqdc");
+    let err = generate_corpus_multiproc(&cfg, &pf, &out, &VqdcWriteOptions::default())
+        .expect_err("worker crash must fail the farm");
+    match &err {
+        VqdError::Farm { start, len, .. } => {
+            assert_eq!(
+                (*start, *len),
+                (0, 5),
+                "range must name the first failed shard"
+            );
+        }
+        other => panic!("expected VqdError::Farm, got: {other}"),
+    }
+    let msg = err.to_string();
+    assert!(
+        msg.contains("sessions 0..5"),
+        "error must name the seed sub-range: {msg}"
+    );
+    std::fs::remove_file(&out).ok();
+}
+
+/// `corpus convert` moves v1 → v2 → v1 with byte-identical v1 files
+/// and text-identical content at every hop.
+#[test]
+fn convert_round_trips_between_versions() {
+    let v1 = scratch_path("v1.vqdc");
+    vqd_cli(&[
+        "corpus",
+        "--sessions",
+        "25",
+        "--seed",
+        "55",
+        "--format",
+        "v1",
+        "--out",
+        &v1.to_string_lossy(),
+    ]);
+    let v1_bytes = std::fs::read(&v1).expect("read v1");
+    assert_eq!(&v1_bytes[..8], b"VQDCORP1");
+    let v2 = scratch_path("v2.vqdc");
+    vqd_cli(&[
+        "corpus",
+        "convert",
+        "--in",
+        &v1.to_string_lossy(),
+        "--format",
+        "v2",
+        "--out",
+        &v2.to_string_lossy(),
+    ]);
+    let v2_bytes = std::fs::read(&v2).expect("read v2");
+    assert_eq!(&v2_bytes[..8], b"VQDCORP2");
+    assert!(
+        v2_bytes.len() < v1_bytes.len(),
+        "v2 ({}) must compress below v1 ({})",
+        v2_bytes.len(),
+        v1_bytes.len()
+    );
+    let back = scratch_path("back.vqdc");
+    vqd_cli(&[
+        "corpus",
+        "convert",
+        "--in",
+        &v2.to_string_lossy(),
+        "--format",
+        "v1",
+        "--out",
+        &back.to_string_lossy(),
+    ]);
+    assert_eq!(
+        std::fs::read(&back).expect("read round-trip"),
+        v1_bytes,
+        "v1 -> v2 -> v1 must reproduce the original file bytes"
+    );
+    for p in [v1, v2, back] {
+        std::fs::remove_file(&p).ok();
+    }
+}
+
+/// `events --shuffle` and `diagnose --batch --shuffle` must emit the
+/// identical bytes at any `--shuffle-mem` budget (the external
+/// shuffle's order depends only on seed and count).
+#[test]
+fn cli_shuffle_order_is_budget_independent() {
+    let corpus = scratch_path("shuf.tsv");
+    vqd_cli(&[
+        "corpus",
+        "--sessions",
+        "20",
+        "--seed",
+        "21",
+        "--out",
+        &corpus.to_string_lossy(),
+    ]);
+    let model = scratch_path("shuf-model.vqd");
+    vqd_cli(&[
+        "train",
+        "--corpus",
+        &corpus.to_string_lossy(),
+        "--labels",
+        "exact",
+        "--out",
+        &model.to_string_lossy(),
+    ]);
+    let mut events_outputs = Vec::new();
+    let mut diag_outputs = Vec::new();
+    for budget in ["3", "1048576"] {
+        let ev = scratch_path(&format!("events-{budget}.jsonl"));
+        vqd_cli(&[
+            "events",
+            "--corpus",
+            &corpus.to_string_lossy(),
+            "--shuffle",
+            "6",
+            "--shuffle-mem",
+            budget,
+            "--ts",
+            "0.5",
+            "--out",
+            &ev.to_string_lossy(),
+        ]);
+        events_outputs.push(std::fs::read(&ev).expect("read events"));
+        std::fs::remove_file(&ev).ok();
+        let dg = scratch_path(&format!("diag-{budget}.tsv"));
+        vqd_cli(&[
+            "diagnose",
+            "--model",
+            &model.to_string_lossy(),
+            "--batch",
+            &corpus.to_string_lossy(),
+            "--shuffle",
+            "6",
+            "--shuffle-mem",
+            budget,
+            "--out",
+            &dg.to_string_lossy(),
+        ]);
+        diag_outputs.push(std::fs::read(&dg).expect("read diagnoses"));
+        std::fs::remove_file(&dg).ok();
+    }
+    assert_eq!(
+        events_outputs[0], events_outputs[1],
+        "events --shuffle order changed with the memory budget"
+    );
+    assert_eq!(
+        diag_outputs[0], diag_outputs[1],
+        "diagnose --shuffle order changed with the memory budget"
+    );
+    assert!(!events_outputs[0].is_empty());
+    std::fs::remove_file(&corpus).ok();
+    std::fs::remove_file(&model).ok();
 }
